@@ -1,0 +1,106 @@
+// ablation_heuristics — one-factor-at-a-time ablation of every §4.2
+// refinement, over one chain. For each variant: label counts, the
+// time-stepped FP rate, cluster count, and exact precision against
+// simulator ground truth. This is the engineering companion to
+// table_heuristic2 (which shows the paper's cumulative ladder).
+#include <cstdio>
+
+#include "cluster/metrics.hpp"
+#include "common.hpp"
+
+using namespace fist;
+using namespace fist::bench;
+
+int main() {
+  banner("Ablation — Heuristic-2 refinements, one factor at a time",
+         "design-choice accounting for §4.2 (DESIGN.md ablation index)");
+  Experiment exp = run_experiment();
+  const ForensicPipeline& pipe = *exp.pipeline;
+  const ChainView& view = pipe.view();
+  const auto& dice = pipe.dice_addresses();
+
+  std::vector<std::uint32_t> owners(view.address_count(), kUnknownOwner);
+  for (AddrId a = 0; a < view.address_count(); ++a) {
+    sim::ActorId owner =
+        exp.world->truth().owner(view.addresses().lookup(a));
+    if (owner != sim::kNoActor) owners[a] = owner;
+  }
+
+  struct Variant {
+    const char* name;
+    H2Options options;
+  };
+  H2Options base;  // the naive heuristic
+  H2Options refined = refined_h2_options();
+
+  auto with = [&](auto mutate) {
+    H2Options o = base;
+    mutate(o);
+    return o;
+  };
+  auto without = [&](auto mutate) {
+    H2Options o = refined;
+    mutate(o);
+    return o;
+  };
+
+  std::vector<Variant> variants = {
+      {"naive (baseline)", base},
+      {"only dice exemption",
+       with([](H2Options& o) { o.exempt_dice_rebounds = true; })},
+      {"only 1-week wait", with([](H2Options& o) { o.wait_window = kWeek; })},
+      {"only reused-change guard",
+       with([](H2Options& o) { o.guard_reused_change = true; })},
+      {"only self-change-history guard",
+       with([](H2Options& o) { o.guard_self_change_history = true; })},
+      {"only future-reuse resolver",
+       with([](H2Options& o) { o.resolve_ambiguous_via_future = true; })},
+      {"only min-outputs=2", with([](H2Options& o) { o.min_outputs = 2; })},
+      {"refined (all)", refined},
+      {"refined minus dice exemption",
+       without([](H2Options& o) { o.exempt_dice_rebounds = false; })},
+      {"refined minus wait",
+       without([](H2Options& o) { o.wait_window = 0; })},
+      {"refined minus guards", without([](H2Options& o) {
+         o.guard_reused_change = false;
+         o.guard_self_change_history = false;
+       })},
+      {"refined minus resolver", without([](H2Options& o) {
+         o.resolve_ambiguous_via_future = false;
+       })},
+  };
+
+  TextTable t({"Variant", "Labels", "FP rate", "Clusters", "Precision",
+               "Recall"},
+              {Align::Left, Align::Right, Align::Right, Align::Right,
+               Align::Right, Align::Right});
+  for (const Variant& v : variants) {
+    H2Result r = apply_heuristic2(view, v.options, dice);
+    H2FalsePositives fp =
+        estimate_h2_false_positives(view, r, v.options, dice);
+    UnionFind uf(view.address_count());
+    apply_heuristic1(view, uf);
+    unite_h2_labels(view, r, uf);
+    Clustering c = Clustering::from_union_find(uf);
+    PairwiseScores s = pairwise_scores(c.assignment(), owners);
+    char rate[16], prec[16], rec[16];
+    std::snprintf(rate, sizeof(rate), "%.2f%%", 100 * fp.rate());
+    std::snprintf(prec, sizeof(prec), "%.3f", s.precision);
+    std::snprintf(rec, sizeof(rec), "%.3f", s.recall);
+    t.row({v.name, std::to_string(r.label_count()), rate,
+           std::to_string(c.cluster_count()), prec, rec});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf(
+      "Reading guide:\n"
+      "  * the dice exemption cuts the FP rate ~7x at zero label cost;\n"
+      "  * the reused-change guard alone already prevents nearly every\n"
+      "    wrong merge (precision ~0.99) — it is the super-cluster fix;\n"
+      "  * the future-reuse resolver adds recall but is only safe in\n"
+      "    combination with the dice exemption: without it, rebounds make\n"
+      "    true change addresses look reused and the resolver mislabels\n"
+      "    at scale (precision collapses — the super-cluster failure);\n"
+      "  * min-outputs=2 shows the paper's definition is already safe\n"
+      "    for 1-output sweeps.\n");
+  return 0;
+}

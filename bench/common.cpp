@@ -1,0 +1,55 @@
+#include "common.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+namespace fist::bench {
+
+sim::WorldConfig default_config() {
+  sim::WorldConfig cfg;
+  cfg.seed = 42;
+  cfg.days = 240;
+  cfg.users = 400;
+  cfg.blocks_per_day = 12;
+  return cfg;
+}
+
+Experiment run_experiment(sim::WorldConfig config) {
+  Experiment exp;
+  auto t0 = std::chrono::steady_clock::now();
+  std::fprintf(stderr, "[bench] simulating %d days, %d users...\n",
+               config.days, config.users);
+  exp.world = std::make_unique<sim::World>(config);
+  exp.world->run();
+  auto t1 = std::chrono::steady_clock::now();
+  std::fprintf(
+      stderr, "[bench] simulated %llu txs in %lld ms; running pipeline...\n",
+      static_cast<unsigned long long>(exp.world->tx_count()),
+      static_cast<long long>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(t1 - t0)
+              .count()));
+  exp.pipeline = std::make_unique<ForensicPipeline>(exp.world->store(),
+                                                    exp.world->tag_feed());
+  exp.pipeline->run();
+  auto t2 = std::chrono::steady_clock::now();
+  std::fprintf(
+      stderr, "[bench] pipeline done in %lld ms\n",
+      static_cast<long long>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(t2 - t1)
+              .count()));
+  return exp;
+}
+
+void banner(const std::string& title, const std::string& paper_ref) {
+  std::printf("=====================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("=====================================================\n");
+}
+
+std::string compare(const std::string& what, const std::string& paper,
+                    const std::string& measured) {
+  return what + ": paper=" + paper + "  measured=" + measured;
+}
+
+}  // namespace fist::bench

@@ -1,0 +1,36 @@
+// common.hpp — shared scaffolding for the reproduction benches.
+//
+// Every bench simulates the same default world (fixed seed) and runs
+// the forensic pipeline over its serialized chain, then prints a
+// "paper vs measured" comparison for its table or figure.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "sim/world.hpp"
+#include "util/table.hpp"
+
+namespace fist::bench {
+
+/// The standard experiment world (override pieces per bench as needed).
+sim::WorldConfig default_config();
+
+/// Holds the simulated world + completed pipeline.
+struct Experiment {
+  std::unique_ptr<sim::World> world;
+  std::unique_ptr<ForensicPipeline> pipeline;
+};
+
+/// Builds and runs the default experiment (prints progress to stderr).
+Experiment run_experiment(sim::WorldConfig config = default_config());
+
+/// Prints the standard bench banner.
+void banner(const std::string& title, const std::string& paper_ref);
+
+/// "name: paper=<x> measured=<y>" formatted row helper.
+std::string compare(const std::string& what, const std::string& paper,
+                    const std::string& measured);
+
+}  // namespace fist::bench

@@ -1,0 +1,91 @@
+// figure1_propagation — reproduces Figure 1: how a payment reaches a
+// merchant. A user broadcasts a transaction; it floods peer-to-peer to
+// miners; a miner seals it into a block; the block floods back and the
+// merchant accepts the payment. We measure each stage's latency over
+// the inv/getdata gossip protocol on networks of increasing size.
+#include <cstdio>
+
+#include "common.hpp"
+#include "net/network.hpp"
+#include "script/standard.hpp"
+
+using namespace fist;
+using namespace fist::net;
+using namespace fist::bench;
+
+namespace {
+
+Transaction payment_tx(int i) {
+  Transaction tx;
+  TxIn in;
+  in.prevout.txid = hash256(to_bytes("funding" + std::to_string(i)));
+  tx.inputs.push_back(in);
+  tx.outputs.push_back(TxOut{
+      btc_fraction(0.7),  // the figure's 0.7 BTC payment
+      make_p2pkh(hash160(to_bytes("merchant" + std::to_string(i))))});
+  return tx;
+}
+
+}  // namespace
+
+int main() {
+  banner("Figure 1 — transaction/block dissemination",
+         "tx floods to miners; mined block floods to the merchant");
+
+  TextTable t({"Nodes", "tx 50%", "tx 90%", "tx 100%", "block 50%",
+               "block 100%", "messages"},
+              {Align::Right, Align::Right, Align::Right, Align::Right,
+               Align::Right, Align::Right, Align::Right});
+
+  for (std::uint32_t n : {100u, 400u, 1000u}) {
+    NetConfig cfg;
+    cfg.nodes = n;
+    cfg.out_peers = 8;
+    cfg.miners = std::max(4u, n / 50);
+    cfg.block_interval_s = 600;
+    cfg.seed = 11;
+    P2PNetwork net(cfg);
+
+    // (1)-(4): the user broadcasts the payment.
+    Transaction tx = payment_tx(static_cast<int>(n));
+    Hash256 txid = tx.txid();
+    net.submit_tx(0, tx);
+    net.run_until(120);
+
+    // (5)-(6): miners work; the winning block floods.
+    net.start_mining();
+    // Run until at least one block exists everywhere.
+    net.run_until(4000);
+
+    const Propagation* txp = net.propagation(txid);
+    // Node 0's tip is a block that flooded the whole network — the
+    // figure's step (6) object.
+    Hash256 first_block =
+        net.node(0).chain_length() > 0 ? net.node(0).tip() : Hash256{};
+    const Propagation* bp = net.propagation(first_block);
+
+    auto fmt = [](std::optional<SimTime> v) {
+      char buf[32];
+      if (!v) return std::string("-");
+      std::snprintf(buf, sizeof(buf), "%.2fs", *v);
+      return std::string(buf);
+    };
+
+    t.row({std::to_string(n), fmt(txp ? txp->time_to_fraction(0.5)
+                                      : std::nullopt),
+           fmt(txp ? txp->time_to_fraction(0.9) : std::nullopt),
+           fmt(txp ? txp->time_to_fraction(1.0) : std::nullopt),
+           fmt(bp ? bp->time_to_fraction(0.5) : std::nullopt),
+           fmt(bp ? bp->time_to_fraction(1.0) : std::nullopt),
+           std::to_string(net.messages_delivered())});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf(
+      "Shape checks (no figure-1 numbers are given in the paper; the\n"
+      "qualitative claims are):\n"
+      "  * the tx reaches every node — the merchant cannot be kept\n"
+      "    ignorant of its own payment;\n"
+      "  * propagation grows sub-linearly with network size (gossip);\n"
+      "  * the mined block reaches the merchant, completing step (6).\n");
+  return 0;
+}

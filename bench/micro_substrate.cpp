@@ -1,0 +1,201 @@
+// micro_substrate — engineering microbenchmarks for every substrate the
+// reproduction is built on: hashing, encoding, (de)serialization,
+// secp256k1 key generation, union-find, and full heuristic passes over
+// a simulated chain. Not a paper table; these quantify the design
+// choices DESIGN.md calls out (fast fixed-base EC multiply, dense
+// address interning, single-pass Heuristic 2).
+#include <benchmark/benchmark.h>
+
+#include "chain/view.hpp"
+#include "cluster/heuristic1.hpp"
+#include "cluster/heuristic2.hpp"
+#include "common.hpp"
+#include "crypto/ecdsa.hpp"
+#include "crypto/merkle.hpp"
+#include "crypto/ripemd160.hpp"
+#include "crypto/sha256.hpp"
+#include "encoding/base58.hpp"
+#include "script/standard.hpp"
+#include "sim/keyfactory.hpp"
+
+namespace {
+
+using namespace fist;
+
+void BM_Sha256_1KiB(benchmark::State& state) {
+  Bytes data(1024, 0xab);
+  for (auto _ : state) benchmark::DoNotOptimize(sha256(data));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_Sha256_1KiB);
+
+void BM_Hash256_TxidSized(benchmark::State& state) {
+  Bytes data(250, 0x42);  // typical tx size
+  for (auto _ : state) benchmark::DoNotOptimize(hash256(data));
+}
+BENCHMARK(BM_Hash256_TxidSized);
+
+void BM_Ripemd160(benchmark::State& state) {
+  Bytes data(33, 0x02);  // pubkey-sized
+  for (auto _ : state) benchmark::DoNotOptimize(ripemd160(data));
+}
+BENCHMARK(BM_Ripemd160);
+
+void BM_Base58Check_Address(benchmark::State& state) {
+  Bytes payload(21, 0x00);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(base58check_encode(payload));
+}
+BENCHMARK(BM_Base58Check_Address);
+
+void BM_Keygen_Fast(benchmark::State& state) {
+  sim::KeyFactory factory(sim::KeyMode::Fast, Rng(1));
+  for (auto _ : state) benchmark::DoNotOptimize(factory.mint());
+}
+BENCHMARK(BM_Keygen_Fast);
+
+void BM_Keygen_RealSecp256k1(benchmark::State& state) {
+  sim::KeyFactory factory(sim::KeyMode::Real, Rng(1));
+  for (auto _ : state) benchmark::DoNotOptimize(factory.mint());
+}
+BENCHMARK(BM_Keygen_RealSecp256k1);
+
+void BM_EcdsaSign(benchmark::State& state) {
+  PrivateKey key = PrivateKey::from_seed(to_bytes(std::string("k")));
+  Hash256 digest = hash256(to_bytes(std::string("m")));
+  for (auto _ : state) benchmark::DoNotOptimize(ecdsa_sign(key, digest));
+}
+BENCHMARK(BM_EcdsaSign);
+
+void BM_EcdsaVerify(benchmark::State& state) {
+  PrivateKey key = PrivateKey::from_seed(to_bytes(std::string("k")));
+  PublicKey pub = key.pubkey();
+  Hash256 digest = hash256(to_bytes(std::string("m")));
+  Signature sig = ecdsa_sign(key, digest);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(ecdsa_verify(pub, digest, sig));
+}
+BENCHMARK(BM_EcdsaVerify);
+
+Transaction bench_tx() {
+  Transaction tx;
+  for (int i = 0; i < 2; ++i) {
+    TxIn in;
+    in.prevout.txid = hash256(to_bytes("p" + std::to_string(i)));
+    in.script_sig = make_p2pkh_scriptsig(Bytes(71, 0x30), Bytes(33, 0x02));
+    tx.inputs.push_back(in);
+  }
+  for (int i = 0; i < 2; ++i)
+    tx.outputs.push_back(
+        TxOut{btc(1), make_p2pkh(hash160(to_bytes(std::to_string(i))))});
+  return tx;
+}
+
+void BM_TxSerialize(benchmark::State& state) {
+  Transaction tx = bench_tx();
+  for (auto _ : state) benchmark::DoNotOptimize(tx.serialize());
+}
+BENCHMARK(BM_TxSerialize);
+
+void BM_TxDeserialize(benchmark::State& state) {
+  Bytes raw = bench_tx().serialize();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(Transaction::from_bytes(raw));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(raw.size()));
+}
+BENCHMARK(BM_TxDeserialize);
+
+void BM_MerkleRoot(benchmark::State& state) {
+  std::vector<Hash256> leaves;
+  for (int i = 0; i < state.range(0); ++i) {
+    Bytes b{static_cast<std::uint8_t>(i), static_cast<std::uint8_t>(i >> 8)};
+    leaves.push_back(hash256(b));
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(merkle_root(leaves));
+}
+BENCHMARK(BM_MerkleRoot)->Arg(64)->Arg(1024);
+
+void BM_UnionFind_UniteFind(benchmark::State& state) {
+  const std::size_t n = 1'000'000;
+  Rng rng(3);
+  for (auto _ : state) {
+    state.PauseTiming();
+    UnionFind uf(n);
+    state.ResumeTiming();
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint32_t a = static_cast<std::uint32_t>(rng.below(n));
+      std::uint32_t b = static_cast<std::uint32_t>(rng.below(n));
+      uf.unite(a, b);
+    }
+    benchmark::DoNotOptimize(uf.set_count());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_UnionFind_UniteFind)->Unit(benchmark::kMillisecond);
+
+// Whole-pipeline passes over a mid-size simulated chain: built once,
+// shared across benchmark registrations.
+const ChainView& shared_view() {
+  static const ChainView* view = [] {
+    sim::WorldConfig cfg;
+    cfg.days = 120;
+    cfg.users = 200;
+    cfg.seed = 5;
+    sim::World world(cfg);
+    world.run();
+    return new ChainView(ChainView::build(world.store()));
+  }();
+  return *view;
+}
+
+void BM_ChainViewBuild(benchmark::State& state) {
+  sim::WorldConfig cfg;
+  cfg.days = 60;
+  cfg.users = 120;
+  cfg.seed = 6;
+  sim::World world(cfg);
+  world.run();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(ChainView::build(world.store()));
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(world.tx_count()));
+}
+BENCHMARK(BM_ChainViewBuild)->Unit(benchmark::kMillisecond);
+
+void BM_Heuristic1_FullPass(benchmark::State& state) {
+  const ChainView& view = shared_view();
+  for (auto _ : state) {
+    UnionFind uf(view.address_count());
+    apply_heuristic1(view, uf);
+    benchmark::DoNotOptimize(uf.set_count());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(view.tx_count()));
+}
+BENCHMARK(BM_Heuristic1_FullPass)->Unit(benchmark::kMillisecond);
+
+void BM_Heuristic2_Naive(benchmark::State& state) {
+  const ChainView& view = shared_view();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(apply_heuristic2(view, H2Options{}));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(view.tx_count()));
+}
+BENCHMARK(BM_Heuristic2_Naive)->Unit(benchmark::kMillisecond);
+
+void BM_Heuristic2_Refined(benchmark::State& state) {
+  const ChainView& view = shared_view();
+  H2Options opt = refined_h2_options();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(apply_heuristic2(view, opt));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(view.tx_count()));
+}
+BENCHMARK(BM_Heuristic2_Refined)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

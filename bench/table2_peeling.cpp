@@ -1,0 +1,121 @@
+// table2_peeling — reproduces Table 2 (§5): tracking the dissolution of
+// the 1DkyBEKt hoard. The simulated marketplace accumulates a hoard,
+// empties it, and the final chunk splits into three peeling chains; we
+// follow 100+ hops along each chain with Heuristic 2 and report, per
+// service, the number of peels and total BTC received — then score the
+// reconstruction against the simulator's journal.
+#include <cstdio>
+#include <map>
+
+#include "analysis/peeling.hpp"
+#include "common.hpp"
+
+using namespace fist;
+using namespace fist::bench;
+
+int main() {
+  banner("Table 2 — tracking bitcoins from the hoard (1DkyBEKt analogue)",
+         "3 peeling chains x 100 hops; 54/300 peels reached exchanges");
+  Experiment exp = run_experiment();
+  const ForensicPipeline& pipe = *exp.pipeline;
+  const sim::HoardRecord* hoard = exp.world->hoard();
+  if (hoard == nullptr) {
+    std::printf("hoard disabled in config\n");
+    return 1;
+  }
+
+  std::printf("hoard address: %s\n", hoard->hoard_address.encode().c_str());
+  std::printf("%s\n", compare("peak balance", "613,326 BTC (5% of supply)",
+                              format_btc_whole(hoard->peak_balance) +
+                                  " BTC (simulated economy)")
+                          .c_str());
+  std::printf("aggregate deposits into hoard: %zu   dissolution sends: %zu\n\n",
+              hoard->deposit_txids.size(), hoard->withdrawal_txids.size());
+
+  PeelFollower follower(pipe.view(), pipe.h2(), pipe.clustering(),
+                        pipe.naming());
+
+  // Rows: service; columns: (peels, BTC) per chain — Table 2's layout.
+  struct Cell {
+    int peels = 0;
+    Amount total = 0;
+  };
+  std::map<std::string, std::array<Cell, 3>> table;
+  std::map<std::string, Category> category_of;
+  int hops[3] = {0, 0, 0};
+  int named_peels = 0, total_peels = 0;
+  Amount exchange_btc = 0;
+  int exchange_peels = 0;
+
+  for (int c = 0; c < 3; ++c) {
+    TxIndex start = pipe.view().find_tx(hoard->chain_starts[c].txid);
+    if (start == kNoTx) continue;
+    PeelChainResult res = follower.follow(
+        start, hoard->chain_starts[c].index, FollowOptions{115});
+    hops[c] = res.hops;
+    for (const Peel& p : res.peels) {
+      ++total_peels;
+      if (p.service.empty()) continue;
+      ++named_peels;
+      Cell& cell = table[p.service][static_cast<std::size_t>(c)];
+      cell.peels += 1;
+      cell.total += p.value;
+      category_of[p.service] = p.category;
+      if (is_exchange(p.category)) {
+        ++exchange_peels;
+        exchange_btc += p.value;
+      }
+    }
+  }
+
+  TextTable t({"Service", "Peels#1", "BTC#1", "Peels#2", "BTC#2", "Peels#3",
+               "BTC#3"},
+              {Align::Left, Align::Right, Align::Right, Align::Right,
+               Align::Right, Align::Right, Align::Right});
+  // Category grouping, as the paper orders Table 2.
+  static constexpr Category kGroups[] = {Category::BankExchange,
+                                         Category::FixedExchange,
+                                         Category::Wallet,
+                                         Category::Gambling,
+                                         Category::Vendor};
+  for (Category g : kGroups) {
+    bool any = false;
+    for (const auto& [service, cells] : table) {
+      if (category_of[service] != g) continue;
+      any = true;
+      std::vector<std::string> row{service};
+      for (int c = 0; c < 3; ++c) {
+        const Cell& cell = cells[static_cast<std::size_t>(c)];
+        row.push_back(cell.peels ? std::to_string(cell.peels) : "");
+        row.push_back(cell.peels ? format_btc_whole(cell.total) : "");
+      }
+      t.row(std::move(row));
+    }
+    if (any) t.separator();
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  std::printf("%s\n", compare("hops followed per chain", "100/100/100",
+                              std::to_string(hops[0]) + "/" +
+                                  std::to_string(hops[1]) + "/" +
+                                  std::to_string(hops[2]))
+                          .c_str());
+  std::printf("%s\n",
+              compare("peels to exchanges", "54 of 300",
+                      std::to_string(exchange_peels) + " of " +
+                          std::to_string(total_peels))
+                  .c_str());
+
+  // Reconstruction quality vs the simulator's journal.
+  int truth_named = 0;
+  for (const sim::PeelTruth& p : hoard->peels)
+    if (!p.service.empty()) ++truth_named;
+  std::printf(
+      "\nground truth: %zu peels executed, %d to named services;\n"
+      "reconstructed %d peels, %d attributed to services (recall %.0f%%).\n",
+      hoard->peels.size(), truth_named, total_peels, named_peels,
+      truth_named ? 100.0 * named_peels / truth_named : 0.0);
+  std::printf("\nThe paper's subpoena argument: every exchange row above is\n"
+              "an account an agency could compel records for.\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// table3_thefts — reproduces Table 3 (§5): tracking thefts. Each
+// scripted theft is followed from its (publicly identifiable) theft
+// transactions; the tracker classifies the movement pattern
+// (A=aggregation, P=peeling chain, S=split, F=folding) and reports
+// whether tainted coins reached known exchanges — the paper's key
+// "thieves must cash out through chokepoints" result.
+#include <cstdio>
+#include <set>
+
+#include "analysis/theft.hpp"
+#include "common.hpp"
+
+using namespace fist;
+using namespace fist::bench;
+
+namespace {
+
+// Table 3 of the paper, for the side-by-side print.
+struct PaperRow {
+  const char* label;
+  const char* btc;
+  const char* date;
+  const char* movement;
+  const char* exchanges;
+};
+constexpr PaperRow kPaper[] = {
+    {"MyBitcoin", "4,019", "Jun 2011", "A/P/S", "Yes"},
+    {"Linode", "46,648", "Mar 2012", "A/P/F", "Yes"},
+    {"Betcoin", "3,171", "Mar 2012", "F/A/P", "Yes"},
+    {"Bitcoinica (May)", "18,547", "May 2012", "P/A", "Yes"},
+    {"Bitcoinica (Jul)", "40,000", "Jul 2012", "P/A/S", "Yes"},
+    {"Bitfloor", "24,078", "Sep 2012", "P/A/P", "Yes"},
+    {"Trojan", "3,257", "Oct 2012", "F/A", "No"},
+};
+
+}  // namespace
+
+int main() {
+  banner("Table 3 — tracking thefts (§5)",
+         "movement grammar A/P/S/F; exchange reach per theft");
+  Experiment exp = run_experiment();
+  const ForensicPipeline& pipe = *exp.pipeline;
+
+  TextTable t({"Theft", "BTC(paper)", "BTC(sim)", "Movement(paper)",
+               "Movement(tracked)", "Exch?(paper)", "Exch?(tracked)",
+               "BTC to exch", "Dormant"},
+              {Align::Left, Align::Right, Align::Right, Align::Left,
+               Align::Left, Align::Left, Align::Left, Align::Right,
+               Align::Right});
+
+  int matches = 0;
+  int exchange_matches = 0;
+  for (const sim::TheftRecord& rec : exp.world->thefts()) {
+    std::vector<TxIndex> txs;
+    for (const Hash256& h : rec.theft_txids) {
+      TxIndex idx = pipe.view().find_tx(h);
+      if (idx != kNoTx) txs.push_back(idx);
+    }
+    std::vector<AddrId> thief;
+    for (const Address& a : rec.thief_addresses)
+      if (auto id = pipe.view().addresses().find(a)) thief.push_back(*id);
+
+    TheftTrace trace = track_theft(pipe.view(), pipe.h2(),
+                                   pipe.clustering(), pipe.naming(), txs,
+                                   thief);
+
+    const PaperRow* paper = nullptr;
+    for (const PaperRow& row : kPaper)
+      if (rec.scenario.label == row.label) paper = &row;
+
+    bool reached = !trace.exchange_deposits.empty();
+    t.row({rec.scenario.label, paper ? paper->btc : "?",
+           format_btc_whole(rec.stolen), paper ? paper->movement : "?",
+           trace.movement.empty() ? "(unmoved)" : trace.movement,
+           paper ? paper->exchanges : "?", reached ? "Yes" : "No",
+           format_btc_whole(trace.to_exchanges),
+           format_btc_whole(trace.dormant)});
+
+    if (paper != nullptr) {
+      if (trace.movement == paper->movement) ++matches;
+      bool paper_reached = std::string(paper->exchanges) == "Yes";
+      if (paper_reached == reached) ++exchange_matches;
+    }
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  std::printf("%s\n", compare("movement patterns matched", "7 of 7",
+                              std::to_string(matches) + " of 7")
+                          .c_str());
+  std::printf("%s\n",
+              compare("exchange-reach verdicts matched", "7 of 7",
+                      std::to_string(exchange_matches) + " of 7")
+                  .c_str());
+
+  // Which exchanges received loot — the paper names Mt. Gox, BTC-e,
+  // Bitstamp, Bitcoin-24 across its case studies.
+  std::set<std::string> receiving;
+  for (const sim::TheftRecord& rec : exp.world->thefts()) {
+    std::vector<TxIndex> txs;
+    for (const Hash256& h : rec.theft_txids) {
+      TxIndex idx = pipe.view().find_tx(h);
+      if (idx != kNoTx) txs.push_back(idx);
+    }
+    std::vector<AddrId> thief;
+    for (const Address& a : rec.thief_addresses)
+      if (auto id = pipe.view().addresses().find(a)) thief.push_back(*id);
+    TheftTrace trace = track_theft(pipe.view(), pipe.h2(),
+                                   pipe.clustering(), pipe.naming(), txs,
+                                   thief);
+    for (const ExchangeDeposit& d : trace.exchange_deposits)
+      receiving.insert(d.service);
+  }
+  std::printf("\nexchanges that received stolen coins:");
+  for (const std::string& s : receiving) std::printf(" [%s]", s.c_str());
+  std::printf("\n\nThe Betcoin thief sat on the loot for ~a year before the\n"
+              "aggregation + peeling run — visible above as a late, highly\n"
+              "trackable chain, exactly the paper's story.\n");
+  return 0;
+}

@@ -1,0 +1,151 @@
+// table_heuristic2 — reproduces the §4.2 numbers: the naive change
+// heuristic's false-positive rate and the refinement ladder
+// (13% → 1% → 0.28% → 0.17%), the label counts (>4M naive, 3.54M
+// refined), the cluster collapse (H1 5.5M → refined 3.38M), the
+// super-cluster failure mode when guards are off, the tag
+// amplification (~1,600×), and — beyond what the paper could do —
+// exact precision/recall against simulator ground truth.
+#include <cstdio>
+
+#include "cluster/metrics.hpp"
+#include "common.hpp"
+
+using namespace fist;
+using namespace fist::bench;
+
+namespace {
+
+struct LadderRow {
+  const char* name;
+  const char* paper_rate;
+  H2Options options;
+};
+
+}  // namespace
+
+int main() {
+  banner("Heuristic-2 refinement ladder (§4.2)",
+         "FP rates 13% / 1% / 0.28% / 0.17%; 3.38M clusters; 1,600x tags");
+  Experiment exp = run_experiment();
+  const ForensicPipeline& pipe = *exp.pipeline;
+  const ChainView& view = pipe.view();
+  const auto& dice = pipe.dice_addresses();
+
+  // ---- the ladder ------------------------------------------------------
+  H2Options naive;
+  H2Options with_dice = naive;
+  with_dice.exempt_dice_rebounds = true;
+  H2Options day = with_dice;
+  day.wait_window = kDay;
+  H2Options week = with_dice;
+  week.wait_window = kWeek;
+  H2Options refined = refined_h2_options();
+
+  LadderRow rows[] = {
+      {"naive (4 conditions)", "13%", naive},
+      {"+ dice-rebound exemption", "1%", with_dice},
+      {"+ wait one day", "0.28%", day},
+      {"+ wait one week", "0.17%", week},
+      {"refined (all guards)", "n/a (3.54M labels kept)", refined},
+  };
+
+  TextTable t({"Heuristic-2 variant", "Labels", "False pos.", "Rate",
+               "Paper rate"},
+              {Align::Left, Align::Right, Align::Right, Align::Right,
+               Align::Right});
+  for (const LadderRow& row : rows) {
+    H2Result r = apply_heuristic2(view, row.options, dice);
+    H2FalsePositives fp =
+        estimate_h2_false_positives(view, r, row.options, dice);
+    char rate[32];
+    std::snprintf(rate, sizeof(rate), "%.2f%%", 100.0 * fp.rate());
+    t.row({row.name, std::to_string(r.label_count()),
+           std::to_string(fp.false_positives), rate, row.paper_rate});
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  // ---- cluster collapse and amplification ------------------------------
+  std::printf("%s\n",
+              compare("H1 clusters", "5.5M",
+                      std::to_string(pipe.h1_clustering().cluster_count()))
+                  .c_str());
+  std::printf("%s\n",
+              compare("H1+H2(refined) clusters", "3,383,904",
+                      std::to_string(pipe.clustering().cluster_count()))
+                  .c_str());
+  std::printf("%s\n",
+              compare("named clusters", "2,197",
+                      std::to_string(pipe.naming().names().size()))
+                  .c_str());
+  std::size_t hand_tags = pipe.tags().count_by_source(TagSource::Observed);
+  char amp[32];
+  std::snprintf(amp, sizeof(amp), "%.0fx",
+                pipe.naming().amplification(hand_tags));
+  std::printf("%s\n",
+              compare("tag amplification (named addrs / hand tags)",
+                      "~1,600x (12M-address chain)", amp)
+                  .c_str());
+  std::printf("  (hand-collected tags: paper=1,070  measured=%zu; the\n"
+              "   amplification factor scales with cluster sizes, i.e.\n"
+              "   with the economy's size)\n",
+              hand_tags);
+
+  // ---- super-cluster ablation ------------------------------------------
+  auto cluster_with = [&](const H2Options& o) {
+    UnionFind uf(view.address_count());
+    apply_heuristic1(view, uf);
+    H2Result r = apply_heuristic2(view, o, dice);
+    unite_h2_labels(view, r, uf);
+    return Clustering::from_union_find(uf);
+  };
+
+  std::printf("\nSuper-cluster check (the Mt.Gox/Instawallet/BitPay/Silk "
+              "Road collapse, §4.2):\n");
+  TextTable sc({"Variant", "Largest cluster", "% of addrs",
+                "Clusters w/ conflicting service tags"},
+               {Align::Left, Align::Right, Align::Right, Align::Right});
+  struct Var {
+    const char* name;
+    H2Options o;
+  } variants[] = {{"naive H2 (no guards)", naive},
+                  {"refined H2 (all guards)", refined}};
+  for (const Var& v : variants) {
+    Clustering c = cluster_with(v.o);
+    ClusterNaming naming(c.assignment(), c.sizes(), pipe.tags());
+    auto [id, size] = c.largest();
+    char pct[32];
+    std::snprintf(pct, sizeof(pct), "%.2f%%",
+                  100.0 * size / static_cast<double>(view.address_count()));
+    sc.row({v.name, std::to_string(size), pct,
+            std::to_string(naming.contested().size())});
+  }
+  std::printf("%s\n", sc.render().c_str());
+
+  // ---- exact scoring against ground truth (beyond the paper) ----------
+  std::vector<std::uint32_t> owners(view.address_count(), kUnknownOwner);
+  for (AddrId a = 0; a < view.address_count(); ++a) {
+    sim::ActorId owner =
+        exp.world->truth().owner(view.addresses().lookup(a));
+    if (owner != sim::kNoActor) owners[a] = owner;
+  }
+  TextTable q({"Clustering", "Precision", "Recall", "F1"},
+              {Align::Left, Align::Right, Align::Right, Align::Right});
+  auto score_row = [&](const char* name, std::span<const ClusterId> assign) {
+    PairwiseScores s = pairwise_scores(assign, owners);
+    char p[16], r[16], f[16];
+    std::snprintf(p, sizeof(p), "%.3f", s.precision);
+    std::snprintf(r, sizeof(r), "%.3f", s.recall);
+    std::snprintf(f, sizeof(f), "%.3f", s.f1());
+    q.row({name, p, r, f});
+  };
+  score_row("Heuristic 1 only", pipe.h1_clustering().assignment());
+  Clustering naive_c = cluster_with(naive);
+  score_row("H1 + naive H2", naive_c.assignment());
+  score_row("H1 + refined H2", pipe.clustering().assignment());
+  std::printf("\nGround-truth scoring (not possible in the paper):\n%s\n",
+              q.render().c_str());
+  std::printf("Shape: refined H2 trades a little recall for precision vs\n"
+              "naive H2, and beats H1 alone on recall — the paper's\n"
+              "\"safest heuristic possible\" design goal.\n");
+  return 0;
+}

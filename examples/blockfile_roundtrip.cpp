@@ -1,0 +1,73 @@
+// blockfile_roundtrip — the substrate demo: fistful speaks Bitcoin
+// Core's on-disk dialect.
+//
+// Simulates a small economy, writes its chain to a blk0000.dat-style
+// file (magic + length framing, byte-exact), re-reads it with a fresh
+// FileBlockStore, revalidates every block with ChainState, and runs the
+// clustering over the reparsed chain — proving the forensic side needs
+// nothing but the bytes.
+#include <cstdio>
+#include <filesystem>
+
+#include "chain/chainstate.hpp"
+#include "core/pipeline.hpp"
+#include "sim/world.hpp"
+
+using namespace fist;
+
+int main() {
+  std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "fistful_blk0000.dat";
+  std::filesystem::remove(path);
+
+  // 1. Simulate and persist.
+  sim::WorldConfig config;
+  config.days = 60;
+  config.users = 100;
+  config.seed = 3;
+  std::printf("simulating %d days...\n", config.days);
+  sim::World world(config);
+  world.run();
+
+  {
+    FileBlockStore disk(path);
+    for (std::size_t i = 0; i < world.store().count(); ++i)
+      disk.append(world.store().read(i));
+  }
+  std::printf("wrote %zu blocks to %s (%ju bytes, Bitcoin Core blk "
+              "framing)\n",
+              world.store().count(), path.c_str(),
+              static_cast<std::uintmax_t>(std::filesystem::file_size(path)));
+
+  // 2. Reopen cold and revalidate the whole chain.
+  FileBlockStore reopened(path);
+  std::printf("reopened: %zu records recovered by scanning the file\n",
+              reopened.count());
+
+  ChainParams params;
+  params.coinbase_maturity = config.coinbase_maturity;
+  params.halving_interval = config.halving_interval;
+  ChainState state(params);
+  for (std::size_t i = 0; i < reopened.count(); ++i)
+    state.connect(reopened.read(i));  // throws on any consensus violation
+  std::printf("revalidated %d blocks: %llu txs, %s BTC minted, %s BTC in "
+              "fees, %zu UTXOs\n",
+              state.height() + 1,
+              static_cast<unsigned long long>(state.stats().transactions),
+              format_btc_whole(state.stats().minted).c_str(),
+              format_btc(state.stats().total_fees).c_str(),
+              state.utxos().size());
+
+  // 3. Forensics straight off the file.
+  ForensicPipeline pipeline(reopened, world.tag_feed());
+  pipeline.run();
+  std::printf("clustered the reparsed chain: %zu addresses -> %zu users "
+              "(%zu named)\n",
+              pipeline.view().address_count(),
+              pipeline.clustering().cluster_count(),
+              pipeline.naming().names().size());
+
+  std::filesystem::remove(path);
+  std::printf("ok\n");
+  return 0;
+}

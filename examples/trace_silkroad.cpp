@@ -1,0 +1,101 @@
+// trace_silkroad — the paper's §5 case study as a runnable program.
+//
+// A marketplace hoards its revenue on one address (the 1DkyBEKt
+// analogue), then dissolves it; the final chunk splits into three
+// peeling chains. This example locates the hoard *from chain data*,
+// follows each chain hop by hop with Heuristic 2, and prints where the
+// money went — annotating every peel that landed at a known service.
+#include <cstdio>
+
+#include "analysis/peeling.hpp"
+#include "core/pipeline.hpp"
+#include "sim/world.hpp"
+
+using namespace fist;
+
+int main() {
+  sim::WorldConfig config;
+  config.days = 200;
+  config.users = 300;
+  config.seed = 9;
+  std::printf("simulating the marketplace economy...\n");
+  sim::World world(config);
+  world.run();
+
+  ForensicPipeline pipeline(world.store(), world.tag_feed());
+  pipeline.run();
+  const ChainView& view = pipeline.view();
+
+  const sim::HoardRecord* hoard = world.hoard();
+  if (hoard == nullptr) {
+    std::printf("hoard disabled\n");
+    return 1;
+  }
+
+  // An analyst notices the hoard because of its absurd balance ("at its
+  // height it contained 5% of all generated bitcoins"); we verify it is
+  // discoverable from public data: the address with the highest *peak
+  // held balance* over the chain's history.
+  std::vector<Amount> balance(view.address_count(), 0);
+  std::vector<Amount> peak(view.address_count(), 0);
+  for (const TxView& tx : view.txs()) {
+    for (const InputView& in : tx.inputs)
+      if (in.addr != kNoAddr) balance[in.addr] -= in.value;
+    for (const OutputView& out : tx.outputs)
+      if (out.addr != kNoAddr) {
+        balance[out.addr] += out.value;
+        peak[out.addr] = std::max(peak[out.addr], balance[out.addr]);
+      }
+  }
+  AddrId richest = 0;
+  for (AddrId a = 1; a < view.address_count(); ++a)
+    if (peak[a] > peak[richest]) richest = a;
+
+  Address hoard_addr = view.addresses().lookup(richest);
+  std::printf("highest peak-balance address: %s (%s BTC at its height)\n",
+              hoard_addr.encode().c_str(),
+              format_btc_whole(peak[richest]).c_str());
+  std::printf("simulator's hoard address:    %s  (%s)\n\n",
+              hoard->hoard_address.encode().c_str(),
+              hoard_addr == hoard->hoard_address
+                  ? "match — found it from chain data alone"
+                  : "differs");
+
+  // Its cluster name, via the tag feed (the probe kept a Silk Road
+  // wallet, as the authors did).
+  ClusterId cluster = pipeline.clustering().cluster_of(richest);
+  if (const ClusterName* name = pipeline.naming().name_of(cluster))
+    std::printf("cluster identified as: %s (%s)\n\n", name->service.c_str(),
+                std::string(category_name(name->category)).c_str());
+
+  // Follow the three dissolution chains.
+  PeelFollower follower(view, pipeline.h2(), pipeline.clustering(),
+                        pipeline.naming());
+  for (int c = 0; c < 3; ++c) {
+    TxIndex start = view.find_tx(hoard->chain_starts[c].txid);
+    if (start == kNoTx) continue;
+    PeelChainResult res =
+        follower.follow(start, hoard->chain_starts[c].index,
+                        FollowOptions{115});
+    std::printf("chain %d: followed %d hops (%d via shape heuristic), "
+                "%zu peels, %s BTC left at the end\n",
+                c + 1, res.hops, res.shape_hops, res.peels.size(),
+                format_btc_whole(res.final_amount).c_str());
+    int shown = 0;
+    for (const Peel& peel : res.peels) {
+      if (peel.service.empty()) continue;
+      if (++shown > 6) continue;
+      std::printf("    hop %3d: %8s BTC -> %s\n", peel.hop,
+                  format_btc_whole(peel.value).c_str(),
+                  peel.service.c_str());
+    }
+    auto summary = summarize_peels(res);
+    std::printf("    ...%zu distinct services on this chain\n\n",
+                summary.size());
+  }
+
+  std::printf("Each service above can be subpoenaed for the account that\n"
+              "received the deposit — the paper's core argument about why\n"
+              "Bitcoin is unattractive for laundering at scale.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// watch_propagation — Figure 1, narrated.
+//
+// Drives the P2P simulator through the exact sequence of the paper's
+// Figure 1: a merchant hands the user an address, the user broadcasts
+// the payment, it floods to the miners, a miner seals a block, and the
+// block floods back until the merchant sees its payment confirmed.
+#include <cstdio>
+
+#include "crypto/ecdsa.hpp"
+#include "net/network.hpp"
+#include "script/standard.hpp"
+
+using namespace fist;
+using namespace fist::net;
+
+int main() {
+  NetConfig config;
+  config.nodes = 300;
+  config.out_peers = 8;
+  config.miners = 10;
+  config.block_interval_s = 120;  // sped up for the demo
+  config.seed = 2013;
+  P2PNetwork net(config);
+
+  NodeId user = 17;
+  NodeId merchant = 230;
+
+  // (1)+(2): the merchant generates an address and sends it to the user
+  // (out of band).
+  PrivateKey merchant_key =
+      PrivateKey::from_seed(to_bytes(std::string("merchant-key")));
+  Address mpk(AddrType::P2PKH,
+              merchant_key.pubkey().hash160_compressed());
+  std::printf("(1) merchant generates address mpk = %s\n",
+              mpk.encode().c_str());
+  std::printf("(2) merchant sends mpk to the user (off-chain)\n");
+
+  // (3): the user forms tx paying 0.7 BTC to mpk.
+  Transaction tx;
+  TxIn in;
+  in.prevout.txid = hash256(to_bytes(std::string("users-prior-coin")));
+  tx.inputs.push_back(in);
+  tx.outputs.push_back(TxOut{btc_fraction(0.7), make_script_for(mpk)});
+  Hash256 txid = tx.txid();
+  std::printf("(3) user forms tx %s paying 0.7 BTC\n",
+              txid.hex_reversed().substr(0, 24).c_str());
+
+  // (4): broadcast; the tx floods the network.
+  net.submit_tx(user, tx);
+  net.run_until(30);
+  const Propagation* txp = net.propagation(txid);
+  std::printf("(4) tx flooded: %.0f%% of %u nodes have it; "
+              "half the network in %.2fs, all of it in %.2fs\n",
+              100 * txp->coverage(), net.size(),
+              txp->time_to_fraction(0.5).value_or(-1),
+              txp->time_to_fraction(1.0).value_or(-1));
+  std::printf("    merchant knows the (unconfirmed) tx: %s\n",
+              net.node(merchant).knows_tx(txid) ? "yes" : "no");
+
+  // (5): miners grind; eventually one seals a block containing the tx.
+  net.start_mining();
+  int blocks_before_inclusion = 0;
+  for (;;) {
+    net.run_until(net.loop().now() + 60);
+    if (net.node(merchant).chain_length() > blocks_before_inclusion) {
+      blocks_before_inclusion = net.node(merchant).chain_length();
+      // Has some block carried our tx? The merchant no longer sees the
+      // tx in anyone's mempool; simplest check: its node knows a block
+      // and the tx — the payment is final once a block holds it.
+      if (net.node(merchant).mempool().find(txid) ==
+          net.node(merchant).mempool().end())
+        break;
+    }
+    if (net.loop().now() > 4000) break;
+  }
+  std::printf("(5) a miner found a block (real proof-of-work at easy "
+              "difficulty) after %d block(s)\n",
+              net.blocks_mined());
+
+  // (6): the block floods; the merchant accepts the payment.
+  Hash256 tip = net.node(merchant).tip();
+  const Propagation* bp = net.propagation(tip);
+  std::printf("(6) block %s flooded the network in %.2fs; the merchant's "
+              "chain height is %d\n",
+              tip.hex_reversed().substr(0, 24).c_str(),
+              bp ? bp->time_to_fraction(1.0).value_or(-1) : -1.0,
+              net.node(merchant).chain_length());
+  std::printf("\npayment settled: the merchant saw its 0.7 BTC confirm "
+              "without ever learning who the user is —\n"
+              "which is exactly the pseudonymity the clustering heuristics "
+              "in this library erode.\n");
+  std::printf("\nnetwork totals: %llu messages delivered, %d blocks mined\n",
+              static_cast<unsigned long long>(net.messages_delivered()),
+              net.blocks_mined());
+  return 0;
+}

@@ -1,0 +1,43 @@
+// balances.hpp — per-category balance time series (the paper's Fig. 2).
+//
+// Using the refined clustering and the tag-derived cluster names, track
+// how many bitcoins each service category holds over time, expressed as
+// a percentage of *active* coins — coins not parked in "sink" addresses
+// that have never spent.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "chain/view.hpp"
+#include "cluster/clustering.hpp"
+#include "tag/naming.hpp"
+#include "util/timeutil.hpp"
+
+namespace fist {
+
+/// One category's balance trajectory.
+struct CategoryTrack {
+  Category category = Category::Misc;
+  std::vector<Amount> balance;   ///< per snapshot
+  std::vector<double> pct_active;  ///< balance / active supply
+};
+
+/// The full Figure-2 dataset.
+struct BalanceSeries {
+  std::vector<Timestamp> times;              ///< snapshot instants
+  std::vector<CategoryTrack> tracks;         ///< named categories
+  std::vector<Amount> active_supply;         ///< non-sink coins
+  std::vector<Amount> total_supply;          ///< minted so far
+};
+
+/// Computes category balances over time.
+/// `snapshot_interval` — seconds between snapshots (e.g. 7*kDay).
+/// Tracks are emitted for the categories the paper charts (exchanges,
+/// mining, wallets, gambling, vendors, fixed, investment) plus mix.
+BalanceSeries category_balances(const ChainView& view,
+                                const Clustering& clustering,
+                                const ClusterNaming& naming,
+                                Timestamp snapshot_interval);
+
+}  // namespace fist

@@ -1,0 +1,135 @@
+#include "analysis/explorer.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace fist {
+
+Explorer::Explorer(const ChainView& view, const Clustering& clustering,
+                   const ClusterNaming& naming)
+    : view_(&view), clustering_(&clustering), naming_(&naming) {
+  if (clustering.address_count() != view.address_count())
+    throw UsageError("Explorer: clustering does not match the view");
+}
+
+std::optional<ClusterId> Explorer::find_service(
+    const std::string& service) const {
+  std::optional<ClusterId> best;
+  std::uint32_t best_size = 0;
+  for (const auto& [cluster, name] : naming_->names()) {
+    if (name.service != service) continue;
+    std::uint32_t size = clustering_->size_of(cluster);
+    if (!best || size > best_size) {
+      best = cluster;
+      best_size = size;
+    }
+  }
+  return best;
+}
+
+std::string Explorer::label(ClusterId cluster) const {
+  const ClusterName* name = naming_->name_of(cluster);
+  return name != nullptr ? name->service
+                         : "user#" + std::to_string(cluster);
+}
+
+EntityProfile Explorer::profile(ClusterId cluster,
+                                std::size_t top_n) const {
+  if (cluster >= clustering_->cluster_count())
+    throw UsageError("Explorer::profile: unknown cluster");
+  EntityProfile p;
+  p.cluster = cluster;
+  p.addresses = clustering_->size_of(cluster);
+  if (const ClusterName* name = naming_->name_of(cluster)) {
+    p.named = true;
+    p.service = name->service;
+    p.category = name->category;
+  }
+
+  std::map<ClusterId, Amount> inflow, outflow;
+  bool first = true;
+  for (TxIndex t = 0; t < view_->tx_count(); ++t) {
+    const TxView& tx = view_->tx(t);
+    Amount in_from_us = 0, out_to_us = 0;
+    ClusterId sender = 0xffffffffu;
+    for (const InputView& in : tx.inputs) {
+      if (in.addr == kNoAddr) continue;
+      ClusterId c = clustering_->cluster_of(in.addr);
+      if (sender == 0xffffffffu) sender = c;
+      if (c == cluster) in_from_us += in.value;
+    }
+    for (const OutputView& out : tx.outputs) {
+      if (out.addr == kNoAddr) continue;
+      if (clustering_->cluster_of(out.addr) == cluster)
+        out_to_us += out.value;
+    }
+    if (in_from_us == 0 && out_to_us == 0) continue;
+
+    ++p.tx_count;
+    if (first) {
+      p.first_seen = tx.time;
+      first = false;
+    }
+    p.last_seen = tx.time;
+    p.balance += out_to_us - in_from_us;
+
+    // External flows only: internal shuffles net out above but must not
+    // count toward received/sent.
+    if (in_from_us > 0 && sender == cluster) {
+      Amount external_out = 0;
+      for (const OutputView& out : tx.outputs) {
+        if (out.addr == kNoAddr) continue;
+        ClusterId c = clustering_->cluster_of(out.addr);
+        if (c != cluster) {
+          external_out += out.value;
+          outflow[c] += out.value;
+        }
+      }
+      p.sent += external_out;
+    }
+    if (out_to_us > 0 && sender != cluster && sender != 0xffffffffu) {
+      p.received += out_to_us;
+      inflow[sender] += out_to_us;
+    } else if (out_to_us > 0 && tx.coinbase) {
+      p.received += out_to_us;  // mining income has no sender cluster
+    }
+  }
+
+  auto top = [&](std::map<ClusterId, Amount>& flows) {
+    std::vector<std::pair<ClusterId, Amount>> v(flows.begin(), flows.end());
+    std::sort(v.begin(), v.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    });
+    if (v.size() > top_n) v.resize(top_n);
+    return v;
+  };
+  p.top_sources = top(inflow);
+  p.top_destinations = top(outflow);
+  return p;
+}
+
+std::vector<AddressEvent> Explorer::address_history(AddrId addr) const {
+  std::vector<AddressEvent> events;
+  if (addr == kNoAddr || addr >= view_->address_count()) return events;
+  for (TxIndex t = 0; t < view_->tx_count(); ++t) {
+    const TxView& tx = view_->tx(t);
+    Amount delta = 0;
+    for (const InputView& in : tx.inputs)
+      if (in.addr == addr) delta -= in.value;
+    for (const OutputView& out : tx.outputs)
+      if (out.addr == addr) delta += out.value;
+    if (delta != 0) events.push_back(AddressEvent{t, tx.time, delta});
+  }
+  return events;
+}
+
+Amount Explorer::address_balance(AddrId addr) const {
+  Amount balance = 0;
+  for (const AddressEvent& e : address_history(addr)) balance += e.delta;
+  return balance;
+}
+
+}  // namespace fist

@@ -1,0 +1,74 @@
+// explorer.hpp — entity- and address-level queries.
+//
+// After clustering + naming, analysts ask entity questions: how big is
+// Mt. Gox, what does it hold, who does it transact with, when was it
+// active? Explorer answers them over the flattened chain, plus
+// address-level balance/history lookups.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chain/view.hpp"
+#include "cluster/clustering.hpp"
+#include "tag/naming.hpp"
+
+namespace fist {
+
+/// Aggregated profile of one cluster ("entity" = user or service).
+struct EntityProfile {
+  ClusterId cluster = 0;
+  bool named = false;
+  std::string service;                 ///< empty for unnamed users
+  Category category = Category::User;
+  std::size_t addresses = 0;
+
+  Amount received = 0;   ///< lifetime inflow (external only)
+  Amount sent = 0;       ///< lifetime outflow (external only)
+  Amount balance = 0;    ///< held at end of observation
+  std::uint32_t tx_count = 0;  ///< transactions touching the entity
+  Timestamp first_seen = 0;
+  Timestamp last_seen = 0;
+
+  /// Heaviest counterparties by value, descending.
+  std::vector<std::pair<ClusterId, Amount>> top_sources;
+  std::vector<std::pair<ClusterId, Amount>> top_destinations;
+};
+
+/// One balance-affecting event for a single address.
+struct AddressEvent {
+  TxIndex tx = kNoTx;
+  Timestamp time = 0;
+  Amount delta = 0;  ///< positive receipt / negative spend
+};
+
+/// Query layer over a clustered chain.
+class Explorer {
+ public:
+  Explorer(const ChainView& view, const Clustering& clustering,
+           const ClusterNaming& naming);
+
+  /// Cluster carrying `service`'s name (the largest one if the name
+  /// spans several clusters), or nullopt.
+  std::optional<ClusterId> find_service(const std::string& service) const;
+
+  /// Full profile of a cluster. `top_n` bounds the counterparty lists.
+  EntityProfile profile(ClusterId cluster, std::size_t top_n = 5) const;
+
+  /// Display label for a cluster ("Mt. Gox" or "user#123").
+  std::string label(ClusterId cluster) const;
+
+  /// Chronological balance events of one address.
+  std::vector<AddressEvent> address_history(AddrId addr) const;
+
+  /// Final balance of one address.
+  Amount address_balance(AddrId addr) const;
+
+ private:
+  const ChainView* view_;
+  const Clustering* clustering_;
+  const ClusterNaming* naming_;
+};
+
+}  // namespace fist

@@ -1,0 +1,119 @@
+#include "analysis/export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace fist {
+
+std::string csv_escape(const std::string& field) {
+  bool needs_quotes = field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void export_clusters_csv(std::ostream& os, const ChainView& view,
+                         const Clustering& clustering,
+                         const ClusterNaming& naming) {
+  os << "address,cluster,service,category\n";
+  for (AddrId a = 0; a < view.address_count(); ++a) {
+    ClusterId c = clustering.cluster_of(a);
+    const ClusterName* name = naming.name_of(c);
+    os << view.addresses().lookup(a).encode() << ',' << c << ',';
+    if (name != nullptr)
+      os << csv_escape(name->service) << ','
+         << category_name(name->category);
+    else
+      os << ',';
+    os << '\n';
+  }
+}
+
+void export_balances_csv(std::ostream& os, const BalanceSeries& series) {
+  os << "date,category,balance_btc,pct_active\n";
+  for (std::size_t i = 0; i < series.times.size(); ++i) {
+    for (const CategoryTrack& track : series.tracks) {
+      os << format_date(series.times[i]) << ','
+         << category_name(track.category) << ','
+         << format_btc(track.balance[i]) << ',';
+      char pct[24];
+      std::snprintf(pct, sizeof(pct), "%.4f", track.pct_active[i]);
+      os << pct << '\n';
+    }
+  }
+}
+
+namespace {
+
+std::string node_label(ClusterId c, const ClusterNaming& naming) {
+  const ClusterName* name = naming.name_of(c);
+  return name != nullptr ? name->service : "user#" + std::to_string(c);
+}
+
+}  // namespace
+
+void export_flows_csv(std::ostream& os, const UserGraph& graph,
+                      const ClusterNaming& naming) {
+  os << "from,to,value_btc,tx_count\n";
+  std::vector<ClusterEdge> edges = graph.edges();
+  std::sort(edges.begin(), edges.end(),
+            [](const ClusterEdge& a, const ClusterEdge& b) {
+              if (a.from != b.from) return a.from < b.from;
+              return a.to < b.to;
+            });
+  for (const ClusterEdge& e : edges) {
+    os << csv_escape(node_label(e.from, naming)) << ','
+       << csv_escape(node_label(e.to, naming)) << ','
+       << format_btc(e.value) << ',' << e.tx_count << '\n';
+  }
+}
+
+void export_flows_dot(std::ostream& os, const UserGraph& graph,
+                      const ClusterNaming& naming, std::size_t top_n) {
+  std::vector<ClusterEdge> edges = graph.top_flows(top_n);
+  os << "digraph flows {\n  rankdir=LR;\n  node [fontsize=10];\n";
+  // Declare named nodes as boxes.
+  std::vector<ClusterId> nodes;
+  for (const ClusterEdge& e : edges) {
+    nodes.push_back(e.from);
+    nodes.push_back(e.to);
+  }
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  Amount max_value = 1;
+  for (const ClusterEdge& e : edges) max_value = std::max(max_value, e.value);
+  for (ClusterId n : nodes) {
+    const ClusterName* name = naming.name_of(n);
+    os << "  n" << n << " [label=\"" << node_label(n, naming) << "\"";
+    if (name != nullptr) os << ", shape=box, style=filled";
+    os << "];\n";
+  }
+  for (const ClusterEdge& e : edges) {
+    double w = 1.0 + 4.0 * static_cast<double>(e.value) /
+                         static_cast<double>(max_value);
+    os << "  n" << e.from << " -> n" << e.to << " [label=\""
+       << format_btc_whole(e.value) << "\", penwidth=" << w << "];\n";
+  }
+  os << "}\n";
+}
+
+void export_peels_csv(std::ostream& os, const ChainView& view,
+                      const PeelChainResult& chain) {
+  os << "hop,txid,recipient,value_btc,service,category\n";
+  for (const Peel& p : chain.peels) {
+    os << p.hop << ',' << view.tx(p.tx).txid.hex_reversed() << ',';
+    if (p.recipient != kNoAddr)
+      os << view.addresses().lookup(p.recipient).encode();
+    os << ',' << format_btc(p.value) << ',' << csv_escape(p.service) << ',';
+    if (!p.service.empty()) os << category_name(p.category);
+    os << '\n';
+  }
+}
+
+}  // namespace fist

@@ -1,0 +1,50 @@
+// export.hpp — CSV and Graphviz exporters.
+//
+// Downstream users (notebooks, Gephi, spreadsheet forensics) want the
+// pipeline's products in boring formats. These writers emit:
+//   * clusters.csv      — address, cluster, service, category
+//   * balances.csv      — the Figure-2 series, one row per snapshot
+//   * flows.dot / .csv  — the condensed user graph
+//   * peels.csv         — a followed peeling chain
+// All output is deterministic (sorted where maps are involved).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "analysis/balances.hpp"
+#include "analysis/graph.hpp"
+#include "analysis/peeling.hpp"
+#include "chain/view.hpp"
+#include "cluster/clustering.hpp"
+#include "tag/naming.hpp"
+
+namespace fist {
+
+/// Writes "address,cluster,service,category" for every address.
+/// Unnamed clusters emit empty service/category fields.
+void export_clusters_csv(std::ostream& os, const ChainView& view,
+                         const Clustering& clustering,
+                         const ClusterNaming& naming);
+
+/// Writes the Figure-2 series: "date,category,balance_btc,pct_active".
+void export_balances_csv(std::ostream& os, const BalanceSeries& series);
+
+/// Writes "from,to,value_btc,tx_count" for every condensed-graph edge,
+/// labeling named clusters by service.
+void export_flows_csv(std::ostream& os, const UserGraph& graph,
+                      const ClusterNaming& naming);
+
+/// Writes a Graphviz digraph of the `top_n` heaviest flows; named
+/// clusters are boxed and labeled, edge width scales with value.
+void export_flows_dot(std::ostream& os, const UserGraph& graph,
+                      const ClusterNaming& naming, std::size_t top_n = 40);
+
+/// Writes "hop,txid,recipient,value_btc,service,category" for a chain.
+void export_peels_csv(std::ostream& os, const ChainView& view,
+                      const PeelChainResult& chain);
+
+/// Escapes a CSV field (quotes when needed).
+std::string csv_escape(const std::string& field);
+
+}  // namespace fist

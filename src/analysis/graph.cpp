@@ -1,0 +1,120 @@
+#include "analysis/graph.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace fist {
+
+namespace {
+
+std::uint64_t edge_key(ClusterId from, ClusterId to) noexcept {
+  return (static_cast<std::uint64_t>(from) << 32) | to;
+}
+
+}  // namespace
+
+UserGraph UserGraph::build(const ChainView& view,
+                           const Clustering& clustering) {
+  UserGraph g;
+  g.nodes_ = clustering.cluster_count();
+  for (const TxView& tx : view.txs()) {
+    if (tx.coinbase || tx.inputs.empty()) continue;
+    AddrId sender_addr = kNoAddr;
+    for (const InputView& in : tx.inputs) {
+      if (in.addr != kNoAddr) {
+        sender_addr = in.addr;
+        break;
+      }
+    }
+    if (sender_addr == kNoAddr) continue;
+    ClusterId from = clustering.cluster_of(sender_addr);
+
+    for (const OutputView& out : tx.outputs) {
+      if (out.addr == kNoAddr) continue;
+      ClusterId to = clustering.cluster_of(out.addr);
+      if (to == from) continue;  // change / internal shuffle
+      EdgeData& e = g.weights_[edge_key(from, to)];
+      e.value += out.value;
+      e.tx_count += 1;
+      g.sent_[from] += out.value;
+      g.received_[to] += out.value;
+    }
+  }
+  return g;
+}
+
+std::vector<ClusterEdge> UserGraph::edges() const {
+  std::vector<ClusterEdge> out;
+  out.reserve(weights_.size());
+  for (const auto& [key, data] : weights_) {
+    out.push_back(ClusterEdge{static_cast<ClusterId>(key >> 32),
+                              static_cast<ClusterId>(key), data.value,
+                              data.tx_count});
+  }
+  return out;
+}
+
+std::vector<ClusterEdge> UserGraph::top_flows(std::size_t n) const {
+  std::vector<ClusterEdge> all = edges();
+  std::sort(all.begin(), all.end(),
+            [](const ClusterEdge& a, const ClusterEdge& b) {
+              if (a.value != b.value) return a.value > b.value;
+              if (a.from != b.from) return a.from < b.from;
+              return a.to < b.to;
+            });
+  if (all.size() > n) all.resize(n);
+  return all;
+}
+
+std::vector<ClusterEdge> UserGraph::out_edges(ClusterId from) const {
+  std::vector<ClusterEdge> out;
+  for (const auto& [key, data] : weights_) {
+    if (static_cast<ClusterId>(key >> 32) != from) continue;
+    out.push_back(ClusterEdge{from, static_cast<ClusterId>(key), data.value,
+                              data.tx_count});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ClusterEdge& a, const ClusterEdge& b) {
+              return a.value > b.value;
+            });
+  return out;
+}
+
+Amount UserGraph::total_sent(ClusterId c) const noexcept {
+  auto it = sent_.find(c);
+  return it == sent_.end() ? 0 : it->second;
+}
+
+Amount UserGraph::total_received(ClusterId c) const noexcept {
+  auto it = received_.find(c);
+  return it == received_.end() ? 0 : it->second;
+}
+
+std::vector<CategoryFlowShare> category_flow_shares(
+    const UserGraph& graph, const ClusterNaming& naming) {
+  std::array<Amount, kCategoryCount> received{};
+  Amount total = 0;
+  for (const ClusterEdge& e : graph.edges()) {
+    total += e.value;
+    if (const ClusterName* name = naming.name_of(e.to))
+      received[static_cast<std::size_t>(name->category)] += e.value;
+  }
+  std::vector<CategoryFlowShare> out;
+  for (std::size_t i = 0; i < kCategoryCount; ++i) {
+    if (received[i] == 0) continue;
+    CategoryFlowShare share;
+    share.category = category_at(i);
+    share.received = received[i];
+    share.share = total > 0 ? static_cast<double>(received[i]) /
+                                  static_cast<double>(total)
+                            : 0;
+    out.push_back(share);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CategoryFlowShare& a, const CategoryFlowShare& b) {
+              return a.received > b.received;
+            });
+  return out;
+}
+
+}  // namespace fist

@@ -1,0 +1,79 @@
+// graph.hpp — the condensed user graph.
+//
+// After clustering, transactions between addresses become value flows
+// between *users and services* — "a condensed graph, in which nodes
+// represent entire users and services rather than individual public
+// keys" (§1). This module materializes that graph for exploration.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "chain/view.hpp"
+#include "cluster/clustering.hpp"
+#include "tag/naming.hpp"
+
+namespace fist {
+
+/// An aggregated directed edge between two clusters.
+struct ClusterEdge {
+  ClusterId from = 0;
+  ClusterId to = 0;
+  Amount value = 0;
+  std::uint32_t tx_count = 0;
+};
+
+/// §5's chokepoint measure for one category: how much of all
+/// inter-entity value flows *into* clusters of that category.
+struct CategoryFlowShare {
+  Category category = Category::Misc;
+  Amount received = 0;
+  double share = 0;  ///< received / total inter-cluster flow
+};
+
+/// The cluster-level flow graph.
+class UserGraph {
+ public:
+  /// Builds the condensed graph: for each transaction, value flows from
+  /// the (single, post-clustering) sending cluster to each receiving
+  /// cluster. Self-flows (change) are excluded.
+  static UserGraph build(const ChainView& view,
+                         const Clustering& clustering);
+
+  /// All edges (unordered).
+  std::vector<ClusterEdge> edges() const;
+
+  /// The `n` heaviest edges by value, descending.
+  std::vector<ClusterEdge> top_flows(std::size_t n) const;
+
+  /// Outgoing edges of a cluster.
+  std::vector<ClusterEdge> out_edges(ClusterId from) const;
+
+  /// Total value sent / received by a cluster.
+  Amount total_sent(ClusterId c) const noexcept;
+  Amount total_received(ClusterId c) const noexcept;
+
+  std::size_t edge_count() const noexcept { return weights_.size(); }
+  std::size_t node_count() const noexcept { return nodes_; }
+
+ private:
+  struct EdgeData {
+    Amount value = 0;
+    std::uint32_t tx_count = 0;
+  };
+
+  std::unordered_map<std::uint64_t, EdgeData> weights_;
+  std::unordered_map<ClusterId, Amount> sent_;
+  std::unordered_map<ClusterId, Amount> received_;
+  std::size_t nodes_ = 0;
+};
+
+/// Computes per-category inflow shares over the condensed graph — the
+/// §5 "exchanges are chokepoints" quantification. Returned sorted by
+/// share, descending; only named clusters contribute.
+std::vector<CategoryFlowShare> category_flow_shares(
+    const UserGraph& graph, const ClusterNaming& naming);
+
+}  // namespace fist

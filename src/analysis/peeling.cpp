@@ -1,0 +1,115 @@
+#include "analysis/peeling.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace fist {
+
+PeelChainResult PeelFollower::follow(TxIndex start_tx,
+                                     std::uint32_t out_index,
+                                     const FollowOptions& options) const {
+  PeelChainResult result;
+  if (start_tx >= view_->tx_count())
+    throw UsageError("PeelFollower::follow: bad start tx");
+  const TxView* cur_tx = &view_->tx(start_tx);
+  if (out_index >= cur_tx->outputs.size())
+    throw UsageError("PeelFollower::follow: bad output index");
+
+  TxIndex coin_tx = start_tx;
+  std::uint32_t coin_out = out_index;
+
+  while (result.hops < options.max_hops) {
+    const OutputView& coin = view_->tx(coin_tx).outputs[coin_out];
+    result.final_amount = coin.value;
+    TxIndex spender = coin.spent_by;
+    if (spender == kNoTx) {
+      result.end = ChainEnd::Unspent;
+      return result;
+    }
+    const TxView& hop_tx = view_->tx(spender);
+    AddrId change = (*changes_).change_of_tx[spender];
+
+    // Decide the continuation slot.
+    std::uint32_t change_slot = 0xffffffffu;
+    if (change != kNoAddr) {
+      for (std::uint32_t i = 0; i < hop_tx.outputs.size(); ++i) {
+        if (hop_tx.outputs[i].addr == change) {
+          change_slot = i;
+          break;
+        }
+      }
+    } else if (options.follow_peel_shape && hop_tx.outputs.size() >= 2) {
+      // No label — fall back to the peel shape: a dominant remainder
+      // alongside (comparatively) small peels.
+      std::uint32_t best = 0;
+      Amount best_value = -1, second = -1;
+      for (std::uint32_t i = 0; i < hop_tx.outputs.size(); ++i) {
+        Amount v = hop_tx.outputs[i].value;
+        if (v > best_value) {
+          second = best_value;
+          best_value = v;
+          best = i;
+        } else if (v > second) {
+          second = v;
+        }
+      }
+      if (second >= 0 &&
+          static_cast<double>(best_value) >=
+              options.dominance * static_cast<double>(second)) {
+        change_slot = best;
+        ++result.shape_hops;
+      }
+    }
+    if (change_slot == 0xffffffffu) {
+      result.end = ChainEnd::NoChangeLink;
+      return result;
+    }
+
+    // Record every non-continuation output as a meaningful recipient.
+    for (std::uint32_t i = 0; i < hop_tx.outputs.size(); ++i) {
+      if (i == change_slot) continue;
+      const OutputView& out = hop_tx.outputs[i];
+      Peel peel;
+      peel.hop = result.hops;
+      peel.tx = spender;
+      peel.recipient = out.addr;
+      peel.value = out.value;
+      if (out.addr != kNoAddr) {
+        ClusterId c = clustering_->cluster_of(out.addr);
+        if (const ClusterName* name = naming_->name_of(c)) {
+          peel.service = name->service;
+          peel.category = name->category;
+        }
+      }
+      result.peels.push_back(std::move(peel));
+    }
+
+    coin_tx = spender;
+    coin_out = change_slot;
+    ++result.hops;
+  }
+  result.end = ChainEnd::MaxHops;
+  result.final_amount = view_->tx(coin_tx).outputs[coin_out].value;
+  return result;
+}
+
+std::vector<ServicePeelSummary> summarize_peels(
+    const PeelChainResult& chain) {
+  std::map<std::string, ServicePeelSummary> by_service;
+  for (const Peel& peel : chain.peels) {
+    if (peel.service.empty()) continue;
+    ServicePeelSummary& s = by_service[peel.service];
+    s.service = peel.service;
+    s.category = peel.category;
+    s.peels += 1;
+    s.total += peel.value;
+  }
+  std::vector<ServicePeelSummary> out;
+  out.reserve(by_service.size());
+  for (auto& [name, summary] : by_service) out.push_back(std::move(summary));
+  return out;
+}
+
+}  // namespace fist

@@ -1,0 +1,103 @@
+// peeling.hpp — systematic peeling-chain traversal (§5, Table 2).
+//
+// "At each hop, we look at the two output addresses in the transaction.
+// If one of these output addresses is a change address, we can follow
+// the chain to the next hop... and can identify the meaningful
+// recipient in the transaction as the other output address."
+//
+// The follower walks change links produced by Heuristic 2, recording
+// every peel — recipient address, value, and (via the cluster naming)
+// which known service, if any, received it.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chain/view.hpp"
+#include "cluster/clustering.hpp"
+#include "cluster/heuristic2.hpp"
+#include "tag/naming.hpp"
+
+namespace fist {
+
+/// One peel along a chain.
+struct Peel {
+  int hop = 0;
+  TxIndex tx = kNoTx;
+  AddrId recipient = kNoAddr;
+  Amount value = 0;
+  /// Service name of the recipient's cluster ("" if unnamed).
+  std::string service;
+  Category category = Category::User;
+};
+
+/// Why a walk stopped.
+enum class ChainEnd {
+  MaxHops,       ///< hop budget exhausted
+  Unspent,       ///< current coin not yet spent
+  NoChangeLink,  ///< spending tx had no identified change address
+};
+
+/// A reconstructed peeling chain.
+struct PeelChainResult {
+  std::vector<Peel> peels;
+  int hops = 0;
+  int shape_hops = 0;  ///< hops continued via peel-shape, not an H2 label
+  ChainEnd end = ChainEnd::MaxHops;
+  Amount final_amount = 0;  ///< remaining value at the last hop
+};
+
+/// Traversal options.
+struct FollowOptions {
+  int max_hops = 100;
+
+  /// When a hop has no Heuristic-2 change label, fall back to the
+  /// peel *shape* the paper describes — "a small amount is peeled off
+  /// ... and the remainder is sent to a one-time change address":
+  /// continue through the dominant output if it carries at least
+  /// `dominance` times every other output. Such hops are counted in
+  /// shape_hops (lower confidence).
+  bool follow_peel_shape = true;
+  double dominance = 2.0;
+};
+
+/// Walks peeling chains over a chain view.
+class PeelFollower {
+ public:
+  /// `changes` must come from a Heuristic-2 pass over the same view;
+  /// `naming` attributes peel recipients (pass cluster naming built on
+  /// the same clustering).
+  PeelFollower(const ChainView& view, const H2Result& changes,
+               const Clustering& clustering, const ClusterNaming& naming)
+      : view_(&view),
+        changes_(&changes),
+        clustering_(&clustering),
+        naming_(&naming) {}
+
+  /// Follows the chain beginning at output `out_index` of `start_tx`
+  /// (i.e. the first hop is the transaction that spends that coin).
+  PeelChainResult follow(TxIndex start_tx, std::uint32_t out_index,
+                         const FollowOptions& options = {}) const;
+
+ private:
+  const ChainView* view_;
+  const H2Result* changes_;
+  const Clustering* clustering_;
+  const ClusterNaming* naming_;
+};
+
+/// Aggregates per-service peel counts/values, i.e. one column group of
+/// the paper's Table 2.
+struct ServicePeelSummary {
+  std::string service;
+  Category category = Category::Misc;
+  int peels = 0;
+  Amount total = 0;
+};
+
+/// Summarizes a chain's peels by receiving service (named ones only),
+/// sorted by service name for stable output.
+std::vector<ServicePeelSummary> summarize_peels(const PeelChainResult& chain);
+
+}  // namespace fist

@@ -1,0 +1,190 @@
+#include "analysis/theft.hpp"
+
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace fist {
+
+namespace {
+
+std::uint64_t coin_key(TxIndex tx, std::uint32_t out) noexcept {
+  return (static_cast<std::uint64_t>(tx) << 32) | out;
+}
+
+}  // namespace
+
+TheftTrace track_theft(const ChainView& view, const H2Result& changes,
+                       const Clustering& clustering,
+                       const ClusterNaming& naming,
+                       const std::vector<TxIndex>& theft_txs,
+                       const std::vector<AddrId>& thief_addrs,
+                       const TheftTrackOptions& options) {
+  TheftTrace trace;
+  if (theft_txs.empty()) return trace;
+
+  std::unordered_set<AddrId> thief_set(thief_addrs.begin(),
+                                       thief_addrs.end());
+  std::unordered_set<std::uint64_t> tainted;
+  // Weakly tainted coins: peel recipients. Not followed on their own,
+  // but if one is later co-spent with loot, the multi-input heuristic
+  // says the same party controls it — it was a sock-puppet peel.
+  std::unordered_set<std::uint64_t> weak;
+  TxIndex first = kNoTx;
+
+  for (TxIndex t : theft_txs) {
+    if (t >= view.tx_count()) throw UsageError("track_theft: bad theft tx");
+    first = std::min(first == kNoTx ? t : first, t);
+    const TxView& tx = view.tx(t);
+    for (std::uint32_t i = 0; i < tx.outputs.size(); ++i) {
+      const OutputView& out = tx.outputs[i];
+      if (out.addr == kNoAddr) continue;
+      if (thief_set.empty() || thief_set.contains(out.addr))
+        tainted.insert(coin_key(t, i));
+    }
+  }
+
+  // Is the cluster of `a` a named exchange?
+  auto exchange_name = [&](AddrId a) -> const ClusterName* {
+    if (a == kNoAddr) return nullptr;
+    const ClusterName* name = naming.name_of(clustering.cluster_of(a));
+    return (name != nullptr && is_exchange(name->category)) ? name : nullptr;
+  };
+
+  std::string events;  // chronological: 'A','F','S','p' (one peel hop)
+
+  for (TxIndex t = first + 1;
+       t < view.tx_count() && trace.txs_followed < options.max_txs; ++t) {
+    const TxView& tx = view.tx(t);
+    std::size_t tainted_in = 0, weak_in = 0;
+    Amount tainted_value = 0;
+    for (const InputView& in : tx.inputs) {
+      if (in.prev_tx == kNoTx) continue;
+      std::uint64_t key = coin_key(in.prev_tx, in.prev_index);
+      if (tainted.contains(key)) {
+        ++tainted_in;
+        tainted_value += in.value;
+      } else if (weak.contains(key)) {
+        ++weak_in;
+        tainted_value += in.value;
+      }
+    }
+    if (tainted_in == 0) continue;
+    if (tainted_value < options.min_branch_value) continue;
+    ++trace.txs_followed;
+
+    AddrId change = changes.change_of_tx[t];
+
+    // Route outputs: exchange-cluster outputs are deposits (recorded,
+    // not followed); taint propagation depends on the movement type.
+    auto deposit_or_taint = [&](std::uint32_t i, bool taint) {
+      const OutputView& out = tx.outputs[i];
+      if (const ClusterName* ex = exchange_name(out.addr)) {
+        trace.to_exchanges += out.value;
+        trace.exchange_deposits.push_back(
+            ExchangeDeposit{ex->service, out.value, t});
+        return;
+      }
+      if (taint)
+        tainted.insert(coin_key(t, i));
+      else
+        weak.insert(coin_key(t, i));  // peel recipient; upgrade on co-spend
+    };
+
+    if (tx.inputs.size() >= 2) {
+      // Aggregation — folding when inputs not associated with the
+      // theft (neither loot nor co-spent peels) are mixed in.
+      bool clean_mixed = tainted_in + weak_in < tx.inputs.size();
+      events.push_back(clean_mixed ? 'F' : 'A');
+      for (std::uint32_t i = 0; i < tx.outputs.size(); ++i)
+        deposit_or_taint(i, true);
+      continue;
+    }
+
+    // Single tainted input.
+    if (tx.outputs.size() >= 2 && change != kNoAddr) {
+      // Peel hop: remainder continues via the change output; peels are
+      // meaningful recipients.
+      events.push_back('p');
+      bool change_seen = false;
+      for (std::uint32_t i = 0; i < tx.outputs.size(); ++i) {
+        bool is_change = !change_seen && tx.outputs[i].addr == change;
+        if (is_change) change_seen = true;
+        deposit_or_taint(i, is_change);
+      }
+      continue;
+    }
+    if (tx.outputs.size() >= 2) {
+      // No change label. Distinguish the two shapes the paper's manual
+      // inspection did: a *peel* (one dominant remainder output) keeps
+      // the taint on the remainder only; a *split* (comparable chunks)
+      // taints every branch. Tainting peel recipients instead would
+      // leak taint into the whole economy.
+      std::uint32_t best = 0;
+      Amount best_value = -1, second = -1;
+      for (std::uint32_t i = 0; i < tx.outputs.size(); ++i) {
+        Amount v = tx.outputs[i].value;
+        if (v > best_value) {
+          second = best_value;
+          best_value = v;
+          best = i;
+        } else if (v > second) {
+          second = v;
+        }
+      }
+      bool peel_shaped = second >= 0 && best_value >= 2 * second;
+      if (peel_shaped) {
+        events.push_back('p');
+        for (std::uint32_t i = 0; i < tx.outputs.size(); ++i)
+          deposit_or_taint(i, i == best);
+      } else if (tx.outputs.size() <= 8) {
+        events.push_back('S');
+        for (std::uint32_t i = 0; i < tx.outputs.size(); ++i)
+          deposit_or_taint(i, true);
+      } else {
+        // A wide fan-out (payout-style distribution): the loot has been
+        // dispersed; keep following only the dominant branch.
+        for (std::uint32_t i = 0; i < tx.outputs.size(); ++i)
+          deposit_or_taint(i, i == best);
+      }
+      continue;
+    }
+    // Simple one-output move; propagate taint silently.
+    deposit_or_taint(0, true);
+  }
+
+  // Compress the event string into the paper's movement grammar:
+  // runs of >= peel_run_threshold hops become 'P'; shorter peel runs
+  // are incidental and dropped; consecutive duplicates collapse.
+  std::string movement;
+  std::size_t i = 0;
+  while (i < events.size()) {
+    char e = events[i];
+    if (e == 'p') {
+      std::size_t j = i;
+      while (j < events.size() && events[j] == 'p') ++j;
+      if (static_cast<int>(j - i) >= options.peel_run_threshold &&
+          (movement.empty() || movement.back() != 'P'))
+        movement.push_back('P');
+      i = j;
+      continue;
+    }
+    if (movement.empty() || movement.back() != e) movement.push_back(e);
+    ++i;
+  }
+  for (std::size_t k = 0; k < movement.size(); ++k) {
+    if (k > 0) trace.movement.push_back('/');
+    trace.movement.push_back(movement[k]);
+  }
+
+  // Dormant loot: tainted coins never spent.
+  for (std::uint64_t key : tainted) {
+    TxIndex t = static_cast<TxIndex>(key >> 32);
+    std::uint32_t out = static_cast<std::uint32_t>(key);
+    const OutputView& o = view.tx(t).outputs[out];
+    if (o.spent_by == kNoTx) trace.dormant += o.value;
+  }
+  return trace;
+}
+
+}  // namespace fist

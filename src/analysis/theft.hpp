@@ -1,0 +1,68 @@
+// theft.hpp — theft-flow tracking and movement classification (Table 3).
+//
+// Starting from the publicly identifiable theft transactions, taint the
+// loot and follow it forward, classifying each movement the way §5
+// does: aggregations (A), folding (F — aggregation mixing in coins not
+// clearly associated with the theft), splits (S) and peeling chains
+// (P); and report whether, and how much, tainted value reached known
+// exchanges.
+#pragma once
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "chain/view.hpp"
+#include "cluster/clustering.hpp"
+#include "cluster/heuristic2.hpp"
+#include "tag/naming.hpp"
+
+namespace fist {
+
+/// A movement phase recovered from the chain.
+enum class MovePhase : char {
+  Aggregation = 'A',
+  Peeling = 'P',
+  Split = 'S',
+  Folding = 'F',
+};
+
+/// A tainted deposit into a named exchange.
+struct ExchangeDeposit {
+  std::string service;
+  Amount value = 0;
+  TxIndex tx = kNoTx;
+};
+
+/// Tracking result for one theft.
+struct TheftTrace {
+  /// Movement phases in first-occurrence order, rendered "A/P/S".
+  std::string movement;
+  /// Tainted value that reached exchange-category clusters.
+  Amount to_exchanges = 0;
+  std::vector<ExchangeDeposit> exchange_deposits;
+  /// Tainted value that never moved (still unspent at scan end).
+  Amount dormant = 0;
+  /// Transactions visited while tracking.
+  int txs_followed = 0;
+};
+
+/// Tracking knobs.
+struct TheftTrackOptions {
+  int max_txs = 5000;        ///< visit budget
+  int peel_run_threshold = 3;  ///< consecutive peel hops to call it "P"
+  /// Stop following branches carrying less than this value.
+  Amount min_branch_value = 100'000;  // 0.001 BTC
+};
+
+/// Follows the loot of a theft. `theft_txs` are the theft transactions;
+/// `thief_outputs` the output slots paying the thief (if empty, every
+/// output of each theft tx is treated as loot).
+TheftTrace track_theft(const ChainView& view, const H2Result& changes,
+                       const Clustering& clustering,
+                       const ClusterNaming& naming,
+                       const std::vector<TxIndex>& theft_txs,
+                       const std::vector<AddrId>& thief_addrs,
+                       const TheftTrackOptions& options = {});
+
+}  // namespace fist

@@ -1,0 +1,31 @@
+#include "chain/addrbook.hpp"
+
+#include "util/error.hpp"
+
+namespace fist {
+
+AddrId AddressBook::intern(const Address& addr) {
+  auto [it, inserted] =
+      index_.try_emplace(addr, static_cast<AddrId>(forward_.size()));
+  if (inserted) forward_.push_back(addr);
+  return it->second;
+}
+
+std::optional<AddrId> AddressBook::find(const Address& addr) const noexcept {
+  auto it = index_.find(addr);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+const Address& AddressBook::lookup(AddrId id) const {
+  if (id >= forward_.size())
+    throw UsageError("AddressBook::lookup: unknown id");
+  return forward_[id];
+}
+
+void AddressBook::reserve(std::size_t n) {
+  index_.reserve(n);
+  forward_.reserve(n);
+}
+
+}  // namespace fist

@@ -1,0 +1,48 @@
+// addrbook.hpp — address interning.
+//
+// The clustering and analysis layers work over millions of addresses;
+// comparing 21-byte values everywhere would dominate memory and time.
+// AddressBook interns each distinct Address to a dense 32-bit AddrId on
+// first sight, and AddrIds are what every downstream structure stores.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "encoding/address.hpp"
+
+namespace fist {
+
+/// Dense address identifier (assignment order = first appearance order,
+/// which several Heuristic-2 conditions rely on).
+using AddrId = std::uint32_t;
+
+/// Sentinel for "no address" (e.g. a nonstandard output).
+inline constexpr AddrId kNoAddr = 0xffffffffu;
+
+/// Bidirectional Address ⇄ AddrId map.
+class AddressBook {
+ public:
+  /// Interns `addr`, returning its existing or newly assigned id.
+  AddrId intern(const Address& addr);
+
+  /// Looks up an already-interned address.
+  std::optional<AddrId> find(const Address& addr) const noexcept;
+
+  /// Reverse lookup. Throws UsageError for unknown ids.
+  const Address& lookup(AddrId id) const;
+
+  /// Number of distinct interned addresses.
+  std::size_t size() const noexcept { return forward_.size(); }
+
+  /// Reserves capacity for an expected address count.
+  void reserve(std::size_t n);
+
+ private:
+  std::unordered_map<Address, AddrId> index_;
+  std::vector<Address> forward_;
+};
+
+}  // namespace fist

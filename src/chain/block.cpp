@@ -1,0 +1,82 @@
+#include "chain/block.hpp"
+
+#include "crypto/merkle.hpp"
+#include "util/error.hpp"
+
+namespace fist {
+
+void BlockHeader::serialize(Writer& w) const {
+  w.i32le(version);
+  w.bytes(prev_hash.view());
+  w.bytes(merkle_root.view());
+  w.u32le(time);
+  w.u32le(bits);
+  w.u32le(nonce);
+}
+
+BlockHeader BlockHeader::deserialize(Reader& r) {
+  BlockHeader h;
+  h.version = r.i32le();
+  h.prev_hash = Hash256::from_bytes(r.bytes(32));
+  h.merkle_root = Hash256::from_bytes(r.bytes(32));
+  h.time = r.u32le();
+  h.bits = r.u32le();
+  h.nonce = r.u32le();
+  return h;
+}
+
+Hash256 BlockHeader::hash() const {
+  Writer w;
+  w.reserve(80);
+  serialize(w);
+  return hash256(w.view());
+}
+
+Hash256 Block::compute_merkle_root() const {
+  std::vector<Hash256> txids;
+  txids.reserve(transactions.size());
+  for (const Transaction& tx : transactions) txids.push_back(tx.txid());
+  return merkle_root(txids);
+}
+
+void Block::fix_merkle_root() { header.merkle_root = compute_merkle_root(); }
+
+void Block::serialize(Writer& w) const {
+  header.serialize(w);
+  w.varint(transactions.size());
+  for (const Transaction& tx : transactions) tx.serialize(w);
+}
+
+Bytes Block::serialize() const {
+  Writer w;
+  serialize(w);
+  return w.take();
+}
+
+Block Block::deserialize(Reader& r) {
+  Block b;
+  b.header = BlockHeader::deserialize(r);
+  std::uint64_t n = r.varint();
+  if (n > 1'000'000) throw ParseError("block: absurd tx count");
+  b.transactions.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i)
+    b.transactions.push_back(Transaction::deserialize(r));
+  return b;
+}
+
+Block Block::from_bytes(ByteView raw) {
+  Reader r(raw);
+  Block b = deserialize(r);
+  r.expect_eof();
+  return b;
+}
+
+Amount block_subsidy(int height, int halving_interval) noexcept {
+  if (height < 0) return 0;
+  int halvings = height / halving_interval;
+  if (halvings >= 64) return 0;
+  Amount subsidy = 50 * kCoin;
+  return subsidy >> halvings;
+}
+
+}  // namespace fist

@@ -1,0 +1,58 @@
+// block.hpp — blocks and block headers.
+//
+// Blocks timestamp transactions and chain to their predecessor; the
+// header commits to the transaction set via a Merkle root and carries
+// the proof-of-work. Serialization matches Bitcoin's wire format.
+#pragma once
+
+#include <vector>
+
+#include "chain/transaction.hpp"
+#include "crypto/hash.hpp"
+#include "util/serialize.hpp"
+#include "util/timeutil.hpp"
+
+namespace fist {
+
+/// An 80-byte block header.
+struct BlockHeader {
+  std::int32_t version = 1;
+  Hash256 prev_hash;
+  Hash256 merkle_root;
+  std::uint32_t time = 0;   ///< unix seconds
+  std::uint32_t bits = 0;   ///< compact PoW target
+  std::uint32_t nonce = 0;
+
+  void serialize(Writer& w) const;
+  static BlockHeader deserialize(Reader& r);
+
+  /// The block hash: SHA256d of the 80 serialized header bytes.
+  Hash256 hash() const;
+
+  bool operator==(const BlockHeader&) const = default;
+};
+
+/// A block: header plus ordered transactions (first is the coinbase).
+struct Block {
+  BlockHeader header;
+  std::vector<Transaction> transactions;
+
+  /// Recomputes the Merkle root from the current transaction list.
+  Hash256 compute_merkle_root() const;
+
+  /// Updates header.merkle_root from the transaction list.
+  void fix_merkle_root();
+
+  void serialize(Writer& w) const;
+  Bytes serialize() const;
+  static Block deserialize(Reader& r);
+  static Block from_bytes(ByteView raw);
+
+  bool operator==(const Block&) const = default;
+};
+
+/// Block subsidy at a given height with the given halving interval
+/// (Bitcoin: 50 BTC halving every 210,000 blocks).
+Amount block_subsidy(int height, int halving_interval = 210'000) noexcept;
+
+}  // namespace fist

@@ -1,0 +1,101 @@
+#include "chain/blockstore.hpp"
+
+#include <fstream>
+#include <functional>
+
+#include "util/error.hpp"
+
+namespace fist {
+
+void BlockStore::for_each(
+    const std::function<void(std::size_t, const Block&)>& fn) const {
+  for (std::size_t i = 0; i < count(); ++i) {
+    Block b = read(i);
+    fn(i, b);
+  }
+}
+
+std::size_t MemoryBlockStore::append(const Block& block) {
+  Bytes raw = block.serialize();
+  Writer w;
+  w.u32le(kMainnetMagic);
+  w.u32le(static_cast<std::uint32_t>(raw.size()));
+  std::size_t pos = data_.size();
+  Bytes frame = w.take();
+  data_.insert(data_.end(), frame.begin(), frame.end());
+  data_.insert(data_.end(), raw.begin(), raw.end());
+  offsets_.emplace_back(pos + 8, raw.size());
+  return offsets_.size() - 1;
+}
+
+Block MemoryBlockStore::read(std::size_t index) const {
+  if (index >= offsets_.size())
+    throw UsageError("MemoryBlockStore::read: index out of range");
+  auto [pos, len] = offsets_[index];
+  return Block::from_bytes(ByteView(data_.data() + pos, len));
+}
+
+FileBlockStore::FileBlockStore(std::filesystem::path path,
+                               std::uint32_t magic)
+    : path_(std::move(path)), magic_(magic) {
+  // Scan any existing records so appends continue a previous session.
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) return;
+  std::uint64_t pos = 0;
+  for (;;) {
+    std::uint8_t head[8];
+    in.read(reinterpret_cast<char*>(head), 8);
+    if (in.gcount() != 8) break;
+    std::uint32_t m = static_cast<std::uint32_t>(head[0]) |
+                      (static_cast<std::uint32_t>(head[1]) << 8) |
+                      (static_cast<std::uint32_t>(head[2]) << 16) |
+                      (static_cast<std::uint32_t>(head[3]) << 24);
+    std::uint32_t len = static_cast<std::uint32_t>(head[4]) |
+                        (static_cast<std::uint32_t>(head[5]) << 8) |
+                        (static_cast<std::uint32_t>(head[6]) << 16) |
+                        (static_cast<std::uint32_t>(head[7]) << 24);
+    if (m != magic_) throw ParseError("blk file: bad record magic");
+    offsets_.emplace_back(pos + 8, len);
+    pos += 8 + len;
+    in.seekg(static_cast<std::streamoff>(pos));
+    if (!in) break;
+  }
+}
+
+std::size_t FileBlockStore::append(const Block& block) {
+  Bytes raw = block.serialize();
+  std::ofstream out(path_, std::ios::binary | std::ios::app);
+  if (!out) throw UsageError("FileBlockStore: cannot open for append");
+  std::uint64_t pos = std::filesystem::exists(path_)
+                          ? std::filesystem::file_size(path_)
+                          : 0;
+  Writer w;
+  w.u32le(magic_);
+  w.u32le(static_cast<std::uint32_t>(raw.size()));
+  Bytes frame = w.take();
+  out.write(reinterpret_cast<const char*>(frame.data()),
+            static_cast<std::streamsize>(frame.size()));
+  out.write(reinterpret_cast<const char*>(raw.data()),
+            static_cast<std::streamsize>(raw.size()));
+  out.flush();
+  if (!out) throw UsageError("FileBlockStore: write failed");
+  offsets_.emplace_back(pos + 8, static_cast<std::uint32_t>(raw.size()));
+  return offsets_.size() - 1;
+}
+
+Block FileBlockStore::read(std::size_t index) const {
+  if (index >= offsets_.size())
+    throw UsageError("FileBlockStore::read: index out of range");
+  auto [pos, len] = offsets_[index];
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) throw UsageError("FileBlockStore: cannot open for read");
+  in.seekg(static_cast<std::streamoff>(pos));
+  Bytes raw(len);
+  in.read(reinterpret_cast<char*>(raw.data()),
+          static_cast<std::streamsize>(len));
+  if (in.gcount() != static_cast<std::streamsize>(len))
+    throw ParseError("blk file: truncated record");
+  return Block::from_bytes(raw);
+}
+
+}  // namespace fist

@@ -1,0 +1,77 @@
+// blockstore.hpp — raw block storage in Bitcoin Core's blk-file format.
+//
+// Each record is: 4-byte network magic, 4-byte length (LE), raw block.
+// The simulator writes chains through this store and the forensics
+// pipeline re-reads them, so the two sides only share bytes — the same
+// information position an analyst has against the real chain.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "chain/block.hpp"
+
+namespace fist {
+
+/// Mainnet's record magic (0xf9beb4d9 on the wire).
+inline constexpr std::uint32_t kMainnetMagic = 0xd9b4bef9u;
+
+/// Abstract append-only block record store.
+class BlockStore {
+ public:
+  virtual ~BlockStore() = default;
+
+  /// Appends a block; returns its record index.
+  virtual std::size_t append(const Block& block) = 0;
+
+  /// Reads record `index`. Throws UsageError if out of range and
+  /// ParseError if the record bytes are malformed.
+  virtual Block read(std::size_t index) const = 0;
+
+  /// Number of stored records.
+  virtual std::size_t count() const noexcept = 0;
+
+  /// Invokes `fn` for every stored block, in append order.
+  void for_each(const std::function<void(std::size_t, const Block&)>& fn) const;
+};
+
+/// Keeps the serialized records in RAM. Fast default for experiments.
+class MemoryBlockStore final : public BlockStore {
+ public:
+  std::size_t append(const Block& block) override;
+  Block read(std::size_t index) const override;
+  std::size_t count() const noexcept override { return offsets_.size(); }
+
+  /// Total serialized bytes (records incl. framing).
+  std::size_t byte_size() const noexcept { return data_.size(); }
+
+ private:
+  Bytes data_;
+  std::vector<std::pair<std::size_t, std::size_t>> offsets_;  // (pos, len)
+};
+
+/// Writes records to a single blk-style file on disk and reads them
+/// back; the on-disk layout is exactly Bitcoin Core's.
+class FileBlockStore final : public BlockStore {
+ public:
+  /// Opens (creating if needed) `path`; scans existing records so a
+  /// store can be reopened across runs.
+  explicit FileBlockStore(std::filesystem::path path,
+                          std::uint32_t magic = kMainnetMagic);
+
+  std::size_t append(const Block& block) override;
+  Block read(std::size_t index) const override;
+  std::size_t count() const noexcept override { return offsets_.size(); }
+
+  const std::filesystem::path& path() const noexcept { return path_; }
+
+ private:
+  std::filesystem::path path_;
+  std::uint32_t magic_;
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> offsets_;  // (pos, len)
+};
+
+}  // namespace fist

@@ -1,0 +1,135 @@
+#include "chain/chainstate.hpp"
+
+#include "chain/interpreter.hpp"
+#include "util/error.hpp"
+
+namespace fist {
+
+void ChainState::connect(const Block& block) {
+  const int new_height = height() + 1;
+
+  // Header linkage.
+  const Hash256 expected_prev =
+      hashes_.empty() ? Hash256{} : hashes_.back();
+  if (!(block.header.prev_hash == expected_prev))
+    throw ValidationError("block does not extend the tip");
+
+  if (params_.check_pow) {
+    if (block.header.bits != params_.expected_bits)
+      throw ValidationError("unexpected difficulty bits");
+    if (!check_proof_of_work(block.header.hash(), block.header.bits))
+      throw ValidationError("proof of work does not meet target");
+  }
+  if (params_.check_merkle &&
+      !(block.compute_merkle_root() == block.header.merkle_root))
+    throw ValidationError("merkle root mismatch");
+
+  if (block.transactions.empty())
+    throw ValidationError("block has no transactions");
+  if (!block.transactions[0].is_coinbase())
+    throw ValidationError("first transaction is not a coinbase");
+
+  // Stage the block's effects so a failure mid-block leaves no state
+  // change: collect spends first, then verify, then apply.
+  Amount fees = 0;
+  std::vector<std::pair<OutPoint, Coin>> to_add;
+  std::vector<OutPoint> to_spend;
+
+  for (std::size_t t = 1; t < block.transactions.size(); ++t) {
+    const Transaction& tx = block.transactions[t];
+    if (tx.is_coinbase())
+      throw ValidationError("unexpected extra coinbase");
+    Amount in_value = 0;
+    for (std::size_t i = 0; i < tx.inputs.size(); ++i) {
+      const TxIn& in = tx.inputs[i];
+      Script spent_script;
+      const Coin* coin = utxo_.find(in.prevout);
+      if (coin == nullptr) {
+        // Distinguish an intra-block spend (allowed) from a true miss.
+        bool found = false;
+        for (auto& [op, staged] : to_add) {
+          if (op == in.prevout) {
+            in_value = add_money(in_value, staged.value);
+            spent_script = staged.script_pubkey;
+            found = true;
+            break;
+          }
+        }
+        if (!found)
+          throw ValidationError("input spends unknown or spent output");
+        // Mark the staged coin consumed by removing it from to_add.
+        std::erase_if(to_add, [&](const auto& p) {
+          return p.first == in.prevout;
+        });
+      } else {
+        for (const OutPoint& op : to_spend)
+          if (op == in.prevout)
+            throw ValidationError("double spend within block");
+        if (coin->coinbase &&
+            new_height - coin->height < params_.coinbase_maturity)
+          throw ValidationError("premature spend of coinbase output");
+        in_value = add_money(in_value, coin->value);
+        spent_script = coin->script_pubkey;
+        to_spend.push_back(in.prevout);
+      }
+      if (params_.verify_scripts) {
+        TransactionSignatureChecker checker(tx, i);
+        ScriptError err =
+            verify_script(in.script_sig, spent_script, checker);
+        if (err != ScriptError::Ok)
+          throw ValidationError(std::string("script verification failed: ") +
+                                script_error_name(err));
+      }
+    }
+    Amount out_value = tx.value_out();
+    if (out_value > in_value)
+      throw ValidationError("transaction creates money (negative fee)");
+    fees = add_money(fees, in_value - out_value);
+
+    Hash256 txid = tx.txid();
+    for (std::uint32_t i = 0; i < tx.outputs.size(); ++i) {
+      to_add.emplace_back(
+          OutPoint{txid, i},
+          Coin{tx.outputs[i].value, tx.outputs[i].script_pubkey, new_height,
+               false});
+    }
+  }
+
+  // Coinbase value rule.
+  const Transaction& coinbase = block.transactions[0];
+  Amount subsidy = block_subsidy(new_height, params_.halving_interval);
+  Amount reward = coinbase.value_out();
+  if (reward > add_money(subsidy, fees))
+    throw ValidationError("coinbase pays more than subsidy plus fees");
+
+  // All checks passed; apply.
+  for (const OutPoint& op : to_spend) utxo_.spend(op);
+  for (auto& [op, coin] : to_add) utxo_.add(op, std::move(coin));
+  Hash256 cb_txid = coinbase.txid();
+  for (std::uint32_t i = 0; i < coinbase.outputs.size(); ++i) {
+    utxo_.add(OutPoint{cb_txid, i},
+              Coin{coinbase.outputs[i].value,
+                   coinbase.outputs[i].script_pubkey, new_height, true});
+  }
+
+  Hash256 block_hash = block.header.hash();
+  hashes_.push_back(block_hash);
+  height_of_.emplace(block_hash, new_height);
+  stats_.transactions += block.transactions.size();
+  stats_.coinbase_transactions += 1;
+  stats_.total_fees = add_money(stats_.total_fees, fees);
+  stats_.minted = add_money(stats_.minted, reward);
+}
+
+const Hash256& ChainState::block_hash(int h) const {
+  if (h < 0 || h >= static_cast<int>(hashes_.size()))
+    throw UsageError("ChainState::block_hash: height out of range");
+  return hashes_[static_cast<std::size_t>(h)];
+}
+
+int ChainState::find_height(const Hash256& hash) const noexcept {
+  auto it = height_of_.find(hash);
+  return it == height_of_.end() ? -1 : it->second;
+}
+
+}  // namespace fist

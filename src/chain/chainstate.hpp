@@ -1,0 +1,77 @@
+// chainstate.hpp — consensus-lite chain validation.
+//
+// ChainState connects blocks in order and enforces the accounting rules
+// a forensic pipeline must be able to trust: inputs exist and are
+// unspent (no double spends), value is conserved (fee >= 0), coinbase
+// rewards respect subsidy + fees, coinbases mature before being spent,
+// and headers chain correctly with valid proof-of-work.
+//
+// Deliberately out of scope: full script execution per input (available
+// separately via chain/sighash.hpp) and difficulty retargeting — the
+// simulator mines at fixed easy difficulty.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "chain/block.hpp"
+#include "chain/pow.hpp"
+#include "chain/utxo.hpp"
+
+namespace fist {
+
+/// Validation parameters.
+struct ChainParams {
+  int coinbase_maturity = 100;     ///< blocks before a reward is spendable
+  int halving_interval = 210'000;  ///< subsidy halving period
+  bool check_pow = true;           ///< verify header hash meets nBits
+  bool check_merkle = true;        ///< verify header commits to the txs
+  /// Execute every input's script with real signature verification
+  /// (chain/interpreter.hpp). Requires chains produced with genuine
+  /// ECDSA (sim::KeyMode::Real); fast-mode placeholder signatures fail.
+  bool verify_scripts = false;
+  std::uint32_t expected_bits = kEasyBits;  ///< target every header must carry
+};
+
+/// Aggregate statistics maintained while connecting blocks.
+struct ChainStats {
+  std::uint64_t transactions = 0;
+  std::uint64_t coinbase_transactions = 0;
+  Amount total_fees = 0;
+  Amount minted = 0;  ///< total subsidy issued
+};
+
+/// Connects blocks and maintains the UTXO set + block index.
+class ChainState {
+ public:
+  explicit ChainState(ChainParams params = {}) : params_(params) {}
+
+  /// Validates and connects `block` on top of the current tip.
+  /// Throws ValidationError describing the first rule violated.
+  void connect(const Block& block);
+
+  /// Current best height (-1 when empty).
+  int height() const noexcept {
+    return static_cast<int>(hashes_.size()) - 1;
+  }
+
+  /// Hash of the block at `h`. Throws UsageError when out of range.
+  const Hash256& block_hash(int h) const;
+
+  /// Height of a known block hash, or -1.
+  int find_height(const Hash256& hash) const noexcept;
+
+  const UtxoSet& utxos() const noexcept { return utxo_; }
+  const ChainStats& stats() const noexcept { return stats_; }
+  const ChainParams& params() const noexcept { return params_; }
+
+ private:
+  ChainParams params_;
+  UtxoSet utxo_;
+  std::vector<Hash256> hashes_;
+  std::unordered_map<Hash256, int> height_of_;
+  ChainStats stats_;
+};
+
+}  // namespace fist

@@ -1,0 +1,250 @@
+#include "chain/interpreter.hpp"
+
+#include "chain/sighash.hpp"
+#include "crypto/ecdsa.hpp"
+#include "crypto/hash.hpp"
+#include "crypto/ripemd160.hpp"
+#include "crypto/sha256.hpp"
+#include "script/standard.hpp"
+
+namespace fist {
+
+const char* script_error_name(ScriptError e) noexcept {
+  switch (e) {
+    case ScriptError::Ok: return "ok";
+    case ScriptError::EvalFalse: return "eval-false";
+    case ScriptError::BadOpcode: return "bad-opcode";
+    case ScriptError::StackUnderflow: return "stack-underflow";
+    case ScriptError::EqualVerifyFailed: return "equalverify";
+    case ScriptError::CheckSigFailed: return "checksigverify";
+    case ScriptError::CheckMultisigFailed: return "checkmultisigverify";
+    case ScriptError::OpReturn: return "op-return";
+    case ScriptError::SigPushOnly: return "sig-not-push-only";
+    case ScriptError::BadRedeemScript: return "bad-redeem-script";
+    case ScriptError::MalformedScript: return "malformed-script";
+  }
+  return "?";
+}
+
+bool TransactionSignatureChecker::check_sig(ByteView sig_with_hashtype,
+                                            ByteView pubkey,
+                                            const Script& script_code) const {
+  if (sig_with_hashtype.size() < 9) return false;  // DER floor + hashtype
+  std::uint8_t hashtype = sig_with_hashtype.back();
+  SigHashType base = sighash_base(hashtype);
+  if (base != SigHashType::All && base != SigHashType::None &&
+      base != SigHashType::Single)
+    return false;
+  try {
+    Signature sig = Signature::from_der(
+        sig_with_hashtype.first(sig_with_hashtype.size() - 1));
+    PublicKey pub = PublicKey::parse(pubkey);
+    Hash256 digest =
+        signature_hash_raw(*tx_, input_, script_code, hashtype);
+    return ecdsa_verify(pub, digest, sig);
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+namespace {
+
+// Bitcoin's CastToBool: false iff empty or all zero bytes (allowing a
+// single 0x80 "negative zero" terminator).
+bool cast_to_bool(const Bytes& v) noexcept {
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (v[i] != 0) {
+      if (i == v.size() - 1 && v[i] == 0x80) return false;
+      return true;
+    }
+  }
+  return false;
+}
+
+Bytes bool_bytes(bool v) { return v ? Bytes{1} : Bytes{}; }
+
+// Decodes a small stack integer (for multisig's m and n): accepts
+// empty (0) and single-byte values 1..16.
+std::optional<int> small_int(const Bytes& v) noexcept {
+  if (v.empty()) return 0;
+  if (v.size() == 1 && v[0] >= 1 && v[0] <= 16) return v[0];
+  return std::nullopt;
+}
+
+}  // namespace
+
+ScriptError eval_script(std::vector<Bytes>& stack, const Script& script,
+                        const SignatureChecker& checker) {
+  auto parsed = script.ops_checked();
+  if (!parsed) return ScriptError::MalformedScript;
+
+  auto need = [&](std::size_t n) { return stack.size() >= n; };
+
+  for (const ScriptOp& op : *parsed) {
+    if (op.is_push()) {
+      stack.push_back(op.push);
+      continue;
+    }
+    int small = small_int_value(op.op);
+    if (small >= 1) {
+      stack.push_back(Bytes{static_cast<std::uint8_t>(small)});
+      continue;
+    }
+
+    switch (op.op) {
+      case Opcode::OP_NOP:
+        break;
+      case Opcode::OP_1NEGATE:
+        stack.push_back(Bytes{0x81});
+        break;
+      case Opcode::OP_RETURN:
+        return ScriptError::OpReturn;
+      case Opcode::OP_DUP:
+        if (!need(1)) return ScriptError::StackUnderflow;
+        stack.push_back(stack.back());
+        break;
+      case Opcode::OP_EQUAL:
+      case Opcode::OP_EQUALVERIFY: {
+        if (!need(2)) return ScriptError::StackUnderflow;
+        bool equal = stack[stack.size() - 1] == stack[stack.size() - 2];
+        stack.pop_back();
+        stack.pop_back();
+        if (op.op == Opcode::OP_EQUALVERIFY) {
+          if (!equal) return ScriptError::EqualVerifyFailed;
+        } else {
+          stack.push_back(bool_bytes(equal));
+        }
+        break;
+      }
+      case Opcode::OP_RIPEMD160: {
+        if (!need(1)) return ScriptError::StackUnderflow;
+        auto digest = ripemd160(stack.back());
+        stack.back() = Bytes(digest.begin(), digest.end());
+        break;
+      }
+      case Opcode::OP_SHA256: {
+        if (!need(1)) return ScriptError::StackUnderflow;
+        auto digest = sha256(stack.back());
+        stack.back() = Bytes(digest.begin(), digest.end());
+        break;
+      }
+      case Opcode::OP_HASH160: {
+        if (!need(1)) return ScriptError::StackUnderflow;
+        Hash160 digest = hash160(stack.back());
+        stack.back() = Bytes(digest.view().begin(), digest.view().end());
+        break;
+      }
+      case Opcode::OP_HASH256: {
+        if (!need(1)) return ScriptError::StackUnderflow;
+        Hash256 digest = hash256(stack.back());
+        stack.back() = Bytes(digest.view().begin(), digest.view().end());
+        break;
+      }
+      case Opcode::OP_CHECKSIG:
+      case Opcode::OP_CHECKSIGVERIFY: {
+        if (!need(2)) return ScriptError::StackUnderflow;
+        Bytes pubkey = std::move(stack.back());
+        stack.pop_back();
+        Bytes sig = std::move(stack.back());
+        stack.pop_back();
+        bool ok = checker.check_sig(sig, pubkey, script);
+        if (op.op == Opcode::OP_CHECKSIGVERIFY) {
+          if (!ok) return ScriptError::CheckSigFailed;
+        } else {
+          stack.push_back(bool_bytes(ok));
+        }
+        break;
+      }
+      case Opcode::OP_CHECKMULTISIG:
+      case Opcode::OP_CHECKMULTISIGVERIFY: {
+        // Stack: <dummy> <sig...m> <m> <pk...n> <n>
+        if (!need(1)) return ScriptError::StackUnderflow;
+        std::optional<int> n = small_int(stack.back());
+        stack.pop_back();
+        if (!n || *n < 0 || *n > 16 || !need(static_cast<std::size_t>(*n) + 1))
+          return ScriptError::StackUnderflow;
+        std::vector<Bytes> pubkeys(static_cast<std::size_t>(*n));
+        for (int i = *n - 1; i >= 0; --i) {
+          pubkeys[static_cast<std::size_t>(i)] = std::move(stack.back());
+          stack.pop_back();
+        }
+        std::optional<int> m = small_int(stack.back());
+        stack.pop_back();
+        if (!m || *m < 0 || *m > *n || !need(static_cast<std::size_t>(*m) + 1))
+          return ScriptError::StackUnderflow;
+        std::vector<Bytes> sigs(static_cast<std::size_t>(*m));
+        for (int i = *m - 1; i >= 0; --i) {
+          sigs[static_cast<std::size_t>(i)] = std::move(stack.back());
+          stack.pop_back();
+        }
+        // The famous off-by-one: an extra element is consumed.
+        stack.pop_back();
+
+        // Order-preserving match: each signature must verify against a
+        // pubkey later in the list than the previous match.
+        std::size_t pk = 0;
+        std::size_t matched = 0;
+        for (const Bytes& sig : sigs) {
+          bool found = false;
+          while (pk < pubkeys.size()) {
+            if (checker.check_sig(sig, pubkeys[pk], script)) {
+              found = true;
+              ++pk;
+              break;
+            }
+            ++pk;
+          }
+          if (!found) break;
+          ++matched;
+        }
+        bool ok = matched == sigs.size();
+        if (op.op == Opcode::OP_CHECKMULTISIGVERIFY) {
+          if (!ok) return ScriptError::CheckMultisigFailed;
+        } else {
+          stack.push_back(bool_bytes(ok));
+        }
+        break;
+      }
+      default:
+        return ScriptError::BadOpcode;
+    }
+  }
+  return ScriptError::Ok;
+}
+
+ScriptError verify_script(const Script& script_sig,
+                          const Script& script_pubkey,
+                          const SignatureChecker& checker) {
+  // scriptSig must be push-only (standardness; consensus for P2SH).
+  auto sig_ops = script_sig.ops_checked();
+  if (!sig_ops) return ScriptError::MalformedScript;
+  for (const ScriptOp& op : *sig_ops)
+    if (!op.is_push()) return ScriptError::SigPushOnly;
+
+  std::vector<Bytes> stack;
+  ScriptError err = eval_script(stack, script_sig, checker);
+  if (err != ScriptError::Ok) return err;
+  std::vector<Bytes> sig_stack = stack;  // saved for P2SH
+
+  err = eval_script(stack, script_pubkey, checker);
+  if (err != ScriptError::Ok) return err;
+  if (stack.empty() || !cast_to_bool(stack.back()))
+    return ScriptError::EvalFalse;
+
+  // P2SH: re-run with the redeem script.
+  if (classify(script_pubkey).type == ScriptType::P2SH) {
+    if (sig_stack.empty()) return ScriptError::StackUnderflow;
+    Bytes redeem_bytes = sig_stack.back();
+    sig_stack.pop_back();
+    Script redeem(redeem_bytes);
+    if (!redeem.ops_checked()) return ScriptError::BadRedeemScript;
+    std::vector<Bytes> p2sh_stack = std::move(sig_stack);
+    err = eval_script(p2sh_stack, redeem, checker);
+    if (err != ScriptError::Ok) return err;
+    if (p2sh_stack.empty() || !cast_to_bool(p2sh_stack.back()))
+      return ScriptError::EvalFalse;
+  }
+  return ScriptError::Ok;
+}
+
+}  // namespace fist

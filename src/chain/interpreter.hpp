@@ -1,0 +1,87 @@
+// interpreter.hpp — a Bitcoin script interpreter for the standard 2013
+// repertoire.
+//
+// Executes scriptSig ‖ scriptPubKey as a stack machine, with
+// CHECKSIG-family opcodes delegating to a SignatureChecker (the
+// transaction-bound checker computes the legacy sighash and verifies
+// real ECDSA). Supports the templates in circulation during the
+// paper's study window: P2PK, P2PKH, bare multisig, and P2SH.
+//
+// With ChainParams::verify_scripts set, ChainState runs this for every
+// input while connecting blocks — full end-to-end validation when the
+// chain was produced with real keys (sim::KeyMode::Real).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "chain/transaction.hpp"
+#include "script/script.hpp"
+
+namespace fist {
+
+/// Why script execution failed (ScriptError::Ok on success).
+enum class ScriptError {
+  Ok,
+  EvalFalse,         ///< final stack empty or top element false
+  BadOpcode,         ///< opcode outside the supported repertoire
+  StackUnderflow,
+  EqualVerifyFailed,
+  CheckSigFailed,    ///< *VERIFY variant failed
+  CheckMultisigFailed,
+  OpReturn,          ///< provably unspendable output
+  SigPushOnly,       ///< scriptSig must be push-only
+  BadRedeemScript,   ///< P2SH redeem script failed to parse
+  MalformedScript,   ///< truncated push etc.
+};
+
+/// Printable name for a ScriptError.
+const char* script_error_name(ScriptError e) noexcept;
+
+/// Verifies signatures for CHECKSIG-family opcodes.
+class SignatureChecker {
+ public:
+  virtual ~SignatureChecker() = default;
+
+  /// `sig_with_hashtype` is the DER signature with the trailing
+  /// hash-type byte; `script_code` is the script being executed.
+  virtual bool check_sig(ByteView sig_with_hashtype, ByteView pubkey,
+                         const Script& script_code) const = 0;
+};
+
+/// A checker that accepts nothing (for parsing-only evaluation).
+class NullSignatureChecker final : public SignatureChecker {
+ public:
+  bool check_sig(ByteView, ByteView, const Script&) const override {
+    return false;
+  }
+};
+
+/// Binds signature checking to one input of a transaction using the
+/// legacy (pre-segwit) SIGHASH_ALL algorithm.
+class TransactionSignatureChecker final : public SignatureChecker {
+ public:
+  TransactionSignatureChecker(const Transaction& tx, std::size_t input)
+      : tx_(&tx), input_(input) {}
+
+  bool check_sig(ByteView sig_with_hashtype, ByteView pubkey,
+                 const Script& script_code) const override;
+
+ private:
+  const Transaction* tx_;
+  std::size_t input_;
+};
+
+/// Evaluates one script over `stack`. Returns ScriptError::Ok if
+/// execution completed (the caller judges the final stack).
+ScriptError eval_script(std::vector<Bytes>& stack, const Script& script,
+                        const SignatureChecker& checker);
+
+/// Full input verification: runs scriptSig then scriptPubKey, with the
+/// standard P2SH special case. Returns ScriptError::Ok iff the spend
+/// is authorized.
+ScriptError verify_script(const Script& script_sig,
+                          const Script& script_pubkey,
+                          const SignatureChecker& checker);
+
+}  // namespace fist

@@ -1,0 +1,97 @@
+#include "chain/pow.hpp"
+
+namespace fist {
+
+std::optional<U256> expand_compact(std::uint32_t bits) noexcept {
+  std::uint32_t exponent = bits >> 24;
+  std::uint32_t mantissa = bits & 0x007fffff;
+  if (bits & 0x00800000) return std::nullopt;  // negative
+  if (mantissa == 0) return U256();
+  U256 target;
+  if (exponent <= 3) {
+    target = U256(mantissa >> (8 * (3 - exponent)));
+  } else {
+    unsigned shift = 8 * (exponent - 3);
+    if (shift >= 256) return std::nullopt;  // overflow
+    // Overflow also if mantissa bits would leave the top.
+    U256 m(mantissa);
+    if (m.bit_length() + shift > 256) return std::nullopt;
+    target = shl(m, shift);
+  }
+  return target;
+}
+
+std::uint32_t to_compact(const U256& target) noexcept {
+  unsigned bits = target.bit_length();
+  if (bits == 0) return 0;
+  unsigned size = (bits + 7) / 8;
+  std::uint32_t mantissa;
+  if (size <= 3) {
+    mantissa = static_cast<std::uint32_t>(target.w[0] << (8 * (3 - size)));
+  } else {
+    U256 shifted = shr(target, 8 * (size - 3));
+    mantissa = static_cast<std::uint32_t>(shifted.w[0]);
+  }
+  // Avoid setting the sign bit: shift mantissa down, bump exponent.
+  if (mantissa & 0x00800000) {
+    mantissa >>= 8;
+    ++size;
+  }
+  return (static_cast<std::uint32_t>(size) << 24) | mantissa;
+}
+
+std::uint32_t next_work_required(std::uint32_t current_bits,
+                                 std::int64_t actual_timespan,
+                                 std::int64_t target_timespan,
+                                 std::uint32_t limit_bits) noexcept {
+  if (target_timespan <= 0) return current_bits;
+  // Bitcoin clamps the adjustment to a factor of 4 either way.
+  std::int64_t lo = target_timespan / 4;
+  std::int64_t hi = target_timespan * 4;
+  std::int64_t span = actual_timespan;
+  if (span < lo) span = lo;
+  if (span > hi) span = hi;
+
+  std::optional<U256> target = expand_compact(current_bits);
+  std::optional<U256> limit = expand_compact(limit_bits);
+  if (!target || !limit) return current_bits;
+
+  // new_target = target * span / target_timespan, in 512-bit space so
+  // nothing overflows.
+  U512 wide = mul_wide(*target, U256(static_cast<std::uint64_t>(span)));
+  // Divide the 512-bit product by target_timespan (schoolbook long
+  // division by a 64-bit divisor, top limb first). A nonzero quotient
+  // digit above the low 256 bits means the result exceeds any valid
+  // target; clip to the limit.
+  U256 quotient;
+  unsigned __int128 rem = 0;
+  std::uint64_t divisor = static_cast<std::uint64_t>(target_timespan);
+  bool overflow = false;
+  for (int i = 7; i >= 0; --i) {
+    rem = (rem << 64) | wide.w[i];
+    std::uint64_t digit = static_cast<std::uint64_t>(rem / divisor);
+    rem %= divisor;
+    if (i >= 4) {
+      if (digit != 0) overflow = true;
+    } else {
+      quotient.w[static_cast<std::size_t>(i)] = digit;
+    }
+  }
+
+  if (overflow || cmp(quotient, *limit) > 0) quotient = *limit;
+  if (quotient.is_zero()) quotient = U256(1);
+  return to_compact(quotient);
+}
+
+bool check_proof_of_work(const Hash256& hash, std::uint32_t bits) noexcept {
+  std::optional<U256> target = expand_compact(bits);
+  if (!target || target->is_zero()) return false;
+  // Block hashes compare as little-endian 256-bit integers.
+  std::array<std::uint8_t, 32> be;
+  for (int i = 0; i < 32; ++i) be[static_cast<std::size_t>(i)] =
+      hash.data()[31 - i];
+  U256 value = U256::from_be_bytes(ByteView(be));
+  return cmp(value, *target) <= 0;
+}
+
+}  // namespace fist

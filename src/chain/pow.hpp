@@ -1,0 +1,47 @@
+// pow.hpp — proof-of-work targets in Bitcoin's compact "nBits" form.
+//
+// Block headers carry their difficulty target as a 32-bit floating
+// style encoding; this module expands it to a 256-bit target and checks
+// hashes against it. The simulator mines with easy targets so synthetic
+// chains remain honest proof-of-work chains at laptop scale.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "crypto/hash.hpp"
+#include "crypto/u256.hpp"
+
+namespace fist {
+
+/// Expands a compact nBits encoding to a full 256-bit target.
+/// Returns nullopt for negative or overflowing encodings (which Bitcoin
+/// treats as invalid).
+std::optional<U256> expand_compact(std::uint32_t bits) noexcept;
+
+/// Compresses a 256-bit target to nBits (inverse of expand_compact,
+/// up to the encoding's precision).
+std::uint32_t to_compact(const U256& target) noexcept;
+
+/// True iff `hash` (interpreted little-endian, as Bitcoin does) is at or
+/// below the target encoded by `bits`.
+bool check_proof_of_work(const Hash256& hash, std::uint32_t bits) noexcept;
+
+/// Computes the next difficulty target after a retarget period, using
+/// Bitcoin's rule: scale the current target by
+/// actual_timespan / target_timespan, clamped to [1/4, 4], and clip to
+/// `limit` (the minimum-difficulty ceiling). Returns compact bits.
+std::uint32_t next_work_required(std::uint32_t current_bits,
+                                 std::int64_t actual_timespan,
+                                 std::int64_t target_timespan,
+                                 std::uint32_t limit_bits) noexcept;
+
+/// A very easy target used by the simulator's miners (every ~256th
+/// hash qualifies) so that synthetic mining is cheap but hashes still
+/// carry real proof-of-work semantics.
+inline constexpr std::uint32_t kEasyBits = 0x207effff;
+
+/// Mainnet's genesis difficulty (0x1d00ffff), for reference and tests.
+inline constexpr std::uint32_t kGenesisBits = 0x1d00ffff;
+
+}  // namespace fist

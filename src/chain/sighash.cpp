@@ -1,0 +1,109 @@
+#include "chain/sighash.hpp"
+
+#include "script/standard.hpp"
+#include "util/error.hpp"
+
+namespace fist {
+
+Hash256 signature_hash(const Transaction& tx, std::size_t input_index,
+                       const Script& script_code, SigHashType type) {
+  return signature_hash_raw(tx, input_index, script_code,
+                            static_cast<std::uint32_t>(type));
+}
+
+Hash256 signature_hash_raw(const Transaction& tx, std::size_t input_index,
+                           const Script& script_code,
+                           std::uint32_t hashtype) {
+  if (input_index >= tx.inputs.size())
+    throw UsageError("signature_hash: input index out of range");
+
+  SigHashType base = sighash_base(hashtype);
+
+  // The historical SIGHASH_SINGLE bug: with no output at the input's
+  // index, old clients signed the digest 0x0000...01 — and anything
+  // verifies against it. Reproduced faithfully (it is part of the
+  // consensus surface this library models).
+  if (base == SigHashType::Single && input_index >= tx.outputs.size()) {
+    Hash256 one;
+    one.data()[0] = 0x01;
+    return one;
+  }
+
+  // Legacy algorithm: serialize a transformed copy, append the raw
+  // hashtype, double-SHA256.
+  Transaction copy = tx;
+  for (TxIn& in : copy.inputs) in.script_sig = Script();
+  copy.inputs[input_index].script_sig = script_code;
+
+  if (base == SigHashType::None) {
+    copy.outputs.clear();
+    // Other inputs' sequences zeroed so they stay malleable.
+    for (std::size_t i = 0; i < copy.inputs.size(); ++i)
+      if (i != input_index) copy.inputs[i].sequence = 0;
+  } else if (base == SigHashType::Single) {
+    copy.outputs.resize(input_index + 1);
+    // Earlier outputs become "null": value -1, empty script.
+    for (std::size_t i = 0; i < input_index; ++i)
+      copy.outputs[i] = TxOut{-1, Script()};
+    for (std::size_t i = 0; i < copy.inputs.size(); ++i)
+      if (i != input_index) copy.inputs[i].sequence = 0;
+  }
+
+  if (sighash_anyone_can_pay(hashtype)) {
+    TxIn only = copy.inputs[input_index];
+    copy.inputs.clear();
+    copy.inputs.push_back(std::move(only));
+  }
+
+  // Serialize by hand: the transformed tx may violate Transaction's
+  // own invariants (empty outputs under NONE), which serialize() allows
+  // but from_bytes would reject — exactly like the original client.
+  Writer w;
+  copy.serialize(w);
+  w.u32le(hashtype);
+  return hash256(w.view());
+}
+
+Script sign_p2pkh_input(const Transaction& tx, std::size_t input_index,
+                        const Script& spent_script_pubkey,
+                        const PrivateKey& key, bool compressed) {
+  Hash256 digest =
+      signature_hash(tx, input_index, spent_script_pubkey, SigHashType::All);
+  Signature sig = ecdsa_sign(key, digest);
+  Bytes sig_bytes = sig.der();
+  sig_bytes.push_back(static_cast<std::uint8_t>(SigHashType::All));
+  PublicKey pub = key.pubkey();
+  Bytes pub_bytes =
+      compressed ? pub.serialize_compressed() : pub.serialize_uncompressed();
+  return make_p2pkh_scriptsig(sig_bytes, pub_bytes);
+}
+
+bool verify_p2pkh_input(const Transaction& tx, std::size_t input_index,
+                        const Script& spent_script_pubkey) noexcept {
+  try {
+    if (input_index >= tx.inputs.size()) return false;
+    Classified spent = classify(spent_script_pubkey);
+    if (spent.type != ScriptType::P2PKH) return false;
+
+    auto ops = tx.inputs[input_index].script_sig.ops_checked();
+    if (!ops || ops->size() != 2) return false;
+    const Bytes& sig_with_type = (*ops)[0].push;
+    const Bytes& pub_bytes = (*ops)[1].push;
+    if (sig_with_type.size() < 2) return false;
+    if (sig_with_type.back() != static_cast<std::uint8_t>(SigHashType::All))
+      return false;
+
+    if (hash160(pub_bytes) != spent.hash) return false;
+
+    PublicKey pub = PublicKey::parse(pub_bytes);
+    Signature sig = Signature::from_der(
+        ByteView(sig_with_type.data(), sig_with_type.size() - 1));
+    Hash256 digest = signature_hash(tx, input_index, spent_script_pubkey,
+                                    SigHashType::All);
+    return ecdsa_verify(pub, digest, sig);
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+}  // namespace fist

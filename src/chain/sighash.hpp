@@ -1,0 +1,62 @@
+// sighash.hpp — legacy signature-hash computation (SIGHASH_ALL family).
+//
+// ECDSA signatures in scriptSigs commit to a transformed serialization
+// of the spending transaction; this module reproduces Bitcoin's original
+// (pre-segwit) algorithm so the library can create and verify real
+// P2PKH spends end-to-end.
+#pragma once
+
+#include <cstdint>
+
+#include "chain/transaction.hpp"
+#include "crypto/ecdsa.hpp"
+
+namespace fist {
+
+/// Signature-hash type flags (the legacy repertoire).
+enum class SigHashType : std::uint32_t {
+  All = 0x01,     ///< commit to all inputs and outputs (the 2013 default)
+  None = 0x02,    ///< commit to no outputs ("blank check")
+  Single = 0x03,  ///< commit only to the same-index output
+};
+
+/// OR-able modifier: commit only to the signed input.
+inline constexpr std::uint32_t kSigHashAnyoneCanPay = 0x80;
+
+/// Base type of a (possibly modifier-carrying) hashtype byte.
+constexpr SigHashType sighash_base(std::uint32_t hashtype) noexcept {
+  return static_cast<SigHashType>(hashtype & 0x1f);
+}
+
+/// True if the hashtype carries ANYONECANPAY.
+constexpr bool sighash_anyone_can_pay(std::uint32_t hashtype) noexcept {
+  return (hashtype & kSigHashAnyoneCanPay) != 0;
+}
+
+/// Computes the digest an input's signature commits to, following the
+/// original (pre-segwit) algorithm including the NONE/SINGLE variants
+/// and the ANYONECANPAY modifier. `script_code` is the scriptPubKey of
+/// the output being spent. Throws UsageError if `input_index` is out of
+/// range. Reproduces the historical "SIGHASH_SINGLE with no matching
+/// output" quirk by returning the well-known one-hash digest.
+Hash256 signature_hash(const Transaction& tx, std::size_t input_index,
+                       const Script& script_code, SigHashType type);
+
+/// As above but takes the raw hashtype byte (base | modifiers).
+Hash256 signature_hash_raw(const Transaction& tx, std::size_t input_index,
+                           const Script& script_code,
+                           std::uint32_t hashtype);
+
+/// Signs input `input_index` of `tx` (spending a P2PKH output locked to
+/// `key`'s uncompressed-pubkey hash when `compressed` is false) and
+/// returns the full scriptSig: <DER-sig ‖ hashtype> <pubkey>.
+Script sign_p2pkh_input(const Transaction& tx, std::size_t input_index,
+                        const Script& spent_script_pubkey,
+                        const PrivateKey& key, bool compressed = true);
+
+/// Verifies a P2PKH spend: checks the pubkey hashes to the script's
+/// payload and the DER signature validates over the sighash.
+bool verify_p2pkh_input(const Transaction& tx, std::size_t input_index,
+                        const Script& spent_script_pubkey) noexcept;
+
+}  // namespace fist

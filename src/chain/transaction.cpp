@@ -1,0 +1,96 @@
+#include "chain/transaction.hpp"
+
+#include "util/error.hpp"
+
+namespace fist {
+
+void OutPoint::serialize(Writer& w) const {
+  w.bytes(txid.view());
+  w.u32le(index);
+}
+
+OutPoint OutPoint::deserialize(Reader& r) {
+  OutPoint out;
+  out.txid = Hash256::from_bytes(r.bytes(32));
+  out.index = r.u32le();
+  return out;
+}
+
+void TxIn::serialize(Writer& w) const {
+  prevout.serialize(w);
+  w.var_bytes(script_sig.view());
+  w.u32le(sequence);
+}
+
+TxIn TxIn::deserialize(Reader& r) {
+  TxIn in;
+  in.prevout = OutPoint::deserialize(r);
+  in.script_sig = Script(r.var_bytes());
+  in.sequence = r.u32le();
+  return in;
+}
+
+void TxOut::serialize(Writer& w) const {
+  w.i64le(value);
+  w.var_bytes(script_pubkey.view());
+}
+
+TxOut TxOut::deserialize(Reader& r) {
+  TxOut out;
+  out.value = r.i64le();
+  out.script_pubkey = Script(r.var_bytes());
+  return out;
+}
+
+Amount Transaction::value_out() const {
+  Amount total = 0;
+  for (const TxOut& out : outputs) total = add_money(total, out.value);
+  return total;
+}
+
+void Transaction::serialize(Writer& w) const {
+  w.i32le(version);
+  w.varint(inputs.size());
+  for (const TxIn& in : inputs) in.serialize(w);
+  w.varint(outputs.size());
+  for (const TxOut& out : outputs) out.serialize(w);
+  w.u32le(locktime);
+}
+
+Bytes Transaction::serialize() const {
+  Writer w;
+  serialize(w);
+  return w.take();
+}
+
+Transaction Transaction::deserialize(Reader& r) {
+  Transaction tx;
+  tx.version = r.i32le();
+  std::uint64_t nin = r.varint();
+  if (nin > 1'000'000) throw ParseError("tx: absurd input count");
+  tx.inputs.reserve(nin);
+  for (std::uint64_t i = 0; i < nin; ++i)
+    tx.inputs.push_back(TxIn::deserialize(r));
+  std::uint64_t nout = r.varint();
+  if (nout > 1'000'000) throw ParseError("tx: absurd output count");
+  tx.outputs.reserve(nout);
+  for (std::uint64_t i = 0; i < nout; ++i)
+    tx.outputs.push_back(TxOut::deserialize(r));
+  tx.locktime = r.u32le();
+  if (tx.inputs.empty() || tx.outputs.empty())
+    throw ParseError("tx: empty input or output list");
+  return tx;
+}
+
+Transaction Transaction::from_bytes(ByteView raw) {
+  Reader r(raw);
+  Transaction tx = deserialize(r);
+  r.expect_eof();
+  return tx;
+}
+
+Hash256 Transaction::txid() const {
+  return hash256(serialize());
+}
+
+}  // namespace fist

@@ -1,0 +1,112 @@
+// transaction.hpp — Bitcoin transactions and their wire format.
+//
+// Transactions are the atoms of the forensic analysis: every heuristic
+// in the paper is a statement about transaction structure. This module
+// gives them a faithful in-memory form with Bitcoin's exact (pre-segwit)
+// serialization, so the pipeline can consume real or simulated chains
+// byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "crypto/hash.hpp"
+#include "script/script.hpp"
+#include "util/amount.hpp"
+#include "util/serialize.hpp"
+
+namespace fist {
+
+/// Reference to a transaction output: (txid, output index).
+struct OutPoint {
+  Hash256 txid;
+  std::uint32_t index = 0;
+
+  /// The coinbase marker: null txid and index 0xffffffff.
+  static OutPoint coinbase() noexcept {
+    return OutPoint{Hash256{}, 0xffffffffu};
+  }
+
+  /// True iff this is the coinbase marker.
+  bool is_coinbase() const noexcept {
+    return index == 0xffffffffu && txid.is_null();
+  }
+
+  void serialize(Writer& w) const;
+  static OutPoint deserialize(Reader& r);
+
+  auto operator<=>(const OutPoint&) const noexcept = default;
+};
+
+/// Transaction input: the outpoint being spent plus its unlocking script.
+struct TxIn {
+  OutPoint prevout;
+  Script script_sig;
+  std::uint32_t sequence = 0xffffffffu;
+
+  void serialize(Writer& w) const;
+  static TxIn deserialize(Reader& r);
+
+  bool operator==(const TxIn&) const = default;
+};
+
+/// Transaction output: an amount locked by a scriptPubKey.
+struct TxOut {
+  Amount value = 0;
+  Script script_pubkey;
+
+  void serialize(Writer& w) const;
+  static TxOut deserialize(Reader& r);
+
+  bool operator==(const TxOut&) const = default;
+};
+
+/// A full transaction (version, inputs, outputs, locktime).
+class Transaction {
+ public:
+  std::int32_t version = 1;
+  std::vector<TxIn> inputs;
+  std::vector<TxOut> outputs;
+  std::uint32_t locktime = 0;
+
+  /// True iff this is a coin-generation (coinbase) transaction: exactly
+  /// one input carrying the coinbase marker.
+  bool is_coinbase() const noexcept {
+    return inputs.size() == 1 && inputs[0].prevout.is_coinbase();
+  }
+
+  /// Sum of output values (checked).
+  Amount value_out() const;
+
+  /// Appends the wire serialization.
+  void serialize(Writer& w) const;
+
+  /// Serializes to a fresh buffer.
+  Bytes serialize() const;
+
+  /// Parses one transaction from the reader.
+  static Transaction deserialize(Reader& r);
+
+  /// Parses a standalone buffer (must consume it fully).
+  static Transaction from_bytes(ByteView raw);
+
+  /// The transaction id: SHA256d of the serialization (computed on
+  /// demand; cache at call sites that loop).
+  Hash256 txid() const;
+
+  bool operator==(const Transaction&) const = default;
+};
+
+}  // namespace fist
+
+namespace std {
+template <>
+struct hash<fist::OutPoint> {
+  size_t operator()(const fist::OutPoint& o) const noexcept {
+    return static_cast<size_t>(o.txid.low64() ^
+                               (static_cast<uint64_t>(o.index) << 32 |
+                                o.index));
+  }
+};
+}  // namespace std

@@ -1,0 +1,33 @@
+#include "chain/utxo.hpp"
+
+#include "util/error.hpp"
+
+namespace fist {
+
+void UtxoSet::add(const OutPoint& out, Coin coin) {
+  auto [it, inserted] = map_.try_emplace(out, std::move(coin));
+  if (!inserted)
+    throw ValidationError("utxo: duplicate outpoint " + out.txid.hex() + ":" +
+                          std::to_string(out.index));
+}
+
+const Coin* UtxoSet::find(const OutPoint& out) const noexcept {
+  auto it = map_.find(out);
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+std::optional<Coin> UtxoSet::spend(const OutPoint& out) {
+  auto it = map_.find(out);
+  if (it == map_.end()) return std::nullopt;
+  Coin c = std::move(it->second);
+  map_.erase(it);
+  return c;
+}
+
+Amount UtxoSet::total_value() const {
+  Amount total = 0;
+  for (const auto& [out, coin] : map_) total = add_money(total, coin.value);
+  return total;
+}
+
+}  // namespace fist

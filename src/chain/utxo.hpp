@@ -1,0 +1,48 @@
+// utxo.hpp — the unspent-transaction-output set.
+//
+// ChainState validates spends against this set; the view builder uses
+// it to resolve each input back to the address and value it consumes.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "chain/transaction.hpp"
+
+namespace fist {
+
+/// One unspent output plus the metadata validation needs.
+struct Coin {
+  Amount value = 0;
+  Script script_pubkey;
+  std::int32_t height = 0;   ///< block height that created it
+  bool coinbase = false;     ///< subject to the maturity rule
+
+  bool operator==(const Coin&) const = default;
+};
+
+/// Mutable UTXO set keyed by outpoint.
+class UtxoSet {
+ public:
+  /// Adds a coin. Throws ValidationError if the outpoint already
+  /// exists (a BIP30-style duplicate).
+  void add(const OutPoint& out, Coin coin);
+
+  /// Looks up a coin without removing it.
+  const Coin* find(const OutPoint& out) const noexcept;
+
+  /// Removes and returns the coin, or nullopt if absent.
+  std::optional<Coin> spend(const OutPoint& out);
+
+  std::size_t size() const noexcept { return map_.size(); }
+
+  /// Sum of all unspent values (the monetary base).
+  Amount total_value() const;
+
+  void reserve(std::size_t n) { map_.reserve(n); }
+
+ private:
+  std::unordered_map<OutPoint, Coin> map_;
+};
+
+}  // namespace fist

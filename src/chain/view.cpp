@@ -1,0 +1,116 @@
+#include "chain/view.hpp"
+
+#include "script/standard.hpp"
+#include "util/error.hpp"
+
+namespace fist {
+
+Amount TxView::value_in() const noexcept {
+  Amount total = 0;
+  for (const InputView& in : inputs) total += in.value;
+  return total;
+}
+
+Amount TxView::value_out() const noexcept {
+  Amount total = 0;
+  for (const OutputView& out : outputs) total += out.value;
+  return total;
+}
+
+void ChainView::add_block(const Block& block, std::int32_t height) {
+  for (const Transaction& tx : block.transactions) {
+    TxIndex index = static_cast<TxIndex>(txs_.size());
+    TxView view;
+    view.txid = tx.txid();
+    view.height = height;
+    view.time = static_cast<Timestamp>(block.header.time);
+    view.coinbase = tx.is_coinbase();
+
+    if (!view.coinbase) {
+      view.inputs.reserve(tx.inputs.size());
+      for (const TxIn& in : tx.inputs) {
+        InputView iv;
+        auto it = txid_index_.find(in.prevout.txid);
+        if (it != txid_index_.end()) {
+          TxIndex prev = it->second;
+          TxView& funding = txs_[prev];
+          if (in.prevout.index < funding.outputs.size()) {
+            OutputView& spent = funding.outputs[in.prevout.index];
+            if (spent.spent_by != kNoTx)
+              throw ValidationError("view: double spend in stored chain");
+            spent.spent_by = index;
+            iv.addr = spent.addr;
+            iv.value = spent.value;
+            iv.prev_tx = prev;
+            iv.prev_index = in.prevout.index;
+          } else {
+            throw ValidationError("view: input references bad output slot");
+          }
+        } else {
+          throw ValidationError("view: input references unknown txid");
+        }
+        view.inputs.push_back(iv);
+      }
+    }
+
+    view.outputs.reserve(tx.outputs.size());
+    for (const TxOut& out : tx.outputs) {
+      OutputView ov;
+      ov.value = out.value;
+      if (auto addr = extract_address(out.script_pubkey))
+        ov.addr = book_.intern(*addr);
+      view.outputs.push_back(ov);
+    }
+
+    txid_index_.emplace(view.txid, index);
+    txs_.push_back(std::move(view));
+  }
+  ++block_count_;
+}
+
+void ChainView::finish() {
+  first_seen_.assign(book_.size(), kNoTx);
+  for (TxIndex t = 0; t < txs_.size(); ++t) {
+    const TxView& tx = txs_[t];
+    auto mark = [&](AddrId a) {
+      if (a != kNoAddr && first_seen_[a] == kNoTx) first_seen_[a] = t;
+    };
+    for (const InputView& in : tx.inputs) mark(in.addr);
+    for (const OutputView& out : tx.outputs) mark(out.addr);
+  }
+}
+
+ChainView ChainView::build(const BlockStore& store) {
+  ChainView view;
+  for (std::size_t i = 0; i < store.count(); ++i) {
+    Block block = store.read(i);
+    view.add_block(block, static_cast<std::int32_t>(i));
+  }
+  view.finish();
+  return view;
+}
+
+ChainView ChainView::build(const std::vector<Block>& blocks) {
+  ChainView view;
+  for (std::size_t i = 0; i < blocks.size(); ++i)
+    view.add_block(blocks[i], static_cast<std::int32_t>(i));
+  view.finish();
+  return view;
+}
+
+const TxView& ChainView::tx(TxIndex i) const {
+  if (i >= txs_.size()) throw UsageError("ChainView::tx: index out of range");
+  return txs_[i];
+}
+
+TxIndex ChainView::find_tx(const Hash256& txid) const noexcept {
+  auto it = txid_index_.find(txid);
+  return it == txid_index_.end() ? kNoTx : it->second;
+}
+
+TxIndex ChainView::first_seen(AddrId addr) const noexcept {
+  if (addr == kNoAddr || addr >= first_seen_.size()) return kNoTx;
+  return first_seen_[addr];
+}
+
+}  // namespace fist

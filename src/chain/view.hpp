@@ -1,0 +1,103 @@
+// view.hpp — the flattened, analysis-friendly chain representation.
+//
+// ChainView turns a stored block chain into the structure every
+// forensic pass consumes: transactions in global chronological order,
+// with each input resolved to the (address, value) it spends and each
+// output annotated with the transaction that later spends it. Addresses
+// are interned to dense AddrIds. This is fistful's equivalent of the
+// paper's "transaction graph".
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "chain/addrbook.hpp"
+#include "chain/blockstore.hpp"
+#include "util/amount.hpp"
+#include "util/timeutil.hpp"
+
+namespace fist {
+
+/// Global transaction index within a ChainView.
+using TxIndex = std::uint32_t;
+
+/// Sentinel for "no transaction" (unspent output / coinbase input).
+inline constexpr TxIndex kNoTx = 0xffffffffu;
+
+/// A resolved transaction input.
+struct InputView {
+  AddrId addr = kNoAddr;   ///< spender address (kNoAddr if unextractable)
+  Amount value = 0;        ///< value consumed
+  TxIndex prev_tx = kNoTx; ///< view index of the funding transaction
+  std::uint32_t prev_index = 0;  ///< output slot in the funding tx
+};
+
+/// A transaction output with forward spend link.
+struct OutputView {
+  AddrId addr = kNoAddr;     ///< recipient address (kNoAddr if none)
+  Amount value = 0;
+  TxIndex spent_by = kNoTx;  ///< view index of the spending tx, if any
+};
+
+/// One transaction in the flattened chain.
+struct TxView {
+  Hash256 txid;
+  std::int32_t height = 0;
+  Timestamp time = 0;
+  bool coinbase = false;
+  std::vector<InputView> inputs;
+  std::vector<OutputView> outputs;
+
+  /// Sum of resolved input values (0 for a coinbase).
+  Amount value_in() const noexcept;
+
+  /// Sum of output values.
+  Amount value_out() const noexcept;
+
+  /// Miner fee (value_in - value_out; 0 for coinbase).
+  Amount fee() const noexcept {
+    return coinbase ? 0 : value_in() - value_out();
+  }
+};
+
+/// The flattened chain: ordered transactions + interned addresses.
+class ChainView {
+ public:
+  /// Builds a view by scanning `store` from record 0. Blocks must be in
+  /// chain order (as ChainState would have connected them).
+  static ChainView build(const BlockStore& store);
+
+  /// Builds from already-deserialized blocks (same ordering rules).
+  static ChainView build(const std::vector<Block>& blocks);
+
+  const std::vector<TxView>& txs() const noexcept { return txs_; }
+  const TxView& tx(TxIndex i) const;
+  std::size_t tx_count() const noexcept { return txs_.size(); }
+
+  /// Address interning table (shared with every downstream pass).
+  const AddressBook& addresses() const noexcept { return book_; }
+  std::size_t address_count() const noexcept { return book_.size(); }
+
+  /// View index of a txid, or kNoTx.
+  TxIndex find_tx(const Hash256& txid) const noexcept;
+
+  /// Index of the first transaction in which `addr` appears (as input
+  /// or output); kNoTx for unknown ids.
+  TxIndex first_seen(AddrId addr) const noexcept;
+
+  /// Number of distinct blocks scanned.
+  std::size_t block_count() const noexcept { return block_count_; }
+
+ private:
+  void add_block(const Block& block, std::int32_t height);
+  void finish();
+
+  AddressBook book_;
+  std::vector<TxView> txs_;
+  std::unordered_map<Hash256, TxIndex> txid_index_;
+  std::vector<TxIndex> first_seen_;
+  std::size_t block_count_ = 0;
+};
+
+}  // namespace fist

@@ -1,0 +1,307 @@
+// fistctl — the fistful command-line tool.
+//
+// A downstream user's entry point: simulate an economy to disk, run
+// the clustering over a chain file, export Figure-2 balance series,
+// condensed flow graphs, and follow peeling chains — without writing
+// any C++.
+//
+//   fistctl simulate --days 240 --users 400 --out chain.dat --tags tags.csv
+//   fistctl info     --chain chain.dat
+//   fistctl cluster  --chain chain.dat --tags tags.csv --out clusters.csv
+//   fistctl balances --chain chain.dat --tags tags.csv --out balances.csv
+//   fistctl flows    --chain chain.dat --tags tags.csv --dot flows.dot
+//   fistctl follow   --chain chain.dat --tags tags.csv
+//                    --tx <txid-hex> --vout 0 --hops 100 --out peels.csv
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "analysis/explorer.hpp"
+#include "analysis/export.hpp"
+#include "core/pipeline.hpp"
+#include "sim/world.hpp"
+#include "tag/feedio.hpp"
+
+namespace {
+
+using namespace fist;
+
+[[noreturn]] void usage(const char* why = nullptr) {
+  if (why != nullptr) std::fprintf(stderr, "error: %s\n\n", why);
+  std::fprintf(stderr, R"(usage: fistctl <command> [options]
+
+commands:
+  simulate   generate a synthetic economy
+             --days N --users N --seed N --out chain.dat --tags tags.csv
+  info       chain statistics
+             --chain chain.dat
+  cluster    run H1 + refined H2, export address->cluster table
+             --chain chain.dat --tags tags.csv [--out clusters.csv] [--naive]
+  balances   Figure-2 per-category balance series
+             --chain chain.dat --tags tags.csv [--out balances.csv]
+  flows      condensed user graph
+             --chain chain.dat --tags tags.csv [--dot flows.dot] [--csv flows.csv] [--top N]
+  follow     walk a peeling chain from an output
+             --chain chain.dat --tags tags.csv --tx TXID --vout N [--hops N] [--out peels.csv]
+  entity     profile a named service or cluster
+             --chain chain.dat --tags tags.csv (--name "Mt. Gox" | --cluster N)
+)");
+  std::exit(2);
+}
+
+/// Tiny flag parser: --key value pairs after the command.
+class Args {
+ public:
+  Args(int argc, char** argv, int start) {
+    for (int i = start; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) usage(("unexpected '" + key + "'").c_str());
+      if (key == "--naive") {
+        values_[key] = "1";
+        continue;
+      }
+      if (i + 1 >= argc) usage((key + " needs a value").c_str());
+      values_[key] = argv[++i];
+    }
+  }
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  std::string require(const std::string& key) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) usage((key + " is required").c_str());
+    return it->second;
+  }
+  long get_long(const std::string& key, long fallback) const {
+    std::string v = get(key, "");
+    return v.empty() ? fallback : std::stol(v);
+  }
+  bool has(const std::string& key) const { return values_.contains(key); }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+std::vector<TagEntry> load_tags(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) usage(("cannot open tag feed " + path).c_str());
+  return read_tag_feed(in);
+}
+
+ForensicPipeline make_pipeline(const FileBlockStore& store, const Args& args,
+                               bool naive = false) {
+  std::vector<TagEntry> feed = load_tags(args.require("--tags"));
+  return ForensicPipeline(store, std::move(feed),
+                          naive ? H2Options{} : refined_h2_options());
+}
+
+int cmd_simulate(const Args& args) {
+  sim::WorldConfig config;
+  config.days = static_cast<int>(args.get_long("--days", 240));
+  config.users = static_cast<int>(args.get_long("--users", 400));
+  config.seed = static_cast<std::uint64_t>(args.get_long("--seed", 42));
+  std::string chain_path = args.require("--out");
+  std::string tags_path = args.require("--tags");
+
+  std::fprintf(stderr, "simulating %d days, %d users (seed %llu)...\n",
+               config.days, config.users,
+               static_cast<unsigned long long>(config.seed));
+  sim::World world(config);
+  world.run();
+
+  std::remove(chain_path.c_str());
+  FileBlockStore store(chain_path);
+  for (std::size_t i = 0; i < world.store().count(); ++i)
+    store.append(world.store().read(i));
+
+  std::ofstream tags_out(tags_path);
+  write_tag_feed(tags_out, world.tag_feed());
+  std::fprintf(stderr,
+               "wrote %zu blocks (%llu txs) to %s and %zu tags to %s\n",
+               store.count(),
+               static_cast<unsigned long long>(world.tx_count()),
+               chain_path.c_str(), world.tag_feed().size(),
+               tags_path.c_str());
+  return 0;
+}
+
+int cmd_info(const Args& args) {
+  FileBlockStore store(args.require("--chain"));
+  ChainView view = ChainView::build(store);
+  Amount minted = 0;
+  Timestamp first = 0, last = 0;
+  for (const TxView& tx : view.txs()) {
+    if (tx.coinbase) minted += tx.value_out();
+    if (first == 0) first = tx.time;
+    last = tx.time;
+  }
+  std::printf("blocks:        %zu\n", store.count());
+  std::printf("transactions:  %zu\n", view.tx_count());
+  std::printf("addresses:     %zu\n", view.address_count());
+  std::printf("minted:        %s BTC\n", format_btc_whole(minted).c_str());
+  std::printf("span:          %s .. %s\n", format_date(first).c_str(),
+              format_date(last).c_str());
+  return 0;
+}
+
+int cmd_cluster(const Args& args) {
+  FileBlockStore store(args.require("--chain"));
+  ForensicPipeline pipeline =
+      make_pipeline(store, args, args.has("--naive"));
+  pipeline.run();
+  std::fprintf(stderr, "%zu addresses -> %zu clusters (%zu named)\n",
+               pipeline.view().address_count(),
+               pipeline.clustering().cluster_count(),
+               pipeline.naming().names().size());
+  std::string out_path = args.get("--out", "");
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    export_clusters_csv(out, pipeline.view(), pipeline.clustering(),
+                        pipeline.naming());
+    std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_balances(const Args& args) {
+  FileBlockStore store(args.require("--chain"));
+  ForensicPipeline pipeline = make_pipeline(store, args);
+  pipeline.run();
+  BalanceSeries series = category_balances(
+      pipeline.view(), pipeline.clustering(), pipeline.naming(), kWeek);
+  std::string out_path = args.get("--out", "");
+  if (out_path.empty()) {
+    export_balances_csv(std::cout, series);
+  } else {
+    std::ofstream out(out_path);
+    export_balances_csv(out, series);
+    std::fprintf(stderr, "wrote %s (%zu snapshots)\n", out_path.c_str(),
+                 series.times.size());
+  }
+  return 0;
+}
+
+int cmd_flows(const Args& args) {
+  FileBlockStore store(args.require("--chain"));
+  ForensicPipeline pipeline = make_pipeline(store, args);
+  pipeline.run();
+  UserGraph graph =
+      UserGraph::build(pipeline.view(), pipeline.clustering());
+  std::fprintf(stderr, "condensed graph: %zu nodes, %zu edges\n",
+               graph.node_count(), graph.edge_count());
+  std::size_t top = static_cast<std::size_t>(args.get_long("--top", 40));
+  std::string dot_path = args.get("--dot", "");
+  if (!dot_path.empty()) {
+    std::ofstream out(dot_path);
+    export_flows_dot(out, graph, pipeline.naming(), top);
+    std::fprintf(stderr, "wrote %s\n", dot_path.c_str());
+  }
+  std::string csv_path = args.get("--csv", "");
+  if (!csv_path.empty()) {
+    std::ofstream out(csv_path);
+    export_flows_csv(out, graph, pipeline.naming());
+    std::fprintf(stderr, "wrote %s\n", csv_path.c_str());
+  }
+  if (dot_path.empty() && csv_path.empty())
+    export_flows_csv(std::cout, graph, pipeline.naming());
+  return 0;
+}
+
+int cmd_follow(const Args& args) {
+  FileBlockStore store(args.require("--chain"));
+  ForensicPipeline pipeline = make_pipeline(store, args);
+  pipeline.run();
+
+  Hash256 txid = Hash256::from_hex_reversed(args.require("--tx"));
+  TxIndex start = pipeline.view().find_tx(txid);
+  if (start == kNoTx) usage("--tx not found in the chain");
+  std::uint32_t vout =
+      static_cast<std::uint32_t>(args.get_long("--vout", 0));
+  int hops = static_cast<int>(args.get_long("--hops", 100));
+
+  PeelFollower follower(pipeline.view(), pipeline.h2(),
+                        pipeline.clustering(), pipeline.naming());
+  PeelChainResult chain = follower.follow(start, vout, FollowOptions{hops});
+  std::fprintf(stderr,
+               "followed %d hops (%d by shape), %zu peels, end=%s, "
+               "%s BTC remaining\n",
+               chain.hops, chain.shape_hops, chain.peels.size(),
+               chain.end == ChainEnd::Unspent       ? "unspent"
+               : chain.end == ChainEnd::NoChangeLink ? "no-change-link"
+                                                     : "max-hops",
+               format_btc_whole(chain.final_amount).c_str());
+  std::string out_path = args.get("--out", "");
+  if (out_path.empty()) {
+    export_peels_csv(std::cout, pipeline.view(), chain);
+  } else {
+    std::ofstream out(out_path);
+    export_peels_csv(out, pipeline.view(), chain);
+    std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_entity(const Args& args) {
+  FileBlockStore store(args.require("--chain"));
+  ForensicPipeline pipeline = make_pipeline(store, args);
+  pipeline.run();
+  Explorer explorer(pipeline.view(), pipeline.clustering(),
+                    pipeline.naming());
+
+  ClusterId cluster;
+  if (args.has("--name")) {
+    auto found = explorer.find_service(args.require("--name"));
+    if (!found) usage("service name not found in any named cluster");
+    cluster = *found;
+  } else {
+    cluster = static_cast<ClusterId>(args.get_long("--cluster", -1));
+  }
+
+  EntityProfile p = explorer.profile(cluster, 8);
+  std::printf("entity:        %s (cluster %u)\n",
+              explorer.label(cluster).c_str(), cluster);
+  if (p.named)
+    std::printf("category:      %s\n",
+                std::string(category_name(p.category)).c_str());
+  std::printf("addresses:     %zu\n", p.addresses);
+  std::printf("transactions:  %u\n", p.tx_count);
+  std::printf("active:        %s .. %s\n", format_date(p.first_seen).c_str(),
+              format_date(p.last_seen).c_str());
+  std::printf("received:      %s BTC\n", format_btc_whole(p.received).c_str());
+  std::printf("sent:          %s BTC\n", format_btc_whole(p.sent).c_str());
+  std::printf("balance:       %s BTC\n", format_btc_whole(p.balance).c_str());
+  std::printf("top sources:\n");
+  for (auto& [c, v] : p.top_sources)
+    std::printf("  %-24s %12s BTC\n", explorer.label(c).c_str(),
+                format_btc_whole(v).c_str());
+  std::printf("top destinations:\n");
+  for (auto& [c, v] : p.top_destinations)
+    std::printf("  %-24s %12s BTC\n", explorer.label(c).c_str(),
+                format_btc_whole(v).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  std::string command = argv[1];
+  Args args(argc, argv, 2);
+  try {
+    if (command == "simulate") return cmd_simulate(args);
+    if (command == "info") return cmd_info(args);
+    if (command == "cluster") return cmd_cluster(args);
+    if (command == "balances") return cmd_balances(args);
+    if (command == "flows") return cmd_flows(args);
+    if (command == "follow") return cmd_follow(args);
+    if (command == "entity") return cmd_entity(args);
+  } catch (const fist::Error& e) {
+    std::fprintf(stderr, "fistctl: %s\n", e.what());
+    return 1;
+  }
+  usage(("unknown command '" + command + "'").c_str());
+}

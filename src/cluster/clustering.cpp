@@ -1,0 +1,71 @@
+#include "cluster/clustering.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/error.hpp"
+
+namespace fist {
+
+Clustering Clustering::from_union_find(UnionFind& uf) {
+  Clustering out;
+  std::size_t n = uf.size();
+  out.assignment_.resize(n);
+  std::vector<ClusterId> rep_to_cluster(n, 0xffffffffu);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint32_t rep = uf.find(static_cast<std::uint32_t>(i));
+    if (rep_to_cluster[rep] == 0xffffffffu) {
+      rep_to_cluster[rep] = static_cast<ClusterId>(out.sizes_.size());
+      out.sizes_.push_back(0);
+    }
+    ClusterId c = rep_to_cluster[rep];
+    out.assignment_[i] = c;
+    ++out.sizes_[c];
+  }
+  return out;
+}
+
+std::pair<ClusterId, std::uint32_t> Clustering::largest() const {
+  if (sizes_.empty()) throw UsageError("Clustering::largest: empty");
+  auto it = std::max_element(sizes_.begin(), sizes_.end());
+  return {static_cast<ClusterId>(it - sizes_.begin()), *it};
+}
+
+std::size_t Clustering::distinct_after_naming(
+    const ClusterNaming& naming) const {
+  std::unordered_set<std::string> seen_services;
+  std::size_t named_clusters = 0;
+  for (const auto& [cluster, name] : naming.names()) {
+    ++named_clusters;
+    seen_services.insert(name.service);
+  }
+  // Unnamed clusters stay distinct; named ones collapse per service.
+  return cluster_count() - named_clusters + seen_services.size();
+}
+
+std::uint64_t user_upper_bound(const ChainView& view,
+                               const Clustering& clustering) {
+  // Sink addresses: received but never spent. They never triggered
+  // Heuristic 1, so each singleton sink could be its own user.
+  std::vector<std::uint8_t> has_spent(view.address_count(), 0);
+  for (const TxView& tx : view.txs())
+    for (const InputView& in : tx.inputs)
+      if (in.addr != kNoAddr) has_spent[in.addr] = 1;
+
+  // Clusters containing at least one spender, plus singleton clusters
+  // of never-spenders.
+  std::vector<std::uint8_t> cluster_spends(clustering.cluster_count(), 0);
+  for (AddrId a = 0; a < view.address_count(); ++a)
+    if (has_spent[a]) cluster_spends[clustering.cluster_of(a)] = 1;
+
+  std::uint64_t spending_clusters = 0;
+  for (std::uint8_t f : cluster_spends) spending_clusters += f;
+
+  std::uint64_t sinks = 0;
+  for (AddrId a = 0; a < view.address_count(); ++a)
+    if (!has_spent[a] && !cluster_spends[clustering.cluster_of(a)]) ++sinks;
+
+  return spending_clusters + sinks;
+}
+
+}  // namespace fist

@@ -1,0 +1,58 @@
+// clustering.hpp — materialized clusterings and their statistics.
+//
+// A UnionFind is a working structure; Clustering freezes it into dense
+// cluster ids with sizes, which is what naming, balance tracking and
+// the super-cluster diagnostics consume.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chain/view.hpp"
+#include "cluster/unionfind.hpp"
+#include "tag/naming.hpp"
+
+namespace fist {
+
+/// A frozen address → cluster assignment.
+class Clustering {
+ public:
+  /// Extracts dense cluster ids from `uf` (cluster 0..k-1 numbered by
+  /// first-member order, which is deterministic).
+  static Clustering from_union_find(UnionFind& uf);
+
+  /// Cluster of an address.
+  ClusterId cluster_of(AddrId a) const { return assignment_[a]; }
+
+  /// Address count of a cluster.
+  std::uint32_t size_of(ClusterId c) const { return sizes_[c]; }
+
+  std::size_t cluster_count() const noexcept { return sizes_.size(); }
+  std::size_t address_count() const noexcept { return assignment_.size(); }
+
+  const std::vector<ClusterId>& assignment() const noexcept {
+    return assignment_;
+  }
+  const std::vector<std::uint32_t>& sizes() const noexcept { return sizes_; }
+
+  /// The largest cluster (id, size) — the super-cluster detector's
+  /// first line of evidence.
+  std::pair<ClusterId, std::uint32_t> largest() const;
+
+  /// Number of distinct clusters after identifying those that share a
+  /// service name under `naming` (the paper's "collapse via tags" step:
+  /// 20 Mt. Gox clusters count once).
+  std::size_t distinct_after_naming(const ClusterNaming& naming) const;
+
+ private:
+  std::vector<ClusterId> assignment_;
+  std::vector<std::uint32_t> sizes_;
+};
+
+/// Upper bound on user count following §4.1: clusters from spending
+/// activity plus "sink" addresses that never spent (each counted as a
+/// potential distinct user).
+std::uint64_t user_upper_bound(const ChainView& view,
+                               const Clustering& clustering);
+
+}  // namespace fist

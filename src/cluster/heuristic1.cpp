@@ -1,0 +1,35 @@
+#include "cluster/heuristic1.hpp"
+
+namespace fist {
+
+H1Stats apply_heuristic1(const ChainView& view, UnionFind& uf) {
+  H1Stats stats;
+  uf.grow(view.address_count());
+  for (const TxView& tx : view.txs()) {
+    if (tx.coinbase || tx.inputs.size() < 2) continue;
+    AddrId first = kNoAddr;
+    bool merged_any = false;
+    for (const InputView& in : tx.inputs) {
+      if (in.addr == kNoAddr) continue;
+      if (first == kNoAddr) {
+        first = in.addr;
+        continue;
+      }
+      if (uf.unite(first, in.addr)) {
+        ++stats.links;
+        merged_any = true;
+      }
+    }
+    if (merged_any) ++stats.multi_input_txs;
+  }
+  return stats;
+}
+
+UnionFind heuristic1(const ChainView& view, H1Stats* stats) {
+  UnionFind uf(view.address_count());
+  H1Stats s = apply_heuristic1(view, uf);
+  if (stats != nullptr) *stats = s;
+  return uf;
+}
+
+}  // namespace fist

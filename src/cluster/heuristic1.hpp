@@ -1,0 +1,27 @@
+// heuristic1.hpp — multi-input clustering (the paper's Heuristic 1).
+//
+// "If two (or more) addresses are used as inputs to the same
+// transaction, then they are controlled by the same user." An inherent
+// property of the protocol: every input must be signed, so one party
+// holds all the keys.
+#pragma once
+
+#include "chain/view.hpp"
+#include "cluster/unionfind.hpp"
+
+namespace fist {
+
+/// Statistics from a Heuristic-1 pass.
+struct H1Stats {
+  std::uint64_t multi_input_txs = 0;  ///< txs that caused at least one merge
+  std::uint64_t links = 0;            ///< successful union operations
+};
+
+/// Applies Heuristic 1 over the whole chain, merging input addresses of
+/// each transaction in `uf` (which must cover view.address_count()).
+H1Stats apply_heuristic1(const ChainView& view, UnionFind& uf);
+
+/// Convenience: fresh union-find + full pass.
+UnionFind heuristic1(const ChainView& view, H1Stats* stats = nullptr);
+
+}  // namespace fist

@@ -1,0 +1,265 @@
+#include "cluster/heuristic2.hpp"
+
+#include <algorithm>
+
+namespace fist {
+
+namespace {
+
+/// Receipt histories: for every address, the transactions in which it
+/// received an output, and whether all of that transaction's resolved
+/// senders were dice addresses (a "rebound" receipt).
+struct Receipts {
+  std::vector<std::vector<TxIndex>> at;       // per addr, ascending
+  std::vector<std::vector<std::uint8_t>> dice;  // parallel flags
+
+  static Receipts build(const ChainView& view,
+                        const std::unordered_set<AddrId>& dice_addrs) {
+    Receipts r;
+    r.at.resize(view.address_count());
+    r.dice.resize(view.address_count());
+    for (TxIndex t = 0; t < view.tx_count(); ++t) {
+      const TxView& tx = view.tx(t);
+      bool all_dice = !tx.inputs.empty();
+      for (const InputView& in : tx.inputs) {
+        if (in.addr == kNoAddr || !dice_addrs.contains(in.addr)) {
+          all_dice = false;
+          break;
+        }
+      }
+      for (const OutputView& out : tx.outputs) {
+        if (out.addr == kNoAddr) continue;
+        // An address paid twice by one tx gets two receipt entries.
+        r.at[out.addr].push_back(t);
+        r.dice[out.addr].push_back(all_dice ? 1 : 0);
+      }
+    }
+    return r;
+  }
+
+  /// First receipt strictly after `t` that is not dice-exempt.
+  /// Returns kNoTx if none.
+  TxIndex next_real_receipt(AddrId addr, TxIndex t, bool exempt_dice) const {
+    const std::vector<TxIndex>& list = at[addr];
+    auto it = std::upper_bound(list.begin(), list.end(), t);
+    for (; it != list.end(); ++it) {
+      std::size_t idx = static_cast<std::size_t>(it - list.begin());
+      if (exempt_dice && dice[addr][idx]) continue;
+      return *it;
+    }
+    return kNoTx;
+  }
+};
+
+}  // namespace
+
+H2Result apply_heuristic2(const ChainView& view, const H2Options& options,
+                          const std::unordered_set<AddrId>& dice_addrs) {
+  H2Result result;
+  result.change_of_tx.assign(view.tx_count(), kNoAddr);
+
+  const Receipts receipts = Receipts::build(view, dice_addrs);
+
+  // Running per-address state, updated chronologically.
+  std::vector<std::uint32_t> receipts_so_far(view.address_count(), 0);
+  std::vector<std::uint8_t> was_self_change(view.address_count(), 0);
+
+  std::vector<AddrId> tx_output_addrs;  // scratch
+
+  for (TxIndex t = 0; t < view.tx_count(); ++t) {
+    const TxView& tx = view.tx(t);
+
+    // Helper to apply the per-address updates exactly once per tx exit.
+    auto commit = [&] {
+      for (const OutputView& out : tx.outputs)
+        if (out.addr != kNoAddr) ++receipts_so_far[out.addr];
+    };
+
+    if (tx.coinbase) {  // condition (2)
+      ++result.skipped.coinbase;
+      commit();
+      continue;
+    }
+    if (tx.outputs.size() < options.min_outputs) {
+      ++result.skipped.too_few_outputs;
+      commit();
+      continue;
+    }
+
+    // Condition (3): self-change — any output address also an input
+    // address. Such transactions are skipped, and the address is
+    // remembered for the self-change-history guard.
+    bool self_change = false;
+    for (const OutputView& out : tx.outputs) {
+      if (out.addr == kNoAddr) continue;
+      for (const InputView& in : tx.inputs) {
+        if (in.addr == out.addr) {
+          self_change = true;
+          was_self_change[out.addr] = 1;
+        }
+      }
+    }
+    if (self_change) {
+      ++result.skipped.self_change;
+      commit();
+      continue;
+    }
+
+    // Conditions (1) and (4): exactly one output is making its first
+    // chain appearance.
+    AddrId candidate = kNoAddr;
+    std::size_t fresh = 0;
+    bool candidate_dupe = false;
+    for (const OutputView& out : tx.outputs) {
+      if (out.addr == kNoAddr) continue;
+      if (view.first_seen(out.addr) == t && receipts_so_far[out.addr] == 0) {
+        if (out.addr == candidate) {
+          candidate_dupe = true;  // same new addr in two output slots
+          continue;
+        }
+        ++fresh;
+        candidate = out.addr;
+      }
+    }
+    if (fresh == 0) {
+      ++result.skipped.no_candidate;
+      commit();
+      continue;
+    }
+    if (fresh > 1 && options.resolve_ambiguous_via_future) {
+      // Disambiguate by future reuse: fresh outputs that receive again
+      // later were payment addresses, not one-time change. To avoid
+      // being fooled when the *true* change is reused later (which
+      // would leave the payment output as the lone never-reused
+      // candidate), only resolve peel-shaped transactions — the
+      // surviving candidate must also carry the dominant remainder.
+      AddrId survivor = kNoAddr;
+      Amount survivor_value = 0;
+      std::size_t never_reused = 0;
+      Amount largest_other = 0;
+      for (const OutputView& out : tx.outputs) {
+        if (out.addr == kNoAddr || view.first_seen(out.addr) != t ||
+            receipts_so_far[out.addr] != 0) {
+          largest_other = std::max(largest_other, out.value);
+          continue;
+        }
+        if (receipts.next_real_receipt(out.addr, t,
+                                       options.exempt_dice_rebounds) ==
+            kNoTx) {
+          if (out.addr != survivor) ++never_reused;
+          survivor = out.addr;
+          survivor_value = out.value;
+        } else {
+          largest_other = std::max(largest_other, out.value);
+        }
+      }
+      if (never_reused == 1 && survivor_value >= 2 * largest_other) {
+        fresh = 1;
+        candidate = survivor;
+        candidate_dupe = false;
+      }
+    }
+    if (fresh > 1 || candidate_dupe) {
+      ++result.skipped.ambiguous;
+      commit();
+      continue;
+    }
+
+    // §4.2 guard: any output address that already received exactly one
+    // input may itself be a change address being reused — do not link
+    // through this transaction.
+    if (options.guard_reused_change) {
+      bool veto = false;
+      for (const OutputView& out : tx.outputs) {
+        if (out.addr != kNoAddr && out.addr != candidate &&
+            receipts_so_far[out.addr] == 1) {
+          veto = true;
+          break;
+        }
+      }
+      if (veto) {
+        ++result.skipped.reused_guard;
+        commit();
+        continue;
+      }
+    }
+
+    // §4.2 guard: outputs previously used in a self-change position.
+    // Heavily reused addresses (many prior receipts) are plainly not
+    // change addresses, so the guard only fires for outputs that could
+    // still plausibly be one — without this scoping, popular service
+    // addresses with a self-change history would veto nearly every
+    // transaction that pays them.
+    if (options.guard_self_change_history) {
+      bool veto = false;
+      for (const OutputView& out : tx.outputs) {
+        if (out.addr != kNoAddr && was_self_change[out.addr] &&
+            receipts_so_far[out.addr] < 3) {
+          veto = true;
+          break;
+        }
+      }
+      if (veto) {
+        ++result.skipped.self_change_history_guard;
+        commit();
+        continue;
+      }
+    }
+
+    // §4.2 wait window: peek ahead — if the candidate receives again
+    // within the window (dice rebounds exempt), it was not one-time.
+    if (options.wait_window > 0) {
+      TxIndex next = receipts.next_real_receipt(
+          candidate, t, options.exempt_dice_rebounds);
+      if (next != kNoTx &&
+          view.tx(next).time <= tx.time + options.wait_window) {
+        ++result.skipped.window_veto;
+        commit();
+        continue;
+      }
+    }
+
+    result.labels.push_back(H2Label{t, candidate});
+    result.change_of_tx[t] = candidate;
+    commit();
+  }
+
+  return result;
+}
+
+std::uint64_t unite_h2_labels(const ChainView& view, const H2Result& result,
+                              UnionFind& uf) {
+  uf.grow(view.address_count());
+  std::uint64_t merges = 0;
+  for (const H2Label& label : result.labels) {
+    const TxView& tx = view.tx(label.tx);
+    // Join the change address with every input (the inputs themselves
+    // are typically already joined by Heuristic 1, but uniting with all
+    // keeps the result correct even on a fresh union-find).
+    for (const InputView& in : tx.inputs) {
+      if (in.addr == kNoAddr) continue;
+      if (uf.unite(in.addr, label.change)) ++merges;
+    }
+  }
+  return merges;
+}
+
+H2FalsePositives estimate_h2_false_positives(
+    const ChainView& view, const H2Result& result, const H2Options& options,
+    const std::unordered_set<AddrId>& dice_addrs) {
+  const Receipts receipts = Receipts::build(view, dice_addrs);
+  H2FalsePositives fp;
+  fp.labels = result.labels.size();
+  for (const H2Label& label : result.labels) {
+    TxIndex next = receipts.next_real_receipt(label.change, label.tx,
+                                              options.exempt_dice_rebounds);
+    if (next == kNoTx) continue;
+    // Receipts inside the wait window were already vetoed at labeling
+    // time; anything later voids the one-time property.
+    if (view.tx(next).time > view.tx(label.tx).time + options.wait_window)
+      ++fp.false_positives;
+  }
+  return fp;
+}
+
+}  // namespace fist

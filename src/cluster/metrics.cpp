@@ -1,0 +1,49 @@
+#include "cluster/metrics.hpp"
+
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace fist {
+
+namespace {
+
+constexpr std::uint64_t choose2(std::uint64_t n) noexcept {
+  return n * (n - 1) / 2;
+}
+
+}  // namespace
+
+PairwiseScores pairwise_scores(std::span<const std::uint32_t> predicted,
+                               std::span<const std::uint32_t> truth) {
+  if (predicted.size() != truth.size())
+    throw UsageError("pairwise_scores: span size mismatch");
+
+  std::unordered_map<std::uint32_t, std::uint64_t> pred_sizes;
+  std::unordered_map<std::uint32_t, std::uint64_t> true_sizes;
+  // Contingency: (cluster, owner) -> count, keyed by a 64-bit pack.
+  std::unordered_map<std::uint64_t, std::uint64_t> joint;
+
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    if (truth[i] == kUnknownOwner) continue;
+    ++pred_sizes[predicted[i]];
+    ++true_sizes[truth[i]];
+    ++joint[(static_cast<std::uint64_t>(predicted[i]) << 32) | truth[i]];
+  }
+
+  PairwiseScores s;
+  for (const auto& [c, n] : pred_sizes) s.predicted_pairs += choose2(n);
+  for (const auto& [o, n] : true_sizes) s.true_pairs += choose2(n);
+  for (const auto& [key, n] : joint) s.agreeing_pairs += choose2(n);
+
+  s.precision = s.predicted_pairs == 0
+                    ? 1.0
+                    : static_cast<double>(s.agreeing_pairs) /
+                          static_cast<double>(s.predicted_pairs);
+  s.recall = s.true_pairs == 0 ? 1.0
+                               : static_cast<double>(s.agreeing_pairs) /
+                                     static_cast<double>(s.true_pairs);
+  return s;
+}
+
+}  // namespace fist

@@ -1,0 +1,38 @@
+// metrics.hpp — clustering quality against ground truth.
+//
+// The paper could only estimate Heuristic 2's error via time-stepping;
+// our simulator journals true ownership, so we can also score the
+// clusterings exactly. Pairwise precision/recall are computed in closed
+// form from the cluster×owner contingency counts.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace fist {
+
+/// Pairwise clustering scores. A "pair" is an unordered address pair;
+/// precision asks "of pairs we merged, how many share a true owner?",
+/// recall asks "of pairs sharing a true owner, how many did we merge?".
+struct PairwiseScores {
+  double precision = 0;
+  double recall = 0;
+  std::uint64_t predicted_pairs = 0;
+  std::uint64_t true_pairs = 0;
+  std::uint64_t agreeing_pairs = 0;
+
+  double f1() const noexcept {
+    double p = precision, r = recall;
+    return (p + r) == 0 ? 0 : 2 * p * r / (p + r);
+  }
+};
+
+/// Scores a predicted clustering against true owners. Both spans are
+/// indexed by AddrId; `truth[a]` is an arbitrary owner id. Addresses
+/// with owner == kUnknownOwner are excluded.
+inline constexpr std::uint32_t kUnknownOwner = 0xffffffffu;
+
+PairwiseScores pairwise_scores(std::span<const std::uint32_t> predicted,
+                               std::span<const std::uint32_t> truth);
+
+}  // namespace fist

@@ -1,0 +1,45 @@
+#include "cluster/unionfind.hpp"
+
+namespace fist {
+
+UnionFind::UnionFind(std::size_t n) { grow(n); }
+
+void UnionFind::grow(std::size_t n) {
+  std::size_t old = parent_.size();
+  if (n <= old) return;
+  parent_.resize(n);
+  size_.resize(n, 1);
+  for (std::size_t i = old; i < n; ++i)
+    parent_[i] = static_cast<std::uint32_t>(i);
+  sets_ += n - old;
+}
+
+std::uint32_t UnionFind::find(std::uint32_t x) noexcept {
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+std::uint32_t UnionFind::find_const(std::uint32_t x) const noexcept {
+  while (parent_[x] != x) x = parent_[x];
+  return x;
+}
+
+bool UnionFind::unite(std::uint32_t a, std::uint32_t b) noexcept {
+  a = find(a);
+  b = find(b);
+  if (a == b) return false;
+  if (size_[a] < size_[b]) {
+    std::uint32_t t = a;
+    a = b;
+    b = t;
+  }
+  parent_[b] = a;
+  size_[a] += size_[b];
+  --sets_;
+  return true;
+}
+
+}  // namespace fist

@@ -1,0 +1,53 @@
+// unionfind.hpp — disjoint-set forest sized for millions of addresses.
+//
+// Both clustering heuristics reduce to union operations over AddrIds;
+// this structure (union by size, path halving) gives effectively
+// constant-time merges at block-chain scale.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fist {
+
+/// Disjoint-set forest over dense 32-bit ids.
+class UnionFind {
+ public:
+  /// Creates `n` singleton sets.
+  explicit UnionFind(std::size_t n = 0);
+
+  /// Grows to at least `n` elements (new elements are singletons).
+  void grow(std::size_t n);
+
+  /// Representative of `x`'s set (with path halving).
+  std::uint32_t find(std::uint32_t x) noexcept;
+
+  /// Const find: no path compression (usable on shared instances).
+  std::uint32_t find_const(std::uint32_t x) const noexcept;
+
+  /// Merges the sets of `a` and `b`; returns false if already joined.
+  bool unite(std::uint32_t a, std::uint32_t b) noexcept;
+
+  /// True iff `a` and `b` share a set.
+  bool same(std::uint32_t a, std::uint32_t b) noexcept {
+    return find(a) == find(b);
+  }
+
+  /// Size of `x`'s set.
+  std::uint32_t size_of(std::uint32_t x) noexcept {
+    return size_[find(x)];
+  }
+
+  /// Number of elements.
+  std::size_t size() const noexcept { return parent_.size(); }
+
+  /// Number of disjoint sets.
+  std::size_t set_count() const noexcept { return sets_; }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> size_;
+  std::size_t sets_ = 0;
+};
+
+}  // namespace fist

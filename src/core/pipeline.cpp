@@ -1,0 +1,62 @@
+#include "core/pipeline.hpp"
+
+namespace fist {
+
+H2Options refined_h2_options() {
+  H2Options o;
+  o.exempt_dice_rebounds = true;
+  o.wait_window = kWeek;
+  o.guard_reused_change = true;
+  o.guard_self_change_history = true;
+  o.resolve_ambiguous_via_future = true;
+  return o;
+}
+
+ForensicPipeline::ForensicPipeline(const BlockStore& store,
+                                   std::vector<TagEntry> feed,
+                                   H2Options h2_options)
+    : store_(&store), feed_(std::move(feed)), options_(h2_options) {}
+
+void ForensicPipeline::run() {
+  if (ran_) return;
+  ran_ = true;
+
+  // 1. Parse the chain into the analysis view.
+  view_ = std::make_unique<ChainView>(ChainView::build(*store_));
+
+  // 2. Intern the tag feed against the observed address space.
+  for (const TagEntry& entry : feed_) {
+    if (auto id = view_->addresses().find(entry.address))
+      tags_.add(*id, entry.tag);
+  }
+
+  // 3. Heuristic 1 and its clustering/naming (the §4.1 baseline).
+  UnionFind uf(view_->address_count());
+  h1_stats_ = apply_heuristic1(*view_, uf);
+  {
+    UnionFind h1_copy = uf;
+    h1_clustering_ = std::make_unique<Clustering>(
+        Clustering::from_union_find(h1_copy));
+  }
+  h1_naming_ = std::make_unique<ClusterNaming>(
+      h1_clustering_->assignment(), h1_clustering_->sizes(), tags_);
+
+  // 4. Derive the dice-service address set: every address in an
+  // H1 cluster named as a gambling service. (Satoshi Dice's rebound
+  // behavior was public knowledge; this reproduces it from tags.)
+  std::unordered_set<ClusterId> dice_clusters;
+  for (const auto& [cluster, name] : h1_naming_->names())
+    if (name.category == Category::Gambling) dice_clusters.insert(cluster);
+  for (AddrId a = 0; a < view_->address_count(); ++a)
+    if (dice_clusters.contains(h1_clustering_->cluster_of(a)))
+      dice_.insert(a);
+
+  // 5. Refined Heuristic 2, merged on top of Heuristic 1.
+  h2_ = apply_heuristic2(*view_, options_, dice_);
+  unite_h2_labels(*view_, h2_, uf);
+  clustering_ = std::make_unique<Clustering>(Clustering::from_union_find(uf));
+  naming_ = std::make_unique<ClusterNaming>(clustering_->assignment(),
+                                            clustering_->sizes(), tags_);
+}
+
+}  // namespace fist

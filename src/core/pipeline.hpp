@@ -1,0 +1,91 @@
+// pipeline.hpp — the end-to-end forensic pipeline (the paper, as API).
+//
+// Input: serialized blocks and a tag feed — exactly the information
+// position of the paper's authors. Output: the flattened chain view,
+// Heuristic-1 + refined-Heuristic-2 clustering, cluster names, and the
+// change-address labels that power peeling-chain traversal.
+//
+//   ForensicPipeline pipeline(store, tag_feed);
+//   pipeline.run();
+//   const Clustering& users = pipeline.clustering();
+//
+// The individual stages remain available in cluster/ and tag/ for
+// ablation; this façade wires them with the paper's §4.2 refinements.
+#pragma once
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "chain/blockstore.hpp"
+#include "chain/view.hpp"
+#include "cluster/clustering.hpp"
+#include "cluster/heuristic1.hpp"
+#include "cluster/heuristic2.hpp"
+#include "cluster/unionfind.hpp"
+#include "tag/naming.hpp"
+#include "tag/tagstore.hpp"
+
+namespace fist {
+
+/// The paper's final Heuristic-2 configuration: dice exemption, one-week
+/// wait, reuse + self-change-history guards, future-reuse disambiguation.
+H2Options refined_h2_options();
+
+/// End-to-end clustering + naming pipeline.
+class ForensicPipeline {
+ public:
+  /// `store` — the block chain; `feed` — raw address tags (§3).
+  /// The store must outlive the pipeline.
+  ForensicPipeline(const BlockStore& store, std::vector<TagEntry> feed,
+                   H2Options h2_options = refined_h2_options());
+
+  /// Executes all stages. Idempotent (second call is a no-op).
+  void run();
+
+  // ---- results (valid after run()) ------------------------------------
+  const ChainView& view() const { return *view_; }
+  const TagStore& tags() const { return tags_; }
+
+  /// Heuristic-1-only clustering (the §4.1 baseline).
+  const Clustering& h1_clustering() const { return *h1_clustering_; }
+  const H1Stats& h1_stats() const { return h1_stats_; }
+
+  /// Final clustering: Heuristic 1 + refined Heuristic 2.
+  const Clustering& clustering() const { return *clustering_; }
+
+  /// Cluster names under the final clustering.
+  const ClusterNaming& naming() const { return *naming_; }
+
+  /// Cluster names under the H1-only clustering.
+  const ClusterNaming& h1_naming() const { return *h1_naming_; }
+
+  /// The Heuristic-2 result (change labels per transaction).
+  const H2Result& h2() const { return h2_; }
+
+  /// Gambling-service addresses used for the dice-rebound exemption
+  /// (derived from tags amplified over the H1 clustering — public
+  /// knowledge, not simulator ground truth).
+  const std::unordered_set<AddrId>& dice_addresses() const { return dice_; }
+
+  /// Addresses carrying a hand-collected tag (after interning).
+  std::size_t tagged_address_count() const { return tags_.size(); }
+
+ private:
+  const BlockStore* store_;
+  std::vector<TagEntry> feed_;
+  H2Options options_;
+  bool ran_ = false;
+
+  std::unique_ptr<ChainView> view_;
+  TagStore tags_;
+  H1Stats h1_stats_;
+  std::unique_ptr<Clustering> h1_clustering_;
+  std::unique_ptr<ClusterNaming> h1_naming_;
+  std::unordered_set<AddrId> dice_;
+  H2Result h2_;
+  std::unique_ptr<Clustering> clustering_;
+  std::unique_ptr<ClusterNaming> naming_;
+};
+
+}  // namespace fist

@@ -1,0 +1,208 @@
+#include "crypto/ecdsa.hpp"
+
+#include "crypto/sha256.hpp"
+#include "util/error.hpp"
+
+namespace fist {
+
+namespace {
+
+// Interprets a 32-byte digest as a scalar mod n (as ECDSA's `z`).
+U256 digest_to_scalar(const Hash256& digest) noexcept {
+  U256 z = U256::from_be_bytes(digest.view());
+  return secp::fn().normalize(z);
+}
+
+}  // namespace
+
+PrivateKey::PrivateKey(const U256& scalar) : k_(scalar) {
+  if (k_.is_zero() || cmp(k_, secp::order_n()) >= 0)
+    throw UsageError("PrivateKey: scalar out of range");
+}
+
+PrivateKey PrivateKey::from_seed(ByteView seed) {
+  Sha256::Digest d = sha256(seed);
+  for (;;) {
+    U256 k = U256::from_be_bytes(ByteView(d));
+    if (!k.is_zero() && cmp(k, secp::order_n()) < 0) return PrivateKey(k);
+    d = sha256(ByteView(d));  // extremely unlikely; iterate
+  }
+}
+
+PublicKey PrivateKey::pubkey() const {
+  return PublicKey(secp::to_affine(secp::mul_generator(k_)));
+}
+
+PublicKey::PublicKey(const secp::Affine& point) : point_(point) {
+  if (!secp::on_curve(point_)) throw UsageError("PublicKey: not on curve");
+}
+
+PublicKey PublicKey::parse(ByteView sec1) {
+  if (sec1.size() == 33 && (sec1[0] == 0x02 || sec1[0] == 0x03)) {
+    U256 x = U256::from_be_bytes(sec1.subspan(1));
+    auto pt = secp::lift_x(x, sec1[0] == 0x03);
+    if (!pt) throw ParseError("PublicKey: x not on curve");
+    return PublicKey(*pt);
+  }
+  if (sec1.size() == 65 && sec1[0] == 0x04) {
+    secp::Affine a;
+    a.x = U256::from_be_bytes(sec1.subspan(1, 32));
+    a.y = U256::from_be_bytes(sec1.subspan(33, 32));
+    a.infinity = false;
+    if (!secp::on_curve(a)) throw ParseError("PublicKey: point not on curve");
+    return PublicKey(a);
+  }
+  throw ParseError("PublicKey: bad SEC1 encoding");
+}
+
+Bytes PublicKey::serialize_compressed() const {
+  Bytes out;
+  out.reserve(33);
+  out.push_back(point_.y.bit(0) ? 0x03 : 0x02);
+  auto xb = point_.x.to_be_bytes();
+  out.insert(out.end(), xb.begin(), xb.end());
+  return out;
+}
+
+Bytes PublicKey::serialize_uncompressed() const {
+  Bytes out;
+  out.reserve(65);
+  out.push_back(0x04);
+  auto xb = point_.x.to_be_bytes();
+  auto yb = point_.y.to_be_bytes();
+  out.insert(out.end(), xb.begin(), xb.end());
+  out.insert(out.end(), yb.begin(), yb.end());
+  return out;
+}
+
+Hash160 PublicKey::hash160_compressed() const {
+  Bytes ser = serialize_compressed();
+  return hash160(ser);
+}
+
+Hash160 PublicKey::hash160_uncompressed() const {
+  Bytes ser = serialize_uncompressed();
+  return hash160(ser);
+}
+
+namespace {
+
+// Writes a DER INTEGER for a U256 (minimal length, leading 0x00 if the
+// high bit would make it read as negative).
+void der_integer(Bytes& out, const U256& v) {
+  auto be = v.to_be_bytes();
+  std::size_t start = 0;
+  while (start < 31 && be[start] == 0) ++start;
+  bool pad = (be[start] & 0x80) != 0;
+  std::size_t len = 32 - start + (pad ? 1 : 0);
+  out.push_back(0x02);
+  out.push_back(static_cast<std::uint8_t>(len));
+  if (pad) out.push_back(0x00);
+  out.insert(out.end(), be.begin() + static_cast<std::ptrdiff_t>(start),
+             be.end());
+}
+
+}  // namespace
+
+Bytes Signature::der() const {
+  Bytes body;
+  der_integer(body, r);
+  der_integer(body, s);
+  Bytes out;
+  out.reserve(body.size() + 2);
+  out.push_back(0x30);
+  out.push_back(static_cast<std::uint8_t>(body.size()));
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+namespace {
+
+U256 parse_der_int(ByteView data, std::size_t& pos) {
+  if (pos + 2 > data.size() || data[pos] != 0x02)
+    throw ParseError("DER: expected INTEGER");
+  std::size_t len = data[pos + 1];
+  pos += 2;
+  if (len == 0 || len > 33 || pos + len > data.size())
+    throw ParseError("DER: bad INTEGER length");
+  std::size_t start = pos;
+  pos += len;
+  // Strip one permissible leading zero pad.
+  if (data[start] == 0x00) {
+    ++start;
+    --len;
+    if (len > 32) throw ParseError("DER: INTEGER too wide");
+  }
+  if (len > 32) throw ParseError("DER: INTEGER too wide");
+  std::array<std::uint8_t, 32> be{};
+  std::copy(data.begin() + static_cast<std::ptrdiff_t>(start),
+            data.begin() + static_cast<std::ptrdiff_t>(start + len),
+            be.begin() + static_cast<std::ptrdiff_t>(32 - len));
+  return U256::from_be_bytes(ByteView(be));
+}
+
+}  // namespace
+
+Signature Signature::from_der(ByteView der) {
+  if (der.size() < 6 || der[0] != 0x30)
+    throw ParseError("DER: expected SEQUENCE");
+  if (der[1] != der.size() - 2) throw ParseError("DER: bad SEQUENCE length");
+  std::size_t pos = 2;
+  Signature sig;
+  sig.r = parse_der_int(der, pos);
+  sig.s = parse_der_int(der, pos);
+  if (pos != der.size()) throw ParseError("DER: trailing bytes");
+  return sig;
+}
+
+Signature ecdsa_sign(const PrivateKey& key, const Hash256& digest) {
+  const secp::ModArith& n = secp::fn();
+  U256 z = digest_to_scalar(digest);
+  auto priv_be = key.scalar().to_be_bytes();
+
+  for (std::uint32_t counter = 0;; ++counter) {
+    // Deterministic nonce: SHA256(priv ‖ digest ‖ counter), reduced mod n.
+    Sha256 h;
+    h.write(ByteView(priv_be));
+    h.write(digest.view());
+    std::uint8_t ctr[4] = {
+        static_cast<std::uint8_t>(counter >> 24),
+        static_cast<std::uint8_t>(counter >> 16),
+        static_cast<std::uint8_t>(counter >> 8),
+        static_cast<std::uint8_t>(counter),
+    };
+    h.write(ByteView(ctr, 4));
+    Sha256::Digest kd = h.finish();
+    U256 k = n.normalize(U256::from_be_bytes(ByteView(kd)));
+    if (k.is_zero()) continue;
+
+    secp::Affine R = secp::to_affine(secp::mul_generator(k));
+    U256 r = n.normalize(R.x);
+    if (r.is_zero()) continue;
+    U256 s = n.mul(n.inv(k), n.add(z, n.mul(r, key.scalar())));
+    if (s.is_zero()) continue;
+    // Canonical low-s form, as Bitcoin requires post-BIP62.
+    U256 half = shr(secp::order_n(), 1);
+    if (cmp(s, half) > 0) s = n.neg(s);
+    return Signature{r, s};
+  }
+}
+
+bool ecdsa_verify(const PublicKey& key, const Hash256& digest,
+                  const Signature& sig) noexcept {
+  const secp::ModArith& n = secp::fn();
+  if (sig.r.is_zero() || sig.s.is_zero()) return false;
+  if (cmp(sig.r, secp::order_n()) >= 0 || cmp(sig.s, secp::order_n()) >= 0)
+    return false;
+  U256 z = digest_to_scalar(digest);
+  U256 sinv = n.inv(sig.s);
+  U256 u1 = n.mul(z, sinv);
+  U256 u2 = n.mul(sig.r, sinv);
+  secp::Jacobian R = secp::add(secp::mul_generator(u1),
+                               secp::mul(u2, key.point()));
+  if (R.is_infinity()) return false;
+  secp::Affine Ra = secp::to_affine(R);
+  return n.normalize(Ra.x) == sig.r;
+}
+
+}  // namespace fist

@@ -1,0 +1,98 @@
+// ecdsa.hpp — keypairs and ECDSA signatures over secp256k1.
+//
+// PrivateKey/PublicKey implement the exact pipeline Bitcoin wallets use:
+// scalar → curve point → SEC1 serialization → HASH160 → address payload.
+// Signatures use deterministic nonces (RFC-6979-inspired derivation via
+// SHA-256) so all library behaviour replays exactly.
+//
+// NOT constant-time; see the module warning in secp256k1.hpp.
+#pragma once
+
+#include <optional>
+
+#include "crypto/hash.hpp"
+#include "crypto/secp256k1.hpp"
+#include "util/bytes.hpp"
+
+namespace fist {
+
+class PublicKey;
+
+/// A secp256k1 private key (a scalar in [1, n-1]).
+class PrivateKey {
+ public:
+  /// Wraps a raw scalar; throws UsageError unless 0 < k < n.
+  explicit PrivateKey(const U256& scalar);
+
+  /// Derives a key deterministically from arbitrary seed bytes
+  /// (SHA-256 chain until a valid scalar emerges). This is how the
+  /// simulator mints per-address keys from its seeded RNG.
+  static PrivateKey from_seed(ByteView seed);
+
+  /// The underlying scalar.
+  const U256& scalar() const noexcept { return k_; }
+
+  /// Computes the corresponding public key (fixed-base multiply).
+  PublicKey pubkey() const;
+
+ private:
+  U256 k_;
+};
+
+/// A secp256k1 public key (an affine curve point).
+class PublicKey {
+ public:
+  /// Wraps an affine point; throws UsageError if not on the curve.
+  explicit PublicKey(const secp::Affine& point);
+
+  /// Parses a SEC1 serialization (33-byte compressed or 65-byte
+  /// uncompressed). Throws ParseError on malformed input.
+  static PublicKey parse(ByteView sec1);
+
+  /// SEC1 compressed serialization: 0x02/0x03 ‖ X (33 bytes).
+  Bytes serialize_compressed() const;
+
+  /// SEC1 uncompressed serialization: 0x04 ‖ X ‖ Y (65 bytes).
+  Bytes serialize_uncompressed() const;
+
+  /// HASH160 of the compressed serialization — the P2PKH address
+  /// payload modern wallets use.
+  Hash160 hash160_compressed() const;
+
+  /// HASH160 of the uncompressed serialization — the payload used by
+  /// early (2009–2013 era) clients.
+  Hash160 hash160_uncompressed() const;
+
+  const secp::Affine& point() const noexcept { return point_; }
+
+  bool operator==(const PublicKey& o) const noexcept {
+    return point_ == o.point_;
+  }
+
+ private:
+  secp::Affine point_;
+};
+
+/// An ECDSA signature (r, s), both in [1, n-1].
+struct Signature {
+  U256 r;
+  U256 s;
+
+  /// DER-encodes the signature (the format carried in scriptSigs).
+  Bytes der() const;
+
+  /// Parses a DER signature. Throws ParseError on malformed input.
+  static Signature from_der(ByteView der);
+
+  bool operator==(const Signature&) const = default;
+};
+
+/// Signs a 32-byte message digest. The nonce is derived
+/// deterministically from (key, digest), so signing is reproducible.
+Signature ecdsa_sign(const PrivateKey& key, const Hash256& digest);
+
+/// Verifies a signature over a 32-byte message digest.
+bool ecdsa_verify(const PublicKey& key, const Hash256& digest,
+                  const Signature& sig) noexcept;
+
+}  // namespace fist

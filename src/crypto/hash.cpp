@@ -1,0 +1,64 @@
+#include "crypto/hash.hpp"
+
+#include <algorithm>
+
+#include "crypto/ripemd160.hpp"
+#include "crypto/sha256.hpp"
+#include "util/error.hpp"
+#include "util/hex.hpp"
+
+namespace fist {
+
+namespace detail {
+
+template <std::size_t N>
+FixedHash<N> FixedHash<N>::from_bytes(ByteView v) {
+  if (v.size() != N) throw ParseError("FixedHash: wrong length");
+  FixedHash out;
+  std::copy(v.begin(), v.end(), out.data_.begin());
+  return out;
+}
+
+template <std::size_t N>
+FixedHash<N> FixedHash<N>::from_hex(std::string_view hex) {
+  return from_bytes(fist::from_hex(hex));
+}
+
+template <std::size_t N>
+FixedHash<N> FixedHash<N>::from_hex_reversed(std::string_view hex) {
+  Bytes raw = fist::from_hex(hex);
+  std::reverse(raw.begin(), raw.end());
+  return from_bytes(raw);
+}
+
+template <std::size_t N>
+std::string FixedHash<N>::hex() const {
+  return to_hex(view());
+}
+
+template <std::size_t N>
+std::string FixedHash<N>::hex_reversed() const {
+  return to_hex_reversed(view());
+}
+
+template class FixedHash<32>;
+template class FixedHash<20>;
+
+}  // namespace detail
+
+Hash256 hash256(ByteView data) noexcept {
+  Sha256::Digest d = sha256d(data);
+  Hash256 out;
+  std::copy(d.begin(), d.end(), out.data());
+  return out;
+}
+
+Hash160 hash160(ByteView data) noexcept {
+  Sha256::Digest first = sha256(data);
+  Ripemd160::Digest second = ripemd160(ByteView(first));
+  Hash160 out;
+  std::copy(second.begin(), second.end(), out.data());
+  return out;
+}
+
+}  // namespace fist

@@ -1,0 +1,98 @@
+// hash.hpp — fixed-size digest value types and Bitcoin hash helpers.
+//
+// Hash256 carries txids / block hashes (double SHA-256); Hash160 carries
+// address payloads (RIPEMD160∘SHA256 of a public key or script). Both
+// are cheap value types usable as unordered-container keys.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace fist {
+
+namespace detail {
+
+/// Fixed-size digest value type. Ordered, hashable, hex-printable.
+template <std::size_t N>
+class FixedHash {
+ public:
+  static constexpr std::size_t kSize = N;
+
+  /// Zero-filled (the "null hash").
+  constexpr FixedHash() noexcept : data_{} {}
+
+  /// Copies exactly N bytes from `v`; throws ParseError on mismatch.
+  static FixedHash from_bytes(ByteView v);
+
+  /// Parses 2N hex characters (natural byte order).
+  static FixedHash from_hex(std::string_view hex);
+
+  /// Parses 2N hex characters in Bitcoin's reversed display order.
+  static FixedHash from_hex_reversed(std::string_view hex);
+
+  const std::uint8_t* data() const noexcept { return data_.data(); }
+  std::uint8_t* data() noexcept { return data_.data(); }
+  static constexpr std::size_t size() noexcept { return N; }
+
+  ByteView view() const noexcept { return ByteView(data_); }
+
+  /// True iff every byte is zero.
+  bool is_null() const noexcept {
+    for (std::uint8_t b : data_)
+      if (b != 0) return false;
+    return true;
+  }
+
+  /// Hex in natural byte order.
+  std::string hex() const;
+
+  /// Hex in Bitcoin's reversed display order (what explorers show for
+  /// txids and block hashes).
+  std::string hex_reversed() const;
+
+  /// First 8 bytes as a host integer — handy as a pre-hashed key.
+  std::uint64_t low64() const noexcept {
+    std::uint64_t v;
+    std::memcpy(&v, data_.data(), sizeof(v));
+    return v;
+  }
+
+  auto operator<=>(const FixedHash&) const noexcept = default;
+
+  std::array<std::uint8_t, N> bytes() const noexcept { return data_; }
+
+ private:
+  std::array<std::uint8_t, N> data_;
+};
+
+}  // namespace detail
+
+/// 32-byte digest: txids, block hashes, merkle roots.
+using Hash256 = detail::FixedHash<32>;
+
+/// 20-byte digest: address payloads (HASH160).
+using Hash160 = detail::FixedHash<20>;
+
+/// Double SHA-256 as a Hash256 value.
+Hash256 hash256(ByteView data) noexcept;
+
+/// RIPEMD160(SHA256(data)) — Bitcoin's HASH160.
+Hash160 hash160(ByteView data) noexcept;
+
+}  // namespace fist
+
+namespace std {
+template <size_t N>
+struct hash<fist::detail::FixedHash<N>> {
+  size_t operator()(const fist::detail::FixedHash<N>& h) const noexcept {
+    // Digests are uniformly distributed; the low 64 bits suffice.
+    return static_cast<size_t>(h.low64());
+  }
+};
+}  // namespace std

@@ -1,0 +1,73 @@
+#include "crypto/merkle.hpp"
+
+#include "crypto/sha256.hpp"
+#include "util/error.hpp"
+
+namespace fist {
+
+namespace {
+
+Hash256 hash_pair(const Hash256& left, const Hash256& right) noexcept {
+  Sha256 h;
+  h.write(left.view());
+  h.write(right.view());
+  Sha256::Digest once = h.finish();
+  Sha256::Digest twice = sha256(ByteView(once));
+  Hash256 out;
+  std::copy(twice.begin(), twice.end(), out.data());
+  return out;
+}
+
+}  // namespace
+
+Hash256 merkle_root(const std::vector<Hash256>& leaves) noexcept {
+  if (leaves.empty()) return Hash256{};
+  std::vector<Hash256> level = leaves;
+  while (level.size() > 1) {
+    std::vector<Hash256> next;
+    next.reserve((level.size() + 1) / 2);
+    for (std::size_t i = 0; i < level.size(); i += 2) {
+      const Hash256& left = level[i];
+      const Hash256& right = (i + 1 < level.size()) ? level[i + 1] : level[i];
+      next.push_back(hash_pair(left, right));
+    }
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+MerkleProof merkle_proof(const std::vector<Hash256>& leaves,
+                         std::uint32_t index) {
+  if (index >= leaves.size()) throw UsageError("merkle_proof: bad index");
+  MerkleProof proof;
+  proof.index = index;
+  std::vector<Hash256> level = leaves;
+  std::uint32_t pos = index;
+  while (level.size() > 1) {
+    std::uint32_t sib = pos ^ 1;
+    if (sib >= level.size()) sib = pos;  // odd node pairs with itself
+    proof.steps.push_back({level[sib], (pos & 1) == 0});
+    std::vector<Hash256> next;
+    next.reserve((level.size() + 1) / 2);
+    for (std::size_t i = 0; i < level.size(); i += 2) {
+      const Hash256& left = level[i];
+      const Hash256& right = (i + 1 < level.size()) ? level[i + 1] : level[i];
+      next.push_back(hash_pair(left, right));
+    }
+    level = std::move(next);
+    pos >>= 1;
+  }
+  return proof;
+}
+
+bool merkle_verify(const Hash256& leaf, const MerkleProof& proof,
+                   const Hash256& root) noexcept {
+  Hash256 acc = leaf;
+  for (const MerkleStep& step : proof.steps) {
+    acc = step.sibling_on_right ? hash_pair(acc, step.sibling)
+                                : hash_pair(step.sibling, acc);
+  }
+  return acc == root;
+}
+
+}  // namespace fist

@@ -1,0 +1,45 @@
+// merkle.hpp — Bitcoin-style Merkle trees.
+//
+// Block headers commit to their transaction set through a Merkle root;
+// this module computes roots and inclusion proofs using Bitcoin's exact
+// rules (double SHA-256, odd nodes paired with themselves).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/hash.hpp"
+
+namespace fist {
+
+/// Computes the Merkle root of `leaves` (typically txids, in block
+/// order). An empty set yields the null hash; a single leaf is its own
+/// root. Odd levels duplicate their final node, as Bitcoin does.
+Hash256 merkle_root(const std::vector<Hash256>& leaves) noexcept;
+
+/// One sibling step in a Merkle inclusion proof.
+struct MerkleStep {
+  Hash256 sibling;
+  bool sibling_on_right = false;  ///< true if sibling is the right child
+
+  bool operator==(const MerkleStep&) const = default;
+};
+
+/// Inclusion proof for one leaf.
+struct MerkleProof {
+  std::uint32_t index = 0;  ///< leaf position in the original vector
+  std::vector<MerkleStep> steps;
+
+  bool operator==(const MerkleProof&) const = default;
+};
+
+/// Builds an inclusion proof for leaf `index`. Throws UsageError if
+/// `index` is out of range.
+MerkleProof merkle_proof(const std::vector<Hash256>& leaves,
+                         std::uint32_t index);
+
+/// Verifies that `leaf` hashes up to `root` via `proof`.
+bool merkle_verify(const Hash256& leaf, const MerkleProof& proof,
+                   const Hash256& root) noexcept;
+
+}  // namespace fist

@@ -1,0 +1,174 @@
+#include "crypto/ripemd160.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace fist {
+
+namespace {
+
+// Message word selection order, left line.
+constexpr std::uint8_t kR[80] = {
+    0,  1,  2,  3,  4,  5,  6,  7,  8,  9,  10, 11, 12, 13, 14, 15,  //
+    7,  4,  13, 1,  10, 6,  15, 3,  12, 0,  9,  5,  2,  14, 11, 8,   //
+    3,  10, 14, 4,  9,  15, 8,  1,  2,  7,  0,  6,  13, 11, 5,  12,  //
+    1,  9,  11, 10, 0,  8,  12, 4,  13, 3,  7,  15, 14, 5,  6,  2,   //
+    4,  0,  5,  9,  7,  12, 2,  10, 14, 1,  3,  8,  11, 6,  15, 13,
+};
+
+// Message word selection order, right line.
+constexpr std::uint8_t kRp[80] = {
+    5,  14, 7,  0,  9,  2,  11, 4,  13, 6,  15, 8,  1,  10, 3,  12,  //
+    6,  11, 3,  7,  0,  13, 5,  10, 14, 15, 8,  12, 4,  9,  1,  2,   //
+    15, 5,  1,  3,  7,  14, 6,  9,  11, 8,  12, 2,  10, 0,  4,  13,  //
+    8,  6,  4,  1,  3,  11, 15, 0,  5,  12, 2,  13, 9,  7,  10, 14,  //
+    12, 15, 10, 4,  1,  5,  8,  7,  6,  2,  13, 14, 0,  3,  9,  11,
+};
+
+// Rotation amounts, left line.
+constexpr std::uint8_t kS[80] = {
+    11, 14, 15, 12, 5,  8,  7,  9,  11, 13, 14, 15, 6,  7,  9,  8,   //
+    7,  6,  8,  13, 11, 9,  7,  15, 7,  12, 15, 9,  11, 7,  13, 12,  //
+    11, 13, 6,  7,  14, 9,  13, 15, 14, 8,  13, 6,  5,  12, 7,  5,   //
+    11, 12, 14, 15, 14, 15, 9,  8,  9,  14, 5,  6,  8,  6,  5,  12,  //
+    9,  15, 5,  11, 6,  8,  13, 12, 5,  12, 13, 14, 11, 8,  5,  6,
+};
+
+// Rotation amounts, right line.
+constexpr std::uint8_t kSp[80] = {
+    8,  9,  9,  11, 13, 15, 15, 5,  7,  7,  8,  11, 14, 14, 12, 6,   //
+    9,  13, 15, 7,  12, 8,  9,  11, 7,  7,  12, 7,  6,  15, 13, 11,  //
+    9,  7,  15, 11, 8,  6,  6,  14, 12, 13, 5,  14, 13, 13, 7,  5,   //
+    15, 5,  8,  11, 14, 14, 6,  14, 6,  9,  12, 9,  12, 5,  15, 8,   //
+    8,  5,  12, 9,  12, 5,  14, 6,  8,  13, 6,  5,  15, 13, 11, 11,
+};
+
+constexpr std::uint32_t kKLeft[5] = {0x00000000, 0x5a827999, 0x6ed9eba1,
+                                     0x8f1bbcdc, 0xa953fd4e};
+constexpr std::uint32_t kKRight[5] = {0x50a28be6, 0x5c4dd124, 0x6d703ef3,
+                                      0x7a6d76e9, 0x00000000};
+
+inline std::uint32_t rotl(std::uint32_t x, int n) noexcept {
+  return std::rotl(x, n);
+}
+
+// Round functions f1..f5.
+inline std::uint32_t f(int round, std::uint32_t x, std::uint32_t y,
+                       std::uint32_t z) noexcept {
+  switch (round) {
+    case 0: return x ^ y ^ z;
+    case 1: return (x & y) | (~x & z);
+    case 2: return (x | ~y) ^ z;
+    case 3: return (x & z) | (y & ~z);
+    default: return x ^ (y | ~z);
+  }
+}
+
+inline std::uint32_t load_le32(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+inline void store_le32(std::uint8_t* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+}  // namespace
+
+void Ripemd160::reset() noexcept {
+  state_ = {0x67452301u, 0xefcdab89u, 0x98badcfeu, 0x10325476u, 0xc3d2e1f0u};
+  total_ = 0;
+  buflen_ = 0;
+}
+
+void Ripemd160::compress(const std::uint8_t* block) noexcept {
+  std::uint32_t x[16];
+  for (int i = 0; i < 16; ++i) x[i] = load_le32(block + 4 * i);
+
+  std::uint32_t al = state_[0], bl = state_[1], cl = state_[2],
+                dl = state_[3], el = state_[4];
+  std::uint32_t ar = al, br = bl, cr = cl, dr = dl, er = el;
+
+  for (int j = 0; j < 80; ++j) {
+    int round = j / 16;
+    std::uint32_t t = rotl(al + f(round, bl, cl, dl) + x[kR[j]] +
+                               kKLeft[round],
+                           kS[j]) +
+                      el;
+    al = el;
+    el = dl;
+    dl = rotl(cl, 10);
+    cl = bl;
+    bl = t;
+
+    t = rotl(ar + f(4 - round, br, cr, dr) + x[kRp[j]] + kKRight[round],
+             kSp[j]) +
+        er;
+    ar = er;
+    er = dr;
+    dr = rotl(cr, 10);
+    cr = br;
+    br = t;
+  }
+
+  std::uint32_t t = state_[1] + cl + dr;
+  state_[1] = state_[2] + dl + er;
+  state_[2] = state_[3] + el + ar;
+  state_[3] = state_[4] + al + br;
+  state_[4] = state_[0] + bl + cr;
+  state_[0] = t;
+}
+
+Ripemd160& Ripemd160::write(ByteView data) noexcept {
+  total_ += data.size();
+  std::size_t off = 0;
+  if (buflen_ > 0) {
+    std::size_t take = std::min(data.size(), buf_.size() - buflen_);
+    std::memcpy(buf_.data() + buflen_, data.data(), take);
+    buflen_ += take;
+    off += take;
+    if (buflen_ == buf_.size()) {
+      compress(buf_.data());
+      buflen_ = 0;
+    }
+  }
+  while (data.size() - off >= 64) {
+    compress(data.data() + off);
+    off += 64;
+  }
+  if (off < data.size()) {
+    std::memcpy(buf_.data(), data.data() + off, data.size() - off);
+    buflen_ = data.size() - off;
+  }
+  return *this;
+}
+
+Ripemd160::Digest Ripemd160::finish() noexcept {
+  std::uint64_t bitlen = total_ * 8;
+  std::uint8_t pad[72];
+  std::size_t padlen = 64 - ((total_ + 8) % 64);
+  if (padlen == 0) padlen = 64;
+  std::memset(pad, 0, sizeof(pad));
+  pad[0] = 0x80;
+  // RIPEMD-160 appends the bit length little-endian (unlike SHA-256).
+  for (int i = 0; i < 8; ++i)
+    pad[padlen + i] = static_cast<std::uint8_t>(bitlen >> (8 * i));
+  write(ByteView(pad, padlen + 8));
+
+  Digest out;
+  for (int i = 0; i < 5; ++i) store_le32(out.data() + 4 * i, state_[i]);
+  return out;
+}
+
+Ripemd160::Digest ripemd160(ByteView data) noexcept {
+  Ripemd160 h;
+  h.write(data);
+  return h.finish();
+}
+
+}  // namespace fist

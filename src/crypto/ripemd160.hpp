@@ -1,0 +1,44 @@
+// ripemd160.hpp — RIPEMD-160 (Dobbertin, Bosselaers, Preneel 1996),
+// implemented from scratch.
+//
+// Bitcoin addresses are HASH160(pubkey) = RIPEMD160(SHA256(pubkey));
+// this module provides the RIPEMD half of that pipeline.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace fist {
+
+/// Streaming RIPEMD-160 hasher (same interface shape as Sha256).
+class Ripemd160 {
+ public:
+  static constexpr std::size_t kDigestSize = 20;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Ripemd160() noexcept { reset(); }
+
+  /// Absorbs `data` into the hash state.
+  Ripemd160& write(ByteView data) noexcept;
+
+  /// Finalizes and returns the digest.
+  Digest finish() noexcept;
+
+  /// Returns the hasher to its initial state.
+  void reset() noexcept;
+
+ private:
+  void compress(const std::uint8_t* block) noexcept;
+
+  std::array<std::uint32_t, 5> state_;
+  std::array<std::uint8_t, 64> buf_;
+  std::uint64_t total_ = 0;
+  std::size_t buflen_ = 0;
+};
+
+/// One-shot RIPEMD-160.
+Ripemd160::Digest ripemd160(ByteView data) noexcept;
+
+}  // namespace fist

@@ -1,0 +1,284 @@
+#include "crypto/secp256k1.hpp"
+
+#include <mutex>
+#include <vector>
+
+namespace fist::secp {
+
+namespace {
+
+// p = 2^256 - 2^32 - 977
+const U256 kP = U256::from_hex(
+    "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f");
+const U256 kPC = U256(0x00000001000003d1ULL);  // 2^32 + 977
+
+// n = group order
+const U256 kN = U256::from_hex(
+    "fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141");
+// c_n = 2^256 - n
+const U256 kNC = U256::from_hex("14551231950b75fc4402da1732fc9bebf");
+
+const U256 kGx = U256::from_hex(
+    "79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798");
+const U256 kGy = U256::from_hex(
+    "483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8");
+
+// Adds the 512-bit quantity hi*c into (lo, producing a wider value), used
+// by ModArith::reduce. Result as U512 with at most ~390 significant bits.
+U512 fold(const U256& lo, const U256& hi, const U256& c) noexcept {
+  U512 out;
+  // out = lo
+  for (std::size_t i = 0; i < 4; ++i) out.w[i] = lo.w[i];
+  // out += hi * c   (schoolbook, 4x4 limbs into 8)
+  for (std::size_t i = 0; i < 4; ++i) {
+    unsigned __int128 carry = 0;
+    for (std::size_t j = 0; j < 4; ++j) {
+      unsigned __int128 cur =
+          static_cast<unsigned __int128>(hi.w[i]) * c.w[j] + out.w[i + j] +
+          carry;
+      out.w[i + j] = static_cast<std::uint64_t>(cur);
+      carry = cur >> 64;
+    }
+    std::size_t k = i + 4;
+    while (carry != 0 && k < 8) {
+      unsigned __int128 cur = static_cast<unsigned __int128>(out.w[k]) + carry;
+      out.w[k] = static_cast<std::uint64_t>(cur);
+      carry = cur >> 64;
+      ++k;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+U256 ModArith::reduce(const U512& x) const noexcept {
+  U512 cur = x;
+  // Fold the high 256 bits down until they vanish: hi*2^256 ≡ hi*c (mod m).
+  for (int iter = 0; iter < 6; ++iter) {
+    U256 lo{cur.w[0], cur.w[1], cur.w[2], cur.w[3]};
+    U256 hi{cur.w[4], cur.w[5], cur.w[6], cur.w[7]};
+    if (hi.is_zero()) return normalize(lo);
+    cur = fold(lo, hi, c_);
+  }
+  // Unreachable for c < 2^130: each fold shrinks the high half fast.
+  U256 lo{cur.w[0], cur.w[1], cur.w[2], cur.w[3]};
+  return normalize(lo);
+}
+
+U256 ModArith::normalize(const U256& a) const noexcept {
+  U256 r = a;
+  while (cmp(r, m_) >= 0) {
+    std::uint64_t borrow;
+    r = fist::sub(r, m_, borrow);
+  }
+  return r;
+}
+
+U256 ModArith::add(const U256& a, const U256& b) const noexcept {
+  std::uint64_t carry;
+  U256 r = fist::add(a, b, carry);
+  if (carry || cmp(r, m_) >= 0) {
+    std::uint64_t borrow;
+    r = fist::sub(r, m_, borrow);
+  }
+  return r;
+}
+
+U256 ModArith::sub(const U256& a, const U256& b) const noexcept {
+  std::uint64_t borrow;
+  U256 r = fist::sub(a, b, borrow);
+  if (borrow) {
+    std::uint64_t carry;
+    r = fist::add(r, m_, carry);
+  }
+  return r;
+}
+
+U256 ModArith::mul(const U256& a, const U256& b) const noexcept {
+  return reduce(mul_wide(a, b));
+}
+
+U256 ModArith::pow(const U256& a, const U256& e) const noexcept {
+  U256 result(1);
+  U256 base = a;
+  unsigned bits = e.bit_length();
+  for (unsigned i = 0; i < bits; ++i) {
+    if (e.bit(i)) result = mul(result, base);
+    base = sqr(base);
+  }
+  return result;
+}
+
+U256 ModArith::inv(const U256& a) const noexcept {
+  // a^(m-2) mod m, valid for prime m.
+  std::uint64_t borrow;
+  U256 e = fist::sub(m_, U256(2), borrow);
+  return pow(a, e);
+}
+
+U256 ModArith::neg(const U256& a) const noexcept {
+  if (a.is_zero()) return a;
+  std::uint64_t borrow;
+  return fist::sub(m_, normalize(a), borrow);
+}
+
+const U256& field_p() noexcept { return kP; }
+const U256& order_n() noexcept { return kN; }
+
+const ModArith& fp() noexcept {
+  static const ModArith arith(kP, kPC);
+  return arith;
+}
+
+const ModArith& fn() noexcept {
+  static const ModArith arith(kN, kNC);
+  return arith;
+}
+
+const Affine& generator() noexcept {
+  static const Affine g{kGx, kGy, false};
+  return g;
+}
+
+Jacobian to_jacobian(const Affine& a) noexcept {
+  if (a.infinity) return Jacobian{U256(), U256(), U256()};
+  return Jacobian{a.x, a.y, U256(1)};
+}
+
+Affine to_affine(const Jacobian& p) noexcept {
+  if (p.is_infinity()) return Affine{};
+  const ModArith& f = fp();
+  U256 zinv = f.inv(p.z);
+  U256 zinv2 = f.sqr(zinv);
+  U256 zinv3 = f.mul(zinv2, zinv);
+  return Affine{f.mul(p.x, zinv2), f.mul(p.y, zinv3), false};
+}
+
+Jacobian dbl(const Jacobian& p) noexcept {
+  if (p.is_infinity()) return p;
+  const ModArith& f = fp();
+  if (p.y.is_zero()) return Jacobian{U256(), U256(), U256()};
+  U256 y2 = f.sqr(p.y);
+  U256 s = f.mul(p.x, y2);
+  s = f.add(s, s);
+  s = f.add(s, s);  // s = 4*x*y^2
+  U256 x2 = f.sqr(p.x);
+  U256 m = f.add(f.add(x2, x2), x2);  // m = 3*x^2 (a = 0)
+  U256 x3 = f.sub(f.sqr(m), f.add(s, s));
+  U256 y4 = f.sqr(y2);
+  U256 y4_8 = y4;
+  for (int i = 0; i < 3; ++i) y4_8 = f.add(y4_8, y4_8);  // 8*y^4
+  U256 y3 = f.sub(f.mul(m, f.sub(s, x3)), y4_8);
+  U256 z3 = f.mul(p.y, p.z);
+  z3 = f.add(z3, z3);
+  return Jacobian{x3, y3, z3};
+}
+
+Jacobian add(const Jacobian& p, const Jacobian& q) noexcept {
+  if (p.is_infinity()) return q;
+  if (q.is_infinity()) return p;
+  const ModArith& f = fp();
+  U256 z1z1 = f.sqr(p.z);
+  U256 z2z2 = f.sqr(q.z);
+  U256 u1 = f.mul(p.x, z2z2);
+  U256 u2 = f.mul(q.x, z1z1);
+  U256 s1 = f.mul(p.y, f.mul(z2z2, q.z));
+  U256 s2 = f.mul(q.y, f.mul(z1z1, p.z));
+  if (u1 == u2) {
+    if (!(s1 == s2)) return Jacobian{U256(), U256(), U256()};
+    return dbl(p);
+  }
+  U256 h = f.sub(u2, u1);
+  U256 r = f.sub(s2, s1);
+  U256 h2 = f.sqr(h);
+  U256 h3 = f.mul(h2, h);
+  U256 u1h2 = f.mul(u1, h2);
+  U256 x3 = f.sub(f.sub(f.sqr(r), h3), f.add(u1h2, u1h2));
+  U256 y3 = f.sub(f.mul(r, f.sub(u1h2, x3)), f.mul(s1, h3));
+  U256 z3 = f.mul(f.mul(p.z, q.z), h);
+  return Jacobian{x3, y3, z3};
+}
+
+Jacobian add_affine(const Jacobian& p, const Affine& q) noexcept {
+  if (q.infinity) return p;
+  return add(p, to_jacobian(q));
+}
+
+Jacobian mul(const U256& k, const Affine& point) noexcept {
+  Jacobian acc{U256(), U256(), U256()};
+  if (point.infinity || k.is_zero()) return acc;
+  Jacobian base = to_jacobian(point);
+  unsigned bits = k.bit_length();
+  for (int i = static_cast<int>(bits) - 1; i >= 0; --i) {
+    acc = dbl(acc);
+    if (k.bit(static_cast<unsigned>(i))) acc = add(acc, base);
+  }
+  return acc;
+}
+
+namespace {
+
+// Fixed-base window table: kWindowTable[i][j] = j * 16^i * G, affine.
+// 64 windows of 4 bits cover a full 256-bit scalar.
+struct GeneratorTable {
+  std::array<std::array<Affine, 16>, 64> win;
+
+  GeneratorTable() {
+    Jacobian base = to_jacobian(generator());  // 16^i * G as i advances
+    for (int i = 0; i < 64; ++i) {
+      Jacobian acc{U256(), U256(), U256()};  // infinity
+      for (int j = 0; j < 16; ++j) {
+        win[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+            to_affine(acc);
+        acc = add(acc, base);
+      }
+      // base *= 16
+      for (int d = 0; d < 4; ++d) base = dbl(base);
+    }
+  }
+};
+
+const GeneratorTable& gen_table() {
+  static const GeneratorTable table;
+  return table;
+}
+
+}  // namespace
+
+Jacobian mul_generator(const U256& k) noexcept {
+  const GeneratorTable& t = gen_table();
+  Jacobian acc{U256(), U256(), U256()};
+  for (unsigned i = 0; i < 64; ++i) {
+    unsigned nib = static_cast<unsigned>(
+        (k.w[i >> 4] >> ((i & 15) * 4)) & 0xf);
+    if (nib != 0) acc = add_affine(acc, t.win[i][nib]);
+  }
+  return acc;
+}
+
+bool on_curve(const Affine& a) noexcept {
+  if (a.infinity) return false;
+  const ModArith& f = fp();
+  U256 lhs = f.sqr(a.y);
+  U256 rhs = f.add(f.mul(f.sqr(a.x), a.x), U256(7));
+  return lhs == rhs;
+}
+
+std::optional<Affine> lift_x(const U256& x, bool odd_y) noexcept {
+  const ModArith& f = fp();
+  if (cmp(x, field_p()) >= 0) return std::nullopt;
+  U256 rhs = f.add(f.mul(f.sqr(x), x), U256(7));
+  // p ≡ 3 (mod 4): sqrt(a) = a^((p+1)/4)
+  std::uint64_t carry;
+  U256 e = fist::add(field_p(), U256(1), carry);
+  (void)carry;  // p + 1 overflows into bit 256? no: p < 2^256 - 1
+  e = shr(e, 2);
+  U256 y = f.pow(rhs, e);
+  if (!(f.sqr(y) == rhs)) return std::nullopt;  // x not on curve
+  bool is_odd = y.bit(0);
+  if (is_odd != odd_y) y = f.neg(y);
+  return Affine{x, y, false};
+}
+
+}  // namespace fist::secp

@@ -1,0 +1,130 @@
+// secp256k1.hpp — arithmetic on the secp256k1 curve, from scratch.
+//
+// Implements the prime field F_p, the scalar field F_n, and the group of
+// points on y² = x³ + 7, with a windowed fixed-base multiplier for the
+// generator. This is a *forensics-grade* implementation: correct and
+// tested, but not constant-time — it must not be used to hold real
+// funds. fistful uses it to derive authentic public keys and addresses
+// and to make/check ECDSA signatures in tests and examples.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "crypto/u256.hpp"
+
+namespace fist::secp {
+
+/// Modular arithmetic for a Mersenne-like modulus m = 2^256 - c.
+/// Both the secp256k1 field prime p and group order n have this shape,
+/// which admits a fast wide-product reduction.
+class ModArith {
+ public:
+  /// `modulus` must equal 2^256 - `c_low` - (`c_high` << 64) - ... ;
+  /// the complement `c` is passed as a U256 (c = 2^256 - modulus).
+  ModArith(const U256& modulus, const U256& c) noexcept
+      : m_(modulus), c_(c) {}
+
+  const U256& modulus() const noexcept { return m_; }
+
+  /// (a + b) mod m. Operands must be < m.
+  U256 add(const U256& a, const U256& b) const noexcept;
+
+  /// (a - b) mod m. Operands must be < m.
+  U256 sub(const U256& a, const U256& b) const noexcept;
+
+  /// (a * b) mod m.
+  U256 mul(const U256& a, const U256& b) const noexcept;
+
+  /// a² mod m.
+  U256 sqr(const U256& a) const noexcept { return mul(a, a); }
+
+  /// a^e mod m (square-and-multiply).
+  U256 pow(const U256& a, const U256& e) const noexcept;
+
+  /// Multiplicative inverse via Fermat's little theorem (m prime).
+  /// Requires a != 0.
+  U256 inv(const U256& a) const noexcept;
+
+  /// -a mod m.
+  U256 neg(const U256& a) const noexcept;
+
+  /// Reduces an arbitrary 256-bit value below m.
+  U256 normalize(const U256& a) const noexcept;
+
+  /// Reduces a 512-bit product below m.
+  U256 reduce(const U512& x) const noexcept;
+
+ private:
+  U256 m_;
+  U256 c_;
+};
+
+/// The field prime p = 2^256 - 2^32 - 977.
+const U256& field_p() noexcept;
+
+/// The group order n.
+const U256& order_n() noexcept;
+
+/// Field arithmetic mod p.
+const ModArith& fp() noexcept;
+
+/// Scalar arithmetic mod n.
+const ModArith& fn() noexcept;
+
+/// An affine point, or infinity.
+struct Affine {
+  U256 x;
+  U256 y;
+  bool infinity = true;
+
+  bool operator==(const Affine& o) const noexcept {
+    if (infinity || o.infinity) return infinity == o.infinity;
+    return x == o.x && y == o.y;
+  }
+};
+
+/// A point in Jacobian projective coordinates (X/Z², Y/Z³).
+/// Z == 0 encodes infinity.
+struct Jacobian {
+  U256 x;
+  U256 y;
+  U256 z;  // zero limbs => infinity
+
+  bool is_infinity() const noexcept { return z.is_zero(); }
+};
+
+/// The generator point G.
+const Affine& generator() noexcept;
+
+/// Lifts an affine point to Jacobian coordinates.
+Jacobian to_jacobian(const Affine& a) noexcept;
+
+/// Normalizes to affine coordinates (one field inversion).
+Affine to_affine(const Jacobian& p) noexcept;
+
+/// Point doubling.
+Jacobian dbl(const Jacobian& p) noexcept;
+
+/// General point addition.
+Jacobian add(const Jacobian& p, const Jacobian& q) noexcept;
+
+/// Adds an affine point to a Jacobian point (mixed addition).
+Jacobian add_affine(const Jacobian& p, const Affine& q) noexcept;
+
+/// k·P for arbitrary P (double-and-add).
+Jacobian mul(const U256& k, const Affine& point) noexcept;
+
+/// k·G using a precomputed 4-bit window table — the fast path for key
+/// generation and signing.
+Jacobian mul_generator(const U256& k) noexcept;
+
+/// True iff (x, y) satisfies the curve equation.
+bool on_curve(const Affine& a) noexcept;
+
+/// Recovers y from x for a compressed point; `odd_y` selects the root
+/// parity. Returns nullopt if x is not on the curve.
+std::optional<Affine> lift_x(const U256& x, bool odd_y) noexcept;
+
+}  // namespace fist::secp

@@ -1,0 +1,51 @@
+// sha256.hpp — SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Provides both a streaming hasher (for large inputs such as block
+// files) and one-shot helpers. This is the hash underlying txids, block
+// hashes, proof-of-work and Base58Check checksums.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace fist {
+
+/// Streaming SHA-256 hasher.
+///
+/// write() may be called any number of times; finish() closes the
+/// stream. A finished hasher can be reset() and reused.
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha256() noexcept { reset(); }
+
+  /// Absorbs `data` into the hash state.
+  Sha256& write(ByteView data) noexcept;
+
+  /// Finalizes and returns the digest. The hasher must be reset()
+  /// before further use.
+  Digest finish() noexcept;
+
+  /// Returns the hasher to its initial state.
+  void reset() noexcept;
+
+ private:
+  void compress(const std::uint8_t* block) noexcept;
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buf_;
+  std::uint64_t total_ = 0;  // total bytes absorbed
+  std::size_t buflen_ = 0;
+};
+
+/// One-shot SHA-256.
+Sha256::Digest sha256(ByteView data) noexcept;
+
+/// Double SHA-256 (Bitcoin's standard hash): SHA256(SHA256(data)).
+Sha256::Digest sha256d(ByteView data) noexcept;
+
+}  // namespace fist

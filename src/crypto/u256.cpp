@@ -1,0 +1,146 @@
+#include "crypto/u256.hpp"
+
+#include "util/error.hpp"
+#include "util/hex.hpp"
+
+namespace fist {
+
+U256 U256::from_hex(std::string_view hex) {
+  if (hex.empty() || hex.size() > 64)
+    throw ParseError("U256::from_hex: bad length");
+  // Left-pad to 64 digits and reuse the byte loader.
+  std::string padded(64 - hex.size(), '0');
+  padded.append(hex);
+  Bytes raw = fist::from_hex(padded);
+  return from_be_bytes(raw);
+}
+
+U256 U256::from_be_bytes(ByteView b) {
+  if (b.size() != 32) throw ParseError("U256::from_be_bytes: need 32 bytes");
+  U256 out;
+  for (int limb = 0; limb < 4; ++limb) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v = (v << 8) | b[static_cast<std::size_t>((3 - limb) * 8 + i)];
+    out.w[static_cast<std::size_t>(limb)] = v;
+  }
+  return out;
+}
+
+std::array<std::uint8_t, 32> U256::to_be_bytes() const noexcept {
+  std::array<std::uint8_t, 32> out{};
+  for (int limb = 0; limb < 4; ++limb) {
+    std::uint64_t v = w[static_cast<std::size_t>(limb)];
+    for (int i = 0; i < 8; ++i)
+      out[static_cast<std::size_t>((3 - limb) * 8 + (7 - i))] =
+          static_cast<std::uint8_t>(v >> (8 * i));
+  }
+  return out;
+}
+
+std::string U256::hex() const {
+  auto bytes = to_be_bytes();
+  return to_hex(ByteView(bytes));
+}
+
+unsigned U256::bit_length() const noexcept {
+  for (int limb = 3; limb >= 0; --limb) {
+    std::uint64_t v = w[static_cast<std::size_t>(limb)];
+    if (v != 0) {
+      unsigned hi = 63;
+      while (!(v >> hi)) --hi;
+      return static_cast<unsigned>(limb) * 64 + hi + 1;
+    }
+  }
+  return 0;
+}
+
+int cmp(const U256& a, const U256& b) noexcept {
+  for (int i = 3; i >= 0; --i) {
+    std::size_t idx = static_cast<std::size_t>(i);
+    if (a.w[idx] < b.w[idx]) return -1;
+    if (a.w[idx] > b.w[idx]) return 1;
+  }
+  return 0;
+}
+
+U256 add(const U256& a, const U256& b, std::uint64_t& carry) noexcept {
+  U256 out;
+  unsigned __int128 acc = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    acc += a.w[i];
+    acc += b.w[i];
+    out.w[i] = static_cast<std::uint64_t>(acc);
+    acc >>= 64;
+  }
+  carry = static_cast<std::uint64_t>(acc);
+  return out;
+}
+
+U256 sub(const U256& a, const U256& b, std::uint64_t& borrow) noexcept {
+  U256 out;
+  unsigned __int128 br = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    unsigned __int128 lhs = a.w[i];
+    unsigned __int128 rhs = static_cast<unsigned __int128>(b.w[i]) + br;
+    if (lhs >= rhs) {
+      out.w[i] = static_cast<std::uint64_t>(lhs - rhs);
+      br = 0;
+    } else {
+      out.w[i] = static_cast<std::uint64_t>(
+          (static_cast<unsigned __int128>(1) << 64) + lhs - rhs);
+      br = 1;
+    }
+  }
+  borrow = static_cast<std::uint64_t>(br);
+  return out;
+}
+
+U512 mul_wide(const U256& a, const U256& b) noexcept {
+  U512 out;
+  for (std::size_t i = 0; i < 4; ++i) {
+    unsigned __int128 carry = 0;
+    for (std::size_t j = 0; j < 4; ++j) {
+      unsigned __int128 cur = static_cast<unsigned __int128>(a.w[i]) * b.w[j] +
+                              out.w[i + j] + carry;
+      out.w[i + j] = static_cast<std::uint64_t>(cur);
+      carry = cur >> 64;
+    }
+    out.w[i + 4] = static_cast<std::uint64_t>(carry);
+  }
+  return out;
+}
+
+U256 shl(const U256& a, unsigned n) noexcept {
+  if (n == 0) return a;
+  U256 out;
+  unsigned limb = n / 64, bits = n % 64;
+  for (int i = 3; i >= 0; --i) {
+    std::size_t idx = static_cast<std::size_t>(i);
+    std::uint64_t v = 0;
+    if (idx >= limb) {
+      v = a.w[idx - limb] << bits;
+      if (bits != 0 && idx >= limb + 1)
+        v |= a.w[idx - limb - 1] >> (64 - bits);
+    }
+    out.w[idx] = v;
+  }
+  return out;
+}
+
+U256 shr(const U256& a, unsigned n) noexcept {
+  if (n == 0) return a;
+  U256 out;
+  unsigned limb = n / 64, bits = n % 64;
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::uint64_t v = 0;
+    if (i + limb < 4) {
+      v = a.w[i + limb] >> bits;
+      if (bits != 0 && i + limb + 1 < 4) v |= a.w[i + limb + 1] << (64 - bits);
+    }
+    out.w[i] = v;
+  }
+  return out;
+}
+
+}  // namespace fist

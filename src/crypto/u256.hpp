@@ -1,0 +1,77 @@
+// u256.hpp — fixed-width 256-bit unsigned arithmetic.
+//
+// The secp256k1 field and scalar arithmetic is built on this type. U256
+// is a plain value type of four 64-bit little-endian limbs; U512 carries
+// full multiplication results before modular reduction.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/bytes.hpp"
+
+namespace fist {
+
+/// 512-bit product, little-endian limbs.
+struct U512 {
+  std::array<std::uint64_t, 8> w{};
+};
+
+/// 256-bit unsigned integer, little-endian limbs.
+struct U256 {
+  std::array<std::uint64_t, 4> w{};
+
+  constexpr U256() = default;
+  constexpr explicit U256(std::uint64_t v) : w{v, 0, 0, 0} {}
+  constexpr U256(std::uint64_t w0, std::uint64_t w1, std::uint64_t w2,
+                 std::uint64_t w3)
+      : w{w0, w1, w2, w3} {}
+
+  /// Parses up to 64 hex digits (big-endian digit order).
+  static U256 from_hex(std::string_view hex);
+
+  /// Loads 32 big-endian bytes.
+  static U256 from_be_bytes(ByteView b);
+
+  /// Emits 32 big-endian bytes.
+  std::array<std::uint8_t, 32> to_be_bytes() const noexcept;
+
+  /// 64 lowercase hex digits, big-endian.
+  std::string hex() const;
+
+  bool is_zero() const noexcept {
+    return (w[0] | w[1] | w[2] | w[3]) == 0;
+  }
+
+  /// Bit `i` (0 = least significant).
+  bool bit(unsigned i) const noexcept {
+    return (w[i >> 6] >> (i & 63)) & 1;
+  }
+
+  /// Index of the highest set bit plus one (0 for zero).
+  unsigned bit_length() const noexcept;
+
+  bool operator==(const U256&) const = default;
+};
+
+/// Unsigned comparison: -1, 0 or +1.
+int cmp(const U256& a, const U256& b) noexcept;
+
+/// a + b, returning the carry-out (0/1) via `carry`.
+U256 add(const U256& a, const U256& b, std::uint64_t& carry) noexcept;
+
+/// a - b, returning the borrow-out (0/1) via `borrow`.
+U256 sub(const U256& a, const U256& b, std::uint64_t& borrow) noexcept;
+
+/// Full 256×256 → 512-bit product.
+U512 mul_wide(const U256& a, const U256& b) noexcept;
+
+/// Logical left shift by `n` bits (n < 256).
+U256 shl(const U256& a, unsigned n) noexcept;
+
+/// Logical right shift by `n` bits (n < 256).
+U256 shr(const U256& a, unsigned n) noexcept;
+
+}  // namespace fist

@@ -1,0 +1,29 @@
+#include "encoding/address.hpp"
+
+#include "encoding/base58.hpp"
+
+namespace fist {
+
+std::optional<Address> Address::decode(std::string_view text) noexcept {
+  std::optional<Bytes> payload = base58check_decode(text);
+  if (!payload || payload->size() != 21) return std::nullopt;
+  std::uint8_t version = (*payload)[0];
+  AddrType type;
+  switch (version) {
+    case 0x00: type = AddrType::P2PKH; break;
+    case 0x05: type = AddrType::P2SH; break;
+    default: return std::nullopt;
+  }
+  Hash160 h = Hash160::from_bytes(ByteView(payload->data() + 1, 20));
+  return Address(type, h);
+}
+
+std::string Address::encode() const {
+  Bytes versioned;
+  versioned.reserve(21);
+  versioned.push_back(static_cast<std::uint8_t>(type_));
+  append(versioned, payload_.view());
+  return base58check_encode(versioned);
+}
+
+}  // namespace fist

@@ -1,0 +1,63 @@
+// address.hpp — Bitcoin addresses (Base58Check over HASH160 payloads).
+//
+// Covers the two address kinds in circulation during the paper's study
+// window (2009–2013): pay-to-pubkey-hash ("1...") and pay-to-script-hash
+// ("3...").
+#pragma once
+
+#include <compare>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "crypto/hash.hpp"
+
+namespace fist {
+
+/// Address kind, i.e. the spending condition the payload commits to.
+enum class AddrType : std::uint8_t {
+  P2PKH = 0x00,  ///< mainnet version byte 0x00, "1..." addresses
+  P2SH = 0x05,   ///< mainnet version byte 0x05, "3..." addresses
+};
+
+/// A decoded Bitcoin address: version + HASH160 payload.
+///
+/// Value type; usable as an unordered-container key. Note that in the
+/// forensics pipeline addresses are usually interned to dense AddrIds
+/// (see chain/addrbook.hpp) — this type is the wire/display form.
+class Address {
+ public:
+  Address() = default;
+  Address(AddrType type, const Hash160& payload) noexcept
+      : type_(type), payload_(payload) {}
+
+  /// Parses and checksum-verifies a Base58Check address string.
+  /// Returns nullopt for malformed text, bad checksums or unknown
+  /// version bytes.
+  static std::optional<Address> decode(std::string_view text) noexcept;
+
+  /// Renders the Base58Check string ("1..." / "3...").
+  std::string encode() const;
+
+  AddrType type() const noexcept { return type_; }
+  const Hash160& payload() const noexcept { return payload_; }
+
+  auto operator<=>(const Address&) const noexcept = default;
+
+ private:
+  AddrType type_ = AddrType::P2PKH;
+  Hash160 payload_;
+};
+
+}  // namespace fist
+
+namespace std {
+template <>
+struct hash<fist::Address> {
+  size_t operator()(const fist::Address& a) const noexcept {
+    return std::hash<fist::Hash160>()(a.payload()) ^
+           (static_cast<size_t>(a.type()) << 56);
+  }
+};
+}  // namespace std

@@ -1,0 +1,109 @@
+#include "encoding/base58.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "crypto/sha256.hpp"
+#include "util/error.hpp"
+
+namespace fist {
+
+namespace {
+
+constexpr char kAlphabet[] =
+    "123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz";
+
+// Maps ASCII -> digit value, or -1.
+constexpr std::array<int, 128> make_decode_map() {
+  std::array<int, 128> map{};
+  for (int& v : map) v = -1;
+  for (int i = 0; i < 58; ++i)
+    map[static_cast<std::size_t>(kAlphabet[i])] = i;
+  return map;
+}
+
+constexpr std::array<int, 128> kDecode = make_decode_map();
+
+}  // namespace
+
+std::string base58_encode(ByteView data) {
+  // Count leading zeros: each maps to a literal '1'.
+  std::size_t zeros = 0;
+  while (zeros < data.size() && data[zeros] == 0) ++zeros;
+
+  // Big-number base conversion, byte digits -> base58 digits.
+  std::vector<std::uint8_t> b58((data.size() - zeros) * 138 / 100 + 1, 0);
+  std::size_t length = 0;
+  for (std::size_t i = zeros; i < data.size(); ++i) {
+    int carry = data[i];
+    std::size_t j = 0;
+    for (auto it = b58.rbegin();
+         (carry != 0 || j < length) && it != b58.rend(); ++it, ++j) {
+      carry += 256 * (*it);
+      *it = static_cast<std::uint8_t>(carry % 58);
+      carry /= 58;
+    }
+    length = j;
+  }
+
+  auto it = b58.begin() + static_cast<std::ptrdiff_t>(b58.size() - length);
+  while (it != b58.end() && *it == 0) ++it;
+
+  std::string out(zeros, '1');
+  for (; it != b58.end(); ++it) out.push_back(kAlphabet[*it]);
+  return out;
+}
+
+Bytes base58_decode(std::string_view text) {
+  std::size_t zeros = 0;
+  while (zeros < text.size() && text[zeros] == '1') ++zeros;
+
+  std::vector<std::uint8_t> b256((text.size() - zeros) * 733 / 1000 + 1, 0);
+  std::size_t length = 0;
+  for (std::size_t i = zeros; i < text.size(); ++i) {
+    unsigned char c = static_cast<unsigned char>(text[i]);
+    int digit = (c < 128) ? kDecode[c] : -1;
+    if (digit < 0) throw ParseError("base58: invalid character");
+    int carry = digit;
+    std::size_t j = 0;
+    for (auto it = b256.rbegin();
+         (carry != 0 || j < length) && it != b256.rend(); ++it, ++j) {
+      carry += 58 * (*it);
+      *it = static_cast<std::uint8_t>(carry % 256);
+      carry /= 256;
+    }
+    length = j;
+  }
+
+  auto it = b256.begin() + static_cast<std::ptrdiff_t>(b256.size() - length);
+  while (it != b256.end() && *it == 0) ++it;
+
+  Bytes out(zeros, 0x00);
+  out.insert(out.end(), it, b256.end());
+  return out;
+}
+
+std::string base58check_encode(ByteView payload) {
+  Sha256::Digest check = sha256d(payload);
+  Bytes full = to_bytes(payload);
+  full.insert(full.end(), check.begin(), check.begin() + 4);
+  return base58_encode(full);
+}
+
+std::optional<Bytes> base58check_decode(std::string_view text) noexcept {
+  Bytes full;
+  try {
+    full = base58_decode(text);
+  } catch (const ParseError&) {
+    return std::nullopt;
+  }
+  if (full.size() < 4) return std::nullopt;
+  ByteView payload(full.data(), full.size() - 4);
+  Sha256::Digest check = sha256d(payload);
+  if (!std::equal(check.begin(), check.begin() + 4,
+                  full.end() - 4))
+    return std::nullopt;
+  return to_bytes(payload);
+}
+
+}  // namespace fist

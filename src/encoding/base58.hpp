@@ -1,0 +1,30 @@
+// base58.hpp — Base58 and Base58Check, the address wire encodings.
+//
+// Base58 is Bitcoin's human-facing binary encoding (the 58-character
+// alphabet omits 0/O/I/l). Base58Check appends a 4-byte double-SHA256
+// checksum before encoding, catching typos in pasted addresses.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/bytes.hpp"
+
+namespace fist {
+
+/// Encodes arbitrary bytes as Base58. Leading zero bytes become leading
+/// '1' characters, as in Bitcoin.
+std::string base58_encode(ByteView data);
+
+/// Decodes Base58. Throws ParseError on characters outside the alphabet.
+Bytes base58_decode(std::string_view text);
+
+/// Base58Check: payload ‖ first-4-bytes(SHA256d(payload)), Base58-encoded.
+std::string base58check_encode(ByteView payload);
+
+/// Decodes and checksum-verifies Base58Check. Returns nullopt if the
+/// text is malformed or the checksum does not match.
+std::optional<Bytes> base58check_decode(std::string_view text) noexcept;
+
+}  // namespace fist

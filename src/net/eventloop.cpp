@@ -1,0 +1,35 @@
+#include "net/eventloop.hpp"
+
+#include <utility>
+
+namespace fist::net {
+
+std::uint64_t EventLoop::schedule_at(SimTime when, std::function<void()> fn) {
+  if (when < now_) when = now_;
+  std::uint64_t id = next_seq_++;
+  queue_.push(Item{when, id, std::move(fn)});
+  return id;
+}
+
+std::uint64_t EventLoop::schedule_in(SimTime delay, std::function<void()> fn) {
+  if (delay < 0) delay = 0;
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+std::size_t EventLoop::run(SimTime until) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.top().when <= until) {
+    // Copy out before pop so the handler may schedule new events.
+    Item item = queue_.top();
+    queue_.pop();
+    now_ = item.when;
+    item.fn();
+    ++executed;
+  }
+  // A bounded run advances the clock to its deadline (idle time still
+  // passes); an unbounded drain leaves the clock at the last event.
+  if (until < kNever && now_ < until) now_ = until;
+  return executed;
+}
+
+}  // namespace fist::net

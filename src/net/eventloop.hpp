@@ -1,0 +1,61 @@
+// eventloop.hpp — a deterministic discrete-event scheduler.
+//
+// The P2P simulator runs on simulated time: every message delivery and
+// mining completion is an event with a timestamp. Events at equal times
+// fire in schedule order (a stable tie-break), so runs replay exactly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace fist::net {
+
+/// Simulated seconds (fractional).
+using SimTime = double;
+
+/// Deterministic discrete-event loop.
+class EventLoop {
+ public:
+  /// Schedules `fn` to run at absolute simulated time `when` (clamped
+  /// to now). Returns the event id.
+  std::uint64_t schedule_at(SimTime when, std::function<void()> fn);
+
+  /// Schedules `fn` after a relative delay (>= 0).
+  std::uint64_t schedule_in(SimTime delay, std::function<void()> fn);
+
+  /// "Never": the default run() deadline (drain the queue).
+  static constexpr SimTime kNever = 1e18;
+
+  /// Runs events until the queue is empty or `until` is passed.
+  /// Returns the number of events executed. With an explicit deadline,
+  /// now() advances to it even if the queue drains early; the default
+  /// unbounded drain leaves now() at the last executed event.
+  std::size_t run(SimTime until = kNever);
+
+  /// Current simulated time.
+  SimTime now() const noexcept { return now_; }
+
+  /// Events waiting in the queue.
+  std::size_t pending() const noexcept { return queue_.size(); }
+
+ private:
+  struct Item {
+    SimTime when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Item, std::vector<Item>, Later> queue_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace fist::net

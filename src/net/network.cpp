@@ -1,0 +1,199 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace fist::net {
+
+namespace {
+
+std::uint64_t link_key(NodeId a, NodeId b) noexcept {
+  NodeId lo = std::min(a, b), hi = std::max(a, b);
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+}  // namespace
+
+std::optional<SimTime> Propagation::time_to_fraction(double fraction) const {
+  std::vector<SimTime> times;
+  times.reserve(first_seen.size());
+  for (SimTime t : first_seen)
+    if (t >= 0) times.push_back(t);
+  std::size_t needed = static_cast<std::size_t>(
+      fraction * static_cast<double>(first_seen.size()) + 0.999999);
+  if (needed == 0) needed = 1;
+  if (times.size() < needed) return std::nullopt;
+  std::nth_element(times.begin(),
+                   times.begin() + static_cast<std::ptrdiff_t>(needed - 1),
+                   times.end());
+  return times[needed - 1] - origin_time;
+}
+
+double Propagation::coverage() const noexcept {
+  if (first_seen.empty()) return 0;
+  std::size_t have = 0;
+  for (SimTime t : first_seen)
+    if (t >= 0) ++have;
+  return static_cast<double>(have) / static_cast<double>(first_seen.size());
+}
+
+P2PNetwork::P2PNetwork(const NetConfig& config)
+    : config_(config), rng_(config.seed) {
+  if (config_.nodes < 2) throw UsageError("P2PNetwork: need >= 2 nodes");
+  nodes_.reserve(config_.nodes);
+  for (NodeId i = 0; i < config_.nodes; ++i) nodes_.emplace_back(i, *this);
+
+  // Random topology: each node dials `out_peers` distinct others; links
+  // are undirected. A ring backbone first guarantees connectivity.
+  for (NodeId i = 0; i < config_.nodes; ++i) {
+    NodeId next = (i + 1) % config_.nodes;
+    if (!link_latency_.contains(link_key(i, next))) {
+      link_latency_[link_key(i, next)] =
+          rng_.lognormal(config_.latency_median_ms, config_.latency_sigma) /
+          1000.0;
+      nodes_[i].add_peer(next);
+      nodes_[next].add_peer(i);
+    }
+  }
+  for (NodeId i = 0; i < config_.nodes; ++i) {
+    for (std::uint32_t k = 1; k < config_.out_peers; ++k) {
+      NodeId j = static_cast<NodeId>(rng_.below(config_.nodes));
+      if (j == i || link_latency_.contains(link_key(i, j))) continue;
+      link_latency_[link_key(i, j)] =
+          rng_.lognormal(config_.latency_median_ms, config_.latency_sigma) /
+          1000.0;
+      nodes_[i].add_peer(j);
+      nodes_[j].add_peer(i);
+    }
+  }
+
+  // Choose miners.
+  std::vector<NodeId> ids(config_.nodes);
+  for (NodeId i = 0; i < config_.nodes; ++i) ids[i] = i;
+  rng_.shuffle(ids);
+  std::uint32_t miners = std::min(config_.miners, config_.nodes);
+  miner_ids_.assign(ids.begin(), ids.begin() + miners);
+}
+
+Node& P2PNetwork::node(NodeId id) {
+  if (id >= nodes_.size()) throw UsageError("P2PNetwork::node: bad id");
+  return nodes_[id];
+}
+
+void P2PNetwork::send(NodeId from, NodeId to, Message msg) {
+  if (config_.drop_rate > 0 && rng_.chance(config_.drop_rate)) {
+    ++dropped_;
+    return;
+  }
+  auto it = link_latency_.find(link_key(from, to));
+  // Unlinked sends happen only through API misuse; model them with the
+  // median latency rather than failing inside the event loop.
+  double base = it != link_latency_.end()
+                    ? it->second
+                    : config_.latency_median_ms / 1000.0;
+  // Small per-message jitter on top of the per-link base.
+  double delay = base * (0.9 + 0.2 * rng_.unit());
+  ++messages_;
+  if (config_.account_bytes) bytes_ += wire_size(msg);
+  loop_.schedule_in(delay, [this, to, m = std::move(msg), from]() {
+    nodes_[to].handle(from, m);
+  });
+}
+
+void P2PNetwork::on_object_seen(NodeId node, const InvItem& what) {
+  auto [it, inserted] = seen_.try_emplace(what.hash);
+  Propagation& p = it->second;
+  if (inserted) {
+    p.origin_time = loop_.now();
+    p.first_seen.assign(nodes_.size(), -1.0);
+  }
+  if (p.first_seen[node] < 0) p.first_seen[node] = loop_.now();
+}
+
+void P2PNetwork::submit_tx(NodeId origin, const Transaction& tx) {
+  node(origin).originate_tx(tx);
+}
+
+Block P2PNetwork::assemble_block(Node& miner) {
+  Block block;
+  block.header.version = 1;
+  block.header.prev_hash = miner.tip();
+  block.header.time = static_cast<std::uint32_t>(loop_.now());
+  block.header.bits = config_.pow_bits;
+
+  // Bitcoin-style retargeting from the miner's own view of the chain.
+  if (config_.retarget_interval > 0 && miner.chain_length() > 0) {
+    const Block* tip_block = miner.find_block(miner.tip());
+    std::uint32_t tip_bits =
+        tip_block != nullptr ? tip_block->header.bits : config_.pow_bits;
+    int height = miner.chain_length();  // height of the block being built
+    if (height % static_cast<int>(config_.retarget_interval) == 0) {
+      int first_height =
+          height - static_cast<int>(config_.retarget_interval);
+      const Block* first =
+          miner.find_block(miner.chain_hash(first_height));
+      if (first != nullptr && tip_block != nullptr) {
+        std::int64_t actual =
+            static_cast<std::int64_t>(tip_block->header.time) -
+            static_cast<std::int64_t>(first->header.time);
+        std::int64_t target = static_cast<std::int64_t>(
+            config_.retarget_interval * config_.target_spacing_s);
+        block.header.bits = next_work_required(tip_bits, actual, target,
+                                               config_.pow_bits);
+      }
+    } else {
+      block.header.bits = tip_bits;
+    }
+  }
+
+  // Coinbase paying an opaque miner script (identity irrelevant here —
+  // the economy simulator handles realistic coinbases).
+  Transaction coinbase;
+  TxIn in;
+  in.prevout = OutPoint::coinbase();
+  Script tag;
+  tag.push(to_bytes(std::string("miner:") + std::to_string(miner.id()) +
+                    ":" + std::to_string(blocks_mined_)));
+  in.script_sig = tag;
+  coinbase.inputs.push_back(in);
+  TxOut out;
+  out.value = 50 * kCoin;
+  out.script_pubkey = Script();  // anyone-can-spend placeholder
+  coinbase.outputs.push_back(out);
+  block.transactions.push_back(coinbase);
+
+  for (const auto& [txid, tx] : miner.mempool())
+    block.transactions.push_back(tx);
+  block.fix_merkle_root();
+
+  // Real grinding against the easy target: the header carries genuine
+  // proof of work.
+  while (!check_proof_of_work(block.header.hash(), block.header.bits))
+    ++block.header.nonce;
+  return block;
+}
+
+void P2PNetwork::schedule_next_block() {
+  double wait = rng_.exponential(config_.block_interval_s);
+  loop_.schedule_in(wait, [this]() {
+    NodeId winner = miner_ids_[rng_.below(miner_ids_.size())];
+    Block block = assemble_block(nodes_[winner]);
+    ++blocks_mined_;
+    nodes_[winner].originate_block(block);
+    schedule_next_block();
+  });
+}
+
+void P2PNetwork::start_mining() {
+  if (miner_ids_.empty()) throw UsageError("start_mining: no miners");
+  schedule_next_block();
+}
+
+const Propagation* P2PNetwork::propagation(
+    const Hash256& hash) const noexcept {
+  auto it = seen_.find(hash);
+  return it == seen_.end() ? nullptr : &it->second;
+}
+
+}  // namespace fist::net

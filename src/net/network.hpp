@@ -1,0 +1,111 @@
+// network.hpp — the simulated P2P network.
+//
+// Owns the nodes, the random topology, the latency model and the event
+// loop; provides transaction injection, proof-of-work mining, and the
+// propagation metrics behind the Figure-1 experiment ("how long until a
+// merchant sees the block that pays it?").
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "chain/pow.hpp"
+#include "net/eventloop.hpp"
+#include "net/node.hpp"
+#include "util/rng.hpp"
+
+namespace fist::net {
+
+/// Network construction parameters.
+struct NetConfig {
+  std::uint32_t nodes = 200;       ///< peer count
+  std::uint32_t out_peers = 8;     ///< outbound connections per node
+  double latency_median_ms = 80;   ///< per-link latency median
+  double latency_sigma = 0.6;      ///< log-normal shape
+  std::uint32_t miners = 10;       ///< how many nodes mine
+  double block_interval_s = 600;   ///< mean time between blocks
+  std::uint32_t pow_bits = fist::kEasyBits;  ///< mining target / difficulty floor
+  /// Recompute difficulty every N blocks from observed block times
+  /// (Bitcoin-style; 0 = fixed difficulty). pow_bits acts as the
+  /// minimum-difficulty limit.
+  std::uint32_t retarget_interval = 0;
+  double target_spacing_s = 600;   ///< intended block spacing for retargets
+  bool account_bytes = false;      ///< track wire bytes (costs encoding)
+  /// Fraction of messages silently lost in flight (fault injection).
+  /// Gossip redundancy should mask moderate loss.
+  double drop_rate = 0.0;
+  std::uint64_t seed = 1;
+};
+
+/// Propagation record for one object (tx or block).
+struct Propagation {
+  SimTime origin_time = 0;
+  std::vector<SimTime> first_seen;  ///< per node; <0 = never
+
+  /// Time from origin until `fraction` of nodes had the object;
+  /// nullopt if coverage never reached it.
+  std::optional<SimTime> time_to_fraction(double fraction) const;
+
+  /// Fraction of nodes that ever saw the object.
+  double coverage() const noexcept;
+};
+
+/// The simulated network.
+class P2PNetwork final : public NodeEnv {
+ public:
+  explicit P2PNetwork(const NetConfig& config);
+
+  /// NodeEnv: queue a message with sampled link latency.
+  void send(NodeId from, NodeId to, Message msg) override;
+  void on_object_seen(NodeId node, const InvItem& what) override;
+
+  /// Injects a transaction at `origin` at the current simulated time.
+  void submit_tx(NodeId origin, const Transaction& tx);
+
+  /// Starts the Poisson mining process (call once, then run()).
+  void start_mining();
+
+  /// Runs the event loop until simulated time `until`.
+  void run_until(SimTime until) { loop_.run(until); }
+
+  EventLoop& loop() noexcept { return loop_; }
+  Node& node(NodeId id);
+  std::uint32_t size() const noexcept {
+    return static_cast<std::uint32_t>(nodes_.size());
+  }
+
+  /// Metrics for an object hash; nullptr if never seen anywhere.
+  const Propagation* propagation(const Hash256& hash) const noexcept;
+
+  /// Total messages delivered / wire bytes (if accounting enabled).
+  std::uint64_t messages_delivered() const noexcept { return messages_; }
+  std::uint64_t wire_bytes() const noexcept { return bytes_; }
+
+  /// Messages lost to fault injection (drop_rate).
+  std::uint64_t messages_dropped() const noexcept { return dropped_; }
+
+  /// Blocks mined so far across all miners.
+  int blocks_mined() const noexcept { return blocks_mined_; }
+
+  Rng& rng() noexcept { return rng_; }
+
+ private:
+  void schedule_next_block();
+  Block assemble_block(Node& miner);
+
+  NetConfig config_;
+  Rng rng_;
+  EventLoop loop_;
+  std::vector<Node> nodes_;
+  std::vector<NodeId> miner_ids_;
+  // Symmetric link latencies: key = (lo<<32)|hi node ids.
+  std::unordered_map<std::uint64_t, double> link_latency_;
+  std::unordered_map<Hash256, Propagation> seen_;
+  std::uint64_t messages_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t dropped_ = 0;
+  int blocks_mined_ = 0;
+};
+
+}  // namespace fist::net

@@ -1,0 +1,88 @@
+#include "net/node.hpp"
+
+namespace fist::net {
+
+void Node::handle(NodeId from, const Message& msg) {
+  std::visit(
+      [&](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, InvMsg>) {
+          // Ask for everything we have not seen.
+          GetDataMsg req;
+          for (const InvItem& item : m.items) {
+            bool known = item.kind == InvKind::Tx ? knows_tx(item.hash)
+                                                  : knows_block(item.hash);
+            if (!known) req.items.push_back(item);
+          }
+          if (!req.items.empty()) env_->send(id_, from, std::move(req));
+        } else if constexpr (std::is_same_v<T, GetDataMsg>) {
+          for (const InvItem& item : m.items) {
+            if (item.kind == InvKind::Tx) {
+              auto it = mempool_.find(item.hash);
+              if (it != mempool_.end())
+                env_->send(id_, from, TxMsg{it->second});
+              // A tx already mined into a block is no longer served from
+              // the mempool; peers will learn it via the block, as real
+              // nodes do.
+            } else {
+              auto it = blocks_.find(item.hash);
+              if (it != blocks_.end())
+                env_->send(id_, from, BlockMsg{it->second});
+            }
+          }
+        } else if constexpr (std::is_same_v<T, TxMsg>) {
+          accept_tx(m.tx, from, /*local=*/false);
+        } else {
+          accept_block(m.block, from, /*local=*/false);
+        }
+      },
+      msg);
+}
+
+void Node::originate_tx(const Transaction& tx) {
+  accept_tx(tx, id_, /*local=*/true);
+}
+
+void Node::originate_block(const Block& block) {
+  accept_block(block, id_, /*local=*/true);
+}
+
+void Node::accept_tx(const Transaction& tx, NodeId relay_from, bool local) {
+  Hash256 txid = tx.txid();
+  if (known_tx_.contains(txid)) return;
+  known_tx_.insert(txid);
+  mempool_.emplace(txid, tx);
+  env_->on_object_seen(id_, InvItem{InvKind::Tx, txid});
+  announce(InvItem{InvKind::Tx, txid}, local ? id_ : relay_from);
+}
+
+void Node::accept_block(const Block& block, NodeId relay_from, bool local) {
+  Hash256 hash = block.header.hash();
+  if (known_block_.contains(hash)) return;
+  known_block_.insert(hash);
+  blocks_.emplace(hash, block);
+  env_->on_object_seen(id_, InvItem{InvKind::Block, hash});
+
+  if (block.header.prev_hash == tip_) {
+    chain_.push_back(hash);
+    tip_ = hash;
+    // Mined transactions leave the mempool.
+    for (const Transaction& tx : block.transactions) {
+      Hash256 txid = tx.txid();
+      known_tx_.insert(txid);
+      mempool_.erase(txid);
+    }
+  } else {
+    ++forks_seen_;
+  }
+  announce(InvItem{InvKind::Block, hash}, local ? id_ : relay_from);
+}
+
+void Node::announce(const InvItem& item, NodeId except) {
+  for (NodeId peer : peers_) {
+    if (peer == except) continue;
+    env_->send(id_, peer, InvMsg{{item}});
+  }
+}
+
+}  // namespace fist::net

@@ -1,0 +1,107 @@
+// node.hpp — one simulated Bitcoin peer.
+//
+// Implements the inv/getdata/tx/block gossip protocol from Figure 1 of
+// the paper: transactions flood peer-to-peer to miners; mined blocks
+// flood back, which is how a merchant learns its payment settled.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/wire.hpp"
+
+namespace fist::net {
+
+/// Dense node identifier.
+using NodeId = std::uint32_t;
+
+/// Callbacks a node uses to talk to the outside world; implemented by
+/// P2PNetwork. Keeping this an interface lets tests drive a node
+/// directly with scripted deliveries.
+class NodeEnv {
+ public:
+  virtual ~NodeEnv() = default;
+
+  /// Queues `msg` from `from` to `to` with link latency applied.
+  virtual void send(NodeId from, NodeId to, Message msg) = 0;
+
+  /// Reports first reception of an object (for propagation metrics).
+  virtual void on_object_seen(NodeId node, const InvItem& what) = 0;
+};
+
+/// A peer: mempool, known-object sets, block chain copy, gossip logic.
+class Node {
+ public:
+  Node(NodeId id, NodeEnv& env) : id_(id), env_(&env) {}
+
+  NodeId id() const noexcept { return id_; }
+
+  /// Registers a neighbor (one direction; P2PNetwork adds both).
+  void add_peer(NodeId peer) { peers_.push_back(peer); }
+  const std::vector<NodeId>& peers() const noexcept { return peers_; }
+
+  /// Delivers a message from a peer.
+  void handle(NodeId from, const Message& msg);
+
+  /// Injects a locally originated transaction (a wallet spend) and
+  /// announces it to all peers.
+  void originate_tx(const Transaction& tx);
+
+  /// Accepts a locally mined block and announces it.
+  void originate_block(const Block& block);
+
+  bool knows_tx(const Hash256& txid) const noexcept {
+    return known_tx_.contains(txid);
+  }
+  bool knows_block(const Hash256& hash) const noexcept {
+    return known_block_.contains(hash);
+  }
+
+  /// Transactions available for a miner running on this node.
+  const std::unordered_map<Hash256, Transaction>& mempool() const noexcept {
+    return mempool_;
+  }
+
+  /// This node's current tip hash (null before any block).
+  const Hash256& tip() const noexcept { return tip_; }
+  int chain_length() const noexcept {
+    return static_cast<int>(chain_.size());
+  }
+
+  /// A block this node has seen, or nullptr.
+  const Block* find_block(const Hash256& hash) const noexcept {
+    auto it = blocks_.find(hash);
+    return it == blocks_.end() ? nullptr : &it->second;
+  }
+
+  /// Hash of this node's chain at `height` (0-based). Returns null hash
+  /// when out of range.
+  Hash256 chain_hash(int height) const noexcept {
+    if (height < 0 || height >= chain_length()) return Hash256{};
+    return chain_[static_cast<std::size_t>(height)];
+  }
+
+  /// Number of blocks received that did not extend the tip.
+  int forks_seen() const noexcept { return forks_seen_; }
+
+ private:
+  void accept_tx(const Transaction& tx, NodeId relay_from, bool local);
+  void accept_block(const Block& block, NodeId relay_from, bool local);
+  void announce(const InvItem& item, NodeId except);
+
+  NodeId id_;
+  NodeEnv* env_;
+  std::vector<NodeId> peers_;
+
+  std::unordered_set<Hash256> known_tx_;
+  std::unordered_set<Hash256> known_block_;
+  std::unordered_map<Hash256, Transaction> mempool_;
+  std::unordered_map<Hash256, Block> blocks_;
+  std::vector<Hash256> chain_;
+  Hash256 tip_;
+  int forks_seen_ = 0;
+};
+
+}  // namespace fist::net

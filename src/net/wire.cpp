@@ -1,0 +1,140 @@
+#include "net/wire.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "chain/blockstore.hpp"  // kMainnetMagic
+#include "crypto/sha256.hpp"
+#include "util/error.hpp"
+#include "util/serialize.hpp"
+
+namespace fist::net {
+
+namespace {
+
+void encode_inv_list(Writer& w, const std::vector<InvItem>& items) {
+  w.varint(items.size());
+  for (const InvItem& item : items) {
+    w.u32le(static_cast<std::uint32_t>(item.kind));
+    w.bytes(item.hash.view());
+  }
+}
+
+std::vector<InvItem> decode_inv_list(Reader& r) {
+  std::uint64_t n = r.varint();
+  if (n > 50'000) throw ParseError("inv: too many items");
+  std::vector<InvItem> items;
+  items.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    InvItem item;
+    std::uint32_t kind = r.u32le();
+    if (kind != 1 && kind != 2) throw ParseError("inv: unknown kind");
+    item.kind = static_cast<InvKind>(kind);
+    item.hash = Hash256::from_bytes(r.bytes(32));
+    items.push_back(item);
+  }
+  return items;
+}
+
+Bytes payload_of(const Message& msg) {
+  Writer w;
+  std::visit(
+      [&w](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, InvMsg>) {
+          encode_inv_list(w, m.items);
+        } else if constexpr (std::is_same_v<T, GetDataMsg>) {
+          encode_inv_list(w, m.items);
+        } else if constexpr (std::is_same_v<T, TxMsg>) {
+          m.tx.serialize(w);
+        } else {
+          m.block.serialize(w);
+        }
+      },
+      msg);
+  return w.take();
+}
+
+}  // namespace
+
+std::string command_of(const Message& msg) {
+  switch (msg.index()) {
+    case 0: return "inv";
+    case 1: return "getdata";
+    case 2: return "tx";
+    default: return "block";
+  }
+}
+
+Bytes encode_message(const Message& msg) {
+  Bytes payload = payload_of(msg);
+  std::string cmd = command_of(msg);
+
+  Writer w;
+  w.reserve(24 + payload.size());
+  w.u32le(kMainnetMagic);
+  // 12-byte zero-padded ASCII command.
+  std::array<std::uint8_t, 12> cmd_field{};
+  std::copy(cmd.begin(), cmd.end(), cmd_field.begin());
+  w.bytes(ByteView(cmd_field));
+  w.u32le(static_cast<std::uint32_t>(payload.size()));
+  Sha256::Digest check = sha256d(payload);
+  w.bytes(ByteView(check.data(), 4));
+  w.bytes(payload);
+  return w.take();
+}
+
+Message decode_message(ByteView frame) {
+  Reader r(frame);
+  if (r.u32le() != kMainnetMagic) throw ParseError("message: bad magic");
+  ByteView cmd_field = r.bytes(12);
+  std::string cmd;
+  for (std::uint8_t c : cmd_field) {
+    if (c == 0) break;
+    cmd.push_back(static_cast<char>(c));
+  }
+  // Reject commands with embedded NULs followed by garbage.
+  bool seen_zero = false;
+  for (std::uint8_t c : cmd_field) {
+    if (c == 0) seen_zero = true;
+    else if (seen_zero) throw ParseError("message: malformed command field");
+  }
+  std::uint32_t length = r.u32le();
+  ByteView checksum = r.bytes(4);
+  ByteView payload = r.bytes(length);
+  r.expect_eof();
+
+  Sha256::Digest check = sha256d(payload);
+  if (!std::equal(checksum.begin(), checksum.end(), check.begin()))
+    throw ParseError("message: checksum mismatch");
+
+  Reader pr(payload);
+  if (cmd == "inv") {
+    InvMsg m{decode_inv_list(pr)};
+    pr.expect_eof();
+    return m;
+  }
+  if (cmd == "getdata") {
+    GetDataMsg m{decode_inv_list(pr)};
+    pr.expect_eof();
+    return m;
+  }
+  if (cmd == "tx") {
+    TxMsg m{Transaction::deserialize(pr)};
+    pr.expect_eof();
+    return m;
+  }
+  if (cmd == "block") {
+    BlockMsg m{Block::deserialize(pr)};
+    pr.expect_eof();
+    return m;
+  }
+  throw ParseError("message: unknown command '" + cmd + "'");
+}
+
+std::size_t wire_size(const Message& msg) {
+  // 24-byte header + payload. Payload size without building the bytes:
+  return 24 + payload_of(msg).size();
+}
+
+}  // namespace fist::net

@@ -1,0 +1,75 @@
+// wire.hpp — Bitcoin P2P message framing and payloads.
+//
+// Messages exchanged by simulated nodes carry real wire encodings:
+// a 24-byte header (magic, ASCII command, length, SHA256d checksum)
+// followed by the payload. The simulator passes decoded structs for
+// speed, but every message type round-trips through these encoders so
+// the protocol layer is genuine and testable.
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "chain/block.hpp"
+#include "chain/transaction.hpp"
+#include "util/bytes.hpp"
+
+namespace fist::net {
+
+/// Inventory item types (protocol values).
+enum class InvKind : std::uint32_t {
+  Tx = 1,
+  Block = 2,
+};
+
+/// One inventory entry: a typed object hash.
+struct InvItem {
+  InvKind kind = InvKind::Tx;
+  Hash256 hash;
+
+  bool operator==(const InvItem&) const = default;
+};
+
+/// "inv" — announce objects a node has.
+struct InvMsg {
+  std::vector<InvItem> items;
+  bool operator==(const InvMsg&) const = default;
+};
+
+/// "getdata" — request announced objects.
+struct GetDataMsg {
+  std::vector<InvItem> items;
+  bool operator==(const GetDataMsg&) const = default;
+};
+
+/// "tx" — a full transaction.
+struct TxMsg {
+  Transaction tx;
+  bool operator==(const TxMsg&) const = default;
+};
+
+/// "block" — a full block.
+struct BlockMsg {
+  Block block;
+  bool operator==(const BlockMsg&) const = default;
+};
+
+/// Any P2P message.
+using Message = std::variant<InvMsg, GetDataMsg, TxMsg, BlockMsg>;
+
+/// The ASCII command for a message ("inv", "getdata", "tx", "block").
+std::string command_of(const Message& msg);
+
+/// Encodes header + payload (Bitcoin framing, mainnet magic).
+Bytes encode_message(const Message& msg);
+
+/// Decodes one framed message; throws ParseError on bad framing,
+/// command, length or checksum.
+Message decode_message(ByteView frame);
+
+/// Approximate wire size in bytes (header + payload) — used by the
+/// bandwidth accounting in the simulator without re-encoding.
+std::size_t wire_size(const Message& msg);
+
+}  // namespace fist::net

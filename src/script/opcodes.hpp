@@ -1,0 +1,75 @@
+// opcodes.hpp — the Bitcoin script opcodes fistful understands.
+//
+// Only the subset needed to build and classify 2009–2013-era standard
+// scripts is enumerated; unknown opcodes still round-trip through the
+// parser as raw values.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fist {
+
+/// Script opcodes (values match the Bitcoin protocol).
+enum class Opcode : std::uint8_t {
+  // Push operations. Values 0x01..0x4b push that many literal bytes.
+  OP_0 = 0x00,
+  OP_PUSHDATA1 = 0x4c,
+  OP_PUSHDATA2 = 0x4d,
+  OP_PUSHDATA4 = 0x4e,
+  OP_1NEGATE = 0x4f,
+  OP_1 = 0x51,
+  OP_2 = 0x52,
+  OP_3 = 0x53,
+  OP_4 = 0x54,
+  OP_5 = 0x55,
+  OP_6 = 0x56,
+  OP_7 = 0x57,
+  OP_8 = 0x58,
+  OP_9 = 0x59,
+  OP_10 = 0x5a,
+  OP_11 = 0x5b,
+  OP_12 = 0x5c,
+  OP_13 = 0x5d,
+  OP_14 = 0x5e,
+  OP_15 = 0x5f,
+  OP_16 = 0x60,
+
+  // Flow / stack / compare.
+  OP_NOP = 0x61,
+  OP_RETURN = 0x6a,
+  OP_DUP = 0x76,
+  OP_EQUAL = 0x87,
+  OP_EQUALVERIFY = 0x88,
+
+  // Crypto.
+  OP_RIPEMD160 = 0xa6,
+  OP_SHA256 = 0xa8,
+  OP_HASH160 = 0xa9,
+  OP_HASH256 = 0xaa,
+  OP_CHECKSIG = 0xac,
+  OP_CHECKSIGVERIFY = 0xad,
+  OP_CHECKMULTISIG = 0xae,
+  OP_CHECKMULTISIGVERIFY = 0xaf,
+
+  OP_INVALIDOPCODE = 0xff,
+};
+
+/// Human-readable opcode name ("OP_DUP"), or "OP_UNKNOWN(0xXX)".
+std::string opcode_name(Opcode op);
+
+/// For OP_1..OP_16 returns 1..16; OP_0 returns 0; otherwise -1.
+constexpr int small_int_value(Opcode op) noexcept {
+  auto v = static_cast<std::uint8_t>(op);
+  if (op == Opcode::OP_0) return 0;
+  if (v >= 0x51 && v <= 0x60) return v - 0x50;
+  return -1;
+}
+
+/// The opcode encoding a small integer 0..16.
+constexpr Opcode small_int_opcode(int n) noexcept {
+  if (n == 0) return Opcode::OP_0;
+  return static_cast<Opcode>(0x50 + n);
+}
+
+}  // namespace fist

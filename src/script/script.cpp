@@ -1,0 +1,133 @@
+#include "script/script.hpp"
+
+#include <cstdio>
+
+#include "util/error.hpp"
+#include "util/hex.hpp"
+
+namespace fist {
+
+std::string opcode_name(Opcode op) {
+  switch (op) {
+    case Opcode::OP_0: return "OP_0";
+    case Opcode::OP_PUSHDATA1: return "OP_PUSHDATA1";
+    case Opcode::OP_PUSHDATA2: return "OP_PUSHDATA2";
+    case Opcode::OP_PUSHDATA4: return "OP_PUSHDATA4";
+    case Opcode::OP_1NEGATE: return "OP_1NEGATE";
+    case Opcode::OP_NOP: return "OP_NOP";
+    case Opcode::OP_RETURN: return "OP_RETURN";
+    case Opcode::OP_DUP: return "OP_DUP";
+    case Opcode::OP_EQUAL: return "OP_EQUAL";
+    case Opcode::OP_EQUALVERIFY: return "OP_EQUALVERIFY";
+    case Opcode::OP_RIPEMD160: return "OP_RIPEMD160";
+    case Opcode::OP_SHA256: return "OP_SHA256";
+    case Opcode::OP_HASH160: return "OP_HASH160";
+    case Opcode::OP_HASH256: return "OP_HASH256";
+    case Opcode::OP_CHECKSIG: return "OP_CHECKSIG";
+    case Opcode::OP_CHECKSIGVERIFY: return "OP_CHECKSIGVERIFY";
+    case Opcode::OP_CHECKMULTISIG: return "OP_CHECKMULTISIG";
+    case Opcode::OP_CHECKMULTISIGVERIFY: return "OP_CHECKMULTISIGVERIFY";
+    default: break;
+  }
+  int n = small_int_value(op);
+  if (n >= 1) return "OP_" + std::to_string(n);
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "OP_UNKNOWN(0x%02x)",
+                static_cast<unsigned>(op));
+  return buf;
+}
+
+Script& Script::op(Opcode opcode) {
+  raw_.push_back(static_cast<std::uint8_t>(opcode));
+  return *this;
+}
+
+Script& Script::push(ByteView data) {
+  if (data.empty()) {
+    raw_.push_back(static_cast<std::uint8_t>(Opcode::OP_0));
+    return *this;
+  }
+  std::size_t n = data.size();
+  if (n <= 0x4b) {
+    raw_.push_back(static_cast<std::uint8_t>(n));
+  } else if (n <= 0xff) {
+    raw_.push_back(static_cast<std::uint8_t>(Opcode::OP_PUSHDATA1));
+    raw_.push_back(static_cast<std::uint8_t>(n));
+  } else if (n <= 0xffff) {
+    raw_.push_back(static_cast<std::uint8_t>(Opcode::OP_PUSHDATA2));
+    raw_.push_back(static_cast<std::uint8_t>(n));
+    raw_.push_back(static_cast<std::uint8_t>(n >> 8));
+  } else {
+    raw_.push_back(static_cast<std::uint8_t>(Opcode::OP_PUSHDATA4));
+    for (int i = 0; i < 4; ++i)
+      raw_.push_back(static_cast<std::uint8_t>(n >> (8 * i)));
+  }
+  append(raw_, data);
+  return *this;
+}
+
+Script& Script::push_int(int n) {
+  if (n < 0 || n > 16) throw UsageError("Script::push_int: out of range");
+  raw_.push_back(static_cast<std::uint8_t>(small_int_opcode(n)));
+  return *this;
+}
+
+std::vector<ScriptOp> Script::ops() const {
+  std::vector<ScriptOp> out;
+  std::size_t pos = 0;
+  while (pos < raw_.size()) {
+    std::uint8_t v = raw_[pos++];
+    ScriptOp element;
+    element.op = static_cast<Opcode>(v);
+    std::size_t len = 0;
+    if (v >= 1 && v <= 0x4b) {
+      len = v;
+    } else if (v == static_cast<std::uint8_t>(Opcode::OP_PUSHDATA1)) {
+      if (pos + 1 > raw_.size()) throw ParseError("script: truncated push");
+      len = raw_[pos];
+      pos += 1;
+    } else if (v == static_cast<std::uint8_t>(Opcode::OP_PUSHDATA2)) {
+      if (pos + 2 > raw_.size()) throw ParseError("script: truncated push");
+      len = raw_[pos] | (static_cast<std::size_t>(raw_[pos + 1]) << 8);
+      pos += 2;
+    } else if (v == static_cast<std::uint8_t>(Opcode::OP_PUSHDATA4)) {
+      if (pos + 4 > raw_.size()) throw ParseError("script: truncated push");
+      len = 0;
+      for (int i = 3; i >= 0; --i)
+        len = (len << 8) | raw_[pos + static_cast<std::size_t>(i)];
+      pos += 4;
+    }
+    if (len > 0) {
+      if (pos + len > raw_.size()) throw ParseError("script: truncated push");
+      element.push.assign(raw_.begin() + static_cast<std::ptrdiff_t>(pos),
+                          raw_.begin() + static_cast<std::ptrdiff_t>(pos + len));
+      pos += len;
+    }
+    out.push_back(std::move(element));
+  }
+  return out;
+}
+
+std::optional<std::vector<ScriptOp>> Script::ops_checked() const noexcept {
+  try {
+    return ops();
+  } catch (const ParseError&) {
+    return std::nullopt;
+  }
+}
+
+std::string Script::to_asm() const {
+  auto parsed = ops_checked();
+  if (!parsed) return "<malformed script " + to_hex(raw_) + ">";
+  std::string out;
+  for (const ScriptOp& element : *parsed) {
+    if (!out.empty()) out += ' ';
+    if (element.is_push() && element.op != Opcode::OP_0)
+      out += to_hex(element.push);
+    else
+      out += opcode_name(element.op);
+  }
+  return out;
+}
+
+}  // namespace fist

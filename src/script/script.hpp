@@ -1,0 +1,71 @@
+// script.hpp — Bitcoin script container, builder and tokenizer.
+//
+// A Script is the raw byte program carried in transaction outputs
+// (scriptPubKey) and inputs (scriptSig). This module builds scripts
+// op-by-op and tokenizes them back into (opcode, push-payload) pairs;
+// standard.hpp layers template recognition on top.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "script/opcodes.hpp"
+#include "util/bytes.hpp"
+
+namespace fist {
+
+/// One tokenized script element: an opcode, plus its payload when the
+/// opcode is a data push.
+struct ScriptOp {
+  Opcode op = Opcode::OP_INVALIDOPCODE;
+  Bytes push;  ///< non-empty only for data pushes
+
+  /// True if this element pushes data (including OP_0's empty push).
+  bool is_push() const noexcept {
+    auto v = static_cast<std::uint8_t>(op);
+    return v <= static_cast<std::uint8_t>(Opcode::OP_PUSHDATA4);
+  }
+
+  bool operator==(const ScriptOp&) const = default;
+};
+
+/// A script program. Wraps raw bytes; append-only builder interface.
+class Script {
+ public:
+  Script() = default;
+  explicit Script(Bytes raw) noexcept : raw_(std::move(raw)) {}
+
+  /// Appends a bare (non-push) opcode.
+  Script& op(Opcode opcode);
+
+  /// Appends a minimal data push of `data` (direct push, PUSHDATA1/2/4
+  /// as needed; empty data becomes OP_0).
+  Script& push(ByteView data);
+
+  /// Appends a small-integer push (0..16) using OP_0/OP_1..OP_16.
+  Script& push_int(int n);
+
+  /// Tokenizes the program. Throws ParseError on a truncated push.
+  std::vector<ScriptOp> ops() const;
+
+  /// Tokenizes without throwing; returns nullopt on malformed scripts
+  /// (which do occur in real chains and must not kill a scan).
+  std::optional<std::vector<ScriptOp>> ops_checked() const noexcept;
+
+  /// Disassembles to "OP_DUP OP_HASH160 89abcd... OP_EQUALVERIFY ..."
+  /// (best effort on malformed scripts).
+  std::string to_asm() const;
+
+  const Bytes& raw() const noexcept { return raw_; }
+  ByteView view() const noexcept { return raw_; }
+  std::size_t size() const noexcept { return raw_.size(); }
+  bool empty() const noexcept { return raw_.empty(); }
+
+  bool operator==(const Script&) const = default;
+
+ private:
+  Bytes raw_;
+};
+
+}  // namespace fist

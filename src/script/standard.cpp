@@ -1,0 +1,166 @@
+#include "script/standard.hpp"
+
+#include "util/error.hpp"
+
+namespace fist {
+
+namespace {
+
+// True iff the payload could be a SEC1 public key (33 compressed or
+// 65 uncompressed bytes with the right prefix). We do not insist the
+// point is on the curve — real chains carry a few invalid ones, and the
+// forensics layer must classify them the way period software did.
+bool plausible_pubkey(const Bytes& b) noexcept {
+  if (b.size() == 33) return b[0] == 0x02 || b[0] == 0x03;
+  if (b.size() == 65) return b[0] == 0x04;
+  return false;
+}
+
+}  // namespace
+
+Classified classify(const Script& script) noexcept {
+  Classified out;
+  auto parsed = script.ops_checked();
+  if (!parsed || parsed->empty()) return out;
+  const std::vector<ScriptOp>& ops = *parsed;
+
+  // OP_RETURN ...
+  if (ops[0].op == Opcode::OP_RETURN) {
+    out.type = ScriptType::NullData;
+    return out;
+  }
+
+  // <pubkey> OP_CHECKSIG
+  if (ops.size() == 2 && ops[0].is_push() && plausible_pubkey(ops[0].push) &&
+      ops[1].op == Opcode::OP_CHECKSIG) {
+    out.type = ScriptType::P2PK;
+    out.pubkeys.push_back(ops[0].push);
+    return out;
+  }
+
+  // OP_DUP OP_HASH160 <20> OP_EQUALVERIFY OP_CHECKSIG
+  if (ops.size() == 5 && ops[0].op == Opcode::OP_DUP &&
+      ops[1].op == Opcode::OP_HASH160 && ops[2].is_push() &&
+      ops[2].push.size() == 20 && ops[3].op == Opcode::OP_EQUALVERIFY &&
+      ops[4].op == Opcode::OP_CHECKSIG) {
+    out.type = ScriptType::P2PKH;
+    out.hash = Hash160::from_bytes(ops[2].push);
+    return out;
+  }
+
+  // OP_HASH160 <20> OP_EQUAL
+  if (ops.size() == 3 && ops[0].op == Opcode::OP_HASH160 &&
+      ops[1].is_push() && ops[1].push.size() == 20 &&
+      ops[2].op == Opcode::OP_EQUAL) {
+    out.type = ScriptType::P2SH;
+    out.hash = Hash160::from_bytes(ops[1].push);
+    return out;
+  }
+
+  // OP_m <pk>... OP_n OP_CHECKMULTISIG
+  if (ops.size() >= 4 && ops.back().op == Opcode::OP_CHECKMULTISIG) {
+    int m = small_int_value(ops[0].op);
+    int n = small_int_value(ops[ops.size() - 2].op);
+    if (m >= 1 && n >= m && n <= 16 &&
+        ops.size() == static_cast<std::size_t>(n) + 3) {
+      std::vector<Bytes> keys;
+      bool ok = true;
+      for (std::size_t i = 1; i + 2 < ops.size(); ++i) {
+        if (!ops[i].is_push() || !plausible_pubkey(ops[i].push)) {
+          ok = false;
+          break;
+        }
+        keys.push_back(ops[i].push);
+      }
+      if (ok) {
+        out.type = ScriptType::Multisig;
+        out.pubkeys = std::move(keys);
+        out.required = m;
+        return out;
+      }
+    }
+  }
+
+  return out;
+}
+
+std::optional<Address> extract_address(const Script& script) noexcept {
+  Classified c = classify(script);
+  switch (c.type) {
+    case ScriptType::P2PKH:
+      return Address(AddrType::P2PKH, c.hash);
+    case ScriptType::P2SH:
+      return Address(AddrType::P2SH, c.hash);
+    case ScriptType::P2PK:
+      return Address(AddrType::P2PKH, hash160(c.pubkeys[0]));
+    default:
+      return std::nullopt;
+  }
+}
+
+Script make_p2pkh(const Hash160& h) {
+  Script s;
+  s.op(Opcode::OP_DUP).op(Opcode::OP_HASH160).push(h.view());
+  s.op(Opcode::OP_EQUALVERIFY).op(Opcode::OP_CHECKSIG);
+  return s;
+}
+
+Script make_p2pk(ByteView pubkey) {
+  Script s;
+  s.push(pubkey).op(Opcode::OP_CHECKSIG);
+  return s;
+}
+
+Script make_p2sh(const Hash160& script_hash) {
+  Script s;
+  s.op(Opcode::OP_HASH160).push(script_hash.view()).op(Opcode::OP_EQUAL);
+  return s;
+}
+
+Script make_multisig(int required, const std::vector<Bytes>& pubkeys) {
+  if (required < 1 || pubkeys.empty() || pubkeys.size() > 16 ||
+      static_cast<std::size_t>(required) > pubkeys.size())
+    throw UsageError("make_multisig: bad m-of-n");
+  Script s;
+  s.push_int(required);
+  for (const Bytes& pk : pubkeys) s.push(pk);
+  s.push_int(static_cast<int>(pubkeys.size()));
+  s.op(Opcode::OP_CHECKMULTISIG);
+  return s;
+}
+
+Script make_nulldata(ByteView data) {
+  Script s;
+  s.op(Opcode::OP_RETURN);
+  if (!data.empty()) s.push(data);
+  return s;
+}
+
+Script make_p2pkh_scriptsig(ByteView signature_with_hashtype,
+                            ByteView pubkey) {
+  Script s;
+  s.push(signature_with_hashtype).push(pubkey);
+  return s;
+}
+
+Script make_script_for(const Address& addr) {
+  switch (addr.type()) {
+    case AddrType::P2PKH: return make_p2pkh(addr.payload());
+    case AddrType::P2SH: return make_p2sh(addr.payload());
+  }
+  throw UsageError("make_script_for: unknown address type");
+}
+
+const char* script_type_name(ScriptType t) noexcept {
+  switch (t) {
+    case ScriptType::NonStandard: return "nonstandard";
+    case ScriptType::P2PK: return "p2pk";
+    case ScriptType::P2PKH: return "p2pkh";
+    case ScriptType::P2SH: return "p2sh";
+    case ScriptType::Multisig: return "multisig";
+    case ScriptType::NullData: return "nulldata";
+  }
+  return "?";
+}
+
+}  // namespace fist

@@ -1,0 +1,70 @@
+// standard.hpp — standard script templates and destination extraction.
+//
+// This is the layer the forensics pipeline uses to turn a scriptPubKey
+// into an address (or refuse to): P2PK, P2PKH, P2SH, bare multisig and
+// OP_RETURN, the repertoire in use during 2009–2013.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "crypto/hash.hpp"
+#include "encoding/address.hpp"
+#include "script/script.hpp"
+
+namespace fist {
+
+/// Recognized output-script templates.
+enum class ScriptType {
+  NonStandard,
+  P2PK,       ///< <pubkey> OP_CHECKSIG
+  P2PKH,      ///< OP_DUP OP_HASH160 <20B> OP_EQUALVERIFY OP_CHECKSIG
+  P2SH,       ///< OP_HASH160 <20B> OP_EQUAL
+  Multisig,   ///< OP_m <pk>... OP_n OP_CHECKMULTISIG
+  NullData,   ///< OP_RETURN <data>  (provably unspendable)
+};
+
+/// Classification result: the template plus extracted payloads.
+struct Classified {
+  ScriptType type = ScriptType::NonStandard;
+  std::vector<Bytes> pubkeys;  ///< P2PK/Multisig: raw SEC1 pubkeys
+  Hash160 hash;                ///< P2PKH/P2SH: payload hash
+  int required = 0;            ///< Multisig: m of n
+};
+
+/// Classifies an output script against the standard templates.
+Classified classify(const Script& script) noexcept;
+
+/// Extracts the canonical destination address, if the script has one.
+/// P2PK yields the HASH160 of the embedded pubkey (what explorers
+/// display); Multisig/NullData/NonStandard yield nullopt.
+std::optional<Address> extract_address(const Script& script) noexcept;
+
+/// Builds OP_DUP OP_HASH160 <h> OP_EQUALVERIFY OP_CHECKSIG.
+Script make_p2pkh(const Hash160& h);
+
+/// Builds <pubkey> OP_CHECKSIG.
+Script make_p2pk(ByteView pubkey);
+
+/// Builds OP_HASH160 <h> OP_EQUAL.
+Script make_p2sh(const Hash160& script_hash);
+
+/// Builds OP_m <pubkeys...> OP_n OP_CHECKMULTISIG. Requires
+/// 1 <= required <= pubkeys.size() <= 16.
+Script make_multisig(int required, const std::vector<Bytes>& pubkeys);
+
+/// Builds OP_RETURN <data> (data <= 80 bytes by convention).
+Script make_nulldata(ByteView data);
+
+/// Builds the scriptSig spending a P2PKH output:
+/// <sig ‖ hashtype> <pubkey>.
+Script make_p2pkh_scriptsig(ByteView signature_with_hashtype,
+                            ByteView pubkey);
+
+/// Builds the output script paying to `addr` (P2PKH or P2SH).
+Script make_script_for(const Address& addr);
+
+/// Printable name of a ScriptType ("p2pkh", ...).
+const char* script_type_name(ScriptType t) noexcept;
+
+}  // namespace fist

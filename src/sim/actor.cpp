@@ -1,0 +1,21 @@
+#include "sim/actor.hpp"
+
+namespace fist::sim {
+
+void GroundTruth::register_address(const Address& a, ActorId actor) {
+  owner_.try_emplace(a, actor);
+}
+
+ActorId GroundTruth::owner(const Address& a) const noexcept {
+  auto it = owner_.find(a);
+  return it == owner_.end() ? kNoActor : it->second;
+}
+
+std::vector<Address> GroundTruth::addresses_of(ActorId actor) const {
+  std::vector<Address> out;
+  for (const auto& [addr, owner] : owner_)
+    if (owner == actor) out.push_back(addr);
+  return out;
+}
+
+}  // namespace fist::sim

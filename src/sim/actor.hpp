@@ -1,0 +1,106 @@
+// actor.hpp — the economy simulator's actor framework + ground truth.
+//
+// Every participant — user, mining pool, exchange, dice game, thief —
+// is an Actor owning a Wallet. The GroundTruth journal records which
+// actor minted every address; the forensic pipeline never reads it
+// (it works from serialized blocks + the tag feed), but benches use it
+// to score heuristics exactly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/wallet.hpp"
+#include "tag/category.hpp"
+
+namespace fist::sim {
+
+class World;
+
+/// Dense actor identifier.
+using ActorId = std::uint32_t;
+inline constexpr ActorId kNoActor = 0xffffffffu;
+
+/// Base class for all economy participants.
+class Actor {
+ public:
+  Actor(std::string name, Category category, Wallet wallet)
+      : name_(std::move(name)),
+        category_(category),
+        wallet_(std::move(wallet)) {}
+  virtual ~Actor() = default;
+
+  Actor(const Actor&) = delete;
+  Actor& operator=(const Actor&) = delete;
+
+  /// Called once per simulated day, in actor-id order.
+  virtual void on_day(World& world) { (void)world; }
+
+  /// Called when a transaction pays an address this actor owns.
+  /// `from` is the sending actor (services may not inspect it for
+  /// decision-making beyond what an on-chain observer could infer; it
+  /// is plumbing for account crediting, which real services do via
+  /// their deposit-address books anyway).
+  virtual void on_deposit(World& world, const Address& to, Amount value,
+                          const Hash256& txid, ActorId from) {
+    (void)world;
+    (void)to;
+    (void)value;
+    (void)txid;
+    (void)from;
+  }
+
+  /// All wallets this actor controls (main first). Actors with side
+  /// wallets (cold storage, hoards) override so the world can route
+  /// credits and register every minted address.
+  virtual std::vector<Wallet*> wallets() { return {&wallet_}; }
+
+  /// The wallet owning `a`, or nullptr.
+  Wallet* wallet_for(const Address& a) {
+    for (Wallet* w : wallets())
+      if (w->owns(a)) return w;
+    return nullptr;
+  }
+
+  const std::string& name() const noexcept { return name_; }
+  Category category() const noexcept { return category_; }
+  Wallet& wallet() noexcept { return wallet_; }
+  const Wallet& wallet() const noexcept { return wallet_; }
+
+  ActorId id() const noexcept { return id_; }
+  void set_id(ActorId id) noexcept { id_ = id; }
+
+ private:
+  std::string name_;
+  Category category_;
+  Wallet wallet_;
+  ActorId id_ = kNoActor;
+};
+
+/// The simulator's ownership journal.
+class GroundTruth {
+ public:
+  /// Registers an address as owned by `actor`.
+  void register_address(const Address& a, ActorId actor);
+
+  /// Owner of an address, or kNoActor.
+  ActorId owner(const Address& a) const noexcept;
+
+  /// All registered addresses of one actor.
+  std::vector<Address> addresses_of(ActorId actor) const;
+
+  std::size_t size() const noexcept { return owner_.size(); }
+
+  const std::unordered_map<Address, ActorId>& all() const noexcept {
+    return owner_;
+  }
+
+ private:
+  std::unordered_map<Address, ActorId> owner_;
+};
+
+}  // namespace fist::sim

@@ -1,0 +1,80 @@
+#include "sim/flows.hpp"
+
+namespace fist::sim {
+
+std::optional<WalletCoin> largest_coin(const Wallet& wallet, int height,
+                                       int maturity) {
+  const WalletCoin* best = nullptr;
+  for (const WalletCoin& c : wallet.coins()) {
+    if (c.coinbase && height - c.height < maturity) continue;
+    if (best == nullptr || c.value > best->value) best = &c;
+  }
+  if (best == nullptr) return std::nullopt;
+  return *best;
+}
+
+std::optional<BuiltPayment> peel_hop(World& world, Actor& actor,
+                                     const OutPoint& coin, const Address& to,
+                                     Amount value) {
+  return peel_hop(world, actor, actor.wallet(), coin, to, value);
+}
+
+std::optional<BuiltPayment> peel_hop(World& world, Actor& actor,
+                                     Wallet& wallet, const OutPoint& coin,
+                                     const Address& to, Amount value) {
+  PaymentSpec spec;
+  spec.outputs.emplace_back(to, value);
+  spec.spend_coin = coin;
+  spec.force_fresh_change = true;
+  std::optional<BuiltPayment> built =
+      wallet.pay(spec, world.height(), world.maturity());
+  if (!built) return std::nullopt;
+  world.submit(actor.id(), *built, wallet.policy().fee);
+  return built;
+}
+
+std::optional<BuiltPayment> peel_next(World& world, Actor& actor,
+                                      const BuiltPayment& prev,
+                                      const Address& to, Amount value) {
+  if (!prev.change_address) return std::nullopt;
+  OutPoint tip{prev.txid,
+               static_cast<std::uint32_t>(prev.tx.outputs.size() - 1)};
+  return peel_hop(world, actor, tip, to, value);
+}
+
+std::optional<BuiltPayment> aggregate(World& world, Actor& actor,
+                                      std::size_t min_coins,
+                                      std::size_t max_coins,
+                                      std::size_t skip_oldest) {
+  Address target = actor.wallet().fresh_address();
+  std::optional<BuiltPayment> built =
+      actor.wallet().sweep(target, min_coins, max_coins, world.height(),
+                           world.maturity(), skip_oldest);
+  if (!built) return std::nullopt;
+  world.submit(actor.id(), *built, actor.wallet().policy().fee);
+  return built;
+}
+
+std::optional<BuiltPayment> split(World& world, Actor& actor, int ways) {
+  std::optional<WalletCoin> coin =
+      largest_coin(actor.wallet(), world.height(), world.maturity());
+  if (!coin || ways < 2) return std::nullopt;
+  Amount fee = actor.wallet().policy().fee;
+  Amount each = (coin->value - fee) / ways;
+  if (each <= actor.wallet().policy().dust) return std::nullopt;
+
+  PaymentSpec spec;
+  spec.spend_coin = coin->outpoint;
+  spec.force_fresh_change = true;
+  // ways-1 explicit outputs; the remainder goes out as "change" to a
+  // fresh address, making the split an all-fresh-outputs transaction.
+  for (int i = 0; i < ways - 1; ++i)
+    spec.outputs.emplace_back(actor.wallet().fresh_address(), each);
+  std::optional<BuiltPayment> built =
+      actor.wallet().pay(spec, world.height(), world.maturity());
+  if (!built) return std::nullopt;
+  world.submit(actor.id(), *built, fee);
+  return built;
+}
+
+}  // namespace fist::sim

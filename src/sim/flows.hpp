@@ -1,0 +1,51 @@
+// flows.hpp — reusable money-movement idioms.
+//
+// Peeling chains, aggregations and splits are performed by several
+// actors (pools, exchange withdrawals, the hoard, thieves); these
+// helpers implement them once over the Wallet/World API.
+#pragma once
+
+#include <optional>
+
+#include "sim/actor.hpp"
+#include "sim/world.hpp"
+
+namespace fist::sim {
+
+/// The wallet's largest mature spendable coin, if any.
+std::optional<WalletCoin> largest_coin(const Wallet& wallet, int height,
+                                       int maturity);
+
+/// Executes one peel hop: spends exactly `coin`, pays (to, value), and
+/// sends the remainder to a fresh change address. Submits the tx.
+/// Returns the built payment (whose change output is the next hop's
+/// coin), or nullopt if the coin cannot cover value + fee.
+std::optional<BuiltPayment> peel_hop(World& world, Actor& actor,
+                                     const OutPoint& coin, const Address& to,
+                                     Amount value);
+
+/// As above but spending from a specific wallet of the actor (hoards
+/// and cold stores are side wallets).
+std::optional<BuiltPayment> peel_hop(World& world, Actor& actor,
+                                     Wallet& wallet, const OutPoint& coin,
+                                     const Address& to, Amount value);
+
+/// Spends the chain tip (change of `prev`) for the next hop. Undefined
+/// if `prev` had no change output.
+std::optional<BuiltPayment> peel_next(World& world, Actor& actor,
+                                      const BuiltPayment& prev,
+                                      const Address& to, Amount value);
+
+/// Aggregates up to `max_coins` of the actor's coins into one fresh
+/// address ("A"; with foreign-sourced coins present this is what the
+/// paper calls folding, "F"). Submits the tx. `skip_oldest` holds back
+/// that many of the oldest coins.
+std::optional<BuiltPayment> aggregate(World& world, Actor& actor,
+                                      std::size_t min_coins,
+                                      std::size_t max_coins,
+                                      std::size_t skip_oldest = 0);
+
+/// Splits the largest coin into `ways` fresh addresses ("S").
+std::optional<BuiltPayment> split(World& world, Actor& actor, int ways);
+
+}  // namespace fist::sim

@@ -1,0 +1,228 @@
+#include "sim/hoard.hpp"
+
+#include <string_view>
+
+#include "sim/flows.hpp"
+#include "sim/services.hpp"
+
+namespace fist::sim {
+
+namespace {
+
+// Table-2-flavoured peel recipient mix: (service, weight). Unnamed
+// users take the remaining probability mass at the call site.
+struct PeelTarget {
+  std::string_view service;
+  double weight;
+};
+
+constexpr PeelTarget kPeelTargets[] = {
+    {"Mt. Gox", 30},       {"Instawallet", 14},   {"Bitstamp", 6},
+    {"OKPay", 3},          {"CA VirtEx", 5},      {"Bitcoin-24", 4},
+    {"Bitcoin Central", 2},{"Bitcoin.de", 1},     {"Bitmarket", 1},
+    {"BTC-e", 2},          {"Mercado Bitcoin", 1},{"WalletBit", 1},
+    {"Bitzino", 2},        {"Seals with Clubs", 1},{"Coinabul", 1},
+    {"Medsforbitcoin", 3}, {"Silk Road", 9},
+};
+
+// The dissolution schedule from the paper, in BTC of the original
+// 1DkyBEKt balance; we use them as *fractions* of the simulated hoard.
+constexpr double kWithdrawalsBtc[] = {20000, 19000, 60000,
+                                      100000, 100000, 150000};
+constexpr double kFinalBtc = 158336;
+constexpr double kTotalBtc = 607336;  // sum of the above
+
+}  // namespace
+
+Address SilkRoadMarket::escrow_address(World& world) {
+  (void)world;
+  return wallet().fresh_address();
+}
+
+void SilkRoadMarket::on_day(World& world) {
+  if (!dissolved_ && world.day() < dissolve_day_) {
+    accumulate(world);
+    return;
+  }
+  if (!dissolved_) {
+    dissolve(world);
+    return;
+  }
+  run_peel_chains(world);
+}
+
+void SilkRoadMarket::accumulate(World& world) {
+  // Pay sellers their share of recent escrow (keeps coins circulating;
+  // the ~15% margin is what accumulates into the hoard).
+  Rng& rng = wallet().rng();
+  Amount escrow = wallet().balance(world.height(), world.maturity());
+  if (escrow > btc(50) && rng.chance(0.8)) {
+    std::vector<std::pair<Address, Amount>> outs;
+    int sellers = 2 + static_cast<int>(rng.below(5));
+    Amount payout_total = escrow / 4;
+    for (int i = 0; i < sellers; ++i) {
+      ActorId seller = world.random_user(rng);
+      outs.emplace_back(world.actor(seller).wallet().receive_address(),
+                        payout_total / sellers);
+    }
+    PaymentSpec spec;
+    spec.outputs = std::move(outs);
+    std::optional<BuiltPayment> built =
+        wallet().pay(spec, world.height(), world.maturity());
+    if (built) world.submit(id(), *built, wallet().policy().fee);
+  }
+
+  // Weekly aggregate deposit into the hoard address ("the funds of 128
+  // addresses were combined to deposit 10,000 BTC...").
+  if (world.day() % 7 != 3) return;
+  if (!hoard_address_) hoard_address_ = hoard_.fresh_address();
+  Amount before = wallet().balance(world.height(), world.maturity());
+  if (before < btc(40)) return;
+  std::optional<BuiltPayment> built = wallet().sweep(
+      *hoard_address_, 8, 128, world.height(), world.maturity());
+  if (!built) return;
+  world.submit(id(), *built, wallet().policy().fee);
+  Amount deposited = built->tx.outputs[0].value;
+  hoard_balance_ += deposited;
+  if (HoardRecord* rec = world.mutable_hoard()) {
+    rec->hoard_address = *hoard_address_;
+    rec->deposit_txids.push_back(built->txid);
+    rec->peak_balance = hoard_balance_;
+  }
+}
+
+void SilkRoadMarket::dissolve(World& world) {
+  dissolved_ = true;
+  HoardRecord* rec = world.mutable_hoard();
+  Amount balance = hoard_.balance(world.height(), world.maturity());
+  if (balance <= 0) return;
+
+  // First six withdrawals to separate (untracked) addresses.
+  for (double amount_btc : kWithdrawalsBtc) {
+    Amount amount = static_cast<Amount>(
+        static_cast<double>(balance) * amount_btc / kTotalBtc);
+    if (amount <= hoard_.policy().dust) continue;
+    PaymentSpec spec;
+    spec.outputs.emplace_back(hoard_.fresh_address(), amount);
+    spec.force_fresh_change = true;
+    std::optional<BuiltPayment> built =
+        hoard_.pay(spec, world.height(), world.maturity());
+    if (!built) continue;
+    world.submit(id(), *built, hoard_.policy().fee);
+    if (rec) rec->withdrawal_txids.push_back(built->txid);
+  }
+
+  // Final chunk: one address, then split 50k/50k/58,336-style into the
+  // three peeling chains.
+  Amount final_amount = hoard_.balance(world.height(), world.maturity()) -
+                        hoard_.policy().fee * 4;
+  if (final_amount <= 0) return;
+  Address staging = hoard_.fresh_address();
+  std::optional<BuiltPayment> move =
+      hoard_.sweep(staging, 1, 4096, world.height(), world.maturity());
+  if (!move) return;
+  world.submit(id(), *move, hoard_.policy().fee);
+  if (rec) rec->withdrawal_txids.push_back(move->txid);
+
+  Amount staged = move->tx.outputs[0].value;
+  Amount first = static_cast<Amount>(static_cast<double>(staged) * 50000 /
+                                     kFinalBtc);
+  PaymentSpec split_spec;
+  split_spec.spend_coin = OutPoint{move->txid, 0};
+  split_spec.force_fresh_change = true;
+  split_spec.outputs.emplace_back(hoard_.fresh_address(), first);
+  split_spec.outputs.emplace_back(hoard_.fresh_address(), first);
+  // Remainder (the 58,336 analogue) leaves as the change output.
+  std::optional<BuiltPayment> split_tx =
+      hoard_.pay(split_spec, world.height(), world.maturity());
+  if (!split_tx) return;
+  world.submit(id(), *split_tx, hoard_.policy().fee);
+
+  if (rec) rec->final_split_txid = split_tx->txid;
+  chains_.clear();
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    Chain chain;
+    chain.tip = OutPoint{split_tx->txid, i};
+    chain.remaining = split_tx->tx.outputs[i].value;
+    chains_.push_back(chain);
+    if (rec) rec->chain_starts[i] = chain.tip;
+  }
+}
+
+void SilkRoadMarket::run_peel_chains(World& world) {
+  HoardRecord* rec = world.mutable_hoard();
+  Rng& rng = hoard_.rng();
+
+  std::vector<double> weights;
+  double total_weight = 0;
+  for (const PeelTarget& t : kPeelTargets) {
+    weights.push_back(t.weight);
+    total_weight += t.weight;
+  }
+
+  for (std::size_t ci = 0; ci < chains_.size(); ++ci) {
+    Chain& chain = chains_[ci];
+    if (chain.exhausted || chain.hops_done >= 115) continue;
+    int hops_today = 8 + static_cast<int>(rng.below(8));
+    for (int h = 0; h < hops_today && chain.hops_done < 115; ++h) {
+      // Peel size: a small slice of what remains.
+      Amount peel = static_cast<Amount>(
+          static_cast<double>(chain.remaining) *
+          (0.002 + rng.unit() * 0.015));
+      peel = std::max<Amount>(peel, hoard_.policy().dust * 4);
+      if (peel + hoard_.policy().fee * 2 >= chain.remaining) {
+        chain.exhausted = true;
+        break;
+      }
+
+      // Pick the recipient: ~55% unnamed users, else the service mix.
+      Address to;
+      std::string service;
+      if (rng.unit() < 0.55) {
+        ActorId user = world.random_user(rng);
+        to = world.actor(user).wallet().receive_address();
+      } else {
+        std::size_t pick = rng.weighted(weights);
+        service = std::string(kPeelTargets[pick].service);
+        Actor* svc = world.find_actor(service);
+        if (svc == nullptr) {
+          ActorId user = world.random_user(rng);
+          to = world.actor(user).wallet().receive_address();
+          service.clear();
+        } else if (auto* cust = dynamic_cast<CustodialService*>(svc)) {
+          to = cust->request_deposit_address(world, id());
+        } else if (auto* dice = dynamic_cast<DiceGame*>(svc)) {
+          to = dice->bet_address(world);
+        } else if (auto* vendor = dynamic_cast<VendorService*>(svc)) {
+          to = vendor->request_invoice(world, id()).first;
+        } else if (svc == this) {
+          to = escrow_address(world);
+        } else {
+          to = svc->wallet().receive_address();
+        }
+      }
+
+      std::optional<BuiltPayment> hop =
+          peel_hop(world, *this, hoard_, chain.tip, to, peel);
+      if (!hop || !hop->change_address) {
+        chain.exhausted = true;
+        break;
+      }
+      chain.tip = OutPoint{
+          hop->txid, static_cast<std::uint32_t>(hop->tx.outputs.size() - 1)};
+      chain.remaining = hop->change_value;
+      if (rec && !service.empty())
+        rec->peels.push_back(PeelTruth{static_cast<int>(ci),
+                                       chain.hops_done, service, peel,
+                                       hop->txid});
+      else if (rec)
+        rec->peels.push_back(PeelTruth{static_cast<int>(ci),
+                                       chain.hops_done, "", peel,
+                                       hop->txid});
+      ++chain.hops_done;
+    }
+  }
+  (void)total_weight;
+}
+
+}  // namespace fist::sim

@@ -1,0 +1,54 @@
+// hoard.hpp — the Silk Road marketplace and its 1DkyBEKt-style hoard.
+//
+// Reproduces the paper's Table-2 case study: a marketplace accumulates
+// enormous aggregate deposits into a single address, then dissolves it
+// through a scripted sequence of withdrawals whose final chunk splits
+// into three peeling chains feeding exchanges, wallets, gambling sites
+// and vendors. Every peel is journaled so the forensic reconstruction
+// can be scored.
+#pragma once
+
+#include "sim/actor.hpp"
+#include "sim/scenario.hpp"
+#include "sim/world.hpp"
+
+namespace fist::sim {
+
+/// Marketplace + hoard actor ("Silk Road" in the default world).
+class SilkRoadMarket final : public Actor {
+ public:
+  /// `dissolve_day` — when the hoard starts being emptied.
+  SilkRoadMarket(std::string name, Wallet wallet, Wallet hoard_wallet,
+                 int dissolve_day)
+      : Actor(std::move(name), Category::Vendor, std::move(wallet)),
+        hoard_(std::move(hoard_wallet)),
+        dissolve_day_(dissolve_day) {}
+
+  /// Escrow address for a purchase (the marketplace side of a sale).
+  Address escrow_address(World& world);
+
+  void on_day(World& world) override;
+
+  std::vector<Wallet*> wallets() override { return {&wallet(), &hoard_}; }
+
+ private:
+  Wallet hoard_;
+  void accumulate(World& world);
+  void dissolve(World& world);
+  void run_peel_chains(World& world);
+
+  int dissolve_day_;
+  std::optional<Address> hoard_address_;
+  Amount hoard_balance_ = 0;
+  bool dissolved_ = false;
+
+  struct Chain {
+    OutPoint tip;
+    Amount remaining = 0;
+    int hops_done = 0;
+    bool exhausted = false;
+  };
+  std::vector<Chain> chains_;
+};
+
+}  // namespace fist::sim

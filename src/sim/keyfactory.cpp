@@ -1,0 +1,36 @@
+#include "sim/keyfactory.hpp"
+
+#include "crypto/hash.hpp"
+
+namespace fist::sim {
+
+MintedKey KeyFactory::mint() {
+  ++count_;
+  MintedKey out;
+  if (mode_ == KeyMode::Real) {
+    std::uint8_t seed[16];
+    for (int i = 0; i < 2; ++i) {
+      std::uint64_t v = rng_.next();
+      for (int b = 0; b < 8; ++b)
+        seed[i * 8 + b] = static_cast<std::uint8_t>(v >> (8 * b));
+    }
+    PrivateKey key = PrivateKey::from_seed(ByteView(seed, sizeof(seed)));
+    PublicKey pub = key.pubkey();
+    out.pubkey = pub.serialize_compressed();
+    out.privkey = key;
+  } else {
+    // Pseudo pubkey: SEC1-compressed shape, uniformly random body. The
+    // address pipeline from here on (HASH160, Base58Check) is genuine.
+    out.pubkey.resize(33);
+    out.pubkey[0] = (rng_.next() & 1) ? 0x03 : 0x02;
+    for (std::size_t i = 1; i < 33; i += 8) {
+      std::uint64_t v = rng_.next();
+      for (std::size_t b = 0; b < 8 && i + b < 33; ++b)
+        out.pubkey[i + b] = static_cast<std::uint8_t>(v >> (8 * b));
+    }
+  }
+  out.address = Address(AddrType::P2PKH, hash160(out.pubkey));
+  return out;
+}
+
+}  // namespace fist::sim

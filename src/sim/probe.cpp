@@ -1,0 +1,183 @@
+#include "sim/probe.hpp"
+
+#include "sim/hoard.hpp"
+#include "sim/services.hpp"
+
+namespace fist::sim {
+
+void ProbeActor::tag_address(World& world, const Address& addr,
+                             const Actor& service) {
+  if (tagged_.insert(addr).second) {
+    world.add_tag(addr, Tag{service.name(), service.category(),
+                            TagSource::Observed});
+  }
+}
+
+bool ProbeActor::pay_service(World& world, const Address& to, Amount value) {
+  PaymentSpec spec;
+  spec.outputs.emplace_back(to, value);
+  std::optional<BuiltPayment> built =
+      wallet().pay(spec, world.height(), world.maturity());
+  if (!built) return false;
+  world.submit(id(), *built, wallet().policy().fee);
+  ++interactions_;
+  return true;
+}
+
+void ProbeActor::on_day(World& world) {
+  if (world.day() < start_day_) return;
+
+  // Build the visit schedule once: every service, most reliable (and
+  // most interesting) categories first.
+  if (!schedule_built_) {
+    schedule_built_ = true;
+    static constexpr Category kOrder[] = {
+        Category::Mining,      Category::Wallet,   Category::BankExchange,
+        Category::FixedExchange, Category::Vendor, Category::Gambling,
+        Category::Investment,  Category::Mix,      Category::Misc};
+    // Two full laps: the paper made "multiple deposit and withdrawal
+    // transactions for each" service (344 transactions total).
+    for (int lap = 0; lap < 2; ++lap)
+      for (Category c : kOrder)
+        for (ActorId a : world.of_category(c)) to_visit_.push_back(a);
+  }
+
+  // Fund the probe: buy coins (if any exchange will sell) and mine with
+  // the top pools — both things the authors actually did.
+  if (!funded_) {
+    funded_ = true;
+    Rng& rng = wallet().rng();
+    if (!world.of_category(Category::BankExchange).empty()) {
+      for (int i = 0; i < 2; ++i) {
+        ActorId ex = world.pick_service(Category::BankExchange, rng);
+        engaged_.insert(ex);  // buying coins is an interaction too
+        auto& exchange = dynamic_cast<CustodialService&>(world.actor(ex));
+        exchange.sell_coins(world, wallet().receive_address(), btc(25));
+      }
+    }
+    const auto& pools = world.of_category(Category::Mining);
+    for (std::size_t i = 0; i < pools.size() && i < 3; ++i) {
+      engaged_.insert(pools[i]);
+      dynamic_cast<MiningPool&>(world.actor(pools[i])).add_member(id());
+    }
+    return;  // coins arrive with the next payout / withdrawal run
+  }
+
+  // Execute due withdrawals from custodial services.
+  std::size_t pending = pending_withdrawals_.size();
+  for (std::size_t i = 0; i < pending; ++i) {
+    auto [svc, due] = pending_withdrawals_.front();
+    pending_withdrawals_.pop_front();
+    if (due > world.day()) {
+      pending_withdrawals_.emplace_back(svc, due);
+      continue;
+    }
+    Actor& actor = world.actor(svc);
+    if (auto* cust = dynamic_cast<CustodialService*>(&actor)) {
+      Amount balance = cust->account_balance(id());
+      if (balance > wallet().policy().fee * 4) {
+        cust->request_withdrawal(world, id(), balance / 2,
+                                 wallet().fresh_address());
+        ++interactions_;
+      }
+    }
+  }
+
+  // Visit a few services per day.
+  for (int n = 0; n < 3 && !to_visit_.empty(); ++n) {
+    ActorId svc = to_visit_.front();
+    to_visit_.pop_front();
+    visit(world, svc);
+  }
+}
+
+void ProbeActor::visit(World& world, ActorId service) {
+  Actor& actor = world.actor(service);
+  engaged_.insert(service);
+  Rng& rng = wallet().rng();
+  Amount spendable = wallet().balance(world.height(), world.maturity());
+  Amount small = btc_fraction(0.2 + rng.unit() * 0.8);
+  if (small * 3 > spendable) small = spendable / 4;
+  if (small <= wallet().policy().fee) return;
+
+  if (auto* pool = dynamic_cast<MiningPool*>(&actor)) {
+    // "Mined" with the pool: join the next payout.
+    pool->add_member(id());
+    ++interactions_;
+    return;
+  }
+  if (auto* market = dynamic_cast<SilkRoadMarket*>(&actor)) {
+    // "We also kept a wallet with Silk Road."
+    Address escrow = market->escrow_address(world);
+    tag_address(world, escrow, actor);
+    pay_service(world, escrow, small);
+    return;
+  }
+  if (auto* cust = dynamic_cast<CustodialService*>(&actor)) {
+    Address dep = cust->request_deposit_address(world, id());
+    tag_address(world, dep, actor);
+    if (pay_service(world, dep, small))
+      pending_withdrawals_.emplace_back(service, world.day() + 2);
+    return;
+  }
+  if (auto* fixed = dynamic_cast<FixedExchange*>(&actor)) {
+    Address dep = fixed->request_conversion(world, wallet().fresh_address());
+    tag_address(world, dep, actor);
+    pay_service(world, dep, small);
+    return;
+  }
+  if (auto* vendor = dynamic_cast<VendorService*>(&actor)) {
+    auto [addr, owner] = vendor->request_invoice(world, id());
+    tag_address(world, addr, world.actor(owner));
+    pay_service(world, addr, small);
+    return;
+  }
+  if (auto* gw = dynamic_cast<PaymentGateway*>(&actor)) {
+    Address addr = gw->invoice(world, service);
+    tag_address(world, addr, actor);
+    pay_service(world, addr, small);
+    return;
+  }
+  if (auto* dice = dynamic_cast<DiceGame*>(&actor)) {
+    Address bet = dice->bet_address(world);
+    tag_address(world, bet, actor);
+    pay_service(world, bet, small);
+    return;
+  }
+  if (auto* mixer = dynamic_cast<MixerService*>(&actor)) {
+    Address dep = mixer->request_mix(world, wallet().fresh_address());
+    tag_address(world, dep, actor);
+    pay_service(world, dep, small);
+    return;
+  }
+  if (auto* scheme = dynamic_cast<InvestmentScheme*>(&actor)) {
+    if (scheme->absconded()) return;
+    Address dep = scheme->request_deposit_address(world, id());
+    tag_address(world, dep, actor);
+    if (pay_service(world, dep, small))
+      pending_withdrawals_.emplace_back(service, world.day() + 7);
+    return;
+  }
+}
+
+void ProbeActor::on_deposit(World& world, const Address& to, Amount value,
+                            const Hash256& txid, ActorId from) {
+  (void)to;
+  (void)value;
+  if (from == kNoActor || from == id()) return;
+  if (!engaged_.contains(from)) return;  // we can only label who we know
+  const Actor& sender = world.actor(from);
+  if (sender.category() == Category::User) return;
+
+  // A service paid us: its payment's input addresses are its own —
+  // read them off the (public) transaction, as §3.1 did.
+  const Transaction* tx = world.find_recent_tx(txid);
+  if (tx == nullptr) return;
+  ++interactions_;
+  for (const TxIn& in : tx->inputs) {
+    std::optional<Address> spender = spender_address(in.script_sig);
+    if (spender) tag_address(world, *spender, sender);
+  }
+}
+
+}  // namespace fist::sim

@@ -1,0 +1,55 @@
+// probe.hpp — the re-identification actor (§3.1 of the paper).
+//
+// The paper's authors opened accounts with and transacted with every
+// service category, labeling the addresses they observed. ProbeActor
+// does exactly that against the simulated ecosystem: it deposits,
+// withdraws, buys, bets and mixes, tagging (a) the deposit/invoice/bet
+// addresses it is given and (b) the input addresses of every payment a
+// service sends it. The resulting tags go to the world's tag feed with
+// TagSource::Observed.
+#pragma once
+
+#include <deque>
+#include <unordered_set>
+
+#include "sim/actor.hpp"
+#include "sim/world.hpp"
+
+namespace fist::sim {
+
+/// The paper-authors actor.
+class ProbeActor final : public Actor {
+ public:
+  ProbeActor(std::string name, Wallet wallet, int start_day)
+      : Actor(std::move(name), Category::User, std::move(wallet)),
+        start_day_(start_day) {}
+
+  void on_day(World& world) override;
+  void on_deposit(World& world, const Address& to, Amount value,
+                  const Hash256& txid, ActorId from) override;
+
+  /// Number of transactions the probe participated in (the paper's
+  /// "344 transactions" analogue).
+  int interactions() const noexcept { return interactions_; }
+
+  /// Distinct addresses tagged by direct observation.
+  std::size_t tagged_addresses() const noexcept { return tagged_.size(); }
+
+ private:
+  void visit(World& world, ActorId service);
+  void tag_address(World& world, const Address& addr, const Actor& service);
+  bool pay_service(World& world, const Address& to, Amount value);
+
+  int start_day_;
+  bool funded_ = false;
+  std::deque<ActorId> to_visit_;
+  bool schedule_built_ = false;
+  std::deque<std::pair<ActorId, int>> pending_withdrawals_;
+  std::unordered_set<Address> tagged_;
+  /// Services we deliberately engaged — only their payments may be
+  /// attributed (we cannot label a sender we never dealt with).
+  std::unordered_set<ActorId> engaged_;
+  int interactions_ = 0;
+};
+
+}  // namespace fist::sim

@@ -1,0 +1,71 @@
+// scenario.hpp — scripted case studies and their ground-truth records.
+//
+// Section 5 of the paper studies two kinds of flows: the dissolution of
+// the Silk-Road-associated 1DkyBEKt hoard (Table 2) and seven thefts
+// (Table 3). The simulator replays both as scripted scenarios and
+// journals exactly what happened, so benches can compare the forensic
+// reconstruction against truth.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "chain/transaction.hpp"
+#include "encoding/address.hpp"
+#include "util/amount.hpp"
+
+namespace fist::sim {
+
+/// A theft to replay (Table 3 rows are the defaults).
+struct TheftScenario {
+  std::string label;       ///< e.g. "Betcoin"
+  std::string victim;      ///< service name robbed
+  double btc = 0;          ///< stolen amount in BTC (scaled if needed)
+  int day = 0;             ///< theft day (offset into the simulation)
+  /// Movement program, in order: 'A' aggregation, 'P' peeling chain,
+  /// 'S' split, 'F' folding — e.g. "A/P/S".
+  std::string movement;
+  bool to_exchange = true; ///< route some peels into exchange deposits
+  /// Fraction of loot that never moves (the Trojan thief's 2857/3257).
+  double dormant_fraction = 0.0;
+  /// Days after the theft before the thief starts moving coins.
+  int dormancy_days = 2;
+};
+
+/// One peel that reached a known service (truth side).
+struct PeelTruth {
+  int chain = 0;           ///< which peeling chain (0-based)
+  int hop = 0;             ///< hop index along the chain
+  std::string service;     ///< recipient service name ("" = unnamed user)
+  Amount value = 0;
+  Hash256 txid;
+};
+
+/// Journal of one executed theft.
+struct TheftRecord {
+  TheftScenario scenario;
+  std::vector<Hash256> theft_txids;     ///< the theft transactions
+  std::vector<Address> thief_addresses; ///< loot landing addresses
+  Amount stolen = 0;
+  Amount dormant = 0;                   ///< never moved
+  std::vector<PeelTruth> exchange_peels;///< peels that hit exchanges
+  std::string executed_movement;        ///< phases actually performed
+};
+
+/// Journal of the hoard (1DkyBEKt analogue).
+struct HoardRecord {
+  Address hoard_address;
+  std::vector<Hash256> deposit_txids;      ///< aggregate deposits in
+  std::vector<Hash256> withdrawal_txids;   ///< the dissolution sends
+  Amount peak_balance = 0;
+  Hash256 final_split_txid;                ///< 158,336-analogue split
+  std::array<OutPoint, 3> chain_starts{};  ///< the three peeling chains
+  std::vector<PeelTruth> peels;            ///< all peels, by chain/hop
+};
+
+/// The default Table-3 theft book (amounts/dates from the paper,
+/// days re-anchored onto the simulated calendar by the world).
+std::vector<TheftScenario> default_thefts();
+
+}  // namespace fist::sim

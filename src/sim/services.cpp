@@ -1,0 +1,662 @@
+#include "sim/services.hpp"
+
+#include <algorithm>
+
+#include "script/standard.hpp"
+#include "sim/flows.hpp"
+#include "sim/hoard.hpp"
+
+namespace fist::sim {
+
+namespace {
+
+Amount clamp_to(Amount want, Amount have) noexcept {
+  return std::min(want, have);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- pools
+
+void MiningPool::on_day(World& world) {
+  Rng& rng = wallet().rng();
+  Amount spendable = wallet().balance(world.height(), world.maturity());
+  bool payout_due = spendable > btc(100) || !extra_members_.empty();
+  if (!payout_due) return;
+  if (extra_members_.empty() && !rng.chance(0.7)) return;
+
+  // Decide recipients: pool members (random users), any one-shot
+  // members (e.g. the probe), and — early in the simulation — service
+  // treasuries, which is how exchanges/games acquired their floats.
+  std::vector<std::pair<Address, Amount>> outs;
+  Amount budget = spendable - wallet().policy().fee * 4;
+  if (budget <= 0) return;
+  Amount distributed = 0;
+
+  for (ActorId member : extra_members_) {
+    Amount share = clamp_to(btc(1), budget / 4);
+    if (share <= 0) break;
+    outs.emplace_back(world.actor(member).wallet().receive_address(), share);
+    distributed += share;
+  }
+  extra_members_.clear();
+
+  // Early on, most mined coins flow into service treasuries — the
+  // simulator's stand-in for the 2009-2011 era in which today's big
+  // services accumulated their floats. Services are funded round-robin
+  // so even low-popularity ones (future theft victims) hold real money.
+  bool bootstrap = world.day() < world.config().days / 3;
+  if (bootstrap) {
+    static constexpr Category kFloatCats[] = {
+        Category::BankExchange, Category::FixedExchange, Category::Gambling,
+        Category::Mix, Category::Wallet, Category::Investment};
+    for (int slot = 0; slot < 6; ++slot) {
+      Category c = kFloatCats[(bootstrap_rotation_ / 3) %
+                              std::size(kFloatCats)];
+      const auto& ids = world.of_category(c);
+      if (ids.empty()) {
+        ++bootstrap_rotation_;
+        continue;
+      }
+      Amount share = (budget - distributed) / 7;
+      if (share <= wallet().policy().dust) break;
+      ActorId svc = ids[bootstrap_rotation_ % ids.size()];
+      ++bootstrap_rotation_;
+      outs.emplace_back(world.actor(svc).wallet().receive_address(), share);
+      distributed += share;
+    }
+  }
+
+  std::size_t members = 4 + rng.below(12);
+  for (std::size_t i = 0; i < members; ++i) {
+    Amount share = (budget - distributed) / static_cast<Amount>(
+                       (members - i) + 1);
+    if (share <= wallet().policy().dust) break;
+    ActorId user = world.random_user(rng);
+    outs.emplace_back(world.actor(user).wallet().receive_address(), share);
+    distributed += share;
+  }
+  if (outs.empty()) return;
+
+  if (id() % 3 == 0) {
+    // Peeling-chain payout (several large pools paid this way, §5).
+    std::optional<WalletCoin> coin =
+        largest_coin(wallet(), world.height(), world.maturity());
+    if (!coin) return;
+    std::optional<BuiltPayment> hop;
+    OutPoint tip = coin->outpoint;
+    for (const auto& [addr, value] : outs) {
+      hop = peel_hop(world, *this, tip, addr, value);
+      if (!hop || !hop->change_address) break;
+      tip = OutPoint{hop->txid,
+                     static_cast<std::uint32_t>(hop->tx.outputs.size() - 1)};
+    }
+  } else {
+    // Fan-out payout: one transaction, many outputs.
+    PaymentSpec spec;
+    spec.outputs = std::move(outs);
+    std::optional<BuiltPayment> built =
+        wallet().pay(spec, world.height(), world.maturity());
+    if (built) world.submit(id(), *built, wallet().policy().fee);
+  }
+}
+
+// ---------------------------------------------------- custodial services
+
+Address CustodialService::request_deposit_address(World& world,
+                                                  ActorId customer) {
+  (void)world;
+  // Mt.Gox-style services bound one long-lived deposit address to each
+  // account; Instawallet-style services minted a fresh address per
+  // deposit (the pattern Heuristic 2's false positives latch onto).
+  if (stable_deposits_) {
+    auto it = customer_deposit_.find(customer);
+    if (it != customer_deposit_.end()) return it->second;
+  }
+  Address a = wallet().fresh_address();
+  deposit_owner_.emplace(a, customer);
+  if (stable_deposits_ && customer != kNoActor)
+    customer_deposit_.emplace(customer, a);
+  return a;
+}
+
+bool CustodialService::request_withdrawal(World& world, ActorId customer,
+                                          Amount value, const Address& to) {
+  (void)world;
+  auto it = accounts_.find(customer);
+  if (it == accounts_.end() || it->second < value) return false;
+  it->second -= value;
+  withdrawals_.push_back(PendingWithdrawal{customer, value, to});
+  return true;
+}
+
+bool CustodialService::sell_coins(World& world, const Address& to,
+                                  Amount value) {
+  // Keep a float reserve: a real exchange runs an order book and will
+  // not sell below its inventory; this also keeps treasuries at the
+  // scale thieves target.
+  Amount have = wallet().balance(world.height(), world.maturity());
+  if (have < value + btc(300)) return false;
+  withdrawals_.push_back(PendingWithdrawal{kNoActor, value, to});
+  return true;
+}
+
+Amount CustodialService::account_balance(ActorId customer) const noexcept {
+  auto it = accounts_.find(customer);
+  return it == accounts_.end() ? 0 : it->second;
+}
+
+void CustodialService::process_withdrawals(World& world) {
+  // Withdrawals are served sequentially off the hot wallet's largest
+  // coin — which is exactly how withdrawal peeling chains form (§5).
+  std::size_t served = 0;
+  while (!withdrawals_.empty() && served < 40) {
+    PendingWithdrawal w = withdrawals_.front();
+    Amount need = w.value + wallet().policy().fee;
+    std::optional<WalletCoin> coin =
+        largest_coin(wallet(), world.height(), world.maturity());
+    std::optional<BuiltPayment> built;
+    if (coin && coin->value >= need) {
+      built = peel_hop(world, *this, coin->outpoint, w.to, w.value);
+    } else {
+      PaymentSpec spec;
+      spec.outputs.emplace_back(w.to, w.value);
+      spec.force_fresh_change = true;
+      built = wallet().pay(spec, world.height(), world.maturity());
+      if (built) world.submit(id(), *built, wallet().policy().fee);
+    }
+    if (!built) break;  // hot wallet short; retry tomorrow
+    withdrawals_.pop_front();
+    ++served;
+  }
+}
+
+void CustodialService::on_day(World& world) {
+  process_withdrawals(world);
+
+  Rng& rng = wallet().rng();
+  ++sweep_phase_;
+  // Aggregation sweep every few days: deposit addresses are spent
+  // together, which is what powers Heuristic 1 for services.
+  if (sweep_phase_ % 3 == 0 && wallet().coin_count() > 12) {
+    aggregate(world, *this, 6, 80);
+  }
+  // Cold-storage moves: large, never-spending chunks.
+  Amount hot = wallet().balance(world.height(), world.maturity());
+  if (hot > btc(2000) && rng.chance(0.3)) {
+    PaymentSpec spec;
+    spec.outputs.emplace_back(cold_.fresh_address(), hot / 3);
+    spec.force_fresh_change = true;
+    std::optional<BuiltPayment> built =
+        wallet().pay(spec, world.height(), world.maturity());
+    if (built) world.submit(id(), *built, wallet().policy().fee);
+  }
+}
+
+void CustodialService::on_deposit(World& world, const Address& to,
+                                  Amount value, const Hash256& txid,
+                                  ActorId from) {
+  (void)world;
+  (void)txid;
+  (void)from;
+  auto it = deposit_owner_.find(to);
+  if (it != deposit_owner_.end()) accounts_[it->second] += value;
+  // Non-deposit receipts (bootstrap payouts, peels) join the float.
+}
+
+// -------------------------------------------------------- fixed exchange
+
+Address FixedExchange::request_conversion(World& world,
+                                          const Address& return_to) {
+  (void)world;
+  Address a = wallet().fresh_address();
+  return_address_.emplace(a, return_to);
+  return a;
+}
+
+void FixedExchange::on_deposit(World& world, const Address& to, Amount value,
+                               const Hash256& txid, ActorId from) {
+  (void)world;
+  (void)txid;
+  (void)from;
+  auto it = return_address_.find(to);
+  if (it == return_address_.end()) return;  // treasury receipt
+  Amount out = value - value / 50;          // 2% spread
+  if (out > wallet().policy().dust)
+    jobs_.emplace_back(it->second, out);
+  return_address_.erase(it);
+}
+
+void FixedExchange::on_day(World& world) {
+  std::size_t served = 0;
+  while (!jobs_.empty() && served < 20) {
+    auto [to, value] = jobs_.front();
+    PaymentSpec spec;
+    spec.outputs.emplace_back(to, value);
+    std::optional<BuiltPayment> built =
+        wallet().pay(spec, world.height(), world.maturity());
+    if (!built) break;
+    world.submit(id(), *built, wallet().policy().fee);
+    jobs_.pop_front();
+    ++served;
+  }
+}
+
+// -------------------------------------------------------------- gateway
+
+Address PaymentGateway::invoice(World& world, ActorId merchant) {
+  (void)world;
+  Address a = wallet().fresh_address();
+  invoice_merchant_.emplace(a, merchant);
+  return a;
+}
+
+void PaymentGateway::on_deposit(World& world, const Address& to, Amount value,
+                                const Hash256& txid, ActorId from) {
+  (void)world;
+  (void)txid;
+  (void)from;
+  auto it = invoice_merchant_.find(to);
+  if (it == invoice_merchant_.end()) return;
+  merchant_due_[it->second] += value - value / 100;  // 1% gateway fee
+}
+
+void PaymentGateway::on_day(World& world) {
+  // Daily merchant settlement.
+  for (auto& [merchant, due] : merchant_due_) {
+    if (due < btc(1)) continue;
+    PaymentSpec spec;
+    spec.outputs.emplace_back(
+        world.actor(merchant).wallet().receive_address(), due);
+    std::optional<BuiltPayment> built =
+        wallet().pay(spec, world.height(), world.maturity());
+    if (!built) continue;
+    world.submit(id(), *built, wallet().policy().fee);
+    due = 0;
+  }
+  if (wallet().coin_count() > 15) aggregate(world, *this, 8, 60);
+}
+
+// --------------------------------------------------------------- vendor
+
+std::pair<Address, ActorId> VendorService::request_invoice(World& world,
+                                                           ActorId customer) {
+  (void)customer;
+  if (gateway_ != kNoActor) {
+    auto& gw = dynamic_cast<PaymentGateway&>(world.actor(gateway_));
+    return {gw.invoice(world, id()), gateway_};
+  }
+  return {wallet().fresh_address(), id()};
+}
+
+void VendorService::on_day(World& world) {
+  Rng& rng = wallet().rng();
+  if (wallet().coin_count() > 10 && rng.chance(0.3))
+    aggregate(world, *this, 5, 40);
+  // Cash revenue out through an exchange every so often.
+  if (rng.chance(0.15)) {
+    Amount have = wallet().balance(world.height(), world.maturity());
+    if (have > btc(20)) {
+      ActorId ex = world.pick_service(Category::BankExchange, rng);
+      auto& exchange = dynamic_cast<CustodialService&>(world.actor(ex));
+      Address dep = exchange.request_deposit_address(world, id());
+      PaymentSpec spec;
+      spec.outputs.emplace_back(dep, have / 2);
+      std::optional<BuiltPayment> built =
+          wallet().pay(spec, world.height(), world.maturity());
+      if (built) world.submit(id(), *built, wallet().policy().fee);
+    }
+  }
+}
+
+// ------------------------------------------------------------ dice game
+
+Address DiceGame::bet_address(World& world) {
+  (void)world;
+  if (bet_addresses_.size() < 4) {
+    bet_addresses_.push_back(wallet().fresh_address());
+    return bet_addresses_.back();
+  }
+  Rng& rng = wallet().rng();
+  return bet_addresses_[static_cast<std::size_t>(
+      rng.below(bet_addresses_.size()))];
+}
+
+void DiceGame::on_deposit(World& world, const Address& to, Amount value,
+                          const Hash256& txid, ActorId from) {
+  (void)from;
+  bool is_bet = std::find(bet_addresses_.begin(), bet_addresses_.end(), to) !=
+                bet_addresses_.end();
+  if (!is_bet) return;  // bankroll top-up
+
+  // Satoshi-Dice semantics: the payout goes back to the address the bet
+  // was sent *from* — read off the bet transaction like the real
+  // service did.
+  const Transaction* bet_tx = world.find_recent_tx(txid);
+  if (bet_tx == nullptr || bet_tx->inputs.empty()) return;
+  std::optional<Address> bettor =
+      spender_address(bet_tx->inputs[0].script_sig);
+  if (!bettor) return;
+
+  Rng& rng = wallet().rng();
+  Amount payout = rng.chance(p_win_)
+                      ? static_cast<Amount>(static_cast<double>(value) *
+                                            multiplier_)
+                      : std::max<Amount>(value / 100,
+                                         wallet().policy().dust + 1);
+  Amount have = wallet().balance(world.height(), world.maturity());
+  if (have < payout + wallet().policy().fee) return;  // bankroll dry
+
+  PaymentSpec spec;
+  spec.outputs.emplace_back(*bettor, payout);
+  std::optional<BuiltPayment> built =
+      wallet().pay(spec, world.height(), world.maturity());
+  if (built) world.submit(id(), *built, wallet().policy().fee);
+}
+
+// ---------------------------------------------------------------- mixer
+
+Address MixerService::request_mix(World& world, const Address& return_to) {
+  (void)world;
+  Address a = wallet().fresh_address();
+  return_address_.emplace(a, return_to);
+  return a;
+}
+
+void MixerService::on_deposit(World& world, const Address& to, Amount value,
+                              const Hash256& txid, ActorId from) {
+  (void)from;
+  auto it = return_address_.find(to);
+  if (it == return_address_.end()) return;  // float top-up
+  if (kind_ == MixerKind::Thieving) {
+    // BitMix "simply stole our money": no job is ever queued.
+    return_address_.erase(it);
+    return;
+  }
+  Job job;
+  job.return_to = it->second;
+  job.value = value - value / 33;  // ~3% fee
+  job.due_day = world.day() + 1 +
+                static_cast<int>(wallet().rng().below(3));
+  if (kind_ == MixerKind::Echo) {
+    // Find the exact coin we were paid so we can send it straight back.
+    const Transaction* tx = world.find_recent_tx(txid);
+    if (tx != nullptr) {
+      for (std::uint32_t i = 0; i < tx->outputs.size(); ++i) {
+        auto addr = extract_address(tx->outputs[i].script_pubkey);
+        if (addr && *addr == to) {
+          job.received = OutPoint{txid, i};
+          break;
+        }
+      }
+    }
+  }
+  jobs_.push_back(std::move(job));
+  return_address_.erase(it);
+}
+
+void MixerService::on_day(World& world) {
+  std::size_t n = jobs_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    Job job = std::move(jobs_.front());
+    jobs_.pop_front();
+    if (job.due_day > world.day()) {
+      jobs_.push_back(std::move(job));
+      continue;
+    }
+    std::optional<BuiltPayment> built;
+    if (kind_ == MixerKind::Echo && !job.received.txid.is_null()) {
+      // "Twice sent us our own coins back."
+      built = peel_hop(world, *this, job.received, job.return_to,
+                       job.value - wallet().policy().fee);
+      if (built) continue;
+    }
+    PaymentSpec spec;
+    spec.outputs.emplace_back(job.return_to, job.value);
+    built = wallet().pay(spec, world.height(), world.maturity());
+    if (built) {
+      world.submit(id(), *built, wallet().policy().fee);
+    } else {
+      jobs_.push_back(std::move(job));  // retry tomorrow
+    }
+  }
+}
+
+// ----------------------------------------------------------- investment
+
+Address InvestmentScheme::request_deposit_address(World& world,
+                                                  ActorId customer) {
+  (void)world;
+  Address a = wallet().fresh_address();
+  deposit_owner_.emplace(a, customer);
+  return a;
+}
+
+void InvestmentScheme::on_deposit(World& world, const Address& to,
+                                  Amount value, const Hash256& txid,
+                                  ActorId from) {
+  (void)world;
+  (void)txid;
+  (void)from;
+  auto it = deposit_owner_.find(to);
+  if (it != deposit_owner_.end()) accounts_[it->second] += value;
+}
+
+void InvestmentScheme::on_day(World& world) {
+  if (absconded_) return;
+  Rng& rng = wallet().rng();
+
+  if (world.day() >= abscond_day_) {
+    // The Ponzi ends: funnel everything through peeling chains into
+    // exchange deposit accounts (where the operator cashes out).
+    absconded_ = true;
+    std::optional<WalletCoin> coin =
+        largest_coin(wallet(), world.height(), world.maturity());
+    if (!coin) return;
+    OutPoint tip = coin->outpoint;
+    for (int hop = 0; hop < 20; ++hop) {
+      ActorId ex = world.pick_service(Category::BankExchange, rng);
+      auto& exchange = dynamic_cast<CustodialService&>(world.actor(ex));
+      Address dep = exchange.request_deposit_address(world, id());
+      std::optional<WalletCoin> cur = largest_coin(
+          wallet(), world.height(), world.maturity());
+      if (!cur) break;
+      Amount peel = cur->value / 6;
+      if (peel <= wallet().policy().dust) break;
+      std::optional<BuiltPayment> built =
+          peel_hop(world, *this, cur->outpoint, dep, peel);
+      if (!built) break;
+      (void)tip;
+    }
+    return;
+  }
+
+  // Weekly "interest": paid from the common pool — the Ponzi mechanic.
+  if (world.day() % 7 == 0) {
+    for (auto& [investor, balance] : accounts_) {
+      if (balance <= 0) continue;
+      Amount interest = balance * 7 / 100;
+      if (interest <= wallet().policy().dust) continue;
+      Amount have = wallet().balance(world.height(), world.maturity());
+      if (have < interest + wallet().policy().fee) break;
+      PaymentSpec spec;
+      spec.outputs.emplace_back(
+          world.actor(investor).wallet().receive_address(), interest);
+      std::optional<BuiltPayment> built =
+          wallet().pay(spec, world.height(), world.maturity());
+      if (built) world.submit(id(), *built, wallet().policy().fee);
+    }
+  }
+}
+
+// ----------------------------------------------------------------- user
+
+void UserActor::on_day(World& world) {
+  Rng& rng = wallet().rng();
+  // Poisson-ish activity: up to two actions per day.
+  if (!rng.chance(activity_)) return;
+  act_once(world);
+  if (rng.chance(activity_ / 3)) act_once(world);
+}
+
+void UserActor::acquire_coins(World& world) {
+  Rng& rng = wallet().rng();
+  if (world.of_category(Category::BankExchange).empty()) return;
+  ActorId ex = world.pick_service(Category::BankExchange, rng);
+  auto& exchange = dynamic_cast<CustodialService&>(world.actor(ex));
+  Amount amount = btc_fraction(2.0 + rng.unit() * 30.0);
+  exchange.sell_coins(world, wallet().receive_address(), amount);
+}
+
+void UserActor::act_once(World& world) {
+  Rng& rng = wallet().rng();
+  Amount spendable = wallet().balance(world.height(), world.maturity());
+  if (spendable < btc(1)) {
+    acquire_coins(world);
+    return;
+  }
+
+  const double p_gamble = world.config().p_gamble;
+  double roll = rng.unit();
+  Amount fee = wallet().policy().fee;
+
+  auto pay_to = [&](const Address& to, Amount value) {
+    PaymentSpec spec;
+    spec.outputs.emplace_back(to, value);
+    std::optional<BuiltPayment> built =
+        wallet().pay(spec, world.height(), world.maturity());
+    if (built) world.submit(id(), *built, fee);
+  };
+
+  if (roll < p_gamble) {
+    // Gamble. Dice games dominate (as Satoshi Dice did).
+    ActorId g = world.pick_service(Category::Gambling, rng);
+    Actor& game = world.actor(g);
+    Amount bet = clamp_to(btc_fraction(0.1 + rng.unit() * 2.0),
+                          spendable / 4);
+    if (bet <= fee) return;
+    if (auto* dice = dynamic_cast<DiceGame*>(&game)) {
+      pay_to(dice->bet_address(world), bet);
+    } else if (auto* poker = dynamic_cast<CustodialService*>(&game)) {
+      // Poker sites are custodial: deposit, sometimes cash out.
+      if (known_balances_[g] > btc(1) && rng.chance(0.4)) {
+        Amount out = known_balances_[g] / 2;
+        if (poker->request_withdrawal(world, id(), out,
+                                      wallet().receive_address()))
+          known_balances_[g] -= out;
+      } else {
+        pay_to(poker->request_deposit_address(world, id()), bet);
+        known_balances_[g] += bet;
+      }
+    }
+    return;
+  }
+  roll -= p_gamble;
+
+  if (roll < 0.20) {
+    // Buy something.
+    ActorId v = world.pick_service(Category::Vendor, rng);
+    Actor& shop = world.actor(v);
+    Amount price = clamp_to(btc_fraction(0.2 + rng.unit() * 5.0),
+                            spendable / 3);
+    if (price <= fee) return;
+    if (auto* market = dynamic_cast<SilkRoadMarket*>(&shop)) {
+      // Marketplace purchases ran larger than ordinary web orders.
+      price = clamp_to(btc_fraction(0.5 + rng.unit() * 8.0), spendable / 2);
+      if (price <= fee) return;
+      pay_to(market->escrow_address(world), price);
+    } else if (auto* vendor = dynamic_cast<VendorService*>(&shop)) {
+      auto [addr, owner] = vendor->request_invoice(world, id());
+      (void)owner;
+      pay_to(addr, price);
+    }
+    // (The gateway itself can be drawn here; customers don't buy from
+    // it directly, so that draw is a no-op.)
+    return;
+  }
+  roll -= 0.20;
+
+  if (roll < 0.15) {
+    // Exchange cycle: deposit, or withdraw a prior balance.
+    ActorId ex = world.pick_service(Category::BankExchange, rng);
+    auto& exchange = dynamic_cast<CustodialService&>(world.actor(ex));
+    if (known_balances_[ex] > btc(2) && rng.chance(0.5)) {
+      Amount out = known_balances_[ex] * 2 / 3;
+      if (exchange.request_withdrawal(world, id(), out,
+                                      wallet().receive_address()))
+        known_balances_[ex] -= out;
+    } else {
+      Amount dep = clamp_to(btc_fraction(1.0 + rng.unit() * 20.0),
+                            spendable / 2);
+      if (dep <= fee) return;
+      pay_to(exchange.request_deposit_address(world, id()), dep);
+      known_balances_[ex] += dep;
+    }
+    return;
+  }
+  roll -= 0.15;
+
+  if (roll < 0.10) {
+    // Hosted-wallet cycle.
+    if (world.of_category(Category::Wallet).empty()) return;
+    ActorId w = world.pick_service(Category::Wallet, rng);
+    auto& svc = dynamic_cast<CustodialService&>(world.actor(w));
+    if (known_balances_[w] > btc(1) && rng.chance(0.5)) {
+      Amount out = known_balances_[w];
+      if (svc.request_withdrawal(world, id(), out,
+                                 wallet().receive_address()))
+        known_balances_[w] -= out;
+    } else {
+      Amount dep = clamp_to(btc_fraction(0.5 + rng.unit() * 8.0),
+                            spendable / 2);
+      if (dep <= fee) return;
+      pay_to(svc.request_deposit_address(world, id()), dep);
+      known_balances_[w] += dep;
+    }
+    return;
+  }
+  roll -= 0.10;
+
+  if (roll < 0.12) {
+    // Peer-to-peer payment.
+    ActorId peer = world.random_user(rng);
+    if (peer == id()) return;
+    Amount value = clamp_to(btc_fraction(0.05 + rng.unit() * 4.0),
+                            spendable / 3);
+    if (value <= fee) return;
+    pay_to(world.actor(peer).wallet().receive_address(), value);
+    return;
+  }
+  roll -= 0.12;
+
+  if (roll < world.config().p_mix) {
+    // Mix some coins.
+    if (world.of_category(Category::Mix).empty()) return;
+    ActorId m = world.pick_service(Category::Mix, rng);
+    auto& mixer = dynamic_cast<MixerService&>(world.actor(m));
+    Amount value = clamp_to(btc_fraction(1.0 + rng.unit() * 8.0),
+                            spendable / 3);
+    if (value <= fee) return;
+    pay_to(mixer.request_mix(world, wallet().fresh_address()), value);
+    return;
+  }
+  roll -= world.config().p_mix;
+
+  if (roll < 0.03) {
+    // Invest in the scheme, while it lasts.
+    if (world.of_category(Category::Investment).empty()) return;
+    ActorId s = world.pick_service(Category::Investment, rng);
+    if (auto* scheme = dynamic_cast<InvestmentScheme*>(&world.actor(s))) {
+      if (scheme->absconded()) return;
+      Amount value = clamp_to(btc_fraction(2.0 + rng.unit() * 15.0),
+                              spendable / 2);
+      if (value <= fee) return;
+      pay_to(scheme->request_deposit_address(world, id()), value);
+    }
+    return;
+  }
+
+  // Otherwise: hold.
+}
+
+}  // namespace fist::sim

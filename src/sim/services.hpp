@@ -1,0 +1,263 @@
+// services.hpp — the simulated service ecosystem of the paper's Table 1.
+//
+// Each class models the on-chain behavior that makes its category
+// forensically distinctive:
+//   * MiningPool     — coinbase rewards, periodic fan-out payouts
+//   * CustodialService — deposit addresses per customer, aggregation
+//     sweeps (Heuristic-1 fuel), peeling-chain withdrawals, cold storage
+//     (multiple clusters per service, as with the 20 Mt. Gox clusters)
+//   * FixedExchange  — one-shot conversions from a float
+//   * PaymentGateway / Vendor — BitPay-style invoicing and settlement
+//   * DiceGame       — Satoshi-Dice semantics: payouts rebound to the
+//     betting address (the paper's key Heuristic-2 false-positive mode)
+//   * Mixer          — honest, thieving (BitMix) and echo (Bitcoin
+//     Laundry returned our own coins) variants
+//   * InvestmentScheme — deposits + interest, then absconds (BS&T)
+//   * UserActor      — the ordinary population whose idioms of use the
+//     heuristics exploit
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+
+#include "sim/actor.hpp"
+#include "sim/world.hpp"
+
+namespace fist::sim {
+
+/// A pool: mines (via the world's miner), pays members daily.
+class MiningPool final : public Actor {
+ public:
+  MiningPool(std::string name, Wallet wallet, double hashpower)
+      : Actor(std::move(name), Category::Mining, std::move(wallet)),
+        hashpower_(hashpower) {}
+
+  double hashpower() const noexcept { return hashpower_; }
+
+  /// Adds a one-shot payout member (the probe uses this to trigger a
+  /// payout it can observe).
+  void add_member(ActorId member) { extra_members_.push_back(member); }
+
+  void on_day(World& world) override;
+
+ private:
+  double hashpower_;
+  std::vector<ActorId> extra_members_;
+  std::size_t bootstrap_rotation_ = 0;
+};
+
+/// Account-holding service: bank exchanges, wallet services, poker.
+class CustodialService : public Actor {
+ public:
+  /// `stable_deposits`: Mt.Gox-style one-address-per-account (true) vs
+  /// Instawallet-style fresh address per deposit (false). The latter is
+  /// what Heuristic 2's false positives latch onto (§4.2).
+  CustodialService(std::string name, Category category, Wallet wallet,
+                   Wallet cold_wallet, bool stable_deposits = true)
+      : Actor(std::move(name), category, std::move(wallet)),
+        cold_(std::move(cold_wallet)),
+        stable_deposits_(stable_deposits) {}
+
+  /// Issues a fresh deposit address bound to `customer`.
+  Address request_deposit_address(World& world, ActorId customer);
+
+  /// Queues a withdrawal to `to` if the account covers it.
+  /// Returns false if the balance is insufficient.
+  bool request_withdrawal(World& world, ActorId customer, Amount value,
+                          const Address& to);
+
+  /// Fiat-side purchase: service sends coins from its float (no
+  /// on-chain deposit). Returns false if the float is too small.
+  bool sell_coins(World& world, const Address& to, Amount value);
+
+  Amount account_balance(ActorId customer) const noexcept;
+
+  void on_day(World& world) override;
+  void on_deposit(World& world, const Address& to, Amount value,
+                  const Hash256& txid, ActorId from) override;
+
+  std::vector<Wallet*> wallets() override { return {&wallet(), &cold_}; }
+
+  /// The cold-storage wallet (exposed for the scraped-tag generator).
+  const Wallet& cold_wallet() const noexcept { return cold_; }
+
+ protected:
+  struct PendingWithdrawal {
+    ActorId customer;
+    Amount value;
+    Address to;
+  };
+
+  void process_withdrawals(World& world);
+
+  Wallet cold_;
+  bool stable_deposits_;
+  std::unordered_map<ActorId, Amount> accounts_;
+  std::unordered_map<Address, ActorId> deposit_owner_;
+  std::unordered_map<ActorId, Address> customer_deposit_;
+  std::deque<PendingWithdrawal> withdrawals_;
+  int sweep_phase_ = 0;
+};
+
+/// Fixed-rate one-shot exchange: coins in, different coins out.
+class FixedExchange final : public Actor {
+ public:
+  FixedExchange(std::string name, Wallet wallet)
+      : Actor(std::move(name), Category::FixedExchange, std::move(wallet)) {}
+
+  /// Registers a conversion: customer will pay the returned deposit
+  /// address; the service sends converted coins to `return_to`.
+  Address request_conversion(World& world, const Address& return_to);
+
+  void on_deposit(World& world, const Address& to, Amount value,
+                  const Hash256& txid, ActorId from) override;
+  void on_day(World& world) override;
+
+ private:
+  std::unordered_map<Address, Address> return_address_;
+  std::deque<std::pair<Address, Amount>> jobs_;
+};
+
+/// BitPay-style gateway: owns invoice addresses, settles merchants.
+class PaymentGateway final : public Actor {
+ public:
+  PaymentGateway(std::string name, Wallet wallet)
+      : Actor(std::move(name), Category::Vendor, std::move(wallet)) {}
+
+  /// Issues an invoice address for a purchase at `merchant`.
+  Address invoice(World& world, ActorId merchant);
+
+  void on_deposit(World& world, const Address& to, Amount value,
+                  const Hash256& txid, ActorId from) override;
+  void on_day(World& world) override;
+
+ private:
+  std::unordered_map<Address, ActorId> invoice_merchant_;
+  std::unordered_map<ActorId, Amount> merchant_due_;
+};
+
+/// A merchant; may accept directly or through a gateway.
+class VendorService final : public Actor {
+ public:
+  VendorService(std::string name, Wallet wallet, ActorId gateway)
+      : Actor(std::move(name), Category::Vendor, std::move(wallet)),
+        gateway_(gateway) {}
+
+  /// Returns (address to pay, actor that owns it) — the owner is the
+  /// gateway when this merchant uses one, which is exactly what a
+  /// customer (or the probe) observes.
+  std::pair<Address, ActorId> request_invoice(World& world,
+                                              ActorId customer);
+
+  bool uses_gateway() const noexcept { return gateway_ != kNoActor; }
+
+  void on_day(World& world) override;
+
+ private:
+  ActorId gateway_;
+};
+
+/// Satoshi-Dice-style game: static bet addresses, instant payouts that
+/// rebound to the betting address.
+class DiceGame final : public Actor {
+ public:
+  DiceGame(std::string name, Wallet wallet, double win_probability,
+           double win_multiplier)
+      : Actor(std::move(name), Category::Gambling, std::move(wallet)),
+        p_win_(win_probability),
+        multiplier_(win_multiplier) {}
+
+  /// One of the game's well-known static bet addresses.
+  Address bet_address(World& world);
+
+  void on_deposit(World& world, const Address& to, Amount value,
+                  const Hash256& txid, ActorId from) override;
+
+ private:
+  double p_win_;
+  double multiplier_;
+  std::vector<Address> bet_addresses_;
+};
+
+/// Mixer behavior variants observed in §3.1.
+enum class MixerKind {
+  Honest,    ///< pays unrelated coins after a delay
+  Thieving,  ///< BitMix: "simply stole our money"
+  Echo,      ///< Bitcoin Laundry: "twice sent us our own coins back"
+};
+
+/// A mix/laundry service.
+class MixerService final : public Actor {
+ public:
+  MixerService(std::string name, Wallet wallet, MixerKind kind)
+      : Actor(std::move(name), Category::Mix, std::move(wallet)),
+        kind_(kind) {}
+
+  /// Registers a mix request: pay the returned address; the mixer pays
+  /// `return_to` later (behavior depending on kind).
+  Address request_mix(World& world, const Address& return_to);
+
+  MixerKind kind() const noexcept { return kind_; }
+
+  void on_deposit(World& world, const Address& to, Amount value,
+                  const Hash256& txid, ActorId from) override;
+  void on_day(World& world) override;
+
+ private:
+  struct Job {
+    Address return_to;
+    Amount value;
+    OutPoint received;  ///< for Echo: pay back these exact coins
+    int due_day;
+  };
+
+  MixerKind kind_;
+  std::unordered_map<Address, Address> return_address_;
+  std::deque<Job> jobs_;
+};
+
+/// Bitcoin Savings & Trust analogue: deposits, interest, abscond.
+class InvestmentScheme final : public Actor {
+ public:
+  InvestmentScheme(std::string name, Wallet wallet, Wallet cold,
+                   int abscond_day)
+      : Actor(std::move(name), Category::Investment, std::move(wallet)),
+        cold_(std::move(cold)),
+        abscond_day_(abscond_day) {}
+
+  Address request_deposit_address(World& world, ActorId customer);
+
+  void on_deposit(World& world, const Address& to, Amount value,
+                  const Hash256& txid, ActorId from) override;
+  void on_day(World& world) override;
+
+  std::vector<Wallet*> wallets() override { return {&wallet(), &cold_}; }
+
+  bool absconded() const noexcept { return absconded_; }
+
+ private:
+  Wallet cold_;
+  std::unordered_map<Address, ActorId> deposit_owner_;
+  std::unordered_map<ActorId, Amount> accounts_;
+  int abscond_day_;
+  bool absconded_ = false;
+};
+
+/// An ordinary user.
+class UserActor final : public Actor {
+ public:
+  UserActor(std::string name, Wallet wallet, double activity)
+      : Actor(std::move(name), Category::User, std::move(wallet)),
+        activity_(activity) {}
+
+  void on_day(World& world) override;
+
+ private:
+  void acquire_coins(World& world);
+  void act_once(World& world);
+
+  double activity_;
+  std::unordered_map<ActorId, Amount> known_balances_;  ///< per custodian
+};
+
+}  // namespace fist::sim

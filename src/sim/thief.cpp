@@ -1,0 +1,232 @@
+#include "sim/thief.hpp"
+
+#include <algorithm>
+
+#include "sim/flows.hpp"
+#include "sim/services.hpp"
+
+namespace fist::sim {
+
+TheftRecord& ThiefActor::record(World& world) {
+  return world.mutable_thefts()[record_index_];
+}
+
+void ThiefActor::on_day(World& world) {
+  if (!stolen_) {
+    if (world.day() < scenario_.day) return;
+    execute_theft(world);
+    next_action_day_ = world.day() + scenario_.dormancy_days;
+    return;
+  }
+  if (next_phase_ >= scenario_.movement.size()) return;
+  if (world.day() < next_action_day_) return;
+
+  char phase = scenario_.movement[next_phase_];
+  if (phase == '/') {
+    ++next_phase_;
+    phase = next_phase_ < scenario_.movement.size()
+                ? scenario_.movement[next_phase_]
+                : '\0';
+    if (phase == '\0') return;
+  }
+  execute_phase(world, phase);
+}
+
+void ThiefActor::execute_theft(World& world) {
+  stolen_ = true;
+  TheftRecord& rec = record(world);
+
+  Amount want = btc_fraction(scenario_.btc);
+  std::vector<std::pair<Actor*, Amount>> victims;
+
+  if (scenario_.victim.empty()) {
+    // Trojan-style: drain many individual users.
+    Rng& rng = wallet().rng();
+    Amount remaining = want;
+    for (int i = 0; i < 20 && remaining > 0; ++i) {
+      Actor& user = world.actor(world.random_user(rng));
+      Amount have = user.wallet().balance(world.height(), world.maturity());
+      Amount take = std::min(remaining, have / 2);
+      if (take > btc(1)) {
+        victims.emplace_back(&user, take);
+        remaining -= take;
+      }
+    }
+  } else {
+    Actor* victim = world.find_actor(scenario_.victim);
+    if (victim == nullptr) return;
+    Amount have =
+        victim->wallet().balance(world.height(), world.maturity());
+    victims.emplace_back(victim, std::min(want, have * 3 / 5));
+  }
+
+  for (auto& [victim, amount] : victims) {
+    if (amount <= wallet().policy().dust) continue;
+    Amount dormant_part = static_cast<Amount>(
+        static_cast<double>(amount) * scenario_.dormant_fraction);
+    Amount active_part = amount - dormant_part;
+
+    PaymentSpec spec;
+    if (active_part > wallet().policy().dust) {
+      // Loot arrives across several thief addresses (as in the real
+      // thefts), so the later aggregation step is visible on-chain.
+      Rng& lrng = wallet().rng();
+      int chunks = 3 + static_cast<int>(lrng.below(3));
+      Amount remaining = active_part;
+      for (int c = 0; c < chunks && remaining > wallet().policy().dust;
+           ++c) {
+        Amount part = (c + 1 == chunks)
+                          ? remaining
+                          : remaining / (chunks - c) +
+                                static_cast<Amount>(
+                                    lrng.below(static_cast<std::uint64_t>(
+                                        remaining / (2 * chunks) + 1)));
+        part = std::min(part, remaining);
+        if (part <= wallet().policy().dust) break;
+        Address a = wallet().fresh_address();
+        spec.outputs.emplace_back(a, part);
+        rec.thief_addresses.push_back(a);
+        remaining -= part;
+      }
+    }
+    if (dormant_part > wallet().policy().dust) {
+      Address d = dormant_.fresh_address();
+      spec.outputs.emplace_back(d, dormant_part);
+      rec.thief_addresses.push_back(d);
+    }
+    if (spec.outputs.empty()) continue;
+    spec.force_fresh_change = true;
+    std::optional<BuiltPayment> built =
+        victim->wallet().pay(spec, world.height(), world.maturity());
+    if (!built) continue;
+    world.submit(victim->id(), *built, victim->wallet().policy().fee);
+    rec.theft_txids.push_back(built->txid);
+    rec.stolen += amount;
+    rec.dormant += dormant_part;
+  }
+}
+
+void ThiefActor::execute_phase(World& world, char phase) {
+  TheftRecord& rec = record(world);
+  Rng& rng = wallet().rng();
+
+  // When another aggregation-type phase is still ahead, keep a few
+  // coins back so it has something visible to aggregate. A folding
+  // phase must hold back *old* (loot) coins — its signature is mixing
+  // freshly bought clean coins in — while a plain aggregation holds
+  // back the newest.
+  bool more_aggregation =
+      scenario_.movement.find_first_of("AF", next_phase_ + 1) !=
+      std::string::npos;
+  bool hold_back = more_aggregation && wallet().coin_count() > 5;
+  std::size_t sweep_cap =
+      hold_back && phase == 'A' ? wallet().coin_count() - 3 : 4096;
+  std::size_t sweep_skip = hold_back && phase == 'F' ? 2 : 0;
+
+  switch (phase) {
+    case 'A': {
+      if (aggregate(world, *this, 1, sweep_cap)) {
+        rec.executed_movement += rec.executed_movement.empty() ? "A" : "/A";
+        ++next_phase_;
+      }
+      break;
+    }
+    case 'F': {
+      // Folding needs clean coins first: buy some, then sweep together.
+      if (!clean_acquired_) {
+        if (!clean_requested_) {
+          // Buy clean coins from whichever exchange will sell.
+          const auto& exchanges = world.of_category(Category::BankExchange);
+          bool bought = false;
+          for (std::size_t i = 0; i < exchanges.size() && !bought; ++i) {
+            auto& exchange =
+                dynamic_cast<CustodialService&>(world.actor(exchanges[i]));
+            bought = exchange.sell_coins(
+                world, wallet().receive_address(),
+                btc_fraction(5.0 + rng.unit() * 20.0));
+          }
+          if (!bought) {
+            clean_acquired_ = true;  // nobody selling; fold what we have
+            return;
+          }
+          clean_requested_ = true;
+          next_action_day_ = world.day() + 2;
+          return;
+        }
+        clean_acquired_ = true;  // the purchase has arrived by now
+      }
+      if (aggregate(world, *this, 1, 4096, sweep_skip)) {
+        rec.executed_movement += rec.executed_movement.empty() ? "F" : "/F";
+        ++next_phase_;
+      }
+      break;
+    }
+    case 'P': {
+      run_peel_phase(world);
+      rec.executed_movement += rec.executed_movement.empty() ? "P" : "/P";
+      ++next_phase_;
+      break;
+    }
+    case 'S': {
+      int ways = 2 + static_cast<int>(rng.below(3));
+      if (split(world, *this, ways)) {
+        rec.executed_movement += rec.executed_movement.empty() ? "S" : "/S";
+        ++next_phase_;
+      }
+      break;
+    }
+    default:
+      ++next_phase_;
+      break;
+  }
+  next_action_day_ = world.day() + 2;
+}
+
+void ThiefActor::run_peel_phase(World& world) {
+  TheftRecord& rec = record(world);
+  Rng& rng = wallet().rng();
+  std::optional<WalletCoin> coin =
+      largest_coin(wallet(), world.height(), world.maturity());
+  if (!coin) return;
+
+  OutPoint tip = coin->outpoint;
+  Amount remaining = coin->value;
+  int hops = 15 + static_cast<int>(rng.below(15));
+  for (int hop = 0; hop < hops; ++hop) {
+    Amount peel = static_cast<Amount>(static_cast<double>(remaining) *
+                                      (0.02 + rng.unit() * 0.06));
+    if (peel <= wallet().policy().dust ||
+        peel + wallet().policy().fee * 2 >= remaining)
+      break;
+
+    Address to;
+    std::string service;
+    bool exchange_hop = scenario_.to_exchange && (hop % 10 == 9);
+    if (exchange_hop && !world.of_category(Category::BankExchange).empty()) {
+      ActorId ex = world.pick_service(Category::BankExchange, rng);
+      auto& exchange = dynamic_cast<CustodialService&>(world.actor(ex));
+      to = exchange.request_deposit_address(world, id());
+      service = exchange.name();
+    } else if (rng.chance(0.6)) {
+      // Park the peel on a sock-puppet address of our own — the
+      // Bitfloor thief's pattern: "large peels off several initial
+      // peeling chains were then aggregated".
+      to = wallet().fresh_address();
+    } else {
+      ActorId user = world.random_user(rng);
+      to = world.actor(user).wallet().receive_address();
+    }
+
+    std::optional<BuiltPayment> built =
+        peel_hop(world, *this, tip, to, peel);
+    if (!built || !built->change_address) break;
+    if (!service.empty())
+      rec.exchange_peels.push_back(
+          PeelTruth{0, hop, service, peel, built->txid});
+    tip = OutPoint{built->txid,
+                   static_cast<std::uint32_t>(built->tx.outputs.size() - 1)};
+    remaining = built->change_value;
+  }
+}
+
+}  // namespace fist::sim

@@ -1,0 +1,47 @@
+// thief.hpp — scripted theft actors (the paper's Table 3).
+//
+// Each thief robs a victim service on a scheduled day, then moves the
+// loot through a movement program — aggregations (A), peeling chains
+// (P), splits (S), folding with clean coins (F) — optionally cashing
+// out into exchange deposit addresses. Ground truth is journaled into
+// the world's TheftRecord so the forensic tracker can be scored.
+#pragma once
+
+#include "sim/actor.hpp"
+#include "sim/scenario.hpp"
+#include "sim/world.hpp"
+
+namespace fist::sim {
+
+/// One thief executing one TheftScenario.
+class ThiefActor final : public Actor {
+ public:
+  ThiefActor(std::string name, Wallet wallet, Wallet dormant_wallet,
+             TheftScenario scenario, std::size_t record_index)
+      : Actor(std::move(name), Category::User, std::move(wallet)),
+        dormant_(std::move(dormant_wallet)),
+        scenario_(std::move(scenario)),
+        record_index_(record_index) {}
+
+  void on_day(World& world) override;
+
+  std::vector<Wallet*> wallets() override { return {&wallet(), &dormant_}; }
+
+ private:
+  TheftRecord& record(World& world);
+  void execute_theft(World& world);
+  void execute_phase(World& world, char phase);
+  void run_peel_phase(World& world);
+
+  Wallet dormant_;
+  TheftScenario scenario_;
+  std::size_t record_index_;
+
+  bool stolen_ = false;
+  bool clean_acquired_ = false;
+  bool clean_requested_ = false;
+  std::size_t next_phase_ = 0;
+  int next_action_day_ = -1;
+};
+
+}  // namespace fist::sim

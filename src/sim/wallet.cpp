@@ -1,0 +1,243 @@
+#include "sim/wallet.hpp"
+
+#include <algorithm>
+
+#include "chain/sighash.hpp"
+#include "script/standard.hpp"
+#include "util/error.hpp"
+
+namespace fist::sim {
+
+std::uint32_t Wallet::mint_key() {
+  MintedKey k = factory_.mint();
+  std::uint32_t index = static_cast<std::uint32_t>(keys_.size());
+  key_of_.emplace(k.address, index);
+  keys_.push_back(std::move(k));
+  return index;
+}
+
+Address Wallet::receive_address() {
+  if (!past_receive_.empty() && rng_.chance(policy_.p_reuse_receive)) {
+    return past_receive_[static_cast<std::size_t>(
+        rng_.below(past_receive_.size()))];
+  }
+  Address a = keys_[mint_key()].address;
+  past_receive_.push_back(a);
+  if (past_receive_.size() > 64) past_receive_.pop_front();
+  return a;
+}
+
+Address Wallet::fresh_address() { return keys_[mint_key()].address; }
+
+Address Wallet::donation_address() {
+  if (!donation_) donation_ = keys_[mint_key()].address;
+  return *donation_;
+}
+
+void Wallet::credit(const OutPoint& outpoint, Amount value, const Address& to,
+                    int height, bool coinbase) {
+  auto it = key_of_.find(to);
+  if (it == key_of_.end())
+    throw UsageError("Wallet::credit: address not owned");
+  coins_.push_back(WalletCoin{outpoint, value, it->second, height, coinbase});
+}
+
+Amount Wallet::balance(int height, int maturity) const noexcept {
+  Amount total = 0;
+  for (const WalletCoin& c : coins_) {
+    if (c.coinbase && height - c.height < maturity) continue;
+    total += c.value;
+  }
+  return total;
+}
+
+Amount Wallet::total_balance() const noexcept {
+  Amount total = 0;
+  for (const WalletCoin& c : coins_) total += c.value;
+  return total;
+}
+
+Script Wallet::script_sig_for(const Transaction& tx, std::size_t input,
+                              std::uint32_t key) {
+  const MintedKey& mk = keys_[key];
+  if (mk.privkey) {
+    return sign_p2pkh_input(tx, input, make_p2pkh(mk.address.payload()),
+                            *mk.privkey, /*compressed=*/true);
+  }
+  // Fast mode: structurally correct scriptSig with a placeholder DER
+  // signature. Classification and clustering never look inside it.
+  Bytes fake_sig(71);
+  fake_sig[0] = 0x30;
+  fake_sig[1] = 68;
+  for (std::size_t i = 2; i < fake_sig.size() - 1; i += 8) {
+    std::uint64_t v = rng_.next();
+    for (std::size_t b = 0; b < 8 && i + b < fake_sig.size() - 1; ++b)
+      fake_sig[i + b] = static_cast<std::uint8_t>(v >> (8 * b));
+  }
+  fake_sig.back() = 0x01;  // SIGHASH_ALL
+  return make_p2pkh_scriptsig(fake_sig, mk.pubkey);
+}
+
+BuiltPayment Wallet::finalize(Transaction tx,
+                              const std::vector<WalletCoin>& spent,
+                              std::optional<Address> change,
+                              Amount change_value, int height) {
+  // Sign each input (scriptSigs must be final before txid).
+  for (std::size_t i = 0; i < spent.size(); ++i)
+    tx.inputs[i].script_sig = script_sig_for(tx, i, spent[i].key);
+
+  BuiltPayment built;
+  built.txid = tx.txid();
+  built.change_address = change;
+  built.change_value = change_value;
+
+  // Debit the spent coins.
+  for (const WalletCoin& c : spent) {
+    std::erase_if(coins_, [&](const WalletCoin& w) {
+      return w.outpoint == c.outpoint;
+    });
+  }
+  // Credit the change output (always the last output when present).
+  if (change) {
+    std::uint32_t change_slot =
+        static_cast<std::uint32_t>(tx.outputs.size() - 1);
+    credit(OutPoint{built.txid, change_slot}, change_value, *change, height,
+           false);
+  }
+  built.tx = std::move(tx);
+  return built;
+}
+
+std::optional<BuiltPayment> Wallet::pay(const PaymentSpec& spec, int height,
+                                        int maturity) {
+  Amount target = 0;
+  for (const auto& [addr, value] : spec.outputs) {
+    if (value <= 0) throw UsageError("Wallet::pay: non-positive output");
+    target = add_money(target, value);
+  }
+  target = add_money(target, policy_.fee);
+
+  // Coin selection.
+  std::vector<WalletCoin> selected;
+  Amount selected_value = 0;
+  if (spec.spend_coin) {
+    auto it = std::find_if(coins_.begin(), coins_.end(),
+                           [&](const WalletCoin& c) {
+                             return c.outpoint == *spec.spend_coin;
+                           });
+    if (it == coins_.end()) return std::nullopt;
+    if (it->coinbase && height - it->height < maturity) return std::nullopt;
+    selected.push_back(*it);
+    selected_value = it->value;
+    if (selected_value < target) return std::nullopt;
+  } else {
+    // Oldest-first with light randomization: take from the front of the
+    // coin list but occasionally skip, so selection isn't perfectly FIFO.
+    for (const WalletCoin& c : coins_) {
+      if (selected_value >= target) break;
+      if (spec.max_inputs != 0 && selected.size() >= spec.max_inputs) break;
+      if (c.coinbase && height - c.height < maturity) continue;
+      if (rng_.chance(0.1)) continue;  // skip ~10% for variety
+      selected.push_back(c);
+      selected_value += c.value;
+    }
+    if (selected_value < target) {
+      // Deterministic fallback: no skipping.
+      selected.clear();
+      selected_value = 0;
+      for (const WalletCoin& c : coins_) {
+        if (selected_value >= target) break;
+        if (spec.max_inputs != 0 && selected.size() >= spec.max_inputs)
+          break;
+        if (c.coinbase && height - c.height < maturity) continue;
+        selected.push_back(c);
+        selected_value += c.value;
+      }
+      if (selected_value < target) return std::nullopt;
+    }
+  }
+
+  Transaction tx;
+  tx.inputs.reserve(selected.size());
+  for (const WalletCoin& c : selected) {
+    TxIn in;
+    in.prevout = c.outpoint;
+    tx.inputs.push_back(in);
+  }
+  for (const auto& [addr, value] : spec.outputs)
+    tx.outputs.push_back(TxOut{value, make_script_for(addr)});
+
+  // Change handling.
+  Amount change_value = selected_value - target;
+  std::optional<Address> change;
+  if (change_value > policy_.dust) {
+    if (!spec.force_fresh_change && rng_.chance(policy_.p_self_change)) {
+      // Self-change: back to the first input's own address.
+      change = keys_[selected[0].key].address;
+    } else if (!spec.force_fresh_change && !past_change_.empty() &&
+               rng_.chance(policy_.p_reuse_change)) {
+      // The reuse the paper observed was mostly "the same change
+      // address used twice within a short window of time" — bias
+      // heavily toward the most recent change address, with a small
+      // tail of reuses of older ones.
+      change = rng_.chance(0.8)
+                   ? past_change_.back()
+                   : past_change_[static_cast<std::size_t>(
+                         rng_.below(past_change_.size()))];
+    } else {
+      change = keys_[mint_key()].address;
+    }
+    tx.outputs.push_back(TxOut{change_value, make_script_for(*change)});
+    past_change_.push_back(*change);
+    if (past_change_.size() > 16) past_change_.pop_front();
+  } else {
+    change_value = 0;  // folded into the fee
+  }
+
+  // Occasionally randomize output order so change isn't always last...
+  // except it must be last for our own change-credit bookkeeping; real
+  // clients shuffle, but Heuristic 2 never looks at position, so we
+  // keep change last and shuffle only the payment outputs.
+  if (tx.outputs.size() > 2 && change) {
+    // shuffle all but last
+    for (std::size_t i = tx.outputs.size() - 1; i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(rng_.below(i));
+      if (i - 1 != j) std::swap(tx.outputs[i - 1], tx.outputs[j]);
+    }
+  }
+
+  return finalize(std::move(tx), selected, change, change_value, height);
+}
+
+std::optional<BuiltPayment> Wallet::sweep(const Address& to,
+                                          std::size_t min_coins,
+                                          std::size_t max_coins, int height,
+                                          int maturity,
+                                          std::size_t skip_oldest) {
+  std::vector<WalletCoin> selected;
+  Amount value = 0;
+  std::size_t skipped = 0;
+  for (const WalletCoin& c : coins_) {
+    if (selected.size() >= max_coins) break;
+    if (c.coinbase && height - c.height < maturity) continue;
+    if (skipped < skip_oldest) {
+      ++skipped;
+      continue;
+    }
+    selected.push_back(c);
+    value += c.value;
+  }
+  if (selected.size() < min_coins) return std::nullopt;
+  if (value <= policy_.fee + policy_.dust) return std::nullopt;
+
+  Transaction tx;
+  for (const WalletCoin& c : selected) {
+    TxIn in;
+    in.prevout = c.outpoint;
+    tx.inputs.push_back(in);
+  }
+  tx.outputs.push_back(TxOut{value - policy_.fee, make_script_for(to)});
+  return finalize(std::move(tx), selected, std::nullopt, 0, height);
+}
+
+}  // namespace fist::sim

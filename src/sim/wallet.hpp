@@ -1,0 +1,146 @@
+// wallet.hpp — a simulated wallet with period-accurate idioms of use.
+//
+// The Bitcoin client behaviors the paper's Heuristic 2 exploits (and
+// the ones that break it) are all wallet behaviors, so they live here
+// as policy knobs:
+//   * fresh one-time change addresses (the dominant idiom),
+//   * self-change — change returned to an input address (~23% of 2013
+//     spends, paper §4.1),
+//   * change-address reuse — the false-positive source behind the
+//     super-cluster collapse (§4.2),
+//   * receive-address reuse (donation-style addresses).
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "chain/transaction.hpp"
+#include "sim/keyfactory.hpp"
+
+namespace fist::sim {
+
+/// Behavioral knobs; probabilities are per-payment.
+struct WalletPolicy {
+  double p_self_change = 0.2;     ///< change to an input address
+  double p_reuse_change = 0.0;    ///< reuse a previous change address
+  double p_reuse_receive = 0.0;   ///< hand out an old receive address
+  Amount fee = 50'000;            ///< flat fee per transaction
+  Amount dust = 5'460;            ///< change below this folds into fee
+};
+
+/// A spendable output the wallet controls.
+struct WalletCoin {
+  OutPoint outpoint;
+  Amount value = 0;
+  std::uint32_t key = 0;   ///< index into the wallet's key list
+  int height = 0;          ///< creation height
+  bool coinbase = false;   ///< subject to maturity
+};
+
+/// Description of a payment to build.
+struct PaymentSpec {
+  std::vector<std::pair<Address, Amount>> outputs;
+  /// Spend exactly this coin (peeling chains); otherwise select coins.
+  std::optional<OutPoint> spend_coin;
+  /// Cap on inputs when selecting (0 = no cap).
+  std::size_t max_inputs = 0;
+  /// Force a fresh change address regardless of policy (services whose
+  /// withdrawal chains must stay clean).
+  bool force_fresh_change = false;
+};
+
+/// Result of building a payment.
+struct BuiltPayment {
+  Transaction tx;
+  Hash256 txid;
+  std::optional<Address> change_address;
+  Amount change_value = 0;
+};
+
+/// A simulated wallet.
+class Wallet {
+ public:
+  Wallet(KeyFactory factory, WalletPolicy policy, Rng rng)
+      : factory_(std::move(factory)),
+        policy_(policy),
+        rng_(std::move(rng)) {}
+
+  /// A receive address honoring the reuse policy.
+  Address receive_address();
+
+  /// A guaranteed-fresh address (new deposit addresses, invoices).
+  Address fresh_address();
+
+  /// A stable public address (minted once, reused forever) — the
+  /// donation-address idiom.
+  Address donation_address();
+
+  /// Credits an output to this wallet. `coinbase` enables the maturity
+  /// rule. Crediting an address the wallet does not own throws.
+  void credit(const OutPoint& outpoint, Amount value, const Address& to,
+              int height, bool coinbase);
+
+  /// Spendable balance at `height` honoring coinbase maturity.
+  Amount balance(int height, int maturity) const noexcept;
+
+  /// Balance ignoring maturity.
+  Amount total_balance() const noexcept;
+
+  /// Builds (and signs) a payment; debits inputs and credits change
+  /// back to the wallet. Returns nullopt when funds are insufficient.
+  /// `height` is the current chain height (for coin maturity and the
+  /// change credit).
+  std::optional<BuiltPayment> pay(const PaymentSpec& spec, int height,
+                                  int maturity);
+
+  /// Builds a many-input sweep of up to `max_coins` coins into `to`
+  /// (exchange-style aggregation). Returns nullopt if fewer than
+  /// `min_coins` are spendable. `skip_oldest` leaves that many of the
+  /// oldest coins untouched (thieves fold newest-in clean coins while
+  /// holding back part of the loot).
+  std::optional<BuiltPayment> sweep(const Address& to, std::size_t min_coins,
+                                    std::size_t max_coins, int height,
+                                    int maturity, std::size_t skip_oldest = 0);
+
+  bool owns(const Address& a) const noexcept {
+    return key_of_.contains(a);
+  }
+
+  /// Every address this wallet ever minted.
+  const std::vector<MintedKey>& keys() const noexcept { return keys_; }
+
+  /// Number of currently spendable coins (any maturity).
+  std::size_t coin_count() const noexcept { return coins_.size(); }
+
+  /// The wallet's current coins (read-only).
+  const std::vector<WalletCoin>& coins() const noexcept { return coins_; }
+
+  const WalletPolicy& policy() const noexcept { return policy_; }
+  WalletPolicy& policy() noexcept { return policy_; }
+
+  Rng& rng() noexcept { return rng_; }
+
+ private:
+  std::uint32_t mint_key();
+  Script script_sig_for(const Transaction& tx, std::size_t input,
+                        std::uint32_t key);
+  BuiltPayment finalize(Transaction tx,
+                        const std::vector<WalletCoin>& spent,
+                        std::optional<Address> change, Amount change_value,
+                        int height);
+
+  KeyFactory factory_;
+  WalletPolicy policy_;
+  Rng rng_;
+
+  std::vector<MintedKey> keys_;
+  std::unordered_map<Address, std::uint32_t> key_of_;
+  std::vector<WalletCoin> coins_;
+  std::optional<Address> donation_;
+  std::deque<Address> past_change_;   ///< recent change addresses
+  std::deque<Address> past_receive_;  ///< recent receive addresses
+};
+
+}  // namespace fist::sim

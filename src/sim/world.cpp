@@ -1,0 +1,433 @@
+#include "sim/world.hpp"
+
+#include <algorithm>
+
+#include "script/standard.hpp"
+#include "sim/hoard.hpp"
+#include "sim/probe.hpp"
+#include "sim/services.hpp"
+#include "sim/thief.hpp"
+#include "util/error.hpp"
+
+namespace fist::sim {
+
+std::optional<Address> spender_address(const Script& script_sig) noexcept {
+  auto ops = script_sig.ops_checked();
+  if (!ops || ops->size() != 2 || !(*ops)[0].is_push() ||
+      !(*ops)[1].is_push())
+    return std::nullopt;
+  const Bytes& pubkey = (*ops)[1].push;
+  if (pubkey.size() != 33 && pubkey.size() != 65) return std::nullopt;
+  return Address(AddrType::P2PKH, hash160(pubkey));
+}
+
+std::vector<TheftScenario> default_thefts() {
+  // Table 3 of the paper. Days are fractions of the run, rescaled by
+  // the world; dormancy/dormant figures follow the case studies.
+  std::vector<TheftScenario> book;
+  book.push_back({"MyBitcoin", "MyBitcoin", 4019, 25, "A/P/S", true, 0.0, 2});
+  book.push_back({"Linode", "Bitcoinica", 46648, 35, "A/P/F", true, 0.0, 2});
+  book.push_back({"Betcoin", "Betcoin", 3171, 38, "F/A/P", true, 0.0, 40});
+  book.push_back(
+      {"Bitcoinica (May)", "Bitcoinica", 18547, 45, "P/A", true, 0.0, 2});
+  book.push_back(
+      {"Bitcoinica (Jul)", "Bitcoinica", 40000, 55, "P/A/S", true, 0.0, 2});
+  book.push_back({"Bitfloor", "Bitfloor", 24078, 62, "P/A/P", true, 0.0, 2});
+  book.push_back({"Trojan", "", 3257, 68, "F/A", false, 0.877, 5});
+  return book;
+}
+
+World::World(const WorldConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      chainstate_(ChainParams{config.coinbase_maturity,
+                              config.halving_interval,
+                              /*check_pow=*/true, /*check_merkle=*/true,
+                              config.verify_scripts, kEasyBits}) {
+  by_category_.resize(kCategoryCount);
+  now_ = config_.start_time != 0 ? config_.start_time
+                                 : from_date(2010, 12, 29);
+  build_population();
+}
+
+World::~World() = default;
+
+Wallet World::make_wallet(double p_self_change, double p_reuse_change,
+                          double p_reuse_receive) {
+  WalletPolicy policy;
+  policy.p_self_change = p_self_change;
+  policy.p_reuse_change = p_reuse_change;
+  policy.p_reuse_receive = p_reuse_receive;
+  return Wallet(KeyFactory(config_.key_mode, rng_.fork()), policy,
+                rng_.fork());
+}
+
+ActorId World::add_actor(std::unique_ptr<Actor> actor) {
+  ActorId id = static_cast<ActorId>(actors_.size());
+  actor->set_id(id);
+  actor_by_name_.emplace(actor->name(), id);
+  by_category_[static_cast<std::size_t>(actor->category())].push_back(id);
+  // Only genuine users join the random-recipient pool; thieves and the
+  // probe share the User *category* but must not receive stray payouts
+  // (it would mix untracked income into their wallets).
+  if (dynamic_cast<UserActor*>(actor.get()) != nullptr)
+    users_.push_back(id);
+  actors_.push_back(std::move(actor));
+  keys_registered_.emplace_back();
+  return id;
+}
+
+void World::build_population() {
+  // ---- mining pools (popularity = creation order) --------------------
+  static constexpr const char* kPools[] = {
+      "Deepbit",   "Slush",  "BTC Guild", "Eligius", "Bitminter",
+      "50 BTC",    "Ozcoin", "EclipseMC", "ABC Pool", "Itzod"};
+  int pools = std::min<int>(config_.pools, std::size(kPools));
+  for (int i = 0; i < pools; ++i) {
+    // Pools reuse payout addresses heavily.
+    Wallet w = make_wallet(0.3, 0.0, 0.7);
+    double hashpower = 1.0 / (i + 1.0);  // zipf-ish
+    ActorId id = add_actor(
+        std::make_unique<MiningPool>(kPools[i], std::move(w), hashpower));
+    pool_ids_.push_back(id);
+    pool_hashpower_.push_back(hashpower);
+  }
+
+  // ---- custodial services --------------------------------------------
+  auto add_custodial = [&](const char* name, Category cat,
+                           bool stable_deposits = true) {
+    Wallet hot = make_wallet(0.05, 0.0, 0.0);
+    Wallet cold = make_wallet(0.0, 0.0, 0.0);
+    add_actor(std::make_unique<CustodialService>(
+        name, cat, std::move(hot), std::move(cold), stable_deposits));
+  };
+  static constexpr const char* kBankExchanges[] = {
+      "Mt. Gox",    "Bitstamp",      "BTC-e",     "Bitcoin-24",
+      "Bitcoin Central", "CA VirtEx", "Bitcoin.de", "Bitmarket",
+      "Mercado Bitcoin", "Bitfloor",  "Bitcoinica", "Betcoin",
+      "CampBX",     "Vircurex"};
+  int banks = std::min<int>(config_.bank_exchanges + 4,
+                            std::size(kBankExchanges));
+  for (int i = 0; i < banks; ++i)
+    add_custodial(kBankExchanges[i], Category::BankExchange);
+
+  static constexpr const char* kWallets[] = {
+      "Instawallet", "My Wallet", "Coinbase",  "WalletBit",
+      "Easywallet",  "Flexcoin",  "Strongcoin", "Paytunia", "MyBitcoin"};
+  int wallets = std::min<int>(config_.wallet_services + 1,
+                              std::size(kWallets));
+  // Hosted wallets mint a fresh deposit address per deposit
+  // (Instawallet-style) — the one-time pattern §4.2 wrestles with.
+  for (int i = 0; i < wallets; ++i)
+    add_custodial(kWallets[i], Category::Wallet, /*stable_deposits=*/false);
+
+  // ---- fixed-rate exchanges ------------------------------------------
+  static constexpr const char* kFixed[] = {
+      "OKPay",        "BitInstant",   "FastCash4Bitcoins",
+      "Bitcoin Nordic", "BTC Quick",  "Aurum Xchange",
+      "Nanaimo Gold", "Lilion Transfer"};
+  int fixed = std::min<int>(config_.fixed_exchanges, std::size(kFixed));
+  for (int i = 0; i < fixed; ++i) {
+    Wallet w = make_wallet(0.1, 0.0, 0.0);
+    add_actor(std::make_unique<FixedExchange>(kFixed[i], std::move(w)));
+  }
+
+  // ---- vendors (Silk Road first: it dominated vendor volume) ----------
+  if (config_.enable_hoard) {
+    hoard_ = std::make_unique<HoardRecord>();
+    int dissolve_day = config_.days * 3 / 4;
+    add_actor(std::make_unique<SilkRoadMarket>(
+        "Silk Road", make_wallet(0.05, 0.0, 0.0),
+        make_wallet(0.0, 0.0, 0.0), dissolve_day));
+  }
+
+  ActorId gateway = add_actor(std::make_unique<PaymentGateway>(
+      "BitPay", make_wallet(0.05, 0.0, 0.0)));
+
+  static constexpr const char* kVendors[] = {
+      "Coinabul",  "Medsforbitcoin", "CoinDL",    "JJ Games",
+      "ABU Games", "Bitmit",         "Etsy",      "NZBs R Us",
+      "Bitdomain", "BTC Gadgets",    "Casascius", "Bit Usenet", "Yoku"};
+  int vendors = std::min<int>(config_.vendors, std::size(kVendors));
+  for (int i = 0; i < vendors; ++i) {
+    // Roughly half the merchants settle through BitPay.
+    ActorId gw = (i % 2 == 0) ? gateway : kNoActor;
+    add_actor(std::make_unique<VendorService>(
+        kVendors[i], make_wallet(0.1, 0.0, 0.2), gw));
+  }
+
+  // ---- gambling ---------------------------------------------------------
+  // Satoshi Dice towers over the category, as it did in 2012-13.
+  // Dice games keep their bankroll on a small, heavily reused address
+  // set (Satoshi Dice's "1dice..." vanity addresses were all public).
+  add_actor(std::make_unique<DiceGame>(
+      "Satoshi Dice", make_wallet(0.9, 0.6, 1.0), 0.485, 1.957));
+  static constexpr const char* kDice[] = {
+      "Bitzino", "BTC Griffin", "Bitcoin Kamikaze", "Clone Dice",
+      "Bitcoin Darts", "Gold Game Land"};
+  int dice_games = std::min<int>(std::max(config_.gambling - 2, 0),
+                                 std::size(kDice));
+  for (int i = 0; i < dice_games; ++i)
+    add_actor(std::make_unique<DiceGame>(
+        kDice[i], make_wallet(0.85, 0.5, 0.8), 0.48, 1.9));
+  add_custodial("Seals with Clubs", Category::Gambling);  // poker
+
+  // ---- mixers ---------------------------------------------------------
+  struct MixSpec {
+    const char* name;
+    MixerKind kind;
+  };
+  static constexpr MixSpec kMixers[] = {
+      {"Bitcoin Laundry", MixerKind::Echo},
+      {"BitMix", MixerKind::Thieving},
+      {"Bitlaundry", MixerKind::Honest},
+      {"Bitfog", MixerKind::Honest}};
+  int mixers = std::min<int>(config_.mixers, std::size(kMixers));
+  for (int i = 0; i < mixers; ++i)
+    add_actor(std::make_unique<MixerService>(
+        kMixers[i].name, make_wallet(0.1, 0.0, 0.0), kMixers[i].kind));
+
+  // ---- investment (BS&T) ----------------------------------------------
+  add_actor(std::make_unique<InvestmentScheme>(
+      "Bitcoin Savings & Trust", make_wallet(0.1, 0.0, 0.0),
+      make_wallet(0.0, 0.0, 0.0), config_.days * 7 / 10));
+
+  // ---- thieves ---------------------------------------------------------
+  if (config_.enable_thefts) {
+    for (TheftScenario scenario : default_thefts()) {
+      scenario.day = scenario.day * config_.days / 100;
+      if (scenario.label == "Betcoin")
+        scenario.dormancy_days = config_.days * 2 / 5;
+      TheftRecord record;
+      record.scenario = scenario;
+      std::size_t index = thefts_.size();
+      thefts_.push_back(std::move(record));
+      add_actor(std::make_unique<ThiefActor>(
+          "thief:" + scenario.label, make_wallet(0.05, 0.0, 0.0),
+          make_wallet(0.0, 0.0, 0.0), scenario, index));
+    }
+  }
+
+  // ---- the probe -------------------------------------------------------
+  if (config_.enable_probe) {
+    add_actor(std::make_unique<ProbeActor>(
+        "probe", make_wallet(0.1, 0.0, 0.0), config_.days * 11 / 20));
+  }
+
+  // ---- users -----------------------------------------------------------
+  // Self-change is a *client* idiom, not a per-payment coin flip: a
+  // wallet either specifies its own address as change (the ~23% of
+  // 2013 transactions the paper measured) or uses fresh one-time
+  // change addresses. Mixing the idioms per payment would let fresh
+  // change addresses later receive self-change, an error mode the real
+  // network did not exhibit at scale.
+  for (int i = 0; i < config_.users; ++i) {
+    bool self_changer = rng_.chance(config_.p_self_change);
+    Wallet w = make_wallet(self_changer ? 0.96 : 0.0,
+                           self_changer ? 0.0 : config_.p_reuse_change,
+                           config_.p_reuse_receive);
+    double activity =
+        config_.user_daily_activity * (0.4 + rng_.unit() * 1.2);
+    add_actor(std::make_unique<UserActor>("user:" + std::to_string(i),
+                                          std::move(w), activity));
+  }
+
+  sync_keys();
+}
+
+void World::sync_keys() {
+  for (std::size_t a = 0; a < actors_.size(); ++a) {
+    std::vector<Wallet*> wallets = actors_[a]->wallets();
+    std::vector<std::size_t>& reg = keys_registered_[a];
+    reg.resize(wallets.size(), 0);
+    for (std::size_t w = 0; w < wallets.size(); ++w) {
+      const std::vector<MintedKey>& keys = wallets[w]->keys();
+      for (std::size_t k = reg[w]; k < keys.size(); ++k)
+        truth_.register_address(keys[k].address,
+                                static_cast<ActorId>(a));
+      reg[w] = keys.size();
+    }
+  }
+}
+
+Actor& World::actor(ActorId id) {
+  if (id >= actors_.size()) throw UsageError("World::actor: bad id");
+  return *actors_[id];
+}
+
+const Actor& World::actor(ActorId id) const {
+  if (id >= actors_.size()) throw UsageError("World::actor: bad id");
+  return *actors_[id];
+}
+
+Actor* World::find_actor(const std::string& name) noexcept {
+  auto it = actor_by_name_.find(name);
+  return it == actor_by_name_.end() ? nullptr : actors_[it->second].get();
+}
+
+const std::vector<ActorId>& World::of_category(Category c) const {
+  return by_category_[static_cast<std::size_t>(c)];
+}
+
+ActorId World::pick_service(Category c, Rng& rng) {
+  const std::vector<ActorId>& ids = of_category(c);
+  if (ids.empty()) throw UsageError("pick_service: empty category");
+  return ids[rng.zipf(ids.size(), 1.1)];
+}
+
+ActorId World::random_user(Rng& rng) {
+  if (users_.empty()) throw UsageError("random_user: no users");
+  return users_[static_cast<std::size_t>(rng.below(users_.size()))];
+}
+
+const Transaction* World::find_recent_tx(
+    const Hash256& txid) const noexcept {
+  auto it = recent_txs_.find(txid);
+  return it == recent_txs_.end() ? nullptr : &it->second;
+}
+
+void World::submit(ActorId sender, const BuiltPayment& built, Amount fee) {
+  sync_keys();
+
+  mempool_.push_back(PendingTx{built.tx, fee});
+  recent_txs_.emplace(built.txid, built.tx);
+  ++txs_submitted_;
+
+  const Transaction& tx = built.tx;
+  const std::size_t last = tx.outputs.size() - 1;
+  for (std::size_t i = 0; i < tx.outputs.size(); ++i) {
+    std::optional<Address> addr =
+        extract_address(tx.outputs[i].script_pubkey);
+    if (!addr) continue;
+    ActorId owner = truth_.owner(*addr);
+    if (owner == kNoActor) continue;
+
+    bool is_change_slot =
+        built.change_address && i == last && *addr == *built.change_address;
+    if (owner == sender && is_change_slot)
+      continue;  // the wallet credited its own change at build time
+
+    Actor& recipient = actor(owner);
+    Wallet* wallet = recipient.wallet_for(*addr);
+    if (wallet == nullptr) continue;  // should not happen
+    wallet->credit(OutPoint{built.txid, static_cast<std::uint32_t>(i)},
+                   tx.outputs[i].value, *addr, height() + 1, false);
+    if (owner != sender)
+      recipient.on_deposit(*this, *addr, tx.outputs[i].value, built.txid,
+                           sender);
+  }
+}
+
+void World::mine_block() {
+  // Winner pool, weighted by hashpower.
+  std::size_t winner = rng_.weighted(pool_hashpower_);
+  auto& pool = dynamic_cast<MiningPool&>(actor(pool_ids_[winner]));
+
+  int new_height = height() + 1;
+  Amount subsidy = block_subsidy(new_height, config_.halving_interval);
+
+  Block block;
+  block.header.version = 1;
+  block.header.prev_hash =
+      new_height == 0 ? Hash256{} : chainstate_.block_hash(height());
+  block.header.time = static_cast<std::uint32_t>(now_);
+  block.header.bits = kEasyBits;
+
+  // Coinbase.
+  Transaction coinbase;
+  TxIn in;
+  in.prevout = OutPoint::coinbase();
+  Script tag;
+  Writer w;
+  w.u64le(coinbase_counter_++);
+  tag.push(w.view());
+  in.script_sig = tag;
+  coinbase.inputs.push_back(std::move(in));
+
+  // Take waiting transactions, FIFO, up to the block size.
+  std::size_t take = std::min(config_.max_block_txs, mempool_.size());
+  Amount fees = 0;
+  std::vector<Transaction> included;
+  included.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    fees = add_money(fees, mempool_[i].fee);
+    included.push_back(std::move(mempool_[i].tx));
+  }
+  mempool_.erase(mempool_.begin(),
+                 mempool_.begin() + static_cast<std::ptrdiff_t>(take));
+
+  Address reward_to = pool.wallet().receive_address();
+  coinbase.outputs.push_back(
+      TxOut{add_money(subsidy, fees), make_script_for(reward_to)});
+  Hash256 coinbase_txid = coinbase.txid();
+
+  block.transactions.push_back(std::move(coinbase));
+  for (Transaction& tx : included) block.transactions.push_back(std::move(tx));
+  block.fix_merkle_root();
+  while (!check_proof_of_work(block.header.hash(), block.header.bits))
+    ++block.header.nonce;
+
+  chainstate_.connect(block);  // throws on any accounting bug
+  store_.append(block);
+
+  pool.wallet().credit(OutPoint{coinbase_txid, 0}, add_money(subsidy, fees),
+                       reward_to, new_height, /*coinbase=*/true);
+  sync_keys();
+}
+
+void World::run_day() {
+  // Actors act...
+  for (std::size_t a = 0; a < actors_.size(); ++a) actors_[a]->on_day(*this);
+  sync_keys();
+
+  // ...then the day's blocks are mined.
+  Timestamp step = kDay / config_.blocks_per_day;
+  for (int b = 0; b < config_.blocks_per_day; ++b) {
+    now_ += step;
+    mine_block();
+  }
+
+  // Prune the recent-tx index so it tracks only the last few days.
+  if (day_ % 5 == 4) {
+    // Entries older than the retention horizon are unreachable for the
+    // actors that use this index (mixers look back <= 3 days).
+    recent_txs_.clear();
+  }
+  ++day_;
+}
+
+void World::run() {
+  for (int d = day_; d < config_.days; ++d) run_day();
+  generate_scraped_tags();
+}
+
+void World::generate_scraped_tags() {
+  // The blockchain.info/tags analogue (§3.2): a public feed of service
+  // addresses, larger but less reliable than our own observations.
+  for (const auto& actor_ptr : actors_) {
+    const Actor& a = *actor_ptr;
+    if (a.category() == Category::User) continue;
+    Rng feed_rng = rng_.fork();
+    // Gambling addresses were far better covered in public feeds —
+    // Satoshi Dice's "1dice..." vanity addresses were all recognizable.
+    bool gambling = a.category() == Category::Gambling;
+    double fraction =
+        gambling ? std::max(0.6, config_.scraped_tag_fraction)
+                 : config_.scraped_tag_fraction;
+    std::size_t cap =
+        gambling ? config_.scraped_tag_cap * 6 : config_.scraped_tag_cap;
+    std::size_t emitted = 0;
+    for (Wallet* w : const_cast<Actor&>(a).wallets()) {
+      for (const MintedKey& key : w->keys()) {
+        if (emitted >= cap) break;
+        if (!feed_rng.chance(fraction)) continue;
+        tags_.push_back(TagEntry{
+            key.address,
+            Tag{a.name(), a.category(), TagSource::Scraped}});
+        ++emitted;
+      }
+    }
+  }
+}
+
+}  // namespace fist::sim

@@ -1,0 +1,189 @@
+// world.hpp — the synthetic Bitcoin economy.
+//
+// World wires together actors (users + the service ecosystem of the
+// paper's Table 1), a mempool, and a miner; each simulated day actors
+// transact and blocks are mined, validated by a real ChainState, and
+// appended to a wire-format block store. The result is a block chain
+// whose *structure* reproduces the idioms of use the paper's heuristics
+// exploit, together with a ground-truth journal and a tag feed.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "chain/blockstore.hpp"
+#include "chain/chainstate.hpp"
+#include "sim/actor.hpp"
+#include "sim/scenario.hpp"
+#include "tag/tagstore.hpp"
+#include "util/rng.hpp"
+#include "util/timeutil.hpp"
+
+namespace fist::sim {
+
+/// Simulation parameters.
+struct WorldConfig {
+  std::uint64_t seed = 42;
+  int days = 240;                ///< simulated duration
+  int blocks_per_day = 12;       ///< block cadence (2h blocks)
+  int coinbase_maturity = 60;    ///< scaled-down from Bitcoin's 100
+  int halving_interval = 2000;   ///< subsidy halving height
+  Timestamp start_time = 0;      ///< 0 → 2010-12-29 (Figure 2's origin)
+  KeyMode key_mode = KeyMode::Fast;
+  /// Run the full script interpreter on every input while connecting
+  /// blocks. Only meaningful with KeyMode::Real (fast-mode placeholder
+  /// signatures fail genuine ECDSA verification).
+  bool verify_scripts = false;
+  std::size_t max_block_txs = 4000;
+
+  // Population.
+  int users = 400;
+  double user_daily_activity = 0.5;  ///< expected actions per user-day
+
+  // Service ecosystem sizes (paper Table 1 proportions).
+  int pools = 10;
+  int wallet_services = 8;
+  int bank_exchanges = 10;
+  int fixed_exchanges = 6;
+  int vendors = 12;
+  int gambling = 8;
+  int mixers = 4;
+
+  // Idioms of use.
+  double p_self_change = 0.21;    ///< ~23% of 2013 spends (§4.1)
+  double p_reuse_change = 0.02;   ///< change-address reuse (FP source)
+  double p_reuse_receive = 0.45;  ///< receive-address reuse (2012-era clients)
+  double p_gamble = 0.32;         ///< share of user actions that are bets
+  double p_mix = 0.03;            ///< share of user actions using mixers
+
+  // Case studies.
+  bool enable_hoard = true;
+  bool enable_thefts = true;
+  bool enable_probe = true;      ///< the §3 re-identification actor
+  double scraped_tag_fraction = 0.2;  ///< share of service addrs scraped
+  std::size_t scraped_tag_cap = 80;   ///< per-service scrape cap
+};
+
+/// A transaction waiting to be mined.
+struct PendingTx {
+  Transaction tx;
+  Amount fee = 0;
+};
+
+/// The running world.
+class World {
+ public:
+  explicit World(const WorldConfig& config);
+  ~World();
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  /// Runs the whole simulation.
+  void run();
+
+  /// Runs a single day (exposed for incremental tests).
+  void run_day();
+
+  // ---- results --------------------------------------------------------
+  const MemoryBlockStore& store() const noexcept { return store_; }
+  const GroundTruth& truth() const noexcept { return truth_; }
+  const ChainState& chainstate() const noexcept { return chainstate_; }
+  const std::vector<TagEntry>& tag_feed() const noexcept { return tags_; }
+  const std::vector<TheftRecord>& thefts() const noexcept { return thefts_; }
+  const HoardRecord* hoard() const noexcept { return hoard_.get(); }
+  std::size_t actor_count() const noexcept { return actors_.size(); }
+
+  /// Total transactions submitted (excluding coinbases).
+  std::uint64_t tx_count() const noexcept { return txs_submitted_; }
+
+  // ---- API used by actors --------------------------------------------
+  /// Queues a built payment for mining, credits recipients (0-conf) and
+  /// fires their deposit hooks.
+  void submit(ActorId sender, const BuiltPayment& built, Amount fee);
+
+  int height() const noexcept { return chainstate_.height(); }
+  int day() const noexcept { return day_; }
+  Timestamp now() const noexcept { return now_; }
+  int maturity() const noexcept { return config_.coinbase_maturity; }
+  const WorldConfig& config() const noexcept { return config_; }
+
+  Actor& actor(ActorId id);
+  const Actor& actor(ActorId id) const;
+
+  /// Actor lookup by unique name (service names are unique).
+  Actor* find_actor(const std::string& name) noexcept;
+
+  /// All actors of a category (services in creation order = popularity
+  /// order; index 0 is the "Mt. Gox" of its category).
+  const std::vector<ActorId>& of_category(Category c) const;
+
+  /// Zipf-popularity pick within a category.
+  ActorId pick_service(Category c, Rng& rng);
+
+  /// Uniformly random ordinary user.
+  ActorId random_user(Rng& rng);
+
+  /// Public chain data: a transaction seen today (mempool/new blocks),
+  /// as an on-chain observer could fetch it. nullptr if unknown.
+  const Transaction* find_recent_tx(const Hash256& txid) const noexcept;
+
+  Rng& rng() noexcept { return rng_; }
+
+  /// Appends an entry to the tag feed (used by the probe actor).
+  void add_tag(const Address& addr, Tag tag) {
+    tags_.push_back(TagEntry{addr, std::move(tag)});
+  }
+
+  /// Records of scripted scenarios (filled by hoard/thief actors).
+  HoardRecord* mutable_hoard() noexcept { return hoard_.get(); }
+  std::vector<TheftRecord>& mutable_thefts() noexcept { return thefts_; }
+
+  /// Registers any newly minted keys of all actors with ground truth.
+  void sync_keys();
+
+ private:
+  friend class WorldBuilder;
+
+  ActorId add_actor(std::unique_ptr<Actor> actor);
+  Wallet make_wallet(double p_self_change, double p_reuse_change,
+                     double p_reuse_receive);
+  void build_population();
+  void mine_block();
+  void generate_scraped_tags();
+
+  WorldConfig config_;
+  Rng rng_;
+  Timestamp now_ = 0;
+  int day_ = 0;
+
+  std::vector<std::unique_ptr<Actor>> actors_;
+  std::vector<std::vector<std::size_t>> keys_registered_;  ///< [actor][wallet]
+  std::unordered_map<std::string, ActorId> actor_by_name_;
+  std::vector<std::vector<ActorId>> by_category_;
+  std::vector<ActorId> users_;
+  std::vector<ActorId> pool_ids_;
+  std::vector<double> pool_hashpower_;
+
+  GroundTruth truth_;
+  std::vector<PendingTx> mempool_;
+  std::unordered_map<Hash256, Transaction> recent_txs_;
+  MemoryBlockStore store_;
+  ChainState chainstate_;
+
+  std::vector<TagEntry> tags_;
+  std::vector<TheftRecord> thefts_;
+  std::unique_ptr<HoardRecord> hoard_;
+
+  std::uint64_t txs_submitted_ = 0;
+  std::uint64_t coinbase_counter_ = 0;
+};
+
+/// Extracts the spender address of a P2PKH scriptSig (public
+/// information any chain observer has): HASH160 of the pushed pubkey.
+std::optional<Address> spender_address(const Script& script_sig) noexcept;
+
+}  // namespace fist::sim

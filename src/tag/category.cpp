@@ -1,0 +1,31 @@
+#include "tag/category.hpp"
+
+#include <array>
+
+namespace fist {
+
+namespace {
+
+constexpr std::array<std::string_view, kCategoryCount> kNames = {
+    "mining",     "wallets", "exchanges", "fixed",  "vendors",
+    "gambling",   "investment", "mix",    "misc",   "users",
+};
+
+}  // namespace
+
+std::string_view category_name(Category c) noexcept {
+  auto i = static_cast<std::size_t>(c);
+  return i < kNames.size() ? kNames[i] : "?";
+}
+
+std::optional<Category> category_from_name(std::string_view name) noexcept {
+  for (std::size_t i = 0; i < kNames.size(); ++i)
+    if (kNames[i] == name) return static_cast<Category>(i);
+  return std::nullopt;
+}
+
+Category category_at(std::size_t i) noexcept {
+  return static_cast<Category>(i < kCategoryCount ? i : kCategoryCount - 1);
+}
+
+}  // namespace fist

@@ -1,0 +1,45 @@
+// category.hpp — service taxonomy.
+//
+// The paper groups Bitcoin services into the categories of its Table 1
+// and tracks their balances in Figure 2; this enum is that taxonomy.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace fist {
+
+/// Category of a Bitcoin service (or an ordinary user).
+enum class Category : std::uint8_t {
+  Mining,        ///< mining pools
+  Wallet,        ///< hosted wallet services
+  BankExchange,  ///< real-time trading exchanges that hold balances
+  FixedExchange, ///< fixed-rate, one-shot exchanges
+  Vendor,        ///< merchants (physical/digital goods)
+  Gambling,      ///< dice games, poker, lotteries
+  Investment,    ///< investment schemes (incl. Ponzis)
+  Mix,           ///< mix/laundry services
+  Misc,          ///< everything else service-like
+  User,          ///< ordinary end users (unnamed population)
+};
+
+/// Display name ("exchanges", "mining", ... matching Figure 2's legend).
+std::string_view category_name(Category c) noexcept;
+
+/// Parses a category name (exact match on category_name output).
+std::optional<Category> category_from_name(std::string_view name) noexcept;
+
+/// Number of categories (for dense per-category arrays).
+inline constexpr std::size_t kCategoryCount = 10;
+
+/// All categories, for iteration.
+Category category_at(std::size_t i) noexcept;
+
+/// True for categories the paper treats as exchanges when asking "did
+/// stolen coins reach an exchange?" (bank + fixed-rate).
+constexpr bool is_exchange(Category c) noexcept {
+  return c == Category::BankExchange || c == Category::FixedExchange;
+}
+
+}  // namespace fist

@@ -1,0 +1,106 @@
+#include "tag/feedio.hpp"
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace fist {
+
+namespace {
+
+std::string escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+// Splits one CSV line (handles quoted fields).
+std::vector<std::string> split_csv(const std::string& line, int lineno) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (quoted)
+    throw ParseError("tag feed line " + std::to_string(lineno) +
+                     ": unterminated quote");
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+TagSource source_from_name(const std::string& name, int lineno) {
+  if (name == "observed") return TagSource::Observed;
+  if (name == "self-advertised") return TagSource::SelfAdvertised;
+  if (name == "scraped") return TagSource::Scraped;
+  throw ParseError("tag feed line " + std::to_string(lineno) +
+                   ": unknown source '" + name + "'");
+}
+
+}  // namespace
+
+void write_tag_feed(std::ostream& os, const std::vector<TagEntry>& feed) {
+  os << "address,service,category,source\n";
+  for (const TagEntry& e : feed) {
+    os << e.address.encode() << ',' << escape(e.tag.service) << ','
+       << category_name(e.tag.category) << ','
+       << tag_source_name(e.tag.source) << '\n';
+  }
+}
+
+std::vector<TagEntry> read_tag_feed(std::istream& is) {
+  std::vector<TagEntry> feed;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (lineno == 1 && line.rfind("address,", 0) == 0) continue;  // header
+    std::vector<std::string> fields = split_csv(line, lineno);
+    if (fields.size() != 4)
+      throw ParseError("tag feed line " + std::to_string(lineno) +
+                       ": expected 4 fields, got " +
+                       std::to_string(fields.size()));
+    auto addr = Address::decode(fields[0]);
+    if (!addr)
+      throw ParseError("tag feed line " + std::to_string(lineno) +
+                       ": bad address '" + fields[0] + "'");
+    auto category = category_from_name(fields[2]);
+    if (!category)
+      throw ParseError("tag feed line " + std::to_string(lineno) +
+                       ": unknown category '" + fields[2] + "'");
+    feed.push_back(TagEntry{
+        *addr, Tag{fields[1], *category,
+                   source_from_name(fields[3], lineno)}});
+  }
+  return feed;
+}
+
+}  // namespace fist

@@ -1,0 +1,25 @@
+// feedio.hpp — tag-feed serialization.
+//
+// A tag feed is the §3 labeling data as a file: one CSV row per
+// labeled address. This is the interchange format between a collector
+// (the simulator, a scraper, hand-curated lists) and the pipeline:
+//
+//   address,service,category,source
+//   1EHNa6Q4Jz2uvNExL497mE43ikXhwF6kZm,Mt. Gox,exchanges,observed
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "tag/tagstore.hpp"
+
+namespace fist {
+
+/// Writes the feed as CSV (with header).
+void write_tag_feed(std::ostream& os, const std::vector<TagEntry>& feed);
+
+/// Parses a CSV tag feed. Throws ParseError with a line number on any
+/// malformed row (bad address, unknown category or source).
+std::vector<TagEntry> read_tag_feed(std::istream& is);
+
+}  // namespace fist

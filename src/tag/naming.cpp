@@ -1,0 +1,59 @@
+#include "tag/naming.hpp"
+
+#include <map>
+
+namespace fist {
+
+ClusterNaming::ClusterNaming(std::span<const ClusterId> cluster_of,
+                             std::span<const std::uint32_t> cluster_sizes,
+                             const TagStore& tags) {
+  // Collect votes: cluster -> service -> (votes, best category).
+  struct Votes {
+    std::map<std::string, std::size_t> by_service;
+    std::map<std::string, Category> category_of;
+  };
+  std::unordered_map<ClusterId, Votes> votes;
+  for (const auto& [addr, tag] : tags.all()) {
+    if (addr >= cluster_of.size()) continue;
+    ClusterId c = cluster_of[addr];
+    Votes& v = votes[c];
+    v.by_service[tag.service]++;
+    v.category_of.emplace(tag.service, tag.category);
+  }
+
+  for (auto& [cluster, v] : votes) {
+    // Winner = most votes; ties broken lexicographically (deterministic).
+    const std::string* best = nullptr;
+    std::size_t best_votes = 0;
+    for (const auto& [service, n] : v.by_service) {
+      if (n > best_votes) {
+        best = &service;
+        best_votes = n;
+      }
+    }
+    ClusterName name;
+    name.service = *best;
+    name.category = v.category_of[*best];
+    name.tag_votes = best_votes;
+    name.distinct_services = v.by_service.size();
+    if (name.distinct_services > 1) contested_.push_back(cluster);
+    for (const auto& [service, n] : v.by_service)
+      service_cluster_count_[service]++;
+    names_.emplace(cluster, std::move(name));
+    if (cluster < cluster_sizes.size())
+      named_addresses_ += cluster_sizes[cluster];
+  }
+}
+
+const ClusterName* ClusterNaming::name_of(ClusterId c) const noexcept {
+  auto it = names_.find(c);
+  return it == names_.end() ? nullptr : &it->second;
+}
+
+std::size_t ClusterNaming::clusters_for_service(
+    const std::string& service) const noexcept {
+  auto it = service_cluster_count_.find(service);
+  return it == service_cluster_count_.end() ? 0 : it->second;
+}
+
+}  // namespace fist

@@ -1,0 +1,76 @@
+// naming.hpp — propagating tags onto clusters.
+//
+// The amplification step of §4: a handful of hand-tagged addresses name
+// entire clusters ("transitive tainting"). ClusterNaming joins an
+// address→cluster assignment with a TagStore, resolves per-cluster
+// names, and reports the amplification ratio and super-cluster
+// symptoms (one cluster claiming many distinct services).
+#pragma once
+
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tag/tagstore.hpp"
+
+namespace fist {
+
+/// Dense cluster identifier (as produced by cluster/clustering.hpp).
+using ClusterId = std::uint32_t;
+
+/// Resolved identity of one cluster.
+struct ClusterName {
+  std::string service;                 ///< winning service name
+  Category category = Category::Misc;
+  std::size_t tag_votes = 0;           ///< tags agreeing with the winner
+  std::size_t distinct_services = 0;   ///< distinct names seen in cluster
+};
+
+/// Result of joining tags with a clustering.
+class ClusterNaming {
+ public:
+  /// `cluster_of[a]` maps every AddrId to its cluster;
+  /// `cluster_sizes[c]` gives each cluster's address count.
+  ClusterNaming(std::span<const ClusterId> cluster_of,
+                std::span<const std::uint32_t> cluster_sizes,
+                const TagStore& tags);
+
+  /// Name of cluster `c`, or nullptr if no tag reached it.
+  const ClusterName* name_of(ClusterId c) const noexcept;
+
+  /// Every named cluster.
+  const std::unordered_map<ClusterId, ClusterName>& names() const noexcept {
+    return names_;
+  }
+
+  /// Number of clusters a given service name landed on (paper: Mt. Gox
+  /// spread across 20 H1 clusters).
+  std::size_t clusters_for_service(const std::string& service) const noexcept;
+
+  /// Total addresses inside named clusters.
+  std::uint64_t named_addresses() const noexcept { return named_addresses_; }
+
+  /// named_addresses / hand-tagged addresses: the paper's ~1600×
+  /// amplification measure.
+  double amplification(std::size_t hand_tagged) const noexcept {
+    return hand_tagged == 0
+               ? 0.0
+               : static_cast<double>(named_addresses_) /
+                     static_cast<double>(hand_tagged);
+  }
+
+  /// Clusters whose tags disagree on service identity — the symptom of
+  /// Heuristic-2 super-cluster collapse (§4.2).
+  const std::vector<ClusterId>& contested() const noexcept {
+    return contested_;
+  }
+
+ private:
+  std::unordered_map<ClusterId, ClusterName> names_;
+  std::unordered_map<std::string, std::size_t> service_cluster_count_;
+  std::vector<ClusterId> contested_;
+  std::uint64_t named_addresses_ = 0;
+};
+
+}  // namespace fist

@@ -1,0 +1,43 @@
+#include "tag/tagstore.hpp"
+
+namespace fist {
+
+std::string_view tag_source_name(TagSource s) noexcept {
+  switch (s) {
+    case TagSource::Observed: return "observed";
+    case TagSource::SelfAdvertised: return "self-advertised";
+    case TagSource::Scraped: return "scraped";
+  }
+  return "?";
+}
+
+void TagStore::add(AddrId addr, Tag tag) {
+  auto it = tags_.find(addr);
+  if (it == tags_.end()) {
+    tags_.emplace(addr, std::move(tag));
+    return;
+  }
+  Tag& existing = it->second;
+  if (static_cast<int>(tag.source) < static_cast<int>(existing.source)) {
+    // Strictly more reliable source wins.
+    existing = std::move(tag);
+    return;
+  }
+  if (tag.source == existing.source && tag.service != existing.service)
+    conflicts_.emplace_back(addr, std::move(tag));
+  // Otherwise: equal-or-less reliable duplicate; keep the original.
+}
+
+const Tag* TagStore::find(AddrId addr) const noexcept {
+  auto it = tags_.find(addr);
+  return it == tags_.end() ? nullptr : &it->second;
+}
+
+std::size_t TagStore::count_by_source(TagSource s) const noexcept {
+  std::size_t n = 0;
+  for (const auto& [addr, tag] : tags_)
+    if (tag.source == s) ++n;
+  return n;
+}
+
+}  // namespace fist

@@ -1,0 +1,78 @@
+// tagstore.hpp — ground-truth address labels ("tags").
+//
+// Section 3 of the paper labels addresses by transacting with services
+// (high confidence), collecting self-advertised addresses, and scraping
+// forums (lower confidence). TagStore holds those labels keyed by
+// interned AddrId, with the source class retained so analyses can weight
+// reliability.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "chain/addrbook.hpp"
+#include "tag/category.hpp"
+
+namespace fist {
+
+/// How a tag was obtained, in decreasing order of reliability.
+enum class TagSource : std::uint8_t {
+  Observed,        ///< we transacted with the service ourselves (§3.1)
+  SelfAdvertised,  ///< the owner published the address (§3.2)
+  Scraped,         ///< third-party forum/aggregator data (§3.2)
+};
+
+/// Printable source name.
+std::string_view tag_source_name(TagSource s) noexcept;
+
+/// One label: service identity + category + provenance.
+struct Tag {
+  std::string service;   ///< e.g. "Mt. Gox"
+  Category category = Category::Misc;
+  TagSource source = TagSource::Observed;
+
+  bool operator==(const Tag&) const = default;
+};
+
+/// A feed entry: an address someone labeled (§3's raw material, before
+/// interning against a chain view).
+struct TagEntry {
+  Address address;
+  Tag tag;
+};
+
+/// Address → tag map with provenance accounting.
+class TagStore {
+ public:
+  /// Adds a tag for `addr`. A second tag for the same address is kept
+  /// only if it has a strictly more reliable source; conflicting
+  /// service names at equal reliability are recorded as conflicts.
+  void add(AddrId addr, Tag tag);
+
+  /// The tag for `addr`, if any.
+  const Tag* find(AddrId addr) const noexcept;
+
+  /// All tagged addresses.
+  const std::unordered_map<AddrId, Tag>& all() const noexcept {
+    return tags_;
+  }
+
+  std::size_t size() const noexcept { return tags_.size(); }
+
+  /// Tags whose (addr, service) pairs disagreed at equal reliability.
+  const std::vector<std::pair<AddrId, Tag>>& conflicts() const noexcept {
+    return conflicts_;
+  }
+
+  /// Number of tags from a given source.
+  std::size_t count_by_source(TagSource s) const noexcept;
+
+ private:
+  std::unordered_map<AddrId, Tag> tags_;
+  std::vector<std::pair<AddrId, Tag>> conflicts_;
+};
+
+}  // namespace fist

@@ -1,0 +1,48 @@
+#include "util/amount.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace fist {
+
+Amount btc_fraction(double coins) {
+  if (!(coins >= 0) || coins > 21'000'000.0)
+    throw UsageError("btc_fraction(): out of money range");
+  return static_cast<Amount>(std::llround(coins * static_cast<double>(kCoin)));
+}
+
+Amount add_money(Amount a, Amount b) {
+  if (!money_range(a) || !money_range(b))
+    throw UsageError("add_money(): operand out of range");
+  Amount sum = a + b;
+  if (!money_range(sum)) throw UsageError("add_money(): sum out of range");
+  return sum;
+}
+
+std::string format_btc(Amount a, bool fixed) {
+  bool neg = a < 0;
+  std::uint64_t v = neg ? static_cast<std::uint64_t>(-(a + 1)) + 1
+                        : static_cast<std::uint64_t>(a);
+  std::uint64_t whole = v / static_cast<std::uint64_t>(kCoin);
+  std::uint64_t frac = v % static_cast<std::uint64_t>(kCoin);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s%llu.%08llu", neg ? "-" : "",
+                static_cast<unsigned long long>(whole),
+                static_cast<unsigned long long>(frac));
+  std::string s(buf);
+  if (!fixed) {
+    // Trim trailing zeros but keep at least one fractional digit.
+    std::size_t last = s.find_last_not_of('0');
+    if (s[last] == '.') ++last;
+    s.erase(last + 1);
+  }
+  return s;
+}
+
+std::string format_btc_whole(Amount a) {
+  double coins = static_cast<double>(a) / static_cast<double>(kCoin);
+  long long rounded = std::llround(coins);
+  return std::to_string(rounded);
+}
+
+}  // namespace fist

@@ -1,0 +1,53 @@
+// amount.hpp — monetary amounts in satoshis.
+//
+// Amounts are signed 64-bit satoshi counts, mirroring Bitcoin Core's
+// CAmount. Arithmetic helpers check the 21M-coin range so accounting
+// errors in the simulator or analysis surface as exceptions instead of
+// silent overflow.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace fist {
+
+/// A monetary amount in satoshis (1e-8 BTC). Signed so that balance
+/// deltas can be represented directly.
+using Amount = std::int64_t;
+
+/// Satoshis per bitcoin.
+inline constexpr Amount kCoin = 100'000'000;
+
+/// Total supply cap: 21 million BTC.
+inline constexpr Amount kMaxMoney = 21'000'000 * kCoin;
+
+/// True iff `a` lies in the valid range [0, kMaxMoney].
+constexpr bool money_range(Amount a) noexcept {
+  return a >= 0 && a <= kMaxMoney;
+}
+
+/// Converts whole bitcoins to satoshis (checked).
+constexpr Amount btc(std::int64_t coins) {
+  Amount a = coins * kCoin;
+  if (!money_range(a)) throw UsageError("btc(): out of money range");
+  return a;
+}
+
+/// Converts a fractional bitcoin value to satoshis, rounding to nearest.
+Amount btc_fraction(double coins);
+
+/// Checked addition of two non-negative amounts.
+Amount add_money(Amount a, Amount b);
+
+/// Formats satoshis as a "12345.67890000" BTC decimal string, trimming
+/// to 8 fractional digits (trailing zeros kept for alignment when
+/// `fixed` is true).
+std::string format_btc(Amount a, bool fixed = false);
+
+/// Formats satoshis as BTC rounded to the nearest whole coin — the
+/// precision used by the paper's Table 2/Table 3.
+std::string format_btc_whole(Amount a);
+
+}  // namespace fist

@@ -1,0 +1,55 @@
+// bytes.hpp — core byte-container aliases used throughout fistful.
+//
+// All binary data in the library is carried as contiguous uint8_t
+// sequences. `Bytes` owns, `ByteView` borrows (read-only).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fist {
+
+/// Owning byte buffer.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Non-owning read-only view over a byte sequence.
+using ByteView = std::span<const std::uint8_t>;
+
+/// Builds an owning buffer from a view.
+inline Bytes to_bytes(ByteView v) { return Bytes(v.begin(), v.end()); }
+
+/// Builds an owning buffer from the raw bytes of a string (no encoding
+/// applied; useful for test fixtures and message payloads).
+inline Bytes to_bytes(const std::string& s) {
+  return Bytes(s.begin(), s.end());
+}
+
+/// Appends `src` to `dst`.
+inline void append(Bytes& dst, ByteView src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+/// Concatenates any number of byte views into a fresh buffer.
+template <typename... Views>
+Bytes concat(const Views&... views) {
+  Bytes out;
+  std::size_t total = (static_cast<std::size_t>(0) + ... + views.size());
+  out.reserve(total);
+  (append(out, ByteView(views)), ...);
+  return out;
+}
+
+/// Constant-time-ish equality for fixed-size digests. Not used for
+/// secrets in this library, but avoids surprising short-circuits when
+/// comparing attacker-influenced data.
+inline bool equal_ct(ByteView a, ByteView b) {
+  if (a.size() != b.size()) return false;
+  unsigned diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+}  // namespace fist

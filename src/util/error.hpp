@@ -1,0 +1,43 @@
+// error.hpp — exception hierarchy for fistful.
+//
+// The library signals unrecoverable precondition and format violations
+// with exceptions derived from fist::Error, per the project error-handling
+// policy (C++ Core Guidelines E.2: throw to signal that a function cannot
+// perform its task).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace fist {
+
+/// Root of the fistful exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed serialized data (truncated buffer, bad magic, oversized
+/// length prefix, invalid checksum...).
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error("parse: " + what) {}
+};
+
+/// A consensus-style validation failure (double spend, value created from
+/// nothing, premature coinbase spend...).
+class ValidationError : public Error {
+ public:
+  explicit ValidationError(const std::string& what)
+      : Error("validation: " + what) {}
+};
+
+/// Misuse of a library API (lookup of an unknown id, out-of-range
+/// argument...). Distinct from ParseError so callers can distinguish
+/// "bad data" from "bad code".
+class UsageError : public Error {
+ public:
+  explicit UsageError(const std::string& what) : Error("usage: " + what) {}
+};
+
+}  // namespace fist

@@ -1,0 +1,63 @@
+#include "util/hex.hpp"
+
+#include <array>
+
+#include "util/error.hpp"
+
+namespace fist {
+
+namespace {
+
+constexpr char kDigits[] = "0123456789abcdef";
+
+// Maps an ASCII character to its hex nibble value, or -1.
+constexpr int nibble(char c) noexcept {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string to_hex(ByteView data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0x0f]);
+  }
+  return out;
+}
+
+std::string to_hex_reversed(ByteView data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (auto it = data.rbegin(); it != data.rend(); ++it) {
+    out.push_back(kDigits[*it >> 4]);
+    out.push_back(kDigits[*it & 0x0f]);
+  }
+  return out;
+}
+
+Bytes from_hex(std::string_view hex) {
+  if (hex.size() % 2 != 0) throw ParseError("hex string has odd length");
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    int hi = nibble(hex[i]);
+    int lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) throw ParseError("invalid hex character");
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+bool is_hex(std::string_view hex) noexcept {
+  if (hex.size() % 2 != 0) return false;
+  for (char c : hex)
+    if (nibble(c) < 0) return false;
+  return true;
+}
+
+}  // namespace fist

@@ -1,0 +1,26 @@
+// hex.hpp — lowercase hexadecimal encoding/decoding.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/bytes.hpp"
+
+namespace fist {
+
+/// Encodes `data` as lowercase hex ("" for empty input).
+std::string to_hex(ByteView data);
+
+/// Encodes `data` as hex with byte order reversed. Bitcoin displays
+/// txids/block hashes in reversed byte order; this matches that
+/// convention.
+std::string to_hex_reversed(ByteView data);
+
+/// Decodes a hex string (upper or lower case accepted).
+/// Throws ParseError on odd length or non-hex characters.
+Bytes from_hex(std::string_view hex);
+
+/// True iff `hex` is a valid even-length hex string.
+bool is_hex(std::string_view hex) noexcept;
+
+}  // namespace fist

@@ -1,0 +1,39 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace fist {
+
+std::size_t Rng::zipf(std::size_t n, double s) {
+  if (n == 0) throw UsageError("Rng::zipf: n == 0");
+  // Rejection-free inverse-CDF over the (small) support. n here is the
+  // number of *categories* (services, merchants), typically < 10^4, so a
+  // linear scan is fine and keeps the stream consumption deterministic.
+  double total = 0.0;
+  for (std::size_t r = 0; r < n; ++r) total += 1.0 / std::pow(r + 1.0, s);
+  double target = unit() * total;
+  double acc = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    acc += 1.0 / std::pow(r + 1.0, s);
+    if (target < acc) return r;
+  }
+  return n - 1;
+}
+
+std::size_t Rng::weighted(std::span<const double> weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0) throw UsageError("Rng::weighted: negative weight");
+    total += w;
+  }
+  if (total <= 0) throw UsageError("Rng::weighted: no positive weight");
+  double target = unit() * total;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (target < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace fist

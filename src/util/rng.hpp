@@ -1,0 +1,109 @@
+// rng.hpp — deterministic random number generation.
+//
+// Every stochastic component in fistful (the economy simulator, the P2P
+// latency model, workload generators) draws from an explicitly seeded
+// Rng so that whole experiments replay bit-for-bit. No component may
+// touch std::random_device or global generator state.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace fist {
+
+/// Deterministic PRNG with workload-generator conveniences.
+///
+/// Wraps std::mt19937_64. Copyable; copies continue the same stream
+/// independently, which makes it easy to fork per-actor streams.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : gen_(seed) {}
+
+  /// Derives an independent child generator. Used to give each simulated
+  /// actor its own stream so inserting an actor does not perturb others.
+  Rng fork() { return Rng(next()); }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next() { return gen_(); }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) {
+    if (lo > hi) throw UsageError("Rng::uniform: lo > hi");
+    return std::uniform_int_distribution<std::uint64_t>(lo, hi)(gen_);
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t below(std::uint64_t n) {
+    if (n == 0) throw UsageError("Rng::below: n == 0");
+    return uniform(0, n - 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double unit() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(gen_);
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool chance(double p) { return unit() < p; }
+
+  /// Exponentially distributed double with the given mean.
+  double exponential(double mean) {
+    if (mean <= 0) throw UsageError("Rng::exponential: mean <= 0");
+    return std::exponential_distribution<double>(1.0 / mean)(gen_);
+  }
+
+  /// Log-normal sample parameterized by the median and a shape factor
+  /// sigma. Heavy-tailed; models transaction sizes well.
+  double lognormal(double median, double sigma) {
+    if (median <= 0) throw UsageError("Rng::lognormal: median <= 0");
+    return std::lognormal_distribution<double>(std::log(median), sigma)(gen_);
+  }
+
+  /// Normally distributed sample.
+  double normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(gen_);
+  }
+
+  /// Zipf-like rank selection over [0, n): rank r is chosen with weight
+  /// 1/(r+1)^s. Used for popularity skew (a few services dominate).
+  std::size_t zipf(std::size_t n, double s = 1.0);
+
+  /// Picks a uniformly random element of a non-empty span.
+  template <typename T>
+  const T& pick(std::span<const T> items) {
+    if (items.empty()) throw UsageError("Rng::pick: empty span");
+    return items[static_cast<std::size_t>(below(items.size()))];
+  }
+
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    return pick(std::span<const T>(items));
+  }
+
+  /// Weighted index selection; weights need not be normalized.
+  /// Requires at least one strictly positive weight.
+  std::size_t weighted(std::span<const double> weights);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Underlying engine, for interoperating with <random> distributions.
+  std::mt19937_64& engine() noexcept { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace fist

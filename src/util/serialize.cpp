@@ -1,0 +1,122 @@
+#include "util/serialize.hpp"
+
+#include "util/error.hpp"
+
+namespace fist {
+
+void Writer::u8(std::uint8_t v) { buf_.push_back(v); }
+
+void Writer::u16le(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void Writer::u32le(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Writer::u64le(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Writer::i32le(std::int32_t v) { u32le(static_cast<std::uint32_t>(v)); }
+void Writer::i64le(std::int64_t v) { u64le(static_cast<std::uint64_t>(v)); }
+
+void Writer::varint(std::uint64_t v) {
+  if (v < 0xfd) {
+    u8(static_cast<std::uint8_t>(v));
+  } else if (v <= 0xffff) {
+    u8(0xfd);
+    u16le(static_cast<std::uint16_t>(v));
+  } else if (v <= 0xffffffffULL) {
+    u8(0xfe);
+    u32le(static_cast<std::uint32_t>(v));
+  } else {
+    u8(0xff);
+    u64le(v);
+  }
+}
+
+void Writer::bytes(ByteView v) { append(buf_, v); }
+
+void Writer::var_bytes(ByteView v) {
+  varint(v.size());
+  bytes(v);
+}
+
+void Writer::var_string(const std::string& s) {
+  varint(s.size());
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+ByteView Reader::need(std::size_t n) {
+  if (remaining() < n) throw ParseError("unexpected end of input");
+  ByteView out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+std::uint8_t Reader::u8() { return need(1)[0]; }
+
+std::uint16_t Reader::u16le() {
+  ByteView b = need(2);
+  return static_cast<std::uint16_t>(b[0] | (b[1] << 8));
+}
+
+std::uint32_t Reader::u32le() {
+  ByteView b = need(4);
+  return static_cast<std::uint32_t>(b[0]) |
+         (static_cast<std::uint32_t>(b[1]) << 8) |
+         (static_cast<std::uint32_t>(b[2]) << 16) |
+         (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+std::uint64_t Reader::u64le() {
+  std::uint64_t lo = u32le();
+  std::uint64_t hi = u32le();
+  return lo | (hi << 32);
+}
+
+std::int32_t Reader::i32le() { return static_cast<std::int32_t>(u32le()); }
+std::int64_t Reader::i64le() { return static_cast<std::int64_t>(u64le()); }
+
+std::uint64_t Reader::varint() {
+  std::uint8_t tag = u8();
+  if (tag < 0xfd) return tag;
+  if (tag == 0xfd) {
+    std::uint64_t v = u16le();
+    if (v < 0xfd) throw ParseError("non-canonical CompactSize");
+    return v;
+  }
+  if (tag == 0xfe) {
+    std::uint64_t v = u32le();
+    if (v <= 0xffff) throw ParseError("non-canonical CompactSize");
+    return v;
+  }
+  std::uint64_t v = u64le();
+  if (v <= 0xffffffffULL) throw ParseError("non-canonical CompactSize");
+  return v;
+}
+
+ByteView Reader::bytes(std::size_t n) { return need(n); }
+
+Bytes Reader::var_bytes(std::size_t max) {
+  std::uint64_t n = varint();
+  if (n > max) throw ParseError("length prefix exceeds limit");
+  return to_bytes(need(static_cast<std::size_t>(n)));
+}
+
+std::string Reader::var_string(std::size_t max) {
+  std::uint64_t n = varint();
+  if (n > max) throw ParseError("length prefix exceeds limit");
+  ByteView b = need(static_cast<std::size_t>(n));
+  return std::string(b.begin(), b.end());
+}
+
+void Reader::expect_eof() const {
+  if (!empty()) throw ParseError("trailing bytes after value");
+}
+
+}  // namespace fist

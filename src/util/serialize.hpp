@@ -1,0 +1,105 @@
+// serialize.hpp — Bitcoin wire-format primitives.
+//
+// Writer appends little-endian integers, CompactSize ("varint") lengths
+// and raw byte runs to an owned buffer. Reader consumes the same from a
+// borrowed view, throwing ParseError on truncation or malformed input.
+// These two types carry every byte that crosses the library's
+// serialization boundary (transactions, blocks, network messages, the
+// blk-file store).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace fist {
+
+/// Append-only serializer producing Bitcoin wire format.
+class Writer {
+ public:
+  Writer() = default;
+
+  /// Pre-allocates the underlying buffer.
+  void reserve(std::size_t n) { buf_.reserve(n); }
+
+  void u8(std::uint8_t v);
+  void u16le(std::uint16_t v);
+  void u32le(std::uint32_t v);
+  void u64le(std::uint64_t v);
+  void i32le(std::int32_t v);
+  void i64le(std::int64_t v);
+
+  /// Bitcoin CompactSize encoding: 1, 3, 5 or 9 bytes.
+  void varint(std::uint64_t v);
+
+  /// Raw bytes, no length prefix.
+  void bytes(ByteView v);
+
+  /// CompactSize length prefix followed by the bytes.
+  void var_bytes(ByteView v);
+
+  /// CompactSize length prefix followed by the string's raw bytes.
+  void var_string(const std::string& s);
+
+  /// Read-only view of everything written so far.
+  ByteView view() const noexcept { return buf_; }
+
+  /// Moves the accumulated buffer out; the writer is left empty.
+  Bytes take() noexcept { return std::move(buf_); }
+
+  std::size_t size() const noexcept { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Consuming deserializer over a borrowed byte view.
+///
+/// The Reader never copies payload bytes until asked; all accessors throw
+/// ParseError if fewer bytes remain than requested.
+class Reader {
+ public:
+  explicit Reader(ByteView data) noexcept : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16le();
+  std::uint32_t u32le();
+  std::uint64_t u64le();
+  std::int32_t i32le();
+  std::int64_t i64le();
+
+  /// Decodes a CompactSize. Rejects non-canonical encodings (a value
+  /// that should have used a shorter form), matching Bitcoin Core's
+  /// strict mode.
+  std::uint64_t varint();
+
+  /// Consumes exactly `n` bytes and returns a view into the input.
+  ByteView bytes(std::size_t n);
+
+  /// Consumes a CompactSize length then that many bytes.
+  /// `max` guards against absurd length prefixes on truncated input.
+  Bytes var_bytes(std::size_t max = kMaxVarBytes);
+
+  /// Consumes a CompactSize length then that many bytes as a string.
+  std::string var_string(std::size_t max = kMaxVarBytes);
+
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  bool empty() const noexcept { return remaining() == 0; }
+  std::size_t position() const noexcept { return pos_; }
+
+  /// Throws ParseError unless the reader consumed its entire input.
+  void expect_eof() const;
+
+  /// Default clamp on var_bytes length prefixes (32 MiB, matching the
+  /// Bitcoin protocol's maximum message size).
+  static constexpr std::size_t kMaxVarBytes = 32u * 1024 * 1024;
+
+ private:
+  ByteView need(std::size_t n);
+
+  ByteView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace fist

@@ -1,0 +1,78 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace fist {
+
+TextTable::TextTable(std::vector<std::string> header,
+                     std::vector<Align> aligns)
+    : header_(std::move(header)), aligns_(std::move(aligns)) {
+  if (header_.empty()) throw UsageError("TextTable: empty header");
+  if (aligns_.empty()) aligns_.assign(header_.size(), Align::Left);
+  if (aligns_.size() != header_.size())
+    throw UsageError("TextTable: aligns/header size mismatch");
+}
+
+void TextTable::row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size())
+    throw UsageError("TextTable: row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::separator() { rows_.emplace_back(); }
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    width[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      width[c] = std::max(width[c], r[c].size());
+
+  auto pad = [&](const std::string& s, std::size_t c) {
+    std::string out;
+    std::size_t fill = width[c] - s.size();
+    if (aligns_[c] == Align::Right) out.append(fill, ' ');
+    out += s;
+    if (aligns_[c] == Align::Left) out.append(fill, ' ');
+    return out;
+  };
+
+  std::ostringstream os;
+  auto rule = [&] {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      os << std::string(width[c] + 2, '-');
+      if (c + 1 < width.size()) os << '+';
+    }
+    os << '\n';
+  };
+
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << ' ' << pad(header_[c], c) << ' ';
+    if (c + 1 < header_.size()) os << '|';
+  }
+  os << '\n';
+  rule();
+  for (const auto& r : rows_) {
+    if (r.empty()) {
+      rule();
+      continue;
+    }
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      os << ' ' << pad(r[c], c) << ' ';
+      if (c + 1 < r.size()) os << '|';
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const TextTable& t) {
+  return os << t.render();
+}
+
+}  // namespace fist

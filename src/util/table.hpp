@@ -1,0 +1,47 @@
+// table.hpp — aligned ASCII table rendering.
+//
+// The benchmark harnesses print "paper vs measured" tables; this tiny
+// formatter keeps their output consistent and readable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fist {
+
+/// Column alignment for TextTable.
+enum class Align { Left, Right };
+
+/// Accumulates rows of strings and renders them with padded columns.
+///
+/// Usage:
+///   TextTable t({"Service", "Peels", "BTC"});
+///   t.row({"Mt. Gox", "11", "492"});
+///   std::cout << t.render();
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header,
+                     std::vector<Align> aligns = {});
+
+  /// Appends a data row; must have exactly as many cells as the header.
+  void row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator line.
+  void separator();
+
+  /// Renders the full table, including header and rule.
+  std::string render() const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+/// Convenience: renders straight to a stream.
+std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+}  // namespace fist

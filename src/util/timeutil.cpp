@@ -1,0 +1,82 @@
+#include "util/timeutil.hpp"
+
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace fist {
+
+namespace {
+
+constexpr bool is_leap(int y) noexcept {
+  return (y % 4 == 0 && y % 100 != 0) || y % 400 == 0;
+}
+
+constexpr int days_in_month(int y, int m) noexcept {
+  constexpr int d[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  if (m == 2 && is_leap(y)) return 29;
+  return d[m - 1];
+}
+
+// Civil-date <-> day-count conversion (Howard Hinnant's algorithm).
+constexpr std::int64_t days_from_civil(int y, int m, int d) noexcept {
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy =
+      static_cast<unsigned>((153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1);
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+constexpr void civil_from_days(std::int64_t z, int& y, int& m, int& d) noexcept {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const std::int64_t yy = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  d = static_cast<int>(doy - (153 * mp + 2) / 5 + 1);
+  m = static_cast<int>(mp + (mp < 10 ? 3 : -9));
+  y = static_cast<int>(yy + (m <= 2));
+}
+
+}  // namespace
+
+Timestamp from_date(int year, int month, int day) {
+  if (year < 1970 || year > 2262 || month < 1 || month > 12 || day < 1 ||
+      day > days_in_month(year, month))
+    throw UsageError("from_date(): invalid calendar date");
+  return days_from_civil(year, month, day) * kDay;
+}
+
+std::string format_date(Timestamp t) {
+  std::int64_t days = t / kDay;
+  if (t < 0 && t % kDay != 0) --days;
+  int y, m, d;
+  civil_from_days(days, y, m, d);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", y, m, d);
+  return buf;
+}
+
+std::string format_datetime(Timestamp t) {
+  std::int64_t days = t / kDay;
+  std::int64_t rem = t % kDay;
+  if (rem < 0) {
+    rem += kDay;
+    --days;
+  }
+  int y, m, d;
+  civil_from_days(days, y, m, d);
+  int hh = static_cast<int>(rem / kHour);
+  int mm = static_cast<int>((rem % kHour) / kMinute);
+  int ss = static_cast<int>(rem % kMinute);
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d", y, m, d, hh,
+                mm, ss);
+  return buf;
+}
+
+}  // namespace fist

@@ -1,0 +1,35 @@
+// timeutil.hpp — the simulation time axis.
+//
+// All timestamps in fistful are unix epoch seconds (as in Bitcoin block
+// headers). Helpers convert to/from calendar dates so experiments can be
+// anchored at the paper's study period (2009-01-03 .. 2013-04-30).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fist {
+
+/// Unix epoch seconds.
+using Timestamp = std::int64_t;
+
+inline constexpr Timestamp kSecond = 1;
+inline constexpr Timestamp kMinute = 60;
+inline constexpr Timestamp kHour = 3600;
+inline constexpr Timestamp kDay = 86400;
+inline constexpr Timestamp kWeek = 7 * kDay;
+
+/// The Bitcoin genesis block timestamp: 2009-01-03 18:15:05 UTC.
+inline constexpr Timestamp kGenesisTime = 1231006505;
+
+/// Builds a timestamp from a UTC calendar date (midnight).
+/// Valid for years 1970..2262; days/months are 1-based.
+Timestamp from_date(int year, int month, int day);
+
+/// Formats a timestamp as "YYYY-MM-DD" (UTC).
+std::string format_date(Timestamp t);
+
+/// Formats a timestamp as "YYYY-MM-DD HH:MM:SS" (UTC).
+std::string format_datetime(Timestamp t);
+
+}  // namespace fist

@@ -1,0 +1,66 @@
+#include "chain/addrbook.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/hash.hpp"
+#include "util/error.hpp"
+
+namespace fist {
+namespace {
+
+Address mk(int i) {
+  return Address(AddrType::P2PKH, hash160(to_bytes(std::to_string(i))));
+}
+
+TEST(AddressBook, InternAssignsDenseIds) {
+  AddressBook book;
+  EXPECT_EQ(book.intern(mk(0)), 0u);
+  EXPECT_EQ(book.intern(mk(1)), 1u);
+  EXPECT_EQ(book.intern(mk(2)), 2u);
+  EXPECT_EQ(book.size(), 3u);
+}
+
+TEST(AddressBook, InternIsIdempotent) {
+  AddressBook book;
+  AddrId id = book.intern(mk(7));
+  EXPECT_EQ(book.intern(mk(7)), id);
+  EXPECT_EQ(book.size(), 1u);
+}
+
+TEST(AddressBook, FindWithoutInterning) {
+  AddressBook book;
+  book.intern(mk(1));
+  EXPECT_TRUE(book.find(mk(1)).has_value());
+  EXPECT_FALSE(book.find(mk(2)).has_value());
+  EXPECT_EQ(book.size(), 1u);  // find never inserts
+}
+
+TEST(AddressBook, ReverseLookup) {
+  AddressBook book;
+  AddrId id = book.intern(mk(42));
+  EXPECT_EQ(book.lookup(id), mk(42));
+  EXPECT_THROW(book.lookup(id + 1), UsageError);
+}
+
+TEST(AddressBook, IdOrderIsFirstAppearanceOrder) {
+  AddressBook book;
+  book.intern(mk(5));
+  book.intern(mk(3));
+  book.intern(mk(5));
+  book.intern(mk(9));
+  EXPECT_EQ(book.lookup(0), mk(5));
+  EXPECT_EQ(book.lookup(1), mk(3));
+  EXPECT_EQ(book.lookup(2), mk(9));
+}
+
+TEST(AddressBook, ScalesToManyAddresses) {
+  AddressBook book;
+  book.reserve(10'000);
+  for (int i = 0; i < 10'000; ++i)
+    ASSERT_EQ(book.intern(mk(i)), static_cast<AddrId>(i));
+  EXPECT_EQ(book.size(), 10'000u);
+  EXPECT_EQ(book.lookup(9'999), mk(9'999));
+}
+
+}  // namespace
+}  // namespace fist

@@ -1,0 +1,87 @@
+#include "encoding/address.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "crypto/hash.hpp"
+#include "encoding/base58.hpp"
+
+namespace fist {
+namespace {
+
+Hash160 h160(const std::string& s) { return hash160(to_bytes(s)); }
+
+TEST(Address, P2pkhStartsWithOne) {
+  Address a(AddrType::P2PKH, h160("alpha"));
+  EXPECT_EQ(a.encode()[0], '1');
+}
+
+TEST(Address, P2shStartsWithThree) {
+  Address a(AddrType::P2SH, h160("alpha"));
+  EXPECT_EQ(a.encode()[0], '3');
+}
+
+TEST(Address, EncodeDecodeRoundTrip) {
+  for (AddrType t : {AddrType::P2PKH, AddrType::P2SH}) {
+    Address a(t, h160("round-trip"));
+    auto decoded = Address::decode(a.encode());
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, a);
+  }
+}
+
+TEST(Address, KnownSatoshiEraAddress) {
+  // HASH160 of the uncompressed generator pubkey.
+  auto decoded = Address::decode("1EHNa6Q4Jz2uvNExL497mE43ikXhwF6kZm");
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type(), AddrType::P2PKH);
+  EXPECT_EQ(decoded->payload().hex(),
+            "91b24bf9f5288532960ac687abb035127b1d28a5");
+}
+
+TEST(Address, DecodeRejectsBadChecksum) {
+  std::string s = Address(AddrType::P2PKH, h160("x")).encode();
+  s.back() = s.back() == '2' ? '3' : '2';
+  EXPECT_FALSE(Address::decode(s).has_value());
+}
+
+TEST(Address, DecodeRejectsUnknownVersion) {
+  // Version byte 0x30 (Litecoin) must be rejected.
+  Bytes payload{0x30};
+  Hash160 h = h160("foreign");
+  append(payload, h.view());
+  std::string foreign = base58check_encode(payload);
+  EXPECT_FALSE(Address::decode(foreign).has_value());
+}
+
+TEST(Address, DecodeRejectsWrongLength) {
+  Bytes payload{0x00, 0x01, 0x02};
+  EXPECT_FALSE(Address::decode(base58check_encode(payload)).has_value());
+}
+
+TEST(Address, DistinctPayloadsDistinctStrings) {
+  std::unordered_set<std::string> seen;
+  for (int i = 0; i < 200; ++i) {
+    Address a(AddrType::P2PKH, h160("addr" + std::to_string(i)));
+    EXPECT_TRUE(seen.insert(a.encode()).second);
+  }
+}
+
+TEST(Address, TypeDistinguishesEqualPayloads) {
+  Hash160 h = h160("same");
+  Address p2pkh(AddrType::P2PKH, h);
+  Address p2sh(AddrType::P2SH, h);
+  EXPECT_NE(p2pkh, p2sh);
+  EXPECT_NE(std::hash<Address>()(p2pkh), std::hash<Address>()(p2sh));
+}
+
+TEST(Address, UsableAsUnorderedKey) {
+  std::unordered_set<Address> set;
+  for (int i = 0; i < 100; ++i)
+    set.insert(Address(AddrType::P2PKH, h160(std::to_string(i))));
+  EXPECT_EQ(set.size(), 100u);
+}
+
+}  // namespace
+}  // namespace fist

@@ -1,0 +1,62 @@
+#include "util/amount.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fist {
+namespace {
+
+TEST(Amount, Constants) {
+  EXPECT_EQ(kCoin, 100'000'000);
+  EXPECT_EQ(kMaxMoney, 2'100'000'000'000'000LL);
+}
+
+TEST(Amount, MoneyRange) {
+  EXPECT_TRUE(money_range(0));
+  EXPECT_TRUE(money_range(kMaxMoney));
+  EXPECT_FALSE(money_range(-1));
+  EXPECT_FALSE(money_range(kMaxMoney + 1));
+}
+
+TEST(Amount, BtcConversion) {
+  EXPECT_EQ(btc(1), kCoin);
+  EXPECT_EQ(btc(21'000'000), kMaxMoney);
+  EXPECT_THROW(btc(21'000'001), UsageError);
+  EXPECT_THROW(btc(-1), UsageError);
+}
+
+TEST(Amount, BtcFraction) {
+  EXPECT_EQ(btc_fraction(0.5), 50'000'000);
+  EXPECT_EQ(btc_fraction(0.00000001), 1);
+  EXPECT_EQ(btc_fraction(0.0), 0);
+  EXPECT_THROW(btc_fraction(-0.5), UsageError);
+  EXPECT_THROW(btc_fraction(22'000'000.0), UsageError);
+}
+
+TEST(Amount, AddMoneyChecked) {
+  EXPECT_EQ(add_money(btc(1), btc(2)), btc(3));
+  EXPECT_THROW(add_money(kMaxMoney, 1), UsageError);
+  EXPECT_THROW(add_money(-1, 0), UsageError);
+}
+
+TEST(Amount, FormatTrimsZeros) {
+  EXPECT_EQ(format_btc(btc(5)), "5.0");
+  EXPECT_EQ(format_btc(kCoin / 2), "0.5");
+  EXPECT_EQ(format_btc(1), "0.00000001");
+}
+
+TEST(Amount, FormatFixedKeepsWidth) {
+  EXPECT_EQ(format_btc(btc(5), /*fixed=*/true), "5.00000000");
+}
+
+TEST(Amount, FormatNegative) {
+  EXPECT_EQ(format_btc(-kCoin / 4), "-0.25");
+}
+
+TEST(Amount, FormatWholeRounds) {
+  EXPECT_EQ(format_btc_whole(btc(492)), "492");
+  EXPECT_EQ(format_btc_whole(btc(492) + kCoin / 2), "493");  // rounds up
+  EXPECT_EQ(format_btc_whole(btc(492) + kCoin / 3), "492");
+}
+
+}  // namespace
+}  // namespace fist

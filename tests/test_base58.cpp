@@ -1,0 +1,87 @@
+#include "encoding/base58.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/hex.hpp"
+#include "util/rng.hpp"
+
+namespace fist {
+namespace {
+
+TEST(Base58, EmptyInput) {
+  EXPECT_EQ(base58_encode(ByteView{}), "");
+  EXPECT_TRUE(base58_decode("").empty());
+}
+
+TEST(Base58, KnownVectors) {
+  // Vectors from Bitcoin Core's base58_encode_decode.json.
+  EXPECT_EQ(base58_encode(from_hex("61")), "2g");
+  EXPECT_EQ(base58_encode(from_hex("626262")), "a3gV");
+  EXPECT_EQ(base58_encode(from_hex("636363")), "aPEr");
+  EXPECT_EQ(base58_encode(from_hex("73696d706c792061206c6f6e6720737472696e67")),
+            "2cFupjhnEsSn59qHXstmK2ffpLv2");
+  EXPECT_EQ(base58_encode(from_hex("516b6fcd0f")), "ABnLTmg");
+  EXPECT_EQ(base58_encode(from_hex("572e4794")), "3EFU7m");
+  EXPECT_EQ(base58_encode(from_hex("10c8511e")), "Rt5zm");
+}
+
+TEST(Base58, LeadingZerosBecomeOnes) {
+  EXPECT_EQ(base58_encode(from_hex("00000000000000000000")),
+            "1111111111");
+  EXPECT_EQ(base58_encode(from_hex("00010966776006953d5567439e5e39f86a0d"
+                                   "273beed61967f6")),
+            "16UwLL9Risc3QfPqBUvKofHmBQ7wMtjvM");
+}
+
+TEST(Base58, DecodeRejectsForbiddenChars) {
+  EXPECT_THROW(base58_decode("0"), ParseError);   // zero digit excluded
+  EXPECT_THROW(base58_decode("O"), ParseError);   // capital o excluded
+  EXPECT_THROW(base58_decode("I"), ParseError);   // capital i excluded
+  EXPECT_THROW(base58_decode("l"), ParseError);   // lowercase L excluded
+  EXPECT_THROW(base58_decode("a b"), ParseError); // whitespace
+}
+
+TEST(Base58Check, AppendsVerifiableChecksum) {
+  Bytes payload = from_hex("00010966776006953d5567439e5e39f86a0d273bee");
+  std::string encoded = base58check_encode(payload);
+  EXPECT_EQ(encoded, "16UwLL9Risc3QfPqBUvKofHmBQ7wMtjvM");
+  auto decoded = base58check_decode(encoded);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, payload);
+}
+
+TEST(Base58Check, DetectsTypos) {
+  std::string good = "16UwLL9Risc3QfPqBUvKofHmBQ7wMtjvM";
+  // Flip one character to another alphabet character.
+  std::string bad = good;
+  bad[5] = bad[5] == 'L' ? 'M' : 'L';
+  EXPECT_FALSE(base58check_decode(bad).has_value());
+}
+
+TEST(Base58Check, RejectsTooShort) {
+  EXPECT_FALSE(base58check_decode("2g").has_value());
+  EXPECT_FALSE(base58check_decode("").has_value());
+}
+
+TEST(Base58Check, RejectsNonAlphabet) {
+  EXPECT_FALSE(base58check_decode("0OIl").has_value());
+}
+
+class Base58RoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Base58RoundTrip, Identity) {
+  Rng rng(GetParam() + 77);
+  Bytes data(GetParam());
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+  if (!data.empty() && GetParam() % 3 == 0) data[0] = 0;  // leading zero case
+  EXPECT_EQ(base58_decode(base58_encode(data)), data);
+  EXPECT_EQ(base58check_decode(base58check_encode(data)), data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Base58RoundTrip,
+                         ::testing::Values(0, 1, 2, 5, 20, 21, 32, 33, 64,
+                                           100));
+
+}  // namespace
+}  // namespace fist

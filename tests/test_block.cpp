@@ -1,0 +1,115 @@
+#include "chain/block.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/merkle.hpp"
+#include "script/standard.hpp"
+#include "util/error.hpp"
+
+namespace fist {
+namespace {
+
+Block sample_block() {
+  Block b;
+  b.header.version = 1;
+  b.header.prev_hash = hash256(to_bytes(std::string("parent")));
+  b.header.time = 1231006505;
+  b.header.bits = 0x207fffff;
+  Transaction cb;
+  TxIn in;
+  in.prevout = OutPoint::coinbase();
+  Script sig;
+  sig.push(to_bytes(std::string("genesis-ish")));
+  in.script_sig = sig;
+  cb.inputs.push_back(in);
+  cb.outputs.push_back(
+      TxOut{btc(50), make_p2pkh(hash160(to_bytes(std::string("miner"))))});
+  b.transactions.push_back(cb);
+  b.fix_merkle_root();
+  return b;
+}
+
+TEST(BlockHeader, SerializesTo80Bytes) {
+  Writer w;
+  sample_block().header.serialize(w);
+  EXPECT_EQ(w.size(), 80u);
+}
+
+TEST(BlockHeader, RoundTrip) {
+  BlockHeader h = sample_block().header;
+  Writer w;
+  h.serialize(w);
+  Reader r(w.view());
+  EXPECT_EQ(BlockHeader::deserialize(r), h);
+}
+
+TEST(BlockHeader, HashChangesWithNonce) {
+  BlockHeader h = sample_block().header;
+  Hash256 h1 = h.hash();
+  h.nonce += 1;
+  EXPECT_NE(h.hash(), h1);
+}
+
+TEST(Block, RoundTrip) {
+  Block b = sample_block();
+  EXPECT_EQ(Block::from_bytes(b.serialize()), b);
+}
+
+TEST(Block, MerkleRootMatchesTxids) {
+  Block b = sample_block();
+  std::vector<Hash256> txids{b.transactions[0].txid()};
+  EXPECT_EQ(b.header.merkle_root, merkle_root(txids));
+}
+
+TEST(Block, FixMerkleAfterAddingTx) {
+  Block b = sample_block();
+  Hash256 old_root = b.header.merkle_root;
+  Transaction tx;
+  TxIn in;
+  in.prevout.txid = b.transactions[0].txid();
+  tx.inputs.push_back(in);
+  tx.outputs.push_back(TxOut{btc(1), Script()});
+  b.transactions.push_back(tx);
+  b.fix_merkle_root();
+  EXPECT_NE(b.header.merkle_root, old_root);
+  EXPECT_EQ(b.compute_merkle_root(), b.header.merkle_root);
+}
+
+TEST(Block, DeserializeRejectsTruncation) {
+  Bytes raw = sample_block().serialize();
+  raw.resize(60);
+  EXPECT_THROW(Block::from_bytes(raw), ParseError);
+}
+
+TEST(Subsidy, HalvingSchedule) {
+  EXPECT_EQ(block_subsidy(0), 50 * kCoin);
+  EXPECT_EQ(block_subsidy(209'999), 50 * kCoin);
+  EXPECT_EQ(block_subsidy(210'000), 25 * kCoin);
+  EXPECT_EQ(block_subsidy(420'000), 1'250'000'000);
+  EXPECT_EQ(block_subsidy(-1), 0);
+}
+
+TEST(Subsidy, EventuallyZero) {
+  EXPECT_EQ(block_subsidy(64 * 210'000), 0);
+  EXPECT_EQ(block_subsidy(100'000'000), 0);
+}
+
+TEST(Subsidy, CustomInterval) {
+  EXPECT_EQ(block_subsidy(1'999, 2'000), 50 * kCoin);
+  EXPECT_EQ(block_subsidy(2'000, 2'000), 25 * kCoin);
+  EXPECT_EQ(block_subsidy(4'000, 2'000), 1'250'000'000);
+}
+
+TEST(Subsidy, TotalSupplyApproaches21M) {
+  // Sum of all subsidies stays below the 21M cap.
+  Amount total = 0;
+  for (int halving = 0; halving < 64; ++halving) {
+    Amount per_block = block_subsidy(halving * 210'000);
+    total += per_block * 210'000;
+  }
+  EXPECT_LE(total, kMaxMoney);
+  EXPECT_GT(total, kMaxMoney - btc(100));  // within 100 BTC of the cap
+}
+
+}  // namespace
+}  // namespace fist

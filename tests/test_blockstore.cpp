@@ -1,0 +1,140 @@
+#include "chain/blockstore.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include "script/standard.hpp"
+#include "util/error.hpp"
+
+namespace fist {
+namespace {
+
+Block make_block(int n, const Hash256& prev) {
+  Block b;
+  b.header.prev_hash = prev;
+  b.header.time = static_cast<std::uint32_t>(1231006505 + n * 600);
+  b.header.bits = 0x207fffff;
+  Transaction cb;
+  TxIn in;
+  in.prevout = OutPoint::coinbase();
+  Script sig;
+  Writer w;
+  w.u32le(static_cast<std::uint32_t>(n));
+  sig.push(w.view());
+  in.script_sig = sig;
+  cb.inputs.push_back(in);
+  cb.outputs.push_back(TxOut{
+      btc(50), make_p2pkh(hash160(to_bytes("m" + std::to_string(n))))});
+  b.transactions.push_back(cb);
+  b.fix_merkle_root();
+  return b;
+}
+
+TEST(MemoryBlockStore, AppendAndRead) {
+  MemoryBlockStore store;
+  Block b0 = make_block(0, Hash256{});
+  Block b1 = make_block(1, b0.header.hash());
+  EXPECT_EQ(store.append(b0), 0u);
+  EXPECT_EQ(store.append(b1), 1u);
+  EXPECT_EQ(store.count(), 2u);
+  EXPECT_EQ(store.read(0), b0);
+  EXPECT_EQ(store.read(1), b1);
+}
+
+TEST(MemoryBlockStore, ReadOutOfRangeThrows) {
+  MemoryBlockStore store;
+  EXPECT_THROW(store.read(0), UsageError);
+}
+
+TEST(MemoryBlockStore, RecordsAreFramed) {
+  MemoryBlockStore store;
+  Block b = make_block(0, Hash256{});
+  store.append(b);
+  // magic (4) + length (4) + block.
+  EXPECT_EQ(store.byte_size(), 8 + b.serialize().size());
+}
+
+TEST(MemoryBlockStore, ForEachVisitsInOrder) {
+  MemoryBlockStore store;
+  Hash256 prev;
+  for (int i = 0; i < 5; ++i) {
+    Block b = make_block(i, prev);
+    prev = b.header.hash();
+    store.append(b);
+  }
+  std::vector<std::size_t> seen;
+  store.for_each([&](std::size_t i, const Block&) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+class FileStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("fist_blk_test_" + std::to_string(::getpid()) + ".dat");
+    std::filesystem::remove(path_);
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::filesystem::path path_;
+};
+
+TEST_F(FileStoreTest, AppendReadRoundTrip) {
+  FileBlockStore store(path_);
+  Block b0 = make_block(0, Hash256{});
+  Block b1 = make_block(1, b0.header.hash());
+  store.append(b0);
+  store.append(b1);
+  EXPECT_EQ(store.read(0), b0);
+  EXPECT_EQ(store.read(1), b1);
+}
+
+TEST_F(FileStoreTest, ReopenScansExistingRecords) {
+  Block b0 = make_block(0, Hash256{});
+  Block b1 = make_block(1, b0.header.hash());
+  {
+    FileBlockStore store(path_);
+    store.append(b0);
+    store.append(b1);
+  }
+  FileBlockStore reopened(path_);
+  EXPECT_EQ(reopened.count(), 2u);
+  EXPECT_EQ(reopened.read(0), b0);
+  EXPECT_EQ(reopened.read(1), b1);
+  // Appending continues after the scan.
+  Block b2 = make_block(2, b1.header.hash());
+  EXPECT_EQ(reopened.append(b2), 2u);
+  EXPECT_EQ(reopened.read(2), b2);
+}
+
+TEST_F(FileStoreTest, OnDiskLayoutMatchesBitcoinCore) {
+  FileBlockStore store(path_);
+  store.append(make_block(0, Hash256{}));
+  std::ifstream in(path_, std::ios::binary);
+  std::uint8_t head[4];
+  in.read(reinterpret_cast<char*>(head), 4);
+  // f9 be b4 d9, the mainnet record magic, little-endian on disk.
+  EXPECT_EQ(head[0], 0xf9);
+  EXPECT_EQ(head[1], 0xbe);
+  EXPECT_EQ(head[2], 0xb4);
+  EXPECT_EQ(head[3], 0xd9);
+}
+
+TEST_F(FileStoreTest, RejectsCorruptedMagic) {
+  {
+    FileBlockStore store(path_);
+    store.append(make_block(0, Hash256{}));
+  }
+  // Corrupt the magic in place.
+  std::fstream f(path_, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(0);
+  char zero = 0;
+  f.write(&zero, 1);
+  f.close();
+  EXPECT_THROW(FileBlockStore reopened(path_), ParseError);
+}
+
+}  // namespace
+}  // namespace fist

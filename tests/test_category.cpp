@@ -1,0 +1,41 @@
+#include "tag/category.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fist {
+namespace {
+
+TEST(Category, NamesMatchFigure2Legend) {
+  EXPECT_EQ(category_name(Category::BankExchange), "exchanges");
+  EXPECT_EQ(category_name(Category::Mining), "mining");
+  EXPECT_EQ(category_name(Category::Wallet), "wallets");
+  EXPECT_EQ(category_name(Category::Gambling), "gambling");
+  EXPECT_EQ(category_name(Category::Vendor), "vendors");
+  EXPECT_EQ(category_name(Category::FixedExchange), "fixed");
+  EXPECT_EQ(category_name(Category::Investment), "investment");
+}
+
+TEST(Category, RoundTripThroughName) {
+  for (std::size_t i = 0; i < kCategoryCount; ++i) {
+    Category c = category_at(i);
+    auto back = category_from_name(category_name(c));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, c);
+  }
+}
+
+TEST(Category, FromNameRejectsUnknown) {
+  EXPECT_FALSE(category_from_name("nonsense").has_value());
+  EXPECT_FALSE(category_from_name("").has_value());
+}
+
+TEST(Category, ExchangePredicate) {
+  EXPECT_TRUE(is_exchange(Category::BankExchange));
+  EXPECT_TRUE(is_exchange(Category::FixedExchange));
+  EXPECT_FALSE(is_exchange(Category::Wallet));
+  EXPECT_FALSE(is_exchange(Category::Gambling));
+  EXPECT_FALSE(is_exchange(Category::User));
+}
+
+}  // namespace
+}  // namespace fist

@@ -1,0 +1,270 @@
+#include "chain/chainstate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "script/standard.hpp"
+#include "util/error.hpp"
+
+namespace fist {
+namespace {
+
+// A hand-driven block factory that builds valid chains and lets each
+// test break exactly one rule.
+class ChainFixture : public ::testing::Test {
+ protected:
+  ChainFixture() : state_(params()) {}
+
+  static ChainParams params() {
+    ChainParams p;
+    p.coinbase_maturity = 2;
+    p.halving_interval = 1000;
+    p.expected_bits = kEasyBits;
+    return p;
+  }
+
+  Script script_for(int who) {
+    return make_p2pkh(hash160(to_bytes("user" + std::to_string(who))));
+  }
+
+  Transaction coinbase_tx(Amount value) {
+    Transaction cb;
+    TxIn in;
+    in.prevout = OutPoint::coinbase();
+    Script sig;
+    Writer w;
+    w.u64le(seq_++);
+    sig.push(w.view());
+    in.script_sig = sig;
+    cb.inputs.push_back(in);
+    cb.outputs.push_back(TxOut{value, script_for(0)});
+    return cb;
+  }
+
+  Block next_block(std::vector<Transaction> txs = {},
+                   Amount coinbase_value = 50 * kCoin) {
+    Block b;
+    b.header.prev_hash = state_.height() < 0
+                             ? Hash256{}
+                             : state_.block_hash(state_.height());
+    b.header.time = static_cast<std::uint32_t>(
+        1231006505 + (state_.height() + 1) * 600);
+    b.header.bits = kEasyBits;
+    b.transactions.push_back(coinbase_tx(coinbase_value));
+    for (Transaction& tx : txs) b.transactions.push_back(std::move(tx));
+    b.fix_merkle_root();
+    while (!check_proof_of_work(b.header.hash(), b.header.bits))
+      ++b.header.nonce;
+    return b;
+  }
+
+  // Mines `n` empty blocks (to mature coinbases).
+  void mine(int n) {
+    for (int i = 0; i < n; ++i) state_.connect(next_block());
+  }
+
+  Transaction spend(const Hash256& txid, std::uint32_t index, Amount in_value,
+                    Amount out_value, int out_who = 1) {
+    Transaction tx;
+    TxIn in;
+    in.prevout = OutPoint{txid, index};
+    tx.inputs.push_back(in);
+    (void)in_value;
+    tx.outputs.push_back(TxOut{out_value, script_for(out_who)});
+    return tx;
+  }
+
+  ChainState state_;
+  std::uint64_t seq_ = 0;
+};
+
+TEST_F(ChainFixture, ConnectsGenesisAndGrows) {
+  EXPECT_EQ(state_.height(), -1);
+  mine(3);
+  EXPECT_EQ(state_.height(), 2);
+  EXPECT_EQ(state_.stats().coinbase_transactions, 3u);
+  EXPECT_EQ(state_.stats().minted, 150 * kCoin);
+  EXPECT_EQ(state_.utxos().size(), 3u);
+}
+
+TEST_F(ChainFixture, RejectsWrongPrevHash) {
+  mine(1);
+  Block orphan = next_block();
+  orphan.header.prev_hash = hash256(to_bytes(std::string("elsewhere")));
+  orphan.fix_merkle_root();
+  while (!check_proof_of_work(orphan.header.hash(), orphan.header.bits))
+    ++orphan.header.nonce;
+  EXPECT_THROW(state_.connect(orphan), ValidationError);
+}
+
+TEST_F(ChainFixture, RejectsBadMerkleRoot) {
+  Block b = next_block();
+  b.header.merkle_root = Hash256{};
+  while (!check_proof_of_work(b.header.hash(), b.header.bits))
+    ++b.header.nonce;
+  EXPECT_THROW(state_.connect(b), ValidationError);
+}
+
+TEST_F(ChainFixture, RejectsWrongDifficultyBits) {
+  Block b = next_block();
+  b.header.bits = 0x207dffff;
+  b.fix_merkle_root();
+  EXPECT_THROW(state_.connect(b), ValidationError);
+}
+
+TEST_F(ChainFixture, RejectsMissingCoinbase) {
+  Block b = next_block();
+  b.transactions.clear();
+  b.fix_merkle_root();
+  while (!check_proof_of_work(b.header.hash(), b.header.bits))
+    ++b.header.nonce;
+  EXPECT_THROW(state_.connect(b), ValidationError);
+}
+
+TEST_F(ChainFixture, RejectsOverpayingCoinbase) {
+  Block b = next_block({}, 50 * kCoin + 1);
+  EXPECT_THROW(state_.connect(b), ValidationError);
+}
+
+TEST_F(ChainFixture, CoinbaseMayCollectFees) {
+  Block funding = next_block();
+  Hash256 cb_txid = funding.transactions[0].txid();
+  state_.connect(funding);
+  mine(2);  // mature it
+
+  // Spend 50, return 49 → 1 BTC fee, claimable by the coinbase.
+  Transaction tx = spend(cb_txid, 0, 50 * kCoin, 49 * kCoin);
+  Block b = next_block({tx}, 50 * kCoin + 1 * kCoin);
+  EXPECT_NO_THROW(state_.connect(b));
+  EXPECT_EQ(state_.stats().total_fees, 1 * kCoin);
+}
+
+TEST_F(ChainFixture, RejectsSpendOfUnknownOutput) {
+  mine(1);
+  Transaction tx =
+      spend(hash256(to_bytes(std::string("ghost"))), 0, btc(1), btc(1));
+  EXPECT_THROW(state_.connect(next_block({tx})), ValidationError);
+}
+
+TEST_F(ChainFixture, RejectsDoubleSpendAcrossBlocks) {
+  Block funding = next_block();
+  Hash256 cb_txid = funding.transactions[0].txid();
+  state_.connect(funding);
+  mine(2);
+
+  Transaction tx1 = spend(cb_txid, 0, 50 * kCoin, 49 * kCoin, 1);
+  state_.connect(next_block({tx1}));
+
+  Transaction tx2 = spend(cb_txid, 0, 50 * kCoin, 48 * kCoin, 2);
+  EXPECT_THROW(state_.connect(next_block({tx2})), ValidationError);
+}
+
+TEST_F(ChainFixture, RejectsDoubleSpendWithinBlock) {
+  Block funding = next_block();
+  Hash256 cb_txid = funding.transactions[0].txid();
+  state_.connect(funding);
+  mine(2);
+
+  Transaction tx1 = spend(cb_txid, 0, 50 * kCoin, 49 * kCoin, 1);
+  Transaction tx2 = spend(cb_txid, 0, 50 * kCoin, 48 * kCoin, 2);
+  EXPECT_THROW(state_.connect(next_block({tx1, tx2})), ValidationError);
+}
+
+TEST_F(ChainFixture, RejectsValueCreation) {
+  Block funding = next_block();
+  Hash256 cb_txid = funding.transactions[0].txid();
+  state_.connect(funding);
+  mine(2);
+  Transaction tx = spend(cb_txid, 0, 50 * kCoin, 51 * kCoin);
+  EXPECT_THROW(state_.connect(next_block({tx})), ValidationError);
+}
+
+TEST_F(ChainFixture, EnforcesCoinbaseMaturity) {
+  Block funding = next_block();
+  Hash256 cb_txid = funding.transactions[0].txid();
+  state_.connect(funding);
+  // Height is now 0; spending at height 1 violates maturity=2.
+  Transaction premature = spend(cb_txid, 0, 50 * kCoin, 49 * kCoin);
+  EXPECT_THROW(state_.connect(next_block({premature})), ValidationError);
+  // After one more block it matures (2 blocks deep).
+  mine(1);
+  Transaction ok = spend(cb_txid, 0, 50 * kCoin, 49 * kCoin);
+  EXPECT_NO_THROW(state_.connect(next_block({ok})));
+}
+
+TEST_F(ChainFixture, AllowsIntraBlockChains) {
+  Block funding = next_block();
+  Hash256 cb_txid = funding.transactions[0].txid();
+  state_.connect(funding);
+  mine(2);
+
+  Transaction tx1 = spend(cb_txid, 0, 50 * kCoin, 49 * kCoin, 1);
+  Transaction tx2 = spend(tx1.txid(), 0, 49 * kCoin, 48 * kCoin, 2);
+  EXPECT_NO_THROW(state_.connect(next_block({tx1, tx2})));
+}
+
+TEST_F(ChainFixture, RejectsExtraCoinbase) {
+  Block b = next_block();
+  b.transactions.push_back(coinbase_tx(50 * kCoin));
+  b.fix_merkle_root();
+  while (!check_proof_of_work(b.header.hash(), b.header.bits))
+    ++b.header.nonce;
+  EXPECT_THROW(state_.connect(b), ValidationError);
+}
+
+TEST_F(ChainFixture, FailedBlockLeavesStateUntouched) {
+  Block funding = next_block();
+  Hash256 cb_txid = funding.transactions[0].txid();
+  state_.connect(funding);
+  mine(2);
+  std::size_t utxos_before = state_.utxos().size();
+
+  Transaction good = spend(cb_txid, 0, 50 * kCoin, 49 * kCoin, 1);
+  Transaction bad =
+      spend(hash256(to_bytes(std::string("ghost"))), 0, btc(1), btc(1));
+  EXPECT_THROW(state_.connect(next_block({good, bad})), ValidationError);
+  // The good tx's effects must not have been applied.
+  EXPECT_EQ(state_.utxos().size(), utxos_before);
+  ASSERT_NE(state_.utxos().find(OutPoint{cb_txid, 0}), nullptr);
+}
+
+TEST_F(ChainFixture, BlockHashLookups) {
+  mine(2);
+  Hash256 h0 = state_.block_hash(0);
+  EXPECT_EQ(state_.find_height(h0), 0);
+  EXPECT_EQ(state_.find_height(hash256(to_bytes(std::string("no")))), -1);
+  EXPECT_THROW(state_.block_hash(7), UsageError);
+}
+
+TEST_F(ChainFixture, SubsidyHalvesAtInterval) {
+  // halving_interval = 1000 in the fixture; height 1000 pays 25.
+  ChainParams p = params();
+  p.halving_interval = 3;
+  ChainState s(p);
+  std::uint64_t seq = 900;
+  for (int h = 0; h <= 3; ++h) {
+    Block b;
+    b.header.prev_hash = h == 0 ? Hash256{} : s.block_hash(h - 1);
+    b.header.time = static_cast<std::uint32_t>(1231006505 + h * 600);
+    b.header.bits = kEasyBits;
+    Transaction cb;
+    TxIn in;
+    in.prevout = OutPoint::coinbase();
+    Script sig;
+    Writer w;
+    w.u64le(seq++);
+    sig.push(w.view());
+    in.script_sig = sig;
+    cb.inputs.push_back(in);
+    cb.outputs.push_back(
+        TxOut{block_subsidy(h, 3), script_for(0)});
+    b.transactions.push_back(cb);
+    b.fix_merkle_root();
+    while (!check_proof_of_work(b.header.hash(), b.header.bits))
+      ++b.header.nonce;
+    s.connect(b);
+  }
+  EXPECT_EQ(s.stats().minted, 50 * kCoin * 3 + 25 * kCoin);
+}
+
+}  // namespace
+}  // namespace fist

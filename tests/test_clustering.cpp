@@ -1,0 +1,108 @@
+#include "cluster/clustering.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testutil.hpp"
+#include "util/error.hpp"
+
+namespace fist {
+namespace {
+
+using test::TestChain;
+
+TEST(Clustering, FromUnionFindDenseIds) {
+  UnionFind uf(6);
+  uf.unite(0, 1);
+  uf.unite(2, 3);
+  Clustering c = Clustering::from_union_find(uf);
+  EXPECT_EQ(c.cluster_count(), 4u);
+  EXPECT_EQ(c.address_count(), 6u);
+  EXPECT_EQ(c.cluster_of(0), c.cluster_of(1));
+  EXPECT_EQ(c.cluster_of(2), c.cluster_of(3));
+  EXPECT_NE(c.cluster_of(0), c.cluster_of(2));
+  EXPECT_NE(c.cluster_of(4), c.cluster_of(5));
+}
+
+TEST(Clustering, SizesAreMemberCounts) {
+  UnionFind uf(5);
+  uf.unite(0, 1);
+  uf.unite(1, 2);
+  Clustering c = Clustering::from_union_find(uf);
+  EXPECT_EQ(c.size_of(c.cluster_of(0)), 3u);
+  EXPECT_EQ(c.size_of(c.cluster_of(3)), 1u);
+  std::uint64_t total = 0;
+  for (std::uint32_t s : c.sizes()) total += s;
+  EXPECT_EQ(total, 5u);
+}
+
+TEST(Clustering, ClusterIdsAreFirstMemberOrdered) {
+  UnionFind uf(4);
+  uf.unite(2, 3);
+  Clustering c = Clustering::from_union_find(uf);
+  // Address 0 gets cluster 0, address 1 cluster 1, addresses 2/3 share
+  // cluster 2 — deterministic across runs.
+  EXPECT_EQ(c.cluster_of(0), 0u);
+  EXPECT_EQ(c.cluster_of(1), 1u);
+  EXPECT_EQ(c.cluster_of(2), 2u);
+  EXPECT_EQ(c.cluster_of(3), 2u);
+}
+
+TEST(Clustering, LargestFindsBiggest) {
+  UnionFind uf(10);
+  for (int i = 0; i < 4; ++i)
+    uf.unite(0, static_cast<std::uint32_t>(i + 1));
+  uf.unite(6, 7);
+  Clustering c = Clustering::from_union_find(uf);
+  auto [id, size] = c.largest();
+  EXPECT_EQ(size, 5u);
+  EXPECT_EQ(id, c.cluster_of(0));
+}
+
+TEST(Clustering, LargestThrowsOnEmpty) {
+  UnionFind uf(0);
+  Clustering c = Clustering::from_union_find(uf);
+  EXPECT_THROW(c.largest(), UsageError);
+}
+
+TEST(Clustering, DistinctAfterNamingCollapsesSameService) {
+  UnionFind uf(6);
+  uf.unite(0, 1);  // cluster A
+  uf.unite(2, 3);  // cluster B
+  Clustering c = Clustering::from_union_find(uf);
+
+  TagStore tags;
+  tags.add(0, Tag{"Mt. Gox", Category::BankExchange, TagSource::Observed});
+  tags.add(2, Tag{"Mt. Gox", Category::BankExchange, TagSource::Observed});
+  ClusterNaming naming(c.assignment(), c.sizes(), tags);
+
+  // 4 clusters total; two carry the same name → 3 distinct entities.
+  EXPECT_EQ(c.cluster_count(), 4u);
+  EXPECT_EQ(c.distinct_after_naming(naming), 3u);
+}
+
+TEST(UserUpperBound, CountsSpendersAndSinks) {
+  TestChain chain;
+  auto c1 = chain.coinbase(1, btc(10));
+  auto c2 = chain.coinbase(2, btc(20));
+  chain.coinbase(3, btc(5));  // addr 3 never spends: a sink
+  chain.next_block();
+  chain.spend({c1, c2}, {{4, btc(29)}});  // 4 also never spends
+  ChainView view = chain.view();
+
+  UnionFind uf(view.address_count());
+  // H1-style merge of 1 and 2.
+  auto a1 = *view.addresses().find(test::addr(1));
+  auto a2 = *view.addresses().find(test::addr(2));
+  uf.unite(a1, a2);
+  Clustering c = Clustering::from_union_find(uf);
+
+  // Spending cluster {1,2} plus sinks {3},{4} and the dummy coinbase
+  // address of the second block.
+  std::uint64_t bound = user_upper_bound(view, c);
+  // addresses: 1,2,3,4 + dummy (block 2 has the spend... no dummy).
+  EXPECT_EQ(view.address_count(), 4u);
+  EXPECT_EQ(bound, 3u);  // {1,2} + sink 3 + sink 4 → 1 + 2
+}
+
+}  // namespace
+}  // namespace fist

@@ -1,0 +1,160 @@
+#include "crypto/ecdsa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/sha256.hpp"
+#include "util/error.hpp"
+#include "util/hex.hpp"
+
+namespace fist {
+namespace {
+
+Hash256 digest_of(const std::string& msg) {
+  return hash256(to_bytes(msg));
+}
+
+TEST(PrivateKey, RejectsZeroAndOrder) {
+  EXPECT_THROW(PrivateKey(U256(0)), UsageError);
+  EXPECT_THROW(PrivateKey(secp::order_n()), UsageError);
+  EXPECT_NO_THROW(PrivateKey(U256(1)));
+}
+
+TEST(PrivateKey, FromSeedDeterministic) {
+  Bytes seed = to_bytes(std::string("seed"));
+  PrivateKey a = PrivateKey::from_seed(seed);
+  PrivateKey b = PrivateKey::from_seed(seed);
+  EXPECT_EQ(a.scalar(), b.scalar());
+  PrivateKey c = PrivateKey::from_seed(to_bytes(std::string("other")));
+  EXPECT_NE(a.scalar(), c.scalar());
+}
+
+TEST(PublicKey, KnownGeneratorSerializations) {
+  PrivateKey k1(U256(1));
+  PublicKey pub = k1.pubkey();
+  EXPECT_EQ(to_hex(pub.serialize_uncompressed()),
+            "0479be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f817"
+            "98483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4"
+            "b8");
+  EXPECT_EQ(to_hex(pub.serialize_compressed()),
+            "0279be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f817"
+            "98");
+}
+
+TEST(PublicKey, ParseCompressedRoundTrip) {
+  PrivateKey k = PrivateKey::from_seed(to_bytes(std::string("x")));
+  PublicKey pub = k.pubkey();
+  EXPECT_EQ(PublicKey::parse(pub.serialize_compressed()), pub);
+  EXPECT_EQ(PublicKey::parse(pub.serialize_uncompressed()), pub);
+}
+
+TEST(PublicKey, ParseRejectsGarbage) {
+  Bytes bad(33, 0x02);
+  bad[1] = 0x05;  // x=5ish, not on curve... construct definitively bad x
+  // x = p-1 region unlikely on curve; easier: malformed prefix/length.
+  Bytes wrong_prefix(33, 0x07);
+  EXPECT_THROW(PublicKey::parse(wrong_prefix), ParseError);
+  Bytes too_short(32, 0x02);
+  EXPECT_THROW(PublicKey::parse(too_short), ParseError);
+}
+
+TEST(PublicKey, Hash160Pipelines) {
+  PrivateKey k1(U256(1));
+  PublicKey pub = k1.pubkey();
+  EXPECT_EQ(pub.hash160_uncompressed().hex(),
+            "91b24bf9f5288532960ac687abb035127b1d28a5");
+  EXPECT_EQ(pub.hash160_compressed().hex(),
+            "751e76e8199196d454941c45d1b3a323f1433bd6");
+}
+
+TEST(Ecdsa, SignVerifyRoundTrip) {
+  PrivateKey key = PrivateKey::from_seed(to_bytes(std::string("signer")));
+  Hash256 digest = digest_of("pay 0.7 BTC to the merchant");
+  Signature sig = ecdsa_sign(key, digest);
+  EXPECT_TRUE(ecdsa_verify(key.pubkey(), digest, sig));
+}
+
+TEST(Ecdsa, DeterministicSignatures) {
+  PrivateKey key = PrivateKey::from_seed(to_bytes(std::string("signer")));
+  Hash256 digest = digest_of("message");
+  EXPECT_EQ(ecdsa_sign(key, digest), ecdsa_sign(key, digest));
+}
+
+TEST(Ecdsa, WrongMessageFails) {
+  PrivateKey key = PrivateKey::from_seed(to_bytes(std::string("signer")));
+  Signature sig = ecdsa_sign(key, digest_of("message"));
+  EXPECT_FALSE(ecdsa_verify(key.pubkey(), digest_of("other"), sig));
+}
+
+TEST(Ecdsa, WrongKeyFails) {
+  PrivateKey key = PrivateKey::from_seed(to_bytes(std::string("signer")));
+  PrivateKey other = PrivateKey::from_seed(to_bytes(std::string("other")));
+  Hash256 digest = digest_of("message");
+  Signature sig = ecdsa_sign(key, digest);
+  EXPECT_FALSE(ecdsa_verify(other.pubkey(), digest, sig));
+}
+
+TEST(Ecdsa, TamperedSignatureFails) {
+  PrivateKey key = PrivateKey::from_seed(to_bytes(std::string("signer")));
+  Hash256 digest = digest_of("message");
+  Signature sig = ecdsa_sign(key, digest);
+  Signature bad = sig;
+  bad.r = secp::fn().add(bad.r, U256(1));
+  EXPECT_FALSE(ecdsa_verify(key.pubkey(), digest, bad));
+}
+
+TEST(Ecdsa, RejectsOutOfRangeSignature) {
+  PrivateKey key = PrivateKey::from_seed(to_bytes(std::string("signer")));
+  Hash256 digest = digest_of("message");
+  Signature sig;
+  sig.r = U256(0);
+  sig.s = U256(1);
+  EXPECT_FALSE(ecdsa_verify(key.pubkey(), digest, sig));
+  sig.r = secp::order_n();
+  EXPECT_FALSE(ecdsa_verify(key.pubkey(), digest, sig));
+}
+
+TEST(Ecdsa, LowSNormalization) {
+  // All signatures must carry the canonical low-s form.
+  U256 half = shr(secp::order_n(), 1);
+  for (int i = 0; i < 5; ++i) {
+    PrivateKey key = PrivateKey::from_seed(
+        to_bytes(std::string("key") + std::to_string(i)));
+    Signature sig = ecdsa_sign(key, digest_of("m" + std::to_string(i)));
+    EXPECT_LE(cmp(sig.s, half), 0);
+  }
+}
+
+TEST(Der, RoundTrip) {
+  PrivateKey key = PrivateKey::from_seed(to_bytes(std::string("der")));
+  Signature sig = ecdsa_sign(key, digest_of("encode me"));
+  Bytes der = sig.der();
+  EXPECT_EQ(der[0], 0x30);
+  EXPECT_EQ(Signature::from_der(der), sig);
+}
+
+TEST(Der, RejectsTruncated) {
+  PrivateKey key = PrivateKey::from_seed(to_bytes(std::string("der")));
+  Bytes der = ecdsa_sign(key, digest_of("x")).der();
+  der.pop_back();
+  EXPECT_THROW(Signature::from_der(der), ParseError);
+}
+
+TEST(Der, RejectsBadTag) {
+  Bytes junk = from_hex("310602010102010a");
+  EXPECT_THROW(Signature::from_der(junk), ParseError);
+}
+
+class EcdsaManyKeys : public ::testing::TestWithParam<int> {};
+
+TEST_P(EcdsaManyKeys, IndependentRoundTrips) {
+  std::string seed = "param-key-" + std::to_string(GetParam());
+  PrivateKey key = PrivateKey::from_seed(to_bytes(seed));
+  Hash256 digest = digest_of("msg-" + std::to_string(GetParam()));
+  Signature sig = ecdsa_sign(key, digest);
+  EXPECT_TRUE(ecdsa_verify(key.pubkey(), digest, sig));
+}
+
+INSTANTIATE_TEST_SUITE_P(Keys, EcdsaManyKeys, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace fist

@@ -1,0 +1,206 @@
+// End-to-end integration: a full simulated economy pushed through the
+// complete forensic pipeline, checking the paper's qualitative results
+// hold — the FP-rate ladder shrinks monotonically, clustering quality
+// beats H1 alone, peeling chains reconstruct, thefts track to
+// exchanges — all scored against simulator ground truth.
+#include <gtest/gtest.h>
+
+#include "analysis/peeling.hpp"
+#include "analysis/theft.hpp"
+#include "cluster/metrics.hpp"
+#include "core/pipeline.hpp"
+#include "sim/world.hpp"
+
+namespace fist {
+namespace {
+
+class EndToEnd : public ::testing::Test {
+ protected:
+  static sim::World& world() {
+    static sim::World* w = [] {
+      sim::WorldConfig cfg;
+      cfg.days = 160;
+      cfg.users = 250;
+      cfg.blocks_per_day = 10;
+      cfg.seed = 7;
+      auto* world = new sim::World(cfg);
+      world->run();
+      return world;
+    }();
+    return *w;
+  }
+
+  static ForensicPipeline& pipeline() {
+    static ForensicPipeline* p = [] {
+      auto* pipe = new ForensicPipeline(world().store(), world().tag_feed());
+      pipe->run();
+      return pipe;
+    }();
+    return *p;
+  }
+
+  // True owner ids per AddrId (for pairwise scoring).
+  static std::vector<std::uint32_t> truth_owners() {
+    const ChainView& view = pipeline().view();
+    std::vector<std::uint32_t> owners(view.address_count(), kUnknownOwner);
+    for (AddrId a = 0; a < view.address_count(); ++a) {
+      sim::ActorId owner =
+          world().truth().owner(view.addresses().lookup(a));
+      if (owner != sim::kNoActor) owners[a] = owner;
+    }
+    return owners;
+  }
+};
+
+TEST_F(EndToEnd, FalsePositiveLadderShrinksMonotonically) {
+  const ChainView& view = pipeline().view();
+  const auto& dice = pipeline().dice_addresses();
+
+  auto rate = [&](const H2Options& o) {
+    H2Result r = apply_heuristic2(view, o, dice);
+    return estimate_h2_false_positives(view, r, o, dice).rate();
+  };
+
+  H2Options naive;
+  double r_naive = rate(naive);
+  H2Options exempt = naive;
+  exempt.exempt_dice_rebounds = true;
+  double r_dice = rate(exempt);
+  H2Options day = exempt;
+  day.wait_window = kDay;
+  double r_day = rate(day);
+  H2Options week = exempt;
+  week.wait_window = kWeek;
+  double r_week = rate(week);
+
+  // The paper's ladder: 13% → 1% → 0.28% → 0.17%. We require the same
+  // ordering and magnitudes in the same ballpark.
+  EXPECT_GT(r_naive, 0.05);
+  EXPECT_LT(r_dice, r_naive / 3);
+  EXPECT_LE(r_day, r_dice);
+  EXPECT_LE(r_week, r_day);
+  EXPECT_LT(r_week, 0.02);
+}
+
+TEST_F(EndToEnd, RefinedClusteringImprovesPrecisionOverNaive) {
+  const ChainView& view = pipeline().view();
+  const auto& dice = pipeline().dice_addresses();
+  std::vector<std::uint32_t> owners = truth_owners();
+
+  // Naive H2 (no guards) clustering.
+  UnionFind uf_naive(view.address_count());
+  apply_heuristic1(view, uf_naive);
+  H2Options naive;
+  H2Result r_naive = apply_heuristic2(view, naive, dice);
+  unite_h2_labels(view, r_naive, uf_naive);
+  Clustering c_naive = Clustering::from_union_find(uf_naive);
+  PairwiseScores naive_scores =
+      pairwise_scores(c_naive.assignment(), owners);
+
+  PairwiseScores refined_scores =
+      pairwise_scores(pipeline().clustering().assignment(), owners);
+
+  EXPECT_GE(refined_scores.precision, naive_scores.precision);
+  EXPECT_GT(refined_scores.precision, 0.9);  // refined H2 is "safe"
+}
+
+TEST_F(EndToEnd, H2RecallBeatsH1Alone) {
+  std::vector<std::uint32_t> owners = truth_owners();
+  PairwiseScores h1 =
+      pairwise_scores(pipeline().h1_clustering().assignment(), owners);
+  PairwiseScores h2 =
+      pairwise_scores(pipeline().clustering().assignment(), owners);
+  EXPECT_GT(h2.recall, h1.recall);  // the change heuristic adds links
+}
+
+TEST_F(EndToEnd, HoardChainsReconstruct) {
+  const sim::HoardRecord* hoard = world().hoard();
+  ASSERT_NE(hoard, nullptr);
+  PeelFollower follower(pipeline().view(), pipeline().h2(),
+                        pipeline().clustering(), pipeline().naming());
+
+  int total_hops = 0, total_named = 0;
+  for (int c = 0; c < 3; ++c) {
+    TxIndex t = pipeline().view().find_tx(hoard->chain_starts[c].txid);
+    ASSERT_NE(t, kNoTx);
+    PeelChainResult res =
+        follower.follow(t, hoard->chain_starts[c].index, FollowOptions{120});
+    total_hops += res.hops;
+    for (const Peel& p : res.peels)
+      if (!p.service.empty()) ++total_named;
+  }
+  // The paper followed 100 hops per chain; require most of that.
+  EXPECT_GT(total_hops, 240);
+  EXPECT_GT(total_named, 60);
+}
+
+TEST_F(EndToEnd, TheftsTrackToExchangesWhenTheyCashOut) {
+  for (const sim::TheftRecord& rec : world().thefts()) {
+    std::vector<TxIndex> txs;
+    for (const Hash256& h : rec.theft_txids) {
+      TxIndex t = pipeline().view().find_tx(h);
+      ASSERT_NE(t, kNoTx);
+      txs.push_back(t);
+    }
+    std::vector<AddrId> thief;
+    for (const Address& a : rec.thief_addresses)
+      if (auto id = pipeline().view().addresses().find(a))
+        thief.push_back(*id);
+
+    TheftTrace trace =
+        track_theft(pipeline().view(), pipeline().h2(),
+                    pipeline().clustering(), pipeline().naming(), txs, thief);
+
+    if (rec.scenario.to_exchange) {
+      EXPECT_GT(trace.to_exchanges, 0) << rec.scenario.label;
+      EXPECT_FALSE(trace.exchange_deposits.empty()) << rec.scenario.label;
+    } else {
+      EXPECT_EQ(trace.to_exchanges, 0) << rec.scenario.label;
+    }
+    // Movement letters must all come from the paper's grammar.
+    for (char c : trace.movement)
+      EXPECT_TRUE(c == 'A' || c == 'P' || c == 'S' || c == 'F' || c == '/');
+  }
+}
+
+TEST_F(EndToEnd, TrojanDormancyVisible) {
+  for (const sim::TheftRecord& rec : world().thefts()) {
+    if (rec.scenario.label != "Trojan") continue;
+    std::vector<TxIndex> txs;
+    for (const Hash256& h : rec.theft_txids)
+      txs.push_back(pipeline().view().find_tx(h));
+    std::vector<AddrId> thief;
+    for (const Address& a : rec.thief_addresses)
+      if (auto id = pipeline().view().addresses().find(a))
+        thief.push_back(*id);
+    TheftTrace trace =
+        track_theft(pipeline().view(), pipeline().h2(),
+                    pipeline().clustering(), pipeline().naming(), txs, thief);
+    // Most of the loot never moved (2857 of 3257 in the paper).
+    EXPECT_GT(trace.dormant, rec.stolen / 2);
+  }
+}
+
+TEST_F(EndToEnd, SuperClusterAppearsWithoutGuardsOnly) {
+  const ChainView& view = pipeline().view();
+  const auto& dice = pipeline().dice_addresses();
+
+  auto contested_count = [&](const H2Options& o) {
+    UnionFind uf(view.address_count());
+    apply_heuristic1(view, uf);
+    H2Result r = apply_heuristic2(view, o, dice);
+    unite_h2_labels(view, r, uf);
+    Clustering c = Clustering::from_union_find(uf);
+    ClusterNaming naming(c.assignment(), c.sizes(), pipeline().tags());
+    return naming.contested().size();
+  };
+
+  H2Options naive;
+  H2Options refined = refined_h2_options();
+  // Refined guards must not create more cross-service collapses than
+  // the naive heuristic.
+  EXPECT_LE(contested_count(refined), contested_count(naive));
+}
+
+}  // namespace
+}  // namespace fist

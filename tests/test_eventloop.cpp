@@ -1,0 +1,79 @@
+#include "net/eventloop.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fist::net {
+namespace {
+
+TEST(EventLoop, RunsEventsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(3.0, [&] { order.push_back(3); });
+  loop.schedule_at(1.0, [&] { order.push_back(1); });
+  loop.schedule_at(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(loop.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventLoop, StableTieBreakAtEqualTimes) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    loop.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  loop.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventLoop, NowAdvancesWithEvents) {
+  EventLoop loop;
+  SimTime seen = -1;
+  loop.schedule_at(7.5, [&] { seen = loop.now(); });
+  loop.run();
+  EXPECT_DOUBLE_EQ(seen, 7.5);
+  EXPECT_GE(loop.now(), 7.5);
+}
+
+TEST(EventLoop, HandlersMayScheduleMore) {
+  EventLoop loop;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) loop.schedule_in(1.0, chain);
+  };
+  loop.schedule_in(1.0, chain);
+  loop.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(loop.now(), 5.0);
+}
+
+TEST(EventLoop, RunUntilStopsEarly) {
+  EventLoop loop;
+  int fired = 0;
+  loop.schedule_at(1.0, [&] { ++fired; });
+  loop.schedule_at(10.0, [&] { ++fired; });
+  loop.run(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.pending(), 1u);
+  loop.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventLoop, PastSchedulesClampToNow) {
+  EventLoop loop;
+  loop.schedule_at(5.0, [] {});
+  loop.run();
+  SimTime fired_at = -1;
+  loop.schedule_at(1.0, [&] { fired_at = loop.now(); });  // in the past
+  loop.run();
+  EXPECT_GE(fired_at, 5.0);
+}
+
+TEST(EventLoop, NegativeDelayClamps) {
+  EventLoop loop;
+  bool fired = false;
+  loop.schedule_in(-3.0, [&] { fired = true; });
+  loop.run();
+  EXPECT_TRUE(fired);
+}
+
+}  // namespace
+}  // namespace fist::net

@@ -1,0 +1,137 @@
+#include "analysis/explorer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/heuristic1.hpp"
+#include "testutil.hpp"
+#include "util/error.hpp"
+
+namespace fist {
+namespace {
+
+using test::TestChain;
+
+// A small economy: user {1,2} mines and pays service 5 ("Mt. Gox")
+// twice; the service pays 7 once.
+struct ExplorerFixture {
+  ChainView view;
+  std::unique_ptr<Clustering> clustering;
+  std::unique_ptr<ClusterNaming> naming;
+  std::unique_ptr<Explorer> explorer;
+
+  ExplorerFixture() {
+    TestChain chain{kGenesisTime, kDay};
+    auto a = chain.coinbase(1, btc(60));
+    auto b = chain.coinbase(2, btc(40));
+    chain.next_block();
+    // {1,2} merge via co-spend, pay 30 to 5, change 69 to addr 1.
+    auto pay1 = chain.spend_all({a, b}, {{5, btc(30)}, {1, btc(69)}});
+    chain.next_block();
+    // Second payment to the service.
+    chain.spend_all({pay1[1]}, {{5, btc(10)}, {1, btc(58)}});
+    chain.next_block();
+    // The service spends 20 to address 7.
+    chain.spend_all({pay1[0]}, {{7, btc(20)}, {5, btc(9)}});
+    chain.next_block();
+    view = chain.view();
+
+    UnionFind uf = heuristic1(view);
+    clustering =
+        std::make_unique<Clustering>(Clustering::from_union_find(uf));
+    TagStore tags;
+    tags.add(*view.addresses().find(test::addr(5)),
+             Tag{"Mt. Gox", Category::BankExchange, TagSource::Observed});
+    naming = std::make_unique<ClusterNaming>(clustering->assignment(),
+                                             clustering->sizes(), tags);
+    explorer = std::make_unique<Explorer>(view, *clustering, *naming);
+  }
+
+  ClusterId cluster(std::uint32_t i) {
+    return clustering->cluster_of(*view.addresses().find(test::addr(i)));
+  }
+};
+
+TEST(Explorer, FindServiceByName) {
+  ExplorerFixture f;
+  auto gox = f.explorer->find_service("Mt. Gox");
+  ASSERT_TRUE(gox.has_value());
+  EXPECT_EQ(*gox, f.cluster(5));
+  EXPECT_FALSE(f.explorer->find_service("Nobody").has_value());
+}
+
+TEST(Explorer, Labels) {
+  ExplorerFixture f;
+  EXPECT_EQ(f.explorer->label(f.cluster(5)), "Mt. Gox");
+  EXPECT_EQ(f.explorer->label(f.cluster(7)),
+            "user#" + std::to_string(f.cluster(7)));
+}
+
+TEST(Explorer, ServiceProfileAccounting) {
+  ExplorerFixture f;
+  EntityProfile p = f.explorer->profile(f.cluster(5));
+  EXPECT_TRUE(p.named);
+  EXPECT_EQ(p.service, "Mt. Gox");
+  EXPECT_EQ(p.category, Category::BankExchange);
+  // Received: 30 + 10 external inflow.
+  EXPECT_EQ(p.received, btc(40));
+  // Sent: 20 external (the 9 self-change is internal).
+  EXPECT_EQ(p.sent, btc(20));
+  // Balance: 40 in − 20 out − 1 fee = 19.
+  EXPECT_EQ(p.balance, btc(19));
+  EXPECT_EQ(p.tx_count, 3u);
+  EXPECT_GT(p.last_seen, p.first_seen);
+}
+
+TEST(Explorer, ProfileCounterparties) {
+  ExplorerFixture f;
+  EntityProfile p = f.explorer->profile(f.cluster(5));
+  ASSERT_EQ(p.top_sources.size(), 1u);
+  EXPECT_EQ(p.top_sources[0].first, f.cluster(1));
+  EXPECT_EQ(p.top_sources[0].second, btc(40));
+  ASSERT_EQ(p.top_destinations.size(), 1u);
+  EXPECT_EQ(p.top_destinations[0].first, f.cluster(7));
+  EXPECT_EQ(p.top_destinations[0].second, btc(20));
+}
+
+TEST(Explorer, UserProfileIncludesMiningIncome) {
+  ExplorerFixture f;
+  EntityProfile p = f.explorer->profile(f.cluster(1));
+  // Coinbase income counts as received.
+  EXPECT_EQ(p.received, btc(100));
+  EXPECT_EQ(p.sent, btc(40));  // 30 + 10 external payments
+  EXPECT_FALSE(p.named);
+}
+
+TEST(Explorer, ProfileRejectsUnknownCluster) {
+  ExplorerFixture f;
+  EXPECT_THROW(f.explorer->profile(999'999), UsageError);
+}
+
+TEST(Explorer, AddressHistoryAndBalance) {
+  ExplorerFixture f;
+  AddrId a1 = *f.view.addresses().find(test::addr(1));
+  std::vector<AddressEvent> history = f.explorer->address_history(a1);
+  // Events: +60 coinbase, −60+69 spend (net +9), −69+58 (net −11).
+  ASSERT_EQ(history.size(), 3u);
+  EXPECT_EQ(history[0].delta, btc(60));
+  EXPECT_EQ(history[1].delta, btc(9));
+  EXPECT_EQ(history[2].delta, -btc(11));
+  EXPECT_EQ(f.explorer->address_balance(a1), btc(58));
+  // Times ascend.
+  EXPECT_LT(history[0].time, history[2].time);
+
+  EXPECT_TRUE(f.explorer->address_history(kNoAddr).empty());
+  EXPECT_EQ(f.explorer->address_balance(kNoAddr), 0);
+}
+
+TEST(Explorer, MismatchedClusteringRejected) {
+  ExplorerFixture f;
+  UnionFind tiny(1);
+  Clustering wrong = Clustering::from_union_find(tiny);
+  TagStore tags;
+  ClusterNaming naming(wrong.assignment(), wrong.sizes(), tags);
+  EXPECT_THROW(Explorer(f.view, wrong, naming), UsageError);
+}
+
+}  // namespace
+}  // namespace fist

@@ -1,0 +1,128 @@
+#include "analysis/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "cluster/heuristic1.hpp"
+#include "cluster/heuristic2.hpp"
+#include "testutil.hpp"
+
+namespace fist {
+namespace {
+
+using test::TestChain;
+
+struct ExportFixture {
+  ChainView view;
+  std::unique_ptr<Clustering> clustering;
+  std::unique_ptr<ClusterNaming> naming;
+  H2Result h2;
+
+  ExportFixture() {
+    TestChain chain{kGenesisTime, kDay};
+    auto a = chain.coinbase(1, btc(100));
+    auto b = chain.coinbase(2, btc(50));
+    chain.next_block();
+    chain.spend({a, b}, {{5, btc(30)}, {6, btc(119)}});
+    chain.next_block();
+    view = chain.view();
+
+    UnionFind uf = heuristic1(view);
+    h2 = apply_heuristic2(view, H2Options{});
+    clustering =
+        std::make_unique<Clustering>(Clustering::from_union_find(uf));
+    TagStore tags;
+    tags.add(*view.addresses().find(test::addr(5)),
+             Tag{"Mt. Gox, Inc.", Category::BankExchange,
+                 TagSource::Observed});
+    naming = std::make_unique<ClusterNaming>(clustering->assignment(),
+                                             clustering->sizes(), tags);
+  }
+};
+
+TEST(CsvEscape, QuotesOnlyWhenNeeded) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("with,comma"), "\"with,comma\"");
+  EXPECT_EQ(csv_escape("with \"quote\""), "\"with \"\"quote\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Export, ClustersCsvShape) {
+  ExportFixture f;
+  std::ostringstream os;
+  export_clusters_csv(os, f.view, *f.clustering, *f.naming);
+  std::string out = os.str();
+  // Header + one row per address.
+  std::size_t lines = std::count(out.begin(), out.end(), '\n');
+  EXPECT_EQ(lines, 1 + f.view.address_count());
+  EXPECT_EQ(out.substr(0, out.find('\n')),
+            "address,cluster,service,category");
+  // The tagged service appears quoted (it contains a comma).
+  EXPECT_NE(out.find("\"Mt. Gox, Inc.\""), std::string::npos);
+  EXPECT_NE(out.find("exchanges"), std::string::npos);
+}
+
+TEST(Export, BalancesCsvShape) {
+  ExportFixture f;
+  BalanceSeries series =
+      category_balances(f.view, *f.clustering, *f.naming, kDay);
+  std::ostringstream os;
+  export_balances_csv(os, series);
+  std::string out = os.str();
+  std::size_t lines = std::count(out.begin(), out.end(), '\n');
+  EXPECT_EQ(lines, 1 + series.times.size() * series.tracks.size());
+  EXPECT_NE(out.find("exchanges"), std::string::npos);
+  EXPECT_NE(out.find("2009-01-"), std::string::npos);
+}
+
+TEST(Export, FlowsCsvDeterministic) {
+  ExportFixture f;
+  UserGraph graph = UserGraph::build(f.view, *f.clustering);
+  std::ostringstream a, b;
+  export_flows_csv(a, graph, *f.naming);
+  export_flows_csv(b, graph, *f.naming);
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_NE(a.str().find("from,to,value_btc,tx_count"), std::string::npos);
+}
+
+TEST(Export, FlowsDotIsWellFormed) {
+  ExportFixture f;
+  UserGraph graph = UserGraph::build(f.view, *f.clustering);
+  std::ostringstream os;
+  export_flows_dot(os, graph, *f.naming, 10);
+  std::string out = os.str();
+  EXPECT_EQ(out.substr(0, 14), "digraph flows ");
+  EXPECT_NE(out.find("->"), std::string::npos);
+  EXPECT_EQ(out.substr(out.size() - 2), "}\n");
+  // Named node boxed.
+  EXPECT_NE(out.find("shape=box"), std::string::npos);
+}
+
+TEST(Export, PeelsCsv) {
+  // Reuse the export fixture's machinery on a small peel chain.
+  TestChain chain;
+  chain.coinbase(200, btc(1));
+  auto start = chain.coinbase(100, btc(100));
+  chain.next_block();
+  chain.spend_all({start}, {{200, btc(5)}, {101, btc(94)}});
+  ChainView view = chain.view();
+  UnionFind uf = heuristic1(view);
+  H2Result h2 = apply_heuristic2(view, H2Options{});
+  Clustering clustering = Clustering::from_union_find(uf);
+  TagStore tags;
+  ClusterNaming naming(clustering.assignment(), clustering.sizes(), tags);
+  PeelFollower follower(view, h2, clustering, naming);
+  TxIndex t = view.find_tx(start.txid);
+  PeelChainResult res = follower.follow(t, start.index, FollowOptions{10});
+
+  std::ostringstream os;
+  export_peels_csv(os, view, res);
+  std::string out = os.str();
+  EXPECT_NE(out.find("hop,txid,recipient"), std::string::npos);
+  EXPECT_NE(out.find("5.0"), std::string::npos);  // the peel value
+}
+
+}  // namespace
+}  // namespace fist

@@ -1,0 +1,102 @@
+#include "tag/feedio.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "crypto/hash.hpp"
+#include "util/error.hpp"
+
+namespace fist {
+namespace {
+
+Address addr(int i) {
+  return Address(AddrType::P2PKH, hash160(to_bytes(std::to_string(i))));
+}
+
+std::vector<TagEntry> sample_feed() {
+  return {
+      {addr(1), Tag{"Mt. Gox", Category::BankExchange, TagSource::Observed}},
+      {addr(2), Tag{"Sealed, \"The\" Club", Category::Gambling,
+                    TagSource::Scraped}},
+      {addr(3),
+       Tag{"Wikileaks", Category::Misc, TagSource::SelfAdvertised}},
+  };
+}
+
+TEST(FeedIo, RoundTrip) {
+  std::stringstream ss;
+  write_tag_feed(ss, sample_feed());
+  std::vector<TagEntry> back = read_tag_feed(ss);
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_EQ(back[0].address, addr(1));
+  EXPECT_EQ(back[0].tag.service, "Mt. Gox");
+  EXPECT_EQ(back[0].tag.category, Category::BankExchange);
+  EXPECT_EQ(back[0].tag.source, TagSource::Observed);
+  // Quoted field with comma and escaped quotes survives.
+  EXPECT_EQ(back[1].tag.service, "Sealed, \"The\" Club");
+  EXPECT_EQ(back[2].tag.source, TagSource::SelfAdvertised);
+}
+
+TEST(FeedIo, HeaderIsOptionalOnRead) {
+  std::stringstream ss;
+  ss << addr(1).encode() << ",SomeService,mining,observed\n";
+  std::vector<TagEntry> feed = read_tag_feed(ss);
+  ASSERT_EQ(feed.size(), 1u);
+  EXPECT_EQ(feed[0].tag.category, Category::Mining);
+}
+
+TEST(FeedIo, SkipsBlankLinesAndCrLf) {
+  std::stringstream ss;
+  ss << "address,service,category,source\r\n\n"
+     << addr(1).encode() << ",X,vendors,scraped\r\n";
+  std::vector<TagEntry> feed = read_tag_feed(ss);
+  ASSERT_EQ(feed.size(), 1u);
+  EXPECT_EQ(feed[0].tag.service, "X");
+}
+
+TEST(FeedIo, RejectsBadAddress) {
+  std::stringstream ss;
+  ss << "not-an-address,X,mining,observed\n";
+  EXPECT_THROW(read_tag_feed(ss), ParseError);
+}
+
+TEST(FeedIo, RejectsUnknownCategory) {
+  std::stringstream ss;
+  ss << addr(1).encode() << ",X,nonsense,observed\n";
+  EXPECT_THROW(read_tag_feed(ss), ParseError);
+}
+
+TEST(FeedIo, RejectsUnknownSource) {
+  std::stringstream ss;
+  ss << addr(1).encode() << ",X,mining,hearsay\n";
+  EXPECT_THROW(read_tag_feed(ss), ParseError);
+}
+
+TEST(FeedIo, RejectsWrongFieldCount) {
+  std::stringstream ss;
+  ss << addr(1).encode() << ",X,mining\n";
+  EXPECT_THROW(read_tag_feed(ss), ParseError);
+}
+
+TEST(FeedIo, RejectsUnterminatedQuote) {
+  std::stringstream ss;
+  ss << addr(1).encode() << ",\"broken,mining,observed\n";
+  EXPECT_THROW(read_tag_feed(ss), ParseError);
+}
+
+TEST(FeedIo, ErrorsCarryLineNumbers) {
+  std::stringstream ss;
+  ss << "address,service,category,source\n"
+     << addr(1).encode() << ",Ok,mining,observed\n"
+     << "bogus,Y,mining,observed\n";
+  try {
+    read_tag_feed(ss);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace fist

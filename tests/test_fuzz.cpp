@@ -1,0 +1,208 @@
+// Randomized robustness ("no crash, only ParseError") and metamorphic
+// invariants. Real chains contain adversarial bytes; every parser in
+// the forensic path must reject garbage with an exception, never
+// corrupt state or crash. The Heuristic-2 metamorphic check verifies
+// each produced label against an independent re-derivation of the
+// paper's four conditions.
+#include <gtest/gtest.h>
+
+#include "chain/transaction.hpp"
+#include "cluster/heuristic2.hpp"
+#include "encoding/base58.hpp"
+#include "net/network.hpp"
+#include "net/wire.hpp"
+#include "script/standard.hpp"
+#include "sim/world.hpp"
+#include "util/rng.hpp"
+
+namespace fist {
+namespace {
+
+Bytes random_bytes(Rng& rng, std::size_t n) {
+  Bytes out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next());
+  return out;
+}
+
+class FuzzSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSeeds, WireDecodeNeverCrashes) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    Bytes junk = random_bytes(rng, rng.below(200));
+    try {
+      (void)net::decode_message(junk);
+    } catch (const ParseError&) {
+      // expected for nearly all inputs
+    }
+  }
+}
+
+TEST_P(FuzzSeeds, MutatedFramesRejectedOrEqual) {
+  // Start from a valid frame and flip random bytes: decoding must
+  // either throw ParseError or (if the mutation missed everything
+  // covered by the checksum — impossible except the magic/command
+  // fields, which are validated separately) produce a message.
+  Rng rng(GetParam() + 1000);
+  net::InvMsg m;
+  m.items.push_back({net::InvKind::Tx, hash256(to_bytes(std::string("t")))});
+  Bytes frame = net::encode_message(m);
+  for (int i = 0; i < 300; ++i) {
+    Bytes mutated = frame;
+    std::size_t pos = rng.below(mutated.size());
+    std::uint8_t bit = static_cast<std::uint8_t>(1u << rng.below(8));
+    mutated[pos] ^= bit;
+    try {
+      net::Message decoded = net::decode_message(mutated);
+      // Only a mutation that cancels itself could decode; with a single
+      // bit flip that cannot happen.
+      FAIL() << "single-bit mutation at " << pos << " decoded";
+    } catch (const ParseError&) {
+    }
+  }
+}
+
+TEST_P(FuzzSeeds, TransactionParserNeverCrashes) {
+  Rng rng(GetParam() + 2000);
+  for (int i = 0; i < 500; ++i) {
+    Bytes junk = random_bytes(rng, rng.below(300));
+    try {
+      (void)Transaction::from_bytes(junk);
+    } catch (const ParseError&) {
+    }
+  }
+}
+
+TEST_P(FuzzSeeds, TruncatedValidTransactionAlwaysThrows) {
+  Rng rng(GetParam() + 3000);
+  Transaction tx;
+  TxIn in;
+  in.prevout.txid = hash256(to_bytes(std::string("x")));
+  in.script_sig = make_p2pkh_scriptsig(Bytes(71, 1), Bytes(33, 2));
+  tx.inputs.push_back(in);
+  tx.outputs.push_back(
+      TxOut{btc(1), make_p2pkh(hash160(to_bytes(std::string("y"))))});
+  Bytes raw = tx.serialize();
+  for (int i = 0; i < 50; ++i) {
+    std::size_t cut = rng.below(raw.size() - 1) + 1;
+    Bytes truncated(raw.begin(), raw.begin() + static_cast<long>(cut));
+    EXPECT_THROW((void)Transaction::from_bytes(truncated), ParseError);
+  }
+}
+
+TEST_P(FuzzSeeds, ScriptTokenizerTotal) {
+  Rng rng(GetParam() + 4000);
+  for (int i = 0; i < 1000; ++i) {
+    Script s(random_bytes(rng, rng.below(100)));
+    // ops_checked is the no-throw interface; classify must be total.
+    (void)s.ops_checked();
+    (void)classify(s);
+    (void)s.to_asm();
+  }
+}
+
+TEST_P(FuzzSeeds, Base58DecodeTotal) {
+  Rng rng(GetParam() + 5000);
+  const std::string chars =
+      "0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz+/ ";
+  for (int i = 0; i < 1000; ++i) {
+    std::string s;
+    std::size_t n = rng.below(40);
+    for (std::size_t j = 0; j < n; ++j)
+      s += chars[static_cast<std::size_t>(rng.below(chars.size()))];
+    (void)base58check_decode(s);  // noexcept interface: must not throw
+    (void)Address::decode(s);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds, ::testing::Values(1, 7, 42));
+
+// ---- metamorphic invariant ----------------------------------------------
+
+TEST(Metamorphic, EveryH2LabelSatisfiesThePaperConditions) {
+  // Run the heuristic over a real simulated chain, then re-derive the
+  // paper's four conditions independently for every label.
+  sim::WorldConfig cfg;
+  cfg.days = 60;
+  cfg.users = 100;
+  cfg.seed = 31337;
+  sim::World world(cfg);
+  world.run();
+  ChainView view = ChainView::build(world.store());
+  H2Options naive;  // the pure four-condition heuristic
+  H2Result result = apply_heuristic2(view, naive);
+  ASSERT_GT(result.label_count(), 100u);
+
+  // Independent per-address first-appearance map.
+  std::vector<TxIndex> first(view.address_count(), kNoTx);
+  for (TxIndex t = 0; t < view.tx_count(); ++t) {
+    const TxView& tx = view.tx(t);
+    auto mark = [&](AddrId a) {
+      if (a != kNoAddr && first[a] == kNoTx) first[a] = t;
+    };
+    for (const InputView& in : tx.inputs) mark(in.addr);
+    for (const OutputView& out : tx.outputs) mark(out.addr);
+  }
+
+  for (const H2Label& label : result.labels) {
+    const TxView& tx = view.tx(label.tx);
+    // (2) not a coin generation.
+    EXPECT_FALSE(tx.coinbase);
+    // (1) the change address first appears in this transaction.
+    EXPECT_EQ(first[label.change], label.tx);
+    // (3) no self-change: no output address among the inputs.
+    for (const OutputView& out : tx.outputs)
+      for (const InputView& in : tx.inputs)
+        EXPECT_FALSE(in.addr != kNoAddr && in.addr == out.addr);
+    // (4) every other output has appeared before.
+    for (const OutputView& out : tx.outputs) {
+      if (out.addr == kNoAddr || out.addr == label.change) continue;
+      EXPECT_LT(first[out.addr], label.tx);
+    }
+  }
+}
+
+TEST(FaultInjection, GossipSurvivesMessageLoss) {
+  net::NetConfig cfg;
+  cfg.nodes = 60;
+  cfg.out_peers = 8;
+  cfg.drop_rate = 0.2;  // drop a fifth of all messages
+  cfg.seed = 5;
+  net::P2PNetwork net(cfg);
+
+  Transaction tx;
+  TxIn in;
+  in.prevout.txid = hash256(to_bytes(std::string("f")));
+  tx.inputs.push_back(in);
+  tx.outputs.push_back(TxOut{btc(1), Script()});
+  net.submit_tx(0, tx);
+  net.run_until(120);
+
+  EXPECT_GT(net.messages_dropped(), 0u);
+  const net::Propagation* p = net.propagation(tx.txid());
+  ASSERT_NE(p, nullptr);
+  // Redundant gossip paths mask 20% loss almost entirely.
+  EXPECT_GT(p->coverage(), 0.95);
+}
+
+TEST(FaultInjection, TotalLossStopsPropagation) {
+  net::NetConfig cfg;
+  cfg.nodes = 30;
+  cfg.drop_rate = 1.0;
+  cfg.seed = 5;
+  net::P2PNetwork net(cfg);
+  Transaction tx;
+  TxIn in;
+  in.prevout.txid = hash256(to_bytes(std::string("f")));
+  tx.inputs.push_back(in);
+  tx.outputs.push_back(TxOut{btc(1), Script()});
+  net.submit_tx(0, tx);
+  net.run_until(60);
+  const net::Propagation* p = net.propagation(tx.txid());
+  ASSERT_NE(p, nullptr);
+  // Only the originator ever sees it.
+  EXPECT_LT(p->coverage(), 0.05);
+}
+
+}  // namespace
+}  // namespace fist

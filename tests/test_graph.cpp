@@ -1,0 +1,127 @@
+#include "analysis/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/heuristic1.hpp"
+#include "testutil.hpp"
+
+namespace fist {
+namespace {
+
+using test::TestChain;
+
+struct GraphFixture {
+  ChainView view;
+  std::unique_ptr<Clustering> clustering;
+  UserGraph graph;
+
+  GraphFixture() {
+    TestChain chain;
+    auto a = chain.coinbase(1, btc(100));
+    auto b = chain.coinbase(2, btc(50));
+    chain.next_block();
+    // User {1,2} (merged by H1) pays 30 to addr 5, change 60 to addr 1
+    // (self-flow, excluded from the condensed graph).
+    chain.spend({a, b}, {{5, btc(30)}, {1, btc(119)}});
+    chain.next_block();
+    // And pays addr 6 twice.
+    auto c = chain.coinbase(1, btc(10));
+    chain.next_block();
+    chain.spend({c}, {{6, btc(4)}, {1, btc(5)}});
+    auto d = chain.coinbase(1, btc(10));
+    chain.next_block();
+    chain.spend({d}, {{6, btc(9)}});
+    view = chain.view();
+
+    UnionFind uf = heuristic1(view);
+    clustering =
+        std::make_unique<Clustering>(Clustering::from_union_find(uf));
+    graph = UserGraph::build(view, *clustering);
+  }
+
+  ClusterId cluster(std::uint32_t i) {
+    return clustering->cluster_of(*view.addresses().find(test::addr(i)));
+  }
+};
+
+TEST(UserGraph, AggregatesParallelPayments) {
+  GraphFixture f;
+  ClusterId from = f.cluster(1);
+  ClusterId to6 = f.cluster(6);
+  auto edges = f.graph.out_edges(from);
+  const ClusterEdge* e6 = nullptr;
+  for (const auto& e : edges)
+    if (e.to == to6) e6 = &e;
+  ASSERT_NE(e6, nullptr);
+  EXPECT_EQ(e6->value, btc(13));
+  EXPECT_EQ(e6->tx_count, 2u);
+}
+
+TEST(UserGraph, ExcludesSelfFlows) {
+  GraphFixture f;
+  ClusterId from = f.cluster(1);
+  for (const auto& e : f.graph.out_edges(from)) EXPECT_NE(e.to, from);
+}
+
+TEST(UserGraph, TotalsSentReceived) {
+  GraphFixture f;
+  ClusterId user = f.cluster(1);
+  EXPECT_EQ(f.graph.total_sent(user), btc(30) + btc(13));
+  EXPECT_EQ(f.graph.total_received(f.cluster(5)), btc(30));
+  EXPECT_EQ(f.graph.total_received(f.cluster(6)), btc(13));
+  EXPECT_EQ(f.graph.total_sent(f.cluster(5)), 0);
+}
+
+TEST(UserGraph, TopFlowsSorted) {
+  GraphFixture f;
+  auto top = f.graph.top_flows(10);
+  for (std::size_t i = 1; i < top.size(); ++i)
+    EXPECT_GE(top[i - 1].value, top[i].value);
+  ASSERT_FALSE(top.empty());
+  EXPECT_EQ(top[0].value, btc(30));
+  auto top1 = f.graph.top_flows(1);
+  EXPECT_EQ(top1.size(), 1u);
+}
+
+TEST(UserGraph, CoinbasesCreateNoEdges) {
+  TestChain chain;
+  chain.coinbase(1, btc(50));
+  chain.coinbase(2, btc(50));
+  ChainView view = chain.view();
+  UnionFind uf = heuristic1(view);
+  Clustering clustering = Clustering::from_union_find(uf);
+  UserGraph graph = UserGraph::build(view, clustering);
+  EXPECT_EQ(graph.edge_count(), 0u);
+}
+
+
+TEST(CategoryFlowShares, RanksNamedSinks) {
+  GraphFixture f;
+  TagStore tags;
+  tags.add(*f.view.addresses().find(test::addr(5)),
+           Tag{"Mt. Gox", Category::BankExchange, TagSource::Observed});
+  tags.add(*f.view.addresses().find(test::addr(6)),
+           Tag{"Satoshi Dice", Category::Gambling, TagSource::Observed});
+  ClusterNaming naming(f.clustering->assignment(), f.clustering->sizes(),
+                       tags);
+  auto shares = category_flow_shares(f.graph, naming);
+  ASSERT_EQ(shares.size(), 2u);
+  // Exchange inflow (30) > gambling inflow (13); shares are of the
+  // total inter-cluster flow (43).
+  EXPECT_EQ(shares[0].category, Category::BankExchange);
+  EXPECT_EQ(shares[0].received, btc(30));
+  EXPECT_EQ(shares[1].received, btc(13));
+  EXPECT_NEAR(shares[0].share, 30.0 / 43.0, 1e-9);
+  EXPECT_NEAR(shares[0].share + shares[1].share, 1.0, 1e-9);
+}
+
+TEST(CategoryFlowShares, EmptyWithoutTags) {
+  GraphFixture f;
+  TagStore tags;
+  ClusterNaming naming(f.clustering->assignment(), f.clustering->sizes(),
+                       tags);
+  EXPECT_TRUE(category_flow_shares(f.graph, naming).empty());
+}
+
+}  // namespace
+}  // namespace fist

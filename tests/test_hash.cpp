@@ -1,0 +1,87 @@
+#include "crypto/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "util/error.hpp"
+#include "util/hex.hpp"
+
+namespace fist {
+namespace {
+
+TEST(Hash256, NullByDefault) {
+  Hash256 h;
+  EXPECT_TRUE(h.is_null());
+  EXPECT_EQ(h.hex(), std::string(64, '0'));
+}
+
+TEST(Hash256, FromBytesRequiresExactLength) {
+  Bytes short_data(31, 0xab);
+  EXPECT_THROW(Hash256::from_bytes(short_data), ParseError);
+  Bytes ok(32, 0xab);
+  EXPECT_FALSE(Hash256::from_bytes(ok).is_null());
+}
+
+TEST(Hash256, HexRoundTrip) {
+  std::string hex =
+      "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef";
+  EXPECT_EQ(Hash256::from_hex(hex).hex(), hex);
+}
+
+TEST(Hash256, ReversedHexConvention) {
+  Bytes raw(32, 0);
+  raw[0] = 0xaa;
+  Hash256 h = Hash256::from_bytes(raw);
+  EXPECT_EQ(h.hex().substr(0, 2), "aa");
+  EXPECT_EQ(h.hex_reversed().substr(62, 2), "aa");
+  EXPECT_EQ(Hash256::from_hex_reversed(h.hex_reversed()), h);
+}
+
+TEST(Hash256, Ordering) {
+  Hash256 a, b;
+  b.data()[31] = 1;
+  EXPECT_LT(a, b);
+  EXPECT_NE(a, b);
+}
+
+TEST(Hash256, UsableAsUnorderedKey) {
+  std::unordered_set<Hash256> set;
+  for (std::uint8_t i = 0; i < 100; ++i) {
+    Bytes raw(32, i);
+    set.insert(Hash256::from_bytes(raw));
+  }
+  EXPECT_EQ(set.size(), 100u);
+}
+
+TEST(Hash160, SizeAndHex) {
+  Hash160 h;
+  EXPECT_EQ(Hash160::size(), 20u);
+  EXPECT_EQ(h.hex().size(), 40u);
+}
+
+TEST(HashFunctions, Hash256IsDoubleSha) {
+  Bytes data = to_bytes(std::string("fistful"));
+  Hash256 h = hash256(data);
+  EXPECT_FALSE(h.is_null());
+  // Stability check (regression pin).
+  EXPECT_EQ(hash256(data), h);
+}
+
+TEST(HashFunctions, Hash160KnownVector) {
+  // HASH160 of the uncompressed generator pubkey — the payload of the
+  // well-known address 1EHNa6Q4Jz2uvNExL497mE43ikXhwF6kZm.
+  Bytes pubkey = from_hex(
+      "0479be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798"
+      "483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8");
+  EXPECT_EQ(hash160(pubkey).hex(),
+            "91b24bf9f5288532960ac687abb035127b1d28a5");
+}
+
+TEST(HashFunctions, Low64Differs) {
+  Bytes a = to_bytes(std::string("a")), b = to_bytes(std::string("b"));
+  EXPECT_NE(hash256(a).low64(), hash256(b).low64());
+}
+
+}  // namespace
+}  // namespace fist

@@ -1,0 +1,126 @@
+#include "cluster/heuristic1.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testutil.hpp"
+
+namespace fist {
+namespace {
+
+using test::TestChain;
+
+AddrId id_of(const ChainView& view, std::uint32_t i) {
+  auto found = view.addresses().find(test::addr(i));
+  EXPECT_TRUE(found.has_value()) << "address " << i << " not in view";
+  return found.value_or(kNoAddr);
+}
+
+TEST(Heuristic1, MergesCoSpentInputs) {
+  TestChain chain;
+  auto c1 = chain.coinbase(1, btc(10));
+  auto c2 = chain.coinbase(2, btc(20));
+  chain.next_block();
+  chain.spend({c1, c2}, {{3, btc(29)}});
+  ChainView view = chain.view();
+
+  H1Stats stats;
+  UnionFind uf = heuristic1(view, &stats);
+  EXPECT_TRUE(uf.same(id_of(view, 1), id_of(view, 2)));
+  EXPECT_FALSE(uf.same(id_of(view, 1), id_of(view, 3)));
+  EXPECT_EQ(stats.multi_input_txs, 1u);
+  EXPECT_EQ(stats.links, 1u);
+}
+
+TEST(Heuristic1, SingleInputTxMergesNothing) {
+  TestChain chain;
+  auto c1 = chain.coinbase(1, btc(10));
+  chain.next_block();
+  chain.spend({c1}, {{2, btc(9)}});
+  ChainView view = chain.view();
+
+  H1Stats stats;
+  UnionFind uf = heuristic1(view, &stats);
+  EXPECT_FALSE(uf.same(id_of(view, 1), id_of(view, 2)));
+  EXPECT_EQ(stats.links, 0u);
+}
+
+TEST(Heuristic1, TransitiveAcrossTransactions) {
+  TestChain chain;
+  auto a = chain.coinbase(1, btc(10));
+  auto b = chain.coinbase(2, btc(10));
+  auto c = chain.coinbase(3, btc(10));
+  auto d = chain.coinbase(4, btc(10));
+  chain.next_block();
+  // {1,2} then {2's owner spends with 3} via a new coin to addr 2.
+  chain.spend({a, b}, {{5, btc(19)}});
+  auto b2 = chain.coinbase(2, btc(7));
+  chain.next_block();
+  chain.spend({b2, c}, {{6, btc(16)}});
+  chain.next_block();
+  ChainView view = chain.view();
+  (void)d;
+
+  UnionFind uf = heuristic1(view);
+  EXPECT_TRUE(uf.same(id_of(view, 1), id_of(view, 3)));  // via addr 2
+  EXPECT_FALSE(uf.same(id_of(view, 1), id_of(view, 4)));
+}
+
+TEST(Heuristic1, SameAddressTwiceAsInput) {
+  TestChain chain;
+  auto a1 = chain.coinbase(1, btc(5));
+  auto a2 = chain.coinbase(1, btc(6));
+  chain.next_block();
+  chain.spend({a1, a2}, {{2, btc(10)}});
+  ChainView view = chain.view();
+
+  H1Stats stats;
+  UnionFind uf = heuristic1(view, &stats);
+  // Both inputs are the same user; no link is recorded.
+  EXPECT_EQ(stats.links, 0u);
+  EXPECT_EQ(uf.size_of(id_of(view, 1)), 1u);
+}
+
+TEST(Heuristic1, CoinbasesNeverMerge) {
+  TestChain chain;
+  chain.coinbase(1, btc(50));
+  chain.coinbase(2, btc(50));
+  ChainView view = chain.view();
+  H1Stats stats;
+  UnionFind uf = heuristic1(view, &stats);
+  EXPECT_EQ(stats.links, 0u);
+  EXPECT_FALSE(uf.same(id_of(view, 1), id_of(view, 2)));
+}
+
+TEST(Heuristic1, ManyInputsOneTx) {
+  TestChain chain;
+  std::vector<test::CoinRef> coins;
+  for (std::uint32_t i = 0; i < 20; ++i)
+    coins.push_back(chain.coinbase(i, btc(1)));
+  chain.next_block();
+  chain.spend(coins, {{100, btc(19)}});
+  ChainView view = chain.view();
+
+  H1Stats stats;
+  UnionFind uf = heuristic1(view, &stats);
+  EXPECT_EQ(stats.links, 19u);
+  for (std::uint32_t i = 1; i < 20; ++i)
+    EXPECT_TRUE(uf.same(id_of(view, 0), id_of(view, i)));
+  EXPECT_EQ(uf.size_of(id_of(view, 0)), 20u);
+}
+
+TEST(Heuristic1, ApplyIntoExistingUnionFind) {
+  TestChain chain;
+  auto c1 = chain.coinbase(1, btc(10));
+  auto c2 = chain.coinbase(2, btc(20));
+  chain.next_block();
+  chain.spend({c1, c2}, {{3, btc(29)}});
+  ChainView view = chain.view();
+
+  UnionFind uf;  // empty; apply grows it
+  apply_heuristic1(view, uf);
+  EXPECT_EQ(uf.size(), view.address_count());
+  EXPECT_TRUE(uf.same(id_of(view, 1), id_of(view, 2)));
+}
+
+}  // namespace
+}  // namespace fist

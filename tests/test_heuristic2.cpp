@@ -1,0 +1,307 @@
+#include "cluster/heuristic2.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testutil.hpp"
+
+namespace fist {
+namespace {
+
+using test::TestChain;
+
+AddrId id_of(const ChainView& view, std::uint32_t i) {
+  auto found = view.addresses().find(test::addr(i));
+  return found ? *found : kNoAddr;
+}
+
+// Canonical setup: addr 2 is made "seen" in advance, then addr 1 spends
+// a coin into {seen addr 2, fresh addr 3}; 3 is the one-time change.
+struct ClassicPeel {
+  TestChain chain;
+  ChainView view;
+
+  ClassicPeel() {
+    auto c1 = chain.coinbase(1, btc(50));
+    chain.coinbase(2, btc(1));  // addr 2 appears here
+    chain.next_block();
+    chain.spend({c1}, {{2, btc(10)}, {3, btc(40)}});
+    view = chain.view();
+  }
+};
+
+TEST(Heuristic2, LabelsClassicChange) {
+  ClassicPeel f;
+  H2Result r = apply_heuristic2(f.view, H2Options{});
+  ASSERT_EQ(r.labels.size(), 1u);
+  EXPECT_EQ(r.labels[0].change, id_of(f.view, 3));
+  EXPECT_EQ(r.change_of_tx[r.labels[0].tx], id_of(f.view, 3));
+}
+
+TEST(Heuristic2, UniteLinksInputsWithChange) {
+  ClassicPeel f;
+  H2Result r = apply_heuristic2(f.view, H2Options{});
+  UnionFind uf(f.view.address_count());
+  std::uint64_t merges = unite_h2_labels(f.view, r, uf);
+  EXPECT_EQ(merges, 1u);
+  EXPECT_TRUE(uf.same(id_of(f.view, 1), id_of(f.view, 3)));
+  EXPECT_FALSE(uf.same(id_of(f.view, 1), id_of(f.view, 2)));
+}
+
+TEST(Heuristic2, SkipsCoinbase) {
+  TestChain chain;
+  chain.coinbase(1, btc(50));
+  ChainView view = chain.view();
+  H2Result r = apply_heuristic2(view, H2Options{});
+  EXPECT_TRUE(r.labels.empty());
+  EXPECT_EQ(r.skipped.coinbase, 1u);
+}
+
+TEST(Heuristic2, SkipsSelfChange) {
+  TestChain chain;
+  auto c1 = chain.coinbase(1, btc(50));
+  chain.coinbase(2, btc(1));
+  chain.next_block();
+  // Change back to the input address 1 itself; 2 already seen.
+  chain.spend({c1}, {{2, btc(10)}, {1, btc(40)}});
+  ChainView view = chain.view();
+  H2Result r = apply_heuristic2(view, H2Options{});
+  EXPECT_TRUE(r.labels.empty());
+  EXPECT_EQ(r.skipped.self_change, 1u);
+}
+
+TEST(Heuristic2, AmbiguousWhenTwoOutputsFresh) {
+  TestChain chain;
+  auto c1 = chain.coinbase(1, btc(50));
+  chain.next_block();
+  chain.spend({c1}, {{2, btc(10)}, {3, btc(40)}});  // both fresh
+  ChainView view = chain.view();
+  H2Result r = apply_heuristic2(view, H2Options{});
+  EXPECT_TRUE(r.labels.empty());
+  EXPECT_EQ(r.skipped.ambiguous, 1u);
+}
+
+TEST(Heuristic2, NoCandidateWhenAllOutputsSeen) {
+  TestChain chain;
+  auto c1 = chain.coinbase(1, btc(50));
+  chain.coinbase(2, btc(1));
+  chain.coinbase(3, btc(1));
+  chain.next_block();
+  chain.spend({c1}, {{2, btc(10)}, {3, btc(40)}});
+  ChainView view = chain.view();
+  H2Result r = apply_heuristic2(view, H2Options{});
+  EXPECT_TRUE(r.labels.empty());
+  EXPECT_EQ(r.skipped.no_candidate, 1u);
+}
+
+TEST(Heuristic2, SingleFreshOutputSweepIsLabeled) {
+  // The paper's definition places no minimum on output count.
+  TestChain chain;
+  auto c1 = chain.coinbase(1, btc(50));
+  chain.next_block();
+  chain.spend({c1}, {{9, btc(49)}});
+  ChainView view = chain.view();
+  H2Result r = apply_heuristic2(view, H2Options{});
+  ASSERT_EQ(r.labels.size(), 1u);
+  EXPECT_EQ(r.labels[0].change, id_of(view, 9));
+}
+
+TEST(Heuristic2, MinOutputsOptionExcludesSweeps) {
+  TestChain chain;
+  auto c1 = chain.coinbase(1, btc(50));
+  chain.next_block();
+  chain.spend({c1}, {{9, btc(49)}});
+  ChainView view = chain.view();
+  H2Options opt;
+  opt.min_outputs = 2;
+  H2Result r = apply_heuristic2(view, opt);
+  EXPECT_TRUE(r.labels.empty());
+  EXPECT_EQ(r.skipped.too_few_outputs, 1u);
+}
+
+TEST(Heuristic2, FalsePositiveWhenChangeReceivesAgain) {
+  TestChain chain;
+  auto c1 = chain.coinbase(1, btc(50));
+  auto c4 = chain.coinbase(4, btc(5));
+  chain.coinbase(2, btc(1));
+  chain.next_block();
+  chain.spend({c1}, {{2, btc(10)}, {3, btc(40)}});  // 3 labeled change
+  chain.next_block();
+  chain.spend({c4}, {{3, btc(4)}});  // 3 receives again → FP
+  ChainView view = chain.view();
+
+  H2Options opt;
+  H2Result r = apply_heuristic2(view, opt);
+  // Both the peel and the later one-output sweep produce labels; find
+  // the one for address 3's first receipt.
+  H2FalsePositives fp = estimate_h2_false_positives(view, r, opt);
+  EXPECT_GE(fp.labels, 1u);
+  EXPECT_EQ(fp.false_positives, 1u);
+  EXPECT_GT(fp.rate(), 0.0);
+}
+
+TEST(Heuristic2, DiceExemptionSuppressesRebounds) {
+  TestChain chain;
+  auto c1 = chain.coinbase(1, btc(50));
+  auto dice_coin = chain.coinbase(77, btc(5));  // the dice bankroll
+  chain.coinbase(2, btc(1));
+  chain.next_block();
+  chain.spend({c1}, {{2, btc(10)}, {3, btc(40)}});  // label 3
+  chain.next_block();
+  // Dice payout: a tx whose only input address is the dice address 77,
+  // paying address 3 (the rebound).
+  chain.spend({dice_coin}, {{3, btc(4)}});
+  ChainView view = chain.view();
+
+  std::unordered_set<AddrId> dice{id_of(view, 77)};
+
+  H2Options naive;
+  H2FalsePositives fp_naive = estimate_h2_false_positives(
+      view, apply_heuristic2(view, naive, dice), naive, dice);
+  EXPECT_EQ(fp_naive.false_positives, 1u);
+
+  H2Options exempt;
+  exempt.exempt_dice_rebounds = true;
+  H2FalsePositives fp_exempt = estimate_h2_false_positives(
+      view, apply_heuristic2(view, exempt, dice), exempt, dice);
+  EXPECT_EQ(fp_exempt.false_positives, 0u);
+}
+
+TEST(Heuristic2, WaitWindowVetoesQuickReuse) {
+  TestChain chain(kGenesisTime, kHour);  // 1h blocks: reuse within a day
+  auto c1 = chain.coinbase(1, btc(50));
+  auto c4 = chain.coinbase(4, btc(5));
+  chain.coinbase(2, btc(1));
+  chain.next_block();
+  chain.spend({c1}, {{2, btc(10)}, {3, btc(40)}});
+  chain.next_block();                 // +1h
+  chain.spend({c4}, {{3, btc(4)}});   // re-receipt 1h later
+  ChainView view = chain.view();
+
+  H2Options wait;
+  wait.wait_window = kDay;
+  H2Result r = apply_heuristic2(view, wait);
+  // The label for address 3 must have been vetoed by the window.
+  for (const H2Label& label : r.labels)
+    EXPECT_NE(label.change, id_of(view, 3));
+  EXPECT_GE(r.skipped.window_veto, 1u);
+
+  // With slow reuse (1-day blocks), the label survives but counts as a
+  // false positive afterwards.
+  TestChain slow(kGenesisTime, 2 * kDay);
+  auto s1 = slow.coinbase(1, btc(50));
+  auto s4 = slow.coinbase(4, btc(5));
+  slow.coinbase(2, btc(1));
+  slow.next_block();
+  slow.spend({s1}, {{2, btc(10)}, {3, btc(40)}});
+  slow.next_block();  // +2 days
+  slow.spend({s4}, {{3, btc(4)}});
+  ChainView slow_view = slow.view();
+  H2Result r2 = apply_heuristic2(slow_view, wait);
+  bool labeled3 = false;
+  for (const H2Label& label : r2.labels)
+    labeled3 |= label.change == id_of(slow_view, 3);
+  EXPECT_TRUE(labeled3);
+  H2FalsePositives fp = estimate_h2_false_positives(slow_view, r2, wait);
+  EXPECT_EQ(fp.false_positives, 1u);
+}
+
+TEST(Heuristic2, ReusedChangeGuardSkips) {
+  TestChain chain;
+  auto c1 = chain.coinbase(1, btc(50));
+  auto c5 = chain.coinbase(5, btc(9));
+  chain.next_block();
+  // addr 6 receives exactly once...
+  chain.spend({c5}, {{6, btc(8)}});
+  chain.next_block();
+  // ...then appears as an output beside fresh addr 7: exactly-one-prior-
+  // receipt pattern → the guard must refuse to label 7.
+  chain.spend({c1}, {{6, btc(10)}, {7, btc(40)}});
+  ChainView view = chain.view();
+
+  H2Options guarded;
+  guarded.guard_reused_change = true;
+  H2Result r = apply_heuristic2(view, guarded);
+  for (const H2Label& label : r.labels)
+    EXPECT_NE(label.change, id_of(view, 7));
+  EXPECT_EQ(r.skipped.reused_guard, 1u);
+
+  // Without the guard the label is produced.
+  H2Result naive = apply_heuristic2(view, H2Options{});
+  bool labeled7 = false;
+  for (const H2Label& label : naive.labels)
+    labeled7 |= label.change == id_of(view, 7);
+  EXPECT_TRUE(labeled7);
+}
+
+TEST(Heuristic2, SelfChangeHistoryGuardSkips) {
+  TestChain chain;
+  auto c1 = chain.coinbase(1, btc(20));
+  auto c9 = chain.coinbase(9, btc(30));
+  chain.coinbase(2, btc(1));
+  chain.next_block();
+  // addr 9 self-changes (appears as input and output).
+  auto c9b = chain.spend({c9}, {{2, btc(5)}, {9, btc(24)}});
+  (void)c9b;
+  chain.next_block();
+  // Later, 9 appears as an output beside fresh 8.
+  chain.spend({c1}, {{9, btc(3)}, {8, btc(16)}});
+  ChainView view = chain.view();
+
+  H2Options guarded;
+  guarded.guard_self_change_history = true;
+  H2Result r = apply_heuristic2(view, guarded);
+  for (const H2Label& label : r.labels)
+    EXPECT_NE(label.change, id_of(view, 8));
+  EXPECT_EQ(r.skipped.self_change_history_guard, 1u);
+}
+
+TEST(Heuristic2, FutureReuseDisambiguation) {
+  TestChain chain;
+  auto c1 = chain.coinbase(1, btc(50));
+  auto c4 = chain.coinbase(4, btc(9));
+  chain.next_block();
+  // Two fresh outputs: 2 (a deposit address, reused later) and 3 (true
+  // one-time change).
+  chain.spend({c1}, {{2, btc(10)}, {3, btc(40)}});
+  chain.next_block();
+  chain.spend({c4}, {{2, btc(8)}});  // 2 receives again
+  ChainView view = chain.view();
+
+  H2Options plain;
+  H2Result ambiguous = apply_heuristic2(view, plain);
+  EXPECT_GE(ambiguous.skipped.ambiguous, 1u);
+
+  H2Options resolving;
+  resolving.resolve_ambiguous_via_future = true;
+  H2Result r = apply_heuristic2(view, resolving);
+  bool labeled3 = false;
+  for (const H2Label& label : r.labels)
+    labeled3 |= label.change == id_of(view, 3);
+  EXPECT_TRUE(labeled3);
+}
+
+TEST(Heuristic2, FutureReuseKeepsAmbiguityWhenBothClean) {
+  TestChain chain;
+  auto c1 = chain.coinbase(1, btc(50));
+  chain.next_block();
+  chain.spend({c1}, {{2, btc(10)}, {3, btc(40)}});  // both never reused
+  ChainView view = chain.view();
+  H2Options resolving;
+  resolving.resolve_ambiguous_via_future = true;
+  H2Result r = apply_heuristic2(view, resolving);
+  EXPECT_TRUE(r.labels.empty());
+  EXPECT_EQ(r.skipped.ambiguous, 1u);
+}
+
+TEST(Heuristic2, ChangeOfTxSizeMatchesViewAndDefaultsToNoAddr) {
+  ClassicPeel f;
+  H2Result r = apply_heuristic2(f.view, H2Options{});
+  EXPECT_EQ(r.change_of_tx.size(), f.view.tx_count());
+  std::size_t labeled = 0;
+  for (AddrId a : r.change_of_tx)
+    if (a != kNoAddr) ++labeled;
+  EXPECT_EQ(labeled, r.labels.size());
+}
+
+}  // namespace
+}  // namespace fist

@@ -1,0 +1,57 @@
+#include "util/hex.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace fist {
+namespace {
+
+TEST(Hex, EncodesEmpty) { EXPECT_EQ(to_hex(ByteView{}), ""); }
+
+TEST(Hex, EncodesBytes) {
+  Bytes b{0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(to_hex(b), "0001abff");
+}
+
+TEST(Hex, EncodesReversed) {
+  Bytes b{0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(to_hex_reversed(b), "ffab0100");
+}
+
+TEST(Hex, DecodesLowerAndUpper) {
+  EXPECT_EQ(from_hex("abCD12"), (Bytes{0xab, 0xcd, 0x12}));
+}
+
+TEST(Hex, DecodeRejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), ParseError);
+}
+
+TEST(Hex, DecodeRejectsNonHex) {
+  EXPECT_THROW(from_hex("zz"), ParseError);
+  EXPECT_THROW(from_hex("0g"), ParseError);
+}
+
+TEST(Hex, IsHexPredicate) {
+  EXPECT_TRUE(is_hex(""));
+  EXPECT_TRUE(is_hex("00ff"));
+  EXPECT_FALSE(is_hex("0"));
+  EXPECT_FALSE(is_hex("0x"));
+}
+
+class HexRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(HexRoundTrip, EncodeDecodeIdentity) {
+  std::size_t n = GetParam();
+  Bytes data(n);
+  for (std::size_t i = 0; i < n; ++i)
+    data[i] = static_cast<std::uint8_t>(i * 131 + 7);
+  EXPECT_EQ(from_hex(to_hex(data)), data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HexRoundTrip,
+                         ::testing::Values(0, 1, 2, 3, 16, 31, 32, 33, 255,
+                                           1024));
+
+}  // namespace
+}  // namespace fist

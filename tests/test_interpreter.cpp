@@ -1,0 +1,254 @@
+#include "chain/interpreter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chain/sighash.hpp"
+#include "crypto/sha256.hpp"
+#include "script/standard.hpp"
+#include "sim/world.hpp"
+#include "util/error.hpp"
+
+namespace fist {
+namespace {
+
+// A transaction spending one P2PKH output owned by `key`.
+struct Spend {
+  PrivateKey key = PrivateKey::from_seed(to_bytes(std::string("spender")));
+  Script spent;
+  Transaction tx;
+
+  Spend() {
+    spent = make_p2pkh(hash160(key.pubkey().serialize_compressed()));
+    TxIn in;
+    in.prevout.txid = hash256(to_bytes(std::string("funding")));
+    tx.inputs.push_back(in);
+    tx.outputs.push_back(TxOut{btc(1), Script()});
+  }
+
+  void sign() {
+    tx.inputs[0].script_sig = sign_p2pkh_input(tx, 0, spent, key);
+  }
+};
+
+TEST(Interpreter, P2pkhEndToEnd) {
+  Spend s;
+  s.sign();
+  TransactionSignatureChecker checker(s.tx, 0);
+  EXPECT_EQ(verify_script(s.tx.inputs[0].script_sig, s.spent, checker),
+            ScriptError::Ok);
+}
+
+TEST(Interpreter, P2pkhWrongKeyFails) {
+  Spend s;
+  PrivateKey wrong = PrivateKey::from_seed(to_bytes(std::string("wrong")));
+  s.tx.inputs[0].script_sig = sign_p2pkh_input(s.tx, 0, s.spent, wrong);
+  TransactionSignatureChecker checker(s.tx, 0);
+  // The pubkey hash mismatch trips OP_EQUALVERIFY.
+  EXPECT_EQ(verify_script(s.tx.inputs[0].script_sig, s.spent, checker),
+            ScriptError::EqualVerifyFailed);
+}
+
+TEST(Interpreter, P2pkhTamperedOutputFails) {
+  Spend s;
+  s.sign();
+  s.tx.outputs[0].value += 1;
+  TransactionSignatureChecker checker(s.tx, 0);
+  EXPECT_EQ(verify_script(s.tx.inputs[0].script_sig, s.spent, checker),
+            ScriptError::EvalFalse);
+}
+
+TEST(Interpreter, P2pkEndToEnd) {
+  PrivateKey key = PrivateKey::from_seed(to_bytes(std::string("p2pk")));
+  Script spent = make_p2pk(key.pubkey().serialize_compressed());
+  Transaction tx;
+  TxIn in;
+  in.prevout.txid = hash256(to_bytes(std::string("f")));
+  tx.inputs.push_back(in);
+  tx.outputs.push_back(TxOut{btc(1), Script()});
+  // P2PK scriptSig is just the signature push.
+  Hash256 digest = signature_hash(tx, 0, spent, SigHashType::All);
+  Bytes sig = ecdsa_sign(key, digest).der();
+  sig.push_back(0x01);
+  Script script_sig;
+  script_sig.push(sig);
+  tx.inputs[0].script_sig = script_sig;
+
+  TransactionSignatureChecker checker(tx, 0);
+  EXPECT_EQ(verify_script(script_sig, spent, checker), ScriptError::Ok);
+}
+
+TEST(Interpreter, BareMultisig2of3) {
+  std::vector<PrivateKey> keys;
+  std::vector<Bytes> pubkeys;
+  for (int i = 0; i < 3; ++i) {
+    keys.push_back(
+        PrivateKey::from_seed(to_bytes("ms" + std::to_string(i))));
+    pubkeys.push_back(keys.back().pubkey().serialize_compressed());
+  }
+  Script spent = make_multisig(2, pubkeys);
+
+  Transaction tx;
+  TxIn in;
+  in.prevout.txid = hash256(to_bytes(std::string("f")));
+  tx.inputs.push_back(in);
+  tx.outputs.push_back(TxOut{btc(1), Script()});
+
+  Hash256 digest = signature_hash(tx, 0, spent, SigHashType::All);
+  auto der_sig = [&](const PrivateKey& k) {
+    Bytes s = ecdsa_sign(k, digest).der();
+    s.push_back(0x01);
+    return s;
+  };
+
+  // Signatures in key order (0 then 2): valid.
+  Script good;
+  good.push(ByteView{});  // the CHECKMULTISIG dummy
+  good.push(der_sig(keys[0]));
+  good.push(der_sig(keys[2]));
+  tx.inputs[0].script_sig = good;
+  TransactionSignatureChecker checker(tx, 0);
+  EXPECT_EQ(verify_script(good, spent, checker), ScriptError::Ok);
+
+  // Out of order (2 then 0): rejected, matching Bitcoin's rule.
+  Script bad_order;
+  bad_order.push(ByteView{});
+  bad_order.push(der_sig(keys[2]));
+  bad_order.push(der_sig(keys[0]));
+  EXPECT_EQ(verify_script(bad_order, spent, checker), ScriptError::EvalFalse);
+
+  // Only one signature: rejected.
+  Script too_few;
+  too_few.push(ByteView{});
+  too_few.push(der_sig(keys[1]));
+  EXPECT_EQ(verify_script(too_few, spent, checker),
+            ScriptError::StackUnderflow);
+}
+
+TEST(Interpreter, P2shWrappedChecksig) {
+  PrivateKey key = PrivateKey::from_seed(to_bytes(std::string("p2sh")));
+  // Redeem script: <pubkey> OP_CHECKSIG.
+  Script redeem = make_p2pk(key.pubkey().serialize_compressed());
+  Script spent = make_p2sh(hash160(redeem.view()));
+
+  Transaction tx;
+  TxIn in;
+  in.prevout.txid = hash256(to_bytes(std::string("f")));
+  tx.inputs.push_back(in);
+  tx.outputs.push_back(TxOut{btc(1), Script()});
+
+  Hash256 digest = signature_hash(tx, 0, redeem, SigHashType::All);
+  Bytes sig = ecdsa_sign(key, digest).der();
+  sig.push_back(0x01);
+  Script script_sig;
+  script_sig.push(sig).push(redeem.view());
+  tx.inputs[0].script_sig = script_sig;
+
+  TransactionSignatureChecker checker(tx, 0);
+  EXPECT_EQ(verify_script(script_sig, spent, checker), ScriptError::Ok);
+
+  // Wrong redeem script (hash mismatch) fails at OP_EQUAL.
+  Script other_redeem = make_p2pk(Bytes(33, 0x02));
+  Script bad_sig;
+  bad_sig.push(sig).push(other_redeem.view());
+  EXPECT_EQ(verify_script(bad_sig, spent, checker), ScriptError::EvalFalse);
+}
+
+TEST(Interpreter, ScriptSigMustBePushOnly) {
+  Spend s;
+  Script evil;
+  evil.op(Opcode::OP_DUP);
+  NullSignatureChecker nothing;
+  EXPECT_EQ(verify_script(evil, s.spent, nothing),
+            ScriptError::SigPushOnly);
+}
+
+TEST(Interpreter, OpReturnUnspendable) {
+  Script nulldata = make_nulldata(to_bytes(std::string("data")));
+  Script empty_sig;
+  NullSignatureChecker nothing;
+  EXPECT_EQ(verify_script(empty_sig, nulldata, nothing),
+            ScriptError::OpReturn);
+}
+
+TEST(Interpreter, HashOpcodes) {
+  // <preimage> OP_SHA256 <digest> OP_EQUAL evaluates true.
+  Bytes preimage = to_bytes(std::string("hashlock"));
+  auto digest = sha256(preimage);
+  Script pubkey;
+  pubkey.op(Opcode::OP_SHA256).push(ByteView(digest)).op(Opcode::OP_EQUAL);
+  Script sig;
+  sig.push(preimage);
+  NullSignatureChecker nothing;
+  EXPECT_EQ(verify_script(sig, pubkey, nothing), ScriptError::Ok);
+
+  // Wrong preimage evaluates false.
+  Script wrong;
+  wrong.push(to_bytes(std::string("nope")));
+  EXPECT_EQ(verify_script(wrong, pubkey, nothing), ScriptError::EvalFalse);
+}
+
+TEST(Interpreter, StackUnderflowDetected) {
+  Script pubkey;
+  pubkey.op(Opcode::OP_DUP);
+  Script empty_sig;
+  NullSignatureChecker nothing;
+  EXPECT_EQ(verify_script(empty_sig, pubkey, nothing),
+            ScriptError::StackUnderflow);
+}
+
+TEST(Interpreter, UnknownOpcodeRejected) {
+  Script pubkey(Bytes{0xb1});  // OP_NOP2/CLTV — outside the repertoire
+  Script sig;
+  sig.push(Bytes{1});
+  NullSignatureChecker nothing;
+  EXPECT_EQ(verify_script(sig, pubkey, nothing), ScriptError::BadOpcode);
+}
+
+TEST(Interpreter, MalformedScriptRejected) {
+  Script truncated(Bytes{10, 1, 2});
+  NullSignatureChecker nothing;
+  std::vector<Bytes> stack;
+  EXPECT_EQ(eval_script(stack, truncated, nothing),
+            ScriptError::MalformedScript);
+}
+
+TEST(Interpreter, ErrorNames) {
+  EXPECT_STREQ(script_error_name(ScriptError::Ok), "ok");
+  EXPECT_STREQ(script_error_name(ScriptError::EvalFalse), "eval-false");
+}
+
+TEST(Interpreter, FullyVerifiedRealKeyWorld) {
+  // The capstone: a world minted with genuine secp256k1 keys connects
+  // every block under full script verification.
+  sim::WorldConfig cfg;
+  cfg.days = 8;
+  cfg.users = 16;
+  cfg.blocks_per_day = 4;
+  cfg.coinbase_maturity = 4;
+  cfg.key_mode = sim::KeyMode::Real;
+  cfg.verify_scripts = true;
+  cfg.enable_probe = false;
+  cfg.seed = 77;
+  sim::World world(cfg);
+  EXPECT_NO_THROW(world.run());
+  EXPECT_GT(world.tx_count(), 10u);
+}
+
+TEST(Interpreter, FastKeysFailFullVerification) {
+  // Placeholder signatures must be rejected by the interpreter — this
+  // is what makes KeyMode::Real meaningful.
+  sim::WorldConfig cfg;
+  cfg.days = 8;
+  cfg.users = 16;
+  cfg.blocks_per_day = 4;
+  cfg.coinbase_maturity = 4;
+  cfg.key_mode = sim::KeyMode::Fast;
+  cfg.verify_scripts = true;
+  cfg.enable_probe = false;
+  cfg.seed = 77;
+  sim::World world(cfg);
+  EXPECT_THROW(world.run(), ValidationError);
+}
+
+}  // namespace
+}  // namespace fist

@@ -1,0 +1,52 @@
+#include "sim/keyfactory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "crypto/hash.hpp"
+
+namespace fist::sim {
+namespace {
+
+TEST(KeyFactory, FastModeMintsValidAddresses) {
+  KeyFactory factory(KeyMode::Fast, Rng(1));
+  MintedKey k = factory.mint();
+  EXPECT_EQ(k.pubkey.size(), 33u);
+  EXPECT_TRUE(k.pubkey[0] == 0x02 || k.pubkey[0] == 0x03);
+  EXPECT_FALSE(k.privkey.has_value());
+  // The address is the genuine HASH160 of the pubkey bytes.
+  EXPECT_EQ(k.address.payload(), hash160(k.pubkey));
+  EXPECT_EQ(k.address.encode()[0], '1');
+}
+
+TEST(KeyFactory, RealModeMintsSignableKeys) {
+  KeyFactory factory(KeyMode::Real, Rng(2));
+  MintedKey k = factory.mint();
+  ASSERT_TRUE(k.privkey.has_value());
+  EXPECT_EQ(k.pubkey, k.privkey->pubkey().serialize_compressed());
+  EXPECT_EQ(k.address.payload(), hash160(k.pubkey));
+}
+
+TEST(KeyFactory, DeterministicPerSeed) {
+  KeyFactory a(KeyMode::Fast, Rng(7)), b(KeyMode::Fast, Rng(7));
+  for (int i = 0; i < 10; ++i)
+    EXPECT_EQ(a.mint().address, b.mint().address);
+}
+
+TEST(KeyFactory, AddressesAreDistinct) {
+  KeyFactory factory(KeyMode::Fast, Rng(3));
+  std::unordered_set<Address> seen;
+  for (int i = 0; i < 1000; ++i)
+    EXPECT_TRUE(seen.insert(factory.mint().address).second);
+  EXPECT_EQ(factory.minted(), 1000u);
+}
+
+TEST(KeyFactory, RealAndFastDiffer) {
+  KeyFactory fast(KeyMode::Fast, Rng(5));
+  KeyFactory real(KeyMode::Real, Rng(5));
+  EXPECT_NE(fast.mint().address, real.mint().address);
+}
+
+}  // namespace
+}  // namespace fist::sim

@@ -1,0 +1,98 @@
+#include "crypto/merkle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/sha256.hpp"
+#include "util/error.hpp"
+
+namespace fist {
+namespace {
+
+Hash256 leaf(std::uint8_t i) {
+  Bytes b{i};
+  return hash256(b);
+}
+
+std::vector<Hash256> leaves(std::size_t n) {
+  std::vector<Hash256> out;
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back(leaf(static_cast<std::uint8_t>(i)));
+  return out;
+}
+
+TEST(Merkle, EmptyIsNull) {
+  EXPECT_TRUE(merkle_root({}).is_null());
+}
+
+TEST(Merkle, SingleLeafIsItsOwnRoot) {
+  auto l = leaves(1);
+  EXPECT_EQ(merkle_root(l), l[0]);
+}
+
+TEST(Merkle, PairIsHashOfConcatenation) {
+  auto l = leaves(2);
+  Sha256 h;
+  h.write(l[0].view());
+  h.write(l[1].view());
+  auto once = h.finish();
+  auto twice = sha256(ByteView(once));
+  EXPECT_EQ(merkle_root(l).view()[0], twice[0]);
+  EXPECT_TRUE(std::equal(twice.begin(), twice.end(),
+                         merkle_root(l).view().begin()));
+}
+
+TEST(Merkle, OddCountDuplicatesLast) {
+  // With 3 leaves, bitcoin pairs the last with itself:
+  // root = H(H(l0,l1), H(l2,l2)).
+  auto l = leaves(3);
+  auto four = l;
+  four.push_back(l[2]);
+  EXPECT_EQ(merkle_root(l), merkle_root(four));
+}
+
+TEST(Merkle, RootDependsOnOrder) {
+  auto l = leaves(4);
+  auto swapped = l;
+  std::swap(swapped[0], swapped[1]);
+  EXPECT_NE(merkle_root(l), merkle_root(swapped));
+}
+
+TEST(Merkle, ProofRejectsBadIndex) {
+  auto l = leaves(4);
+  EXPECT_THROW(merkle_proof(l, 4), UsageError);
+}
+
+TEST(Merkle, ProofVerifiesAndRejectsWrongLeaf) {
+  auto l = leaves(7);
+  Hash256 root = merkle_root(l);
+  MerkleProof proof = merkle_proof(l, 3);
+  EXPECT_TRUE(merkle_verify(l[3], proof, root));
+  EXPECT_FALSE(merkle_verify(l[2], proof, root));
+}
+
+TEST(Merkle, TamperedProofFails) {
+  auto l = leaves(8);
+  Hash256 root = merkle_root(l);
+  MerkleProof proof = merkle_proof(l, 5);
+  proof.steps[1].sibling_on_right = !proof.steps[1].sibling_on_right;
+  EXPECT_FALSE(merkle_verify(l[5], proof, root));
+}
+
+class MerkleAllLeaves : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MerkleAllLeaves, EveryLeafProvable) {
+  std::size_t n = GetParam();
+  auto l = leaves(n);
+  Hash256 root = merkle_root(l);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    MerkleProof proof = merkle_proof(l, i);
+    EXPECT_TRUE(merkle_verify(l[i], proof, root)) << "leaf " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TreeSizes, MerkleAllLeaves,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 16,
+                                           17, 33, 64));
+
+}  // namespace
+}  // namespace fist

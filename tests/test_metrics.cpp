@@ -1,0 +1,78 @@
+#include "cluster/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace fist {
+namespace {
+
+TEST(Metrics, PerfectClustering) {
+  std::vector<std::uint32_t> pred{0, 0, 1, 1, 2};
+  std::vector<std::uint32_t> truth{7, 7, 8, 8, 9};
+  PairwiseScores s = pairwise_scores(pred, truth);
+  EXPECT_DOUBLE_EQ(s.precision, 1.0);
+  EXPECT_DOUBLE_EQ(s.recall, 1.0);
+  EXPECT_DOUBLE_EQ(s.f1(), 1.0);
+  EXPECT_EQ(s.predicted_pairs, 2u);
+  EXPECT_EQ(s.true_pairs, 2u);
+}
+
+TEST(Metrics, OverMergedLowersPrecision) {
+  // Everything in one predicted cluster; truth has two owners of 2.
+  std::vector<std::uint32_t> pred{0, 0, 0, 0};
+  std::vector<std::uint32_t> truth{1, 1, 2, 2};
+  PairwiseScores s = pairwise_scores(pred, truth);
+  EXPECT_EQ(s.predicted_pairs, 6u);
+  EXPECT_EQ(s.agreeing_pairs, 2u);
+  EXPECT_DOUBLE_EQ(s.precision, 2.0 / 6.0);
+  EXPECT_DOUBLE_EQ(s.recall, 1.0);
+}
+
+TEST(Metrics, UnderMergedLowersRecall) {
+  std::vector<std::uint32_t> pred{0, 1, 2, 3};
+  std::vector<std::uint32_t> truth{1, 1, 2, 2};
+  PairwiseScores s = pairwise_scores(pred, truth);
+  EXPECT_DOUBLE_EQ(s.precision, 1.0);  // vacuous: no predicted pairs
+  EXPECT_DOUBLE_EQ(s.recall, 0.0);
+}
+
+TEST(Metrics, MixedCase) {
+  // pred: {0,1,2} together, {3} alone; truth: {0,1} and {2,3}.
+  std::vector<std::uint32_t> pred{0, 0, 0, 1};
+  std::vector<std::uint32_t> truth{5, 5, 6, 6};
+  PairwiseScores s = pairwise_scores(pred, truth);
+  EXPECT_EQ(s.predicted_pairs, 3u);
+  EXPECT_EQ(s.true_pairs, 2u);
+  EXPECT_EQ(s.agreeing_pairs, 1u);
+  EXPECT_DOUBLE_EQ(s.precision, 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(s.recall, 0.5);
+  EXPECT_NEAR(s.f1(), 2 * (1.0 / 3) * 0.5 / (1.0 / 3 + 0.5), 1e-12);
+}
+
+TEST(Metrics, UnknownOwnersExcluded) {
+  std::vector<std::uint32_t> pred{0, 0, 0};
+  std::vector<std::uint32_t> truth{1, 1, kUnknownOwner};
+  PairwiseScores s = pairwise_scores(pred, truth);
+  EXPECT_EQ(s.predicted_pairs, 1u);  // only the two known-owner items
+  EXPECT_DOUBLE_EQ(s.precision, 1.0);
+}
+
+TEST(Metrics, SizeMismatchThrows) {
+  std::vector<std::uint32_t> pred{0};
+  std::vector<std::uint32_t> truth{1, 2};
+  EXPECT_THROW(pairwise_scores(pred, truth), UsageError);
+}
+
+TEST(Metrics, EmptyInput) {
+  std::vector<std::uint32_t> empty;
+  PairwiseScores s = pairwise_scores(empty, empty);
+  EXPECT_DOUBLE_EQ(s.precision, 1.0);
+  EXPECT_DOUBLE_EQ(s.recall, 1.0);
+  EXPECT_DOUBLE_EQ(s.f1(), 1.0);
+}
+
+}  // namespace
+}  // namespace fist

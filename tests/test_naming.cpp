@@ -1,0 +1,99 @@
+#include "tag/naming.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fist {
+namespace {
+
+Tag tag(const std::string& name, Category c = Category::BankExchange) {
+  return Tag{name, c, TagSource::Observed};
+}
+
+struct Fixture {
+  // 6 addresses in 3 clusters: {0,1,2}=0, {3,4}=1, {5}=2.
+  std::vector<ClusterId> cluster_of{0, 0, 0, 1, 1, 2};
+  std::vector<std::uint32_t> sizes{3, 2, 1};
+};
+
+TEST(Naming, PropagatesTagToWholeCluster) {
+  Fixture f;
+  TagStore tags;
+  tags.add(0, tag("Mt. Gox"));
+  ClusterNaming naming(f.cluster_of, f.sizes, tags);
+
+  const ClusterName* name = naming.name_of(0);
+  ASSERT_NE(name, nullptr);
+  EXPECT_EQ(name->service, "Mt. Gox");
+  EXPECT_EQ(name->category, Category::BankExchange);
+  EXPECT_EQ(naming.name_of(1), nullptr);
+  EXPECT_EQ(naming.named_addresses(), 3u);  // whole cluster counted
+}
+
+TEST(Naming, AmplificationRatio) {
+  Fixture f;
+  TagStore tags;
+  tags.add(0, tag("Mt. Gox"));
+  ClusterNaming naming(f.cluster_of, f.sizes, tags);
+  EXPECT_DOUBLE_EQ(naming.amplification(1), 3.0);
+  EXPECT_DOUBLE_EQ(naming.amplification(0), 0.0);
+}
+
+TEST(Naming, MajorityVoteWins) {
+  Fixture f;
+  TagStore tags;
+  tags.add(0, tag("Mt. Gox"));
+  tags.add(1, tag("Mt. Gox"));
+  tags.add(2, tag("Bitstamp"));
+  ClusterNaming naming(f.cluster_of, f.sizes, tags);
+  const ClusterName* name = naming.name_of(0);
+  ASSERT_NE(name, nullptr);
+  EXPECT_EQ(name->service, "Mt. Gox");
+  EXPECT_EQ(name->tag_votes, 2u);
+  EXPECT_EQ(name->distinct_services, 2u);
+}
+
+TEST(Naming, ContestedClustersReported) {
+  Fixture f;
+  TagStore tags;
+  tags.add(0, tag("Mt. Gox"));
+  tags.add(1, tag("Instawallet", Category::Wallet));
+  tags.add(3, tag("Bitstamp"));
+  ClusterNaming naming(f.cluster_of, f.sizes, tags);
+  ASSERT_EQ(naming.contested().size(), 1u);
+  EXPECT_EQ(naming.contested()[0], 0u);
+}
+
+TEST(Naming, ClustersForServiceCountsSpread) {
+  // Mt. Gox tags landing on two clusters (the "20 clusters" effect).
+  Fixture f;
+  TagStore tags;
+  tags.add(0, tag("Mt. Gox"));
+  tags.add(3, tag("Mt. Gox"));
+  tags.add(5, tag("Bitstamp"));
+  ClusterNaming naming(f.cluster_of, f.sizes, tags);
+  EXPECT_EQ(naming.clusters_for_service("Mt. Gox"), 2u);
+  EXPECT_EQ(naming.clusters_for_service("Bitstamp"), 1u);
+  EXPECT_EQ(naming.clusters_for_service("Nobody"), 0u);
+}
+
+TEST(Naming, TieBreaksDeterministically) {
+  Fixture f;
+  TagStore tags;
+  tags.add(0, tag("Zeta"));
+  tags.add(1, tag("Alpha"));
+  ClusterNaming naming(f.cluster_of, f.sizes, tags);
+  // Equal votes: lexicographically... std::map iteration gives Alpha
+  // first; 1-vote each → first maximum wins → "Alpha".
+  EXPECT_EQ(naming.name_of(0)->service, "Alpha");
+}
+
+TEST(Naming, IgnoresOutOfRangeAddressIds) {
+  Fixture f;
+  TagStore tags;
+  tags.add(99, tag("Ghost"));
+  ClusterNaming naming(f.cluster_of, f.sizes, tags);
+  EXPECT_TRUE(naming.names().empty());
+}
+
+}  // namespace
+}  // namespace fist

@@ -1,0 +1,191 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "script/standard.hpp"
+#include "util/error.hpp"
+
+namespace fist::net {
+namespace {
+
+NetConfig small_config() {
+  NetConfig c;
+  c.nodes = 40;
+  c.out_peers = 4;
+  c.miners = 4;
+  c.block_interval_s = 120;
+  c.seed = 7;
+  return c;
+}
+
+Transaction user_tx(int i) {
+  Transaction tx;
+  TxIn in;
+  in.prevout.txid = hash256(to_bytes("fund" + std::to_string(i)));
+  tx.inputs.push_back(in);
+  tx.outputs.push_back(
+      TxOut{btc(1), make_p2pkh(hash160(to_bytes("p" + std::to_string(i))))});
+  return tx;
+}
+
+TEST(Network, RejectsDegenerateSize) {
+  NetConfig c;
+  c.nodes = 1;
+  EXPECT_THROW(P2PNetwork net(c), UsageError);
+}
+
+TEST(Network, TransactionFloodsToAllNodes) {
+  P2PNetwork net(small_config());
+  Transaction tx = user_tx(0);
+  net.submit_tx(0, tx);
+  net.run_until(60);
+  const Propagation* p = net.propagation(tx.txid());
+  ASSERT_NE(p, nullptr);
+  EXPECT_DOUBLE_EQ(p->coverage(), 1.0);
+}
+
+TEST(Network, PropagationTimesAreOrdered) {
+  P2PNetwork net(small_config());
+  Transaction tx = user_tx(1);
+  net.submit_tx(3, tx);
+  net.run_until(60);
+  const Propagation* p = net.propagation(tx.txid());
+  ASSERT_NE(p, nullptr);
+  auto t50 = p->time_to_fraction(0.5);
+  auto t90 = p->time_to_fraction(0.9);
+  auto t100 = p->time_to_fraction(1.0);
+  ASSERT_TRUE(t50 && t90 && t100);
+  EXPECT_LE(*t50, *t90);
+  EXPECT_LE(*t90, *t100);
+  EXPECT_GT(*t50, 0.0);
+}
+
+TEST(Network, DeterministicForSameSeed) {
+  auto run = [] {
+    P2PNetwork net(small_config());
+    Transaction tx = user_tx(2);
+    net.submit_tx(5, tx);
+    net.run_until(60);
+    return net.messages_delivered();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Network, DifferentSeedsDifferentTopology) {
+  NetConfig a = small_config(), b = small_config();
+  b.seed = 99;
+  P2PNetwork na(a), nb(b);
+  Transaction tx = user_tx(3);
+  na.submit_tx(0, tx);
+  nb.submit_tx(0, tx);
+  na.run_until(60);
+  nb.run_until(60);
+  EXPECT_NE(na.messages_delivered(), nb.messages_delivered());
+}
+
+TEST(Network, MiningProducesChain) {
+  NetConfig c = small_config();
+  c.block_interval_s = 30;
+  P2PNetwork net(c);
+  for (int i = 0; i < 5; ++i) net.submit_tx(static_cast<NodeId>(i), user_tx(10 + i));
+  net.start_mining();
+  net.run_until(600);
+  EXPECT_GT(net.blocks_mined(), 5);
+  // Every node should have converged on a chain of blocks.
+  int len0 = net.node(0).chain_length();
+  EXPECT_GT(len0, 0);
+}
+
+TEST(Network, MinedBlocksCarryRealPow) {
+  NetConfig c = small_config();
+  c.block_interval_s = 20;
+  P2PNetwork net(c);
+  net.start_mining();
+  net.run_until(200);
+  ASSERT_GT(net.blocks_mined(), 0);
+  // The figure-1 merchant check: a block eventually reaches everyone.
+  Node& n = net.node(0);
+  EXPECT_GT(n.chain_length(), 0);
+}
+
+TEST(Network, BlockPropagationReachesMerchant) {
+  // The Figure-1 story: user broadcasts a tx; a miner includes it in a
+  // block; the merchant (another node) learns of the block.
+  NetConfig c = small_config();
+  c.block_interval_s = 30;
+  P2PNetwork net(c);
+  Transaction payment = user_tx(42);
+  net.submit_tx(7, payment);
+  net.run_until(30);  // let the tx flood first
+  net.start_mining();
+  net.run_until(400);
+
+  NodeId merchant = net.size() - 1;
+  EXPECT_TRUE(net.node(merchant).knows_tx(payment.txid()));
+  EXPECT_GT(net.node(merchant).chain_length(), 0);
+}
+
+TEST(Network, ByteAccountingWhenEnabled) {
+  NetConfig c = small_config();
+  c.account_bytes = true;
+  P2PNetwork net(c);
+  net.submit_tx(0, user_tx(5));
+  net.run_until(60);
+  EXPECT_GT(net.wire_bytes(), 0u);
+  EXPECT_GT(net.messages_delivered(), 0u);
+}
+
+TEST(Network, StartMiningRequiresMiners) {
+  NetConfig c = small_config();
+  c.miners = 0;
+  P2PNetwork net(c);
+  EXPECT_THROW(net.start_mining(), UsageError);
+}
+
+TEST(Network, NodeAccessorBounds) {
+  P2PNetwork net(small_config());
+  EXPECT_THROW(net.node(1000), UsageError);
+  EXPECT_EQ(net.propagation(hash256(to_bytes(std::string("no")))), nullptr);
+}
+
+
+TEST(Network, RetargetingRaisesDifficultyWhenBlocksAreFast) {
+  NetConfig c = small_config();
+  c.block_interval_s = 20;        // mined 6x faster than...
+  c.target_spacing_s = 120;       // ...the intended spacing
+  c.retarget_interval = 4;
+  P2PNetwork net(c);
+  net.start_mining();
+  net.run_until(400);             // ~20 blocks => several retargets
+  ASSERT_GT(net.node(0).chain_length(), 9);
+
+  // Fetch bits along node 0's chain: the target must shrink at each
+  // retarget boundary (difficulty up).
+  Node& n = net.node(0);
+  const Block* early = n.find_block(n.chain_hash(0));
+  const Block* later = n.find_block(n.chain_hash(9));
+  ASSERT_NE(early, nullptr);
+  ASSERT_NE(later, nullptr);
+  auto early_target = expand_compact(early->header.bits);
+  auto later_target = expand_compact(later->header.bits);
+  ASSERT_TRUE(early_target && later_target);
+  EXPECT_LT(cmp(*later_target, *early_target), 0);
+}
+
+TEST(Network, FixedDifficultyWithoutRetargeting) {
+  NetConfig c = small_config();
+  c.block_interval_s = 20;
+  P2PNetwork net(c);
+  net.start_mining();
+  net.run_until(200);
+  Node& n = net.node(0);
+  ASSERT_GT(n.chain_length(), 2);
+  for (int h = 0; h < n.chain_length(); ++h) {
+    const Block* b = n.find_block(n.chain_hash(h));
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(b->header.bits, c.pow_bits);
+  }
+}
+
+}  // namespace
+}  // namespace fist::net

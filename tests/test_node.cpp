@@ -1,0 +1,207 @@
+#include "net/node.hpp"
+
+#include <gtest/gtest.h>
+
+#include "script/standard.hpp"
+
+namespace fist::net {
+namespace {
+
+// Scripted environment: records every send for inspection and can
+// deliver messages manually.
+class ScriptedEnv : public NodeEnv {
+ public:
+  struct Sent {
+    NodeId from, to;
+    Message msg;
+  };
+
+  void send(NodeId from, NodeId to, Message msg) override {
+    sent.push_back({from, to, std::move(msg)});
+  }
+  void on_object_seen(NodeId node, const InvItem& what) override {
+    seen.emplace_back(node, what);
+  }
+
+  std::vector<Sent> sent;
+  std::vector<std::pair<NodeId, InvItem>> seen;
+};
+
+Transaction tx_paying(const std::string& tag) {
+  Transaction tx;
+  TxIn in;
+  in.prevout.txid = hash256(to_bytes(tag));
+  tx.inputs.push_back(in);
+  tx.outputs.push_back(
+      TxOut{btc(1), make_p2pkh(hash160(to_bytes(tag + "-payee")))});
+  return tx;
+}
+
+Block block_on(const Hash256& prev, const std::vector<Transaction>& txs) {
+  Block b;
+  b.header.prev_hash = prev;
+  b.header.time = 1231006505;
+  b.header.bits = 0x207fffff;
+  Transaction cb;
+  TxIn in;
+  in.prevout = OutPoint::coinbase();
+  cb.inputs.push_back(in);
+  cb.outputs.push_back(TxOut{btc(50), Script()});
+  b.transactions.push_back(cb);
+  for (const Transaction& t : txs) b.transactions.push_back(t);
+  b.fix_merkle_root();
+  return b;
+}
+
+TEST(Node, OriginatedTxAnnouncedToAllPeers) {
+  ScriptedEnv env;
+  Node node(0, env);
+  node.add_peer(1);
+  node.add_peer(2);
+  Transaction tx = tx_paying("t");
+  node.originate_tx(tx);
+  EXPECT_TRUE(node.knows_tx(tx.txid()));
+  ASSERT_EQ(env.sent.size(), 2u);
+  for (const auto& sent : env.sent)
+    EXPECT_TRUE(std::holds_alternative<InvMsg>(sent.msg));
+}
+
+TEST(Node, RelayedTxSkipsTheSender) {
+  ScriptedEnv env;
+  Node node(0, env);
+  node.add_peer(1);
+  node.add_peer(2);
+  node.handle(1, TxMsg{tx_paying("t")});
+  ASSERT_EQ(env.sent.size(), 1u);
+  EXPECT_EQ(env.sent[0].to, 2u);
+}
+
+TEST(Node, DuplicateTxNotReannounced) {
+  ScriptedEnv env;
+  Node node(0, env);
+  node.add_peer(1);
+  Transaction tx = tx_paying("t");
+  node.handle(1, TxMsg{tx});
+  std::size_t after_first = env.sent.size();
+  node.handle(1, TxMsg{tx});
+  EXPECT_EQ(env.sent.size(), after_first);
+}
+
+TEST(Node, InvTriggersGetDataForUnknownOnly) {
+  ScriptedEnv env;
+  Node node(0, env);
+  node.add_peer(1);
+  Transaction known = tx_paying("known");
+  node.originate_tx(known);
+  env.sent.clear();
+
+  InvMsg inv;
+  inv.items.push_back({InvKind::Tx, known.txid()});
+  inv.items.push_back({InvKind::Tx, hash256(to_bytes(std::string("new")))});
+  node.handle(1, inv);
+  ASSERT_EQ(env.sent.size(), 1u);
+  const auto& req = std::get<GetDataMsg>(env.sent[0].msg);
+  ASSERT_EQ(req.items.size(), 1u);
+  EXPECT_EQ(req.items[0].hash, hash256(to_bytes(std::string("new"))));
+}
+
+TEST(Node, FullyKnownInvIgnored) {
+  ScriptedEnv env;
+  Node node(0, env);
+  node.add_peer(1);
+  Transaction known = tx_paying("known");
+  node.originate_tx(known);
+  env.sent.clear();
+  InvMsg inv;
+  inv.items.push_back({InvKind::Tx, known.txid()});
+  node.handle(1, inv);
+  EXPECT_TRUE(env.sent.empty());
+}
+
+TEST(Node, GetDataServedFromMempool) {
+  ScriptedEnv env;
+  Node node(0, env);
+  node.add_peer(1);
+  Transaction tx = tx_paying("t");
+  node.originate_tx(tx);
+  env.sent.clear();
+
+  GetDataMsg req;
+  req.items.push_back({InvKind::Tx, tx.txid()});
+  node.handle(1, req);
+  ASSERT_EQ(env.sent.size(), 1u);
+  EXPECT_EQ(std::get<TxMsg>(env.sent[0].msg).tx, tx);
+}
+
+TEST(Node, GetDataForUnknownIsSilent) {
+  ScriptedEnv env;
+  Node node(0, env);
+  node.add_peer(1);
+  GetDataMsg req;
+  req.items.push_back({InvKind::Tx, hash256(to_bytes(std::string("?")))});
+  node.handle(1, req);
+  EXPECT_TRUE(env.sent.empty());
+}
+
+TEST(Node, BlockExtendsTipAndClearsMempool) {
+  ScriptedEnv env;
+  Node node(0, env);
+  node.add_peer(1);
+  Transaction tx = tx_paying("t");
+  node.handle(1, TxMsg{tx});
+  EXPECT_EQ(node.mempool().size(), 1u);
+
+  Block b = block_on(Hash256{}, {tx});
+  node.handle(1, BlockMsg{b});
+  EXPECT_EQ(node.chain_length(), 1);
+  EXPECT_EQ(node.tip(), b.header.hash());
+  EXPECT_TRUE(node.mempool().empty());
+  EXPECT_TRUE(node.knows_block(b.header.hash()));
+}
+
+TEST(Node, ForkBlockCountedNotAdopted) {
+  ScriptedEnv env;
+  Node node(0, env);
+  Block main1 = block_on(Hash256{}, {});
+  node.handle(1, BlockMsg{main1});
+  // A block on an unknown parent does not extend the tip.
+  Block stray = block_on(hash256(to_bytes(std::string("elsewhere"))), {});
+  node.handle(1, BlockMsg{stray});
+  EXPECT_EQ(node.chain_length(), 1);
+  EXPECT_EQ(node.forks_seen(), 1);
+  EXPECT_EQ(node.tip(), main1.header.hash());
+}
+
+TEST(Node, ObjectSeenReportedOncePerObject) {
+  ScriptedEnv env;
+  Node node(0, env);
+  Transaction tx = tx_paying("t");
+  node.handle(1, TxMsg{tx});
+  node.handle(2, TxMsg{tx});
+  EXPECT_EQ(env.seen.size(), 1u);
+  EXPECT_EQ(env.seen[0].second.hash, tx.txid());
+}
+
+TEST(Node, MinedTxServedViaBlockNotMempool) {
+  ScriptedEnv env;
+  Node node(0, env);
+  node.add_peer(1);
+  Transaction tx = tx_paying("t");
+  Block b = block_on(Hash256{}, {tx});
+  node.handle(1, BlockMsg{b});
+  env.sent.clear();
+  // tx is known but no longer in the mempool; getdata for it is silent.
+  GetDataMsg req;
+  req.items.push_back({InvKind::Tx, tx.txid()});
+  node.handle(1, req);
+  EXPECT_TRUE(env.sent.empty());
+  // The block itself is served.
+  GetDataMsg breq;
+  breq.items.push_back({InvKind::Block, b.header.hash()});
+  node.handle(1, breq);
+  ASSERT_EQ(env.sent.size(), 1u);
+  EXPECT_TRUE(std::holds_alternative<BlockMsg>(env.sent[0].msg));
+}
+
+}  // namespace
+}  // namespace fist::net

@@ -1,0 +1,202 @@
+#include "analysis/peeling.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/heuristic1.hpp"
+#include "core/pipeline.hpp"
+#include "testutil.hpp"
+
+namespace fist {
+namespace {
+
+using test::TestChain;
+
+// Builds a literal peeling chain: a large coin at addr 100 peels small
+// amounts to recipients 200+i, remainder to fresh 101, 102, ...
+struct PeelFixture {
+  TestChain chain;
+  ChainView view;
+  std::unique_ptr<Clustering> clustering;
+  std::unique_ptr<ClusterNaming> naming;
+  H2Result h2;
+  test::CoinRef start;
+  int hops;
+
+  explicit PeelFixture(int n_hops, bool tag_recipient0 = true)
+      : hops(n_hops) {
+    // Make the peel recipients "seen" first so Heuristic 2 can label the
+    // change at every hop.
+    std::vector<test::CoinRef> seeds;
+    for (int i = 0; i < n_hops; ++i)
+      seeds.push_back(
+          chain.coinbase(static_cast<std::uint32_t>(200 + i), btc(1)));
+    start = chain.coinbase(100, btc(1000));
+    chain.next_block();
+
+    test::CoinRef cursor = start;
+    Amount remaining = btc(1000);
+    for (int i = 0; i < n_hops; ++i) {
+      Amount peel = btc(5);
+      remaining -= peel;
+      auto refs = chain.spend_all(
+          {cursor}, {{static_cast<std::uint32_t>(200 + i), peel},
+                     {static_cast<std::uint32_t>(101 + i), remaining}});
+      cursor = refs[1];
+      chain.next_block();
+    }
+    view = chain.view();
+
+    UnionFind uf = heuristic1(view);
+    H2Options opt;
+    h2 = apply_heuristic2(view, opt);
+    unite_h2_labels(view, h2, uf);
+    clustering =
+        std::make_unique<Clustering>(Clustering::from_union_find(uf));
+    TagStore tags;
+    if (tag_recipient0) {
+      tags.add(*view.addresses().find(test::addr(200)),
+               Tag{"Mt. Gox", Category::BankExchange, TagSource::Observed});
+      tags.add(*view.addresses().find(test::addr(201)),
+               Tag{"Bitzino", Category::Gambling, TagSource::Observed});
+    }
+    naming = std::make_unique<ClusterNaming>(clustering->assignment(),
+                                             clustering->sizes(), tags);
+  }
+
+  PeelFollower follower() const {
+    return PeelFollower(view, h2, *clustering, *naming);
+  }
+};
+
+TEST(Peeling, FollowsFullChain) {
+  PeelFixture f(10);
+  TxIndex start_tx = f.view.find_tx(f.start.txid);
+  ASSERT_NE(start_tx, kNoTx);
+  PeelChainResult result =
+      f.follower().follow(start_tx, f.start.index, FollowOptions{100});
+  EXPECT_EQ(result.hops, 10);
+  EXPECT_EQ(result.peels.size(), 10u);
+  EXPECT_EQ(result.end, ChainEnd::Unspent);
+  EXPECT_EQ(result.shape_hops, 0);  // every hop had an H2 label
+  EXPECT_EQ(result.final_amount, btc(1000) - 10 * btc(5));
+}
+
+TEST(Peeling, HopBudgetRespected) {
+  PeelFixture f(10);
+  TxIndex start_tx = f.view.find_tx(f.start.txid);
+  PeelChainResult result =
+      f.follower().follow(start_tx, f.start.index, FollowOptions{4});
+  EXPECT_EQ(result.hops, 4);
+  EXPECT_EQ(result.end, ChainEnd::MaxHops);
+  EXPECT_EQ(result.peels.size(), 4u);
+}
+
+TEST(Peeling, PeelValuesAndRecipients) {
+  PeelFixture f(6);
+  TxIndex start_tx = f.view.find_tx(f.start.txid);
+  PeelChainResult result =
+      f.follower().follow(start_tx, f.start.index, FollowOptions{100});
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(result.peels[static_cast<std::size_t>(i)].hop, i);
+    EXPECT_EQ(result.peels[static_cast<std::size_t>(i)].value, btc(5));
+    EXPECT_EQ(result.peels[static_cast<std::size_t>(i)].recipient,
+              *f.view.addresses().find(test::addr(200 + i)));
+  }
+}
+
+TEST(Peeling, AttributesServicesViaNaming) {
+  PeelFixture f(5);
+  TxIndex start_tx = f.view.find_tx(f.start.txid);
+  PeelChainResult result =
+      f.follower().follow(start_tx, f.start.index, FollowOptions{100});
+  EXPECT_EQ(result.peels[0].service, "Mt. Gox");
+  EXPECT_EQ(result.peels[0].category, Category::BankExchange);
+  EXPECT_EQ(result.peels[1].service, "Bitzino");
+  EXPECT_TRUE(result.peels[2].service.empty());
+}
+
+TEST(Peeling, SummaryAggregatesByService) {
+  PeelFixture f(5);
+  TxIndex start_tx = f.view.find_tx(f.start.txid);
+  PeelChainResult result =
+      f.follower().follow(start_tx, f.start.index, FollowOptions{100});
+  auto summary = summarize_peels(result);
+  ASSERT_EQ(summary.size(), 2u);  // Bitzino, Mt. Gox (sorted)
+  EXPECT_EQ(summary[0].service, "Bitzino");
+  EXPECT_EQ(summary[0].peels, 1);
+  EXPECT_EQ(summary[0].total, btc(5));
+  EXPECT_EQ(summary[1].service, "Mt. Gox");
+}
+
+TEST(Peeling, StopsWithoutChangeLink) {
+  // A chain whose second hop is ambiguous (both outputs fresh) and not
+  // peel-shaped (equal values): the follower must stop there.
+  TestChain chain;
+  chain.coinbase(200, btc(1));
+  auto start = chain.coinbase(100, btc(100));
+  chain.next_block();
+  auto refs =
+      chain.spend_all({start}, {{200, btc(5)}, {101, btc(94)}});
+  chain.next_block();
+  // 50/44: no H2 label (both fresh), dominance < 2 → stop.
+  chain.spend_all({refs[1]}, {{300, btc(50)}, {301, btc(44)}});
+  ChainView view = chain.view();
+
+  UnionFind uf = heuristic1(view);
+  H2Result h2 = apply_heuristic2(view, H2Options{});
+  Clustering clustering = Clustering::from_union_find(uf);
+  TagStore tags;
+  ClusterNaming naming(clustering.assignment(), clustering.sizes(), tags);
+  PeelFollower follower(view, h2, clustering, naming);
+
+  TxIndex start_tx = view.find_tx(start.txid);
+  PeelChainResult result =
+      follower.follow(start_tx, start.index, FollowOptions{100});
+  EXPECT_EQ(result.hops, 1);
+  EXPECT_EQ(result.end, ChainEnd::NoChangeLink);
+}
+
+TEST(Peeling, ShapeFallbackContinuesUnlabeledHops) {
+  // Same as above, but the unlabeled hop IS peel-shaped (90 vs 4):
+  // with follow_peel_shape the walk continues and counts a shape hop.
+  TestChain chain;
+  chain.coinbase(200, btc(1));
+  auto start = chain.coinbase(100, btc(100));
+  chain.next_block();
+  auto refs = chain.spend_all({start}, {{200, btc(5)}, {101, btc(94)}});
+  chain.next_block();
+  chain.spend_all({refs[1]}, {{300, btc(4)}, {301, btc(89)}});
+  ChainView view = chain.view();
+
+  UnionFind uf = heuristic1(view);
+  H2Result h2 = apply_heuristic2(view, H2Options{});
+  Clustering clustering = Clustering::from_union_find(uf);
+  TagStore tags;
+  ClusterNaming naming(clustering.assignment(), clustering.sizes(), tags);
+  PeelFollower follower(view, h2, clustering, naming);
+
+  TxIndex start_tx = view.find_tx(start.txid);
+  PeelChainResult with_shape =
+      follower.follow(start_tx, start.index, FollowOptions{100});
+  EXPECT_EQ(with_shape.hops, 2);
+  EXPECT_EQ(with_shape.shape_hops, 1);
+
+  FollowOptions strict;
+  strict.follow_peel_shape = false;
+  PeelChainResult without =
+      follower.follow(start_tx, start.index, strict);
+  EXPECT_EQ(without.hops, 1);
+  EXPECT_EQ(without.end, ChainEnd::NoChangeLink);
+}
+
+TEST(Peeling, RejectsBadStart) {
+  PeelFixture f(3);
+  EXPECT_THROW(f.follower().follow(999'999, 0, FollowOptions{}),
+               UsageError);
+  TxIndex start_tx = f.view.find_tx(f.start.txid);
+  EXPECT_THROW(f.follower().follow(start_tx, 99, FollowOptions{}),
+               UsageError);
+}
+
+}  // namespace
+}  // namespace fist

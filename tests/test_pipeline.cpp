@@ -1,0 +1,92 @@
+#include "core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/world.hpp"
+
+namespace fist {
+namespace {
+
+sim::WorldConfig tiny() {
+  sim::WorldConfig cfg;
+  cfg.days = 50;
+  cfg.users = 80;
+  cfg.blocks_per_day = 8;
+  cfg.seed = 2024;
+  return cfg;
+}
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  static sim::World& world() {
+    static sim::World* w = [] {
+      auto* world = new sim::World(tiny());
+      world->run();
+      return world;
+    }();
+    return *w;
+  }
+
+  static ForensicPipeline& pipeline() {
+    static ForensicPipeline* p = [] {
+      auto* pipe = new ForensicPipeline(world().store(), world().tag_feed());
+      pipe->run();
+      return pipe;
+    }();
+    return *p;
+  }
+};
+
+TEST_F(PipelineTest, RefinedOptionsMatchPaper) {
+  H2Options o = refined_h2_options();
+  EXPECT_TRUE(o.exempt_dice_rebounds);
+  EXPECT_EQ(o.wait_window, kWeek);
+  EXPECT_TRUE(o.guard_reused_change);
+  EXPECT_TRUE(o.guard_self_change_history);
+}
+
+TEST_F(PipelineTest, BuildsViewFromBytesOnly) {
+  EXPECT_GT(pipeline().view().tx_count(), 1000u);
+  EXPECT_GT(pipeline().view().address_count(), 1000u);
+}
+
+TEST_F(PipelineTest, InternedTagsSubsetOfFeed) {
+  EXPECT_GT(pipeline().tags().size(), 0u);
+  EXPECT_LE(pipeline().tags().size(), world().tag_feed().size());
+}
+
+TEST_F(PipelineTest, H2RefinesH1Clustering) {
+  // H2 merges change addresses into H1 clusters, so the final
+  // clustering has at most as many clusters.
+  EXPECT_LE(pipeline().clustering().cluster_count(),
+            pipeline().h1_clustering().cluster_count());
+  EXPECT_GT(pipeline().h2().label_count(), 0u);
+}
+
+TEST_F(PipelineTest, DiceSetDerivedFromTags) {
+  // Dice addresses come from gambling-named H1 clusters — nonempty in a
+  // world with Satoshi Dice.
+  EXPECT_GT(pipeline().dice_addresses().size(), 0u);
+}
+
+TEST_F(PipelineTest, NamedClustersAmplifyHandTags) {
+  const ClusterNaming& naming = pipeline().naming();
+  EXPECT_GT(naming.names().size(), 5u);
+  EXPECT_GT(naming.named_addresses(), pipeline().tags().size());
+}
+
+TEST_F(PipelineTest, ClusteringAssignmentCoversAllAddresses) {
+  EXPECT_EQ(pipeline().clustering().address_count(),
+            pipeline().view().address_count());
+  EXPECT_EQ(pipeline().h2().change_of_tx.size(),
+            pipeline().view().tx_count());
+}
+
+TEST_F(PipelineTest, RunIsIdempotent) {
+  std::size_t clusters = pipeline().clustering().cluster_count();
+  const_cast<ForensicPipeline&>(pipeline()).run();
+  EXPECT_EQ(pipeline().clustering().cluster_count(), clusters);
+}
+
+}  // namespace
+}  // namespace fist

@@ -1,0 +1,152 @@
+#include "chain/pow.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fist {
+namespace {
+
+TEST(Pow, ExpandGenesisBits) {
+  auto target = expand_compact(kGenesisBits);
+  ASSERT_TRUE(target.has_value());
+  // 0x1d00ffff => 0xffff << (8*(0x1d-3)) — the classic "difficulty 1".
+  EXPECT_EQ(target->hex(),
+            "00000000ffff0000000000000000000000000000000000000000000000000000");
+}
+
+TEST(Pow, ExpandSmallExponent) {
+  // exponent <= 3 shifts the mantissa down.
+  auto t = expand_compact(0x03123456);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(*t, U256(0x123456));
+  auto t2 = expand_compact(0x01120000);
+  ASSERT_TRUE(t2.has_value());
+  EXPECT_EQ(*t2, U256(0x12));
+}
+
+TEST(Pow, ExpandRejectsNegative) {
+  EXPECT_FALSE(expand_compact(0x03800000).has_value());
+}
+
+TEST(Pow, ExpandRejectsOverflow) {
+  EXPECT_FALSE(expand_compact(0xff123456).has_value());
+}
+
+TEST(Pow, ZeroMantissaIsZeroTarget) {
+  auto t = expand_compact(0x1d000000);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_TRUE(t->is_zero());
+}
+
+TEST(Pow, CompactRoundTrip) {
+  for (std::uint32_t bits : {kGenesisBits, 0x207fffffu, 0x1b0404cbu,
+                             0x181bc330u, kEasyBits}) {
+    auto target = expand_compact(bits);
+    ASSERT_TRUE(target.has_value());
+    EXPECT_EQ(to_compact(*target), bits) << std::hex << bits;
+  }
+}
+
+TEST(Pow, CheckAcceptsEasyTarget) {
+  // With kEasyBits nearly every hash passes; an all-zero hash always
+  // does.
+  Hash256 zero;
+  EXPECT_TRUE(check_proof_of_work(zero, kEasyBits));
+}
+
+TEST(Pow, CheckRejectsAboveTarget) {
+  // All-0xff hash is above any sane target.
+  Bytes high(32, 0xff);
+  Hash256 h = Hash256::from_bytes(high);
+  EXPECT_FALSE(check_proof_of_work(h, kGenesisBits));
+  EXPECT_FALSE(check_proof_of_work(h, kEasyBits));
+}
+
+TEST(Pow, CheckZeroTargetRejectsEverything) {
+  Hash256 zero;
+  EXPECT_FALSE(check_proof_of_work(zero, 0x1d000000));
+}
+
+TEST(Pow, BoundaryExactlyAtTarget) {
+  // Hash exactly equal to the expanded target passes (<=).
+  auto target = expand_compact(kGenesisBits);
+  auto be = target->to_be_bytes();
+  // Hash256 stores bytes that compare little-endian; reverse.
+  Bytes le(be.rbegin(), be.rend());
+  Hash256 h = Hash256::from_bytes(le);
+  EXPECT_TRUE(check_proof_of_work(h, kGenesisBits));
+}
+
+TEST(Pow, GenesisBlockHashPasses) {
+  // The real Bitcoin genesis block hash, displayed (big-endian):
+  // 000000000019d6689c085ae165831e934ff763ae46a2a6c172b3f1b60a8ce26f
+  Hash256 genesis = Hash256::from_hex_reversed(
+      "000000000019d6689c085ae165831e934ff763ae46a2a6c172b3f1b60a8ce26f");
+  EXPECT_TRUE(check_proof_of_work(genesis, kGenesisBits));
+}
+
+
+TEST(Retarget, OnScheduleKeepsDifficulty) {
+  // Blocks arrived exactly on time: the target is unchanged (up to
+  // compact-encoding precision).
+  std::uint32_t bits = 0x1b0404cb;
+  std::uint32_t next = next_work_required(bits, 1'209'600, 1'209'600,
+                                          kGenesisBits);
+  EXPECT_EQ(next, bits);
+}
+
+TEST(Retarget, FastBlocksRaiseDifficulty) {
+  // Half the expected timespan → target halves (difficulty doubles).
+  std::uint32_t bits = 0x1b0404cb;
+  std::uint32_t next =
+      next_work_required(bits, 604'800, 1'209'600, kGenesisBits);
+  auto before = expand_compact(bits);
+  auto after = expand_compact(next);
+  ASSERT_TRUE(before && after);
+  EXPECT_LT(cmp(*after, *before), 0);
+  // Ratio ~1/2: after*2 within one mantissa step of before.
+  U256 doubled = shl(*after, 1);
+  std::uint64_t borrow;
+  U256 diff = cmp(doubled, *before) >= 0 ? sub(doubled, *before, borrow)
+                                         : sub(*before, doubled, borrow);
+  EXPECT_LT(diff.bit_length() + 24, before->bit_length() + 8);
+}
+
+TEST(Retarget, SlowBlocksLowerDifficulty) {
+  std::uint32_t bits = 0x1b0404cb;
+  std::uint32_t next =
+      next_work_required(bits, 2 * 1'209'600, 1'209'600, kGenesisBits);
+  auto before = expand_compact(bits);
+  auto after = expand_compact(next);
+  EXPECT_GT(cmp(*after, *before), 0);
+}
+
+TEST(Retarget, AdjustmentClampedToFour) {
+  std::uint32_t bits = 0x1b0404cb;
+  // 100x too slow still only quadruples the target.
+  std::uint32_t slow =
+      next_work_required(bits, 100 * 1'209'600, 1'209'600, kGenesisBits);
+  std::uint32_t four =
+      next_work_required(bits, 4 * 1'209'600, 1'209'600, kGenesisBits);
+  EXPECT_EQ(slow, four);
+  // 100x too fast still only quarters it.
+  std::uint32_t fast =
+      next_work_required(bits, 1'209'600 / 100, 1'209'600, kGenesisBits);
+  std::uint32_t quarter =
+      next_work_required(bits, 1'209'600 / 4, 1'209'600, kGenesisBits);
+  EXPECT_EQ(fast, quarter);
+}
+
+TEST(Retarget, ClipsToTheLimit) {
+  // Already at minimum difficulty: slowing down cannot go past it.
+  std::uint32_t next = next_work_required(kGenesisBits, 4 * 1'209'600,
+                                          1'209'600, kGenesisBits);
+  EXPECT_EQ(next, kGenesisBits);
+}
+
+TEST(Retarget, DegenerateTimespanIsIdentity) {
+  EXPECT_EQ(next_work_required(0x1b0404cb, 100, 0, kGenesisBits),
+            0x1b0404cbu);
+}
+
+}  // namespace
+}  // namespace fist

@@ -1,0 +1,63 @@
+#include "crypto/ripemd160.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/hex.hpp"
+
+namespace fist {
+namespace {
+
+std::string rip(const std::string& s) {
+  return to_hex(ByteView(ripemd160(to_bytes(s))));
+}
+
+// Vectors from the RIPEMD-160 reference publication (Dobbertin et al.).
+TEST(Ripemd160, ReferenceVectors) {
+  EXPECT_EQ(rip(""), "9c1185a5c5e9fc54612808977ee8f548b2258d31");
+  EXPECT_EQ(rip("a"), "0bdc9d2d256b3ee9daae347be6f4dc835a467ffe");
+  EXPECT_EQ(rip("abc"), "8eb208f7e05d987a9b044a8e98c6b087f15a0bfc");
+  EXPECT_EQ(rip("message digest"),
+            "5d0689ef49d2fae572b881b123a85ffa21595f36");
+  EXPECT_EQ(rip("abcdefghijklmnopqrstuvwxyz"),
+            "f71c27109c692c1b56bbdceb5b9d2865b3708dbc");
+  EXPECT_EQ(rip("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "12a053384a9c0c88e405a06c27dcf49ada62eb2b");
+  EXPECT_EQ(
+      rip("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"),
+      "b0e20b6e3116640286ed3a87a5713079b21f5189");
+}
+
+TEST(Ripemd160, MillionAs) {
+  Bytes m(1'000'000, 'a');
+  EXPECT_EQ(to_hex(ByteView(ripemd160(m))),
+            "52783243c1697bdbe16d37f97f68f08325dc1528");
+}
+
+TEST(Ripemd160, EightDigitsTimes8) {
+  std::string s;
+  for (int i = 0; i < 8; ++i) s += "1234567890";
+  EXPECT_EQ(rip(s), "9b752e45573d4b39f4dbd3323cab82bf63326bfb");
+}
+
+TEST(Ripemd160, StreamingMatchesOneShot) {
+  Bytes data(300);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::uint8_t>(i * 7);
+  Ripemd160 h;
+  h.write(ByteView(data.data(), 100));
+  h.write(ByteView(data.data() + 100, 200));
+  EXPECT_EQ(h.finish(), ripemd160(data));
+}
+
+TEST(Ripemd160, ResetAllowsReuse) {
+  Ripemd160 h;
+  h.write(to_bytes(std::string("junk")));
+  (void)h.finish();
+  h.reset();
+  h.write(to_bytes(std::string("abc")));
+  EXPECT_EQ(to_hex(ByteView(h.finish())),
+            "8eb208f7e05d987a9b044a8e98c6b087f15a0bfc");
+}
+
+}  // namespace
+}  // namespace fist

@@ -1,0 +1,155 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+namespace fist {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, ForkIsIndependent) {
+  Rng parent(7);
+  Rng child = parent.fork();
+  // Parent stream continues after forking; the two produce different
+  // sequences.
+  std::uint64_t p = parent.next();
+  std::uint64_t c = child.next();
+  EXPECT_NE(p, c);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    std::uint64_t v = rng.uniform(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, UniformRejectsInvertedRange) {
+  Rng rng(3);
+  EXPECT_THROW(rng.uniform(5, 4), UsageError);
+}
+
+TEST(Rng, BelowRejectsZero) {
+  Rng rng(3);
+  EXPECT_THROW(rng.below(0), UsageError);
+}
+
+TEST(Rng, UnitInHalfOpenInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i)
+    if (rng.chance(0.3)) ++hits;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(17);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / 20000.0, 5.0, 0.3);
+}
+
+TEST(Rng, ExponentialRejectsBadMean) {
+  Rng rng(1);
+  EXPECT_THROW(rng.exponential(0.0), UsageError);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng(19);
+  std::vector<double> xs(9999);
+  for (double& x : xs) x = rng.lognormal(80.0, 0.6);
+  std::nth_element(xs.begin(), xs.begin() + xs.size() / 2, xs.end());
+  EXPECT_NEAR(xs[xs.size() / 2], 80.0, 8.0);
+}
+
+TEST(Rng, ZipfFavorsLowRanks) {
+  Rng rng(23);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[rng.zipf(10, 1.0)];
+  EXPECT_GT(counts[0], counts[4]);
+  EXPECT_GT(counts[4], counts[9]);
+}
+
+TEST(Rng, ZipfSingleCategory) {
+  Rng rng(29);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.zipf(1), 0u);
+}
+
+TEST(Rng, WeightedZeroWeightNeverPicked) {
+  Rng rng(31);
+  std::vector<double> w{0.0, 1.0, 0.0};
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(rng.weighted(w), 1u);
+}
+
+TEST(Rng, WeightedProportions) {
+  Rng rng(37);
+  std::vector<double> w{1.0, 3.0};
+  int ones = 0;
+  for (int i = 0; i < 10000; ++i)
+    if (rng.weighted(w) == 1) ++ones;
+  EXPECT_NEAR(ones / 10000.0, 0.75, 0.03);
+}
+
+TEST(Rng, WeightedRejectsAllZero) {
+  Rng rng(1);
+  std::vector<double> w{0.0, 0.0};
+  EXPECT_THROW(rng.weighted(w), UsageError);
+}
+
+TEST(Rng, WeightedRejectsNegative) {
+  Rng rng(1);
+  std::vector<double> w{1.0, -0.5};
+  EXPECT_THROW(rng.weighted(w), UsageError);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(41);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> orig = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, PickRejectsEmpty) {
+  Rng rng(1);
+  std::vector<int> empty;
+  EXPECT_THROW(rng.pick(empty), UsageError);
+}
+
+}  // namespace
+}  // namespace fist

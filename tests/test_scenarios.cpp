@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "sim/scenario.hpp"
+#include "sim/world.hpp"
+
+namespace fist::sim {
+namespace {
+
+// A mid-size world exercising the hoard and every theft scenario; shared
+// across tests (building it once keeps the suite fast).
+class ScenarioWorld : public ::testing::Test {
+ protected:
+  static World& world() {
+    static World* w = [] {
+      WorldConfig cfg;
+      cfg.days = 160;
+      cfg.users = 220;
+      cfg.blocks_per_day = 10;
+      cfg.seed = 99;
+      auto* world = new World(cfg);
+      world->run();
+      return world;
+    }();
+    return *w;
+  }
+};
+
+TEST_F(ScenarioWorld, DefaultTheftBookMatchesTable3) {
+  std::vector<TheftScenario> book = default_thefts();
+  ASSERT_EQ(book.size(), 7u);
+  EXPECT_EQ(book[0].label, "MyBitcoin");
+  EXPECT_DOUBLE_EQ(book[0].btc, 4019);
+  EXPECT_EQ(book[0].movement, "A/P/S");
+  EXPECT_EQ(book[2].label, "Betcoin");
+  EXPECT_EQ(book[2].movement, "F/A/P");
+  EXPECT_EQ(book[6].label, "Trojan");
+  EXPECT_FALSE(book[6].to_exchange);
+  EXPECT_GT(book[6].dormant_fraction, 0.8);
+}
+
+TEST_F(ScenarioWorld, AllTheftsExecuted) {
+  ASSERT_EQ(world().thefts().size(), 7u);
+  for (const TheftRecord& rec : world().thefts()) {
+    EXPECT_GT(rec.stolen, 0) << rec.scenario.label;
+    EXPECT_FALSE(rec.theft_txids.empty()) << rec.scenario.label;
+    EXPECT_FALSE(rec.thief_addresses.empty()) << rec.scenario.label;
+  }
+}
+
+TEST_F(ScenarioWorld, MovementsExecutedAsScripted) {
+  for (const TheftRecord& rec : world().thefts()) {
+    // The executed phases equal the scenario string (modulo formatting).
+    std::string expected = rec.scenario.movement;
+    EXPECT_EQ(rec.executed_movement, expected) << rec.scenario.label;
+  }
+}
+
+TEST_F(ScenarioWorld, ExchangeBoundThievesReachExchanges) {
+  for (const TheftRecord& rec : world().thefts()) {
+    if (rec.scenario.to_exchange)
+      EXPECT_FALSE(rec.exchange_peels.empty()) << rec.scenario.label;
+    else
+      EXPECT_TRUE(rec.exchange_peels.empty()) << rec.scenario.label;
+  }
+}
+
+TEST_F(ScenarioWorld, TrojanLootMostlyDormant) {
+  const TheftRecord* trojan = nullptr;
+  for (const TheftRecord& rec : world().thefts())
+    if (rec.scenario.label == "Trojan") trojan = &rec;
+  ASSERT_NE(trojan, nullptr);
+  EXPECT_GT(trojan->dormant, trojan->stolen / 2);
+}
+
+TEST_F(ScenarioWorld, HoardAccumulatesAndDissolves) {
+  const HoardRecord* hoard = world().hoard();
+  ASSERT_NE(hoard, nullptr);
+  EXPECT_GT(hoard->peak_balance, btc(100));
+  EXPECT_GT(hoard->deposit_txids.size(), 3u);
+  // The dissolution happened: withdrawals plus the final split.
+  EXPECT_GE(hoard->withdrawal_txids.size(), 6u);
+  EXPECT_FALSE(hoard->final_split_txid.is_null());
+}
+
+TEST_F(ScenarioWorld, HoardRunsThreePeelingChains) {
+  const HoardRecord* hoard = world().hoard();
+  ASSERT_NE(hoard, nullptr);
+  int per_chain[3] = {0, 0, 0};
+  for (const PeelTruth& p : hoard->peels) {
+    ASSERT_GE(p.chain, 0);
+    ASSERT_LT(p.chain, 3);
+    ++per_chain[p.chain];
+  }
+  for (int c = 0; c < 3; ++c)
+    EXPECT_GT(per_chain[c], 50) << "chain " << c;
+}
+
+TEST_F(ScenarioWorld, HoardPeelsIncludePaperServices) {
+  const HoardRecord* hoard = world().hoard();
+  ASSERT_NE(hoard, nullptr);
+  std::size_t gox = 0, named = 0;
+  for (const PeelTruth& p : hoard->peels) {
+    if (!p.service.empty()) ++named;
+    if (p.service == "Mt. Gox") ++gox;
+  }
+  EXPECT_GT(named, 30u);
+  EXPECT_GT(gox, 5u);  // Mt. Gox dominates, as in Table 2
+}
+
+TEST_F(ScenarioWorld, DisablingScenariosRemovesThem) {
+  WorldConfig cfg;
+  cfg.days = 10;
+  cfg.users = 20;
+  cfg.enable_hoard = false;
+  cfg.enable_thefts = false;
+  cfg.enable_probe = false;
+  World world(cfg);
+  world.run();
+  EXPECT_EQ(world.hoard(), nullptr);
+  EXPECT_TRUE(world.thefts().empty());
+}
+
+}  // namespace
+}  // namespace fist::sim

@@ -1,0 +1,135 @@
+#include "script/script.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/hex.hpp"
+
+namespace fist {
+namespace {
+
+TEST(Script, EmptyScript) {
+  Script s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_TRUE(s.ops().empty());
+}
+
+TEST(Script, BareOpcode) {
+  Script s;
+  s.op(Opcode::OP_DUP);
+  auto ops = s.ops();
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_EQ(ops[0].op, Opcode::OP_DUP);
+  EXPECT_FALSE(ops[0].is_push());
+}
+
+TEST(Script, DirectPush) {
+  Script s;
+  Bytes data{1, 2, 3};
+  s.push(data);
+  EXPECT_EQ(s.raw()[0], 3);  // length byte
+  auto ops = s.ops();
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_TRUE(ops[0].is_push());
+  EXPECT_EQ(ops[0].push, data);
+}
+
+TEST(Script, EmptyPushBecomesOp0) {
+  Script s;
+  s.push(ByteView{});
+  EXPECT_EQ(s.raw().size(), 1u);
+  EXPECT_EQ(s.ops()[0].op, Opcode::OP_0);
+}
+
+TEST(Script, Pushdata1Boundary) {
+  Script s;
+  Bytes data(0x4c, 0xaa);  // 76 bytes needs PUSHDATA1
+  s.push(data);
+  EXPECT_EQ(s.raw()[0], static_cast<std::uint8_t>(Opcode::OP_PUSHDATA1));
+  EXPECT_EQ(s.raw()[1], 0x4c);
+  EXPECT_EQ(s.ops()[0].push, data);
+}
+
+TEST(Script, Pushdata2Boundary) {
+  Script s;
+  Bytes data(300, 0xbb);
+  s.push(data);
+  EXPECT_EQ(s.raw()[0], static_cast<std::uint8_t>(Opcode::OP_PUSHDATA2));
+  EXPECT_EQ(s.ops()[0].push, data);
+}
+
+TEST(Script, Pushdata4) {
+  Script s;
+  Bytes data(70'000, 0xcc);
+  s.push(data);
+  EXPECT_EQ(s.raw()[0], static_cast<std::uint8_t>(Opcode::OP_PUSHDATA4));
+  EXPECT_EQ(s.ops()[0].push.size(), 70'000u);
+}
+
+TEST(Script, PushIntEncodings) {
+  Script s;
+  s.push_int(0).push_int(1).push_int(16);
+  auto ops = s.ops();
+  EXPECT_EQ(ops[0].op, Opcode::OP_0);
+  EXPECT_EQ(ops[1].op, Opcode::OP_1);
+  EXPECT_EQ(ops[2].op, Opcode::OP_16);
+  EXPECT_THROW(s.push_int(17), UsageError);
+  EXPECT_THROW(s.push_int(-1), UsageError);
+}
+
+TEST(Script, SmallIntHelpers) {
+  EXPECT_EQ(small_int_value(Opcode::OP_0), 0);
+  EXPECT_EQ(small_int_value(Opcode::OP_1), 1);
+  EXPECT_EQ(small_int_value(Opcode::OP_16), 16);
+  EXPECT_EQ(small_int_value(Opcode::OP_DUP), -1);
+  EXPECT_EQ(small_int_opcode(3), Opcode::OP_3);
+}
+
+TEST(Script, TruncatedPushThrows) {
+  Bytes raw{5, 1, 2};  // push of 5 with only 2 bytes
+  Script s(raw);
+  EXPECT_THROW(s.ops(), ParseError);
+  EXPECT_FALSE(s.ops_checked().has_value());
+}
+
+TEST(Script, TruncatedPushdataLengthThrows) {
+  Bytes raw{static_cast<std::uint8_t>(Opcode::OP_PUSHDATA2), 0x10};
+  EXPECT_FALSE(Script(raw).ops_checked().has_value());
+}
+
+TEST(Script, MixedProgramRoundTrip) {
+  Script s;
+  s.op(Opcode::OP_DUP).op(Opcode::OP_HASH160);
+  Bytes h(20, 0x42);
+  s.push(h);
+  s.op(Opcode::OP_EQUALVERIFY).op(Opcode::OP_CHECKSIG);
+  auto ops = s.ops();
+  ASSERT_EQ(ops.size(), 5u);
+  EXPECT_EQ(ops[2].push, h);
+}
+
+TEST(Script, ToAsmReadable) {
+  Script s;
+  s.op(Opcode::OP_DUP).op(Opcode::OP_HASH160);
+  s.push(Bytes(20, 0xab));
+  s.op(Opcode::OP_EQUALVERIFY).op(Opcode::OP_CHECKSIG);
+  std::string text = s.to_asm();
+  EXPECT_NE(text.find("OP_DUP"), std::string::npos);
+  EXPECT_NE(text.find("OP_HASH160"), std::string::npos);
+  EXPECT_NE(text.find("abab"), std::string::npos);  // the pushed payload
+}
+
+TEST(Script, ToAsmOnMalformed) {
+  Bytes raw{10, 1};
+  EXPECT_NE(Script(raw).to_asm().find("malformed"), std::string::npos);
+}
+
+TEST(Script, OpcodeNames) {
+  EXPECT_EQ(opcode_name(Opcode::OP_CHECKMULTISIG), "OP_CHECKMULTISIG");
+  EXPECT_EQ(opcode_name(Opcode::OP_7), "OP_7");
+  EXPECT_NE(opcode_name(static_cast<Opcode>(0xee)).find("UNKNOWN"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace fist

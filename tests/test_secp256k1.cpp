@@ -1,0 +1,170 @@
+#include "crypto/secp256k1.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace fist::secp {
+namespace {
+
+U256 random_scalar(Rng& rng) {
+  U256 v(rng.next(), rng.next(), rng.next(), rng.next());
+  return fn().normalize(v);
+}
+
+TEST(Secp, GeneratorOnCurve) { EXPECT_TRUE(on_curve(generator())); }
+
+TEST(Secp, KnownDoubleOfG) {
+  // 2G, a published test value.
+  Affine two_g = to_affine(dbl(to_jacobian(generator())));
+  EXPECT_EQ(two_g.x.hex(),
+            "c6047f9441ed7d6d3045406e95c07cd85c778e4b8cef3ca7abac09b95c709ee5");
+  EXPECT_EQ(two_g.y.hex(),
+            "1ae168fea63dc339a3c58419466ceaeef7f632653266d0e1236431a950cfe52a");
+}
+
+TEST(Secp, OrderTimesGIsInfinity) {
+  Jacobian p = mul(order_n(), generator());
+  EXPECT_TRUE(p.is_infinity());
+}
+
+TEST(Secp, NMinusOneGHasGeneratorX) {
+  std::uint64_t borrow;
+  U256 n_minus_1 = sub(order_n(), U256(1), borrow);
+  Affine p = to_affine(mul(n_minus_1, generator()));
+  // -G shares G's x coordinate and has the negated y.
+  EXPECT_EQ(p.x, generator().x);
+  EXPECT_EQ(p.y, fp().neg(generator().y));
+}
+
+TEST(Secp, MulGeneratorMatchesGenericMul) {
+  Rng rng(101);
+  for (int i = 0; i < 10; ++i) {
+    U256 k = random_scalar(rng);
+    Affine fast = to_affine(mul_generator(k));
+    Affine slow = to_affine(mul(k, generator()));
+    EXPECT_EQ(fast, slow);
+  }
+}
+
+TEST(Secp, AdditionCommutative) {
+  Rng rng(102);
+  Jacobian p = mul_generator(random_scalar(rng));
+  Jacobian q = mul_generator(random_scalar(rng));
+  EXPECT_EQ(to_affine(add(p, q)), to_affine(add(q, p)));
+}
+
+TEST(Secp, AdditionAssociative) {
+  Rng rng(103);
+  Jacobian p = mul_generator(random_scalar(rng));
+  Jacobian q = mul_generator(random_scalar(rng));
+  Jacobian r = mul_generator(random_scalar(rng));
+  EXPECT_EQ(to_affine(add(add(p, q), r)), to_affine(add(p, add(q, r))));
+}
+
+TEST(Secp, ScalarDistributivity) {
+  // (a+b)G == aG + bG
+  Rng rng(104);
+  for (int i = 0; i < 5; ++i) {
+    U256 a = random_scalar(rng), b = random_scalar(rng);
+    U256 sum = fn().add(a, b);
+    Affine lhs = to_affine(mul_generator(sum));
+    Affine rhs = to_affine(add(mul_generator(a), mul_generator(b)));
+    EXPECT_EQ(lhs, rhs);
+  }
+}
+
+TEST(Secp, DoubleViaAddMatchesDbl) {
+  Rng rng(105);
+  Jacobian p = mul_generator(random_scalar(rng));
+  EXPECT_EQ(to_affine(add(p, p)), to_affine(dbl(p)));
+}
+
+TEST(Secp, AddInverseGivesInfinity) {
+  Rng rng(106);
+  U256 k = random_scalar(rng);
+  Jacobian p = mul_generator(k);
+  Affine pa = to_affine(p);
+  Affine neg{pa.x, fp().neg(pa.y), false};
+  EXPECT_TRUE(add(p, to_jacobian(neg)).is_infinity());
+}
+
+TEST(Secp, InfinityIsIdentity) {
+  Jacobian inf{U256(), U256(), U256()};
+  Jacobian g = to_jacobian(generator());
+  EXPECT_EQ(to_affine(add(inf, g)), generator());
+  EXPECT_EQ(to_affine(add(g, inf)), generator());
+}
+
+TEST(Secp, LiftXRecoversPoint) {
+  Rng rng(107);
+  for (int i = 0; i < 10; ++i) {
+    Affine p = to_affine(mul_generator(random_scalar(rng)));
+    auto lifted = lift_x(p.x, p.y.bit(0));
+    ASSERT_TRUE(lifted.has_value());
+    EXPECT_EQ(*lifted, p);
+    // Opposite parity gives the mirrored point.
+    auto mirrored = lift_x(p.x, !p.y.bit(0));
+    ASSERT_TRUE(mirrored.has_value());
+    EXPECT_EQ(mirrored->y, fp().neg(p.y));
+  }
+}
+
+TEST(Secp, LiftXRejectsNonResidue) {
+  // x = 5 is not on secp256k1 (5³+7 = 132 is a quadratic non-residue).
+  EXPECT_FALSE(lift_x(U256(5), false).has_value());
+}
+
+TEST(ModArith, FieldInverse) {
+  Rng rng(108);
+  for (int i = 0; i < 20; ++i) {
+    U256 a = fp().normalize(
+        U256(rng.next(), rng.next(), rng.next(), rng.next()));
+    if (a.is_zero()) continue;
+    EXPECT_EQ(fp().mul(a, fp().inv(a)), U256(1));
+  }
+}
+
+TEST(ModArith, ScalarInverse) {
+  Rng rng(109);
+  for (int i = 0; i < 20; ++i) {
+    U256 a = random_scalar(rng);
+    if (a.is_zero()) continue;
+    EXPECT_EQ(fn().mul(a, fn().inv(a)), U256(1));
+  }
+}
+
+TEST(ModArith, AddSubRoundTrip) {
+  Rng rng(110);
+  for (int i = 0; i < 50; ++i) {
+    U256 a = fp().normalize(
+        U256(rng.next(), rng.next(), rng.next(), rng.next()));
+    U256 b = fp().normalize(
+        U256(rng.next(), rng.next(), rng.next(), rng.next()));
+    EXPECT_EQ(fp().sub(fp().add(a, b), b), a);
+  }
+}
+
+TEST(ModArith, NegIsAdditiveInverse) {
+  Rng rng(111);
+  U256 a = fp().normalize(
+      U256(rng.next(), rng.next(), rng.next(), rng.next()));
+  EXPECT_TRUE(fp().add(a, fp().neg(a)).is_zero());
+  EXPECT_TRUE(fp().neg(U256()).is_zero());
+}
+
+TEST(ModArith, PowMatchesRepeatedMul) {
+  U256 a(3);
+  U256 a5 = fp().pow(a, U256(5));
+  EXPECT_EQ(a5, U256(243));
+}
+
+TEST(ModArith, ReduceLargeProduct) {
+  // (p-1)² mod p == 1.
+  std::uint64_t borrow;
+  U256 p_minus_1 = sub(field_p(), U256(1), borrow);
+  EXPECT_EQ(fp().mul(p_minus_1, p_minus_1), U256(1));
+}
+
+}  // namespace
+}  // namespace fist::secp

@@ -1,0 +1,129 @@
+#include "util/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/hex.hpp"
+
+namespace fist {
+namespace {
+
+TEST(Writer, LittleEndianIntegers) {
+  Writer w;
+  w.u8(0x01);
+  w.u16le(0x0203);
+  w.u32le(0x04050607);
+  w.u64le(0x08090a0b0c0d0e0fULL);
+  EXPECT_EQ(to_hex(w.view()), "010302070605040f0e0d0c0b0a0908");
+}
+
+TEST(Writer, SignedIntegers) {
+  Writer w;
+  w.i32le(-1);
+  w.i64le(-2);
+  EXPECT_EQ(to_hex(w.view()), "fffffffffeffffffffffffff");
+}
+
+TEST(Writer, VarIntBoundaries) {
+  auto enc = [](std::uint64_t v) {
+    Writer w;
+    w.varint(v);
+    return to_hex(w.view());
+  };
+  EXPECT_EQ(enc(0), "00");
+  EXPECT_EQ(enc(0xfc), "fc");
+  EXPECT_EQ(enc(0xfd), "fdfd00");
+  EXPECT_EQ(enc(0xffff), "fdffff");
+  EXPECT_EQ(enc(0x10000), "fe00000100");
+  EXPECT_EQ(enc(0xffffffffULL), "feffffffff");
+  EXPECT_EQ(enc(0x100000000ULL), "ff0000000001000000");
+}
+
+TEST(Reader, ReadsBackIntegers) {
+  Writer w;
+  w.u8(7);
+  w.u16le(300);
+  w.u32le(70000);
+  w.u64le(1ULL << 40);
+  w.i64le(-99);
+  Reader r(w.view());
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.u16le(), 300);
+  EXPECT_EQ(r.u32le(), 70000u);
+  EXPECT_EQ(r.u64le(), 1ULL << 40);
+  EXPECT_EQ(r.i64le(), -99);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(Reader, ThrowsOnTruncation) {
+  Bytes two{0x01, 0x02};
+  Reader r(two);
+  EXPECT_THROW(r.u32le(), ParseError);
+}
+
+TEST(Reader, RejectsNonCanonicalVarint) {
+  // 0xfd with a value < 0xfd should have been a single byte.
+  Bytes bad = from_hex("fd0100");
+  Reader r(bad);
+  EXPECT_THROW(r.varint(), ParseError);
+
+  Bytes bad2 = from_hex("fe00010000");  // fits in fd form
+  Reader r2(bad2);
+  EXPECT_THROW(r2.varint(), ParseError);
+
+  Bytes bad3 = from_hex("ff00000001" "00000000");  // fits in fe form
+  Reader r3(bad3);
+  EXPECT_THROW(r3.varint(), ParseError);
+}
+
+TEST(Reader, VarBytesRoundTrip) {
+  Writer w;
+  Bytes payload{1, 2, 3, 4, 5};
+  w.var_bytes(payload);
+  Reader r(w.view());
+  EXPECT_EQ(r.var_bytes(), payload);
+  r.expect_eof();
+}
+
+TEST(Reader, VarBytesRespectsLimit) {
+  Writer w;
+  w.varint(1000);
+  Bytes frame = w.take();
+  frame.resize(frame.size() + 1000, 0xaa);
+  Reader r(frame);
+  EXPECT_THROW(r.var_bytes(/*max=*/999), ParseError);
+}
+
+TEST(Reader, VarStringRoundTrip) {
+  Writer w;
+  w.var_string("men with no names");
+  Reader r(w.view());
+  EXPECT_EQ(r.var_string(), "men with no names");
+}
+
+TEST(Reader, ExpectEofThrowsOnTrailing) {
+  Bytes b{1, 2};
+  Reader r(b);
+  r.u8();
+  EXPECT_THROW(r.expect_eof(), ParseError);
+}
+
+class VarIntRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VarIntRoundTrip, Identity) {
+  Writer w;
+  w.varint(GetParam());
+  Reader r(w.view());
+  EXPECT_EQ(r.varint(), GetParam());
+  EXPECT_TRUE(r.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, VarIntRoundTrip,
+    ::testing::Values(0ULL, 1ULL, 0xfcULL, 0xfdULL, 0xfeULL, 0xffULL,
+                      0x100ULL, 0xfffeULL, 0xffffULL, 0x10000ULL,
+                      0xffffffffULL, 0x100000000ULL, 0x123456789abcdefULL,
+                      0xffffffffffffffffULL));
+
+}  // namespace
+}  // namespace fist

@@ -1,0 +1,239 @@
+// Direct unit tests of the service actors' on-chain behavior, driven
+// against a small live world.
+#include <gtest/gtest.h>
+
+#include "chain/view.hpp"
+#include "sim/hoard.hpp"
+#include "sim/services.hpp"
+
+namespace fist::sim {
+namespace {
+
+// A world paused early so tests can drive individual actors.
+class ServiceTest : public ::testing::Test {
+ protected:
+  ServiceTest() : world_(config()) {
+    // Run the bootstrap era so services hold float and users have coins.
+    for (int d = 0; d < 30; ++d) world_.run_day();
+  }
+
+  static WorldConfig config() {
+    WorldConfig cfg;
+    cfg.days = 60;
+    cfg.users = 60;
+    cfg.blocks_per_day = 8;
+    cfg.coinbase_maturity = 16;
+    cfg.seed = 11;
+    cfg.enable_probe = false;
+    return cfg;
+  }
+
+  template <typename T>
+  T& service(const std::string& name) {
+    Actor* actor = world_.find_actor(name);
+    EXPECT_NE(actor, nullptr) << name;
+    T* typed = dynamic_cast<T*>(actor);
+    EXPECT_NE(typed, nullptr) << name;
+    return *typed;
+  }
+
+  UserActor& some_user() {
+    ActorId id = world_.random_user(world_.rng());
+    return dynamic_cast<UserActor&>(world_.actor(id));
+  }
+
+  // Pays `value` from a user wallet to `to` and runs the submission.
+  // Returns the payment's txid (null hash on failure).
+  Hash256 user_pays(UserActor& user, const Address& to, Amount value) {
+    PaymentSpec spec;
+    spec.outputs.emplace_back(to, value);
+    auto built =
+        user.wallet().pay(spec, world_.height(), world_.maturity());
+    if (!built) return Hash256{};
+    world_.submit(user.id(), *built, user.wallet().policy().fee);
+    return built->txid;
+  }
+
+  World world_;
+};
+
+TEST_F(ServiceTest, CustodialDepositCreditsAccount) {
+  auto& gox = service<CustodialService>("Mt. Gox");
+  UserActor& user = some_user();
+  Address dep = gox.request_deposit_address(world_, user.id());
+  Amount before = gox.account_balance(user.id());
+  ASSERT_FALSE(user_pays(user, dep, btc(3)).is_null());
+  EXPECT_EQ(gox.account_balance(user.id()), before + btc(3));
+}
+
+TEST_F(ServiceTest, CustodialStableDepositAddressPerCustomer) {
+  auto& gox = service<CustodialService>("Mt. Gox");
+  UserActor& user = some_user();
+  Address a = gox.request_deposit_address(world_, user.id());
+  Address b = gox.request_deposit_address(world_, user.id());
+  EXPECT_EQ(a, b);  // Mt.Gox-style account address
+  UserActor& other = some_user();
+  if (other.id() != user.id()) {
+    EXPECT_NE(gox.request_deposit_address(world_, other.id()), a);
+  }
+}
+
+TEST_F(ServiceTest, WalletServiceFreshDepositPerRequest) {
+  auto& wallet_svc = service<CustodialService>("Instawallet");
+  UserActor& user = some_user();
+  Address a = wallet_svc.request_deposit_address(world_, user.id());
+  Address b = wallet_svc.request_deposit_address(world_, user.id());
+  EXPECT_NE(a, b);  // Instawallet-style one-time deposit address
+}
+
+TEST_F(ServiceTest, WithdrawalRequiresBalance) {
+  auto& gox = service<CustodialService>("Mt. Gox");
+  UserActor& user = some_user();
+  Address payout = user.wallet().fresh_address();
+  EXPECT_FALSE(
+      gox.request_withdrawal(world_, user.id(), btc(1'000'000), payout));
+
+  Address dep = gox.request_deposit_address(world_, user.id());
+  Amount account_before = gox.account_balance(user.id());
+  ASSERT_FALSE(user_pays(user, dep, btc(4)).is_null());
+  EXPECT_TRUE(gox.request_withdrawal(world_, user.id(), btc(2), payout));
+  EXPECT_EQ(gox.account_balance(user.id()), account_before + btc(2));
+
+  // The payout lands with the exchange's next processing runs (other
+  // users' queued withdrawals may pay out too — ours must be included).
+  Amount before = user.wallet().total_balance();
+  gox.on_day(world_);
+  gox.on_day(world_);
+  EXPECT_GE(user.wallet().total_balance(), before + btc(2));
+}
+
+TEST_F(ServiceTest, SellCoinsKeepsReserve) {
+  auto& gox = service<CustodialService>("Mt. Gox");
+  UserActor& user = some_user();
+  // An absurd purchase is refused: the float keeps its reserve.
+  EXPECT_FALSE(gox.sell_coins(world_, user.wallet().fresh_address(),
+                              btc(20'000'000)));
+}
+
+TEST_F(ServiceTest, DicePayoutReboundsToBettingAddress) {
+  auto& dice = service<DiceGame>("Satoshi Dice");
+  UserActor& user = some_user();
+  Address bet_addr = dice.bet_address(world_);
+
+  // The payout is produced synchronously inside submit (on_deposit);
+  // mine the day's blocks, then check it on the chain.
+  Hash256 bet_txid = user_pays(user, bet_addr, btc(1));
+  ASSERT_FALSE(bet_txid.is_null());
+  world_.run_day();
+  ChainView view = ChainView::build(world_.store());
+  TxIndex bet_tx = view.find_tx(bet_txid);
+  ASSERT_NE(bet_tx, kNoTx);
+  // The bettor's input address receives a later payment whose inputs
+  // are dice-owned (the rebound).
+  AddrId bettor = view.tx(bet_tx).inputs[0].addr;
+  ASSERT_NE(bettor, kNoAddr);
+  bool rebound = false;
+  for (TxIndex t = bet_tx + 1; t < view.tx_count(); ++t)
+    for (const OutputView& out : view.tx(t).outputs)
+      if (out.addr == bettor) rebound = true;
+  EXPECT_TRUE(rebound);
+}
+
+TEST_F(ServiceTest, EchoMixerReturnsTheExactCoins) {
+  auto& laundry = service<MixerService>("Bitcoin Laundry");
+  ASSERT_EQ(laundry.kind(), MixerKind::Echo);
+  UserActor& user = some_user();
+  Address back_to = user.wallet().fresh_address();
+  Address dep = laundry.request_mix(world_, back_to);
+  ASSERT_FALSE(user_pays(user, dep, btc(2)).is_null());
+
+  // Let the mixer's delay elapse.
+  for (int d = 0; d < 5; ++d) world_.run_day();
+
+  // Find the deposit tx and check its output was spent into a tx
+  // paying back_to — "twice sent us our own coins back".
+  ChainView view = ChainView::build(world_.store());
+  auto dep_id = view.addresses().find(dep);
+  auto back_id = view.addresses().find(back_to);
+  ASSERT_TRUE(dep_id && back_id);
+  bool echoed = false;
+  for (TxIndex t = 0; t < view.tx_count(); ++t) {
+    const TxView& tx = view.tx(t);
+    for (const OutputView& out : tx.outputs) {
+      if (out.addr != *dep_id || out.spent_by == kNoTx) continue;
+      const TxView& spender = view.tx(out.spent_by);
+      for (const OutputView& sout : spender.outputs)
+        if (sout.addr == *back_id) echoed = true;
+    }
+  }
+  EXPECT_TRUE(echoed);
+}
+
+TEST_F(ServiceTest, ThievingMixerKeepsTheMoney) {
+  auto& bitmix = service<MixerService>("BitMix");
+  ASSERT_EQ(bitmix.kind(), MixerKind::Thieving);
+  UserActor& user = some_user();
+  Address back_to = user.wallet().fresh_address();
+  Address dep = bitmix.request_mix(world_, back_to);
+  ASSERT_FALSE(user_pays(user, dep, btc(2)).is_null());
+  for (int d = 0; d < 6; ++d) world_.run_day();
+
+  ChainView view = ChainView::build(world_.store());
+  auto back_id = view.addresses().find(back_to);
+  // The return address never receives anything.
+  if (back_id) {
+    for (TxIndex t = 0; t < view.tx_count(); ++t)
+      for (const OutputView& out : view.tx(t).outputs)
+        EXPECT_NE(out.addr, *back_id);
+  }
+}
+
+TEST_F(ServiceTest, GatewaySettlesMerchants) {
+  auto& bitpay = service<PaymentGateway>("BitPay");
+  // Find a merchant using the gateway.
+  VendorService* merchant = nullptr;
+  for (ActorId v : world_.of_category(Category::Vendor)) {
+    auto* vendor = dynamic_cast<VendorService*>(&world_.actor(v));
+    if (vendor != nullptr && vendor->uses_gateway()) {
+      merchant = vendor;
+      break;
+    }
+  }
+  ASSERT_NE(merchant, nullptr);
+
+  UserActor& user = some_user();
+  auto [invoice, owner] = merchant->request_invoice(world_, user.id());
+  EXPECT_EQ(owner, bitpay.id());  // the invoice belongs to the gateway
+  EXPECT_TRUE(bitpay.wallet().owns(invoice));
+
+  Amount before = merchant->wallet().total_balance();
+  ASSERT_FALSE(user_pays(user, invoice, btc(2)).is_null());
+  bitpay.on_day(world_);  // settlement run
+  EXPECT_GT(merchant->wallet().total_balance(), before);
+}
+
+TEST_F(ServiceTest, InvestmentSchemeAbscondsOnSchedule) {
+  auto& bst = service<InvestmentScheme>("Bitcoin Savings & Trust");
+  EXPECT_FALSE(bst.absconded());
+  // Run past the abscond day (70% of the configured horizon).
+  while (world_.day() < config().days * 7 / 10 + 2) world_.run_day();
+  EXPECT_TRUE(bst.absconded());
+  // After absconding, deposits no longer earn anything — the actor
+  // ignores further days without crashing.
+  bst.on_day(world_);
+}
+
+TEST_F(ServiceTest, MarketEscrowFeedsTheHoard) {
+  auto& market = service<SilkRoadMarket>("Silk Road");
+  UserActor& user = some_user();
+  Address escrow = market.escrow_address(world_);
+  EXPECT_TRUE(market.wallet().owns(escrow));
+  ASSERT_FALSE(user_pays(user, escrow, btc(3)).is_null());
+  // Weekly accumulation moves escrow coins toward the hoard wallet;
+  // just assert the world keeps validating through several weeks.
+  for (int d = 0; d < 15; ++d) world_.run_day();
+  ASSERT_NE(world_.hoard(), nullptr);
+}
+
+}  // namespace
+}  // namespace fist::sim

@@ -1,0 +1,90 @@
+#include "crypto/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/hex.hpp"
+
+namespace fist {
+namespace {
+
+std::string hex_of(const Sha256::Digest& d) { return to_hex(ByteView(d)); }
+
+// FIPS 180-4 / NIST CAVP vectors.
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(hex_of(sha256(ByteView{})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hex_of(sha256(to_bytes(std::string("abc")))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(hex_of(sha256(to_bytes(std::string(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Bytes m(1'000'000, 'a');
+  EXPECT_EQ(hex_of(sha256(m)),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, ExactBlockBoundary) {
+  // 55/56/64-byte messages exercise the padding edge cases.
+  Bytes m55(55, 'x'), m56(56, 'x'), m64(64, 'x');
+  EXPECT_EQ(sha256(m55), sha256(m55));
+  EXPECT_NE(sha256(m55), sha256(m56));
+  EXPECT_NE(sha256(m56), sha256(m64));
+}
+
+TEST(Sha256, StreamingMatchesOneShot) {
+  Bytes data(1000);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::uint8_t>(i);
+  Sha256 h;
+  h.write(ByteView(data.data(), 1));
+  h.write(ByteView(data.data() + 1, 62));
+  h.write(ByteView(data.data() + 63, 1));
+  h.write(ByteView(data.data() + 64, 936));
+  EXPECT_EQ(h.finish(), sha256(data));
+}
+
+TEST(Sha256, ResetAllowsReuse) {
+  Sha256 h;
+  h.write(to_bytes(std::string("first")));
+  (void)h.finish();
+  h.reset();
+  h.write(to_bytes(std::string("abc")));
+  EXPECT_EQ(to_hex(ByteView(h.finish())),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, DoubleSha256) {
+  // sha256d("") = sha256(sha256(""))
+  auto once = sha256(ByteView{});
+  auto twice = sha256(ByteView(once));
+  EXPECT_EQ(sha256d(ByteView{}), twice);
+}
+
+class Sha256ChunkSplit : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Sha256ChunkSplit, AnySplitMatchesOneShot) {
+  Bytes data(257);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::uint8_t>(i * 31);
+  std::size_t split = GetParam();
+  Sha256 h;
+  h.write(ByteView(data.data(), split));
+  h.write(ByteView(data.data() + split, data.size() - split));
+  EXPECT_EQ(h.finish(), sha256(data));
+}
+
+INSTANTIATE_TEST_SUITE_P(Splits, Sha256ChunkSplit,
+                         ::testing::Values(0, 1, 55, 56, 63, 64, 65, 127,
+                                           128, 200, 256, 257));
+
+}  // namespace
+}  // namespace fist

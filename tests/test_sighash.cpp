@@ -1,0 +1,195 @@
+#include "chain/sighash.hpp"
+
+#include <gtest/gtest.h>
+
+#include "script/standard.hpp"
+#include "util/error.hpp"
+
+namespace fist {
+namespace {
+
+struct Fixture {
+  PrivateKey key = PrivateKey::from_seed(to_bytes(std::string("owner")));
+  Script spent;
+  Transaction tx;
+
+  Fixture() {
+    spent = make_p2pkh(hash160(key.pubkey().serialize_compressed()));
+    TxIn in;
+    in.prevout.txid = hash256(to_bytes(std::string("funding")));
+    in.prevout.index = 0;
+    tx.inputs.push_back(in);
+    tx.outputs.push_back(
+        TxOut{btc(1), make_p2pkh(hash160(to_bytes(std::string("dest"))))});
+  }
+};
+
+TEST(Sighash, DeterministicAndInputSpecific) {
+  Fixture f;
+  Hash256 h0 = signature_hash(f.tx, 0, f.spent, SigHashType::All);
+  EXPECT_EQ(h0, signature_hash(f.tx, 0, f.spent, SigHashType::All));
+
+  // A second input yields a different sighash for index 1.
+  Transaction two = f.tx;
+  TxIn in2;
+  in2.prevout.txid = hash256(to_bytes(std::string("funding2")));
+  two.inputs.push_back(in2);
+  EXPECT_NE(signature_hash(two, 0, f.spent, SigHashType::All),
+            signature_hash(two, 1, f.spent, SigHashType::All));
+}
+
+TEST(Sighash, CommitsToOutputs) {
+  Fixture f;
+  Hash256 before = signature_hash(f.tx, 0, f.spent, SigHashType::All);
+  Transaction changed = f.tx;
+  changed.outputs[0].value += 1;
+  EXPECT_NE(signature_hash(changed, 0, f.spent, SigHashType::All), before);
+}
+
+TEST(Sighash, IgnoresOtherScriptSigs) {
+  // The legacy algorithm blanks other inputs' scriptSigs, so their
+  // content must not affect the digest.
+  Fixture f;
+  Transaction two = f.tx;
+  TxIn in2;
+  in2.prevout.txid = hash256(to_bytes(std::string("funding2")));
+  two.inputs.push_back(in2);
+  Hash256 before = signature_hash(two, 0, f.spent, SigHashType::All);
+  two.inputs[1].script_sig = make_p2pkh_scriptsig(Bytes(71, 1), Bytes(33, 2));
+  EXPECT_EQ(signature_hash(two, 0, f.spent, SigHashType::All), before);
+}
+
+TEST(Sighash, RejectsBadIndex) {
+  Fixture f;
+  EXPECT_THROW(signature_hash(f.tx, 1, f.spent, SigHashType::All),
+               UsageError);
+}
+
+TEST(Sighash, SignAndVerifyP2pkh) {
+  Fixture f;
+  f.tx.inputs[0].script_sig = sign_p2pkh_input(f.tx, 0, f.spent, f.key);
+  EXPECT_TRUE(verify_p2pkh_input(f.tx, 0, f.spent));
+}
+
+TEST(Sighash, VerifyFailsOnTamperedOutput) {
+  Fixture f;
+  f.tx.inputs[0].script_sig = sign_p2pkh_input(f.tx, 0, f.spent, f.key);
+  f.tx.outputs[0].value += 1;  // invalidates the commitment
+  EXPECT_FALSE(verify_p2pkh_input(f.tx, 0, f.spent));
+}
+
+TEST(Sighash, VerifyFailsWithWrongKey) {
+  Fixture f;
+  PrivateKey wrong = PrivateKey::from_seed(to_bytes(std::string("wrong")));
+  f.tx.inputs[0].script_sig = sign_p2pkh_input(f.tx, 0, f.spent, wrong);
+  // The pubkey no longer hashes to the spent script's payload.
+  EXPECT_FALSE(verify_p2pkh_input(f.tx, 0, f.spent));
+}
+
+TEST(Sighash, VerifyFailsOnNonP2pkhScript) {
+  Fixture f;
+  f.tx.inputs[0].script_sig = sign_p2pkh_input(f.tx, 0, f.spent, f.key);
+  Script p2sh = make_p2sh(hash160(to_bytes(std::string("x"))));
+  EXPECT_FALSE(verify_p2pkh_input(f.tx, 0, p2sh));
+}
+
+TEST(Sighash, VerifyFailsOnMalformedScriptSig) {
+  Fixture f;
+  Script junk;
+  junk.push(to_bytes(std::string("noise")));
+  f.tx.inputs[0].script_sig = junk;
+  EXPECT_FALSE(verify_p2pkh_input(f.tx, 0, f.spent));
+  EXPECT_FALSE(verify_p2pkh_input(f.tx, 5, f.spent));  // bad index: false
+}
+
+TEST(Sighash, UncompressedKeySpend) {
+  PrivateKey key = PrivateKey::from_seed(to_bytes(std::string("legacy")));
+  Script spent = make_p2pkh(hash160(key.pubkey().serialize_uncompressed()));
+  Transaction tx;
+  TxIn in;
+  in.prevout.txid = hash256(to_bytes(std::string("f")));
+  tx.inputs.push_back(in);
+  tx.outputs.push_back(TxOut{btc(2), Script()});
+  tx.inputs[0].script_sig =
+      sign_p2pkh_input(tx, 0, spent, key, /*compressed=*/false);
+  EXPECT_TRUE(verify_p2pkh_input(tx, 0, spent));
+}
+
+
+TEST(Sighash, NoneIgnoresOutputs) {
+  Fixture f;
+  Hash256 before = signature_hash(f.tx, 0, f.spent, SigHashType::None);
+  Transaction changed = f.tx;
+  changed.outputs[0].value += 1;
+  EXPECT_EQ(signature_hash(changed, 0, f.spent, SigHashType::None), before);
+  // But it still commits to the inputs.
+  changed = f.tx;
+  changed.inputs[0].prevout.index += 1;
+  EXPECT_NE(signature_hash(changed, 0, f.spent, SigHashType::None), before);
+}
+
+TEST(Sighash, SingleCommitsOnlyToPairedOutput) {
+  Fixture f;
+  Transaction two = f.tx;
+  two.outputs.push_back(TxOut{btc(2), Script()});
+  TxIn in2;
+  in2.prevout.txid = hash256(to_bytes(std::string("funding2")));
+  two.inputs.push_back(in2);
+
+  Hash256 before = signature_hash(two, 1, f.spent, SigHashType::Single);
+  // Changing the non-paired output (index 0) does not disturb it...
+  Transaction changed = two;
+  changed.outputs[0].value += 1;
+  EXPECT_EQ(signature_hash(changed, 1, f.spent, SigHashType::Single),
+            before);
+  // ...changing the paired output (index 1) does.
+  changed = two;
+  changed.outputs[1].value += 1;
+  EXPECT_NE(signature_hash(changed, 1, f.spent, SigHashType::Single),
+            before);
+}
+
+TEST(Sighash, SingleWithoutMatchingOutputIsTheOneDigest) {
+  // The famous consensus quirk: input index beyond the outputs signs
+  // the digest 0x01 ‖ 0x00...  (little-endian "1").
+  Fixture f;
+  Transaction two = f.tx;
+  TxIn in2;
+  in2.prevout.txid = hash256(to_bytes(std::string("funding2")));
+  two.inputs.push_back(in2);  // 2 inputs, 1 output
+  Hash256 digest = signature_hash(two, 1, f.spent, SigHashType::Single);
+  Hash256 one;
+  one.data()[0] = 0x01;
+  EXPECT_EQ(digest, one);
+}
+
+TEST(Sighash, AnyoneCanPayIgnoresOtherInputs) {
+  Fixture f;
+  Transaction two = f.tx;
+  TxIn in2;
+  in2.prevout.txid = hash256(to_bytes(std::string("funding2")));
+  two.inputs.push_back(in2);
+
+  std::uint32_t type = static_cast<std::uint32_t>(SigHashType::All) |
+                       kSigHashAnyoneCanPay;
+  Hash256 before = signature_hash_raw(two, 0, f.spent, type);
+  // Dropping or altering the other input changes nothing.
+  Transaction changed = two;
+  changed.inputs[1].prevout.index = 77;
+  EXPECT_EQ(signature_hash_raw(changed, 0, f.spent, type), before);
+  changed.inputs.pop_back();
+  EXPECT_EQ(signature_hash_raw(changed, 0, f.spent, type), before);
+  // Without the modifier they differ.
+  EXPECT_NE(signature_hash(two, 0, f.spent, SigHashType::All),
+            signature_hash(changed, 0, f.spent, SigHashType::All));
+}
+
+TEST(Sighash, HashtypeHelpers) {
+  EXPECT_EQ(sighash_base(0x81), SigHashType::All);
+  EXPECT_EQ(sighash_base(0x03), SigHashType::Single);
+  EXPECT_TRUE(sighash_anyone_can_pay(0x82));
+  EXPECT_FALSE(sighash_anyone_can_pay(0x02));
+}
+
+}  // namespace
+}  // namespace fist

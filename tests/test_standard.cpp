@@ -1,0 +1,160 @@
+#include "script/standard.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/ecdsa.hpp"
+#include "util/error.hpp"
+
+namespace fist {
+namespace {
+
+Bytes fake_compressed_pubkey(std::uint8_t fill) {
+  Bytes pk(33, fill);
+  pk[0] = 0x02;
+  return pk;
+}
+
+TEST(Standard, ClassifyP2pkh) {
+  Hash160 h = hash160(to_bytes(std::string("key")));
+  Script s = make_p2pkh(h);
+  Classified c = classify(s);
+  EXPECT_EQ(c.type, ScriptType::P2PKH);
+  EXPECT_EQ(c.hash, h);
+}
+
+TEST(Standard, ClassifyP2pkCompressedAndUncompressed) {
+  Bytes compressed = fake_compressed_pubkey(0x11);
+  Classified c = classify(make_p2pk(compressed));
+  EXPECT_EQ(c.type, ScriptType::P2PK);
+  ASSERT_EQ(c.pubkeys.size(), 1u);
+  EXPECT_EQ(c.pubkeys[0], compressed);
+
+  Bytes uncompressed(65, 0x22);
+  uncompressed[0] = 0x04;
+  EXPECT_EQ(classify(make_p2pk(uncompressed)).type, ScriptType::P2PK);
+}
+
+TEST(Standard, ClassifyP2sh) {
+  Hash160 h = hash160(to_bytes(std::string("redeem")));
+  Classified c = classify(make_p2sh(h));
+  EXPECT_EQ(c.type, ScriptType::P2SH);
+  EXPECT_EQ(c.hash, h);
+}
+
+TEST(Standard, ClassifyMultisig) {
+  std::vector<Bytes> keys{fake_compressed_pubkey(1),
+                          fake_compressed_pubkey(2),
+                          fake_compressed_pubkey(3)};
+  Classified c = classify(make_multisig(2, keys));
+  EXPECT_EQ(c.type, ScriptType::Multisig);
+  EXPECT_EQ(c.required, 2);
+  EXPECT_EQ(c.pubkeys.size(), 3u);
+}
+
+TEST(Standard, ClassifyNullData) {
+  Classified c = classify(make_nulldata(to_bytes(std::string("proof"))));
+  EXPECT_EQ(c.type, ScriptType::NullData);
+  EXPECT_EQ(classify(make_nulldata(ByteView{})).type, ScriptType::NullData);
+}
+
+TEST(Standard, NonStandardCases) {
+  Script empty;
+  EXPECT_EQ(classify(empty).type, ScriptType::NonStandard);
+
+  Script weird;
+  weird.op(Opcode::OP_DUP).op(Opcode::OP_DUP);
+  EXPECT_EQ(classify(weird).type, ScriptType::NonStandard);
+
+  // P2PKH with a 19-byte hash is not standard.
+  Script bad;
+  bad.op(Opcode::OP_DUP).op(Opcode::OP_HASH160);
+  bad.push(Bytes(19, 0xaa));
+  bad.op(Opcode::OP_EQUALVERIFY).op(Opcode::OP_CHECKSIG);
+  EXPECT_EQ(classify(bad).type, ScriptType::NonStandard);
+
+  // "Pubkey" of the wrong size.
+  Script badpk;
+  badpk.push(Bytes(30, 0x02)).op(Opcode::OP_CHECKSIG);
+  EXPECT_EQ(classify(badpk).type, ScriptType::NonStandard);
+
+  // Malformed (truncated push) classifies as nonstandard, not a crash.
+  Script trunc(Bytes{25, 0x01});
+  EXPECT_EQ(classify(trunc).type, ScriptType::NonStandard);
+}
+
+TEST(Standard, MultisigCountMismatchNonStandard) {
+  // Declares 3 keys, provides 2.
+  Script s;
+  s.push_int(1);
+  s.push(fake_compressed_pubkey(1));
+  s.push(fake_compressed_pubkey(2));
+  s.push_int(3);
+  s.op(Opcode::OP_CHECKMULTISIG);
+  EXPECT_EQ(classify(s).type, ScriptType::NonStandard);
+}
+
+TEST(Standard, MakeMultisigValidation) {
+  std::vector<Bytes> keys{fake_compressed_pubkey(1)};
+  EXPECT_THROW(make_multisig(0, keys), UsageError);
+  EXPECT_THROW(make_multisig(2, keys), UsageError);
+  EXPECT_THROW(make_multisig(1, {}), UsageError);
+}
+
+TEST(Standard, ExtractAddressP2pkh) {
+  Hash160 h = hash160(to_bytes(std::string("k")));
+  auto addr = extract_address(make_p2pkh(h));
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(addr->type(), AddrType::P2PKH);
+  EXPECT_EQ(addr->payload(), h);
+}
+
+TEST(Standard, ExtractAddressP2pkUsesPubkeyHash) {
+  PrivateKey key(U256(7));
+  Bytes pk = key.pubkey().serialize_compressed();
+  auto addr = extract_address(make_p2pk(pk));
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(addr->payload(), hash160(pk));
+}
+
+TEST(Standard, ExtractAddressP2sh) {
+  Hash160 h = hash160(to_bytes(std::string("script")));
+  auto addr = extract_address(make_p2sh(h));
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(addr->type(), AddrType::P2SH);
+}
+
+TEST(Standard, NoAddressForMultisigAndNulldata) {
+  std::vector<Bytes> keys{fake_compressed_pubkey(1),
+                          fake_compressed_pubkey(2)};
+  EXPECT_FALSE(extract_address(make_multisig(1, keys)).has_value());
+  EXPECT_FALSE(extract_address(make_nulldata(ByteView{})).has_value());
+  EXPECT_FALSE(extract_address(Script()).has_value());
+}
+
+TEST(Standard, MakeScriptForRoundTrips) {
+  Hash160 h = hash160(to_bytes(std::string("addr")));
+  for (AddrType t : {AddrType::P2PKH, AddrType::P2SH}) {
+    Address a(t, h);
+    auto back = extract_address(make_script_for(a));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, a);
+  }
+}
+
+TEST(Standard, ScriptSigShape) {
+  Bytes sig(71, 0x30);
+  Bytes pk = fake_compressed_pubkey(9);
+  Script s = make_p2pkh_scriptsig(sig, pk);
+  auto ops = s.ops();
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_EQ(ops[0].push, sig);
+  EXPECT_EQ(ops[1].push, pk);
+}
+
+TEST(Standard, TypeNames) {
+  EXPECT_STREQ(script_type_name(ScriptType::P2PKH), "p2pkh");
+  EXPECT_STREQ(script_type_name(ScriptType::NullData), "nulldata");
+}
+
+}  // namespace
+}  // namespace fist

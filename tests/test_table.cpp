@@ -1,0 +1,68 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace fist {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t({"Service", "Peels"});
+  t.row({"Mt. Gox", "11"});
+  std::string out = t.render();
+  EXPECT_NE(out.find("Service"), std::string::npos);
+  EXPECT_NE(out.find("Mt. Gox"), std::string::npos);
+  EXPECT_NE(out.find("11"), std::string::npos);
+}
+
+TEST(TextTable, PadsColumnsToWidest) {
+  TextTable t({"A", "B"});
+  t.row({"wide-cell-content", "x"});
+  std::string out = t.render();
+  // Header row must be as wide as the data row (same line lengths).
+  std::size_t first_nl = out.find('\n');
+  std::size_t second_nl = out.find('\n', first_nl + 1);
+  std::size_t third_nl = out.find('\n', second_nl + 1);
+  EXPECT_EQ(first_nl, third_nl - second_nl - 1);
+}
+
+TEST(TextTable, RightAlignment) {
+  TextTable t({"N"}, {Align::Right});
+  t.row({"7"});
+  t.row({"1000"});
+  std::string out = t.render();
+  EXPECT_NE(out.find("    7"), std::string::npos);
+}
+
+TEST(TextTable, RejectsWrongRowWidth) {
+  TextTable t({"A", "B"});
+  EXPECT_THROW(t.row({"only-one"}), UsageError);
+}
+
+TEST(TextTable, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), UsageError);
+}
+
+TEST(TextTable, RejectsMismatchedAligns) {
+  EXPECT_THROW(TextTable({"A", "B"}, {Align::Left}), UsageError);
+}
+
+TEST(TextTable, SeparatorAddsRule) {
+  TextTable t({"A"});
+  t.row({"1"});
+  t.separator();
+  t.row({"2"});
+  std::string out = t.render();
+  // Header rule + separator rule.
+  int dashes_lines = 0;
+  std::size_t pos = 0;
+  while ((pos = out.find("---", pos)) != std::string::npos) {
+    ++dashes_lines;
+    pos = out.find('\n', pos);
+  }
+  EXPECT_EQ(dashes_lines, 2);
+}
+
+}  // namespace
+}  // namespace fist

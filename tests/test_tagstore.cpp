@@ -1,0 +1,73 @@
+#include "tag/tagstore.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fist {
+namespace {
+
+Tag observed(const std::string& name) {
+  return Tag{name, Category::BankExchange, TagSource::Observed};
+}
+Tag scraped(const std::string& name) {
+  return Tag{name, Category::BankExchange, TagSource::Scraped};
+}
+
+TEST(TagStore, AddAndFind) {
+  TagStore store;
+  store.add(1, observed("Mt. Gox"));
+  ASSERT_NE(store.find(1), nullptr);
+  EXPECT_EQ(store.find(1)->service, "Mt. Gox");
+  EXPECT_EQ(store.find(2), nullptr);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(TagStore, MoreReliableSourceWins) {
+  TagStore store;
+  store.add(1, scraped("Wrong Name"));
+  store.add(1, observed("Mt. Gox"));
+  EXPECT_EQ(store.find(1)->service, "Mt. Gox");
+  EXPECT_EQ(store.find(1)->source, TagSource::Observed);
+}
+
+TEST(TagStore, LessReliableDoesNotOverwrite) {
+  TagStore store;
+  store.add(1, observed("Mt. Gox"));
+  store.add(1, scraped("Impostor"));
+  EXPECT_EQ(store.find(1)->service, "Mt. Gox");
+  EXPECT_TRUE(store.conflicts().empty());
+}
+
+TEST(TagStore, EqualReliabilityConflictRecorded) {
+  TagStore store;
+  store.add(1, observed("Mt. Gox"));
+  store.add(1, observed("Bitstamp"));
+  EXPECT_EQ(store.find(1)->service, "Mt. Gox");  // first kept
+  ASSERT_EQ(store.conflicts().size(), 1u);
+  EXPECT_EQ(store.conflicts()[0].second.service, "Bitstamp");
+}
+
+TEST(TagStore, EqualDuplicateIsNotConflict) {
+  TagStore store;
+  store.add(1, observed("Mt. Gox"));
+  store.add(1, observed("Mt. Gox"));
+  EXPECT_TRUE(store.conflicts().empty());
+}
+
+TEST(TagStore, CountBySource) {
+  TagStore store;
+  store.add(1, observed("A"));
+  store.add(2, observed("B"));
+  store.add(3, scraped("C"));
+  EXPECT_EQ(store.count_by_source(TagSource::Observed), 2u);
+  EXPECT_EQ(store.count_by_source(TagSource::Scraped), 1u);
+  EXPECT_EQ(store.count_by_source(TagSource::SelfAdvertised), 0u);
+}
+
+TEST(TagStore, SourceNames) {
+  EXPECT_EQ(tag_source_name(TagSource::Observed), "observed");
+  EXPECT_EQ(tag_source_name(TagSource::SelfAdvertised), "self-advertised");
+  EXPECT_EQ(tag_source_name(TagSource::Scraped), "scraped");
+}
+
+}  // namespace
+}  // namespace fist

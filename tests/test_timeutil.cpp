@@ -1,0 +1,64 @@
+#include "util/timeutil.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace fist {
+namespace {
+
+TEST(TimeUtil, Epoch) { EXPECT_EQ(from_date(1970, 1, 1), 0); }
+
+TEST(TimeUtil, KnownDates) {
+  EXPECT_EQ(from_date(2009, 1, 3), 1230940800);
+  EXPECT_EQ(format_date(kGenesisTime), "2009-01-03");
+}
+
+TEST(TimeUtil, RoundTripThroughFormat) {
+  Timestamp t = from_date(2012, 10, 18);
+  EXPECT_EQ(format_date(t), "2012-10-18");
+}
+
+TEST(TimeUtil, LeapYearHandling) {
+  EXPECT_EQ(format_date(from_date(2012, 2, 29)), "2012-02-29");
+  EXPECT_THROW(from_date(2011, 2, 29), UsageError);
+  EXPECT_THROW(from_date(1900, 2, 29), UsageError);  // century non-leap
+}
+
+TEST(TimeUtil, RejectsBadDates) {
+  EXPECT_THROW(from_date(2012, 13, 1), UsageError);
+  EXPECT_THROW(from_date(2012, 0, 1), UsageError);
+  EXPECT_THROW(from_date(2012, 4, 31), UsageError);
+  EXPECT_THROW(from_date(1969, 1, 1), UsageError);
+}
+
+TEST(TimeUtil, FormatDatetime) {
+  EXPECT_EQ(format_datetime(kGenesisTime), "2009-01-03 18:15:05");
+  EXPECT_EQ(format_datetime(0), "1970-01-01 00:00:00");
+}
+
+TEST(TimeUtil, DayArithmetic) {
+  Timestamp t = from_date(2011, 12, 31);
+  EXPECT_EQ(format_date(t + kDay), "2012-01-01");
+  EXPECT_EQ(format_date(t + kWeek), "2012-01-07");
+}
+
+class DateRoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(DateRoundTrip, FormatsBack) {
+  auto [y, m, d] = GetParam();
+  char expect[16];
+  std::snprintf(expect, sizeof(expect), "%04d-%02d-%02d", y, m, d);
+  EXPECT_EQ(format_date(from_date(y, m, d)), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Dates, DateRoundTrip,
+    ::testing::Values(std::tuple{1970, 1, 1}, std::tuple{2000, 2, 29},
+                      std::tuple{2009, 1, 3}, std::tuple{2010, 12, 29},
+                      std::tuple{2012, 3, 12}, std::tuple{2013, 4, 30},
+                      std::tuple{2038, 1, 19}, std::tuple{2100, 12, 31}));
+
+}  // namespace
+}  // namespace fist

@@ -1,0 +1,139 @@
+#include "chain/transaction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "script/standard.hpp"
+#include "util/error.hpp"
+#include "util/hex.hpp"
+
+namespace fist {
+namespace {
+
+Transaction sample_tx() {
+  Transaction tx;
+  TxIn in;
+  in.prevout.txid = hash256(to_bytes(std::string("prev")));
+  in.prevout.index = 1;
+  in.script_sig = make_p2pkh_scriptsig(Bytes(71, 0x30), Bytes(33, 0x02));
+  tx.inputs.push_back(in);
+  tx.outputs.push_back(
+      TxOut{btc(1), make_p2pkh(hash160(to_bytes(std::string("to"))))});
+  tx.outputs.push_back(
+      TxOut{btc(2), make_p2pkh(hash160(to_bytes(std::string("change"))))});
+  return tx;
+}
+
+TEST(OutPoint, CoinbaseMarker) {
+  OutPoint cb = OutPoint::coinbase();
+  EXPECT_TRUE(cb.is_coinbase());
+  OutPoint normal{hash256(to_bytes(std::string("x"))), 0};
+  EXPECT_FALSE(normal.is_coinbase());
+  OutPoint null_but_indexed{Hash256{}, 3};
+  EXPECT_FALSE(null_but_indexed.is_coinbase());
+}
+
+TEST(OutPoint, HashAndOrder) {
+  OutPoint a{hash256(to_bytes(std::string("a"))), 0};
+  OutPoint b = a;
+  b.index = 1;
+  EXPECT_NE(a, b);
+  EXPECT_LT(a, b);
+  EXPECT_NE(std::hash<OutPoint>()(a), std::hash<OutPoint>()(b));
+}
+
+TEST(Transaction, SerializeRoundTrip) {
+  Transaction tx = sample_tx();
+  Bytes raw = tx.serialize();
+  Transaction back = Transaction::from_bytes(raw);
+  EXPECT_EQ(back, tx);
+  EXPECT_EQ(back.txid(), tx.txid());
+}
+
+TEST(Transaction, WireLayoutStartsWithVersion) {
+  Transaction tx = sample_tx();
+  Bytes raw = tx.serialize();
+  // version 1 little-endian.
+  EXPECT_EQ(to_hex(ByteView(raw.data(), 4)), "01000000");
+  // input count (varint 1).
+  EXPECT_EQ(raw[4], 1);
+}
+
+TEST(Transaction, TxidChangesWithContent) {
+  Transaction tx = sample_tx();
+  Hash256 id1 = tx.txid();
+  tx.outputs[0].value += 1;
+  EXPECT_NE(tx.txid(), id1);
+}
+
+TEST(Transaction, CoinbaseDetection) {
+  Transaction cb;
+  TxIn in;
+  in.prevout = OutPoint::coinbase();
+  cb.inputs.push_back(in);
+  cb.outputs.push_back(TxOut{btc(50), Script()});
+  EXPECT_TRUE(cb.is_coinbase());
+
+  // Two inputs: not a coinbase even if one is the marker.
+  cb.inputs.push_back(TxIn{});
+  EXPECT_FALSE(cb.is_coinbase());
+}
+
+TEST(Transaction, ValueOutChecked) {
+  Transaction tx = sample_tx();
+  EXPECT_EQ(tx.value_out(), btc(3));
+  tx.outputs[0].value = kMaxMoney;
+  EXPECT_THROW(tx.value_out(), UsageError);
+}
+
+TEST(Transaction, DeserializeRejectsEmptyInputsOrOutputs) {
+  Transaction tx = sample_tx();
+  tx.outputs.clear();
+  Writer w;
+  tx.serialize(w);
+  Bytes raw = w.take();
+  EXPECT_THROW(Transaction::from_bytes(raw), ParseError);
+}
+
+TEST(Transaction, DeserializeRejectsTrailingBytes) {
+  Bytes raw = sample_tx().serialize();
+  raw.push_back(0x00);
+  EXPECT_THROW(Transaction::from_bytes(raw), ParseError);
+}
+
+TEST(Transaction, DeserializeRejectsTruncation) {
+  Bytes raw = sample_tx().serialize();
+  raw.resize(raw.size() - 5);
+  EXPECT_THROW(Transaction::from_bytes(raw), ParseError);
+}
+
+TEST(Transaction, DeserializeRejectsAbsurdCounts) {
+  Writer w;
+  w.i32le(1);
+  w.varint(2'000'000);  // input count
+  Bytes raw = w.take();
+  EXPECT_THROW(Transaction::from_bytes(raw), ParseError);
+}
+
+TEST(Transaction, ManyInputsRoundTrip) {
+  Transaction tx;
+  for (int i = 0; i < 300; ++i) {
+    TxIn in;
+    in.prevout.txid = hash256(to_bytes("prev" + std::to_string(i)));
+    in.prevout.index = static_cast<std::uint32_t>(i);
+    tx.inputs.push_back(in);
+  }
+  tx.outputs.push_back(TxOut{btc(1), Script()});
+  EXPECT_EQ(Transaction::from_bytes(tx.serialize()), tx);
+}
+
+TEST(Transaction, LocktimeAndSequencePreserved) {
+  Transaction tx = sample_tx();
+  tx.locktime = 500'000;
+  tx.inputs[0].sequence = 0xfffffffe;
+  Transaction back = Transaction::from_bytes(tx.serialize());
+  EXPECT_EQ(back.locktime, 500'000u);
+  EXPECT_EQ(back.inputs[0].sequence, 0xfffffffeu);
+}
+
+}  // namespace
+}  // namespace fist

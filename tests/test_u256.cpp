@@ -1,0 +1,137 @@
+#include "crypto/u256.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace fist {
+namespace {
+
+U256 random_u256(Rng& rng) {
+  return U256(rng.next(), rng.next(), rng.next(), rng.next());
+}
+
+TEST(U256, HexRoundTrip) {
+  std::string hex =
+      "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f";
+  EXPECT_EQ(U256::from_hex(hex).hex(), hex);
+}
+
+TEST(U256, ShortHexLeftPads) {
+  EXPECT_EQ(U256::from_hex("ff"), U256(255));
+}
+
+TEST(U256, FromHexRejectsBadInput) {
+  EXPECT_THROW(U256::from_hex(""), ParseError);
+  EXPECT_THROW(U256::from_hex(std::string(65, 'f')), ParseError);
+}
+
+TEST(U256, BytesRoundTrip) {
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    U256 v = random_u256(rng);
+    EXPECT_EQ(U256::from_be_bytes(ByteView(v.to_be_bytes())), v);
+  }
+}
+
+TEST(U256, BitAccess) {
+  U256 one(1);
+  EXPECT_TRUE(one.bit(0));
+  EXPECT_FALSE(one.bit(1));
+  U256 high = shl(one, 255);
+  EXPECT_TRUE(high.bit(255));
+  EXPECT_EQ(high.bit_length(), 256u);
+  EXPECT_EQ(one.bit_length(), 1u);
+  EXPECT_EQ(U256().bit_length(), 0u);
+}
+
+TEST(U256, Comparison) {
+  EXPECT_EQ(cmp(U256(5), U256(5)), 0);
+  EXPECT_EQ(cmp(U256(4), U256(5)), -1);
+  EXPECT_EQ(cmp(U256(6), U256(5)), 1);
+  // High limb dominates.
+  U256 big(0, 0, 0, 1);
+  U256 small(~0ULL, ~0ULL, ~0ULL, 0);
+  EXPECT_EQ(cmp(big, small), 1);
+}
+
+TEST(U256, AddSubInverse) {
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    U256 a = random_u256(rng), b = random_u256(rng);
+    std::uint64_t carry, borrow;
+    U256 sum = add(a, b, carry);
+    U256 back = sub(sum, b, borrow);
+    // sum - b == a modulo 2^256; borrow mirrors the carry.
+    EXPECT_EQ(back, a);
+    EXPECT_EQ(carry, borrow);
+  }
+}
+
+TEST(U256, AddCarryPropagation) {
+  U256 max(~0ULL, ~0ULL, ~0ULL, ~0ULL);
+  std::uint64_t carry;
+  U256 sum = add(max, U256(1), carry);
+  EXPECT_TRUE(sum.is_zero());
+  EXPECT_EQ(carry, 1u);
+}
+
+TEST(U256, SubBorrow) {
+  std::uint64_t borrow;
+  U256 r = sub(U256(0), U256(1), borrow);
+  EXPECT_EQ(borrow, 1u);
+  EXPECT_EQ(r, U256(~0ULL, ~0ULL, ~0ULL, ~0ULL));
+}
+
+TEST(U256, MulWideSmallValues) {
+  U512 p = mul_wide(U256(7), U256(6));
+  EXPECT_EQ(p.w[0], 42u);
+  for (int i = 1; i < 8; ++i) EXPECT_EQ(p.w[i], 0u);
+}
+
+TEST(U256, MulWideCrossLimb) {
+  // (2^64)·(2^64) = 2^128 → limb 2.
+  U256 a(0, 1, 0, 0), b(0, 1, 0, 0);
+  U512 p = mul_wide(a, b);
+  EXPECT_EQ(p.w[2], 1u);
+}
+
+TEST(U256, MulWideCommutative) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    U256 a = random_u256(rng), b = random_u256(rng);
+    U512 ab = mul_wide(a, b), ba = mul_wide(b, a);
+    EXPECT_EQ(ab.w, ba.w);
+  }
+}
+
+TEST(U256, ShiftInverses) {
+  // While the value still fits, (v << n) >> n is the identity.
+  U256 small(12345);  // 14 significant bits
+  for (unsigned n : {1u, 7u, 63u, 64u, 65u, 130u, 242u}) {
+    EXPECT_EQ(shr(shl(small, n), n), small) << "shift " << n;
+  }
+  // Once bits fall off the top they are gone.
+  EXPECT_NE(shr(shl(small, 250), 250), small);
+  EXPECT_TRUE(shl(small, 256 - 1).bit(255));
+}
+
+TEST(U256, ShiftByZeroIsIdentity) {
+  Rng rng(5);
+  U256 v = random_u256(rng);
+  EXPECT_EQ(shl(v, 0), v);
+  EXPECT_EQ(shr(v, 0), v);
+}
+
+TEST(U256, DoublingEqualsShift) {
+  Rng rng(6);
+  for (int i = 0; i < 50; ++i) {
+    U256 v = random_u256(rng);
+    std::uint64_t carry;
+    EXPECT_EQ(add(v, v, carry), shl(v, 1));
+  }
+}
+
+}  // namespace
+}  // namespace fist

@@ -1,0 +1,118 @@
+#include "cluster/unionfind.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/rng.hpp"
+
+namespace fist {
+namespace {
+
+TEST(UnionFind, StartsAsSingletons) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.set_count(), 5u);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(uf.find(i), i);
+    EXPECT_EQ(uf.size_of(i), 1u);
+  }
+}
+
+TEST(UnionFind, UniteMergesAndCounts) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_EQ(uf.set_count(), 3u);
+  EXPECT_TRUE(uf.same(0, 1));
+  EXPECT_FALSE(uf.same(0, 2));
+  EXPECT_EQ(uf.size_of(0), 2u);
+}
+
+TEST(UnionFind, UniteIdempotent) {
+  UnionFind uf(3);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_FALSE(uf.unite(0, 1));
+  EXPECT_FALSE(uf.unite(1, 0));
+  EXPECT_EQ(uf.set_count(), 2u);
+}
+
+TEST(UnionFind, Transitivity) {
+  UnionFind uf(6);
+  uf.unite(0, 1);
+  uf.unite(2, 3);
+  uf.unite(1, 2);
+  EXPECT_TRUE(uf.same(0, 3));
+  EXPECT_EQ(uf.size_of(3), 4u);
+  EXPECT_FALSE(uf.same(0, 4));
+}
+
+TEST(UnionFind, GrowAddsSingletons) {
+  UnionFind uf(2);
+  uf.unite(0, 1);
+  uf.grow(5);
+  EXPECT_EQ(uf.set_count(), 4u);  // {0,1}, {2}, {3}, {4}
+  EXPECT_FALSE(uf.same(0, 4));
+  uf.grow(3);  // shrink request is a no-op
+  EXPECT_EQ(uf.size(), 5u);
+}
+
+TEST(UnionFind, FindConstMatchesFind) {
+  UnionFind uf(10);
+  uf.unite(1, 2);
+  uf.unite(2, 3);
+  const UnionFind& cuf = uf;
+  EXPECT_EQ(cuf.find_const(3), uf.find(3));
+  EXPECT_EQ(cuf.find_const(1), cuf.find_const(2));
+}
+
+// Property test against a naive reference implementation.
+class UnionFindRandomOps : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UnionFindRandomOps, MatchesNaiveReference) {
+  const std::size_t n = 200;
+  UnionFind uf(n);
+  std::vector<std::uint32_t> label(n);
+  for (std::uint32_t i = 0; i < n; ++i) label[i] = i;
+  auto naive_merge = [&](std::uint32_t a, std::uint32_t b) {
+    std::uint32_t la = label[a], lb = label[b];
+    if (la == lb) return;
+    for (auto& l : label)
+      if (l == lb) l = la;
+  };
+
+  Rng rng(GetParam());
+  for (int op = 0; op < 500; ++op) {
+    auto a = static_cast<std::uint32_t>(rng.below(n));
+    auto b = static_cast<std::uint32_t>(rng.below(n));
+    uf.unite(a, b);
+    naive_merge(a, b);
+  }
+
+  // Same partition: pairs agree everywhere (spot-check all pairs of a
+  // random sample plus full label-class consistency).
+  std::map<std::uint32_t, std::uint32_t> rep_to_label;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::uint32_t rep = uf.find(i);
+    auto [it, inserted] = rep_to_label.emplace(rep, label[i]);
+    EXPECT_EQ(it->second, label[i]) << "element " << i;
+  }
+  // Set sizes agree.
+  std::map<std::uint32_t, std::uint32_t> label_counts;
+  for (std::uint32_t i = 0; i < n; ++i) ++label_counts[label[i]];
+  for (std::uint32_t i = 0; i < n; ++i)
+    EXPECT_EQ(uf.size_of(i), label_counts[label[i]]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnionFindRandomOps,
+                         ::testing::Values(1, 2, 3, 42, 1337));
+
+TEST(UnionFind, LargeScaleChainMerge) {
+  const std::size_t n = 1'000'000;
+  UnionFind uf(n);
+  for (std::uint32_t i = 1; i < n; ++i) uf.unite(i - 1, i);
+  EXPECT_EQ(uf.set_count(), 1u);
+  EXPECT_EQ(uf.size_of(0), n);
+  EXPECT_TRUE(uf.same(0, static_cast<std::uint32_t>(n - 1)));
+}
+
+}  // namespace
+}  // namespace fist

@@ -1,0 +1,75 @@
+#include "chain/utxo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "script/standard.hpp"
+#include "util/error.hpp"
+
+namespace fist {
+namespace {
+
+OutPoint op(int i) {
+  return OutPoint{hash256(to_bytes("tx" + std::to_string(i))), 0};
+}
+
+Coin coin(Amount v, int height = 0, bool coinbase = false) {
+  return Coin{v, make_p2pkh(hash160(to_bytes(std::string("a")))), height,
+              coinbase};
+}
+
+TEST(UtxoSet, AddFindSpend) {
+  UtxoSet set;
+  set.add(op(1), coin(btc(5)));
+  ASSERT_NE(set.find(op(1)), nullptr);
+  EXPECT_EQ(set.find(op(1))->value, btc(5));
+  EXPECT_EQ(set.size(), 1u);
+
+  auto spent = set.spend(op(1));
+  ASSERT_TRUE(spent.has_value());
+  EXPECT_EQ(spent->value, btc(5));
+  EXPECT_EQ(set.find(op(1)), nullptr);
+  EXPECT_EQ(set.size(), 0u);
+}
+
+TEST(UtxoSet, SpendMissingReturnsNullopt) {
+  UtxoSet set;
+  EXPECT_FALSE(set.spend(op(9)).has_value());
+}
+
+TEST(UtxoSet, DuplicateOutpointThrows) {
+  UtxoSet set;
+  set.add(op(1), coin(btc(1)));
+  EXPECT_THROW(set.add(op(1), coin(btc(2))), ValidationError);
+}
+
+TEST(UtxoSet, SameTxidDifferentIndexAllowed) {
+  UtxoSet set;
+  OutPoint a = op(1);
+  OutPoint b = a;
+  b.index = 1;
+  set.add(a, coin(btc(1)));
+  set.add(b, coin(btc(2)));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(UtxoSet, TotalValue) {
+  UtxoSet set;
+  set.add(op(1), coin(btc(1)));
+  set.add(op(2), coin(btc(2)));
+  set.add(op(3), coin(btc(3)));
+  EXPECT_EQ(set.total_value(), btc(6));
+  set.spend(op(2));
+  EXPECT_EQ(set.total_value(), btc(4));
+}
+
+TEST(UtxoSet, PreservesCoinMetadata) {
+  UtxoSet set;
+  set.add(op(1), coin(btc(50), 123, true));
+  const Coin* c = set.find(op(1));
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->height, 123);
+  EXPECT_TRUE(c->coinbase);
+}
+
+}  // namespace
+}  // namespace fist

@@ -1,0 +1,134 @@
+#include "chain/view.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testutil.hpp"
+#include "util/error.hpp"
+
+namespace fist {
+namespace {
+
+using test::TestChain;
+
+TEST(ChainView, EmptyStore) {
+  MemoryBlockStore store;
+  ChainView view = ChainView::build(store);
+  EXPECT_EQ(view.tx_count(), 0u);
+  EXPECT_EQ(view.address_count(), 0u);
+}
+
+TEST(ChainView, ResolvesInputAddressesAndValues) {
+  TestChain chain;
+  auto cb = chain.coinbase(1, btc(50));
+  chain.next_block();
+  chain.spend({cb}, {{2, btc(30)}, {3, btc(20)}});
+  ChainView view = chain.view();
+
+  ASSERT_EQ(view.tx_count(), 2u);  // coinbase + spend
+  const TxView& spend_tx = view.tx(1);
+  ASSERT_EQ(spend_tx.inputs.size(), 1u);
+  EXPECT_EQ(spend_tx.inputs[0].value, btc(50));
+  EXPECT_EQ(view.addresses().lookup(spend_tx.inputs[0].addr), test::addr(1));
+  EXPECT_EQ(spend_tx.outputs.size(), 2u);
+  EXPECT_EQ(spend_tx.outputs[0].value, btc(30));
+}
+
+TEST(ChainView, SpendLinksAreSet) {
+  TestChain chain;
+  auto cb = chain.coinbase(1, btc(50));
+  chain.next_block();
+  auto mid = chain.spend({cb}, {{2, btc(49)}});
+  chain.next_block();
+  chain.spend({mid}, {{3, btc(48)}});
+  ChainView view = chain.view();
+
+  TxIndex cb_index = view.find_tx(cb.txid);
+  ASSERT_NE(cb_index, kNoTx);
+  const TxView& cb_tx = view.tx(cb_index);
+  TxIndex spender1 = cb_tx.outputs[0].spent_by;
+  ASSERT_NE(spender1, kNoTx);
+  const TxView& mid_tx = view.tx(spender1);
+  EXPECT_EQ(mid_tx.txid, mid.txid);
+  TxIndex spender2 = mid_tx.outputs[0].spent_by;
+  ASSERT_NE(spender2, kNoTx);
+  EXPECT_EQ(view.tx(spender2).outputs[0].spent_by, kNoTx);  // unspent end
+}
+
+TEST(ChainView, CoinbaseFlagAndTimes) {
+  TestChain chain(kGenesisTime, kHour);
+  chain.coinbase(1, btc(50));
+  chain.next_block();
+  chain.coinbase(2, btc(50));
+  ChainView view = chain.view();
+  EXPECT_TRUE(view.tx(0).coinbase);
+  EXPECT_EQ(view.tx(0).height, 0);
+  EXPECT_EQ(view.tx(1).height, 1);
+  EXPECT_EQ(view.tx(1).time - view.tx(0).time, kHour);
+}
+
+TEST(ChainView, FirstSeenTracksEarliestAppearance) {
+  TestChain chain;
+  auto cb = chain.coinbase(1, btc(50));
+  chain.next_block();
+  chain.spend({cb}, {{2, btc(25)}, {1, btc(25)}});  // addr 1 reappears
+  ChainView view = chain.view();
+
+  AddrId a1 = *view.addresses().find(test::addr(1));
+  AddrId a2 = *view.addresses().find(test::addr(2));
+  EXPECT_EQ(view.first_seen(a1), view.find_tx(cb.txid));
+  EXPECT_EQ(view.first_seen(a2), 1u);
+  EXPECT_EQ(view.first_seen(kNoAddr), kNoTx);
+}
+
+TEST(ChainView, FeeComputation) {
+  TestChain chain;
+  auto cb = chain.coinbase(1, btc(50));
+  chain.next_block();
+  chain.spend({cb}, {{2, btc(49)}});
+  ChainView view = chain.view();
+  const TxView& spend_tx = view.tx(1);
+  EXPECT_EQ(spend_tx.value_in(), btc(50));
+  EXPECT_EQ(spend_tx.value_out(), btc(49));
+  EXPECT_EQ(spend_tx.fee(), btc(1));
+  EXPECT_EQ(view.tx(0).fee(), 0);  // coinbase
+}
+
+TEST(ChainView, ThrowsOnDoubleSpendInStore) {
+  TestChain chain;
+  auto cb = chain.coinbase(1, btc(50));
+  chain.next_block();
+  chain.spend({cb}, {{2, btc(50)}});
+  chain.spend({cb}, {{3, btc(50)}});  // invalid second spend
+  EXPECT_THROW(chain.view(), ValidationError);
+}
+
+TEST(ChainView, ThrowsOnUnknownPrevout) {
+  TestChain chain;
+  chain.spend({test::CoinRef{hash256(to_bytes(std::string("ghost"))), 0}},
+              {{1, btc(1)}});
+  EXPECT_THROW(chain.view(), ValidationError);
+}
+
+TEST(ChainView, MultiInputResolution) {
+  TestChain chain;
+  auto c1 = chain.coinbase(1, btc(10));
+  auto c2 = chain.coinbase(2, btc(20));
+  chain.next_block();
+  chain.spend({c1, c2}, {{3, btc(29)}});
+  ChainView view = chain.view();
+  TxIndex spender = view.tx(view.find_tx(c1.txid)).outputs[0].spent_by;
+  const TxView& agg = view.tx(spender);
+  ASSERT_EQ(agg.inputs.size(), 2u);
+  EXPECT_EQ(agg.value_in(), btc(30));
+}
+
+TEST(ChainView, TxAccessorBounds) {
+  TestChain chain;
+  chain.coinbase(1, btc(50));
+  ChainView view = chain.view();
+  EXPECT_THROW(view.tx(99), UsageError);
+  EXPECT_EQ(view.find_tx(hash256(to_bytes(std::string("none")))), kNoTx);
+}
+
+}  // namespace
+}  // namespace fist

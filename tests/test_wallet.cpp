@@ -1,0 +1,245 @@
+#include "sim/wallet.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chain/sighash.hpp"
+#include "script/standard.hpp"
+#include "util/error.hpp"
+
+namespace fist::sim {
+namespace {
+
+Wallet make_wallet(WalletPolicy policy = {}, std::uint64_t seed = 1,
+                   KeyMode mode = KeyMode::Fast) {
+  return Wallet(KeyFactory(mode, Rng(seed)), policy, Rng(seed + 1000));
+}
+
+// Credits a synthetic coin to a fresh address of the wallet.
+OutPoint fund(Wallet& w, Amount value, int height = 0, bool coinbase = false,
+              int salt = 0) {
+  Address a = w.fresh_address();
+  OutPoint op{hash256(to_bytes("funding" + std::to_string(salt) +
+                               a.encode())),
+              0};
+  w.credit(op, value, a, height, coinbase);
+  return op;
+}
+
+TEST(Wallet, CreditRequiresOwnedAddress) {
+  Wallet w = make_wallet();
+  Address foreign(AddrType::P2PKH, hash160(to_bytes(std::string("x"))));
+  EXPECT_THROW(w.credit(OutPoint{}, btc(1), foreign, 0, false), UsageError);
+}
+
+TEST(Wallet, BalanceHonorsMaturity) {
+  Wallet w = make_wallet();
+  fund(w, btc(50), /*height=*/10, /*coinbase=*/true, 1);
+  fund(w, btc(3), 10, false, 2);
+  EXPECT_EQ(w.balance(/*height=*/10, /*maturity=*/100), btc(3));
+  EXPECT_EQ(w.balance(120, 100), btc(53));
+  EXPECT_EQ(w.total_balance(), btc(53));
+}
+
+TEST(Wallet, PayBuildsValidP2pkhTransaction) {
+  Wallet w = make_wallet();
+  fund(w, btc(10));
+  Address dest(AddrType::P2PKH, hash160(to_bytes(std::string("dest"))));
+  PaymentSpec spec;
+  spec.outputs.emplace_back(dest, btc(4));
+  auto built = w.pay(spec, 1, 100);
+  ASSERT_TRUE(built.has_value());
+  EXPECT_EQ(built->tx.inputs.size(), 1u);
+  // Output 0 pays the destination; the last output is change.
+  EXPECT_EQ(extract_address(built->tx.outputs[0].script_pubkey), dest);
+  ASSERT_TRUE(built->change_address.has_value());
+  EXPECT_TRUE(w.owns(*built->change_address));
+  // value conservation: in = out + fee
+  Amount out_total = built->tx.outputs[0].value + built->change_value;
+  EXPECT_EQ(out_total + w.policy().fee, btc(10));
+}
+
+TEST(Wallet, PayFailsOnInsufficientFunds) {
+  Wallet w = make_wallet();
+  fund(w, btc(1));
+  PaymentSpec spec;
+  spec.outputs.emplace_back(
+      Address(AddrType::P2PKH, hash160(to_bytes(std::string("d")))), btc(5));
+  EXPECT_FALSE(w.pay(spec, 1, 100).has_value());
+}
+
+TEST(Wallet, PayRejectsNonPositiveOutput) {
+  Wallet w = make_wallet();
+  fund(w, btc(1));
+  PaymentSpec spec;
+  spec.outputs.emplace_back(
+      Address(AddrType::P2PKH, hash160(to_bytes(std::string("d")))), 0);
+  EXPECT_THROW(w.pay(spec, 1, 100), UsageError);
+}
+
+TEST(Wallet, ChangeCreditedBackAndSpendable) {
+  Wallet w = make_wallet();
+  fund(w, btc(10));
+  PaymentSpec spec;
+  spec.outputs.emplace_back(
+      Address(AddrType::P2PKH, hash160(to_bytes(std::string("d")))), btc(4));
+  auto built = w.pay(spec, 1, 100);
+  ASSERT_TRUE(built);
+  // Wallet can immediately chain-spend the change.
+  PaymentSpec spec2;
+  spec2.outputs.emplace_back(
+      Address(AddrType::P2PKH, hash160(to_bytes(std::string("e")))), btc(3));
+  auto built2 = w.pay(spec2, 1, 100);
+  ASSERT_TRUE(built2);
+  EXPECT_EQ(built2->tx.inputs[0].prevout.txid, built->txid);
+}
+
+TEST(Wallet, DustChangeFoldsIntoFee) {
+  WalletPolicy policy;
+  policy.fee = 50'000;
+  policy.dust = 5'460;
+  Wallet w = make_wallet(policy);
+  fund(w, btc(1));
+  PaymentSpec spec;
+  spec.outputs.emplace_back(
+      Address(AddrType::P2PKH, hash160(to_bytes(std::string("d")))),
+      btc(1) - policy.fee - 1'000);  // leaves 1000 sat: dust
+  auto built = w.pay(spec, 1, 100);
+  ASSERT_TRUE(built);
+  EXPECT_FALSE(built->change_address.has_value());
+  EXPECT_EQ(built->tx.outputs.size(), 1u);
+}
+
+TEST(Wallet, SelfChangePolicyReturnsToInputAddress) {
+  WalletPolicy policy;
+  policy.p_self_change = 1.0;
+  Wallet w = make_wallet(policy);
+  OutPoint coin = fund(w, btc(10));
+  (void)coin;
+  PaymentSpec spec;
+  spec.outputs.emplace_back(
+      Address(AddrType::P2PKH, hash160(to_bytes(std::string("d")))), btc(4));
+  auto built = w.pay(spec, 1, 100);
+  ASSERT_TRUE(built);
+  ASSERT_TRUE(built->change_address);
+  // The change output address equals the spent input's address: find it
+  // via classification of the scriptSig's pubkey push.
+  auto ops = built->tx.inputs[0].script_sig.ops();
+  Address input_addr(AddrType::P2PKH, hash160(ops[1].push));
+  EXPECT_EQ(*built->change_address, input_addr);
+}
+
+TEST(Wallet, ForceFreshChangeOverridesPolicy) {
+  WalletPolicy policy;
+  policy.p_self_change = 1.0;
+  Wallet w = make_wallet(policy);
+  fund(w, btc(10));
+  PaymentSpec spec;
+  spec.outputs.emplace_back(
+      Address(AddrType::P2PKH, hash160(to_bytes(std::string("d")))), btc(4));
+  spec.force_fresh_change = true;
+  auto built = w.pay(spec, 1, 100);
+  ASSERT_TRUE(built);
+  auto ops = built->tx.inputs[0].script_sig.ops();
+  Address input_addr(AddrType::P2PKH, hash160(ops[1].push));
+  EXPECT_NE(*built->change_address, input_addr);
+}
+
+TEST(Wallet, SpendSpecificCoin) {
+  Wallet w = make_wallet();
+  OutPoint small = fund(w, btc(2), 0, false, 1);
+  OutPoint large = fund(w, btc(50), 0, false, 2);
+  PaymentSpec spec;
+  spec.outputs.emplace_back(
+      Address(AddrType::P2PKH, hash160(to_bytes(std::string("d")))), btc(30));
+  spec.spend_coin = large;
+  auto built = w.pay(spec, 1, 100);
+  ASSERT_TRUE(built);
+  ASSERT_EQ(built->tx.inputs.size(), 1u);
+  EXPECT_EQ(built->tx.inputs[0].prevout, large);
+
+  // Spending a specific coin that can't cover fails.
+  PaymentSpec spec2;
+  spec2.outputs.emplace_back(
+      Address(AddrType::P2PKH, hash160(to_bytes(std::string("d")))), btc(30));
+  spec2.spend_coin = small;
+  EXPECT_FALSE(w.pay(spec2, 1, 100).has_value());
+}
+
+TEST(Wallet, SpendUnknownCoinFails) {
+  Wallet w = make_wallet();
+  fund(w, btc(5));
+  PaymentSpec spec;
+  spec.outputs.emplace_back(
+      Address(AddrType::P2PKH, hash160(to_bytes(std::string("d")))), btc(1));
+  spec.spend_coin = OutPoint{hash256(to_bytes(std::string("?"))), 0};
+  EXPECT_FALSE(w.pay(spec, 1, 100).has_value());
+}
+
+TEST(Wallet, SweepAggregatesCoins) {
+  Wallet w = make_wallet();
+  for (int i = 0; i < 10; ++i) fund(w, btc(1), 0, false, i);
+  Address target = w.fresh_address();
+  auto built = w.sweep(target, 5, 100, 1, 100);
+  ASSERT_TRUE(built);
+  EXPECT_EQ(built->tx.inputs.size(), 10u);
+  EXPECT_EQ(built->tx.outputs.size(), 1u);
+  EXPECT_EQ(built->tx.outputs[0].value, btc(10) - w.policy().fee);
+  EXPECT_EQ(w.coin_count(), 0u);  // all spent (target not auto-credited)
+}
+
+TEST(Wallet, SweepRespectsMinAndSkip) {
+  Wallet w = make_wallet();
+  for (int i = 0; i < 4; ++i) fund(w, btc(1), 0, false, i);
+  EXPECT_FALSE(w.sweep(w.fresh_address(), 5, 100, 1, 100).has_value());
+  auto built = w.sweep(w.fresh_address(), 1, 100, 1, 100, /*skip_oldest=*/2);
+  ASSERT_TRUE(built);
+  EXPECT_EQ(built->tx.inputs.size(), 2u);
+  EXPECT_EQ(w.coin_count(), 2u);
+}
+
+TEST(Wallet, MaxInputsCapsSelection) {
+  Wallet w = make_wallet();
+  for (int i = 0; i < 8; ++i) fund(w, btc(1), 0, false, i);
+  PaymentSpec spec;
+  spec.outputs.emplace_back(
+      Address(AddrType::P2PKH, hash160(to_bytes(std::string("d")))), btc(6));
+  spec.max_inputs = 3;  // 3 coins = 3 BTC < 6 BTC + fee → must fail
+  EXPECT_FALSE(w.pay(spec, 1, 100).has_value());
+}
+
+TEST(Wallet, RealModeSignaturesVerify) {
+  Wallet w = make_wallet({}, 9, KeyMode::Real);
+  Address own = w.fresh_address();
+  OutPoint coin{hash256(to_bytes(std::string("real-funding"))), 0};
+  w.credit(coin, btc(5), own, 0, false);
+  PaymentSpec spec;
+  spec.outputs.emplace_back(
+      Address(AddrType::P2PKH, hash160(to_bytes(std::string("d")))), btc(1));
+  auto built = w.pay(spec, 1, 100);
+  ASSERT_TRUE(built);
+  // The scriptSig must be a genuine ECDSA signature over the sighash of
+  // the P2PKH script of the funded address.
+  EXPECT_TRUE(
+      verify_p2pkh_input(built->tx, 0, make_p2pkh(own.payload())));
+}
+
+TEST(Wallet, DonationAddressIsStable) {
+  Wallet w = make_wallet();
+  EXPECT_EQ(w.donation_address(), w.donation_address());
+}
+
+TEST(Wallet, ReceiveAddressReusePolicy) {
+  WalletPolicy reuse;
+  reuse.p_reuse_receive = 1.0;
+  Wallet w = make_wallet(reuse);
+  Address first = w.receive_address();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(w.receive_address(), first);
+
+  WalletPolicy fresh;
+  fresh.p_reuse_receive = 0.0;
+  Wallet w2 = make_wallet(fresh, 2);
+  EXPECT_NE(w2.receive_address(), w2.receive_address());
+}
+
+}  // namespace
+}  // namespace fist::sim

@@ -1,0 +1,146 @@
+#include "net/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/sha256.hpp"
+#include "script/standard.hpp"
+#include "util/error.hpp"
+#include "util/serialize.hpp"
+
+namespace fist::net {
+namespace {
+
+Transaction sample_tx() {
+  Transaction tx;
+  TxIn in;
+  in.prevout.txid = hash256(to_bytes(std::string("funding")));
+  tx.inputs.push_back(in);
+  tx.outputs.push_back(
+      TxOut{btc(1), make_p2pkh(hash160(to_bytes(std::string("payee"))))});
+  return tx;
+}
+
+Block sample_block() {
+  Block b;
+  b.header.time = 1231006505;
+  b.header.bits = 0x207fffff;
+  Transaction cb;
+  TxIn in;
+  in.prevout = OutPoint::coinbase();
+  cb.inputs.push_back(in);
+  cb.outputs.push_back(TxOut{btc(50), Script()});
+  b.transactions.push_back(cb);
+  b.fix_merkle_root();
+  return b;
+}
+
+TEST(Wire, CommandNames) {
+  EXPECT_EQ(command_of(InvMsg{}), "inv");
+  EXPECT_EQ(command_of(GetDataMsg{}), "getdata");
+  EXPECT_EQ(command_of(TxMsg{sample_tx()}), "tx");
+  EXPECT_EQ(command_of(BlockMsg{sample_block()}), "block");
+}
+
+TEST(Wire, InvRoundTrip) {
+  InvMsg m;
+  m.items.push_back({InvKind::Tx, hash256(to_bytes(std::string("t1")))});
+  m.items.push_back({InvKind::Block, hash256(to_bytes(std::string("b1")))});
+  Message decoded = decode_message(encode_message(m));
+  ASSERT_TRUE(std::holds_alternative<InvMsg>(decoded));
+  EXPECT_EQ(std::get<InvMsg>(decoded), m);
+}
+
+TEST(Wire, GetDataRoundTrip) {
+  GetDataMsg m;
+  m.items.push_back({InvKind::Tx, hash256(to_bytes(std::string("x")))});
+  Message decoded = decode_message(encode_message(m));
+  ASSERT_TRUE(std::holds_alternative<GetDataMsg>(decoded));
+  EXPECT_EQ(std::get<GetDataMsg>(decoded), m);
+}
+
+TEST(Wire, TxRoundTrip) {
+  TxMsg m{sample_tx()};
+  Message decoded = decode_message(encode_message(m));
+  ASSERT_TRUE(std::holds_alternative<TxMsg>(decoded));
+  EXPECT_EQ(std::get<TxMsg>(decoded).tx, m.tx);
+}
+
+TEST(Wire, BlockRoundTrip) {
+  BlockMsg m{sample_block()};
+  Message decoded = decode_message(encode_message(m));
+  ASSERT_TRUE(std::holds_alternative<BlockMsg>(decoded));
+  EXPECT_EQ(std::get<BlockMsg>(decoded).block, m.block);
+}
+
+TEST(Wire, HeaderLayout) {
+  Bytes frame = encode_message(InvMsg{});
+  ASSERT_GE(frame.size(), 24u);
+  // magic f9 be b4 d9
+  EXPECT_EQ(frame[0], 0xf9);
+  EXPECT_EQ(frame[3], 0xd9);
+  // command "inv" zero-padded to 12 bytes
+  EXPECT_EQ(frame[4], 'i');
+  EXPECT_EQ(frame[5], 'n');
+  EXPECT_EQ(frame[6], 'v');
+  for (int i = 7; i < 16; ++i) EXPECT_EQ(frame[static_cast<size_t>(i)], 0);
+}
+
+TEST(Wire, ChecksumDetectsCorruption) {
+  InvMsg m;
+  m.items.push_back({InvKind::Tx, hash256(to_bytes(std::string("t")))});
+  Bytes frame = encode_message(m);
+  frame.back() ^= 0x01;
+  EXPECT_THROW(decode_message(frame), ParseError);
+}
+
+TEST(Wire, RejectsBadMagic) {
+  Bytes frame = encode_message(InvMsg{});
+  frame[0] = 0x00;
+  EXPECT_THROW(decode_message(frame), ParseError);
+}
+
+TEST(Wire, RejectsUnknownCommand) {
+  Bytes frame = encode_message(InvMsg{});
+  frame[4] = 'z';  // "znv" — checksum still valid (command not covered)
+  EXPECT_THROW(decode_message(frame), ParseError);
+}
+
+TEST(Wire, RejectsMalformedCommandPadding) {
+  Bytes frame = encode_message(InvMsg{});
+  frame[8] = 'x';  // NUL then garbage inside the command field
+  EXPECT_THROW(decode_message(frame), ParseError);
+}
+
+TEST(Wire, RejectsTruncatedFrame) {
+  Bytes frame = encode_message(TxMsg{sample_tx()});
+  frame.resize(frame.size() - 3);
+  EXPECT_THROW(decode_message(frame), ParseError);
+}
+
+TEST(Wire, RejectsOversizedInvCount) {
+  // Handcraft an inv with a huge count prefix.
+  Writer payload;
+  payload.varint(60'000);
+  Writer w;
+  w.u32le(0xd9b4bef9u);
+  std::array<std::uint8_t, 12> cmd{'i', 'n', 'v'};
+  w.bytes(ByteView(cmd));
+  Bytes body = payload.take();
+  w.u32le(static_cast<std::uint32_t>(body.size()));
+  auto check = sha256d(body);
+  w.bytes(ByteView(check.data(), 4));
+  w.bytes(body);
+  Bytes frame = w.take();
+  EXPECT_THROW(decode_message(frame), ParseError);
+}
+
+TEST(Wire, WireSizeMatchesEncoding) {
+  TxMsg m{sample_tx()};
+  EXPECT_EQ(wire_size(m), encode_message(m).size());
+  InvMsg inv;
+  inv.items.push_back({InvKind::Tx, Hash256{}});
+  EXPECT_EQ(wire_size(inv), encode_message(inv).size());
+}
+
+}  // namespace
+}  // namespace fist::net

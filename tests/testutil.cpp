@@ -1,0 +1,89 @@
+#include "testutil.hpp"
+
+#include "crypto/hash.hpp"
+#include "util/serialize.hpp"
+
+namespace fist::test {
+
+Address addr(std::uint32_t i) {
+  Writer w;
+  w.var_string("test-address");
+  w.u32le(i);
+  return Address(AddrType::P2PKH, hash160(w.view()));
+}
+
+void TestChain::open_block() {
+  current_ = Block();
+  current_.header.version = 1;
+  current_.header.prev_hash =
+      blocks_.empty() ? Hash256{} : blocks_.back().header.hash();
+  current_.header.time = static_cast<std::uint32_t>(time_);
+  current_.header.bits = 0x207fffff;
+  open_ = true;
+}
+
+void TestChain::close_block() {
+  if (!open_) return;
+  // Every block needs at least one tx for a merkle root; add a dummy
+  // coinbase if empty.
+  if (current_.transactions.empty()) coinbase(0xfffffffe, 1);
+  current_.fix_merkle_root();
+  blocks_.push_back(current_);
+  open_ = false;
+}
+
+CoinRef TestChain::coinbase(std::uint32_t to, Amount value) {
+  Transaction tx;
+  TxIn in;
+  in.prevout = OutPoint::coinbase();
+  Script sig;
+  Writer w;
+  w.u64le(coinbase_seq_++);
+  sig.push(w.view());
+  in.script_sig = sig;
+  tx.inputs.push_back(in);
+  tx.outputs.push_back(TxOut{value, make_script_for(addr(to))});
+  Hash256 txid = tx.txid();
+  current_.transactions.push_back(std::move(tx));
+  return CoinRef{txid, 0};
+}
+
+std::vector<CoinRef> TestChain::spend_all(
+    const std::vector<CoinRef>& inputs,
+    const std::vector<std::pair<std::uint32_t, Amount>>& outputs) {
+  Transaction tx;
+  for (const CoinRef& c : inputs) {
+    TxIn in;
+    in.prevout = OutPoint{c.txid, c.index};
+    tx.inputs.push_back(in);
+  }
+  for (const auto& [a, v] : outputs)
+    tx.outputs.push_back(TxOut{v, make_script_for(addr(a))});
+  Hash256 txid = tx.txid();
+  current_.transactions.push_back(std::move(tx));
+  std::vector<CoinRef> refs;
+  for (std::uint32_t i = 0; i < outputs.size(); ++i)
+    refs.push_back(CoinRef{txid, i});
+  return refs;
+}
+
+CoinRef TestChain::spend(
+    const std::vector<CoinRef>& inputs,
+    const std::vector<std::pair<std::uint32_t, Amount>>& outputs) {
+  return spend_all(inputs, outputs)[0];
+}
+
+void TestChain::next_block() {
+  close_block();
+  time_ += interval_;
+  open_block();
+}
+
+const std::vector<Block>& TestChain::blocks() {
+  close_block();
+  return blocks_;
+}
+
+ChainView TestChain::view() { return ChainView::build(blocks()); }
+
+}  // namespace fist::test

@@ -1,0 +1,75 @@
+// testutil.hpp — helpers for building synthetic chains in tests.
+//
+// TestChain lets heuristic tests construct precise transaction graphs
+// (who pays whom, which outputs are fresh) without the full economy
+// simulator, while still going through the real block/serialization
+// machinery that ChainView consumes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chain/block.hpp"
+#include "chain/view.hpp"
+#include "encoding/address.hpp"
+#include "script/standard.hpp"
+#include "util/timeutil.hpp"
+
+namespace fist::test {
+
+/// Deterministic P2PKH address number `i` (distinct for distinct i).
+Address addr(std::uint32_t i);
+
+/// Reference to a created output.
+struct CoinRef {
+  Hash256 txid;
+  std::uint32_t index = 0;
+};
+
+/// Incrementally builds a valid-enough chain for ChainView::build.
+class TestChain {
+ public:
+  explicit TestChain(Timestamp start = kGenesisTime,
+                     Timestamp block_interval = kHour)
+      : time_(start), interval_(block_interval) {
+    open_block();
+  }
+
+  /// Creates a coinbase paying `value` to address number `to`.
+  CoinRef coinbase(std::uint32_t to, Amount value);
+
+  /// Spends `inputs` into outputs (addr number, value) pairs.
+  /// Value conservation is NOT enforced (ChainView doesn't check), so
+  /// tests can focus purely on graph structure.
+  CoinRef spend(const std::vector<CoinRef>& inputs,
+                const std::vector<std::pair<std::uint32_t, Amount>>& outputs);
+
+  /// As spend(), but returns refs for every output.
+  std::vector<CoinRef> spend_all(
+      const std::vector<CoinRef>& inputs,
+      const std::vector<std::pair<std::uint32_t, Amount>>& outputs);
+
+  /// Closes the current block and starts a new one `interval` later.
+  void next_block();
+
+  /// Finalizes and builds the analysis view.
+  ChainView view();
+
+  /// Blocks built so far (finalizes the open block).
+  const std::vector<Block>& blocks();
+
+  Timestamp now() const noexcept { return time_; }
+
+ private:
+  void open_block();
+  void close_block();
+
+  std::vector<Block> blocks_;
+  Block current_;
+  Timestamp time_;
+  Timestamp interval_;
+  std::uint64_t coinbase_seq_ = 0;
+  bool open_ = false;
+};
+
+}  // namespace fist::test
