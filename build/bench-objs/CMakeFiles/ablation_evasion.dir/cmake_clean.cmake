@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_evasion"
+  "../bench/ablation_evasion.pdb"
+  "CMakeFiles/ablation_evasion.dir/ablation_evasion.cpp.o"
+  "CMakeFiles/ablation_evasion.dir/ablation_evasion.cpp.o.d"
+  "CMakeFiles/ablation_evasion.dir/common.cpp.o"
+  "CMakeFiles/ablation_evasion.dir/common.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_evasion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/figure1_propagation"
+  "../bench/figure1_propagation.pdb"
+  "CMakeFiles/figure1_propagation.dir/common.cpp.o"
+  "CMakeFiles/figure1_propagation.dir/common.cpp.o.d"
+  "CMakeFiles/figure1_propagation.dir/figure1_propagation.cpp.o"
+  "CMakeFiles/figure1_propagation.dir/figure1_propagation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure1_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/figure2_balances"
+  "../bench/figure2_balances.pdb"
+  "CMakeFiles/figure2_balances.dir/common.cpp.o"
+  "CMakeFiles/figure2_balances.dir/common.cpp.o.d"
+  "CMakeFiles/figure2_balances.dir/figure2_balances.cpp.o"
+  "CMakeFiles/figure2_balances.dir/figure2_balances.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure2_balances.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/table1_tagging"
+  "../bench/table1_tagging.pdb"
+  "CMakeFiles/table1_tagging.dir/common.cpp.o"
+  "CMakeFiles/table1_tagging.dir/common.cpp.o.d"
+  "CMakeFiles/table1_tagging.dir/table1_tagging.cpp.o"
+  "CMakeFiles/table1_tagging.dir/table1_tagging.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_tagging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/table2_peeling"
+  "../bench/table2_peeling.pdb"
+  "CMakeFiles/table2_peeling.dir/common.cpp.o"
+  "CMakeFiles/table2_peeling.dir/common.cpp.o.d"
+  "CMakeFiles/table2_peeling.dir/table2_peeling.cpp.o"
+  "CMakeFiles/table2_peeling.dir/table2_peeling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_peeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

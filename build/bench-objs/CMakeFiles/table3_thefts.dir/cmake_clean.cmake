@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/table3_thefts"
+  "../bench/table3_thefts.pdb"
+  "CMakeFiles/table3_thefts.dir/common.cpp.o"
+  "CMakeFiles/table3_thefts.dir/common.cpp.o.d"
+  "CMakeFiles/table3_thefts.dir/table3_thefts.cpp.o"
+  "CMakeFiles/table3_thefts.dir/table3_thefts.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_thefts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/table_clusters"
+  "../bench/table_clusters.pdb"
+  "CMakeFiles/table_clusters.dir/common.cpp.o"
+  "CMakeFiles/table_clusters.dir/common.cpp.o.d"
+  "CMakeFiles/table_clusters.dir/table_clusters.cpp.o"
+  "CMakeFiles/table_clusters.dir/table_clusters.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/table_heuristic2"
+  "../bench/table_heuristic2.pdb"
+  "CMakeFiles/table_heuristic2.dir/common.cpp.o"
+  "CMakeFiles/table_heuristic2.dir/common.cpp.o.d"
+  "CMakeFiles/table_heuristic2.dir/table_heuristic2.cpp.o"
+  "CMakeFiles/table_heuristic2.dir/table_heuristic2.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_heuristic2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

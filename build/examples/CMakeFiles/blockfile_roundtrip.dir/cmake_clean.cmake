@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blockfile_roundtrip.dir/blockfile_roundtrip.cpp.o"
+  "CMakeFiles/blockfile_roundtrip.dir/blockfile_roundtrip.cpp.o.d"
+  "blockfile_roundtrip"
+  "blockfile_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blockfile_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

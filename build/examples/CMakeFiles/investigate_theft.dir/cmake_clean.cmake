@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/investigate_theft.dir/investigate_theft.cpp.o"
+  "CMakeFiles/investigate_theft.dir/investigate_theft.cpp.o.d"
+  "investigate_theft"
+  "investigate_theft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/investigate_theft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_silkroad.dir/trace_silkroad.cpp.o"
+  "CMakeFiles/trace_silkroad.dir/trace_silkroad.cpp.o.d"
+  "trace_silkroad"
+  "trace_silkroad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_silkroad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/watch_propagation.dir/watch_propagation.cpp.o"
+  "CMakeFiles/watch_propagation.dir/watch_propagation.cpp.o.d"
+  "watch_propagation"
+  "watch_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/watch_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/balances.cpp" "src/analysis/CMakeFiles/fist_analysis.dir/balances.cpp.o" "gcc" "src/analysis/CMakeFiles/fist_analysis.dir/balances.cpp.o.d"
+  "/root/repo/src/analysis/explorer.cpp" "src/analysis/CMakeFiles/fist_analysis.dir/explorer.cpp.o" "gcc" "src/analysis/CMakeFiles/fist_analysis.dir/explorer.cpp.o.d"
+  "/root/repo/src/analysis/export.cpp" "src/analysis/CMakeFiles/fist_analysis.dir/export.cpp.o" "gcc" "src/analysis/CMakeFiles/fist_analysis.dir/export.cpp.o.d"
+  "/root/repo/src/analysis/graph.cpp" "src/analysis/CMakeFiles/fist_analysis.dir/graph.cpp.o" "gcc" "src/analysis/CMakeFiles/fist_analysis.dir/graph.cpp.o.d"
+  "/root/repo/src/analysis/peeling.cpp" "src/analysis/CMakeFiles/fist_analysis.dir/peeling.cpp.o" "gcc" "src/analysis/CMakeFiles/fist_analysis.dir/peeling.cpp.o.d"
+  "/root/repo/src/analysis/theft.cpp" "src/analysis/CMakeFiles/fist_analysis.dir/theft.cpp.o" "gcc" "src/analysis/CMakeFiles/fist_analysis.dir/theft.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fist_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/fist_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/fist_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/tag/CMakeFiles/fist_tag.dir/DependInfo.cmake"
+  "/root/repo/build/src/script/CMakeFiles/fist_script.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/fist_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/fist_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

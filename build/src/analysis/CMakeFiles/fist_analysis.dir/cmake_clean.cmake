@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fist_analysis.dir/balances.cpp.o"
+  "CMakeFiles/fist_analysis.dir/balances.cpp.o.d"
+  "CMakeFiles/fist_analysis.dir/explorer.cpp.o"
+  "CMakeFiles/fist_analysis.dir/explorer.cpp.o.d"
+  "CMakeFiles/fist_analysis.dir/export.cpp.o"
+  "CMakeFiles/fist_analysis.dir/export.cpp.o.d"
+  "CMakeFiles/fist_analysis.dir/graph.cpp.o"
+  "CMakeFiles/fist_analysis.dir/graph.cpp.o.d"
+  "CMakeFiles/fist_analysis.dir/peeling.cpp.o"
+  "CMakeFiles/fist_analysis.dir/peeling.cpp.o.d"
+  "CMakeFiles/fist_analysis.dir/theft.cpp.o"
+  "CMakeFiles/fist_analysis.dir/theft.cpp.o.d"
+  "libfist_analysis.a"
+  "libfist_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fist_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

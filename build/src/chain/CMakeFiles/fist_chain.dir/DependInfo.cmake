@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chain/addrbook.cpp" "src/chain/CMakeFiles/fist_chain.dir/addrbook.cpp.o" "gcc" "src/chain/CMakeFiles/fist_chain.dir/addrbook.cpp.o.d"
+  "/root/repo/src/chain/block.cpp" "src/chain/CMakeFiles/fist_chain.dir/block.cpp.o" "gcc" "src/chain/CMakeFiles/fist_chain.dir/block.cpp.o.d"
+  "/root/repo/src/chain/blockstore.cpp" "src/chain/CMakeFiles/fist_chain.dir/blockstore.cpp.o" "gcc" "src/chain/CMakeFiles/fist_chain.dir/blockstore.cpp.o.d"
+  "/root/repo/src/chain/chainstate.cpp" "src/chain/CMakeFiles/fist_chain.dir/chainstate.cpp.o" "gcc" "src/chain/CMakeFiles/fist_chain.dir/chainstate.cpp.o.d"
+  "/root/repo/src/chain/interpreter.cpp" "src/chain/CMakeFiles/fist_chain.dir/interpreter.cpp.o" "gcc" "src/chain/CMakeFiles/fist_chain.dir/interpreter.cpp.o.d"
+  "/root/repo/src/chain/pow.cpp" "src/chain/CMakeFiles/fist_chain.dir/pow.cpp.o" "gcc" "src/chain/CMakeFiles/fist_chain.dir/pow.cpp.o.d"
+  "/root/repo/src/chain/sighash.cpp" "src/chain/CMakeFiles/fist_chain.dir/sighash.cpp.o" "gcc" "src/chain/CMakeFiles/fist_chain.dir/sighash.cpp.o.d"
+  "/root/repo/src/chain/transaction.cpp" "src/chain/CMakeFiles/fist_chain.dir/transaction.cpp.o" "gcc" "src/chain/CMakeFiles/fist_chain.dir/transaction.cpp.o.d"
+  "/root/repo/src/chain/utxo.cpp" "src/chain/CMakeFiles/fist_chain.dir/utxo.cpp.o" "gcc" "src/chain/CMakeFiles/fist_chain.dir/utxo.cpp.o.d"
+  "/root/repo/src/chain/view.cpp" "src/chain/CMakeFiles/fist_chain.dir/view.cpp.o" "gcc" "src/chain/CMakeFiles/fist_chain.dir/view.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fist_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/fist_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/fist_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/script/CMakeFiles/fist_script.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fist_chain.dir/addrbook.cpp.o"
+  "CMakeFiles/fist_chain.dir/addrbook.cpp.o.d"
+  "CMakeFiles/fist_chain.dir/block.cpp.o"
+  "CMakeFiles/fist_chain.dir/block.cpp.o.d"
+  "CMakeFiles/fist_chain.dir/blockstore.cpp.o"
+  "CMakeFiles/fist_chain.dir/blockstore.cpp.o.d"
+  "CMakeFiles/fist_chain.dir/chainstate.cpp.o"
+  "CMakeFiles/fist_chain.dir/chainstate.cpp.o.d"
+  "CMakeFiles/fist_chain.dir/interpreter.cpp.o"
+  "CMakeFiles/fist_chain.dir/interpreter.cpp.o.d"
+  "CMakeFiles/fist_chain.dir/pow.cpp.o"
+  "CMakeFiles/fist_chain.dir/pow.cpp.o.d"
+  "CMakeFiles/fist_chain.dir/sighash.cpp.o"
+  "CMakeFiles/fist_chain.dir/sighash.cpp.o.d"
+  "CMakeFiles/fist_chain.dir/transaction.cpp.o"
+  "CMakeFiles/fist_chain.dir/transaction.cpp.o.d"
+  "CMakeFiles/fist_chain.dir/utxo.cpp.o"
+  "CMakeFiles/fist_chain.dir/utxo.cpp.o.d"
+  "CMakeFiles/fist_chain.dir/view.cpp.o"
+  "CMakeFiles/fist_chain.dir/view.cpp.o.d"
+  "libfist_chain.a"
+  "libfist_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fist_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cli/fistctl.cpp" "src/cli/CMakeFiles/fistctl.dir/fistctl.cpp.o" "gcc" "src/cli/CMakeFiles/fistctl.dir/fistctl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fist_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fist_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/fist_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/fist_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/tag/CMakeFiles/fist_tag.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/fist_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/script/CMakeFiles/fist_script.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/fist_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/fist_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fist_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

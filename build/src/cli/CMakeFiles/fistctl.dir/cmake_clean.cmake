@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../fistctl"
+  "../../fistctl.pdb"
+  "CMakeFiles/fistctl.dir/fistctl.cpp.o"
+  "CMakeFiles/fistctl.dir/fistctl.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fistctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

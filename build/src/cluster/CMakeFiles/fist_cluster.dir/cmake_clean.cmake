@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fist_cluster.dir/clustering.cpp.o"
+  "CMakeFiles/fist_cluster.dir/clustering.cpp.o.d"
+  "CMakeFiles/fist_cluster.dir/heuristic1.cpp.o"
+  "CMakeFiles/fist_cluster.dir/heuristic1.cpp.o.d"
+  "CMakeFiles/fist_cluster.dir/heuristic2.cpp.o"
+  "CMakeFiles/fist_cluster.dir/heuristic2.cpp.o.d"
+  "CMakeFiles/fist_cluster.dir/metrics.cpp.o"
+  "CMakeFiles/fist_cluster.dir/metrics.cpp.o.d"
+  "CMakeFiles/fist_cluster.dir/unionfind.cpp.o"
+  "CMakeFiles/fist_cluster.dir/unionfind.cpp.o.d"
+  "libfist_cluster.a"
+  "libfist_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fist_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

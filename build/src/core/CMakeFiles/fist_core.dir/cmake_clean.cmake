@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fist_core.dir/pipeline.cpp.o"
+  "CMakeFiles/fist_core.dir/pipeline.cpp.o.d"
+  "libfist_core.a"
+  "libfist_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fist_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fist_crypto.dir/ecdsa.cpp.o"
+  "CMakeFiles/fist_crypto.dir/ecdsa.cpp.o.d"
+  "CMakeFiles/fist_crypto.dir/hash.cpp.o"
+  "CMakeFiles/fist_crypto.dir/hash.cpp.o.d"
+  "CMakeFiles/fist_crypto.dir/merkle.cpp.o"
+  "CMakeFiles/fist_crypto.dir/merkle.cpp.o.d"
+  "CMakeFiles/fist_crypto.dir/ripemd160.cpp.o"
+  "CMakeFiles/fist_crypto.dir/ripemd160.cpp.o.d"
+  "CMakeFiles/fist_crypto.dir/secp256k1.cpp.o"
+  "CMakeFiles/fist_crypto.dir/secp256k1.cpp.o.d"
+  "CMakeFiles/fist_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/fist_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/fist_crypto.dir/u256.cpp.o"
+  "CMakeFiles/fist_crypto.dir/u256.cpp.o.d"
+  "libfist_crypto.a"
+  "libfist_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fist_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/encoding/address.cpp" "src/encoding/CMakeFiles/fist_encoding.dir/address.cpp.o" "gcc" "src/encoding/CMakeFiles/fist_encoding.dir/address.cpp.o.d"
+  "/root/repo/src/encoding/base58.cpp" "src/encoding/CMakeFiles/fist_encoding.dir/base58.cpp.o" "gcc" "src/encoding/CMakeFiles/fist_encoding.dir/base58.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fist_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/fist_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

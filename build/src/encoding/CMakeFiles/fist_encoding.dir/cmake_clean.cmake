@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fist_encoding.dir/address.cpp.o"
+  "CMakeFiles/fist_encoding.dir/address.cpp.o.d"
+  "CMakeFiles/fist_encoding.dir/base58.cpp.o"
+  "CMakeFiles/fist_encoding.dir/base58.cpp.o.d"
+  "libfist_encoding.a"
+  "libfist_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fist_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

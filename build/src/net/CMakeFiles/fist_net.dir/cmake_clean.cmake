@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fist_net.dir/eventloop.cpp.o"
+  "CMakeFiles/fist_net.dir/eventloop.cpp.o.d"
+  "CMakeFiles/fist_net.dir/network.cpp.o"
+  "CMakeFiles/fist_net.dir/network.cpp.o.d"
+  "CMakeFiles/fist_net.dir/node.cpp.o"
+  "CMakeFiles/fist_net.dir/node.cpp.o.d"
+  "CMakeFiles/fist_net.dir/wire.cpp.o"
+  "CMakeFiles/fist_net.dir/wire.cpp.o.d"
+  "libfist_net.a"
+  "libfist_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fist_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fist_script.dir/script.cpp.o"
+  "CMakeFiles/fist_script.dir/script.cpp.o.d"
+  "CMakeFiles/fist_script.dir/standard.cpp.o"
+  "CMakeFiles/fist_script.dir/standard.cpp.o.d"
+  "libfist_script.a"
+  "libfist_script.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fist_script.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfist_script.a"
+)

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/actor.cpp" "src/sim/CMakeFiles/fist_sim.dir/actor.cpp.o" "gcc" "src/sim/CMakeFiles/fist_sim.dir/actor.cpp.o.d"
+  "/root/repo/src/sim/flows.cpp" "src/sim/CMakeFiles/fist_sim.dir/flows.cpp.o" "gcc" "src/sim/CMakeFiles/fist_sim.dir/flows.cpp.o.d"
+  "/root/repo/src/sim/hoard.cpp" "src/sim/CMakeFiles/fist_sim.dir/hoard.cpp.o" "gcc" "src/sim/CMakeFiles/fist_sim.dir/hoard.cpp.o.d"
+  "/root/repo/src/sim/keyfactory.cpp" "src/sim/CMakeFiles/fist_sim.dir/keyfactory.cpp.o" "gcc" "src/sim/CMakeFiles/fist_sim.dir/keyfactory.cpp.o.d"
+  "/root/repo/src/sim/probe.cpp" "src/sim/CMakeFiles/fist_sim.dir/probe.cpp.o" "gcc" "src/sim/CMakeFiles/fist_sim.dir/probe.cpp.o.d"
+  "/root/repo/src/sim/services.cpp" "src/sim/CMakeFiles/fist_sim.dir/services.cpp.o" "gcc" "src/sim/CMakeFiles/fist_sim.dir/services.cpp.o.d"
+  "/root/repo/src/sim/thief.cpp" "src/sim/CMakeFiles/fist_sim.dir/thief.cpp.o" "gcc" "src/sim/CMakeFiles/fist_sim.dir/thief.cpp.o.d"
+  "/root/repo/src/sim/wallet.cpp" "src/sim/CMakeFiles/fist_sim.dir/wallet.cpp.o" "gcc" "src/sim/CMakeFiles/fist_sim.dir/wallet.cpp.o.d"
+  "/root/repo/src/sim/world.cpp" "src/sim/CMakeFiles/fist_sim.dir/world.cpp.o" "gcc" "src/sim/CMakeFiles/fist_sim.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fist_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/fist_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/fist_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/script/CMakeFiles/fist_script.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/fist_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/tag/CMakeFiles/fist_tag.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

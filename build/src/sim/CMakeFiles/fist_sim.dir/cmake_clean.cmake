@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fist_sim.dir/actor.cpp.o"
+  "CMakeFiles/fist_sim.dir/actor.cpp.o.d"
+  "CMakeFiles/fist_sim.dir/flows.cpp.o"
+  "CMakeFiles/fist_sim.dir/flows.cpp.o.d"
+  "CMakeFiles/fist_sim.dir/hoard.cpp.o"
+  "CMakeFiles/fist_sim.dir/hoard.cpp.o.d"
+  "CMakeFiles/fist_sim.dir/keyfactory.cpp.o"
+  "CMakeFiles/fist_sim.dir/keyfactory.cpp.o.d"
+  "CMakeFiles/fist_sim.dir/probe.cpp.o"
+  "CMakeFiles/fist_sim.dir/probe.cpp.o.d"
+  "CMakeFiles/fist_sim.dir/services.cpp.o"
+  "CMakeFiles/fist_sim.dir/services.cpp.o.d"
+  "CMakeFiles/fist_sim.dir/thief.cpp.o"
+  "CMakeFiles/fist_sim.dir/thief.cpp.o.d"
+  "CMakeFiles/fist_sim.dir/wallet.cpp.o"
+  "CMakeFiles/fist_sim.dir/wallet.cpp.o.d"
+  "CMakeFiles/fist_sim.dir/world.cpp.o"
+  "CMakeFiles/fist_sim.dir/world.cpp.o.d"
+  "libfist_sim.a"
+  "libfist_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fist_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tag/category.cpp" "src/tag/CMakeFiles/fist_tag.dir/category.cpp.o" "gcc" "src/tag/CMakeFiles/fist_tag.dir/category.cpp.o.d"
+  "/root/repo/src/tag/feedio.cpp" "src/tag/CMakeFiles/fist_tag.dir/feedio.cpp.o" "gcc" "src/tag/CMakeFiles/fist_tag.dir/feedio.cpp.o.d"
+  "/root/repo/src/tag/naming.cpp" "src/tag/CMakeFiles/fist_tag.dir/naming.cpp.o" "gcc" "src/tag/CMakeFiles/fist_tag.dir/naming.cpp.o.d"
+  "/root/repo/src/tag/tagstore.cpp" "src/tag/CMakeFiles/fist_tag.dir/tagstore.cpp.o" "gcc" "src/tag/CMakeFiles/fist_tag.dir/tagstore.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fist_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/fist_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/script/CMakeFiles/fist_script.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/fist_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/fist_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

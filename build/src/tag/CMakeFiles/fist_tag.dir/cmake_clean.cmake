@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fist_tag.dir/category.cpp.o"
+  "CMakeFiles/fist_tag.dir/category.cpp.o.d"
+  "CMakeFiles/fist_tag.dir/feedio.cpp.o"
+  "CMakeFiles/fist_tag.dir/feedio.cpp.o.d"
+  "CMakeFiles/fist_tag.dir/naming.cpp.o"
+  "CMakeFiles/fist_tag.dir/naming.cpp.o.d"
+  "CMakeFiles/fist_tag.dir/tagstore.cpp.o"
+  "CMakeFiles/fist_tag.dir/tagstore.cpp.o.d"
+  "libfist_tag.a"
+  "libfist_tag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fist_tag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fist_util.dir/amount.cpp.o"
+  "CMakeFiles/fist_util.dir/amount.cpp.o.d"
+  "CMakeFiles/fist_util.dir/hex.cpp.o"
+  "CMakeFiles/fist_util.dir/hex.cpp.o.d"
+  "CMakeFiles/fist_util.dir/rng.cpp.o"
+  "CMakeFiles/fist_util.dir/rng.cpp.o.d"
+  "CMakeFiles/fist_util.dir/serialize.cpp.o"
+  "CMakeFiles/fist_util.dir/serialize.cpp.o.d"
+  "CMakeFiles/fist_util.dir/table.cpp.o"
+  "CMakeFiles/fist_util.dir/table.cpp.o.d"
+  "CMakeFiles/fist_util.dir/timeutil.cpp.o"
+  "CMakeFiles/fist_util.dir/timeutil.cpp.o.d"
+  "libfist_util.a"
+  "libfist_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fist_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,85 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_addrbook.cpp" "tests/CMakeFiles/fist_tests.dir/test_addrbook.cpp.o" "gcc" "tests/CMakeFiles/fist_tests.dir/test_addrbook.cpp.o.d"
+  "/root/repo/tests/test_address.cpp" "tests/CMakeFiles/fist_tests.dir/test_address.cpp.o" "gcc" "tests/CMakeFiles/fist_tests.dir/test_address.cpp.o.d"
+  "/root/repo/tests/test_amount.cpp" "tests/CMakeFiles/fist_tests.dir/test_amount.cpp.o" "gcc" "tests/CMakeFiles/fist_tests.dir/test_amount.cpp.o.d"
+  "/root/repo/tests/test_balances.cpp" "tests/CMakeFiles/fist_tests.dir/test_balances.cpp.o" "gcc" "tests/CMakeFiles/fist_tests.dir/test_balances.cpp.o.d"
+  "/root/repo/tests/test_base58.cpp" "tests/CMakeFiles/fist_tests.dir/test_base58.cpp.o" "gcc" "tests/CMakeFiles/fist_tests.dir/test_base58.cpp.o.d"
+  "/root/repo/tests/test_block.cpp" "tests/CMakeFiles/fist_tests.dir/test_block.cpp.o" "gcc" "tests/CMakeFiles/fist_tests.dir/test_block.cpp.o.d"
+  "/root/repo/tests/test_blockstore.cpp" "tests/CMakeFiles/fist_tests.dir/test_blockstore.cpp.o" "gcc" "tests/CMakeFiles/fist_tests.dir/test_blockstore.cpp.o.d"
+  "/root/repo/tests/test_category.cpp" "tests/CMakeFiles/fist_tests.dir/test_category.cpp.o" "gcc" "tests/CMakeFiles/fist_tests.dir/test_category.cpp.o.d"
+  "/root/repo/tests/test_chainstate.cpp" "tests/CMakeFiles/fist_tests.dir/test_chainstate.cpp.o" "gcc" "tests/CMakeFiles/fist_tests.dir/test_chainstate.cpp.o.d"
+  "/root/repo/tests/test_clustering.cpp" "tests/CMakeFiles/fist_tests.dir/test_clustering.cpp.o" "gcc" "tests/CMakeFiles/fist_tests.dir/test_clustering.cpp.o.d"
+  "/root/repo/tests/test_ecdsa.cpp" "tests/CMakeFiles/fist_tests.dir/test_ecdsa.cpp.o" "gcc" "tests/CMakeFiles/fist_tests.dir/test_ecdsa.cpp.o.d"
+  "/root/repo/tests/test_end_to_end.cpp" "tests/CMakeFiles/fist_tests.dir/test_end_to_end.cpp.o" "gcc" "tests/CMakeFiles/fist_tests.dir/test_end_to_end.cpp.o.d"
+  "/root/repo/tests/test_eventloop.cpp" "tests/CMakeFiles/fist_tests.dir/test_eventloop.cpp.o" "gcc" "tests/CMakeFiles/fist_tests.dir/test_eventloop.cpp.o.d"
+  "/root/repo/tests/test_explorer.cpp" "tests/CMakeFiles/fist_tests.dir/test_explorer.cpp.o" "gcc" "tests/CMakeFiles/fist_tests.dir/test_explorer.cpp.o.d"
+  "/root/repo/tests/test_export.cpp" "tests/CMakeFiles/fist_tests.dir/test_export.cpp.o" "gcc" "tests/CMakeFiles/fist_tests.dir/test_export.cpp.o.d"
+  "/root/repo/tests/test_feedio.cpp" "tests/CMakeFiles/fist_tests.dir/test_feedio.cpp.o" "gcc" "tests/CMakeFiles/fist_tests.dir/test_feedio.cpp.o.d"
+  "/root/repo/tests/test_flows.cpp" "tests/CMakeFiles/fist_tests.dir/test_flows.cpp.o" "gcc" "tests/CMakeFiles/fist_tests.dir/test_flows.cpp.o.d"
+  "/root/repo/tests/test_fuzz.cpp" "tests/CMakeFiles/fist_tests.dir/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/fist_tests.dir/test_fuzz.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/fist_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/fist_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_hash.cpp" "tests/CMakeFiles/fist_tests.dir/test_hash.cpp.o" "gcc" "tests/CMakeFiles/fist_tests.dir/test_hash.cpp.o.d"
+  "/root/repo/tests/test_heuristic1.cpp" "tests/CMakeFiles/fist_tests.dir/test_heuristic1.cpp.o" "gcc" "tests/CMakeFiles/fist_tests.dir/test_heuristic1.cpp.o.d"
+  "/root/repo/tests/test_heuristic2.cpp" "tests/CMakeFiles/fist_tests.dir/test_heuristic2.cpp.o" "gcc" "tests/CMakeFiles/fist_tests.dir/test_heuristic2.cpp.o.d"
+  "/root/repo/tests/test_hex.cpp" "tests/CMakeFiles/fist_tests.dir/test_hex.cpp.o" "gcc" "tests/CMakeFiles/fist_tests.dir/test_hex.cpp.o.d"
+  "/root/repo/tests/test_interpreter.cpp" "tests/CMakeFiles/fist_tests.dir/test_interpreter.cpp.o" "gcc" "tests/CMakeFiles/fist_tests.dir/test_interpreter.cpp.o.d"
+  "/root/repo/tests/test_keyfactory.cpp" "tests/CMakeFiles/fist_tests.dir/test_keyfactory.cpp.o" "gcc" "tests/CMakeFiles/fist_tests.dir/test_keyfactory.cpp.o.d"
+  "/root/repo/tests/test_merkle.cpp" "tests/CMakeFiles/fist_tests.dir/test_merkle.cpp.o" "gcc" "tests/CMakeFiles/fist_tests.dir/test_merkle.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/fist_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/fist_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_naming.cpp" "tests/CMakeFiles/fist_tests.dir/test_naming.cpp.o" "gcc" "tests/CMakeFiles/fist_tests.dir/test_naming.cpp.o.d"
+  "/root/repo/tests/test_network.cpp" "tests/CMakeFiles/fist_tests.dir/test_network.cpp.o" "gcc" "tests/CMakeFiles/fist_tests.dir/test_network.cpp.o.d"
+  "/root/repo/tests/test_node.cpp" "tests/CMakeFiles/fist_tests.dir/test_node.cpp.o" "gcc" "tests/CMakeFiles/fist_tests.dir/test_node.cpp.o.d"
+  "/root/repo/tests/test_peeling.cpp" "tests/CMakeFiles/fist_tests.dir/test_peeling.cpp.o" "gcc" "tests/CMakeFiles/fist_tests.dir/test_peeling.cpp.o.d"
+  "/root/repo/tests/test_pipeline.cpp" "tests/CMakeFiles/fist_tests.dir/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/fist_tests.dir/test_pipeline.cpp.o.d"
+  "/root/repo/tests/test_pow.cpp" "tests/CMakeFiles/fist_tests.dir/test_pow.cpp.o" "gcc" "tests/CMakeFiles/fist_tests.dir/test_pow.cpp.o.d"
+  "/root/repo/tests/test_ripemd160.cpp" "tests/CMakeFiles/fist_tests.dir/test_ripemd160.cpp.o" "gcc" "tests/CMakeFiles/fist_tests.dir/test_ripemd160.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/fist_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/fist_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_scenarios.cpp" "tests/CMakeFiles/fist_tests.dir/test_scenarios.cpp.o" "gcc" "tests/CMakeFiles/fist_tests.dir/test_scenarios.cpp.o.d"
+  "/root/repo/tests/test_script.cpp" "tests/CMakeFiles/fist_tests.dir/test_script.cpp.o" "gcc" "tests/CMakeFiles/fist_tests.dir/test_script.cpp.o.d"
+  "/root/repo/tests/test_secp256k1.cpp" "tests/CMakeFiles/fist_tests.dir/test_secp256k1.cpp.o" "gcc" "tests/CMakeFiles/fist_tests.dir/test_secp256k1.cpp.o.d"
+  "/root/repo/tests/test_serialize.cpp" "tests/CMakeFiles/fist_tests.dir/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/fist_tests.dir/test_serialize.cpp.o.d"
+  "/root/repo/tests/test_services.cpp" "tests/CMakeFiles/fist_tests.dir/test_services.cpp.o" "gcc" "tests/CMakeFiles/fist_tests.dir/test_services.cpp.o.d"
+  "/root/repo/tests/test_sha256.cpp" "tests/CMakeFiles/fist_tests.dir/test_sha256.cpp.o" "gcc" "tests/CMakeFiles/fist_tests.dir/test_sha256.cpp.o.d"
+  "/root/repo/tests/test_sighash.cpp" "tests/CMakeFiles/fist_tests.dir/test_sighash.cpp.o" "gcc" "tests/CMakeFiles/fist_tests.dir/test_sighash.cpp.o.d"
+  "/root/repo/tests/test_standard.cpp" "tests/CMakeFiles/fist_tests.dir/test_standard.cpp.o" "gcc" "tests/CMakeFiles/fist_tests.dir/test_standard.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/fist_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/fist_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_tagstore.cpp" "tests/CMakeFiles/fist_tests.dir/test_tagstore.cpp.o" "gcc" "tests/CMakeFiles/fist_tests.dir/test_tagstore.cpp.o.d"
+  "/root/repo/tests/test_theft.cpp" "tests/CMakeFiles/fist_tests.dir/test_theft.cpp.o" "gcc" "tests/CMakeFiles/fist_tests.dir/test_theft.cpp.o.d"
+  "/root/repo/tests/test_timeutil.cpp" "tests/CMakeFiles/fist_tests.dir/test_timeutil.cpp.o" "gcc" "tests/CMakeFiles/fist_tests.dir/test_timeutil.cpp.o.d"
+  "/root/repo/tests/test_transaction.cpp" "tests/CMakeFiles/fist_tests.dir/test_transaction.cpp.o" "gcc" "tests/CMakeFiles/fist_tests.dir/test_transaction.cpp.o.d"
+  "/root/repo/tests/test_u256.cpp" "tests/CMakeFiles/fist_tests.dir/test_u256.cpp.o" "gcc" "tests/CMakeFiles/fist_tests.dir/test_u256.cpp.o.d"
+  "/root/repo/tests/test_unionfind.cpp" "tests/CMakeFiles/fist_tests.dir/test_unionfind.cpp.o" "gcc" "tests/CMakeFiles/fist_tests.dir/test_unionfind.cpp.o.d"
+  "/root/repo/tests/test_utxo.cpp" "tests/CMakeFiles/fist_tests.dir/test_utxo.cpp.o" "gcc" "tests/CMakeFiles/fist_tests.dir/test_utxo.cpp.o.d"
+  "/root/repo/tests/test_view.cpp" "tests/CMakeFiles/fist_tests.dir/test_view.cpp.o" "gcc" "tests/CMakeFiles/fist_tests.dir/test_view.cpp.o.d"
+  "/root/repo/tests/test_wallet.cpp" "tests/CMakeFiles/fist_tests.dir/test_wallet.cpp.o" "gcc" "tests/CMakeFiles/fist_tests.dir/test_wallet.cpp.o.d"
+  "/root/repo/tests/test_wire.cpp" "tests/CMakeFiles/fist_tests.dir/test_wire.cpp.o" "gcc" "tests/CMakeFiles/fist_tests.dir/test_wire.cpp.o.d"
+  "/root/repo/tests/test_world.cpp" "tests/CMakeFiles/fist_tests.dir/test_world.cpp.o" "gcc" "tests/CMakeFiles/fist_tests.dir/test_world.cpp.o.d"
+  "/root/repo/tests/testutil.cpp" "tests/CMakeFiles/fist_tests.dir/testutil.cpp.o" "gcc" "tests/CMakeFiles/fist_tests.dir/testutil.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fist_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fist_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fist_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/fist_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/fist_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/tag/CMakeFiles/fist_tag.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/fist_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/script/CMakeFiles/fist_script.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/fist_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/fist_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fist_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
