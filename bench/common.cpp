@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 
 namespace fist::bench {
 
@@ -14,7 +15,23 @@ sim::WorldConfig default_config() {
   return cfg;
 }
 
+unsigned bench_threads() {
+  if (const char* env = std::getenv("FISTFUL_THREADS"))
+    return static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+  return 0;
+}
+
+void report_stage_timings(const ForensicPipeline& pipeline) {
+  std::fprintf(stderr, "[bench] per-stage wall-clock:\n");
+  for (const StageTiming& t : pipeline.timings())
+    std::fprintf(stderr, "[bench]   %-10s %9.1f ms\n", t.stage, t.millis);
+}
+
 Experiment run_experiment(sim::WorldConfig config) {
+  return run_experiment(config, bench_threads());
+}
+
+Experiment run_experiment(sim::WorldConfig config, unsigned threads) {
   Experiment exp;
   auto t0 = std::chrono::steady_clock::now();
   std::fprintf(stderr, "[bench] simulating %d days, %d users...\n",
@@ -28,15 +45,19 @@ Experiment run_experiment(sim::WorldConfig config) {
       static_cast<long long>(
           std::chrono::duration_cast<std::chrono::milliseconds>(t1 - t0)
               .count()));
-  exp.pipeline = std::make_unique<ForensicPipeline>(exp.world->store(),
-                                                    exp.world->tag_feed());
+  PipelineOptions options;
+  options.threads = threads;
+  exp.pipeline = std::make_unique<ForensicPipeline>(
+      exp.world->store(), exp.world->tag_feed(), options);
   exp.pipeline->run();
   auto t2 = std::chrono::steady_clock::now();
   std::fprintf(
-      stderr, "[bench] pipeline done in %lld ms\n",
+      stderr, "[bench] pipeline done in %lld ms on %u thread(s)\n",
       static_cast<long long>(
           std::chrono::duration_cast<std::chrono::milliseconds>(t2 - t1)
-              .count()));
+              .count()),
+      exp.pipeline->executor().worker_count());
+  report_stage_timings(*exp.pipeline);
   return exp;
 }
 

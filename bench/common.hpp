@@ -17,14 +17,24 @@ namespace fist::bench {
 /// The standard experiment world (override pieces per bench as needed).
 sim::WorldConfig default_config();
 
+/// Concurrency for bench pipelines: the FISTFUL_THREADS environment
+/// variable when set, else 0 (hardware concurrency).
+unsigned bench_threads();
+
 /// Holds the simulated world + completed pipeline.
 struct Experiment {
   std::unique_ptr<sim::World> world;
   std::unique_ptr<ForensicPipeline> pipeline;
 };
 
-/// Builds and runs the default experiment (prints progress to stderr).
+/// Builds and runs the default experiment (prints progress to stderr,
+/// including per-stage pipeline wall-clock). `threads` as in
+/// PipelineOptions; defaults to bench_threads().
 Experiment run_experiment(sim::WorldConfig config = default_config());
+Experiment run_experiment(sim::WorldConfig config, unsigned threads);
+
+/// Prints the pipeline's per-stage wall-clock to stderr.
+void report_stage_timings(const ForensicPipeline& pipeline);
 
 /// Prints the standard bench banner.
 void banner(const std::string& title, const std::string& paper_ref);

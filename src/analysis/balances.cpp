@@ -2,6 +2,64 @@
 
 namespace fist {
 
+namespace {
+
+// Categories charted in Figure 2, plus mixers for completeness.
+constexpr Category kTracked[] = {
+    Category::BankExchange, Category::Mining,   Category::Wallet,
+    Category::Gambling,     Category::Vendor,   Category::FixedExchange,
+    Category::Investment,   Category::Mix};
+
+/// Category of each cluster (from tags); 255 = untracked.
+std::vector<std::uint8_t> cluster_categories(const Clustering& clustering,
+                                             const ClusterNaming& naming) {
+  std::vector<std::uint8_t> cluster_cat(clustering.cluster_count(),
+                                        static_cast<std::uint8_t>(255));
+  for (const auto& [cluster, name] : naming.names())
+    cluster_cat[cluster] = static_cast<std::uint8_t>(name.category);
+  return cluster_cat;
+}
+
+/// Marks addresses that ever spend, over the whole observation window.
+/// With a real executor, transaction shards mark worker-local tables
+/// that are OR-merged per address — a commutative reduction, so the
+/// result is independent of shard count and scheduling.
+std::vector<std::uint8_t> spending_addresses(const ChainView& view,
+                                             Executor* exec) {
+  std::vector<std::uint8_t> spends(view.address_count(), 0);
+  if (exec == nullptr || exec->inline_mode()) {
+    for (const TxView& tx : view.txs())
+      for (const InputView& in : tx.inputs)
+        if (in.addr != kNoAddr) spends[in.addr] = 1;
+    return spends;
+  }
+  std::size_t n_tx = view.tx_count();
+  std::size_t shard_count = exec->worker_count();
+  if (shard_count > n_tx) shard_count = n_tx == 0 ? 1 : n_tx;
+  std::vector<std::vector<std::uint8_t>> local(shard_count);
+  exec->parallel_for_each(0, shard_count, [&](std::size_t s) {
+    std::vector<std::uint8_t>& mine = local[s];
+    mine.assign(view.address_count(), 0);
+    std::size_t lo = n_tx * s / shard_count;
+    std::size_t hi = n_tx * (s + 1) / shard_count;
+    for (std::size_t t = lo; t < hi; ++t)
+      for (const InputView& in : view.txs()[t].inputs)
+        if (in.addr != kNoAddr) mine[in.addr] = 1;
+  });
+  exec->parallel_for(0, spends.size(), 0,
+                     [&](std::size_t lo, std::size_t hi) {
+                       for (std::size_t a = lo; a < hi; ++a)
+                         for (std::size_t s = 0; s < shard_count; ++s)
+                           if (local[s][a]) {
+                             spends[a] = 1;
+                             break;
+                           }
+                     });
+  return spends;
+}
+
+}  // namespace
+
 BalanceSeries category_balances(const ChainView& view,
                                 const Clustering& clustering,
                                 const ClusterNaming& naming,
@@ -9,25 +67,11 @@ BalanceSeries category_balances(const ChainView& view,
   BalanceSeries series;
   if (view.tx_count() == 0 || snapshot_interval <= 0) return series;
 
-  // Categories charted in Figure 2, plus mixers for completeness.
-  static constexpr Category kTracked[] = {
-      Category::BankExchange, Category::Mining,   Category::Wallet,
-      Category::Gambling,     Category::Vendor,   Category::FixedExchange,
-      Category::Investment,   Category::Mix};
   for (Category c : kTracked)
     series.tracks.push_back(CategoryTrack{c, {}, {}});
 
-  // Category of each cluster (from tags); kCategoryCount = untracked.
-  std::vector<std::uint8_t> cluster_cat(clustering.cluster_count(),
-                                        static_cast<std::uint8_t>(255));
-  for (const auto& [cluster, name] : naming.names())
-    cluster_cat[cluster] = static_cast<std::uint8_t>(name.category);
-
-  // Sink addresses: never spend, over the whole observation window.
-  std::vector<std::uint8_t> spends(view.address_count(), 0);
-  for (const TxView& tx : view.txs())
-    for (const InputView& in : tx.inputs)
-      if (in.addr != kNoAddr) spends[in.addr] = 1;
+  std::vector<std::uint8_t> cluster_cat = cluster_categories(clustering, naming);
+  std::vector<std::uint8_t> spends = spending_addresses(view, nullptr);
 
   std::array<Amount, kCategoryCount> cat_balance{};
   Amount active = 0;
@@ -72,6 +116,98 @@ BalanceSeries category_balances(const ChainView& view,
     }
   }
   snapshot(next_snapshot);
+  return series;
+}
+
+BalanceSeries category_balances(const ChainView& view,
+                                const Clustering& clustering,
+                                const ClusterNaming& naming,
+                                Timestamp snapshot_interval, Executor& exec) {
+  if (exec.inline_mode())
+    return category_balances(view, clustering, naming, snapshot_interval);
+
+  BalanceSeries series;
+  if (view.tx_count() == 0 || snapshot_interval <= 0) return series;
+
+  for (Category c : kTracked)
+    series.tracks.push_back(CategoryTrack{c, {}, {}});
+
+  std::vector<std::uint8_t> cluster_cat = cluster_categories(clustering, naming);
+  std::vector<std::uint8_t> spends = spending_addresses(view, &exec);
+
+  auto category_of = [&](AddrId a) -> int {
+    if (a == kNoAddr) return -1;
+    std::uint8_t c = cluster_cat[clustering.cluster_of(a)];
+    return c == 255 ? -1 : static_cast<int>(c);
+  };
+
+  // Cut the chain at exactly the snapshot instants the sequential walk
+  // would emit: snapshot k covers transactions [0, end_tx_k).
+  struct Segment {
+    Timestamp at = 0;
+    std::size_t end_tx = 0;
+  };
+  std::vector<Segment> segments;
+  std::size_t n_tx = view.tx_count();
+  Timestamp next_snapshot = view.tx(0).time + snapshot_interval;
+  for (std::size_t t = 0; t < n_tx; ++t) {
+    while (view.txs()[t].time >= next_snapshot) {
+      segments.push_back(Segment{next_snapshot, t});
+      next_snapshot += snapshot_interval;
+    }
+  }
+  segments.push_back(Segment{next_snapshot, n_tx});
+
+  // Per-segment deltas, accumulated by workers independently. Integer
+  // sums commute, so each delta matches what the sequential walk would
+  // have added over the same transactions.
+  struct Delta {
+    std::array<Amount, kCategoryCount> cat{};
+    Amount active = 0;
+    Amount minted = 0;
+  };
+  std::vector<Delta> deltas(segments.size());
+  exec.parallel_for_each(0, segments.size(), [&](std::size_t k) {
+    Delta& d = deltas[k];
+    std::size_t lo = k == 0 ? 0 : segments[k - 1].end_tx;
+    std::size_t hi = segments[k].end_tx;
+    for (std::size_t t = lo; t < hi; ++t) {
+      const TxView& tx = view.txs()[t];
+      if (tx.coinbase) d.minted += tx.value_out();
+      for (const InputView& in : tx.inputs) {
+        int c = category_of(in.addr);
+        if (c >= 0) d.cat[static_cast<std::size_t>(c)] -= in.value;
+        if (in.addr != kNoAddr && spends[in.addr]) d.active -= in.value;
+      }
+      for (const OutputView& out : tx.outputs) {
+        int c = category_of(out.addr);
+        if (c >= 0) d.cat[static_cast<std::size_t>(c)] += out.value;
+        if (out.addr != kNoAddr && spends[out.addr]) d.active += out.value;
+      }
+    }
+  });
+
+  // Sequential prefix walk over segments emits the series.
+  std::array<Amount, kCategoryCount> cat_balance{};
+  Amount active = 0;
+  Amount minted = 0;
+  for (std::size_t k = 0; k < segments.size(); ++k) {
+    for (std::size_t c = 0; c < kCategoryCount; ++c)
+      cat_balance[c] += deltas[k].cat[c];
+    active += deltas[k].active;
+    minted += deltas[k].minted;
+    series.times.push_back(segments[k].at);
+    series.active_supply.push_back(active);
+    series.total_supply.push_back(minted);
+    for (CategoryTrack& track : series.tracks) {
+      Amount b = cat_balance[static_cast<std::size_t>(track.category)];
+      track.balance.push_back(b);
+      track.pct_active.push_back(
+          active > 0 ? 100.0 * static_cast<double>(b) /
+                           static_cast<double>(active)
+                     : 0.0);
+    }
+  }
   return series;
 }
 

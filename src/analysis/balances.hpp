@@ -11,6 +11,7 @@
 
 #include "chain/view.hpp"
 #include "cluster/clustering.hpp"
+#include "core/executor.hpp"
 #include "tag/naming.hpp"
 #include "util/timeutil.hpp"
 
@@ -39,5 +40,16 @@ BalanceSeries category_balances(const ChainView& view,
                                 const Clustering& clustering,
                                 const ClusterNaming& naming,
                                 Timestamp snapshot_interval);
+
+/// Parallel variant: the chain is cut at exactly the sequential pass's
+/// snapshot boundaries, workers accumulate per-segment balance deltas
+/// into worker-local accumulators, and a sequential prefix walk over
+/// the segments emits the series. All reductions are integer sums, so
+/// the result is bit-identical to the sequential pass for every worker
+/// count (worker_count() == 1 takes the sequential path directly).
+BalanceSeries category_balances(const ChainView& view,
+                                const Clustering& clustering,
+                                const ClusterNaming& naming,
+                                Timestamp snapshot_interval, Executor& exec);
 
 }  // namespace fist

@@ -1,5 +1,7 @@
 #include "chain/addrbook.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 
 namespace fist {
@@ -26,6 +28,65 @@ const Address& AddressBook::lookup(AddrId id) const {
 void AddressBook::reserve(std::size_t n) {
   index_.reserve(n);
   forward_.reserve(n);
+}
+
+ShardedAddressBook::ShardedAddressBook(std::size_t shard_count) {
+  if (shard_count == 0) shard_count = 1;
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+}
+
+ShardedAddressBook::Ref ShardedAddressBook::intern(const Address& addr,
+                                                   std::uint64_t ordinal) {
+  auto shard_index =
+      static_cast<std::uint32_t>(std::hash<Address>()(addr) % shards_.size());
+  Shard& shard = *shards_[shard_index];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto [it, inserted] = shard.index.try_emplace(
+      addr, static_cast<std::uint32_t>(shard.forward.size()));
+  if (inserted) {
+    shard.forward.push_back(addr);
+    shard.first_ordinal.push_back(ordinal);
+  } else if (ordinal < shard.first_ordinal[it->second]) {
+    shard.first_ordinal[it->second] = ordinal;
+  }
+  return Ref{shard_index, it->second};
+}
+
+std::size_t ShardedAddressBook::size() const noexcept {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->forward.size();
+  return total;
+}
+
+ShardedAddressBook::Finalized ShardedAddressBook::finalize() const {
+  // Every output slot has a unique ordinal, so ordering by ordinal is a
+  // total order: the dense ids below are the sequential intern's ids.
+  struct Entry {
+    std::uint64_t ordinal;
+    std::uint32_t shard;
+    std::uint32_t local;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(size());
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = *shards_[s];
+    for (std::uint32_t l = 0; l < shard.forward.size(); ++l)
+      entries.push_back(Entry{shard.first_ordinal[l], s, l});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.ordinal < b.ordinal; });
+
+  Finalized out;
+  out.book.reserve(entries.size());
+  out.dense.resize(shards_.size());
+  for (std::uint32_t s = 0; s < shards_.size(); ++s)
+    out.dense[s].resize(shards_[s]->forward.size(), kNoAddr);
+  for (const Entry& e : entries)
+    out.dense[e.shard][e.local] =
+        out.book.intern(shards_[e.shard]->forward[e.local]);
+  return out;
 }
 
 }  // namespace fist

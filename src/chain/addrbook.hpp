@@ -7,6 +7,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -43,6 +45,58 @@ class AddressBook {
  private:
   std::unordered_map<Address, AddrId> index_;
   std::vector<Address> forward_;
+};
+
+/// Thread-safe, hash-sharded interning table for the parallel chain
+/// flattening pass. Workers intern addresses concurrently into
+/// per-shard sub-tables (shard chosen by address hash, so an address
+/// always lands in the same shard no matter which worker sees it),
+/// each entry tracking the smallest appearance ordinal observed.
+/// finalize() then assigns dense AddrIds in ascending first-appearance
+/// order — reproducing exactly the ids a sequential first-sight intern
+/// would have handed out, independent of thread count or interleaving.
+class ShardedAddressBook {
+ public:
+  /// Provisional handle for an interned address: (shard, slot).
+  struct Ref {
+    std::uint32_t shard = 0;
+    std::uint32_t local = 0;
+  };
+
+  /// Dense view produced by finalize().
+  struct Finalized {
+    AddressBook book;                          ///< ids by first appearance
+    std::vector<std::vector<AddrId>> dense;    ///< per-shard slot → AddrId
+
+    AddrId id(Ref ref) const noexcept { return dense[ref.shard][ref.local]; }
+  };
+
+  /// `shard_count` is a determinism-neutral tuning knob (the dense ids
+  /// do not depend on it); more shards mean less lock contention.
+  explicit ShardedAddressBook(std::size_t shard_count = 64);
+
+  /// Interns `addr` observed at `ordinal` — any globally ordered
+  /// position key (the chain pass packs (block height, output slot)).
+  /// Thread-safe; returns the address's provisional handle.
+  Ref intern(const Address& addr, std::uint64_t ordinal);
+
+  /// Distinct addresses across all shards. Not thread-safe against
+  /// concurrent intern (call between phases).
+  std::size_t size() const noexcept;
+
+  /// Deterministic merge: orders every entry by first-appearance
+  /// ordinal and assigns dense AddrIds in that order.
+  Finalized finalize() const;
+
+ private:
+  struct Shard {
+    std::mutex mutex;
+    std::unordered_map<Address, std::uint32_t> index;  // address → slot
+    std::vector<Address> forward;
+    std::vector<std::uint64_t> first_ordinal;
+  };
+
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace fist

@@ -80,6 +80,46 @@ void ChainView::finish() {
   }
 }
 
+void ChainView::finish(Executor& exec) {
+  if (exec.inline_mode()) {
+    finish();
+    return;
+  }
+  // Each shard scans a contiguous transaction range into its own
+  // first-seen table; the merge takes, per address, the earliest
+  // shard's entry — a min-reduction, so the result does not depend on
+  // shard count or scheduling.
+  std::size_t n_addr = book_.size();
+  std::size_t n_tx = txs_.size();
+  std::size_t shard_count = exec.worker_count();
+  if (shard_count > n_tx) shard_count = n_tx == 0 ? 1 : n_tx;
+  std::vector<std::vector<TxIndex>> local(shard_count);
+  exec.parallel_for_each(0, shard_count, [&](std::size_t s) {
+    std::vector<TxIndex>& seen = local[s];
+    seen.assign(n_addr, kNoTx);
+    std::size_t lo = n_tx * s / shard_count;
+    std::size_t hi = n_tx * (s + 1) / shard_count;
+    for (std::size_t t = lo; t < hi; ++t) {
+      const TxView& tx = txs_[t];
+      auto mark = [&](AddrId a) {
+        if (a != kNoAddr && seen[a] == kNoTx)
+          seen[a] = static_cast<TxIndex>(t);
+      };
+      for (const InputView& in : tx.inputs) mark(in.addr);
+      for (const OutputView& out : tx.outputs) mark(out.addr);
+    }
+  });
+  first_seen_.assign(n_addr, kNoTx);
+  exec.parallel_for(0, n_addr, 0, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t a = lo; a < hi; ++a)
+      for (std::size_t s = 0; s < shard_count; ++s)
+        if (local[s][a] != kNoTx) {
+          first_seen_[a] = local[s][a];  // shards ascend in tx order
+          break;
+        }
+  });
+}
+
 ChainView ChainView::build(const BlockStore& store) {
   ChainView view;
   for (std::size_t i = 0; i < store.count(); ++i) {
@@ -96,6 +136,147 @@ ChainView ChainView::build(const std::vector<Block>& blocks) {
     view.add_block(blocks[i], static_cast<std::int32_t>(i));
   view.finish();
   return view;
+}
+
+namespace {
+
+/// Pre-digested per-block data from the parallel scan: everything
+/// expensive (deserialization, txid hashing, script classification,
+/// shard interning) done, everything order-sensitive left for the
+/// sequential assembly.
+struct PreOutput {
+  bool has_addr = false;
+  ShardedAddressBook::Ref ref;
+  Amount value = 0;
+};
+
+struct PreTx {
+  Hash256 txid;
+  bool coinbase = false;
+  std::vector<OutPoint> prevouts;  // empty for coinbase
+  std::vector<PreOutput> outputs;
+};
+
+struct PreBlock {
+  Timestamp time = 0;
+  std::vector<PreTx> txs;
+};
+
+}  // namespace
+
+ChainView ChainView::build_parallel(
+    std::size_t block_count,
+    const std::function<Block(std::size_t)>& read_block, Executor& exec) {
+  // Phase 1 (parallel): scan blocks into pre-digested form, interning
+  // output addresses into hash shards keyed by (block, output-slot)
+  // appearance ordinals.
+  ShardedAddressBook sharded;
+  std::vector<PreBlock> pre(block_count);
+  exec.parallel_for(0, block_count, 0, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t b = lo; b < hi; ++b) {
+      Block block = read_block(b);
+      PreBlock& pb = pre[b];
+      pb.time = static_cast<Timestamp>(block.header.time);
+      pb.txs.reserve(block.transactions.size());
+      std::uint64_t slot = 0;  // output ordinal within the block
+      for (const Transaction& tx : block.transactions) {
+        PreTx pt;
+        pt.txid = tx.txid();
+        pt.coinbase = tx.is_coinbase();
+        if (!pt.coinbase) {
+          pt.prevouts.reserve(tx.inputs.size());
+          for (const TxIn& in : tx.inputs) pt.prevouts.push_back(in.prevout);
+        }
+        pt.outputs.reserve(tx.outputs.size());
+        for (const TxOut& out : tx.outputs) {
+          PreOutput po;
+          po.value = out.value;
+          if (auto addr = extract_address(out.script_pubkey)) {
+            std::uint64_t ordinal =
+                (static_cast<std::uint64_t>(b) << 32) | slot;
+            po.ref = sharded.intern(*addr, ordinal);
+            po.has_addr = true;
+          }
+          ++slot;
+          pt.outputs.push_back(po);
+        }
+        pb.txs.push_back(std::move(pt));
+      }
+    }
+  });
+
+  // Phase 2 (sequential, deterministic): assign dense AddrIds by first
+  // appearance, then assemble the view in chain order, resolving each
+  // input against the outputs seen so far — exactly the sequential
+  // build's semantics, including its double-spend checks.
+  ShardedAddressBook::Finalized fin = sharded.finalize();
+  ChainView view;
+  view.book_ = std::move(fin.book);
+  for (std::size_t b = 0; b < block_count; ++b) {
+    for (PreTx& pt : pre[b].txs) {
+      TxIndex index = static_cast<TxIndex>(view.txs_.size());
+      TxView tv;
+      tv.txid = pt.txid;
+      tv.height = static_cast<std::int32_t>(b);
+      tv.time = pre[b].time;
+      tv.coinbase = pt.coinbase;
+
+      if (!tv.coinbase) {
+        tv.inputs.reserve(pt.prevouts.size());
+        for (const OutPoint& prevout : pt.prevouts) {
+          InputView iv;
+          auto it = view.txid_index_.find(prevout.txid);
+          if (it != view.txid_index_.end()) {
+            TxIndex prev = it->second;
+            TxView& funding = view.txs_[prev];
+            if (prevout.index < funding.outputs.size()) {
+              OutputView& spent = funding.outputs[prevout.index];
+              if (spent.spent_by != kNoTx)
+                throw ValidationError("view: double spend in stored chain");
+              spent.spent_by = index;
+              iv.addr = spent.addr;
+              iv.value = spent.value;
+              iv.prev_tx = prev;
+              iv.prev_index = prevout.index;
+            } else {
+              throw ValidationError("view: input references bad output slot");
+            }
+          } else {
+            throw ValidationError("view: input references unknown txid");
+          }
+          tv.inputs.push_back(iv);
+        }
+      }
+
+      tv.outputs.reserve(pt.outputs.size());
+      for (const PreOutput& po : pt.outputs) {
+        OutputView ov;
+        ov.value = po.value;
+        if (po.has_addr) ov.addr = fin.id(po.ref);
+        tv.outputs.push_back(ov);
+      }
+
+      view.txid_index_.emplace(tv.txid, index);
+      view.txs_.push_back(std::move(tv));
+    }
+    ++view.block_count_;
+  }
+
+  // Phase 3 (parallel): first-seen table via sharded min-reduction.
+  view.finish(exec);
+  return view;
+}
+
+ChainView ChainView::build(const BlockStore& store, Executor& exec) {
+  if (exec.inline_mode()) return build(store);
+  return build_parallel(
+      store.count(), [&store](std::size_t i) { return store.read(i); }, exec);
+}
+
+ChainView ChainView::build(const std::vector<Block>& blocks, Executor& exec) {
+  if (exec.inline_mode()) return build(blocks);
+  return build_parallel(
+      blocks.size(), [&blocks](std::size_t i) { return blocks[i]; }, exec);
 }
 
 const TxView& ChainView::tx(TxIndex i) const {

@@ -9,11 +9,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
 #include "chain/addrbook.hpp"
 #include "chain/blockstore.hpp"
+#include "core/executor.hpp"
 #include "util/amount.hpp"
 #include "util/timeutil.hpp"
 
@@ -71,6 +73,15 @@ class ChainView {
   /// Builds from already-deserialized blocks (same ordering rules).
   static ChainView build(const std::vector<Block>& blocks);
 
+  /// Parallel builds: per-block deserialization, txid hashing, script
+  /// classification, and address interning fan out over `exec`; input
+  /// resolution and dense-id assignment run in a deterministic finalize
+  /// order. Bit-identical to the sequential build for every worker
+  /// count (an exec with worker_count() == 1 takes the sequential
+  /// path unchanged).
+  static ChainView build(const BlockStore& store, Executor& exec);
+  static ChainView build(const std::vector<Block>& blocks, Executor& exec);
+
   const std::vector<TxView>& txs() const noexcept { return txs_; }
   const TxView& tx(TxIndex i) const;
   std::size_t tx_count() const noexcept { return txs_.size(); }
@@ -92,6 +103,13 @@ class ChainView {
  private:
   void add_block(const Block& block, std::int32_t height);
   void finish();
+  void finish(Executor& exec);
+
+  /// Shared parallel-build driver: `read_block(i)` must be safe to
+  /// call concurrently for distinct indices.
+  static ChainView build_parallel(
+      std::size_t block_count,
+      const std::function<Block(std::size_t)>& read_block, Executor& exec);
 
   AddressBook book_;
   std::vector<TxView> txs_;

@@ -2,26 +2,72 @@
 
 namespace fist {
 
+namespace {
+
+/// Merges one transaction's input star into `uf`; updates `stats` and
+/// returns true iff any union succeeded. The single shared definition
+/// of "processing a transaction" keeps the sequential pass, the shard
+/// passes, and the replay in lockstep.
+bool h1_process_tx(const TxView& tx, UnionFind& uf, H1Stats* stats) {
+  if (tx.coinbase || tx.inputs.size() < 2) return false;
+  AddrId first = kNoAddr;
+  bool merged_any = false;
+  for (const InputView& in : tx.inputs) {
+    if (in.addr == kNoAddr) continue;
+    if (first == kNoAddr) {
+      first = in.addr;
+      continue;
+    }
+    if (uf.unite(first, in.addr)) {
+      if (stats != nullptr) ++stats->links;
+      merged_any = true;
+    }
+  }
+  if (merged_any && stats != nullptr) ++stats->multi_input_txs;
+  return merged_any;
+}
+
+}  // namespace
+
 H1Stats apply_heuristic1(const ChainView& view, UnionFind& uf) {
   H1Stats stats;
   uf.grow(view.address_count());
-  for (const TxView& tx : view.txs()) {
-    if (tx.coinbase || tx.inputs.size() < 2) continue;
-    AddrId first = kNoAddr;
-    bool merged_any = false;
-    for (const InputView& in : tx.inputs) {
-      if (in.addr == kNoAddr) continue;
-      if (first == kNoAddr) {
-        first = in.addr;
-        continue;
-      }
-      if (uf.unite(first, in.addr)) {
-        ++stats.links;
-        merged_any = true;
-      }
-    }
-    if (merged_any) ++stats.multi_input_txs;
-  }
+  for (const TxView& tx : view.txs()) h1_process_tx(tx, uf, &stats);
+  return stats;
+}
+
+H1Stats apply_heuristic1(const ChainView& view, UnionFind& uf,
+                         Executor& exec) {
+  if (exec.inline_mode()) return apply_heuristic1(view, uf);
+  uf.grow(view.address_count());
+  std::size_t n_tx = view.txs().size();
+  if (n_tx == 0) return H1Stats{};
+
+  // One shard per lane: each shard carries a dense forest over the
+  // whole address space, so shard count trades memory for parallelism.
+  std::size_t shard_count = exec.worker_count();
+  if (shard_count > n_tx) shard_count = n_tx;
+
+  // Shard pass (parallel): find each shard's connectivity-adding txs.
+  // A tx whose inputs were already joined by earlier txs of the same
+  // shard can never merge anything downstream, so only candidates need
+  // replaying.
+  std::vector<std::vector<TxIndex>> candidates(shard_count);
+  exec.parallel_for_each(0, shard_count, [&](std::size_t s) {
+    UnionFind local(view.address_count());
+    std::size_t lo = n_tx * s / shard_count;
+    std::size_t hi = n_tx * (s + 1) / shard_count;
+    for (std::size_t t = lo; t < hi; ++t)
+      if (h1_process_tx(view.txs()[t], local, nullptr))
+        candidates[s].push_back(static_cast<TxIndex>(t));
+  });
+
+  // Replay (sequential, chain order): shards cover ascending ranges,
+  // so concatenating candidate lists preserves transaction order and
+  // the replay sees exactly the sequential pass's union sequence.
+  H1Stats stats;
+  for (std::size_t s = 0; s < shard_count; ++s)
+    for (TxIndex t : candidates[s]) h1_process_tx(view.txs()[t], uf, &stats);
   return stats;
 }
 

@@ -8,6 +8,7 @@
 
 #include "chain/view.hpp"
 #include "cluster/unionfind.hpp"
+#include "core/executor.hpp"
 
 namespace fist {
 
@@ -20,6 +21,16 @@ struct H1Stats {
 /// Applies Heuristic 1 over the whole chain, merging input addresses of
 /// each transaction in `uf` (which must cover view.address_count()).
 H1Stats apply_heuristic1(const ChainView& view, UnionFind& uf);
+
+/// Parallel Heuristic 1: workers run shard-local union-find passes
+/// over disjoint transaction ranges, recording which transactions
+/// added connectivity; those candidates are then replayed into `uf` in
+/// chain order. A transaction that merged nothing within its shard
+/// prefix cannot merge anything against the full prefix either, so the
+/// replay reproduces the sequential pass exactly — partition AND stats
+/// are bit-identical for every worker count.
+H1Stats apply_heuristic1(const ChainView& view, UnionFind& uf,
+                         Executor& exec);
 
 /// Convenience: fresh union-find + full pass.
 UnionFind heuristic1(const ChainView& view, H1Stats* stats = nullptr);

@@ -1,6 +1,7 @@
 #include "cluster/metrics.hpp"
 
 #include <unordered_map>
+#include <vector>
 
 #include "util/error.hpp"
 
@@ -12,29 +13,36 @@ constexpr std::uint64_t choose2(std::uint64_t n) noexcept {
   return n * (n - 1) / 2;
 }
 
-}  // namespace
-
-PairwiseScores pairwise_scores(std::span<const std::uint32_t> predicted,
-                               std::span<const std::uint32_t> truth) {
-  if (predicted.size() != truth.size())
-    throw UsageError("pairwise_scores: span size mismatch");
-
+/// The contingency counts the closed-form scores are computed from.
+struct Contingency {
   std::unordered_map<std::uint32_t, std::uint64_t> pred_sizes;
   std::unordered_map<std::uint32_t, std::uint64_t> true_sizes;
-  // Contingency: (cluster, owner) -> count, keyed by a 64-bit pack.
+  // (cluster, owner) -> count, keyed by a 64-bit pack.
   std::unordered_map<std::uint64_t, std::uint64_t> joint;
 
-  for (std::size_t i = 0; i < predicted.size(); ++i) {
-    if (truth[i] == kUnknownOwner) continue;
-    ++pred_sizes[predicted[i]];
-    ++true_sizes[truth[i]];
-    ++joint[(static_cast<std::uint64_t>(predicted[i]) << 32) | truth[i]];
+  void count(std::span<const std::uint32_t> predicted,
+             std::span<const std::uint32_t> truth, std::size_t lo,
+             std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (truth[i] == kUnknownOwner) continue;
+      ++pred_sizes[predicted[i]];
+      ++true_sizes[truth[i]];
+      ++joint[(static_cast<std::uint64_t>(predicted[i]) << 32) | truth[i]];
+    }
   }
 
+  void add(const Contingency& other) {
+    for (const auto& [k, n] : other.pred_sizes) pred_sizes[k] += n;
+    for (const auto& [k, n] : other.true_sizes) true_sizes[k] += n;
+    for (const auto& [k, n] : other.joint) joint[k] += n;
+  }
+};
+
+PairwiseScores scores_from(const Contingency& c) {
   PairwiseScores s;
-  for (const auto& [c, n] : pred_sizes) s.predicted_pairs += choose2(n);
-  for (const auto& [o, n] : true_sizes) s.true_pairs += choose2(n);
-  for (const auto& [key, n] : joint) s.agreeing_pairs += choose2(n);
+  for (const auto& [k, n] : c.pred_sizes) s.predicted_pairs += choose2(n);
+  for (const auto& [k, n] : c.true_sizes) s.true_pairs += choose2(n);
+  for (const auto& [k, n] : c.joint) s.agreeing_pairs += choose2(n);
 
   s.precision = s.predicted_pairs == 0
                     ? 1.0
@@ -44,6 +52,39 @@ PairwiseScores pairwise_scores(std::span<const std::uint32_t> predicted,
                                : static_cast<double>(s.agreeing_pairs) /
                                      static_cast<double>(s.true_pairs);
   return s;
+}
+
+}  // namespace
+
+PairwiseScores pairwise_scores(std::span<const std::uint32_t> predicted,
+                               std::span<const std::uint32_t> truth) {
+  if (predicted.size() != truth.size())
+    throw UsageError("pairwise_scores: span size mismatch");
+  Contingency c;
+  c.count(predicted, truth, 0, predicted.size());
+  return scores_from(c);
+}
+
+PairwiseScores pairwise_scores(std::span<const std::uint32_t> predicted,
+                               std::span<const std::uint32_t> truth,
+                               Executor& exec) {
+  if (predicted.size() != truth.size())
+    throw UsageError("pairwise_scores: span size mismatch");
+  if (exec.inline_mode()) return pairwise_scores(predicted, truth);
+
+  std::size_t n = predicted.size();
+  std::size_t shard_count = exec.worker_count();
+  if (shard_count > n) shard_count = n == 0 ? 1 : n;
+  std::vector<Contingency> local(shard_count);
+  exec.parallel_for_each(0, shard_count, [&](std::size_t s) {
+    local[s].count(predicted, truth, n * s / shard_count,
+                   n * (s + 1) / shard_count);
+  });
+  // Sum-merge: cell counts are integers, so the merged table (and every
+  // score derived from it) is independent of sharding.
+  Contingency total;
+  for (const Contingency& c : local) total.add(c);
+  return scores_from(total);
 }
 
 }  // namespace fist

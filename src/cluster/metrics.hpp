@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <span>
 
+#include "core/executor.hpp"
+
 namespace fist {
 
 /// Pairwise clustering scores. A "pair" is an unordered address pair;
@@ -34,5 +36,14 @@ inline constexpr std::uint32_t kUnknownOwner = 0xffffffffu;
 
 PairwiseScores pairwise_scores(std::span<const std::uint32_t> predicted,
                                std::span<const std::uint32_t> truth);
+
+/// Parallel variant: workers count contingency cells over disjoint
+/// address ranges into worker-local tables, which are sum-merged before
+/// the closed-form score computation. Counts are integer sums, so the
+/// result is bit-identical to the sequential variant for every worker
+/// count.
+PairwiseScores pairwise_scores(std::span<const std::uint32_t> predicted,
+                               std::span<const std::uint32_t> truth,
+                               Executor& exec);
 
 }  // namespace fist

@@ -27,6 +27,16 @@ std::uint32_t UnionFind::find_const(std::uint32_t x) const noexcept {
   return x;
 }
 
+std::uint64_t UnionFind::absorb(const UnionFind& other) {
+  grow(other.size());
+  std::uint64_t merges = 0;
+  // Uniting each element with its parent replays the other forest's
+  // entire connectivity: every root path collapses into one set here.
+  for (std::uint32_t x = 0; x < other.parent_.size(); ++x)
+    if (other.parent_[x] != x && unite(x, other.parent_[x])) ++merges;
+  return merges;
+}
+
 bool UnionFind::unite(std::uint32_t a, std::uint32_t b) noexcept {
   a = find(a);
   b = find(b);

@@ -28,6 +28,14 @@ class UnionFind {
   /// Merges the sets of `a` and `b`; returns false if already joined.
   bool unite(std::uint32_t a, std::uint32_t b) noexcept;
 
+  /// Merges every set of `other` into this forest (growing it if
+  /// `other` is larger) and returns the number of successful unions.
+  /// Absorb is the associative/commutative merge the sharded passes
+  /// rely on: absorbing any family of forests, in any order, yields
+  /// the partition of the union of their link sets. Absorbing the same
+  /// forest twice is a no-op (returns 0).
+  std::uint64_t absorb(const UnionFind& other);
+
   /// True iff `a` and `b` share a set.
   bool same(std::uint32_t a, std::uint32_t b) noexcept {
     return find(a) == find(b);

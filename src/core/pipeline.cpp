@@ -1,5 +1,7 @@
 #include "core/pipeline.hpp"
 
+#include <chrono>
+
 namespace fist {
 
 H2Options refined_h2_options() {
@@ -15,24 +17,45 @@ H2Options refined_h2_options() {
 ForensicPipeline::ForensicPipeline(const BlockStore& store,
                                    std::vector<TagEntry> feed,
                                    H2Options h2_options)
-    : store_(&store), feed_(std::move(feed)), options_(h2_options) {}
+    : ForensicPipeline(store, std::move(feed),
+                       PipelineOptions{h2_options, 0}) {}
+
+ForensicPipeline::ForensicPipeline(const BlockStore& store,
+                                   std::vector<TagEntry> feed,
+                                   PipelineOptions options)
+    : store_(&store),
+      feed_(std::move(feed)),
+      options_(options),
+      exec_(options.threads) {}
 
 void ForensicPipeline::run() {
   if (ran_) return;
   ran_ = true;
 
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point mark = Clock::now();
+  auto stage_done = [&](const char* stage) {
+    Clock::time_point now = Clock::now();
+    timings_.push_back(StageTiming{
+        stage, std::chrono::duration<double, std::milli>(now - mark).count()});
+    mark = now;
+  };
+
   // 1. Parse the chain into the analysis view.
-  view_ = std::make_unique<ChainView>(ChainView::build(*store_));
+  view_ = std::make_unique<ChainView>(ChainView::build(*store_, exec_));
+  stage_done("view");
 
   // 2. Intern the tag feed against the observed address space.
   for (const TagEntry& entry : feed_) {
     if (auto id = view_->addresses().find(entry.address))
       tags_.add(*id, entry.tag);
   }
+  stage_done("tags");
 
   // 3. Heuristic 1 and its clustering/naming (the §4.1 baseline).
   UnionFind uf(view_->address_count());
-  h1_stats_ = apply_heuristic1(*view_, uf);
+  h1_stats_ = apply_heuristic1(*view_, uf, exec_);
+  stage_done("h1");
   {
     UnionFind h1_copy = uf;
     h1_clustering_ = std::make_unique<Clustering>(
@@ -40,6 +63,7 @@ void ForensicPipeline::run() {
   }
   h1_naming_ = std::make_unique<ClusterNaming>(
       h1_clustering_->assignment(), h1_clustering_->sizes(), tags_);
+  stage_done("h1_naming");
 
   // 4. Derive the dice-service address set: every address in an
   // H1 cluster named as a gambling service. (Satoshi Dice's rebound
@@ -50,13 +74,16 @@ void ForensicPipeline::run() {
   for (AddrId a = 0; a < view_->address_count(); ++a)
     if (dice_clusters.contains(h1_clustering_->cluster_of(a)))
       dice_.insert(a);
+  stage_done("dice");
 
   // 5. Refined Heuristic 2, merged on top of Heuristic 1.
-  h2_ = apply_heuristic2(*view_, options_, dice_);
+  h2_ = apply_heuristic2(*view_, options_.h2, dice_);
+  stage_done("h2");
   unite_h2_labels(*view_, h2_, uf);
   clustering_ = std::make_unique<Clustering>(Clustering::from_union_find(uf));
   naming_ = std::make_unique<ClusterNaming>(clustering_->assignment(),
                                             clustering_->sizes(), tags_);
+  stage_done("finalize");
 }
 
 }  // namespace fist

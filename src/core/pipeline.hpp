@@ -23,6 +23,7 @@
 #include "cluster/heuristic1.hpp"
 #include "cluster/heuristic2.hpp"
 #include "cluster/unionfind.hpp"
+#include "core/executor.hpp"
 #include "tag/naming.hpp"
 #include "tag/tagstore.hpp"
 
@@ -32,6 +33,25 @@ namespace fist {
 /// wait, reuse + self-change-history guards, future-reuse disambiguation.
 H2Options refined_h2_options();
 
+/// Pipeline-wide knobs.
+struct PipelineOptions {
+  /// Heuristic-2 refinement switches.
+  H2Options h2 = refined_h2_options();
+
+  /// Concurrency lanes for the parallel stages (0 → hardware
+  /// concurrency). threads == 1 runs everything on the calling thread
+  /// through the original sequential code paths — the reference
+  /// semantics; every other value produces bit-identical results (see
+  /// DESIGN.md "Execution model" and tests/test_pipeline_parallel.cpp).
+  unsigned threads = 0;
+};
+
+/// Wall-clock of one completed pipeline stage.
+struct StageTiming {
+  const char* stage = "";
+  double millis = 0;
+};
+
 /// End-to-end clustering + naming pipeline.
 class ForensicPipeline {
  public:
@@ -39,6 +59,9 @@ class ForensicPipeline {
   /// The store must outlive the pipeline.
   ForensicPipeline(const BlockStore& store, std::vector<TagEntry> feed,
                    H2Options h2_options = refined_h2_options());
+
+  ForensicPipeline(const BlockStore& store, std::vector<TagEntry> feed,
+                   PipelineOptions options);
 
   /// Executes all stages. Idempotent (second call is a no-op).
   void run();
@@ -71,10 +94,20 @@ class ForensicPipeline {
   /// Addresses carrying a hand-collected tag (after interning).
   std::size_t tagged_address_count() const { return tags_.size(); }
 
+  /// Wall-clock per stage, in run() order (valid after run()).
+  const std::vector<StageTiming>& timings() const { return timings_; }
+
+  /// The executor the pipeline stages ran on; downstream analyses
+  /// (balances, metrics) can reuse it for their own parallel passes.
+  Executor& executor() { return exec_; }
+  const Executor& executor() const { return exec_; }
+
  private:
   const BlockStore* store_;
   std::vector<TagEntry> feed_;
-  H2Options options_;
+  PipelineOptions options_;
+  Executor exec_;
+  std::vector<StageTiming> timings_;
   bool ran_ = false;
 
   std::unique_ptr<ChainView> view_;

@@ -1,0 +1,129 @@
+#include "core/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace fist {
+namespace {
+
+TEST(Executor, WorkerCountDefaultsAndClamps) {
+  Executor def;
+  EXPECT_GE(def.worker_count(), 1u);
+  EXPECT_EQ(def.worker_count(), Executor::default_threads());
+
+  Executor one(1);
+  EXPECT_EQ(one.worker_count(), 1u);
+  EXPECT_TRUE(one.inline_mode());
+
+  Executor four(4);
+  EXPECT_EQ(four.worker_count(), 4u);
+  EXPECT_FALSE(four.inline_mode());
+}
+
+TEST(Executor, ParallelForRunsEveryIndexExactlyOnce) {
+  Executor exec(4);
+  const std::size_t n = 10'000;
+  std::vector<std::atomic<int>> hits(n);
+  exec.parallel_for(0, n, 7, [&](std::size_t lo, std::size_t hi) {
+    ASSERT_LT(lo, hi);
+    ASSERT_LE(hi, n);
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(Executor, ParallelForEachCoversRangeWithOffset) {
+  Executor exec(3);
+  std::atomic<std::uint64_t> sum{0};
+  exec.parallel_for_each(10, 110, [&](std::size_t i) { sum.fetch_add(i); });
+  // sum of 10..109
+  EXPECT_EQ(sum.load(), (10u + 109u) * 100u / 2u);
+}
+
+TEST(Executor, EmptyRangeIsNoOp) {
+  Executor exec(4);
+  bool touched = false;
+  exec.parallel_for(5, 5, 1, [&](std::size_t, std::size_t) { touched = true; });
+  exec.parallel_for(7, 3, 1, [&](std::size_t, std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(Executor, ExceptionPropagatesToCaller) {
+  Executor exec(4);
+  auto boom = [&] {
+    exec.parallel_for(0, 1000, 1, [&](std::size_t lo, std::size_t) {
+      if (lo == 500) throw std::runtime_error("chunk 500 failed");
+    });
+  };
+  EXPECT_THROW(boom(), std::runtime_error);
+
+  // The pool survives a throwing parallel_for and stays usable.
+  std::atomic<int> count{0};
+  exec.parallel_for_each(0, 64, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(Executor, ExceptionPropagatesInInlineMode) {
+  Executor exec(1);
+  EXPECT_THROW(
+      exec.parallel_for(0, 10, 1,
+                        [](std::size_t lo, std::size_t) {
+                          if (lo == 3) throw std::out_of_range("inline");
+                        }),
+      std::out_of_range);
+}
+
+TEST(Executor, NestedParallelForDoesNotDeadlock) {
+  Executor exec(4);
+  const std::size_t outer = 16, inner = 500;
+  std::vector<std::atomic<std::uint64_t>> sums(outer);
+  exec.parallel_for_each(0, outer, [&](std::size_t o) {
+    exec.parallel_for(0, inner, 13, [&](std::size_t lo, std::size_t hi) {
+      std::uint64_t part = 0;
+      for (std::size_t i = lo; i < hi; ++i) part += i;
+      sums[o].fetch_add(part);
+    });
+  });
+  for (std::size_t o = 0; o < outer; ++o)
+    EXPECT_EQ(sums[o].load(), inner * (inner - 1) / 2);
+}
+
+TEST(Executor, InlineModeRunsOnCallerInIndexOrder) {
+  Executor exec(1);
+  std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  exec.parallel_for(0, 100, 9, [&](std::size_t lo, std::size_t hi) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    for (std::size_t i = lo; i < hi; ++i) order.push_back(i);
+  });
+  ASSERT_EQ(order.size(), 100u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Executor, ManySmallParallelForsInSequence) {
+  Executor exec(4);
+  std::atomic<std::uint64_t> total{0};
+  for (int round = 0; round < 200; ++round)
+    exec.parallel_for_each(0, 16, [&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 200u * 16u);
+}
+
+TEST(Executor, ConcurrentCallersShareThePool) {
+  Executor exec(4);
+  std::atomic<std::uint64_t> total{0};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < 3; ++c)
+    callers.emplace_back([&] {
+      for (int round = 0; round < 20; ++round)
+        exec.parallel_for_each(0, 100, [&](std::size_t) { total.fetch_add(1); });
+    });
+  for (std::thread& t : callers) t.join();
+  EXPECT_EQ(total.load(), 3u * 20u * 100u);
+}
+
+}  // namespace
+}  // namespace fist

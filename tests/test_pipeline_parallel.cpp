@@ -1,0 +1,224 @@
+// Determinism-differential test: the parallel pipeline's correctness
+// contract is that thread count is unobservable in its outputs. The
+// same simulated world is run at threads = 1 (the sequential reference
+// semantics), 2, and 8, and every forensic product — chain view,
+// H1/final clusterings, cluster names, H2 change labels, balances,
+// ground-truth scores — must be bit-identical across the three.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "analysis/balances.hpp"
+#include "cluster/metrics.hpp"
+#include "core/pipeline.hpp"
+#include "sim/world.hpp"
+
+namespace fist {
+namespace {
+
+sim::WorldConfig differential_config() {
+  sim::WorldConfig cfg;
+  cfg.days = 60;
+  cfg.users = 100;
+  cfg.blocks_per_day = 8;
+  cfg.seed = 7777;
+  return cfg;
+}
+
+constexpr unsigned kThreadCounts[] = {1, 2, 8};
+
+class PipelineParallelTest : public ::testing::Test {
+ protected:
+  static sim::World& world() {
+    static sim::World* w = [] {
+      auto* world = new sim::World(differential_config());
+      world->run();
+      return world;
+    }();
+    return *w;
+  }
+
+  /// Pipelines at threads = 1, 2, 8 over the same world (same index as
+  /// kThreadCounts).
+  static ForensicPipeline& pipeline(std::size_t i) {
+    static std::unique_ptr<ForensicPipeline> pipes[std::size(kThreadCounts)];
+    if (!pipes[i]) {
+      PipelineOptions options;
+      options.threads = kThreadCounts[i];
+      pipes[i] = std::make_unique<ForensicPipeline>(
+          world().store(), world().tag_feed(), options);
+      pipes[i]->run();
+    }
+    return *pipes[i];
+  }
+
+  static ForensicPipeline& reference() { return pipeline(0); }
+};
+
+TEST_F(PipelineParallelTest, ExecutorsHonorRequestedThreadCounts) {
+  for (std::size_t i = 0; i < std::size(kThreadCounts); ++i)
+    EXPECT_EQ(pipeline(i).executor().worker_count(), kThreadCounts[i]);
+  EXPECT_TRUE(reference().executor().inline_mode());
+}
+
+TEST_F(PipelineParallelTest, ChainViewIsBitIdentical) {
+  const ChainView& ref = reference().view();
+  ASSERT_GT(ref.tx_count(), 1000u);
+  for (std::size_t i = 1; i < std::size(kThreadCounts); ++i) {
+    const ChainView& got = pipeline(i).view();
+    ASSERT_EQ(got.tx_count(), ref.tx_count());
+    ASSERT_EQ(got.address_count(), ref.address_count());
+    ASSERT_EQ(got.block_count(), ref.block_count());
+
+    // Dense ids must agree address-by-address (intern order), and every
+    // transaction must resolve identically.
+    for (AddrId a = 0; a < ref.address_count(); ++a) {
+      ASSERT_EQ(got.addresses().lookup(a), ref.addresses().lookup(a))
+          << "AddrId " << a << " interned differently at threads="
+          << kThreadCounts[i];
+      ASSERT_EQ(got.first_seen(a), ref.first_seen(a)) << "AddrId " << a;
+    }
+    for (TxIndex t = 0; t < ref.tx_count(); ++t) {
+      const TxView& rt = ref.tx(t);
+      const TxView& gt = got.tx(t);
+      ASSERT_EQ(gt.txid, rt.txid) << "tx " << t;
+      ASSERT_EQ(gt.height, rt.height);
+      ASSERT_EQ(gt.time, rt.time);
+      ASSERT_EQ(gt.coinbase, rt.coinbase);
+      ASSERT_EQ(gt.inputs.size(), rt.inputs.size());
+      for (std::size_t k = 0; k < rt.inputs.size(); ++k) {
+        ASSERT_EQ(gt.inputs[k].addr, rt.inputs[k].addr);
+        ASSERT_EQ(gt.inputs[k].value, rt.inputs[k].value);
+        ASSERT_EQ(gt.inputs[k].prev_tx, rt.inputs[k].prev_tx);
+        ASSERT_EQ(gt.inputs[k].prev_index, rt.inputs[k].prev_index);
+      }
+      ASSERT_EQ(gt.outputs.size(), rt.outputs.size());
+      for (std::size_t k = 0; k < rt.outputs.size(); ++k) {
+        ASSERT_EQ(gt.outputs[k].addr, rt.outputs[k].addr);
+        ASSERT_EQ(gt.outputs[k].value, rt.outputs[k].value);
+        ASSERT_EQ(gt.outputs[k].spent_by, rt.outputs[k].spent_by);
+      }
+    }
+  }
+}
+
+TEST_F(PipelineParallelTest, ClusteringsAreBitIdentical) {
+  for (std::size_t i = 1; i < std::size(kThreadCounts); ++i) {
+    EXPECT_EQ(pipeline(i).h1_clustering().assignment(),
+              reference().h1_clustering().assignment())
+        << "H1 clustering diverged at threads=" << kThreadCounts[i];
+    EXPECT_EQ(pipeline(i).h1_clustering().sizes(),
+              reference().h1_clustering().sizes());
+    EXPECT_EQ(pipeline(i).clustering().assignment(),
+              reference().clustering().assignment())
+        << "final clustering diverged at threads=" << kThreadCounts[i];
+    EXPECT_EQ(pipeline(i).clustering().sizes(),
+              reference().clustering().sizes());
+  }
+}
+
+TEST_F(PipelineParallelTest, H1StatsExactlyMatchSequential) {
+  for (std::size_t i = 1; i < std::size(kThreadCounts); ++i) {
+    EXPECT_EQ(pipeline(i).h1_stats().links, reference().h1_stats().links);
+    EXPECT_EQ(pipeline(i).h1_stats().multi_input_txs,
+              reference().h1_stats().multi_input_txs);
+  }
+}
+
+TEST_F(PipelineParallelTest, NamingIsIdentical) {
+  const auto& ref_names = reference().naming().names();
+  ASSERT_GT(ref_names.size(), 0u);
+  for (std::size_t i = 1; i < std::size(kThreadCounts); ++i) {
+    const auto& got_names = pipeline(i).naming().names();
+    ASSERT_EQ(got_names.size(), ref_names.size());
+    for (const auto& [cluster, name] : ref_names) {
+      auto it = got_names.find(cluster);
+      ASSERT_NE(it, got_names.end()) << "cluster " << cluster << " unnamed";
+      EXPECT_EQ(it->second.service, name.service);
+      EXPECT_EQ(it->second.category, name.category);
+      EXPECT_EQ(it->second.tag_votes, name.tag_votes);
+      EXPECT_EQ(it->second.distinct_services, name.distinct_services);
+    }
+    EXPECT_EQ(pipeline(i).naming().named_addresses(),
+              reference().naming().named_addresses());
+    EXPECT_EQ(pipeline(i).tagged_address_count(),
+              reference().tagged_address_count());
+  }
+}
+
+TEST_F(PipelineParallelTest, ChangeLabelsAndDiceSetAreIdentical) {
+  ASSERT_GT(reference().h2().label_count(), 0u);
+  for (std::size_t i = 1; i < std::size(kThreadCounts); ++i) {
+    EXPECT_EQ(pipeline(i).h2().change_of_tx, reference().h2().change_of_tx)
+        << "H2 change labels diverged at threads=" << kThreadCounts[i];
+    ASSERT_EQ(pipeline(i).h2().labels.size(), reference().h2().labels.size());
+    for (std::size_t k = 0; k < reference().h2().labels.size(); ++k) {
+      EXPECT_EQ(pipeline(i).h2().labels[k].tx, reference().h2().labels[k].tx);
+      EXPECT_EQ(pipeline(i).h2().labels[k].change,
+                reference().h2().labels[k].change);
+    }
+    EXPECT_EQ(pipeline(i).dice_addresses(), reference().dice_addresses());
+  }
+}
+
+TEST_F(PipelineParallelTest, BalanceSeriesIsBitIdentical) {
+  const BalanceSeries ref =
+      category_balances(reference().view(), reference().clustering(),
+                        reference().naming(), kWeek, reference().executor());
+  ASSERT_GT(ref.times.size(), 4u);
+  for (std::size_t i = 1; i < std::size(kThreadCounts); ++i) {
+    const BalanceSeries got =
+        category_balances(pipeline(i).view(), pipeline(i).clustering(),
+                          pipeline(i).naming(), kWeek,
+                          pipeline(i).executor());
+    ASSERT_EQ(got.times, ref.times);
+    EXPECT_EQ(got.active_supply, ref.active_supply);
+    EXPECT_EQ(got.total_supply, ref.total_supply);
+    ASSERT_EQ(got.tracks.size(), ref.tracks.size());
+    for (std::size_t k = 0; k < ref.tracks.size(); ++k) {
+      EXPECT_EQ(got.tracks[k].category, ref.tracks[k].category);
+      EXPECT_EQ(got.tracks[k].balance, ref.tracks[k].balance);
+      // Doubles compared bit-for-bit on purpose: both sides must have
+      // computed them from identical integer snapshots.
+      EXPECT_EQ(got.tracks[k].pct_active, ref.tracks[k].pct_active);
+    }
+  }
+}
+
+TEST_F(PipelineParallelTest, GroundTruthScoresAreIdentical) {
+  // True owner ids per AddrId from the simulator journal.
+  const ChainView& view = reference().view();
+  std::vector<std::uint32_t> owners(view.address_count(), kUnknownOwner);
+  for (AddrId a = 0; a < view.address_count(); ++a) {
+    sim::ActorId owner = world().truth().owner(view.addresses().lookup(a));
+    if (owner != sim::kNoActor) owners[a] = owner;
+  }
+
+  const PairwiseScores ref = pairwise_scores(
+      reference().clustering().assignment(), owners);
+  ASSERT_GT(ref.true_pairs, 0u);
+  for (std::size_t i = 1; i < std::size(kThreadCounts); ++i) {
+    const PairwiseScores got =
+        pairwise_scores(pipeline(i).clustering().assignment(), owners,
+                        pipeline(i).executor());
+    EXPECT_EQ(got.predicted_pairs, ref.predicted_pairs);
+    EXPECT_EQ(got.true_pairs, ref.true_pairs);
+    EXPECT_EQ(got.agreeing_pairs, ref.agreeing_pairs);
+    EXPECT_EQ(got.precision, ref.precision);
+    EXPECT_EQ(got.recall, ref.recall);
+  }
+}
+
+TEST_F(PipelineParallelTest, StageTimingsAreReported) {
+  for (std::size_t i = 0; i < std::size(kThreadCounts); ++i) {
+    const std::vector<StageTiming>& timings = pipeline(i).timings();
+    ASSERT_EQ(timings.size(), 7u) << "threads=" << kThreadCounts[i];
+    EXPECT_STREQ(timings.front().stage, "view");
+    EXPECT_STREQ(timings.back().stage, "finalize");
+    for (const StageTiming& t : timings) EXPECT_GE(t.millis, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace fist

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "util/rng.hpp"
 
@@ -103,6 +107,125 @@ TEST_P(UnionFindRandomOps, MatchesNaiveReference) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, UnionFindRandomOps,
+                         ::testing::Values(1, 2, 3, 42, 1337));
+
+// Canonical partition signature: each element labeled by the
+// first-encounter index of its set. Two forests with equal signatures
+// induce the same partition regardless of which elements are roots.
+std::vector<std::uint32_t> canonical_partition(const UnionFind& uf) {
+  std::vector<std::uint32_t> label(uf.size());
+  std::unordered_map<std::uint32_t, std::uint32_t> rep_to_id;
+  for (std::uint32_t i = 0; i < uf.size(); ++i) {
+    std::uint32_t rep = uf.find_const(i);
+    auto [it, inserted] =
+        rep_to_id.emplace(rep, static_cast<std::uint32_t>(rep_to_id.size()));
+    label[i] = it->second;
+  }
+  return label;
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>> random_links(
+    std::uint64_t seed, std::size_t n, std::size_t count) {
+  Rng rng(seed);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> links;
+  links.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    links.emplace_back(static_cast<std::uint32_t>(rng.below(n)),
+                       static_cast<std::uint32_t>(rng.below(n)));
+  return links;
+}
+
+TEST(UnionFindAbsorb, MergesConnectivityAndCounts) {
+  UnionFind a(6), b(6);
+  a.unite(0, 1);
+  b.unite(1, 2);
+  b.unite(4, 5);
+  std::uint64_t merges = a.absorb(b);
+  EXPECT_EQ(merges, 2u);
+  EXPECT_TRUE(a.same(0, 2));
+  EXPECT_TRUE(a.same(4, 5));
+  EXPECT_FALSE(a.same(0, 4));
+  EXPECT_EQ(a.set_count(), 3u);  // {0,1,2}, {3}, {4,5}
+}
+
+TEST(UnionFindAbsorb, GrowsToCoverLargerForest) {
+  UnionFind small(2), big(8);
+  big.unite(5, 7);
+  small.absorb(big);
+  EXPECT_EQ(small.size(), 8u);
+  EXPECT_TRUE(small.same(5, 7));
+}
+
+TEST(UnionFindAbsorb, Idempotent) {
+  const std::size_t n = 100;
+  UnionFind base(n);
+  for (auto [x, y] : random_links(7, n, 80)) base.unite(x, y);
+  UnionFind target(n);
+  target.absorb(base);
+  std::vector<std::uint32_t> once = canonical_partition(target);
+  EXPECT_EQ(target.absorb(base), 0u);  // second absorb merges nothing
+  EXPECT_EQ(canonical_partition(target), once);
+}
+
+// Randomized: absorbing a family of forests yields the same partition
+// in every absorb order (associativity/commutativity of the merge).
+class AbsorbOrderInsensitive : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(AbsorbOrderInsensitive, AnyAbsorbOrderSamePartition) {
+  const std::size_t n = 300;
+  const std::size_t parts = 5;
+  std::vector<UnionFind> forests(parts, UnionFind(n));
+  for (std::size_t p = 0; p < parts; ++p)
+    for (auto [x, y] : random_links(GetParam() * 31 + p, n, 120))
+      forests[p].unite(x, y);
+
+  std::vector<std::size_t> order(parts);
+  for (std::size_t p = 0; p < parts; ++p) order[p] = p;
+
+  std::vector<std::uint32_t> reference;
+  Rng shuffle_rng(GetParam() ^ 0x5eedu);
+  for (int trial = 0; trial < 6; ++trial) {
+    // Fisher–Yates with the deterministic test rng.
+    for (std::size_t i = parts - 1; i > 0; --i)
+      std::swap(order[i], order[shuffle_rng.below(i + 1)]);
+    UnionFind merged(n);
+    for (std::size_t p : order) merged.absorb(forests[p]);
+    std::vector<std::uint32_t> sig = canonical_partition(merged);
+    if (trial == 0)
+      reference = sig;
+    else
+      EXPECT_EQ(sig, reference) << "absorb order changed the partition";
+  }
+}
+
+// Randomized: sharding a link sequence, building per-shard forests and
+// absorbing them equals applying the sequence to a single forest.
+class ShardedAbsorb : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ShardedAbsorb, ShardedThenMergedEqualsSequential) {
+  const std::size_t n = 400;
+  auto links = random_links(GetParam(), n, 600);
+
+  UnionFind sequential(n);
+  for (auto [x, y] : links) sequential.unite(x, y);
+
+  for (std::size_t shards : {2u, 3u, 8u}) {
+    std::vector<UnionFind> forest(shards, UnionFind(n));
+    for (std::size_t i = 0; i < links.size(); ++i)
+      forest[i * shards / links.size()].unite(links[i].first,
+                                              links[i].second);
+    UnionFind merged(n);
+    for (const UnionFind& f : forest) merged.absorb(f);
+    EXPECT_EQ(canonical_partition(merged), canonical_partition(sequential))
+        << "shards=" << shards;
+    EXPECT_EQ(merged.set_count(), sequential.set_count());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AbsorbOrderInsensitive,
+                         ::testing::Values(1, 2, 3, 42, 1337));
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardedAbsorb,
                          ::testing::Values(1, 2, 3, 42, 1337));
 
 TEST(UnionFind, LargeScaleChainMerge) {
