@@ -134,5 +134,8 @@ int main() {
       "heuristics but do not blind them — and the one that does the most\n"
       "(routing through mixers) was exactly the service class the paper\n"
       "found too small to launder at scale, and partly larcenous.\n");
+  // The per-row pipelines are local to measure(); the report carries
+  // the accumulated registry across all rows.
+  write_bench_report("ablation_evasion");
   return 0;
 }

@@ -102,5 +102,7 @@ int main() {
       "    at scale (precision collapses — the super-cluster failure);\n"
       "  * min-outputs=2 shows the paper's definition is already safe\n"
       "    for 1-output sweeps.\n");
+  write_bench_report("ablation_heuristics", exp.pipeline.get(),
+                     exp.world->tx_count());
   return 0;
 }

@@ -3,6 +3,10 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+
+#include "core/obs/export.hpp"
+#include "core/obs/metrics.hpp"
 
 namespace fist::bench {
 
@@ -12,6 +16,18 @@ sim::WorldConfig default_config() {
   cfg.days = 240;
   cfg.users = 400;
   cfg.blocks_per_day = 12;
+  // CI runs the suite on a reduced scenario: FISTFUL_BENCH_SCALE=small
+  // shrinks the world, FISTFUL_BENCH_DAYS / FISTFUL_BENCH_USERS tune it
+  // further (both win over the scale preset).
+  if (const char* scale = std::getenv("FISTFUL_BENCH_SCALE");
+      scale != nullptr && std::string(scale) == "small") {
+    cfg.days = 30;
+    cfg.users = 60;
+  }
+  if (const char* days = std::getenv("FISTFUL_BENCH_DAYS"))
+    cfg.days = std::atoi(days);
+  if (const char* users = std::getenv("FISTFUL_BENCH_USERS"))
+    cfg.users = std::atoi(users);
   return cfg;
 }
 
@@ -21,10 +37,87 @@ unsigned bench_threads() {
   return 0;
 }
 
-void report_stage_timings(const ForensicPipeline& pipeline) {
-  std::fprintf(stderr, "[bench] per-stage wall-clock:\n");
-  for (const StageTiming& t : pipeline.timings())
-    std::fprintf(stderr, "[bench]   %-10s %9.1f ms\n", t.stage, t.millis);
+std::string stage_table(const ForensicPipeline& pipeline) {
+  TextTable t({"Stage", "ms"}, {Align::Left, Align::Right});
+  for (const StageTiming& s : pipeline.timings()) {
+    char ms[32];
+    std::snprintf(ms, sizeof ms, "%.1f", s.millis);
+    t.row({s.stage, ms});
+  }
+  return t.render();
+}
+
+void print_speedup_table(const ForensicPipeline& seq,
+                         const ForensicPipeline& par) {
+  double seq_total = 0, par_total = 0;
+  TextTable t(
+      {"Stage", "threads=1 (ms)",
+       "threads=" + std::to_string(par.executor().worker_count()) + " (ms)",
+       "speedup"},
+      {Align::Left, Align::Right, Align::Right, Align::Right});
+  for (std::size_t i = 0; i < seq.timings().size(); ++i) {
+    const StageTiming& s = seq.timings()[i];
+    const StageTiming& p = par.timings()[i];
+    seq_total += s.millis;
+    par_total += p.millis;
+    char speedup[32];
+    std::snprintf(speedup, sizeof speedup, "%.2fx",
+                  p.millis > 0 ? s.millis / p.millis : 1.0);
+    t.row({s.stage, std::to_string(static_cast<long>(s.millis)),
+           std::to_string(static_cast<long>(p.millis)), speedup});
+  }
+  char total_speedup[32];
+  std::snprintf(total_speedup, sizeof total_speedup, "%.2fx",
+                par_total > 0 ? seq_total / par_total : 1.0);
+  t.row({"total", std::to_string(static_cast<long>(seq_total)),
+         std::to_string(static_cast<long>(par_total)), total_speedup});
+  std::printf("%s\n", t.render().c_str());
+}
+
+void write_bench_report(const std::string& name,
+                        const ForensicPipeline* pipeline, std::uint64_t txs) {
+  const char* dir = std::getenv("FISTFUL_BENCH_DIR");
+  std::string path = (dir != nullptr && *dir != '\0')
+                         ? std::string(dir) + "/BENCH_" + name + ".json"
+                         : "BENCH_" + name + ".json";
+
+  std::string json = "{\n  \"bench\": \"" + obs::json_escape(name) + "\"";
+  if (pipeline != nullptr) {
+    json += ",\n  \"threads\": " +
+            std::to_string(pipeline->executor().worker_count());
+    double total = 0;
+    json += ",\n  \"stages_ms\": {";
+    bool first = true;
+    for (const StageTiming& t : pipeline->timings()) {
+      if (!first) json += ", ";
+      first = false;
+      json += "\"" + obs::json_escape(t.stage) +
+              "\": " + obs::json_number(t.millis);
+      total += t.millis;
+    }
+    json += "}";
+    json += ",\n  \"total_ms\": " + obs::json_number(total);
+    if (txs > 0) {
+      json += ",\n  \"txs\": " + std::to_string(txs);
+      if (total > 0)
+        json += ",\n  \"txs_per_second\": " +
+                obs::json_number(static_cast<double>(txs) / (total / 1000.0));
+    }
+    if (!pipeline->trace().empty())
+      json += ",\n  \"spans\": " +
+              obs::render_spans_json_array(pipeline->trace());
+  }
+  json += ",\n  \"metrics\": " + obs::render_metrics_json_object(
+                                     obs::MetricsRegistry::global().snapshot());
+  json += "\n}\n";
+
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "[bench] cannot write %s\n", path.c_str());
+    return;
+  }
+  out << json;
+  std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
 }
 
 Experiment run_experiment(sim::WorldConfig config) {
@@ -57,7 +150,7 @@ Experiment run_experiment(sim::WorldConfig config, unsigned threads) {
           std::chrono::duration_cast<std::chrono::milliseconds>(t2 - t1)
               .count()),
       exp.pipeline->executor().worker_count());
-  report_stage_timings(*exp.pipeline);
+  std::fprintf(stderr, "%s", stage_table(*exp.pipeline).c_str());
   return exp;
 }
 

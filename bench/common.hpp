@@ -33,8 +33,22 @@ struct Experiment {
 Experiment run_experiment(sim::WorldConfig config = default_config());
 Experiment run_experiment(sim::WorldConfig config, unsigned threads);
 
-/// Prints the pipeline's per-stage wall-clock to stderr.
-void report_stage_timings(const ForensicPipeline& pipeline);
+/// Rendered per-stage wall-clock table (the one shared formatting of
+/// StageTiming — benches must not hand-roll their own).
+std::string stage_table(const ForensicPipeline& pipeline);
+
+/// Prints the sequential-vs-parallel per-stage speedup table to stdout.
+void print_speedup_table(const ForensicPipeline& seq,
+                         const ForensicPipeline& par);
+
+/// Writes the machine-readable bench report `BENCH_<name>.json` into
+/// $FISTFUL_BENCH_DIR (or the working directory): thread count,
+/// per-stage wall-clock, throughput, the global metrics registry, and
+/// the pipeline's span tree. `pipeline` may be null for benches that
+/// do not run the forensic pipeline (metrics only).
+void write_bench_report(const std::string& name,
+                        const ForensicPipeline* pipeline = nullptr,
+                        std::uint64_t txs = 0);
 
 /// Prints the standard bench banner.
 void banner(const std::string& title, const std::string& paper_ref);

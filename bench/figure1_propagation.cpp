@@ -87,5 +87,6 @@ int main() {
       "    ignorant of its own payment;\n"
       "  * propagation grows sub-linearly with network size (gossip);\n"
       "  * the mined block reaches the merchant, completing step (6).\n");
+  write_bench_report("figure1_propagation");  // net.* counters only
   return 0;
 }

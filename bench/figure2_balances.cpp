@@ -101,5 +101,7 @@ int main() {
                         final_ranking[1].second == Category::BankExchange;
   std::printf("\nshape check: exchanges among top-2 categories: %s\n",
               exchanges_lead ? "yes (matches paper)" : "NO");
+  write_bench_report("figure2_balances", exp.pipeline.get(),
+                     exp.world->tx_count());
   return 0;
 }

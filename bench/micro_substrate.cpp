@@ -10,6 +10,8 @@
 #include "cluster/heuristic1.hpp"
 #include "cluster/heuristic2.hpp"
 #include "common.hpp"
+#include "core/obs/metrics.hpp"
+#include "core/obs/span.hpp"
 #include "crypto/ecdsa.hpp"
 #include "crypto/merkle.hpp"
 #include "crypto/ripemd160.hpp"
@@ -195,6 +197,68 @@ void BM_Heuristic2_Refined(benchmark::State& state) {
                           static_cast<int64_t>(view.tx_count()));
 }
 BENCHMARK(BM_Heuristic2_Refined)->Unit(benchmark::kMillisecond);
+
+// ---- observability overhead ------------------------------------------
+//
+// The FISTFUL_NO_OBS acceptance test: BM_Obs_HotLoop_Bare vs
+// BM_Obs_HotLoop_Counted run the same arithmetic loop without / with a
+// counter increment per iteration. In a -DFISTFUL_NO_OBS=ON build the
+// counter compiles to nothing and the two must be within noise (<1%);
+// in a normal build the delta is the true per-event cost.
+
+void BM_Obs_CounterAdd(benchmark::State& state) {
+  obs::Counter c = obs::MetricsRegistry::global().counter("bm.counter");
+  for (auto _ : state) c.inc();
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Obs_CounterAdd);
+
+void BM_Obs_HistogramObserve(benchmark::State& state) {
+  obs::Histogram h = obs::MetricsRegistry::global().histogram(
+      "bm.histogram", {1, 2, 4, 8, 16, 32});
+  double v = 0;
+  for (auto _ : state) {
+    h.observe(v);
+    v = v < 40 ? v + 1 : 0;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Obs_HistogramObserve);
+
+void BM_Obs_Span(benchmark::State& state) {
+  obs::Trace trace;
+  obs::TraceScope scope(trace);
+  for (auto _ : state) {
+    obs::Span span("bm.span");
+    benchmark::DoNotOptimize(&span);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Obs_Span);
+
+void BM_Obs_HotLoop_Bare(benchmark::State& state) {
+  for (auto _ : state) {
+    std::uint64_t acc = 0;
+    for (std::uint64_t i = 0; i < 4096; ++i) acc += i * i;
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_Obs_HotLoop_Bare);
+
+void BM_Obs_HotLoop_Counted(benchmark::State& state) {
+  obs::Counter c = obs::MetricsRegistry::global().counter("bm.hot_loop");
+  for (auto _ : state) {
+    std::uint64_t acc = 0;
+    for (std::uint64_t i = 0; i < 4096; ++i) {
+      acc += i * i;
+      c.inc();
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_Obs_HotLoop_Counted);
 
 }  // namespace
 

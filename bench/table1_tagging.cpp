@@ -80,5 +80,7 @@ int main() {
                   .c_str());
   std::printf("\nShape check: every category engaged, observed tags are a\n"
               "small seed vs the public feed, exactly as in §3.\n");
+  write_bench_report("table1_tagging", exp.pipeline.get(),
+                     exp.world->tx_count());
   return 0;
 }

@@ -117,5 +117,7 @@ int main() {
       truth_named ? 100.0 * named_peels / truth_named : 0.0);
   std::printf("\nThe paper's subpoena argument: every exchange row above is\n"
               "an account an agency could compel records for.\n");
+  write_bench_report("table2_peeling", exp.pipeline.get(),
+                     exp.world->tx_count());
   return 0;
 }

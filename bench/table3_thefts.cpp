@@ -115,5 +115,7 @@ int main() {
   std::printf("\n\nThe Betcoin thief sat on the loot for ~a year before the\n"
               "aggregation + peeling run — visible above as a late, highly\n"
               "trackable chain, exactly the paper's story.\n");
+  write_bench_report("table3_thefts", exp.pipeline.get(),
+                     exp.world->tx_count());
   return 0;
 }

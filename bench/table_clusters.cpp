@@ -25,31 +25,7 @@ int main() {
   ForensicPipeline seq(exp.world->store(), exp.world->tag_feed(),
                        PipelineOptions{refined_h2_options(), 1});
   seq.run();
-
-  double seq_total = 0, par_total = 0;
-  TextTable stage_table(
-      {"Stage", "threads=1 (ms)",
-       "threads=" + std::to_string(pipe.executor().worker_count()) + " (ms)",
-       "speedup"},
-      {Align::Left, Align::Right, Align::Right, Align::Right});
-  for (std::size_t i = 0; i < seq.timings().size(); ++i) {
-    const StageTiming& s = seq.timings()[i];
-    const StageTiming& p = pipe.timings()[i];
-    seq_total += s.millis;
-    par_total += p.millis;
-    char speedup[32];
-    std::snprintf(speedup, sizeof speedup, "%.2fx",
-                  p.millis > 0 ? s.millis / p.millis : 1.0);
-    stage_table.row({s.stage, std::to_string(static_cast<long>(s.millis)),
-                     std::to_string(static_cast<long>(p.millis)), speedup});
-  }
-  char total_speedup[32];
-  std::snprintf(total_speedup, sizeof total_speedup, "%.2fx",
-                par_total > 0 ? seq_total / par_total : 1.0);
-  stage_table.row({"total", std::to_string(static_cast<long>(seq_total)),
-                   std::to_string(static_cast<long>(par_total)),
-                   total_speedup});
-  std::printf("%s\n", stage_table.render().c_str());
+  print_speedup_table(seq, pipe);
 
   std::uint64_t bound = user_upper_bound(view, pipe.h1_clustering());
 
@@ -111,5 +87,6 @@ int main() {
               cluster_ratio);
   std::printf("(H1 leaves roughly half of all addresses unmerged in both\n"
               "the real chain and the simulated one.)\n");
+  write_bench_report("table_clusters", &pipe, exp.world->tx_count());
   return 0;
 }

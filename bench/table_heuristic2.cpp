@@ -147,5 +147,7 @@ int main() {
   std::printf("Shape: refined H2 trades a little recall for precision vs\n"
               "naive H2, and beats H1 alone on recall — the paper's\n"
               "\"safest heuristic possible\" design goal.\n");
+  write_bench_report("table_heuristic2", exp.pipeline.get(),
+                     exp.world->tx_count());
   return 0;
 }

@@ -1,9 +1,62 @@
 #include "chain/view.hpp"
 
+#include "core/obs/metrics.hpp"
+#include "core/obs/span.hpp"
 #include "script/standard.hpp"
 #include "util/error.hpp"
 
 namespace fist {
+
+namespace {
+
+/// Registry handles for the chain-view build, bound once. Script-class
+/// counters are indexed by ScriptType; every output is classified
+/// exactly once on both the sequential and the parallel path, so the
+/// totals are thread-count-invariant.
+struct ViewMetrics {
+  obs::Counter blocks;
+  obs::Counter txs;
+  obs::Counter addresses;
+  obs::Counter script_class[6];
+  obs::Histogram tx_inputs;
+  obs::Histogram tx_outputs;
+
+  static const ViewMetrics& get() {
+    static const ViewMetrics metrics = [] {
+      obs::MetricsRegistry& r = obs::MetricsRegistry::global();
+      ViewMetrics m;
+      m.blocks = r.counter("view.blocks");
+      m.txs = r.counter("view.txs");
+      m.addresses = r.counter("view.addresses_interned");
+      m.script_class[static_cast<int>(ScriptType::NonStandard)] =
+          r.counter("view.script.nonstandard");
+      m.script_class[static_cast<int>(ScriptType::P2PK)] =
+          r.counter("view.script.p2pk");
+      m.script_class[static_cast<int>(ScriptType::P2PKH)] =
+          r.counter("view.script.p2pkh");
+      m.script_class[static_cast<int>(ScriptType::P2SH)] =
+          r.counter("view.script.p2sh");
+      m.script_class[static_cast<int>(ScriptType::Multisig)] =
+          r.counter("view.script.multisig");
+      m.script_class[static_cast<int>(ScriptType::NullData)] =
+          r.counter("view.script.nulldata");
+      std::vector<double> shape{0, 1, 2, 4, 8, 16, 32, 64};
+      m.tx_inputs = r.histogram("view.tx_inputs", shape);
+      m.tx_outputs = r.histogram("view.tx_outputs", shape);
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+/// Classifies an output script, counting its class.
+std::optional<Address> classify_output(const Script& script_pubkey) {
+  Classified cls = classify(script_pubkey);
+  ViewMetrics::get().script_class[static_cast<int>(cls.type)].inc();
+  return address_of(cls);
+}
+
+}  // namespace
 
 Amount TxView::value_in() const noexcept {
   Amount total = 0;
@@ -57,7 +110,7 @@ void ChainView::add_block(const Block& block, std::int32_t height) {
     for (const TxOut& out : tx.outputs) {
       OutputView ov;
       ov.value = out.value;
-      if (auto addr = extract_address(out.script_pubkey))
+      if (auto addr = classify_output(out.script_pubkey))
         ov.addr = book_.intern(*addr);
       view.outputs.push_back(ov);
     }
@@ -122,19 +175,33 @@ void ChainView::finish(Executor& exec) {
 
 ChainView ChainView::build(const BlockStore& store) {
   ChainView view;
-  for (std::size_t i = 0; i < store.count(); ++i) {
-    Block block = store.read(i);
-    view.add_block(block, static_cast<std::int32_t>(i));
+  {
+    obs::Span scan("view.scan");
+    for (std::size_t i = 0; i < store.count(); ++i) {
+      Block block = store.read(i);
+      view.add_block(block, static_cast<std::int32_t>(i));
+    }
   }
-  view.finish();
+  {
+    obs::Span first_seen("view.first_seen");
+    view.finish();
+  }
+  view.record_build_metrics();
   return view;
 }
 
 ChainView ChainView::build(const std::vector<Block>& blocks) {
   ChainView view;
-  for (std::size_t i = 0; i < blocks.size(); ++i)
-    view.add_block(blocks[i], static_cast<std::int32_t>(i));
-  view.finish();
+  {
+    obs::Span scan("view.scan");
+    for (std::size_t i = 0; i < blocks.size(); ++i)
+      view.add_block(blocks[i], static_cast<std::int32_t>(i));
+  }
+  {
+    obs::Span first_seen("view.first_seen");
+    view.finish();
+  }
+  view.record_build_metrics();
   return view;
 }
 
@@ -169,7 +236,9 @@ ChainView ChainView::build_parallel(
     const std::function<Block(std::size_t)>& read_block, Executor& exec) {
   // Phase 1 (parallel): scan blocks into pre-digested form, interning
   // output addresses into hash shards keyed by (block, output-slot)
-  // appearance ordinals.
+  // appearance ordinals. The "view.scan" span covers phases 1 + 2 so
+  // the span tree matches the sequential build's.
+  obs::Span scan_span("view.scan");
   ShardedAddressBook sharded;
   std::vector<PreBlock> pre(block_count);
   exec.parallel_for(0, block_count, 0, [&](std::size_t lo, std::size_t hi) {
@@ -191,7 +260,7 @@ ChainView ChainView::build_parallel(
         for (const TxOut& out : tx.outputs) {
           PreOutput po;
           po.value = out.value;
-          if (auto addr = extract_address(out.script_pubkey)) {
+          if (auto addr = classify_output(out.script_pubkey)) {
             std::uint64_t ordinal =
                 (static_cast<std::uint64_t>(b) << 32) | slot;
             po.ref = sharded.intern(*addr, ordinal);
@@ -262,9 +331,28 @@ ChainView ChainView::build_parallel(
     ++view.block_count_;
   }
 
+  scan_span.close();
+
   // Phase 3 (parallel): first-seen table via sharded min-reduction.
-  view.finish(exec);
+  {
+    obs::Span first_seen("view.first_seen");
+    view.finish(exec);
+  }
+  view.record_build_metrics();
   return view;
+}
+
+void ChainView::record_build_metrics() const {
+#ifndef FISTFUL_NO_OBS
+  const ViewMetrics& m = ViewMetrics::get();
+  m.blocks.add(block_count_);
+  m.txs.add(txs_.size());
+  m.addresses.add(book_.size());
+  for (const TxView& tx : txs_) {
+    m.tx_inputs.observe(static_cast<double>(tx.inputs.size()));
+    m.tx_outputs.observe(static_cast<double>(tx.outputs.size()));
+  }
+#endif
 }
 
 ChainView ChainView::build(const BlockStore& store, Executor& exec) {

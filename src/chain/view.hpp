@@ -105,6 +105,12 @@ class ChainView {
   void finish();
   void finish(Executor& exec);
 
+  /// Reports build totals (blocks/txs/interned addresses) and the
+  /// tx-shape histograms into the global MetricsRegistry; script-class
+  /// counts are recorded during the scan itself. All of these are
+  /// deterministic across thread counts. No-op under FISTFUL_NO_OBS.
+  void record_build_metrics() const;
+
   /// Shared parallel-build driver: `read_block(i)` must be safe to
   /// call concurrently for distinct indices.
   static ChainView build_parallel(

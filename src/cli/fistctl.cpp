@@ -20,6 +20,9 @@
 
 #include "analysis/explorer.hpp"
 #include "analysis/export.hpp"
+#include "core/obs/export.hpp"
+#include "core/obs/metrics.hpp"
+#include "core/obs/span.hpp"
 #include "core/pipeline.hpp"
 #include "sim/world.hpp"
 #include "tag/feedio.hpp"
@@ -28,6 +31,8 @@ namespace {
 
 using namespace fist;
 
+// Exit codes: 2 for bad arguments (everything routed through usage()),
+// 1 for runtime failures (fist::Error caught in main), 0 on success.
 [[noreturn]] void usage(const char* why = nullptr) {
   if (why != nullptr) std::fprintf(stderr, "error: %s\n\n", why);
   std::fprintf(stderr, R"(usage: fistctl <command> [options]
@@ -47,6 +52,18 @@ commands:
              --chain chain.dat --tags tags.csv --tx TXID --vout N [--hops N] [--out peels.csv]
   entity     profile a named service or cluster
              --chain chain.dat --tags tags.csv (--name "Mt. Gox" | --cluster N)
+
+pipeline commands (cluster/balances/flows/follow/entity) also take:
+  --threads N             concurrency lanes (0 = hardware, 1 = sequential)
+
+observability (accepted by every command):
+  --metrics-out PATH      write the metrics registry after the command
+                          (PATH of - means stdout)
+  --metrics-format FMT    json (default; includes the span tree),
+                          prom (Prometheus text), or table (ASCII)
+  --trace-out PATH        write the span tree as JSON (- means stdout)
+
+exit codes: 0 success, 1 runtime failure, 2 bad arguments
 )");
   std::exit(2);
 }
@@ -88,15 +105,30 @@ class Args {
 
 std::vector<TagEntry> load_tags(const std::string& path) {
   std::ifstream in(path);
-  if (!in) usage(("cannot open tag feed " + path).c_str());
+  if (!in) throw Error("cannot open tag feed " + path);
   return read_tag_feed(in);
+}
+
+/// Writes `content` to `path`, with "-" meaning stdout.
+void write_text(const std::string& path, const std::string& content,
+                const char* what) {
+  if (path == "-") {
+    std::fwrite(content.data(), 1, content.size(), stdout);
+    return;
+  }
+  std::ofstream out(path);
+  if (!out) throw Error(std::string("cannot open ") + what + " " + path);
+  out << content;
+  std::fprintf(stderr, "wrote %s %s\n", what, path.c_str());
 }
 
 ForensicPipeline make_pipeline(const FileBlockStore& store, const Args& args,
                                bool naive = false) {
   std::vector<TagEntry> feed = load_tags(args.require("--tags"));
-  return ForensicPipeline(store, std::move(feed),
-                          naive ? H2Options{} : refined_h2_options());
+  PipelineOptions options;
+  options.h2 = naive ? H2Options{} : refined_h2_options();
+  options.threads = static_cast<unsigned>(args.get_long("--threads", 0));
+  return ForensicPipeline(store, std::move(feed), options);
 }
 
 int cmd_simulate(const Args& args) {
@@ -218,7 +250,7 @@ int cmd_follow(const Args& args) {
 
   Hash256 txid = Hash256::from_hex_reversed(args.require("--tx"));
   TxIndex start = pipeline.view().find_tx(txid);
-  if (start == kNoTx) usage("--tx not found in the chain");
+  if (start == kNoTx) throw Error("--tx not found in the chain");
   std::uint32_t vout =
       static_cast<std::uint32_t>(args.get_long("--vout", 0));
   int hops = static_cast<int>(args.get_long("--hops", 100));
@@ -255,7 +287,7 @@ int cmd_entity(const Args& args) {
   ClusterId cluster;
   if (args.has("--name")) {
     auto found = explorer.find_service(args.require("--name"));
-    if (!found) usage("service name not found in any named cluster");
+    if (!found) throw Error("service name not found in any named cluster");
     cluster = *found;
   } else {
     cluster = static_cast<ClusterId>(args.get_long("--cluster", -1));
@@ -285,23 +317,57 @@ int cmd_entity(const Args& args) {
   return 0;
 }
 
+int dispatch(const std::string& command, const Args& args) {
+  if (command == "simulate") return cmd_simulate(args);
+  if (command == "info") return cmd_info(args);
+  if (command == "cluster") return cmd_cluster(args);
+  if (command == "balances") return cmd_balances(args);
+  if (command == "flows") return cmd_flows(args);
+  if (command == "follow") return cmd_follow(args);
+  if (command == "entity") return cmd_entity(args);
+  usage(("unknown command '" + command + "'").c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) usage();
   std::string command = argv[1];
   Args args(argc, argv, 2);
+
+  std::string metrics_out = args.get("--metrics-out", "");
+  std::string trace_out = args.get("--trace-out", "");
+  std::string metrics_format = args.get("--metrics-format", "json");
+  if (metrics_format != "json" && metrics_format != "prom" &&
+      metrics_format != "table")
+    usage("--metrics-format must be json, prom, or table");
+
+  obs::Trace trace;
   try {
-    if (command == "simulate") return cmd_simulate(args);
-    if (command == "info") return cmd_info(args);
-    if (command == "cluster") return cmd_cluster(args);
-    if (command == "balances") return cmd_balances(args);
-    if (command == "flows") return cmd_flows(args);
-    if (command == "follow") return cmd_follow(args);
-    if (command == "entity") return cmd_entity(args);
+    int code;
+    {
+      // The command runs under a root span inside fistctl's ambient
+      // trace; the pipeline's stage spans nest below it (its internal
+      // TraceScope is IfNoneActive).
+      obs::TraceScope scope(trace);
+      obs::Span root(command.c_str());
+      code = dispatch(command, args);
+    }
+    if (!metrics_out.empty()) {
+      obs::Snapshot snapshot = obs::MetricsRegistry::global().snapshot();
+      std::string doc = metrics_format == "prom"
+                            ? obs::render_prometheus(snapshot)
+                        : metrics_format == "table"
+                            ? obs::render_table(snapshot)
+                            : obs::render_json(snapshot, &trace);
+      write_text(metrics_out, doc, "metrics");
+    }
+    if (!trace_out.empty())
+      write_text(trace_out, obs::render_spans_json_array(trace) + "\n",
+                 "trace");
+    return code;
   } catch (const fist::Error& e) {
     std::fprintf(stderr, "fistctl: %s\n", e.what());
     return 1;
   }
-  usage(("unknown command '" + command + "'").c_str());
 }

@@ -1,8 +1,37 @@
 #include "cluster/heuristic1.hpp"
 
+#include "core/obs/metrics.hpp"
+
 namespace fist {
 
 namespace {
+
+/// H1 merge counters. `h1.links` / `h1.merged_txs` are deterministic
+/// (the replay reproduces the sequential union sequence exactly);
+/// the candidate total depends on sharding, so it lives under `exec.`.
+struct H1Metrics {
+  obs::Counter links;
+  obs::Counter merged_txs;
+  obs::Counter candidates;
+
+  static const H1Metrics& get() {
+    static const H1Metrics metrics = [] {
+      obs::MetricsRegistry& r = obs::MetricsRegistry::global();
+      H1Metrics m;
+      m.links = r.counter("h1.links");
+      m.merged_txs = r.counter("h1.merged_txs");
+      m.candidates = r.counter("exec.h1_candidates");
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+void record_h1_stats(const H1Stats& stats) {
+  const H1Metrics& m = H1Metrics::get();
+  m.links.add(stats.links);
+  m.merged_txs.add(stats.multi_input_txs);
+}
 
 /// Merges one transaction's input star into `uf`; updates `stats` and
 /// returns true iff any union succeeded. The single shared definition
@@ -33,6 +62,7 @@ H1Stats apply_heuristic1(const ChainView& view, UnionFind& uf) {
   H1Stats stats;
   uf.grow(view.address_count());
   for (const TxView& tx : view.txs()) h1_process_tx(tx, uf, &stats);
+  record_h1_stats(stats);
   return stats;
 }
 
@@ -66,8 +96,13 @@ H1Stats apply_heuristic1(const ChainView& view, UnionFind& uf,
   // so concatenating candidate lists preserves transaction order and
   // the replay sees exactly the sequential pass's union sequence.
   H1Stats stats;
-  for (std::size_t s = 0; s < shard_count; ++s)
+  std::uint64_t candidate_total = 0;
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    candidate_total += candidates[s].size();
     for (TxIndex t : candidates[s]) h1_process_tx(view.txs()[t], uf, &stats);
+  }
+  H1Metrics::get().candidates.add(candidate_total);
+  record_h1_stats(stats);
   return stats;
 }
 

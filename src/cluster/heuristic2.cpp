@@ -2,9 +2,59 @@
 
 #include <algorithm>
 
+#include "core/obs/metrics.hpp"
+#include "core/obs/span.hpp"
+
 namespace fist {
 
 namespace {
+
+/// H2 label/merge/refinement-rejection counters — all deterministic
+/// (the pass is a sequential chronological scan on every path).
+struct H2Metrics {
+  obs::Counter labels;
+  obs::Counter merges;
+  obs::Counter skip_coinbase;
+  obs::Counter skip_self_change;
+  obs::Counter skip_no_candidate;
+  obs::Counter skip_ambiguous;
+  obs::Counter skip_reused_guard;
+  obs::Counter skip_self_change_history;
+  obs::Counter skip_window_veto;
+  obs::Counter skip_too_few_outputs;
+
+  static const H2Metrics& get() {
+    static const H2Metrics metrics = [] {
+      obs::MetricsRegistry& r = obs::MetricsRegistry::global();
+      H2Metrics m;
+      m.labels = r.counter("h2.labels");
+      m.merges = r.counter("h2.merges");
+      m.skip_coinbase = r.counter("h2.skip.coinbase");
+      m.skip_self_change = r.counter("h2.skip.self_change");
+      m.skip_no_candidate = r.counter("h2.skip.no_candidate");
+      m.skip_ambiguous = r.counter("h2.skip.ambiguous");
+      m.skip_reused_guard = r.counter("h2.skip.reused_guard");
+      m.skip_self_change_history = r.counter("h2.skip.self_change_history");
+      m.skip_window_veto = r.counter("h2.skip.window_veto");
+      m.skip_too_few_outputs = r.counter("h2.skip.too_few_outputs");
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+void record_h2_result(const H2Result& result) {
+  const H2Metrics& m = H2Metrics::get();
+  m.labels.add(result.labels.size());
+  m.skip_coinbase.add(result.skipped.coinbase);
+  m.skip_self_change.add(result.skipped.self_change);
+  m.skip_no_candidate.add(result.skipped.no_candidate);
+  m.skip_ambiguous.add(result.skipped.ambiguous);
+  m.skip_reused_guard.add(result.skipped.reused_guard);
+  m.skip_self_change_history.add(result.skipped.self_change_history_guard);
+  m.skip_window_veto.add(result.skipped.window_veto);
+  m.skip_too_few_outputs.add(result.skipped.too_few_outputs);
+}
 
 /// Receipt histories: for every address, the transactions in which it
 /// received an output, and whether all of that transaction's resolved
@@ -58,7 +108,11 @@ H2Result apply_heuristic2(const ChainView& view, const H2Options& options,
   H2Result result;
   result.change_of_tx.assign(view.tx_count(), kNoAddr);
 
-  const Receipts receipts = Receipts::build(view, dice_addrs);
+  const Receipts receipts = [&] {
+    obs::Span span("h2.receipts");
+    return Receipts::build(view, dice_addrs);
+  }();
+  obs::Span scan_span("h2.scan");
 
   // Running per-address state, updated chronologically.
   std::vector<std::uint32_t> receipts_so_far(view.address_count(), 0);
@@ -223,7 +277,9 @@ H2Result apply_heuristic2(const ChainView& view, const H2Options& options,
     result.change_of_tx[t] = candidate;
     commit();
   }
+  scan_span.close();
 
+  record_h2_result(result);
   return result;
 }
 
@@ -241,6 +297,7 @@ std::uint64_t unite_h2_labels(const ChainView& view, const H2Result& result,
       if (uf.unite(in.addr, label.change)) ++merges;
     }
   }
+  H2Metrics::get().merges.add(merges);
   return merges;
 }
 

@@ -1,0 +1,279 @@
+#include "core/executor.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/obs/metrics.hpp"
+#include "util/error.hpp"
+
+namespace fist {
+
+namespace {
+
+/// Identifies the pool (if any) the current thread is a worker of, so
+/// tasks spawned from inside a task land on the owner's deque.
+struct ThreadAffinity {
+  void* pool = nullptr;
+  std::size_t worker_index = 0;
+};
+
+thread_local ThreadAffinity tls_affinity;
+
+}  // namespace
+
+struct Executor::Impl {
+  struct Worker {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  /// Shared claim state of one parallel_for call.
+  struct ForState {
+    std::atomic<std::size_t> next;
+    std::size_t end;
+    std::size_t grain;
+    const std::function<void(std::size_t, std::size_t)>* body;
+
+    std::mutex error_mutex;
+    std::exception_ptr error;
+
+    std::mutex join_mutex;
+    std::condition_variable join_cv;
+    std::size_t helpers_live = 0;
+
+    void run_chunks() {
+      for (;;) {
+        std::size_t lo = next.fetch_add(grain);
+        if (lo >= end) break;
+        std::size_t hi = lo + grain < end ? lo + grain : end;
+        try {
+          (*body)(lo, hi);
+        } catch (...) {
+          {
+            std::lock_guard<std::mutex> lock(error_mutex);
+            if (!error) error = std::current_exception();
+          }
+          next.store(end);  // abandon unclaimed chunks
+        }
+      }
+    }
+  };
+
+  unsigned lanes;
+  std::vector<std::unique_ptr<Worker>> workers;
+  std::deque<std::function<void()>> injection;
+  std::mutex injection_mutex;
+
+  // Scheduling metrics (the `exec.` namespace is explicitly
+  // thread-count-dependent — see docs/OBSERVABILITY.md). Handles are
+  // bound once here; mutation is lock-free.
+  obs::Counter tasks_metric =
+      obs::MetricsRegistry::global().counter("exec.tasks");
+  obs::Counter steals_metric =
+      obs::MetricsRegistry::global().counter("exec.steals");
+  obs::Counter parallel_fors_metric =
+      obs::MetricsRegistry::global().counter("exec.parallel_fors");
+  obs::Gauge queue_hwm_metric =
+      obs::MetricsRegistry::global().gauge("exec.queue_depth_hwm");
+
+  std::mutex sleep_mutex;
+  std::condition_variable sleep_cv;
+  std::atomic<std::size_t> queued{0};
+  std::atomic<bool> stopping{false};
+
+  std::vector<std::thread> threads;
+
+  explicit Impl(unsigned lane_count) : lanes(lane_count) {
+    unsigned spawned = lanes - 1;
+    workers.reserve(spawned);
+    for (unsigned i = 0; i < spawned; ++i)
+      workers.push_back(std::make_unique<Worker>());
+    threads.reserve(spawned);
+    for (unsigned i = 0; i < spawned; ++i)
+      threads.emplace_back([this, i] { worker_main(i); });
+  }
+
+  ~Impl() {
+    stopping.store(true);
+    {
+      std::lock_guard<std::mutex> lock(sleep_mutex);
+    }
+    sleep_cv.notify_all();
+    for (std::thread& t : threads) t.join();
+  }
+
+  void submit(std::function<void()> task) {
+    if (tls_affinity.pool == this) {
+      Worker& own = *workers[tls_affinity.worker_index];
+      std::lock_guard<std::mutex> lock(own.mutex);
+      own.tasks.push_back(std::move(task));  // owner's LIFO end
+    } else {
+      std::lock_guard<std::mutex> lock(injection_mutex);
+      injection.push_back(std::move(task));
+    }
+    queue_hwm_metric.update_max(
+        static_cast<std::int64_t>(queued.fetch_add(1) + 1));
+    sleep_cv.notify_one();
+  }
+
+  /// Pops one task: own deque LIFO, then injection queue, then steals
+  /// FIFO from peers. Returns false when every queue is empty.
+  bool try_acquire(std::function<void()>& out) {
+    if (tls_affinity.pool == this) {
+      Worker& own = *workers[tls_affinity.worker_index];
+      std::lock_guard<std::mutex> lock(own.mutex);
+      if (!own.tasks.empty()) {
+        out = std::move(own.tasks.back());
+        own.tasks.pop_back();
+        queued.fetch_sub(1);
+        return true;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(injection_mutex);
+      if (!injection.empty()) {
+        out = std::move(injection.front());
+        injection.pop_front();
+        queued.fetch_sub(1);
+        return true;
+      }
+    }
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+      if (tls_affinity.pool == this && tls_affinity.worker_index == i) continue;
+      Worker& victim = *workers[i];
+      std::lock_guard<std::mutex> lock(victim.mutex);
+      if (!victim.tasks.empty()) {
+        out = std::move(victim.tasks.front());  // thief's FIFO end
+        victim.tasks.pop_front();
+        queued.fetch_sub(1);
+        steals_metric.inc();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void worker_main(std::size_t index) {
+    tls_affinity.pool = this;
+    tls_affinity.worker_index = index;
+    std::function<void()> task;
+    for (;;) {
+      if (try_acquire(task)) {
+        task();
+        task = nullptr;
+        tasks_metric.inc();
+        continue;
+      }
+      std::unique_lock<std::mutex> lock(sleep_mutex);
+      sleep_cv.wait(lock, [this] {
+        return stopping.load() || queued.load() > 0;
+      });
+      if (stopping.load()) break;
+    }
+    tls_affinity.pool = nullptr;
+  }
+
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                    const std::function<void(std::size_t, std::size_t)>& body) {
+    if (end <= begin) return;
+    parallel_fors_metric.inc();
+    std::size_t n = end - begin;
+    if (grain == 0) {
+      std::size_t target = static_cast<std::size_t>(lanes) * 4;
+      grain = (n + target - 1) / target;
+      if (grain == 0) grain = 1;
+    }
+
+    // Inline fast path: no workers, or nothing worth splitting. Chunks
+    // run on the caller, in index order — the reference semantics.
+    std::size_t chunk_count = (n + grain - 1) / grain;
+    if (lanes == 1 || chunk_count == 1) {
+      for (std::size_t lo = begin; lo < end; lo += grain) {
+        std::size_t hi = lo + grain < end ? lo + grain : end;
+        body(lo, hi);
+      }
+      return;
+    }
+
+    auto state = std::make_shared<ForState>();
+    state->next.store(begin);
+    state->end = end;
+    state->grain = grain;
+    state->body = &body;
+
+    std::size_t helper_count = lanes - 1 < chunk_count - 1
+                                   ? lanes - 1
+                                   : chunk_count - 1;
+    state->helpers_live = helper_count;
+    for (std::size_t i = 0; i < helper_count; ++i) {
+      submit([state] {
+        state->run_chunks();
+        {
+          std::lock_guard<std::mutex> lock(state->join_mutex);
+          --state->helpers_live;
+        }
+        state->join_cv.notify_all();
+      });
+    }
+
+    state->run_chunks();  // the caller is a lane too
+
+    // Join, executing other queued tasks while helpers drain: a helper
+    // still queued can be picked up right here, so nested parallel_for
+    // from inside pool tasks cannot starve the pool.
+    std::function<void()> task;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(state->join_mutex);
+        if (state->helpers_live == 0) break;
+      }
+      if (try_acquire(task)) {
+        task();
+        task = nullptr;
+        tasks_metric.inc();
+        continue;
+      }
+      std::unique_lock<std::mutex> lock(state->join_mutex);
+      state->join_cv.wait(lock, [&] {
+        return state->helpers_live == 0 || queued.load() > 0;
+      });
+      if (state->helpers_live == 0) break;
+    }
+
+    if (state->error) std::rethrow_exception(state->error);
+  }
+};
+
+Executor::Executor(unsigned threads) {
+  if (threads == 0) threads = default_threads();
+  impl_ = std::make_unique<Impl>(threads);
+}
+
+Executor::~Executor() = default;
+
+unsigned Executor::worker_count() const noexcept { return impl_->lanes; }
+
+void Executor::parallel_for(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  impl_->parallel_for(begin, end, grain, body);
+}
+
+void Executor::parallel_for_each(std::size_t begin, std::size_t end,
+                                 const std::function<void(std::size_t)>& body) {
+  parallel_for(begin, end, 0, [&body](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) body(i);
+  });
+}
+
+unsigned Executor::default_threads() noexcept {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+}  // namespace fist

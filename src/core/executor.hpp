@@ -1,0 +1,66 @@
+// executor.hpp — work-stealing thread-pool executor for the forensic
+// passes.
+//
+// Every parallel pass in the pipeline shares one scheduling substrate:
+// a fixed set of workers, each owning a LIFO task deque, stealing FIFO
+// from its peers (and from a shared injection queue) when idle. The
+// caller of parallel_for participates as one lane and, while joining,
+// keeps executing queued tasks — so nested parallel_for calls from
+// inside worker tasks cannot deadlock the pool.
+//
+// Determinism contract: parallel_for promises nothing about chunk
+// execution order, so passes built on it must shard into
+// thread-count-independent units and merge with commutative/associative
+// (or explicitly ordered) reductions — see DESIGN.md "Execution model".
+// An Executor constructed with threads == 1 spawns no workers at all
+// and runs every chunk inline, in index order, on the calling thread:
+// that configuration is the reference semantics the parallel passes are
+// tested against.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace fist {
+
+/// Work-stealing thread pool. Thread-safe: parallel_for may be invoked
+/// concurrently from multiple threads, including from inside tasks
+/// running on the pool (nested parallelism).
+class Executor {
+ public:
+  /// `threads` — total concurrency lanes, including the calling thread
+  /// (so `threads - 1` workers are spawned). 0 → default_threads().
+  explicit Executor(unsigned threads = 0);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Total lanes (spawned workers + the participating caller). ≥ 1.
+  unsigned worker_count() const noexcept;
+
+  /// True when worker_count() == 1: parallel_for runs inline.
+  bool inline_mode() const noexcept { return worker_count() == 1; }
+
+  /// Runs `body(lo, hi)` over chunked subranges covering [begin, end).
+  /// Chunks are at most `grain` long (grain 0 → an automatic grain
+  /// targeting ~4 chunks per lane). Blocks until every chunk finished.
+  /// If any chunk throws, remaining chunks are abandoned and the first
+  /// exception (in claim order) is rethrown here, on the caller.
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// Index-wise convenience: body(i) for each i in [begin, end).
+  void parallel_for_each(std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t)>& body);
+
+  /// std::thread::hardware_concurrency, clamped to ≥ 1.
+  static unsigned default_threads() noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace fist

@@ -1,0 +1,213 @@
+#include "core/obs/export.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdint>
+#include <vector>
+
+#include "util/table.hpp"
+
+namespace fist::obs {
+
+namespace {
+
+std::string format_ms(double ms) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", ms);
+  return buf;
+}
+
+/// "name" sanitized for Prometheus: [a-zA-Z0-9_] survive, everything
+/// else becomes '_'; the "fist_" prefix namespaces the process.
+std::string prom_name(const std::string& name) {
+  std::string out = "fist_";
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void append_span_array(std::string& out,
+                       const std::vector<SpanRecord>& records,
+                       const std::vector<std::vector<std::uint32_t>>& children,
+                       const std::vector<std::uint32_t>& indices) {
+  out += '[';
+  bool first = true;
+  for (std::uint32_t i : indices) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"" + json_escape(records[i].name) +
+           "\",\"ms\":" + format_ms(records[i].millis);
+    if (!children[i].empty()) {
+      out += ",\"children\":";
+      append_span_array(out, records, children, children[i]);
+    }
+    out += '}';
+  }
+  out += ']';
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string render_table(const Snapshot& snapshot) {
+  std::string out;
+  if (!snapshot.counters.empty()) {
+    TextTable t({"Counter", "Value"}, {Align::Left, Align::Right});
+    for (const CounterValue& c : snapshot.counters)
+      t.row({c.name, std::to_string(c.value)});
+    out += t.render();
+  }
+  if (!snapshot.gauges.empty()) {
+    TextTable t({"Gauge", "Value"}, {Align::Left, Align::Right});
+    for (const GaugeValue& g : snapshot.gauges)
+      t.row({g.name, std::to_string(g.value)});
+    if (!out.empty()) out += '\n';
+    out += t.render();
+  }
+  if (!snapshot.histograms.empty()) {
+    TextTable t({"Histogram", "Count", "Sum", "Buckets"},
+                {Align::Left, Align::Right, Align::Right, Align::Left});
+    for (const HistogramValue& h : snapshot.histograms) {
+      std::string buckets;
+      for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+        if (i > 0) buckets += ' ';
+        buckets += (i < h.bounds.size()
+                        ? "<=" + json_number(h.bounds[i])
+                        : std::string("+inf")) +
+                   ":" + std::to_string(h.buckets[i]);
+      }
+      t.row({h.name, std::to_string(h.count), json_number(h.sum), buckets});
+    }
+    if (!out.empty()) out += '\n';
+    out += t.render();
+  }
+  return out;
+}
+
+std::string render_metrics_json_object(const Snapshot& snapshot) {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const CounterValue& c : snapshot.counters) {
+    if (!first) out += ',';
+    first = false;
+    out += "\"" + json_escape(c.name) + "\":" + std::to_string(c.value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const GaugeValue& g : snapshot.gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += "\"" + json_escape(g.name) + "\":" + std::to_string(g.value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const HistogramValue& h : snapshot.histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += "\"" + json_escape(h.name) + "\":{\"bounds\":[";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i > 0) out += ',';
+      out += json_number(h.bounds[i]);
+    }
+    out += "],\"buckets\":[";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i > 0) out += ',';
+      out += std::to_string(h.buckets[i]);
+    }
+    out += "],\"count\":" + std::to_string(h.count) +
+           ",\"sum\":" + json_number(h.sum) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string render_spans_json_array(const Trace& trace) {
+  std::vector<SpanRecord> records = trace.records();
+  std::vector<std::vector<std::uint32_t>> children(records.size());
+  std::vector<std::uint32_t> roots;
+  for (std::uint32_t i = 0; i < records.size(); ++i) {
+    if (records[i].parent == kNoParent)
+      roots.push_back(i);
+    else
+      children[records[i].parent].push_back(i);
+  }
+  std::string out;
+  append_span_array(out, records, children, roots);
+  return out;
+}
+
+std::string render_json(const Snapshot& snapshot, const Trace* trace) {
+  std::string out = "{\"metrics\":" + render_metrics_json_object(snapshot);
+  if (trace != nullptr)
+    out += ",\"spans\":" + render_spans_json_array(*trace);
+  out += "}\n";
+  return out;
+}
+
+std::string render_prometheus(const Snapshot& snapshot) {
+  std::string out;
+  for (const CounterValue& c : snapshot.counters) {
+    std::string name = prom_name(c.name);
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + std::to_string(c.value) + "\n";
+  }
+  for (const GaugeValue& g : snapshot.gauges) {
+    std::string name = prom_name(g.name);
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + std::to_string(g.value) + "\n";
+  }
+  for (const HistogramValue& h : snapshot.histograms) {
+    std::string name = prom_name(h.name);
+    out += "# TYPE " + name + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      cumulative += h.buckets[i];
+      std::string le =
+          i < h.bounds.size() ? json_number(h.bounds[i]) : "+Inf";
+      out += name + "_bucket{le=\"" + le + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += name + "_sum " + json_number(h.sum) + "\n";
+    out += name + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+}  // namespace fist::obs

@@ -1,0 +1,49 @@
+// export.hpp — renderers for metric snapshots and span traces.
+//
+// Three formats, one Snapshot:
+//   * render_table      — aligned ASCII for terminals (fistctl
+//                         --metrics-format table, bench stderr);
+//   * render_json       — the machine-readable document fistctl
+//                         --metrics-out and the BENCH_*.json reports
+//                         embed; includes the span tree when given;
+//   * render_prometheus — Prometheus text exposition format (metric
+//                         names sanitized and prefixed "fist_").
+//
+// Output is deterministic: snapshots are name-sorted and numbers are
+// formatted with fixed rules, so the golden-file tests in
+// tests/test_obs_export.cpp compare whole documents.
+#pragma once
+
+#include <string>
+
+#include "core/obs/metrics.hpp"
+#include "core/obs/span.hpp"
+
+namespace fist::obs {
+
+/// Aligned ASCII tables (counters / gauges / histograms).
+std::string render_table(const Snapshot& snapshot);
+
+/// The `{"counters": ..., "gauges": ..., "histograms": ...}` JSON
+/// object alone — embeddable into larger documents (bench reports).
+std::string render_metrics_json_object(const Snapshot& snapshot);
+
+/// Full JSON document: {"metrics": {...}} plus, when `trace` is
+/// non-null, "spans": a nested array mirroring the span tree.
+std::string render_json(const Snapshot& snapshot,
+                        const Trace* trace = nullptr);
+
+/// The nested span array alone: [{"name","ms","children"}...].
+std::string render_spans_json_array(const Trace& trace);
+
+/// Prometheus text exposition format.
+std::string render_prometheus(const Snapshot& snapshot);
+
+/// JSON string escaping (exposed for the bench report writer).
+std::string json_escape(const std::string& s);
+
+/// Canonical number formatting shared by the JSON renderers:
+/// "%.17g" trimmed — integers render bare, doubles round-trip.
+std::string json_number(double v);
+
+}  // namespace fist::obs

@@ -1,0 +1,160 @@
+#include "core/obs/metrics.hpp"
+
+#include <algorithm>
+
+namespace fist::obs {
+
+namespace {
+
+template <typename T>
+const T* find_by_name(const std::vector<T>& values,
+                      std::string_view name) noexcept {
+  for (const T& v : values)
+    if (v.name == name) return &v;
+  return nullptr;
+}
+
+}  // namespace
+
+const CounterValue* Snapshot::counter(std::string_view name) const noexcept {
+  return find_by_name(counters, name);
+}
+
+const GaugeValue* Snapshot::gauge(std::string_view name) const noexcept {
+  return find_by_name(gauges, name);
+}
+
+const HistogramValue* Snapshot::histogram(
+    std::string_view name) const noexcept {
+  return find_by_name(histograms, name);
+}
+
+#ifndef FISTFUL_NO_OBS
+
+namespace detail {
+
+std::size_t shard_index() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local std::size_t id =
+      next.fetch_add(1, std::memory_order_relaxed) & (kShards - 1);
+  return id;
+}
+
+HistogramImpl::HistogramImpl(std::vector<double> b)
+    : bounds(std::move(b)), stride(bounds.size() + 1) {
+  cells = std::vector<Cell>(kShards * stride);
+  for (auto& s : sums) s.store(0, std::memory_order_relaxed);
+}
+
+void HistogramImpl::observe(double v) noexcept {
+  std::size_t bucket = static_cast<std::size_t>(
+      std::lower_bound(bounds.begin(), bounds.end(), v) - bounds.begin());
+  std::size_t shard = shard_index();
+  cells[shard * stride + bucket].value.fetch_add(1,
+                                                 std::memory_order_relaxed);
+  // fetch_add on atomic<double> (CAS loop on most targets): exact for
+  // integer-valued observations, which is all the determinism contract
+  // covers.
+  sums[shard].fetch_add(v, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+MetricsRegistry::MetricsRegistry() = default;
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never dies
+  return *registry;
+}
+
+Counter MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_
+             .emplace(std::string(name),
+                      std::make_unique<detail::CounterImpl>())
+             .first;
+  return Counter(it->second.get());
+}
+
+Gauge MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_
+             .emplace(std::string(name), std::make_unique<detail::GaugeImpl>())
+             .first;
+  return Gauge(it->second.get());
+}
+
+Histogram MetricsRegistry::histogram(std::string_view name,
+                                     std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<detail::HistogramImpl>(
+                          std::move(bounds)))
+             .first;
+  return Histogram(it->second.get());
+}
+
+Snapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, impl] : counters_) {
+    std::uint64_t total = 0;
+    for (const detail::Cell& cell : impl->cells)
+      total += cell.value.load(std::memory_order_relaxed);
+    snap.counters.push_back(CounterValue{name, total});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, impl] : gauges_)
+    snap.gauges.push_back(
+        GaugeValue{name, impl->value.load(std::memory_order_relaxed)});
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, impl] : histograms_) {
+    HistogramValue hv;
+    hv.name = name;
+    hv.bounds = impl->bounds;
+    hv.buckets.assign(impl->stride, 0);
+    for (std::size_t shard = 0; shard < detail::kShards; ++shard) {
+      for (std::size_t b = 0; b < impl->stride; ++b)
+        hv.buckets[b] += impl->cells[shard * impl->stride + b].value.load(
+            std::memory_order_relaxed);
+      hv.sum += impl->sums[shard].load(std::memory_order_relaxed);
+    }
+    for (std::uint64_t c : hv.buckets) hv.count += c;
+    snap.histograms.push_back(std::move(hv));
+  }
+  return snap;  // std::map iteration order == sorted by name
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, impl] : counters_)
+    for (detail::Cell& cell : impl->cells)
+      cell.value.store(0, std::memory_order_relaxed);
+  for (auto& [name, impl] : gauges_)
+    impl->value.store(0, std::memory_order_relaxed);
+  for (auto& [name, impl] : histograms_) {
+    for (detail::Cell& cell : impl->cells)
+      cell.value.store(0, std::memory_order_relaxed);
+    for (auto& s : impl->sums) s.store(0, std::memory_order_relaxed);
+  }
+}
+
+#else
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+#endif  // FISTFUL_NO_OBS
+
+}  // namespace fist::obs

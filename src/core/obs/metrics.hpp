@@ -1,0 +1,233 @@
+// metrics.hpp — process-wide counters, gauges, and histograms.
+//
+// The observability substrate every layer reports into: the executor
+// counts tasks and steals, ChainView::build counts script classes,
+// the heuristics count merges and refinement rejections, the simulator
+// and net layer count blocks/txs/propagation events. A metric is a
+// cheap copyable handle into the process-wide MetricsRegistry;
+// mutation is lock-free (per-thread shard slots, relaxed atomics) so
+// hot loops on executor workers can increment freely. snapshot()
+// merges the shards into a name-sorted, deterministic view.
+//
+// Determinism convention (see docs/OBSERVABILITY.md): metrics under
+// the `exec.` prefix describe scheduling and may vary with thread
+// count; every other metric must be a pure function of the input, so
+// its value is bit-identical at threads = 1, 2, 8 — the property
+// tests/test_obs.cpp enforces.
+//
+// Compiling with -DFISTFUL_NO_OBS replaces every handle with an empty
+// stub (mutations compile to nothing, snapshots are empty); the
+// BM_Obs_* micro-benches in bench/micro_substrate quantify both paths.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#ifndef FISTFUL_NO_OBS
+#include <array>
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#endif
+
+namespace fist::obs {
+
+/// One merged counter in a Snapshot.
+struct CounterValue {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+/// One gauge in a Snapshot.
+struct GaugeValue {
+  std::string name;
+  std::int64_t value = 0;
+};
+
+/// One merged histogram in a Snapshot. `buckets[i]` counts
+/// observations v <= bounds[i] (non-cumulative); `buckets.back()` is
+/// the overflow bucket (v > bounds.back()).
+struct HistogramValue {
+  std::string name;
+  std::vector<double> bounds;           ///< ascending finite upper bounds
+  std::vector<std::uint64_t> buckets;   ///< bounds.size() + 1 entries
+  std::uint64_t count = 0;
+  double sum = 0;
+};
+
+/// A merged, name-sorted view of every registered metric.
+struct Snapshot {
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+
+  /// Lookup helpers (nullptr when absent).
+  const CounterValue* counter(std::string_view name) const noexcept;
+  const GaugeValue* gauge(std::string_view name) const noexcept;
+  const HistogramValue* histogram(std::string_view name) const noexcept;
+};
+
+#ifndef FISTFUL_NO_OBS
+
+namespace detail {
+
+inline constexpr std::size_t kShards = 16;
+
+/// Per-thread shard slot; threads are assigned round-robin, so
+/// same-slot contention only appears past kShards concurrent threads.
+std::size_t shard_index() noexcept;
+
+struct alignas(64) Cell {
+  std::atomic<std::uint64_t> value{0};
+};
+
+struct CounterImpl {
+  std::array<Cell, kShards> cells;
+};
+
+struct GaugeImpl {
+  std::atomic<std::int64_t> value{0};
+};
+
+struct HistogramImpl {
+  std::vector<double> bounds;
+  // Shard-major bucket cells: cells[shard * stride + bucket].
+  std::vector<Cell> cells;
+  std::array<std::atomic<double>, kShards> sums;
+  std::size_t stride = 0;  // bounds.size() + 1
+
+  explicit HistogramImpl(std::vector<double> b);
+  void observe(double v) noexcept;
+};
+
+}  // namespace detail
+
+/// Monotonic counter handle. Default-constructed handles are unbound
+/// no-ops; handles from a registry stay valid for its lifetime.
+class Counter {
+ public:
+  Counter() = default;
+  void add(std::uint64_t n) const noexcept {
+    if (impl_ != nullptr)
+      impl_->cells[detail::shard_index()].value.fetch_add(
+          n, std::memory_order_relaxed);
+  }
+  void inc() const noexcept { add(1); }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(detail::CounterImpl* impl) : impl_(impl) {}
+  detail::CounterImpl* impl_ = nullptr;
+};
+
+/// Point-in-time gauge handle (set / add / running maximum).
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(std::int64_t v) const noexcept {
+    if (impl_ != nullptr) impl_->value.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t d) const noexcept {
+    if (impl_ != nullptr) impl_->value.fetch_add(d, std::memory_order_relaxed);
+  }
+  /// Raises the gauge to `v` if `v` exceeds the current value — the
+  /// high-water-mark primitive (executor queue depth).
+  void update_max(std::int64_t v) const noexcept {
+    if (impl_ == nullptr) return;
+    std::int64_t cur = impl_->value.load(std::memory_order_relaxed);
+    while (v > cur && !impl_->value.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(detail::GaugeImpl* impl) : impl_(impl) {}
+  detail::GaugeImpl* impl_ = nullptr;
+};
+
+/// Fixed-bucket histogram handle. Observations of integer values sum
+/// exactly in the double accumulator, so integer-valued histograms
+/// keep the cross-thread-count determinism guarantee.
+class Histogram {
+ public:
+  Histogram() = default;
+  void observe(double v) const noexcept {
+    if (impl_ != nullptr) impl_->observe(v);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(detail::HistogramImpl* impl) : impl_(impl) {}
+  detail::HistogramImpl* impl_ = nullptr;
+};
+
+/// Name → metric registry. find-or-create takes a mutex, so hoist
+/// handle acquisition out of hot loops (bind once, mutate freely).
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry every subsystem reports into.
+  static MetricsRegistry& global();
+
+  Counter counter(std::string_view name);
+  Gauge gauge(std::string_view name);
+  /// `bounds` must ascend; on re-registration the first bounds win.
+  Histogram histogram(std::string_view name, std::vector<double> bounds);
+
+  /// Merges every shard into a name-sorted snapshot.
+  Snapshot snapshot() const;
+
+  /// Zeroes every value (registrations and handles stay valid).
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<detail::CounterImpl>, std::less<>>
+      counters_;
+  std::map<std::string, std::unique_ptr<detail::GaugeImpl>, std::less<>>
+      gauges_;
+  std::map<std::string, std::unique_ptr<detail::HistogramImpl>, std::less<>>
+      histograms_;
+};
+
+#else  // FISTFUL_NO_OBS: the whole layer compiles to empty stubs.
+
+class Counter {
+ public:
+  void add(std::uint64_t) const noexcept {}
+  void inc() const noexcept {}
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t) const noexcept {}
+  void add(std::int64_t) const noexcept {}
+  void update_max(std::int64_t) const noexcept {}
+};
+
+class Histogram {
+ public:
+  void observe(double) const noexcept {}
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& global();
+  Counter counter(std::string_view) { return {}; }
+  Gauge gauge(std::string_view) { return {}; }
+  Histogram histogram(std::string_view, std::vector<double>) { return {}; }
+  Snapshot snapshot() const { return {}; }
+  void reset() {}
+};
+
+#endif  // FISTFUL_NO_OBS
+
+}  // namespace fist::obs

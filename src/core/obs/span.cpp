@@ -1,0 +1,111 @@
+#include "core/obs/span.hpp"
+
+#include <utility>
+
+namespace fist::obs {
+
+namespace {
+
+/// Per-thread trace activation: the active trace plus the stack of
+/// open span indices (the top is the parent of the next span).
+struct TlsTraceState {
+  Trace* trace = nullptr;
+  std::vector<std::uint32_t> open_stack;
+};
+
+TlsTraceState& tls_state() {
+  thread_local TlsTraceState state;
+  return state;
+}
+
+}  // namespace
+
+std::vector<SpanRecord> Trace::records() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_;
+}
+
+bool Trace::empty() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_.empty();
+}
+
+void Trace::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  records_.clear();
+}
+
+std::uint32_t Trace::open(const char* name, std::uint32_t parent) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SpanRecord record;
+  record.name = name;
+  record.parent = parent;
+  record.depth =
+      parent == kNoParent ? 0 : records_[parent].depth + 1;
+  records_.push_back(std::move(record));
+  return static_cast<std::uint32_t>(records_.size() - 1);
+}
+
+void Trace::close(std::uint32_t index, double millis) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (index < records_.size()) records_[index].millis = millis;
+}
+
+TraceScope::TraceScope(Trace& trace, Policy policy) {
+  TlsTraceState& tls = tls_state();
+  if (policy == Policy::IfNoneActive && tls.trace != nullptr) return;
+  previous_ = tls.trace;
+  previous_stack_ = std::move(tls.open_stack);
+  tls.trace = &trace;
+  tls.open_stack.clear();
+  activated_ = true;
+}
+
+TraceScope::~TraceScope() {
+  if (!activated_) return;
+  TlsTraceState& tls = tls_state();
+  tls.trace = previous_;
+  tls.open_stack = std::move(previous_stack_);
+}
+
+Trace* active_trace() noexcept { return tls_state().trace; }
+
+Span::Span(const char* name) : start_(Clock::now()) {
+#ifndef FISTFUL_NO_OBS
+  TlsTraceState& tls = tls_state();
+  if (tls.trace != nullptr) {
+    std::uint32_t parent =
+        tls.open_stack.empty() ? kNoParent : tls.open_stack.back();
+    index_ = tls.trace->open(name, parent);
+    trace_ = tls.trace;
+    tls.open_stack.push_back(index_);
+  }
+#else
+  (void)name;
+#endif
+}
+
+void Span::close() noexcept {
+  if (closed_) return;
+  closed_ = true;
+  millis_ =
+      std::chrono::duration<double, std::milli>(Clock::now() - start_).count();
+  if (trace_ != nullptr) {
+    trace_->close(index_, millis_);
+    TlsTraceState& tls = tls_state();
+    // Spans are scoped objects, so on the owning thread the stack top
+    // is this span; pop it (tolerating out-of-order closes).
+    if (tls.trace == trace_ && !tls.open_stack.empty() &&
+        tls.open_stack.back() == index_)
+      tls.open_stack.pop_back();
+    trace_ = nullptr;
+  }
+}
+
+double Span::millis() const noexcept {
+  if (closed_) return millis_;
+  return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+      .count();
+}
+
+}  // namespace fist::obs

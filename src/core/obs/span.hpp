@@ -1,0 +1,114 @@
+// span.hpp — hierarchical scoped timers.
+//
+// A Span measures the wall-clock of a scope and records itself into
+// the thread's active Trace (activated with a TraceScope). Spans nest
+// lexically: a Span opened while another is open on the same thread
+// becomes its child, so the Trace holds the pipeline's stage tree —
+// the structure that replaced the flat StageTiming vector.
+//
+//   obs::Trace trace;
+//   {
+//     obs::TraceScope scope(trace);
+//     obs::Span stage("h1");
+//     { obs::Span child("h1.scan"); ... }
+//   }
+//   // trace.records(): [{h1, parent=none}, {h1.scan, parent=0}]
+//
+// Determinism: spans are recorded from the orchestrating thread in
+// open order, and instrumented code emits the same span structure on
+// its sequential and parallel paths, so the (name, parent) sequence
+// is identical at every thread count — only the durations vary.
+// tests/test_obs.cpp enforces this over the whole pipeline.
+//
+// Under FISTFUL_NO_OBS spans still measure (two clock reads per span;
+// spans only wrap coarse phases) so ForensicPipeline::timings() keeps
+// working, but nothing is recorded into any Trace.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fist::obs {
+
+inline constexpr std::uint32_t kNoParent = 0xffffffffu;
+
+/// One completed (or still-open) span in a Trace, in open order.
+struct SpanRecord {
+  std::string name;
+  std::uint32_t parent = kNoParent;  ///< index into records(), or kNoParent
+  std::uint32_t depth = 0;           ///< 0 for roots
+  double millis = 0;                 ///< filled when the span closes
+};
+
+/// An append-only tree of spans. Thread-safe to record into, though
+/// the determinism contract assumes one orchestrating thread.
+class Trace {
+ public:
+  std::vector<SpanRecord> records() const;
+  bool empty() const;
+  void clear();
+
+ private:
+  friend class Span;
+  std::uint32_t open(const char* name, std::uint32_t parent);
+  void close(std::uint32_t index, double millis);
+
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> records_;
+};
+
+/// Makes `trace` the calling thread's active trace for the scope's
+/// lifetime; restores the previous active trace (and its open-span
+/// stack) on destruction.
+class TraceScope {
+ public:
+  enum class Policy {
+    Always,        ///< activate unconditionally (nesting replaces)
+    IfNoneActive,  ///< keep an already-active trace (pipeline default)
+  };
+
+  explicit TraceScope(Trace& trace, Policy policy = Policy::Always);
+  ~TraceScope();
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+  /// True when this scope actually activated its trace.
+  bool activated() const noexcept { return activated_; }
+
+ private:
+  Trace* previous_ = nullptr;
+  std::vector<std::uint32_t> previous_stack_;
+  bool activated_ = false;
+};
+
+/// The calling thread's active trace (nullptr outside any TraceScope).
+Trace* active_trace() noexcept;
+
+/// Scoped timer; records into the active trace on close (see header
+/// comment for the FISTFUL_NO_OBS behavior).
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span() { close(); }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Stops the timer early (idempotent; the destructor calls it).
+  void close() noexcept;
+
+  /// Measured duration: final after close(), running elapsed before.
+  double millis() const noexcept;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+  double millis_ = 0;
+  bool closed_ = false;
+  Trace* trace_ = nullptr;
+  std::uint32_t index_ = 0;
+};
+
+}  // namespace fist::obs

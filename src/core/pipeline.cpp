@@ -1,6 +1,6 @@
 #include "core/pipeline.hpp"
 
-#include <chrono>
+#include "core/obs/metrics.hpp"
 
 namespace fist {
 
@@ -32,58 +32,92 @@ void ForensicPipeline::run() {
   if (ran_) return;
   ran_ = true;
 
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point mark = Clock::now();
-  auto stage_done = [&](const char* stage) {
-    Clock::time_point now = Clock::now();
-    timings_.push_back(StageTiming{
-        stage, std::chrono::duration<double, std::milli>(now - mark).count()});
-    mark = now;
+  // Spans land in the ambient trace when one is active (fistctl wraps
+  // commands in one), else in the pipeline's own trace_.
+  obs::TraceScope scope(trace_, obs::TraceScope::Policy::IfNoneActive);
+
+  // Each stage is one root span; the flat timings_ vector is derived
+  // from the spans' measured durations (the StageTiming back-compat).
+  auto stage = [&](const char* name, auto&& body) {
+    obs::Span span(name);
+    body();
+    span.close();
+    timings_.push_back(StageTiming{name, span.millis()});
   };
 
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+
   // 1. Parse the chain into the analysis view.
-  view_ = std::make_unique<ChainView>(ChainView::build(*store_, exec_));
-  stage_done("view");
+  stage("view", [&] {
+    view_ = std::make_unique<ChainView>(ChainView::build(*store_, exec_));
+  });
 
   // 2. Intern the tag feed against the observed address space.
-  for (const TagEntry& entry : feed_) {
-    if (auto id = view_->addresses().find(entry.address))
-      tags_.add(*id, entry.tag);
-  }
-  stage_done("tags");
+  stage("tags", [&] {
+    std::uint64_t matched = 0;
+    for (const TagEntry& entry : feed_) {
+      if (auto id = view_->addresses().find(entry.address)) {
+        tags_.add(*id, entry.tag);
+        ++matched;
+      }
+    }
+    registry.counter("tags.feed_entries").add(feed_.size());
+    registry.counter("tags.matched").add(matched);
+  });
 
   // 3. Heuristic 1 and its clustering/naming (the §4.1 baseline).
   UnionFind uf(view_->address_count());
-  h1_stats_ = apply_heuristic1(*view_, uf, exec_);
-  stage_done("h1");
-  {
-    UnionFind h1_copy = uf;
-    h1_clustering_ = std::make_unique<Clustering>(
-        Clustering::from_union_find(h1_copy));
-  }
-  h1_naming_ = std::make_unique<ClusterNaming>(
-      h1_clustering_->assignment(), h1_clustering_->sizes(), tags_);
-  stage_done("h1_naming");
+  stage("h1", [&] { h1_stats_ = apply_heuristic1(*view_, uf, exec_); });
+  stage("h1_naming", [&] {
+    {
+      UnionFind h1_copy = uf;
+      h1_clustering_ = std::make_unique<Clustering>(
+          Clustering::from_union_find(h1_copy));
+    }
+    h1_naming_ = std::make_unique<ClusterNaming>(
+        h1_clustering_->assignment(), h1_clustering_->sizes(), tags_);
+  });
 
   // 4. Derive the dice-service address set: every address in an
   // H1 cluster named as a gambling service. (Satoshi Dice's rebound
   // behavior was public knowledge; this reproduces it from tags.)
-  std::unordered_set<ClusterId> dice_clusters;
-  for (const auto& [cluster, name] : h1_naming_->names())
-    if (name.category == Category::Gambling) dice_clusters.insert(cluster);
-  for (AddrId a = 0; a < view_->address_count(); ++a)
-    if (dice_clusters.contains(h1_clustering_->cluster_of(a)))
-      dice_.insert(a);
-  stage_done("dice");
+  stage("dice", [&] {
+    std::unordered_set<ClusterId> dice_clusters;
+    for (const auto& [cluster, name] : h1_naming_->names())
+      if (name.category == Category::Gambling) dice_clusters.insert(cluster);
+    for (AddrId a = 0; a < view_->address_count(); ++a)
+      if (dice_clusters.contains(h1_clustering_->cluster_of(a)))
+        dice_.insert(a);
+  });
 
   // 5. Refined Heuristic 2, merged on top of Heuristic 1.
-  h2_ = apply_heuristic2(*view_, options_.h2, dice_);
-  stage_done("h2");
-  unite_h2_labels(*view_, h2_, uf);
-  clustering_ = std::make_unique<Clustering>(Clustering::from_union_find(uf));
-  naming_ = std::make_unique<ClusterNaming>(clustering_->assignment(),
-                                            clustering_->sizes(), tags_);
-  stage_done("finalize");
+  stage("h2", [&] { h2_ = apply_heuristic2(*view_, options_.h2, dice_); });
+  stage("finalize", [&] {
+    {
+      obs::Span span("finalize.unite");
+      unite_h2_labels(*view_, h2_, uf);
+    }
+    {
+      obs::Span span("finalize.clusters");
+      clustering_ =
+          std::make_unique<Clustering>(Clustering::from_union_find(uf));
+    }
+    {
+      obs::Span span("finalize.naming");
+      naming_ = std::make_unique<ClusterNaming>(clustering_->assignment(),
+                                                clustering_->sizes(), tags_);
+    }
+  });
+
+  // Headline result gauges: deterministic, describe the last run.
+  registry.gauge("pipeline.clusters_h1")
+      .set(static_cast<std::int64_t>(h1_clustering_->cluster_count()));
+  registry.gauge("pipeline.clusters_final")
+      .set(static_cast<std::int64_t>(clustering_->cluster_count()));
+  registry.gauge("pipeline.dice_addresses")
+      .set(static_cast<std::int64_t>(dice_.size()));
+  registry.gauge("pipeline.tagged_addresses")
+      .set(static_cast<std::int64_t>(tags_.size()));
 }
 
 }  // namespace fist

@@ -24,6 +24,7 @@
 #include "cluster/heuristic2.hpp"
 #include "cluster/unionfind.hpp"
 #include "core/executor.hpp"
+#include "core/obs/span.hpp"
 #include "tag/naming.hpp"
 #include "tag/tagstore.hpp"
 
@@ -46,7 +47,9 @@ struct PipelineOptions {
   unsigned threads = 0;
 };
 
-/// Wall-clock of one completed pipeline stage.
+/// Wall-clock of one completed pipeline stage — the flat back-compat
+/// view of the span tree (see trace()); one entry per stage span, in
+/// run() order.
 struct StageTiming {
   const char* stage = "";
   double millis = 0;
@@ -94,8 +97,17 @@ class ForensicPipeline {
   /// Addresses carrying a hand-collected tag (after interning).
   std::size_t tagged_address_count() const { return tags_.size(); }
 
-  /// Wall-clock per stage, in run() order (valid after run()).
+  /// Wall-clock per stage, in run() order (valid after run()). Thin
+  /// accessor over the stage spans: each entry is a root span's
+  /// measured duration. Works in every build, including FISTFUL_NO_OBS.
   const std::vector<StageTiming>& timings() const { return timings_; }
+
+  /// The span tree recorded by run(): stage spans with child spans for
+  /// the phases inside them (view.scan, h2.receipts, finalize.* ...).
+  /// run() activates this trace only when the calling thread has none
+  /// active (TraceScope::Policy::IfNoneActive) — inside an ambient
+  /// trace (fistctl) the spans land there instead and this is empty.
+  const obs::Trace& trace() const { return trace_; }
 
   /// The executor the pipeline stages ran on; downstream analyses
   /// (balances, metrics) can reuse it for their own parallel passes.
@@ -107,6 +119,7 @@ class ForensicPipeline {
   std::vector<TagEntry> feed_;
   PipelineOptions options_;
   Executor exec_;
+  obs::Trace trace_;
   std::vector<StageTiming> timings_;
   bool ran_ = false;
 

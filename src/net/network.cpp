@@ -2,11 +2,40 @@
 
 #include <algorithm>
 
+#include "core/obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace fist::net {
 
 namespace {
+
+/// Network-simulation counters. The event loop is single-threaded and
+/// seeded, so all of these are deterministic per NetConfig.
+struct NetMetrics {
+  obs::Counter messages;
+  obs::Counter bytes;
+  obs::Counter dropped;
+  obs::Counter txs_submitted;
+  obs::Counter blocks_mined;
+  obs::Counter propagation_objects;
+  obs::Counter propagation_events;
+
+  static const NetMetrics& get() {
+    static const NetMetrics metrics = [] {
+      obs::MetricsRegistry& r = obs::MetricsRegistry::global();
+      NetMetrics m;
+      m.messages = r.counter("net.messages");
+      m.bytes = r.counter("net.bytes");
+      m.dropped = r.counter("net.dropped");
+      m.txs_submitted = r.counter("net.txs_submitted");
+      m.blocks_mined = r.counter("net.blocks_mined");
+      m.propagation_objects = r.counter("net.propagation_objects");
+      m.propagation_events = r.counter("net.propagation_events");
+      return m;
+    }();
+    return metrics;
+  }
+};
 
 std::uint64_t link_key(NodeId a, NodeId b) noexcept {
   NodeId lo = std::min(a, b), hi = std::max(a, b);
@@ -84,6 +113,7 @@ Node& P2PNetwork::node(NodeId id) {
 void P2PNetwork::send(NodeId from, NodeId to, Message msg) {
   if (config_.drop_rate > 0 && rng_.chance(config_.drop_rate)) {
     ++dropped_;
+    NetMetrics::get().dropped.inc();
     return;
   }
   auto it = link_latency_.find(link_key(from, to));
@@ -95,7 +125,12 @@ void P2PNetwork::send(NodeId from, NodeId to, Message msg) {
   // Small per-message jitter on top of the per-link base.
   double delay = base * (0.9 + 0.2 * rng_.unit());
   ++messages_;
-  if (config_.account_bytes) bytes_ += wire_size(msg);
+  NetMetrics::get().messages.inc();
+  if (config_.account_bytes) {
+    std::size_t size = wire_size(msg);
+    bytes_ += size;
+    NetMetrics::get().bytes.add(size);
+  }
   loop_.schedule_in(delay, [this, to, m = std::move(msg), from]() {
     nodes_[to].handle(from, m);
   });
@@ -107,11 +142,16 @@ void P2PNetwork::on_object_seen(NodeId node, const InvItem& what) {
   if (inserted) {
     p.origin_time = loop_.now();
     p.first_seen.assign(nodes_.size(), -1.0);
+    NetMetrics::get().propagation_objects.inc();
   }
-  if (p.first_seen[node] < 0) p.first_seen[node] = loop_.now();
+  if (p.first_seen[node] < 0) {
+    p.first_seen[node] = loop_.now();
+    NetMetrics::get().propagation_events.inc();
+  }
 }
 
 void P2PNetwork::submit_tx(NodeId origin, const Transaction& tx) {
+  NetMetrics::get().txs_submitted.inc();
   node(origin).originate_tx(tx);
 }
 
@@ -180,6 +220,7 @@ void P2PNetwork::schedule_next_block() {
     NodeId winner = miner_ids_[rng_.below(miner_ids_.size())];
     Block block = assemble_block(nodes_[winner]);
     ++blocks_mined_;
+    NetMetrics::get().blocks_mined.inc();
     nodes_[winner].originate_block(block);
     schedule_next_block();
   });

@@ -85,7 +85,10 @@ Classified classify(const Script& script) noexcept {
 }
 
 std::optional<Address> extract_address(const Script& script) noexcept {
-  Classified c = classify(script);
+  return address_of(classify(script));
+}
+
+std::optional<Address> address_of(const Classified& c) noexcept {
   switch (c.type) {
     case ScriptType::P2PKH:
       return Address(AddrType::P2PKH, c.hash);

@@ -40,6 +40,11 @@ Classified classify(const Script& script) noexcept;
 /// display); Multisig/NullData/NonStandard yield nullopt.
 std::optional<Address> extract_address(const Script& script) noexcept;
 
+/// Destination of an already-classified script — extract_address is
+/// classify + address_of; callers that also need the ScriptType (the
+/// chain-view scan counts script classes) classify once and use this.
+std::optional<Address> address_of(const Classified& c) noexcept;
+
 /// Builds OP_DUP OP_HASH160 <h> OP_EQUALVERIFY OP_CHECKSIG.
 Script make_p2pkh(const Hash160& h);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/obs/metrics.hpp"
 #include "script/standard.hpp"
 #include "sim/hoard.hpp"
 #include "sim/probe.hpp"
@@ -292,6 +293,9 @@ void World::submit(ActorId sender, const BuiltPayment& built, Amount fee) {
   mempool_.push_back(PendingTx{built.tx, fee});
   recent_txs_.emplace(built.txid, built.tx);
   ++txs_submitted_;
+  static obs::Counter txs_metric =
+      obs::MetricsRegistry::global().counter("sim.txs");
+  txs_metric.inc();
 
   const Transaction& tx = built.tx;
   const std::size_t last = tx.outputs.size() - 1;
@@ -369,6 +373,9 @@ void World::mine_block() {
 
   chainstate_.connect(block);  // throws on any accounting bug
   store_.append(block);
+  static obs::Counter blocks_metric =
+      obs::MetricsRegistry::global().counter("sim.blocks");
+  blocks_metric.inc();
 
   pool.wallet().credit(OutPoint{coinbase_txid, 0}, add_money(subsidy, fees),
                        reward_to, new_height, /*coinbase=*/true);
@@ -399,6 +406,7 @@ void World::run_day() {
 void World::run() {
   for (int d = day_; d < config_.days; ++d) run_day();
   generate_scraped_tags();
+  obs::MetricsRegistry::global().counter("sim.tags").add(tags_.size());
 }
 
 void World::generate_scraped_tags() {

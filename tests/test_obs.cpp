@@ -1,0 +1,281 @@
+// test_obs.cpp — the observability substrate. Three layers of
+// guarantees: (1) metric registries merge their per-thread shards
+// exactly, including under executor concurrency (run under TSan in
+// CI); (2) spans nest lexically and record a deterministic tree;
+// (3) across the whole forensic pipeline, the span structure and
+// every metric outside the `exec.` namespace are bit-identical at
+// threads = 1, 2, 8 — the observability extension of the pipeline's
+// determinism contract.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/executor.hpp"
+#include "core/obs/metrics.hpp"
+#include "core/obs/span.hpp"
+#include "core/pipeline.hpp"
+#include "sim/world.hpp"
+
+namespace fist {
+namespace {
+
+#ifndef FISTFUL_NO_OBS
+
+TEST(Metrics, CounterAccumulates) {
+  obs::MetricsRegistry registry;
+  obs::Counter c = registry.counter("c");
+  c.inc();
+  c.add(41);
+  obs::Snapshot snap = registry.snapshot();
+  ASSERT_NE(snap.counter("c"), nullptr);
+  EXPECT_EQ(snap.counter("c")->value, 42u);
+  EXPECT_EQ(snap.counter("missing"), nullptr);
+}
+
+TEST(Metrics, SameNameSameCounter) {
+  obs::MetricsRegistry registry;
+  registry.counter("shared").inc();
+  registry.counter("shared").inc();
+  EXPECT_EQ(registry.snapshot().counter("shared")->value, 2u);
+}
+
+TEST(Metrics, GaugeSetAddMax) {
+  obs::MetricsRegistry registry;
+  obs::Gauge g = registry.gauge("g");
+  g.set(-5);
+  g.add(2);
+  EXPECT_EQ(registry.snapshot().gauge("g")->value, -3);
+  g.update_max(10);
+  g.update_max(7);  // lower than current: no effect
+  EXPECT_EQ(registry.snapshot().gauge("g")->value, 10);
+}
+
+TEST(Metrics, HistogramBucketsAndSum) {
+  obs::MetricsRegistry registry;
+  obs::Histogram h = registry.histogram("h", {1, 2.5});
+  h.observe(0.5);  // <= 1
+  h.observe(1);    // <= 1 (bounds are inclusive)
+  h.observe(2);    // <= 2.5
+  h.observe(99);   // overflow
+  obs::Snapshot snap = registry.snapshot();
+  const obs::HistogramValue* v = snap.histogram("h");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->bounds, (std::vector<double>{1, 2.5}));
+  EXPECT_EQ(v->buckets, (std::vector<std::uint64_t>{2, 1, 1}));
+  EXPECT_EQ(v->count, 4u);
+  EXPECT_DOUBLE_EQ(v->sum, 102.5);
+}
+
+TEST(Metrics, SnapshotIsNameSorted) {
+  obs::MetricsRegistry registry;
+  registry.counter("zeta");
+  registry.counter("alpha");
+  registry.counter("mid");
+  obs::Snapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].name, "alpha");
+  EXPECT_EQ(snap.counters[1].name, "mid");
+  EXPECT_EQ(snap.counters[2].name, "zeta");
+}
+
+TEST(Metrics, ResetZeroesKeepsHandles) {
+  obs::MetricsRegistry registry;
+  obs::Counter c = registry.counter("c");
+  c.add(7);
+  registry.reset();
+  EXPECT_EQ(registry.snapshot().counter("c")->value, 0u);
+  c.inc();  // handle survives the reset
+  EXPECT_EQ(registry.snapshot().counter("c")->value, 1u);
+}
+
+// The shard-merge exactness test CI runs under TSan: every worker of
+// an 8-lane executor hammers the same counter/histogram, and the
+// snapshot must equal the arithmetic total — no lost updates.
+TEST(Metrics, ConcurrentUpdatesMergeExactly) {
+  obs::MetricsRegistry registry;
+  obs::Counter c = registry.counter("hammered");
+  obs::Histogram h = registry.histogram("observed", {2, 4, 6});
+  constexpr std::size_t kItems = 50'000;
+  Executor exec(8);
+  exec.parallel_for_each(0, kItems, [&](std::size_t i) {
+    c.inc();
+    h.observe(static_cast<double>(i % 8));
+  });
+  obs::Snapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counter("hammered")->value, kItems);
+  const obs::HistogramValue* v = snap.histogram("observed");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->count, kItems);
+  double expected_sum = 0;
+  for (std::size_t i = 0; i < kItems; ++i)
+    expected_sum += static_cast<double>(i % 8);
+  EXPECT_DOUBLE_EQ(v->sum, expected_sum);
+}
+
+TEST(Span, RecordsNestingIntoActiveTrace) {
+  obs::Trace trace;
+  {
+    obs::TraceScope scope(trace);
+    obs::Span root("root");
+    {
+      obs::Span child("child");
+      obs::Span grandchild("grandchild");
+    }
+    obs::Span sibling("sibling");
+  }
+  std::vector<obs::SpanRecord> records = trace.records();
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records[0].name, "root");
+  EXPECT_EQ(records[0].parent, obs::kNoParent);
+  EXPECT_EQ(records[0].depth, 0u);
+  EXPECT_EQ(records[1].name, "child");
+  EXPECT_EQ(records[1].parent, 0u);
+  EXPECT_EQ(records[1].depth, 1u);
+  EXPECT_EQ(records[2].name, "grandchild");
+  EXPECT_EQ(records[2].parent, 1u);
+  EXPECT_EQ(records[2].depth, 2u);
+  EXPECT_EQ(records[3].name, "sibling");
+  EXPECT_EQ(records[3].parent, 0u);
+  for (const obs::SpanRecord& r : records) EXPECT_GE(r.millis, 0.0);
+}
+
+TEST(Span, NoActiveTraceRecordsNothing) {
+  ASSERT_EQ(obs::active_trace(), nullptr);
+  obs::Span orphan("orphan");
+  orphan.close();
+  EXPECT_GE(orphan.millis(), 0.0);  // still measures
+}
+
+TEST(Span, TraceScopeIfNoneActiveKeepsAmbient) {
+  obs::Trace outer, inner;
+  {
+    obs::TraceScope outer_scope(outer);
+    obs::TraceScope inner_scope(inner, obs::TraceScope::Policy::IfNoneActive);
+    EXPECT_FALSE(inner_scope.activated());
+    obs::Span span("lands-in-outer");
+  }
+  EXPECT_TRUE(inner.empty());
+  ASSERT_EQ(outer.records().size(), 1u);
+  EXPECT_EQ(outer.records()[0].name, "lands-in-outer");
+
+  {
+    obs::TraceScope only(inner, obs::TraceScope::Policy::IfNoneActive);
+    EXPECT_TRUE(only.activated());
+    obs::Span span("lands-in-inner");
+  }
+  EXPECT_EQ(inner.records().size(), 1u);
+}
+
+#endif  // FISTFUL_NO_OBS
+
+// ---- pipeline-wide determinism ---------------------------------------
+
+sim::WorldConfig obs_world_config() {
+  sim::WorldConfig cfg;
+  cfg.days = 30;
+  cfg.users = 60;
+  cfg.blocks_per_day = 6;
+  cfg.seed = 4242;
+  return cfg;
+}
+
+sim::World& obs_world() {
+  static sim::World* w = [] {
+    auto* world = new sim::World(obs_world_config());
+    world->run();
+    return world;
+  }();
+  return *w;
+}
+
+/// Structure of one recorded span, durations excluded.
+using SpanShape = std::tuple<std::string, std::uint32_t, std::uint32_t>;
+
+struct PipelineObservation {
+  std::vector<SpanShape> spans;
+  std::map<std::string, std::uint64_t> counter_deltas;  // non-exec only
+  std::map<std::string, std::int64_t> gauges;           // non-exec only
+  std::map<std::string, std::pair<std::uint64_t, double>> histogram_deltas;
+};
+
+PipelineObservation observe_pipeline_run(unsigned threads) {
+  sim::World& world = obs_world();  // built before the baseline snapshot
+  obs::Snapshot before = obs::MetricsRegistry::global().snapshot();
+  ForensicPipeline pipeline(world.store(), world.tag_feed(),
+                            PipelineOptions{refined_h2_options(), threads});
+  pipeline.run();
+  obs::Snapshot after = obs::MetricsRegistry::global().snapshot();
+
+  PipelineObservation out;
+  for (const obs::SpanRecord& r : pipeline.trace().records())
+    out.spans.emplace_back(r.name, r.parent, r.depth);
+  for (const obs::CounterValue& c : after.counters) {
+    if (c.name.rfind("exec.", 0) == 0) continue;
+    const obs::CounterValue* prev = before.counter(c.name);
+    out.counter_deltas[c.name] = c.value - (prev != nullptr ? prev->value : 0);
+  }
+  for (const obs::GaugeValue& g : after.gauges) {
+    if (g.name.rfind("exec.", 0) == 0) continue;
+    out.gauges[g.name] = g.value;
+  }
+  for (const obs::HistogramValue& h : after.histograms) {
+    if (h.name.rfind("exec.", 0) == 0) continue;
+    const obs::HistogramValue* prev = before.histogram(h.name);
+    out.histogram_deltas[h.name] = {
+        h.count - (prev != nullptr ? prev->count : 0),
+        h.sum - (prev != nullptr ? prev->sum : 0)};
+  }
+  return out;
+}
+
+// Metric values (not durations) and the span tree's (name, parent,
+// depth) sequence must not depend on the thread count. `exec.*` is the
+// one namespace allowed to vary (tasks, steals, queue depths describe
+// scheduling itself).
+TEST(ObsDeterminism, SpanStructureAndMetricsThreadCountInvariant) {
+  PipelineObservation reference = observe_pipeline_run(1);
+  for (unsigned threads : {2u, 8u}) {
+    PipelineObservation run = observe_pipeline_run(threads);
+    EXPECT_EQ(run.spans, reference.spans) << "threads=" << threads;
+    EXPECT_EQ(run.counter_deltas, reference.counter_deltas)
+        << "threads=" << threads;
+    EXPECT_EQ(run.gauges, reference.gauges) << "threads=" << threads;
+    EXPECT_EQ(run.histogram_deltas, reference.histogram_deltas)
+        << "threads=" << threads;
+  }
+
+#ifndef FISTFUL_NO_OBS
+  // Sanity on the reference itself: the stage spans are present, in
+  // order, with the documented children.
+  std::vector<std::string> roots;
+  for (const SpanShape& s : reference.spans)
+    if (std::get<1>(s) == obs::kNoParent) roots.push_back(std::get<0>(s));
+  EXPECT_EQ(roots, (std::vector<std::string>{"view", "tags", "h1",
+                                             "h1_naming", "dice", "h2",
+                                             "finalize"}));
+  EXPECT_GT(reference.counter_deltas.at("view.txs"), 0u);
+  EXPECT_GT(reference.counter_deltas.at("h1.links"), 0u);
+  EXPECT_GT(reference.counter_deltas.at("h2.labels"), 0u);
+#endif
+}
+
+#ifndef FISTFUL_NO_OBS
+// The StageTiming back-compat accessor mirrors the root spans 1:1.
+TEST(ObsDeterminism, TimingsMirrorRootSpans) {
+  ForensicPipeline pipeline(obs_world().store(), obs_world().tag_feed(),
+                            PipelineOptions{refined_h2_options(), 1});
+  pipeline.run();
+  std::vector<std::string> roots;
+  for (const obs::SpanRecord& r : pipeline.trace().records())
+    if (r.parent == obs::kNoParent) roots.push_back(r.name);
+  ASSERT_EQ(roots.size(), pipeline.timings().size());
+  for (std::size_t i = 0; i < roots.size(); ++i)
+    EXPECT_EQ(roots[i], pipeline.timings()[i].stage);
+}
+#endif
+
+}  // namespace
+}  // namespace fist

@@ -1,0 +1,107 @@
+// test_obs_export.cpp — golden-file tests for the metric exporters.
+// The renderers promise deterministic output (name-sorted snapshots,
+// fixed number formatting), so whole documents are compared verbatim.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/obs/export.hpp"
+#include "core/obs/metrics.hpp"
+#include "core/obs/span.hpp"
+
+namespace fist {
+namespace {
+
+TEST(ObsExport, JsonEscape) {
+  EXPECT_EQ(obs::json_escape("plain"), "plain");
+  EXPECT_EQ(obs::json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(obs::json_escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(obs::json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(obs::json_escape(std::string("\x01")), "\\u0001");
+}
+
+TEST(ObsExport, JsonNumber) {
+  EXPECT_EQ(obs::json_number(0), "0");
+  EXPECT_EQ(obs::json_number(42), "42");
+  EXPECT_EQ(obs::json_number(-7), "-7");
+  EXPECT_EQ(obs::json_number(2.5), "2.5");
+}
+
+#ifndef FISTFUL_NO_OBS
+
+obs::MetricsRegistry& golden_registry() {
+  static obs::MetricsRegistry* registry = [] {
+    auto* r = new obs::MetricsRegistry();
+    r->counter("alpha").add(3);
+    r->counter("beta.x").add(42);
+    r->gauge("depth").set(-7);
+    obs::Histogram h = r->histogram("lat", {1, 2.5});
+    h.observe(0.5);
+    h.observe(2);
+    h.observe(99);
+    return r;
+  }();
+  return *registry;
+}
+
+TEST(ObsExport, MetricsJsonObjectGolden) {
+  EXPECT_EQ(
+      obs::render_metrics_json_object(golden_registry().snapshot()),
+      R"({"counters":{"alpha":3,"beta.x":42},"gauges":{"depth":-7},)"
+      R"("histograms":{"lat":{"bounds":[1,2.5],"buckets":[1,1,1],)"
+      R"("count":3,"sum":101.5}}})");
+}
+
+TEST(ObsExport, JsonDocumentWrapsMetricsAndSpans) {
+  obs::Trace trace;
+  {
+    obs::TraceScope scope(trace);
+    obs::Span root("root");
+    obs::Span child("child");
+  }
+  std::string doc = obs::render_json(golden_registry().snapshot(), &trace);
+  EXPECT_EQ(doc.rfind("{\"metrics\":{\"counters\":{\"alpha\":3", 0), 0u);
+  EXPECT_NE(doc.find("\"spans\":[{\"name\":\"root\",\"ms\":"),
+            std::string::npos);
+  EXPECT_NE(doc.find("\"children\":[{\"name\":\"child\",\"ms\":"),
+            std::string::npos);
+  EXPECT_EQ(doc.back(), '\n');
+}
+
+TEST(ObsExport, PrometheusGolden) {
+  EXPECT_EQ(obs::render_prometheus(golden_registry().snapshot()),
+            "# TYPE fist_alpha counter\n"
+            "fist_alpha 3\n"
+            "# TYPE fist_beta_x counter\n"
+            "fist_beta_x 42\n"
+            "# TYPE fist_depth gauge\n"
+            "fist_depth -7\n"
+            "# TYPE fist_lat histogram\n"
+            "fist_lat_bucket{le=\"1\"} 1\n"
+            "fist_lat_bucket{le=\"2.5\"} 2\n"
+            "fist_lat_bucket{le=\"+Inf\"} 3\n"
+            "fist_lat_sum 101.5\n"
+            "fist_lat_count 3\n");
+}
+
+TEST(ObsExport, TableRendersEverySection) {
+  std::string table = obs::render_table(golden_registry().snapshot());
+  EXPECT_NE(table.find("alpha"), std::string::npos);
+  EXPECT_NE(table.find("depth"), std::string::npos);
+  EXPECT_NE(table.find("lat"), std::string::npos);
+  EXPECT_NE(table.find("+inf:1"), std::string::npos);
+}
+
+#else  // FISTFUL_NO_OBS: exporters must still produce valid documents.
+
+TEST(ObsExport, EmptySnapshotRendersEmptyDocuments) {
+  obs::Snapshot snap = obs::MetricsRegistry::global().snapshot();
+  EXPECT_EQ(obs::render_metrics_json_object(snap),
+            R"({"counters":{},"gauges":{},"histograms":{}})");
+  EXPECT_EQ(obs::render_prometheus(snap), "");
+}
+
+#endif  // FISTFUL_NO_OBS
+
+}  // namespace
+}  // namespace fist
