@@ -1,11 +1,37 @@
 #include "chain/blockstore.hpp"
 
-#include <fstream>
+#include <algorithm>
+#include <cstring>
 #include <functional>
+#include <thread>
 
+#include "core/fault.hpp"
+#include "crypto/sha256.hpp"
 #include "util/error.hpp"
 
 namespace fist {
+
+namespace {
+
+/// Sanity ceiling on a record length prefix: anything larger is
+/// treated as corrupt framing, not an actual 4-GiB block.
+constexpr std::uint32_t kMaxRecordBytes = 64u << 20;
+
+std::uint32_t read_u32le(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::array<std::uint8_t, 8> payload_sum(ByteView payload) noexcept {
+  Sha256::Digest d = sha256d(payload);
+  std::array<std::uint8_t, 8> out;
+  std::memcpy(out.data(), d.data(), out.size());
+  return out;
+}
+
+}  // namespace
 
 void BlockStore::for_each(
     const std::function<void(std::size_t, const Block&)>& fn) const {
@@ -35,40 +61,174 @@ Block MemoryBlockStore::read(std::size_t index) const {
   return Block::from_bytes(ByteView(data_.data() + pos, len));
 }
 
-FileBlockStore::FileBlockStore(std::filesystem::path path,
-                               std::uint32_t magic)
-    : path_(std::move(path)), magic_(magic) {
-  // Scan any existing records so appends continue a previous session.
+FileBlockStore::FileBlockStore(std::filesystem::path path, std::uint32_t magic)
+    : FileBlockStore(std::move(path), magic, OpenOptions{}) {}
+
+FileBlockStore::FileBlockStore(std::filesystem::path path, std::uint32_t magic,
+                               const OpenOptions& options)
+    : path_(std::move(path)), magic_(magic), options_(options) {
+  std::error_code ec;
+  std::uint64_t fsize = std::filesystem::file_size(path_, ec);
+  if (ec) fsize = 0;  // not created yet: empty store
   std::ifstream in(path_, std::ios::binary);
-  if (!in) return;
+  if (fsize > 0 && !in)
+    throw IoError("FileBlockStore: cannot open " + path_.string() +
+                  " for scan");
+
+  // Scan existing records so appends continue a previous session. The
+  // clean path touches headers only; corrupt framing either throws
+  // (strict) or resyncs forward to the next record boundary (recover).
   std::uint64_t pos = 0;
-  for (;;) {
+  while (pos < fsize) {
+    if (pos + 8 > fsize) {  // partial header: torn tail
+      scan_.torn_tail_bytes = fsize - pos;
+      break;
+    }
     std::uint8_t head[8];
+    in.clear();
+    in.seekg(static_cast<std::streamoff>(pos));
     in.read(reinterpret_cast<char*>(head), 8);
-    if (in.gcount() != 8) break;
-    std::uint32_t m = static_cast<std::uint32_t>(head[0]) |
-                      (static_cast<std::uint32_t>(head[1]) << 8) |
-                      (static_cast<std::uint32_t>(head[2]) << 16) |
-                      (static_cast<std::uint32_t>(head[3]) << 24);
-    std::uint32_t len = static_cast<std::uint32_t>(head[4]) |
-                        (static_cast<std::uint32_t>(head[5]) << 8) |
-                        (static_cast<std::uint32_t>(head[6]) << 16) |
-                        (static_cast<std::uint32_t>(head[7]) << 24);
-    if (m != magic_) throw ParseError("blk file: bad record magic");
+    if (in.gcount() != 8)
+      throw IoError("FileBlockStore: short header read at offset " +
+                    std::to_string(pos));
+    std::uint32_t m = read_u32le(head);
+    std::uint32_t len = read_u32le(head + 4);
+    if (m != magic_ || len > kMaxRecordBytes) {
+      if (!options_.recover)
+        throw ParseError("blk file: bad record magic at offset " +
+                         std::to_string(pos));
+      // Resync: scan forward for the next occurrence of the magic.
+      std::uint8_t want[4];
+      want[0] = static_cast<std::uint8_t>(magic_);
+      want[1] = static_cast<std::uint8_t>(magic_ >> 8);
+      want[2] = static_cast<std::uint8_t>(magic_ >> 16);
+      want[3] = static_cast<std::uint8_t>(magic_ >> 24);
+      std::uint64_t next = pos + 1;
+      bool found = false;
+      std::uint8_t buf[4096];
+      while (next + 4 <= fsize) {
+        std::size_t want_bytes = static_cast<std::size_t>(
+            std::min<std::uint64_t>(sizeof(buf), fsize - next));
+        in.clear();
+        in.seekg(static_cast<std::streamoff>(next));
+        in.read(reinterpret_cast<char*>(buf), static_cast<std::streamsize>(
+                                                  want_bytes));
+        std::size_t got = static_cast<std::size_t>(in.gcount());
+        if (got < 4) break;
+        for (std::size_t i = 0; i + 4 <= got; ++i) {
+          if (std::memcmp(buf + i, want, 4) == 0) {
+            next += i;
+            found = true;
+            break;
+          }
+        }
+        if (found) break;
+        next += got - 3;  // keep a 3-byte overlap across chunks
+      }
+      if (!found) {
+        scan_.skipped_ranges.emplace_back(pos, fsize);
+        pos = fsize;
+        break;
+      }
+      scan_.skipped_ranges.emplace_back(pos, next);
+      pos = next;
+      continue;
+    }
+    if (pos + 8 + len > fsize) {  // header fine, payload short: torn tail
+      scan_.torn_tail_bytes = fsize - pos;
+      break;
+    }
     offsets_.emplace_back(pos + 8, len);
     pos += 8 + len;
-    in.seekg(static_cast<std::streamoff>(pos));
-    if (!in) break;
+    data_end_ = pos;
+  }
+  // Any trailing bytes past the last valid record — a torn tail or a
+  // trailing unresynced range — get truncated away before an append so
+  // the file stays a clean prefix of records.
+  needs_truncate_ = data_end_ < fsize;
+  in.close();
+  load_or_heal_sums();
+}
+
+void FileBlockStore::load_or_heal_sums() {
+  std::error_code ec;
+  std::filesystem::path sp = sums_path();
+  bool exists = std::filesystem::exists(sp, ec) && !ec;
+  if (!exists) {
+    // A brand-new store starts a sidecar; a legacy file without one
+    // keeps working, just without read verification.
+    have_sums_ = offsets_.empty();
+    if (have_sums_) {
+      std::ofstream make(sp, std::ios::binary | std::ios::trunc);
+      if (!make) have_sums_ = false;
+    }
+    return;
+  }
+  // After a resync the sidecar's entries no longer line up with the
+  // surviving records, so verification would reject intact data: fall
+  // back to unverified reads rather than lie.
+  if (!scan_.skipped_ranges.empty()) {
+    have_sums_ = false;
+    return;
+  }
+  std::ifstream in(sp, std::ios::binary);
+  if (!in) {
+    have_sums_ = false;
+    return;
+  }
+  std::uint64_t ssize = std::filesystem::file_size(sp, ec);
+  if (ec) ssize = 0;
+  std::size_t entries = static_cast<std::size_t>(ssize / 8);
+  if (entries > offsets_.size()) entries = offsets_.size();  // data torn
+  sums_.resize(entries);
+  for (std::size_t i = 0; i < entries; ++i) {
+    in.read(reinterpret_cast<char*>(sums_[i].data()), 8);
+    if (in.gcount() != 8) {
+      sums_.resize(i);
+      break;
+    }
+  }
+  have_sums_ = true;
+  // Self-heal: a crash between the data flush and the sidecar write
+  // leaves the sidecar a few entries short — recompute the missing
+  // tail from the payloads and rewrite the sidecar atomically enough
+  // (truncate + full rewrite keeps entries aligned).
+  if (sums_.size() != offsets_.size() || ssize != offsets_.size() * 8) {
+    for (std::size_t i = sums_.size(); i < offsets_.size(); ++i)
+      sums_.push_back(payload_sum(read_payload(i)));
+    std::ofstream out(sp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      have_sums_ = false;
+      return;
+    }
+    for (const auto& s : sums_)
+      out.write(reinterpret_cast<const char*>(s.data()), 8);
+    out.flush();
+    if (!out) have_sums_ = false;
   }
 }
 
 std::size_t FileBlockStore::append(const Block& block) {
+  std::size_t index = offsets_.size();
+  if (fault::fire("blockstore.append", index))
+    throw IoError("fault injected: blockstore.append (record " +
+                  std::to_string(index) + ")");
+  // Crash-safety: an interrupted append left a torn tail after the
+  // last valid record; physically drop it so the file stays a clean
+  // prefix of records.
+  if (needs_truncate_) {
+    std::error_code ec;
+    std::filesystem::resize_file(path_, data_end_, ec);
+    if (ec)
+      throw IoError("FileBlockStore: cannot truncate torn tail of " +
+                    path_.string());
+    needs_truncate_ = false;
+  }
   Bytes raw = block.serialize();
   std::ofstream out(path_, std::ios::binary | std::ios::app);
-  if (!out) throw UsageError("FileBlockStore: cannot open for append");
-  std::uint64_t pos = std::filesystem::exists(path_)
-                          ? std::filesystem::file_size(path_)
-                          : 0;
+  if (!out)
+    throw IoError("FileBlockStore: cannot open " + path_.string() +
+                  " for append");
   Writer w;
   w.u32le(magic_);
   w.u32le(static_cast<std::uint32_t>(raw.size()));
@@ -78,24 +238,64 @@ std::size_t FileBlockStore::append(const Block& block) {
   out.write(reinterpret_cast<const char*>(raw.data()),
             static_cast<std::streamsize>(raw.size()));
   out.flush();
-  if (!out) throw UsageError("FileBlockStore: write failed");
-  offsets_.emplace_back(pos + 8, static_cast<std::uint32_t>(raw.size()));
-  return offsets_.size() - 1;
+  if (!out)
+    throw IoError("FileBlockStore: write failed on " + path_.string());
+  offsets_.emplace_back(data_end_ + 8, static_cast<std::uint32_t>(raw.size()));
+  data_end_ += 8 + raw.size();
+  if (have_sums_) {
+    sums_.push_back(payload_sum(raw));
+    std::ofstream sout(sums_path(), std::ios::binary | std::ios::app);
+    if (sout) {
+      sout.write(reinterpret_cast<const char*>(sums_.back().data()), 8);
+      sout.flush();
+    }
+    if (!sout) have_sums_ = false;  // degrade: data is intact, sums aren't
+  }
+  return index;
+}
+
+Bytes FileBlockStore::read_payload(std::size_t index) const {
+  auto [pos, len] = offsets_[index];
+  // Slot picked by thread so concurrent readers (the parallel chain
+  // scan) don't serialize on one handle.
+  std::size_t slot =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % kReadSlots;
+  ReadSlot& rs = read_slots_[slot];
+  std::lock_guard<std::mutex> lock(rs.mutex);
+  if (!rs.in.is_open()) {
+    rs.in.open(path_, std::ios::binary);
+    if (!rs.in)
+      throw IoError("FileBlockStore: cannot open " + path_.string() +
+                    " for read");
+  }
+  rs.in.clear();  // a previous read may have hit EOF; the file may have grown
+  rs.in.seekg(static_cast<std::streamoff>(pos));
+  Bytes raw(len);
+  rs.in.read(reinterpret_cast<char*>(raw.data()),
+             static_cast<std::streamsize>(len));
+  if (rs.in.gcount() != static_cast<std::streamsize>(len)) {
+    rs.in.close();  // drop the handle; the file shrank or the read failed
+    throw ParseError("blk file: truncated record " + std::to_string(index));
+  }
+  return raw;
 }
 
 Block FileBlockStore::read(std::size_t index) const {
   if (index >= offsets_.size())
     throw UsageError("FileBlockStore::read: index out of range");
-  auto [pos, len] = offsets_[index];
-  std::ifstream in(path_, std::ios::binary);
-  if (!in) throw UsageError("FileBlockStore: cannot open for read");
-  in.seekg(static_cast<std::streamoff>(pos));
-  Bytes raw(len);
-  in.read(reinterpret_cast<char*>(raw.data()),
-          static_cast<std::streamsize>(len));
-  if (in.gcount() != static_cast<std::streamsize>(len))
-    throw ParseError("blk file: truncated record");
-  return Block::from_bytes(raw);
+  if (fault::fire("blockstore.read", index))
+    throw IoError("fault injected: blockstore.read (record " +
+                  std::to_string(index) + ")");
+  Bytes raw = read_payload(index);
+  if (have_sums_ && options_.verify_checksums && index < sums_.size() &&
+      payload_sum(raw) != sums_[index])
+    throw ParseError("blk file: checksum mismatch at record " +
+                     std::to_string(index));
+  try {
+    return Block::from_bytes(raw);
+  } catch (const ParseError& e) {
+    throw ParseError("record " + std::to_string(index) + ": " + e.what());
+  }
 }
 
 }  // namespace fist

@@ -6,10 +6,13 @@
 // information position an analyst has against the real chain.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <filesystem>
+#include <fstream>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "chain/block.hpp"
@@ -54,13 +57,47 @@ class MemoryBlockStore final : public BlockStore {
 };
 
 /// Writes records to a single blk-style file on disk and reads them
-/// back; the on-disk layout is exactly Bitcoin Core's.
+/// back; the on-disk layout is exactly Bitcoin Core's. Alongside the
+/// data file the store maintains a checksum sidecar (`<path>.sums`,
+/// one 8-byte truncated SHA-256d per record payload) so silent payload
+/// corruption is caught at read time, and the opening scan detects the
+/// torn tail an interrupted append leaves behind (the partial record
+/// is dropped and physically truncated away before the next append).
 class FileBlockStore final : public BlockStore {
  public:
+  /// Recovery behaviour of the opening scan and of reads.
+  struct OpenOptions {
+    /// Resync past corrupt record framing (bad magic, absurd length)
+    /// by scanning forward for the next record boundary, instead of
+    /// throwing ParseError. Skipped byte ranges land in scan_report().
+    bool recover = false;
+    /// Verify the checksum sidecar on every read() when available.
+    bool verify_checksums = true;
+  };
+
+  /// What the opening scan found beyond clean records.
+  struct ScanReport {
+    /// Trailing bytes of an interrupted append (dropped; the next
+    /// append truncates them away).
+    std::uint64_t torn_tail_bytes = 0;
+    /// Byte ranges [begin, end) skipped while resyncing (recover mode).
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> skipped_ranges;
+    std::uint64_t skipped_bytes() const noexcept {
+      std::uint64_t total = 0;
+      for (auto& [b, e] : skipped_ranges) total += e - b;
+      return total;
+    }
+    bool clean() const noexcept {
+      return torn_tail_bytes == 0 && skipped_ranges.empty();
+    }
+  };
+
   /// Opens (creating if needed) `path`; scans existing records so a
   /// store can be reopened across runs.
   explicit FileBlockStore(std::filesystem::path path,
                           std::uint32_t magic = kMainnetMagic);
+  FileBlockStore(std::filesystem::path path, std::uint32_t magic,
+                 const OpenOptions& options);
 
   std::size_t append(const Block& block) override;
   Block read(std::size_t index) const override;
@@ -68,10 +105,40 @@ class FileBlockStore final : public BlockStore {
 
   const std::filesystem::path& path() const noexcept { return path_; }
 
+  /// Sidecar path (`<path>.sums`).
+  std::filesystem::path sums_path() const { return path_.string() + ".sums"; }
+
+  /// What the opening scan recovered around (empty for a clean file).
+  const ScanReport& scan_report() const noexcept { return scan_; }
+
+  /// True when reads are covered by per-record checksums.
+  bool checksummed() const noexcept { return have_sums_; }
+
  private:
+  /// Reads the raw payload of record `index` through a cached handle.
+  Bytes read_payload(std::size_t index) const;
+  void load_or_heal_sums();
+
   std::filesystem::path path_;
   std::uint32_t magic_;
+  OpenOptions options_;
   std::vector<std::pair<std::uint64_t, std::uint32_t>> offsets_;  // (pos, len)
+  std::vector<std::array<std::uint8_t, 8>> sums_;  // per-record checksums
+  bool have_sums_ = false;
+  std::uint64_t data_end_ = 0;    ///< end offset of the last valid record
+  bool needs_truncate_ = false;   ///< torn tail present; fix before append
+  ScanReport scan_;
+
+  /// Cached read handles: reads are served through a small pool of
+  /// per-slot ifstreams (slot picked by thread) so the recovery scan
+  /// and sequential re-reads don't pay a per-record open, while the
+  /// parallel chain scan still reads concurrently.
+  struct ReadSlot {
+    std::mutex mutex;
+    std::ifstream in;
+  };
+  static constexpr std::size_t kReadSlots = 8;
+  mutable std::array<ReadSlot, kReadSlots> read_slots_;
 };
 
 }  // namespace fist

@@ -1,0 +1,21 @@
+#include "chain/ingest.hpp"
+
+#include "util/hex.hpp"
+
+namespace fist {
+
+std::string IngestReport::summary() const {
+  std::string out;
+  for (const Quarantined& q : blocks) {
+    out += "quarantined block record " + std::to_string(q.record) + " (" +
+           quarantine_stage_name(q.stage) + "): " + q.reason + "\n";
+  }
+  for (const Quarantined& q : txs) {
+    out += "quarantined tx " + to_hex_reversed(q.txid.view()) + " (record " +
+           std::to_string(q.record) + ", tx " + std::to_string(q.tx) +
+           "): " + q.reason + "\n";
+  }
+  return out;
+}
+
+}  // namespace fist

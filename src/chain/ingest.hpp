@@ -1,0 +1,72 @@
+// ingest.hpp — recovery policy and quarantine bookkeeping for chain
+// ingest.
+//
+// Raw blk-file bytes scraped off a live network are adversarial,
+// truncated, and partially corrupt in practice. Strict ingest (the
+// default, and the historical behaviour) aborts on the first bad
+// record; lenient ingest isolates malformed records into a quarantine
+// list and keeps going, with the invariant that the surviving output
+// is bit-identical to a run over a store containing only the intact
+// records — and that a zero-fault lenient run is bit-identical to a
+// strict run, at any thread count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/hash.hpp"
+
+namespace fist {
+
+/// What ingest does when a record cannot be used.
+enum class RecoveryPolicy {
+  Strict,   ///< throw on the first fault (historical behaviour)
+  Lenient,  ///< quarantine the record and continue
+};
+
+inline const char* recovery_policy_name(RecoveryPolicy p) noexcept {
+  return p == RecoveryPolicy::Strict ? "strict" : "lenient";
+}
+
+/// One quarantined unit of work.
+struct Quarantined {
+  /// Where in the ingest path the fault struck.
+  enum class Stage {
+    Read,     ///< block record I/O failed (IoError)
+    Decode,   ///< block record bytes malformed (ParseError)
+    Resolve,  ///< transaction references missing/spent outputs
+  };
+
+  Stage stage = Stage::Read;
+  std::uint64_t record = 0;  ///< block record index in the store
+  std::uint32_t tx = 0;      ///< tx ordinal within the block (Resolve only)
+  Hash256 txid;              ///< null unless Resolve
+  std::string reason;
+};
+
+inline const char* quarantine_stage_name(Quarantined::Stage s) noexcept {
+  switch (s) {
+    case Quarantined::Stage::Read: return "read";
+    case Quarantined::Stage::Decode: return "decode";
+    case Quarantined::Stage::Resolve: return "resolve";
+  }
+  return "?";
+}
+
+/// Everything lenient ingest set aside. Deterministic: the same store
+/// and fault configuration produce the same report at any thread
+/// count (blocks in record order, transactions in chain order).
+struct IngestReport {
+  RecoveryPolicy policy = RecoveryPolicy::Strict;
+  std::vector<Quarantined> blocks;  ///< Read/Decode failures
+  std::vector<Quarantined> txs;     ///< Resolve failures
+
+  bool quarantined() const noexcept { return !blocks.empty() || !txs.empty(); }
+  std::size_t total() const noexcept { return blocks.size() + txs.size(); }
+
+  /// Per-record human-readable lines ("quarantined block 5 (decode): ...").
+  std::string summary() const;
+};
+
+}  // namespace fist

@@ -1,9 +1,11 @@
 #include "chain/view.hpp"
 
+#include "core/fault.hpp"
 #include "core/obs/metrics.hpp"
 #include "core/obs/span.hpp"
 #include "script/standard.hpp"
 #include "util/error.hpp"
+#include "util/serialize.hpp"
 
 namespace fist {
 
@@ -12,11 +14,15 @@ namespace {
 /// Registry handles for the chain-view build, bound once. Script-class
 /// counters are indexed by ScriptType; every output is classified
 /// exactly once on both the sequential and the parallel path, so the
-/// totals are thread-count-invariant.
+/// totals are thread-count-invariant — as are the quarantine counters,
+/// whose firing set is a pure function of the store and the armed
+/// fault configuration.
 struct ViewMetrics {
   obs::Counter blocks;
   obs::Counter txs;
   obs::Counter addresses;
+  obs::Counter quarantined_blocks;
+  obs::Counter quarantined_txs;
   obs::Counter script_class[6];
   obs::Histogram tx_inputs;
   obs::Histogram tx_outputs;
@@ -28,6 +34,8 @@ struct ViewMetrics {
       m.blocks = r.counter("view.blocks");
       m.txs = r.counter("view.txs");
       m.addresses = r.counter("view.addresses_interned");
+      m.quarantined_blocks = r.counter("ingest.quarantined.blocks");
+      m.quarantined_txs = r.counter("ingest.quarantined.txs");
       m.script_class[static_cast<int>(ScriptType::NonStandard)] =
           r.counter("view.script.nonstandard");
       m.script_class[static_cast<int>(ScriptType::P2PK)] =
@@ -56,6 +64,26 @@ std::optional<Address> classify_output(const Script& script_pubkey) {
   return address_of(cls);
 }
 
+/// The deterministic ingest-level decode fault site: keyed by record
+/// index, so the injected set is identical at any thread count.
+void probe_decode_fault(std::size_t record) {
+  if (fault::fire("decode.block", record))
+    throw ParseError("fault injected: decode.block (record " +
+                     std::to_string(record) + ")");
+}
+
+void note_quarantined_block(IngestReport* report, Quarantined::Stage stage,
+                            std::uint64_t record, std::string reason) {
+  ViewMetrics::get().quarantined_blocks.inc();
+  if (report != nullptr) {
+    Quarantined q;
+    q.stage = stage;
+    q.record = record;
+    q.reason = std::move(reason);
+    report->blocks.push_back(std::move(q));
+  }
+}
+
 }  // namespace
 
 Amount TxView::value_in() const noexcept {
@@ -70,8 +98,12 @@ Amount TxView::value_out() const noexcept {
   return total;
 }
 
-void ChainView::add_block(const Block& block, std::int32_t height) {
+void ChainView::ingest_block(const Block& block, std::uint64_t record,
+                             RecoveryPolicy policy, IngestReport* report) {
+  std::int32_t height = static_cast<std::int32_t>(block_count_);
+  std::uint32_t tx_ordinal = 0;
   for (const Transaction& tx : block.transactions) {
+    std::uint32_t ordinal = tx_ordinal++;
     TxIndex index = static_cast<TxIndex>(txs_.size());
     TxView view;
     view.txid = tx.txid();
@@ -79,33 +111,10 @@ void ChainView::add_block(const Block& block, std::int32_t height) {
     view.time = static_cast<Timestamp>(block.header.time);
     view.coinbase = tx.is_coinbase();
 
-    if (!view.coinbase) {
-      view.inputs.reserve(tx.inputs.size());
-      for (const TxIn& in : tx.inputs) {
-        InputView iv;
-        auto it = txid_index_.find(in.prevout.txid);
-        if (it != txid_index_.end()) {
-          TxIndex prev = it->second;
-          TxView& funding = txs_[prev];
-          if (in.prevout.index < funding.outputs.size()) {
-            OutputView& spent = funding.outputs[in.prevout.index];
-            if (spent.spent_by != kNoTx)
-              throw ValidationError("view: double spend in stored chain");
-            spent.spent_by = index;
-            iv.addr = spent.addr;
-            iv.value = spent.value;
-            iv.prev_tx = prev;
-            iv.prev_index = in.prevout.index;
-          } else {
-            throw ValidationError("view: input references bad output slot");
-          }
-        } else {
-          throw ValidationError("view: input references unknown txid");
-        }
-        view.inputs.push_back(iv);
-      }
-    }
-
+    // Outputs first: classification and interning happen for every
+    // decoded transaction, even one quarantined below for a resolve
+    // failure — the parallel build interns during its scan phase, so
+    // dense-id assignment must not depend on the execution path.
     view.outputs.reserve(tx.outputs.size());
     for (const TxOut& out : tx.outputs) {
       OutputView ov;
@@ -113,6 +122,55 @@ void ChainView::add_block(const Block& block, std::int32_t height) {
       if (auto addr = classify_output(out.script_pubkey))
         ov.addr = book_.intern(*addr);
       view.outputs.push_back(ov);
+    }
+
+    if (!view.coinbase) {
+      view.inputs.reserve(tx.inputs.size());
+      // Spend marks made so far for this transaction, so a late
+      // resolve failure can roll them back before quarantining.
+      std::vector<std::pair<TxIndex, std::uint32_t>> marked;
+      const char* why = nullptr;
+      for (const TxIn& in : tx.inputs) {
+        InputView iv;
+        auto it = txid_index_.find(in.prevout.txid);
+        if (it == txid_index_.end()) {
+          why = "view: input references unknown txid";
+          break;
+        }
+        TxIndex prev = it->second;
+        TxView& funding = txs_[prev];
+        if (in.prevout.index >= funding.outputs.size()) {
+          why = "view: input references bad output slot";
+          break;
+        }
+        OutputView& spent = funding.outputs[in.prevout.index];
+        if (spent.spent_by != kNoTx) {
+          why = "view: double spend in stored chain";
+          break;
+        }
+        spent.spent_by = index;
+        marked.emplace_back(prev, in.prevout.index);
+        iv.addr = spent.addr;
+        iv.value = spent.value;
+        iv.prev_tx = prev;
+        iv.prev_index = in.prevout.index;
+        view.inputs.push_back(iv);
+      }
+      if (why != nullptr) {
+        for (auto [p, slot] : marked) txs_[p].outputs[slot].spent_by = kNoTx;
+        if (policy == RecoveryPolicy::Strict) throw ValidationError(why);
+        ViewMetrics::get().quarantined_txs.inc();
+        if (report != nullptr) {
+          Quarantined q;
+          q.stage = Quarantined::Stage::Resolve;
+          q.record = record;
+          q.tx = ordinal;
+          q.txid = view.txid;
+          q.reason = why;
+          report->txs.push_back(std::move(q));
+        }
+        continue;  // transaction quarantined, not appended
+      }
     }
 
     txid_index_.emplace(view.txid, index);
@@ -173,13 +231,28 @@ void ChainView::finish(Executor& exec) {
   });
 }
 
-ChainView ChainView::build(const BlockStore& store) {
+ChainView ChainView::build(const BlockStore& store, RecoveryPolicy policy,
+                           IngestReport* report) {
+  if (report != nullptr) report->policy = policy;
   ChainView view;
   {
     obs::Span scan("view.scan");
     for (std::size_t i = 0; i < store.count(); ++i) {
-      Block block = store.read(i);
-      view.add_block(block, static_cast<std::int32_t>(i));
+      if (policy == RecoveryPolicy::Strict) {
+        probe_decode_fault(i);
+        view.ingest_block(store.read(i), i, policy, report);
+        continue;
+      }
+      try {
+        probe_decode_fault(i);
+        Block block = store.read(i);
+        view.ingest_block(block, i, policy, report);
+      } catch (const IoError& e) {
+        note_quarantined_block(report, Quarantined::Stage::Read, i, e.what());
+      } catch (const ParseError& e) {
+        note_quarantined_block(report, Quarantined::Stage::Decode, i,
+                               e.what());
+      }
     }
   }
   {
@@ -190,12 +263,16 @@ ChainView ChainView::build(const BlockStore& store) {
   return view;
 }
 
+ChainView ChainView::build(const BlockStore& store) {
+  return build(store, RecoveryPolicy::Strict, nullptr);
+}
+
 ChainView ChainView::build(const std::vector<Block>& blocks) {
   ChainView view;
   {
     obs::Span scan("view.scan");
     for (std::size_t i = 0; i < blocks.size(); ++i)
-      view.add_block(blocks[i], static_cast<std::int32_t>(i));
+      view.ingest_block(blocks[i], i, RecoveryPolicy::Strict, nullptr);
   }
   {
     obs::Span first_seen("view.first_seen");
@@ -227,24 +304,49 @@ struct PreTx {
 struct PreBlock {
   Timestamp time = 0;
   std::vector<PreTx> txs;
+  /// Read/decode failure captured during the parallel scan; resolved
+  /// deterministically (lowest record first) in the assembly phase.
+  bool failed = false;
+  Quarantined::Stage fail_stage = Quarantined::Stage::Decode;
+  std::string fail_reason;
+  std::exception_ptr error;
 };
 
 }  // namespace
 
 ChainView ChainView::build_parallel(
     std::size_t block_count,
-    const std::function<Block(std::size_t)>& read_block, Executor& exec) {
+    const std::function<Block(std::size_t)>& read_block, Executor& exec,
+    RecoveryPolicy policy, IngestReport* report) {
+  if (report != nullptr) report->policy = policy;
   // Phase 1 (parallel): scan blocks into pre-digested form, interning
   // output addresses into hash shards keyed by (block, output-slot)
   // appearance ordinals. The "view.scan" span covers phases 1 + 2 so
-  // the span tree matches the sequential build's.
+  // the span tree matches the sequential build's. A record whose read
+  // or decode fails interns nothing and is marked failed — the
+  // surviving records keep their ordinals, so dense ids match a build
+  // over a store holding only the intact records.
   obs::Span scan_span("view.scan");
   ShardedAddressBook sharded;
   std::vector<PreBlock> pre(block_count);
   exec.parallel_for(0, block_count, 0, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t b = lo; b < hi; ++b) {
-      Block block = read_block(b);
       PreBlock& pb = pre[b];
+      Block block;
+      try {
+        probe_decode_fault(b);
+        block = read_block(b);
+      } catch (const IoError&) {
+        pb.failed = true;
+        pb.fail_stage = Quarantined::Stage::Read;
+        pb.error = std::current_exception();
+        continue;
+      } catch (const ParseError&) {
+        pb.failed = true;
+        pb.fail_stage = Quarantined::Stage::Decode;
+        pb.error = std::current_exception();
+        continue;
+      }
       pb.time = static_cast<Timestamp>(block.header.time);
       pb.txs.reserve(block.transactions.size());
       std::uint64_t slot = 0;  // output ordinal within the block
@@ -274,48 +376,49 @@ ChainView ChainView::build_parallel(
     }
   });
 
+  // Strict mode aborts on the lowest failed record — deterministic no
+  // matter which worker saw its exception first.
+  if (policy == RecoveryPolicy::Strict) {
+    for (std::size_t b = 0; b < block_count; ++b)
+      if (pre[b].failed) std::rethrow_exception(pre[b].error);
+  }
+
+  // Extract the reason text for quarantine entries (lenient only).
+  for (std::size_t b = 0; b < block_count; ++b) {
+    PreBlock& pb = pre[b];
+    if (!pb.failed) continue;
+    try {
+      std::rethrow_exception(pb.error);
+    } catch (const Error& e) {
+      pb.fail_reason = e.what();
+    }
+  }
+
   // Phase 2 (sequential, deterministic): assign dense AddrIds by first
   // appearance, then assemble the view in chain order, resolving each
   // input against the outputs seen so far — exactly the sequential
-  // build's semantics, including its double-spend checks.
+  // build's semantics, including its double-spend checks and its
+  // quarantine behaviour. Heights compact over surviving blocks.
   ShardedAddressBook::Finalized fin = sharded.finalize();
   ChainView view;
   view.book_ = std::move(fin.book);
   for (std::size_t b = 0; b < block_count; ++b) {
-    for (PreTx& pt : pre[b].txs) {
+    PreBlock& pb = pre[b];
+    if (pb.failed) {
+      note_quarantined_block(report, pb.fail_stage, b,
+                             std::move(pb.fail_reason));
+      continue;
+    }
+    std::int32_t height = static_cast<std::int32_t>(view.block_count_);
+    std::uint32_t tx_ordinal = 0;
+    for (PreTx& pt : pb.txs) {
+      std::uint32_t ordinal = tx_ordinal++;
       TxIndex index = static_cast<TxIndex>(view.txs_.size());
       TxView tv;
       tv.txid = pt.txid;
-      tv.height = static_cast<std::int32_t>(b);
-      tv.time = pre[b].time;
+      tv.height = height;
+      tv.time = pb.time;
       tv.coinbase = pt.coinbase;
-
-      if (!tv.coinbase) {
-        tv.inputs.reserve(pt.prevouts.size());
-        for (const OutPoint& prevout : pt.prevouts) {
-          InputView iv;
-          auto it = view.txid_index_.find(prevout.txid);
-          if (it != view.txid_index_.end()) {
-            TxIndex prev = it->second;
-            TxView& funding = view.txs_[prev];
-            if (prevout.index < funding.outputs.size()) {
-              OutputView& spent = funding.outputs[prevout.index];
-              if (spent.spent_by != kNoTx)
-                throw ValidationError("view: double spend in stored chain");
-              spent.spent_by = index;
-              iv.addr = spent.addr;
-              iv.value = spent.value;
-              iv.prev_tx = prev;
-              iv.prev_index = prevout.index;
-            } else {
-              throw ValidationError("view: input references bad output slot");
-            }
-          } else {
-            throw ValidationError("view: input references unknown txid");
-          }
-          tv.inputs.push_back(iv);
-        }
-      }
 
       tv.outputs.reserve(pt.outputs.size());
       for (const PreOutput& po : pt.outputs) {
@@ -323,6 +426,54 @@ ChainView ChainView::build_parallel(
         ov.value = po.value;
         if (po.has_addr) ov.addr = fin.id(po.ref);
         tv.outputs.push_back(ov);
+      }
+
+      if (!tv.coinbase) {
+        tv.inputs.reserve(pt.prevouts.size());
+        std::vector<std::pair<TxIndex, std::uint32_t>> marked;
+        const char* why = nullptr;
+        for (const OutPoint& prevout : pt.prevouts) {
+          InputView iv;
+          auto it = view.txid_index_.find(prevout.txid);
+          if (it == view.txid_index_.end()) {
+            why = "view: input references unknown txid";
+            break;
+          }
+          TxIndex prev = it->second;
+          TxView& funding = view.txs_[prev];
+          if (prevout.index >= funding.outputs.size()) {
+            why = "view: input references bad output slot";
+            break;
+          }
+          OutputView& spent = funding.outputs[prevout.index];
+          if (spent.spent_by != kNoTx) {
+            why = "view: double spend in stored chain";
+            break;
+          }
+          spent.spent_by = index;
+          marked.emplace_back(prev, prevout.index);
+          iv.addr = spent.addr;
+          iv.value = spent.value;
+          iv.prev_tx = prev;
+          iv.prev_index = prevout.index;
+          tv.inputs.push_back(iv);
+        }
+        if (why != nullptr) {
+          for (auto [p, slot] : marked)
+            view.txs_[p].outputs[slot].spent_by = kNoTx;
+          if (policy == RecoveryPolicy::Strict) throw ValidationError(why);
+          ViewMetrics::get().quarantined_txs.inc();
+          if (report != nullptr) {
+            Quarantined q;
+            q.stage = Quarantined::Stage::Resolve;
+            q.record = b;
+            q.tx = ordinal;
+            q.txid = tv.txid;
+            q.reason = why;
+            report->txs.push_back(std::move(q));
+          }
+          continue;
+        }
       }
 
       view.txid_index_.emplace(tv.txid, index);
@@ -356,15 +507,104 @@ void ChainView::record_build_metrics() const {
 }
 
 ChainView ChainView::build(const BlockStore& store, Executor& exec) {
-  if (exec.inline_mode()) return build(store);
+  return build(store, exec, RecoveryPolicy::Strict, nullptr);
+}
+
+ChainView ChainView::build(const BlockStore& store, Executor& exec,
+                           RecoveryPolicy policy, IngestReport* report) {
+  if (exec.inline_mode()) return build(store, policy, report);
   return build_parallel(
-      store.count(), [&store](std::size_t i) { return store.read(i); }, exec);
+      store.count(), [&store](std::size_t i) { return store.read(i); }, exec,
+      policy, report);
 }
 
 ChainView ChainView::build(const std::vector<Block>& blocks, Executor& exec) {
   if (exec.inline_mode()) return build(blocks);
   return build_parallel(
-      blocks.size(), [&blocks](std::size_t i) { return blocks[i]; }, exec);
+      blocks.size(), [&blocks](std::size_t i) { return blocks[i]; }, exec,
+      RecoveryPolicy::Strict, nullptr);
+}
+
+Bytes ChainView::serialize() const {
+  Writer w;
+  w.u32le(1);  // checkpoint image version
+  w.u64le(block_count_);
+  w.varint(book_.size());
+  for (AddrId a = 0; a < book_.size(); ++a) {
+    const Address& addr = book_.lookup(a);
+    w.u8(static_cast<std::uint8_t>(addr.type()));
+    w.bytes(addr.payload().view());
+  }
+  w.varint(txs_.size());
+  for (const TxView& tx : txs_) {
+    w.bytes(tx.txid.view());
+    w.i32le(tx.height);
+    w.i64le(tx.time);
+    w.u8(tx.coinbase ? 1 : 0);
+    w.varint(tx.inputs.size());
+    for (const InputView& in : tx.inputs) {
+      w.u32le(in.addr);
+      w.i64le(in.value);
+      w.u32le(in.prev_tx);
+      w.u32le(in.prev_index);
+    }
+    w.varint(tx.outputs.size());
+    for (const OutputView& out : tx.outputs) {
+      w.u32le(out.addr);
+      w.i64le(out.value);
+      w.u32le(out.spent_by);
+    }
+  }
+  return w.take();
+}
+
+ChainView ChainView::deserialize(ByteView raw) {
+  Reader r(raw);
+  if (r.u32le() != 1)
+    throw ParseError("ChainView::deserialize: unknown image version");
+  ChainView view;
+  view.block_count_ = r.u64le();
+  std::uint64_t n_addr = r.varint();
+  for (std::uint64_t a = 0; a < n_addr; ++a) {
+    AddrType type = static_cast<AddrType>(r.u8());
+    Hash160 payload = Hash160::from_bytes(r.bytes(Hash160::kSize));
+    if (view.book_.intern(Address(type, payload)) != a)
+      throw ParseError("ChainView::deserialize: duplicate address");
+  }
+  std::uint64_t n_tx = r.varint();
+  view.txs_.reserve(n_tx);
+  for (std::uint64_t t = 0; t < n_tx; ++t) {
+    TxView tx;
+    tx.txid = Hash256::from_bytes(r.bytes(Hash256::kSize));
+    tx.height = r.i32le();
+    tx.time = r.i64le();
+    tx.coinbase = r.u8() != 0;
+    std::uint64_t n_in = r.varint();
+    tx.inputs.reserve(n_in);
+    for (std::uint64_t i = 0; i < n_in; ++i) {
+      InputView in;
+      in.addr = r.u32le();
+      in.value = r.i64le();
+      in.prev_tx = r.u32le();
+      in.prev_index = r.u32le();
+      tx.inputs.push_back(in);
+    }
+    std::uint64_t n_out = r.varint();
+    tx.outputs.reserve(n_out);
+    for (std::uint64_t i = 0; i < n_out; ++i) {
+      OutputView out;
+      out.addr = r.u32le();
+      out.value = r.i64le();
+      out.spent_by = r.u32le();
+      tx.outputs.push_back(out);
+    }
+    view.txid_index_.emplace(tx.txid, static_cast<TxIndex>(t));
+    view.txs_.push_back(std::move(tx));
+  }
+  if (!r.empty())
+    throw ParseError("ChainView::deserialize: trailing bytes");
+  view.finish();
+  return view;
 }
 
 const TxView& ChainView::tx(TxIndex i) const {

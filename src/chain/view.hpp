@@ -15,6 +15,7 @@
 
 #include "chain/addrbook.hpp"
 #include "chain/blockstore.hpp"
+#include "chain/ingest.hpp"
 #include "core/executor.hpp"
 #include "util/amount.hpp"
 #include "util/timeutil.hpp"
@@ -82,6 +83,28 @@ class ChainView {
   static ChainView build(const BlockStore& store, Executor& exec);
   static ChainView build(const std::vector<Block>& blocks, Executor& exec);
 
+  /// Policy-aware build. Strict reproduces the historical behaviour:
+  /// the first record I/O fault (IoError), malformed record
+  /// (ParseError) or unresolvable transaction (ValidationError)
+  /// aborts the build — deterministically the lowest-index failure,
+  /// even on the parallel path. Lenient quarantines the failing block
+  /// record or transaction into `report` (plus the
+  /// `ingest.quarantined.*` metrics) and continues; surviving output
+  /// is bit-identical to a build over a store holding only the intact
+  /// records, at any worker count. Heights are compacted over the
+  /// surviving blocks, exactly as a filtered store would number them.
+  static ChainView build(const BlockStore& store, Executor& exec,
+                         RecoveryPolicy policy,
+                         IngestReport* report = nullptr);
+
+  /// Checkpoint serialization (see core/checkpoint.hpp): a compact
+  /// binary image of the flattened chain — addresses in dense-id
+  /// order, transactions with resolved inputs and spend links. Not a
+  /// consensus format. deserialize() rebuilds derived state
+  /// (txid index, first-seen table) and records no build metrics.
+  Bytes serialize() const;
+  static ChainView deserialize(ByteView raw);
+
   const std::vector<TxView>& txs() const noexcept { return txs_; }
   const TxView& tx(TxIndex i) const;
   std::size_t tx_count() const noexcept { return txs_.size(); }
@@ -101,7 +124,13 @@ class ChainView {
   std::size_t block_count() const noexcept { return block_count_; }
 
  private:
-  void add_block(const Block& block, std::int32_t height);
+  /// Ingests one decoded block at height == block_count_. In lenient
+  /// mode an unresolvable transaction is quarantined into `report`
+  /// (its outputs stay interned — the parallel path interns during
+  /// its scan phase, and dense-id assignment must not depend on the
+  /// execution path); in strict mode it throws ValidationError.
+  void ingest_block(const Block& block, std::uint64_t record,
+                    RecoveryPolicy policy, IngestReport* report);
   void finish();
   void finish(Executor& exec);
 
@@ -111,11 +140,15 @@ class ChainView {
   /// deterministic across thread counts. No-op under FISTFUL_NO_OBS.
   void record_build_metrics() const;
 
+  static ChainView build(const BlockStore& store, RecoveryPolicy policy,
+                         IngestReport* report);
+
   /// Shared parallel-build driver: `read_block(i)` must be safe to
   /// call concurrently for distinct indices.
   static ChainView build_parallel(
       std::size_t block_count,
-      const std::function<Block(std::size_t)>& read_block, Executor& exec);
+      const std::function<Block(std::size_t)>& read_block, Executor& exec,
+      RecoveryPolicy policy, IngestReport* report);
 
   AddressBook book_;
   std::vector<TxView> txs_;

@@ -20,6 +20,8 @@
 
 #include "analysis/explorer.hpp"
 #include "analysis/export.hpp"
+#include "core/checkpoint.hpp"
+#include "core/fault.hpp"
 #include "core/obs/export.hpp"
 #include "core/obs/metrics.hpp"
 #include "core/obs/span.hpp"
@@ -32,7 +34,8 @@ namespace {
 using namespace fist;
 
 // Exit codes: 2 for bad arguments (everything routed through usage()),
-// 1 for runtime failures (fist::Error caught in main), 0 on success.
+// 1 for runtime failures (fist::Error caught in main), 3 when a
+// lenient-recovery run quarantined anything, 0 on success.
 [[noreturn]] void usage(const char* why = nullptr) {
   if (why != nullptr) std::fprintf(stderr, "error: %s\n\n", why);
   std::fprintf(stderr, R"(usage: fistctl <command> [options]
@@ -55,6 +58,19 @@ commands:
 
 pipeline commands (cluster/balances/flows/follow/entity) also take:
   --threads N             concurrency lanes (0 = hardware, 1 = sequential)
+  --recovery MODE         strict (default: abort on the first bad record)
+                          or lenient (quarantine it and continue; the
+                          chain file is also opened in recovery mode,
+                          resyncing past corrupt record framing)
+  --resume PATH           checkpoint manifest: save each finished stage
+                          there and resume from whatever is still valid
+  --crash-after STAGE     raise SIGKILL after the named stage completes
+                          (kill-and-resume testing; use with --resume)
+
+fault injection (accepted by every command; see docs/ROBUSTNESS.md):
+  --faults SPEC           arm sites, e.g. "blockstore.read=0.01" or
+                          "decode.block=nth:3,net.deliver=0.5"
+  --fault-seed N          seed for probabilistic sites (default 0)
 
 observability (accepted by every command):
   --metrics-out PATH      write the metrics registry after the command
@@ -63,7 +79,9 @@ observability (accepted by every command):
                           prom (Prometheus text), or table (ASCII)
   --trace-out PATH        write the span tree as JSON (- means stdout)
 
-exit codes: 0 success, 1 runtime failure, 2 bad arguments
+exit codes: 0 success, 1 runtime failure, 2 bad arguments,
+            3 lenient run completed but quarantined records (details
+            on stderr)
 )");
   std::exit(2);
 }
@@ -122,13 +140,51 @@ void write_text(const std::string& path, const std::string& content,
   std::fprintf(stderr, "wrote %s %s\n", what, path.c_str());
 }
 
+RecoveryPolicy recovery_of(const Args& args) {
+  std::string mode = args.get("--recovery", "strict");
+  if (mode == "strict") return RecoveryPolicy::Strict;
+  if (mode == "lenient") return RecoveryPolicy::Lenient;
+  usage("--recovery must be strict or lenient");
+}
+
+/// Opens the chain file for a pipeline command. Lenient recovery also
+/// opens the store in recovery mode, so corrupt record *framing* (not
+/// just corrupt payloads) is scanned past instead of failing the open.
+FileBlockStore open_store(const Args& args) {
+  FileBlockStore::OpenOptions open;
+  open.recover = recovery_of(args) == RecoveryPolicy::Lenient;
+  return FileBlockStore(args.require("--chain"), kMainnetMagic, open);
+}
+
 ForensicPipeline make_pipeline(const FileBlockStore& store, const Args& args,
                                bool naive = false) {
   std::vector<TagEntry> feed = load_tags(args.require("--tags"));
   PipelineOptions options;
   options.h2 = naive ? H2Options{} : refined_h2_options();
   options.threads = static_cast<unsigned>(args.get_long("--threads", 0));
+  options.recovery = recovery_of(args);
+  options.crash_after_stage = args.get("--crash-after", "");
+  options.checkpoint = args.get("--resume", "");
+  if (!options.checkpoint.empty()) {
+    // Fingerprint the inputs so a manifest written against different
+    // data is ignored rather than resumed from.
+    options.chain_digest = file_digest_hex(args.require("--chain"));
+    options.tags_digest = file_digest_hex(args.require("--tags"));
+  }
   return ForensicPipeline(store, std::move(feed), options);
+}
+
+/// Emits the per-record quarantine summary (stderr) after a lenient
+/// run that set anything aside; the command then exits 3 so scripts
+/// can tell "clean" from "completed with casualties".
+int finish_pipeline(const ForensicPipeline& pipeline) {
+  const IngestReport& report = pipeline.ingest_report();
+  if (!report.quarantined()) return 0;
+  std::string summary = report.summary();
+  std::fwrite(summary.data(), 1, summary.size(), stderr);
+  std::fprintf(stderr, "quarantined %zu block(s), %zu transaction(s)\n",
+               report.blocks.size(), report.txs.size());
+  return 3;
 }
 
 int cmd_simulate(const Args& args) {
@@ -181,7 +237,7 @@ int cmd_info(const Args& args) {
 }
 
 int cmd_cluster(const Args& args) {
-  FileBlockStore store(args.require("--chain"));
+  FileBlockStore store = open_store(args);
   ForensicPipeline pipeline =
       make_pipeline(store, args, args.has("--naive"));
   pipeline.run();
@@ -196,11 +252,11 @@ int cmd_cluster(const Args& args) {
                         pipeline.naming());
     std::fprintf(stderr, "wrote %s\n", out_path.c_str());
   }
-  return 0;
+  return finish_pipeline(pipeline);
 }
 
 int cmd_balances(const Args& args) {
-  FileBlockStore store(args.require("--chain"));
+  FileBlockStore store = open_store(args);
   ForensicPipeline pipeline = make_pipeline(store, args);
   pipeline.run();
   BalanceSeries series = category_balances(
@@ -214,11 +270,11 @@ int cmd_balances(const Args& args) {
     std::fprintf(stderr, "wrote %s (%zu snapshots)\n", out_path.c_str(),
                  series.times.size());
   }
-  return 0;
+  return finish_pipeline(pipeline);
 }
 
 int cmd_flows(const Args& args) {
-  FileBlockStore store(args.require("--chain"));
+  FileBlockStore store = open_store(args);
   ForensicPipeline pipeline = make_pipeline(store, args);
   pipeline.run();
   UserGraph graph =
@@ -240,11 +296,11 @@ int cmd_flows(const Args& args) {
   }
   if (dot_path.empty() && csv_path.empty())
     export_flows_csv(std::cout, graph, pipeline.naming());
-  return 0;
+  return finish_pipeline(pipeline);
 }
 
 int cmd_follow(const Args& args) {
-  FileBlockStore store(args.require("--chain"));
+  FileBlockStore store = open_store(args);
   ForensicPipeline pipeline = make_pipeline(store, args);
   pipeline.run();
 
@@ -274,11 +330,11 @@ int cmd_follow(const Args& args) {
     export_peels_csv(out, pipeline.view(), chain);
     std::fprintf(stderr, "wrote %s\n", out_path.c_str());
   }
-  return 0;
+  return finish_pipeline(pipeline);
 }
 
 int cmd_entity(const Args& args) {
-  FileBlockStore store(args.require("--chain"));
+  FileBlockStore store = open_store(args);
   ForensicPipeline pipeline = make_pipeline(store, args);
   pipeline.run();
   Explorer explorer(pipeline.view(), pipeline.clustering(),
@@ -314,7 +370,7 @@ int cmd_entity(const Args& args) {
   for (auto& [c, v] : p.top_destinations)
     std::printf("  %-24s %12s BTC\n", explorer.label(c).c_str(),
                 format_btc_whole(v).c_str());
-  return 0;
+  return finish_pipeline(pipeline);
 }
 
 int dispatch(const std::string& command, const Args& args) {
@@ -341,6 +397,16 @@ int main(int argc, char** argv) {
   if (metrics_format != "json" && metrics_format != "prom" &&
       metrics_format != "table")
     usage("--metrics-format must be json, prom, or table");
+
+  if (args.has("--faults")) {
+    try {
+      fault::Registry::global().arm_from_spec(
+          args.get("--faults", ""),
+          static_cast<std::uint64_t>(args.get_long("--fault-seed", 0)));
+    } catch (const UsageError& e) {
+      usage(e.what());
+    }
+  }
 
   obs::Trace trace;
   try {

@@ -1,0 +1,245 @@
+#include "core/checkpoint.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "crypto/sha256.hpp"
+#include "util/error.hpp"
+#include "util/hex.hpp"
+#include "util/serialize.hpp"
+
+namespace fist {
+
+void atomic_write_file(const std::filesystem::path& path, ByteView data) {
+  std::filesystem::path tmp = path;
+  tmp += ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out)
+      throw IoError("checkpoint: cannot open " + tmp.string() +
+                    " for writing");
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+    out.flush();
+    if (!out) throw IoError("checkpoint: write failed on " + tmp.string());
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec)
+    throw IoError("checkpoint: rename " + tmp.string() + " -> " +
+                  path.string() + ": " + ec.message());
+}
+
+Bytes read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw IoError("cannot open " + path.string());
+  std::streamsize size = in.tellg();
+  in.seekg(0);
+  Bytes data(static_cast<std::size_t>(size));
+  if (size > 0 && !in.read(reinterpret_cast<char*>(data.data()), size))
+    throw IoError("read failed on " + path.string());
+  return data;
+}
+
+std::string digest_hex(ByteView data) {
+  Sha256::Digest d = sha256(data);
+  return to_hex(ByteView(d.data(), d.size()));
+}
+
+std::string file_digest_hex(const std::filesystem::path& path) {
+  return digest_hex(read_file(path));
+}
+
+std::filesystem::path CheckpointManifest::artifact_path(
+    const std::filesystem::path& base, const std::string& stage) {
+  std::filesystem::path p = base;
+  p += "." + stage;
+  return p;
+}
+
+namespace {
+
+// Digests are written as "-" when absent so every manifest line keeps
+// a fixed field count.
+std::string field_or_dash(const std::string& s) { return s.empty() ? "-" : s; }
+std::string dash_to_empty(const std::string& s) { return s == "-" ? "" : s; }
+
+bool parse_stage(const std::string& name, Quarantined::Stage& out) {
+  if (name == "read") out = Quarantined::Stage::Read;
+  else if (name == "decode") out = Quarantined::Stage::Decode;
+  else if (name == "resolve") out = Quarantined::Stage::Resolve;
+  else return false;
+  return true;
+}
+
+/// Rest of the stream's current line, without the field separator.
+std::string rest_of_line(std::istringstream& in) {
+  std::string rest;
+  std::getline(in, rest);
+  if (!rest.empty() && rest.front() == ' ') rest.erase(0, 1);
+  return rest;
+}
+
+}  // namespace
+
+std::optional<CheckpointManifest> CheckpointManifest::load(
+    const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::string header;
+  if (!std::getline(in, header) || header != "fistful-checkpoint 1")
+    return std::nullopt;
+
+  CheckpointManifest m;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    if (key == "recovery") {
+      std::string policy;
+      fields >> policy;
+      if (policy == "strict") m.recovery = RecoveryPolicy::Strict;
+      else if (policy == "lenient") m.recovery = RecoveryPolicy::Lenient;
+      else return std::nullopt;
+      m.ingest.policy = m.recovery;
+    } else if (key == "chain") {
+      std::string digest;
+      fields >> digest;
+      m.chain_digest = dash_to_empty(digest);
+    } else if (key == "tags") {
+      std::string digest;
+      fields >> digest;
+      m.tags_digest = dash_to_empty(digest);
+    } else if (key == "artifact") {
+      std::string stage;
+      CheckpointArtifact art;
+      fields >> stage >> art.file >> art.digest;
+      if (stage.empty() || art.file.empty() || art.digest.empty())
+        return std::nullopt;
+      m.artifacts[stage] = std::move(art);
+    } else if (key == "quarantine-block") {
+      std::string stage_name;
+      Quarantined q;
+      fields >> stage_name >> q.record;
+      if (!fields || !parse_stage(stage_name, q.stage)) return std::nullopt;
+      q.reason = rest_of_line(fields);
+      m.ingest.blocks.push_back(std::move(q));
+    } else if (key == "quarantine-tx") {
+      std::string txid_hex;
+      Quarantined q;
+      q.stage = Quarantined::Stage::Resolve;
+      fields >> q.record >> q.tx >> txid_hex;
+      if (!fields) return std::nullopt;
+      try {
+        q.txid = Hash256::from_bytes(from_hex(txid_hex));
+      } catch (const Error&) {
+        return std::nullopt;
+      }
+      q.reason = rest_of_line(fields);
+      m.ingest.txs.push_back(std::move(q));
+    } else {
+      return std::nullopt;  // unknown key: treat the manifest as foreign
+    }
+  }
+  return m;
+}
+
+void CheckpointManifest::save(const std::filesystem::path& path) const {
+  std::ostringstream out;
+  out << "fistful-checkpoint 1\n";
+  out << "recovery " << recovery_policy_name(recovery) << "\n";
+  out << "chain " << field_or_dash(chain_digest) << "\n";
+  out << "tags " << field_or_dash(tags_digest) << "\n";
+  for (const auto& [stage, art] : artifacts)
+    out << "artifact " << stage << " " << art.file << " " << art.digest
+        << "\n";
+  for (const Quarantined& q : ingest.blocks)
+    out << "quarantine-block " << quarantine_stage_name(q.stage) << " "
+        << q.record << " " << q.reason << "\n";
+  for (const Quarantined& q : ingest.txs)
+    out << "quarantine-tx " << q.record << " " << q.tx << " "
+        << to_hex(q.txid.view()) << " " << q.reason << "\n";
+  std::string text = out.str();
+  atomic_write_file(
+      path, ByteView(reinterpret_cast<const std::uint8_t*>(text.data()),
+                     text.size()));
+}
+
+Bytes encode_h1_artifact(const UnionFind& uf, const H1Stats& stats) {
+  Writer w;
+  w.u32le(1);  // artifact version
+  w.u64le(stats.multi_input_txs);
+  w.u64le(stats.links);
+  w.u64le(uf.size());
+  for (std::size_t i = 0; i < uf.size(); ++i)
+    w.u32le(uf.find_const(static_cast<std::uint32_t>(i)));
+  return w.take();
+}
+
+void decode_h1_artifact(ByteView raw, UnionFind& uf, H1Stats& stats) {
+  Reader r(raw);
+  if (r.u32le() != 1) throw ParseError("h1 artifact: unknown version");
+  stats.multi_input_txs = r.u64le();
+  stats.links = r.u64le();
+  std::uint64_t n = r.u64le();
+  uf = UnionFind(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::uint32_t root = r.u32le();
+    if (root >= n) throw ParseError("h1 artifact: root out of range");
+    uf.unite(root, static_cast<std::uint32_t>(i));
+  }
+  r.expect_eof();
+}
+
+Bytes encode_h2_artifact(const H2Result& result) {
+  Writer w;
+  w.u32le(1);  // artifact version
+  w.varint(result.labels.size());
+  for (const H2Label& label : result.labels) {
+    w.u32le(label.tx);
+    w.u32le(label.change);
+  }
+  w.varint(result.change_of_tx.size());
+  for (AddrId a : result.change_of_tx) w.u32le(a);
+  w.u64le(result.skipped.coinbase);
+  w.u64le(result.skipped.self_change);
+  w.u64le(result.skipped.no_candidate);
+  w.u64le(result.skipped.ambiguous);
+  w.u64le(result.skipped.reused_guard);
+  w.u64le(result.skipped.self_change_history_guard);
+  w.u64le(result.skipped.window_veto);
+  w.u64le(result.skipped.too_few_outputs);
+  return w.take();
+}
+
+H2Result decode_h2_artifact(ByteView raw) {
+  Reader r(raw);
+  if (r.u32le() != 1) throw ParseError("h2 artifact: unknown version");
+  H2Result result;
+  std::uint64_t n_labels = r.varint();
+  result.labels.reserve(n_labels);
+  for (std::uint64_t i = 0; i < n_labels; ++i) {
+    H2Label label;
+    label.tx = r.u32le();
+    label.change = r.u32le();
+    result.labels.push_back(label);
+  }
+  std::uint64_t n_tx = r.varint();
+  result.change_of_tx.reserve(n_tx);
+  for (std::uint64_t i = 0; i < n_tx; ++i)
+    result.change_of_tx.push_back(r.u32le());
+  result.skipped.coinbase = r.u64le();
+  result.skipped.self_change = r.u64le();
+  result.skipped.no_candidate = r.u64le();
+  result.skipped.ambiguous = r.u64le();
+  result.skipped.reused_guard = r.u64le();
+  result.skipped.self_change_history_guard = r.u64le();
+  result.skipped.window_veto = r.u64le();
+  result.skipped.too_few_outputs = r.u64le();
+  r.expect_eof();
+  return result;
+}
+
+}  // namespace fist

@@ -1,0 +1,94 @@
+// checkpoint.hpp — crash-safe checkpoint/resume for the forensic
+// pipeline.
+//
+// A multi-hour ingest killed at 90% should not start over. The pipeline
+// checkpoints its expensive stages (chain view, Heuristic-1 forest,
+// Heuristic-2 labels) as binary artifacts next to a small text
+// manifest; every file is written atomically (tmp + rename), so a kill
+// at any instant leaves either the previous consistent checkpoint or
+// the new one — never a torn state. On resume, an artifact is loaded
+// only when its recorded digest still matches the bytes on disk AND
+// the manifest's input digests (block store, tag feed) match the
+// current inputs; anything stale is silently recomputed. A resumed run
+// is bit-identical to an uninterrupted one.
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "chain/ingest.hpp"
+#include "cluster/heuristic1.hpp"
+#include "cluster/heuristic2.hpp"
+#include "cluster/unionfind.hpp"
+#include "util/bytes.hpp"
+
+namespace fist {
+
+/// Writes `data` to `path` atomically: the bytes land in `<path>.tmp`
+/// and are renamed over the target, so readers (and a crash at any
+/// point) see either the old content or the new — never a prefix.
+/// Throws IoError on any filesystem failure.
+void atomic_write_file(const std::filesystem::path& path, ByteView data);
+
+/// Reads a whole file. Throws IoError if it cannot be opened or read.
+Bytes read_file(const std::filesystem::path& path);
+
+/// Lowercase hex SHA-256 of a file's contents; used to fingerprint
+/// checkpoint inputs and artifacts. Throws IoError on unreadable files.
+std::string file_digest_hex(const std::filesystem::path& path);
+
+/// Lowercase hex SHA-256 of an in-memory buffer.
+std::string digest_hex(ByteView data);
+
+/// One checkpointed stage artifact: a sibling file plus the digest its
+/// bytes had when written.
+struct CheckpointArtifact {
+  std::string file;    ///< filename, relative to the manifest directory
+  std::string digest;  ///< hex SHA-256 of the artifact bytes
+};
+
+/// The checkpoint manifest: which stages have been persisted, under
+/// what inputs, and everything lenient ingest quarantined (so a
+/// resumed run reports the same summary and exit code without
+/// re-reading the corrupt records).
+struct CheckpointManifest {
+  RecoveryPolicy recovery = RecoveryPolicy::Strict;
+  std::string chain_digest;  ///< input fingerprint: the block store file
+  std::string tags_digest;   ///< input fingerprint: the tag feed
+  std::map<std::string, CheckpointArtifact> artifacts;  ///< stage → artifact
+  IngestReport ingest;       ///< quarantine record from the original run
+
+  /// Parses a manifest. Returns nullopt when the file is missing or
+  /// does not parse as a version-1 manifest (a corrupt manifest means
+  /// "no checkpoint", never an error — resume degrades to recompute).
+  static std::optional<CheckpointManifest> load(
+      const std::filesystem::path& path);
+
+  /// Writes the manifest atomically. Throws IoError on failure.
+  void save(const std::filesystem::path& path) const;
+
+  /// The artifact file path for `stage` under manifest path `base`
+  /// (sibling file `<base filename>.<stage>`).
+  static std::filesystem::path artifact_path(
+      const std::filesystem::path& base, const std::string& stage);
+};
+
+/// Stage-artifact codecs. Each round-trips exactly the state the
+/// pipeline needs to continue past that stage; each deserializer
+/// throws ParseError on malformed bytes (the caller treats that as a
+/// stale artifact and recomputes).
+///
+/// The union-find is serialized canonically — element count plus each
+/// element's find_const() root — and rebuilt by re-uniting, so the
+/// restored forest represents the identical partition (and therefore
+/// yields the identical Clustering) even though its internal
+/// parent/rank layout may differ.
+Bytes encode_h1_artifact(const UnionFind& uf, const H1Stats& stats);
+void decode_h1_artifact(ByteView raw, UnionFind& uf, H1Stats& stats);
+
+Bytes encode_h2_artifact(const H2Result& result);
+H2Result decode_h2_artifact(ByteView raw);
+
+}  // namespace fist

@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/fault.hpp"
 #include "core/obs/metrics.hpp"
 #include "util/error.hpp"
 
@@ -38,6 +39,7 @@ struct Executor::Impl {
     std::size_t end;
     std::size_t grain;
     const std::function<void(std::size_t, std::size_t)>* body;
+    const std::atomic<bool>* cancel = nullptr;
 
     std::mutex error_mutex;
     std::exception_ptr error;
@@ -48,10 +50,16 @@ struct Executor::Impl {
 
     void run_chunks() {
       for (;;) {
+        if (cancel->load(std::memory_order_relaxed)) {
+          next.store(end);  // stop claiming; running chunks finish
+          break;
+        }
         std::size_t lo = next.fetch_add(grain);
         if (lo >= end) break;
         std::size_t hi = lo + grain < end ? lo + grain : end;
         try {
+          if (fault::fire("executor.task", lo))
+            throw Error("fault injected: executor.task");
           (*body)(lo, hi);
         } catch (...) {
           {
@@ -85,6 +93,7 @@ struct Executor::Impl {
   std::condition_variable sleep_cv;
   std::atomic<std::size_t> queued{0};
   std::atomic<bool> stopping{false};
+  std::atomic<bool> cancelled{false};
 
   std::vector<std::thread> threads;
 
@@ -181,6 +190,8 @@ struct Executor::Impl {
   void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
                     const std::function<void(std::size_t, std::size_t)>& body) {
     if (end <= begin) return;
+    if (cancelled.load(std::memory_order_relaxed))
+      throw CancelledError("Executor::parallel_for");
     parallel_fors_metric.inc();
     std::size_t n = end - begin;
     if (grain == 0) {
@@ -194,7 +205,11 @@ struct Executor::Impl {
     std::size_t chunk_count = (n + grain - 1) / grain;
     if (lanes == 1 || chunk_count == 1) {
       for (std::size_t lo = begin; lo < end; lo += grain) {
+        if (cancelled.load(std::memory_order_relaxed))
+          throw CancelledError("Executor::parallel_for");
         std::size_t hi = lo + grain < end ? lo + grain : end;
+        if (fault::fire("executor.task", lo))
+          throw Error("fault injected: executor.task");
         body(lo, hi);
       }
       return;
@@ -205,6 +220,7 @@ struct Executor::Impl {
     state->end = end;
     state->grain = grain;
     state->body = &body;
+    state->cancel = &cancelled;
 
     std::size_t helper_count = lanes - 1 < chunk_count - 1
                                    ? lanes - 1
@@ -246,6 +262,8 @@ struct Executor::Impl {
     }
 
     if (state->error) std::rethrow_exception(state->error);
+    if (cancelled.load(std::memory_order_relaxed))
+      throw CancelledError("Executor::parallel_for");
   }
 };
 
@@ -269,6 +287,18 @@ void Executor::parallel_for_each(std::size_t begin, std::size_t end,
   parallel_for(begin, end, 0, [&body](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) body(i);
   });
+}
+
+void Executor::request_cancel() noexcept {
+  impl_->cancelled.store(true, std::memory_order_relaxed);
+}
+
+void Executor::reset_cancel() noexcept {
+  impl_->cancelled.store(false, std::memory_order_relaxed);
+}
+
+bool Executor::cancel_requested() const noexcept {
+  return impl_->cancelled.load(std::memory_order_relaxed);
 }
 
 unsigned Executor::default_threads() noexcept {

@@ -55,6 +55,17 @@ class Executor {
   void parallel_for_each(std::size_t begin, std::size_t end,
                          const std::function<void(std::size_t)>& body);
 
+  /// Cooperative cancellation, for strict-mode teardown: after
+  /// request_cancel(), an in-flight parallel_for stops claiming new
+  /// chunks (already-running chunks finish) and the call — and every
+  /// subsequent parallel_for — throws CancelledError, unless a body
+  /// exception is already pending (the body's error wins, so the fault
+  /// that triggered the teardown is what propagates). reset_cancel()
+  /// re-arms the pool for reuse.
+  void request_cancel() noexcept;
+  void reset_cancel() noexcept;
+  bool cancel_requested() const noexcept;
+
   /// std::thread::hardware_concurrency, clamped to ≥ 1.
   static unsigned default_threads() noexcept;
 

@@ -1,0 +1,186 @@
+#include "core/fault.hpp"
+
+#include <atomic>
+#include <map>
+#include <mutex>
+
+#include "core/obs/metrics.hpp"
+#include "util/error.hpp"
+
+namespace fist::fault {
+
+namespace {
+
+/// FNV-1a over the site name: stable site identity across runs.
+std::uint64_t site_hash(std::string_view site) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : site) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// splitmix64 finalizer: decorrelates (seed, site, key) into uniform
+/// bits. Pure, so the decision for a key never depends on probe order.
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Uniform double in [0, 1) from the top 53 bits.
+double unit(std::uint64_t x) noexcept {
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+struct Registry::Impl {
+  struct Site {
+    double rate = 0;
+    std::uint64_t seed = 0;
+    bool exact = false;       ///< fire only on key == nth
+    std::uint64_t nth = 0;
+    std::uint64_t checked = 0;
+    std::uint64_t fired = 0;
+    obs::Counter metric;
+  };
+
+  mutable std::mutex mutex;
+  std::map<std::string, Site, std::less<>> sites;
+  std::atomic<std::size_t> armed{0};
+
+  static bool decide(const Site& s, std::string_view name,
+                     std::uint64_t key) noexcept {
+    if (s.exact) return key == s.nth;
+    if (s.rate <= 0) return false;
+    if (s.rate >= 1) return true;
+    return unit(mix(s.seed ^ site_hash(name) ^ (key * 0x9e3779b97f4a7c15ull))) <
+           s.rate;
+  }
+};
+
+Registry::Impl& Registry::impl() const {
+  static Impl instance;
+  return instance;
+}
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+void Registry::arm(std::string_view site, double rate, std::uint64_t seed) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+  Impl::Site& s = im.sites[std::string(site)];
+  s = Impl::Site{};
+  s.rate = rate;
+  s.seed = seed;
+  s.metric = obs::MetricsRegistry::global().counter("fault.injected." +
+                                                    std::string(site));
+  im.armed.store(im.sites.size(), std::memory_order_release);
+}
+
+void Registry::arm_nth(std::string_view site, std::uint64_t nth) {
+  arm(site, 0.0, 0);
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+  Impl::Site& s = im.sites[std::string(site)];
+  s.exact = true;
+  s.nth = nth;
+}
+
+void Registry::disarm(std::string_view site) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+  auto it = im.sites.find(site);
+  if (it != im.sites.end()) im.sites.erase(it);
+  im.armed.store(im.sites.size(), std::memory_order_release);
+}
+
+void Registry::disarm_all() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+  im.sites.clear();
+  im.armed.store(0, std::memory_order_release);
+}
+
+bool Registry::any_armed() const noexcept {
+  return impl().armed.load(std::memory_order_acquire) != 0;
+}
+
+bool Registry::fire(std::string_view site, std::uint64_t key) {
+  Impl& im = impl();
+  if (im.armed.load(std::memory_order_acquire) == 0) return false;
+  std::lock_guard<std::mutex> lock(im.mutex);
+  auto it = im.sites.find(site);
+  if (it == im.sites.end()) return false;
+  Impl::Site& s = it->second;
+  ++s.checked;
+  if (!Impl::decide(s, site, key)) return false;
+  ++s.fired;
+  s.metric.inc();
+  return true;
+}
+
+bool Registry::peek(std::string_view site, std::uint64_t key) const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+  auto it = im.sites.find(site);
+  if (it == im.sites.end()) return false;
+  return Impl::decide(it->second, site, key);
+}
+
+std::uint64_t Registry::checked(std::string_view site) const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+  auto it = im.sites.find(site);
+  return it == im.sites.end() ? 0 : it->second.checked;
+}
+
+std::uint64_t Registry::fired(std::string_view site) const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+  auto it = im.sites.find(site);
+  return it == im.sites.end() ? 0 : it->second.fired;
+}
+
+void Registry::arm_from_spec(const std::string& spec, std::uint64_t seed) {
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    std::string entry = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (entry.empty()) continue;
+    std::size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0)
+      throw UsageError("fault spec entry '" + entry +
+                       "' is not site=rate or site=nth:N");
+    std::string site = entry.substr(0, eq);
+    std::string value = entry.substr(eq + 1);
+    try {
+      if (value.rfind("nth:", 0) == 0) {
+        arm_nth(site, std::stoull(value.substr(4)));
+      } else {
+        double rate = std::stod(value);
+        if (rate < 0 || rate > 1)
+          throw UsageError("fault rate for '" + site + "' not in [0,1]");
+        arm(site, rate, seed);
+      }
+    } catch (const UsageError&) {
+      throw;
+    } catch (const std::exception&) {
+      throw UsageError("cannot parse fault spec value '" + value + "'");
+    }
+  }
+}
+
+bool fire(std::string_view site, std::uint64_t key) {
+  return Registry::global().fire(site, key);
+}
+
+}  // namespace fist::fault

@@ -1,0 +1,81 @@
+// fault.hpp — seeded, deterministic fault injection.
+//
+// Every failure mode the robustness layer defends against is also a
+// failure mode we must be able to *produce on demand, reproducibly*.
+// The registry holds named injection sites (e.g. "blockstore.read",
+// "decode.block", "executor.task", "net.deliver") that production code
+// probes at the moment the real fault would strike. A site fires as a
+// pure function of (site seed, site name, caller-supplied key): the
+// same armed configuration injects the same faults no matter the
+// thread count or scheduling, so a fault-matrix test can predict the
+// exact quarantine set before running the pipeline.
+//
+// Keys are chosen by the call site to be stable identifiers of the
+// unit of work — a block record index, an event ordinal — NOT hit
+// counters, which would vary with interleaving. (The executor's
+// "executor.task" site keys by chunk start index, which depends on the
+// grain and therefore on the lane count; it inherits the same
+// "scheduling-dependent" caveat as the exec.* metrics.)
+//
+// Disarmed cost: one relaxed atomic load per probe. Nothing is armed
+// in production unless an operator passes --faults to fistctl or a
+// test arms a site explicitly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace fist::fault {
+
+/// Process-wide injection-site registry. Thread-safe.
+class Registry {
+ public:
+  /// The registry all built-in sites probe.
+  static Registry& global();
+
+  /// Arms `site` to fire with probability `rate` (0..1) per distinct
+  /// key, decided deterministically from `seed`. Re-arming a site
+  /// replaces its configuration and zeroes its counters.
+  void arm(std::string_view site, double rate, std::uint64_t seed = 0);
+
+  /// Arms `site` to fire exactly when probed with key == `nth`.
+  void arm_nth(std::string_view site, std::uint64_t nth);
+
+  void disarm(std::string_view site);
+
+  /// Disarms every site and zeroes all counters.
+  void disarm_all();
+
+  /// True when at least one site is armed (the probe fast path).
+  bool any_armed() const noexcept;
+
+  /// Probes `site` with `key`. Returns true when the site is armed and
+  /// the (seed, site, key) decision says fire; bumps the site's
+  /// checked/fired counters and the `fault.injected.<site>` metric.
+  bool fire(std::string_view site, std::uint64_t key);
+
+  /// The decision fire() would make, without counting — lets tests
+  /// compute the expected fault set up front.
+  bool peek(std::string_view site, std::uint64_t key) const;
+
+  /// Probes / injections since the site was armed.
+  std::uint64_t checked(std::string_view site) const;
+  std::uint64_t fired(std::string_view site) const;
+
+  /// Arms sites from a "site=rate[,site=rate...]" spec (rates parsed
+  /// as doubles; `site=nth:N` arms an exact-key trigger). Throws
+  /// UsageError on malformed specs.
+  void arm_from_spec(const std::string& spec, std::uint64_t seed);
+
+ private:
+  Registry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+/// Convenience probe against the global registry. The disarmed path is
+/// a single relaxed load.
+bool fire(std::string_view site, std::uint64_t key);
+
+}  // namespace fist::fault

@@ -1,5 +1,10 @@
 #include "core/pipeline.hpp"
 
+#include <csignal>
+#include <filesystem>
+#include <map>
+
+#include "core/checkpoint.hpp"
 #include "core/obs/metrics.hpp"
 
 namespace fist {
@@ -17,8 +22,11 @@ H2Options refined_h2_options() {
 ForensicPipeline::ForensicPipeline(const BlockStore& store,
                                    std::vector<TagEntry> feed,
                                    H2Options h2_options)
-    : ForensicPipeline(store, std::move(feed),
-                       PipelineOptions{h2_options, 0}) {}
+    : ForensicPipeline(store, std::move(feed), [&] {
+        PipelineOptions o;
+        o.h2 = h2_options;
+        return o;
+      }()) {}
 
 ForensicPipeline::ForensicPipeline(const BlockStore& store,
                                    std::vector<TagEntry> feed,
@@ -36,20 +44,104 @@ void ForensicPipeline::run() {
   // commands in one), else in the pipeline's own trace_.
   obs::TraceScope scope(trace_, obs::TraceScope::Policy::IfNoneActive);
 
-  // Each stage is one root span; the flat timings_ vector is derived
-  // from the spans' measured durations (the StageTiming back-compat).
-  auto stage = [&](const char* name, auto&& body) {
-    obs::Span span(name);
-    body();
-    span.close();
-    timings_.push_back(StageTiming{name, span.millis()});
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  obs::Counter stages_loaded = registry.counter("checkpoint.stages_loaded");
+  obs::Counter stages_saved = registry.counter("checkpoint.stages_saved");
+
+  // Checkpoint state: artifacts from a prior run that are still valid
+  // against the current inputs (digest-verified), keyed by stage.
+  const bool checkpointing = !options_.checkpoint.empty();
+  std::filesystem::path manifest_path(options_.checkpoint);
+  CheckpointManifest manifest;
+  manifest.recovery = options_.recovery;
+  manifest.chain_digest = options_.chain_digest;
+  manifest.tags_digest = options_.tags_digest;
+  std::map<std::string, Bytes> resumable;
+  if (checkpointing) {
+    if (auto prior = CheckpointManifest::load(manifest_path)) {
+      bool inputs_match =
+          prior->recovery == options_.recovery &&
+          (prior->chain_digest.empty() || options_.chain_digest.empty() ||
+           prior->chain_digest == options_.chain_digest) &&
+          (prior->tags_digest.empty() || options_.tags_digest.empty() ||
+           prior->tags_digest == options_.tags_digest);
+      if (inputs_match) {
+        for (const auto& [stage_name, art] : prior->artifacts) {
+          std::filesystem::path file = manifest_path.parent_path() / art.file;
+          try {
+            Bytes raw = read_file(file);
+            if (digest_hex(raw) == art.digest)
+              resumable.emplace(stage_name, std::move(raw));
+          } catch (const IoError&) {
+            // missing/unreadable artifact: that stage just recomputes
+          }
+        }
+        manifest.ingest = prior->ingest;  // quarantine record survives
+      }
+    }
+  }
+
+  // Keeps a (re)validated artifact listed in the manifest we rewrite.
+  auto record_artifact = [&](const std::string& stage_name,
+                             const Bytes& bytes) {
+    CheckpointArtifact art;
+    art.file = CheckpointManifest::artifact_path(manifest_path, stage_name)
+                   .filename()
+                   .string();
+    art.digest = digest_hex(bytes);
+    manifest.artifacts[stage_name] = std::move(art);
   };
 
-  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  // Persists a freshly computed stage: artifact first, then the
+  // manifest referencing it — both atomic, so a kill between the two
+  // just leaves an unreferenced artifact file.
+  auto persist = [&](const std::string& stage_name, const Bytes& bytes) {
+    if (!checkpointing) return;
+    atomic_write_file(
+        CheckpointManifest::artifact_path(manifest_path, stage_name), bytes);
+    record_artifact(stage_name, bytes);
+    manifest.save(manifest_path);
+    stages_saved.inc();
+  };
 
-  // 1. Parse the chain into the analysis view.
+  // Each stage is one root span; the flat timings_ vector is derived
+  // from the spans' measured durations (the StageTiming back-compat).
+  // A throwing stage requests executor cancellation before propagating
+  // so strict-mode teardown does not leave queued work running.
+  auto stage = [&](const char* name, auto&& body) {
+    obs::Span span(name);
+    try {
+      body();
+    } catch (...) {
+      exec_.request_cancel();
+      throw;
+    }
+    span.close();
+    timings_.push_back(StageTiming{name, span.millis()});
+    if (options_.crash_after_stage == name)
+      std::raise(SIGKILL);  // deterministic kill point for resume tests
+  };
+
+  // 1. Parse the chain into the analysis view (or reload it: a
+  // deserialized view records no view.* build metrics).
   stage("view", [&] {
-    view_ = std::make_unique<ChainView>(ChainView::build(*store_, exec_));
+    if (auto it = resumable.find("view"); it != resumable.end()) {
+      try {
+        view_ =
+            std::make_unique<ChainView>(ChainView::deserialize(it->second));
+        ingest_report_ = manifest.ingest;
+        record_artifact("view", it->second);
+        stages_loaded.inc();
+        return;
+      } catch (const ParseError&) {
+        // stale artifact: fall through to a full build
+      }
+    }
+    ingest_report_ = IngestReport{};
+    view_ = std::make_unique<ChainView>(
+        ChainView::build(*store_, exec_, options_.recovery, &ingest_report_));
+    manifest.ingest = ingest_report_;
+    persist("view", view_->serialize());
   });
 
   // 2. Intern the tag feed against the observed address space.
@@ -65,9 +157,28 @@ void ForensicPipeline::run() {
     registry.counter("tags.matched").add(matched);
   });
 
-  // 3. Heuristic 1 and its clustering/naming (the §4.1 baseline).
+  // 3. Heuristic 1 and its clustering/naming (the §4.1 baseline). The
+  // checkpoint artifact is the post-H1 forest: canonical-root encoded,
+  // so the restored partition (and every clustering derived from it)
+  // is identical even though the forest's internal layout may differ.
   UnionFind uf(view_->address_count());
-  stage("h1", [&] { h1_stats_ = apply_heuristic1(*view_, uf, exec_); });
+  stage("h1", [&] {
+    if (auto it = resumable.find("h1"); it != resumable.end()) {
+      try {
+        decode_h1_artifact(it->second, uf, h1_stats_);
+        if (uf.size() == view_->address_count()) {
+          record_artifact("h1", it->second);
+          stages_loaded.inc();
+          return;
+        }
+      } catch (const ParseError&) {
+      }
+      uf = UnionFind(view_->address_count());  // stale: recompute
+      h1_stats_ = H1Stats{};
+    }
+    h1_stats_ = apply_heuristic1(*view_, uf, exec_);
+    persist("h1", encode_h1_artifact(uf, h1_stats_));
+  });
   stage("h1_naming", [&] {
     {
       UnionFind h1_copy = uf;
@@ -91,7 +202,22 @@ void ForensicPipeline::run() {
   });
 
   // 5. Refined Heuristic 2, merged on top of Heuristic 1.
-  stage("h2", [&] { h2_ = apply_heuristic2(*view_, options_.h2, dice_); });
+  stage("h2", [&] {
+    if (auto it = resumable.find("h2"); it != resumable.end()) {
+      try {
+        H2Result loaded = decode_h2_artifact(it->second);
+        if (loaded.change_of_tx.size() == view_->tx_count()) {
+          h2_ = std::move(loaded);
+          record_artifact("h2", it->second);
+          stages_loaded.inc();
+          return;
+        }
+      } catch (const ParseError&) {
+      }
+    }
+    h2_ = apply_heuristic2(*view_, options_.h2, dice_);
+    persist("h2", encode_h2_artifact(h2_));
+  });
   stage("finalize", [&] {
     {
       obs::Span span("finalize.unite");

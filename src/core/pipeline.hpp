@@ -45,6 +45,30 @@ struct PipelineOptions {
   /// semantics; every other value produces bit-identical results (see
   /// DESIGN.md "Execution model" and tests/test_pipeline_parallel.cpp).
   unsigned threads = 0;
+
+  /// Ingest fault handling (see chain/ingest.hpp). Strict (default)
+  /// aborts on the first bad record; Lenient quarantines it into
+  /// ingest_report() and continues.
+  RecoveryPolicy recovery = RecoveryPolicy::Strict;
+
+  /// Checkpoint manifest path (empty → no checkpointing). When set,
+  /// run() saves each expensive stage's result as a sibling artifact
+  /// (atomically, so a kill at any instant is safe) and, on a later
+  /// run against the same inputs, resumes from whatever artifacts are
+  /// valid. A resumed run is bit-identical to an uninterrupted one.
+  std::string checkpoint;
+
+  /// Input fingerprints guarding checkpoint staleness (hex SHA-256 of
+  /// the block store file / tag feed; empty → not checked). A manifest
+  /// whose recorded digests differ is ignored wholesale.
+  std::string chain_digest;
+  std::string tags_digest;
+
+  /// Test/CI hook: raise SIGKILL immediately after the named stage
+  /// completes (and its checkpoint artifact is persisted), making
+  /// kill-and-resume tests deterministic instead of timing-based.
+  /// Empty → never crash.
+  std::string crash_after_stage;
 };
 
 /// Wall-clock of one completed pipeline stage — the flat back-compat
@@ -97,6 +121,12 @@ class ForensicPipeline {
   /// Addresses carrying a hand-collected tag (after interning).
   std::size_t tagged_address_count() const { return tags_.size(); }
 
+  /// Everything lenient ingest quarantined (empty after a strict or
+  /// fault-free run). When the view stage is resumed from a
+  /// checkpoint, this is the original run's report, restored from the
+  /// manifest.
+  const IngestReport& ingest_report() const { return ingest_report_; }
+
   /// Wall-clock per stage, in run() order (valid after run()). Thin
   /// accessor over the stage spans: each entry is a root span's
   /// measured duration. Works in every build, including FISTFUL_NO_OBS.
@@ -124,6 +154,7 @@ class ForensicPipeline {
   bool ran_ = false;
 
   std::unique_ptr<ChainView> view_;
+  IngestReport ingest_report_;
   TagStore tags_;
   H1Stats h1_stats_;
   std::unique_ptr<Clustering> h1_clustering_;

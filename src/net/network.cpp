@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/fault.hpp"
 #include "core/obs/metrics.hpp"
 #include "util/error.hpp"
 
@@ -111,6 +112,13 @@ Node& P2PNetwork::node(NodeId id) {
 }
 
 void P2PNetwork::send(NodeId from, NodeId to, Message msg) {
+  // Deterministic injected drop: keyed by the send ordinal, which is
+  // well-defined because the simulator's event loop is single-threaded.
+  if (fault::fire("net.deliver", messages_ + dropped_)) {
+    ++dropped_;
+    NetMetrics::get().dropped.inc();
+    return;
+  }
   if (config_.drop_rate > 0 && rng_.chance(config_.drop_rate)) {
     ++dropped_;
     NetMetrics::get().dropped.inc();

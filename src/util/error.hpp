@@ -40,4 +40,24 @@ class UsageError : public Error {
   explicit UsageError(const std::string& what) : Error("usage: " + what) {}
 };
 
+/// A genuine I/O fault (file cannot be opened, a write failed, a read
+/// came back short at the OS level...). Distinct from UsageError —
+/// nothing was misused, the environment failed — and from ParseError —
+/// the bytes never arrived, so there was nothing to parse. Lenient
+/// ingest treats IoError on a record the same way it treats ParseError:
+/// quarantine and continue.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error("io: " + what) {}
+};
+
+/// Cooperative-cancellation signal: work was torn down on request (a
+/// failed strict-mode pipeline stage cancelling its executor), not
+/// because anything was wrong with the data.
+class CancelledError : public Error {
+ public:
+  explicit CancelledError(const std::string& what)
+      : Error("cancelled: " + what) {}
+};
+
 }  // namespace fist

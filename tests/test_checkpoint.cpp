@@ -1,0 +1,333 @@
+// Checkpoint/resume: atomic file primitives, manifest and artifact
+// codecs, and the end-to-end invariant that a resumed pipeline run is
+// bit-identical to an uninterrupted one.
+#include "core/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include "chain/blockstore.hpp"
+#include "core/obs/metrics.hpp"
+#include "core/pipeline.hpp"
+#include "testutil.hpp"
+#include "util/amount.hpp"
+#include "util/error.hpp"
+
+namespace fist {
+namespace {
+
+std::filesystem::path temp_file(const std::string& stem) {
+  return std::filesystem::temp_directory_path() /
+         (stem + "_" + std::to_string(::getpid()));
+}
+
+std::uint64_t counter_value(const char* name) {
+  auto snap = obs::MetricsRegistry::global().snapshot();
+  const auto* c = snap.counter(name);
+  return c != nullptr ? c->value : 0;
+}
+
+TEST(CheckpointFiles, AtomicWriteReadRoundTrip) {
+  std::filesystem::path path = temp_file("fist_ckpt_rt");
+  Bytes payload = to_bytes(std::string("hello checkpoint"));
+  atomic_write_file(path, payload);
+  EXPECT_FALSE(std::filesystem::exists(path.string() + ".tmp"));
+  EXPECT_EQ(read_file(path), payload);
+  // Overwrite replaces the content wholesale.
+  Bytes other = to_bytes(std::string("v2"));
+  atomic_write_file(path, other);
+  EXPECT_EQ(read_file(path), other);
+  EXPECT_EQ(file_digest_hex(path), digest_hex(other));
+  std::filesystem::remove(path);
+  EXPECT_THROW((void)read_file(path), IoError);
+  EXPECT_THROW((void)file_digest_hex(path), IoError);
+}
+
+TEST(CheckpointFiles, DigestIsStableAndContentSensitive) {
+  Bytes a = to_bytes(std::string("abc"));
+  EXPECT_EQ(digest_hex(a), digest_hex(a));
+  EXPECT_EQ(digest_hex(a).size(), 64u);
+  Bytes b = to_bytes(std::string("abd"));
+  EXPECT_NE(digest_hex(a), digest_hex(b));
+}
+
+TEST(CheckpointManifestTest, SaveLoadRoundTrip) {
+  std::filesystem::path path = temp_file("fist_ckpt_manifest");
+  CheckpointManifest m;
+  m.recovery = RecoveryPolicy::Lenient;
+  m.chain_digest = "aa11";
+  m.tags_digest = "bb22";
+  m.artifacts["view"] = CheckpointArtifact{"ck.view", "cc33"};
+  m.artifacts["h1"] = CheckpointArtifact{"ck.h1", "dd44"};
+  Quarantined qb;
+  qb.stage = Quarantined::Stage::Decode;
+  qb.record = 17;
+  qb.reason = "parse: bad record magic at offset 99";
+  m.ingest.policy = RecoveryPolicy::Lenient;
+  m.ingest.blocks.push_back(qb);
+  Quarantined qt;
+  qt.stage = Quarantined::Stage::Resolve;
+  qt.record = 20;
+  qt.tx = 3;
+  qt.txid = hash256(to_bytes(std::string("x")));
+  qt.reason = "view: input references unknown txid";
+  m.ingest.txs.push_back(qt);
+  m.save(path);
+
+  auto loaded = CheckpointManifest::load(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->recovery, RecoveryPolicy::Lenient);
+  EXPECT_EQ(loaded->chain_digest, "aa11");
+  EXPECT_EQ(loaded->tags_digest, "bb22");
+  ASSERT_EQ(loaded->artifacts.size(), 2u);
+  EXPECT_EQ(loaded->artifacts.at("view").file, "ck.view");
+  EXPECT_EQ(loaded->artifacts.at("view").digest, "cc33");
+  EXPECT_EQ(loaded->artifacts.at("h1").file, "ck.h1");
+  ASSERT_EQ(loaded->ingest.blocks.size(), 1u);
+  EXPECT_EQ(loaded->ingest.blocks[0].stage, Quarantined::Stage::Decode);
+  EXPECT_EQ(loaded->ingest.blocks[0].record, 17u);
+  EXPECT_EQ(loaded->ingest.blocks[0].reason,
+            "parse: bad record magic at offset 99");
+  ASSERT_EQ(loaded->ingest.txs.size(), 1u);
+  EXPECT_EQ(loaded->ingest.txs[0].stage, Quarantined::Stage::Resolve);
+  EXPECT_EQ(loaded->ingest.txs[0].record, 20u);
+  EXPECT_EQ(loaded->ingest.txs[0].tx, 3u);
+  EXPECT_EQ(loaded->ingest.txs[0].txid, qt.txid);
+  EXPECT_EQ(loaded->ingest.txs[0].reason, qt.reason);
+  std::filesystem::remove(path);
+}
+
+TEST(CheckpointManifestTest, MissingOrGarbageLoadsAsNoCheckpoint) {
+  EXPECT_FALSE(CheckpointManifest::load(temp_file("fist_ckpt_absent")));
+  std::filesystem::path path = temp_file("fist_ckpt_garbage");
+  {
+    std::ofstream out(path);
+    out << "not a manifest\nat all\n";
+  }
+  EXPECT_FALSE(CheckpointManifest::load(path));
+  std::filesystem::remove(path);
+}
+
+TEST(CheckpointManifestTest, ArtifactPathIsASiblingFile) {
+  std::filesystem::path base = "/some/dir/run.manifest";
+  std::filesystem::path art = CheckpointManifest::artifact_path(base, "h1");
+  EXPECT_EQ(art.parent_path(), base.parent_path());
+  EXPECT_NE(art.filename(), base.filename());
+}
+
+TEST(CheckpointArtifacts, H1RoundTripPreservesThePartition) {
+  UnionFind uf(12);
+  uf.unite(0, 5);
+  uf.unite(5, 7);
+  uf.unite(2, 3);
+  uf.unite(9, 10);
+  H1Stats stats;
+  stats.multi_input_txs = 4;
+  stats.links = 5;
+  Bytes raw = encode_h1_artifact(uf, stats);
+
+  UnionFind restored(1);
+  H1Stats restored_stats;
+  decode_h1_artifact(raw, restored, restored_stats);
+  ASSERT_EQ(restored.size(), uf.size());
+  for (std::size_t a = 0; a < 12; ++a)
+    for (std::size_t b = 0; b < 12; ++b)
+      EXPECT_EQ(restored.same(a, b), uf.same(a, b)) << a << "," << b;
+  EXPECT_EQ(restored_stats.multi_input_txs, 4u);
+  EXPECT_EQ(restored_stats.links, 5u);
+
+  // Canonical encoding: re-encoding the restored forest is identical.
+  EXPECT_EQ(encode_h1_artifact(restored, restored_stats), raw);
+
+  Bytes truncated(raw.begin(), raw.end() - 3);
+  UnionFind scratch(1);
+  H1Stats scratch_stats;
+  EXPECT_THROW(decode_h1_artifact(truncated, scratch, scratch_stats),
+               ParseError);
+}
+
+TEST(CheckpointArtifacts, H2RoundTrip) {
+  H2Result r;
+  r.labels.push_back(H2Label{3, 1});
+  r.labels.push_back(H2Label{8, 0});
+  r.change_of_tx = {kNoAddr, 7, kNoAddr, 1, kNoAddr, kNoAddr, kNoAddr, kNoAddr,
+                    9};
+  r.skipped.coinbase = 1;
+  r.skipped.self_change = 2;
+  r.skipped.no_candidate = 3;
+  r.skipped.ambiguous = 4;
+  r.skipped.reused_guard = 5;
+  r.skipped.self_change_history_guard = 6;
+  r.skipped.window_veto = 7;
+  r.skipped.too_few_outputs = 8;
+  Bytes raw = encode_h2_artifact(r);
+  H2Result d = decode_h2_artifact(raw);
+  ASSERT_EQ(d.labels.size(), 2u);
+  EXPECT_EQ(d.labels[0].tx, 3u);
+  EXPECT_EQ(d.labels[0].change, 1u);
+  EXPECT_EQ(d.labels[1].tx, 8u);
+  EXPECT_EQ(d.change_of_tx, r.change_of_tx);
+  EXPECT_EQ(d.skipped.coinbase, 1u);
+  EXPECT_EQ(d.skipped.self_change, 2u);
+  EXPECT_EQ(d.skipped.no_candidate, 3u);
+  EXPECT_EQ(d.skipped.ambiguous, 4u);
+  EXPECT_EQ(d.skipped.reused_guard, 5u);
+  EXPECT_EQ(d.skipped.self_change_history_guard, 6u);
+  EXPECT_EQ(d.skipped.window_veto, 7u);
+  EXPECT_EQ(d.skipped.too_few_outputs, 8u);
+
+  Bytes truncated(raw.begin(), raw.end() - 2);
+  EXPECT_THROW((void)decode_h2_artifact(truncated), ParseError);
+}
+
+TEST(CheckpointArtifacts, ChainViewImageRoundTrip) {
+  test::TestChain chain;
+  std::vector<test::CoinRef> coins;
+  for (std::uint32_t b = 0; b < 6; ++b) {
+    coins.push_back(chain.coinbase(b, btc(50)));
+    chain.next_block();
+  }
+  chain.spend({coins[0], coins[1]}, {{10, btc(60)}, {11, btc(40)}});
+  ChainView view = chain.view();
+  Bytes image = view.serialize();
+  ChainView restored = ChainView::deserialize(image);
+  EXPECT_EQ(restored.block_count(), view.block_count());
+  EXPECT_EQ(restored.tx_count(), view.tx_count());
+  EXPECT_EQ(restored.address_count(), view.address_count());
+  EXPECT_EQ(restored.serialize(), image);
+
+  Bytes bad = image;
+  bad[0] ^= 0xff;  // version word
+  EXPECT_THROW((void)ChainView::deserialize(bad), ParseError);
+  Bytes trailing = image;
+  trailing.push_back(0);
+  EXPECT_THROW((void)ChainView::deserialize(trailing), ParseError);
+}
+
+// ---- end-to-end resume ---------------------------------------------------
+
+/// A small economy exercising H1 (multi-input spends) and H2 (fresh
+/// change outputs), shared by the resume tests.
+class PipelineResumeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    manifest_ = temp_file("fist_ckpt_pipe").string() + ".manifest";
+    cleanup();
+    test::TestChain chain;
+    std::vector<test::CoinRef> coins;
+    for (std::uint32_t b = 0; b < 8; ++b) {
+      coins.push_back(chain.coinbase(b, btc(50)));
+      chain.next_block();
+    }
+    for (std::uint32_t b = 0; b + 1 < 8; b += 2) {
+      chain.spend({coins[b], coins[b + 1]},
+                  {{50 + b, btc(70)}, {90 + b, btc(30)}});
+      chain.next_block();
+    }
+    for (const Block& b : chain.blocks()) store_.append(b);
+  }
+
+  void TearDown() override { cleanup(); }
+
+  void cleanup() {
+    std::filesystem::remove(manifest_);
+    for (const char* stage : {"view", "h1", "h2"})
+      std::filesystem::remove(
+          CheckpointManifest::artifact_path(manifest_, stage));
+  }
+
+  PipelineOptions options(unsigned threads) const {
+    PipelineOptions o;
+    o.threads = threads;
+    o.checkpoint = manifest_;
+    o.chain_digest = "feedbead";  // any consistent fingerprint works
+    return o;
+  }
+
+  struct Result {
+    std::vector<ClusterId> assignment;
+    std::uint64_t h1_links = 0;
+    std::size_t h2_labels = 0;
+    std::vector<AddrId> change_of_tx;
+  };
+
+  Result run(const PipelineOptions& o) {
+    ForensicPipeline pipeline(store_, {}, o);
+    pipeline.run();
+    Result r;
+    r.assignment = pipeline.clustering().assignment();
+    r.h1_links = pipeline.h1_stats().links;
+    r.h2_labels = pipeline.h2().labels.size();
+    r.change_of_tx = pipeline.h2().change_of_tx;
+    return r;
+  }
+
+  std::string manifest_;
+  MemoryBlockStore store_;
+};
+
+TEST_F(PipelineResumeTest, ResumedRunIsBitIdentical) {
+  Result fresh = run(options(2));
+  ASSERT_TRUE(std::filesystem::exists(manifest_));
+  for (const char* stage : {"view", "h1", "h2"})
+    EXPECT_TRUE(std::filesystem::exists(
+        CheckpointManifest::artifact_path(manifest_, stage)))
+        << stage;
+
+  std::uint64_t loaded_before = counter_value("checkpoint.stages_loaded");
+  Result resumed = run(options(2));
+  EXPECT_EQ(resumed.assignment, fresh.assignment);
+  EXPECT_EQ(resumed.h1_links, fresh.h1_links);
+  EXPECT_EQ(resumed.h2_labels, fresh.h2_labels);
+  EXPECT_EQ(resumed.change_of_tx, fresh.change_of_tx);
+  EXPECT_GE(counter_value("checkpoint.stages_loaded"), loaded_before + 3);
+
+  // A different thread count resuming the same checkpoint also agrees.
+  Result resumed8 = run(options(8));
+  EXPECT_EQ(resumed8.assignment, fresh.assignment);
+}
+
+TEST_F(PipelineResumeTest, MissingArtifactRecomputesJustThatStage) {
+  Result fresh = run(options(1));
+  std::filesystem::remove(CheckpointManifest::artifact_path(manifest_, "h1"));
+  std::uint64_t saved_before = counter_value("checkpoint.stages_saved");
+  Result resumed = run(options(1));
+  EXPECT_EQ(resumed.assignment, fresh.assignment);
+  EXPECT_EQ(resumed.h1_links, fresh.h1_links);
+  // h1 was recomputed and re-persisted; view/h2 loaded from disk.
+  EXPECT_GE(counter_value("checkpoint.stages_saved"), saved_before + 1);
+}
+
+TEST_F(PipelineResumeTest, InputDigestMismatchInvalidatesTheCheckpoint) {
+  Result fresh = run(options(1));
+  std::uint64_t loaded_before = counter_value("checkpoint.stages_loaded");
+  PipelineOptions changed = options(1);
+  changed.chain_digest = "deadbeef";
+  Result recomputed = run(changed);
+  EXPECT_EQ(recomputed.assignment, fresh.assignment);
+  EXPECT_EQ(counter_value("checkpoint.stages_loaded"), loaded_before)
+      << "stale checkpoint must not be resumed";
+}
+
+TEST_F(PipelineResumeTest, CorruptArtifactDegradesToRecompute) {
+  Result fresh = run(options(1));
+  std::filesystem::path h2_art =
+      CheckpointManifest::artifact_path(manifest_, "h2");
+  Bytes raw = read_file(h2_art);
+  raw[raw.size() / 2] ^= 0x5a;
+  {
+    std::ofstream out(h2_art, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(raw.data()),
+              static_cast<std::streamsize>(raw.size()));
+  }
+  // The digest no longer matches the manifest, so h2 recomputes.
+  Result resumed = run(options(1));
+  EXPECT_EQ(resumed.change_of_tx, fresh.change_of_tx);
+  EXPECT_EQ(resumed.h2_labels, fresh.h2_labels);
+}
+
+}  // namespace
+}  // namespace fist

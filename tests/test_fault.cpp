@@ -1,0 +1,352 @@
+// Deterministic fault injection: registry semantics, and the fault
+// matrix over {site x rate x threads} asserting that lenient ingest
+// quarantines exactly the injected faults and that the surviving
+// output is bit-identical to a build over only the intact records.
+#include "core/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+#include <unistd.h>
+
+#include "chain/blockstore.hpp"
+#include "chain/view.hpp"
+#include "core/executor.hpp"
+#include "crypto/hash.hpp"
+#include "net/network.hpp"
+#include "testutil.hpp"
+#include "util/amount.hpp"
+#include "util/error.hpp"
+
+namespace fist {
+namespace {
+
+/// Every test leaves the global registry disarmed (the suite shares
+/// one process when run directly).
+class FaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::Registry::global().disarm_all(); }
+  void TearDown() override { fault::Registry::global().disarm_all(); }
+};
+
+TEST_F(FaultTest, DisarmedSiteNeverFires) {
+  for (std::uint64_t k = 0; k < 100; ++k)
+    EXPECT_FALSE(fault::fire("no.such.site", k));
+}
+
+TEST_F(FaultTest, RateZeroAndOneAreExact) {
+  fault::Registry& reg = fault::Registry::global();
+  reg.arm("t.zero", 0.0, 1);
+  reg.arm("t.one", 1.0, 1);
+  for (std::uint64_t k = 0; k < 200; ++k) {
+    EXPECT_FALSE(reg.fire("t.zero", k));
+    EXPECT_TRUE(reg.fire("t.one", k));
+  }
+  EXPECT_EQ(reg.checked("t.zero"), 200u);
+  EXPECT_EQ(reg.fired("t.zero"), 0u);
+  EXPECT_EQ(reg.fired("t.one"), 200u);
+}
+
+TEST_F(FaultTest, DecisionsArePureFunctionsOfSeedSiteKey) {
+  fault::Registry& reg = fault::Registry::global();
+  reg.arm("t.p", 0.3, 42);
+  std::vector<bool> first;
+  for (std::uint64_t k = 0; k < 500; ++k) first.push_back(reg.fire("t.p", k));
+  // peek matches fire, re-arming with the same seed reproduces the
+  // set, and probing in any order gives the same per-key answer.
+  reg.arm("t.p", 0.3, 42);
+  for (std::uint64_t k = 500; k-- > 0;) {
+    EXPECT_EQ(reg.peek("t.p", k), first[k]) << k;
+    EXPECT_EQ(reg.fire("t.p", k), first[k]) << k;
+  }
+  std::size_t fired = reg.fired("t.p");
+  EXPECT_GT(fired, 100u);  // ~150 expected
+  EXPECT_LT(fired, 200u);
+  // A different seed gives a different set.
+  reg.arm("t.p", 0.3, 43);
+  std::size_t differs = 0;
+  for (std::uint64_t k = 0; k < 500; ++k)
+    differs += reg.peek("t.p", k) != first[k];
+  EXPECT_GT(differs, 0u);
+}
+
+TEST_F(FaultTest, SitesAreIndependent) {
+  fault::Registry& reg = fault::Registry::global();
+  reg.arm("t.a", 0.5, 7);
+  reg.arm("t.b", 0.5, 7);
+  std::size_t differs = 0;
+  for (std::uint64_t k = 0; k < 500; ++k)
+    differs += reg.peek("t.a", k) != reg.peek("t.b", k);
+  EXPECT_GT(differs, 100u);  // same seed, different site hash
+}
+
+TEST_F(FaultTest, NthTriggerFiresExactlyOnce) {
+  fault::Registry& reg = fault::Registry::global();
+  reg.arm_nth("t.nth", 17);
+  for (std::uint64_t k = 0; k < 40; ++k)
+    EXPECT_EQ(reg.fire("t.nth", k), k == 17) << k;
+  EXPECT_EQ(reg.fired("t.nth"), 1u);
+}
+
+TEST_F(FaultTest, SpecParsing) {
+  fault::Registry& reg = fault::Registry::global();
+  reg.arm_from_spec("t.x=1.0,t.y=nth:3", 5);
+  EXPECT_TRUE(reg.peek("t.x", 0));
+  EXPECT_TRUE(reg.peek("t.y", 3));
+  EXPECT_FALSE(reg.peek("t.y", 4));
+  EXPECT_TRUE(reg.any_armed());
+  EXPECT_THROW(reg.arm_from_spec("nonsense", 0), UsageError);
+  EXPECT_THROW(reg.arm_from_spec("a=", 0), UsageError);
+  EXPECT_THROW(reg.arm_from_spec("=0.5", 0), UsageError);
+  reg.disarm_all();
+  EXPECT_FALSE(reg.any_armed());
+}
+
+// ---- the fault matrix ----------------------------------------------------
+
+/// A 24-block chain with cross-block spends, written through the real
+/// file store so "blockstore.read" faults have somewhere to strike.
+class FaultMatrixTest : public FaultTest {
+ protected:
+  void SetUp() override {
+    FaultTest::SetUp();
+    path_ = std::filesystem::temp_directory_path() /
+            ("fist_fault_test_" + std::to_string(::getpid()) + ".dat");
+    std::filesystem::remove(path_);
+    std::filesystem::remove(path_.string() + ".sums");
+
+    test::TestChain chain;
+    std::vector<test::CoinRef> coins;
+    for (std::uint32_t b = 0; b < 12; ++b) {
+      coins.push_back(chain.coinbase(b, btc(50)));
+      chain.next_block();
+    }
+    for (std::uint32_t b = 0; b < 12; ++b) {
+      chain.spend({coins[b]}, {{100 + b, btc(20)}, {200 + b, btc(30)}});
+      chain.next_block();
+    }
+    blocks_ = chain.blocks();
+    store_ = std::make_unique<FileBlockStore>(path_);
+    for (const Block& b : blocks_) store_->append(b);
+  }
+
+  void TearDown() override {
+    store_.reset();
+    std::filesystem::remove(path_);
+    std::filesystem::remove(path_.string() + ".sums");
+    FaultTest::TearDown();
+  }
+
+  std::filesystem::path path_;
+  std::vector<Block> blocks_;
+  std::unique_ptr<FileBlockStore> store_;
+};
+
+TEST_F(FaultMatrixTest, ZeroFaultLenientIsBitIdenticalToStrict) {
+  Executor ref_exec(1);
+  Bytes strict = ChainView::build(*store_, ref_exec).serialize();
+  for (unsigned threads : {1u, 2u, 8u}) {
+    Executor exec(threads);
+    IngestReport report;
+    ChainView lenient =
+        ChainView::build(*store_, exec, RecoveryPolicy::Lenient, &report);
+    EXPECT_FALSE(report.quarantined());
+    EXPECT_EQ(lenient.serialize(), strict) << "threads=" << threads;
+  }
+}
+
+TEST_F(FaultMatrixTest, QuarantineExactlyMatchesInjectedFaults) {
+  fault::Registry& reg = fault::Registry::global();
+  struct SiteCase {
+    const char* site;
+    Quarantined::Stage stage;
+  };
+  const SiteCase sites[] = {
+      {"blockstore.read", Quarantined::Stage::Read},
+      {"decode.block", Quarantined::Stage::Decode},
+  };
+  for (const SiteCase& sc : sites) {
+    for (double rate : {0.0, 0.2, 0.6}) {
+      // The fault set is a pure function of (seed, site, key), so the
+      // expected quarantine is computable before any build runs.
+      reg.arm(sc.site, rate, 7);
+      std::set<std::uint64_t> expected;
+      for (std::uint64_t i = 0; i < blocks_.size(); ++i)
+        if (reg.peek(sc.site, i)) expected.insert(i);
+
+      // Reference: a lenient build over only the intact records, with
+      // nothing armed. Any transaction left dangling by a dropped
+      // block quarantines identically in both runs.
+      reg.disarm_all();
+      MemoryBlockStore intact;
+      for (std::uint64_t i = 0; i < blocks_.size(); ++i)
+        if (!expected.contains(i))
+          intact.append(blocks_[static_cast<std::size_t>(i)]);
+      Executor ref_exec(1);
+      IngestReport ref_report;
+      Bytes reference =
+          ChainView::build(intact, ref_exec, RecoveryPolicy::Lenient,
+                           &ref_report)
+              .serialize();
+
+      for (unsigned threads : {1u, 2u, 8u}) {
+        reg.arm(sc.site, rate, 7);
+        Executor exec(threads);
+        IngestReport report;
+        ChainView view =
+            ChainView::build(*store_, exec, RecoveryPolicy::Lenient, &report);
+        reg.disarm_all();
+
+        SCOPED_TRACE(std::string(sc.site) + " rate=" + std::to_string(rate) +
+                     " threads=" + std::to_string(threads));
+        std::set<std::uint64_t> quarantined;
+        for (const Quarantined& q : report.blocks) {
+          EXPECT_EQ(q.stage, sc.stage);
+          quarantined.insert(q.record);
+        }
+        EXPECT_EQ(quarantined, expected);
+        EXPECT_EQ(report.txs.size(), ref_report.txs.size());
+        EXPECT_EQ(view.serialize(), reference);
+      }
+    }
+  }
+}
+
+TEST_F(FaultMatrixTest, StrictAbortsOnLowestFaultedRecord) {
+  fault::Registry& reg = fault::Registry::global();
+  reg.arm_nth("decode.block", 3);
+  for (unsigned threads : {1u, 2u, 8u}) {
+    Executor exec(threads);
+    try {
+      (void)ChainView::build(*store_, exec, RecoveryPolicy::Strict, nullptr);
+      FAIL() << "strict build survived an injected fault";
+    } catch (const ParseError& e) {
+      EXPECT_NE(std::string(e.what()).find("record 3"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST_F(FaultMatrixTest, ResolveCascadeQuarantinesDanglingSpenders) {
+  // Dropping block 0 (a coinbase) leaves the block-12 transaction that
+  // spends it dangling: it must quarantine at Resolve, not crash.
+  fault::Registry& reg = fault::Registry::global();
+  for (unsigned threads : {1u, 2u, 8u}) {
+    reg.arm_nth("decode.block", 0);
+    Executor exec(threads);
+    IngestReport report;
+    ChainView view =
+        ChainView::build(*store_, exec, RecoveryPolicy::Lenient, &report);
+    reg.disarm_all();
+    ASSERT_EQ(report.blocks.size(), 1u);
+    EXPECT_EQ(report.blocks[0].record, 0u);
+    ASSERT_EQ(report.txs.size(), 1u);
+    EXPECT_EQ(report.txs[0].stage, Quarantined::Stage::Resolve);
+    EXPECT_EQ(report.txs[0].record, 12u);
+    EXPECT_EQ(report.txs[0].reason, "view: input references unknown txid");
+    // 25 blocks stored (incl. the trailing dummy), 1 dropped; of the 25
+    // txs, the dropped coinbase and the dangling spender are gone.
+    EXPECT_EQ(view.block_count(), blocks_.size() - 1);
+    EXPECT_EQ(view.tx_count(), blocks_.size() - 2);
+  }
+}
+
+// ---- executor hardening --------------------------------------------------
+
+TEST_F(FaultTest, ExecutorTaskFaultPropagatesAndPoolStaysUsable) {
+  fault::Registry& reg = fault::Registry::global();
+  for (unsigned threads : {1u, 2u, 8u}) {
+    Executor exec(threads);
+    reg.arm("executor.task", 1.0, 0);
+    std::atomic<std::size_t> ran{0};
+    EXPECT_THROW(exec.parallel_for_each(0, 64, [&](std::size_t) { ++ran; }),
+                 Error);
+    reg.disarm_all();
+    // The pool must come back clean after a task exception.
+    std::atomic<std::size_t> sum{0};
+    exec.parallel_for_each(0, 64, [&](std::size_t i) { sum += i; });
+    EXPECT_EQ(sum.load(), 64u * 63u / 2u);
+  }
+}
+
+TEST_F(FaultTest, ExecutorCancellation) {
+  for (unsigned threads : {1u, 2u, 8u}) {
+    Executor exec(threads);
+    exec.request_cancel();
+    EXPECT_TRUE(exec.cancel_requested());
+    EXPECT_THROW(exec.parallel_for_each(0, 8, [](std::size_t) {}),
+                 CancelledError);
+    exec.reset_cancel();
+    std::atomic<std::size_t> ran{0};
+    exec.parallel_for_each(0, 8, [&](std::size_t) { ++ran; });
+    EXPECT_EQ(ran.load(), 8u);
+
+    // Cancellation requested from inside a task stops the loop and
+    // surfaces as CancelledError — no deadlock, pool reusable.
+    EXPECT_THROW(exec.parallel_for(0, 1024, 1,
+                                   [&](std::size_t, std::size_t) {
+                                     exec.request_cancel();
+                                   }),
+                 CancelledError);
+    exec.reset_cancel();
+    exec.parallel_for_each(0, 8, [&](std::size_t) { ++ran; });
+    EXPECT_EQ(ran.load(), 16u);
+  }
+}
+
+TEST_F(FaultTest, BodyExceptionWinsOverCancellation) {
+  // When a body throws and teardown then cancels, the body's error —
+  // the root cause — is what propagates, not CancelledError.
+  Executor exec(4);
+  try {
+    exec.parallel_for(0, 1024, 1, [&](std::size_t lo, std::size_t) {
+      if (lo == 0) {
+        exec.request_cancel();
+        throw ValidationError("root cause");
+      }
+    });
+    FAIL() << "expected an exception";
+  } catch (const ValidationError&) {
+  } catch (const CancelledError&) {
+    // Acceptable only if the cancel raced ahead of chunk 0; reject —
+    // chunk 0 always runs (claim order starts there) on some lane, so
+    // its error must have been recorded.
+    FAIL() << "cancellation shadowed the body error";
+  }
+  exec.reset_cancel();
+}
+
+// ---- net.deliver ---------------------------------------------------------
+
+TEST_F(FaultTest, NetDeliverDropsAreDeterministic) {
+  fault::Registry& reg = fault::Registry::global();
+  auto run = [&] {
+    reg.arm("net.deliver", 0.3, 11);
+    net::NetConfig cfg;
+    cfg.nodes = 30;
+    cfg.out_peers = 6;
+    cfg.seed = 5;
+    net::P2PNetwork net(cfg);
+    Transaction tx;
+    TxIn in;
+    in.prevout.txid = hash256(to_bytes(std::string("f")));
+    tx.inputs.push_back(in);
+    tx.outputs.push_back(TxOut{btc(1), Script()});
+    net.submit_tx(0, tx);
+    net.run_until(60);
+    std::uint64_t fired = reg.fired("net.deliver");
+    reg.disarm_all();
+    return std::pair<std::uint64_t, std::uint64_t>(net.messages_dropped(),
+                                                   fired);
+  };
+  auto [dropped_a, fired_a] = run();
+  auto [dropped_b, fired_b] = run();
+  EXPECT_GT(dropped_a, 0u);
+  EXPECT_EQ(dropped_a, dropped_b);
+  EXPECT_EQ(fired_a, fired_b);
+  EXPECT_EQ(dropped_a, fired_a);  // every drop came from the injector
+}
+
+}  // namespace
+}  // namespace fist

@@ -6,13 +6,21 @@
 // paper's four conditions.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <unistd.h>
+
+#include "chain/blockstore.hpp"
 #include "chain/transaction.hpp"
 #include "cluster/heuristic2.hpp"
+#include "core/executor.hpp"
 #include "encoding/base58.hpp"
 #include "net/network.hpp"
 #include "net/wire.hpp"
 #include "script/standard.hpp"
 #include "sim/world.hpp"
+#include "testutil.hpp"
 #include "util/rng.hpp"
 
 namespace fist {
@@ -184,6 +192,164 @@ TEST(FaultInjection, GossipSurvivesMessageLoss) {
   // Redundant gossip paths mask 20% loss almost entirely.
   EXPECT_GT(p->coverage(), 0.95);
 }
+
+// ---- blockstore corruption corpus ---------------------------------------
+//
+// A blk file scraped off disk arrives bit-flipped, truncated, or with
+// mangled framing. Strict reads must refuse with an error naming the
+// record; lenient ingest must quarantine exactly the damaged records
+// and keep the rest.
+
+/// (offset, payload length) of each record frame, by walking the file.
+std::vector<std::pair<std::uint64_t, std::uint32_t>> record_frames(
+    const std::filesystem::path& path) {
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> frames;
+  std::ifstream in(path, std::ios::binary);
+  std::uint64_t pos = 0;
+  for (;;) {
+    std::uint8_t head[8];
+    in.read(reinterpret_cast<char*>(head), 8);
+    if (in.gcount() < 8) break;
+    std::uint32_t len = static_cast<std::uint32_t>(head[4]) |
+                        (static_cast<std::uint32_t>(head[5]) << 8) |
+                        (static_cast<std::uint32_t>(head[6]) << 16) |
+                        (static_cast<std::uint32_t>(head[7]) << 24);
+    frames.emplace_back(pos, len);
+    in.seekg(len, std::ios::cur);
+    pos += 8 + len;
+  }
+  return frames;
+}
+
+class BlockstoreFuzz : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("fist_fuzz_blk_" + std::to_string(::getpid()) + "_" +
+             std::to_string(GetParam()) + ".dat");
+    cleanup();
+    // Coinbase-only blocks: no cross-block spends, so block damage
+    // never cascades into Resolve quarantines and the expected report
+    // is exactly the damaged record set.
+    test::TestChain chain;
+    for (std::uint32_t b = 0; b < 10; ++b) {
+      chain.coinbase(b, btc(50));
+      chain.next_block();
+    }
+    {
+      FileBlockStore store(path_);
+      for (const Block& b : chain.blocks()) store.append(b);
+    }
+    frames_ = record_frames(path_);
+    ASSERT_EQ(frames_.size(), 11u);  // 10 + the trailing dummy block
+  }
+  void TearDown() override { cleanup(); }
+  void cleanup() {
+    std::filesystem::remove(path_);
+    std::filesystem::remove(path_.string() + ".sums");
+  }
+  void flip_bit(std::uint64_t offset, std::uint8_t mask) {
+    std::fstream f(path_, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(static_cast<std::streamoff>(offset));
+    char c;
+    f.get(c);
+    f.seekp(static_cast<std::streamoff>(offset));
+    c = static_cast<char>(c ^ mask);
+    f.write(&c, 1);
+  }
+  std::filesystem::path path_;
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> frames_;
+};
+
+TEST_P(BlockstoreFuzz, PayloadBitFlipsAreCaughtAndQuarantined) {
+  Rng rng(GetParam() + 6000);
+  std::set<std::size_t> damaged;
+  while (damaged.size() < 3)
+    damaged.insert(rng.below(frames_.size()));
+  for (std::size_t r : damaged) {
+    auto [off, len] = frames_[r];
+    flip_bit(off + 8 + rng.below(len),
+             static_cast<std::uint8_t>(1u << rng.below(8)));
+  }
+
+  FileBlockStore store(path_);
+  ASSERT_TRUE(store.checksummed());
+  for (std::size_t r = 0; r < frames_.size(); ++r) {
+    if (!damaged.contains(r)) {
+      EXPECT_NO_THROW((void)store.read(r)) << r;
+      continue;
+    }
+    try {
+      (void)store.read(r);
+      FAIL() << "flipped payload of record " << r << " read back clean";
+    } catch (const ParseError& e) {
+      EXPECT_NE(std::string(e.what())
+                    .find("checksum mismatch at record " + std::to_string(r)),
+                std::string::npos)
+          << e.what();
+    }
+  }
+
+  Executor exec(1);
+  IngestReport report;
+  ChainView view =
+      ChainView::build(store, exec, RecoveryPolicy::Lenient, &report);
+  std::set<std::size_t> quarantined;
+  for (const Quarantined& q : report.blocks) {
+    EXPECT_EQ(q.stage, Quarantined::Stage::Decode);
+    quarantined.insert(q.record);
+  }
+  EXPECT_EQ(quarantined, damaged);
+  EXPECT_TRUE(report.txs.empty());
+  EXPECT_EQ(view.block_count(), frames_.size() - damaged.size());
+}
+
+TEST_P(BlockstoreFuzz, TruncatedTailKeepsTheIntactPrefix) {
+  Rng rng(GetParam() + 7000);
+  // Cut strictly inside a random record: everything before it survives,
+  // the tail is detected as torn and dropped.
+  std::size_t victim = 1 + rng.below(frames_.size() - 1);
+  auto [off, len] = frames_[victim];
+  std::filesystem::resize_file(path_, off + 1 + rng.below(8 + len - 1));
+  std::filesystem::remove(path_.string() + ".sums");  // stale sidecar
+
+  FileBlockStore store(path_);
+  EXPECT_EQ(store.count(), victim);
+  EXPECT_GT(store.scan_report().torn_tail_bytes, 0u);
+  for (std::size_t r = 0; r < victim; ++r)
+    EXPECT_NO_THROW((void)store.read(r)) << r;
+
+  Executor exec(1);
+  IngestReport report;
+  ChainView view =
+      ChainView::build(store, exec, RecoveryPolicy::Lenient, &report);
+  EXPECT_FALSE(report.quarantined());
+  EXPECT_EQ(view.block_count(), victim);
+}
+
+TEST_P(BlockstoreFuzz, BadMagicMidFileIsResyncedInRecoverMode) {
+  Rng rng(GetParam() + 8000);
+  std::size_t victim = 1 + rng.below(frames_.size() - 2);
+  flip_bit(frames_[victim].first, 0xff);
+
+  EXPECT_THROW(FileBlockStore strict(path_), ParseError);
+
+  FileBlockStore::OpenOptions open;
+  open.recover = true;
+  FileBlockStore store(path_, kMainnetMagic, open);
+  EXPECT_EQ(store.count(), frames_.size() - 1);
+  ASSERT_FALSE(store.scan_report().skipped_ranges.empty());
+  EXPECT_GT(store.scan_report().skipped_bytes(), 0u);
+
+  Executor exec(1);
+  IngestReport report;
+  ChainView view =
+      ChainView::build(store, exec, RecoveryPolicy::Lenient, &report);
+  EXPECT_FALSE(report.quarantined());
+  EXPECT_EQ(view.block_count(), store.count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BlockstoreFuzz, ::testing::Values(1, 7, 42));
 
 TEST(FaultInjection, TotalLossStopsPropagation) {
   net::NetConfig cfg;
