@@ -22,8 +22,10 @@ int main() {
   // same chain at threads=1 (the reference semantics) and compare the
   // per-stage wall-clock against the parallel run above.
   std::fprintf(stderr, "[bench] re-running pipeline at threads=1...\n");
+  PipelineOptions seq_options;
+  seq_options.threads = 1;
   ForensicPipeline seq(exp.world->store(), exp.world->tag_feed(),
-                       PipelineOptions{refined_h2_options(), 1});
+                       std::move(seq_options));
   seq.run();
   print_speedup_table(seq, pipe);
 

@@ -15,6 +15,8 @@ std::vector<std::uint8_t> cluster_categories(const Clustering& clustering,
                                              const ClusterNaming& naming) {
   std::vector<std::uint8_t> cluster_cat(clustering.cluster_count(),
                                         static_cast<std::uint8_t>(255));
+  // fistlint:allow(unordered-iter) unique-key scatter into an indexed
+  // vector — each cluster is written exactly once, any order
   for (const auto& [cluster, name] : naming.names())
     cluster_cat[cluster] = static_cast<std::uint8_t>(name.category);
   return cluster_cat;

@@ -18,10 +18,13 @@ std::optional<ClusterId> Explorer::find_service(
     const std::string& service) const {
   std::optional<ClusterId> best;
   std::uint32_t best_size = 0;
+  // fistlint:allow(unordered-iter) max-by-size with a total tie-break
+  // on cluster id below, so the winner is bucket-order-independent
   for (const auto& [cluster, name] : naming_->names()) {
     if (name.service != service) continue;
     std::uint32_t size = clustering_->size_of(cluster);
-    if (!best || size > best_size) {
+    if (!best || size > best_size ||
+        (size == best_size && cluster < *best)) {
       best = cluster;
       best_size = size;
     }

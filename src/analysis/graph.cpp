@@ -46,11 +46,17 @@ UserGraph UserGraph::build(const ChainView& view,
 std::vector<ClusterEdge> UserGraph::edges() const {
   std::vector<ClusterEdge> out;
   out.reserve(weights_.size());
+  // fistlint:allow(unordered-iter) collected then fully sorted below
   for (const auto& [key, data] : weights_) {
     out.push_back(ClusterEdge{static_cast<ClusterId>(key >> 32),
                               static_cast<ClusterId>(key), data.value,
                               data.tx_count});
   }
+  std::sort(out.begin(), out.end(),
+            [](const ClusterEdge& a, const ClusterEdge& b) {
+              if (a.from != b.from) return a.from < b.from;
+              return a.to < b.to;
+            });
   return out;
 }
 
@@ -68,6 +74,7 @@ std::vector<ClusterEdge> UserGraph::top_flows(std::size_t n) const {
 
 std::vector<ClusterEdge> UserGraph::out_edges(ClusterId from) const {
   std::vector<ClusterEdge> out;
+  // fistlint:allow(unordered-iter) collected then fully sorted below
   for (const auto& [key, data] : weights_) {
     if (static_cast<ClusterId>(key >> 32) != from) continue;
     out.push_back(ClusterEdge{from, static_cast<ClusterId>(key), data.value,
@@ -75,7 +82,8 @@ std::vector<ClusterEdge> UserGraph::out_edges(ClusterId from) const {
   }
   std::sort(out.begin(), out.end(),
             [](const ClusterEdge& a, const ClusterEdge& b) {
-              return a.value > b.value;
+              if (a.value != b.value) return a.value > b.value;
+              return a.to < b.to;  // total order: ties broken by target id
             });
   return out;
 }

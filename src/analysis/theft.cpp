@@ -178,6 +178,8 @@ TheftTrace track_theft(const ChainView& view, const H2Result& changes,
   }
 
   // Dormant loot: tainted coins never spent.
+  // fistlint:allow(unordered-iter) commutative integer sum over a
+  // membership set
   for (std::uint64_t key : tainted) {
     TxIndex t = static_cast<TxIndex>(key >> 32);
     std::uint32_t out = static_cast<std::uint32_t>(key);

@@ -26,6 +26,9 @@ std::optional<Coin> UtxoSet::spend(const OutPoint& out) {
 
 Amount UtxoSet::total_value() const {
   Amount total = 0;
+  // fistlint:allow(unordered-iter) commutative integer sum (add_money
+  // checks the final total's range; every partial-sum order overflows
+  // identically or not at all for in-range values)
   for (const auto& [out, coin] : map_) total = add_money(total, coin.value);
   return total;
 }

@@ -35,6 +35,8 @@ std::size_t Clustering::distinct_after_naming(
     const ClusterNaming& naming) const {
   std::unordered_set<std::string> seen_services;
   std::size_t named_clusters = 0;
+  // fistlint:allow(unordered-iter) order-free count + set-membership
+  // accumulation; only sizes are read out
   for (const auto& [cluster, name] : naming.names()) {
     ++named_clusters;
     seen_services.insert(name.service);

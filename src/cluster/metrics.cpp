@@ -31,6 +31,8 @@ struct Contingency {
     }
   }
 
+  // fistlint:allow-file(unordered-iter) commutative keyed integer
+  // sums: table cells merge and fold order-independently
   void add(const Contingency& other) {
     for (const auto& [k, n] : other.pred_sizes) pred_sizes[k] += n;
     for (const auto& [k, n] : other.true_sizes) true_sizes[k] += n;

@@ -194,6 +194,8 @@ void ForensicPipeline::run() {
   // behavior was public knowledge; this reproduces it from tags.)
   stage("dice", [&] {
     std::unordered_set<ClusterId> dice_clusters;
+    // fistlint:allow(unordered-iter) builds a membership set — queried
+    // by key below, never iterated
     for (const auto& [cluster, name] : h1_naming_->names())
       if (name.category == Category::Gambling) dice_clusters.insert(cluster);
     for (AddrId a = 0; a < view_->address_count(); ++a)

@@ -211,8 +211,19 @@ Block P2PNetwork::assemble_block(Node& miner) {
   coinbase.outputs.push_back(out);
   block.transactions.push_back(coinbase);
 
+  // Mempool order is a hash-bucket accident; a real miner imposes its
+  // own policy. Sort by txid so assembled blocks — and with them every
+  // downstream hash — are identical across platforms and libstdc++
+  // versions.
+  std::vector<std::pair<Hash256, const Transaction*>> pending;
+  pending.reserve(miner.mempool().size());
+  // fistlint:allow(unordered-iter) collected then fully sorted below
   for (const auto& [txid, tx] : miner.mempool())
-    block.transactions.push_back(tx);
+    pending.emplace_back(txid, &tx);
+  std::sort(pending.begin(), pending.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [txid, tx] : pending)
+    block.transactions.push_back(*tx);
   block.fix_merkle_root();
 
   // Real grinding against the easy target: the header carries genuine

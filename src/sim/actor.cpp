@@ -1,5 +1,7 @@
 #include "sim/actor.hpp"
 
+#include <algorithm>
+
 namespace fist::sim {
 
 void GroundTruth::register_address(const Address& a, ActorId actor) {
@@ -13,8 +15,10 @@ ActorId GroundTruth::owner(const Address& a) const noexcept {
 
 std::vector<Address> GroundTruth::addresses_of(ActorId actor) const {
   std::vector<Address> out;
+  // fistlint:allow(unordered-iter) collected then fully sorted below
   for (const auto& [addr, owner] : owner_)
     if (owner == actor) out.push_back(addr);
+  std::sort(out.begin(), out.end());
   return out;
 }
 

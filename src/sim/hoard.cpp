@@ -27,6 +27,9 @@ constexpr PeelTarget kPeelTargets[] = {
 
 // The dissolution schedule from the paper, in BTC of the original
 // 1DkyBEKt balance; we use them as *fractions* of the simulated hoard.
+// fistlint:allow-file(float-amount) BTC-denominated historical
+// constants and proportional splits; results cross into satoshis only
+// via deterministic rounding, and the sim is fully seeded
 constexpr double kWithdrawalsBtc[] = {20000, 19000, 60000,
                                       100000, 100000, 150000};
 constexpr double kFinalBtc = 158336;

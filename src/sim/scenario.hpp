@@ -21,6 +21,8 @@ namespace fist::sim {
 struct TheftScenario {
   std::string label;       ///< e.g. "Betcoin"
   std::string victim;      ///< service name robbed
+  // fistlint:allow(float-amount) scenario parameter in BTC, converted
+  // once via btc_fraction() at theft time
   double btc = 0;          ///< stolen amount in BTC (scaled if needed)
   int day = 0;             ///< theft day (offset into the simulation)
   /// Movement program, in order: 'A' aggregation, 'P' peeling chain,

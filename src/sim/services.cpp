@@ -262,8 +262,17 @@ void PaymentGateway::on_deposit(World& world, const Address& to, Amount value,
 }
 
 void PaymentGateway::on_day(World& world) {
-  // Daily merchant settlement.
-  for (auto& [merchant, due] : merchant_due_) {
+  // Daily merchant settlement, in merchant-id order: settlement
+  // payments consume wallet coins and mint txids sequentially, so the
+  // visit order is chain-visible and must not be a bucket accident.
+  std::vector<ActorId> merchants;
+  merchants.reserve(merchant_due_.size());
+  // fistlint:allow(unordered-iter) key snapshot, sorted on the next line
+  for (const auto& [merchant, due] : merchant_due_)
+    merchants.push_back(merchant);
+  std::sort(merchants.begin(), merchants.end());
+  for (ActorId merchant : merchants) {
+    Amount& due = merchant_due_[merchant];
     if (due < btc(1)) continue;
     PaymentSpec spec;
     spec.outputs.emplace_back(
@@ -340,6 +349,8 @@ void DiceGame::on_deposit(World& world, const Address& to, Amount value,
 
   Rng& rng = wallet().rng();
   Amount payout = rng.chance(p_win_)
+                      // fistlint:allow(float-amount) seeded-sim payout
+                      // scaling; rounding is deterministic
                       ? static_cast<Amount>(static_cast<double>(value) *
                                             multiplier_)
                       : std::max<Amount>(value / 100,
@@ -472,8 +483,18 @@ void InvestmentScheme::on_day(World& world) {
   }
 
   // Weekly "interest": paid from the common pool — the Ponzi mechanic.
+  // Investor-id order matters twice over: payouts mint txids, and the
+  // pool can run dry mid-loop (`break`), so who gets paid at all must
+  // not depend on hash-bucket order.
   if (world.day() % 7 == 0) {
-    for (auto& [investor, balance] : accounts_) {
+    std::vector<ActorId> investors;
+    investors.reserve(accounts_.size());
+    // fistlint:allow(unordered-iter) key snapshot, sorted on the next line
+    for (const auto& [investor, balance] : accounts_)
+      investors.push_back(investor);
+    std::sort(investors.begin(), investors.end());
+    for (ActorId investor : investors) {
+      Amount balance = accounts_[investor];
       if (balance <= 0) continue;
       Amount interest = balance * 7 / 100;
       if (interest <= wallet().policy().dust) continue;

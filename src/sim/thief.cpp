@@ -62,8 +62,10 @@ void ThiefActor::execute_theft(World& world) {
 
   for (auto& [victim, amount] : victims) {
     if (amount <= wallet().policy().dust) continue;
-    Amount dormant_part = static_cast<Amount>(
-        static_cast<double>(amount) * scenario_.dormant_fraction);
+    // fistlint:allow(float-amount) seeded-sim fraction split with
+    // deterministic truncation
+    Amount dormant_part = static_cast<Amount>(static_cast<double>(amount) *
+                                              scenario_.dormant_fraction);
     Amount active_part = amount - dormant_part;
 
     PaymentSpec spec;
@@ -193,6 +195,8 @@ void ThiefActor::run_peel_phase(World& world) {
   Amount remaining = coin->value;
   int hops = 15 + static_cast<int>(rng.below(15));
   for (int hop = 0; hop < hops; ++hop) {
+    // fistlint:allow(float-amount) seeded-sim peel sizing with
+    // deterministic truncation
     Amount peel = static_cast<Amount>(static_cast<double>(remaining) *
                                       (0.02 + rng.unit() * 0.06));
     if (peel <= wallet().policy().dust ||

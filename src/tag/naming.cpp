@@ -1,5 +1,6 @@
 #include "tag/naming.hpp"
 
+#include <algorithm>
 #include <map>
 
 namespace fist {
@@ -13,14 +14,22 @@ ClusterNaming::ClusterNaming(std::span<const ClusterId> cluster_of,
     std::map<std::string, Category> category_of;
   };
   std::unordered_map<ClusterId, Votes> votes;
+  // fistlint:allow(unordered-iter) commutative vote counting: keyed
+  // increments plus an order-free min-merge for the category
   for (const auto& [addr, tag] : tags.all()) {
     if (addr >= cluster_of.size()) continue;
     ClusterId c = cluster_of[addr];
     Votes& v = votes[c];
     v.by_service[tag.service]++;
-    v.category_of.emplace(tag.service, tag.category);
+    // Feeds disagreeing on a service's category resolve to the
+    // smallest enum value — any-order deterministic, unlike
+    // first-tag-wins (which inherits the bucket order).
+    auto [it, inserted] = v.category_of.emplace(tag.service, tag.category);
+    if (!inserted && tag.category < it->second) it->second = tag.category;
   }
 
+  // fistlint:allow(unordered-iter) keyed emplaces and commutative
+  // counts only; contested_ (the one ordered product) is sorted below
   for (auto& [cluster, v] : votes) {
     // Winner = most votes; ties broken lexicographically (deterministic).
     const std::string* best = nullptr;
@@ -43,6 +52,9 @@ ClusterNaming::ClusterNaming(std::span<const ClusterId> cluster_of,
     if (cluster < cluster_sizes.size())
       named_addresses_ += cluster_sizes[cluster];
   }
+  // The loop above visits clusters in bucket order; contested_ must
+  // not inherit it.
+  std::sort(contested_.begin(), contested_.end());
 }
 
 const ClusterName* ClusterNaming::name_of(ClusterId c) const noexcept {

@@ -35,6 +35,7 @@ const Tag* TagStore::find(AddrId addr) const noexcept {
 
 std::size_t TagStore::count_by_source(TagSource s) const noexcept {
   std::size_t n = 0;
+  // fistlint:allow(unordered-iter) commutative count
   for (const auto& [addr, tag] : tags_)
     if (tag.source == s) ++n;
   return n;

@@ -5,6 +5,8 @@
 
 namespace fist {
 
+// fistlint:allow-file(float-amount) this file IS the sanctioned
+// BTC<->satoshi conversion boundary; everything downstream is integer
 Amount btc_fraction(double coins) {
   if (!(coins >= 0) || coins > 21'000'000.0)
     throw UsageError("btc_fraction(): out of money range");

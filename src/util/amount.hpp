@@ -36,6 +36,7 @@ constexpr Amount btc(std::int64_t coins) {
 }
 
 /// Converts a fractional bitcoin value to satoshis, rounding to nearest.
+// fistlint:allow(float-amount) declared conversion boundary (see amount.cpp)
 Amount btc_fraction(double coins);
 
 /// Checked addition of two non-negative amounts.

@@ -10,11 +10,12 @@ std::size_t Rng::zipf(std::size_t n, double s) {
   // number of *categories* (services, merchants), typically < 10^4, so a
   // linear scan is fine and keeps the stream consumption deterministic.
   double total = 0.0;
-  for (std::size_t r = 0; r < n; ++r) total += 1.0 / std::pow(r + 1.0, s);
+  for (std::size_t r = 0; r < n; ++r)
+    total += 1.0 / std::pow(static_cast<double>(r) + 1.0, s);
   double target = unit() * total;
   double acc = 0.0;
   for (std::size_t r = 0; r < n; ++r) {
-    acc += 1.0 / std::pow(r + 1.0, s);
+    acc += 1.0 / std::pow(static_cast<double>(r) + 1.0, s);
     if (target < acc) return r;
   }
   return n - 1;

@@ -1,0 +1,14 @@
+// fistlint:allow-file(unordered-iter) every fold in this file is commutative
+#include <unordered_map>
+
+int total(const std::unordered_map<int, int>& m) {
+  int sum = 0;
+  for (const auto& [k, v] : m) sum += v;
+  return sum;
+}
+
+int count(const std::unordered_map<int, int>& m) {
+  int n = 0;
+  for (const auto& [k, v] : m) n += (v > 0) ? 1 : 0;
+  return n;
+}

@@ -1,0 +1,10 @@
+// Violations: ambient entropy outside the seeded registries.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned noisy_seed() {
+  std::srand(static_cast<unsigned>(time(nullptr)));
+  std::random_device rd;
+  return static_cast<unsigned>(std::rand()) + rd();
+}

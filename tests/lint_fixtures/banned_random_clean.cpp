@@ -1,0 +1,10 @@
+// Clean: members named like the banned globals, and string mentions.
+struct Clock {
+  long time(void* tz) const { return tz == nullptr ? 0 : 1; }
+};
+
+long member_calls(const Clock& clock, Clock* remote) {
+  return clock.time(nullptr) + remote->time(nullptr);
+}
+
+const char* kNote = "never call rand() or time(nullptr) here";

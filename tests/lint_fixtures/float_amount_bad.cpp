@@ -1,0 +1,10 @@
+// Violations: FP arithmetic on satoshi amounts.
+using Amount = long long;
+
+Amount scale_fee(Amount fee, double factor) {
+  return static_cast<Amount>(static_cast<double>(fee) * factor);
+}
+
+double to_btc(Amount satoshis) {
+  return static_cast<double>(satoshis) / 100000000.0;
+}

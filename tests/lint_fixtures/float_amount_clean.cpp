@@ -1,0 +1,8 @@
+// Clean: integral amount math; floats only for non-monetary data.
+using Amount = long long;
+
+Amount add_fee(Amount total, Amount fee) { return total + fee; }
+
+double mean_ms(double total_ms, long samples) {
+  return samples == 0 ? 0.0 : total_ms / static_cast<double>(samples);
+}

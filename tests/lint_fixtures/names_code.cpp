@@ -1,0 +1,19 @@
+// Metric/span name uses for the docs-drift fixture.
+#include <string>
+
+struct Reg {
+  void counter(const std::string& name);
+  void histogram(const std::string& name);
+};
+
+struct Span {
+  explicit Span(const std::string& name);
+};
+
+void wire(Reg& registry, const std::string& site) {
+  registry.counter("app.requests");
+  registry.histogram("app.latency");
+  Span phase("app.phase");
+  registry.counter("fault.injected." + site);
+  registry.counter("app.undocumented");
+}

@@ -1,0 +1,12 @@
+// Violations: pointer-keyed ordered/hashed containers.
+#include <map>
+#include <set>
+#include <unordered_set>
+
+struct Node {
+  int id = 0;
+};
+
+std::map<Node*, int> rank_by_node;
+std::set<const Node*> visited;
+std::unordered_set<Node*> open_nodes;

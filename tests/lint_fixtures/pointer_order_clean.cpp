@@ -1,0 +1,10 @@
+// Clean: pointers as mapped values, stable ids as keys.
+#include <map>
+#include <set>
+
+struct Node {
+  int id = 0;
+};
+
+std::map<int, Node*> node_by_id;
+std::set<long> ids;

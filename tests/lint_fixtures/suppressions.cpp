@@ -1,0 +1,24 @@
+// Suppression grammar: trailing, own-line (multi-line reason), and a
+// reasonless allow that must itself be reported.
+#include <unordered_map>
+
+int trailing(const std::unordered_map<int, int>& m) {
+  int sum = 0;
+  for (const auto& [k, v] : m) sum += v;  // fistlint:allow(unordered-iter) commutative sum
+  return sum;
+}
+
+int own_line(const std::unordered_map<int, int>& m) {
+  int sum = 0;
+  // fistlint:allow(unordered-iter) commutative sum; the reason
+  // continues on a second comment line
+  for (const auto& [k, v] : m) sum += v;
+  return sum;
+}
+
+int reasonless(const std::unordered_map<int, int>& m) {
+  int sum = 0;
+  // fistlint:allow(unordered-iter)
+  for (const auto& [k, v] : m) sum += v;
+  return sum;
+}

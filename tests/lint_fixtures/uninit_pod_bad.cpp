@@ -1,0 +1,12 @@
+// Violations: uninitialized scalar members in a serialized struct.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+struct WireRecord {
+  std::uint32_t height = 0;
+  std::uint64_t value;
+  bool spent;
+  std::string payload;
+  std::vector<unsigned char> serialize() const;
+};

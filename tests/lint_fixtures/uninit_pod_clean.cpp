@@ -1,0 +1,19 @@
+// Clean: initializers, a user constructor, or no serialization at all.
+#include <cstdint>
+#include <vector>
+
+struct GoodRecord {
+  std::uint32_t height = 0;
+  bool spent = false;
+  std::vector<unsigned char> serialize() const;
+};
+
+struct CtorRecord {
+  CtorRecord();
+  std::uint32_t height;
+  std::vector<unsigned char> serialize() const;
+};
+
+struct Plain {
+  int x;
+};

@@ -1,0 +1,19 @@
+// Violations: range-for and iterator loops over unordered containers.
+#include <unordered_map>
+#include <unordered_set>
+
+struct Index {
+  std::unordered_map<int, int> by_id;
+};
+
+int range_for_member(const Index& index) {
+  int sum = 0;
+  for (const auto& [k, v] : index.by_id) sum += v;
+  return sum;
+}
+
+int iterator_loop(const std::unordered_set<int>& seen) {
+  int n = 0;
+  for (auto it = seen.begin(); it != seen.end(); ++it) ++n;
+  return n;
+}

@@ -1,0 +1,19 @@
+// Clean: sorted copies and ordered containers.
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+int sorted_copy(const std::unordered_map<int, int>& counts) {
+  std::vector<std::pair<int, int>> rows(counts.begin(), counts.end());
+  std::sort(rows.begin(), rows.end());
+  int sum = 0;
+  for (const auto& [k, v] : rows) sum += v;
+  return sum;
+}
+
+int ordered_map(const std::map<int, int>& by_key) {
+  int sum = 0;
+  for (const auto& [k, v] : by_key) sum += v;
+  return sum;
+}

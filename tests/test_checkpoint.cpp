@@ -133,8 +133,8 @@ TEST(CheckpointArtifacts, H1RoundTripPreservesThePartition) {
   H1Stats restored_stats;
   decode_h1_artifact(raw, restored, restored_stats);
   ASSERT_EQ(restored.size(), uf.size());
-  for (std::size_t a = 0; a < 12; ++a)
-    for (std::size_t b = 0; b < 12; ++b)
+  for (std::uint32_t a = 0; a < 12; ++a)
+    for (std::uint32_t b = 0; b < 12; ++b)
       EXPECT_EQ(restored.same(a, b), uf.same(a, b)) << a << "," << b;
   EXPECT_EQ(restored_stats.multi_input_txs, 4u);
   EXPECT_EQ(restored_stats.links, 5u);

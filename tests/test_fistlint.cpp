@@ -1,0 +1,260 @@
+// Golden tests for the fistlint rule set over tests/lint_fixtures/:
+// every rule has a violating and a clean snippet whose findings are
+// asserted against a committed .expected file, plus targeted checks
+// for the suppression grammar, the docs-drift registry, the baseline
+// ratchet, and the lexer's corner cases.
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baseline.hpp"
+#include "lexer.hpp"
+#include "rules.hpp"
+
+namespace fistlint {
+namespace {
+
+std::string fixture_path(const std::string& name) {
+  return std::string(FISTLINT_FIXTURE_DIR) + "/" + name;
+}
+
+std::string read_fixture(const std::string& name) {
+  std::ifstream in(fixture_path(name), std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing fixture " << name;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// Runs the per-file rules + suppressions the way the driver does for a
+// single file, and flattens the findings to "rule:line" lines.
+std::string findings_for(const std::string& name, const std::string& rel) {
+  SourceFile file = lex(read_fixture(name), rel);
+  ScanContext ctx;
+  collect_unordered_symbols(file, ctx.unordered_symbols);
+  std::vector<Finding> findings =
+      apply_allows(run_file_rules(file, ctx), file);
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
+            });
+  std::string out;
+  for (const Finding& f : findings)
+    out += f.rule + ":" + std::to_string(f.line) + "\n";
+  return out;
+}
+
+struct GoldenCase {
+  const char* fixture;
+  const char* expected;
+};
+
+class FistlintGolden : public testing::TestWithParam<GoldenCase> {};
+
+TEST_P(FistlintGolden, MatchesExpectedFindings) {
+  const GoldenCase& c = GetParam();
+  EXPECT_EQ(findings_for(c.fixture, c.fixture), read_fixture(c.expected))
+      << "fixture " << c.fixture;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fixtures, FistlintGolden,
+    testing::Values(
+        GoldenCase{"unordered_iter_bad.cpp", "unordered_iter_bad.expected"},
+        GoldenCase{"unordered_iter_clean.cpp",
+                   "unordered_iter_clean.expected"},
+        GoldenCase{"pointer_order_bad.cpp", "pointer_order_bad.expected"},
+        GoldenCase{"pointer_order_clean.cpp", "pointer_order_clean.expected"},
+        GoldenCase{"banned_random_bad.cpp", "banned_random_bad.expected"},
+        GoldenCase{"banned_random_clean.cpp", "banned_random_clean.expected"},
+        GoldenCase{"uninit_pod_bad.cpp", "uninit_pod_bad.expected"},
+        GoldenCase{"uninit_pod_clean.cpp", "uninit_pod_clean.expected"},
+        GoldenCase{"float_amount_bad.cpp", "float_amount_bad.expected"},
+        GoldenCase{"float_amount_clean.cpp", "float_amount_clean.expected"},
+        GoldenCase{"suppressions.cpp", "suppressions.expected"},
+        GoldenCase{"allow_file.cpp", "allow_file.expected"}),
+    [](const testing::TestParamInfo<GoldenCase>& param_info) {
+      std::string n = param_info.param.fixture;
+      n.resize(n.find('.'));
+      return n;
+    });
+
+TEST(FistlintRules, BannedRandomIsExemptInSeededPaths) {
+  // The same violating content is clean when it lives under a seeded
+  // registry path (src/sim/, src/core/fault, src/util/rng).
+  EXPECT_EQ(findings_for("banned_random_bad.cpp", "src/sim/entropy.cpp"), "");
+  EXPECT_EQ(findings_for("banned_random_bad.cpp", "src/util/rng.cpp"), "");
+  EXPECT_NE(findings_for("banned_random_bad.cpp", "src/net/entropy.cpp"), "");
+}
+
+// ---------------------------------------------------------------------------
+// docs-drift
+// ---------------------------------------------------------------------------
+
+std::vector<NameUse> fixture_names() {
+  SourceFile file = lex(read_fixture("names_code.cpp"), "names_code.cpp");
+  std::vector<NameUse> names;
+  collect_metric_names(file, names);
+  return names;
+}
+
+TEST(FistlintDocsDrift, BothDirectionsAndWildcard) {
+  std::vector<Finding> findings = docs_drift(
+      fixture_names(), read_fixture("docs_registry.md"), "docs_registry.md");
+  ASSERT_EQ(findings.size(), 2u);
+
+  // Code side: a name used in code but absent from the registry,
+  // reported at the use site.
+  const Finding* code_side = nullptr;
+  const Finding* doc_side = nullptr;
+  for (const Finding& f : findings) {
+    EXPECT_EQ(f.rule, kRuleDocsDrift);
+    (f.file == "names_code.cpp" ? code_side : doc_side) = &f;
+  }
+  ASSERT_NE(code_side, nullptr);
+  ASSERT_NE(doc_side, nullptr);
+  EXPECT_EQ(code_side->line, 18);
+  EXPECT_NE(code_side->message.find("app.undocumented"), std::string::npos);
+  EXPECT_EQ(doc_side->file, "docs_registry.md");
+  EXPECT_EQ(doc_side->line, 13);
+  EXPECT_NE(doc_side->message.find("app.stale_name"), std::string::npos);
+}
+
+TEST(FistlintDocsDrift, MissingRegistryIsOneFinding) {
+  std::vector<Finding> findings = docs_drift(
+      fixture_names(), read_fixture("docs_missing.md"), "docs_missing.md");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].snippet, "<registry-missing>");
+  EXPECT_EQ(findings[0].file, "docs_missing.md");
+}
+
+TEST(FistlintDocsDrift, DynamicPrefixRequiresWildcardEntry) {
+  // `counter("fault.injected." + site)` matches only the wildcard
+  // entry; a literal entry with the same spelling would not cover it.
+  std::string doc =
+      "<!-- fistlint:names:begin -->\n"
+      "`app.requests` `app.latency` `app.phase` `app.undocumented`\n"
+      "`fault.injected.executor` (a literal, not a wildcard)\n"
+      "<!-- fistlint:names:end -->\n";
+  std::vector<Finding> findings = docs_drift(fixture_names(), doc, "doc.md");
+  bool prefix_flagged = false;
+  for (const Finding& f : findings)
+    if (f.message.find("fault.injected.") != std::string::npos)
+      prefix_flagged = true;
+  EXPECT_TRUE(prefix_flagged);
+}
+
+// ---------------------------------------------------------------------------
+// baseline
+// ---------------------------------------------------------------------------
+
+Finding fake_finding(const std::string& rule, const std::string& file,
+                     int line, const std::string& source_line) {
+  Finding f;
+  f.rule = rule;
+  f.file = file;
+  f.line = line;
+  f.message = "msg";
+  f.snippet = normalize_snippet(source_line);
+  return f;
+}
+
+TEST(FistlintBaseline, RoundTripConsumeAndStale) {
+  std::vector<Finding> findings = {
+      fake_finding("unordered-iter", "a.cpp", 3, "for (auto& x :  m)  f();"),
+      fake_finding("unordered-iter", "a.cpp", 9, "for (auto& x :  m)  f();"),
+      fake_finding("float-amount", "b.cpp", 1, "double fee = 0;"),
+  };
+  std::string text = Baseline::render(findings);
+  Baseline base = Baseline::parse(text);
+
+  // Identical snippets carry multiplicity: two consumes succeed, the
+  // third fails (a third occurrence would be a NEW finding).
+  std::string dup_key = baseline_key(findings[0]);
+  EXPECT_EQ(dup_key, baseline_key(findings[1]));
+  EXPECT_TRUE(base.consume(dup_key));
+  EXPECT_TRUE(base.consume(dup_key));
+  EXPECT_FALSE(base.consume(dup_key));
+
+  // The unconsumed float-amount entry is stale.
+  std::vector<std::string> stale = base.stale();
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0], baseline_key(findings[2]));
+}
+
+TEST(FistlintBaseline, ParseIgnoresCommentsAndBlanks) {
+  Baseline base = Baseline::parse("# header\n\nrule|f.cpp|x = 1;\n# tail\n");
+  EXPECT_TRUE(base.consume("rule|f.cpp|x = 1;"));
+  EXPECT_FALSE(base.consume("rule|f.cpp|x = 1;"));
+  EXPECT_FALSE(base.consume("# header"));
+}
+
+TEST(FistlintBaseline, SnippetNormalizationSurvivesReindentation) {
+  // Runs of whitespace collapse and edges trim, so indentation changes
+  // (the common mechanical reformat) don't invalidate entries; actual
+  // token changes do.
+  EXPECT_EQ(normalize_snippet("    for (auto& x : m)   "),
+            normalize_snippet("for (auto&\tx : m)"));
+  EXPECT_NE(normalize_snippet("for (auto& x : m)"),
+            normalize_snippet("for (auto& y : m)"));
+}
+
+// ---------------------------------------------------------------------------
+// lexer
+// ---------------------------------------------------------------------------
+
+TEST(FistlintLexer, StringsAndCommentsHideBannedIdents) {
+  // rand/time inside raw strings, ordinary strings, and comments must
+  // not produce identifier tokens.
+  SourceFile file = lex(
+      "const char* a = R\"x(rand() time(nullptr))x\";\n"
+      "const char* b = \"srand(1)\";  // rand() here too\n"
+      "/* std::random_device */ int c = 0;\n",
+      "s.cpp");
+  for (const Token& t : file.tokens) {
+    if (t.kind == TokKind::Ident) {
+      EXPECT_TRUE(t.text != "rand" && t.text != "srand" &&
+                  t.text != "random_device" && t.text != "time")
+          << t.text;
+    }
+  }
+  ScanContext ctx;
+  EXPECT_TRUE(run_file_rules(file, ctx).empty());
+}
+
+TEST(FistlintLexer, DigitSeparatorsAndTwoCharPuncts) {
+  SourceFile file = lex("long n = 21'000'000; m >>= 2;", "s.cpp");
+  bool saw_number = false;
+  int gt = 0;
+  for (const Token& t : file.tokens) {
+    if (t.kind == TokKind::Number && t.text == "21'000'000") saw_number = true;
+    if (t.punct('>')) ++gt;
+  }
+  EXPECT_TRUE(saw_number);
+  EXPECT_EQ(gt, 2) << "every punctuator is a single character";
+}
+
+TEST(FistlintLexer, AllowParsing) {
+  SourceFile file = lex(
+      "int x;  // fistlint:allow(unordered-iter,float-amount) both fine\n"
+      "// fistlint:allow-file(pointer-order) ids are interned\n",
+      "s.cpp");
+  ASSERT_EQ(file.allows.size(), 2u);
+  EXPECT_EQ(file.allows[0].line, 1);
+  EXPECT_FALSE(file.allows[0].own_line);
+  EXPECT_FALSE(file.allows[0].file_scope);
+  ASSERT_EQ(file.allows[0].rules.size(), 2u);
+  EXPECT_EQ(file.allows[0].rules[0], "unordered-iter");
+  EXPECT_EQ(file.allows[0].rules[1], "float-amount");
+  EXPECT_EQ(file.allows[0].reason, "both fine");
+  EXPECT_TRUE(file.allows[1].own_line);
+  EXPECT_TRUE(file.allows[1].file_scope);
+}
+
+}  // namespace
+}  // namespace fistlint

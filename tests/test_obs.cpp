@@ -201,11 +201,17 @@ struct PipelineObservation {
   std::map<std::string, std::pair<std::uint64_t, double>> histogram_deltas;
 };
 
+PipelineOptions threaded_options(unsigned threads) {
+  PipelineOptions options;
+  options.threads = threads;
+  return options;
+}
+
 PipelineObservation observe_pipeline_run(unsigned threads) {
   sim::World& world = obs_world();  // built before the baseline snapshot
   obs::Snapshot before = obs::MetricsRegistry::global().snapshot();
   ForensicPipeline pipeline(world.store(), world.tag_feed(),
-                            PipelineOptions{refined_h2_options(), threads});
+                            threaded_options(threads));
   pipeline.run();
   obs::Snapshot after = obs::MetricsRegistry::global().snapshot();
 
@@ -266,7 +272,7 @@ TEST(ObsDeterminism, SpanStructureAndMetricsThreadCountInvariant) {
 // The StageTiming back-compat accessor mirrors the root spans 1:1.
 TEST(ObsDeterminism, TimingsMirrorRootSpans) {
   ForensicPipeline pipeline(obs_world().store(), obs_world().tag_feed(),
-                            PipelineOptions{refined_h2_options(), 1});
+                            threaded_options(1));
   pipeline.run();
   std::vector<std::string> roots;
   for (const obs::SpanRecord& r : pipeline.trace().records())

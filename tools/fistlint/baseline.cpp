@@ -1,0 +1,63 @@
+#include "baseline.hpp"
+
+#include <algorithm>
+
+namespace fistlint {
+
+std::string baseline_key(const Finding& f) {
+  return f.rule + "|" + f.file + "|" + f.snippet;
+}
+
+Baseline Baseline::parse(std::string_view text) {
+  Baseline b;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t nl = text.find('\n', start);
+    std::string_view line = text.substr(
+        start, nl == std::string_view::npos ? std::string_view::npos
+                                            : nl - start);
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' '))
+      line.remove_suffix(1);
+    if (!line.empty() && line.front() != '#')
+      ++b.entries_[std::string(line)];
+    if (nl == std::string_view::npos) break;
+    start = nl + 1;
+  }
+  return b;
+}
+
+bool Baseline::consume(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end() || it->second == 0) return false;
+  --it->second;
+  return true;
+}
+
+std::vector<std::string> Baseline::stale() const {
+  std::vector<std::string> out;
+  for (const auto& [key, count] : entries_)
+    for (int i = 0; i < count; ++i) out.push_back(key);
+  return out;
+}
+
+std::string Baseline::render(const std::vector<Finding>& findings) {
+  std::vector<std::string> keys;
+  keys.reserve(findings.size());
+  for (const Finding& f : findings) keys.push_back(baseline_key(f));
+  std::sort(keys.begin(), keys.end());
+
+  std::string out =
+      "# fistlint baseline — tolerated findings, one rule|file|snippet "
+      "per line.\n"
+      "# New findings fail the build; fixing a site strands a stale "
+      "entry here\n"
+      "# (remove it with `fistlint --update-baseline`). See "
+      "docs/STATIC_ANALYSIS.md.\n";
+  for (const std::string& k : keys) {
+    out += k;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace fistlint

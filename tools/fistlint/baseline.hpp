@@ -1,0 +1,52 @@
+// baseline.hpp — the findings ratchet.
+//
+// The baseline is a committed inventory of the findings the tree is
+// allowed to carry, one `rule|file|normalized-snippet` line each.
+// Matching is content-based (the snippet is the finding's source line
+// with whitespace collapsed), so entries survive unrelated edits and
+// line drift but die with the code they describe. The contract:
+//
+//   * a finding matching a baseline entry is tolerated (exit 0);
+//   * a finding with no entry is NEW and fails the run — the count
+//     never goes up;
+//   * an entry matching no finding is STALE — the run still passes,
+//     but fistlint nags until `--update-baseline` shrinks the file,
+//     so the count ratchets down.
+//
+// Duplicate lines mean "this many occurrences": two identical loops in
+// one file need two entries, and fixing one strands one stale entry.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rules.hpp"
+
+namespace fistlint {
+
+/// The `rule|file|snippet` identity a finding is matched on.
+std::string baseline_key(const Finding& f);
+
+class Baseline {
+ public:
+  /// Parses baseline text: one key per line; '#' comments and blank
+  /// lines ignored.
+  static Baseline parse(std::string_view text);
+
+  /// True when `key` has a remaining unconsumed entry (and consumes
+  /// it — call once per finding).
+  bool consume(const std::string& key);
+
+  /// Keys never consumed, with multiplicity — the stale entries.
+  std::vector<std::string> stale() const;
+
+  /// Renders `findings` as fresh baseline text (sorted, deduplicated
+  /// into counted duplicates).
+  static std::string render(const std::vector<Finding>& findings);
+
+ private:
+  std::map<std::string, int> entries_;  ///< key → remaining count
+};
+
+}  // namespace fistlint

@@ -1,0 +1,268 @@
+#include "driver.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+#include "baseline.hpp"
+
+namespace fistlint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool read_file(const fs::path& p, std::string& out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+std::string to_rel(const fs::path& root, const fs::path& p) {
+  std::error_code ec;
+  fs::path rel = fs::relative(p, root, ec);
+  fs::path chosen = (ec || rel.empty()) ? p : rel;
+  return chosen.generic_string();
+}
+
+bool has_any_prefix(const std::string& rel,
+                    const std::vector<std::string>& prefixes) {
+  for (const std::string& p : prefixes)
+    if (rel.rfind(p, 0) == 0) return true;
+  return false;
+}
+
+bool is_source_ext(const fs::path& p) {
+  std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".cxx" || ext == ".hpp" ||
+         ext == ".h" || ext == ".hh";
+}
+
+/// Minimal extraction of `"file"` / `"directory"` values from
+/// compile_commands.json. The format is machine-written (CMake), so a
+/// targeted scan beats dragging in a JSON parser: find each key, take
+/// the next string literal, honor escapes.
+std::vector<fs::path> compile_db_files(const std::string& json) {
+  std::vector<fs::path> out;
+  std::string dir;
+  std::size_t i = 0;
+  auto next_string = [&](std::size_t from, std::string& value) {
+    std::size_t q = json.find('"', from);
+    if (q == std::string::npos) return std::string::npos;
+    std::string v;
+    std::size_t j = q + 1;
+    while (j < json.size() && json[j] != '"') {
+      if (json[j] == '\\' && j + 1 < json.size()) {
+        v.push_back(json[j + 1]);
+        j += 2;
+      } else {
+        v.push_back(json[j]);
+        ++j;
+      }
+    }
+    value = std::move(v);
+    return j;
+  };
+  while (true) {
+    std::size_t dkey = json.find("\"directory\"", i);
+    std::size_t fkey = json.find("\"file\"", i);
+    if (fkey == std::string::npos) break;
+    if (dkey != std::string::npos && dkey < fkey) {
+      std::size_t colon = json.find(':', dkey + 11);
+      i = next_string(colon, dir);
+      if (i == std::string::npos) break;
+      continue;
+    }
+    std::size_t colon = json.find(':', fkey + 6);
+    std::string file;
+    i = next_string(colon, file);
+    if (i == std::string::npos) break;
+    fs::path p(file);
+    if (p.is_relative() && !dir.empty()) p = fs::path(dir) / p;
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+struct Scan {
+  std::vector<SourceFile> files;
+  ScanContext ctx;
+  std::vector<NameUse> names;
+};
+
+bool load_and_lex(const fs::path& root, const std::string& rel,
+                  const fs::path& abs, Scan& scan, std::ostream& err) {
+  (void)root;
+  std::string content;
+  if (!read_file(abs, content)) {
+    err << "fistlint: cannot read " << abs.string() << "\n";
+    return false;
+  }
+  scan.files.push_back(lex(content, rel));
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::string> discover_files(const Options& opts,
+                                        std::ostream& err) {
+  fs::path root(opts.root);
+  std::set<std::string> rels;
+
+  fs::path db_path = opts.compile_commands.empty()
+                         ? root / "build" / "compile_commands.json"
+                         : fs::path(opts.compile_commands);
+  std::string db;
+  if (read_file(db_path, db)) {
+    for (const fs::path& p : compile_db_files(db)) {
+      std::string rel = to_rel(root, p);
+      if (has_any_prefix(rel, opts.scan_prefixes) && is_source_ext(p))
+        rels.insert(rel);
+    }
+  } else {
+    err << "fistlint: note: no compile database at " << db_path.string()
+        << "; scanning the source tree directly\n";
+    for (const std::string& prefix : opts.scan_prefixes) {
+      fs::path dir = root / prefix;
+      std::error_code ec;
+      for (fs::recursive_directory_iterator it(dir, ec), end;
+           !ec && it != end; it.increment(ec)) {
+        if (it->is_regular_file(ec) && is_source_ext(it->path()))
+          rels.insert(to_rel(root, it->path()));
+      }
+    }
+    return {rels.begin(), rels.end()};
+  }
+
+  // Headers never appear in the compile database — union in every
+  // header under the scanned prefixes.
+  for (const std::string& prefix : opts.scan_prefixes) {
+    fs::path dir = root / prefix;
+    std::error_code ec;
+    for (fs::recursive_directory_iterator it(dir, ec), end;
+         !ec && it != end; it.increment(ec)) {
+      if (!it->is_regular_file(ec)) continue;
+      std::string ext = it->path().extension().string();
+      if (ext == ".hpp" || ext == ".h" || ext == ".hh")
+        rels.insert(to_rel(root, it->path()));
+    }
+  }
+  return {rels.begin(), rels.end()};
+}
+
+int run(const Options& opts, std::ostream& out, std::ostream& err) {
+  fs::path root(opts.root);
+
+  // ---- gather + lex -----------------------------------------------------
+  Scan scan;
+  if (!opts.files.empty()) {
+    for (const std::string& f : opts.files)
+      if (!load_and_lex(root, to_rel(root, fs::path(f)), fs::path(f), scan,
+                        err))
+        return kExitUsage;
+  } else {
+    std::vector<std::string> rels = discover_files(opts, err);
+    if (rels.empty()) {
+      err << "fistlint: nothing to scan under " << root.string() << "\n";
+      return kExitUsage;
+    }
+    for (const std::string& rel : rels)
+      if (!load_and_lex(root, rel, root / rel, scan, err)) return kExitUsage;
+  }
+
+  // ---- pass 1: cross-file facts ----------------------------------------
+  for (const SourceFile& f : scan.files) {
+    collect_unordered_symbols(f, scan.ctx.unordered_symbols);
+    collect_metric_names(f, scan.names);
+  }
+
+  // ---- pass 2: rules + suppressions ------------------------------------
+  std::vector<Finding> findings;
+  for (const SourceFile& f : scan.files) {
+    std::vector<Finding> raw = run_file_rules(f, scan.ctx);
+    std::vector<Finding> kept = apply_allows(std::move(raw), f);
+    findings.insert(findings.end(), std::make_move_iterator(kept.begin()),
+                    std::make_move_iterator(kept.end()));
+  }
+
+  // ---- docs-drift -------------------------------------------------------
+  if (opts.check_docs) {
+    fs::path doc_path = root / opts.docs;
+    std::string doc_text;
+    if (!read_file(doc_path, doc_text)) {
+      err << "fistlint: cannot read docs file " << doc_path.string() << "\n";
+      return kExitUsage;
+    }
+    std::vector<Finding> drift =
+        docs_drift(scan.names, doc_text, opts.docs);
+    findings.insert(findings.end(), std::make_move_iterator(drift.begin()),
+                    std::make_move_iterator(drift.end()));
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+
+  // ---- baseline ratchet -------------------------------------------------
+  fs::path baseline_path = root / opts.baseline;
+  if (opts.update_baseline) {
+    std::ofstream bf(baseline_path, std::ios::binary | std::ios::trunc);
+    if (!bf) {
+      err << "fistlint: cannot write baseline " << baseline_path.string()
+          << "\n";
+      return kExitUsage;
+    }
+    bf << Baseline::render(findings);
+    err << "fistlint: baseline updated with " << findings.size()
+        << " finding(s)\n";
+    return kExitClean;
+  }
+
+  std::string baseline_text;
+  read_file(baseline_path, baseline_text);  // missing file → empty baseline
+  Baseline baseline = Baseline::parse(baseline_text);
+
+  std::vector<Finding> fresh;
+  std::size_t tolerated = 0;
+  for (Finding& f : findings) {
+    if (baseline.consume(baseline_key(f)))
+      ++tolerated;
+    else
+      fresh.push_back(std::move(f));
+  }
+  std::vector<std::string> stale = baseline.stale();
+
+  // ---- report -----------------------------------------------------------
+  std::ostringstream report;
+  for (const Finding& f : fresh)
+    report << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message
+           << "\n";
+  out << report.str();
+
+  if (!opts.report.empty()) {
+    std::ofstream rf(opts.report, std::ios::binary | std::ios::trunc);
+    rf << report.str();
+    rf << "# summary: " << fresh.size() << " new, " << tolerated
+       << " baselined, " << stale.size() << " stale baseline entrie(s)\n";
+  }
+
+  for (const std::string& s : stale)
+    err << "fistlint: stale baseline entry (fixed? run --update-baseline): "
+        << s << "\n";
+  err << "fistlint: " << scan.files.size() << " file(s), " << fresh.size()
+      << " new finding(s), " << tolerated << " baselined, " << stale.size()
+      << " stale\n";
+
+  return fresh.empty() ? kExitClean : kExitFindings;
+}
+
+}  // namespace fistlint

@@ -1,0 +1,47 @@
+// driver.hpp — file discovery, orchestration, reporting.
+//
+// The driver owns everything around the rules: deriving the file set
+// from compile_commands.json (the build is the source of truth for
+// what is "in the tree"), the two-pass scan (cross-file symbol and
+// name collection, then per-file rules), suppression and baseline
+// filtering, the docs-drift comparison, and the findings report.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "rules.hpp"
+
+namespace fistlint {
+
+struct Options {
+  std::string root = ".";  ///< repo root; all defaults are relative to it
+  std::string compile_commands;  ///< empty → root/build/compile_commands.json,
+                                 ///< falling back to a src/ glob
+  std::string baseline = "tools/fistlint/baseline.txt";
+  std::string docs = "docs/OBSERVABILITY.md";
+  std::vector<std::string> scan_prefixes = {"src/"};
+  bool check_docs = true;
+  bool update_baseline = false;
+  std::string report;  ///< when set, write the findings report here
+  std::vector<std::string> files;  ///< explicit file list (overrides
+                                   ///< discovery; paths relative to cwd)
+};
+
+/// Exit codes, also the public contract of the binary.
+inline constexpr int kExitClean = 0;    ///< no findings outside baseline
+inline constexpr int kExitFindings = 1; ///< new findings
+inline constexpr int kExitUsage = 2;    ///< bad invocation / unreadable input
+
+/// Runs the full scan. Findings go to `out`, diagnostics to `err`.
+int run(const Options& opts, std::ostream& out, std::ostream& err);
+
+/// The file set a default run scans: `compile_commands.json` entries
+/// under a scan prefix, plus every header beneath those prefixes.
+/// Sorted, root-relative. Falls back to a filesystem glob (with a
+/// note to `err`) when no compile database is readable.
+std::vector<std::string> discover_files(const Options& opts,
+                                        std::ostream& err);
+
+}  // namespace fistlint

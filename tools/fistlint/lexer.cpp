@@ -1,0 +1,237 @@
+#include "lexer.hpp"
+
+#include <cctype>
+
+namespace fistlint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+/// Parses a `fistlint:allow(...)` / `fistlint:allow-file(...)` marker
+/// out of a comment body, if present.
+void parse_allow(std::string_view comment, int line, bool own_line,
+                 std::vector<Allow>& out) {
+  static constexpr std::string_view kTag = "fistlint:allow";
+  std::size_t pos = comment.find(kTag);
+  if (pos == std::string_view::npos) return;
+  std::size_t cursor = pos + kTag.size();
+  bool file_scope = false;
+  static constexpr std::string_view kFile = "-file";
+  if (comment.substr(cursor, kFile.size()) == kFile) {
+    file_scope = true;
+    cursor += kFile.size();
+  }
+  if (cursor >= comment.size() || comment[cursor] != '(') return;
+  std::size_t close = comment.find(')', cursor);
+  if (close == std::string_view::npos) return;
+
+  Allow allow;
+  allow.line = line;
+  allow.own_line = own_line;
+  allow.file_scope = file_scope;
+  std::string_view list = comment.substr(cursor + 1, close - cursor - 1);
+  while (!list.empty()) {
+    std::size_t comma = list.find(',');
+    std::string rule = trim(list.substr(0, comma));
+    if (!rule.empty()) allow.rules.push_back(std::move(rule));
+    if (comma == std::string_view::npos) break;
+    list.remove_prefix(comma + 1);
+  }
+  allow.reason = trim(comment.substr(close + 1));
+  out.push_back(std::move(allow));
+}
+
+}  // namespace
+
+const std::string& SourceFile::line_text(int line) const {
+  static const std::string empty;
+  if (line < 1 || static_cast<std::size_t>(line) > lines.size()) return empty;
+  return lines[static_cast<std::size_t>(line) - 1];
+}
+
+SourceFile lex(std::string_view src, std::string rel) {
+  SourceFile out;
+  out.rel = std::move(rel);
+
+  // Split raw lines first (snippets + allow anchoring need them).
+  {
+    std::size_t start = 0;
+    while (start <= src.size()) {
+      std::size_t nl = src.find('\n', start);
+      if (nl == std::string_view::npos) {
+        if (start < src.size()) out.lines.emplace_back(src.substr(start));
+        break;
+      }
+      out.lines.emplace_back(src.substr(start, nl - start));
+      start = nl + 1;
+    }
+  }
+
+  int line = 1;
+  int last_token_line = 0;  // last line that produced a token
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+
+  auto push = [&](TokKind kind, std::string text) {
+    out.tokens.push_back(Token{kind, std::move(text), line});
+    last_token_line = line;
+  };
+
+  while (i < n) {
+    char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      std::size_t end = src.find('\n', i);
+      if (end == std::string_view::npos) end = n;
+      parse_allow(src.substr(i + 2, end - i - 2), line,
+                  /*own_line=*/last_token_line != line, out.allows);
+      i = end;
+      continue;
+    }
+
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      std::size_t end = src.find("*/", i + 2);
+      int start_line = line;
+      bool own_line = last_token_line != line;
+      std::size_t stop = (end == std::string_view::npos) ? n : end;
+      for (std::size_t j = i; j < stop; ++j)
+        if (src[j] == '\n') ++line;
+      parse_allow(src.substr(i + 2, stop - i - 2), start_line, own_line,
+                  out.allows);
+      i = (end == std::string_view::npos) ? n : end + 2;
+      continue;
+    }
+
+    // Identifier — possibly a raw-string / encoding prefix.
+    if (ident_start(c)) {
+      std::size_t start = i;
+      while (i < n && ident_char(src[i])) ++i;
+      std::string_view word = src.substr(start, i - start);
+      // Raw string: R"delim( ... )delim"
+      if (i < n && src[i] == '"' &&
+          (word == "R" || word == "u8R" || word == "uR" || word == "UR" ||
+           word == "LR")) {
+        std::size_t dstart = i + 1;
+        std::size_t paren = src.find('(', dstart);
+        if (paren != std::string_view::npos) {
+          std::string close = ")";
+          close.append(src.substr(dstart, paren - dstart));
+          close.push_back('"');
+          std::size_t end = src.find(close, paren + 1);
+          std::size_t stop = (end == std::string_view::npos)
+                                 ? n
+                                 : end;
+          push(TokKind::Str,
+               std::string(src.substr(paren + 1, stop - paren - 1)));
+          for (std::size_t j = i; j < stop; ++j)
+            if (src[j] == '\n') ++line;
+          i = (end == std::string_view::npos) ? n : end + close.size();
+          continue;
+        }
+      }
+      // Plain encoding prefix on a regular literal (u8"x", L'c', ...).
+      if (i < n && (src[i] == '"' || src[i] == '\'') &&
+          (word == "u8" || word == "u" || word == "U" || word == "L")) {
+        // Fall through to the literal scanners below on the next pass.
+        push(TokKind::Ident, std::string(word));
+        continue;
+      }
+      push(TokKind::Ident, std::string(word));
+      continue;
+    }
+
+    // Number (digits, hex, separators, exponents — coarse but lossless
+    // for rule purposes).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      std::size_t start = i;
+      ++i;
+      while (i < n) {
+        char d = src[i];
+        if (ident_char(d) || d == '.' || d == '\'') {
+          ++i;
+        } else if ((d == '+' || d == '-') && i > start &&
+                   (src[i - 1] == 'e' || src[i - 1] == 'E' ||
+                    src[i - 1] == 'p' || src[i - 1] == 'P')) {
+          ++i;  // exponent sign
+        } else {
+          break;
+        }
+      }
+      push(TokKind::Number, std::string(src.substr(start, i - start)));
+      continue;
+    }
+
+    // String literal.
+    if (c == '"') {
+      std::size_t start = ++i;
+      std::string text;
+      while (i < n && src[i] != '"') {
+        if (src[i] == '\\' && i + 1 < n) {
+          text.append(src.substr(i, 2));
+          i += 2;
+        } else {
+          if (src[i] == '\n') ++line;  // unterminated; keep counting
+          text.push_back(src[i]);
+          ++i;
+        }
+      }
+      (void)start;
+      push(TokKind::Str, std::move(text));
+      if (i < n) ++i;  // closing quote
+      continue;
+    }
+
+    // Character literal.
+    if (c == '\'') {
+      ++i;
+      std::string text;
+      while (i < n && src[i] != '\'') {
+        if (src[i] == '\\' && i + 1 < n) {
+          text.append(src.substr(i, 2));
+          i += 2;
+        } else {
+          if (src[i] == '\n') ++line;
+          text.push_back(src[i]);
+          ++i;
+        }
+      }
+      push(TokKind::CharLit, std::move(text));
+      if (i < n) ++i;
+      continue;
+    }
+
+    // Everything else: one punctuation character per token.
+    push(TokKind::Punct, std::string(1, c));
+    ++i;
+  }
+
+  return out;
+}
+
+}  // namespace fistlint

@@ -1,0 +1,80 @@
+// lexer.hpp — a C++ token stream for fistlint.
+//
+// fistlint is a token-level ("AST-lite") analyzer: it never builds a
+// real parse tree, it pattern-matches over a faithful token stream.
+// The lexer therefore has exactly the fidelity the rules need: correct
+// line numbers, comments and string/char literals separated out (so a
+// `rand` inside a string can never trip the banned-random rule), raw
+// strings and digit separators handled, and every punctuator emitted
+// as a single character (which makes template-argument matching a
+// trivial depth count — `>>` closes two levels as two tokens).
+//
+// Suppression comments are parsed here too:
+//
+//   // fistlint:allow(rule-a,rule-b) reason text
+//   // fistlint:allow-file(rule-a) reason text
+//
+// An `allow` on its own line covers the next code line (blank lines
+// and further comment lines — a multi-line reason — are skipped);
+// trailing an expression it covers that line. `allow-file` covers the
+// whole file.
+// The reason is mandatory — rules.cpp turns a reasonless allow into a
+// `bad-suppression` finding rather than honoring it.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fistlint {
+
+enum class TokKind {
+  Ident,    ///< identifier or keyword
+  Number,   ///< numeric literal (digit separators consumed)
+  Str,      ///< string literal; text holds the uninterpreted contents
+  CharLit,  ///< character literal
+  Punct,    ///< single punctuation character
+};
+
+struct Token {
+  TokKind kind = TokKind::Punct;
+  std::string text;
+  int line = 1;
+
+  bool is(std::string_view s) const noexcept { return text == s; }
+  bool ident(std::string_view s) const noexcept {
+    return kind == TokKind::Ident && text == s;
+  }
+  bool punct(char c) const noexcept {
+    return kind == TokKind::Punct && text.size() == 1 && text[0] == c;
+  }
+};
+
+/// One parsed `fistlint:allow` / `fistlint:allow-file` comment.
+struct Allow {
+  int line = 1;                    ///< line the comment starts on
+  std::vector<std::string> rules;  ///< rule ids listed in the parens
+  std::string reason;              ///< trimmed text after the parens
+  bool own_line = false;           ///< no code precedes it on its line
+  bool file_scope = false;         ///< allow-file variant
+};
+
+/// A lexed source file plus everything the rules need around the
+/// token stream: suppression comments and the raw lines (baseline
+/// snippets are normalized source lines, so they survive reformatting
+/// of *other* lines).
+struct SourceFile {
+  std::string rel;  ///< root-relative path, '/' separators
+  std::vector<Token> tokens;
+  std::vector<Allow> allows;
+  std::vector<std::string> lines;  ///< raw text, lines[i] is line i+1
+
+  const std::string& line_text(int line) const;
+};
+
+/// Tokenizes `content`. Never fails: malformed trailing constructs
+/// lex as best-effort tokens (fistlint inspects real, compiling code;
+/// fixtures exercise the edge cases).
+SourceFile lex(std::string_view content, std::string rel);
+
+}  // namespace fistlint

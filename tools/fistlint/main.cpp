@@ -1,0 +1,84 @@
+// fistlint — determinism-safety static analysis for this tree.
+//
+//   fistlint [--root DIR] [--compile-commands FILE] [--baseline FILE]
+//            [--docs FILE] [--scan-prefix DIR/]... [--no-docs]
+//            [--report FILE] [--update-baseline] [--list-rules]
+//            [file...]
+//
+// Exit codes: 0 clean (nothing outside the committed baseline),
+// 1 new findings, 2 usage / unreadable input.
+// See docs/STATIC_ANALYSIS.md for the rule catalogue.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "driver.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: fistlint [options] [file...]\n"
+    "  --root DIR              repo root (default .)\n"
+    "  --compile-commands FILE compile database (default\n"
+    "                          ROOT/build/compile_commands.json)\n"
+    "  --baseline FILE         baseline, relative to root (default\n"
+    "                          tools/fistlint/baseline.txt)\n"
+    "  --docs FILE             observability doc for the docs-drift rule\n"
+    "                          (default docs/OBSERVABILITY.md)\n"
+    "  --scan-prefix DIR/      root-relative tree to scan (repeatable;\n"
+    "                          default src/)\n"
+    "  --no-docs               skip the docs-drift rule\n"
+    "  --report FILE           also write the findings report to FILE\n"
+    "  --update-baseline       rewrite the baseline from current findings\n"
+    "  --list-rules            print the rule ids and exit\n"
+    "  file...                 scan exactly these files (skips discovery)\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fistlint::Options opts;
+  std::vector<std::string> prefixes;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "fistlint: " << flag << " needs a value\n" << kUsage;
+        std::exit(fistlint::kExitUsage);
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      opts.root = value("--root");
+    } else if (arg == "--compile-commands") {
+      opts.compile_commands = value("--compile-commands");
+    } else if (arg == "--baseline") {
+      opts.baseline = value("--baseline");
+    } else if (arg == "--docs") {
+      opts.docs = value("--docs");
+    } else if (arg == "--scan-prefix") {
+      prefixes.push_back(value("--scan-prefix"));
+    } else if (arg == "--no-docs") {
+      opts.check_docs = false;
+    } else if (arg == "--report") {
+      opts.report = value("--report");
+    } else if (arg == "--update-baseline") {
+      opts.update_baseline = true;
+    } else if (arg == "--list-rules") {
+      for (const std::string& r : fistlint::all_rules())
+        std::cout << r << "\n";
+      return fistlint::kExitClean;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << kUsage;
+      return fistlint::kExitClean;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "fistlint: unknown option " << arg << "\n" << kUsage;
+      return fistlint::kExitUsage;
+    } else {
+      opts.files.push_back(arg);
+    }
+  }
+  if (!prefixes.empty()) opts.scan_prefixes = std::move(prefixes);
+
+  return fistlint::run(opts, std::cout, std::cerr);
+}

@@ -1,0 +1,655 @@
+#include "rules.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace fistlint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Small token-stream helpers
+// ---------------------------------------------------------------------------
+
+/// `i` indexes a '<'. Returns the index just past the matching '>', or
+/// `i + 1` when the run clearly is not a template argument list
+/// (statement punctuation before the close). `>>` arrives as two '>'
+/// tokens, so a plain depth count is exact.
+std::size_t skip_angles(const std::vector<Token>& t, std::size_t i) {
+  std::size_t depth = 0;
+  for (std::size_t j = i; j < t.size(); ++j) {
+    if (t[j].punct('<')) {
+      ++depth;
+    } else if (t[j].punct('>')) {
+      if (--depth == 0) return j + 1;
+    } else if (t[j].punct(';') || t[j].punct('{') || t[j].punct('}')) {
+      break;  // ran off the declaration — treat as a comparison
+    }
+  }
+  return i + 1;
+}
+
+/// `i` indexes a '('. Returns the index of the matching ')' (or the
+/// end of the stream).
+std::size_t find_close_paren(const std::vector<Token>& t, std::size_t i) {
+  std::size_t depth = 0;
+  for (std::size_t j = i; j < t.size(); ++j) {
+    if (t[j].punct('(')) ++depth;
+    if (t[j].punct(')') && --depth == 0) return j;
+  }
+  return t.size();
+}
+
+bool is_unordered_container(const Token& tok) {
+  return tok.ident("unordered_map") || tok.ident("unordered_set") ||
+         tok.ident("unordered_multimap") || tok.ident("unordered_multiset");
+}
+
+std::string lowercase(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+bool path_has_prefix(const std::string& rel, std::string_view prefix) {
+  return rel.rfind(prefix, 0) == 0;
+}
+
+Finding make_finding(const SourceFile& file, const char* rule, int line,
+                     std::string message) {
+  return Finding{rule, file.rel, line, std::move(message),
+                 normalize_snippet(file.line_text(line))};
+}
+
+// ---------------------------------------------------------------------------
+// Pass 1a — unordered symbol collection
+// ---------------------------------------------------------------------------
+
+const std::set<std::string>& cpp_keywords() {
+  static const std::set<std::string> kw = {
+      "const",    "constexpr", "static", "inline", "mutable", "volatile",
+      "noexcept", "override",  "final",  "return", "auto",    "if",
+      "for",      "while",     "else",   "new",    "delete",  "this",
+  };
+  return kw;
+}
+
+}  // namespace
+
+const std::vector<std::string>& all_rules() {
+  static const std::vector<std::string> rules = {
+      kRuleUnorderedIter, kRulePointerOrder, kRuleBannedRandom,
+      kRuleUninitPod,     kRuleFloatAmount,  kRuleDocsDrift,
+      kRuleBadSuppression,
+  };
+  return rules;
+}
+
+std::string normalize_snippet(std::string_view line) {
+  std::string out;
+  bool in_space = true;  // also strips leading whitespace
+  for (char c : line) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!in_space) out.push_back(' ');
+      in_space = true;
+    } else {
+      out.push_back(c);
+      in_space = false;
+    }
+  }
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+void collect_unordered_symbols(const SourceFile& file,
+                               std::set<std::string>& out) {
+  const auto& t = file.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!is_unordered_container(t[i])) continue;
+    std::size_t j = i + 1;
+    if (j >= t.size() || !t[j].punct('<')) continue;
+    j = skip_angles(t, j);
+    // Reference/pointer/cv decoration between the type and the name.
+    while (j < t.size() &&
+           (t[j].punct('&') || t[j].punct('*') || t[j].ident("const")))
+      ++j;
+    if (j < t.size() && t[j].kind == TokKind::Ident &&
+        cpp_keywords().count(t[j].text) == 0)
+      out.insert(t[j].text);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 1b — metric / span name collection
+// ---------------------------------------------------------------------------
+
+void collect_metric_names(const SourceFile& file, std::vector<NameUse>& out) {
+  const auto& t = file.tokens;
+  for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+    bool metric_call =
+        (t[i].ident("counter") || t[i].ident("gauge") ||
+         t[i].ident("histogram")) &&
+        i > 0 && t[i - 1].punct('.') && t[i + 1].punct('(') &&
+        t[i + 2].kind == TokKind::Str;
+    bool span_decl = t[i].ident("Span") &&
+                     ((t[i + 1].punct('(') && t[i + 2].kind == TokKind::Str) ||
+                      (i + 3 < t.size() && t[i + 1].kind == TokKind::Ident &&
+                       t[i + 2].punct('(') && t[i + 3].kind == TokKind::Str));
+    if (!metric_call && !span_decl) continue;
+
+    std::size_t lit = metric_call ? i + 2
+                      : t[i + 1].punct('(') ? i + 2
+                                            : i + 3;
+    NameUse use;
+    use.name = t[lit].text;
+    use.file = file.rel;
+    use.line = t[lit].line;
+    // `counter("prefix." + expr)` — a dynamically completed name.
+    use.prefix = lit + 1 < t.size() && t[lit + 1].punct('+');
+    if (use.name.empty()) continue;
+    out.push_back(std::move(use));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: unordered-iter
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void rule_unordered_iter(const SourceFile& file, const ScanContext& ctx,
+                         std::vector<Finding>& out) {
+  const auto& t = file.tokens;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!t[i].ident("for") || !t[i + 1].punct('(')) continue;
+    std::size_t open = i + 1;
+    std::size_t close = find_close_paren(t, open);
+
+    // Range-for: the ':' at paren depth 1 that is not part of '::'.
+    std::size_t colon = 0;
+    std::size_t depth = 0;
+    for (std::size_t j = open; j < close; ++j) {
+      if (t[j].punct('(') || t[j].punct('[') || t[j].punct('{')) ++depth;
+      if (t[j].punct(')') || t[j].punct(']') || t[j].punct('}')) --depth;
+      if (depth == 1 && t[j].punct(':') &&
+          !(j > 0 && t[j - 1].punct(':')) &&
+          !(j + 1 < t.size() && t[j + 1].punct(':'))) {
+        colon = j;
+        break;
+      }
+    }
+
+    if (colon != 0) {
+      for (std::size_t j = colon + 1; j < close; ++j) {
+        bool hit = is_unordered_container(t[j]) ||
+                   (t[j].kind == TokKind::Ident &&
+                    ctx.unordered_symbols.count(t[j].text) != 0);
+        if (hit) {
+          out.push_back(make_finding(
+              file, kRuleUnorderedIter, t[i].line,
+              "range-for over unordered container `" + t[j].text +
+                  "` — bucket order is not deterministic; iterate a "
+                  "sorted copy or justify with an allow"));
+          break;
+        }
+      }
+      continue;
+    }
+
+    // Classic iterator loop: `for (auto it = m.begin(); ...)` with m
+    // unordered.
+    for (std::size_t j = open; j + 2 < close; ++j) {
+      if (t[j].kind == TokKind::Ident &&
+          ctx.unordered_symbols.count(t[j].text) != 0 &&
+          t[j + 1].punct('.') &&
+          (t[j + 2].ident("begin") || t[j + 2].ident("cbegin"))) {
+        out.push_back(make_finding(
+            file, kRuleUnorderedIter, t[i].line,
+            "iterator loop over unordered container `" + t[j].text +
+                "` — bucket order is not deterministic; iterate a sorted "
+                "copy or justify with an allow"));
+        break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: pointer-order
+// ---------------------------------------------------------------------------
+
+void rule_pointer_order(const SourceFile& file, std::vector<Finding>& out) {
+  const auto& t = file.tokens;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    bool ordered = t[i].ident("map") || t[i].ident("set") ||
+                   t[i].ident("multimap") || t[i].ident("multiset") ||
+                   t[i].ident("less") || t[i].ident("greater");
+    bool hashed = is_unordered_container(t[i]) || t[i].ident("hash");
+    if (!ordered && !hashed) continue;
+    // Demand a std:: (or absl-style) qualification so a user type
+    // named `map` cannot trip the rule.
+    if (!(i >= 2 && t[i - 1].punct(':') && t[i - 2].punct(':'))) continue;
+    if (!t[i + 1].punct('<')) continue;
+
+    // First template argument: tokens until the first ',' at depth 1.
+    std::size_t depth = 0;
+    bool pointer_key = false;
+    std::size_t j = i + 1;
+    for (; j < t.size(); ++j) {
+      if (t[j].punct('<')) ++depth;
+      if (t[j].punct('>') && --depth == 0) break;
+      if (t[j].punct(';') || t[j].punct('{')) break;  // not a template
+      if (depth == 1 && t[j].punct(',')) break;
+      if (depth >= 1 && t[j].punct('*')) pointer_key = true;
+    }
+    if (!pointer_key) continue;
+    out.push_back(make_finding(
+        file, kRulePointerOrder, t[i].line,
+        std::string("pointer-keyed `") + t[i].text +
+            "` — allocator addresses vary run to run, so " +
+            (ordered ? "the ordering" : "the hash placement") +
+            " is nondeterministic; key by a stable id instead"));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: banned-random
+// ---------------------------------------------------------------------------
+
+bool random_allowed_path(const std::string& rel) {
+  return path_has_prefix(rel, "src/sim/") ||
+         path_has_prefix(rel, "src/core/fault") ||
+         path_has_prefix(rel, "src/util/rng");
+}
+
+void rule_banned_random(const SourceFile& file, std::vector<Finding>& out) {
+  if (random_allowed_path(file.rel)) return;
+  const auto& t = file.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    bool member = i > 0 && (t[i - 1].punct('.') ||
+                            (i > 1 && t[i - 1].punct('>') &&
+                             t[i - 2].punct('-')));
+    if (t[i].ident("random_device") && !member) {
+      out.push_back(make_finding(
+          file, kRuleBannedRandom, t[i].line,
+          "std::random_device — entropy source outside the seeded "
+          "registries; thread Rng (util/rng.hpp) through instead"));
+      continue;
+    }
+    if ((t[i].ident("rand") || t[i].ident("srand")) && !member &&
+        i + 1 < t.size() && t[i + 1].punct('(')) {
+      out.push_back(make_finding(
+          file, kRuleBannedRandom, t[i].line,
+          "std::" + t[i].text +
+              " — global, unseeded RNG; thread Rng (util/rng.hpp) "
+              "through instead"));
+      continue;
+    }
+    if (t[i].ident("time") && !member && i + 1 < t.size() &&
+        t[i + 1].punct('(')) {
+      std::size_t close = find_close_paren(t, i + 1);
+      if (close == i + 3 &&
+          (t[i + 2].ident("nullptr") || t[i + 2].ident("NULL") ||
+           t[i + 2].is("0"))) {
+        out.push_back(make_finding(
+            file, kRuleBannedRandom, t[i].line,
+            "time(" + t[i + 2].text +
+                ") — wall-clock seed/input makes runs unreproducible"));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: uninit-serialized-pod
+// ---------------------------------------------------------------------------
+
+bool is_scalar_type_token(const Token& tok) {
+  if (tok.kind != TokKind::Ident) return false;
+  static const std::set<std::string> builtin = {
+      "bool", "char", "short", "int", "long", "unsigned", "signed",
+      "float", "double",
+      // fixed-width + size types
+      "int8_t", "int16_t", "int32_t", "int64_t", "uint8_t", "uint16_t",
+      "uint32_t", "uint64_t", "size_t", "ptrdiff_t", "intptr_t",
+      "uintptr_t",
+      // repo-local integral aliases that end up on the wire
+      "Amount", "AddrId", "ClusterId", "ActorId", "TxIndex", "SimTime",
+  };
+  return builtin.count(tok.text) != 0;
+}
+
+void rule_uninit_pod(const SourceFile& file, std::vector<Finding>& out) {
+  const auto& t = file.tokens;
+  for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+    if (!(t[i].ident("struct") || t[i].ident("class"))) continue;
+    if (t[i + 1].kind != TokKind::Ident) continue;  // anonymous
+    const std::string& name = t[i + 1].text;
+
+    // Find the '{' opening the body (skipping base clauses); bail on
+    // forward declarations.
+    std::size_t open = i + 2;
+    while (open < t.size() && !t[open].punct('{') && !t[open].punct(';'))
+      ++open;
+    if (open >= t.size() || t[open].punct(';')) continue;
+
+    std::size_t depth = 0;
+    std::size_t close = open;
+    for (; close < t.size(); ++close) {
+      if (t[close].punct('{')) ++depth;
+      if (t[close].punct('}') && --depth == 0) break;
+    }
+
+    // Only structs that cross the serialization boundary, and only
+    // when no user constructor takes responsibility for members.
+    bool serialized = false;
+    bool has_ctor = false;
+    for (std::size_t j = open + 1; j < close; ++j) {
+      if (t[j].ident("serialize") || t[j].ident("deserialize"))
+        serialized = true;
+      // `Name(` inside the body — a constructor declaration (or a
+      // call constructing one, which over-approximates toward
+      // skipping: fine, a ctor'd struct owns its initialization).
+      // `~Name(` is a destructor and initializes nothing.
+      if (t[j].ident(name) && j + 1 < close && t[j + 1].punct('(') &&
+          !(j > 0 && t[j - 1].punct('~')))
+        has_ctor = true;
+    }
+    if (!serialized || has_ctor) continue;
+
+    // Walk the direct members (depth 1 inside the body).
+    depth = 0;
+    std::size_t stmt_begin = open + 1;
+    for (std::size_t j = open; j <= close && j < t.size(); ++j) {
+      if (t[j].punct('{')) {
+        ++depth;
+        if (depth == 2) {
+          // Inline function/initializer body — skip it wholesale.
+          std::size_t d = 0;
+          std::size_t k = j;
+          for (; k < t.size(); ++k) {
+            if (t[k].punct('{')) ++d;
+            if (t[k].punct('}') && --d == 0) break;
+          }
+          j = k;
+          --depth;
+          stmt_begin = j + 1;
+        }
+        continue;
+      }
+      if (t[j].punct('}')) {
+        --depth;
+        continue;
+      }
+      if (depth != 1) continue;
+      if (t[j].punct(';') || (t[j].punct(':') && !(j > 0 && t[j - 1].punct(':')) &&
+                              !(j + 1 < t.size() && t[j + 1].punct(':')))) {
+        // End of a member statement (or an access-specifier label).
+        if (t[j].punct(';') && j > stmt_begin) {
+          // Candidate declaration: [type tokens] name ;
+          std::size_t last = j - 1;
+          bool simple = t[last].kind == TokKind::Ident &&
+                        cpp_keywords().count(t[last].text) == 0 &&
+                        !is_scalar_type_token(t[last]);
+          bool scalar = false;
+          for (std::size_t k = stmt_begin; simple && k < last; ++k) {
+            const Token& tok = t[k];
+            if (is_scalar_type_token(tok)) {
+              scalar = true;
+            } else if (tok.ident("std") || tok.ident("const") ||
+                       tok.punct(':')) {
+              // qualification — fine
+            } else {
+              simple = false;  // '=', '{', '(', other types, attributes…
+            }
+          }
+          if (simple && scalar) {
+            out.push_back(make_finding(
+                file, kRuleUninitPod, t[last].line,
+                "member `" + t[last].text + "` of serialized struct `" +
+                    name +
+                    "` has no initializer — uninitialized scalars make "
+                    "serialized output nondeterministic"));
+          }
+        }
+        stmt_begin = j + 1;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: float-amount
+// ---------------------------------------------------------------------------
+
+bool amountish(const std::string& ident) {
+  if (ident == "Amount") return true;
+  std::string low = lowercase(ident);
+  return low.find("amount") != std::string::npos ||
+         low.find("satoshi") != std::string::npos ||
+         low.find("balance") != std::string::npos ||
+         low.find("btc") != std::string::npos || low == "fee" ||
+         low == "fees";
+}
+
+void rule_float_amount(const SourceFile& file, std::vector<Finding>& out) {
+  const auto& t = file.tokens;
+  int reported_line = 0;
+  for (std::size_t i = 0; i < t.size();) {
+    int line = t[i].line;
+    bool has_float = false;
+    bool has_amount = false;
+    std::size_t j = i;
+    for (; j < t.size() && t[j].line == line; ++j) {
+      if (t[j].ident("float") || t[j].ident("double")) has_float = true;
+      if (t[j].kind == TokKind::Ident && amountish(t[j].text))
+        has_amount = true;
+    }
+    if (has_float && has_amount && line != reported_line) {
+      out.push_back(make_finding(
+          file, kRuleFloatAmount, line,
+          "float/double arithmetic touching a satoshi amount — FP "
+          "rounding is association-order-sensitive; keep Amount math "
+          "integral (util/amount.hpp is the conversion boundary)"));
+      reported_line = line;
+    }
+    i = j;
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> run_file_rules(const SourceFile& file,
+                                    const ScanContext& ctx) {
+  std::vector<Finding> out;
+  rule_unordered_iter(file, ctx, out);
+  rule_pointer_order(file, out);
+  rule_banned_random(file, out);
+  rule_uninit_pod(file, out);
+  rule_float_amount(file, out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// docs-drift
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct DocEntry {
+  std::string name;    ///< as written, e.g. "fault.injected.<site>"
+  std::string prefix;  ///< text before '<' when a wildcard, else empty
+  int line = 0;
+};
+
+bool name_char(char c) {
+  return std::islower(static_cast<unsigned char>(c)) ||
+         std::isdigit(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '.' || c == '<' || c == '>';
+}
+
+/// Backticked names inside the fistlint:names markers.
+std::vector<DocEntry> parse_doc_registry(std::string_view doc) {
+  std::vector<DocEntry> out;
+  std::size_t begin = doc.find("fistlint:names:begin");
+  std::size_t end = doc.find("fistlint:names:end");
+  if (begin == std::string_view::npos || end == std::string_view::npos ||
+      end < begin)
+    return out;
+
+  int line = 1;
+  for (std::size_t j = 0; j < begin; ++j)
+    if (doc[j] == '\n') ++line;
+
+  for (std::size_t i = begin; i < end; ++i) {
+    if (doc[i] == '\n') {
+      ++line;
+      continue;
+    }
+    if (doc[i] != '`') continue;
+    std::size_t close = i + 1;
+    while (close < end && doc[close] != '`' && doc[close] != '\n') ++close;
+    if (close >= end || doc[close] != '`') continue;
+    std::string_view body = doc.substr(i + 1, close - i - 1);
+    bool ok = !body.empty() && body.find('.') != std::string_view::npos;
+    for (char c : body)
+      if (!name_char(c)) ok = false;
+    if (ok) {
+      DocEntry e;
+      e.name = std::string(body);
+      e.line = line;
+      std::size_t lt = e.name.find('<');
+      if (lt != std::string::npos) e.prefix = e.name.substr(0, lt);
+      out.push_back(std::move(e));
+    }
+    i = close;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Finding> docs_drift(const std::vector<NameUse>& code_names,
+                                std::string_view doc_text,
+                                const std::string& doc_rel) {
+  std::vector<Finding> out;
+  std::vector<DocEntry> doc = parse_doc_registry(doc_text);
+  if (doc.empty()) {
+    Finding f;
+    f.rule = kRuleDocsDrift;
+    f.file = doc_rel;
+    f.line = 1;
+    f.message =
+        "no name registry found (expected backticked metric/span names "
+        "between `fistlint:names:begin` and `fistlint:names:end` markers)";
+    f.snippet = "<registry-missing>";
+    out.push_back(std::move(f));
+    return out;
+  }
+
+  auto doc_matches = [&](const NameUse& use) {
+    for (const DocEntry& e : doc) {
+      if (!e.prefix.empty()) {
+        // Wildcard entry: matches a dynamic prefix exactly, or a
+        // literal name extending the prefix.
+        if (use.prefix ? use.name == e.prefix
+                       : use.name.rfind(e.prefix, 0) == 0)
+          return true;
+      } else if (!use.prefix && use.name == e.name) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // Code → docs.
+  for (const NameUse& use : code_names) {
+    if (doc_matches(use)) continue;
+    Finding f;
+    f.rule = kRuleDocsDrift;
+    f.file = use.file;
+    f.line = use.line;
+    f.message = "metric/span name `" + use.name +
+                (use.prefix ? "<…>`" : "`") +
+                " is not in the docs/OBSERVABILITY.md name registry";
+    f.snippet = "name:" + use.name;
+    out.push_back(std::move(f));
+  }
+
+  // Docs → code.
+  for (const DocEntry& e : doc) {
+    bool used = false;
+    for (const NameUse& use : code_names) {
+      if (!e.prefix.empty()) {
+        if (use.prefix ? use.name == e.prefix
+                       : use.name.rfind(e.prefix, 0) == 0) {
+          used = true;
+          break;
+        }
+      } else if (!use.prefix && use.name == e.name) {
+        used = true;
+        break;
+      }
+    }
+    if (used) continue;
+    Finding f;
+    f.rule = kRuleDocsDrift;
+    f.file = doc_rel;
+    f.line = e.line;
+    f.message = "documented name `" + e.name +
+                "` has no use in the scanned sources — stale registry row?";
+    f.snippet = "doc:" + e.name;
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+// ---------------------------------------------------------------------------
+
+std::vector<Finding> apply_allows(std::vector<Finding> findings,
+                                  const SourceFile& file) {
+  std::vector<Finding> out;
+
+  auto covers = [](const Allow& a, const Finding& f) {
+    for (const std::string& r : a.rules)
+      if (r == f.rule || r == "all") return true;
+    return false;
+  };
+
+  // An own-line allow covers the next line that carries any tokens —
+  // blank lines and further comment lines (a multi-line reason) sit
+  // between the allow and the code it annotates without breaking it.
+  auto next_code_line = [&file](int after) -> int {
+    for (const Token& t : file.tokens)
+      if (t.line > after) return t.line;
+    return 0;
+  };
+
+  for (Finding& f : findings) {
+    bool suppressed = false;
+    for (const Allow& a : file.allows) {
+      if (a.reason.empty()) continue;  // reported below, never honored
+      bool in_scope = a.file_scope || a.line == f.line ||
+                      (a.own_line && next_code_line(a.line) == f.line);
+      if (in_scope && covers(a, f)) {
+        suppressed = true;
+        break;
+      }
+    }
+    if (!suppressed) out.push_back(std::move(f));
+  }
+
+  for (const Allow& a : file.allows) {
+    if (!a.reason.empty()) continue;
+    out.push_back(make_finding(
+        file, kRuleBadSuppression, a.line,
+        "fistlint:allow without a reason — write why the site is safe"));
+  }
+  return out;
+}
+
+}  // namespace fistlint

@@ -1,0 +1,124 @@
+// rules.hpp — the determinism-safety rule set.
+//
+// Every heuristic result in the pipeline must be bit-identical at any
+// thread count (DESIGN.md "Execution model"); PR 1–3 enforce that
+// dynamically (differential tests, TSan). These rules catch the
+// classic ways the property dies *statically*, at review time:
+//
+//   unordered-iter          iteration over std::unordered_map/set —
+//                           bucket order is load-factor- and
+//                           libstdc++-version-dependent, so anything
+//                           it feeds (output, merges, metrics) must
+//                           sort first or justify why order is
+//                           irrelevant (commutative fold).
+//   pointer-order           pointer-keyed std::map/set or pointer
+//                           hashing — allocator addresses differ run
+//                           to run, so the order/placement is noise.
+//   banned-random           std::rand / srand / std::random_device /
+//                           time(nullptr|NULL|0) outside the seeded
+//                           registries (src/sim, src/core/fault,
+//                           src/util/rng).
+//   uninit-serialized-pod   scalar member with no initializer in a
+//                           struct that serializes — uninitialized
+//                           padding/fields make byte-identical output
+//                           a coin flip.
+//   float-amount            float/double arithmetic touching satoshi
+//                           amounts — FP rounding is
+//                           association-order-sensitive; Amount math
+//                           must stay integral (util/amount.hpp is
+//                           the sanctioned conversion boundary).
+//   docs-drift              metric/span names in code and the marked
+//                           registry in docs/OBSERVABILITY.md must
+//                           agree in both directions.
+//   bad-suppression         a fistlint:allow without a reason (the
+//                           reason is the point: suppressions are
+//                           reviewed, not waved through).
+//
+// All rules are token-level heuristics: they over-approximate and rely
+// on `// fistlint:allow(<rule>) reason` plus the committed baseline
+// (baseline.hpp) for the sites a human has vetted.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace fistlint {
+
+// Rule identifiers (the strings used in allow() and the baseline).
+inline constexpr const char* kRuleUnorderedIter = "unordered-iter";
+inline constexpr const char* kRulePointerOrder = "pointer-order";
+inline constexpr const char* kRuleBannedRandom = "banned-random";
+inline constexpr const char* kRuleUninitPod = "uninit-serialized-pod";
+inline constexpr const char* kRuleFloatAmount = "float-amount";
+inline constexpr const char* kRuleDocsDrift = "docs-drift";
+inline constexpr const char* kRuleBadSuppression = "bad-suppression";
+
+/// Every rule id, in report order.
+const std::vector<std::string>& all_rules();
+
+/// One reported violation. `snippet` is the normalized source line —
+/// the line-number-free identity the baseline matches on.
+struct Finding {
+  std::string rule;
+  std::string file;  ///< root-relative path
+  int line = 0;
+  std::string message;
+  std::string snippet;
+};
+
+/// A metric or span name string found in code. `prefix` marks a
+/// dynamic name built as `"literal." + expr` — matched against
+/// `<placeholder>` wildcard entries in the docs registry.
+struct NameUse {
+  std::string name;
+  bool prefix = false;
+  std::string file;
+  int line = 0;
+};
+
+/// Cross-file state shared by the per-file rules: every identifier the
+/// tree declares with an unordered container type. Collected over all
+/// files first so a member declared in view.hpp is recognized when
+/// view.cpp iterates it.
+struct ScanContext {
+  std::set<std::string> unordered_symbols;
+};
+
+/// Pass 1a: record identifiers declared as (or returning)
+/// std::unordered_map / std::unordered_set.
+void collect_unordered_symbols(const SourceFile& file,
+                               std::set<std::string>& out);
+
+/// Pass 1b: record metric/span name literals — arguments of
+/// `.counter("…")` / `.gauge("…")` / `.histogram("…", …)` and
+/// `obs::Span ident("…")`.
+void collect_metric_names(const SourceFile& file, std::vector<NameUse>& out);
+
+/// Pass 2: runs the five per-file rules and returns raw findings
+/// (before suppression and baseline filtering).
+std::vector<Finding> run_file_rules(const SourceFile& file,
+                                    const ScanContext& ctx);
+
+/// The docs-drift check: `doc_text` is docs/OBSERVABILITY.md; the
+/// registry is the backticked names between the
+/// `<!-- fistlint:names:begin -->` / `:end` markers. Entries may embed
+/// a `<placeholder>` segment to match dynamically-built names.
+/// Returns findings on the code side (undocumented name, at its use
+/// site) and the doc side (documented name with no code use).
+std::vector<Finding> docs_drift(const std::vector<NameUse>& code_names,
+                                std::string_view doc_text,
+                                const std::string& doc_rel);
+
+/// Drops findings covered by a well-formed allow in `file` and appends
+/// a bad-suppression finding for every reasonless allow.
+std::vector<Finding> apply_allows(std::vector<Finding> findings,
+                                  const SourceFile& file);
+
+/// Collapses runs of whitespace so baseline snippets survive pure
+/// reformatting.
+std::string normalize_snippet(std::string_view line);
+
+}  // namespace fistlint
