@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Bench trend gate: fail CI when the pipeline slows down.
+
+Compares the ``total_ms`` of one or more freshly produced
+``BENCH_*.json`` reports (bench/common.cpp ``write_bench_report``)
+against a committed baseline and exits non-zero when the best (minimum)
+candidate regresses by more than the threshold.
+
+    check_bench_trend.py --baseline bench/baselines/BENCH_table_clusters.json \
+        [--max-regress-pct 20] report.json [report.json ...]
+
+Several candidate reports are accepted precisely because wall-clock
+benches are noisy: the CI job runs the bench a few times and passes
+every report, and only the *minimum* is judged — a single slow run
+(scheduler hiccup, cold cache) cannot fail the gate, while a genuine
+regression slows every run. The committed baseline was produced with
+``FISTFUL_BENCH_SCALE=small``; refresh it (copy a report from the CI
+``bench-reports`` artifact or a local run) whenever an intentional
+change moves the number, and say so in the commit message.
+"""
+import argparse
+import json
+import sys
+
+
+def total_ms(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if "total_ms" not in doc:
+        sys.exit(f"check_bench_trend: {path} has no total_ms field")
+    return float(doc["total_ms"])
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True,
+                    help="committed BENCH_*.json to compare against")
+    ap.add_argument("--max-regress-pct", type=float, default=20.0,
+                    help="fail when the best candidate exceeds the "
+                         "baseline by more than this (default 20)")
+    ap.add_argument("reports", nargs="+",
+                    help="freshly produced BENCH_*.json candidates")
+    args = ap.parse_args()
+
+    base = total_ms(args.baseline)
+    candidates = {r: total_ms(r) for r in args.reports}
+    best_path = min(candidates, key=candidates.get)
+    best = candidates[best_path]
+
+    limit = base * (1.0 + args.max_regress_pct / 100.0)
+    delta_pct = (best - base) / base * 100.0 if base > 0 else 0.0
+    print(f"baseline total_ms : {base:.3f}  ({args.baseline})")
+    for path, value in candidates.items():
+        marker = "  <- best" if path == best_path else ""
+        print(f"candidate total_ms: {value:.3f}  ({path}){marker}")
+    print(f"delta             : {delta_pct:+.1f}% "
+          f"(limit +{args.max_regress_pct:.0f}%)")
+
+    if best > limit:
+        print("check_bench_trend: FAIL — pipeline total regressed past the "
+              "threshold", file=sys.stderr)
+        return 1
+    print("check_bench_trend: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

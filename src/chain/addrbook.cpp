@@ -42,7 +42,7 @@ ShardedAddressBook::Ref ShardedAddressBook::intern(const Address& addr,
   auto shard_index =
       static_cast<std::uint32_t>(std::hash<Address>()(addr) % shards_.size());
   Shard& shard = *shards_[shard_index];
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  LockGuard lock(shard.shard_mutex);
   auto [it, inserted] = shard.index.try_emplace(
       addr, static_cast<std::uint32_t>(shard.forward.size()));
   if (inserted) {
@@ -56,24 +56,34 @@ ShardedAddressBook::Ref ShardedAddressBook::intern(const Address& addr,
 
 std::size_t ShardedAddressBook::size() const noexcept {
   std::size_t total = 0;
-  for (const auto& shard : shards_) total += shard->forward.size();
+  for (const auto& shard : shards_) {
+    LockGuard lock(shard->shard_mutex);
+    total += shard->forward.size();
+  }
   return total;
 }
 
 ShardedAddressBook::Finalized ShardedAddressBook::finalize() const {
   // Every output slot has a unique ordinal, so ordering by ordinal is a
   // total order: the dense ids below are the sequential intern's ids.
+  // Each entry carries its address out of the shard, so the sorted
+  // pass below runs with no shard lock held (one lock per shard here,
+  // not one per entry there).
   struct Entry {
     std::uint64_t ordinal;
     std::uint32_t shard;
     std::uint32_t local;
+    Address addr;
   };
   std::vector<Entry> entries;
-  entries.reserve(size());
+  std::vector<std::size_t> shard_sizes(shards_.size(), 0);
   for (std::uint32_t s = 0; s < shards_.size(); ++s) {
     const Shard& shard = *shards_[s];
+    LockGuard lock(shard.shard_mutex);
+    shard_sizes[s] = shard.forward.size();
     for (std::uint32_t l = 0; l < shard.forward.size(); ++l)
-      entries.push_back(Entry{shard.first_ordinal[l], s, l});
+      entries.push_back(
+          Entry{shard.first_ordinal[l], s, l, shard.forward[l]});
   }
   std::sort(entries.begin(), entries.end(),
             [](const Entry& a, const Entry& b) { return a.ordinal < b.ordinal; });
@@ -82,10 +92,9 @@ ShardedAddressBook::Finalized ShardedAddressBook::finalize() const {
   out.book.reserve(entries.size());
   out.dense.resize(shards_.size());
   for (std::uint32_t s = 0; s < shards_.size(); ++s)
-    out.dense[s].resize(shards_[s]->forward.size(), kNoAddr);
+    out.dense[s].resize(shard_sizes[s], kNoAddr);
   for (const Entry& e : entries)
-    out.dense[e.shard][e.local] =
-        out.book.intern(shards_[e.shard]->forward[e.local]);
+    out.dense[e.shard][e.local] = out.book.intern(e.addr);
   return out;
 }
 

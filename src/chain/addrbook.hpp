@@ -8,11 +8,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
+#include "core/lock_order.hpp"
 #include "encoding/address.hpp"
 
 namespace fist {
@@ -80,8 +80,9 @@ class ShardedAddressBook {
   /// Thread-safe; returns the address's provisional handle.
   Ref intern(const Address& addr, std::uint64_t ordinal);
 
-  /// Distinct addresses across all shards. Not thread-safe against
-  /// concurrent intern (call between phases).
+  /// Distinct addresses across all shards. Takes each shard lock in
+  /// turn, so it is safe (though momentarily stale) against concurrent
+  /// intern; call between phases for an exact count.
   std::size_t size() const noexcept;
 
   /// Deterministic merge: orders every entry by first-appearance
@@ -90,10 +91,11 @@ class ShardedAddressBook {
 
  private:
   struct Shard {
-    std::mutex mutex;
-    std::unordered_map<Address, std::uint32_t> index;  // address → slot
-    std::vector<Address> forward;
-    std::vector<std::uint64_t> first_ordinal;
+    mutable Mutex shard_mutex{lockorder::Rank::kAddrBookShard};
+    std::unordered_map<Address, std::uint32_t> index  // address → slot
+        FIST_GUARDED_BY(shard_mutex);
+    std::vector<Address> forward FIST_GUARDED_BY(shard_mutex);
+    std::vector<std::uint64_t> first_ordinal FIST_GUARDED_BY(shard_mutex);
   };
 
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -261,7 +261,7 @@ Bytes FileBlockStore::read_payload(std::size_t index) const {
   std::size_t slot =
       std::hash<std::thread::id>{}(std::this_thread::get_id()) % kReadSlots;
   ReadSlot& rs = read_slots_[slot];
-  std::lock_guard<std::mutex> lock(rs.mutex);
+  LockGuard lock(rs.slot_mutex);
   if (!rs.in.is_open()) {
     rs.in.open(path_, std::ios::binary);
     if (!rs.in)

@@ -12,10 +12,10 @@
 #include <fstream>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "chain/block.hpp"
+#include "core/lock_order.hpp"
 
 namespace fist {
 
@@ -134,8 +134,8 @@ class FileBlockStore final : public BlockStore {
   /// and sequential re-reads don't pay a per-record open, while the
   /// parallel chain scan still reads concurrently.
   struct ReadSlot {
-    std::mutex mutex;
-    std::ifstream in;
+    Mutex slot_mutex{lockorder::Rank::kBlockstoreReadSlot};
+    std::ifstream in FIST_GUARDED_BY(slot_mutex);
   };
   static constexpr std::size_t kReadSlots = 8;
   mutable std::array<ReadSlot, kReadSlots> read_slots_;

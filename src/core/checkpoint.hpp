@@ -11,6 +11,12 @@
 // the manifest's input digests (block store, tag feed) match the
 // current inputs; anything stale is silently recomputed. A resumed run
 // is bit-identical to an uninterrupted one.
+//
+// Lock-free by design: the manifest writer is only ever driven from
+// the pipeline thread, between parallel stages, so it holds no locks
+// and carries no rank in the lock hierarchy (src/core/lock_order.hpp);
+// crash safety comes from atomic file replacement, not mutual
+// exclusion.
 #pragma once
 
 #include <filesystem>

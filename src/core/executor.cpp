@@ -4,11 +4,11 @@
 #include <condition_variable>
 #include <deque>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "core/fault.hpp"
+#include "core/lock_order.hpp"
 #include "core/obs/metrics.hpp"
 #include "util/error.hpp"
 
@@ -29,8 +29,8 @@ thread_local ThreadAffinity tls_affinity;
 
 struct Executor::Impl {
   struct Worker {
-    std::mutex mutex;
-    std::deque<std::function<void()>> tasks;
+    Mutex deque_mutex{lockorder::Rank::kExecutorWorkerDeque};
+    std::deque<std::function<void()>> tasks FIST_GUARDED_BY(deque_mutex);
   };
 
   /// Shared claim state of one parallel_for call.
@@ -41,14 +41,14 @@ struct Executor::Impl {
     const std::function<void(std::size_t, std::size_t)>* body;
     const std::atomic<bool>* cancel = nullptr;
 
-    std::mutex error_mutex;
-    std::exception_ptr error;
+    Mutex error_mutex{lockorder::Rank::kExecutorForError};
+    std::exception_ptr error FIST_GUARDED_BY(error_mutex);
 
-    std::mutex join_mutex;
-    std::condition_variable join_cv;
-    std::size_t helpers_live = 0;
+    Mutex join_mutex{lockorder::Rank::kExecutorForJoin};
+    std::condition_variable_any join_cv;
+    std::size_t helpers_live FIST_GUARDED_BY(join_mutex) = 0;
 
-    void run_chunks() {
+    void run_chunks() FIST_EXCLUDES(error_mutex) {
       for (;;) {
         if (cancel->load(std::memory_order_relaxed)) {
           next.store(end);  // stop claiming; running chunks finish
@@ -63,7 +63,7 @@ struct Executor::Impl {
           (*body)(lo, hi);
         } catch (...) {
           {
-            std::lock_guard<std::mutex> lock(error_mutex);
+            LockGuard lock(error_mutex);
             if (!error) error = std::current_exception();
           }
           next.store(end);  // abandon unclaimed chunks
@@ -74,8 +74,8 @@ struct Executor::Impl {
 
   unsigned lanes;
   std::vector<std::unique_ptr<Worker>> workers;
-  std::deque<std::function<void()>> injection;
-  std::mutex injection_mutex;
+  Mutex injection_mutex{lockorder::Rank::kExecutorInjection};
+  std::deque<std::function<void()>> injection FIST_GUARDED_BY(injection_mutex);
 
   // Scheduling metrics (the `exec.` namespace is explicitly
   // thread-count-dependent — see docs/OBSERVABILITY.md). Handles are
@@ -89,8 +89,8 @@ struct Executor::Impl {
   obs::Gauge queue_hwm_metric =
       obs::MetricsRegistry::global().gauge("exec.queue_depth_hwm");
 
-  std::mutex sleep_mutex;
-  std::condition_variable sleep_cv;
+  Mutex sleep_mutex{lockorder::Rank::kExecutorSleep};
+  std::condition_variable_any sleep_cv;
   std::atomic<std::size_t> queued{0};
   std::atomic<bool> stopping{false};
   std::atomic<bool> cancelled{false};
@@ -110,7 +110,7 @@ struct Executor::Impl {
   ~Impl() {
     stopping.store(true);
     {
-      std::lock_guard<std::mutex> lock(sleep_mutex);
+      LockGuard lock(sleep_mutex);  // order sleepers' stopping check
     }
     sleep_cv.notify_all();
     for (std::thread& t : threads) t.join();
@@ -119,10 +119,10 @@ struct Executor::Impl {
   void submit(std::function<void()> task) {
     if (tls_affinity.pool == this) {
       Worker& own = *workers[tls_affinity.worker_index];
-      std::lock_guard<std::mutex> lock(own.mutex);
+      LockGuard lock(own.deque_mutex);
       own.tasks.push_back(std::move(task));  // owner's LIFO end
     } else {
-      std::lock_guard<std::mutex> lock(injection_mutex);
+      LockGuard lock(injection_mutex);
       injection.push_back(std::move(task));
     }
     queue_hwm_metric.update_max(
@@ -135,7 +135,7 @@ struct Executor::Impl {
   bool try_acquire(std::function<void()>& out) {
     if (tls_affinity.pool == this) {
       Worker& own = *workers[tls_affinity.worker_index];
-      std::lock_guard<std::mutex> lock(own.mutex);
+      LockGuard lock(own.deque_mutex);
       if (!own.tasks.empty()) {
         out = std::move(own.tasks.back());
         own.tasks.pop_back();
@@ -144,7 +144,7 @@ struct Executor::Impl {
       }
     }
     {
-      std::lock_guard<std::mutex> lock(injection_mutex);
+      LockGuard lock(injection_mutex);
       if (!injection.empty()) {
         out = std::move(injection.front());
         injection.pop_front();
@@ -155,7 +155,7 @@ struct Executor::Impl {
     for (std::size_t i = 0; i < workers.size(); ++i) {
       if (tls_affinity.pool == this && tls_affinity.worker_index == i) continue;
       Worker& victim = *workers[i];
-      std::lock_guard<std::mutex> lock(victim.mutex);
+      LockGuard lock(victim.deque_mutex);
       if (!victim.tasks.empty()) {
         out = std::move(victim.tasks.front());  // thief's FIFO end
         victim.tasks.pop_front();
@@ -178,7 +178,7 @@ struct Executor::Impl {
         tasks_metric.inc();
         continue;
       }
-      std::unique_lock<std::mutex> lock(sleep_mutex);
+      UniqueLock lock(sleep_mutex);
       sleep_cv.wait(lock, [this] {
         return stopping.load() || queued.load() > 0;
       });
@@ -225,12 +225,15 @@ struct Executor::Impl {
     std::size_t helper_count = lanes - 1 < chunk_count - 1
                                    ? lanes - 1
                                    : chunk_count - 1;
-    state->helpers_live = helper_count;
+    {
+      LockGuard lock(state->join_mutex);  // helpers not yet live, but
+      state->helpers_live = helper_count; // keep the access guarded
+    }
     for (std::size_t i = 0; i < helper_count; ++i) {
       submit([state] {
         state->run_chunks();
         {
-          std::lock_guard<std::mutex> lock(state->join_mutex);
+          LockGuard lock(state->join_mutex);
           --state->helpers_live;
         }
         state->join_cv.notify_all();
@@ -241,11 +244,13 @@ struct Executor::Impl {
 
     // Join, executing other queued tasks while helpers drain: a helper
     // still queued can be picked up right here, so nested parallel_for
-    // from inside pool tasks cannot starve the pool.
+    // from inside pool tasks cannot starve the pool. The waits are
+    // explicit loops (not cv.wait(lock, pred)) so the guarded
+    // helpers_live reads stay inside this annotated scope.
     std::function<void()> task;
     for (;;) {
       {
-        std::unique_lock<std::mutex> lock(state->join_mutex);
+        LockGuard lock(state->join_mutex);
         if (state->helpers_live == 0) break;
       }
       if (try_acquire(task)) {
@@ -254,14 +259,18 @@ struct Executor::Impl {
         tasks_metric.inc();
         continue;
       }
-      std::unique_lock<std::mutex> lock(state->join_mutex);
-      state->join_cv.wait(lock, [&] {
-        return state->helpers_live == 0 || queued.load() > 0;
-      });
+      UniqueLock lock(state->join_mutex);
+      while (state->helpers_live != 0 && queued.load() == 0)
+        state->join_cv.wait(lock);
       if (state->helpers_live == 0) break;
     }
 
-    if (state->error) std::rethrow_exception(state->error);
+    std::exception_ptr error;
+    {
+      LockGuard lock(state->error_mutex);
+      error = state->error;
+    }
+    if (error) std::rethrow_exception(error);
     if (cancelled.load(std::memory_order_relaxed))
       throw CancelledError("Executor::parallel_for");
   }

@@ -2,8 +2,8 @@
 
 #include <atomic>
 #include <map>
-#include <mutex>
 
+#include "core/lock_order.hpp"
 #include "core/obs/metrics.hpp"
 #include "util/error.hpp"
 
@@ -48,8 +48,8 @@ struct Registry::Impl {
     obs::Counter metric;
   };
 
-  mutable std::mutex mutex;
-  std::map<std::string, Site, std::less<>> sites;
+  mutable Mutex fault_mutex{lockorder::Rank::kFaultRegistry};
+  std::map<std::string, Site, std::less<>> sites FIST_GUARDED_BY(fault_mutex);
   std::atomic<std::size_t> armed{0};
 
   static bool decide(const Site& s, std::string_view name,
@@ -74,7 +74,7 @@ Registry& Registry::global() {
 
 void Registry::arm(std::string_view site, double rate, std::uint64_t seed) {
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mutex);
+  LockGuard lock(im.fault_mutex);
   Impl::Site& s = im.sites[std::string(site)];
   s = Impl::Site{};
   s.rate = rate;
@@ -87,7 +87,7 @@ void Registry::arm(std::string_view site, double rate, std::uint64_t seed) {
 void Registry::arm_nth(std::string_view site, std::uint64_t nth) {
   arm(site, 0.0, 0);
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mutex);
+  LockGuard lock(im.fault_mutex);
   Impl::Site& s = im.sites[std::string(site)];
   s.exact = true;
   s.nth = nth;
@@ -95,7 +95,7 @@ void Registry::arm_nth(std::string_view site, std::uint64_t nth) {
 
 void Registry::disarm(std::string_view site) {
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mutex);
+  LockGuard lock(im.fault_mutex);
   auto it = im.sites.find(site);
   if (it != im.sites.end()) im.sites.erase(it);
   im.armed.store(im.sites.size(), std::memory_order_release);
@@ -103,7 +103,7 @@ void Registry::disarm(std::string_view site) {
 
 void Registry::disarm_all() {
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mutex);
+  LockGuard lock(im.fault_mutex);
   im.sites.clear();
   im.armed.store(0, std::memory_order_release);
 }
@@ -115,7 +115,7 @@ bool Registry::any_armed() const noexcept {
 bool Registry::fire(std::string_view site, std::uint64_t key) {
   Impl& im = impl();
   if (im.armed.load(std::memory_order_acquire) == 0) return false;
-  std::lock_guard<std::mutex> lock(im.mutex);
+  LockGuard lock(im.fault_mutex);
   auto it = im.sites.find(site);
   if (it == im.sites.end()) return false;
   Impl::Site& s = it->second;
@@ -128,7 +128,7 @@ bool Registry::fire(std::string_view site, std::uint64_t key) {
 
 bool Registry::peek(std::string_view site, std::uint64_t key) const {
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mutex);
+  LockGuard lock(im.fault_mutex);
   auto it = im.sites.find(site);
   if (it == im.sites.end()) return false;
   return Impl::decide(it->second, site, key);
@@ -136,14 +136,14 @@ bool Registry::peek(std::string_view site, std::uint64_t key) const {
 
 std::uint64_t Registry::checked(std::string_view site) const {
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mutex);
+  LockGuard lock(im.fault_mutex);
   auto it = im.sites.find(site);
   return it == im.sites.end() ? 0 : it->second.checked;
 }
 
 std::uint64_t Registry::fired(std::string_view site) const {
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mutex);
+  LockGuard lock(im.fault_mutex);
   auto it = im.sites.find(site);
   return it == im.sites.end() ? 0 : it->second.fired;
 }

@@ -1,0 +1,110 @@
+#include "core/lock_order.hpp"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+
+namespace fist::lockorder {
+namespace {
+
+void default_violation_handler(Rank held, Rank acquiring) {
+  std::fprintf(stderr,
+               "fistful: lock hierarchy violation: acquiring %s (rank %d) "
+               "while holding %s (rank %d) — see src/core/lock_order.hpp\n",
+               rank_name(acquiring), static_cast<int>(acquiring),
+               rank_name(held), static_cast<int>(held));
+  std::abort();
+}
+
+std::atomic<bool> g_enforcing{
+#if FISTFUL_LOCK_ORDER_CHECKS
+    true
+#else
+    false
+#endif
+};
+std::atomic<ViolationHandler> g_handler{&default_violation_handler};
+
+// The calling thread's held ranks, in acquisition order. Deliberately
+// a trivially-destructible POD (fixed array + count), NOT a vector: a
+// thread_local with a destructor is torn down in unspecified order
+// relative to other thread_locals, and some of those destructors lock
+// ranked mutexes on their way out (e.g. per-thread metrics state
+// unregistering with MetricsRegistry). A vector here would be mutated
+// after its own destructor ran — heap corruption at thread exit. A
+// trivial type is never destroyed, so note_acquire/note_release stay
+// safe at any point of thread or process teardown.
+//
+// Capacity comfortably exceeds the hierarchy depth (one slot per rank
+// would already suffice since equal ranks are violations); on the
+// impossible overflow we stop recording rather than write out of
+// bounds, degrading to fewer checks, never to corruption.
+struct HeldStack {
+  static constexpr std::size_t kCapacity = 32;
+  Rank ranks[kCapacity];
+  std::size_t count;
+};
+thread_local constinit HeldStack tls_held{};
+
+}  // namespace
+
+const char* rank_name(Rank rank) noexcept {
+  switch (rank) {
+    case Rank::kExecutorWorkerDeque: return "kExecutorWorkerDeque";
+    case Rank::kExecutorInjection: return "kExecutorInjection";
+    case Rank::kExecutorSleep: return "kExecutorSleep";
+    case Rank::kExecutorForJoin: return "kExecutorForJoin";
+    case Rank::kExecutorForError: return "kExecutorForError";
+    case Rank::kBlockstoreReadSlot: return "kBlockstoreReadSlot";
+    case Rank::kAddrBookShard: return "kAddrBookShard";
+    case Rank::kFaultRegistry: return "kFaultRegistry";
+    case Rank::kObsTrace: return "kObsTrace";
+    case Rank::kObsMetricsRegistry: return "kObsMetricsRegistry";
+  }
+  return "<unknown rank>";
+}
+
+bool enforcing() noexcept { return g_enforcing.load(std::memory_order_relaxed); }
+
+void set_enforcing(bool on) noexcept {
+  g_enforcing.store(on, std::memory_order_relaxed);
+}
+
+ViolationHandler set_violation_handler(ViolationHandler handler) noexcept {
+  if (handler == nullptr) handler = &default_violation_handler;
+  return g_handler.exchange(handler);
+}
+
+void note_acquire(Rank rank) noexcept {
+  // Strictly increasing: re-acquiring an equal rank is also a
+  // violation (std::mutex is non-recursive, and two same-rank locks
+  // held together can deadlock against a peer thread).
+  for (std::size_t i = 0; i < tls_held.count; ++i) {
+    if (tls_held.ranks[i] >= rank) {
+      g_handler.load(std::memory_order_relaxed)(tls_held.ranks[i], rank);
+      break;
+    }
+  }
+  if (tls_held.count < HeldStack::kCapacity) {
+    tls_held.ranks[tls_held.count++] = rank;
+  }
+}
+
+void note_release(Rank rank) noexcept {
+  // Remove the topmost matching rank; releases may interleave (a
+  // UniqueLock unlocked out of scope order), so search from the top.
+  for (std::size_t i = tls_held.count; i-- > 0;) {
+    if (tls_held.ranks[i] == rank) {
+      for (std::size_t j = i + 1; j < tls_held.count; ++j) {
+        tls_held.ranks[j - 1] = tls_held.ranks[j];
+      }
+      --tls_held.count;
+      return;
+    }
+  }
+}
+
+std::size_t held_count() noexcept { return tls_held.count; }
+
+}  // namespace fist::lockorder

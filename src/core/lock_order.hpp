@@ -1,0 +1,174 @@
+// lock_order.hpp — the project-wide lock hierarchy, as code.
+//
+// Every mutex in the tree has a declared rank; a thread may only
+// acquire a lock whose rank is STRICTLY GREATER than the highest rank
+// it already holds. That single rule makes lock-order deadlocks
+// structurally impossible: any cycle would need some thread to acquire
+// downward. The ranking mirrors the call graph — outer scheduling
+// locks rank low, leaf registries rank high — and is documented as a
+// table in docs/STATIC_ANALYSIS.md ("The lock hierarchy"); keep the
+// two in sync (the fistlint `lock-order` rule reads the ranks from
+// this header).
+//
+// Three layers enforce the discipline:
+//
+//   * compile time — Clang Thread Safety Analysis over the
+//     FIST_GUARDED_BY / FIST_ACQUIRE annotations (ts_annotations.hpp);
+//   * lint time — fistlint's `naked-mutex` and `lock-order` rules
+//     (a mutex without a rank or a guarded user, and lexically nested
+//     acquisitions contradicting the ranking);
+//   * run time — debug builds (or -DFISTFUL_LOCK_ORDER_CHECKS=ON)
+//     keep a thread-local stack of held ranks and report the first
+//     out-of-order acquisition (default: abort with both lock names).
+//
+// Single-threaded-by-design components (the net EventLoop's delivery
+// queue, the checkpoint manifest writer) hold no locks and therefore
+// have no rank — the hierarchy table lists them as lock-free.
+#pragma once
+
+#include <mutex>
+
+#include "core/ts_annotations.hpp"
+
+// Runtime enforcement is on in debug builds and whenever the build
+// defines FISTFUL_LOCK_ORDER_CHECKS (the CMake option of the same
+// name). The checker itself always compiles, so tests can exercise it
+// in any configuration via set_enforcing().
+#if !defined(FISTFUL_LOCK_ORDER_CHECKS) && !defined(NDEBUG)
+#define FISTFUL_LOCK_ORDER_CHECKS 1
+#endif
+
+namespace fist::lockorder {
+
+/// Ranked lock levels, lowest acquired first. Gaps of 10 leave room to
+/// slot new locks between existing levels without renumbering.
+enum class Rank : int {
+  // Executor scheduling substrate (src/core/executor.cpp). The worker
+  // deques, the injection queue, and the sleep mutex are only ever
+  // held alone; the parallel_for join/error pair sits above them
+  // because the join loop re-enters try_acquire with nothing held.
+  kExecutorWorkerDeque = 10,  ///< per-worker task deque
+  kExecutorInjection = 20,    ///< shared injection queue
+  kExecutorSleep = 30,        ///< idle-worker sleep condition
+  kExecutorForJoin = 40,      ///< per-parallel_for join state
+  kExecutorForError = 50,     ///< per-parallel_for first-error slot
+
+  // I/O and interning leaves, acquired from inside task bodies (which
+  // run with no executor lock held).
+  kBlockstoreReadSlot = 60,  ///< FileBlockStore cached read handle
+  kAddrBookShard = 70,       ///< ShardedAddressBook intern shard
+
+  // Registries. The fault registry binds metrics handles while armed,
+  // so it must rank below the metrics registry.
+  kFaultRegistry = 80,       ///< fault-injection site table
+  kObsTrace = 90,            ///< Span/Trace record tree
+  kObsMetricsRegistry = 100, ///< name → metric find-or-create map
+};
+
+/// The enumerator's name, for diagnostics ("kFaultRegistry").
+const char* rank_name(Rank rank) noexcept;
+
+/// Whether acquisitions are being checked on this process. Defaults to
+/// true when FISTFUL_LOCK_ORDER_CHECKS is defined, false otherwise.
+bool enforcing() noexcept;
+void set_enforcing(bool on) noexcept;
+
+/// What a violation calls: (held, acquiring). The default handler
+/// prints both lock names to stderr and aborts — a debug run that
+/// breaks the hierarchy dies loudly at the exact acquisition. Tests
+/// install a recording handler. Returns the previous handler.
+using ViolationHandler = void (*)(Rank held, Rank acquiring);
+ViolationHandler set_violation_handler(ViolationHandler handler) noexcept;
+
+/// Record an acquisition/release on the calling thread's held-lock
+/// stack (called by fist::Mutex when enforcing() — call directly only
+/// from tests). note_acquire reports a violation when `rank` is not
+/// strictly above every rank currently held.
+void note_acquire(Rank rank) noexcept;
+void note_release(Rank rank) noexcept;
+
+/// Locks the calling thread currently holds (test introspection).
+std::size_t held_count() noexcept;
+
+}  // namespace fist::lockorder
+
+namespace fist {
+
+/// A std::mutex with a declared hierarchy rank, annotated for Clang
+/// Thread Safety Analysis. All long-lived mutexes in the tree are
+/// fist::Mutex — fistlint's `naked-mutex` rule flags raw std::mutex
+/// members that carry neither a rank nor a FIST_GUARDED_BY user.
+class FIST_CAPABILITY("mutex") Mutex {
+ public:
+  explicit Mutex(lockorder::Rank rank) noexcept : rank_(rank) {}
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() FIST_ACQUIRE() {
+    if (lockorder::enforcing()) lockorder::note_acquire(rank_);
+    m_.lock();
+  }
+
+  void unlock() FIST_RELEASE() {
+    m_.unlock();
+    if (lockorder::enforcing()) lockorder::note_release(rank_);
+  }
+
+  bool try_lock() FIST_TRY_ACQUIRE(true) {
+    if (!m_.try_lock()) return false;
+    if (lockorder::enforcing()) lockorder::note_acquire(rank_);
+    return true;
+  }
+
+  lockorder::Rank rank() const noexcept { return rank_; }
+
+ private:
+  std::mutex m_;
+  lockorder::Rank rank_;
+};
+
+/// Scoped lock over fist::Mutex — the annotated std::lock_guard.
+class FIST_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mutex) FIST_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~LockGuard() FIST_RELEASE() { mutex_.unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Relockable scoped lock — the annotated std::unique_lock, for
+/// condition-variable waits (std::condition_variable_any accepts any
+/// lockable, so waits go through the rank bookkeeping on re-acquire).
+class FIST_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mutex) FIST_ACQUIRE(mutex) : mutex_(&mutex) {
+    mutex_->lock();
+    owned_ = true;
+  }
+  ~UniqueLock() FIST_RELEASE() {
+    if (owned_) mutex_->unlock();
+  }
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() FIST_ACQUIRE() {
+    mutex_->lock();
+    owned_ = true;
+  }
+  void unlock() FIST_RELEASE() {
+    mutex_->unlock();
+    owned_ = false;
+  }
+  bool owns_lock() const noexcept { return owned_; }
+
+ private:
+  Mutex* mutex_;
+  bool owned_ = false;
+};
+
+}  // namespace fist

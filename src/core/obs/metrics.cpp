@@ -69,7 +69,7 @@ MetricsRegistry& MetricsRegistry::global() {
 }
 
 Counter MetricsRegistry::counter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(metrics_mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end())
     it = counters_
@@ -80,7 +80,7 @@ Counter MetricsRegistry::counter(std::string_view name) {
 }
 
 Gauge MetricsRegistry::gauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(metrics_mutex_);
   auto it = gauges_.find(name);
   if (it == gauges_.end())
     it = gauges_
@@ -91,7 +91,7 @@ Gauge MetricsRegistry::gauge(std::string_view name) {
 
 Histogram MetricsRegistry::histogram(std::string_view name,
                                      std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(metrics_mutex_);
   auto it = histograms_.find(name);
   if (it == histograms_.end())
     it = histograms_
@@ -103,7 +103,7 @@ Histogram MetricsRegistry::histogram(std::string_view name,
 }
 
 Snapshot MetricsRegistry::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(metrics_mutex_);
   Snapshot snap;
   snap.counters.reserve(counters_.size());
   for (const auto& [name, impl] : counters_) {
@@ -135,7 +135,7 @@ Snapshot MetricsRegistry::snapshot() const {
 }
 
 void MetricsRegistry::reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(metrics_mutex_);
   for (auto& [name, impl] : counters_)
     for (detail::Cell& cell : impl->cells)
       cell.value.store(0, std::memory_order_relaxed);

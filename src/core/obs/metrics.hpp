@@ -30,7 +30,8 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
+
+#include "core/lock_order.hpp"
 #endif
 
 namespace fist::obs {
@@ -189,13 +190,13 @@ class MetricsRegistry {
   void reset();
 
  private:
-  mutable std::mutex mutex_;
+  mutable Mutex metrics_mutex_{lockorder::Rank::kObsMetricsRegistry};
   std::map<std::string, std::unique_ptr<detail::CounterImpl>, std::less<>>
-      counters_;
+      counters_ FIST_GUARDED_BY(metrics_mutex_);
   std::map<std::string, std::unique_ptr<detail::GaugeImpl>, std::less<>>
-      gauges_;
+      gauges_ FIST_GUARDED_BY(metrics_mutex_);
   std::map<std::string, std::unique_ptr<detail::HistogramImpl>, std::less<>>
-      histograms_;
+      histograms_ FIST_GUARDED_BY(metrics_mutex_);
 };
 
 #else  // FISTFUL_NO_OBS: the whole layer compiles to empty stubs.

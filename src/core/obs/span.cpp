@@ -21,22 +21,22 @@ TlsTraceState& tls_state() {
 }  // namespace
 
 std::vector<SpanRecord> Trace::records() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(trace_mutex_);
   return records_;
 }
 
 bool Trace::empty() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(trace_mutex_);
   return records_.empty();
 }
 
 void Trace::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(trace_mutex_);
   records_.clear();
 }
 
 std::uint32_t Trace::open(const char* name, std::uint32_t parent) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(trace_mutex_);
   SpanRecord record;
   record.name = name;
   record.parent = parent;
@@ -47,7 +47,7 @@ std::uint32_t Trace::open(const char* name, std::uint32_t parent) {
 }
 
 void Trace::close(std::uint32_t index, double millis) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(trace_mutex_);
   if (index < records_.size()) records_[index].millis = millis;
 }
 

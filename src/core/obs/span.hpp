@@ -27,9 +27,10 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "core/lock_order.hpp"
 
 namespace fist::obs {
 
@@ -56,8 +57,8 @@ class Trace {
   std::uint32_t open(const char* name, std::uint32_t parent);
   void close(std::uint32_t index, double millis);
 
-  mutable std::mutex mutex_;
-  std::vector<SpanRecord> records_;
+  mutable Mutex trace_mutex_{lockorder::Rank::kObsTrace};
+  std::vector<SpanRecord> records_ FIST_GUARDED_BY(trace_mutex_);
 };
 
 /// Makes `trace` the calling thread's active trace for the scope's

@@ -1,0 +1,77 @@
+// ts_annotations.hpp — portable Clang Thread Safety Analysis macros.
+//
+// Clang's -Wthread-safety proves lock discipline at compile time from
+// `capability` attributes: which mutex guards which member, which
+// functions must (or must not) hold which lock. GCC and MSVC don't
+// implement the attributes, so every macro below expands to nothing
+// there — the annotations are free documentation on non-Clang builds
+// and an enforced contract on the CI clang job (-Wthread-safety
+// -Werror, see .github/workflows/ci.yml).
+//
+// Usage idiom (see src/core/lock_order.hpp for the annotated mutex):
+//
+//   class FIST_CAPABILITY("mutex") Mutex { ... };
+//
+//   struct Shard {
+//     Mutex shard_mutex{lockorder::Rank::kAddrBookShard};
+//     std::vector<Address> forward FIST_GUARDED_BY(shard_mutex);
+//   };
+//
+//   void drain() FIST_REQUIRES(queue_mutex);
+//   void lock()   FIST_ACQUIRE();
+//   void unlock() FIST_RELEASE();
+//
+// Static analysis only sees acquisitions made through annotated types,
+// so guarded members must be locked via fist::LockGuard /
+// fist::UniqueLock (annotated scoped capabilities), never a bare
+// std::lock_guard — the fistlint `naked-mutex` rule enforces exactly
+// that (docs/STATIC_ANALYSIS.md "The rules").
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define FIST_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define FIST_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Marks a class as a lockable capability (mutex-like).
+#define FIST_CAPABILITY(x) FIST_THREAD_ANNOTATION(capability(x))
+
+/// Marks a scoped RAII type that acquires in its constructor and
+/// releases in its destructor.
+#define FIST_SCOPED_CAPABILITY FIST_THREAD_ANNOTATION(scoped_lockable)
+
+/// A data member that may only be touched while `x` is held.
+#define FIST_GUARDED_BY(x) FIST_THREAD_ANNOTATION(guarded_by(x))
+
+/// A pointer member whose *pointee* may only be touched while `x` is
+/// held (the pointer itself is unguarded).
+#define FIST_PT_GUARDED_BY(x) FIST_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// The function may only be called while holding the listed locks.
+#define FIST_REQUIRES(...) \
+  FIST_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// The function may only be called while NOT holding the listed locks
+/// (it acquires them itself — prevents self-deadlock).
+#define FIST_EXCLUDES(...) FIST_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// The function acquires the listed locks (or `this` when empty).
+#define FIST_ACQUIRE(...) \
+  FIST_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// The function releases the listed locks (or `this` when empty).
+#define FIST_RELEASE(...) \
+  FIST_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// The function acquires the lock when it returns `ret`.
+#define FIST_TRY_ACQUIRE(...) \
+  FIST_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// The function returns a reference to the named capability.
+#define FIST_RETURN_CAPABILITY(x) FIST_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the function's locking cannot be expressed to the
+/// analysis. Every use needs a comment explaining why.
+#define FIST_NO_THREAD_SAFETY_ANALYSIS \
+  FIST_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -3,6 +3,11 @@
 // The P2P simulator runs on simulated time: every message delivery and
 // mining completion is an event with a timestamp. Events at equal times
 // fire in schedule order (a stable tie-break), so runs replay exactly.
+//
+// Single-threaded by construction: the loop and its delivery queue are
+// only ever driven from one thread, hold no locks, and therefore carry
+// no rank in the lock hierarchy (src/core/lock_order.hpp) — adding
+// cross-thread scheduling here would need a ranked mutex first.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,8 @@
+// Violations: a raw std::thread outside the executor, then detached —
+// its writes can land after every join point the tests control.
+#include <thread>
+
+void fire_and_forget() {
+  std::thread worker([] {});
+  worker.detach();
+}

@@ -1,0 +1,13 @@
+// Clean: std::thread type access (no construction) is fine anywhere —
+// slot hashing and parallelism probes need it.
+#include <cstddef>
+#include <functional>
+#include <thread>
+
+std::size_t slot_for_current_thread() {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id()) % 8;
+}
+
+unsigned probe_parallelism() {
+  return std::thread::hardware_concurrency();
+}

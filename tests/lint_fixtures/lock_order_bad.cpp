@@ -1,0 +1,32 @@
+// Violations: lexically nested acquisitions that contradict the
+// declared hierarchy (ranks must strictly increase inward).
+enum class Rank : int {
+  kLow = 10,
+  kHigh = 20,
+};
+
+struct Mutex {
+  explicit Mutex(Rank r);
+  void lock();
+  void unlock();
+};
+
+struct LockGuard {
+  explicit LockGuard(Mutex& m);
+};
+
+struct State {
+  Mutex low{Rank::kLow};
+  Mutex high{Rank::kHigh};
+};
+
+void wrong_order(State& s) {
+  LockGuard outer(s.high);
+  LockGuard inner(s.low);
+}
+
+void same_rank_reentry(State& s) {
+  s.low.lock();
+  LockGuard again(s.low);
+  s.low.unlock();
+}

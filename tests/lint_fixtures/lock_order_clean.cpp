@@ -1,0 +1,40 @@
+// Clean: acquisitions that follow the hierarchy, including manual
+// lock/unlock and guards released by scope exit.
+enum class Rank : int {
+  kLow = 10,
+  kHigh = 20,
+};
+
+struct Mutex {
+  explicit Mutex(Rank r);
+  void lock();
+  void unlock();
+};
+
+struct LockGuard {
+  explicit LockGuard(Mutex& m);
+};
+
+struct State {
+  Mutex low{Rank::kLow};
+  Mutex high{Rank::kHigh};
+};
+
+void right_order(State& s) {
+  LockGuard outer(s.low);
+  LockGuard inner(s.high);
+}
+
+void sequential(State& s) {
+  {
+    LockGuard g(s.high);
+  }
+  LockGuard g(s.low);
+}
+
+void manual_handoff(State& s) {
+  s.high.lock();
+  s.high.unlock();
+  s.low.lock();
+  s.low.unlock();
+}

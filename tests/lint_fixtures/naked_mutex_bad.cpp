@@ -1,0 +1,10 @@
+// Violations: raw standard mutexes. No hierarchy rank, no guarded
+// members — invisible to every layer of the lock discipline.
+#include <mutex>
+#include <shared_mutex>
+
+struct Registry {
+  std::mutex mu;
+  std::shared_mutex table_lock;
+  int value = 0;
+};

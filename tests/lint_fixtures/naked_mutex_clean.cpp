@@ -1,0 +1,17 @@
+// Clean: a ranked fist::Mutex, and a raw mutex that anchors
+// FIST_GUARDED_BY members (visible to the thread-safety analysis).
+#include <mutex>
+
+#define FIST_GUARDED_BY(x) __attribute__((guarded_by(x)))
+
+enum class Rank : int { kRegistry = 10 };
+
+struct Mutex {
+  explicit Mutex(Rank r);
+};
+
+struct Registry {
+  Mutex mu{Rank::kRegistry};
+  std::mutex fallback;
+  int value FIST_GUARDED_BY(fallback) = 0;
+};

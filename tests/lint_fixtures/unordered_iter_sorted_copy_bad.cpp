@@ -1,0 +1,22 @@
+// Violations: copies that look like the sorted-copy idiom but do not
+// restore a deterministic order.
+#include <unordered_map>
+#include <vector>
+
+// push_back with no subsequent sort: the copy keeps bucket order.
+std::vector<int> unsorted_copy(const std::unordered_map<int, int>& counts) {
+  std::vector<int> keys;
+  for (const auto& [k, v] : counts) keys.push_back(k);
+  return keys;
+}
+
+// The body does more than copy: the fold observes bucket order.
+long copy_and_fold(const std::unordered_map<int, int>& counts) {
+  std::vector<int> keys;
+  long digest = 0;
+  for (const auto& [k, v] : counts) {
+    keys.push_back(k);
+    digest = digest * 31 + v;
+  }
+  return digest;
+}

@@ -1,0 +1,31 @@
+// Clean: the sorted-copy idiom. Iterating an unordered container is
+// fine when the loop body does nothing but build an ordered copy —
+// inserting into a std::map/set (self-ordering) or pushing into a
+// vector that is sorted before anything reads it.
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+std::map<int, int> to_ordered_map(const std::unordered_map<int, int>& counts) {
+  std::map<int, int> sorted;
+  for (const auto& [k, v] : counts) sorted[k] = v;
+  return sorted;
+}
+
+std::set<int> to_ordered_set(const std::unordered_map<int, int>& counts) {
+  std::set<int> keys;
+  for (const auto& [k, v] : counts) {
+    keys.insert(k);
+  }
+  return keys;
+}
+
+std::vector<int> to_sorted_vector(
+    const std::unordered_map<int, int>& counts) {
+  std::vector<int> keys;
+  for (const auto& [k, v] : counts) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}

@@ -1,0 +1,100 @@
+// Concurrent-cancellation hammering. The pipeline's strict-mode
+// teardown calls Executor::request_cancel from whichever thread hit
+// the fault while other threads may be scraping metrics for progress
+// reporting — so cancellation must be safe to request from many
+// threads at once, must never be lost (the in-flight parallel_for
+// MUST throw CancelledError), and must leave the pool reusable after
+// reset_cancel(). The suite name starts with Executor so the TSan CI
+// job picks these tests up and vets the whole dance for data races.
+#include "core/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "core/obs/metrics.hpp"
+#include "util/error.hpp"
+
+namespace fist {
+namespace {
+
+TEST(ExecutorCancelConcurrent, HammeredCancelAlwaysLandsAndPoolSurvives) {
+  constexpr int kRounds = 10;
+  constexpr int kHammers = 4;
+  constexpr int kScrapers = 2;
+  Executor exec(4);
+
+  for (int round = 0; round < kRounds; ++round) {
+    std::atomic<bool> started{false};
+    std::atomic<bool> stop_scraping{false};
+
+    // Hammers race to deliver the same cancellation; every one of them
+    // must be harmless and at least one must land.
+    std::vector<std::thread> threads;
+    for (int h = 0; h < kHammers; ++h) {
+      threads.emplace_back([&] {
+        while (!started.load(std::memory_order_acquire)) std::this_thread::yield();
+        exec.request_cancel();
+      });
+    }
+    // Scrapers snapshot the global registry mid-flight, the way a
+    // progress reporter would during a pipeline run.
+    for (int s = 0; s < kScrapers; ++s) {
+      threads.emplace_back([&] {
+        while (!stop_scraping.load(std::memory_order_acquire))
+          (void)obs::MetricsRegistry::global().snapshot();
+      });
+    }
+
+    // Plenty of small chunks, each spinning until the cancel flag
+    // lands, so the pool is genuinely mid-flight when it does. The
+    // spin guard keeps a lost cancellation a test failure, not a hang.
+    auto spin_until_cancelled = [&](std::size_t, std::size_t) {
+      started.store(true, std::memory_order_release);
+      for (long guard = 0; guard < 4'000'000'000L; ++guard) {
+        if (exec.cancel_requested()) break;
+        std::this_thread::yield();
+      }
+    };
+    EXPECT_THROW(exec.parallel_for(0, 10'000, 1, spin_until_cancelled),
+                 CancelledError)
+        << "round " << round << ": cancellation was lost";
+
+    for (int h = 0; h < kHammers; ++h) threads[static_cast<std::size_t>(h)].join();
+    stop_scraping.store(true, std::memory_order_release);
+    for (std::size_t t = kHammers; t < threads.size(); ++t) threads[t].join();
+
+    // Sticky until reset: the next parallel_for must also refuse.
+    EXPECT_TRUE(exec.cancel_requested());
+    EXPECT_THROW(exec.parallel_for(0, 1, 1, [](std::size_t, std::size_t) {}),
+                 CancelledError);
+
+    // Clean shutdown: after reset the same pool runs a full pass.
+    exec.reset_cancel();
+    std::atomic<std::size_t> covered{0};
+    exec.parallel_for(0, 1'000, 16, [&](std::size_t lo, std::size_t hi) {
+      covered.fetch_add(hi - lo, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(covered.load(), 1'000u) << "pool unusable after round " << round;
+  }
+}
+
+TEST(ExecutorCancelConcurrent, PreArmedCancelRefusesDeterministically) {
+  Executor exec(2);
+  exec.request_cancel();
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      exec.parallel_for(0, 100, 1, [&](std::size_t, std::size_t) { ++ran; }),
+      CancelledError);
+  // A pre-armed cancel may stop the claim loop before any chunk runs;
+  // whatever ran, the pool must come back clean.
+  exec.reset_cancel();
+  exec.parallel_for(0, 100, 1, [&](std::size_t, std::size_t) { ++ran; });
+  EXPECT_GE(ran.load(), 100);
+}
+
+}  // namespace
+}  // namespace fist

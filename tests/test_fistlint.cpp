@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include "baseline.hpp"
+#include "cache.hpp"
 #include "lexer.hpp"
 #include "rules.hpp"
 
@@ -35,8 +36,11 @@ std::string read_fixture(const std::string& name) {
 // single file, and flattens the findings to "rule:line" lines.
 std::string findings_for(const std::string& name, const std::string& rel) {
   SourceFile file = lex(read_fixture(name), rel);
+  FileFacts facts;
+  collect_facts(file, facts);
   ScanContext ctx;
-  collect_unordered_symbols(file, ctx.unordered_symbols);
+  ctx.merge(facts);
+  ctx.resolve();
   std::vector<Finding> findings =
       apply_allows(run_file_rules(file, ctx), file);
   std::sort(findings.begin(), findings.end(),
@@ -68,6 +72,17 @@ INSTANTIATE_TEST_SUITE_P(
         GoldenCase{"unordered_iter_bad.cpp", "unordered_iter_bad.expected"},
         GoldenCase{"unordered_iter_clean.cpp",
                    "unordered_iter_clean.expected"},
+        GoldenCase{"unordered_iter_sorted_copy_bad.cpp",
+                   "unordered_iter_sorted_copy_bad.expected"},
+        GoldenCase{"unordered_iter_sorted_copy_clean.cpp",
+                   "unordered_iter_sorted_copy_clean.expected"},
+        GoldenCase{"naked_mutex_bad.cpp", "naked_mutex_bad.expected"},
+        GoldenCase{"naked_mutex_clean.cpp", "naked_mutex_clean.expected"},
+        GoldenCase{"lock_order_bad.cpp", "lock_order_bad.expected"},
+        GoldenCase{"lock_order_clean.cpp", "lock_order_clean.expected"},
+        GoldenCase{"detached_thread_bad.cpp", "detached_thread_bad.expected"},
+        GoldenCase{"detached_thread_clean.cpp",
+                   "detached_thread_clean.expected"},
         GoldenCase{"pointer_order_bad.cpp", "pointer_order_bad.expected"},
         GoldenCase{"pointer_order_clean.cpp", "pointer_order_clean.expected"},
         GoldenCase{"banned_random_bad.cpp", "banned_random_bad.expected"},
@@ -98,9 +113,10 @@ TEST(FistlintRules, BannedRandomIsExemptInSeededPaths) {
 
 std::vector<NameUse> fixture_names() {
   SourceFile file = lex(read_fixture("names_code.cpp"), "names_code.cpp");
-  std::vector<NameUse> names;
-  collect_metric_names(file, names);
-  return names;
+  FileFacts facts;
+  collect_facts(file, facts);
+  for (NameUse& use : facts.names) use.file = "names_code.cpp";
+  return facts.names;
 }
 
 TEST(FistlintDocsDrift, BothDirectionsAndWildcard) {
@@ -202,6 +218,86 @@ TEST(FistlintBaseline, SnippetNormalizationSurvivesReindentation) {
             normalize_snippet("for (auto&\tx : m)"));
   EXPECT_NE(normalize_snippet("for (auto& x : m)"),
             normalize_snippet("for (auto& y : m)"));
+}
+
+// ---------------------------------------------------------------------------
+// incremental cache
+// ---------------------------------------------------------------------------
+
+TEST(FistlintCache, RenderParseRoundTrip) {
+  Cache c;
+  c.ctx_hash = 0xdeadbeefcafef00dull;
+  CacheEntry& e = c.entries["src/a.cpp"];
+  e.file_hash = fnv1a64("int x;");
+  e.facts.unordered_symbols = {"by_id", "seen"};
+  e.facts.ordered_symbols = {"sorted"};
+  e.facts.mutex_ranks["mu"] = "kLow";
+  e.facts.rank_values["kLow"] = 10;
+  NameUse use;
+  use.name = "fault.injected.";
+  use.prefix = true;
+  use.line = 7;
+  e.facts.names.push_back(use);
+  Finding f;
+  f.rule = "unordered-iter";
+  f.line = 3;
+  f.message = "msg with\ttab, \nnewline and \\ backslash";
+  f.snippet = "for (auto& x : m) f();";
+  e.findings.push_back(f);
+
+  Cache back = Cache::parse(c.render());
+  EXPECT_EQ(back.ctx_hash, c.ctx_hash);
+  ASSERT_EQ(back.entries.count("src/a.cpp"), 1u);
+  const CacheEntry& b = back.entries["src/a.cpp"];
+  EXPECT_EQ(b.file_hash, e.file_hash);
+  EXPECT_EQ(b.facts.unordered_symbols, e.facts.unordered_symbols);
+  EXPECT_EQ(b.facts.ordered_symbols, e.facts.ordered_symbols);
+  EXPECT_EQ(b.facts.mutex_ranks, e.facts.mutex_ranks);
+  EXPECT_EQ(b.facts.rank_values, e.facts.rank_values);
+  ASSERT_EQ(b.facts.names.size(), 1u);
+  EXPECT_EQ(b.facts.names[0].name, use.name);
+  EXPECT_TRUE(b.facts.names[0].prefix);
+  EXPECT_EQ(b.facts.names[0].line, 7);
+  ASSERT_EQ(b.findings.size(), 1u);
+  EXPECT_EQ(b.findings[0].rule, f.rule);
+  EXPECT_EQ(b.findings[0].line, f.line);
+  EXPECT_EQ(b.findings[0].message, f.message);
+  EXPECT_EQ(b.findings[0].snippet, f.snippet);
+}
+
+TEST(FistlintCache, VersionMismatchDegradesToEmpty) {
+  Cache c = Cache::parse("fistlint-cache v0\nctx\t0\nfile\ta\t0\n");
+  EXPECT_EQ(c.entries.size(), 0u);
+  EXPECT_TRUE(Cache::parse("").entries.empty());
+}
+
+TEST(FistlintCache, ContextHashSeesCrossFileState) {
+  FileFacts a;
+  a.unordered_symbols.insert("seen");
+  FileFacts b;
+  b.mutex_ranks["mu"] = "kLow";
+  b.rank_values["kLow"] = 10;
+
+  ScanContext fwd;
+  fwd.merge(a);
+  fwd.merge(b);
+  fwd.resolve();
+  ScanContext rev;
+  rev.merge(b);
+  rev.merge(a);
+  rev.resolve();
+  EXPECT_EQ(context_hash(fwd), context_hash(rev))
+      << "hash must not depend on merge order";
+
+  FileFacts extra;
+  extra.unordered_symbols.insert("by_id");
+  ScanContext grown;
+  grown.merge(a);
+  grown.merge(b);
+  grown.merge(extra);
+  grown.resolve();
+  EXPECT_NE(context_hash(fwd), context_hash(grown))
+      << "a new declaration anywhere must invalidate cached findings";
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,147 @@
+// Runtime lock-hierarchy checker (src/core/lock_order.hpp). These
+// tests install a recording violation handler instead of the default
+// aborting one, so both the detection logic and the thread-local
+// bookkeeping are testable in-process. Enforcement is forced on
+// regardless of build type; teardown restores whatever was configured.
+#include "core/lock_order.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace fist {
+namespace {
+
+using lockorder::Rank;
+
+std::vector<std::pair<Rank, Rank>>& violations() {
+  static std::vector<std::pair<Rank, Rank>> v;
+  return v;
+}
+
+void record_violation(Rank held, Rank acquiring) {
+  violations().emplace_back(held, acquiring);
+}
+
+class LockOrderTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    violations().clear();
+    was_enforcing_ = lockorder::enforcing();
+    lockorder::set_enforcing(true);
+    previous_handler_ = lockorder::set_violation_handler(&record_violation);
+  }
+  void TearDown() override {
+    lockorder::set_violation_handler(previous_handler_);
+    lockorder::set_enforcing(was_enforcing_);
+  }
+
+ private:
+  bool was_enforcing_ = false;
+  lockorder::ViolationHandler previous_handler_ = nullptr;
+};
+
+TEST_F(LockOrderTest, IncreasingRanksAreClean) {
+  Mutex low(Rank::kExecutorWorkerDeque);
+  Mutex mid(Rank::kFaultRegistry);
+  Mutex high(Rank::kObsMetricsRegistry);
+  {
+    LockGuard a(low);
+    LockGuard b(mid);
+    LockGuard c(high);
+  }
+  EXPECT_TRUE(violations().empty());
+  EXPECT_EQ(lockorder::held_count(), 0u);
+}
+
+TEST_F(LockOrderTest, DecreasingRankIsAViolation) {
+  Mutex low(Rank::kExecutorWorkerDeque);
+  Mutex high(Rank::kObsTrace);
+  {
+    LockGuard a(high);
+    LockGuard b(low);
+  }
+  ASSERT_EQ(violations().size(), 1u);
+  EXPECT_EQ(violations()[0].first, Rank::kObsTrace);
+  EXPECT_EQ(violations()[0].second, Rank::kExecutorWorkerDeque);
+}
+
+TEST_F(LockOrderTest, EqualRankIsAViolation) {
+  // fist::Mutex is non-recursive and rank comparison is strict:
+  // holding any lock of rank R forbids acquiring another at R.
+  Mutex a(Rank::kAddrBookShard);
+  Mutex b(Rank::kAddrBookShard);
+  {
+    LockGuard ga(a);
+    LockGuard gb(b);
+  }
+  ASSERT_EQ(violations().size(), 1u);
+  EXPECT_EQ(violations()[0].first, Rank::kAddrBookShard);
+  EXPECT_EQ(violations()[0].second, Rank::kAddrBookShard);
+}
+
+TEST_F(LockOrderTest, ReleaseUnwindsSoSequentialAcquisitionsAreClean) {
+  Mutex low(Rank::kExecutorInjection);
+  Mutex high(Rank::kObsMetricsRegistry);
+  {
+    LockGuard g(high);
+  }
+  {
+    LockGuard g(low);  // nothing held any more: clean
+  }
+  EXPECT_TRUE(violations().empty());
+}
+
+TEST_F(LockOrderTest, UniqueLockTracksManualLockUnlock) {
+  Mutex low(Rank::kExecutorSleep);
+  Mutex high(Rank::kObsTrace);
+  UniqueLock hold(high);
+  EXPECT_EQ(lockorder::held_count(), 1u);
+  hold.unlock();
+  EXPECT_EQ(lockorder::held_count(), 0u);
+  {
+    LockGuard g(low);  // high was released: clean
+  }
+  hold.lock();
+  EXPECT_EQ(lockorder::held_count(), 1u);
+  hold.unlock();
+  EXPECT_TRUE(violations().empty());
+}
+
+TEST_F(LockOrderTest, HeldStackIsPerThread) {
+  // A lock held on this thread must not constrain another thread.
+  Mutex low(Rank::kExecutorWorkerDeque);
+  Mutex high(Rank::kObsMetricsRegistry);
+  UniqueLock hold(high);
+  std::thread other([&] {
+    EXPECT_EQ(lockorder::held_count(), 0u);
+    LockGuard g(low);
+    EXPECT_EQ(lockorder::held_count(), 1u);
+  });
+  other.join();
+  hold.unlock();
+  EXPECT_TRUE(violations().empty());
+}
+
+TEST_F(LockOrderTest, DisabledEnforcementIsSilent) {
+  lockorder::set_enforcing(false);
+  Mutex low(Rank::kExecutorWorkerDeque);
+  Mutex high(Rank::kObsTrace);
+  {
+    LockGuard a(high);
+    LockGuard b(low);  // would be a violation; enforcement is off
+  }
+  EXPECT_TRUE(violations().empty());
+}
+
+TEST_F(LockOrderTest, RankNamesAreStable) {
+  EXPECT_STREQ(lockorder::rank_name(Rank::kExecutorWorkerDeque),
+               "kExecutorWorkerDeque");
+  EXPECT_STREQ(lockorder::rank_name(Rank::kObsMetricsRegistry),
+               "kObsMetricsRegistry");
+}
+
+}  // namespace
+}  // namespace fist

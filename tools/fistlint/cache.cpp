@@ -1,0 +1,171 @@
+#include "cache.hpp"
+
+#include <sstream>
+
+namespace fistlint {
+
+namespace {
+
+constexpr std::string_view kMagic = "fistlint-cache v1";
+
+/// Escapes the three characters that would break the line/field
+/// structure: backslash, tab, newline.
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\t': out += "\\t"; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string unescape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      char n = s[++i];
+      out.push_back(n == 't' ? '\t' : n == 'n' ? '\n' : n);
+    } else {
+      out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+/// escape() never leaves a raw tab inside a field, so every tab in
+/// the line is a separator.
+std::vector<std::string> split_fields(std::string_view line) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= line.size(); ++i) {
+    if (i < line.size() && line[i] != '\t') continue;
+    out.push_back(unescape(line.substr(start, i - start)));
+    start = i + 1;
+  }
+  return out;
+}
+
+bool parse_u64(const std::string& s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  out = 0;
+  for (char c : s) {
+    int d;
+    if (c >= '0' && c <= '9') d = c - '0';
+    else if (c >= 'a' && c <= 'f') d = c - 'a' + 10;
+    else return false;
+    out = (out << 4) | static_cast<std::uint64_t>(d);
+  }
+  return true;
+}
+
+std::string hex(std::uint64_t v) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  for (int shift = 60; shift >= 0; shift -= 4)
+    out.push_back(kDigits[(v >> shift) & 0xf]);
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::string_view data) noexcept {
+  std::uint64_t h = 14695981039346656037ull;
+  for (char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+Cache Cache::parse(std::string_view text) {
+  Cache cache;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) return cache;
+
+  CacheEntry* entry = nullptr;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> f = split_fields(line);
+    if (f.empty()) continue;
+    const std::string& tag = f[0];
+    if (tag == "ctx" && f.size() == 2) {
+      if (!parse_u64(f[1], cache.ctx_hash)) return Cache{};
+    } else if (tag == "file" && f.size() == 3) {
+      std::uint64_t h;
+      if (!parse_u64(f[2], h)) return Cache{};
+      entry = &cache.entries[f[1]];
+      entry->file_hash = h;
+    } else if (entry == nullptr) {
+      return Cache{};  // fact line before any file line: corrupt
+    } else if (tag == "u" && f.size() == 2) {
+      entry->facts.unordered_symbols.insert(f[1]);
+    } else if (tag == "o" && f.size() == 2) {
+      entry->facts.ordered_symbols.insert(f[1]);
+    } else if (tag == "m" && f.size() == 3) {
+      entry->facts.mutex_ranks[f[1]] = f[2];
+    } else if (tag == "r" && f.size() == 3) {
+      entry->facts.rank_values[f[1]] = std::stol(f[2]);
+    } else if (tag == "n" && f.size() == 4) {
+      NameUse use;
+      use.prefix = f[1] == "1";
+      use.line = std::stoi(f[2]);
+      use.name = f[3];
+      // NameUse::file is re-stamped from the entry key on reuse.
+      entry->facts.names.push_back(std::move(use));
+    } else if (tag == "f" && f.size() == 5) {
+      Finding finding;
+      finding.rule = f[1];
+      finding.line = std::stoi(f[2]);
+      finding.message = f[3];
+      finding.snippet = f[4];
+      entry->findings.push_back(std::move(finding));
+    }
+    // Unknown tags are skipped: forward-compatible with added fact
+    // kinds (the version bump in kMagic covers incompatible changes).
+  }
+  return cache;
+}
+
+std::string Cache::render() const {
+  std::ostringstream out;
+  out << kMagic << "\n";
+  out << "ctx\t" << hex(ctx_hash) << "\n";
+  for (const auto& [rel, entry] : entries) {
+    out << "file\t" << escape(rel) << "\t" << hex(entry.file_hash) << "\n";
+    for (const std::string& s : entry.facts.unordered_symbols)
+      out << "u\t" << escape(s) << "\n";
+    for (const std::string& s : entry.facts.ordered_symbols)
+      out << "o\t" << escape(s) << "\n";
+    for (const auto& [name, enumerator] : entry.facts.mutex_ranks)
+      out << "m\t" << escape(name) << "\t" << escape(enumerator) << "\n";
+    for (const auto& [enumerator, value] : entry.facts.rank_values)
+      out << "r\t" << escape(enumerator) << "\t" << value << "\n";
+    for (const NameUse& use : entry.facts.names)
+      out << "n\t" << (use.prefix ? 1 : 0) << "\t" << use.line << "\t"
+          << escape(use.name) << "\n";
+    for (const Finding& f : entry.findings)
+      out << "f\t" << escape(f.rule) << "\t" << f.line << "\t"
+          << escape(f.message) << "\t" << escape(f.snippet) << "\n";
+  }
+  return out.str();
+}
+
+std::uint64_t context_hash(const ScanContext& ctx) {
+  // std::set / std::map iterate sorted, so this serialization is
+  // canonical: independent of merge order.
+  std::ostringstream ss;
+  for (const std::string& s : ctx.unordered_symbols) ss << "u " << s << "\n";
+  for (const std::string& s : ctx.ordered_symbols) ss << "o " << s << "\n";
+  for (const auto& [name, rank] : ctx.mutex_ranks)
+    ss << "m " << name << " " << rank << "\n";
+  return fnv1a64(ss.str());
+}
+
+}  // namespace fistlint

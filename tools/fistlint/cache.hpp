@@ -1,0 +1,68 @@
+// cache.hpp — the incremental-scan cache.
+//
+// A full fistlint run lexes every file under the scan prefixes twice
+// over (pass 1 facts, pass 2 rules). Almost all of that work is
+// identical run to run: a file whose bytes did not change produces the
+// same FileFacts and — as long as the cross-file ScanContext did not
+// change either — the same findings. The cache stores both, keyed by a
+// 64-bit FNV-1a hash of the file contents, so an incremental run only
+// re-lexes the files that actually changed.
+//
+// Soundness is the whole point, so staleness is tracked precisely:
+//
+//   * FileFacts are reused on a content-hash hit alone — they are
+//     derived from one file in isolation.
+//   * Findings additionally require the *context hash* (a hash of the
+//     merged, resolved ScanContext) to match, because the per-file
+//     rules read cross-file state: editing view.hpp can change the
+//     findings in an untouched view.cpp. One changed declaration
+//     invalidates every cached finding list, never silently keeps one.
+//   * docs-drift is always recomputed (it is cross-file by nature and
+//     cheap — string comparison against one markdown registry).
+//
+// The cache file is a line-oriented text format (tab-separated fields,
+// backslash escapes) under build/, never committed. A missing,
+// unreadable, or version-mismatched cache degrades to a full scan.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "rules.hpp"
+
+namespace fistlint {
+
+/// FNV-1a 64-bit — the same content-hash construction the fault layer
+/// uses for site ids; stable across platforms and runs.
+std::uint64_t fnv1a64(std::string_view data) noexcept;
+
+/// Everything remembered about one scanned file.
+struct CacheEntry {
+  std::uint64_t file_hash = 0;
+  FileFacts facts;
+  /// Post-suppression findings from the per-file rules (docs-drift
+  /// excluded — it is recomputed every run).
+  std::vector<Finding> findings;
+};
+
+/// On-disk cache: one context hash plus one entry per file.
+struct Cache {
+  std::uint64_t ctx_hash = 0;
+  std::map<std::string, CacheEntry> entries;  ///< keyed by root-relative path
+
+  /// Parses a cache file's text. Returns an empty cache (no entries)
+  /// on any version or format mismatch — never a partial one.
+  static Cache parse(std::string_view text);
+
+  /// Serializes for writing. parse(render(c)) round-trips exactly.
+  std::string render() const;
+};
+
+/// Canonical hash of the cross-file state the per-file rules read.
+/// Two runs whose merged ScanContexts resolve identically get the
+/// same hash regardless of file order.
+std::uint64_t context_hash(const ScanContext& ctx);
+
+}  // namespace fistlint

@@ -1,0 +1,309 @@
+// concurrency.cpp — the lock-discipline rules.
+//
+// These rules are the lint-time leg of the three-layer defense around
+// src/core/lock_order.hpp (compile-time Clang Thread Safety Analysis,
+// this file, and the debug-build runtime held-lock stack):
+//
+//   naked-mutex      a raw std::mutex / std::shared_mutex member is
+//                    invisible to all three layers — it carries no
+//                    hierarchy rank and no FIST_GUARDED_BY users, so
+//                    nothing checks what it guards or in what order it
+//                    is taken. Every long-lived mutex must be a
+//                    fist::Mutex (or at least anchor FIST_* macros).
+//   lock-order       pass 1 reads the `enum class Rank` values and
+//                    every `Mutex name{…Rank::kX…}` declaration out of
+//                    the tree; this pass walks each file with a
+//                    brace-scoped stack of lexically held guards and
+//                    flags an acquisition whose rank does not strictly
+//                    exceed every rank already held. Purely lexical —
+//                    nesting through a call is the runtime checker's
+//                    job — but it catches the reviewable case, in the
+//                    diff, with both lock names in the message.
+//   detached-thread  a detached thread outlives every join point the
+//                    determinism tests control, so its writes can land
+//                    after the run is "done". std::thread::detach is
+//                    banned outright; raw std::thread construction is
+//                    confined to src/core/executor (the one place that
+//                    owns thread lifetime).
+#include <algorithm>
+
+#include "rules.hpp"
+
+namespace fistlint {
+
+namespace {
+
+std::size_t find_close_paren(const std::vector<Token>& t, std::size_t i) {
+  std::size_t depth = 0;
+  for (std::size_t j = i; j < t.size(); ++j) {
+    if (t[j].punct('(')) ++depth;
+    if (t[j].punct(')') && --depth == 0) return j;
+  }
+  return t.size();
+}
+
+std::size_t skip_angles(const std::vector<Token>& t, std::size_t i) {
+  std::size_t depth = 0;
+  for (std::size_t j = i; j < t.size(); ++j) {
+    if (t[j].punct('<')) {
+      ++depth;
+    } else if (t[j].punct('>')) {
+      if (--depth == 0) return j + 1;
+    } else if (t[j].punct(';') || t[j].punct('{') || t[j].punct('}')) {
+      break;
+    }
+  }
+  return i + 1;
+}
+
+bool path_has_prefix(const std::string& rel, std::string_view prefix) {
+  return rel.rfind(prefix, 0) == 0;
+}
+
+Finding make_finding(const SourceFile& file, const char* rule, int line,
+                     std::string message) {
+  return Finding{rule, file.rel, line, std::move(message),
+                 normalize_snippet(file.line_text(line))};
+}
+
+/// `t[i]` qualified as `std::` (the lexer emits `::` as two ':').
+bool std_qualified(const std::vector<Token>& t, std::size_t i) {
+  return i >= 3 && t[i - 1].punct(':') && t[i - 2].punct(':') &&
+         t[i - 3].ident("std");
+}
+
+// ---------------------------------------------------------------------------
+// Pass 1 — Rank enumerators and ranked Mutex declarations
+// ---------------------------------------------------------------------------
+
+void collect_rank_values(const SourceFile& file, FileFacts& out) {
+  const auto& t = file.tokens;
+  for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+    if (!(t[i].ident("enum") && t[i + 1].ident("class") &&
+          t[i + 2].ident("Rank")))
+      continue;
+    std::size_t open = i + 3;
+    while (open < t.size() && !t[open].punct('{') && !t[open].punct(';'))
+      ++open;
+    if (open >= t.size() || t[open].punct(';')) continue;
+    long next_value = 0;
+    for (std::size_t j = open + 1; j < t.size() && !t[j].punct('}'); ++j) {
+      if (t[j].kind != TokKind::Ident) continue;
+      const std::string& name = t[j].text;
+      long value = next_value;
+      if (j + 2 < t.size() && t[j + 1].punct('=') &&
+          t[j + 2].kind == TokKind::Number)
+        value = std::stol(t[j + 2].text);
+      out.rank_values[name] = value;
+      next_value = value + 1;
+      // Skip to the ',' ending this enumerator.
+      while (j < t.size() && !t[j].punct(',') && !t[j].punct('}')) ++j;
+      if (j < t.size() && t[j].punct('}')) break;
+    }
+  }
+}
+
+void collect_mutex_decls(const SourceFile& file, FileFacts& out) {
+  const auto& t = file.tokens;
+  for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+    // `Mutex name{… Rank::kSomething …};` — the enumerator is the last
+    // identifier inside the braces.
+    if (!t[i].ident("Mutex") || t[i + 1].kind != TokKind::Ident ||
+        !t[i + 2].punct('{'))
+      continue;
+    std::size_t depth = 0;
+    std::string enumerator;
+    for (std::size_t j = i + 2; j < t.size(); ++j) {
+      if (t[j].punct('{')) ++depth;
+      if (t[j].punct('}') && --depth == 0) break;
+      if (t[j].kind == TokKind::Ident) enumerator = t[j].text;
+    }
+    if (!enumerator.empty()) out.mutex_ranks[t[i + 1].text] = enumerator;
+  }
+}
+
+}  // namespace
+
+void collect_concurrency_facts(const SourceFile& file, FileFacts& out) {
+  collect_rank_values(file, out);
+  collect_mutex_decls(file, out);
+}
+
+// ---------------------------------------------------------------------------
+// Rule: naked-mutex
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void rule_naked_mutex(const SourceFile& file, std::vector<Finding>& out) {
+  // The annotated wrapper itself legitimately owns a raw std::mutex.
+  if (path_has_prefix(file.rel, "src/core/lock_order")) return;
+  const auto& t = file.tokens;
+
+  // Names anchored by any FIST_* annotation in this file: a raw mutex
+  // that guards annotated members is visible to the analysis already.
+  std::set<std::string> annotated;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != TokKind::Ident || t[i].text.rfind("FIST_", 0) != 0 ||
+        !t[i + 1].punct('('))
+      continue;
+    std::size_t close = find_close_paren(t, i + 1);
+    for (std::size_t j = i + 2; j < close && j < t.size(); ++j)
+      if (t[j].kind == TokKind::Ident) annotated.insert(t[j].text);
+  }
+
+  for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+    if (!(t[i].ident("mutex") || t[i].ident("shared_mutex"))) continue;
+    if (!std_qualified(t, i)) continue;
+    // `std::mutex name ;|{|=` — a declaration, not a template argument
+    // (those are followed by '>' or ',') or a lock type's parameter.
+    if (t[i + 1].kind != TokKind::Ident) continue;
+    if (!(t[i + 2].punct(';') || t[i + 2].punct('{') || t[i + 2].punct('=')))
+      continue;
+    const std::string& name = t[i + 1].text;
+    if (annotated.count(name) != 0) continue;
+    out.push_back(make_finding(
+        file, kRuleNakedMutex, t[i].line,
+        "raw std::" + t[i].text + " `" + name +
+            "` with no FIST_GUARDED_BY user and no hierarchy rank — "
+            "use fist::Mutex (src/core/lock_order.hpp) or annotate "
+            "what it guards"));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: lock-order
+// ---------------------------------------------------------------------------
+
+bool is_scoped_lock_type(const Token& tok) {
+  return tok.ident("LockGuard") || tok.ident("UniqueLock") ||
+         tok.ident("lock_guard") || tok.ident("unique_lock") ||
+         tok.ident("scoped_lock") || tok.ident("shared_lock");
+}
+
+void rule_lock_order(const SourceFile& file, const ScanContext& ctx,
+                     std::vector<Finding>& out) {
+  if (ctx.mutex_ranks.empty()) return;
+  if (path_has_prefix(file.rel, "src/core/lock_order")) return;
+  const auto& t = file.tokens;
+
+  struct Held {
+    int depth;  ///< brace depth the guard was declared at
+    long rank;
+    std::string name;
+  };
+  std::vector<Held> held;
+  int depth = 0;
+
+  auto acquire = [&](const std::string& name, int line) {
+    auto it = ctx.mutex_ranks.find(name);
+    if (it == ctx.mutex_ranks.end()) return;
+    for (const Held& h : held) {
+      if (h.rank >= it->second) {
+        out.push_back(make_finding(
+            file, kRuleLockOrder, line,
+            "acquiring `" + name + "` (rank " +
+                std::to_string(it->second) + ") while `" + h.name +
+                "` (rank " + std::to_string(h.rank) +
+                ") is held — the hierarchy in src/core/lock_order.hpp "
+                "requires strictly increasing ranks"));
+        break;
+      }
+    }
+    held.push_back(Held{depth, it->second, name});
+  };
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].punct('{')) {
+      ++depth;
+      continue;
+    }
+    if (t[i].punct('}')) {
+      --depth;
+      while (!held.empty() && held.back().depth > depth) held.pop_back();
+      if (depth <= 0) held.clear();  // function boundary
+      continue;
+    }
+
+    // Scoped guard: `LockGuard g(…mutex);` (optionally templated).
+    if (is_scoped_lock_type(t[i])) {
+      std::size_t j = i + 1;
+      if (j < t.size() && t[j].punct('<')) j = skip_angles(t, j);
+      if (j + 1 < t.size() && t[j].kind == TokKind::Ident &&
+          t[j + 1].punct('(')) {
+        std::size_t close = find_close_paren(t, j + 1);
+        std::string name;
+        for (std::size_t k = j + 2; k < close && k < t.size(); ++k)
+          if (t[k].kind == TokKind::Ident) name = t[k].text;
+        if (!name.empty()) acquire(name, t[i].line);
+        i = close;
+      }
+      continue;
+    }
+
+    // Manual `x.lock()` / `x.unlock()` on a ranked mutex.
+    if (t[i].kind == TokKind::Ident &&
+        ctx.mutex_ranks.count(t[i].text) != 0 && i + 3 < t.size() &&
+        t[i + 1].punct('.') && t[i + 3].punct('(')) {
+      if (t[i + 2].ident("lock")) {
+        acquire(t[i].text, t[i].line);
+      } else if (t[i + 2].ident("unlock")) {
+        for (auto it = held.rbegin(); it != held.rend(); ++it) {
+          if (it->name == t[i].text) {
+            held.erase(std::next(it).base());
+            break;
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: detached-thread
+// ---------------------------------------------------------------------------
+
+void rule_detached_thread(const SourceFile& file, std::vector<Finding>& out) {
+  const auto& t = file.tokens;
+  bool executor = path_has_prefix(file.rel, "src/core/executor");
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    // `.detach()` / `->detach()` — banned everywhere, including the
+    // executor (it joins; a detached thread has no join point).
+    bool member = i > 0 && (t[i - 1].punct('.') ||
+                            (i > 1 && t[i - 1].punct('>') &&
+                             t[i - 2].punct('-')));
+    if (t[i].ident("detach") && member && i + 1 < t.size() &&
+        t[i + 1].punct('(')) {
+      out.push_back(make_finding(
+          file, kRuleDetachedThread, t[i].line,
+          "thread detach() — a detached thread outlives every join "
+          "point the determinism tests control; keep the handle and "
+          "join it"));
+      continue;
+    }
+    // Raw `std::thread` / `std::jthread` outside the executor. Type
+    // access like `std::thread::id` or
+    // `std::thread::hardware_concurrency` is fine anywhere.
+    if ((t[i].ident("thread") || t[i].ident("jthread")) &&
+        std_qualified(t, i) &&
+        !(i + 2 < t.size() && t[i + 1].punct(':') && t[i + 2].punct(':')) &&
+        !executor) {
+      out.push_back(make_finding(
+          file, kRuleDetachedThread, t[i].line,
+          "raw std::" + t[i].text +
+              " outside src/core/executor — thread lifetime belongs to "
+              "the executor; use Executor::parallel_for (or submit)"));
+    }
+  }
+}
+
+}  // namespace
+
+void run_concurrency_rules(const SourceFile& file, const ScanContext& ctx,
+                           std::vector<Finding>& out) {
+  rule_naked_mutex(file, out);
+  rule_lock_order(file, ctx, out);
+  rule_detached_thread(file, out);
+}
+
+}  // namespace fistlint

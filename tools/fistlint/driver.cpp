@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "baseline.hpp"
+#include "cache.hpp"
 
 namespace fistlint {
 
@@ -90,22 +91,24 @@ std::vector<fs::path> compile_db_files(const std::string& json) {
   return out;
 }
 
-struct Scan {
-  std::vector<SourceFile> files;
-  ScanContext ctx;
-  std::vector<NameUse> names;
+/// One file's state through the two-pass scan. `lexed` / `analyzed`
+/// track how much work the cache let us skip.
+struct Unit {
+  std::string rel;
+  std::string content;
+  std::uint64_t hash = 0;
+  bool lexed = false;
+  SourceFile file;     ///< valid iff lexed
+  FileFacts facts;     ///< from cache or collect_facts
+  std::vector<Finding> findings;  ///< per-file rules, post-allows
+  bool findings_cached = false;
 };
 
-bool load_and_lex(const fs::path& root, const std::string& rel,
-                  const fs::path& abs, Scan& scan, std::ostream& err) {
-  (void)root;
-  std::string content;
-  if (!read_file(abs, content)) {
-    err << "fistlint: cannot read " << abs.string() << "\n";
-    return false;
+void ensure_lexed(Unit& u) {
+  if (!u.lexed) {
+    u.file = lex(u.content, u.rel);
+    u.lexed = true;
   }
-  scan.files.push_back(lex(content, rel));
-  return true;
 }
 
 }  // namespace
@@ -159,13 +162,29 @@ std::vector<std::string> discover_files(const Options& opts,
 int run(const Options& opts, std::ostream& out, std::ostream& err) {
   fs::path root(opts.root);
 
-  // ---- gather + lex -----------------------------------------------------
-  Scan scan;
+  // Explicit file lists are partial scans: cached findings would have
+  // been computed against a different ScanContext, so never mix them.
+  const bool use_cache = opts.use_cache && opts.files.empty();
+  fs::path cache_path = opts.cache.empty()
+                            ? root / "build" / "fistlint.cache"
+                            : fs::path(opts.cache);
+
+  // ---- gather -----------------------------------------------------------
+  std::vector<Unit> units;
+  auto gather = [&](const std::string& rel, const fs::path& abs) {
+    Unit u;
+    u.rel = rel;
+    if (!read_file(abs, u.content)) {
+      err << "fistlint: cannot read " << abs.string() << "\n";
+      return false;
+    }
+    u.hash = fnv1a64(u.content);
+    units.push_back(std::move(u));
+    return true;
+  };
   if (!opts.files.empty()) {
     for (const std::string& f : opts.files)
-      if (!load_and_lex(root, to_rel(root, fs::path(f)), fs::path(f), scan,
-                        err))
-        return kExitUsage;
+      if (!gather(to_rel(root, fs::path(f)), fs::path(f))) return kExitUsage;
   } else {
     std::vector<std::string> rels = discover_files(opts, err);
     if (rels.empty()) {
@@ -173,25 +192,75 @@ int run(const Options& opts, std::ostream& out, std::ostream& err) {
       return kExitUsage;
     }
     for (const std::string& rel : rels)
-      if (!load_and_lex(root, rel, root / rel, scan, err)) return kExitUsage;
+      if (!gather(rel, root / rel)) return kExitUsage;
   }
 
-  // ---- pass 1: cross-file facts ----------------------------------------
-  for (const SourceFile& f : scan.files) {
-    collect_unordered_symbols(f, scan.ctx.unordered_symbols);
-    collect_metric_names(f, scan.names);
+  Cache cache;
+  if (use_cache) {
+    std::string cache_text;
+    if (read_file(cache_path, cache_text)) cache = Cache::parse(cache_text);
   }
 
-  // ---- pass 2: rules + suppressions ------------------------------------
+  // ---- pass 1: cross-file facts (cached on a content-hash hit) ---------
+  ScanContext ctx;
+  std::vector<NameUse> names;
+  for (Unit& u : units) {
+    auto hit = cache.entries.find(u.rel);
+    if (hit != cache.entries.end() && hit->second.file_hash == u.hash) {
+      u.facts = hit->second.facts;
+    } else {
+      ensure_lexed(u);
+      collect_facts(u.file, u.facts);
+    }
+    ctx.merge(u.facts);
+    for (NameUse use : u.facts.names) {
+      use.file = u.rel;
+      names.push_back(std::move(use));
+    }
+  }
+  ctx.resolve();
+  const std::uint64_t ctx_hash = context_hash(ctx);
+
+  // ---- pass 2: rules + suppressions (cached iff file AND context
+  // are unchanged — a new declaration anywhere re-runs every file) ------
+  std::size_t analyzed = 0;
+  for (Unit& u : units) {
+    auto hit = cache.entries.find(u.rel);
+    if (hit != cache.entries.end() && hit->second.file_hash == u.hash &&
+        cache.ctx_hash == ctx_hash) {
+      u.findings = hit->second.findings;
+      for (Finding& f : u.findings) f.file = u.rel;
+      u.findings_cached = true;
+      continue;
+    }
+    ensure_lexed(u);
+    u.findings = apply_allows(run_file_rules(u.file, ctx), u.file);
+    ++analyzed;
+  }
+
+  if (use_cache) {
+    Cache fresh_cache;
+    fresh_cache.ctx_hash = ctx_hash;
+    for (const Unit& u : units) {
+      CacheEntry& e = fresh_cache.entries[u.rel];
+      e.file_hash = u.hash;
+      e.facts = u.facts;
+      e.findings = u.findings;
+    }
+    std::error_code ec;
+    fs::create_directories(cache_path.parent_path(), ec);
+    std::ofstream cf(cache_path, std::ios::binary | std::ios::trunc);
+    if (cf) cf << fresh_cache.render();
+    // An unwritable cache is a lost optimization, not an error.
+  }
+
   std::vector<Finding> findings;
-  for (const SourceFile& f : scan.files) {
-    std::vector<Finding> raw = run_file_rules(f, scan.ctx);
-    std::vector<Finding> kept = apply_allows(std::move(raw), f);
-    findings.insert(findings.end(), std::make_move_iterator(kept.begin()),
-                    std::make_move_iterator(kept.end()));
-  }
+  for (Unit& u : units)
+    findings.insert(findings.end(),
+                    std::make_move_iterator(u.findings.begin()),
+                    std::make_move_iterator(u.findings.end()));
 
-  // ---- docs-drift -------------------------------------------------------
+  // ---- docs-drift (always recomputed: cross-file and cheap) ------------
   if (opts.check_docs) {
     fs::path doc_path = root / opts.docs;
     std::string doc_text;
@@ -199,8 +268,7 @@ int run(const Options& opts, std::ostream& out, std::ostream& err) {
       err << "fistlint: cannot read docs file " << doc_path.string() << "\n";
       return kExitUsage;
     }
-    std::vector<Finding> drift =
-        docs_drift(scan.names, doc_text, opts.docs);
+    std::vector<Finding> drift = docs_drift(names, doc_text, opts.docs);
     findings.insert(findings.end(), std::make_move_iterator(drift.begin()),
                     std::make_move_iterator(drift.end()));
   }
@@ -258,9 +326,10 @@ int run(const Options& opts, std::ostream& out, std::ostream& err) {
   for (const std::string& s : stale)
     err << "fistlint: stale baseline entry (fixed? run --update-baseline): "
         << s << "\n";
-  err << "fistlint: " << scan.files.size() << " file(s), " << fresh.size()
-      << " new finding(s), " << tolerated << " baselined, " << stale.size()
-      << " stale\n";
+  err << "fistlint: " << units.size() << " file(s) (" << analyzed
+      << " analyzed, " << (units.size() - analyzed) << " cached), "
+      << fresh.size() << " new finding(s), " << tolerated << " baselined, "
+      << stale.size() << " stale\n";
 
   return fresh.empty() ? kExitClean : kExitFindings;
 }

@@ -27,6 +27,11 @@ struct Options {
   std::string report;  ///< when set, write the findings report here
   std::vector<std::string> files;  ///< explicit file list (overrides
                                    ///< discovery; paths relative to cwd)
+  /// Incremental cache (cache.hpp). Enabled by default for discovery
+  /// runs; explicit file lists never use it (their findings would be
+  /// computed against a partial ScanContext and must not be reused).
+  bool use_cache = true;
+  std::string cache;  ///< empty → root/build/fistlint.cache
 };
 
 /// Exit codes, also the public contract of the binary.

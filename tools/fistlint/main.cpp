@@ -3,7 +3,7 @@
 //   fistlint [--root DIR] [--compile-commands FILE] [--baseline FILE]
 //            [--docs FILE] [--scan-prefix DIR/]... [--no-docs]
 //            [--report FILE] [--update-baseline] [--list-rules]
-//            [file...]
+//            [--cache FILE] [--no-cache] [file...]
 //
 // Exit codes: 0 clean (nothing outside the committed baseline),
 // 1 new findings, 2 usage / unreadable input.
@@ -30,6 +30,9 @@ constexpr const char* kUsage =
     "  --no-docs               skip the docs-drift rule\n"
     "  --report FILE           also write the findings report to FILE\n"
     "  --update-baseline       rewrite the baseline from current findings\n"
+    "  --cache FILE            incremental-scan cache (default\n"
+    "                          ROOT/build/fistlint.cache)\n"
+    "  --no-cache              full scan; neither read nor write the cache\n"
     "  --list-rules            print the rule ids and exit\n"
     "  file...                 scan exactly these files (skips discovery)\n";
 
@@ -64,6 +67,10 @@ int main(int argc, char** argv) {
       opts.report = value("--report");
     } else if (arg == "--update-baseline") {
       opts.update_baseline = true;
+    } else if (arg == "--cache") {
+      opts.cache = value("--cache");
+    } else if (arg == "--no-cache") {
+      opts.use_cache = false;
     } else if (arg == "--list-rules") {
       for (const std::string& r : fistlint::all_rules())
         std::cout << r << "\n";

@@ -82,7 +82,8 @@ const std::vector<std::string>& all_rules() {
   static const std::vector<std::string> rules = {
       kRuleUnorderedIter, kRulePointerOrder, kRuleBannedRandom,
       kRuleUninitPod,     kRuleFloatAmount,  kRuleDocsDrift,
-      kRuleBadSuppression,
+      kRuleBadSuppression, kRuleNakedMutex,  kRuleLockOrder,
+      kRuleDetachedThread,
   };
   return rules;
 }
@@ -103,11 +104,23 @@ std::string normalize_snippet(std::string_view line) {
   return out;
 }
 
-void collect_unordered_symbols(const SourceFile& file,
+namespace {
+
+void collect_metric_names(const SourceFile& file, std::vector<NameUse>& out);
+
+bool is_ordered_container(const Token& tok) {
+  return tok.ident("map") || tok.ident("set") || tok.ident("multimap") ||
+         tok.ident("multiset");
+}
+
+/// Shared shape of the two symbol collectors: `container<…> [&*const]
+/// name` records `name`.
+void collect_container_symbols(const SourceFile& file,
+                               bool (*is_container)(const Token&),
                                std::set<std::string>& out) {
   const auto& t = file.tokens;
   for (std::size_t i = 0; i < t.size(); ++i) {
-    if (!is_unordered_container(t[i])) continue;
+    if (!is_container(t[i])) continue;
     std::size_t j = i + 1;
     if (j >= t.size() || !t[j].punct('<')) continue;
     j = skip_angles(t, j);
@@ -121,9 +134,46 @@ void collect_unordered_symbols(const SourceFile& file,
   }
 }
 
+}  // namespace
+
+void collect_facts(const SourceFile& file, FileFacts& out) {
+  collect_container_symbols(file, [](const Token& tok) {
+    return is_unordered_container(tok);
+  }, out.unordered_symbols);
+  collect_container_symbols(file, [](const Token& tok) {
+    return is_ordered_container(tok);
+  }, out.ordered_symbols);
+  collect_metric_names(file, out.names);
+  collect_concurrency_facts(file, out);
+}
+
+void ScanContext::merge(const FileFacts& facts) {
+  unordered_symbols.insert(facts.unordered_symbols.begin(),
+                           facts.unordered_symbols.end());
+  ordered_symbols.insert(facts.ordered_symbols.begin(),
+                         facts.ordered_symbols.end());
+  for (const auto& [name, enumerator] : facts.mutex_ranks) {
+    auto [it, inserted] = mutex_enums_.emplace(name, enumerator);
+    if (!inserted && it->second != enumerator) ambiguous_.insert(name);
+  }
+  for (const auto& [enumerator, value] : facts.rank_values)
+    rank_values_[enumerator] = value;
+}
+
+void ScanContext::resolve() {
+  mutex_ranks.clear();
+  for (const auto& [name, enumerator] : mutex_enums_) {
+    if (ambiguous_.count(name) != 0) continue;
+    auto it = rank_values_.find(enumerator);
+    if (it != rank_values_.end()) mutex_ranks[name] = it->second;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Pass 1b — metric / span name collection
 // ---------------------------------------------------------------------------
+
+namespace {
 
 void collect_metric_names(const SourceFile& file, std::vector<NameUse>& out) {
   const auto& t = file.tokens;
@@ -153,11 +203,75 @@ void collect_metric_names(const SourceFile& file, std::vector<NameUse>& out) {
   }
 }
 
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // Rule: unordered-iter
 // ---------------------------------------------------------------------------
 
 namespace {
+
+/// True when a `sort(…sym…)` / `stable_sort(…sym…)` call follows token
+/// `from` before the enclosing block closes — the back half of the
+/// sorted-copy idiom (fill a vector in bucket order, sort, emit).
+bool sorted_later(const std::vector<Token>& t, std::size_t from,
+                  const std::string& sym) {
+  int depth = 0;
+  for (std::size_t j = from; j < t.size(); ++j) {
+    if (t[j].punct('{')) {
+      ++depth;
+    } else if (t[j].punct('}')) {
+      if (--depth < 0) break;  // enclosing block closed — too late
+    } else if ((t[j].ident("sort") || t[j].ident("stable_sort")) &&
+               j + 1 < t.size() && t[j + 1].punct('(')) {
+      std::size_t close = find_close_paren(t, j + 1);
+      for (std::size_t k = j + 2; k < close; ++k)
+        if (t[k].ident(sym)) return true;
+    }
+  }
+  return false;
+}
+
+/// The sorted-copy idiom: every statement of the loop body only feeds
+/// an order-restoring sink — an insert/emplace or subscript-assign
+/// into a declared std::map/set, or a push_back into a vector that is
+/// sorted before the enclosing block ends. Such a loop launders the
+/// bucket order away, so iterating the unordered container is fine.
+/// `body_begin`/`body_end` delimit the body tokens (braces excluded);
+/// `after` is where the post-loop sort search starts.
+bool sorted_copy_body(const std::vector<Token>& t, const ScanContext& ctx,
+                      std::size_t body_begin, std::size_t body_end,
+                      std::size_t after) {
+  static const std::set<std::string> kMapInsert = {
+      "insert", "emplace", "try_emplace", "emplace_hint",
+      "insert_or_assign"};
+  if (body_begin >= body_end) return false;  // empty body — not the idiom
+  std::size_t stmt = body_begin;
+  int depth = 0;
+  for (std::size_t j = body_begin; j < body_end; ++j) {
+    if (t[j].punct('(') || t[j].punct('[') || t[j].punct('{')) ++depth;
+    if (t[j].punct(')') || t[j].punct(']') || t[j].punct('}')) --depth;
+    if (!t[j].punct(';') || depth != 0) continue;
+    // Statement [stmt, j): must start `sink . method (` or `sink [`.
+    if (j < stmt + 2 || t[stmt].kind != TokKind::Ident) return false;
+    const std::string& sym = t[stmt].text;
+    bool ok = false;
+    if (t[stmt + 1].punct('[')) {
+      ok = ctx.ordered_symbols.count(sym) != 0;
+    } else if (t[stmt + 1].punct('.') && stmt + 2 < j &&
+               t[stmt + 2].kind == TokKind::Ident) {
+      const std::string& method = t[stmt + 2].text;
+      if (kMapInsert.count(method) != 0)
+        ok = ctx.ordered_symbols.count(sym) != 0;
+      else if (method == "push_back" || method == "emplace_back")
+        ok = sorted_later(t, after, sym);
+    }
+    if (!ok) return false;
+    stmt = j + 1;
+  }
+  return stmt > body_begin &&  // at least one full statement seen
+         stmt >= body_end;     // no trailing non-statement tokens
+}
 
 void rule_unordered_iter(const SourceFile& file, const ScanContext& ctx,
                          std::vector<Finding>& out) {
@@ -187,11 +301,34 @@ void rule_unordered_iter(const SourceFile& file, const ScanContext& ctx,
                    (t[j].kind == TokKind::Ident &&
                     ctx.unordered_symbols.count(t[j].text) != 0);
         if (hit) {
-          out.push_back(make_finding(
-              file, kRuleUnorderedIter, t[i].line,
-              "range-for over unordered container `" + t[j].text +
-                  "` — bucket order is not deterministic; iterate a "
-                  "sorted copy or justify with an allow"));
+          // Loop body bounds, for the sorted-copy idiom check.
+          std::size_t body_begin = 0, body_end = 0, after = 0;
+          if (close + 1 < t.size() && t[close + 1].punct('{')) {
+            std::size_t d = 0, b = close + 1;
+            for (; b < t.size(); ++b) {
+              if (t[b].punct('{')) ++d;
+              if (t[b].punct('}') && --d == 0) break;
+            }
+            body_begin = close + 2;
+            body_end = b;
+            after = b + 1;
+          } else {
+            std::size_t d = 0, s = close + 1;
+            for (; s < t.size(); ++s) {
+              if (t[s].punct('(') || t[s].punct('[') || t[s].punct('{')) ++d;
+              if (t[s].punct(')') || t[s].punct(']') || t[s].punct('}')) --d;
+              if (t[s].punct(';') && d == 0) break;
+            }
+            body_begin = close + 1;
+            body_end = s + 1;  // include the ';'
+            after = s + 1;
+          }
+          if (!sorted_copy_body(t, ctx, body_begin, body_end, after))
+            out.push_back(make_finding(
+                file, kRuleUnorderedIter, t[i].line,
+                "range-for over unordered container `" + t[j].text +
+                    "` — bucket order is not deterministic; iterate a "
+                    "sorted copy or justify with an allow"));
           break;
         }
       }
@@ -469,6 +606,7 @@ std::vector<Finding> run_file_rules(const SourceFile& file,
   rule_banned_random(file, out);
   rule_uninit_pod(file, out);
   rule_float_amount(file, out);
+  run_concurrency_rules(file, ctx, out);
   return out;
 }
 

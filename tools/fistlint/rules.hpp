@@ -34,11 +34,28 @@
 //                           reason is the point: suppressions are
 //                           reviewed, not waved through).
 //
+// The concurrency rules extend the same model to lock discipline
+// (docs/STATIC_ANALYSIS.md "The rules", lock-discipline rows):
+//
+//   naked-mutex             a std::mutex / std::shared_mutex member
+//                           with no FIST_GUARDED_BY user and no
+//                           hierarchy rank — use fist::Mutex
+//                           (src/core/lock_order.hpp) or annotate.
+//   lock-order              lexically nested acquisitions of ranked
+//                           mutexes that contradict the declared
+//                           hierarchy (ranks must strictly increase
+//                           inward).
+//   detached-thread         std::thread::detach anywhere, and raw
+//                           std::thread construction outside the
+//                           executor — detached threads outlive every
+//                           join point the determinism tests control.
+//
 // All rules are token-level heuristics: they over-approximate and rely
 // on `// fistlint:allow(<rule>) reason` plus the committed baseline
 // (baseline.hpp) for the sites a human has vetted.
 #pragma once
 
+#include <map>
 #include <set>
 #include <string>
 #include <vector>
@@ -55,6 +72,9 @@ inline constexpr const char* kRuleUninitPod = "uninit-serialized-pod";
 inline constexpr const char* kRuleFloatAmount = "float-amount";
 inline constexpr const char* kRuleDocsDrift = "docs-drift";
 inline constexpr const char* kRuleBadSuppression = "bad-suppression";
+inline constexpr const char* kRuleNakedMutex = "naked-mutex";
+inline constexpr const char* kRuleLockOrder = "lock-order";
+inline constexpr const char* kRuleDetachedThread = "detached-thread";
 
 /// Every rule id, in report order.
 const std::vector<std::string>& all_rules();
@@ -79,28 +99,62 @@ struct NameUse {
   int line = 0;
 };
 
-/// Cross-file state shared by the per-file rules: every identifier the
-/// tree declares with an unordered container type. Collected over all
-/// files first so a member declared in view.hpp is recognized when
-/// view.cpp iterates it.
-struct ScanContext {
+/// Everything pass 1 learns from one file, in isolation. FileFacts are
+/// position-independent and self-contained, which is what lets the
+/// incremental cache (cache.hpp) reuse them for unchanged files.
+struct FileFacts {
+  /// Identifiers declared with an unordered container type.
   std::set<std::string> unordered_symbols;
+  /// Identifiers declared with an ordered container type
+  /// (std::map/set family) — the sorted-copy idiom's sinks.
+  std::set<std::string> ordered_symbols;
+  /// fist::Mutex declarations: member name → Rank enumerator.
+  std::map<std::string, std::string> mutex_ranks;
+  /// Rank enumerator → numeric value (from `enum class Rank`).
+  std::map<std::string, long> rank_values;
+  /// Metric/span name literals — arguments of `.counter("…")` /
+  /// `.gauge("…")` / `.histogram("…", …)` and `obs::Span ident("…")`.
+  std::vector<NameUse> names;
 };
 
-/// Pass 1a: record identifiers declared as (or returning)
-/// std::unordered_map / std::unordered_set.
-void collect_unordered_symbols(const SourceFile& file,
-                               std::set<std::string>& out);
+/// Pass 1: collect every cross-file fact from `file`.
+void collect_facts(const SourceFile& file, FileFacts& out);
 
-/// Pass 1b: record metric/span name literals — arguments of
-/// `.counter("…")` / `.gauge("…")` / `.histogram("…", …)` and
-/// `obs::Span ident("…")`.
-void collect_metric_names(const SourceFile& file, std::vector<NameUse>& out);
+/// Cross-file state shared by the per-file rules, merged from every
+/// file's FileFacts first so a member declared in view.hpp is
+/// recognized when view.cpp iterates (or locks) it.
+struct ScanContext {
+  std::set<std::string> unordered_symbols;
+  std::set<std::string> ordered_symbols;
+  /// Resolved mutex name → hierarchy rank value (filled by resolve()).
+  std::map<std::string, long> mutex_ranks;
 
-/// Pass 2: runs the five per-file rules and returns raw findings
-/// (before suppression and baseline filtering).
+  void merge(const FileFacts& facts);
+  /// Resolves mutex enumerators to numeric ranks; a name declared with
+  /// two different ranks in the tree is ambiguous and dropped (the
+  /// lock-order rule stays silent on it rather than guessing).
+  void resolve();
+
+ private:
+  std::map<std::string, std::string> mutex_enums_;
+  std::set<std::string> ambiguous_;
+  std::map<std::string, long> rank_values_;
+};
+
+/// Pass 2: runs every per-file rule (determinism + concurrency) and
+/// returns raw findings (before suppression and baseline filtering).
 std::vector<Finding> run_file_rules(const SourceFile& file,
                                     const ScanContext& ctx);
+
+/// The three concurrency rules alone (naked-mutex, lock-order,
+/// detached-thread; implemented in concurrency.cpp). run_file_rules
+/// already includes them.
+void run_concurrency_rules(const SourceFile& file, const ScanContext& ctx,
+                           std::vector<Finding>& out);
+
+/// Pass-1 collection for the concurrency rules (Mutex declarations and
+/// Rank enumerator values). collect_facts already includes it.
+void collect_concurrency_facts(const SourceFile& file, FileFacts& out);
 
 /// The docs-drift check: `doc_text` is docs/OBSERVABILITY.md; the
 /// registry is the backticked names between the
