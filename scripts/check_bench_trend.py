@@ -1,20 +1,25 @@
 #!/usr/bin/env python3
-"""Bench trend gate: fail CI when the pipeline slows down.
+"""Bench trend gate: fail CI when the pipeline slows down or bloats.
 
-Compares the ``total_ms`` of one or more freshly produced
-``BENCH_*.json`` reports (bench/common.cpp ``write_bench_report``)
-against a committed baseline and exits non-zero when the best (minimum)
-candidate regresses by more than the threshold.
+Compares one or more freshly produced ``BENCH_*.json`` reports
+(bench/common.cpp ``write_bench_report``) against a committed baseline
+and exits non-zero when the best candidate regresses by more than the
+threshold. Two dimensions are judged:
+
+* ``total_ms`` — pipeline wall-clock (minimum across candidates, since
+  a single slow run cannot fail the gate while a genuine regression
+  slows every run);
+* ``peak_rss_bytes`` — process peak memory (also the minimum across
+  candidates), when the baseline carries the field. Baselines predating
+  the field gate on time alone, so refreshing them is never urgent.
 
     check_bench_trend.py --baseline bench/baselines/BENCH_table_clusters.json \
-        [--max-regress-pct 20] report.json [report.json ...]
+        [--max-regress-pct 20] [--max-rss-regress-pct 20] report.json [...]
 
-Several candidate reports are accepted precisely because wall-clock
-benches are noisy: the CI job runs the bench a few times and passes
-every report, and only the *minimum* is judged — a single slow run
-(scheduler hiccup, cold cache) cannot fail the gate, while a genuine
-regression slows every run. The committed baseline was produced with
-``FISTFUL_BENCH_SCALE=small``; refresh it (copy a report from the CI
+The committed small-profile baseline was produced with
+``FISTFUL_BENCH_SCALE=small``; the large-profile baseline
+(``BENCH_table_clusters_large.json``) with the table_clusters_large
+bench defaults. Refresh a baseline (copy a report from the CI
 ``bench-reports`` artifact or a local run) whenever an intentional
 change moves the number, and say so in the commit message.
 """
@@ -23,12 +28,48 @@ import json
 import sys
 
 
-def total_ms(path):
-    with open(path) as f:
-        doc = json.load(f)
-    if "total_ms" not in doc:
-        sys.exit(f"check_bench_trend: {path} has no total_ms field")
-    return float(doc["total_ms"])
+def load_report(path):
+    """Parses a report, dying with a useful message on partial or
+    malformed JSON (a torn report must read as 'bench broke', not as a
+    Python traceback)."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        sys.exit(f"check_bench_trend: cannot read {path}: {e}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"check_bench_trend: {path} is not valid JSON "
+                 f"(truncated or partial report?): {e}")
+    if not isinstance(doc, dict):
+        sys.exit(f"check_bench_trend: {path} is not a JSON object")
+    return doc
+
+
+def required_number(doc, path, field):
+    if field not in doc:
+        sys.exit(f"check_bench_trend: {path} has no {field} field")
+    try:
+        return float(doc[field])
+    except (TypeError, ValueError):
+        sys.exit(f"check_bench_trend: {path} {field} is not a number")
+
+
+def gate(name, base, candidates, max_regress_pct):
+    """Prints the comparison for one dimension; returns True on pass."""
+    best_path = min(candidates, key=candidates.get)
+    best = candidates[best_path]
+    limit = base * (1.0 + max_regress_pct / 100.0)
+    delta_pct = (best - base) / base * 100.0 if base > 0 else 0.0
+    print(f"baseline {name} : {base:.3f}")
+    for path, value in candidates.items():
+        marker = "  <- best" if path == best_path else ""
+        print(f"candidate {name}: {value:.3f}  ({path}){marker}")
+    print(f"delta          : {delta_pct:+.1f}% (limit +{max_regress_pct:.0f}%)")
+    if best > limit:
+        print(f"check_bench_trend: FAIL — {name} regressed past the "
+              "threshold", file=sys.stderr)
+        return False
+    return True
 
 
 def main():
@@ -36,29 +77,39 @@ def main():
     ap.add_argument("--baseline", required=True,
                     help="committed BENCH_*.json to compare against")
     ap.add_argument("--max-regress-pct", type=float, default=20.0,
-                    help="fail when the best candidate exceeds the "
-                         "baseline by more than this (default 20)")
+                    help="fail when the best candidate's total_ms exceeds "
+                         "the baseline by more than this (default 20)")
+    ap.add_argument("--max-rss-regress-pct", type=float, default=20.0,
+                    help="fail when the best candidate's peak_rss_bytes "
+                         "exceeds the baseline by more than this "
+                         "(default 20; skipped when the baseline lacks "
+                         "the field)")
     ap.add_argument("reports", nargs="+",
                     help="freshly produced BENCH_*.json candidates")
     args = ap.parse_args()
 
-    base = total_ms(args.baseline)
-    candidates = {r: total_ms(r) for r in args.reports}
-    best_path = min(candidates, key=candidates.get)
-    best = candidates[best_path]
+    base_doc = load_report(args.baseline)
+    report_docs = {r: load_report(r) for r in args.reports}
 
-    limit = base * (1.0 + args.max_regress_pct / 100.0)
-    delta_pct = (best - base) / base * 100.0 if base > 0 else 0.0
-    print(f"baseline total_ms : {base:.3f}  ({args.baseline})")
-    for path, value in candidates.items():
-        marker = "  <- best" if path == best_path else ""
-        print(f"candidate total_ms: {value:.3f}  ({path}){marker}")
-    print(f"delta             : {delta_pct:+.1f}% "
-          f"(limit +{args.max_regress_pct:.0f}%)")
+    ok = gate(
+        "total_ms",
+        required_number(base_doc, args.baseline, "total_ms"),
+        {r: required_number(d, r, "total_ms")
+         for r, d in report_docs.items()},
+        args.max_regress_pct)
 
-    if best > limit:
-        print("check_bench_trend: FAIL — pipeline total regressed past the "
-              "threshold", file=sys.stderr)
+    if "peak_rss_bytes" in base_doc:
+        ok &= gate(
+            "peak_rss_bytes",
+            required_number(base_doc, args.baseline, "peak_rss_bytes"),
+            {r: required_number(d, r, "peak_rss_bytes")
+             for r, d in report_docs.items()},
+            args.max_rss_regress_pct)
+    else:
+        print("peak_rss_bytes : baseline lacks the field, gating on "
+              "total_ms only")
+
+    if not ok:
         return 1
     print("check_bench_trend: OK")
     return 0

@@ -1,33 +1,71 @@
 #include "chain/addrbook.hpp"
 
 #include <algorithm>
+#include <functional>
 
 #include "util/error.hpp"
 
 namespace fist {
 
-AddrId AddressBook::intern(const Address& addr) {
-  auto [it, inserted] =
-      index_.try_emplace(addr, static_cast<AddrId>(forward_.size()));
-  if (inserted) forward_.push_back(addr);
-  return it->second;
+namespace detail {
+
+InternTable::InternTable() { grow_table(1u << 10); }
+
+void InternTable::push(const Address& addr) {
+  std::uint32_t chunk = static_cast<std::uint32_t>(size_) >> kChunkShift;
+  if (chunk == chunks_.size())
+    chunks_.push_back(std::make_unique<Address[]>(std::size_t{1}
+                                                  << kChunkShift));
+  chunks_[chunk][size_ & kChunkMask] = addr;
+  ++size_;
 }
 
-std::optional<AddrId> AddressBook::find(const Address& addr) const noexcept {
-  auto it = index_.find(addr);
-  if (it == index_.end()) return std::nullopt;
-  return it->second;
+void InternTable::grow_table(std::size_t capacity) {
+  table_.assign(capacity, kEmptySlot);
+  mask_ = capacity - 1;
+  for (std::uint32_t id = 0; id < size_; ++id) {
+    std::size_t bucket = std::hash<Address>()(at(id)) & mask_;
+    while (table_[bucket] != kEmptySlot) bucket = (bucket + 1) & mask_;
+    table_[bucket] = id;
+  }
 }
+
+InternTable::Result InternTable::intern(const Address& addr) {
+  if ((size_ + 1) * 3 > table_.size() * 2) grow_table(table_.size() * 2);
+  std::size_t bucket = std::hash<Address>()(addr) & mask_;
+  while (table_[bucket] != kEmptySlot) {
+    if (at(table_[bucket]) == addr) return Result{table_[bucket], false};
+    bucket = (bucket + 1) & mask_;
+  }
+  std::uint32_t id = static_cast<std::uint32_t>(size_);
+  push(addr);
+  table_[bucket] = id;
+  return Result{id, true};
+}
+
+std::optional<std::uint32_t> InternTable::find(
+    const Address& addr) const noexcept {
+  std::size_t bucket = std::hash<Address>()(addr) & mask_;
+  while (table_[bucket] != kEmptySlot) {
+    if (at(table_[bucket]) == addr) return table_[bucket];
+    bucket = (bucket + 1) & mask_;
+  }
+  return std::nullopt;
+}
+
+void InternTable::reserve(std::size_t n) {
+  chunks_.reserve((n >> kChunkShift) + 1);
+  std::size_t capacity = table_.size();
+  while (n * 3 > capacity * 2) capacity *= 2;
+  if (capacity != table_.size()) grow_table(capacity);
+}
+
+}  // namespace detail
 
 const Address& AddressBook::lookup(AddrId id) const {
-  if (id >= forward_.size())
+  if (id >= core_.size())
     throw UsageError("AddressBook::lookup: unknown id");
-  return forward_[id];
-}
-
-void AddressBook::reserve(std::size_t n) {
-  index_.reserve(n);
-  forward_.reserve(n);
+  return core_.at(id);
 }
 
 ShardedAddressBook::ShardedAddressBook(std::size_t shard_count) {
@@ -43,22 +81,20 @@ ShardedAddressBook::Ref ShardedAddressBook::intern(const Address& addr,
       static_cast<std::uint32_t>(std::hash<Address>()(addr) % shards_.size());
   Shard& shard = *shards_[shard_index];
   LockGuard lock(shard.shard_mutex);
-  auto [it, inserted] = shard.index.try_emplace(
-      addr, static_cast<std::uint32_t>(shard.forward.size()));
+  auto [local, inserted] = shard.table.intern(addr);
   if (inserted) {
-    shard.forward.push_back(addr);
     shard.first_ordinal.push_back(ordinal);
-  } else if (ordinal < shard.first_ordinal[it->second]) {
-    shard.first_ordinal[it->second] = ordinal;
+  } else if (ordinal < shard.first_ordinal[local]) {
+    shard.first_ordinal[local] = ordinal;
   }
-  return Ref{shard_index, it->second};
+  return Ref{shard_index, local};
 }
 
 std::size_t ShardedAddressBook::size() const noexcept {
   std::size_t total = 0;
   for (const auto& shard : shards_) {
     LockGuard lock(shard->shard_mutex);
-    total += shard->forward.size();
+    total += shard->table.size();
   }
   return total;
 }
@@ -80,10 +116,11 @@ ShardedAddressBook::Finalized ShardedAddressBook::finalize() const {
   for (std::uint32_t s = 0; s < shards_.size(); ++s) {
     const Shard& shard = *shards_[s];
     LockGuard lock(shard.shard_mutex);
-    shard_sizes[s] = shard.forward.size();
-    for (std::uint32_t l = 0; l < shard.forward.size(); ++l)
+    std::size_t count = shard.table.size();
+    shard_sizes[s] = count;
+    for (std::uint32_t l = 0; l < count; ++l)
       entries.push_back(
-          Entry{shard.first_ordinal[l], s, l, shard.forward[l]});
+          Entry{shard.first_ordinal[l], s, l, shard.table.at(l)});
   }
   std::sort(entries.begin(), entries.end(),
             [](const Entry& a, const Entry& b) { return a.ordinal < b.ordinal; });

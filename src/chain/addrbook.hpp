@@ -4,12 +4,19 @@
 // comparing 21-byte values everywhere would dominate memory and time.
 // AddressBook interns each distinct Address to a dense 32-bit AddrId on
 // first sight, and AddrIds are what every downstream structure stores.
+//
+// Storage is arena-backed: each distinct address lives exactly once in
+// a chunked bump arena (no per-node heap headers, no rehash copies of
+// the key bytes), and the hash index maps into the arena with 4-byte
+// slots. At paper scale (~12M addresses) this roughly halves interning
+// memory versus the former unordered_map + vector pair — the margin
+// that keeps the out-of-core chain build (docs/SCALING.md) inside its
+// RSS budget.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "core/lock_order.hpp"
@@ -24,37 +31,89 @@ using AddrId = std::uint32_t;
 /// Sentinel for "no address" (e.g. a nonstandard output).
 inline constexpr AddrId kNoAddr = 0xffffffffu;
 
-/// Bidirectional Address ⇄ AddrId map.
+namespace detail {
+
+/// Chunked bump storage + open-addressing index for interned
+/// addresses. Ids are dense push ordinals; chunks are fixed 16Ki-slot
+/// slabs that never move, so reverse lookup is two indexations and
+/// growth never copies an Address. The probe table (linear probing,
+/// power-of-two capacity, ≤2/3 load) stores only 4-byte slot ids and
+/// compares keys against the arena.
+class InternTable {
+ public:
+  struct Result {
+    std::uint32_t id = 0;
+    bool inserted = false;
+  };
+
+  InternTable();
+
+  /// Finds `addr` or appends it with the next dense id.
+  Result intern(const Address& addr);
+
+  std::optional<std::uint32_t> find(const Address& addr) const noexcept;
+
+  /// Slot id → address. No bounds check (callers validate).
+  const Address& at(std::uint32_t id) const noexcept {
+    return chunks_[id >> kChunkShift][id & kChunkMask];
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  void reserve(std::size_t n);
+
+ private:
+  static constexpr std::uint32_t kChunkShift = 14;  ///< 16384 slots/chunk
+  static constexpr std::uint32_t kChunkMask = (1u << kChunkShift) - 1;
+  static constexpr std::uint32_t kEmptySlot = 0xffffffffu;
+
+  void push(const Address& addr);
+  void grow_table(std::size_t capacity);
+
+  std::vector<std::unique_ptr<Address[]>> chunks_;
+  std::size_t size_ = 0;
+  std::vector<std::uint32_t> table_;  ///< arena slot per probe bucket
+  std::size_t mask_ = 0;              ///< table_.size() - 1
+};
+
+}  // namespace detail
+
+/// Bidirectional Address ⇄ AddrId map. Move-only (the arena is unique).
 class AddressBook {
  public:
+  AddressBook() = default;
+  AddressBook(AddressBook&&) = default;
+  AddressBook& operator=(AddressBook&&) = default;
+
   /// Interns `addr`, returning its existing or newly assigned id.
-  AddrId intern(const Address& addr);
+  AddrId intern(const Address& addr) { return core_.intern(addr).id; }
 
   /// Looks up an already-interned address.
-  std::optional<AddrId> find(const Address& addr) const noexcept;
+  std::optional<AddrId> find(const Address& addr) const noexcept {
+    return core_.find(addr);
+  }
 
   /// Reverse lookup. Throws UsageError for unknown ids.
   const Address& lookup(AddrId id) const;
 
   /// Number of distinct interned addresses.
-  std::size_t size() const noexcept { return forward_.size(); }
+  std::size_t size() const noexcept { return core_.size(); }
 
   /// Reserves capacity for an expected address count.
-  void reserve(std::size_t n);
+  void reserve(std::size_t n) { core_.reserve(n); }
 
  private:
-  std::unordered_map<Address, AddrId> index_;
-  std::vector<Address> forward_;
+  detail::InternTable core_;
 };
 
 /// Thread-safe, hash-sharded interning table for the parallel chain
 /// flattening pass. Workers intern addresses concurrently into
-/// per-shard sub-tables (shard chosen by address hash, so an address
-/// always lands in the same shard no matter which worker sees it),
-/// each entry tracking the smallest appearance ordinal observed.
-/// finalize() then assigns dense AddrIds in ascending first-appearance
-/// order — reproducing exactly the ids a sequential first-sight intern
-/// would have handed out, independent of thread count or interleaving.
+/// per-shard arena-backed sub-tables (shard chosen by address hash, so
+/// an address always lands in the same shard no matter which worker
+/// sees it), each entry tracking the smallest appearance ordinal
+/// observed. finalize() then assigns dense AddrIds in ascending
+/// first-appearance order — reproducing exactly the ids a sequential
+/// first-sight intern would have handed out, independent of thread
+/// count or interleaving.
 class ShardedAddressBook {
  public:
   /// Provisional handle for an interned address: (shard, slot).
@@ -92,9 +151,7 @@ class ShardedAddressBook {
  private:
   struct Shard {
     mutable Mutex shard_mutex{lockorder::Rank::kAddrBookShard};
-    std::unordered_map<Address, std::uint32_t> index  // address → slot
-        FIST_GUARDED_BY(shard_mutex);
-    std::vector<Address> forward FIST_GUARDED_BY(shard_mutex);
+    detail::InternTable table FIST_GUARDED_BY(shard_mutex);
     std::vector<std::uint64_t> first_ordinal FIST_GUARDED_BY(shard_mutex);
   };
 

@@ -51,6 +51,10 @@ class MemoryBlockStore final : public BlockStore {
   /// Total serialized bytes (records incl. framing).
   std::size_t byte_size() const noexcept { return data_.size(); }
 
+  /// Raw serialized image (records incl. framing) — the byte-identity
+  /// oracle for the streaming-generation differential tests.
+  const Bytes& bytes() const noexcept { return data_; }
+
  private:
   Bytes data_;
   std::vector<std::pair<std::size_t, std::size_t>> offsets_;  // (pos, len)

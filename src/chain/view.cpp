@@ -23,6 +23,8 @@ struct ViewMetrics {
   obs::Counter addresses;
   obs::Counter quarantined_blocks;
   obs::Counter quarantined_txs;
+  obs::Counter windows;
+  obs::Gauge window_size;
   obs::Counter script_class[6];
   obs::Histogram tx_inputs;
   obs::Histogram tx_outputs;
@@ -36,6 +38,8 @@ struct ViewMetrics {
       m.addresses = r.counter("view.addresses_interned");
       m.quarantined_blocks = r.counter("ingest.quarantined.blocks");
       m.quarantined_txs = r.counter("ingest.quarantined.txs");
+      m.windows = r.counter("view.window.count");
+      m.window_size = r.gauge("view.window.blocks");
       m.script_class[static_cast<int>(ScriptType::NonStandard)] =
           r.counter("view.script.nonstandard");
       m.script_class[static_cast<int>(ScriptType::P2PK)] =
@@ -177,6 +181,63 @@ void ChainView::ingest_block(const Block& block, std::uint64_t record,
     txs_.push_back(std::move(view));
   }
   ++block_count_;
+}
+
+bool ChainView::append_tx(TxView&& tv, const OutPoint* prevouts,
+                          std::size_t n_inputs, std::uint64_t record,
+                          std::uint32_t ordinal, RecoveryPolicy policy,
+                          IngestReport* report) {
+  TxIndex index = static_cast<TxIndex>(txs_.size());
+  if (!tv.coinbase) {
+    tv.inputs.reserve(n_inputs);
+    std::vector<std::pair<TxIndex, std::uint32_t>> marked;
+    const char* why = nullptr;
+    for (std::size_t i = 0; i < n_inputs; ++i) {
+      const OutPoint& prevout = prevouts[i];
+      InputView iv;
+      auto it = txid_index_.find(prevout.txid);
+      if (it == txid_index_.end()) {
+        why = "view: input references unknown txid";
+        break;
+      }
+      TxIndex prev = it->second;
+      TxView& funding = txs_[prev];
+      if (prevout.index >= funding.outputs.size()) {
+        why = "view: input references bad output slot";
+        break;
+      }
+      OutputView& spent = funding.outputs[prevout.index];
+      if (spent.spent_by != kNoTx) {
+        why = "view: double spend in stored chain";
+        break;
+      }
+      spent.spent_by = index;
+      marked.emplace_back(prev, prevout.index);
+      iv.addr = spent.addr;
+      iv.value = spent.value;
+      iv.prev_tx = prev;
+      iv.prev_index = prevout.index;
+      tv.inputs.push_back(iv);
+    }
+    if (why != nullptr) {
+      for (auto [p, slot] : marked) txs_[p].outputs[slot].spent_by = kNoTx;
+      if (policy == RecoveryPolicy::Strict) throw ValidationError(why);
+      ViewMetrics::get().quarantined_txs.inc();
+      if (report != nullptr) {
+        Quarantined q;
+        q.stage = Quarantined::Stage::Resolve;
+        q.record = record;
+        q.tx = ordinal;
+        q.txid = tv.txid;
+        q.reason = why;
+        report->txs.push_back(std::move(q));
+      }
+      return false;
+    }
+  }
+  txid_index_.emplace(tv.txid, index);
+  txs_.push_back(std::move(tv));
+  return true;
 }
 
 void ChainView::finish() {
@@ -413,13 +474,11 @@ ChainView ChainView::build_parallel(
     std::uint32_t tx_ordinal = 0;
     for (PreTx& pt : pb.txs) {
       std::uint32_t ordinal = tx_ordinal++;
-      TxIndex index = static_cast<TxIndex>(view.txs_.size());
       TxView tv;
       tv.txid = pt.txid;
       tv.height = height;
       tv.time = pb.time;
       tv.coinbase = pt.coinbase;
-
       tv.outputs.reserve(pt.outputs.size());
       for (const PreOutput& po : pt.outputs) {
         OutputView ov;
@@ -427,57 +486,8 @@ ChainView ChainView::build_parallel(
         if (po.has_addr) ov.addr = fin.id(po.ref);
         tv.outputs.push_back(ov);
       }
-
-      if (!tv.coinbase) {
-        tv.inputs.reserve(pt.prevouts.size());
-        std::vector<std::pair<TxIndex, std::uint32_t>> marked;
-        const char* why = nullptr;
-        for (const OutPoint& prevout : pt.prevouts) {
-          InputView iv;
-          auto it = view.txid_index_.find(prevout.txid);
-          if (it == view.txid_index_.end()) {
-            why = "view: input references unknown txid";
-            break;
-          }
-          TxIndex prev = it->second;
-          TxView& funding = view.txs_[prev];
-          if (prevout.index >= funding.outputs.size()) {
-            why = "view: input references bad output slot";
-            break;
-          }
-          OutputView& spent = funding.outputs[prevout.index];
-          if (spent.spent_by != kNoTx) {
-            why = "view: double spend in stored chain";
-            break;
-          }
-          spent.spent_by = index;
-          marked.emplace_back(prev, prevout.index);
-          iv.addr = spent.addr;
-          iv.value = spent.value;
-          iv.prev_tx = prev;
-          iv.prev_index = prevout.index;
-          tv.inputs.push_back(iv);
-        }
-        if (why != nullptr) {
-          for (auto [p, slot] : marked)
-            view.txs_[p].outputs[slot].spent_by = kNoTx;
-          if (policy == RecoveryPolicy::Strict) throw ValidationError(why);
-          ViewMetrics::get().quarantined_txs.inc();
-          if (report != nullptr) {
-            Quarantined q;
-            q.stage = Quarantined::Stage::Resolve;
-            q.record = b;
-            q.tx = ordinal;
-            q.txid = tv.txid;
-            q.reason = why;
-            report->txs.push_back(std::move(q));
-          }
-          continue;
-        }
-      }
-
-      view.txid_index_.emplace(tv.txid, index);
-      view.txs_.push_back(std::move(tv));
+      view.append_tx(std::move(tv), pt.prevouts.data(), pt.prevouts.size(), b,
+                     ordinal, policy, report);
     }
     ++view.block_count_;
   }
@@ -485,6 +495,217 @@ ChainView ChainView::build_parallel(
   scan_span.close();
 
   // Phase 3 (parallel): first-seen table via sharded min-reduction.
+  {
+    obs::Span first_seen("view.first_seen");
+    view.finish(exec);
+  }
+  view.record_build_metrics();
+  return view;
+}
+
+namespace {
+
+/// Columnar (SoA) staging for one window of pre-digested blocks. The
+/// variable-size Block object graph is flattened into flat per-field
+/// arrays with prefix-sum offset columns — the parallel fill phase
+/// writes disjoint slices with no allocation or locking, and the
+/// capacity persists across windows so steady state does no per-window
+/// heap traffic beyond the decoded blocks themselves.
+struct WindowColumns {
+  // Per block (window-relative index):
+  std::vector<std::uint8_t> failed;
+  std::vector<Quarantined::Stage> fail_stage;
+  std::vector<std::string> fail_reason;
+  std::vector<std::exception_ptr> error;
+  std::vector<Timestamp> time;
+  std::vector<std::uint32_t> tx_begin;  // size nb + 1
+  // Per transaction:
+  std::vector<Hash256> txid;
+  std::vector<std::uint8_t> coinbase;
+  std::vector<std::uint32_t> in_begin;   // size nt + 1
+  std::vector<std::uint32_t> out_begin;  // size nt + 1
+  // Per input:
+  std::vector<OutPoint> prevout;
+  // Per output:
+  std::vector<Amount> out_value;
+  std::vector<std::uint8_t> out_has_addr;
+  std::vector<Address> out_addr;
+
+  void reset(std::size_t nb) {
+    failed.assign(nb, 0);
+    fail_stage.assign(nb, Quarantined::Stage::Decode);
+    fail_reason.assign(nb, std::string());
+    error.assign(nb, nullptr);
+    time.assign(nb, 0);
+  }
+
+  /// Sizes the tx/input/output columns from the decoded blocks
+  /// (failed slots contribute nothing). Cheap: counts only.
+  void size_from(const std::vector<Block>& decoded) {
+    std::size_t nb = decoded.size();
+    tx_begin.assign(nb + 1, 0);
+    for (std::size_t b = 0; b < nb; ++b)
+      tx_begin[b + 1] =
+          tx_begin[b] +
+          (failed[b] ? 0u
+                     : static_cast<std::uint32_t>(
+                           decoded[b].transactions.size()));
+    std::uint32_t nt = tx_begin[nb];
+    in_begin.assign(nt + 1, 0);
+    out_begin.assign(nt + 1, 0);
+    for (std::size_t b = 0; b < nb; ++b) {
+      if (failed[b]) continue;
+      for (std::size_t t = 0; t < decoded[b].transactions.size(); ++t) {
+        const Transaction& tx = decoded[b].transactions[t];
+        std::uint32_t idx = tx_begin[b] + static_cast<std::uint32_t>(t);
+        in_begin[idx + 1] =
+            tx.is_coinbase() ? 0u
+                             : static_cast<std::uint32_t>(tx.inputs.size());
+        out_begin[idx + 1] = static_cast<std::uint32_t>(tx.outputs.size());
+      }
+    }
+    for (std::uint32_t t = 0; t < nt; ++t) {
+      in_begin[t + 1] += in_begin[t];
+      out_begin[t + 1] += out_begin[t];
+    }
+    txid.resize(nt);
+    coinbase.resize(nt);
+    prevout.resize(in_begin[nt]);
+    out_value.resize(out_begin[nt]);
+    out_has_addr.assign(out_begin[nt], 0);
+    out_addr.resize(out_begin[nt]);
+  }
+};
+
+}  // namespace
+
+ChainView ChainView::build_windowed(const BlockStore& store, Executor& exec,
+                                    const BuildOptions& options) {
+  if (options.window_blocks == 0)
+    return build(store, exec, options.recovery, options.report);
+  if (options.report != nullptr) options.report->policy = options.recovery;
+  const RecoveryPolicy policy = options.recovery;
+  IngestReport* report = options.report;
+  const std::size_t total = store.count();
+  const std::size_t window = options.window_blocks;
+  ViewMetrics::get().window_size.set(
+      static_cast<std::int64_t>(options.window_blocks));
+
+  ChainView view;
+  obs::Span scan_span("view.scan");
+  WindowColumns cols;
+  std::vector<Block> decoded;
+  for (std::size_t w0 = 0; w0 < total; w0 += window) {
+    const std::size_t nb = std::min(total, w0 + window) - w0;
+    ViewMetrics::get().windows.inc();
+
+    // Phase A (parallel): read + decode this window's records. Fault
+    // sites fire by global record index, so the injected set matches
+    // the whole-store builds at any window size.
+    decoded.assign(nb, Block{});
+    cols.reset(nb);
+    exec.parallel_for(0, nb, 0, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t b = lo; b < hi; ++b) {
+        try {
+          probe_decode_fault(w0 + b);
+          decoded[b] = store.read(w0 + b);
+        } catch (const IoError&) {
+          cols.failed[b] = 1;
+          cols.fail_stage[b] = Quarantined::Stage::Read;
+          cols.error[b] = std::current_exception();
+          continue;
+        } catch (const ParseError&) {
+          cols.failed[b] = 1;
+          cols.fail_stage[b] = Quarantined::Stage::Decode;
+          cols.error[b] = std::current_exception();
+          continue;
+        }
+        cols.time[b] = static_cast<Timestamp>(decoded[b].header.time);
+      }
+    });
+
+    // Strict aborts on the lowest failed record, before classifying
+    // anything later in the window — matching the sequential build,
+    // where records past the failure are never scanned.
+    if (policy == RecoveryPolicy::Strict) {
+      for (std::size_t b = 0; b < nb; ++b)
+        if (cols.failed[b]) std::rethrow_exception(cols.error[b]);
+    }
+    for (std::size_t b = 0; b < nb; ++b) {
+      if (!cols.failed[b]) continue;
+      try {
+        std::rethrow_exception(cols.error[b]);
+      } catch (const Error& e) {
+        cols.fail_reason[b] = e.what();
+      }
+    }
+
+    // Phase B (sequential, cheap): prefix-sum offset columns.
+    cols.size_from(decoded);
+
+    // Phase C (parallel): fill the columns — txid hashing and script
+    // classification are the expensive per-record work.
+    exec.parallel_for(0, nb, 0, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t b = lo; b < hi; ++b) {
+        if (cols.failed[b]) continue;
+        const Block& block = decoded[b];
+        for (std::size_t t = 0; t < block.transactions.size(); ++t) {
+          const Transaction& tx = block.transactions[t];
+          std::uint32_t idx = cols.tx_begin[b] + static_cast<std::uint32_t>(t);
+          cols.txid[idx] = tx.txid();
+          cols.coinbase[idx] = tx.is_coinbase() ? 1 : 0;
+          if (!cols.coinbase[idx])
+            for (std::size_t i = 0; i < tx.inputs.size(); ++i)
+              cols.prevout[cols.in_begin[idx] + i] = tx.inputs[i].prevout;
+          for (std::size_t o = 0; o < tx.outputs.size(); ++o) {
+            std::uint32_t slot =
+                cols.out_begin[idx] + static_cast<std::uint32_t>(o);
+            cols.out_value[slot] = tx.outputs[o].value;
+            if (auto addr = classify_output(tx.outputs[o].script_pubkey)) {
+              cols.out_addr[slot] = *addr;
+              cols.out_has_addr[slot] = 1;
+            }
+          }
+        }
+      }
+    });
+
+    // Phase D (sequential): assemble in chain order, interning output
+    // addresses on first sight — the same id-assignment order as the
+    // sequential whole-store build, by construction.
+    for (std::size_t b = 0; b < nb; ++b) {
+      if (cols.failed[b]) {
+        note_quarantined_block(report, cols.fail_stage[b], w0 + b,
+                               std::move(cols.fail_reason[b]));
+        continue;
+      }
+      std::int32_t height = static_cast<std::int32_t>(view.block_count_);
+      for (std::uint32_t idx = cols.tx_begin[b]; idx < cols.tx_begin[b + 1];
+           ++idx) {
+        TxView tv;
+        tv.txid = cols.txid[idx];
+        tv.height = height;
+        tv.time = cols.time[b];
+        tv.coinbase = cols.coinbase[idx] != 0;
+        std::uint32_t n_out = cols.out_begin[idx + 1] - cols.out_begin[idx];
+        tv.outputs.reserve(n_out);
+        for (std::uint32_t o = 0; o < n_out; ++o) {
+          std::uint32_t slot = cols.out_begin[idx] + o;
+          OutputView ov;
+          ov.value = cols.out_value[slot];
+          if (cols.out_has_addr[slot])
+            ov.addr = view.book_.intern(cols.out_addr[slot]);
+          tv.outputs.push_back(ov);
+        }
+        view.append_tx(std::move(tv), cols.prevout.data() + cols.in_begin[idx],
+                       cols.in_begin[idx + 1] - cols.in_begin[idx], w0 + b,
+                       idx - cols.tx_begin[b], policy, report);
+      }
+      ++view.block_count_;
+    }
+  }
+  scan_span.close();
+
   {
     obs::Span first_seen("view.first_seen");
     view.finish(exec);

@@ -83,6 +83,29 @@ class ChainView {
   static ChainView build(const BlockStore& store, Executor& exec);
   static ChainView build(const std::vector<Block>& blocks, Executor& exec);
 
+  /// Knobs for the out-of-core (windowed) build.
+  struct BuildOptions {
+    /// Blocks decoded and held in memory at once. The store is
+    /// consumed window by window: each window is pre-digested in
+    /// parallel (deserialization, txid hashing, script classification)
+    /// into a columnar staging area, then assembled sequentially in
+    /// chain order — so peak memory holds one window of raw blocks
+    /// plus the growing view, never the whole decoded chain. 0 takes
+    /// the legacy whole-store paths. Bit-identical to the in-memory
+    /// build at every window size and worker count.
+    std::uint32_t window_blocks = 0;
+    RecoveryPolicy recovery = RecoveryPolicy::Strict;
+    IngestReport* report = nullptr;
+  };
+
+  /// Out-of-core build: windowed/bounded-memory scan over `store`
+  /// (see BuildOptions::window_blocks). The workhorse behind
+  /// bench/table_clusters_large and the `--window` pipeline option;
+  /// differential-tested against the in-memory build in
+  /// tests/test_view_outofcore.cpp.
+  static ChainView build_windowed(const BlockStore& store, Executor& exec,
+                                  const BuildOptions& options);
+
   /// Policy-aware build. Strict reproduces the historical behaviour:
   /// the first record I/O fault (IoError), malformed record
   /// (ParseError) or unresolvable transaction (ValidationError)
@@ -131,6 +154,17 @@ class ChainView {
   /// execution path); in strict mode it throws ValidationError.
   void ingest_block(const Block& block, std::uint64_t record,
                     RecoveryPolicy policy, IngestReport* report);
+
+  /// Appends one pre-digested transaction whose outputs are already
+  /// interned to dense ids (tv.inputs empty), resolving `prevouts`
+  /// against the transactions appended so far — the shared sequential
+  /// assembly step of the parallel and windowed builds, with exactly
+  /// ingest_block's double-spend checks and quarantine behaviour.
+  /// Returns false when the transaction was quarantined (lenient).
+  bool append_tx(TxView&& tv, const OutPoint* prevouts,
+                 std::size_t n_inputs, std::uint64_t record,
+                 std::uint32_t ordinal, RecoveryPolicy policy,
+                 IngestReport* report);
   void finish();
   void finish(Executor& exec);
 

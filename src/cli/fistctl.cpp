@@ -58,6 +58,9 @@ commands:
 
 pipeline commands (cluster/balances/flows/follow/entity) also take:
   --threads N             concurrency lanes (0 = hardware, 1 = sequential)
+  --window N              out-of-core view build: decode at most N
+                          blocks at a time (0 = whole chain in memory;
+                          results are identical either way)
   --recovery MODE         strict (default: abort on the first bad record)
                           or lenient (quarantine it and continue; the
                           chain file is also opened in recovery mode,
@@ -162,6 +165,8 @@ ForensicPipeline make_pipeline(const FileBlockStore& store, const Args& args,
   PipelineOptions options;
   options.h2 = naive ? H2Options{} : refined_h2_options();
   options.threads = static_cast<unsigned>(args.get_long("--threads", 0));
+  options.window_blocks =
+      static_cast<std::uint32_t>(args.get_long("--window", 0));
   options.recovery = recovery_of(args);
   options.crash_after_stage = args.get("--crash-after", "");
   options.checkpoint = args.get("--resume", "");

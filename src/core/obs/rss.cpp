@@ -1,0 +1,58 @@
+#include "core/obs/rss.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "core/obs/metrics.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace fist::obs {
+
+namespace {
+
+/// Parses "VmHWM:   123456 kB" out of /proc/self/status. Returns 0
+/// when the file or the row is missing (non-Linux hosts).
+std::uint64_t vm_hwm_bytes() noexcept {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::uint64_t kib = 0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      unsigned long long value = 0;
+      if (std::sscanf(line + 6, "%llu", &value) == 1) kib = value;
+      break;
+    }
+  }
+  std::fclose(f);
+  return kib * 1024;
+}
+
+}  // namespace
+
+std::uint64_t peak_rss_bytes() noexcept {
+  if (std::uint64_t hwm = vm_hwm_bytes(); hwm > 0) return hwm;
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) == 0 && usage.ru_maxrss > 0) {
+#if defined(__APPLE__)
+    return static_cast<std::uint64_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+    return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;  // KiB
+#endif
+  }
+#endif
+  return 0;
+}
+
+std::uint64_t sample_peak_rss() noexcept {
+  std::uint64_t bytes = peak_rss_bytes();
+  static Gauge gauge = MetricsRegistry::global().gauge("mem.peak_rss");
+  gauge.set(static_cast<std::int64_t>(bytes));
+  return bytes;
+}
+
+}  // namespace fist::obs

@@ -1,0 +1,26 @@
+// rss.hpp — process peak-RSS sampling for memory-gated benches.
+//
+// ROADMAP item 1 makes memory a first-class gated number alongside
+// total_ms: every bench report carries the process's peak resident set
+// so scripts/check_bench_trend.py can fail CI on a memory regression
+// the same way it fails on a slowdown. The sample lands in the
+// `mem.peak_rss` gauge — the one deliberately host-variant metric
+// outside `exec.` (see docs/OBSERVABILITY.md): it is sampled only at
+// bench-report time, never by the pipeline itself, so the pipeline's
+// cross-thread-count metric determinism is untouched.
+#pragma once
+
+#include <cstdint>
+
+namespace fist::obs {
+
+/// Peak resident set size of this process in bytes: VmHWM from
+/// /proc/self/status where available (Linux), otherwise getrusage's
+/// ru_maxrss. Returns 0 when neither source is readable.
+std::uint64_t peak_rss_bytes() noexcept;
+
+/// Samples peak_rss_bytes() into the `mem.peak_rss` gauge and returns
+/// the sampled value. Call at report time, not in hot paths.
+std::uint64_t sample_peak_rss() noexcept;
+
+}  // namespace fist::obs

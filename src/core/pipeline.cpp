@@ -138,8 +138,12 @@ void ForensicPipeline::run() {
       }
     }
     ingest_report_ = IngestReport{};
+    ChainView::BuildOptions build_options;
+    build_options.window_blocks = options_.window_blocks;
+    build_options.recovery = options_.recovery;
+    build_options.report = &ingest_report_;
     view_ = std::make_unique<ChainView>(
-        ChainView::build(*store_, exec_, options_.recovery, &ingest_report_));
+        ChainView::build_windowed(*store_, exec_, build_options));
     manifest.ingest = ingest_report_;
     persist("view", view_->serialize());
   });

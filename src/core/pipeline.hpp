@@ -51,6 +51,13 @@ struct PipelineOptions {
   /// ingest_report() and continues.
   RecoveryPolicy recovery = RecoveryPolicy::Strict;
 
+  /// Out-of-core view build: blocks decoded and held at once during
+  /// the view stage (see ChainView::BuildOptions::window_blocks). 0
+  /// builds in memory; any nonzero window yields a bit-identical view
+  /// while bounding the stage's peak memory to one window of decoded
+  /// blocks plus the view itself (docs/SCALING.md).
+  std::uint32_t window_blocks = 0;
+
   /// Checkpoint manifest path (empty → no checkpointing). When set,
   /// run() saves each expensive stage's result as a sibling artifact
   /// (atomically, so a kill at any instant is safe) and, on a later

@@ -1,0 +1,87 @@
+#include "sim/stream.hpp"
+
+#include <algorithm>
+
+#include "chain/pow.hpp"
+#include "util/error.hpp"
+
+namespace fist::sim {
+
+std::uint32_t mine_nonce(const BlockHeader& header, Executor& exec) {
+  if (exec.inline_mode()) {
+    BlockHeader h = header;
+    while (!check_proof_of_work(h.hash(), h.bits)) {
+      if (h.nonce == 0xffffffffu)
+        throw ValidationError("mine_nonce: nonce space exhausted");
+      ++h.nonce;
+    }
+    return h.nonce;
+  }
+
+  // Parallel waves over ascending candidate ranges. Each lane scans a
+  // small contiguous chunk for its lowest valid nonce; the wave result
+  // is the minimum across lanes — the global smallest valid nonce of
+  // the wave regardless of how lanes are scheduled, so the answer
+  // matches the sequential search exactly. At kEasyBits (~1/256 hashes
+  // qualify) the first wave almost always hits.
+  constexpr std::uint64_t kChunk = 64;
+  const std::uint64_t lanes = exec.worker_count() * 2;
+  const std::uint64_t wave = lanes * kChunk;
+  constexpr std::uint64_t kNonceEnd = 0x100000000ull;
+  constexpr std::uint64_t kNoNonce = 0xffffffffffffffffull;
+  std::vector<std::uint64_t> best(lanes);
+  for (std::uint64_t base = header.nonce; base < kNonceEnd; base += wave) {
+    std::fill(best.begin(), best.end(), kNoNonce);
+    exec.parallel_for(0, lanes, 1, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t lane = lo; lane < hi; ++lane) {
+        std::uint64_t begin = base + lane * kChunk;
+        std::uint64_t end = std::min(begin + kChunk, kNonceEnd);
+        BlockHeader h = header;
+        for (std::uint64_t n = begin; n < end; ++n) {
+          h.nonce = static_cast<std::uint32_t>(n);
+          if (check_proof_of_work(h.hash(), h.bits)) {
+            best[lane] = n;
+            break;
+          }
+        }
+      }
+    });
+    std::uint64_t lowest = kNoNonce;
+    for (std::uint64_t b : best) lowest = std::min(lowest, b);
+    if (lowest != kNoNonce) return static_cast<std::uint32_t>(lowest);
+  }
+  throw ValidationError("mine_nonce: nonce space exhausted");
+}
+
+BlockStreamer::BlockStreamer(const WorldConfig& config, Executor* exec)
+    : world_(config), days_(config.days) {
+  world_.set_block_sink([this](const Block& block) {
+    buffer_.push_back(block);
+    max_buffered_ = std::max(max_buffered_, buffer_.size());
+  });
+  if (exec != nullptr && !exec->inline_mode()) {
+    Executor* e = exec;
+    world_.set_nonce_miner(
+        [e](const BlockHeader& header) { return mine_nonce(header, *e); });
+  }
+}
+
+std::optional<Block> BlockStreamer::next() {
+  while (buffer_.empty() && days_run_ < days_) {
+    world_.run_day();
+    ++days_run_;
+  }
+  if (buffer_.empty()) {
+    world_.finish();
+    return std::nullopt;
+  }
+  Block block = std::move(buffer_.front());
+  buffer_.pop_front();
+  return block;
+}
+
+void BlockStreamer::run(const std::function<void(const Block&)>& sink) {
+  while (std::optional<Block> block = next()) sink(*block);
+}
+
+}  // namespace fist::sim

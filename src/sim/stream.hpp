@@ -1,0 +1,70 @@
+// stream.hpp — streaming block generation.
+//
+// World::run() materializes the whole chain in an in-memory store —
+// fine at test scale, fatal at paper scale (16M transactions of block
+// history dwarf the simulator's own working state). BlockStreamer runs
+// the same World but diverts each mined block through a bounded buffer
+// the caller drains block by block, so generation memory holds at most
+// one day of blocks plus the economy's live state (wallets, UTXO set)
+// — never the history.
+//
+// Determinism contract: the block sequence next() yields is
+// byte-identical to the store World::run() would have filled, at any
+// worker count. The only parallelized step is the proof-of-work nonce
+// search, and it returns the smallest valid nonce — exactly what the
+// sequential search finds — no matter how the candidate range is
+// partitioned (differential-tested in tests/test_sim_stream.cpp).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "core/executor.hpp"
+#include "sim/world.hpp"
+
+namespace fist::sim {
+
+/// Finds the smallest nonce >= header.nonce whose block hash meets
+/// `header.bits`, searching candidate waves in parallel over `exec`.
+/// Bit-identical to the sequential `while (!check) ++nonce` loop for
+/// every worker count. Throws ValidationError when the 32-bit nonce
+/// space is exhausted (cannot happen at kEasyBits difficulty).
+std::uint32_t mine_nonce(const BlockHeader& header, Executor& exec);
+
+/// Pull-style generator over a World: each next() yields the chain's
+/// next block, running simulation days on demand.
+class BlockStreamer {
+ public:
+  /// `exec` parallelizes the nonce search when provided (nullptr or a
+  /// 1-worker executor take the sequential path unchanged).
+  explicit BlockStreamer(const WorldConfig& config, Executor* exec = nullptr);
+
+  /// The next block in chain order, or nullopt after the last. The
+  /// final call also runs World::finish(), so world().tag_feed() is
+  /// complete once the stream is drained.
+  std::optional<Block> next();
+
+  /// Drains the remaining stream through `sink`.
+  void run(const std::function<void(const Block&)>& sink);
+
+  /// High-water mark of the internal buffer: never exceeds
+  /// config.blocks_per_day (one run_day's output), which is the
+  /// bounded-memory guarantee the scale tests assert.
+  std::size_t max_buffered() const noexcept { return max_buffered_; }
+
+  /// The underlying economy (ground truth, tag feed, thefts, ...).
+  /// Journal state is only final once the stream is drained.
+  World& world() noexcept { return world_; }
+  const World& world() const noexcept { return world_; }
+
+ private:
+  World world_;
+  int days_ = 0;
+  int days_run_ = 0;
+  std::deque<Block> buffer_;
+  std::size_t max_buffered_ = 0;
+};
+
+}  // namespace fist::sim

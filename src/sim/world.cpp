@@ -368,11 +368,20 @@ void World::mine_block() {
   block.transactions.push_back(std::move(coinbase));
   for (Transaction& tx : included) block.transactions.push_back(std::move(tx));
   block.fix_merkle_root();
-  while (!check_proof_of_work(block.header.hash(), block.header.bits))
-    ++block.header.nonce;
+  if (nonce_miner_) {
+    block.header.nonce = nonce_miner_(block.header);
+    if (!check_proof_of_work(block.header.hash(), block.header.bits))
+      throw UsageError("World: nonce miner returned an invalid nonce");
+  } else {
+    while (!check_proof_of_work(block.header.hash(), block.header.bits))
+      ++block.header.nonce;
+  }
 
   chainstate_.connect(block);  // throws on any accounting bug
-  store_.append(block);
+  if (block_sink_)
+    block_sink_(block);
+  else
+    store_.append(block);
   static obs::Counter blocks_metric =
       obs::MetricsRegistry::global().counter("sim.blocks");
   blocks_metric.inc();
@@ -405,6 +414,12 @@ void World::run_day() {
 
 void World::run() {
   for (int d = day_; d < config_.days; ++d) run_day();
+  finish();
+}
+
+void World::finish() {
+  if (finished_) return;
+  finished_ = true;
   generate_scraped_tags();
   obs::MetricsRegistry::global().counter("sim.tags").add(tags_.size());
 }

@@ -8,6 +8,7 @@
 // exploit, together with a ground-truth journal and a tag feed.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -87,6 +88,29 @@ class World {
 
   /// Runs a single day (exposed for incremental tests).
   void run_day();
+
+  /// Post-run finalization (scraped-tag feed + sim.tags metric).
+  /// Idempotent; run() calls it, and so does BlockStreamer once the
+  /// last day has been generated.
+  void finish();
+
+  /// Diverts mined blocks to `sink` instead of the in-memory store():
+  /// the streaming-generation path, where history must not accumulate.
+  /// Every block is still validated by the real ChainState first. The
+  /// emitted bytes are identical to what store() would have held — the
+  /// sink sees the same blocks in the same order.
+  void set_block_sink(std::function<void(const Block&)> sink) {
+    block_sink_ = std::move(sink);
+  }
+
+  /// Overrides the proof-of-work nonce search. The miner MUST return
+  /// the smallest nonce (counting up from the header's current value)
+  /// whose block hash satisfies the header's difficulty bits — the
+  /// value the built-in sequential loop finds — or generation stops
+  /// being bit-identical across configurations.
+  void set_nonce_miner(std::function<std::uint32_t(const BlockHeader&)> miner) {
+    nonce_miner_ = std::move(miner);
+  }
 
   // ---- results --------------------------------------------------------
   const MemoryBlockStore& store() const noexcept { return store_; }
@@ -180,6 +204,9 @@ class World {
 
   std::uint64_t txs_submitted_ = 0;
   std::uint64_t coinbase_counter_ = 0;
+  bool finished_ = false;
+  std::function<void(const Block&)> block_sink_;
+  std::function<std::uint32_t(const BlockHeader&)> nonce_miner_;
 };
 
 /// Extracts the spender address of a P2PKH scriptSig (public

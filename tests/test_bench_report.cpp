@@ -1,0 +1,90 @@
+// The bench report writer is what the CI trend gate consumes: every
+// BENCH_<name>.json must carry peak_rss_bytes (even the pipeline-less
+// form a bench writes on an early quarantine exit) and must appear
+// atomically — a reader, or a re-run over a previously torn file, must
+// never see a truncated document at the final path.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <unistd.h>
+
+#include "common.hpp"
+#include "core/obs/rss.hpp"
+
+namespace fist::bench {
+namespace {
+
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+class BenchReport : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("fist_bench_report_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+    ::setenv("FISTFUL_BENCH_DIR", dir_.c_str(), 1);
+  }
+  void TearDown() override {
+    ::unsetenv("FISTFUL_BENCH_DIR");
+    std::filesystem::remove_all(dir_);
+  }
+  std::filesystem::path dir_;
+};
+
+TEST_F(BenchReport, PipelinelessReportStillCarriesPeakRss) {
+  // The form a bench falls back to when it bails out before the
+  // pipeline (early quarantine exit): no stages, no throughput — but
+  // the memory gauge and the metrics registry must still be there.
+  write_bench_report("rss_unit");
+  std::filesystem::path path = dir_ / "BENCH_rss_unit.json";
+  ASSERT_TRUE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path.string() + ".tmp"));
+  std::string json = slurp(path);
+
+  std::size_t field = json.find("\"peak_rss_bytes\": ");
+  ASSERT_NE(field, std::string::npos);
+  std::uint64_t reported =
+      std::strtoull(json.c_str() + field + 18, nullptr, 10);
+  EXPECT_GT(reported, 0u);  // VmHWM is always available on Linux
+  EXPECT_LE(reported, obs::peak_rss_bytes());
+
+  EXPECT_NE(json.find("\"metrics\": "), std::string::npos);
+  ASSERT_GE(json.size(), 2u);
+  EXPECT_EQ(json.substr(json.size() - 2), "}\n");  // complete document
+}
+
+TEST_F(BenchReport, TruncatedPreexistingReportIsReplacedWhole) {
+  // A previously torn write (or a killed bench) left a partial JSON at
+  // the final path; the next write must replace it with a complete
+  // document, never append to or extend the fragment.
+  std::filesystem::path path = dir_ / "BENCH_trunc.json";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "{\n  \"bench\": \"trunc\",\n  \"total_ms\": 12";  // torn
+  }
+  write_bench_report("trunc");
+  std::string json = slurp(path);
+  EXPECT_EQ(json.rfind("{\n  \"bench\": \"trunc\""), 0u);
+  EXPECT_NE(json.find("\"peak_rss_bytes\": "), std::string::npos);
+  EXPECT_EQ(json.substr(json.size() - 2), "}\n");
+  EXPECT_EQ(json.find("\"total_ms\": 12,"), std::string::npos);
+}
+
+TEST_F(BenchReport, UnwritableDirectoryLeavesNoPartialFile) {
+  std::filesystem::path missing = dir_ / "does_not_exist";
+  ::setenv("FISTFUL_BENCH_DIR", missing.c_str(), 1);
+  write_bench_report("ghost");  // must not throw
+  EXPECT_FALSE(std::filesystem::exists(missing / "BENCH_ghost.json"));
+  EXPECT_FALSE(std::filesystem::exists(missing / "BENCH_ghost.json.tmp"));
+}
+
+}  // namespace
+}  // namespace fist::bench

@@ -349,6 +349,149 @@ TEST_P(BlockstoreFuzz, BadMagicMidFileIsResyncedInRecoverMode) {
   EXPECT_EQ(view.block_count(), store.count());
 }
 
+TEST_P(BlockstoreFuzz, RecordsPastThe2GiBBoundaryReadBack) {
+  // 64-bit offset arithmetic: 33 records claiming the 64 MiB size cap
+  // push the next frame past 2^31 bytes, where a 32-bit offset (or an
+  // lseek taking a long) would wrap negative. The claimed payloads are
+  // sparse — never written — and the opening scan only reads 8-byte
+  // headers and seeks, so the test does no 2 GiB of I/O; the missing
+  // sidecar on a nonempty store disables checksum verification (the
+  // legacy-store path) instead of hashing 2 GiB of holes.
+  cleanup();
+  constexpr std::uint32_t kRecordCap = 64u << 20;  // kMaxRecordBytes
+  constexpr std::size_t kSparse = 33;  // 33 * (8 + 64 MiB) > 2 GiB
+  test::TestChain chain;
+  chain.coinbase(0, btc(50));
+  Bytes raw = chain.blocks().front().serialize();
+  auto header = [](std::uint32_t len) {
+    return Bytes{0xf9, 0xbe, 0xb4, 0xd9,  // kMainnetMagic, LE
+                 static_cast<std::uint8_t>(len),
+                 static_cast<std::uint8_t>(len >> 8),
+                 static_cast<std::uint8_t>(len >> 16),
+                 static_cast<std::uint8_t>(len >> 24)};
+  };
+  {
+    std::ofstream f(path_, std::ios::binary | std::ios::trunc);
+    std::uint64_t pos = 0;
+    for (std::size_t i = 0; i < kSparse; ++i) {
+      f.seekp(static_cast<std::streamoff>(pos));
+      Bytes head = header(kRecordCap);
+      f.write(reinterpret_cast<const char*>(head.data()),
+              static_cast<std::streamsize>(head.size()));
+      pos += 8 + kRecordCap;
+    }
+    ASSERT_GT(pos, 0x80000000ull);
+    f.seekp(static_cast<std::streamoff>(pos));
+    Bytes head = header(static_cast<std::uint32_t>(raw.size()));
+    f.write(reinterpret_cast<const char*>(head.data()),
+            static_cast<std::streamsize>(head.size()));
+    f.write(reinterpret_cast<const char*>(raw.data()),
+            static_cast<std::streamsize>(raw.size()));
+    ASSERT_TRUE(f.good());
+  }
+
+  FileBlockStore store(path_);
+  EXPECT_FALSE(store.checksummed());
+  ASSERT_EQ(store.count(), kSparse + 1);
+  EXPECT_EQ(store.scan_report().torn_tail_bytes, 0u);
+  Block back = store.read(kSparse);
+  EXPECT_EQ(back.serialize(), raw);
+}
+
+TEST_P(BlockstoreFuzz, TornTailMatchesInMemoryBuildAtEveryWindow) {
+  // Truncate mid-record so the store's surviving prefix ends inside a
+  // decode window: the windowed build over the torn store must equal
+  // the in-memory build bit for bit, with nothing quarantined.
+  Rng rng(GetParam() + 9000);
+  std::size_t victim = 5 + rng.below(frames_.size() - 5);
+  auto [off, len] = frames_[victim];
+  std::filesystem::resize_file(path_, off + 1 + rng.below(8 + len - 1));
+  std::filesystem::remove(path_.string() + ".sums");  // stale sidecar
+
+  FileBlockStore store(path_);
+  ASSERT_EQ(store.count(), victim);
+  Executor exec(2);
+  IngestReport ref_report;
+  Bytes ref =
+      ChainView::build(store, exec, RecoveryPolicy::Lenient, &ref_report)
+          .serialize();
+  for (std::uint32_t window : {1u, 4u, 64u}) {
+    ChainView::BuildOptions options;
+    options.window_blocks = window;
+    options.recovery = RecoveryPolicy::Lenient;
+    IngestReport report;
+    options.report = &report;
+    ChainView view = ChainView::build_windowed(store, exec, options);
+    EXPECT_EQ(view.serialize(), ref) << "window " << window;
+    EXPECT_FALSE(report.quarantined()) << "window " << window;
+    EXPECT_EQ(view.block_count(), victim) << "window " << window;
+  }
+}
+
+TEST_P(BlockstoreFuzz, ChecksumMismatchInALaterWindowQuarantines) {
+  // Payload corruption in a record that only the second-or-later
+  // decode window touches: the windowed lenient build must quarantine
+  // exactly that record (sidecar verification fires inside the
+  // window's parallel read phase) and otherwise equal the in-memory
+  // lenient build.
+  Rng rng(GetParam() + 10000);
+  std::size_t victim = 6 + rng.below(frames_.size() - 6);  // >= window 2 at W=4
+  auto [off, len] = frames_[victim];
+  flip_bit(off + 8 + rng.below(len),
+           static_cast<std::uint8_t>(1u << rng.below(8)));
+
+  FileBlockStore store(path_);
+  ASSERT_TRUE(store.checksummed());
+  Executor exec(2);
+  IngestReport ref_report;
+  Bytes ref =
+      ChainView::build(store, exec, RecoveryPolicy::Lenient, &ref_report)
+          .serialize();
+  ChainView::BuildOptions options;
+  options.window_blocks = 4;
+  options.recovery = RecoveryPolicy::Lenient;
+  IngestReport report;
+  options.report = &report;
+  ChainView view = ChainView::build_windowed(store, exec, options);
+  ASSERT_EQ(report.blocks.size(), 1u);
+  EXPECT_EQ(report.blocks[0].record, victim);
+  EXPECT_EQ(report.blocks[0].stage, Quarantined::Stage::Decode);
+  EXPECT_TRUE(report.txs.empty());
+  EXPECT_EQ(view.block_count(), frames_.size() - 1);
+  EXPECT_EQ(view.serialize(), ref);
+}
+
+TEST_P(BlockstoreFuzz, RecoverModeResyncFeedsWindowedReads) {
+  // Corrupt record framing mid-file, open in recovery mode (the store
+  // resyncs to the next magic and renumbers the survivors), then build
+  // through decode windows: every window size must see the resynced
+  // record numbering and match the in-memory build.
+  Rng rng(GetParam() + 11000);
+  std::size_t victim = 1 + rng.below(frames_.size() - 2);
+  flip_bit(frames_[victim].first, 0xff);
+
+  FileBlockStore::OpenOptions open;
+  open.recover = true;
+  FileBlockStore store(path_, kMainnetMagic, open);
+  ASSERT_EQ(store.count(), frames_.size() - 1);
+  Executor exec(2);
+  IngestReport ref_report;
+  Bytes ref =
+      ChainView::build(store, exec, RecoveryPolicy::Lenient, &ref_report)
+          .serialize();
+  for (std::uint32_t window : {1u, 4u, 64u}) {
+    ChainView::BuildOptions options;
+    options.window_blocks = window;
+    options.recovery = RecoveryPolicy::Lenient;
+    IngestReport report;
+    options.report = &report;
+    ChainView view = ChainView::build_windowed(store, exec, options);
+    EXPECT_EQ(view.serialize(), ref) << "window " << window;
+    EXPECT_FALSE(report.quarantined()) << "window " << window;
+    EXPECT_EQ(view.block_count(), store.count()) << "window " << window;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, BlockstoreFuzz, ::testing::Values(1, 7, 42));
 
 TEST(FaultInjection, TotalLossStopsPropagation) {
