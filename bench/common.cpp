@@ -98,6 +98,36 @@ void write_bench_report(const std::string& name,
                          : "BENCH_" + name + ".json";
 
   std::string json = "{\n  \"bench\": \"" + obs::json_escape(name) + "\"";
+
+  // Reproduction metadata: enough to re-run the exact configuration
+  // behind a number. A non-numeric block — scripts/check_bench_trend.py
+  // ignores it when gating.
+  const char* scale_env = std::getenv("FISTFUL_BENCH_SCALE");
+  const char* window_env = std::getenv("FISTFUL_BENCH_WINDOW");
+  json += ",\n  \"run\": {";
+  json += "\"threads\": " +
+          std::to_string(pipeline != nullptr
+                             ? pipeline->executor().worker_count()
+                             : bench_threads());
+  json += ", \"scale\": \"" +
+          obs::json_escape(scale_env != nullptr ? scale_env : "default") +
+          "\"";
+  json += ", \"window_blocks\": " +
+          std::to_string(window_env != nullptr
+                             ? std::strtoul(window_env, nullptr, 10)
+                             : 0ul);
+  json += ", \"build_type\": \"" + obs::json_escape(
+#if defined(FISTFUL_BUILD_TYPE)
+                                       FISTFUL_BUILD_TYPE
+#elif defined(NDEBUG)
+                                       "release"
+#else
+                                       "debug"
+#endif
+                                       ) +
+          "\"";
+  json += "}";
+
   if (pipeline != nullptr) {
     json += ",\n  \"threads\": " +
             std::to_string(pipeline->executor().worker_count());

@@ -45,13 +45,36 @@ def load_report(path):
     return doc
 
 
+def numeric_value(doc, field):
+    """The field as a float when present and numeric, else None.
+    Reports carry non-numeric blocks alongside the gated scalars (the
+    ``run`` metadata object, ``spans``, ``metrics``); a field holding
+    such a block reads as absent rather than killing the gate."""
+    value = doc.get(field)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return float(value)
+
+
 def required_number(doc, path, field):
-    if field not in doc:
-        sys.exit(f"check_bench_trend: {path} has no {field} field")
-    try:
-        return float(doc[field])
-    except (TypeError, ValueError):
-        sys.exit(f"check_bench_trend: {path} {field} is not a number")
+    value = numeric_value(doc, field)
+    if value is None:
+        sys.exit(f"check_bench_trend: {path} has no numeric {field} field")
+    return value
+
+
+def numeric_candidates(report_docs, field):
+    """Per-report values for one dimension, dropping (with a note)
+    reports where the field is absent or a non-numeric block."""
+    out = {}
+    for path, doc in report_docs.items():
+        value = numeric_value(doc, field)
+        if value is None:
+            print(f"candidate {field}: skipped ({path}: absent or "
+                  "non-numeric)")
+        else:
+            out[path] = value
+    return out
 
 
 def gate(name, base, candidates, max_regress_pct):
@@ -91,23 +114,23 @@ def main():
     base_doc = load_report(args.baseline)
     report_docs = {r: load_report(r) for r in args.reports}
 
+    time_candidates = numeric_candidates(report_docs, "total_ms")
+    if not time_candidates:
+        sys.exit("check_bench_trend: no candidate has a numeric total_ms")
     ok = gate(
         "total_ms",
         required_number(base_doc, args.baseline, "total_ms"),
-        {r: required_number(d, r, "total_ms")
-         for r, d in report_docs.items()},
+        time_candidates,
         args.max_regress_pct)
 
-    if "peak_rss_bytes" in base_doc:
-        ok &= gate(
-            "peak_rss_bytes",
-            required_number(base_doc, args.baseline, "peak_rss_bytes"),
-            {r: required_number(d, r, "peak_rss_bytes")
-             for r, d in report_docs.items()},
-            args.max_rss_regress_pct)
+    base_rss = numeric_value(base_doc, "peak_rss_bytes")
+    rss_candidates = numeric_candidates(report_docs, "peak_rss_bytes")
+    if base_rss is not None and rss_candidates:
+        ok &= gate("peak_rss_bytes", base_rss, rss_candidates,
+                   args.max_rss_regress_pct)
     else:
-        print("peak_rss_bytes : baseline lacks the field, gating on "
-              "total_ms only")
+        print("peak_rss_bytes : no numeric baseline/candidate values, "
+              "gating on total_ms only")
 
     if not ok:
         return 1

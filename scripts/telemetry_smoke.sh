@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# telemetry_smoke.sh — end-to-end smoke test of the live scrape plane.
+#
+# Simulates a small economy, runs `fistctl cluster` with the telemetry
+# server on an ephemeral port (plus a linger window so the scrape can
+# land after a fast pipeline), scrapes /metrics and /healthz while the
+# process is alive, and asserts the scrape is Prometheus text carrying
+# the expected metric names. Also checks --events-out leaves a JSONL
+# flight-recorder dump.
+#
+# Usage: scripts/telemetry_smoke.sh [path-to-fistctl]
+set -u
+
+FISTCTL=${1:-./build/fistctl}
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"; [ -n "${CLUSTER_PID:-}" ] && kill "$CLUSTER_PID" 2>/dev/null' EXIT
+
+fail() { echo "telemetry_smoke: FAIL: $*" >&2; exit 1; }
+
+"$FISTCTL" simulate --days 20 --users 40 --seed 11 \
+  --out "$WORK/chain.dat" --tags "$WORK/tags.csv" \
+  || fail "simulate exited $?"
+
+# The run keeps the endpoint up 10 s after the pipeline so the scrape
+# below can never lose the race against a fast build.
+"$FISTCTL" cluster --chain "$WORK/chain.dat" --tags "$WORK/tags.csv" \
+  --out "$WORK/clusters.csv" --window 16 \
+  --serve-metrics 0 --serve-linger-ms 10000 \
+  --events-out "$WORK/events.jsonl" \
+  2> "$WORK/stderr.log" &
+CLUSTER_PID=$!
+
+# The ephemeral port is announced on stderr before the pipeline runs.
+PORT=
+for _ in $(seq 1 100); do
+  PORT=$(sed -n 's/^serving metrics on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+         "$WORK/stderr.log" | head -1)
+  [ -n "$PORT" ] && break
+  kill -0 "$CLUSTER_PID" 2>/dev/null || fail "fistctl died before announcing a port: $(cat "$WORK/stderr.log")"
+  sleep 0.1
+done
+[ -n "$PORT" ] || fail "no 'serving metrics' line on stderr"
+
+scrape() {
+  python3 - "$1" <<'EOF'
+import sys, urllib.request
+print(urllib.request.urlopen(sys.argv[1], timeout=5).read().decode())
+EOF
+}
+
+HEALTH=$(scrape "http://127.0.0.1:$PORT/healthz") \
+  || fail "/healthz scrape failed"
+[ "$HEALTH" = "ok" ] || [ "$HEALTH" = "ok
+" ] || fail "/healthz said: $HEALTH"
+
+# The pipeline registers metrics as stages run; with the 10 s linger
+# the final snapshot is guaranteed scrapeable, so retry until the late
+# names land.
+METRICS=
+for _ in $(seq 1 100); do
+  METRICS=$(scrape "http://127.0.0.1:$PORT/metrics") \
+    || fail "/metrics scrape failed"
+  echo "$METRICS" | grep -q "^# TYPE fist_h1_links " && break
+  sleep 0.2
+done
+for name in fist_view_txs fist_view_blocks fist_h1_links \
+            fist_telemetry_scrapes; do
+  echo "$METRICS" | grep -q "^# TYPE $name " \
+    || fail "/metrics missing '# TYPE $name': $(echo "$METRICS" | head -5)"
+done
+echo "$METRICS" | grep -q "^fist_view_tx_inputs_p50 " \
+  || fail "/metrics missing histogram quantile lines"
+
+PROGRESS=$(scrape "http://127.0.0.1:$PORT/progress") \
+  || fail "/progress scrape failed"
+echo "$PROGRESS" | grep -q '"stages":' || fail "/progress not JSON: $PROGRESS"
+echo "$PROGRESS" | grep -q '"name":"view.windows"' \
+  || fail "/progress missing the view.windows stage: $PROGRESS"
+
+wait "$CLUSTER_PID"
+status=$?
+CLUSTER_PID=
+[ "$status" -eq 0 ] || fail "fistctl cluster exited $status: $(cat "$WORK/stderr.log")"
+
+[ -s "$WORK/events.jsonl" ] || fail "--events-out left no flight dump"
+python3 - "$WORK/events.jsonl" <<'EOF' || fail "events.jsonl is not valid JSONL"
+import json, sys
+lines = [l for l in open(sys.argv[1]) if l.strip()]
+assert lines, "empty events file"
+types = {json.loads(l)["type"] for l in lines}
+assert any(t.startswith("flight.window_") for t in types), types
+assert "flight.server_start" in types, types
+EOF
+
+echo "telemetry_smoke: OK (port $PORT, $(echo "$METRICS" | wc -l) metric lines)"

@@ -1,7 +1,9 @@
 #include "chain/view.hpp"
 
 #include "core/fault.hpp"
+#include "core/obs/flightrec.hpp"
 #include "core/obs/metrics.hpp"
+#include "core/obs/progress.hpp"
 #include "core/obs/span.hpp"
 #include "script/standard.hpp"
 #include "util/error.hpp"
@@ -79,6 +81,7 @@ void probe_decode_fault(std::size_t record) {
 void note_quarantined_block(IngestReport* report, Quarantined::Stage stage,
                             std::uint64_t record, std::string reason) {
   ViewMetrics::get().quarantined_blocks.inc();
+  obs::flight_event("flight.quarantine_block", reason, record);
   if (report != nullptr) {
     Quarantined q;
     q.stage = stage;
@@ -164,6 +167,7 @@ void ChainView::ingest_block(const Block& block, std::uint64_t record,
         for (auto [p, slot] : marked) txs_[p].outputs[slot].spent_by = kNoTx;
         if (policy == RecoveryPolicy::Strict) throw ValidationError(why);
         ViewMetrics::get().quarantined_txs.inc();
+        obs::flight_event("flight.quarantine_tx", why, record, ordinal);
         if (report != nullptr) {
           Quarantined q;
           q.stage = Quarantined::Stage::Resolve;
@@ -223,6 +227,7 @@ bool ChainView::append_tx(TxView&& tv, const OutPoint* prevouts,
       for (auto [p, slot] : marked) txs_[p].outputs[slot].spent_by = kNoTx;
       if (policy == RecoveryPolicy::Strict) throw ValidationError(why);
       ViewMetrics::get().quarantined_txs.inc();
+      obs::flight_event("flight.quarantine_tx", why, record, ordinal);
       if (report != nullptr) {
         Quarantined q;
         q.stage = Quarantined::Stage::Resolve;
@@ -593,11 +598,18 @@ ChainView ChainView::build_windowed(const BlockStore& store, Executor& exec,
 
   ChainView view;
   obs::Span scan_span("view.scan");
+  // Live progress, one tick per window (per-block would be churn);
+  // the window boundaries also land in the flight recorder so a run
+  // that dies mid-build pins down which window it was digesting.
+  const std::size_t n_windows = (total + window - 1) / window;
+  obs::ProgressStage windows_progress =
+      obs::ProgressBoard::global().begin_stage("view.windows", n_windows);
   WindowColumns cols;
   std::vector<Block> decoded;
   for (std::size_t w0 = 0; w0 < total; w0 += window) {
     const std::size_t nb = std::min(total, w0 + window) - w0;
     ViewMetrics::get().windows.inc();
+    obs::flight_event("flight.window_start", "", w0 / window, nb);
 
     // Phase A (parallel): read + decode this window's records. Fault
     // sites fire by global record index, so the injected set matches
@@ -703,7 +715,11 @@ ChainView ChainView::build_windowed(const BlockStore& store, Executor& exec,
       }
       ++view.block_count_;
     }
+    obs::flight_event("flight.window_end", "", w0 / window, nb);
+    windows_progress.advance();
+    obs::progress_console_tick();
   }
+  windows_progress.finish();
   scan_span.close();
 
   {

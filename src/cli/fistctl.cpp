@@ -12,19 +12,24 @@
 //   fistctl flows    --chain chain.dat --tags tags.csv --dot flows.dot
 //   fistctl follow   --chain chain.dat --tags tags.csv
 //                    --tx <txid-hex> --vout 0 --hops 100 --out peels.csv
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
+#include <thread>
 
 #include "analysis/explorer.hpp"
 #include "analysis/export.hpp"
 #include "core/checkpoint.hpp"
 #include "core/fault.hpp"
 #include "core/obs/export.hpp"
+#include "core/obs/flightrec.hpp"
 #include "core/obs/metrics.hpp"
+#include "core/obs/progress.hpp"
 #include "core/obs/span.hpp"
+#include "core/obs/telemetry.hpp"
 #include "core/pipeline.hpp"
 #include "sim/world.hpp"
 #include "tag/feedio.hpp"
@@ -81,6 +86,15 @@ observability (accepted by every command):
   --metrics-format FMT    json (default; includes the span tree),
                           prom (Prometheus text), or table (ASCII)
   --trace-out PATH        write the span tree as JSON (- means stdout)
+  --serve-metrics PORT    scrape endpoint on 127.0.0.1 for the run's
+                          duration: /metrics /progress /events /healthz
+                          (0 = ephemeral port, printed on stderr)
+  --serve-linger-ms N     keep the scrape endpoint up N ms after the
+                          command finishes (scripted scrapers)
+  --progress              throttled live progress ticker on stderr
+  --events-out PATH       write the flight recorder as JSON Lines after
+                          the command (quarantine exits dump
+                          fistctl-events.jsonl even without this flag)
 
 exit codes: 0 success, 1 runtime failure, 2 bad arguments,
             3 lenient run completed but quarantined records (details
@@ -96,7 +110,7 @@ class Args {
     for (int i = start; i < argc; ++i) {
       std::string key = argv[i];
       if (key.rfind("--", 0) != 0) usage(("unexpected '" + key + "'").c_str());
-      if (key == "--naive") {
+      if (key == "--naive" || key == "--progress") {
         values_[key] = "1";
         continue;
       }
@@ -189,6 +203,8 @@ int finish_pipeline(const ForensicPipeline& pipeline) {
   std::fwrite(summary.data(), 1, summary.size(), stderr);
   std::fprintf(stderr, "quarantined %zu block(s), %zu transaction(s)\n",
                report.blocks.size(), report.txs.size());
+  obs::flight_event("flight.quarantine_exit", "exit code 3",
+                    report.blocks.size(), report.txs.size());
   return 3;
 }
 
@@ -413,6 +429,22 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (args.has("--progress")) obs::set_progress_console(true);
+
+  // The scrape endpoint runs for the command's duration (plus an
+  // optional linger so scripted scrapers can read a finished run);
+  // the destructor stops it on every exit path, including throws.
+  obs::TelemetryServer server;
+  std::string events_out = args.get("--events-out", "");
+  if (args.has("--serve-metrics")) {
+    long port = args.get_long("--serve-metrics", 0);
+    if (port < 0 || port > 65535)
+      usage("--serve-metrics PORT must be 0..65535");
+    if (!server.start(static_cast<std::uint16_t>(port))) return 1;
+    std::fprintf(stderr, "serving metrics on 127.0.0.1:%u\n",
+                 static_cast<unsigned>(server.port()));
+  }
+
   obs::Trace trace;
   try {
     int code;
@@ -424,6 +456,19 @@ int main(int argc, char** argv) {
       obs::Span root(command.c_str());
       code = dispatch(command, args);
     }
+    if (server.running()) {
+      long linger = args.get_long("--serve-linger-ms", 0);
+      if (linger > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(linger));
+      server.stop();
+    }
+    // The flight recorder outlives the run on disk: always when asked,
+    // and unconditionally on a quarantine exit so a code-3 run can be
+    // reconstructed after the fact.
+    if (!events_out.empty())
+      obs::dump_flight_events(events_out);
+    else if (code == 3)
+      obs::dump_flight_events("fistctl-events.jsonl");
     if (!metrics_out.empty()) {
       obs::Snapshot snapshot = obs::MetricsRegistry::global().snapshot();
       std::string doc = metrics_format == "prom"
@@ -439,6 +484,8 @@ int main(int argc, char** argv) {
     return code;
   } catch (const fist::Error& e) {
     std::fprintf(stderr, "fistctl: %s\n", e.what());
+    server.stop();
+    if (!events_out.empty()) obs::dump_flight_events(events_out);
     return 1;
   }
 }

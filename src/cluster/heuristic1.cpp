@@ -1,6 +1,7 @@
 #include "cluster/heuristic1.hpp"
 
 #include "core/obs/metrics.hpp"
+#include "core/obs/progress.hpp"
 
 namespace fist {
 
@@ -61,7 +62,21 @@ bool h1_process_tx(const TxView& tx, UnionFind& uf, H1Stats* stats) {
 H1Stats apply_heuristic1(const ChainView& view, UnionFind& uf) {
   H1Stats stats;
   uf.grow(view.address_count());
-  for (const TxView& tx : view.txs()) h1_process_tx(tx, uf, &stats);
+  // Progress ticks in chunks — a per-tx atomic would be pure overhead
+  // on a loop this tight.
+  obs::ProgressStage progress =
+      obs::ProgressBoard::global().begin_stage("h1.txs", view.txs().size());
+  constexpr std::size_t kChunk = 65536;
+  std::size_t done = 0;
+  for (const TxView& tx : view.txs()) {
+    h1_process_tx(tx, uf, &stats);
+    if (++done % kChunk == 0) {
+      progress.advance(kChunk);
+      obs::progress_console_tick();
+    }
+  }
+  progress.advance(done % kChunk);
+  progress.finish();
   record_h1_stats(stats);
   return stats;
 }
@@ -82,6 +97,8 @@ H1Stats apply_heuristic1(const ChainView& view, UnionFind& uf,
   // A tx whose inputs were already joined by earlier txs of the same
   // shard can never merge anything downstream, so only candidates need
   // replaying.
+  obs::ProgressStage progress =
+      obs::ProgressBoard::global().begin_stage("h1.txs", n_tx);
   std::vector<std::vector<TxIndex>> candidates(shard_count);
   exec.parallel_for_each(0, shard_count, [&](std::size_t s) {
     UnionFind local(view.address_count());
@@ -90,6 +107,8 @@ H1Stats apply_heuristic1(const ChainView& view, UnionFind& uf,
     for (std::size_t t = lo; t < hi; ++t)
       if (h1_process_tx(view.txs()[t], local, nullptr))
         candidates[s].push_back(static_cast<TxIndex>(t));
+    progress.advance(hi - lo);  // one tick per shard, from any worker
+    obs::progress_console_tick();
   });
 
   // Replay (sequential, chain order): shards cover ascending ranges,
@@ -102,6 +121,7 @@ H1Stats apply_heuristic1(const ChainView& view, UnionFind& uf,
     for (TxIndex t : candidates[s]) h1_process_tx(view.txs()[t], uf, &stats);
   }
   H1Metrics::get().candidates.add(candidate_total);
+  progress.finish();
   record_h1_stats(stats);
   return stats;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/obs/metrics.hpp"
+#include "core/obs/progress.hpp"
 #include "core/obs/span.hpp"
 
 namespace fist {
@@ -113,6 +114,9 @@ H2Result apply_heuristic2(const ChainView& view, const H2Options& options,
     return Receipts::build(view, dice_addrs);
   }();
   obs::Span scan_span("h2.scan");
+  obs::ProgressStage progress =
+      obs::ProgressBoard::global().begin_stage("h2.scan", view.tx_count());
+  constexpr TxIndex kProgressChunk = 65536;
 
   // Running per-address state, updated chronologically.
   std::vector<std::uint32_t> receipts_so_far(view.address_count(), 0);
@@ -121,6 +125,12 @@ H2Result apply_heuristic2(const ChainView& view, const H2Options& options,
   std::vector<AddrId> tx_output_addrs;  // scratch
 
   for (TxIndex t = 0; t < view.tx_count(); ++t) {
+    // Chunked at the loop top so the many `continue` exits below
+    // cannot skip a tick.
+    if (t != 0 && t % kProgressChunk == 0) {
+      progress.advance(kProgressChunk);
+      obs::progress_console_tick();
+    }
     const TxView& tx = view.tx(t);
 
     // Helper to apply the per-address updates exactly once per tx exit.
@@ -277,6 +287,8 @@ H2Result apply_heuristic2(const ChainView& view, const H2Options& options,
     result.change_of_tx[t] = candidate;
     commit();
   }
+  progress.advance(view.tx_count() % kProgressChunk);
+  progress.finish();
   scan_span.close();
 
   record_h2_result(result);

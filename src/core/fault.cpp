@@ -4,6 +4,7 @@
 #include <map>
 
 #include "core/lock_order.hpp"
+#include "core/obs/flightrec.hpp"
 #include "core/obs/metrics.hpp"
 #include "util/error.hpp"
 
@@ -123,6 +124,9 @@ bool Registry::fire(std::string_view site, std::uint64_t key) {
   if (!Impl::decide(s, site, key)) return false;
   ++s.fired;
   s.metric.inc();
+  // flight_event is lock-free, so recording under fault_mutex is fine
+  // (and keeps site/key/fired consistent in the event).
+  obs::flight_event("flight.fault_injected", site, key, s.fired);
   return true;
 }
 

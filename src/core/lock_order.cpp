@@ -25,6 +25,7 @@ std::atomic<bool> g_enforcing{
 #endif
 };
 std::atomic<ViolationHandler> g_handler{&default_violation_handler};
+std::atomic<ViolationObserver> g_observer{nullptr};
 
 // The calling thread's held ranks, in acquisition order. Deliberately
 // a trivially-destructible POD (fixed array + count), NOT a vector: a
@@ -60,6 +61,8 @@ const char* rank_name(Rank rank) noexcept {
     case Rank::kAddrBookShard: return "kAddrBookShard";
     case Rank::kFaultRegistry: return "kFaultRegistry";
     case Rank::kObsTrace: return "kObsTrace";
+    case Rank::kObsProgressBoard: return "kObsProgressBoard";
+    case Rank::kTelemetryServer: return "kTelemetryServer";
     case Rank::kObsMetricsRegistry: return "kObsMetricsRegistry";
   }
   return "<unknown rank>";
@@ -76,12 +79,21 @@ ViolationHandler set_violation_handler(ViolationHandler handler) noexcept {
   return g_handler.exchange(handler);
 }
 
+ViolationObserver set_violation_observer(ViolationObserver observer) noexcept {
+  return g_observer.exchange(observer);
+}
+
 void note_acquire(Rank rank) noexcept {
   // Strictly increasing: re-acquiring an equal rank is also a
   // violation (std::mutex is non-recursive, and two same-rank locks
   // held together can deadlock against a peer thread).
   for (std::size_t i = 0; i < tls_held.count; ++i) {
     if (tls_held.ranks[i] >= rank) {
+      // Observer first: it must not lock (the flight recorder's ring
+      // is atomics only), and it must run even when the handler
+      // aborts — that is the whole point of a post-mortem trail.
+      if (ViolationObserver obs = g_observer.load(std::memory_order_relaxed))
+        obs(tls_held.ranks[i], rank);
       g_handler.load(std::memory_order_relaxed)(tls_held.ranks[i], rank);
       break;
     }

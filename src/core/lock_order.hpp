@@ -62,6 +62,8 @@ enum class Rank : int {
   // so it must rank below the metrics registry.
   kFaultRegistry = 80,       ///< fault-injection site table
   kObsTrace = 90,            ///< Span/Trace record tree
+  kObsProgressBoard = 92,    ///< progress stage find-or-create map
+  kTelemetryServer = 95,     ///< telemetry server start/stop state
   kObsMetricsRegistry = 100, ///< name → metric find-or-create map
 };
 
@@ -79,6 +81,14 @@ void set_enforcing(bool on) noexcept;
 /// install a recording handler. Returns the previous handler.
 using ViolationHandler = void (*)(Rank held, Rank acquiring);
 ViolationHandler set_violation_handler(ViolationHandler handler) noexcept;
+
+/// A passive tap invoked BEFORE the violation handler (which may
+/// abort). Must be lock-free and async-termination-safe — the flight
+/// recorder (core/obs/flightrec.hpp) installs one so a violating run
+/// leaves an event in the post-mortem trail. Returns the previous
+/// observer (nullptr when none).
+using ViolationObserver = void (*)(Rank held, Rank acquiring);
+ViolationObserver set_violation_observer(ViolationObserver observer) noexcept;
 
 /// Record an acquisition/release on the calling thread's held-lock
 /// stack (called by fist::Mutex when enforcing() — call directly only

@@ -3,8 +3,10 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdint>
+#include <iterator>
 #include <vector>
 
+#include "core/obs/quantile.hpp"
 #include "util/table.hpp"
 
 namespace fist::obs {
@@ -75,6 +77,26 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+std::string prom_number(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  return json_number(v);
+}
+
+std::string prom_escape_label(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
 std::string json_number(double v) {
   if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 9.0e15) {
     char buf[32];
@@ -102,8 +124,9 @@ std::string render_table(const Snapshot& snapshot) {
     out += t.render();
   }
   if (!snapshot.histograms.empty()) {
-    TextTable t({"Histogram", "Count", "Sum", "Buckets"},
-                {Align::Left, Align::Right, Align::Right, Align::Left});
+    TextTable t({"Histogram", "Count", "Sum", "p50", "p90", "p99", "Buckets"},
+                {Align::Left, Align::Right, Align::Right, Align::Right,
+                 Align::Right, Align::Right, Align::Left});
     for (const HistogramValue& h : snapshot.histograms) {
       std::string buckets;
       for (std::size_t i = 0; i < h.buckets.size(); ++i) {
@@ -113,7 +136,10 @@ std::string render_table(const Snapshot& snapshot) {
                         : std::string("+inf")) +
                    ":" + std::to_string(h.buckets[i]);
       }
-      t.row({h.name, std::to_string(h.count), json_number(h.sum), buckets});
+      t.row({h.name, std::to_string(h.count), json_number(h.sum),
+             prom_number(histogram_quantile(h, 0.50)),
+             prom_number(histogram_quantile(h, 0.90)),
+             prom_number(histogram_quantile(h, 0.99)), buckets});
     }
     if (!out.empty()) out += '\n';
     out += t.render();
@@ -152,7 +178,16 @@ std::string render_metrics_json_object(const Snapshot& snapshot) {
       out += std::to_string(h.buckets[i]);
     }
     out += "],\"count\":" + std::to_string(h.count) +
-           ",\"sum\":" + json_number(h.sum) + "}";
+           ",\"sum\":" + json_number(h.sum);
+    // Quantiles only when defined AND finite: JSON has no NaN/Inf, so
+    // an empty histogram simply lacks the keys.
+    for (std::size_t q = 0; q < std::size(kExportQuantiles); ++q) {
+      double v = histogram_quantile(h, kExportQuantiles[q]);
+      if (std::isfinite(v))
+        out += std::string(",\"") + kExportQuantileNames[q] +
+               "\":" + json_number(v);
+    }
+    out += "}";
   }
   out += "}}";
   return out;
@@ -204,8 +239,17 @@ std::string render_prometheus(const Snapshot& snapshot) {
       out += name + "_bucket{le=\"" + le + "\"} " +
              std::to_string(cumulative) + "\n";
     }
-    out += name + "_sum " + json_number(h.sum) + "\n";
+    out += name + "_sum " + prom_number(h.sum) + "\n";
     out += name + "_count " + std::to_string(h.count) + "\n";
+    // Pre-computed quantile estimates as sibling gauges (summary-style
+    // quantile labels would clash with the histogram type); an empty
+    // histogram renders the spec's "NaN".
+    for (std::size_t q = 0; q < std::size(kExportQuantiles); ++q) {
+      std::string qname = name + "_" + kExportQuantileNames[q];
+      out += "# TYPE " + qname + " gauge\n";
+      out += qname + " " +
+             prom_number(histogram_quantile(h, kExportQuantiles[q])) + "\n";
+    }
   }
   return out;
 }

@@ -44,6 +44,16 @@ std::string json_escape(const std::string& s);
 
 /// Canonical number formatting shared by the JSON renderers:
 /// "%.17g" trimmed — integers render bare, doubles round-trip.
+/// NOT valid for non-finite values — JSON has no NaN/Inf literals, so
+/// callers must guard (the renderers omit non-finite quantiles).
 std::string json_number(double v);
+
+/// Prometheus sample-value formatting: json_number for finite values,
+/// the spec spellings "NaN" / "+Inf" / "-Inf" otherwise.
+std::string prom_number(double v);
+
+/// Prometheus label-value escaping: backslash, double quote, and
+/// newline gain backslashes (the exposition-format rules).
+std::string prom_escape_label(const std::string& s);
 
 }  // namespace fist::obs

@@ -1,0 +1,200 @@
+#include "core/obs/flightrec.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "core/lock_order.hpp"
+#include "core/obs/export.hpp"
+#include "core/obs/metrics.hpp"
+
+namespace fist::obs {
+
+namespace {
+
+/// Steady-clock µs since the first call (≈ process start, pinned by
+/// the static installer below during static initialization).
+std::uint64_t now_us() noexcept {
+  static const auto start = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+}  // namespace
+
+#ifndef FISTFUL_NO_OBS
+
+FlightRecorder::FlightRecorder() {
+  for (Slot& slot : slots_) {
+    for (auto& w : slot.type_words) w.store(0, std::memory_order_relaxed);
+    for (auto& w : slot.detail_words) w.store(0, std::memory_order_relaxed);
+  }
+}
+
+FlightRecorder& FlightRecorder::global() {
+  // Leaked: record() must stay callable from thread_local destructors
+  // and the lock-order violation observer at any point of teardown.
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+namespace {
+
+/// Packs up to `words * 8` chars into word-sized relaxed stores
+/// (zero-padded); the reader unpacks until the first NUL.
+template <std::size_t N>
+void store_chars(std::array<std::atomic<std::uint64_t>, N>& words,
+                 std::string_view s) noexcept {
+  char buf[N * 8] = {};
+  const std::size_t n = s.size() < sizeof buf - 1 ? s.size() : sizeof buf - 1;
+  std::memcpy(buf, s.data(), n);
+  for (std::size_t i = 0; i < N; ++i) {
+    std::uint64_t w;
+    std::memcpy(&w, buf + i * 8, 8);
+    words[i].store(w, std::memory_order_relaxed);
+  }
+}
+
+template <std::size_t N>
+std::string load_chars(
+    const std::array<std::atomic<std::uint64_t>, N>& words) {
+  char buf[N * 8 + 1];
+  for (std::size_t i = 0; i < N; ++i) {
+    std::uint64_t w = words[i].load(std::memory_order_relaxed);
+    std::memcpy(buf + i * 8, &w, 8);
+  }
+  buf[N * 8] = '\0';
+  return std::string(buf);
+}
+
+}  // namespace
+
+void FlightRecorder::record(std::string_view type, std::string_view detail,
+                            std::uint64_t a, std::uint64_t b) noexcept {
+  const std::uint64_t s = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[s % kCapacity];
+  // Seqlock write: mark torn (RMW, so the marker orders against the
+  // payload stores), fill, publish with a release store of 1 + seq.
+  slot.seq.exchange(kTornSeq, std::memory_order_acq_rel);
+  store_chars(slot.type_words, type);
+  store_chars(slot.detail_words, detail);
+  slot.a.store(a, std::memory_order_relaxed);
+  slot.b.store(b, std::memory_order_relaxed);
+  slot.t_us.store(now_us(), std::memory_order_relaxed);
+  slot.seq.store(s + 1, std::memory_order_release);
+}
+
+std::vector<FlightEvent> FlightRecorder::events() const {
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  const std::uint64_t start = head > kCapacity ? head - kCapacity : 0;
+  std::vector<FlightEvent> out;
+  out.reserve(static_cast<std::size_t>(head - start));
+  for (std::uint64_t s = start; s < head; ++s) {
+    const Slot& slot = slots_[s % kCapacity];
+    const std::uint64_t want = s + 1;
+    if (slot.seq.load(std::memory_order_acquire) != want) continue;
+    FlightEvent e;
+    e.type = load_chars(slot.type_words);
+    e.detail = load_chars(slot.detail_words);
+    e.a = slot.a.load(std::memory_order_relaxed);
+    e.b = slot.b.load(std::memory_order_relaxed);
+    e.t_us = slot.t_us.load(std::memory_order_relaxed);
+    e.seq = s;
+    // Seqlock read validation: if a lapping writer touched the slot
+    // while we copied, the sequence moved — drop the torn copy.
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != want) continue;
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::uint64_t FlightRecorder::recorded() const noexcept {
+  return head_.load(std::memory_order_relaxed);
+}
+
+void FlightRecorder::reset() noexcept {
+  head_.store(0, std::memory_order_relaxed);
+  for (Slot& slot : slots_) slot.seq.store(0, std::memory_order_release);
+}
+
+#else
+
+FlightRecorder& FlightRecorder::global() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+#endif  // FISTFUL_NO_OBS
+
+namespace {
+
+// Bound at static initialization (single-threaded, nothing held) so
+// flight_event never takes the metrics-registry mutex itself — it may
+// run under ANY lock, including inside the lock-order violation
+// observer. Zero-initialized before construction, so a call during
+// another TU's static init degrades to an unbound no-op counter.
+struct FlightInit {
+  Counter events;
+  FlightInit();
+};
+
+void record_lockorder_violation(lockorder::Rank held,
+                                lockorder::Rank acquiring) {
+  char detail[96];
+  std::snprintf(detail, sizeof detail, "acquiring %s while holding %s",
+                lockorder::rank_name(acquiring), lockorder::rank_name(held));
+  flight_event("flight.lockorder_violation", detail,
+               static_cast<std::uint64_t>(held),
+               static_cast<std::uint64_t>(acquiring));
+}
+
+FlightInit::FlightInit()
+    : events(MetricsRegistry::global().counter("flight.events")) {
+  now_us();  // pin the epoch
+  lockorder::set_violation_observer(&record_lockorder_violation);
+}
+
+FlightInit g_flight_init;
+
+}  // namespace
+
+void flight_event(std::string_view type, std::string_view detail,
+                  std::uint64_t a, std::uint64_t b) noexcept {
+  FlightRecorder::global().record(type, detail, a, b);
+  g_flight_init.events.inc();
+}
+
+std::string render_events_jsonl(const std::vector<FlightEvent>& events) {
+  std::string out;
+  for (const FlightEvent& e : events) {
+    out += "{\"seq\":" + std::to_string(e.seq);
+    out += ",\"t_us\":" + std::to_string(e.t_us);
+    out += ",\"type\":\"" + json_escape(e.type) + "\"";
+    out += ",\"detail\":\"" + json_escape(e.detail) + "\"";
+    out += ",\"a\":" + std::to_string(e.a);
+    out += ",\"b\":" + std::to_string(e.b);
+    out += "}\n";
+  }
+  return out;
+}
+
+bool dump_flight_events(const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "[flightrec] cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << render_events_jsonl(FlightRecorder::global().events());
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "[flightrec] write failed: %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace fist::obs

@@ -1,0 +1,132 @@
+// flightrec.hpp — a fixed-size lock-free ring of structured events.
+//
+// The post-mortem trail for long ingests: window boundaries,
+// quarantines, checkpoint writes/resumes, fault injections, lock-order
+// violations, telemetry server lifecycle. When a run dies — or exits 3
+// on a lenient quarantine — the last N events explain what it was
+// doing, dumped as JSONL via fistctl --events-out (and automatically
+// as fistctl-events.jsonl on quarantine exits).
+//
+// The ring is wait-free on the write path and allocation-free after
+// construction: a slot is a block of plain atomics (a type word, a
+// fixed char payload, two u64 operands, a sequence stamp), claimed by
+// fetch_add on the head, filled with relaxed stores, and published
+// with a release store of the sequence. Readers snapshot the head,
+// re-check each slot's sequence after copying, and drop slots a lapped
+// writer tore. That makes record() safe from anywhere — executor
+// workers, the fault registry under its lock, even the lock-order
+// violation observer an instant before abort().
+//
+// Event types are dotted names under `flight.` and must be registered
+// in docs/OBSERVABILITY.md (fistlint's docs-drift rule collects
+// flight_event("...") literals like metric names). Timestamps are
+// steady-clock microseconds since process start — ordering, not wall
+// time — and the trail is scheduling-dependent by nature, so the whole
+// `flight.` surface sits outside the deterministic-snapshot contract.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#ifndef FISTFUL_NO_OBS
+#include <array>
+#include <atomic>
+#endif
+
+namespace fist::obs {
+
+/// One event as seen by a reader.
+struct FlightEvent {
+  std::string type;    ///< dotted name, e.g. "flight.window_start"
+  std::string detail;  ///< short free-form context ("window 3", path)
+  std::uint64_t a = 0; ///< operands, meaning per type (index, count)
+  std::uint64_t b = 0;
+  std::uint64_t t_us = 0;  ///< steady-clock µs since process start
+  std::uint64_t seq = 0;   ///< global record order (monotonic)
+};
+
+#ifndef FISTFUL_NO_OBS
+
+/// The process-wide ring. Capacity is a power of two; the ring keeps
+/// the newest kCapacity events and overwrites the oldest.
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kCapacity = 1024;
+  static constexpr std::size_t kTypeChars = 32;
+  static constexpr std::size_t kDetailChars = 96;
+
+  FlightRecorder();
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  static FlightRecorder& global();
+
+  /// Wait-free, noexcept, signal-tolerant. Longer strings truncate to
+  /// the fixed slot width.
+  void record(std::string_view type, std::string_view detail,
+              std::uint64_t a, std::uint64_t b) noexcept;
+
+  /// The surviving events, oldest first. Slots torn by a concurrent
+  /// lapping writer are skipped, so a snapshot taken mid-storm may
+  /// hold fewer than min(recorded, kCapacity) events.
+  std::vector<FlightEvent> events() const;
+
+  /// Total events ever recorded (including overwritten ones).
+  std::uint64_t recorded() const noexcept;
+
+  /// Forget everything (tests).
+  void reset() noexcept;
+
+ private:
+  // A slot is torn down into word-sized atomics so record() never
+  // locks: strings are stored one u64 word at a time. `seq` is 0 for
+  // an empty slot, else 1 + the global sequence; writers bump it to
+  // kTornSeq first so readers never see a half-old half-new slot as
+  // valid.
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};
+    std::array<std::atomic<std::uint64_t>, kTypeChars / 8> type_words;
+    std::array<std::atomic<std::uint64_t>, kDetailChars / 8> detail_words;
+    std::atomic<std::uint64_t> a{0};
+    std::atomic<std::uint64_t> b{0};
+    std::atomic<std::uint64_t> t_us{0};
+  };
+
+  static constexpr std::uint64_t kTornSeq = ~std::uint64_t{0};
+
+  std::array<Slot, kCapacity> slots_;
+  std::atomic<std::uint64_t> head_{0};
+};
+
+#else  // FISTFUL_NO_OBS
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kCapacity = 1024;
+  static FlightRecorder& global();
+  void record(std::string_view, std::string_view, std::uint64_t,
+              std::uint64_t) noexcept {}
+  std::vector<FlightEvent> events() const { return {}; }
+  std::uint64_t recorded() const noexcept { return 0; }
+  void reset() noexcept {}
+};
+
+#endif  // FISTFUL_NO_OBS
+
+/// The one call sites use. The type literal is what fistlint collects
+/// against the docs/OBSERVABILITY.md event registry. Also bumps the
+/// `flight.events` counter.
+void flight_event(std::string_view type, std::string_view detail = {},
+                  std::uint64_t a = 0, std::uint64_t b = 0) noexcept;
+
+/// Events rendered as JSON Lines, oldest first, one object per line:
+/// {"seq":..,"t_us":..,"type":"..","detail":"..","a":..,"b":..}
+std::string render_events_jsonl(const std::vector<FlightEvent>& events);
+
+/// render_events_jsonl(global().events()) written to `path`;
+/// false + stderr note on I/O failure.
+bool dump_flight_events(const std::string& path);
+
+}  // namespace fist::obs

@@ -1,0 +1,173 @@
+#include "core/obs/progress.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+
+#include "core/obs/export.hpp"
+
+namespace fist::obs {
+
+#ifndef FISTFUL_NO_OBS
+
+ProgressBoard& ProgressBoard::global() {
+  // Leaked singleton, same lifetime policy as MetricsRegistry::global:
+  // stages may be advanced from thread_local destructors at process
+  // exit, so the board must never be destroyed.
+  static ProgressBoard* board = new ProgressBoard();
+  return *board;
+}
+
+ProgressStage ProgressBoard::begin_stage(std::string_view name,
+                                         std::uint64_t total) {
+  LockGuard lock(board_mutex_);
+  for (const auto& stage : stages_) {
+    if (stage->name == name) {
+      stage->done.store(0, std::memory_order_relaxed);
+      stage->total.store(total, std::memory_order_relaxed);
+      stage->finished.store(false, std::memory_order_relaxed);
+      stage->start = std::chrono::steady_clock::now();
+      return ProgressStage(stage.get());
+    }
+  }
+  auto impl = std::make_unique<detail::StageImpl>();
+  impl->name = std::string(name);
+  impl->total.store(total, std::memory_order_relaxed);
+  impl->start = std::chrono::steady_clock::now();
+  detail::StageImpl* raw = impl.get();
+  stages_.push_back(std::move(impl));
+  return ProgressStage(raw);
+}
+
+std::vector<ProgressStageValue> ProgressBoard::snapshot() const {
+  LockGuard lock(board_mutex_);
+  std::vector<ProgressStageValue> out;
+  out.reserve(stages_.size());
+  const auto now = std::chrono::steady_clock::now();
+  for (const auto& stage : stages_) {
+    ProgressStageValue v;
+    v.name = stage->name;
+    v.done = stage->done.load(std::memory_order_relaxed);
+    v.total = stage->total.load(std::memory_order_relaxed);
+    v.finished = stage->finished.load(std::memory_order_relaxed);
+    v.elapsed_ms =
+        std::chrono::duration<double, std::milli>(now - stage->start).count();
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+void ProgressBoard::reset() {
+  LockGuard lock(board_mutex_);
+  stages_.clear();
+}
+
+#else
+
+ProgressBoard& ProgressBoard::global() {
+  static ProgressBoard board;
+  return board;
+}
+
+#endif  // FISTFUL_NO_OBS
+
+namespace {
+
+/// rate in items/s and ETA in s for one stage; eta < 0 = unknown.
+struct Derived {
+  double rate_per_s = 0;
+  double eta_s = -1;
+};
+
+Derived derive(const ProgressStageValue& s) {
+  Derived d;
+  if (s.elapsed_ms > 0)
+    d.rate_per_s = static_cast<double>(s.done) / (s.elapsed_ms / 1000.0);
+  if (s.total > s.done && d.rate_per_s > 0)
+    d.eta_s = static_cast<double>(s.total - s.done) / d.rate_per_s;
+  else if (s.total > 0 && s.done >= s.total)
+    d.eta_s = 0;
+  return d;
+}
+
+}  // namespace
+
+std::string render_progress_json(
+    const std::vector<ProgressStageValue>& stages) {
+  std::string out = "{\"stages\":[";
+  bool first = true;
+  for (const ProgressStageValue& s : stages) {
+    if (!first) out += ',';
+    first = false;
+    Derived d = derive(s);
+    out += "{\"name\":\"" + json_escape(s.name) + "\"";
+    out += ",\"done\":" + std::to_string(s.done);
+    out += ",\"total\":" + std::to_string(s.total);
+    out += s.finished ? ",\"finished\":true" : ",\"finished\":false";
+    out += ",\"elapsed_ms\":" + json_number(s.elapsed_ms);
+    out += ",\"rate_per_s\":" + json_number(d.rate_per_s);
+    if (d.eta_s >= 0) out += ",\"eta_s\":" + json_number(d.eta_s);
+    out += '}';
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::string render_progress_line(
+    const std::vector<ProgressStageValue>& stages) {
+  std::string out;
+  for (const ProgressStageValue& s : stages) {
+    if (s.finished) continue;  // the ticker shows live stages only
+    if (!out.empty()) out += " | ";
+    out += s.name + " " + std::to_string(s.done);
+    if (s.total > 0) {
+      out += "/" + std::to_string(s.total);
+      char pct[16];
+      std::snprintf(pct, sizeof pct, " %.0f%%",
+                    100.0 * static_cast<double>(s.done) /
+                        static_cast<double>(s.total));
+      out += pct;
+    }
+    Derived d = derive(s);
+    if (d.eta_s >= 0) {
+      char eta[32];
+      std::snprintf(eta, sizeof eta, " eta %.0fs", d.eta_s);
+      out += eta;
+    }
+  }
+  return out;
+}
+
+namespace {
+std::atomic<bool> g_console_enabled{false};
+std::atomic<std::int64_t> g_console_interval_ms{500};
+std::atomic<std::int64_t> g_console_last_print_ms{0};
+}  // namespace
+
+void set_progress_console(bool enabled, int interval_ms) {
+  g_console_enabled.store(enabled, std::memory_order_relaxed);
+  g_console_interval_ms.store(interval_ms > 0 ? interval_ms : 500,
+                              std::memory_order_relaxed);
+  g_console_last_print_ms.store(0, std::memory_order_relaxed);
+}
+
+void progress_console_tick() {
+  if (!g_console_enabled.load(std::memory_order_relaxed)) return;
+  const std::int64_t now_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  std::int64_t last = g_console_last_print_ms.load(std::memory_order_relaxed);
+  const std::int64_t interval =
+      g_console_interval_ms.load(std::memory_order_relaxed);
+  // One printer per interval: the CAS loser skips, so hot loops can
+  // call tick() freely from any thread.
+  if (now_ms - last < interval) return;
+  if (!g_console_last_print_ms.compare_exchange_strong(
+          last, now_ms, std::memory_order_relaxed))
+    return;
+  std::string line = render_progress_line(ProgressBoard::global().snapshot());
+  if (!line.empty()) std::fprintf(stderr, "[progress] %s\n", line.c_str());
+}
+
+}  // namespace fist::obs

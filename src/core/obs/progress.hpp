@@ -1,0 +1,145 @@
+// progress.hpp — live done/total stage counters for long-running work.
+//
+// A ProgressStage is a named pair of monotonic counters (done, total)
+// registered on the process-wide ProgressBoard. Long loops — the
+// windowed ChainView build (per window), the simulator's day loop,
+// H1/H2 tx scans, checkpoint resume — advance a stage as they go, and
+// two consumers read it live:
+//
+//   * the TelemetryServer's /progress endpoint (JSON, includes a
+//     steady-clock derived rate and ETA — wall-dependent, so those
+//     fields live ONLY here, never in the metrics registry, keeping
+//     the deterministic-snapshot contract intact);
+//   * fistctl --progress, a throttled stderr ticker.
+//
+// Mutation is relaxed atomics on a pre-bound handle — cheap enough for
+// per-window/per-day granularity (don't advance per transaction; batch
+// like the H1/H2 chunk loops do). Find-or-create on the board takes a
+// fist::Mutex at rank kObsProgressBoard.
+//
+// Under -DFISTFUL_NO_OBS the layer compiles to stubs, like metrics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#ifndef FISTFUL_NO_OBS
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+#include "core/lock_order.hpp"
+#endif
+
+namespace fist::obs {
+
+/// One stage as seen by a reader.
+struct ProgressStageValue {
+  std::string name;
+  std::uint64_t done = 0;
+  std::uint64_t total = 0;   ///< 0 = unknown (no ETA derivable)
+  bool finished = false;
+  double elapsed_ms = 0;     ///< steady-clock since begin_stage
+};
+
+#ifndef FISTFUL_NO_OBS
+
+namespace detail {
+struct StageImpl {
+  std::string name;
+  std::atomic<std::uint64_t> done{0};
+  std::atomic<std::uint64_t> total{0};
+  std::atomic<bool> finished{false};
+  std::chrono::steady_clock::time_point start;
+};
+}  // namespace detail
+
+/// Cheap copyable handle; default-constructed handles are no-ops.
+class ProgressStage {
+ public:
+  ProgressStage() = default;
+  void advance(std::uint64_t n = 1) const noexcept {
+    if (impl_ != nullptr)
+      impl_->done.fetch_add(n, std::memory_order_relaxed);
+  }
+  void set_total(std::uint64_t total) const noexcept {
+    if (impl_ != nullptr)
+      impl_->total.store(total, std::memory_order_relaxed);
+  }
+  void finish() const noexcept {
+    if (impl_ != nullptr)
+      impl_->finished.store(true, std::memory_order_relaxed);
+  }
+
+ private:
+  friend class ProgressBoard;
+  explicit ProgressStage(detail::StageImpl* impl) : impl_(impl) {}
+  detail::StageImpl* impl_ = nullptr;
+};
+
+/// Name → stage registry; stages appear in begin order in snapshots.
+class ProgressBoard {
+ public:
+  ProgressBoard() = default;
+  ProgressBoard(const ProgressBoard&) = delete;
+  ProgressBoard& operator=(const ProgressBoard&) = delete;
+
+  static ProgressBoard& global();
+
+  /// Find-or-create `name` and (re)start it: done = 0, total as given,
+  /// finished = false, clock restarted — so a resumed pipeline rerun
+  /// reports the rerun, not the sum of both runs. Handles from earlier
+  /// begin_stage calls stay valid and feed the restarted stage.
+  ProgressStage begin_stage(std::string_view name, std::uint64_t total = 0);
+
+  /// All stages in begin order, values read at call time.
+  std::vector<ProgressStageValue> snapshot() const;
+
+  /// Drops every stage (tests; handles become dangling — rebind).
+  void reset();
+
+ private:
+  mutable Mutex board_mutex_{lockorder::Rank::kObsProgressBoard};
+  std::vector<std::unique_ptr<detail::StageImpl>> stages_
+      FIST_GUARDED_BY(board_mutex_);
+};
+
+#else  // FISTFUL_NO_OBS
+
+class ProgressStage {
+ public:
+  void advance(std::uint64_t = 1) const noexcept {}
+  void set_total(std::uint64_t) const noexcept {}
+  void finish() const noexcept {}
+};
+
+class ProgressBoard {
+ public:
+  static ProgressBoard& global();
+  ProgressStage begin_stage(std::string_view, std::uint64_t = 0) {
+    return {};
+  }
+  std::vector<ProgressStageValue> snapshot() const { return {}; }
+  void reset() {}
+};
+
+#endif  // FISTFUL_NO_OBS
+
+/// The /progress JSON document: {"stages":[{"name","done","total",
+/// "finished","elapsed_ms","rate_per_s","eta_s"}...]}. rate/eta derive
+/// from the steady clock at render time — they are explicitly OUTSIDE
+/// the deterministic-output contract (docs/OBSERVABILITY.md carve-out)
+/// and therefore never enter the metrics registry.
+std::string render_progress_json(const std::vector<ProgressStageValue>& stages);
+
+/// One-line ticker ("h1.scan 3/10 30% eta 12s | ...") for stderr.
+std::string render_progress_line(const std::vector<ProgressStageValue>& stages);
+
+/// Throttled stderr ticker: when enabled, tick() reprints the line at
+/// most every `interval_ms` (lock-free CAS on the last-print stamp).
+void set_progress_console(bool enabled, int interval_ms = 500);
+void progress_console_tick();
+
+}  // namespace fist::obs

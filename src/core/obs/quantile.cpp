@@ -1,0 +1,49 @@
+#include "core/obs/quantile.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace fist::obs {
+
+double histogram_quantile(const HistogramValue& h, double q) {
+  if (h.count == 0 || h.buckets.empty())
+    return std::numeric_limits<double>::quiet_NaN();
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+
+  // The observation index the quantile names, 1-based: the smallest
+  // rank r with cumulative(r) >= q * count. Ceil keeps p100 inside the
+  // population and p0 at the first observation.
+  const double target = q * static_cast<double>(h.count);
+
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+    const std::uint64_t before = cumulative;
+    cumulative += h.buckets[i];
+    if (static_cast<double>(cumulative) < target) continue;
+    if (h.buckets[i] == 0) continue;
+
+    // Overflow bucket: no upper bound to interpolate toward. Report
+    // the last finite bound — an admitted under-estimate, but the only
+    // value the histogram can still attest. (bounds empty means a
+    // single overflow bucket; report the sum/count mean instead.)
+    if (i >= h.bounds.size()) {
+      if (h.bounds.empty())
+        return h.count > 0 ? h.sum / static_cast<double>(h.count) : 0.0;
+      return h.bounds.back();
+    }
+
+    const double upper = h.bounds[i];
+    const double lower = i == 0 ? std::min(0.0, upper) : h.bounds[i - 1];
+    const double inside = target - static_cast<double>(before);
+    const double width = upper - lower;
+    const double fraction =
+        inside / static_cast<double>(h.buckets[i]);  // in (0, 1]
+    return lower + width * fraction;
+  }
+  // Unreachable when count equals the bucket total, but degrade
+  // gracefully if a caller hands us an inconsistent snapshot.
+  return h.bounds.empty() ? 0.0 : h.bounds.back();
+}
+
+}  // namespace fist::obs

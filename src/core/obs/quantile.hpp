@@ -1,0 +1,35 @@
+// quantile.hpp — bucket-interpolated quantiles over obs histograms.
+//
+// The histograms in metrics.hpp store fixed-bound bucket counts, not
+// raw observations, so quantiles are estimates: the rank is located in
+// the cumulative bucket walk and the value interpolated linearly
+// within the bucket's [lower, upper] bound span — the same estimator
+// Prometheus's histogram_quantile() applies server-side. We compute it
+// in-process so the p50/p90/p99 lines land in every exporter (table,
+// JSON, Prometheus, BENCH_*.json) without a query layer.
+//
+// The estimate is a pure function of the merged bucket counts, which
+// are themselves deterministic across thread counts, so quantile lines
+// inherit the bit-identical-snapshot guarantee (docs/OBSERVABILITY.md).
+#pragma once
+
+#include "core/obs/metrics.hpp"
+
+namespace fist::obs {
+
+/// Estimated value at quantile `q` in [0, 1].
+///
+///   * count == 0            → NaN (callers render "NaN" or omit);
+///   * rank in a bounded     → linear interpolation between the
+///     bucket                  bucket's lower and upper bound (the
+///                              first bucket's lower bound is 0 when
+///                              bounds[0] > 0, else bounds[0] scaled);
+///   * rank in the overflow  → bounds.back() — the largest value the
+///     bucket                  histogram can still vouch for.
+double histogram_quantile(const HistogramValue& h, double q);
+
+/// The fixed quantiles every exporter surfaces, in render order.
+inline constexpr double kExportQuantiles[] = {0.50, 0.90, 0.99};
+inline constexpr const char* kExportQuantileNames[] = {"p50", "p90", "p99"};
+
+}  // namespace fist::obs

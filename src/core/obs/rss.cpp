@@ -1,7 +1,6 @@
 #include "core/obs/rss.hpp"
 
 #include <cstdio>
-#include <cstring>
 
 #include "core/obs/metrics.hpp"
 
@@ -11,24 +10,47 @@
 
 namespace fist::obs {
 
+std::uint64_t parse_vm_hwm_bytes(std::string_view status_text) noexcept {
+  // Find a "VmHWM:" at the start of a line.
+  std::size_t pos = 0;
+  while (true) {
+    if (status_text.compare(pos, 6, "VmHWM:") == 0) break;
+    pos = status_text.find('\n', pos);
+    if (pos == std::string_view::npos) return 0;
+    ++pos;
+  }
+  pos += 6;
+  while (pos < status_text.size() &&
+         (status_text[pos] == ' ' || status_text[pos] == '\t'))
+    ++pos;
+  // Digits only — a stray sign or letter makes the row malformed, and
+  // malformed means "unknown", not a creatively wrapped number.
+  if (pos >= status_text.size() || status_text[pos] < '0' ||
+      status_text[pos] > '9')
+    return 0;
+  std::uint64_t kib = 0;
+  while (pos < status_text.size() && status_text[pos] >= '0' &&
+         status_text[pos] <= '9') {
+    std::uint64_t digit = static_cast<std::uint64_t>(status_text[pos] - '0');
+    if (kib > (~std::uint64_t{0} - digit) / 10) return 0;  // overflow
+    kib = kib * 10 + digit;
+    ++pos;
+  }
+  if (kib > ~std::uint64_t{0} / 1024) return 0;  // bytes would overflow
+  return kib * 1024;
+}
+
 namespace {
 
-/// Parses "VmHWM:   123456 kB" out of /proc/self/status. Returns 0
-/// when the file or the row is missing (non-Linux hosts).
 std::uint64_t vm_hwm_bytes() noexcept {
   std::FILE* f = std::fopen("/proc/self/status", "r");
   if (f == nullptr) return 0;
-  char line[256];
-  std::uint64_t kib = 0;
-  while (std::fgets(line, sizeof line, f) != nullptr) {
-    if (std::strncmp(line, "VmHWM:", 6) == 0) {
-      unsigned long long value = 0;
-      if (std::sscanf(line + 6, "%llu", &value) == 1) kib = value;
-      break;
-    }
-  }
+  // /proc/self/status is small (a couple of KiB); a truncated read
+  // just means the row parse below fails to 0.
+  char buf[8192];
+  std::size_t n = std::fread(buf, 1, sizeof buf, f);
   std::fclose(f);
-  return kib * 1024;
+  return parse_vm_hwm_bytes(std::string_view(buf, n));
 }
 
 }  // namespace
@@ -50,6 +72,9 @@ std::uint64_t peak_rss_bytes() noexcept {
 
 std::uint64_t sample_peak_rss() noexcept {
   std::uint64_t bytes = peak_rss_bytes();
+  // 0 = no source on this host: leave the gauge unregistered rather
+  // than report a zero-byte process.
+  if (bytes == 0) return 0;
   static Gauge gauge = MetricsRegistry::global().gauge("mem.peak_rss");
   gauge.set(static_cast<std::int64_t>(bytes));
   return bytes;

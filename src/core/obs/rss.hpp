@@ -8,9 +8,15 @@
 // outside `exec.` (see docs/OBSERVABILITY.md): it is sampled only at
 // bench-report time, never by the pipeline itself, so the pipeline's
 // cross-thread-count metric determinism is untouched.
+//
+// Hosts without a readable source (non-Linux /proc, a sandbox hiding
+// getrusage) degrade to 0, and sample_peak_rss() then leaves the gauge
+// unregistered — a report with no `mem.peak_rss` key means "unknown",
+// never "zero bytes".
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
 namespace fist::obs {
 
@@ -19,8 +25,17 @@ namespace fist::obs {
 /// ru_maxrss. Returns 0 when neither source is readable.
 std::uint64_t peak_rss_bytes() noexcept;
 
-/// Samples peak_rss_bytes() into the `mem.peak_rss` gauge and returns
-/// the sampled value. Call at report time, not in hot paths.
+/// Samples peak_rss_bytes() into the `mem.peak_rss` gauge — skipped
+/// entirely when the sample is 0 (unavailable), so consumers can tell
+/// "no data" from "no memory" — and returns the sampled value. Call at
+/// report time, not in hot paths.
 std::uint64_t sample_peak_rss() noexcept;
+
+/// Parses the "VmHWM: <n> kB" row out of a /proc/self/status-shaped
+/// document, returning bytes; 0 when the row is absent or malformed
+/// (non-numeric value, number overflow, truncated line). Exposed so
+/// tests can cover the malformed-status-file paths without a fake
+/// procfs.
+std::uint64_t parse_vm_hwm_bytes(std::string_view status_text) noexcept;
 
 }  // namespace fist::obs

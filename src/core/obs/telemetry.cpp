@@ -1,0 +1,179 @@
+#include "core/obs/telemetry.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/obs/export.hpp"
+#include "core/obs/flightrec.hpp"
+#include "core/obs/progress.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define FISTFUL_HAVE_SOCKETS 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#else
+#define FISTFUL_HAVE_SOCKETS 0
+#endif
+
+namespace fist::obs {
+
+TelemetryServer::TelemetryServer()
+    : scrapes_(MetricsRegistry::global().counter("telemetry.scrapes")) {}
+
+TelemetryServer::~TelemetryServer() { stop(); }
+
+#if FISTFUL_HAVE_SOCKETS
+
+namespace {
+
+/// Everything or -1; SIGPIPE is avoided via MSG_NOSIGNAL.
+int send_all(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n <= 0) return -1;
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return 0;
+}
+
+void send_response(int fd, const char* status, const char* content_type,
+                   const std::string& body) {
+  std::string head = "HTTP/1.0 ";
+  head += status;
+  head += "\r\nContent-Type: ";
+  head += content_type;
+  head += "\r\nContent-Length: " + std::to_string(body.size());
+  head += "\r\nConnection: close\r\n\r\n";
+  if (send_all(fd, head.data(), head.size()) == 0)
+    send_all(fd, body.data(), body.size());
+}
+
+/// The request path from "GET <path> HTTP/1.x"; empty on anything else.
+std::string request_path(const char* request) {
+  if (std::strncmp(request, "GET ", 4) != 0) return {};
+  const char* begin = request + 4;
+  const char* end = std::strchr(begin, ' ');
+  if (end == nullptr) return {};
+  return std::string(begin, end);
+}
+
+}  // namespace
+
+bool TelemetryServer::start(std::uint16_t port) {
+  LockGuard lock(state_mutex_);
+  if (running_.load(std::memory_order_acquire)) {
+    std::fprintf(stderr, "[telemetry] server already running on port %u\n",
+                 static_cast<unsigned>(port_.load(std::memory_order_acquire)));
+    return false;
+  }
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("[telemetry] socket");
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // introspection only
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    std::perror("[telemetry] bind");
+    ::close(fd);
+    return false;
+  }
+  if (::listen(fd, 8) != 0) {
+    std::perror("[telemetry] listen");
+    ::close(fd);
+    return false;
+  }
+
+  socklen_t addr_len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) != 0) {
+    std::perror("[telemetry] getsockname");
+    ::close(fd);
+    return false;
+  }
+  const std::uint16_t bound = ntohs(addr.sin_port);
+
+  stop_flag_.store(false, std::memory_order_release);
+  listen_fd_ = fd;
+  port_.store(bound, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  // fistlint:allow(detached-thread) long-lived acceptor thread, joined
+  // in stop(); Executor tasks are scoped to a pipeline run.
+  thread_ = std::thread([this, fd] { serve_loop(fd); });
+  flight_event("flight.server_start", "telemetry", bound);
+  return true;
+}
+
+void TelemetryServer::stop() noexcept {
+  LockGuard lock(state_mutex_);
+  if (!running_.load(std::memory_order_acquire)) return;
+  const std::uint16_t bound = port_.load(std::memory_order_acquire);
+  stop_flag_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  port_.store(0, std::memory_order_release);
+  running_.store(false, std::memory_order_release);
+  flight_event("flight.server_stop", "telemetry", bound);
+}
+
+void TelemetryServer::serve_loop(int listen_fd) {
+  while (!stop_flag_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, /*timeout_ms=*/50);
+    if (ready <= 0) continue;  // timeout tick or EINTR: re-check stop
+    int client = ::accept(listen_fd, nullptr, nullptr);
+    if (client < 0) continue;
+
+    // One short read is enough for the GET lines we serve; a client
+    // that dribbles its request line gets a 404, not a blocked server.
+    char request[1024] = {};
+    ssize_t n = ::recv(client, request, sizeof request - 1, 0);
+    const std::string path = n > 0 ? request_path(request) : std::string();
+
+    scrapes_.inc();
+    if (path == "/metrics") {
+      send_response(client, "200 OK",
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    render_prometheus(MetricsRegistry::global().snapshot()));
+    } else if (path == "/progress") {
+      send_response(client, "200 OK", "application/json",
+                    render_progress_json(ProgressBoard::global().snapshot()));
+    } else if (path == "/events") {
+      send_response(client, "200 OK", "application/x-ndjson",
+                    render_events_jsonl(FlightRecorder::global().events()));
+    } else if (path == "/healthz") {
+      send_response(client, "200 OK", "text/plain", "ok\n");
+    } else {
+      send_response(client, "404 Not Found", "text/plain", "not found\n");
+    }
+    ::close(client);
+  }
+}
+
+#else  // !FISTFUL_HAVE_SOCKETS: the scrape plane needs POSIX sockets.
+
+bool TelemetryServer::start(std::uint16_t) {
+  std::fprintf(stderr, "[telemetry] not supported on this platform\n");
+  return false;
+}
+
+void TelemetryServer::stop() noexcept {}
+
+void TelemetryServer::serve_loop(int) {}
+
+#endif  // FISTFUL_HAVE_SOCKETS
+
+}  // namespace fist::obs

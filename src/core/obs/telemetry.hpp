@@ -1,0 +1,76 @@
+// telemetry.hpp — a localhost scrape endpoint for live runs.
+//
+// A deliberately tiny HTTP/1.0 server on a background thread, bound to
+// 127.0.0.1 only (this is an introspection port, not a service — the
+// fistd query daemon of ROADMAP item 3 is where real serving lives).
+// fistctl --serve-metrics PORT starts one for the duration of the
+// pipeline; port 0 asks the kernel for an ephemeral port, printed on
+// stderr so scripts can scrape a parallel run without port juggling.
+//
+// Routes, all GET, all Connection: close:
+//   /metrics  — render_prometheus over a fresh MetricsRegistry
+//               snapshot (text/plain; version=0.0.4);
+//   /progress — render_progress_json over the ProgressBoard;
+//   /events   — the flight recorder as JSON Lines;
+//   /healthz  — "ok\n" while the serve loop is alive.
+//
+// The accept loop polls with a 50 ms timeout and re-checks a stop
+// flag, so stop() completes within one tick without pipe tricks.
+// start/stop state sits under a fist::Mutex at rank kTelemetryServer;
+// stop() is idempotent and safe from any thread — the pipeline's
+// finish path and the quarantine exit path both call it.
+//
+// Scrapes mutate `telemetry.scrapes` (a documented determinism
+// carve-out: how often a human polled is not a function of the input).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "core/lock_order.hpp"
+#include "core/obs/metrics.hpp"
+
+namespace fist::obs {
+
+class TelemetryServer {
+ public:
+  TelemetryServer();
+  ~TelemetryServer();  ///< stops if running
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts the serve
+  /// thread. Returns false (with a stderr note) when the bind fails
+  /// or a server is already running.
+  bool start(std::uint16_t port);
+
+  /// Joins the serve thread and closes the socket. Idempotent;
+  /// callable from any thread, any number of times.
+  void stop() noexcept;
+
+  bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+
+  /// The bound port (the kernel's pick when started with 0);
+  /// 0 when not running.
+  std::uint16_t port() const noexcept {
+    return port_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void serve_loop(int listen_fd);
+
+  mutable Mutex state_mutex_{lockorder::Rank::kTelemetryServer};
+  // fistlint:allow(detached-thread) the acceptor must outlive any one
+  // pipeline run, so it cannot ride an Executor; stop() always joins.
+  std::thread thread_ FIST_GUARDED_BY(state_mutex_);
+  int listen_fd_ FIST_GUARDED_BY(state_mutex_) = -1;
+  std::atomic<bool> stop_flag_{false};
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint16_t> port_{0};
+  Counter scrapes_;  ///< telemetry.scrapes, bound at construction
+};
+
+}  // namespace fist::obs

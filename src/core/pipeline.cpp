@@ -5,7 +5,9 @@
 #include <map>
 
 #include "core/checkpoint.hpp"
+#include "core/obs/flightrec.hpp"
 #include "core/obs/metrics.hpp"
+#include "core/obs/progress.hpp"
 
 namespace fist {
 
@@ -80,6 +82,13 @@ void ForensicPipeline::run() {
       }
     }
   }
+  // Resume progress: how many prior-run artifacts are still loadable,
+  // ticked down as stages actually accept them (a digest-valid blob a
+  // stage fails to decode recomputes instead — the stage never ticks).
+  obs::ProgressStage resume_progress;
+  if (!resumable.empty())
+    resume_progress = obs::ProgressBoard::global().begin_stage(
+        "checkpoint.resume", resumable.size());
 
   // Keeps a (re)validated artifact listed in the manifest we rewrite.
   auto record_artifact = [&](const std::string& stage_name,
@@ -102,6 +111,13 @@ void ForensicPipeline::run() {
     record_artifact(stage_name, bytes);
     manifest.save(manifest_path);
     stages_saved.inc();
+    obs::flight_event("flight.checkpoint_save", stage_name, bytes.size());
+  };
+
+  // A stage accepted a prior-run artifact instead of recomputing.
+  auto note_resumed = [&](const std::string& stage_name, const Bytes& bytes) {
+    obs::flight_event("flight.checkpoint_load", stage_name, bytes.size());
+    resume_progress.advance();
   };
 
   // Each stage is one root span; the flat timings_ vector is derived
@@ -132,6 +148,7 @@ void ForensicPipeline::run() {
         ingest_report_ = manifest.ingest;
         record_artifact("view", it->second);
         stages_loaded.inc();
+        note_resumed("view", it->second);
         return;
       } catch (const ParseError&) {
         // stale artifact: fall through to a full build
@@ -173,6 +190,7 @@ void ForensicPipeline::run() {
         if (uf.size() == view_->address_count()) {
           record_artifact("h1", it->second);
           stages_loaded.inc();
+          note_resumed("h1", it->second);
           return;
         }
       } catch (const ParseError&) {
@@ -216,6 +234,7 @@ void ForensicPipeline::run() {
           h2_ = std::move(loaded);
           record_artifact("h2", it->second);
           stages_loaded.inc();
+          note_resumed("h2", it->second);
           return;
         }
       } catch (const ParseError&) {
@@ -250,6 +269,7 @@ void ForensicPipeline::run() {
       .set(static_cast<std::int64_t>(dice_.size()));
   registry.gauge("pipeline.tagged_addresses")
       .set(static_cast<std::int64_t>(tags_.size()));
+  resume_progress.finish();
 }
 
 }  // namespace fist

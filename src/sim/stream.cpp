@@ -55,6 +55,8 @@ std::uint32_t mine_nonce(const BlockHeader& header, Executor& exec) {
 
 BlockStreamer::BlockStreamer(const WorldConfig& config, Executor* exec)
     : world_(config), days_(config.days) {
+  days_progress_ = obs::ProgressBoard::global().begin_stage(
+      "sim.days", static_cast<std::uint64_t>(days_ > 0 ? days_ : 0));
   world_.set_block_sink([this](const Block& block) {
     buffer_.push_back(block);
     max_buffered_ = std::max(max_buffered_, buffer_.size());
@@ -70,8 +72,11 @@ std::optional<Block> BlockStreamer::next() {
   while (buffer_.empty() && days_run_ < days_) {
     world_.run_day();
     ++days_run_;
+    days_progress_.advance();
+    obs::progress_console_tick();
   }
   if (buffer_.empty()) {
+    days_progress_.finish();
     world_.finish();
     return std::nullopt;
   }

@@ -22,6 +22,7 @@
 #include <optional>
 
 #include "core/executor.hpp"
+#include "core/obs/progress.hpp"
 #include "sim/world.hpp"
 
 namespace fist::sim {
@@ -65,6 +66,7 @@ class BlockStreamer {
   int days_run_ = 0;
   std::deque<Block> buffer_;
   std::size_t max_buffered_ = 0;
+  obs::ProgressStage days_progress_;  ///< "sim.days", one tick per day
 };
 
 }  // namespace fist::sim

@@ -17,3 +17,9 @@ void wire(Reg& registry, const std::string& site) {
   registry.counter("fault.injected." + site);
   registry.counter("app.undocumented");
 }
+
+// Flight-recorder events are collected like metric names, but the call
+// is a free function rather than a registry member.
+void flight_event(const std::string& type);
+
+void emit() { flight_event("app.event"); }

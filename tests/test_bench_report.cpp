@@ -61,6 +61,23 @@ TEST_F(BenchReport, PipelinelessReportStillCarriesPeakRss) {
   EXPECT_EQ(json.substr(json.size() - 2), "}\n");  // complete document
 }
 
+TEST_F(BenchReport, CarriesRunMetadataBlock) {
+  // The `run` block records the configuration behind the numbers. It
+  // is non-numeric on purpose: scripts/check_bench_trend.py must skip
+  // it rather than gate on it.
+  ::setenv("FISTFUL_BENCH_SCALE", "small", 1);
+  ::setenv("FISTFUL_BENCH_WINDOW", "64", 1);
+  write_bench_report("runmeta");
+  ::unsetenv("FISTFUL_BENCH_SCALE");
+  ::unsetenv("FISTFUL_BENCH_WINDOW");
+  std::string json = slurp(dir_ / "BENCH_runmeta.json");
+  EXPECT_NE(json.find("\"run\": {\"threads\": "), std::string::npos);
+  EXPECT_NE(json.find("\"scale\": \"small\""), std::string::npos);
+  EXPECT_NE(json.find("\"window_blocks\": 64"), std::string::npos);
+  // CMake stamps the configured build type into the test binary too.
+  EXPECT_NE(json.find("\"build_type\": \""), std::string::npos);
+}
+
 TEST_F(BenchReport, TruncatedPreexistingReportIsReplacedWhole) {
   // A previously torn write (or a killed bench) left a partial JSON at
   // the final path; the next write must replace it with a complete

@@ -154,7 +154,8 @@ TEST(FistlintDocsDrift, DynamicPrefixRequiresWildcardEntry) {
   // entry; a literal entry with the same spelling would not cover it.
   std::string doc =
       "<!-- fistlint:names:begin -->\n"
-      "`app.requests` `app.latency` `app.phase` `app.undocumented`\n"
+      "`app.requests` `app.latency` `app.phase` `app.undocumented` "
+      "`app.event`\n"
       "`fault.injected.executor` (a literal, not a wildcard)\n"
       "<!-- fistlint:names:end -->\n";
   std::vector<Finding> findings = docs_drift(fixture_names(), doc, "doc.md");

@@ -1,0 +1,158 @@
+// test_flightrec.cpp — the flight recorder ring: publish/read, lapping,
+// concurrent writers, JSONL export.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/obs/flightrec.hpp"
+#include "core/obs/metrics.hpp"
+
+namespace fist {
+namespace {
+
+#ifndef FISTFUL_NO_OBS
+
+TEST(FlightRecorder, RecordAndRead) {
+  obs::FlightRecorder rec;
+  rec.record("flight.test", "hello", 7, 9);
+  rec.record("flight.test", "world", 1, 2);
+
+  std::vector<obs::FlightEvent> events = rec.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].type, "flight.test");
+  EXPECT_EQ(events[0].detail, "hello");
+  EXPECT_EQ(events[0].a, 7u);
+  EXPECT_EQ(events[0].b, 9u);
+  EXPECT_EQ(events[0].seq, 0u);
+  EXPECT_EQ(events[1].detail, "world");
+  EXPECT_EQ(events[1].seq, 1u);
+  EXPECT_LE(events[0].t_us, events[1].t_us);
+  EXPECT_EQ(rec.recorded(), 2u);
+}
+
+TEST(FlightRecorder, TruncatesLongStrings) {
+  obs::FlightRecorder rec;
+  std::string long_type(100, 't');
+  std::string long_detail(200, 'd');
+  rec.record(long_type, long_detail, 0, 0);
+  std::vector<obs::FlightEvent> events = rec.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_LT(events[0].type.size(), obs::FlightRecorder::kTypeChars);
+  EXPECT_LT(events[0].detail.size(), obs::FlightRecorder::kDetailChars);
+  EXPECT_EQ(events[0].type, std::string(events[0].type.size(), 't'));
+}
+
+TEST(FlightRecorder, RingKeepsNewestWhenLapped) {
+  obs::FlightRecorder rec;
+  const std::size_t n = obs::FlightRecorder::kCapacity + 100;
+  for (std::size_t i = 0; i < n; ++i)
+    rec.record("flight.lap", "", i, 0);
+
+  std::vector<obs::FlightEvent> events = rec.events();
+  ASSERT_EQ(events.size(), obs::FlightRecorder::kCapacity);
+  // Oldest surviving event is exactly `n - capacity`, newest is n - 1.
+  EXPECT_EQ(events.front().a, n - obs::FlightRecorder::kCapacity);
+  EXPECT_EQ(events.back().a, n - 1);
+  EXPECT_EQ(rec.recorded(), n);
+}
+
+TEST(FlightRecorder, ResetForgetsEverything) {
+  obs::FlightRecorder rec;
+  rec.record("flight.x", "", 0, 0);
+  rec.reset();
+  EXPECT_EQ(rec.recorded(), 0u);
+  EXPECT_TRUE(rec.events().empty());
+}
+
+TEST(FlightRecorder, ConcurrentWritersNeverTearReaders) {
+  obs::FlightRecorder rec;
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 5000;  // laps the ring many times over
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w)
+    writers.emplace_back([&rec, w] {
+      for (int i = 0; i < kPerWriter; ++i)
+        rec.record("flight.storm", "concurrent writer test",
+                   static_cast<std::uint64_t>(w),
+                   static_cast<std::uint64_t>(i));
+    });
+  // A reader snapshots mid-storm; every surviving event must be whole.
+  for (int r = 0; r < 50; ++r) {
+    std::vector<obs::FlightEvent> mid = rec.events();
+    for (const obs::FlightEvent& e : mid) {
+      EXPECT_EQ(e.type, "flight.storm");
+      EXPECT_LT(e.a, static_cast<std::uint64_t>(kWriters));
+      EXPECT_LT(e.b, static_cast<std::uint64_t>(kPerWriter));
+    }
+  }
+  for (std::thread& t : writers) t.join();
+
+  EXPECT_EQ(rec.recorded(),
+            static_cast<std::uint64_t>(kWriters) * kPerWriter);
+  std::vector<obs::FlightEvent> events = rec.events();
+  EXPECT_EQ(events.size(), obs::FlightRecorder::kCapacity);
+  for (const obs::FlightEvent& e : events)
+    EXPECT_EQ(e.detail, "concurrent writer test");
+}
+
+TEST(FlightRecorder, GlobalFlightEventBumpsCounter) {
+  auto counter_value = [] {
+    for (const auto& c : obs::MetricsRegistry::global().snapshot().counters)
+      if (c.name == "flight.events") return c.value;
+    return std::uint64_t{0};
+  };
+  const std::uint64_t before = counter_value();
+  const std::uint64_t recorded_before = obs::FlightRecorder::global().recorded();
+  obs::flight_event("flight.test_global", "from test", 3, 4);
+  EXPECT_EQ(counter_value(), before + 1);
+  EXPECT_EQ(obs::FlightRecorder::global().recorded(), recorded_before + 1);
+}
+
+#endif  // FISTFUL_NO_OBS
+
+TEST(FlightRecorder, RenderJsonl) {
+  obs::FlightEvent e;
+  e.seq = 5;
+  e.t_us = 123;
+  e.type = "flight.test";
+  e.detail = "with \"quotes\"";
+  e.a = 1;
+  e.b = 2;
+  EXPECT_EQ(obs::render_events_jsonl({e}),
+            "{\"seq\":5,\"t_us\":123,\"type\":\"flight.test\","
+            "\"detail\":\"with \\\"quotes\\\"\",\"a\":1,\"b\":2}\n");
+  EXPECT_EQ(obs::render_events_jsonl({}), "");
+}
+
+TEST(FlightRecorder, DumpWritesJsonlFile) {
+  std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "fist_flightrec_dump.jsonl";
+  obs::flight_event("flight.test_dump", "dump marker", 42, 0);
+  ASSERT_TRUE(obs::dump_flight_events(path.string()));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string text = buf.str();
+#ifndef FISTFUL_NO_OBS
+  EXPECT_NE(text.find("\"type\":\"flight.test_dump\""), std::string::npos);
+  EXPECT_NE(text.find("\"a\":42"), std::string::npos);
+  // Every line is one JSON object.
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+#endif
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace fist

@@ -3,6 +3,8 @@
 // fixed number formatting), so whole documents are compared verbatim.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <string>
 
 #include "core/obs/export.hpp"
@@ -49,7 +51,7 @@ TEST(ObsExport, MetricsJsonObjectGolden) {
       obs::render_metrics_json_object(golden_registry().snapshot()),
       R"({"counters":{"alpha":3,"beta.x":42},"gauges":{"depth":-7},)"
       R"("histograms":{"lat":{"bounds":[1,2.5],"buckets":[1,1,1],)"
-      R"("count":3,"sum":101.5}}})");
+      R"("count":3,"sum":101.5,"p50":1.75,"p90":2.5,"p99":2.5}}})");
 }
 
 TEST(ObsExport, JsonDocumentWrapsMetricsAndSpans) {
@@ -81,7 +83,44 @@ TEST(ObsExport, PrometheusGolden) {
             "fist_lat_bucket{le=\"2.5\"} 2\n"
             "fist_lat_bucket{le=\"+Inf\"} 3\n"
             "fist_lat_sum 101.5\n"
-            "fist_lat_count 3\n");
+            "fist_lat_count 3\n"
+            "# TYPE fist_lat_p50 gauge\n"
+            "fist_lat_p50 1.75\n"
+            "# TYPE fist_lat_p90 gauge\n"
+            "fist_lat_p90 2.5\n"
+            "# TYPE fist_lat_p99 gauge\n"
+            "fist_lat_p99 2.5\n");
+}
+
+TEST(ObsExport, PromNumberSpellsNonFinite) {
+  EXPECT_EQ(obs::prom_number(std::nan("")), "NaN");
+  EXPECT_EQ(obs::prom_number(std::numeric_limits<double>::infinity()),
+            "+Inf");
+  EXPECT_EQ(obs::prom_number(-std::numeric_limits<double>::infinity()),
+            "-Inf");
+  EXPECT_EQ(obs::prom_number(2.5), "2.5");
+  EXPECT_EQ(obs::prom_number(0), "0");
+}
+
+TEST(ObsExport, PromEscapeLabel) {
+  EXPECT_EQ(obs::prom_escape_label("plain"), "plain");
+  EXPECT_EQ(obs::prom_escape_label("a\"b"), "a\\\"b");
+  EXPECT_EQ(obs::prom_escape_label("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(obs::prom_escape_label("line\nbreak"), "line\\nbreak");
+}
+
+// An observation-free histogram has no defined quantiles: Prometheus
+// renders the spec's "NaN", JSON simply omits the keys (JSON has no
+// NaN literal).
+TEST(ObsExport, EmptyHistogramQuantiles) {
+  obs::MetricsRegistry registry;
+  registry.histogram("idle", {1, 2});
+  std::string prom = obs::render_prometheus(registry.snapshot());
+  EXPECT_NE(prom.find("fist_idle_p50 NaN\n"), std::string::npos);
+  EXPECT_NE(prom.find("fist_idle_p99 NaN\n"), std::string::npos);
+  std::string json = obs::render_metrics_json_object(registry.snapshot());
+  EXPECT_EQ(json.find("p50"), std::string::npos);
+  EXPECT_NE(json.find("\"idle\""), std::string::npos);
 }
 
 TEST(ObsExport, TableRendersEverySection) {
@@ -90,6 +129,9 @@ TEST(ObsExport, TableRendersEverySection) {
   EXPECT_NE(table.find("depth"), std::string::npos);
   EXPECT_NE(table.find("lat"), std::string::npos);
   EXPECT_NE(table.find("+inf:1"), std::string::npos);
+  // Histogram rows carry the quantile columns.
+  EXPECT_NE(table.find("p50"), std::string::npos);
+  EXPECT_NE(table.find("1.75"), std::string::npos);
 }
 
 #else  // FISTFUL_NO_OBS: exporters must still produce valid documents.

@@ -1,0 +1,68 @@
+// test_obs_rss.cpp — VmHWM parsing against malformed status documents.
+// The live /proc/self/status read is covered indirectly by the bench
+// report tests; here the parser faces the hostile inputs a weird
+// kernel, container, or truncated read could produce.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/obs/rss.hpp"
+
+namespace fist {
+namespace {
+
+TEST(ObsRss, ParsesWellFormedStatus) {
+  EXPECT_EQ(obs::parse_vm_hwm_bytes("Name:\tfistctl\n"
+                                    "VmPeak:\t  999999 kB\n"
+                                    "VmHWM:\t   12345 kB\n"
+                                    "VmRSS:\t    1111 kB\n"),
+            12345ull * 1024);
+}
+
+TEST(ObsRss, RowAtDocumentStart) {
+  EXPECT_EQ(obs::parse_vm_hwm_bytes("VmHWM:\t8 kB\n"), 8ull * 1024);
+}
+
+TEST(ObsRss, MissingRowIsZero) {
+  EXPECT_EQ(obs::parse_vm_hwm_bytes(""), 0u);
+  EXPECT_EQ(obs::parse_vm_hwm_bytes("Name:\tfistctl\nVmRSS:\t5 kB\n"), 0u);
+}
+
+TEST(ObsRss, RowMustStartALine) {
+  // "XVmHWM:" mid-line must not match; neither may the token embedded
+  // in another field's value.
+  EXPECT_EQ(obs::parse_vm_hwm_bytes("XVmHWM:\t5 kB\n"), 0u);
+  EXPECT_EQ(obs::parse_vm_hwm_bytes("Note: VmHWM: 5 kB\n"), 0u);
+  EXPECT_EQ(obs::parse_vm_hwm_bytes("Junk\nVmHWM:\t5 kB\n"), 5ull * 1024);
+}
+
+TEST(ObsRss, NonNumericValueIsZero) {
+  EXPECT_EQ(obs::parse_vm_hwm_bytes("VmHWM:\tlots kB\n"), 0u);
+  EXPECT_EQ(obs::parse_vm_hwm_bytes("VmHWM:\t-5 kB\n"), 0u);
+  EXPECT_EQ(obs::parse_vm_hwm_bytes("VmHWM:\t\n"), 0u);
+  EXPECT_EQ(obs::parse_vm_hwm_bytes("VmHWM:"), 0u);
+}
+
+TEST(ObsRss, TruncatedLineStillParses) {
+  // A read cut off right after the digits (no " kB", no newline) is
+  // still a number.
+  EXPECT_EQ(obs::parse_vm_hwm_bytes("VmHWM:\t77"), 77ull * 1024);
+}
+
+TEST(ObsRss, OverflowIsZero) {
+  // 2^64 kB overflows the byte conversion; a nonsense huge value must
+  // read as unknown, not wrap around to a small number.
+  EXPECT_EQ(obs::parse_vm_hwm_bytes("VmHWM:\t18446744073709551616 kB\n"), 0u);
+  EXPECT_EQ(obs::parse_vm_hwm_bytes("VmHWM:\t99999999999999999999999 kB\n"),
+            0u);
+}
+
+TEST(ObsRss, PeakRssNeverThrows) {
+  // Whatever the host, the sampler returns a value (possibly 0) rather
+  // than raising.
+  (void)obs::peak_rss_bytes();
+  (void)obs::sample_peak_rss();
+}
+
+}  // namespace
+}  // namespace fist

@@ -1,0 +1,136 @@
+// test_progress.cpp — ProgressBoard stages and the /progress renderers.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/obs/progress.hpp"
+
+namespace fist {
+namespace {
+
+#ifndef FISTFUL_NO_OBS
+
+TEST(Progress, StageLifecycle) {
+  obs::ProgressBoard board;
+  obs::ProgressStage stage = board.begin_stage("unit.stage", 10);
+  stage.advance();
+  stage.advance(4);
+
+  std::vector<obs::ProgressStageValue> snap = board.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].name, "unit.stage");
+  EXPECT_EQ(snap[0].done, 5u);
+  EXPECT_EQ(snap[0].total, 10u);
+  EXPECT_FALSE(snap[0].finished);
+
+  stage.set_total(20);
+  stage.finish();
+  snap = board.snapshot();
+  EXPECT_EQ(snap[0].total, 20u);
+  EXPECT_TRUE(snap[0].finished);
+}
+
+TEST(Progress, DefaultHandleIsNoOp) {
+  obs::ProgressStage stage;
+  stage.advance();
+  stage.set_total(5);
+  stage.finish();  // must not crash
+}
+
+TEST(Progress, BeginStageRestartsExistingStage) {
+  // A rerun (checkpoint resume, second pipeline in one process) reports
+  // the rerun, not the sum of both runs.
+  obs::ProgressBoard board;
+  obs::ProgressStage first = board.begin_stage("unit.rerun", 4);
+  first.advance(4);
+  first.finish();
+
+  obs::ProgressStage second = board.begin_stage("unit.rerun", 8);
+  second.advance();
+  std::vector<obs::ProgressStageValue> snap = board.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].done, 1u);
+  EXPECT_EQ(snap[0].total, 8u);
+  EXPECT_FALSE(snap[0].finished);
+
+  // The stale handle still feeds the restarted stage.
+  first.advance();
+  EXPECT_EQ(board.snapshot()[0].done, 2u);
+}
+
+TEST(Progress, SnapshotPreservesBeginOrder) {
+  obs::ProgressBoard board;
+  board.begin_stage("z.last", 1);
+  board.begin_stage("a.first", 1);
+  std::vector<obs::ProgressStageValue> snap = board.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].name, "z.last");
+  EXPECT_EQ(snap[1].name, "a.first");
+}
+
+TEST(Progress, ConcurrentAdvanceIsLossless) {
+  obs::ProgressBoard board;
+  obs::ProgressStage stage = board.begin_stage("unit.mt", 4000);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t)
+    workers.emplace_back([&stage] {
+      for (int i = 0; i < 1000; ++i) stage.advance();
+    });
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(board.snapshot()[0].done, 4000u);
+}
+
+#endif  // FISTFUL_NO_OBS
+
+TEST(Progress, RenderJsonShape) {
+  std::vector<obs::ProgressStageValue> stages;
+  obs::ProgressStageValue s;
+  s.name = "view.windows";
+  s.done = 3;
+  s.total = 10;
+  s.finished = false;
+  s.elapsed_ms = 1500;
+  stages.push_back(s);
+
+  std::string json = obs::render_progress_json(stages);
+  EXPECT_NE(json.find("\"stages\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"view.windows\""), std::string::npos);
+  EXPECT_NE(json.find("\"done\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"total\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"finished\":false"), std::string::npos);
+  // 3 done in 1.5 s -> 2/s -> 7 remaining at 2/s = 3.5 s.
+  EXPECT_NE(json.find("\"rate_per_s\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"eta_s\":3.5"), std::string::npos);
+}
+
+TEST(Progress, RenderJsonOmitsEtaWithoutTotal) {
+  obs::ProgressStageValue s;
+  s.name = "sim.days";
+  s.done = 5;
+  s.total = 0;  // unknown
+  s.elapsed_ms = 1000;
+  std::string json = obs::render_progress_json({s});
+  EXPECT_EQ(json.find("eta_s"), std::string::npos);
+}
+
+TEST(Progress, RenderLineShowsLiveStagesOnly) {
+  obs::ProgressStageValue a;
+  a.name = "h1.txs";
+  a.done = 2;
+  a.total = 4;
+  obs::ProgressStageValue b;
+  b.name = "h2.scan";
+  b.done = 1;
+  b.total = 1;
+  b.finished = true;  // the ticker drops finished stages
+  std::string line = obs::render_progress_line({a, b});
+  EXPECT_NE(line.find("h1.txs"), std::string::npos);
+  EXPECT_EQ(line.find("h2.scan"), std::string::npos);
+  EXPECT_NE(line.find("2/4"), std::string::npos);
+  EXPECT_NE(line.find("50%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fist

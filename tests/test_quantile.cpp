@@ -1,0 +1,90 @@
+// test_quantile.cpp — bucket-interpolated quantile estimation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/obs/metrics.hpp"
+#include "core/obs/quantile.hpp"
+
+namespace fist {
+namespace {
+
+obs::HistogramValue make_hist(std::vector<double> bounds,
+                              std::vector<std::uint64_t> buckets,
+                              double sum = 0) {
+  obs::HistogramValue h;
+  h.name = "h";
+  h.bounds = std::move(bounds);
+  h.buckets = std::move(buckets);
+  for (std::uint64_t c : h.buckets) h.count += c;
+  h.sum = sum;
+  return h;
+}
+
+TEST(Quantile, EmptyHistogramIsNaN) {
+  obs::HistogramValue h = make_hist({1, 2}, {0, 0, 0});
+  EXPECT_TRUE(std::isnan(obs::histogram_quantile(h, 0.5)));
+  obs::HistogramValue no_buckets;
+  EXPECT_TRUE(std::isnan(obs::histogram_quantile(no_buckets, 0.5)));
+}
+
+TEST(Quantile, InterpolatesWithinBucket) {
+  // 10 observations spread evenly in (0, 10]: one bucket {0..10}.
+  obs::HistogramValue h = make_hist({10}, {10, 0});
+  // p50 -> rank 5 of 10 -> half-way through [0, 10].
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(h, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(h, 0.1), 1.0);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(h, 1.0), 10.0);
+}
+
+TEST(Quantile, WalksCumulativeBuckets) {
+  // bounds {1, 2.5}, buckets [1, 1, 1] — the exporter golden histogram.
+  obs::HistogramValue h = make_hist({1, 2.5}, {1, 1, 1}, 101.5);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(h, 0.50), 1.75);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(h, 0.90), 2.5);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(h, 0.99), 2.5);
+}
+
+TEST(Quantile, OverflowBucketReportsLastBound) {
+  // Everything beyond the last bound: the histogram can only attest
+  // "at least bounds.back()".
+  obs::HistogramValue h = make_hist({1, 2}, {0, 0, 5});
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(h, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(h, 0.99), 2.0);
+}
+
+TEST(Quantile, BoundlessHistogramFallsBackToMean) {
+  // A single overflow bucket (bounds empty) has no shape at all;
+  // the mean is the only defensible point estimate.
+  obs::HistogramValue h = make_hist({}, {4}, 20.0);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(h, 0.5), 5.0);
+}
+
+TEST(Quantile, ClampsOutOfRangeQ) {
+  obs::HistogramValue h = make_hist({10}, {10, 0});
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(h, -1), obs::histogram_quantile(h, 0));
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(h, 2), obs::histogram_quantile(h, 1));
+}
+
+TEST(Quantile, SkipsEmptyLeadingBuckets) {
+  obs::HistogramValue h = make_hist({1, 2, 3}, {0, 0, 4, 0});
+  // All mass in (2, 3]; p50 interpolates inside that bucket.
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(h, 0.5), 2.5);
+}
+
+#ifndef FISTFUL_NO_OBS
+TEST(Quantile, MatchesLiveHistogram) {
+  // The estimator consumes snapshots from real histograms unchanged.
+  obs::MetricsRegistry registry;
+  obs::Histogram h = registry.histogram("q.live", {1, 2.5});
+  h.observe(0.5);
+  h.observe(2);
+  h.observe(99);
+  obs::Snapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(snap.histograms[0], 0.5), 1.75);
+}
+#endif  // FISTFUL_NO_OBS
+
+}  // namespace
+}  // namespace fist

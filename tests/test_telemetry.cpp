@@ -1,0 +1,277 @@
+// test_telemetry.cpp — the localhost scrape plane. A real POSIX client
+// exercises every route, and the acceptance test for the telemetry
+// plane scrapes /metrics continuously WHILE a windowed ChainView build
+// runs, then checks the post-run metric deltas are still bit-identical
+// across thread counts outside the documented carve-outs (exec.*,
+// telemetry.*, flight.*, mem.peak_rss) — live observation must never
+// perturb the deterministic surface. CI runs the Telemetry suites
+// under TSan.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "chain/view.hpp"
+#include "core/executor.hpp"
+#include "core/obs/flightrec.hpp"
+#include "core/obs/metrics.hpp"
+#include "core/obs/progress.hpp"
+#include "core/obs/telemetry.hpp"
+#include "sim/world.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define FISTFUL_TEST_SOCKETS 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#else
+#define FISTFUL_TEST_SOCKETS 0
+#endif
+
+namespace fist {
+namespace {
+
+#if FISTFUL_TEST_SOCKETS
+
+/// Minimal HTTP/1.0 GET: the whole response (head + body) as a string,
+/// empty on connect failure.
+std::string http_get(std::uint16_t port, const std::string& path) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return {};
+  }
+  std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  if (::send(fd, request.data(), request.size(), 0) !=
+      static_cast<ssize_t>(request.size())) {
+    ::close(fd);
+    return {};
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof buf, 0)) > 0)
+    response.append(buf, static_cast<std::size_t>(n));
+  ::close(fd);
+  return response;
+}
+
+std::string body_of(const std::string& response) {
+  std::size_t pos = response.find("\r\n\r\n");
+  return pos == std::string::npos ? std::string() : response.substr(pos + 4);
+}
+
+TEST(Telemetry, ServesHealthzOnEphemeralPort) {
+  obs::TelemetryServer server;
+  ASSERT_TRUE(server.start(0));
+  EXPECT_TRUE(server.running());
+  ASSERT_NE(server.port(), 0);
+
+  std::string response = http_get(server.port(), "/healthz");
+  EXPECT_EQ(response.rfind("HTTP/1.0 200 OK", 0), 0u);
+  EXPECT_NE(response.find("Connection: close"), std::string::npos);
+  EXPECT_EQ(body_of(response), "ok\n");
+  server.stop();
+  EXPECT_FALSE(server.running());
+  EXPECT_EQ(server.port(), 0);
+}
+
+TEST(Telemetry, ServesMetricsProgressAndEvents) {
+  obs::MetricsRegistry::global().counter("telemetry.test_marker").add(7);
+  obs::flight_event("flight.test_scrape", "from telemetry test", 1, 2);
+  obs::ProgressBoard::global().begin_stage("telemetry.test_stage", 4)
+      .advance();
+
+  obs::TelemetryServer server;
+  ASSERT_TRUE(server.start(0));
+
+  std::string metrics = http_get(server.port(), "/metrics");
+  EXPECT_NE(metrics.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("# TYPE fist_telemetry_test_marker counter"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("fist_telemetry_test_marker 7"), std::string::npos);
+
+  std::string progress = http_get(server.port(), "/progress");
+  EXPECT_NE(progress.find("Content-Type: application/json"),
+            std::string::npos);
+  EXPECT_NE(progress.find("\"name\":\"telemetry.test_stage\""),
+            std::string::npos);
+  EXPECT_NE(progress.find("\"done\":1"), std::string::npos);
+
+  std::string events = http_get(server.port(), "/events");
+  EXPECT_NE(events.find("Content-Type: application/x-ndjson"),
+            std::string::npos);
+  EXPECT_NE(events.find("\"type\":\"flight.test_scrape\""),
+            std::string::npos);
+
+  // Scrapes land in the carve-out counter.
+  obs::Snapshot snap = obs::MetricsRegistry::global().snapshot();
+  ASSERT_NE(snap.counter("telemetry.scrapes"), nullptr);
+  EXPECT_GE(snap.counter("telemetry.scrapes")->value, 3u);
+  server.stop();
+}
+
+TEST(Telemetry, UnknownPathIs404) {
+  obs::TelemetryServer server;
+  ASSERT_TRUE(server.start(0));
+  std::string response = http_get(server.port(), "/nope");
+  EXPECT_EQ(response.rfind("HTTP/1.0 404 Not Found", 0), 0u);
+  server.stop();
+}
+
+TEST(Telemetry, StopIsIdempotentAndRestartable) {
+  obs::TelemetryServer server;
+  server.stop();  // never started: no-op
+  ASSERT_TRUE(server.start(0));
+  EXPECT_FALSE(server.start(0));  // already running
+  server.stop();
+  server.stop();  // second stop: no-op
+  EXPECT_FALSE(server.running());
+
+  // A stopped server can serve again, on a fresh port.
+  ASSERT_TRUE(server.start(0));
+  EXPECT_NE(server.port(), 0);
+  std::string response = http_get(server.port(), "/healthz");
+  EXPECT_EQ(body_of(response), "ok\n");
+  server.stop();
+}
+
+TEST(Telemetry, StopFromAnotherThread) {
+  obs::TelemetryServer server;
+  ASSERT_TRUE(server.start(0));
+  std::thread stopper([&server] { server.stop(); });
+  stopper.join();
+  EXPECT_FALSE(server.running());
+}
+
+// ---- live-scrape determinism (the acceptance test) -------------------
+
+#ifndef FISTFUL_NO_OBS
+
+sim::World& telemetry_world() {
+  static sim::World* w = [] {
+    sim::WorldConfig cfg;
+    cfg.seed = 777;
+    cfg.days = 12;
+    cfg.users = 40;
+    cfg.blocks_per_day = 6;
+    auto* world = new sim::World(cfg);
+    world->run();
+    return world;
+  }();
+  return *w;
+}
+
+/// Is `name` inside one of the documented determinism carve-outs
+/// (docs/OBSERVABILITY.md)? Scheduling, scrape traffic, the flight
+/// trail and host memory may vary; everything else must not.
+bool carved_out(const std::string& name) {
+  return name.rfind("exec.", 0) == 0 || name.rfind("telemetry.", 0) == 0 ||
+         name.rfind("flight.", 0) == 0 || name == "mem.peak_rss";
+}
+
+struct BuildDeltas {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, std::pair<std::uint64_t, double>> histograms;
+};
+
+/// One windowed build under continuous /metrics scraping; returns the
+/// non-carved-out metric deltas the build produced.
+BuildDeltas scrape_while_building(unsigned threads) {
+  sim::World& world = telemetry_world();  // built before the baseline
+  obs::TelemetryServer server;
+  EXPECT_TRUE(server.start(0));
+  const std::uint16_t port = server.port();
+
+  std::atomic<bool> done{false};
+  std::atomic<int> good_scrapes{0};
+  std::thread scraper([port, &done, &good_scrapes] {
+    while (!done.load(std::memory_order_acquire)) {
+      std::string response = http_get(port, "/metrics");
+      if (response.rfind("HTTP/1.0 200 OK", 0) == 0 &&
+          response.find("# TYPE ") != std::string::npos)
+        good_scrapes.fetch_add(1, std::memory_order_relaxed);
+      (void)http_get(port, "/progress");
+    }
+  });
+
+  // Don't start the build until the scraper has landed at least one
+  // good scrape — on a tiny chain the build can otherwise finish
+  // before the first connect, and "scraped while building" would be
+  // vacuous.
+  for (int spin = 0; spin < 5000 && good_scrapes.load() == 0; ++spin)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_GT(good_scrapes.load(), 0) << "scraper never reached the server";
+
+  obs::Snapshot before = obs::MetricsRegistry::global().snapshot();
+  Executor exec(threads);
+  ChainView::BuildOptions options;
+  options.window_blocks = 7;  // several windows over the 72-block chain
+  ChainView view = ChainView::build_windowed(world.store(), exec, options);
+  EXPECT_GT(view.tx_count(), 0u);
+  obs::Snapshot after = obs::MetricsRegistry::global().snapshot();
+
+  done.store(true, std::memory_order_release);
+  scraper.join();
+  server.stop();
+  // The scraper must have actually observed the build, not just
+  // connected after it finished.
+  EXPECT_GT(good_scrapes.load(), 0);
+
+  BuildDeltas out;
+  for (const obs::CounterValue& c : after.counters) {
+    if (carved_out(c.name)) continue;
+    const obs::CounterValue* prev = before.counter(c.name);
+    out.counters[c.name] = c.value - (prev != nullptr ? prev->value : 0);
+  }
+  for (const obs::GaugeValue& g : after.gauges) {
+    if (carved_out(g.name)) continue;
+    out.gauges[g.name] = g.value;
+  }
+  for (const obs::HistogramValue& h : after.histograms) {
+    if (carved_out(h.name)) continue;
+    const obs::HistogramValue* prev = before.histogram(h.name);
+    out.histograms[h.name] = {
+        h.count - (prev != nullptr ? prev->count : 0),
+        h.sum - (prev != nullptr ? prev->sum : 0)};
+  }
+  return out;
+}
+
+TEST(TelemetryScrapeDeterminism, LiveScrapeDoesNotPerturbMetrics) {
+  BuildDeltas reference = scrape_while_building(1);
+  EXPECT_GT(reference.counters.at("view.txs"), 0u);
+  for (unsigned threads : {2u, 8u}) {
+    BuildDeltas run = scrape_while_building(threads);
+    EXPECT_EQ(run.counters, reference.counters) << "threads=" << threads;
+    EXPECT_EQ(run.gauges, reference.gauges) << "threads=" << threads;
+    EXPECT_EQ(run.histograms, reference.histograms) << "threads=" << threads;
+  }
+}
+
+#endif  // FISTFUL_NO_OBS
+
+#else  // !FISTFUL_TEST_SOCKETS
+
+TEST(Telemetry, StartFailsGracefullyWithoutSockets) {
+  obs::TelemetryServer server;
+  EXPECT_FALSE(server.start(0));
+  server.stop();  // still safe
+}
+
+#endif  // FISTFUL_TEST_SOCKETS
+
+}  // namespace
+}  // namespace fist

@@ -187,11 +187,15 @@ void collect_metric_names(const SourceFile& file, std::vector<NameUse>& out) {
                      ((t[i + 1].punct('(') && t[i + 2].kind == TokKind::Str) ||
                       (i + 3 < t.size() && t[i + 1].kind == TokKind::Ident &&
                        t[i + 2].punct('(') && t[i + 3].kind == TokKind::Str));
-    if (!metric_call && !span_decl) continue;
+    // flight_event("flight.x", ...) — flight recorder event types live
+    // in the same docs/OBSERVABILITY.md registry as metric names.
+    bool event_call = t[i].ident("flight_event") && t[i + 1].punct('(') &&
+                      t[i + 2].kind == TokKind::Str;
+    if (!metric_call && !span_decl && !event_call) continue;
 
-    std::size_t lit = metric_call ? i + 2
-                      : t[i + 1].punct('(') ? i + 2
-                                            : i + 3;
+    std::size_t lit = (metric_call || event_call) ? i + 2
+                      : t[i + 1].punct('(')       ? i + 2
+                                                  : i + 3;
     NameUse use;
     use.name = t[lit].text;
     use.file = file.rel;
