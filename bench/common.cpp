@@ -90,8 +90,10 @@ void print_speedup_table(const ForensicPipeline& seq,
   std::printf("%s\n", t.render().c_str());
 }
 
-void write_bench_report(const std::string& name,
-                        const ForensicPipeline* pipeline, std::uint64_t txs) {
+void write_bench_report(
+    const std::string& name, const ForensicPipeline* pipeline,
+    std::uint64_t txs,
+    const std::vector<std::pair<std::string, double>>& extras) {
   const char* dir = std::getenv("FISTFUL_BENCH_DIR");
   std::string path = (dir != nullptr && *dir != '\0')
                          ? std::string(dir) + "/BENCH_" + name + ".json"
@@ -155,6 +157,10 @@ void write_bench_report(const std::string& name,
       json += ",\n  \"spans\": " +
               obs::render_spans_json_array(pipeline->trace());
   }
+  // Bench-specific gated scalars (check_bench_trend.py --extra-field).
+  for (const auto& [field, value] : extras)
+    json += ",\n  \"" + obs::json_escape(field) +
+            "\": " + obs::json_number(value);
   // Peak RSS goes into every report — including the no-pipeline form a
   // bench uses on an early quarantine exit — so the trend gate always
   // has the field to compare.

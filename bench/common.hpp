@@ -7,6 +7,8 @@
 
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/pipeline.hpp"
 #include "sim/world.hpp"
@@ -46,9 +48,13 @@ void print_speedup_table(const ForensicPipeline& seq,
 /// per-stage wall-clock, throughput, the global metrics registry, and
 /// the pipeline's span tree. `pipeline` may be null for benches that
 /// do not run the forensic pipeline (metrics only).
-void write_bench_report(const std::string& name,
-                        const ForensicPipeline* pipeline = nullptr,
-                        std::uint64_t txs = 0);
+/// `extras` are additional top-level numeric fields (e.g. a latency
+/// quantile) — scripts/check_bench_trend.py gates any of them via
+/// --extra-field NAME.
+void write_bench_report(
+    const std::string& name, const ForensicPipeline* pipeline = nullptr,
+    std::uint64_t txs = 0,
+    const std::vector<std::pair<std::string, double>>& extras = {});
 
 /// Prints the standard bench banner.
 void banner(const std::string& title, const std::string& paper_ref);

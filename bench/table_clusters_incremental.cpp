@@ -1,0 +1,97 @@
+// table_clusters_incremental — incremental clustering cost vs the full
+// rebuild. The paper's pipeline is batch (§4: cluster the whole chain,
+// then analyze); a live investigation instead folds each new block
+// into the standing index. This bench measures what that buys and what
+// it costs: full-rebuild wall-clock (the batch pipeline over the same
+// chain), end-to-end incremental build time, and the per-block
+// `delta.apply` latency distribution (p50/p99 from the
+// delta.apply_micros histogram) that an operator tailing the chain tip
+// would actually feel.
+//
+// The committed baseline gates delta_apply_p99_us via
+// scripts/check_bench_trend.py --extra-field (CI bench job).
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+
+#include "cluster/incremental.hpp"
+#include "common.hpp"
+#include "core/live_index.hpp"
+#include "core/obs/quantile.hpp"
+#include "util/table.hpp"
+
+using namespace fist;
+using namespace fist::bench;
+
+int main() {
+  banner("Incremental block-delta clustering (§4.1, live index)",
+         "batch pipeline rebuilt per analysis; here: per-block deltas");
+  Experiment exp = run_experiment();
+  const ForensicPipeline& pipe = *exp.pipeline;
+  double batch_ms = 0;
+  for (const StageTiming& t : pipe.timings()) batch_ms += t.millis;
+
+  // Incremental side: a fresh LiveIndex fed the same blocks one at a
+  // time, snapshotting periodically like a live deployment would. Same
+  // refined H2 options as the pipeline; the dice exemption uses the
+  // feed's gambling addresses directly (the live-path approximation
+  // documented at fistctl's `live` command — irrelevant to timing).
+  LiveIndex::Options options;
+  options.h2 = refined_h2_options();
+  for (const TagEntry& entry : exp.world->tag_feed())
+    if (entry.tag.category == Category::Gambling)
+      options.dice_addresses.push_back(entry.address);
+  options.snapshot_every = 256;
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "fistful_bench_live_index";
+  std::filesystem::remove_all(dir);
+  auto t0 = std::chrono::steady_clock::now();
+  LiveIndex index(dir, options);
+  const BlockStore& store = exp.world->store();
+  for (std::size_t i = 0; i < store.count(); ++i) index.append(store.read(i));
+  index.snapshot();
+  auto t1 = std::chrono::steady_clock::now();
+  double live_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  std::filesystem::remove_all(dir);
+
+  // Per-block apply latency straight from the instrumented histogram
+  // (every append() observed one delta.apply_micros sample).
+  obs::Snapshot snap = obs::MetricsRegistry::global().snapshot();
+  const obs::HistogramValue* h = snap.histogram("delta.apply_micros");
+  double p50 = h != nullptr ? obs::histogram_quantile(*h, 0.50) : 0.0;
+  double p99 = h != nullptr ? obs::histogram_quantile(*h, 0.99) : 0.0;
+
+  char buf[64];
+  TextTable t({"Quantity", "Value"}, {Align::Left, Align::Right});
+  t.row({"blocks", std::to_string(store.count())});
+  t.row({"transactions", std::to_string(exp.world->tx_count())});
+  std::snprintf(buf, sizeof buf, "%.1f", batch_ms);
+  t.row({"full rebuild (batch pipeline, ms)", buf});
+  std::snprintf(buf, sizeof buf, "%.1f", live_ms);
+  t.row({"incremental build (per-block deltas, ms)", buf});
+  std::snprintf(buf, sizeof buf, "%.1f", p50);
+  t.row({"delta.apply p50 (us)", buf});
+  std::snprintf(buf, sizeof buf, "%.1f", p99);
+  t.row({"delta.apply p99 (us)", buf});
+  std::printf("%s\n", t.render().c_str());
+
+  // Differential sanity: the incremental H1 partition must match the
+  // batch pipeline's (the test suite enforces bit-identity; the bench
+  // just refuses to publish numbers for a broken build).
+  if (index.clusterer().h1_clustering().cluster_count() !=
+      pipe.h1_clustering().cluster_count()) {
+    std::fprintf(stderr,
+                 "[bench] FATAL: incremental H1 cluster count diverged "
+                 "from batch\n");
+    return 1;
+  }
+
+  write_bench_report("table_clusters_incremental", &pipe,
+                     exp.world->tx_count(),
+                     {{"incremental_build_ms", live_ms},
+                      {"delta_apply_p50_us", p50},
+                      {"delta_apply_p99_us", p99}});
+  return 0;
+}

@@ -107,6 +107,12 @@ def main():
                          "exceeds the baseline by more than this "
                          "(default 20; skipped when the baseline lacks "
                          "the field)")
+    ap.add_argument("--extra-field", action="append", default=[],
+                    metavar="NAME",
+                    help="additional top-level numeric report field to "
+                         "gate with --max-regress-pct (repeatable; e.g. "
+                         "delta_apply_p99_us; skipped when the baseline "
+                         "lacks the field)")
     ap.add_argument("reports", nargs="+",
                     help="freshly produced BENCH_*.json candidates")
     args = ap.parse_args()
@@ -131,6 +137,16 @@ def main():
     else:
         print("peak_rss_bytes : no numeric baseline/candidate values, "
               "gating on total_ms only")
+
+    for field in args.extra_field:
+        base_value = numeric_value(base_doc, field)
+        extra_candidates = numeric_candidates(report_docs, field)
+        if base_value is not None and extra_candidates:
+            ok &= gate(field, base_value, extra_candidates,
+                       args.max_regress_pct)
+        else:
+            print(f"{field} : no numeric baseline/candidate values, "
+                  "not gated")
 
     if not ok:
         return 1

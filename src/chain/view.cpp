@@ -297,6 +297,30 @@ void ChainView::finish(Executor& exec) {
   });
 }
 
+TxIndex ChainView::apply_delta(const std::vector<Block>& blocks,
+                               RecoveryPolicy policy, IngestReport* report) {
+  if (report != nullptr) report->policy = policy;
+  const TxIndex from = static_cast<TxIndex>(txs_.size());
+  for (const Block& block : blocks)
+    ingest_block(block, block_count_, policy, report);
+  // Extend the first-seen table in place. Existing entries are stable
+  // under append; outputs of quarantined transactions stay interned
+  // with no appearance (kNoTx), exactly as a batch build leaves them.
+  first_seen_.resize(book_.size(), kNoTx);
+  for (TxIndex t = from; t < txs_.size(); ++t) {
+    const TxView& tx = txs_[t];
+    auto mark = [&](AddrId a) {
+      if (a != kNoAddr && first_seen_[a] == kNoTx) first_seen_[a] = t;
+    };
+    for (const InputView& in : tx.inputs) mark(in.addr);
+    for (const OutputView& out : tx.outputs) mark(out.addr);
+  }
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  registry.counter("delta.blocks").add(blocks.size());
+  registry.counter("delta.txs").add(txs_.size() - from);
+  return from;
+}
+
 ChainView ChainView::build(const BlockStore& store, RecoveryPolicy policy,
                            IngestReport* report) {
   if (report != nullptr) report->policy = policy;

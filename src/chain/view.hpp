@@ -120,6 +120,23 @@ class ChainView {
                          RecoveryPolicy policy,
                          IngestReport* report = nullptr);
 
+  /// Extends this view in place with a block delta (the incremental
+  /// ingest path behind core/live_index). Each block is ingested
+  /// through exactly the sequential build's ingest_block, then the
+  /// first-seen table is extended by scanning only the appended
+  /// transactions — valid because first appearances are stable under
+  /// append (an address already seen can only be seen *again*), so the
+  /// result is bit-identical to a batch build over prefix+delta.
+  /// Returns the index of the first appended transaction (== the old
+  /// tx_count()). In lenient mode failing blocks/transactions
+  /// quarantine into `report` as in build(); in strict mode the first
+  /// failure throws and leaves the view partially extended — callers
+  /// that need atomicity (LiveIndex does) must discard the instance
+  /// and rebuild from durable state.
+  TxIndex apply_delta(const std::vector<Block>& blocks,
+                      RecoveryPolicy policy = RecoveryPolicy::Strict,
+                      IngestReport* report = nullptr);
+
   /// Checkpoint serialization (see core/checkpoint.hpp): a compact
   /// binary image of the flattened chain — addresses in dense-id
   /// order, transactions with resolved inputs and spend links. Not a

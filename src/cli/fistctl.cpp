@@ -13,7 +13,9 @@
 //   fistctl follow   --chain chain.dat --tags tags.csv
 //                    --tx <txid-hex> --vout 0 --hops 100 --out peels.csv
 #include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -24,6 +26,7 @@
 #include "analysis/export.hpp"
 #include "core/checkpoint.hpp"
 #include "core/fault.hpp"
+#include "core/live_index.hpp"
 #include "core/obs/export.hpp"
 #include "core/obs/flightrec.hpp"
 #include "core/obs/metrics.hpp"
@@ -60,6 +63,14 @@ commands:
              --chain chain.dat --tags tags.csv --tx TXID --vout N [--hops N] [--out peels.csv]
   entity     profile a named service or cluster
              --chain chain.dat --tags tags.csv (--name "Mt. Gox" | --cluster N)
+  live       incremental clustering over a growing chain through a
+             crash-safe delta log; reopening the same --delta-log DIR
+             resumes from the last durable epoch and replays only the
+             log tail
+             --chain chain.dat --tags tags.csv --delta-log DIR
+             [--naive] [--out clusters.csv] [--snapshot-every N]
+             [--follow] [--poll-ms N] [--idle-exit-ms N]
+             [--crash-after-epoch N]
 
 pipeline commands (cluster/balances/flows/follow/entity) also take:
   --threads N             concurrency lanes (0 = hardware, 1 = sequential)
@@ -98,7 +109,11 @@ observability (accepted by every command):
 
 exit codes: 0 success, 1 runtime failure, 2 bad arguments,
             3 lenient run completed but quarantined records (details
-            on stderr)
+            on stderr),
+            4 live run completed but whole delta-log records were
+            quarantined (poisoned checksum / undecodable payload) —
+            the surviving index matches a batch run over the
+            surviving blocks
 )");
   std::exit(2);
 }
@@ -110,7 +125,7 @@ class Args {
     for (int i = start; i < argc; ++i) {
       std::string key = argv[i];
       if (key.rfind("--", 0) != 0) usage(("unexpected '" + key + "'").c_str());
-      if (key == "--naive" || key == "--progress") {
+      if (key == "--naive" || key == "--progress" || key == "--follow") {
         values_[key] = "1";
         continue;
       }
@@ -185,6 +200,16 @@ ForensicPipeline make_pipeline(const FileBlockStore& store, const Args& args,
   options.crash_after_stage = args.get("--crash-after", "");
   options.checkpoint = args.get("--resume", "");
   if (!options.checkpoint.empty()) {
+    // Catch the classic typo before the pipeline turns it into a bare
+    // IoError three stages in: the manifest's directory must exist.
+    std::filesystem::path parent =
+        std::filesystem::path(options.checkpoint).parent_path();
+    if (!parent.empty() && !std::filesystem::is_directory(parent))
+      usage(("--resume " + options.checkpoint + ": directory '" +
+             parent.string() +
+             "' does not exist — create it first (mkdir -p " +
+             parent.string() + ") or point --resume at an existing one")
+                .c_str());
     // Fingerprint the inputs so a manifest written against different
     // data is ignored rather than resumed from.
     options.chain_digest = file_digest_hex(args.require("--chain"));
@@ -394,6 +419,109 @@ int cmd_entity(const Args& args) {
   return finish_pipeline(pipeline);
 }
 
+/// `fistctl live`: drive a LiveIndex from a (possibly still growing)
+/// chain file. Each block is WAL-logged then applied incrementally;
+/// reopening the same --delta-log directory resumes from the last
+/// durable epoch. Results are bit-identical to `fistctl cluster` over
+/// the same blocks (the differential suite enforces it).
+int cmd_live(const Args& args) {
+  std::vector<TagEntry> feed = load_tags(args.require("--tags"));
+
+  LiveIndex::Options options;
+  options.h2 = args.has("--naive") ? H2Options{} : refined_h2_options();
+  options.recovery = recovery_of(args);
+  options.snapshot_every =
+      static_cast<std::uint32_t>(args.get_long("--snapshot-every", 0));
+  // Dice-rebound exemption input: the tagged gambling addresses from
+  // the feed. (The batch pipeline widens gambling tags through their
+  // whole H1 clusters; the live path uses the feed addresses directly
+  // — a documented approximation, moot under --naive where the
+  // exemption is off and live/batch parity is exact.)
+  for (const TagEntry& entry : feed)
+    if (entry.tag.category == Category::Gambling)
+      options.dice_addresses.push_back(entry.address);
+
+  LiveIndex index(args.require("--delta-log"), options);
+  const LiveIndex::OpenInfo& info = index.open_info();
+  std::fprintf(stderr,
+               "live index open: epoch %llu (snapshot %llu, replayed %llu"
+               "%s%s)\n",
+               static_cast<unsigned long long>(index.epoch()),
+               static_cast<unsigned long long>(info.snapshot_epoch),
+               static_cast<unsigned long long>(info.replayed),
+               info.snapshot_stale ? ", stale snapshot ignored" : "",
+               info.torn_tail_bytes != 0 ? ", torn tail truncated" : "");
+
+  const std::string chain_path = args.require("--chain");
+  FileBlockStore::OpenOptions open;
+  open.recover = options.recovery == RecoveryPolicy::Lenient;
+  const long crash_after = args.get_long("--crash-after-epoch", -1);
+  const long poll_ms = args.get_long("--poll-ms", 200);
+  const long idle_exit_ms = args.get_long("--idle-exit-ms", 2000);
+  const bool follow = args.has("--follow");
+
+  // Record i of the delta log always corresponds to block i of the
+  // chain file (quarantined records still hold their index), so the
+  // feed position is simply the epoch.
+  long idle_ms = 0;
+  for (;;) {
+    // Reopen per poll: FileBlockStore scans the file on open, so this
+    // sees blocks a concurrent `simulate`-style writer appended.
+    FileBlockStore store(chain_path, kMainnetMagic, open);
+    bool advanced = false;
+    while (index.epoch() < store.count()) {
+      index.append(store.read(static_cast<std::size_t>(index.epoch())));
+      advanced = true;
+      if (crash_after >= 0 &&
+          index.epoch() == static_cast<std::uint64_t>(crash_after))
+        std::raise(SIGKILL);
+    }
+    if (!follow) break;
+    idle_ms = advanced ? 0 : idle_ms + poll_ms;
+    if (idle_ms >= idle_exit_ms) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
+  }
+  index.snapshot();
+
+  Clustering clustering = index.clusterer().clustering();
+  TagStore tags;
+  for (const TagEntry& entry : feed)
+    if (auto id = index.view().addresses().find(entry.address))
+      tags.add(*id, entry.tag);
+  ClusterNaming naming(clustering.assignment(), clustering.sizes(), tags);
+  std::fprintf(stderr, "epoch %llu: %zu addresses -> %zu clusters (%zu named)\n",
+               static_cast<unsigned long long>(index.epoch()),
+               index.view().address_count(), clustering.cluster_count(),
+               naming.names().size());
+
+  std::string out_path = args.get("--out", "");
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    export_clusters_csv(out, index.view(), clustering, naming);
+    std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  }
+
+  if (!index.quarantined_deltas().empty()) {
+    std::fprintf(stderr, "quarantined %zu whole delta record(s):",
+                 index.quarantined_deltas().size());
+    for (std::uint32_t q : index.quarantined_deltas())
+      std::fprintf(stderr, " %u", q);
+    std::fprintf(stderr, "\n");
+    obs::flight_event("flight.quarantine_exit", "exit code 4",
+                      index.quarantined_deltas().size());
+    return 4;
+  }
+  const IngestReport& report = index.ingest_report();
+  if (report.quarantined()) {
+    std::string summary = report.summary();
+    std::fwrite(summary.data(), 1, summary.size(), stderr);
+    obs::flight_event("flight.quarantine_exit", "exit code 3",
+                      report.blocks.size(), report.txs.size());
+    return 3;
+  }
+  return 0;
+}
+
 int dispatch(const std::string& command, const Args& args) {
   if (command == "simulate") return cmd_simulate(args);
   if (command == "info") return cmd_info(args);
@@ -402,6 +530,7 @@ int dispatch(const std::string& command, const Args& args) {
   if (command == "flows") return cmd_flows(args);
   if (command == "follow") return cmd_follow(args);
   if (command == "entity") return cmd_entity(args);
+  if (command == "live") return cmd_live(args);
   usage(("unknown command '" + command + "'").c_str());
 }
 
@@ -467,7 +596,7 @@ int main(int argc, char** argv) {
     // reconstructed after the fact.
     if (!events_out.empty())
       obs::dump_flight_events(events_out);
-    else if (code == 3)
+    else if (code == 3 || code == 4)
       obs::dump_flight_events("fistctl-events.jsonl");
     if (!metrics_out.empty()) {
       obs::Snapshot snapshot = obs::MetricsRegistry::global().snapshot();

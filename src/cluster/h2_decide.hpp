@@ -1,0 +1,204 @@
+// h2_decide.hpp — the Heuristic-2 per-transaction decision, factored
+// out of the chronological scan.
+//
+// apply_heuristic2 (the batch pass) and IncrementalClusterer (the
+// delta path) must agree bit-for-bit on every transaction's verdict.
+// Rather than maintaining two copies of the §4.1 conditions and §4.2
+// refinement ladder, both call h2_decide() with a context describing
+// the *prefix state* at transaction t:
+//
+//   receipts_before(a)   — receipts of address a strictly before t
+//   was_self_change(a)   — a appeared in a self-change position in
+//                          some transaction strictly before t
+//   next_real_receipt(a, t) — first receipt of a strictly after t that
+//                          is not a dice rebound (kNoTx if none)
+//
+// The batch pass answers these from its running arrays; the
+// incremental path answers them by binary search over its per-address
+// receipt indices. Because the decision is a pure function of
+// (view, t, options, prefix state, future receipts of t's fresh
+// outputs), any context that answers the three queries the way the
+// batch scan would yields the identical decision — this is the whole
+// correctness argument for delta re-evaluation.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "chain/view.hpp"
+#include "cluster/heuristic2.hpp"
+
+namespace fist {
+
+/// Every way the H2 scan can dispose of a transaction. Ordered so the
+/// incremental snapshot can store one byte per transaction.
+enum class H2Outcome : std::uint8_t {
+  kLabeled = 0,
+  kCoinbase,
+  kTooFewOutputs,
+  kSelfChange,
+  kNoCandidate,
+  kAmbiguous,
+  kReusedGuard,
+  kSelfChangeHistoryGuard,
+  kWindowVeto,
+};
+
+/// Verdict for one transaction: the outcome bucket, plus the change
+/// address when labeled.
+struct H2Decision {
+  H2Outcome outcome = H2Outcome::kNoCandidate;
+  AddrId change = kNoAddr;
+
+  bool operator==(const H2Decision&) const = default;
+};
+
+/// The skip-stats bucket an outcome lands in (nullptr for kLabeled).
+/// Shared by the batch pass (increments) and the delta path
+/// (decrements the old bucket, increments the new one on a flip).
+inline std::uint64_t* h2_skip_slot(H2SkipStats& s,
+                                   H2Outcome outcome) noexcept {
+  switch (outcome) {
+    case H2Outcome::kLabeled: return nullptr;
+    case H2Outcome::kCoinbase: return &s.coinbase;
+    case H2Outcome::kTooFewOutputs: return &s.too_few_outputs;
+    case H2Outcome::kSelfChange: return &s.self_change;
+    case H2Outcome::kNoCandidate: return &s.no_candidate;
+    case H2Outcome::kAmbiguous: return &s.ambiguous;
+    case H2Outcome::kReusedGuard: return &s.reused_guard;
+    case H2Outcome::kSelfChangeHistoryGuard:
+      return &s.self_change_history_guard;
+    case H2Outcome::kWindowVeto: return &s.window_veto;
+  }
+  return nullptr;
+}
+
+/// Decides transaction `t` exactly as the batch chronological scan
+/// would, with prefix/future state answered by `ctx` (see file
+/// comment for the required queries).
+template <typename Ctx>
+H2Decision h2_decide(const ChainView& view, TxIndex t,
+                     const H2Options& options, const Ctx& ctx) {
+  const TxView& tx = view.tx(t);
+
+  if (tx.coinbase)  // condition (2)
+    return {H2Outcome::kCoinbase, kNoAddr};
+  if (tx.outputs.size() < options.min_outputs)
+    return {H2Outcome::kTooFewOutputs, kNoAddr};
+
+  // Condition (3): self-change — any output address also an input
+  // address. Detection only; recording the mark for later transactions
+  // is h2_mark_self_change's job.
+  for (const OutputView& out : tx.outputs) {
+    if (out.addr == kNoAddr) continue;
+    for (const InputView& in : tx.inputs)
+      if (in.addr == out.addr) return {H2Outcome::kSelfChange, kNoAddr};
+  }
+
+  // Conditions (1) and (4): exactly one output is making its first
+  // chain appearance.
+  AddrId candidate = kNoAddr;
+  std::size_t fresh = 0;
+  bool candidate_dupe = false;
+  for (const OutputView& out : tx.outputs) {
+    if (out.addr == kNoAddr) continue;
+    if (view.first_seen(out.addr) == t && ctx.receipts_before(out.addr) == 0) {
+      if (out.addr == candidate) {
+        candidate_dupe = true;  // same new addr in two output slots
+        continue;
+      }
+      ++fresh;
+      candidate = out.addr;
+    }
+  }
+  if (fresh == 0) return {H2Outcome::kNoCandidate, kNoAddr};
+
+  if (fresh > 1 && options.resolve_ambiguous_via_future) {
+    // Disambiguate by future reuse: fresh outputs that receive again
+    // later were payment addresses, not one-time change. To avoid
+    // being fooled when the *true* change is reused later (which
+    // would leave the payment output as the lone never-reused
+    // candidate), only resolve peel-shaped transactions — the
+    // surviving candidate must also carry the dominant remainder.
+    AddrId survivor = kNoAddr;
+    Amount survivor_value = 0;
+    std::size_t never_reused = 0;
+    Amount largest_other = 0;
+    for (const OutputView& out : tx.outputs) {
+      if (out.addr == kNoAddr || view.first_seen(out.addr) != t ||
+          ctx.receipts_before(out.addr) != 0) {
+        largest_other = std::max(largest_other, out.value);
+        continue;
+      }
+      if (ctx.next_real_receipt(out.addr, t) == kNoTx) {
+        if (out.addr != survivor) ++never_reused;
+        survivor = out.addr;
+        survivor_value = out.value;
+      } else {
+        largest_other = std::max(largest_other, out.value);
+      }
+    }
+    if (never_reused == 1 && survivor_value >= 2 * largest_other) {
+      fresh = 1;
+      candidate = survivor;
+      candidate_dupe = false;
+    }
+  }
+  if (fresh > 1 || candidate_dupe) return {H2Outcome::kAmbiguous, kNoAddr};
+
+  // §4.2 guard: any output address that already received exactly one
+  // input may itself be a change address being reused — do not link
+  // through this transaction.
+  if (options.guard_reused_change) {
+    for (const OutputView& out : tx.outputs) {
+      if (out.addr != kNoAddr && out.addr != candidate &&
+          ctx.receipts_before(out.addr) == 1)
+        return {H2Outcome::kReusedGuard, kNoAddr};
+    }
+  }
+
+  // §4.2 guard: outputs previously used in a self-change position.
+  // Heavily reused addresses (many prior receipts) are plainly not
+  // change addresses, so the guard only fires for outputs that could
+  // still plausibly be one — without this scoping, popular service
+  // addresses with a self-change history would veto nearly every
+  // transaction that pays them.
+  if (options.guard_self_change_history) {
+    for (const OutputView& out : tx.outputs) {
+      if (out.addr != kNoAddr && ctx.was_self_change(out.addr) &&
+          ctx.receipts_before(out.addr) < 3)
+        return {H2Outcome::kSelfChangeHistoryGuard, kNoAddr};
+    }
+  }
+
+  // §4.2 wait window: peek ahead — if the candidate receives again
+  // within the window (dice rebounds exempt), it was not one-time.
+  if (options.wait_window > 0) {
+    TxIndex next = ctx.next_real_receipt(candidate, t);
+    if (next != kNoTx && view.tx(next).time <= tx.time + options.wait_window)
+      return {H2Outcome::kWindowVeto, kNoAddr};
+  }
+
+  return {H2Outcome::kLabeled, candidate};
+}
+
+/// Applies transaction `t`'s self-change marks through `mark(addr)`.
+/// Mirrors the batch scan exactly: marks are only recorded by
+/// transactions that reach the self-change check (non-coinbase, enough
+/// outputs), and marking is idempotent.
+template <typename MarkFn>
+void h2_mark_self_change(const TxView& tx, const H2Options& options,
+                         MarkFn&& mark) {
+  if (tx.coinbase || tx.outputs.size() < options.min_outputs) return;
+  for (const OutputView& out : tx.outputs) {
+    if (out.addr == kNoAddr) continue;
+    for (const InputView& in : tx.inputs) {
+      if (in.addr == out.addr) {
+        mark(out.addr);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace fist

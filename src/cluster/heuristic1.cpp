@@ -34,10 +34,8 @@ void record_h1_stats(const H1Stats& stats) {
   m.merged_txs.add(stats.multi_input_txs);
 }
 
-/// Merges one transaction's input star into `uf`; updates `stats` and
-/// returns true iff any union succeeded. The single shared definition
-/// of "processing a transaction" keeps the sequential pass, the shard
-/// passes, and the replay in lockstep.
+}  // namespace
+
 bool h1_process_tx(const TxView& tx, UnionFind& uf, H1Stats* stats) {
   if (tx.coinbase || tx.inputs.size() < 2) return false;
   AddrId first = kNoAddr;
@@ -56,8 +54,6 @@ bool h1_process_tx(const TxView& tx, UnionFind& uf, H1Stats* stats) {
   if (merged_any && stats != nullptr) ++stats->multi_input_txs;
   return merged_any;
 }
-
-}  // namespace
 
 H1Stats apply_heuristic1(const ChainView& view, UnionFind& uf) {
   H1Stats stats;

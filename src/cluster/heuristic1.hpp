@@ -18,6 +18,13 @@ struct H1Stats {
   std::uint64_t links = 0;            ///< successful union operations
 };
 
+/// Merges one transaction's input star into `uf`; updates `stats` (when
+/// non-null) and returns true iff any union succeeded. The single
+/// shared definition of "processing a transaction" keeps the
+/// sequential pass, the shard passes, the replay, and the incremental
+/// delta path in lockstep.
+bool h1_process_tx(const TxView& tx, UnionFind& uf, H1Stats* stats);
+
 /// Applies Heuristic 1 over the whole chain, merging input addresses of
 /// each transaction in `uf` (which must cover view.address_count()).
 H1Stats apply_heuristic1(const ChainView& view, UnionFind& uf);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "cluster/h2_decide.hpp"
 #include "core/obs/metrics.hpp"
 #include "core/obs/progress.hpp"
 #include "core/obs/span.hpp"
@@ -118,174 +119,50 @@ H2Result apply_heuristic2(const ChainView& view, const H2Options& options,
       obs::ProgressBoard::global().begin_stage("h2.scan", view.tx_count());
   constexpr TxIndex kProgressChunk = 65536;
 
-  // Running per-address state, updated chronologically.
+  // Running per-address state, updated chronologically. The decision
+  // logic itself lives in h2_decide(); this loop only maintains the
+  // prefix state and files each verdict.
   std::vector<std::uint32_t> receipts_so_far(view.address_count(), 0);
   std::vector<std::uint8_t> was_self_change(view.address_count(), 0);
 
-  std::vector<AddrId> tx_output_addrs;  // scratch
+  struct BatchCtx {
+    const std::vector<std::uint32_t>& so_far;
+    const std::vector<std::uint8_t>& self_change;
+    const Receipts& receipts;
+    bool exempt_dice;
+
+    std::uint32_t receipts_before(AddrId a) const { return so_far[a]; }
+    bool was_self_change(AddrId a) const { return self_change[a] != 0; }
+    TxIndex next_real_receipt(AddrId a, TxIndex t) const {
+      return receipts.next_real_receipt(a, t, exempt_dice);
+    }
+  };
+  const BatchCtx ctx{receipts_so_far, was_self_change, receipts,
+                     options.exempt_dice_rebounds};
 
   for (TxIndex t = 0; t < view.tx_count(); ++t) {
-    // Chunked at the loop top so the many `continue` exits below
-    // cannot skip a tick.
+    // Chunked at the loop top so it cannot be skipped by an exit path.
     if (t != 0 && t % kProgressChunk == 0) {
       progress.advance(kProgressChunk);
       obs::progress_console_tick();
     }
     const TxView& tx = view.tx(t);
 
-    // Helper to apply the per-address updates exactly once per tx exit.
-    auto commit = [&] {
-      for (const OutputView& out : tx.outputs)
-        if (out.addr != kNoAddr) ++receipts_so_far[out.addr];
-    };
-
-    if (tx.coinbase) {  // condition (2)
-      ++result.skipped.coinbase;
-      commit();
-      continue;
-    }
-    if (tx.outputs.size() < options.min_outputs) {
-      ++result.skipped.too_few_outputs;
-      commit();
-      continue;
+    H2Decision decision = h2_decide(view, t, options, ctx);
+    if (std::uint64_t* slot = h2_skip_slot(result.skipped, decision.outcome)) {
+      ++*slot;
+    } else {
+      result.labels.push_back(H2Label{t, decision.change});
+      result.change_of_tx[t] = decision.change;
     }
 
-    // Condition (3): self-change — any output address also an input
-    // address. Such transactions are skipped, and the address is
-    // remembered for the self-change-history guard.
-    bool self_change = false;
-    for (const OutputView& out : tx.outputs) {
-      if (out.addr == kNoAddr) continue;
-      for (const InputView& in : tx.inputs) {
-        if (in.addr == out.addr) {
-          self_change = true;
-          was_self_change[out.addr] = 1;
-        }
-      }
-    }
-    if (self_change) {
-      ++result.skipped.self_change;
-      commit();
-      continue;
-    }
-
-    // Conditions (1) and (4): exactly one output is making its first
-    // chain appearance.
-    AddrId candidate = kNoAddr;
-    std::size_t fresh = 0;
-    bool candidate_dupe = false;
-    for (const OutputView& out : tx.outputs) {
-      if (out.addr == kNoAddr) continue;
-      if (view.first_seen(out.addr) == t && receipts_so_far[out.addr] == 0) {
-        if (out.addr == candidate) {
-          candidate_dupe = true;  // same new addr in two output slots
-          continue;
-        }
-        ++fresh;
-        candidate = out.addr;
-      }
-    }
-    if (fresh == 0) {
-      ++result.skipped.no_candidate;
-      commit();
-      continue;
-    }
-    if (fresh > 1 && options.resolve_ambiguous_via_future) {
-      // Disambiguate by future reuse: fresh outputs that receive again
-      // later were payment addresses, not one-time change. To avoid
-      // being fooled when the *true* change is reused later (which
-      // would leave the payment output as the lone never-reused
-      // candidate), only resolve peel-shaped transactions — the
-      // surviving candidate must also carry the dominant remainder.
-      AddrId survivor = kNoAddr;
-      Amount survivor_value = 0;
-      std::size_t never_reused = 0;
-      Amount largest_other = 0;
-      for (const OutputView& out : tx.outputs) {
-        if (out.addr == kNoAddr || view.first_seen(out.addr) != t ||
-            receipts_so_far[out.addr] != 0) {
-          largest_other = std::max(largest_other, out.value);
-          continue;
-        }
-        if (receipts.next_real_receipt(out.addr, t,
-                                       options.exempt_dice_rebounds) ==
-            kNoTx) {
-          if (out.addr != survivor) ++never_reused;
-          survivor = out.addr;
-          survivor_value = out.value;
-        } else {
-          largest_other = std::max(largest_other, out.value);
-        }
-      }
-      if (never_reused == 1 && survivor_value >= 2 * largest_other) {
-        fresh = 1;
-        candidate = survivor;
-        candidate_dupe = false;
-      }
-    }
-    if (fresh > 1 || candidate_dupe) {
-      ++result.skipped.ambiguous;
-      commit();
-      continue;
-    }
-
-    // §4.2 guard: any output address that already received exactly one
-    // input may itself be a change address being reused — do not link
-    // through this transaction.
-    if (options.guard_reused_change) {
-      bool veto = false;
-      for (const OutputView& out : tx.outputs) {
-        if (out.addr != kNoAddr && out.addr != candidate &&
-            receipts_so_far[out.addr] == 1) {
-          veto = true;
-          break;
-        }
-      }
-      if (veto) {
-        ++result.skipped.reused_guard;
-        commit();
-        continue;
-      }
-    }
-
-    // §4.2 guard: outputs previously used in a self-change position.
-    // Heavily reused addresses (many prior receipts) are plainly not
-    // change addresses, so the guard only fires for outputs that could
-    // still plausibly be one — without this scoping, popular service
-    // addresses with a self-change history would veto nearly every
-    // transaction that pays them.
-    if (options.guard_self_change_history) {
-      bool veto = false;
-      for (const OutputView& out : tx.outputs) {
-        if (out.addr != kNoAddr && was_self_change[out.addr] &&
-            receipts_so_far[out.addr] < 3) {
-          veto = true;
-          break;
-        }
-      }
-      if (veto) {
-        ++result.skipped.self_change_history_guard;
-        commit();
-        continue;
-      }
-    }
-
-    // §4.2 wait window: peek ahead — if the candidate receives again
-    // within the window (dice rebounds exempt), it was not one-time.
-    if (options.wait_window > 0) {
-      TxIndex next = receipts.next_real_receipt(
-          candidate, t, options.exempt_dice_rebounds);
-      if (next != kNoTx &&
-          view.tx(next).time <= tx.time + options.wait_window) {
-        ++result.skipped.window_veto;
-        commit();
-        continue;
-      }
-    }
-
-    result.labels.push_back(H2Label{t, candidate});
-    result.change_of_tx[t] = candidate;
-    commit();
+    // Per-address state updates happen once per transaction, after the
+    // decision: self-change marks and receipt counts only ever affect
+    // *later* transactions.
+    h2_mark_self_change(tx, options,
+                        [&](AddrId a) { was_self_change[a] = 1; });
+    for (const OutputView& out : tx.outputs)
+      if (out.addr != kNoAddr) ++receipts_so_far[out.addr];
   }
   progress.advance(view.tx_count() % kProgressChunk);
   progress.finish();

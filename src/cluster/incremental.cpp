@@ -1,0 +1,312 @@
+#include "cluster/incremental.hpp"
+
+#include <algorithm>
+
+#include "core/obs/metrics.hpp"
+#include "util/error.hpp"
+#include "util/serialize.hpp"
+
+namespace fist {
+
+namespace {
+
+constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// Delta-path counters. All deterministic: the incremental scan is
+/// sequential, and the touched set is a pure function of the view's
+/// growth history.
+struct DeltaMetrics {
+  obs::Counter reevaluated;
+  obs::Counter label_flips;
+  obs::Counter final_rebuilds;
+
+  static const DeltaMetrics& get() {
+    static const DeltaMetrics metrics = [] {
+      obs::MetricsRegistry& r = obs::MetricsRegistry::global();
+      DeltaMetrics m;
+      m.reevaluated = r.counter("delta.reevaluated");
+      m.label_flips = r.counter("delta.label_flips");
+      m.final_rebuilds = r.counter("delta.final_rebuilds");
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
+
+/// h2_decide() context answering prefix/future queries by binary
+/// search over the incremental receipt indices — semantically
+/// identical to the batch scan's running arrays at transaction `t`.
+struct IncrementalClusterer::TxCtx {
+  const IncrementalClusterer* c;
+  TxIndex t;
+
+  std::uint32_t receipts_before(AddrId a) const {
+    const std::vector<TxIndex>& list = c->receipt_at_[a];
+    return static_cast<std::uint32_t>(
+        std::lower_bound(list.begin(), list.end(), t) - list.begin());
+  }
+  bool was_self_change(AddrId a) const {
+    // Marks from transaction t itself (or later) must not count; the
+    // batch scan applies marks only after the decision.
+    return c->self_change_first_[a] < t;
+  }
+  TxIndex next_real_receipt(AddrId a, TxIndex at) const {
+    const std::vector<TxIndex>& list = c->receipt_at_[a];
+    auto it = std::upper_bound(list.begin(), list.end(), at);
+    for (; it != list.end(); ++it) {
+      std::size_t idx = static_cast<std::size_t>(it - list.begin());
+      if (c->options_.exempt_dice_rebounds && c->receipt_dice_[a][idx] != 0)
+        continue;
+      return *it;
+    }
+    return kNoTx;
+  }
+};
+
+IncrementalClusterer::IncrementalClusterer(H2Options options,
+                                           std::vector<Address> dice_addresses)
+    : options_(options), dice_pending_(std::move(dice_addresses)) {}
+
+void IncrementalClusterer::grow_to(const ChainView& view) {
+  std::size_t n_addr = view.address_count();
+  std::size_t n_tx = view.tx_count();
+  receipt_at_.resize(n_addr);
+  receipt_dice_.resize(n_addr);
+  self_change_first_.resize(n_addr, kNoTx);
+  outcome_.resize(n_tx, H2Outcome::kNoCandidate);
+  change_of_tx_.resize(n_tx, kNoAddr);
+  h1_uf_.grow(n_addr);
+  final_uf_.grow(n_addr);
+}
+
+void IncrementalClusterer::resolve_pending_dice(const ChainView& view) {
+  if (dice_pending_.empty()) return;
+  std::vector<Address> still_pending;
+  for (const Address& a : dice_pending_) {
+    if (auto id = view.addresses().find(a))
+      dice_ids_.insert(*id);
+    else
+      still_pending.push_back(a);
+  }
+  dice_pending_ = std::move(still_pending);
+}
+
+void IncrementalClusterer::ingest_structural(const ChainView& view, TxIndex t,
+                                             TxIndex from,
+                                             std::vector<TxIndex>* touched) {
+  const TxView& tx = view.tx(t);
+  h1_process_tx(tx, h1_uf_, &h1_stats_);
+  h1_process_tx(tx, final_uf_, nullptr);
+
+  // A receipt is a dice rebound when every resolved sender is a dice
+  // address — same definition as the batch Receipts::build.
+  bool all_dice = !tx.inputs.empty();
+  for (const InputView& in : tx.inputs) {
+    if (in.addr == kNoAddr || !dice_ids_.contains(in.addr)) {
+      all_dice = false;
+      break;
+    }
+  }
+  for (const OutputView& out : tx.outputs) {
+    if (out.addr == kNoAddr) continue;
+    if (touched != nullptr) {
+      // A new receipt for an address first seen before this delta can
+      // retroactively flip exactly the decision of that first
+      // transaction (see file comment in incremental.hpp).
+      TxIndex first = view.first_seen(out.addr);
+      if (first < from) touched->push_back(first);
+    }
+    receipt_at_[out.addr].push_back(t);
+    receipt_dice_[out.addr].push_back(all_dice ? std::uint8_t{1}
+                                               : std::uint8_t{0});
+  }
+  h2_mark_self_change(tx, options_, [&](AddrId a) {
+    if (self_change_first_[a] == kNoTx) self_change_first_[a] = t;
+  });
+}
+
+H2Decision IncrementalClusterer::decide(const ChainView& view,
+                                        TxIndex t) const {
+  return h2_decide(view, t, options_, TxCtx{this, t});
+}
+
+void IncrementalClusterer::unite_label(const ChainView& view, TxIndex t,
+                                       AddrId change, UnionFind& uf) {
+  for (const InputView& in : view.tx(t).inputs) {
+    if (in.addr == kNoAddr) continue;
+    uf.unite(in.addr, change);
+  }
+}
+
+IncrementalClusterer::DeltaStats IncrementalClusterer::apply(
+    const ChainView& view) {
+  DeltaStats stats;
+  if (view.tx_count() < next_tx_)
+    throw UsageError("incremental: view shrank below the processed prefix");
+  const TxIndex from = next_tx_;
+  const TxIndex end = static_cast<TxIndex>(view.tx_count());
+  grow_to(view);
+  resolve_pending_dice(view);
+  if (end == from) return stats;
+  stats.txs = end - from;
+
+  // Phase 1 — structural append: H1 links, receipt indices,
+  // self-change marks, and the touched-transaction set. All delta
+  // receipts must land before any decision so next_real_receipt sees
+  // the full extended chain, exactly like a batch scan over it.
+  std::vector<TxIndex> touched;
+  for (TxIndex t = from; t < end; ++t)
+    ingest_structural(view, t, from, &touched);
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+
+  // Phase 2 — decide the new transactions in chain order.
+  for (TxIndex t = from; t < end; ++t) {
+    H2Decision d = decide(view, t);
+    outcome_[t] = d.outcome;
+    change_of_tx_[t] = d.change;
+    if (std::uint64_t* slot = h2_skip_slot(skipped_, d.outcome)) {
+      ++*slot;
+    } else {
+      ++label_count_;
+      unite_label(view, t, d.change, final_uf_);
+    }
+  }
+
+  // Phase 3 — re-decide the touched old transactions. A retracted or
+  // changed label cannot be undone in a union-find, so it forces a
+  // final-forest rebuild below; purely additive changes merge in
+  // place.
+  bool needs_rebuild = false;
+  std::vector<TxIndex> newly_labeled;
+  for (TxIndex t : touched) {
+    ++stats.reevaluated;
+    H2Decision d = decide(view, t);
+    if (d.outcome == outcome_[t] && d.change == change_of_tx_[t]) continue;
+    ++stats.label_flips;
+    if (std::uint64_t* slot = h2_skip_slot(skipped_, outcome_[t])) {
+      --*slot;
+    } else {
+      --label_count_;
+      needs_rebuild = true;  // a standing label was retracted/changed
+    }
+    if (std::uint64_t* slot = h2_skip_slot(skipped_, d.outcome)) {
+      ++*slot;
+    } else {
+      ++label_count_;
+      newly_labeled.push_back(t);
+    }
+    outcome_[t] = d.outcome;
+    change_of_tx_[t] = d.change;
+  }
+
+  if (needs_rebuild) {
+    // Rebuild = H1 forest + replay of every standing label. The merge
+    // callback's deterministic ordering is what makes the rebuild's
+    // union sequence reproducible across runs.
+    UnionFind rebuilt(view.address_count());
+    std::uint64_t merges = 0;
+    rebuilt.absorb(h1_uf_,
+                   [&](const UnionFind::MergeEvent&) { ++merges; });
+    for (TxIndex t = 0; t < end; ++t)
+      if (outcome_[t] == H2Outcome::kLabeled)
+        unite_label(view, t, change_of_tx_[t], rebuilt);
+    final_uf_ = std::move(rebuilt);
+    stats.rebuild_merges = merges;
+    stats.final_rebuilds = 1;
+  } else {
+    for (TxIndex t : newly_labeled)
+      unite_label(view, t, change_of_tx_[t], final_uf_);
+  }
+
+  next_tx_ = end;
+  const DeltaMetrics& m = DeltaMetrics::get();
+  m.reevaluated.add(stats.reevaluated);
+  m.label_flips.add(stats.label_flips);
+  m.final_rebuilds.add(stats.final_rebuilds);
+  return stats;
+}
+
+Clustering IncrementalClusterer::h1_clustering() const {
+  UnionFind copy = h1_uf_;
+  return Clustering::from_union_find(copy);
+}
+
+Clustering IncrementalClusterer::clustering() const {
+  UnionFind copy = final_uf_;
+  return Clustering::from_union_find(copy);
+}
+
+H2Result IncrementalClusterer::h2_result() const {
+  H2Result r;
+  r.change_of_tx.assign(change_of_tx_.begin(),
+                        change_of_tx_.begin() + next_tx_);
+  r.skipped = skipped_;
+  for (TxIndex t = 0; t < next_tx_; ++t)
+    if (outcome_[t] == H2Outcome::kLabeled)
+      r.labels.push_back(H2Label{t, change_of_tx_[t]});
+  return r;
+}
+
+Bytes IncrementalClusterer::serialize() const {
+  Writer w;
+  w.u32le(kSnapshotVersion);
+  w.u32le(next_tx_);
+  w.var_bytes(ByteView(reinterpret_cast<const std::uint8_t*>(outcome_.data()),
+                       next_tx_));
+  for (TxIndex t = 0; t < next_tx_; ++t) w.u32le(change_of_tx_[t]);
+  return w.take();
+}
+
+IncrementalClusterer IncrementalClusterer::deserialize(
+    ByteView raw, const ChainView& view, H2Options options,
+    std::vector<Address> dice_addresses) {
+  Reader r(raw);
+  if (r.u32le() != kSnapshotVersion)
+    throw ParseError("clusterer snapshot: unsupported version");
+  TxIndex next = r.u32le();
+  if (next != view.tx_count())
+    throw ParseError("clusterer snapshot: tx count disagrees with the view");
+  Bytes outcomes = r.var_bytes();
+  if (outcomes.size() != next)
+    throw ParseError("clusterer snapshot: truncated outcome table");
+
+  IncrementalClusterer c(options, std::move(dice_addresses));
+  c.grow_to(view);
+  c.resolve_pending_dice(view);
+  for (TxIndex t = 0; t < next; ++t) {
+    std::uint8_t o = outcomes[t];
+    if (o > static_cast<std::uint8_t>(H2Outcome::kWindowVeto))
+      throw ParseError("clusterer snapshot: bad outcome byte");
+    c.outcome_[t] = static_cast<H2Outcome>(o);
+    AddrId change = r.u32le();
+    if (c.outcome_[t] == H2Outcome::kLabeled) {
+      if (change >= view.address_count())
+        throw ParseError("clusterer snapshot: label address out of range");
+    } else if (change != kNoAddr) {
+      throw ParseError("clusterer snapshot: change address on unlabeled tx");
+    }
+    c.change_of_tx_[t] = change;
+  }
+  r.expect_eof();
+
+  // Rebuild everything derived from the view: H1 forest + stats,
+  // receipt/self-change indices, then the final forest from the
+  // decision table.
+  for (TxIndex t = 0; t < next; ++t)
+    c.ingest_structural(view, t, /*from=*/0, /*touched=*/nullptr);
+  for (TxIndex t = 0; t < next; ++t) {
+    if (std::uint64_t* slot = h2_skip_slot(c.skipped_, c.outcome_[t])) {
+      ++*slot;
+    } else {
+      ++c.label_count_;
+      c.unite_label(view, t, c.change_of_tx_[t], c.final_uf_);
+    }
+  }
+  c.next_tx_ = next;
+  return c;
+}
+
+}  // namespace fist

@@ -1,0 +1,143 @@
+// incremental.hpp — block-delta clustering (H1 + refined H2).
+//
+// The batch pipeline recomputes everything from scratch on every new
+// block. IncrementalClusterer instead *extends* its state when the
+// ChainView grows: H1 processes only the appended transactions
+// (union-find never needs to unmerge for H1 — links only accumulate),
+// per-address receipt/self-change indices are appended in place, and
+// H2 decisions are made for the new transactions plus re-evaluated for
+// exactly the old transactions a new receipt can retroactively flip.
+//
+// Why re-evaluating only "touched" transactions is exact: a decision
+// at transaction t (see cluster/h2_decide.hpp) depends on prefix state
+// — receipt counts and self-change marks strictly before t, both
+// stable under append — and on the *future* only through
+// next_real_receipt() of t's fresh outputs, i.e. of addresses with
+// first_seen == t. So appending a receipt for address A can only
+// change the decision of transaction first_seen(A). Re-deciding those
+// transactions against the extended indices reproduces the batch scan
+// over prefix+delta bit-for-bit (differential-tested in
+// tests/test_incremental.cpp at threads {1,2,8}).
+//
+// The final (H1+H2) forest cannot incrementally *unmerge* when a
+// re-evaluation retracts a label, so it is kept as h1-forest + label
+// replay and rebuilt from those parts whenever a previously-labeled
+// transaction flips (counted in delta.final_rebuilds — rare, because
+// flips require a fresh output of an old transaction to be paid
+// again).
+//
+// Single-threaded by contract (like the checkpoint writer): one
+// LiveIndex owns one clusterer; no internal locking.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "chain/view.hpp"
+#include "cluster/clustering.hpp"
+#include "cluster/h2_decide.hpp"
+#include "cluster/heuristic1.hpp"
+#include "cluster/heuristic2.hpp"
+#include "cluster/unionfind.hpp"
+#include "encoding/address.hpp"
+
+namespace fist {
+
+/// Incrementally maintained H1 + H2 clustering state.
+class IncrementalClusterer {
+ public:
+  /// What one apply() did (all deterministic given the same view
+  /// growth history).
+  struct DeltaStats {
+    std::uint64_t txs = 0;            ///< transactions consumed
+    std::uint64_t reevaluated = 0;    ///< old transactions re-decided
+    std::uint64_t label_flips = 0;    ///< decisions that changed
+    std::uint64_t final_rebuilds = 0; ///< final-forest rebuilds (0/1)
+    std::uint64_t rebuild_merges = 0; ///< unions replayed by a rebuild
+  };
+
+  /// `dice_addresses` are addresses (not yet interned ids) whose
+  /// receipts count as dice rebounds; they resolve lazily against the
+  /// view as it grows — exact, because an address can only appear as a
+  /// transaction input after it was interned, so membership tests
+  /// against the partially-resolved set agree with the fully-resolved
+  /// one at every transaction. Only consulted when
+  /// options.exempt_dice_rebounds is set.
+  explicit IncrementalClusterer(H2Options options = {},
+                                std::vector<Address> dice_addresses = {});
+
+  /// Consumes every transaction of `view` beyond the ones already
+  /// processed. `view` must be the same growing chain on every call
+  /// (enforced only by tx_count monotonicity).
+  DeltaStats apply(const ChainView& view);
+
+  /// Transactions consumed so far.
+  TxIndex tx_count() const noexcept { return next_tx_; }
+
+  /// Exact H1 stats for the processed prefix (bit-identical to
+  /// apply_heuristic1 over the same transactions).
+  const H1Stats& h1_stats() const noexcept { return h1_stats_; }
+
+  /// Materializes the H1-only partition.
+  Clustering h1_clustering() const;
+
+  /// Materializes the H2 result exactly as apply_heuristic2 would
+  /// report it for the processed prefix (labels ascending by tx).
+  H2Result h2_result() const;
+
+  /// Materializes the final (H1 + H2 labels) partition.
+  Clustering clustering() const;
+
+  /// Compact snapshot image: the per-transaction decisions. The rest
+  /// of the state (receipt indices, forests, stats) is rebuilt from
+  /// the view by deserialize(), which costs one linear scan — the
+  /// point of the snapshot is skipping the *delta-log replay*, not the
+  /// index rebuild.
+  Bytes serialize() const;
+
+  /// Restores a clusterer whose processed prefix is exactly `view`
+  /// (raw.next_tx must equal view.tx_count(); ParseError otherwise).
+  /// `options` and `dice_addresses` must match the serializing run —
+  /// they are inputs, not state, exactly like the batch pipeline's.
+  static IncrementalClusterer deserialize(ByteView raw, const ChainView& view,
+                                          H2Options options,
+                                          std::vector<Address> dice_addresses);
+
+ private:
+  struct TxCtx;  // h2_decide context over the incremental indices
+
+  void grow_to(const ChainView& view);
+  void resolve_pending_dice(const ChainView& view);
+  /// Appends tx `t`'s structural state (H1 links, receipts, marks);
+  /// records old transactions needing re-evaluation into `touched`.
+  void ingest_structural(const ChainView& view, TxIndex t, TxIndex from,
+                         std::vector<TxIndex>* touched);
+  H2Decision decide(const ChainView& view, TxIndex t) const;
+  void unite_label(const ChainView& view, TxIndex t, AddrId change,
+                   UnionFind& uf);
+
+  H2Options options_;
+  std::vector<Address> dice_pending_;
+  // Membership set only — queried by key, never iterated.
+  std::unordered_set<AddrId> dice_ids_;
+
+  TxIndex next_tx_ = 0;
+  UnionFind h1_uf_;
+  H1Stats h1_stats_;
+  UnionFind final_uf_;  ///< h1 links + current labels (see file comment)
+
+  // Per-address receipt history (parallel vectors, ascending tx) and
+  // first self-change appearance (kNoTx if never).
+  std::vector<std::vector<TxIndex>> receipt_at_;
+  std::vector<std::vector<std::uint8_t>> receipt_dice_;
+  std::vector<TxIndex> self_change_first_;
+
+  // Per-transaction decisions.
+  std::vector<H2Outcome> outcome_;
+  std::vector<AddrId> change_of_tx_;
+  H2SkipStats skipped_;
+  std::uint64_t label_count_ = 0;
+};
+
+}  // namespace fist

@@ -37,6 +37,21 @@ std::uint64_t UnionFind::absorb(const UnionFind& other) {
   return merges;
 }
 
+std::uint64_t UnionFind::absorb(
+    const UnionFind& other,
+    const std::function<void(const MergeEvent&)>& on_merge) {
+  grow(other.size());
+  std::uint64_t merges = 0;
+  for (std::uint32_t x = 0; x < other.parent_.size(); ++x) {
+    if (other.parent_[x] == x) continue;
+    std::uint32_t joined = other.parent_[x];
+    if (!unite(x, joined)) continue;
+    ++merges;
+    if (on_merge) on_merge(MergeEvent{x, joined, find(x)});
+  }
+  return merges;
+}
+
 bool UnionFind::unite(std::uint32_t a, std::uint32_t b) noexcept {
   a = find(a);
   b = find(b);

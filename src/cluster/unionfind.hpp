@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 namespace fist {
@@ -35,6 +36,24 @@ class UnionFind {
   /// the partition of the union of their link sets. Absorbing the same
   /// forest twice is a no-op (returns 0).
   std::uint64_t absorb(const UnionFind& other);
+
+  /// Invoked for every union absorb() actually performs: the element
+  /// being replayed, the root it joined through, and the surviving
+  /// root afterwards. The event sequence is a pure function of the
+  /// absorbed forest's layout and this forest's prior state, so two
+  /// absorbs of the same forests in the same order report identical
+  /// sequences at any thread count — the delta path keys its merge
+  /// journal off exactly this ordering.
+  struct MergeEvent {
+    std::uint32_t element = 0;   ///< replayed element (ascending order)
+    std::uint32_t joined = 0;    ///< other forest's parent of `element`
+    std::uint32_t root = 0;      ///< surviving root after the union
+  };
+
+  /// As absorb(), reporting each successful union through `on_merge`
+  /// in deterministic (ascending-element) order.
+  std::uint64_t absorb(const UnionFind& other,
+                       const std::function<void(const MergeEvent&)>& on_merge);
 
   /// True iff `a` and `b` share a set.
   bool same(std::uint32_t a, std::uint32_t b) noexcept {

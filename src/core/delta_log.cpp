@@ -1,0 +1,193 @@
+#include "core/delta_log.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+#include "core/fault.hpp"
+#include "core/obs/flightrec.hpp"
+#include "core/obs/metrics.hpp"
+#include "crypto/sha256.hpp"
+#include "util/error.hpp"
+#include "util/serialize.hpp"
+
+namespace fist {
+
+namespace {
+
+/// Record framing: magic, payload length, truncated sha256d(payload).
+constexpr std::uint32_t kDeltaMagic = 0x464c5444u;  // "DTLF" on disk
+constexpr std::size_t kHeaderSize = 4 + 4 + 8;
+constexpr std::uint32_t kMaxPayload = 32u * 1024 * 1024;
+constexpr int kAppendAttempts = 3;
+
+struct DeltaLogMetrics {
+  obs::Counter appends;
+  obs::Counter retries;
+  obs::Counter poisoned;
+
+  static const DeltaLogMetrics& get() {
+    static const DeltaLogMetrics metrics = [] {
+      obs::MetricsRegistry& r = obs::MetricsRegistry::global();
+      DeltaLogMetrics m;
+      m.appends = r.counter("delta.log.appends");
+      m.retries = r.counter("delta.log.retries");
+      m.poisoned = r.counter("delta.log.poisoned");
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+std::uint32_t read_u32le(const Bytes& data, std::size_t off) {
+  return static_cast<std::uint32_t>(data[off]) |
+         static_cast<std::uint32_t>(data[off + 1]) << 8 |
+         static_cast<std::uint32_t>(data[off + 2]) << 16 |
+         static_cast<std::uint32_t>(data[off + 3]) << 24;
+}
+
+bool checksum_matches(const Bytes& data, std::size_t payload_off,
+                      std::uint32_t len, std::size_t sum_off) {
+  Sha256::Digest digest =
+      sha256d(ByteView(data.data() + payload_off, len));
+  for (std::size_t i = 0; i < 8; ++i)
+    if (digest[i] != data[sum_off + i]) return false;
+  return true;
+}
+
+}  // namespace
+
+DeltaLog::DeltaLog(std::filesystem::path path, const OpenOptions& options)
+    : path_(std::move(path)) {
+  if (!std::filesystem::exists(path_)) {
+    std::ofstream create(path_, std::ios::binary);
+    if (!create) throw IoError("delta log: cannot create " + path_.string());
+  }
+  scan(options);
+}
+
+void DeltaLog::scan(const OpenOptions& options) {
+  std::error_code ec;
+  const std::uint64_t file_size = std::filesystem::file_size(path_, ec);
+  if (ec) throw IoError("delta log: cannot stat " + path_.string());
+  Bytes data;
+  if (file_size > 0) {
+    std::ifstream in(path_, std::ios::binary);
+    if (!in) throw IoError("delta log: cannot open " + path_.string());
+    data.resize(file_size);
+    in.read(reinterpret_cast<char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+    if (!in) throw IoError("delta log: short read on " + path_.string());
+  }
+
+  std::size_t off = 0;
+  while (off < data.size()) {
+    if (data.size() - off < kHeaderSize) {
+      // Incomplete header: the torn tail of an interrupted append.
+      report_.torn_tail_bytes = data.size() - off;
+      break;
+    }
+    const std::uint32_t magic = read_u32le(data, off);
+    const std::uint32_t len = read_u32le(data, off + 4);
+    if (magic != kDeltaMagic || len > kMaxPayload) {
+      if (!options.recover)
+        throw ParseError("delta log: bad record framing at offset " +
+                         std::to_string(off) + " in " + path_.string());
+      // Resync: byte-scan forward for the next plausible record start.
+      std::size_t probe = off + 1;
+      while (probe + 4 <= data.size() && read_u32le(data, probe) != kDeltaMagic)
+        ++probe;
+      if (probe + 4 > data.size()) probe = data.size();
+      report_.resynced_bytes += probe - off;
+      off = probe;
+      continue;
+    }
+    if (data.size() - off < kHeaderSize + len) {
+      // Complete header, incomplete payload: torn tail.
+      report_.torn_tail_bytes = data.size() - off;
+      break;
+    }
+    const std::size_t payload_off = off + kHeaderSize;
+    const bool ok = checksum_matches(data, payload_off, len, off + 8);
+    if (!ok && !options.recover)
+      throw ParseError("delta log: checksum mismatch at record " +
+                       std::to_string(records_.size()) + " in " +
+                       path_.string());
+    records_.emplace_back(data.begin() + static_cast<std::ptrdiff_t>(payload_off),
+                          data.begin() +
+                              static_cast<std::ptrdiff_t>(payload_off + len));
+    poisoned_.push_back(ok ? std::uint8_t{0} : std::uint8_t{1});
+    if (!ok) {
+      report_.poisoned.push_back(
+          static_cast<std::uint32_t>(records_.size() - 1));
+      DeltaLogMetrics::get().poisoned.inc();
+    }
+    off = payload_off + len;
+    tail_ = off;
+  }
+
+  // Truncate everything past the last parsed record (the torn tail,
+  // or trailing garbage no resync could rescue) so the next append
+  // starts on a clean boundary — FileBlockStore's discipline.
+  if (file_size > tail_) {
+    std::filesystem::resize_file(path_, tail_, ec);
+    if (ec) throw IoError("delta log: cannot truncate " + path_.string());
+  }
+}
+
+std::uint32_t DeltaLog::append(ByteView payload) {
+  if (payload.size() > kMaxPayload)
+    throw UsageError("delta log: payload exceeds the record size cap");
+  const std::uint32_t index = static_cast<std::uint32_t>(records_.size());
+  Writer w;
+  w.u32le(kDeltaMagic);
+  w.u32le(static_cast<std::uint32_t>(payload.size()));
+  Sha256::Digest digest = sha256d(payload);
+  w.bytes(ByteView(digest.data(), 8));
+  w.bytes(payload);
+  const Bytes frame = w.take();
+
+  const DeltaLogMetrics& m = DeltaLogMetrics::get();
+  for (int attempt = 0;; ++attempt) {
+    // Key varies per attempt so nth-armed tests can fail attempt 0 and
+    // let the retry succeed.
+    const bool injected =
+        fault::fire("delta.log.append",
+                    (static_cast<std::uint64_t>(index) << 3) |
+                        static_cast<std::uint64_t>(attempt));
+    bool ok = false;
+    if (!injected) {
+      // Roll back any partial bytes a failed attempt left, then write
+      // the whole frame at the record boundary.
+      std::error_code ec;
+      std::filesystem::resize_file(path_, tail_, ec);
+      if (!ec) {
+        std::FILE* f = std::fopen(path_.string().c_str(), "r+b");
+        if (f != nullptr) {
+          ok = std::fseek(f, static_cast<long>(tail_), SEEK_SET) == 0 &&
+               std::fwrite(frame.data(), 1, frame.size(), f) == frame.size() &&
+               std::fflush(f) == 0;
+          std::fclose(f);
+        }
+      }
+    }
+    if (ok) break;
+    if (attempt + 1 >= kAppendAttempts)
+      throw IoError("delta log: append failed after " +
+                    std::to_string(kAppendAttempts) + " attempts: " +
+                    path_.string());
+    m.retries.inc();
+    obs::flight_event("flight.delta.retry", path_.filename().string(), index,
+                      attempt);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1 << attempt));
+  }
+
+  tail_ += frame.size();
+  records_.emplace_back(payload.begin(), payload.end());
+  poisoned_.push_back(0);
+  m.appends.inc();
+  return index;
+}
+
+}  // namespace fist

@@ -1,0 +1,95 @@
+// delta_log.hpp — the checksummed write-ahead log behind the live
+// cluster index.
+//
+// One record per appended block delta: fixed framing (magic, payload
+// length, truncated sha256d of the payload) followed by the payload.
+// The log is the *durable source of truth* — LiveIndex appends here
+// before applying anything in memory, so a kill -9 at any instant
+// loses at most the record being written, and that torn tail is
+// detected and physically truncated on the next open (the same
+// discipline as FileBlockStore).
+//
+// Corruption handling mirrors the ingest recovery policies:
+//   * torn tail (incomplete final record): dropped and truncated away
+//     in both modes — it is the expected crash artifact, not damage;
+//   * checksum mismatch with intact framing: strict throws ParseError,
+//     recover marks the record *poisoned* (it keeps its index so later
+//     records stay addressable) and continues;
+//   * mangled framing (bad magic / absurd length): strict throws,
+//     recover byte-scans forward for the next record boundary.
+//
+// Appends probe the `delta.log.append` fault site and retry transient
+// failures with backoff (the file is truncated back to the record
+// boundary before each attempt, so a failed attempt never leaves
+// partial bytes behind a later success).
+//
+// Single-threaded by contract, like the checkpoint writer: one
+// LiveIndex owns one DeltaLog; no internal locking.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace fist {
+
+/// Append-only checksummed record log, fully indexed in memory (the
+/// payloads are block deltas the owning index applies anyway; the log
+/// is the durability layer, not an archive format).
+class DeltaLog {
+ public:
+  struct OpenOptions {
+    /// Recover around mid-log corruption (poison / resync) instead of
+    /// throwing ParseError. Torn tails are truncated in both modes.
+    bool recover = false;
+  };
+
+  /// What the opening scan found beyond clean records.
+  struct OpenReport {
+    std::uint64_t torn_tail_bytes = 0;  ///< truncated crash artifact
+    std::uint64_t resynced_bytes = 0;   ///< skipped while resyncing
+    std::vector<std::uint32_t> poisoned;  ///< checksum-mismatch records
+    bool clean() const noexcept {
+      return torn_tail_bytes == 0 && resynced_bytes == 0 && poisoned.empty();
+    }
+  };
+
+  /// Opens (creating if needed) `path` and scans existing records.
+  DeltaLog(std::filesystem::path path, const OpenOptions& options);
+  explicit DeltaLog(std::filesystem::path path)
+      : DeltaLog(std::move(path), OpenOptions{}) {}
+
+  /// Appends one record durably (fsync-less fflush: the crash model is
+  /// process death, not power loss — matching FileBlockStore) and
+  /// returns its index. Probes `delta.log.append` with key
+  /// (index << 3 | attempt); transient failures retry with 1/2/4 ms
+  /// backoff, then throw IoError.
+  std::uint32_t append(ByteView payload);
+
+  std::size_t record_count() const noexcept { return records_.size(); }
+
+  /// Payload of record `index` (valid even for poisoned records — the
+  /// bytes as read; callers must check poisoned() first).
+  const Bytes& payload(std::size_t index) const { return records_[index]; }
+
+  /// True when record `index` failed its checksum at open.
+  bool poisoned(std::size_t index) const {
+    return poisoned_[index] != 0;
+  }
+
+  const OpenReport& open_report() const noexcept { return report_; }
+  const std::filesystem::path& path() const noexcept { return path_; }
+
+ private:
+  void scan(const OpenOptions& options);
+
+  std::filesystem::path path_;
+  std::vector<Bytes> records_;
+  std::vector<std::uint8_t> poisoned_;
+  std::uint64_t tail_ = 0;  ///< end offset of the last valid record
+  OpenReport report_;
+};
+
+}  // namespace fist

@@ -1,0 +1,266 @@
+#include "core/live_index.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "core/checkpoint.hpp"
+#include "core/fault.hpp"
+#include "core/obs/flightrec.hpp"
+#include "core/obs/metrics.hpp"
+#include "core/obs/span.hpp"
+#include "crypto/sha256.hpp"
+#include "util/error.hpp"
+#include "util/hex.hpp"
+#include "util/serialize.hpp"
+
+namespace fist {
+
+namespace {
+
+constexpr std::uint32_t kLiveSnapshotVersion = 1;
+constexpr int kSnapshotAttempts = 3;
+
+/// Live-index metrics. `delta.snapshots` is deterministic;
+/// `delta.apply_micros` is wall-clock latency and carved out of the
+/// determinism contract (see docs/OBSERVABILITY.md).
+struct LiveMetrics {
+  obs::Counter snapshots;
+  obs::Histogram apply_micros;
+
+  static const LiveMetrics& get() {
+    static const LiveMetrics metrics = [] {
+      obs::MetricsRegistry& r = obs::MetricsRegistry::global();
+      LiveMetrics m;
+      m.snapshots = r.counter("delta.snapshots");
+      m.apply_micros =
+          r.histogram("delta.apply_micros",
+                      {50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000,
+                       50000, 100000, 250000, 1000000});
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
+
+LiveIndex::LiveIndex(std::filesystem::path dir, Options options)
+    : dir_(std::move(dir)),
+      options_(std::move(options)),
+      clusterer_(options_.h2, options_.dice_addresses) {
+  open();
+}
+
+void LiveIndex::open() {
+  std::filesystem::create_directories(dir_);
+  DeltaLog::OpenOptions log_options;
+  log_options.recover = options_.recovery == RecoveryPolicy::Lenient;
+  log_ = std::make_unique<DeltaLog>(log_path(), log_options);
+  info_.torn_tail_bytes = log_->open_report().torn_tail_bytes;
+
+  std::uint64_t start = 0;
+  if (auto manifest = load_manifest()) {
+    // A manifest epoch beyond the log means log-level corruption ate
+    // record slots; the only safe recovery is a full replay.
+    if (manifest->epoch <= log_->record_count() &&
+        restore_snapshot(*manifest)) {
+      start = manifest->epoch;
+      info_.snapshot_epoch = start;
+      quarantined_ = manifest->quarantined;
+    } else {
+      info_.snapshot_stale = true;
+    }
+  }
+  epoch_ = start;
+
+  for (std::size_t i = start; i < log_->record_count(); ++i) {
+    apply_record(static_cast<std::uint32_t>(i), log_->payload(i),
+                 log_->poisoned(i));
+    ++info_.replayed;
+  }
+  if (info_.replayed > 0)
+    obs::flight_event("flight.delta.replay", dir_.string(), start,
+                      info_.replayed);
+  std::sort(quarantined_.begin(), quarantined_.end());
+  quarantined_.erase(std::unique(quarantined_.begin(), quarantined_.end()),
+                     quarantined_.end());
+}
+
+std::uint32_t LiveIndex::append(const Block& block) {
+  const Bytes payload = block.serialize();
+  const std::uint32_t index = log_->append(payload);  // WAL-first
+  apply_record(index, payload, /*poisoned_at_open=*/false);
+  if (options_.snapshot_every != 0 && epoch_ % options_.snapshot_every == 0)
+    snapshot();
+  return index;
+}
+
+void LiveIndex::apply_record(std::uint32_t index, ByteView payload,
+                             bool poisoned_at_open) {
+  obs::Span span("delta.apply");
+  const auto t0 = std::chrono::steady_clock::now();
+
+  bool quarantine = poisoned_at_open;
+  std::string reason = poisoned_at_open ? "poisoned log record" : "";
+  if (!quarantine && fault::fire("delta.apply", index)) {
+    if (options_.recovery == RecoveryPolicy::Strict)
+      throw IoError("live index: injected delta.apply fault at record " +
+                    std::to_string(index));
+    quarantine = true;
+    reason = "injected delta.apply fault";
+  }
+  if (!quarantine) {
+    try {
+      Reader r(payload);
+      Block block = Block::deserialize(r);
+      r.expect_eof();
+      std::vector<Block> delta;
+      delta.push_back(std::move(block));
+      view_.apply_delta(delta, options_.recovery, &ingest_report_);
+      clusterer_.apply(view_);
+    } catch (const ParseError& e) {
+      if (options_.recovery == RecoveryPolicy::Strict) throw;
+      quarantine = true;
+      reason = e.what();
+    }
+  }
+  ++epoch_;
+  if (quarantine) {
+    quarantined_.push_back(index);
+    obs::flight_event("flight.delta.quarantine", reason, index);
+  }
+
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  LiveMetrics::get().apply_micros.observe(
+      std::chrono::duration<double, std::micro>(elapsed).count());
+}
+
+void LiveIndex::snapshot() {
+  Writer w;
+  w.u32le(kLiveSnapshotVersion);
+  w.u64le(epoch_);
+  {
+    Bytes view_image = view_.serialize();
+    w.var_bytes(view_image);
+  }
+  {
+    Bytes clusterer_image = clusterer_.serialize();
+    w.var_bytes(clusterer_image);
+  }
+  const Bytes image = w.take();
+  const Sha256::Digest d = sha256d(image);
+  const std::string sidecar_hex = to_hex(ByteView(d.data(), d.size()));
+
+  for (int attempt = 0;; ++attempt) {
+    const bool injected =
+        fault::fire("index.snapshot",
+                    (epoch_ << 3) | static_cast<std::uint64_t>(attempt));
+    if (!injected) {
+      try {
+        // Snapshot, then sidecar, then the manifest LAST: the manifest
+        // rewrite is the commit point (see file comment in the header).
+        atomic_write_file(snapshot_path(), image);
+        atomic_write_file(sidecar_path(), to_bytes(sidecar_hex + "\n"));
+        write_manifest(digest_hex(image));
+        LiveMetrics::get().snapshots.inc();
+        obs::flight_event("flight.delta.snapshot", "", epoch_, image.size());
+        return;
+      } catch (const IoError&) {
+        // fall through to retry
+      }
+    }
+    if (attempt + 1 >= kSnapshotAttempts) {
+      if (options_.recovery == RecoveryPolicy::Strict)
+        throw IoError("live index: snapshot failed after " +
+                      std::to_string(kSnapshotAttempts) + " attempts in " +
+                      dir_.string());
+      // Lenient: the log still holds every block; a later open just
+      // replays more.
+      obs::flight_event("flight.delta.snapshot", "failed; continuing on log",
+                        epoch_, 0);
+      return;
+    }
+    obs::flight_event("flight.delta.retry", "index.snapshot", epoch_,
+                      static_cast<std::uint64_t>(attempt));
+    std::this_thread::sleep_for(std::chrono::milliseconds(1 << attempt));
+  }
+}
+
+bool LiveIndex::restore_snapshot(const Manifest& manifest) {
+  try {
+    const Bytes image = read_file(snapshot_path());
+    if (digest_hex(image) != manifest.snapshot_digest) return false;
+    const Bytes sidecar = read_file(sidecar_path());
+    std::string sidecar_hex(sidecar.begin(), sidecar.end());
+    while (!sidecar_hex.empty() &&
+           (sidecar_hex.back() == '\n' || sidecar_hex.back() == '\r'))
+      sidecar_hex.pop_back();
+    const Sha256::Digest d = sha256d(image);
+    if (sidecar_hex != to_hex(ByteView(d.data(), d.size()))) return false;
+
+    Reader r(image);
+    if (r.u32le() != kLiveSnapshotVersion) return false;
+    const std::uint64_t epoch = r.u64le();
+    if (epoch != manifest.epoch) return false;
+    const Bytes view_image = r.var_bytes(r.remaining());
+    const Bytes clusterer_image = r.var_bytes(r.remaining());
+    r.expect_eof();
+
+    ChainView view = ChainView::deserialize(view_image);
+    IncrementalClusterer clusterer = IncrementalClusterer::deserialize(
+        clusterer_image, view, options_.h2, options_.dice_addresses);
+    view_ = std::move(view);
+    clusterer_ = std::move(clusterer);
+    epoch_ = epoch;
+    return true;
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+void LiveIndex::write_manifest(const std::string& snapshot_digest) {
+  std::string text = "fistful-live v1\n";
+  text += "epoch " + std::to_string(epoch_) + "\n";
+  text += "snapshot " + snapshot_digest + "\n";
+  for (std::uint32_t q : quarantined_)
+    text += "quarantined " + std::to_string(q) + "\n";
+  atomic_write_file(manifest_path(), to_bytes(text));
+}
+
+std::optional<LiveIndex::Manifest> LiveIndex::load_manifest() const {
+  Bytes raw;
+  try {
+    raw = read_file(manifest_path());
+  } catch (const IoError&) {
+    return std::nullopt;
+  }
+  std::istringstream in(std::string(raw.begin(), raw.end()));
+  std::string header;
+  if (!std::getline(in, header) || header != "fistful-live v1")
+    return std::nullopt;
+  Manifest m;
+  bool have_epoch = false;
+  bool have_digest = false;
+  std::string key;
+  while (in >> key) {
+    if (key == "epoch") {
+      if (!(in >> m.epoch)) return std::nullopt;
+      have_epoch = true;
+    } else if (key == "snapshot") {
+      if (!(in >> m.snapshot_digest)) return std::nullopt;
+      have_digest = true;
+    } else if (key == "quarantined") {
+      std::uint32_t idx = 0;
+      if (!(in >> idx)) return std::nullopt;
+      m.quarantined.push_back(idx);
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (!have_epoch || !have_digest) return std::nullopt;
+  return m;
+}
+
+}  // namespace fist

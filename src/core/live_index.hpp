@@ -1,0 +1,148 @@
+// live_index.hpp — the crash-safe incremental cluster index.
+//
+// LiveIndex glues the write-ahead DeltaLog to the in-memory
+// incremental state (ChainView + IncrementalClusterer) with a durable
+// epoch discipline:
+//
+//   append(block):  1. append the serialized block to the delta log
+//                      (durable — the WAL step), then
+//                   2. apply it in memory (view.apply_delta +
+//                      clusterer.apply), then
+//                   3. optionally auto-snapshot.
+//
+//   snapshot():     writes `live.snapshot` (view + clusterer images)
+//                   and its sha256d sidecar atomically, then commits
+//                   by atomically rewriting `live.manifest` — the
+//                   manifest write is the commit point, so a kill
+//                   between any two steps leaves either the old or the
+//                   new snapshot fully referenced, never a torn mix
+//                   (any inconsistency is detected by digest and
+//                   degrades to a full log replay; the log holds every
+//                   block, so nothing is ever lost).
+//
+//   open:           restore the manifest-referenced snapshot if its
+//                   digests verify and its epoch fits the log, then
+//                   replay only the log tail. kill -9 at ANY instant
+//                   therefore resumes from the last durable epoch.
+//
+// Lenient recovery quarantines poisoned/undecodable/fault-injected
+// deltas (flight.delta.quarantine) and keeps going — the surviving
+// state matches a batch build over the surviving blocks. Strict mode
+// throws on the first bad delta; the instance is then dead (the view
+// may be partially extended) and must be reopened from durable state.
+//
+// Single-threaded by contract, like the checkpoint writer: no
+// internal locking; one owner drives append/snapshot.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chain/block.hpp"
+#include "chain/ingest.hpp"
+#include "chain/view.hpp"
+#include "cluster/heuristic2.hpp"
+#include "cluster/incremental.hpp"
+#include "core/delta_log.hpp"
+#include "encoding/address.hpp"
+
+namespace fist {
+
+/// Durable incremental clustering over an append-only block feed.
+class LiveIndex {
+ public:
+  struct Options {
+    H2Options h2;  ///< heuristic configuration (input, not state)
+    /// Dice-rebound addresses, resolved lazily as they appear
+    /// (see IncrementalClusterer). Must match across resumes, exactly
+    /// like the batch pipeline's inputs.
+    std::vector<Address> dice_addresses;
+    RecoveryPolicy recovery = RecoveryPolicy::Strict;
+    /// Auto-snapshot after every N applied records (0 = manual only).
+    std::uint32_t snapshot_every = 0;
+  };
+
+  /// What open() found and did.
+  struct OpenInfo {
+    std::uint64_t snapshot_epoch = 0;  ///< epoch restored from snapshot
+    std::uint64_t replayed = 0;        ///< log-tail records replayed
+    std::uint64_t torn_tail_bytes = 0; ///< crash artifact truncated away
+    bool snapshot_stale = false;  ///< snapshot rejected → full replay
+  };
+
+  /// Opens (creating if needed) the index directory: `delta.log`,
+  /// `live.snapshot` (+ `.sha256d` sidecar), `live.manifest`.
+  LiveIndex(std::filesystem::path dir, Options options);
+
+  /// WAL-appends and applies one block; returns its record index.
+  std::uint32_t append(const Block& block);
+
+  /// Writes a durable snapshot of the current epoch. Probes the
+  /// `index.snapshot` fault site with retry/backoff; after exhausted
+  /// retries strict throws IoError, lenient records a flight event and
+  /// continues (the log still holds everything).
+  void snapshot();
+
+  /// Records applied so far (== delta-log records consumed).
+  std::uint64_t epoch() const noexcept { return epoch_; }
+
+  const ChainView& view() const noexcept { return view_; }
+  const IncrementalClusterer& clusterer() const noexcept {
+    return clusterer_;
+  }
+  const DeltaLog& log() const noexcept { return *log_; }
+  const OpenInfo& open_info() const noexcept { return info_; }
+
+  /// Transaction-level quarantines from lenient apply (same semantics
+  /// as the batch build's report).
+  const IngestReport& ingest_report() const noexcept {
+    return ingest_report_;
+  }
+
+  /// Record indices of deltas quarantined wholesale (poisoned log
+  /// records, undecodable payloads, injected apply faults). Durable
+  /// across snapshot+resume via the manifest — this is what fistctl's
+  /// delta-corruption exit code keys off.
+  const std::vector<std::uint32_t>& quarantined_deltas() const noexcept {
+    return quarantined_;
+  }
+
+ private:
+  struct Manifest {
+    std::uint64_t epoch = 0;
+    std::string snapshot_digest;  // SHA-256 hex of live.snapshot
+    std::vector<std::uint32_t> quarantined;
+  };
+
+  std::filesystem::path log_path() const { return dir_ / "delta.log"; }
+  std::filesystem::path snapshot_path() const { return dir_ / "live.snapshot"; }
+  std::filesystem::path sidecar_path() const {
+    return dir_ / "live.snapshot.sha256d";
+  }
+  std::filesystem::path manifest_path() const { return dir_ / "live.manifest"; }
+
+  void open();
+  /// Loads + digest-verifies the snapshot; returns false (stale) on
+  /// any mismatch or decode failure.
+  bool restore_snapshot(const Manifest& manifest);
+  void apply_record(std::uint32_t index, ByteView payload,
+                    bool poisoned_at_open);
+  void write_manifest(const std::string& snapshot_digest);
+  std::optional<Manifest> load_manifest() const;
+
+  std::filesystem::path dir_;
+  Options options_;
+  std::unique_ptr<DeltaLog> log_;
+  ChainView view_;
+  IncrementalClusterer clusterer_;
+  IngestReport ingest_report_;
+  std::uint64_t epoch_ = 0;
+  std::vector<std::uint32_t> quarantined_;
+  OpenInfo info_;
+};
+
+}  // namespace fist

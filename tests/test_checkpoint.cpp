@@ -312,6 +312,56 @@ TEST_F(PipelineResumeTest, InputDigestMismatchInvalidatesTheCheckpoint) {
       << "stale checkpoint must not be resumed";
 }
 
+TEST_F(PipelineResumeTest, TagsDigestMismatchInvalidatesTheCheckpoint) {
+  PipelineOptions first = options(1);
+  first.tags_digest = "cc33";
+  Result fresh = run(first);
+  std::uint64_t loaded_before = counter_value("checkpoint.stages_loaded");
+  // Same chain fingerprint, different tag-feed fingerprint: a resumed
+  // h2/dice stage would silently use the wrong exemption set, so the
+  // whole checkpoint must be ignored and rebuilt.
+  PipelineOptions changed = options(1);
+  changed.tags_digest = "dd44";
+  Result recomputed = run(changed);
+  EXPECT_EQ(recomputed.assignment, fresh.assignment);
+  EXPECT_EQ(recomputed.change_of_tx, fresh.change_of_tx);
+  EXPECT_EQ(counter_value("checkpoint.stages_loaded"), loaded_before)
+      << "stale tags digest must not be resumed";
+}
+
+TEST_F(PipelineResumeTest, RecoveryPolicyMismatchInvalidatesTheCheckpoint) {
+  Result fresh = run(options(1));
+  std::uint64_t loaded_before = counter_value("checkpoint.stages_loaded");
+  PipelineOptions changed = options(1);
+  changed.recovery = RecoveryPolicy::Lenient;
+  Result recomputed = run(changed);
+  EXPECT_EQ(recomputed.assignment, fresh.assignment);
+  EXPECT_EQ(counter_value("checkpoint.stages_loaded"), loaded_before)
+      << "a strict-mode checkpoint must not seed a lenient run";
+}
+
+TEST_F(PipelineResumeTest, EmptyDigestOnEitherSideResumes) {
+  // The fingerprint check is deliberately lenient when either side
+  // left a digest empty (an operator resuming without re-hashing the
+  // inputs): only a *conflicting* pair invalidates.
+  PipelineOptions first = options(1);
+  first.tags_digest = "";  // prior manifest has no tags fingerprint
+  run(first);
+  std::uint64_t loaded_before = counter_value("checkpoint.stages_loaded");
+  PipelineOptions with_digest = options(1);
+  with_digest.tags_digest = "cc33";
+  run(with_digest);
+  EXPECT_GE(counter_value("checkpoint.stages_loaded"), loaded_before + 3)
+      << "empty prior digest must match any new digest";
+
+  std::uint64_t loaded_mid = counter_value("checkpoint.stages_loaded");
+  PipelineOptions without_digest = options(1);
+  without_digest.chain_digest = "";
+  run(without_digest);
+  EXPECT_GE(counter_value("checkpoint.stages_loaded"), loaded_mid + 3)
+      << "empty new digest must match any prior digest";
+}
+
 TEST_F(PipelineResumeTest, CorruptArtifactDegradesToRecompute) {
   Result fresh = run(options(1));
   std::filesystem::path h2_art =

@@ -1,0 +1,209 @@
+// test_delta_log.cpp — framing, crash-tail, corruption, and retry
+// behavior of the write-ahead delta log (docs/ROBUSTNESS.md).
+#include "core/delta_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/fault.hpp"
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+
+namespace fist {
+namespace {
+
+namespace fs = std::filesystem;
+
+class DeltaLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fault::Registry::global().disarm_all();
+    path_ = fs::temp_directory_path() /
+            ("fist_delta_log_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name()) +
+             ".log");
+    fs::remove(path_);
+  }
+  void TearDown() override {
+    fault::Registry::global().disarm_all();
+    fs::remove(path_);
+  }
+
+  Bytes payload(unsigned seed, std::size_t len = 64) const {
+    Bytes p(len);
+    for (std::size_t i = 0; i < len; ++i)
+      p[i] = static_cast<std::uint8_t>((seed * 131 + i * 7) & 0xff);
+    return p;
+  }
+
+  void append_garbage(std::size_t n, std::uint8_t byte = 0xab) const {
+    std::ofstream out(path_, std::ios::binary | std::ios::app);
+    for (std::size_t i = 0; i < n; ++i)
+      out.put(static_cast<char>(byte));
+  }
+
+  /// Flips one byte at `offset` in place.
+  void corrupt_byte(std::size_t offset) const {
+    std::fstream f(path_, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(static_cast<std::streamoff>(offset));
+    char c = 0;
+    f.get(c);
+    f.seekp(static_cast<std::streamoff>(offset));
+    f.put(static_cast<char>(c ^ 0xff));
+  }
+
+  fs::path path_;
+};
+
+constexpr std::size_t kHeader = 16;  // magic + len + truncated sha256d
+
+TEST_F(DeltaLogTest, RoundTripAcrossReopen) {
+  {
+    DeltaLog log(path_);
+    EXPECT_EQ(log.record_count(), 0u);
+    EXPECT_EQ(log.append(payload(1)), 0u);
+    EXPECT_EQ(log.append(payload(2, 300)), 1u);
+    EXPECT_EQ(log.append(Bytes{}), 2u);  // empty payloads are legal
+  }
+  DeltaLog log(path_);
+  ASSERT_EQ(log.record_count(), 3u);
+  EXPECT_TRUE(log.open_report().clean());
+  EXPECT_EQ(log.payload(0), payload(1));
+  EXPECT_EQ(log.payload(1), payload(2, 300));
+  EXPECT_TRUE(log.payload(2).empty());
+  EXPECT_FALSE(log.poisoned(0));
+}
+
+TEST_F(DeltaLogTest, TornTailIsDetectedAndTruncated) {
+  {
+    DeltaLog log(path_);
+    log.append(payload(1));
+    log.append(payload(2));
+  }
+  const auto clean_size = fs::file_size(path_);
+  append_garbage(kHeader - 3);  // not even a whole header
+  {
+    DeltaLog log(path_);  // strict mode: torn tails are still fine
+    EXPECT_EQ(log.record_count(), 2u);
+    EXPECT_EQ(log.open_report().torn_tail_bytes, kHeader - 3);
+    EXPECT_EQ(fs::file_size(path_), clean_size);  // physically removed
+    log.append(payload(3));  // appends continue on the clean boundary
+  }
+  DeltaLog log(path_);
+  EXPECT_EQ(log.record_count(), 3u);
+  EXPECT_TRUE(log.open_report().clean());
+}
+
+TEST_F(DeltaLogTest, TornPayloadIsDetectedAndTruncated) {
+  std::size_t clean_size = 0;
+  {
+    DeltaLog log(path_);
+    log.append(payload(1));
+    clean_size = fs::file_size(path_);
+    log.append(payload(2, 200));
+  }
+  // Chop the last record's payload short: header intact, body torn.
+  fs::resize_file(path_, clean_size + kHeader + 50);
+  DeltaLog log(path_);
+  EXPECT_EQ(log.record_count(), 1u);
+  EXPECT_EQ(log.open_report().torn_tail_bytes, kHeader + 50);
+  EXPECT_EQ(fs::file_size(path_), clean_size);
+}
+
+TEST_F(DeltaLogTest, ChecksumMismatchThrowsInStrictMode) {
+  std::size_t first_end = 0;
+  {
+    DeltaLog log(path_);
+    log.append(payload(1));
+    first_end = fs::file_size(path_);
+    log.append(payload(2));
+  }
+  corrupt_byte(first_end + kHeader + 5);  // record 1's payload
+  EXPECT_THROW(DeltaLog log(path_), ParseError);
+}
+
+TEST_F(DeltaLogTest, ChecksumMismatchPoisonsInRecoverMode) {
+  std::size_t first_end = 0;
+  {
+    DeltaLog log(path_);
+    log.append(payload(1));
+    first_end = fs::file_size(path_);
+    log.append(payload(2));
+    log.append(payload(3));
+  }
+  corrupt_byte(first_end + kHeader + 5);
+  DeltaLog::OpenOptions recover;
+  recover.recover = true;
+  DeltaLog log(path_, recover);
+  // The poisoned record keeps its index slot so later records stay
+  // addressable.
+  ASSERT_EQ(log.record_count(), 3u);
+  EXPECT_FALSE(log.poisoned(0));
+  EXPECT_TRUE(log.poisoned(1));
+  EXPECT_FALSE(log.poisoned(2));
+  EXPECT_EQ(log.payload(2), payload(3));
+  ASSERT_EQ(log.open_report().poisoned.size(), 1u);
+  EXPECT_EQ(log.open_report().poisoned[0], 1u);
+}
+
+TEST_F(DeltaLogTest, MangledFramingResyncsInRecoverMode) {
+  std::size_t first_end = 0;
+  {
+    DeltaLog log(path_);
+    log.append(payload(1));
+    first_end = fs::file_size(path_);
+    log.append(payload(2));
+    log.append(payload(3));
+  }
+  corrupt_byte(first_end);  // record 1's magic
+  EXPECT_THROW(DeltaLog strict(path_), ParseError);
+  DeltaLog::OpenOptions recover;
+  recover.recover = true;
+  DeltaLog log(path_, recover);
+  // Record 1's frame is unrecoverable; the scan resyncs to record 2,
+  // which therefore shifts down one slot.
+  ASSERT_EQ(log.record_count(), 2u);
+  EXPECT_EQ(log.payload(0), payload(1));
+  EXPECT_EQ(log.payload(1), payload(3));
+  EXPECT_GT(log.open_report().resynced_bytes, 0u);
+}
+
+TEST_F(DeltaLogTest, AppendRetriesPastTransientFault) {
+  // Key = (index << 3) | attempt: fail only record 1's attempt 0.
+  fault::Registry::global().arm_nth("delta.log.append", (1u << 3) | 0u);
+  DeltaLog log(path_);
+  log.append(payload(1));
+  EXPECT_EQ(log.append(payload(2)), 1u);  // retried, then succeeded
+  EXPECT_EQ(fault::Registry::global().fired("delta.log.append"), 1u);
+  DeltaLog reopened(path_);
+  ASSERT_EQ(reopened.record_count(), 2u);
+  EXPECT_TRUE(reopened.open_report().clean());
+  EXPECT_EQ(reopened.payload(1), payload(2));
+}
+
+TEST_F(DeltaLogTest, AppendThrowsWhenRetriesExhaust) {
+  fault::Registry::global().arm("delta.log.append", 1.0);
+  DeltaLog log(path_);
+  EXPECT_THROW(log.append(payload(1)), IoError);
+  fault::Registry::global().disarm_all();
+  EXPECT_EQ(log.append(payload(2)), 0u);  // the log object stays usable
+  DeltaLog reopened(path_);
+  ASSERT_EQ(reopened.record_count(), 1u);
+  EXPECT_EQ(reopened.payload(0), payload(2));
+}
+
+TEST_F(DeltaLogTest, OversizedPayloadIsRejected) {
+  DeltaLog log(path_);
+  Bytes big(32u * 1024 * 1024 + 1);
+  EXPECT_THROW(log.append(big), UsageError);
+}
+
+}  // namespace
+}  // namespace fist

@@ -1,0 +1,385 @@
+// test_incremental.cpp — the incremental-vs-batch differential gate.
+//
+// The contract (docs/ROBUSTNESS.md): for ANY prefix+delta split of any
+// seeded economy, at any batch thread count, IncrementalClusterer's
+// state after consuming the deltas is bit-identical to the batch
+// algorithms over the whole chain — H1 stats and partition, the full
+// H2Result (labels, change table, skip buckets), and the final
+// clustering. Split points are deterministic lists, never random
+// (fistlint: banned-random).
+#include "cluster/incremental.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+#include <vector>
+
+#include "cluster/clustering.hpp"
+#include "cluster/heuristic1.hpp"
+#include "cluster/heuristic2.hpp"
+#include "core/executor.hpp"
+#include "core/pipeline.hpp"
+#include "sim/world.hpp"
+#include "testutil.hpp"
+
+namespace fist {
+namespace {
+
+using test::TestChain;
+
+AddrId id_of(const ChainView& view, std::uint32_t i) {
+  auto found = view.addresses().find(test::addr(i));
+  return found ? *found : kNoAddr;
+}
+
+/// Batch reference over a complete view.
+struct BatchRef {
+  UnionFind h1_uf;
+  H1Stats h1_stats;
+  H2Result h2;
+  Clustering h1_clusters;
+  Clustering final_clusters;
+};
+
+BatchRef batch_reference(const ChainView& view, const H2Options& options,
+                         const std::unordered_set<AddrId>& dice,
+                         unsigned threads) {
+  BatchRef ref;
+  ref.h1_uf = UnionFind(view.address_count());
+  if (threads == 1) {
+    ref.h1_stats = apply_heuristic1(view, ref.h1_uf);
+  } else {
+    Executor exec(threads);
+    ref.h1_stats = apply_heuristic1(view, ref.h1_uf, exec);
+  }
+  ref.h2 = apply_heuristic2(view, options, dice);
+  {
+    UnionFind copy = ref.h1_uf;
+    ref.h1_clusters = Clustering::from_union_find(copy);
+  }
+  {
+    UnionFind merged = ref.h1_uf;
+    unite_h2_labels(view, ref.h2, merged);
+    ref.final_clusters = Clustering::from_union_find(merged);
+  }
+  return ref;
+}
+
+void expect_same_skips(const H2SkipStats& a, const H2SkipStats& b) {
+  EXPECT_EQ(a.coinbase, b.coinbase);
+  EXPECT_EQ(a.self_change, b.self_change);
+  EXPECT_EQ(a.no_candidate, b.no_candidate);
+  EXPECT_EQ(a.ambiguous, b.ambiguous);
+  EXPECT_EQ(a.reused_guard, b.reused_guard);
+  EXPECT_EQ(a.self_change_history_guard, b.self_change_history_guard);
+  EXPECT_EQ(a.window_veto, b.window_veto);
+  EXPECT_EQ(a.too_few_outputs, b.too_few_outputs);
+}
+
+void expect_same_h2(const H2Result& batch, const H2Result& inc) {
+  ASSERT_EQ(batch.labels.size(), inc.labels.size());
+  for (std::size_t i = 0; i < batch.labels.size(); ++i) {
+    EXPECT_EQ(batch.labels[i].tx, inc.labels[i].tx) << "label " << i;
+    EXPECT_EQ(batch.labels[i].change, inc.labels[i].change) << "label " << i;
+  }
+  EXPECT_EQ(batch.change_of_tx, inc.change_of_tx);
+  expect_same_skips(batch.skipped, inc.skipped);
+}
+
+void expect_matches_batch(const BatchRef& ref,
+                          const IncrementalClusterer& inc) {
+  EXPECT_EQ(ref.h1_stats.multi_input_txs, inc.h1_stats().multi_input_txs);
+  EXPECT_EQ(ref.h1_stats.links, inc.h1_stats().links);
+  EXPECT_EQ(ref.h1_clusters.assignment(),
+            inc.h1_clustering().assignment());
+  expect_same_h2(ref.h2, inc.h2_result());
+  EXPECT_EQ(ref.final_clusters.assignment(),
+            inc.clustering().assignment());
+}
+
+/// Runs the clusterer over `blocks` split at `split` (prefix applied
+/// in one delta, the rest block by block — the live-index shape).
+IncrementalClusterer run_split(const std::vector<Block>& blocks,
+                               std::size_t split, const H2Options& options,
+                               std::vector<Address> dice) {
+  IncrementalClusterer inc(options, std::move(dice));
+  ChainView view;
+  std::vector<Block> prefix(blocks.begin(),
+                            blocks.begin() + static_cast<std::ptrdiff_t>(split));
+  view.apply_delta(prefix);
+  inc.apply(view);
+  for (std::size_t b = split; b < blocks.size(); ++b) {
+    std::vector<Block> delta{blocks[b]};
+    view.apply_delta(delta);
+    inc.apply(view);
+  }
+  return inc;
+}
+
+/// One simulated economy per seed, shared across the differential
+/// cases (world generation dominates the suite's runtime).
+struct Economy {
+  std::vector<Block> blocks;
+  ChainView view;
+  std::vector<Address> dice_addresses;
+  std::unordered_set<AddrId> dice_ids;
+
+  explicit Economy(std::uint64_t seed) {
+    sim::WorldConfig cfg;
+    cfg.days = 12;
+    cfg.users = 25;
+    cfg.seed = seed;
+    sim::World world(cfg);
+    world.run();
+    for (std::size_t i = 0; i < world.store().count(); ++i)
+      blocks.push_back(world.store().read(i));
+    view.apply_delta(blocks);
+    for (const TagEntry& entry : world.tag_feed())
+      if (entry.tag.category == Category::Gambling)
+        dice_addresses.push_back(entry.address);
+    for (const Address& a : dice_addresses)
+      if (auto id = view.addresses().find(a)) dice_ids.insert(*id);
+  }
+};
+
+class IncrementalDifferential : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(IncrementalDifferential, MatchesBatchAtEverySplitAndThreadCount) {
+  Economy eco(GetParam());
+  const std::size_t n = eco.blocks.size();
+  ASSERT_GT(n, 4u);
+  // Deterministic split list: edges, thirds, and a block-by-block tail.
+  const std::size_t splits[] = {0, 1, n / 3, n / 2, n - 2, n};
+  const unsigned thread_counts[] = {1, 2, 8};
+
+  for (const H2Options& options :
+       {H2Options{}, refined_h2_options()}) {
+    for (unsigned threads : thread_counts) {
+      BatchRef ref =
+          batch_reference(eco.view, options, eco.dice_ids, threads);
+      for (std::size_t split : splits) {
+        IncrementalClusterer inc =
+            run_split(eco.blocks, split, options, eco.dice_addresses);
+        expect_matches_batch(ref, inc);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalDifferential,
+                         ::testing::Values(7u, 11u, 42u));
+
+TEST(Incremental, SerializeRoundTripMidStreamContinues) {
+  Economy eco(7);
+  const std::size_t split = eco.blocks.size() / 2;
+  H2Options options = refined_h2_options();
+
+  // Uninterrupted reference run.
+  IncrementalClusterer straight =
+      run_split(eco.blocks, split, options, eco.dice_addresses);
+
+  // Run to the split, round-trip through bytes, continue.
+  ChainView view;
+  std::vector<Block> prefix(
+      eco.blocks.begin(),
+      eco.blocks.begin() + static_cast<std::ptrdiff_t>(split));
+  view.apply_delta(prefix);
+  IncrementalClusterer first(options, eco.dice_addresses);
+  first.apply(view);
+  Bytes image = first.serialize();
+  IncrementalClusterer resumed = IncrementalClusterer::deserialize(
+      image, view, options, eco.dice_addresses);
+  for (std::size_t b = split; b < eco.blocks.size(); ++b) {
+    std::vector<Block> delta{eco.blocks[b]};
+    view.apply_delta(delta);
+    resumed.apply(view);
+  }
+
+  EXPECT_EQ(straight.h1_stats().links, resumed.h1_stats().links);
+  expect_same_h2(straight.h2_result(), resumed.h2_result());
+  EXPECT_EQ(straight.clustering().assignment(),
+            resumed.clustering().assignment());
+}
+
+TEST(Incremental, DeserializeRejectsViewMismatch) {
+  Economy eco(7);
+  ChainView half;
+  std::vector<Block> prefix(eco.blocks.begin(), eco.blocks.begin() + 2);
+  half.apply_delta(prefix);
+  IncrementalClusterer inc;
+  inc.apply(half);
+  Bytes image = inc.serialize();
+  // The full view has more transactions than the image's next_tx.
+  EXPECT_THROW(IncrementalClusterer::deserialize(image, eco.view, {}, {}),
+               ParseError);
+}
+
+// --- handcrafted retraction cases -----------------------------------
+
+/// A delta receipt inside the wait window must retract an already-made
+/// label on an OLD transaction (the window veto re-fires), rebuilding
+/// the final forest.
+TEST(Incremental, WindowVetoRetractsEarlierLabel) {
+  H2Options options;
+  options.wait_window = kWeek;
+
+  TestChain chain;
+  auto c1 = chain.coinbase(1, btc(50));
+  chain.coinbase(2, btc(1));  // addr 2 pre-seen
+  chain.next_block();
+  chain.spend({c1}, {{2, btc(10)}, {3, btc(40)}});  // 3 = fresh change
+  chain.next_block();
+  auto c2 = chain.coinbase(4, btc(50));
+  chain.spend({c2}, {{3, btc(5)}});  // re-receipt 1h later: in-window
+  const std::vector<Block>& all = chain.blocks();
+  ASSERT_EQ(all.size(), 3u);
+
+  // Batch truth over the whole chain: the label is vetoed.
+  ChainView full;
+  full.apply_delta(all);
+  H2Result batch = apply_heuristic2(full, options);
+  EXPECT_EQ(batch.labels.size(), 0u);
+  EXPECT_EQ(batch.skipped.window_veto, 1u);
+
+  // Prefix state (first two blocks): the label exists.
+  ChainView view;
+  std::vector<Block> prefix(all.begin(), all.begin() + 2);
+  view.apply_delta(prefix);
+  IncrementalClusterer inc(options);
+  IncrementalClusterer::DeltaStats s1 = inc.apply(view);
+  EXPECT_EQ(s1.label_flips, 0u);
+  ASSERT_EQ(inc.h2_result().labels.size(), 1u);
+  const TxIndex labeled_tx = inc.h2_result().labels[0].tx;
+
+  std::vector<Block> delta(all.begin() + 2, all.end());
+  view.apply_delta(delta);
+  IncrementalClusterer::DeltaStats s2 = inc.apply(view);
+  EXPECT_EQ(s2.label_flips, 1u);
+  EXPECT_EQ(s2.final_rebuilds, 1u);
+  EXPECT_GE(s2.reevaluated, 1u);
+  expect_same_h2(batch, inc.h2_result());
+  EXPECT_EQ(inc.h2_result().change_of_tx[labeled_tx], kNoAddr);
+
+  UnionFind uf(full.address_count());
+  apply_heuristic1(full, uf);
+  unite_h2_labels(full, batch, uf);
+  EXPECT_EQ(Clustering::from_union_find(uf).assignment(),
+            inc.clustering().assignment());
+}
+
+/// The future-resolution refinement can flip an OLD ambiguous
+/// transaction *to* labeled when a delta pays one of its fresh
+/// outputs (the other fresh output becomes the unique never-paid
+/// survivor).
+TEST(Incremental, AmbiguousResolvesToLabelOnDeltaReceipt) {
+  H2Options options;
+  options.resolve_ambiguous_via_future = true;
+
+  TestChain chain;
+  auto c1 = chain.coinbase(1, btc(50));
+  chain.next_block();
+  // Two fresh outputs: 2 (small) and 3 (large). Both never paid yet →
+  // two survivors → ambiguous.
+  chain.spend({c1}, {{2, btc(10)}, {3, btc(40)}});
+  chain.next_block();
+  // Delta pays addr 2 → addr 3 is the unique survivor and 4x larger.
+  auto c2 = chain.coinbase(4, btc(50));
+  chain.spend({c2}, {{2, btc(1)}});
+  const std::vector<Block>& all = chain.blocks();
+  ASSERT_EQ(all.size(), 3u);
+
+  ChainView view;
+  std::vector<Block> prefix(all.begin(), all.begin() + 2);
+  view.apply_delta(prefix);
+  IncrementalClusterer inc(options);
+  inc.apply(view);
+  EXPECT_EQ(inc.h2_result().labels.size(), 0u);
+  EXPECT_EQ(inc.h2_result().skipped.ambiguous, 1u);
+
+  std::vector<Block> delta(all.begin() + 2, all.end());
+
+  ChainView full;
+  full.apply_delta(all);
+  H2Result batch = apply_heuristic2(full, options);
+  ASSERT_EQ(batch.labels.size(), 1u);
+  EXPECT_EQ(batch.labels[0].change, id_of(full, 3));
+
+  view.apply_delta(delta);
+  IncrementalClusterer::DeltaStats s = inc.apply(view);
+  EXPECT_EQ(s.label_flips, 1u);
+  // Gaining a label needs no rebuild — the forest only accumulates.
+  EXPECT_EQ(s.final_rebuilds, 0u);
+  expect_same_h2(batch, inc.h2_result());
+}
+
+/// Paying the surviving candidate itself retracts the label back to
+/// ambiguous (both fresh outputs now have receipts).
+TEST(Incremental, LabelRetractsToAmbiguousWhenSurvivorIsPaid) {
+  H2Options options;
+  options.resolve_ambiguous_via_future = true;
+
+  TestChain rebuilt;
+  auto r1 = rebuilt.coinbase(1, btc(50));
+  rebuilt.next_block();
+  rebuilt.spend({r1}, {{2, btc(10)}, {3, btc(40)}});
+  rebuilt.next_block();
+  auto r2 = rebuilt.coinbase(4, btc(50));
+  auto r3 = rebuilt.spend({r2}, {{2, btc(1)}});
+  rebuilt.next_block();
+  auto r4 = rebuilt.coinbase(5, btc(50));
+  rebuilt.spend({r4}, {{3, btc(1)}});  // pays the survivor too
+  const std::vector<Block>& all = rebuilt.blocks();
+  (void)r3;
+
+  ChainView full;
+  full.apply_delta(all);
+  H2Result batch = apply_heuristic2(full, options);
+  EXPECT_EQ(batch.labels.size(), 0u);
+
+  // Incremental: stop after block 2 (label present), then deliver the
+  // survivor-paying block.
+  ChainView view;
+  std::vector<Block> prefix(all.begin(), all.begin() + 3);
+  view.apply_delta(prefix);
+  IncrementalClusterer inc(options);
+  inc.apply(view);
+  ASSERT_EQ(inc.h2_result().labels.size(), 1u);
+
+  std::vector<Block> delta(all.begin() + 3, all.end());
+  view.apply_delta(delta);
+  IncrementalClusterer::DeltaStats s = inc.apply(view);
+  EXPECT_EQ(s.label_flips, 1u);
+  EXPECT_EQ(s.final_rebuilds, 1u);
+  expect_same_h2(batch, inc.h2_result());
+
+  UnionFind uf(full.address_count());
+  apply_heuristic1(full, uf);
+  unite_h2_labels(full, batch, uf);
+  EXPECT_EQ(Clustering::from_union_find(uf).assignment(),
+            inc.clustering().assignment());
+}
+
+TEST(Incremental, ApplyOnShrunkViewThrows) {
+  Economy eco(7);
+  IncrementalClusterer inc;
+  inc.apply(eco.view);
+  ChainView smaller;
+  std::vector<Block> prefix(eco.blocks.begin(), eco.blocks.begin() + 1);
+  smaller.apply_delta(prefix);
+  EXPECT_THROW(inc.apply(smaller), UsageError);
+}
+
+TEST(Incremental, ApplyIsIdempotentOnUnchangedView) {
+  Economy eco(7);
+  IncrementalClusterer inc;
+  inc.apply(eco.view);
+  Clustering before = inc.clustering();
+  IncrementalClusterer::DeltaStats s = inc.apply(eco.view);
+  EXPECT_EQ(s.txs, 0u);
+  EXPECT_EQ(s.label_flips, 0u);
+  EXPECT_EQ(before.assignment(), inc.clustering().assignment());
+}
+
+}  // namespace
+}  // namespace fist

@@ -1,0 +1,336 @@
+// test_live_index.cpp — crash-safety matrix of the durable live
+// cluster index: kill -9 between any two log records, stale/corrupt
+// snapshots, poisoned deltas, and fault-site behavior all resume to a
+// state bit-identical to a batch build (docs/ROBUSTNESS.md).
+#include "core/live_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "cluster/clustering.hpp"
+#include "cluster/heuristic1.hpp"
+#include "cluster/heuristic2.hpp"
+#include "core/fault.hpp"
+#include "testutil.hpp"
+
+namespace fist {
+namespace {
+
+namespace fs = std::filesystem;
+using test::CoinRef;
+using test::TestChain;
+
+constexpr std::size_t kFrameHeader = 16;
+
+/// A small chain exercising H1 merges, fresh-change labels, and
+/// revisited outputs — enough structure that a missed or duplicated
+/// delta changes the partition.
+std::vector<Block> make_blocks() {
+  TestChain chain;
+  std::vector<CoinRef> coins;
+  for (std::uint32_t b = 0; b < 4; ++b) {
+    coins.push_back(chain.coinbase(10 + b, btc(50)));
+    chain.next_block();
+  }
+  CoinRef p1 = chain.spend({coins[0], coins[1]},
+                           {{20, btc(30)}, {21, btc(70)}});
+  chain.next_block();
+  CoinRef p2 = chain.spend({coins[2]}, {{20, btc(10)}, {22, btc(40)}});
+  chain.next_block();
+  chain.spend({p2}, {{21, btc(5)}, {23, btc(30)}});
+  chain.next_block();
+  chain.spend({coins[3], p1}, {{24, btc(60)}});
+  return chain.blocks();
+}
+
+/// Batch truth: full view, H1 + H2 + merge, one assignment vector.
+/// Quarantine-parity cases drop whole blocks whose outputs later
+/// blocks spend, so they build leniently on both sides.
+std::vector<ClusterId> batch_assignment(
+    const std::vector<Block>& blocks,
+    RecoveryPolicy policy = RecoveryPolicy::Strict,
+    const H2Options& options = {}) {
+  ChainView view;
+  view.apply_delta(blocks, policy);
+  UnionFind uf(view.address_count());
+  apply_heuristic1(view, uf);
+  H2Result h2 = apply_heuristic2(view, options);
+  unite_h2_labels(view, h2, uf);
+  return Clustering::from_union_find(uf).assignment();
+}
+
+class LiveIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fault::Registry::global().disarm_all();
+    dir_ = fs::temp_directory_path() /
+           ("fist_live_index_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    fs::remove_all(dir_);
+    blocks_ = make_blocks();
+  }
+  void TearDown() override {
+    fault::Registry::global().disarm_all();
+    fs::remove_all(dir_);
+  }
+
+  /// Byte offset of the end of log record `count` - 1.
+  std::size_t log_offset_after(std::size_t count) const {
+    std::size_t off = 0;
+    for (std::size_t i = 0; i < count; ++i)
+      off += kFrameHeader + blocks_[i].serialize().size();
+    return off;
+  }
+
+  void corrupt_byte(const fs::path& file, std::size_t offset) const {
+    std::fstream f(file, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(static_cast<std::streamoff>(offset));
+    char c = 0;
+    f.get(c);
+    f.seekp(static_cast<std::streamoff>(offset));
+    f.put(static_cast<char>(c ^ 0xff));
+  }
+
+  std::vector<ClusterId> live_assignment(const LiveIndex& index) const {
+    return index.clusterer().clustering().assignment();
+  }
+
+  fs::path dir_;
+  std::vector<Block> blocks_;
+};
+
+TEST_F(LiveIndexTest, FreshBuildMatchesBatch) {
+  LiveIndex index(dir_, {});
+  for (const Block& b : blocks_) index.append(b);
+  EXPECT_EQ(index.epoch(), blocks_.size());
+  EXPECT_EQ(live_assignment(index), batch_assignment(blocks_));
+  EXPECT_TRUE(index.quarantined_deltas().empty());
+}
+
+TEST_F(LiveIndexTest, ReopenWithoutSnapshotReplaysWholeLog) {
+  {
+    LiveIndex index(dir_, {});
+    for (const Block& b : blocks_) index.append(b);
+  }
+  LiveIndex index(dir_, {});
+  EXPECT_EQ(index.epoch(), blocks_.size());
+  EXPECT_EQ(index.open_info().snapshot_epoch, 0u);
+  EXPECT_EQ(index.open_info().replayed, blocks_.size());
+  EXPECT_EQ(live_assignment(index), batch_assignment(blocks_));
+}
+
+TEST_F(LiveIndexTest, ReopenFromSnapshotReplaysOnlyTheTail) {
+  {
+    LiveIndex index(dir_, {});
+    for (std::size_t i = 0; i < 5; ++i) index.append(blocks_[i]);
+    index.snapshot();
+    for (std::size_t i = 5; i < blocks_.size(); ++i)
+      index.append(blocks_[i]);
+  }
+  LiveIndex index(dir_, {});
+  EXPECT_EQ(index.open_info().snapshot_epoch, 5u);
+  EXPECT_EQ(index.open_info().replayed, blocks_.size() - 5);
+  EXPECT_FALSE(index.open_info().snapshot_stale);
+  EXPECT_EQ(live_assignment(index), batch_assignment(blocks_));
+}
+
+/// The tentpole gate: simulate kill -9 between ANY two log records —
+/// with a snapshot at epoch 4 that the crash may land before or after
+/// — and verify the reopened index finishes to the batch result.
+TEST_F(LiveIndexTest, KillBetweenAnyTwoLogRecordsResumes) {
+  // Durable reference dir: all records logged, snapshot at epoch 4.
+  const fs::path full = dir_ / "full";
+  {
+    LiveIndex index(full, {});
+    for (std::size_t i = 0; i < blocks_.size(); ++i) {
+      index.append(blocks_[i]);
+      if (i + 1 == 4) index.snapshot();
+    }
+  }
+
+  const std::vector<ClusterId> want = batch_assignment(blocks_);
+  for (std::size_t k = 0; k <= blocks_.size(); ++k) {
+    // Crash state: the first k records durable, the (k+1)-th torn.
+    const fs::path crash = dir_ / ("crash" + std::to_string(k));
+    fs::create_directories(crash);
+    fs::copy_file(full / "delta.log", crash / "delta.log");
+    fs::resize_file(crash / "delta.log", log_offset_after(k));
+    if (k < blocks_.size()) {
+      std::ofstream torn(crash / "delta.log",
+                         std::ios::binary | std::ios::app);
+      torn.write("\x44\x54\x4c\x46garbage", 11);  // half-written record
+    }
+    fs::copy_file(full / "live.snapshot", crash / "live.snapshot");
+    fs::copy_file(full / "live.snapshot.sha256d",
+                  crash / "live.snapshot.sha256d");
+    fs::copy_file(full / "live.manifest", crash / "live.manifest");
+
+    LiveIndex index(crash, {});
+    EXPECT_EQ(index.epoch(), k) << "crash point " << k;
+    if (k < blocks_.size())
+      EXPECT_GT(index.open_info().torn_tail_bytes, 0u)
+          << "crash point " << k;
+    if (k >= 4) {
+      // The snapshot (epoch 4) is usable: only the tail replays.
+      EXPECT_EQ(index.open_info().snapshot_epoch, 4u);
+      EXPECT_EQ(index.open_info().replayed, k - 4);
+    } else {
+      // Manifest points past the surviving log: full replay.
+      EXPECT_TRUE(index.open_info().snapshot_stale);
+      EXPECT_EQ(index.open_info().replayed, k);
+    }
+    for (std::size_t i = k; i < blocks_.size(); ++i)
+      index.append(blocks_[i]);
+    EXPECT_EQ(live_assignment(index), want) << "crash point " << k;
+  }
+}
+
+TEST_F(LiveIndexTest, PoisonedRecordQuarantinedLenientMatchesBatch) {
+  {
+    LiveIndex index(dir_, {});
+    for (const Block& b : blocks_) index.append(b);
+  }
+  // Corrupt record 5's payload on disk.
+  corrupt_byte(dir_ / "delta.log", log_offset_after(5) + kFrameHeader + 3);
+
+  LiveIndex::Options lenient;
+  lenient.recovery = RecoveryPolicy::Lenient;
+  LiveIndex index(dir_, lenient);
+  EXPECT_EQ(index.epoch(), blocks_.size());
+  ASSERT_EQ(index.quarantined_deltas().size(), 1u);
+  EXPECT_EQ(index.quarantined_deltas()[0], 5u);
+
+  // The surviving state equals a lenient batch build without block 5.
+  std::vector<Block> surviving = blocks_;
+  surviving.erase(surviving.begin() + 5);
+  EXPECT_EQ(live_assignment(index),
+            batch_assignment(surviving, RecoveryPolicy::Lenient));
+}
+
+TEST_F(LiveIndexTest, PoisonedRecordThrowsInStrictMode) {
+  {
+    LiveIndex index(dir_, {});
+    for (const Block& b : blocks_) index.append(b);
+  }
+  corrupt_byte(dir_ / "delta.log", log_offset_after(5) + kFrameHeader + 3);
+  EXPECT_THROW(LiveIndex index(dir_, {}), ParseError);
+}
+
+TEST_F(LiveIndexTest, DeltaApplyFaultStrictThrows) {
+  fault::Registry::global().arm_nth("delta.apply", 3);
+  LiveIndex index(dir_, {});
+  for (std::size_t i = 0; i < 3; ++i) index.append(blocks_[i]);
+  EXPECT_THROW(index.append(blocks_[3]), IoError);
+  // The record WAS logged before the apply failed (WAL ordering), so a
+  // clean reopen recovers it.
+  fault::Registry::global().disarm_all();
+  LiveIndex reopened(dir_, {});
+  EXPECT_EQ(reopened.epoch(), 4u);
+  for (std::size_t i = 4; i < blocks_.size(); ++i)
+    reopened.append(blocks_[i]);
+  EXPECT_EQ(live_assignment(reopened), batch_assignment(blocks_));
+}
+
+TEST_F(LiveIndexTest, DeltaApplyFaultLenientQuarantines) {
+  fault::Registry::global().arm_nth("delta.apply", 3);
+  LiveIndex::Options lenient;
+  lenient.recovery = RecoveryPolicy::Lenient;
+  LiveIndex index(dir_, lenient);
+  for (const Block& b : blocks_) index.append(b);
+  ASSERT_EQ(index.quarantined_deltas().size(), 1u);
+  EXPECT_EQ(index.quarantined_deltas()[0], 3u);
+  std::vector<Block> surviving = blocks_;
+  surviving.erase(surviving.begin() + 3);
+  EXPECT_EQ(live_assignment(index),
+            batch_assignment(surviving, RecoveryPolicy::Lenient));
+}
+
+TEST_F(LiveIndexTest, SnapshotRetriesPastTransientFault) {
+  LiveIndex index(dir_, {});
+  for (const Block& b : blocks_) index.append(b);
+  // Key = (epoch << 3) | attempt: fail only attempt 0 at this epoch.
+  fault::Registry::global().arm_nth("index.snapshot",
+                                    (blocks_.size() << 3) | 0u);
+  index.snapshot();  // retried, then succeeded
+  EXPECT_EQ(fault::Registry::global().fired("index.snapshot"), 1u);
+  fault::Registry::global().disarm_all();
+  LiveIndex reopened(dir_, {});
+  EXPECT_EQ(reopened.open_info().snapshot_epoch, blocks_.size());
+  EXPECT_EQ(reopened.open_info().replayed, 0u);
+  EXPECT_EQ(live_assignment(reopened), batch_assignment(blocks_));
+}
+
+TEST_F(LiveIndexTest, SnapshotExhaustionStrictThrowsLenientContinues) {
+  fault::Registry::global().arm("index.snapshot", 1.0);
+  {
+    LiveIndex index(dir_ / "strict", {});
+    index.append(blocks_[0]);
+    EXPECT_THROW(index.snapshot(), IoError);
+  }
+  {
+    LiveIndex::Options lenient;
+    lenient.recovery = RecoveryPolicy::Lenient;
+    LiveIndex index(dir_ / "lenient", lenient);
+    index.append(blocks_[0]);
+    index.snapshot();  // swallowed: the log still holds everything
+    EXPECT_EQ(index.epoch(), 1u);
+  }
+  fault::Registry::global().disarm_all();
+  LiveIndex reopened(dir_ / "lenient", {});
+  EXPECT_TRUE(reopened.open_info().snapshot_epoch == 0u);
+  EXPECT_EQ(reopened.epoch(), 1u);
+}
+
+TEST_F(LiveIndexTest, CorruptSnapshotFallsBackToFullReplay) {
+  {
+    LiveIndex index(dir_, {});
+    for (const Block& b : blocks_) index.append(b);
+    index.snapshot();
+  }
+  corrupt_byte(dir_ / "live.snapshot", 40);
+  LiveIndex index(dir_, {});
+  EXPECT_TRUE(index.open_info().snapshot_stale);
+  EXPECT_EQ(index.open_info().replayed, blocks_.size());
+  EXPECT_EQ(live_assignment(index), batch_assignment(blocks_));
+}
+
+TEST_F(LiveIndexTest, AutoSnapshotEveryN) {
+  LiveIndex::Options options;
+  options.snapshot_every = 3;
+  {
+    LiveIndex index(dir_, options);
+    for (const Block& b : blocks_) index.append(b);
+  }
+  LiveIndex index(dir_, {});
+  EXPECT_EQ(index.open_info().snapshot_epoch, 6u);  // epochs 3 and 6
+  EXPECT_EQ(index.open_info().replayed, blocks_.size() - 6);
+  EXPECT_EQ(live_assignment(index), batch_assignment(blocks_));
+}
+
+TEST_F(LiveIndexTest, QuarantineSurvivesSnapshotAndResume) {
+  {
+    LiveIndex index(dir_, {});
+    for (const Block& b : blocks_) index.append(b);
+  }
+  corrupt_byte(dir_ / "delta.log", log_offset_after(2) + kFrameHeader + 3);
+  LiveIndex::Options lenient;
+  lenient.recovery = RecoveryPolicy::Lenient;
+  {
+    LiveIndex index(dir_, lenient);
+    ASSERT_EQ(index.quarantined_deltas().size(), 1u);
+    index.snapshot();  // quarantine list rides in the manifest
+  }
+  LiveIndex index(dir_, lenient);
+  EXPECT_EQ(index.open_info().replayed, 0u);  // restored, no replay
+  ASSERT_EQ(index.quarantined_deltas().size(), 1u);
+  EXPECT_EQ(index.quarantined_deltas()[0], 2u);
+}
+
+}  // namespace
+}  // namespace fist

@@ -228,6 +228,74 @@ INSTANTIATE_TEST_SUITE_P(Seeds, AbsorbOrderInsensitive,
 INSTANTIATE_TEST_SUITE_P(Seeds, ShardedAbsorb,
                          ::testing::Values(1, 2, 3, 42, 1337));
 
+TEST(UnionFindAbsorb, CallbackReportsEveryMergeInAscendingOrder) {
+  UnionFind base(6);
+  base.unite(0, 1);  // already-known link: replaying it is a no-op
+  UnionFind other(6);
+  other.unite(0, 1);
+  other.unite(2, 3);
+  other.unite(3, 4);
+
+  std::vector<UnionFind::MergeEvent> events;
+  std::uint64_t merges = base.absorb(
+      other, [&](const UnionFind::MergeEvent& e) { events.push_back(e); });
+  EXPECT_EQ(merges, 2u);
+  ASSERT_EQ(events.size(), merges);
+  for (std::size_t i = 1; i < events.size(); ++i)
+    EXPECT_LT(events[i - 1].element, events[i].element)
+        << "merge events must replay in ascending element order";
+  for (const UnionFind::MergeEvent& e : events) {
+    EXPECT_TRUE(base.same(e.element, e.joined));
+    EXPECT_EQ(base.find(e.element), base.find(e.root));
+  }
+
+  // Replaying the event stream into a fresh forest reproduces exactly
+  // the connectivity the absorb added — the merge-journal property a
+  // delta consumer relies on.
+  UnionFind replay(6);
+  replay.unite(0, 1);
+  for (const UnionFind::MergeEvent& e : events)
+    replay.unite(e.element, e.joined);
+  for (std::uint32_t a = 0; a < 6; ++a)
+    for (std::uint32_t b = 0; b < 6; ++b)
+      EXPECT_EQ(replay.same(a, b), base.same(a, b))
+          << "pair (" << a << "," << b << ")";
+}
+
+TEST(UnionFindAbsorb, CallbackAbsorbIsIdempotent) {
+  UnionFind base(5);
+  UnionFind other(5);
+  other.unite(0, 1);
+  other.unite(1, 2);
+
+  std::uint64_t first = base.absorb(other, nullptr);  // null cb is legal
+  EXPECT_EQ(first, 2u);
+  std::vector<UnionFind::MergeEvent> events;
+  std::uint64_t second = base.absorb(
+      other, [&](const UnionFind::MergeEvent& e) { events.push_back(e); });
+  EXPECT_EQ(second, 0u);
+  EXPECT_TRUE(events.empty());
+  EXPECT_EQ(base.set_count(), 3u);
+}
+
+TEST(UnionFindAbsorb, CallbackOverloadMatchesPlainAbsorb) {
+  const std::uint32_t n = 64;
+  Rng rng(99);
+  UnionFind other(n);
+  for (int i = 0; i < 40; ++i)
+    other.unite(static_cast<std::uint32_t>(rng.below(n)),
+                static_cast<std::uint32_t>(rng.below(n)));
+
+  UnionFind plain(n), with_cb(n);
+  std::uint64_t a = plain.absorb(other);
+  std::uint64_t b = with_cb.absorb(other, nullptr);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(plain.set_count(), with_cb.set_count());
+  for (std::uint32_t x = 0; x < n; ++x)
+    for (std::uint32_t y = x + 1; y < n; ++y)
+      EXPECT_EQ(plain.same(x, y), with_cb.same(x, y));
+}
+
 TEST(UnionFind, LargeScaleChainMerge) {
   const std::size_t n = 1'000'000;
   UnionFind uf(n);
