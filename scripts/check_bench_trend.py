@@ -81,6 +81,17 @@ def gate(name, base, candidates, max_regress_pct):
     """Prints the comparison for one dimension; returns True on pass."""
     best_path = min(candidates, key=candidates.get)
     best = candidates[best_path]
+    if (base == 0.0) != (best == 0.0):
+        # An empty histogram reports its quantiles as 0. A zero on one
+        # side only reads as a ±100% swing: a zero candidate would
+        # silently pass as a huge improvement, a zero baseline would
+        # fail every healthy run. Neither is signal, so the dimension
+        # is skipped loudly instead of judged.
+        zero_side = "baseline" if base == 0.0 else f"candidate {best_path}"
+        print(f"check_bench_trend: WARNING — {name} is 0 on the "
+              f"{zero_side} but not the other side (empty histogram?); "
+              "dimension skipped", file=sys.stderr)
+        return True
     limit = base * (1.0 + max_regress_pct / 100.0)
     delta_pct = (best - base) / base * 100.0 if base > 0 else 0.0
     print(f"baseline {name} : {base:.3f}")

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Unit tests for check_bench_trend.py, run under ctest.
+
+Each case writes a baseline and candidate report into a temp dir and
+runs the gate as a subprocess, the way CI does — the exit code and the
+printed verdict are the contract.
+"""
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "check_bench_trend.py")
+
+
+class GateTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+
+    def tearDown(self):
+        self.tmp.cleanup()
+
+    def write(self, name, doc):
+        path = os.path.join(self.tmp.name, name)
+        with open(path, "w") as f:
+            json.dump(doc, f)
+        return path
+
+    def run_gate(self, baseline, reports, extra=()):
+        cmd = [sys.executable, SCRIPT, "--baseline", baseline]
+        for field in extra:
+            cmd += ["--extra-field", field]
+        cmd += reports
+        return subprocess.run(cmd, capture_output=True, text=True)
+
+    def test_within_threshold_passes(self):
+        base = self.write("base.json", {"total_ms": 100.0})
+        cand = self.write("cand.json", {"total_ms": 110.0})
+        result = self.run_gate(base, [cand])
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("check_bench_trend: OK", result.stdout)
+
+    def test_regression_fails(self):
+        base = self.write("base.json", {"total_ms": 100.0})
+        cand = self.write("cand.json", {"total_ms": 130.0})
+        result = self.run_gate(base, [cand])
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("FAIL", result.stderr)
+
+    def test_extra_field_regression_fails(self):
+        base = self.write("base.json",
+                          {"total_ms": 100.0, "delta_apply_p99_us": 50.0})
+        cand = self.write("cand.json",
+                          {"total_ms": 100.0, "delta_apply_p99_us": 90.0})
+        result = self.run_gate(base, [cand], extra=["delta_apply_p99_us"])
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("delta_apply_p99_us", result.stderr)
+
+    def test_zero_candidate_warns_instead_of_passing_silently(self):
+        # An empty histogram reports its quantiles as 0; that must not
+        # read as a 100% improvement.
+        base = self.write("base.json",
+                          {"total_ms": 100.0, "delta_apply_p99_us": 50.0})
+        cand = self.write("cand.json",
+                          {"total_ms": 100.0, "delta_apply_p99_us": 0.0})
+        result = self.run_gate(base, [cand], extra=["delta_apply_p99_us"])
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("WARNING", result.stderr)
+        self.assertIn("delta_apply_p99_us", result.stderr)
+        self.assertIn("skipped", result.stderr)
+
+    def test_zero_baseline_warns_instead_of_failing(self):
+        # The mirror image: a zero baseline (recorded from an empty
+        # histogram) must not fail every healthy run forever.
+        base = self.write("base.json",
+                          {"total_ms": 100.0, "delta_apply_p99_us": 0.0})
+        cand = self.write("cand.json",
+                          {"total_ms": 100.0, "delta_apply_p99_us": 40.0})
+        result = self.run_gate(base, [cand], extra=["delta_apply_p99_us"])
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("WARNING", result.stderr)
+
+    def test_zero_on_both_sides_is_not_a_warning(self):
+        base = self.write("base.json",
+                          {"total_ms": 100.0, "delta_apply_p99_us": 0.0})
+        cand = self.write("cand.json",
+                          {"total_ms": 100.0, "delta_apply_p99_us": 0.0})
+        result = self.run_gate(base, [cand], extra=["delta_apply_p99_us"])
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertNotIn("WARNING", result.stderr)
+
+    def test_missing_extra_field_is_noted_not_fatal(self):
+        base = self.write("base.json", {"total_ms": 100.0})
+        cand = self.write("cand.json", {"total_ms": 100.0})
+        result = self.run_gate(base, [cand], extra=["delta_apply_p99_us"])
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("not gated", result.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -101,9 +101,13 @@ struct Executor::Impl {
     unsigned spawned = lanes - 1;
     workers.reserve(spawned);
     for (unsigned i = 0; i < spawned; ++i)
+      // fistlint:allow(unbounded-growth) filled once at construction,
+      // bounded by the lane count; never grows afterwards.
       workers.push_back(std::make_unique<Worker>());
     threads.reserve(spawned);
     for (unsigned i = 0; i < spawned; ++i)
+      // fistlint:allow(unbounded-growth) filled once at construction,
+      // bounded by the lane count; never grows afterwards.
       threads.emplace_back([this, i] { worker_main(i); });
   }
 

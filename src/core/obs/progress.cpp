@@ -1,5 +1,10 @@
 #include "core/obs/progress.hpp"
 
+// fistlint:allow-file(alloc-under-lock) registry pattern like
+// MetricsRegistry: begin_stage interns one StageImpl per stage name,
+// and snapshot() builds its result at scrape cadence (~1/s). Per-item
+// progress ticks go through the lock-free atomics on StageImpl.
+
 #include <atomic>
 #include <chrono>
 #include <cstdio>

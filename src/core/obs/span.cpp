@@ -42,6 +42,9 @@ std::uint32_t Trace::open(const char* name, std::uint32_t parent) {
   record.parent = parent;
   record.depth =
       parent == kNoParent ? 0 : records_[parent].depth + 1;
+  // fistlint:allow(alloc-under-lock) spans are coarse (one per stage or
+  // pipeline phase, not per item); the record vector stays small and
+  // open/close frequency is far below the ingest loop.
   records_.push_back(std::move(record));
   return static_cast<std::uint32_t>(records_.size() - 1);
 }

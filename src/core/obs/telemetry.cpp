@@ -65,13 +65,15 @@ std::string request_path(const char* request) {
 }  // namespace
 
 bool TelemetryServer::start(std::uint16_t port) {
-  LockGuard lock(state_mutex_);
   if (running_.load(std::memory_order_acquire)) {
     std::fprintf(stderr, "[telemetry] server already running on port %u\n",
                  static_cast<unsigned>(port_.load(std::memory_order_acquire)));
     return false;
   }
 
+  // Socket setup happens before state_mutex_ is taken: bind/listen can
+  // stall in the network stack, and nothing reading server state should
+  // wait behind that. The lock below only publishes the result.
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     std::perror("[telemetry] socket");
@@ -103,29 +105,54 @@ bool TelemetryServer::start(std::uint16_t port) {
   }
   const std::uint16_t bound = ntohs(addr.sin_port);
 
-  stop_flag_.store(false, std::memory_order_release);
-  listen_fd_ = fd;
-  port_.store(bound, std::memory_order_release);
-  running_.store(true, std::memory_order_release);
-  // fistlint:allow(detached-thread) long-lived acceptor thread, joined
-  // in stop(); Executor tasks are scoped to a pipeline run.
-  thread_ = std::thread([this, fd] { serve_loop(fd); });
+  bool lost_race = false;
+  {
+    LockGuard lock(state_mutex_);
+    if (running_.load(std::memory_order_acquire)) {
+      lost_race = true;  // a concurrent start() published first
+    } else {
+      stop_flag_.store(false, std::memory_order_release);
+      listen_fd_ = fd;
+      port_.store(bound, std::memory_order_release);
+      running_.store(true, std::memory_order_release);
+      // fistlint:allow(detached-thread) long-lived acceptor thread,
+      // joined in stop(); Executor tasks are scoped to a pipeline run.
+      thread_ = std::thread([this, fd] { serve_loop(fd); });
+    }
+  }
+  if (lost_race) {
+    ::close(fd);
+    std::fprintf(stderr, "[telemetry] server already running on port %u\n",
+                 static_cast<unsigned>(port_.load(std::memory_order_acquire)));
+    return false;
+  }
   flight_event("flight.server_start", "telemetry", bound);
   return true;
 }
 
 void TelemetryServer::stop() noexcept {
-  LockGuard lock(state_mutex_);
-  if (!running_.load(std::memory_order_acquire)) return;
-  const std::uint16_t bound = port_.load(std::memory_order_acquire);
-  stop_flag_.store(true, std::memory_order_release);
-  if (thread_.joinable()) thread_.join();
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
+  // Detach the worker and fd from server state under the lock, then do
+  // the slow part — join (up to one 50 ms poll tick) and close —
+  // without holding it, so concurrent start()/state reads never stall
+  // behind shutdown.
+  // fistlint:allow(detached-thread) shutdown hand-off: the acceptor
+  // thread moves out of thread_ under the lock and is joined below.
+  std::thread worker;
+  int fd = -1;
+  std::uint16_t bound = 0;
+  {
+    LockGuard lock(state_mutex_);
+    if (!running_.load(std::memory_order_acquire)) return;
+    bound = port_.load(std::memory_order_acquire);
+    stop_flag_.store(true, std::memory_order_release);
+    worker = std::move(thread_);
+    fd = listen_fd_;
     listen_fd_ = -1;
+    port_.store(0, std::memory_order_release);
+    running_.store(false, std::memory_order_release);
   }
-  port_.store(0, std::memory_order_release);
-  running_.store(false, std::memory_order_release);
+  if (worker.joinable()) worker.join();
+  if (fd >= 0) ::close(fd);
   flight_event("flight.server_stop", "telemetry", bound);
 }
 

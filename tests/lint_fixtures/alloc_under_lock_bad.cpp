@@ -1,0 +1,48 @@
+// Violation: heap allocation while holding a hot-path mutex (rank at
+// or above the threshold, default 60). The cold-rank twin below shows
+// the rule is rank-gated. Both queues drain, so unbounded-growth
+// stays quiet and the alloc finding is isolated.
+enum class Rank : int {
+  kHot = 70,
+  kCold = 10,
+};
+
+struct Mutex {
+  explicit Mutex(Rank r);
+  void lock();
+  void unlock();
+};
+
+struct LockGuard {
+  explicit LockGuard(Mutex& m);
+};
+
+struct HotQueue {
+  Mutex hot_mutex{Rank::kHot};
+  std::vector<int> pending;
+
+  void enqueue(int v) {
+    LockGuard lock(hot_mutex);
+    pending.push_back(v);
+  }
+
+  void drain() {
+    LockGuard lock(hot_mutex);
+    pending.clear();
+  }
+};
+
+struct ColdQueue {
+  Mutex cold_mutex{Rank::kCold};
+  std::vector<int> backlog;
+
+  void enqueue(int v) {
+    LockGuard lock(cold_mutex);
+    backlog.push_back(v);
+  }
+
+  void drain() {
+    LockGuard lock(cold_mutex);
+    backlog.clear();
+  }
+};

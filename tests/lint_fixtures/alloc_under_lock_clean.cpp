@@ -1,0 +1,26 @@
+// Clean: the batch is built outside the critical section and
+// published with an O(1) swap, so the hot lock never covers an
+// allocation.
+enum class Rank : int {
+  kHot = 70,
+};
+
+struct Mutex {
+  explicit Mutex(Rank r);
+  void lock();
+  void unlock();
+};
+
+struct LockGuard {
+  explicit LockGuard(Mutex& m);
+};
+
+struct HotQueue {
+  Mutex hot_mutex{Rank::kHot};
+  std::vector<int> pending;
+
+  void publish(std::vector<int>& staged) {
+    LockGuard lock(hot_mutex);
+    pending.swap(staged);
+  }
+};

@@ -1,0 +1,34 @@
+// Violations: blocking IO reached while a ranked lock is held — once
+// directly, once through a free function the call graph links.
+enum class Rank : int {
+  kStore = 60,
+};
+
+struct Mutex {
+  explicit Mutex(Rank r);
+  void lock();
+  void unlock();
+};
+
+struct LockGuard {
+  explicit LockGuard(Mutex& m);
+};
+
+int fsync(int fd);
+
+void flush_journal_to_disk(int fd) { fsync(fd); }
+
+struct Store {
+  Mutex store_mutex{Rank::kStore};
+  int fd = 0;
+
+  void direct_io() {
+    LockGuard lock(store_mutex);
+    fsync(fd);
+  }
+
+  void propagated_io() {
+    LockGuard lock(store_mutex);
+    flush_journal_to_disk(fd);
+  }
+};

@@ -1,0 +1,34 @@
+// Clean: the dirty state is snapshotted inside the critical section
+// and the IO happens after the guard's scope closes.
+enum class Rank : int {
+  kStore = 60,
+};
+
+struct Mutex {
+  explicit Mutex(Rank r);
+  void lock();
+  void unlock();
+};
+
+struct LockGuard {
+  explicit LockGuard(Mutex& m);
+};
+
+int fsync(int fd);
+
+struct Store {
+  Mutex store_mutex{Rank::kStore};
+  int fd = 0;
+  int dirty = 0;
+
+  void flush() {
+    int snapshot = 0;
+    {
+      LockGuard lock(store_mutex);
+      snapshot = dirty;
+      dirty = 0;
+    }
+    fsync(fd);
+    (void)snapshot;
+  }
+};

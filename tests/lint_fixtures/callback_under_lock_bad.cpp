@@ -1,0 +1,26 @@
+// Violation: a stored std::function is invoked while a ranked mutex
+// is held — the callee's body is arbitrary user code and can block or
+// re-enter the lock.
+enum class Rank : int {
+  kNotifier = 80,
+};
+
+struct Mutex {
+  explicit Mutex(Rank r);
+  void lock();
+  void unlock();
+};
+
+struct LockGuard {
+  explicit LockGuard(Mutex& m);
+};
+
+struct Notifier {
+  Mutex notifier_mutex{Rank::kNotifier};
+  std::function<void(int)> on_event;
+
+  void fire(int v) {
+    LockGuard lock(notifier_mutex);
+    on_event(v);
+  }
+};

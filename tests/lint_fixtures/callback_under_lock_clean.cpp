@@ -1,0 +1,29 @@
+// Clean: the callable is copied out under the lock and invoked after
+// the guard's scope closes.
+enum class Rank : int {
+  kNotifier = 80,
+};
+
+struct Mutex {
+  explicit Mutex(Rank r);
+  void lock();
+  void unlock();
+};
+
+struct LockGuard {
+  explicit LockGuard(Mutex& m);
+};
+
+struct Notifier {
+  Mutex notifier_mutex{Rank::kNotifier};
+  std::function<void(int)> on_event;
+
+  void fire(int v) {
+    std::function<void(int)> pending_cb;
+    {
+      LockGuard lock(notifier_mutex);
+      pending_cb = on_event;
+    }
+    if (pending_cb) pending_cb(v);
+  }
+};

@@ -1,0 +1,27 @@
+// Violation: a container member of a mutexed class grows on the
+// locked path and nothing in the tree ever shrinks or caps it. The
+// rank (50) sits below the hot-path threshold so alloc-under-lock
+// stays quiet and the growth finding is isolated.
+enum class Rank : int {
+  kLedger = 50,
+};
+
+struct Mutex {
+  explicit Mutex(Rank r);
+  void lock();
+  void unlock();
+};
+
+struct LockGuard {
+  explicit LockGuard(Mutex& m);
+};
+
+struct Ledger {
+  Mutex ledger_mutex{Rank::kLedger};
+  std::vector<long> entries;
+
+  void record(long v) {
+    LockGuard lock(ledger_mutex);
+    entries.push_back(v);
+  }
+};

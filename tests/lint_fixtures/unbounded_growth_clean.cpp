@@ -1,0 +1,30 @@
+// Clean: the same growing member, but a compaction path clears it —
+// any shrink op anywhere in the tree counts as the eviction story.
+enum class Rank : int {
+  kLedger = 50,
+};
+
+struct Mutex {
+  explicit Mutex(Rank r);
+  void lock();
+  void unlock();
+};
+
+struct LockGuard {
+  explicit LockGuard(Mutex& m);
+};
+
+struct Ledger {
+  Mutex ledger_mutex{Rank::kLedger};
+  std::vector<long> entries;
+
+  void record(long v) {
+    LockGuard lock(ledger_mutex);
+    entries.push_back(v);
+  }
+
+  void compact() {
+    LockGuard lock(ledger_mutex);
+    entries.clear();
+  }
+};

@@ -1,0 +1,27 @@
+// Cross-TU half A: the lock lives here; the blocking IO is two calls
+// away in xtu_sink_b.cpp (commit → journal_flush_all →
+// journal_write_back → fsync).
+enum class Rank : int {
+  kJournal = 60,
+};
+
+struct Mutex {
+  explicit Mutex(Rank r);
+  void lock();
+  void unlock();
+};
+
+struct LockGuard {
+  explicit LockGuard(Mutex& m);
+};
+
+void journal_flush_all();
+
+struct Journal {
+  Mutex journal_mutex{Rank::kJournal};
+
+  void commit() {
+    LockGuard lock(journal_mutex);
+    journal_flush_all();
+  }
+};

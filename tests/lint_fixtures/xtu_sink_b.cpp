@@ -1,0 +1,7 @@
+// Cross-TU half B: no lock in sight — the blocking effect propagates
+// from here back to the lock region in xtu_lock_a.cpp.
+int fsync(int fd);
+
+void journal_write_back(int fd) { fsync(fd); }
+
+void journal_flush_all() { journal_write_back(3); }

@@ -92,7 +92,23 @@ INSTANTIATE_TEST_SUITE_P(
         GoldenCase{"float_amount_bad.cpp", "float_amount_bad.expected"},
         GoldenCase{"float_amount_clean.cpp", "float_amount_clean.expected"},
         GoldenCase{"suppressions.cpp", "suppressions.expected"},
-        GoldenCase{"allow_file.cpp", "allow_file.expected"}),
+        GoldenCase{"allow_file.cpp", "allow_file.expected"},
+        GoldenCase{"blocking_under_lock_bad.cpp",
+                   "blocking_under_lock_bad.expected"},
+        GoldenCase{"blocking_under_lock_clean.cpp",
+                   "blocking_under_lock_clean.expected"},
+        GoldenCase{"alloc_under_lock_bad.cpp",
+                   "alloc_under_lock_bad.expected"},
+        GoldenCase{"alloc_under_lock_clean.cpp",
+                   "alloc_under_lock_clean.expected"},
+        GoldenCase{"callback_under_lock_bad.cpp",
+                   "callback_under_lock_bad.expected"},
+        GoldenCase{"callback_under_lock_clean.cpp",
+                   "callback_under_lock_clean.expected"},
+        GoldenCase{"unbounded_growth_bad.cpp",
+                   "unbounded_growth_bad.expected"},
+        GoldenCase{"unbounded_growth_clean.cpp",
+                   "unbounded_growth_clean.expected"}),
     [](const testing::TestParamInfo<GoldenCase>& param_info) {
       std::string n = param_info.param.fixture;
       n.resize(n.find('.'));
@@ -325,11 +341,13 @@ TEST(FistlintLexer, StringsAndCommentsHideBannedIdents) {
 }
 
 TEST(FistlintLexer, DigitSeparatorsAndTwoCharPuncts) {
+  // Separators are stripped from the token text so numeric rules can
+  // parse it without tripping on 21'000'000-style literals.
   SourceFile file = lex("long n = 21'000'000; m >>= 2;", "s.cpp");
   bool saw_number = false;
   int gt = 0;
   for (const Token& t : file.tokens) {
-    if (t.kind == TokKind::Number && t.text == "21'000'000") saw_number = true;
+    if (t.kind == TokKind::Number && t.text == "21000000") saw_number = true;
     if (t.punct('>')) ++gt;
   }
   EXPECT_TRUE(saw_number);
@@ -351,6 +369,281 @@ TEST(FistlintLexer, AllowParsing) {
   EXPECT_EQ(file.allows[0].reason, "both fine");
   EXPECT_TRUE(file.allows[1].own_line);
   EXPECT_TRUE(file.allows[1].file_scope);
+}
+
+TEST(FistlintLexer, RawStringsKeepLineNumbersAndAllowAnchors) {
+  // A raw string spanning several lines must not desynchronize the
+  // line counter: the token after it carries the real line, and an
+  // own-line allow following it anchors to the right code line.
+  SourceFile file = lex(
+      "const char* q = R\"(one\ntwo\nthree)\";\n"
+      "// fistlint:allow(unordered-iter) reason here\n"
+      "int after = 0;\n",
+      "s.cpp");
+  bool saw_raw = false;
+  bool saw_after = false;
+  for (const Token& t : file.tokens) {
+    if (t.kind == TokKind::Str && t.line == 1) saw_raw = true;
+    if (t.kind == TokKind::Ident && t.text == "after") {
+      saw_after = true;
+      EXPECT_EQ(t.line, 5);
+    }
+  }
+  EXPECT_TRUE(saw_raw);
+  EXPECT_TRUE(saw_after);
+  ASSERT_EQ(file.allows.size(), 1u);
+  EXPECT_EQ(file.allows[0].line, 4);
+  EXPECT_TRUE(file.allows[0].own_line);
+}
+
+TEST(FistlintLexer, EffectNoteParsing) {
+  SourceFile file = lex(
+      "void f() {\n"
+      "  // fistlint:effect(blocking) vendored wrapper hides the fsync\n"
+      "}\n"
+      "// fistlint:effect(alloc)\n"
+      "void g();\n",
+      "s.cpp");
+  ASSERT_EQ(file.effects.size(), 2u);
+  EXPECT_EQ(file.effects[0].line, 2);
+  EXPECT_TRUE(file.effects[0].blocking);
+  EXPECT_FALSE(file.effects[0].alloc);
+  EXPECT_EQ(file.effects[1].line, 4);
+  EXPECT_FALSE(file.effects[1].blocking);
+  EXPECT_TRUE(file.effects[1].alloc);
+}
+
+// ---------------------------------------------------------------------------
+// cross-TU call-graph engine
+// ---------------------------------------------------------------------------
+
+// Lexes several (relpath, source) pairs into one ScanContext the way
+// the driver's pass 1 does, and returns `rule:line` findings for the
+// file named `target`.
+std::string findings_for_sources(
+    const std::vector<std::pair<std::string, std::string>>& sources,
+    const std::string& target, ScanContext* ctx_out = nullptr) {
+  ScanContext ctx;
+  std::vector<SourceFile> files;
+  for (const auto& [rel, text] : sources) {
+    files.push_back(lex(text, rel));
+    FileFacts facts;
+    collect_facts(files.back(), facts);
+    ctx.merge(facts);
+  }
+  ctx.resolve();
+  std::string out;
+  for (const SourceFile& f : files) {
+    if (f.rel != target) continue;
+    std::vector<Finding> findings = apply_allows(run_file_rules(f, ctx), f);
+    std::sort(findings.begin(), findings.end(),
+              [](const Finding& a, const Finding& b) {
+                return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
+              });
+    for (const Finding& fd : findings)
+      out += fd.rule + ":" + std::to_string(fd.line) + "\n";
+  }
+  if (ctx_out != nullptr) *ctx_out = std::move(ctx);
+  return out;
+}
+
+TEST(FistlintCrossTU, BlockingPropagatesAcrossFiles) {
+  const std::string a = read_fixture("xtu_lock_a.cpp");
+  const std::string b = read_fixture("xtu_sink_b.cpp");
+  // The lock is in A; the fsync is two calls deep in B.
+  EXPECT_EQ(findings_for_sources({{"a.cpp", a}, {"b.cpp", b}}, "a.cpp"),
+            "blocking-under-lock:25\n");
+  // Without half B the callee has no summary, so nothing propagates.
+  EXPECT_EQ(findings_for_sources({{"a.cpp", a}}, "a.cpp"), "");
+}
+
+TEST(FistlintCrossTU, WitnessChainNamesTheRemoteFile) {
+  ScanContext ctx;
+  findings_for_sources({{"a.cpp", read_fixture("xtu_lock_a.cpp")},
+                        {"b.cpp", read_fixture("xtu_sink_b.cpp")}},
+                       "a.cpp", &ctx);
+  bool found = false;
+  for (const CallGraph::Node& n : ctx.graph.nodes()) {
+    if (n.qname != "Journal::commit") continue;
+    found = true;
+    EXPECT_TRUE(n.blocking);
+    EXPECT_NE(n.why_blocking.find("b.cpp"), std::string::npos)
+        << n.why_blocking;
+    EXPECT_NE(n.why_blocking.find("journal_flush_all"), std::string::npos)
+        << n.why_blocking;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(FistlintCrossTU, DeclaredEffectNotePropagates) {
+  // A fistlint:effect(blocking) note stands in for effects the token
+  // heuristics cannot see (vendored wrappers, inline asm, ifdefs).
+  const std::string sink =
+      "void vendor_flush() {\n"
+      "  // fistlint:effect(blocking) platform wrapper hides the fsync\n"
+      "}\n";
+  const std::string caller =
+      "enum class Rank : int { kS = 60 };\n"
+      "struct Mutex { explicit Mutex(Rank r); void lock(); void unlock(); };\n"
+      "struct LockGuard { explicit LockGuard(Mutex& m); };\n"
+      "void vendor_flush();\n"
+      "struct S {\n"
+      "  Mutex s_mutex{Rank::kS};\n"
+      "  void go() {\n"
+      "    LockGuard lock(s_mutex);\n"
+      "    vendor_flush();\n"
+      "  }\n"
+      "};\n";
+  EXPECT_EQ(
+      findings_for_sources({{"a.cpp", caller}, {"b.cpp", sink}}, "a.cpp"),
+      "blocking-under-lock:9\n");
+}
+
+TEST(FistlintCrossTU, MemberCallsLinkOnlyWhenUnique) {
+  // Two classes define persist(); a member call through an unknown
+  // receiver must not union their effects onto the caller.
+  const std::string two_persists =
+      "struct Log { void persist(); };\n"
+      "int fsync(int fd);\n"
+      "void Log::persist() { fsync(3); }\n"
+      "struct Buf { void persist(); };\n"
+      "void Buf::persist() {}\n";
+  const std::string caller =
+      "enum class Rank : int { kS = 60 };\n"
+      "struct Mutex { explicit Mutex(Rank r); void lock(); void unlock(); };\n"
+      "struct LockGuard { explicit LockGuard(Mutex& m); };\n"
+      "struct Holder {\n"
+      "  Mutex h_mutex{Rank::kS};\n"
+      "  void* sink;\n"
+      "  void go() {\n"
+      "    LockGuard lock(h_mutex);\n"
+      "    sink->persist();\n"
+      "  }\n"
+      "};\n";
+  EXPECT_EQ(
+      findings_for_sources({{"a.cpp", caller}, {"b.cpp", two_persists}},
+                           "a.cpp"),
+      "");
+  // A qualified call is unambiguous and still propagates.
+  std::string qualified = caller;
+  const std::string from = "sink->persist();";
+  qualified.replace(qualified.find(from), from.size(),
+                    "Log::persist();  ");
+  EXPECT_EQ(
+      findings_for_sources({{"a.cpp", qualified}, {"b.cpp", two_persists}},
+                           "a.cpp"),
+      "blocking-under-lock:9\n");
+}
+
+TEST(FistlintCallGraph, DotOutputForCrossTUPair) {
+  ScanContext ctx;
+  findings_for_sources({{"a.cpp", read_fixture("xtu_lock_a.cpp")},
+                        {"b.cpp", read_fixture("xtu_sink_b.cpp")}},
+                       "a.cpp", &ctx);
+  const std::string dot = callgraph_dot(ctx.graph, ctx.functions, "a.cpp");
+  EXPECT_NE(dot.find("digraph fistlint_callgraph"), std::string::npos) << dot;
+  EXPECT_NE(dot.find("\"Journal::commit\" -> \"journal_flush_all\""),
+            std::string::npos)
+      << dot;
+  EXPECT_NE(dot.find("[B]"), std::string::npos)
+      << "blocking flag missing from a node label:\n"
+      << dot;
+  EXPECT_EQ(dot.find("journal_write_back"), std::string::npos)
+      << "the dump is scoped to `rel` plus direct callees only:\n"
+      << dot;
+}
+
+TEST(FistlintCache, ContextHashSeesConcurrencyFacts) {
+  auto hash_for = [](const std::string& src) {
+    SourceFile f = lex(src, "x.cpp");
+    FileFacts facts;
+    collect_facts(f, facts);
+    ScanContext ctx;
+    ctx.merge(facts);
+    ctx.resolve();
+    return context_hash(ctx);
+  };
+  const std::string base =
+      "enum class Rank : int { kA = 10 };\n"
+      "struct Mutex { explicit Mutex(Rank r); void lock(); void unlock(); "
+      "};\n"
+      "struct S { Mutex mu{Rank::kA}; };\n";
+  std::string renumbered = base;
+  renumbered.replace(renumbered.find("kA = 10"), 7, "kA = 70");
+  EXPECT_NE(hash_for(base), hash_for(renumbered))
+      << "renumbering a rank must invalidate every cached file";
+  EXPECT_NE(hash_for(base),
+            hash_for(base + "struct T { Mutex mu2{Rank::kA}; };\n"))
+      << "a new mutex declaration must invalidate every cached file";
+}
+
+TEST(FistlintCache, ContextHashSeesCalleeBodies) {
+  // Editing only a callee's body must change the context hash, so
+  // files holding locks around that call get re-scanned (the cross-TU
+  // invalidation the CI coherence step exercises).
+  auto hash_for = [](const std::string& callee_body) {
+    SourceFile f = lex("void leaf() { " + callee_body + " }\n", "b.cpp");
+    FileFacts facts;
+    collect_facts(f, facts);
+    ScanContext ctx;
+    ctx.merge(facts);
+    ctx.resolve();
+    return context_hash(ctx);
+  };
+  EXPECT_NE(hash_for("int x = 0;"), hash_for("fsync(3);"));
+}
+
+TEST(FistlintCache, SummariesRoundTrip) {
+  Cache c;
+  c.ctx_hash = 1;
+  CacheEntry& e = c.entries["src/a.cpp"];
+  e.file_hash = 2;
+  FunctionSummary fn;
+  fn.qname = "fist::LiveIndex::append";
+  fn.line = 40;
+  fn.lock_regions.push_back(LockRegion{"index_mutex_", "lock", 41});
+  CallSite member_call;
+  member_call.name = "append";
+  member_call.line = 44;
+  member_call.member = true;
+  member_call.regions = {0};
+  fn.calls.push_back(member_call);
+  CallSite free_call;
+  free_call.name = "obs::flight_event";
+  free_call.line = 45;
+  fn.calls.push_back(free_call);
+  fn.atoms.push_back(EffectAtom{EffectAtom::kBlocking, 46, "fsync", {0}});
+  e.facts.summaries.push_back(fn);
+  e.facts.callable_symbols.insert("on_flush");
+  e.facts.container_members["LiveIndex"] = {"deltas_"};
+  e.facts.mutexed_classes.insert("LiveIndex");
+  e.facts.member_ops.push_back(
+      MemberOp{"deltas_", "push_back", "src/a.cpp", 44, true});
+
+  Cache back = Cache::parse(c.render());
+  ASSERT_EQ(back.entries.count("src/a.cpp"), 1u);
+  const FileFacts& f = back.entries["src/a.cpp"].facts;
+  ASSERT_EQ(f.summaries.size(), 1u);
+  const FunctionSummary& bfn = f.summaries[0];
+  EXPECT_EQ(bfn.qname, fn.qname);
+  EXPECT_EQ(bfn.line, fn.line);
+  ASSERT_EQ(bfn.lock_regions.size(), 1u);
+  EXPECT_EQ(bfn.lock_regions[0].mutex, "index_mutex_");
+  ASSERT_EQ(bfn.calls.size(), 2u);
+  EXPECT_EQ(bfn.calls[0].name, "append");
+  EXPECT_TRUE(bfn.calls[0].member);
+  EXPECT_EQ(bfn.calls[0].regions, std::vector<int>{0});
+  EXPECT_EQ(bfn.calls[1].name, "obs::flight_event");
+  EXPECT_FALSE(bfn.calls[1].member);
+  ASSERT_EQ(bfn.atoms.size(), 1u);
+  EXPECT_EQ(bfn.atoms[0].kind, EffectAtom::kBlocking);
+  EXPECT_EQ(bfn.atoms[0].what, "fsync");
+  EXPECT_EQ(f.callable_symbols, e.facts.callable_symbols);
+  EXPECT_EQ(f.container_members, e.facts.container_members);
+  EXPECT_EQ(f.mutexed_classes, e.facts.mutexed_classes);
+  ASSERT_EQ(f.member_ops.size(), 1u);
+  EXPECT_EQ(f.member_ops[0].member, "deltas_");
+  EXPECT_TRUE(f.member_ops[0].grow);
 }
 
 }  // namespace

@@ -6,7 +6,9 @@ namespace fistlint {
 
 namespace {
 
-constexpr std::string_view kMagic = "fistlint-cache v1";
+// v2: cross-TU engine facts (fn/lr/cs/ea/cb/cm/mx/mo tags) and the
+// canonical_facts()-based context hash.
+constexpr std::string_view kMagic = "fistlint-cache v2";
 
 /// Escapes the three characters that would break the line/field
 /// structure: backslash, tab, newline.
@@ -72,6 +74,54 @@ std::string hex(std::uint64_t v) {
   return out;
 }
 
+/// Non-throwing decimal parse — a corrupt cache degrades to a full
+/// scan, it never aborts the run.
+bool parse_long(const std::string& s, long& out) {
+  if (s.empty()) return false;
+  std::size_t i = 0;
+  bool neg = s[0] == '-';
+  if (neg && s.size() == 1) return false;
+  if (neg) i = 1;
+  long v = 0;
+  for (; i < s.size(); ++i) {
+    if (s[i] < '0' || s[i] > '9') return false;
+    v = v * 10 + (s[i] - '0');
+  }
+  out = neg ? -v : v;
+  return true;
+}
+
+bool parse_int(const std::string& s, int& out) {
+  long v;
+  if (!parse_long(s, v)) return false;
+  out = static_cast<int>(v);
+  return true;
+}
+
+/// Comma-joined region indices; empty string means no regions.
+bool parse_regions(const std::string& s, std::vector<int>& out) {
+  out.clear();
+  if (s.empty()) return true;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i < s.size() && s[i] != ',') continue;
+    int v;
+    if (!parse_int(s.substr(start, i - start), v)) return false;
+    out.push_back(v);
+    start = i + 1;
+  }
+  return true;
+}
+
+std::string render_regions(const std::vector<int>& regions) {
+  std::string out;
+  for (std::size_t i = 0; i < regions.size(); ++i) {
+    if (i != 0) out += ',';
+    out += std::to_string(regions[i]);
+  }
+  return out;
+}
+
 }  // namespace
 
 std::uint64_t fnv1a64(std::string_view data) noexcept {
@@ -90,6 +140,7 @@ Cache Cache::parse(std::string_view text) {
   if (!std::getline(in, line) || line != kMagic) return cache;
 
   CacheEntry* entry = nullptr;
+  FunctionSummary* fn = nullptr;  // last `fn` line of the current entry
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     std::vector<std::string> f = split_fields(line);
@@ -102,6 +153,7 @@ Cache Cache::parse(std::string_view text) {
       if (!parse_u64(f[2], h)) return Cache{};
       entry = &cache.entries[f[1]];
       entry->file_hash = h;
+      fn = nullptr;
     } else if (entry == nullptr) {
       return Cache{};  // fact line before any file line: corrupt
     } else if (tag == "u" && f.size() == 2) {
@@ -111,18 +163,64 @@ Cache Cache::parse(std::string_view text) {
     } else if (tag == "m" && f.size() == 3) {
       entry->facts.mutex_ranks[f[1]] = f[2];
     } else if (tag == "r" && f.size() == 3) {
-      entry->facts.rank_values[f[1]] = std::stol(f[2]);
+      long value;
+      if (!parse_long(f[2], value)) return Cache{};
+      entry->facts.rank_values[f[1]] = value;
     } else if (tag == "n" && f.size() == 4) {
       NameUse use;
       use.prefix = f[1] == "1";
-      use.line = std::stoi(f[2]);
+      if (!parse_int(f[2], use.line)) return Cache{};
       use.name = f[3];
       // NameUse::file is re-stamped from the entry key on reuse.
       entry->facts.names.push_back(std::move(use));
+    } else if (tag == "fn" && f.size() == 3) {
+      FunctionSummary summary;
+      summary.qname = f[1];
+      if (!parse_int(f[2], summary.line)) return Cache{};
+      // FunctionSummary::file is re-stamped on reuse, like NameUse.
+      entry->facts.summaries.push_back(std::move(summary));
+      fn = &entry->facts.summaries.back();
+    } else if (tag == "lr" && f.size() == 4) {
+      if (fn == nullptr) return Cache{};
+      LockRegion region;
+      region.mutex = f[1];
+      region.guard = f[2];
+      if (!parse_int(f[3], region.line)) return Cache{};
+      fn->lock_regions.push_back(std::move(region));
+    } else if (tag == "cs" && f.size() == 5) {
+      if (fn == nullptr) return Cache{};
+      CallSite call;
+      call.name = f[1];
+      if (!parse_int(f[2], call.line)) return Cache{};
+      call.member = f[3] == "1";
+      if (!parse_regions(f[4], call.regions)) return Cache{};
+      fn->calls.push_back(std::move(call));
+    } else if (tag == "ea" && f.size() == 5) {
+      if (fn == nullptr) return Cache{};
+      EffectAtom atom;
+      if (!parse_int(f[1], atom.kind)) return Cache{};
+      if (!parse_int(f[2], atom.line)) return Cache{};
+      atom.what = f[3];
+      if (!parse_regions(f[4], atom.regions)) return Cache{};
+      fn->atoms.push_back(std::move(atom));
+    } else if (tag == "cb" && f.size() == 2) {
+      entry->facts.callable_symbols.insert(f[1]);
+    } else if (tag == "cm" && f.size() == 3) {
+      entry->facts.container_members[f[1]].insert(f[2]);
+    } else if (tag == "mx" && f.size() == 2) {
+      entry->facts.mutexed_classes.insert(f[1]);
+    } else if (tag == "mo" && f.size() == 5) {
+      MemberOp op;
+      op.member = f[1];
+      op.method = f[2];
+      if (!parse_int(f[3], op.line)) return Cache{};
+      op.grow = f[4] == "g";
+      // MemberOp::file is re-stamped on reuse, like NameUse.
+      entry->facts.member_ops.push_back(std::move(op));
     } else if (tag == "f" && f.size() == 5) {
       Finding finding;
       finding.rule = f[1];
-      finding.line = std::stoi(f[2]);
+      if (!parse_int(f[2], finding.line)) return Cache{};
       finding.message = f[3];
       finding.snippet = f[4];
       entry->findings.push_back(std::move(finding));
@@ -150,6 +248,29 @@ std::string Cache::render() const {
     for (const NameUse& use : entry.facts.names)
       out << "n\t" << (use.prefix ? 1 : 0) << "\t" << use.line << "\t"
           << escape(use.name) << "\n";
+    for (const FunctionSummary& fn : entry.facts.summaries) {
+      out << "fn\t" << escape(fn.qname) << "\t" << fn.line << "\n";
+      for (const LockRegion& r : fn.lock_regions)
+        out << "lr\t" << escape(r.mutex) << "\t" << escape(r.guard) << "\t"
+            << r.line << "\n";
+      for (const CallSite& c : fn.calls)
+        out << "cs\t" << escape(c.name) << "\t" << c.line << "\t"
+            << (c.member ? 1 : 0) << "\t" << render_regions(c.regions)
+            << "\n";
+      for (const EffectAtom& a : fn.atoms)
+        out << "ea\t" << a.kind << "\t" << a.line << "\t" << escape(a.what)
+            << "\t" << render_regions(a.regions) << "\n";
+    }
+    for (const std::string& s : entry.facts.callable_symbols)
+      out << "cb\t" << escape(s) << "\n";
+    for (const auto& [cls, members] : entry.facts.container_members)
+      for (const std::string& m : members)
+        out << "cm\t" << escape(cls) << "\t" << escape(m) << "\n";
+    for (const std::string& cls : entry.facts.mutexed_classes)
+      out << "mx\t" << escape(cls) << "\n";
+    for (const MemberOp& op : entry.facts.member_ops)
+      out << "mo\t" << escape(op.member) << "\t" << escape(op.method) << "\t"
+          << op.line << "\t" << (op.grow ? "g" : "s") << "\n";
     for (const Finding& f : entry.findings)
       out << "f\t" << escape(f.rule) << "\t" << f.line << "\t"
           << escape(f.message) << "\t" << escape(f.snippet) << "\n";
@@ -158,14 +279,11 @@ std::string Cache::render() const {
 }
 
 std::uint64_t context_hash(const ScanContext& ctx) {
-  // std::set / std::map iterate sorted, so this serialization is
-  // canonical: independent of merge order.
-  std::ostringstream ss;
-  for (const std::string& s : ctx.unordered_symbols) ss << "u " << s << "\n";
-  for (const std::string& s : ctx.ordered_symbols) ss << "o " << s << "\n";
-  for (const auto& [name, rank] : ctx.mutex_ranks)
-    ss << "m " << name << " " << rank << "\n";
-  return fnv1a64(ss.str());
+  // canonical_facts() covers *everything* cross-file the rules read —
+  // symbols, the raw mutex/rank declarations (so renumbering
+  // lock_order.hpp invalidates lock-order findings in untouched
+  // files), the call-graph summaries, and the hot-rank threshold.
+  return fnv1a64(ctx.canonical_facts());
 }
 
 }  // namespace fistlint

@@ -1,0 +1,212 @@
+#include "callgraph.hpp"
+
+#include <algorithm>
+
+namespace fistlint {
+
+namespace {
+
+std::string last_component(const std::string& name) {
+  std::size_t pos = name.rfind("::");
+  return pos == std::string::npos ? name : name.substr(pos + 2);
+}
+
+bool suffix_match(const std::string& qname, const std::string& name) {
+  if (qname == name) return true;
+  std::string suffix = "::" + name;
+  return qname.size() > suffix.size() &&
+         qname.compare(qname.size() - suffix.size(), suffix.size(), suffix) ==
+             0;
+}
+
+/// Witness chains stay readable: deep propagation paths are truncated
+/// rather than quoted in full.
+std::string clip(std::string s) {
+  constexpr std::size_t kMax = 200;
+  if (s.size() > kMax) {
+    s.resize(kMax - 1);
+    s += "…";
+  }
+  return s;
+}
+
+std::string site(const FunctionSummary& fn, int line) {
+  return fn.file + ":" + std::to_string(line);
+}
+
+}  // namespace
+
+void CallGraph::build(const std::vector<FunctionSummary>& functions,
+                      const std::set<std::string>& callables) {
+  nodes_.clear();
+  by_last_.clear();
+  by_qname_.clear();
+
+  std::map<std::string, std::vector<int>> bodies;
+  for (std::size_t i = 0; i < functions.size(); ++i)
+    bodies[functions[i].qname].push_back(static_cast<int>(i));
+
+  nodes_.reserve(bodies.size());
+  for (auto& [qname, idx] : bodies) {
+    Node n;
+    n.qname = qname;
+    n.bodies = std::move(idx);
+    by_last_[last_component(qname)].push_back(
+        static_cast<int>(nodes_.size()));
+    by_qname_[qname] = static_cast<int>(nodes_.size());
+    nodes_.push_back(std::move(n));
+  }
+
+  // Direct effects from each body's atoms and callable invocations.
+  for (Node& n : nodes_) {
+    for (int b : n.bodies) {
+      const FunctionSummary& fn = functions[static_cast<std::size_t>(b)];
+      for (const EffectAtom& a : fn.atoms) {
+        if (a.kind == EffectAtom::kBlocking && !n.blocking) {
+          n.blocking = true;
+          n.why_blocking = "`" + a.what + "` (" + site(fn, a.line) + ")";
+        }
+        if (a.kind == EffectAtom::kAlloc && !n.alloc) {
+          n.alloc = true;
+          n.why_alloc = "`" + a.what + "` (" + site(fn, a.line) + ")";
+        }
+      }
+      for (const CallSite& c : fn.calls) {
+        if (!n.callback && callables.count(last_component(c.name)) != 0) {
+          n.callback = true;
+          n.why_callback =
+              "invokes callable `" + c.name + "` (" + site(fn, c.line) + ")";
+        }
+      }
+    }
+  }
+
+  // Cycle-tolerant fixpoint over the call edges. Each bit is set at
+  // most once and nodes are visited in sorted-qname order, so the
+  // witness chains are deterministic.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (Node& n : nodes_) {
+      for (int b : n.bodies) {
+        const FunctionSummary& fn = functions[static_cast<std::size_t>(b)];
+        for (const CallSite& c : fn.calls) {
+          for (int ti : resolve(n.qname, c)) {
+            const Node& t = nodes_[static_cast<std::size_t>(ti)];
+            if (t.blocking && !n.blocking) {
+              n.blocking = true;
+              n.why_blocking = clip("calls `" + c.name + "` (" +
+                                    site(fn, c.line) + ") → " +
+                                    t.why_blocking);
+              changed = true;
+            }
+            if (t.alloc && !n.alloc) {
+              n.alloc = true;
+              n.why_alloc = clip("calls `" + c.name + "` (" +
+                                 site(fn, c.line) + ") → " + t.why_alloc);
+              changed = true;
+            }
+            if (t.callback && !n.callback) {
+              n.callback = true;
+              n.why_callback = clip("calls `" + c.name + "` (" +
+                                    site(fn, c.line) + ") → " +
+                                    t.why_callback);
+              changed = true;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+std::vector<int> CallGraph::resolve(const std::string& caller_qname,
+                                    const CallSite& call) const {
+  std::vector<int> out;
+  const std::string& name = call.name;
+
+  // Qualified: suffix match over everything sharing the last component.
+  if (name.find("::") != std::string::npos) {
+    auto it = by_last_.find(last_component(name));
+    if (it == by_last_.end()) return out;
+    for (int i : it->second)
+      if (suffix_match(nodes_[static_cast<std::size_t>(i)].qname, name))
+        out.push_back(i);
+    return out;
+  }
+
+  // Unqualified free call: the caller's enclosing scopes, innermost
+  // first, then the global scope.
+  if (!call.member) {
+    std::string scope = caller_qname;
+    std::size_t cut = scope.rfind("::");
+    scope = cut == std::string::npos ? std::string() : scope.substr(0, cut);
+    while (true) {
+      std::string candidate = scope.empty() ? name : scope + "::" + name;
+      auto it = by_qname_.find(candidate);
+      if (it != by_qname_.end()) {
+        out.push_back(it->second);
+        return out;
+      }
+      if (scope.empty()) break;
+      cut = scope.rfind("::");
+      scope = cut == std::string::npos ? std::string() : scope.substr(0, cut);
+    }
+  }
+
+  // Member call (or free call the scope walk missed): link only a
+  // tree-unique name — the receiver's type is unknown.
+  auto it = by_last_.find(name);
+  if (it != by_last_.end() && it->second.size() == 1)
+    out.push_back(it->second.front());
+  return out;
+}
+
+std::string callgraph_dot(const CallGraph& graph,
+                          const std::vector<FunctionSummary>& functions,
+                          const std::string& rel) {
+  const auto& nodes = graph.nodes();
+
+  auto label = [&](const CallGraph::Node& n) {
+    std::string flags;
+    if (n.blocking) flags += "[B]";
+    if (n.alloc) flags += "[A]";
+    if (n.callback) flags += "[C]";
+    return flags.empty() ? n.qname : n.qname + " " + flags;
+  };
+
+  // Nodes defined in `rel`, plus everything they call directly.
+  std::set<int> keep;
+  std::set<std::pair<int, int>> edges;
+  for (std::size_t ni = 0; ni < nodes.size(); ++ni) {
+    bool local = false;
+    for (int b : nodes[ni].bodies)
+      if (functions[static_cast<std::size_t>(b)].file == rel) local = true;
+    if (!local) continue;
+    keep.insert(static_cast<int>(ni));
+    for (int b : nodes[ni].bodies) {
+      const FunctionSummary& fn = functions[static_cast<std::size_t>(b)];
+      if (fn.file != rel) continue;
+      for (const CallSite& c : fn.calls) {
+        for (int ti : graph.resolve(nodes[ni].qname, c)) {
+          keep.insert(ti);
+          edges.emplace(static_cast<int>(ni), ti);
+        }
+      }
+    }
+  }
+
+  std::string out = "digraph fistlint_callgraph {\n  rankdir=LR;\n";
+  for (int i : keep) {
+    const CallGraph::Node& n = nodes[static_cast<std::size_t>(i)];
+    out += "  \"" + n.qname + "\" [label=\"" + label(n) + "\"];\n";
+  }
+  for (const auto& [from, to] : edges) {
+    out += "  \"" + nodes[static_cast<std::size_t>(from)].qname + "\" -> \"" +
+           nodes[static_cast<std::size_t>(to)].qname + "\";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace fistlint

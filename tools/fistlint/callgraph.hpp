@@ -1,0 +1,84 @@
+// callgraph.hpp — pass 2 of the cross-TU engine: link the
+// per-function summaries (summaries.hpp) into a call graph and
+// propagate effects transitively.
+//
+// Linking (resolve()):
+//
+//   * qualified site `DeltaLog::append(…)` — suffix match: every node
+//     whose qname ends in `::DeltaLog::append` (or equals it).
+//   * unqualified free call `push(…)` — the caller's enclosing scopes,
+//     innermost first (`fist::InternTable::push`, `fist::push`,
+//     `push`), first exact hit wins; falls back to the tree-unique
+//     name if the scope walk finds nothing.
+//   * member call `log_->append(…)` — the receiver's type is unknown,
+//     so it links only when exactly one definition in the tree has
+//     that name; generic names (append, push, insert) stay unlinked
+//     rather than unioning unrelated classes' effects.
+//
+// Overloads and same-named functions share one node whose effects are
+// the union over all bodies — a deliberate over-approximation
+// (summaries.hpp header comment), with allow() as the reviewed escape
+// hatch.
+//
+// Propagation is a cycle-tolerant fixpoint: nodes are iterated in
+// sorted qname order and each effect bit is set at most once, with the
+// witness chain ("calls `x` (file:line) → …") recorded at set time —
+// so the output is deterministic regardless of recursion or merge
+// order, which the cached-vs-cold CI diff relies on.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "summaries.hpp"
+
+namespace fistlint {
+
+class CallGraph {
+ public:
+  struct Node {
+    std::string qname;
+    std::vector<int> bodies;  ///< indices into the functions vector
+    bool blocking = false;
+    bool alloc = false;
+    bool callback = false;
+    /// Human-readable witness for each transitive effect, e.g.
+    /// "`fsync` (src/core/delta_log.cpp:88)" or
+    /// "calls `DeltaLog::append` (src/core/live_index.cpp:210) → …".
+    std::string why_blocking;
+    std::string why_alloc;
+    std::string why_callback;
+  };
+
+  /// Builds nodes from every summary, seeds direct effects (atoms and
+  /// calls to `callables` symbols), and runs the fixpoint. `functions`
+  /// must outlive the graph; node `bodies` index into it.
+  void build(const std::vector<FunctionSummary>& functions,
+             const std::set<std::string>& callables);
+
+  /// Node indices the call site `call`, written inside
+  /// `caller_qname`'s body, can reach (see the linking rules above).
+  /// Empty when nothing links.
+  std::vector<int> resolve(const std::string& caller_qname,
+                           const CallSite& call) const;
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+ private:
+  std::vector<Node> nodes_;  ///< sorted by qname
+  /// last name component → indices into nodes_.
+  std::map<std::string, std::vector<int>> by_last_;
+  std::map<std::string, int> by_qname_;
+};
+
+/// The `--dump-callgraph` payload: a deterministic DOT digraph of the
+/// functions defined in `rel` plus their direct resolved callees.
+/// Effect flags render as [B]locking / [A]lloc / [C]allback suffixes
+/// on the node labels.
+std::string callgraph_dot(const CallGraph& graph,
+                          const std::vector<FunctionSummary>& functions,
+                          const std::string& rel);
+
+}  // namespace fistlint

@@ -203,6 +203,7 @@ int run(const Options& opts, std::ostream& out, std::ostream& err) {
 
   // ---- pass 1: cross-file facts (cached on a content-hash hit) ---------
   ScanContext ctx;
+  ctx.hot_rank_threshold = opts.hot_rank_threshold;
   std::vector<NameUse> names;
   for (Unit& u : units) {
     auto hit = cache.entries.find(u.rel);
@@ -212,6 +213,10 @@ int run(const Options& opts, std::ostream& out, std::ostream& err) {
       ensure_lexed(u);
       collect_facts(u.file, u.facts);
     }
+    // Stamp the file back onto position-carrying facts (the cache
+    // stores them file-free; the entry key is the file).
+    for (FunctionSummary& fn : u.facts.summaries) fn.file = u.rel;
+    for (MemberOp& op : u.facts.member_ops) op.file = u.rel;
     ctx.merge(u.facts);
     for (NameUse use : u.facts.names) {
       use.file = u.rel;
@@ -220,6 +225,12 @@ int run(const Options& opts, std::ostream& out, std::ostream& err) {
   }
   ctx.resolve();
   const std::uint64_t ctx_hash = context_hash(ctx);
+
+  // ---- --dump-callgraph: print DOT and stop ----------------------------
+  if (!opts.dump_callgraph.empty()) {
+    out << callgraph_dot(ctx.graph, ctx.functions, opts.dump_callgraph);
+    return kExitClean;
+  }
 
   // ---- pass 2: rules + suppressions (cached iff file AND context
   // are unchanged — a new declaration anywhere re-runs every file) ------

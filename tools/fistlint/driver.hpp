@@ -32,6 +32,13 @@ struct Options {
   /// computed against a partial ScanContext and must not be reused).
   bool use_cache = true;
   std::string cache;  ///< empty → root/build/fistlint.cache
+  /// When set, skip the rules entirely: print the DOT call graph of
+  /// the functions defined in this root-relative file (plus their
+  /// direct callees) and exit clean.
+  std::string dump_callgraph;
+  /// alloc-under-lock threshold (--hot-rank-threshold); mutexes ranked
+  /// below it may allocate under the lock without a finding.
+  long hot_rank_threshold = 60;
 };
 
 /// Exit codes, also the public contract of the binary.

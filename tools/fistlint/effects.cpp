@@ -1,0 +1,153 @@
+// effects.cpp — the lock-hold-time rules driven by the cross-TU call
+// graph (callgraph.hpp):
+//
+//   blocking-under-lock   any path from a region holding a *ranked*
+//                         mutex to a blocking effect atom — IO under a
+//                         lock turns p50-µs queries into p99-seconds.
+//   alloc-under-lock      heap allocation while holding a mutex ranked
+//                         ≥ the hot-path threshold (--hot-rank-
+//                         threshold, default 60: the blockstore read
+//                         slots and everything above).
+//   callback-under-lock   invoking a stored std::function/observer
+//                         while holding a ranked mutex — the flight-
+//                         recorder tap idiom done wrong; a slow or
+//                         re-entrant observer stalls or deadlocks the
+//                         hot path.
+//   unbounded-growth      a container member of a mutex-owning class
+//                         grows on an ingest/serve path with no
+//                         cap/evict/clear anywhere in the tree.
+//
+// All four over-approximate (suffix linking, lambda opacity,
+// global-by-name member aggregation) and rely on per-line
+// `fistlint:allow(<rule>) reason` for the reviewed exceptions.
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "callgraph.hpp"
+#include "rules.hpp"
+
+namespace fistlint {
+
+namespace {
+
+bool path_has_prefix(const std::string& rel, std::string_view prefix) {
+  return rel.rfind(prefix, 0) == 0;
+}
+
+std::string last_component(const std::string& name) {
+  std::size_t pos = name.rfind("::");
+  return pos == std::string::npos ? name : name.substr(pos + 2);
+}
+
+bool has_region(const std::vector<int>& regions, int r) {
+  for (int x : regions)
+    if (x == r) return true;
+  return false;
+}
+
+}  // namespace
+
+void run_effect_rules(const SourceFile& file, const ScanContext& ctx,
+                      std::vector<Finding>& out) {
+  // The hierarchy header defines the ranks; holding a lock there is
+  // definitionally fine.
+  if (path_has_prefix(file.rel, "src/core/lock_order")) return;
+
+  std::set<std::pair<std::string, int>> seen;
+  auto emit = [&](const char* rule, int line, std::string message) {
+    if (!seen.emplace(rule, line).second) return;
+    out.push_back(Finding{rule, file.rel, line, std::move(message),
+                          normalize_snippet(file.line_text(line))});
+  };
+
+  const auto& nodes = ctx.graph.nodes();
+
+  for (const FunctionSummary& fn : ctx.functions) {
+    if (fn.file != file.rel) continue;
+
+    for (std::size_t r = 0; r < fn.lock_regions.size(); ++r) {
+      const LockRegion& region = fn.lock_regions[r];
+      auto rank_it = ctx.mutex_ranks.find(region.mutex);
+      if (rank_it == ctx.mutex_ranks.end()) continue;  // unranked
+      const long rank = rank_it->second;
+      const bool hot = rank >= ctx.hot_rank_threshold;
+      const std::string held = "`" + region.mutex + "` (rank " +
+                               std::to_string(rank) + ")";
+      const int ri = static_cast<int>(r);
+
+      // Direct effect atoms inside this region.
+      for (const EffectAtom& a : fn.atoms) {
+        if (!has_region(a.regions, ri)) continue;
+        if (a.kind == EffectAtom::kBlocking) {
+          emit(kRuleBlockingUnderLock, a.line,
+               "blocking `" + a.what + "` while holding " + held +
+                   " — move the IO/wait outside the critical section");
+        } else if (a.kind == EffectAtom::kAlloc && hot) {
+          emit(kRuleAllocUnderLock, a.line,
+               "`" + a.what + "` allocates while holding hot-path " + held +
+                   " — preallocate or move it outside the lock");
+        }
+      }
+
+      // Calls inside this region: direct callable invocations plus
+      // transitive effects of the resolved targets.
+      for (const CallSite& c : fn.calls) {
+        if (!has_region(c.regions, ri)) continue;
+        if (ctx.callable_symbols.count(last_component(c.name)) != 0) {
+          emit(kRuleCallbackUnderLock, c.line,
+               "invoking stored callable `" + c.name + "` while holding " +
+                   held + " — copy it out and invoke after unlock");
+        }
+        for (int ti : ctx.graph.resolve(fn.qname, c)) {
+          const CallGraph::Node& t = nodes[static_cast<std::size_t>(ti)];
+          if (t.blocking) {
+            emit(kRuleBlockingUnderLock, c.line,
+                 "call to `" + c.name + "` blocks while holding " + held +
+                     ": " + t.why_blocking);
+          }
+          if (t.alloc && hot) {
+            emit(kRuleAllocUnderLock, c.line,
+                 "call to `" + c.name + "` allocates while holding "
+                 "hot-path " + held + ": " + t.why_alloc);
+          }
+          if (t.callback) {
+            emit(kRuleCallbackUnderLock, c.line,
+                 "call to `" + c.name + "` invokes a stored callable "
+                 "while holding " + held + ": " + t.why_callback);
+          }
+        }
+      }
+    }
+  }
+
+  // unbounded-growth: container members of mutex-owning classes with a
+  // grow op and no shrink op anywhere in the tree. Aggregation is
+  // global by member name (summaries.hpp) — any clear()/erase()/
+  // pop_*() on the name, in any file, counts as the cap.
+  std::set<std::string> guarded_members;
+  for (const std::string& cls : ctx.mutexed_classes) {
+    auto it = ctx.container_members.find(cls);
+    if (it == ctx.container_members.end()) continue;
+    guarded_members.insert(it->second.begin(), it->second.end());
+  }
+  std::set<std::string> shrunk;
+  for (const MemberOp& op : ctx.member_ops)
+    if (!op.grow) shrunk.insert(op.member);
+
+  std::set<std::string> reported;
+  for (const MemberOp& op : ctx.member_ops) {
+    if (op.file != file.rel || !op.grow) continue;
+    if (guarded_members.count(op.member) == 0) continue;
+    if (shrunk.count(op.member) != 0) continue;
+    if (!reported.insert(op.member).second) continue;
+    emit(kRuleUnboundedGrowth, op.line,
+         "container member `" + op.member + "` grows via `" + op.method +
+             "` on a locked ingest/serve path with no cap/evict/clear "
+             "anywhere in the tree — bound it or allow() with the "
+             "eviction story");
+  }
+}
+
+}  // namespace fistlint

@@ -54,6 +54,33 @@ void parse_allow(std::string_view comment, int line, bool own_line,
   out.push_back(std::move(allow));
 }
 
+/// Parses a `fistlint:effect(blocking|alloc)` marker out of a comment
+/// body, if present. Unknown effect kinds are ignored (forward
+/// compatibility), and a note listing none is dropped.
+void parse_effect(std::string_view comment, int line,
+                  std::vector<EffectNote>& out) {
+  static constexpr std::string_view kTag = "fistlint:effect";
+  std::size_t pos = comment.find(kTag);
+  if (pos == std::string_view::npos) return;
+  std::size_t cursor = pos + kTag.size();
+  if (cursor >= comment.size() || comment[cursor] != '(') return;
+  std::size_t close = comment.find(')', cursor);
+  if (close == std::string_view::npos) return;
+
+  EffectNote note;
+  note.line = line;
+  std::string_view list = comment.substr(cursor + 1, close - cursor - 1);
+  while (!list.empty()) {
+    std::size_t comma = list.find(',');
+    std::string kind = trim(list.substr(0, comma));
+    if (kind == "blocking") note.blocking = true;
+    if (kind == "alloc") note.alloc = true;
+    if (comma == std::string_view::npos) break;
+    list.remove_prefix(comma + 1);
+  }
+  if (note.blocking || note.alloc) out.push_back(note);
+}
+
 }  // namespace
 
 const std::string& SourceFile::line_text(int line) const {
@@ -108,6 +135,7 @@ SourceFile lex(std::string_view src, std::string rel) {
       if (end == std::string_view::npos) end = n;
       parse_allow(src.substr(i + 2, end - i - 2), line,
                   /*own_line=*/last_token_line != line, out.allows);
+      parse_effect(src.substr(i + 2, end - i - 2), line, out.effects);
       i = end;
       continue;
     }
@@ -122,6 +150,7 @@ SourceFile lex(std::string_view src, std::string rel) {
         if (src[j] == '\n') ++line;
       parse_allow(src.substr(i + 2, stop - i - 2), start_line, own_line,
                   out.allows);
+      parse_effect(src.substr(i + 2, stop - i - 2), start_line, out.effects);
       i = (end == std::string_view::npos) ? n : end + 2;
       continue;
     }
@@ -145,10 +174,17 @@ SourceFile lex(std::string_view src, std::string rel) {
           std::size_t stop = (end == std::string_view::npos)
                                  ? n
                                  : end;
-          push(TokKind::Str,
-               std::string(src.substr(paren + 1, stop - paren - 1)));
+          // The token carries the start line; the line counter (and
+          // last_token_line, so a comment trailing the close quote is
+          // not misread as own-line) must advance past the body.
+          int start_line = line;
           for (std::size_t j = i; j < stop; ++j)
             if (src[j] == '\n') ++line;
+          out.tokens.push_back(
+              Token{TokKind::Str,
+                    std::string(src.substr(paren + 1, stop - paren - 1)),
+                    start_line});
+          last_token_line = line;
           i = (end == std::string_view::npos) ? n : end + close.size();
           continue;
         }
@@ -165,25 +201,33 @@ SourceFile lex(std::string_view src, std::string rel) {
     }
 
     // Number (digits, hex, separators, exponents — coarse but lossless
-    // for rule purposes).
+    // for rule purposes). Digit separators are consumed but stripped
+    // from the token text so numeric consumers (the Rank-value parser)
+    // see `21000000`, not a `21'000'000` that std::stol cuts at the
+    // first quote.
     if (std::isdigit(static_cast<unsigned char>(c)) ||
         (c == '.' && i + 1 < n &&
          std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
       std::size_t start = i;
+      std::string text(1, c);
       ++i;
       while (i < n) {
         char d = src[i];
-        if (ident_char(d) || d == '.' || d == '\'') {
+        if (d == '\'' && i + 1 < n && ident_char(src[i + 1])) {
+          ++i;  // digit separator — part of the literal, not the text
+        } else if (ident_char(d) || d == '.') {
+          text.push_back(d);
           ++i;
         } else if ((d == '+' || d == '-') && i > start &&
                    (src[i - 1] == 'e' || src[i - 1] == 'E' ||
                     src[i - 1] == 'p' || src[i - 1] == 'P')) {
+          text.push_back(d);
           ++i;  // exponent sign
         } else {
           break;
         }
       }
-      push(TokKind::Number, std::string(src.substr(start, i - start)));
+      push(TokKind::Number, std::move(text));
       continue;
     }
 

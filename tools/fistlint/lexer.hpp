@@ -30,7 +30,7 @@ namespace fistlint {
 
 enum class TokKind {
   Ident,    ///< identifier or keyword
-  Number,   ///< numeric literal (digit separators consumed)
+  Number,   ///< numeric literal (digit separators stripped from text)
   Str,      ///< string literal; text holds the uninterpreted contents
   CharLit,  ///< character literal
   Punct,    ///< single punctuation character
@@ -59,6 +59,16 @@ struct Allow {
   bool file_scope = false;         ///< allow-file variant
 };
 
+/// One parsed `// fistlint:effect(blocking|alloc)` annotation — a
+/// user-declared effect for the cross-TU engine (summaries.hpp), for
+/// functions whose effects the token heuristics cannot see (inline
+/// assembly, vendored wrappers, platform ifdefs).
+struct EffectNote {
+  int line = 1;          ///< line the comment starts on
+  bool blocking = false; ///< `blocking` listed in the parens
+  bool alloc = false;    ///< `alloc` listed in the parens
+};
+
 /// A lexed source file plus everything the rules need around the
 /// token stream: suppression comments and the raw lines (baseline
 /// snippets are normalized source lines, so they survive reformatting
@@ -67,6 +77,7 @@ struct SourceFile {
   std::string rel;  ///< root-relative path, '/' separators
   std::vector<Token> tokens;
   std::vector<Allow> allows;
+  std::vector<EffectNote> effects;
   std::vector<std::string> lines;  ///< raw text, lines[i] is line i+1
 
   const std::string& line_text(int line) const;

@@ -3,7 +3,8 @@
 //   fistlint [--root DIR] [--compile-commands FILE] [--baseline FILE]
 //            [--docs FILE] [--scan-prefix DIR/]... [--no-docs]
 //            [--report FILE] [--update-baseline] [--list-rules]
-//            [--cache FILE] [--no-cache] [file...]
+//            [--cache FILE] [--no-cache] [--dump-callgraph REL]
+//            [--hot-rank-threshold N] [file...]
 //
 // Exit codes: 0 clean (nothing outside the committed baseline),
 // 1 new findings, 2 usage / unreadable input.
@@ -33,6 +34,10 @@ constexpr const char* kUsage =
     "  --cache FILE            incremental-scan cache (default\n"
     "                          ROOT/build/fistlint.cache)\n"
     "  --no-cache              full scan; neither read nor write the cache\n"
+    "  --dump-callgraph REL    print the DOT call graph of the functions\n"
+    "                          defined in this root-relative file and exit\n"
+    "  --hot-rank-threshold N  alloc-under-lock fires only for mutexes\n"
+    "                          ranked >= N (default 60)\n"
     "  --list-rules            print the rule ids and exit\n"
     "  file...                 scan exactly these files (skips discovery)\n";
 
@@ -71,6 +76,16 @@ int main(int argc, char** argv) {
       opts.cache = value("--cache");
     } else if (arg == "--no-cache") {
       opts.use_cache = false;
+    } else if (arg == "--dump-callgraph") {
+      opts.dump_callgraph = value("--dump-callgraph");
+    } else if (arg == "--hot-rank-threshold") {
+      try {
+        opts.hot_rank_threshold = std::stol(value("--hot-rank-threshold"));
+      } catch (...) {
+        std::cerr << "fistlint: --hot-rank-threshold needs a number\n"
+                  << kUsage;
+        return fistlint::kExitUsage;
+      }
     } else if (arg == "--list-rules") {
       for (const std::string& r : fistlint::all_rules())
         std::cout << r << "\n";

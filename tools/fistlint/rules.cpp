@@ -80,10 +80,11 @@ const std::set<std::string>& cpp_keywords() {
 
 const std::vector<std::string>& all_rules() {
   static const std::vector<std::string> rules = {
-      kRuleUnorderedIter, kRulePointerOrder, kRuleBannedRandom,
-      kRuleUninitPod,     kRuleFloatAmount,  kRuleDocsDrift,
-      kRuleBadSuppression, kRuleNakedMutex,  kRuleLockOrder,
-      kRuleDetachedThread,
+      kRuleUnorderedIter,  kRulePointerOrder,     kRuleBannedRandom,
+      kRuleUninitPod,      kRuleFloatAmount,      kRuleDocsDrift,
+      kRuleBadSuppression, kRuleNakedMutex,       kRuleLockOrder,
+      kRuleDetachedThread, kRuleBlockingUnderLock, kRuleAllocUnderLock,
+      kRuleCallbackUnderLock, kRuleUnboundedGrowth,
   };
   return rules;
 }
@@ -145,6 +146,7 @@ void collect_facts(const SourceFile& file, FileFacts& out) {
   }, out.ordered_symbols);
   collect_metric_names(file, out.names);
   collect_concurrency_facts(file, out);
+  collect_summaries(file, out);
 }
 
 void ScanContext::merge(const FileFacts& facts) {
@@ -158,6 +160,17 @@ void ScanContext::merge(const FileFacts& facts) {
   }
   for (const auto& [enumerator, value] : facts.rank_values)
     rank_values_[enumerator] = value;
+
+  functions.insert(functions.end(), facts.summaries.begin(),
+                   facts.summaries.end());
+  callable_symbols.insert(facts.callable_symbols.begin(),
+                          facts.callable_symbols.end());
+  for (const auto& [cls, members] : facts.container_members)
+    container_members[cls].insert(members.begin(), members.end());
+  mutexed_classes.insert(facts.mutexed_classes.begin(),
+                         facts.mutexed_classes.end());
+  member_ops.insert(member_ops.end(), facts.member_ops.begin(),
+                    facts.member_ops.end());
 }
 
 void ScanContext::resolve() {
@@ -167,6 +180,83 @@ void ScanContext::resolve() {
     auto it = rank_values_.find(enumerator);
     if (it != rank_values_.end()) mutex_ranks[name] = it->second;
   }
+  graph.build(functions, callable_symbols);
+}
+
+std::string ScanContext::canonical_facts() const {
+  std::string out;
+  auto add = [&](std::string_view tag, const std::string& v) {
+    out += tag;
+    out += ':';
+    out += v;
+    out += '\n';
+  };
+  for (const auto& s : unordered_symbols) add("u", s);
+  for (const auto& s : ordered_symbols) add("o", s);
+  for (const auto& [name, enumerator] : mutex_enums_)
+    add("me", name + "=" + enumerator);
+  for (const auto& name : ambiguous_) add("amb", name);
+  for (const auto& [enumerator, value] : rank_values_)
+    add("rv", enumerator + "=" + std::to_string(value));
+  for (const auto& [name, value] : mutex_ranks)
+    add("mr", name + "=" + std::to_string(value));
+  for (const auto& s : callable_symbols) add("cb", s);
+  for (const auto& [cls, members] : container_members)
+    for (const auto& m : members) add("cm", cls + "::" + m);
+  for (const auto& cls : mutexed_classes) add("mx", cls);
+  {
+    // File/line-free: the owning file's content hash already covers
+    // where the op sits; only the name/kind sets act cross-file.
+    std::set<std::string> ops;
+    for (const MemberOp& op : member_ops)
+      ops.insert(op.member + "|" + op.method + "|" + (op.grow ? "g" : "s"));
+    for (const auto& s : ops) add("mo", s);
+  }
+  {
+    // Full summaries, file and lines included: witness chains quote
+    // other files' positions, so a callee edit anywhere must change
+    // the key.
+    std::set<std::string> fns;
+    for (const FunctionSummary& fn : functions) {
+      std::string s = fn.qname;
+      auto field = [&s](const std::string& v) {
+        s += '|';
+        s += v;
+      };
+      field(fn.file);
+      field(std::to_string(fn.line));
+      for (const LockRegion& r : fn.lock_regions) {
+        s += ";lr";
+        field(r.mutex);
+        field(r.guard);
+        field(std::to_string(r.line));
+      }
+      for (const CallSite& c : fn.calls) {
+        s += ";cs";
+        field(c.name);
+        field(std::to_string(c.line));
+        field(c.member ? "1" : "0");
+        for (int x : c.regions) {
+          s += ',';
+          s += std::to_string(x);
+        }
+      }
+      for (const EffectAtom& a : fn.atoms) {
+        s += ";ea";
+        field(std::to_string(a.kind));
+        field(std::to_string(a.line));
+        field(a.what);
+        for (int x : a.regions) {
+          s += ',';
+          s += std::to_string(x);
+        }
+      }
+      fns.insert(std::move(s));
+    }
+    for (const auto& s : fns) add("fn", s);
+  }
+  add("thr", std::to_string(hot_rank_threshold));
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -611,6 +701,7 @@ std::vector<Finding> run_file_rules(const SourceFile& file,
   rule_uninit_pod(file, out);
   rule_float_amount(file, out);
   run_concurrency_rules(file, ctx, out);
+  run_effect_rules(file, ctx, out);
   return out;
 }
 

@@ -50,6 +50,18 @@
 //                           executor — detached threads outlive every
 //                           join point the determinism tests control.
 //
+// The lock-hold-time rules ride the cross-TU call graph
+// (summaries.hpp / callgraph.hpp; evaluated in effects.cpp):
+//
+//   blocking-under-lock     any path from a ranked-lock region to a
+//                           blocking effect atom (IO, sleep, wait).
+//   alloc-under-lock        heap allocation under a mutex ranked ≥ the
+//                           hot-path threshold (--hot-rank-threshold).
+//   callback-under-lock     invoking a stored std::function/observer
+//                           while holding a ranked mutex.
+//   unbounded-growth        a container member of a mutex-owning class
+//                           grows with no cap/evict/clear in the tree.
+//
 // All rules are token-level heuristics: they over-approximate and rely
 // on `// fistlint:allow(<rule>) reason` plus the committed baseline
 // (baseline.hpp) for the sites a human has vetted.
@@ -60,7 +72,9 @@
 #include <string>
 #include <vector>
 
+#include "callgraph.hpp"
 #include "lexer.hpp"
+#include "summaries.hpp"
 
 namespace fistlint {
 
@@ -75,6 +89,10 @@ inline constexpr const char* kRuleBadSuppression = "bad-suppression";
 inline constexpr const char* kRuleNakedMutex = "naked-mutex";
 inline constexpr const char* kRuleLockOrder = "lock-order";
 inline constexpr const char* kRuleDetachedThread = "detached-thread";
+inline constexpr const char* kRuleBlockingUnderLock = "blocking-under-lock";
+inline constexpr const char* kRuleAllocUnderLock = "alloc-under-lock";
+inline constexpr const char* kRuleCallbackUnderLock = "callback-under-lock";
+inline constexpr const char* kRuleUnboundedGrowth = "unbounded-growth";
 
 /// Every rule id, in report order.
 const std::vector<std::string>& all_rules();
@@ -115,6 +133,19 @@ struct FileFacts {
   /// Metric/span name literals — arguments of `.counter("…")` /
   /// `.gauge("…")` / `.histogram("…", …)` and `obs::Span ident("…")`.
   std::vector<NameUse> names;
+
+  // Cross-TU engine facts (summaries.hpp; collected by
+  // collect_summaries, consumed by callgraph.cpp / effects.cpp).
+  /// One summary per recognized function definition.
+  std::vector<FunctionSummary> summaries;
+  /// Identifiers declared with a std::function<…> type.
+  std::set<std::string> callable_symbols;
+  /// Class qname → container-typed member names declared in it.
+  std::map<std::string, std::set<std::string>> container_members;
+  /// Classes declaring a ranked fist::Mutex/SharedMutex member.
+  std::set<std::string> mutexed_classes;
+  /// Grow/shrink method calls on member-shaped receivers.
+  std::vector<MemberOp> member_ops;
 };
 
 /// Pass 1: collect every cross-file fact from `file`.
@@ -129,11 +160,31 @@ struct ScanContext {
   /// Resolved mutex name → hierarchy rank value (filled by resolve()).
   std::map<std::string, long> mutex_ranks;
 
+  // Cross-TU engine state (merged from FileFacts; the graph is built
+  // by resolve()).
+  std::vector<FunctionSummary> functions;
+  std::set<std::string> callable_symbols;
+  std::map<std::string, std::set<std::string>> container_members;
+  std::set<std::string> mutexed_classes;
+  std::vector<MemberOp> member_ops;
+  /// alloc-under-lock fires only for mutexes ranked at or above this
+  /// (CLI --hot-rank-threshold; default: the blockstore read slots).
+  long hot_rank_threshold = 60;
+  CallGraph graph;
+
   void merge(const FileFacts& facts);
-  /// Resolves mutex enumerators to numeric ranks; a name declared with
-  /// two different ranks in the tree is ambiguous and dropped (the
-  /// lock-order rule stays silent on it rather than guessing).
+  /// Resolves mutex enumerators to numeric ranks (a name declared with
+  /// two different ranks in the tree is ambiguous and dropped — the
+  /// lock rules stay silent on it rather than guessing) and links the
+  /// function summaries into the call graph.
   void resolve();
+
+  /// Deterministic serialization of every cross-file fact findings can
+  /// depend on — the incremental cache's context key (cache.hpp). Any
+  /// change to a rank, a mutex declaration, a summary, or the
+  /// threshold changes this string, so cached findings in *other*
+  /// files are invalidated too.
+  std::string canonical_facts() const;
 
  private:
   std::map<std::string, std::string> mutex_enums_;
@@ -155,6 +206,13 @@ void run_concurrency_rules(const SourceFile& file, const ScanContext& ctx,
 /// Pass-1 collection for the concurrency rules (Mutex declarations and
 /// Rank enumerator values). collect_facts already includes it.
 void collect_concurrency_facts(const SourceFile& file, FileFacts& out);
+
+/// The four call-graph rules (blocking-under-lock, alloc-under-lock,
+/// callback-under-lock, unbounded-growth; implemented in effects.cpp).
+/// run_file_rules already includes them; requires ctx.resolve() to
+/// have built the graph.
+void run_effect_rules(const SourceFile& file, const ScanContext& ctx,
+                      std::vector<Finding>& out);
 
 /// The docs-drift check: `doc_text` is docs/OBSERVABILITY.md; the
 /// registry is the backticked names between the

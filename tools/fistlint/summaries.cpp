@@ -1,0 +1,707 @@
+// summaries.cpp — pass-1 extraction for the cross-TU engine.
+//
+// The extractor is a single forward walk over the token stream with a
+// scope stack (namespace / class / other braces). At namespace or
+// class scope it tries to match a function-definition head —
+//
+//   [qualifiers] [A::B::]name ( params ) [const noexcept override …]
+//   [-> type] [: ctor-init-list] {
+//
+// — and on a match walks the body collecting lock regions, call sites
+// and effect atoms. Everything else (enum bodies, failed matches,
+// operator overloads) is skipped without a summary; the engine only
+// reasons about functions it positively recognized.
+#include "summaries.hpp"
+
+#include <set>
+
+#include "rules.hpp"
+
+namespace fistlint {
+
+namespace {
+
+std::size_t find_close_paren(const std::vector<Token>& t, std::size_t i) {
+  std::size_t depth = 0;
+  for (std::size_t j = i; j < t.size(); ++j) {
+    if (t[j].punct('(')) ++depth;
+    if (t[j].punct(')') && --depth == 0) return j;
+  }
+  return t.size();
+}
+
+std::size_t find_close_brace(const std::vector<Token>& t, std::size_t i) {
+  std::size_t depth = 0;
+  for (std::size_t j = i; j < t.size(); ++j) {
+    if (t[j].punct('{')) ++depth;
+    if (t[j].punct('}') && --depth == 0) return j;
+  }
+  return t.size();
+}
+
+std::size_t skip_angles(const std::vector<Token>& t, std::size_t i) {
+  std::size_t depth = 0;
+  for (std::size_t j = i; j < t.size(); ++j) {
+    if (t[j].punct('<')) {
+      ++depth;
+    } else if (t[j].punct('>')) {
+      if (--depth == 0) return j + 1;
+    } else if (t[j].punct(';') || t[j].punct('{') || t[j].punct('}')) {
+      break;
+    }
+  }
+  return i + 1;
+}
+
+/// Control-flow and expression keywords that precede a '(' without
+/// being a call, or precede a call name without making it a
+/// declaration (`return foo(…)`).
+const std::set<std::string>& statement_keywords() {
+  static const std::set<std::string> kw = {
+      "if",     "for",    "while",  "switch",   "catch",  "return",
+      "sizeof", "alignof", "decltype", "static_assert", "throw",
+      "new",    "delete", "else",   "do",       "case",   "co_return",
+      "co_await", "co_yield", "goto", "and", "or", "not",
+  };
+  return kw;
+}
+
+/// Names that look like calls but are control flow — never recorded.
+bool control_name(const std::string& s) {
+  return s == "if" || s == "for" || s == "while" || s == "switch" ||
+         s == "catch" || s == "sizeof" || s == "alignof" ||
+         s == "decltype" || s == "static_assert" || s == "assert";
+}
+
+/// Blocking effect atoms: syscall-shaped IO, filesystem mutation,
+/// sleeps, condition-variable waits. Matched on the last component of
+/// a call name, member or free.
+const std::set<std::string>& blocking_calls() {
+  static const std::set<std::string> s = {
+      "read",       "write",      "pread",      "pwrite",    "fsync",
+      "fdatasync",  "open",       "fopen",      "fclose",    "fread",
+      "fwrite",     "fflush",     "fseek",      "flush",     "seekg",
+      "seekp",      "poll",       "select",     "accept",    "recv",
+      "send",       "connect",    "bind",       "listen",    "close",
+      "socketpair", "sleep",      "usleep",     "nanosleep", "sleep_for",
+      "sleep_until", "wait",      "wait_for",   "wait_until",
+      "resize_file", "file_size", "remove",     "rename",    "copy_file",
+      "create_directories",
+  };
+  return s;
+}
+
+/// Member calls that allocate (grow or reallocate the receiver).
+const std::set<std::string>& alloc_methods() {
+  static const std::set<std::string> s = {
+      "push_back", "emplace_back", "emplace",       "try_emplace",
+      "insert",    "insert_or_assign", "push_front", "emplace_front",
+      "reserve",   "resize",       "assign",        "append",
+      "push",
+  };
+  return s;
+}
+
+/// Grow/shrink classification for the unbounded-growth rule.
+const std::set<std::string>& grow_methods() {
+  static const std::set<std::string> s = {
+      "push_back", "emplace_back", "emplace",       "try_emplace",
+      "insert",    "insert_or_assign", "push_front", "emplace_front",
+      "push",
+  };
+  return s;
+}
+
+const std::set<std::string>& shrink_methods() {
+  static const std::set<std::string> s = {
+      "clear",  "erase", "pop_back", "pop_front", "resize",
+      "assign", "reset", "shrink_to_fit", "swap",  "pop",
+  };
+  return s;
+}
+
+/// std::atomic member operations — never recorded as call sites, so an
+/// atomic `stopping.load()` cannot link to a repo function named
+/// `load`.
+const std::set<std::string>& atomic_methods() {
+  static const std::set<std::string> s = {
+      "load",       "store",      "exchange",   "fetch_add", "fetch_sub",
+      "fetch_and",  "fetch_or",   "fetch_xor",  "test_and_set",
+      "compare_exchange_weak",    "compare_exchange_strong",
+      "notify_one", "notify_all",
+  };
+  return s;
+}
+
+bool is_container_type(const Token& tok) {
+  static const std::set<std::string> s = {
+      "vector",        "deque",         "list",
+      "forward_list",  "map",           "set",
+      "multimap",      "multiset",      "unordered_map",
+      "unordered_set", "unordered_multimap", "unordered_multiset",
+  };
+  return tok.kind == TokKind::Ident && s.count(tok.text) != 0;
+}
+
+bool is_scoped_lock_type(const Token& tok) {
+  return tok.ident("LockGuard") || tok.ident("UniqueLock") ||
+         tok.ident("lock_guard") || tok.ident("unique_lock") ||
+         tok.ident("scoped_lock") || tok.ident("shared_lock");
+}
+
+// ---------------------------------------------------------------------------
+// Lambda opacity
+// ---------------------------------------------------------------------------
+
+/// Heuristic: '[' opens a lambda capture list (vs. a subscript or an
+/// attribute we fail to recognize) when what precedes it cannot end an
+/// expression.
+bool is_lambda_intro(const std::vector<Token>& t, std::size_t j,
+                     std::size_t begin) {
+  if (j == begin) return true;
+  const Token& p = t[j - 1];
+  if (p.kind == TokKind::Ident)
+    return p.ident("return") || p.ident("case") || p.ident("co_return");
+  if (p.kind != TokKind::Punct) return false;  // literal[i]
+  char c = p.text[0];
+  return c == '(' || c == ',' || c == '=' || c == '{' || c == ';' ||
+         c == '<' || c == '&' || c == '|' || c == '!' || c == '?' ||
+         c == ':' || c == '+' || c == '-' || c == '*' || c == '/';
+}
+
+/// `j` indexes the '[' of a (suspected) lambda. Returns the index just
+/// past its body — or just past the ']' when no body materializes
+/// (attribute, mis-detection), so scanning resumes unharmed.
+std::size_t skip_lambda(const std::vector<Token>& t, std::size_t j,
+                        std::size_t end) {
+  std::size_t depth = 0;
+  std::size_t k = j;
+  for (; k < end; ++k) {
+    if (t[k].punct('[')) ++depth;
+    if (t[k].punct(']') && --depth == 0) break;
+  }
+  if (k >= end) return end;
+  std::size_t resume = k + 1;  // fallback: just past ']'
+  std::size_t m = k + 1;
+  if (m < end && t[m].punct('(')) m = find_close_paren(t, m) + 1;
+  while (m < end) {
+    const Token& q = t[m];
+    if (q.punct('{')) return find_close_brace(t, m) + 1;
+    if (q.ident("mutable") || q.ident("constexpr") || q.ident("noexcept")) {
+      ++m;
+      if (m < end && t[m].punct('(')) m = find_close_paren(t, m) + 1;
+      continue;
+    }
+    if (q.punct('-') && m + 1 < end && t[m + 1].punct('>')) {
+      m += 2;
+      continue;
+    }
+    if (q.kind == TokKind::Ident || q.punct(':') || q.punct('&') ||
+        q.punct('*')) {
+      ++m;
+      continue;
+    }
+    if (q.punct('<')) {
+      m = skip_angles(t, m);
+      continue;
+    }
+    break;  // ';', ')', ',', … — not a lambda after all
+  }
+  return resume;
+}
+
+// ---------------------------------------------------------------------------
+// Function body walk
+// ---------------------------------------------------------------------------
+
+/// Walks one function body ([begin, end), braces excluded), filling
+/// the summary's lock regions, call sites and effect atoms, and the
+/// file's member grow/shrink ops.
+void walk_body(const SourceFile& file, std::size_t begin, std::size_t end,
+               FunctionSummary& fn, FileFacts& out);
+
+/// Builds the (possibly `A::B::`-qualified) call name ending at token
+/// `i`, and reports where the qualified chain starts.
+std::string qualified_name(const std::vector<Token>& t, std::size_t i,
+                           std::size_t& chain_start) {
+  std::string name = t[i].text;
+  std::size_t k = i;
+  while (k >= 3 && t[k - 1].punct(':') && t[k - 2].punct(':') &&
+         t[k - 3].kind == TokKind::Ident) {
+    name = t[k - 3].text + "::" + name;
+    k -= 3;
+  }
+  // A leading global qualifier (`::close`) adds no name segment.
+  if (k >= 2 && t[k - 1].punct(':') && t[k - 2].punct(':')) k -= 2;
+  chain_start = k;
+  return name;
+}
+
+void walk_body(const SourceFile& file, std::size_t begin, std::size_t end,
+               FunctionSummary& fn, FileFacts& out) {
+  const auto& t = file.tokens;
+  struct Active {
+    int index;  ///< into fn.lock_regions
+    int depth;
+  };
+  int depth = 0;
+  std::vector<Active> active;
+
+  auto active_indices = [&] {
+    std::vector<int> v;
+    v.reserve(active.size());
+    for (const Active& a : active) v.push_back(a.index);
+    return v;
+  };
+  auto add_atom = [&](int kind, int line, std::string what,
+                      std::vector<int> regions) {
+    fn.atoms.push_back(
+        EffectAtom{kind, line, std::move(what), std::move(regions)});
+  };
+
+  for (std::size_t j = begin; j < end; ++j) {
+    const Token& tok = t[j];
+    if (tok.punct('{')) {
+      ++depth;
+      continue;
+    }
+    if (tok.punct('}')) {
+      --depth;
+      while (!active.empty() && active.back().depth > depth)
+        active.pop_back();
+      continue;
+    }
+    if (tok.punct('[') && is_lambda_intro(t, j, begin)) {
+      std::size_t next = skip_lambda(t, j, end);
+      j = (next > j ? next : j + 1) - 1;  // loop ++
+      continue;
+    }
+
+    // Scoped guard declaration: `LockGuard g(…mutex);`.
+    if (is_scoped_lock_type(tok)) {
+      std::size_t k = j + 1;
+      if (k < end && t[k].punct('<')) k = skip_angles(t, k);
+      if (k + 1 < end && t[k].kind == TokKind::Ident && t[k + 1].punct('(')) {
+        std::size_t close = find_close_paren(t, k + 1);
+        std::string mtx;
+        for (std::size_t m = k + 2; m < close && m < end; ++m)
+          if (t[m].kind == TokKind::Ident) mtx = t[m].text;
+        if (!mtx.empty()) {
+          fn.lock_regions.push_back(LockRegion{mtx, t[k].text, tok.line});
+          active.push_back(
+              Active{static_cast<int>(fn.lock_regions.size()) - 1, depth});
+        }
+        j = close < end ? close : end - 1;
+      }
+      continue;
+    }
+
+    if (tok.kind != TokKind::Ident) continue;
+
+    // Effect atoms that do not need a following '('.
+    if (tok.is("new")) {
+      add_atom(EffectAtom::kAlloc, tok.line, "new", active_indices());
+      continue;
+    }
+    if ((tok.is("make_unique") || tok.is("make_shared")) && j + 1 < end &&
+        (t[j + 1].punct('<') || t[j + 1].punct('('))) {
+      add_atom(EffectAtom::kAlloc, tok.line, tok.text, active_indices());
+      continue;
+    }
+    // fstream construction opens a file: `std::ofstream out(path, …)`.
+    if ((tok.is("ifstream") || tok.is("ofstream") || tok.is("fstream")) &&
+        j + 2 < end && t[j + 1].kind == TokKind::Ident &&
+        (t[j + 2].punct('(') || t[j + 2].punct('{'))) {
+      add_atom(EffectAtom::kBlocking, tok.line, tok.text, active_indices());
+      continue;
+    }
+
+    // Deref-invocation of a stored callable: `(*body)(…)`.
+    if (j >= 2 && j + 2 < end && t[j - 1].punct('*') && t[j - 2].punct('(') &&
+        t[j + 1].punct(')') && t[j + 2].punct('(')) {
+      fn.calls.push_back(
+          CallSite{tok.text, tok.line, false, active_indices()});
+      continue;
+    }
+
+    if (j + 1 >= end || !t[j + 1].punct('(')) continue;
+    if (control_name(tok.text)) continue;
+
+    // Manual `m.lock()` / `m.unlock()` on a (possibly ranked) mutex.
+    bool member = j >= 1 && (t[j - 1].punct('.') ||
+                             (j >= 2 && t[j - 1].punct('>') &&
+                              t[j - 2].punct('-')));
+    if (member && tok.is("lock") && j >= 2 &&
+        t[j - 2].kind == TokKind::Ident) {
+      fn.lock_regions.push_back(
+          LockRegion{t[j - 2].text, std::string(), tok.line});
+      active.push_back(
+          Active{static_cast<int>(fn.lock_regions.size()) - 1, depth});
+      continue;
+    }
+    if (member && tok.is("unlock") && j >= 2 &&
+        t[j - 2].kind == TokKind::Ident) {
+      for (auto it = active.rbegin(); it != active.rend(); ++it) {
+        if (fn.lock_regions[static_cast<std::size_t>(it->index)].mutex ==
+            t[j - 2].text) {
+          active.erase(std::next(it).base());
+          break;
+        }
+      }
+      continue;
+    }
+
+    std::size_t chain_start = j;
+    std::string name =
+        member ? tok.text : qualified_name(t, j, chain_start);
+    // A non-keyword identifier right before the (chain of the) name
+    // means this is a declaration (`LockGuard lock(…)`, `Reader r(…)`),
+    // not a call.
+    if (chain_start > 0) {
+      const Token& prev = t[chain_start - 1];
+      if (prev.kind == TokKind::Ident &&
+          statement_keywords().count(prev.text) == 0)
+        continue;
+      if (prev.punct('~')) continue;  // destructor call/decl
+    }
+
+    std::vector<int> regions = active_indices();
+    std::vector<int> atom_regions = regions;
+    const std::string& last = tok.text;
+    if (last == "wait" || last == "wait_for" || last == "wait_until") {
+      // `cv.wait(lock)` drops the region's own guard while blocked.
+      if (j + 2 < end && t[j + 2].kind == TokKind::Ident) {
+        const std::string& arg = t[j + 2].text;
+        std::vector<int> kept;
+        for (int r : atom_regions)
+          if (fn.lock_regions[static_cast<std::size_t>(r)].guard != arg)
+            kept.push_back(r);
+        atom_regions = std::move(kept);
+      }
+    }
+
+    // Member IO primitives are precise blocking atoms already, and
+    // atomic ops are pure; recording either as a call would only link
+    // it to unrelated same-named repo functions.
+    bool linkable =
+        !member || (blocking_calls().count(last) == 0 &&
+                    atomic_methods().count(last) == 0);
+    if (linkable)
+      fn.calls.push_back(CallSite{name, tok.line, member, regions});
+    if (blocking_calls().count(last) != 0)
+      add_atom(EffectAtom::kBlocking, tok.line, last,
+               std::move(atom_regions));
+    if (member && alloc_methods().count(last) != 0)
+      add_atom(EffectAtom::kAlloc, tok.line, last, active_indices());
+    if (member && j >= 2) {
+      std::size_t recv = t[j - 1].punct('.') ? j - 2 : (j >= 3 ? j - 3 : 0);
+      if (t[recv].kind == TokKind::Ident) {
+        bool grow = grow_methods().count(last) != 0;
+        bool shrink = shrink_methods().count(last) != 0;
+        if (grow || shrink)
+          out.member_ops.push_back(
+              MemberOp{t[recv].text, last, file.rel, tok.line, grow});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Function-definition head matching
+// ---------------------------------------------------------------------------
+
+struct HeadMatch {
+  bool matched = false;
+  std::size_t body_open = 0;
+  std::size_t skip_to = 0;  ///< where to resume on failure
+  std::string prefix;       ///< explicit `A::B::` qualification
+};
+
+HeadMatch try_match_head(const std::vector<Token>& t, std::size_t i) {
+  HeadMatch m;
+  std::size_t close = find_close_paren(t, i + 1);
+  if (close >= t.size()) {
+    m.skip_to = i + 1;
+    return m;
+  }
+  m.skip_to = close + 1;
+
+  std::size_t k = i;
+  while (k >= 3 && t[k - 1].punct(':') && t[k - 2].punct(':') &&
+         t[k - 3].kind == TokKind::Ident) {
+    m.prefix = m.prefix.empty() ? t[k - 3].text
+                                : t[k - 3].text + "::" + m.prefix;
+    k -= 3;
+  }
+
+  std::size_t j = close + 1;
+  while (j < t.size()) {
+    const Token& q = t[j];
+    if (q.ident("const") || q.ident("noexcept") || q.ident("override") ||
+        q.ident("final") || q.ident("mutable") || q.ident("try") ||
+        q.ident("volatile") || q.punct('&')) {
+      ++j;
+      continue;
+    }
+    if (q.punct('(')) {  // noexcept(…)
+      j = find_close_paren(t, j) + 1;
+      continue;
+    }
+    if (q.punct('-') && j + 1 < t.size() && t[j + 1].punct('>')) {
+      j += 2;  // trailing return type
+      while (j < t.size() && !t[j].punct('{') && !t[j].punct(';') &&
+             !t[j].punct('=')) {
+        if (t[j].punct('<')) {
+          j = skip_angles(t, j);
+          continue;
+        }
+        ++j;
+      }
+      continue;
+    }
+    if (q.punct(':') && !(j + 1 < t.size() && t[j + 1].punct(':'))) {
+      // Constructor initializer list: name (…)|{…} [, …] then the body.
+      ++j;
+      while (j < t.size()) {
+        while (j < t.size() &&
+               (t[j].kind == TokKind::Ident || t[j].punct(':'))) {
+          if (t[j].kind == TokKind::Ident && j + 1 < t.size() &&
+              t[j + 1].punct('<')) {
+            j = skip_angles(t, j + 1);
+            continue;
+          }
+          ++j;
+        }
+        if (j < t.size() && t[j].punct('('))
+          j = find_close_paren(t, j) + 1;
+        else if (j < t.size() && t[j].punct('{'))
+          j = find_close_brace(t, j) + 1;
+        else
+          return m;  // malformed — not a recognizable definition
+        if (j < t.size() && t[j].punct(',')) {
+          ++j;
+          continue;
+        }
+        break;
+      }
+      continue;
+    }
+    if (q.punct('{')) {
+      m.matched = true;
+      m.body_open = j;
+      return m;
+    }
+    return m;  // ';', '=', '…' — declaration, = default, etc.
+  }
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// std::function-typed symbols (callback-under-lock receivers)
+// ---------------------------------------------------------------------------
+
+void collect_callables(const SourceFile& file, FileFacts& out) {
+  const auto& t = file.tokens;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!t[i].ident("function") || !t[i + 1].punct('<')) continue;
+    std::size_t j = skip_angles(t, i + 1);
+    while (j < t.size() &&
+           (t[j].punct('&') || t[j].punct('*') || t[j].ident("const")))
+      ++j;
+    if (j < t.size() && t[j].kind == TokKind::Ident &&
+        statement_keywords().count(t[j].text) == 0)
+      out.callable_symbols.insert(t[j].text);
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// The scope walk
+// ---------------------------------------------------------------------------
+
+void collect_summaries(const SourceFile& file, FileFacts& out) {
+  const auto& t = file.tokens;
+
+  enum class ScopeKind { Ns, Cls, Other };
+  struct Scope {
+    ScopeKind kind;
+    std::string name;
+  };
+  std::vector<Scope> stack;
+
+  auto scope_qname = [&](const std::string& prefix, const std::string& name) {
+    std::string q;
+    for (const Scope& s : stack) {
+      if (s.kind == ScopeKind::Other || s.name.empty()) continue;
+      if (!q.empty()) q += "::";
+      q += s.name;
+    }
+    if (!prefix.empty()) {
+      if (!q.empty()) q += "::";
+      q += prefix;
+    }
+    if (!name.empty()) {
+      if (!q.empty()) q += "::";
+      q += name;
+    }
+    return q;
+  };
+
+  const std::size_t first_summary = out.summaries.size();
+  std::vector<int> end_lines;  // parallel to summaries added here
+
+  std::size_t i = 0;
+  while (i < t.size()) {
+    const Token& tok = t[i];
+    if (tok.punct('{')) {
+      stack.push_back(Scope{ScopeKind::Other, std::string()});
+      ++i;
+      continue;
+    }
+    if (tok.punct('}')) {
+      if (!stack.empty()) stack.pop_back();
+      ++i;
+      continue;
+    }
+    ScopeKind inner = stack.empty() ? ScopeKind::Ns : stack.back().kind;
+    if (inner == ScopeKind::Other || tok.kind != TokKind::Ident) {
+      ++i;
+      continue;
+    }
+
+    if (tok.is("template") && i + 1 < t.size() && t[i + 1].punct('<')) {
+      i = skip_angles(t, i + 1);
+      continue;
+    }
+    if (tok.is("namespace")) {
+      std::string name;
+      std::size_t j = i + 1;
+      while (j < t.size() &&
+             (t[j].kind == TokKind::Ident || t[j].punct(':'))) {
+        if (t[j].kind == TokKind::Ident) {
+          if (!name.empty()) name += "::";
+          name += t[j].text;
+        }
+        ++j;
+      }
+      if (j < t.size() && t[j].punct('{')) {
+        stack.push_back(Scope{ScopeKind::Ns, name});
+        i = j + 1;
+        continue;
+      }
+      while (j < t.size() && !t[j].punct(';')) ++j;  // alias / using
+      i = j + 1;
+      continue;
+    }
+    if (tok.is("enum") || tok.is("union")) {
+      std::size_t j = i + 1;
+      while (j < t.size() && !t[j].punct('{') && !t[j].punct(';')) ++j;
+      if (j < t.size() && t[j].punct('{')) {
+        stack.push_back(Scope{ScopeKind::Other, std::string()});
+        i = j + 1;
+      } else {
+        i = j + 1;
+      }
+      continue;
+    }
+    if (tok.is("class") || tok.is("struct")) {
+      std::size_t j = i + 1;
+      std::string name;
+      if (j < t.size() && t[j].kind == TokKind::Ident) {
+        name = t[j].text;
+        ++j;
+      }
+      std::size_t angle = 0;
+      while (j < t.size() && !(t[j].punct('{') && angle == 0) &&
+             !t[j].punct(';')) {
+        if (t[j].punct('<')) ++angle;
+        if (t[j].punct('>') && angle > 0) --angle;
+        ++j;
+      }
+      if (j < t.size() && t[j].punct('{')) {
+        stack.push_back(Scope{name.empty() ? ScopeKind::Other : ScopeKind::Cls,
+                              name});
+        i = j + 1;
+        continue;
+      }
+      i = j + 1;  // forward declaration
+      continue;
+    }
+
+    if (inner == ScopeKind::Cls) {
+      // Container member: `container<…> [&*const] name [FIST_…] ;|{|=`.
+      if (is_container_type(tok) && i + 1 < t.size() && t[i + 1].punct('<')) {
+        std::size_t j = skip_angles(t, i + 1);
+        while (j < t.size() &&
+               (t[j].punct('&') || t[j].punct('*') || t[j].ident("const")))
+          ++j;
+        if (j + 1 < t.size() && t[j].kind == TokKind::Ident) {
+          const Token& after = t[j + 1];
+          bool member_shaped =
+              after.punct(';') || after.punct('{') || after.punct('=') ||
+              (after.kind == TokKind::Ident &&
+               after.text.rfind("FIST_", 0) == 0);
+          if (member_shaped)
+            out.container_members[scope_qname("", "")].insert(t[j].text);
+        }
+      }
+      // Ranked-mutex member marks the class for the hold-time rules.
+      if ((tok.is("Mutex") || tok.is("SharedMutex")) && i + 2 < t.size() &&
+          t[i + 1].kind == TokKind::Ident && t[i + 2].punct('{'))
+        out.mutexed_classes.insert(scope_qname("", ""));
+    }
+
+    // Function-definition head?
+    if (i + 1 < t.size() && t[i + 1].punct('(') && !control_name(tok.text) &&
+        tok.text != "operator") {
+      HeadMatch m = try_match_head(t, i);
+      if (m.matched) {
+        std::size_t body_close = find_close_brace(t, m.body_open);
+        FunctionSummary fn;
+        fn.qname = scope_qname(m.prefix, tok.text);
+        fn.file = file.rel;
+        fn.line = tok.line;
+        walk_body(file, m.body_open + 1, body_close, fn, out);
+        out.summaries.push_back(std::move(fn));
+        end_lines.push_back(body_close < t.size() ? t[body_close].line
+                                                  : tok.line);
+        i = body_close + 1;
+        continue;
+      }
+      i = m.skip_to;
+      continue;
+    }
+    ++i;
+  }
+
+  // Attach `fistlint:effect(…)` notes: to the summary whose body spans
+  // the note's line, else to the next definition after it.
+  for (const EffectNote& note : file.effects) {
+    std::size_t target = out.summaries.size();
+    for (std::size_t s = first_summary; s < out.summaries.size(); ++s) {
+      int start = out.summaries[s].line;
+      int stop = end_lines[s - first_summary];
+      if (note.line >= start && note.line <= stop) {
+        target = s;
+        break;
+      }
+      if (note.line < start) {
+        target = s;
+        break;
+      }
+    }
+    if (target >= out.summaries.size()) continue;
+    FunctionSummary& fn = out.summaries[target];
+    if (note.blocking)
+      fn.atoms.push_back(EffectAtom{EffectAtom::kBlocking, note.line,
+                                    "declared", {}});
+    if (note.alloc)
+      fn.atoms.push_back(
+          EffectAtom{EffectAtom::kAlloc, note.line, "declared", {}});
+  }
+
+  collect_callables(file, out);
+}
+
+}  // namespace fistlint

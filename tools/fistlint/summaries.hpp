@@ -1,0 +1,106 @@
+// summaries.hpp — per-function summaries for the cross-TU engine.
+//
+// Pass 1 of the call-graph analysis (docs/STATIC_ANALYSIS.md,
+// "Cross-TU analysis") extracts one FunctionSummary per function
+// *definition* it can recognize in the token stream: the qualified
+// name, every call site, every lexical lock region (fist::LockGuard /
+// UniqueLock and manual .lock()/.unlock()), and every *effect atom* —
+// a token pattern that blocks (syscall-shaped IO, fstream
+// construction, sleeps, condition-variable waits), allocates (`new`,
+// make_unique/make_shared, growing container calls), or that the
+// author declared with `// fistlint:effect(blocking|alloc)`.
+//
+// Summaries are position-independent per-file facts, exactly like the
+// rest of FileFacts: the incremental cache stores them verbatim, and
+// the ScanContext links them into a CallGraph (callgraph.hpp) whose
+// transitive effects drive the blocking-under-lock / alloc-under-lock
+// / callback-under-lock rules (effects.cpp).
+//
+// Known, deliberate approximations (all toward over-reporting, with
+// allow() as the reviewed escape hatch — the house style):
+//
+//   * Qualified calls (`DeltaLog::append(...)`) match definitions by
+//     qualified-name suffix; unqualified free calls resolve through
+//     the caller's enclosing scopes; member calls (`log_->append(...)`)
+//     link only when the name is unique in the tree, because the
+//     receiver's type is unknown and generic names (append, push)
+//     would otherwise union unrelated classes' effects. IO-primitive
+//     and atomic member calls never link — the IO ones are already
+//     precise blocking atoms. Use a qualified call or a
+//     `fistlint:effect` note when an ambiguous member call must
+//     propagate.
+//   * Lambda bodies are opaque: they run on another thread (executor
+//     submissions, thread entry points) more often than inline, so
+//     their effects are not charged to the enclosing function.
+//   * A condition-variable wait that passes the region's own guard
+//     variable (`cv.wait(lock)`) releases that lock while blocked, so
+//     it is exempt from *that* region — but still marks the function
+//     blocking for callers holding other locks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace fistlint {
+
+struct FileFacts;  // rules.hpp — completed there to avoid a cycle
+
+/// One lexical lock-holding region inside a function body.
+struct LockRegion {
+  std::string mutex;  ///< mutex name as written (resolved via ctx later)
+  std::string guard;  ///< guard variable name; empty for manual .lock()
+  int line = 0;
+};
+
+/// One effect-producing token pattern. `regions` indexes the
+/// FunctionSummary's lock_regions active at the atom (after the
+/// cv-wait guard exemption).
+struct EffectAtom {
+  enum Kind { kBlocking = 0, kAlloc = 1 };
+  int kind = kBlocking;
+  int line = 0;
+  std::string what;  ///< e.g. "fsync", "push_back", "new", "declared"
+  std::vector<int> regions;
+};
+
+/// One call site inside a function body. `name` keeps any `::`
+/// qualification seen at the site (`fault::fire`, plain `append`).
+struct CallSite {
+  std::string name;
+  int line = 0;
+  /// Written as `x.name(…)` / `x->name(…)` — the receiver's type is
+  /// unknown, so linking is conservative (callgraph.hpp).
+  bool member = false;
+  std::vector<int> regions;  ///< lock regions active at the call
+};
+
+/// Everything pass 1 knows about one function definition.
+struct FunctionSummary {
+  std::string qname;  ///< e.g. "fist::LiveIndex::append"
+  std::string file;   ///< root-relative path (re-stamped on cache reuse)
+  int line = 0;       ///< line of the definition head
+  std::vector<LockRegion> lock_regions;
+  std::vector<CallSite> calls;
+  std::vector<EffectAtom> atoms;
+};
+
+/// One grow/shrink method call on a member-shaped receiver
+/// (`name.push_back(…)`, `name->clear()`), for the unbounded-growth
+/// rule. Aggregated globally by member name: a member with any shrink
+/// op anywhere in the tree is considered capped.
+struct MemberOp {
+  std::string member;
+  std::string method;
+  std::string file;  ///< re-stamped on cache reuse, like NameUse
+  int line = 0;
+  bool grow = false;
+};
+
+/// Pass-1 collection for the cross-TU engine: function summaries,
+/// container/mutex class facts, std::function-typed symbols, and
+/// member grow/shrink ops. collect_facts already includes it.
+void collect_summaries(const SourceFile& file, FileFacts& out);
+
+}  // namespace fistlint
