@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Times a fistlint self-scan and writes a BENCH_*.json report.
+
+The analyzer is on the inner loop of every review (and of the
+static-analysis CI job twice: cold, then warm for the coherence diff),
+so its own latency is trend-gated like any pipeline stage:
+
+* ``total_ms`` — best warm-cache scan (facts and findings reused; the
+  steady state a developer rerunning after one edit sees);
+* ``cold_scan_ms`` — the from-scratch scan that populates the cache,
+  gated via ``check_bench_trend.py --extra-field cold_scan_ms``.
+
+    bench_fistlint_selfscan.py --fistlint build/tools/fistlint/fistlint \
+        [--root .] [--out bench-reports/BENCH_fistlint_selfscan.json] \
+        [--warm-runs 3]
+
+A scan that exits non-zero (findings or usage error) kills the bench:
+a timing sampled from a failing run gates nothing.
+"""
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+
+def run_scan(argv):
+    t0 = time.monotonic()
+    proc = subprocess.run(argv, stdout=subprocess.PIPE,
+                          stderr=subprocess.PIPE)
+    elapsed_ms = (time.monotonic() - t0) * 1000.0
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout.decode(errors="replace"))
+        sys.stderr.write(proc.stderr.decode(errors="replace"))
+        sys.exit(f"bench_fistlint_selfscan: scan failed "
+                 f"(exit {proc.returncode}); not timing a broken run")
+    return elapsed_ms
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--fistlint", required=True,
+                    help="path to the fistlint binary")
+    ap.add_argument("--root", default=".", help="repo root to scan")
+    ap.add_argument("--out",
+                    default="bench-reports/BENCH_fistlint_selfscan.json",
+                    help="report path (parent directories are created)")
+    ap.add_argument("--warm-runs", type=int, default=3,
+                    help="warm-cache samples; the best is reported "
+                         "(default 3)")
+    args = ap.parse_args()
+
+    # A private cache file isolates the bench from the developer's (or
+    # the CI job's) real incremental state in build/fistlint.cache.
+    with tempfile.TemporaryDirectory(prefix="fistlint-bench-") as tmp:
+        base = [args.fistlint, "--root", args.root,
+                "--cache", os.path.join(tmp, "selfscan.cache")]
+        cold_ms = run_scan(base)
+        warm_ms = min(run_scan(base) for _ in range(max(1, args.warm_runs)))
+
+    report = {
+        "bench": "fistlint_selfscan",
+        "total_ms": warm_ms,
+        "cold_scan_ms": cold_ms,
+    }
+    out_dir = os.path.dirname(args.out)
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+    print(f"fistlint self-scan: cold {cold_ms:.1f} ms, "
+          f"best-of-{max(1, args.warm_runs)} warm {warm_ms:.1f} ms "
+          f"-> {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+// Violation: the rank inversion is invisible lexically — `refresh`
+// holds the high-rank mutex and the low-rank acquisition happens one
+// call away in `reload_low`. Only the whole-program acquisition graph
+// sees it.
+enum class Rank : int {
+  kLow = 10,
+  kHigh = 20,
+};
+
+struct Mutex {
+  explicit Mutex(Rank r);
+  void lock();
+  void unlock();
+};
+
+struct LockGuard {
+  explicit LockGuard(Mutex& m);
+};
+
+struct State {
+  Mutex low_mutex{Rank::kLow};
+  Mutex high_mutex{Rank::kHigh};
+
+  void reload_low();
+  void refresh();
+};
+
+void State::reload_low() {
+  LockGuard lock(low_mutex);
+}
+
+void State::refresh() {
+  LockGuard lock(high_mutex);
+  reload_low();
+}

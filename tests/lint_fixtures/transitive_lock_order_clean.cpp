@@ -1,0 +1,43 @@
+// Clean: ranks strictly increase along the call path (low held, high
+// acquired one call away), and a failed try-lock backs off instead of
+// blocking, so try acquisitions are never rank violations.
+enum class Rank : int {
+  kLow = 10,
+  kHigh = 20,
+};
+
+struct Mutex {
+  explicit Mutex(Rank r);
+  void lock();
+  bool try_lock();
+  void unlock();
+};
+
+struct LockGuard {
+  explicit LockGuard(Mutex& m);
+};
+
+struct State {
+  Mutex low_mutex{Rank::kLow};
+  Mutex high_mutex{Rank::kHigh};
+
+  void reload_high();
+  void refresh();
+  void opportunistic();
+};
+
+void State::reload_high() {
+  LockGuard lock(high_mutex);
+}
+
+void State::refresh() {
+  LockGuard lock(low_mutex);
+  reload_high();
+}
+
+void State::opportunistic() {
+  LockGuard lock(high_mutex);
+  if (low_mutex.try_lock()) {
+    low_mutex.unlock();
+  }
+}

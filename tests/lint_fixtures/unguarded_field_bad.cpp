@@ -1,0 +1,33 @@
+// Violation: `hits_` is mutated under stats_mutex in `record`, but
+// `snapshot` reads it on a path where the mutex is provably never
+// held (nothing in the tree calls snapshot with the lock taken).
+enum class Rank : int {
+  kStats = 40,
+};
+
+struct Mutex {
+  explicit Mutex(Rank r);
+  void lock();
+  void unlock();
+};
+
+struct LockGuard {
+  explicit LockGuard(Mutex& m);
+};
+
+struct Stats {
+  Mutex stats_mutex{Rank::kStats};
+  long hits_ = 0;
+
+  void record();
+  long snapshot();
+};
+
+void Stats::record() {
+  LockGuard lock(stats_mutex);
+  hits_ += 1;
+}
+
+long Stats::snapshot() {
+  return hits_;
+}

@@ -1,0 +1,35 @@
+// Clean: every read of the FIST_GUARDED_BY field outside the
+// constructor takes stats_mutex first. Constructors are exempt — the
+// object is not shared until construction returns.
+enum class Rank : int {
+  kStats = 40,
+};
+
+struct Mutex {
+  explicit Mutex(Rank r);
+  void lock();
+  void unlock();
+};
+
+struct LockGuard {
+  explicit LockGuard(Mutex& m);
+};
+
+struct Stats {
+  Mutex stats_mutex{Rank::kStats};
+  long hits_ FIST_GUARDED_BY(stats_mutex) = 0;
+
+  Stats() { hits_ = 0; }
+  void record();
+  long snapshot();
+};
+
+void Stats::record() {
+  LockGuard lock(stats_mutex);
+  hits_ += 1;
+}
+
+long Stats::snapshot() {
+  LockGuard lock(stats_mutex);
+  return hits_;
+}

@@ -1,0 +1,31 @@
+// Cross-TU deadlock half A: `pool_drain` holds pool_mutex and calls
+// into `queue_push` (xtu_deadlock_b.cpp), which takes queue_mutex and
+// calls back into `pool_recycle` here — closing a pool → queue → pool
+// loop neither TU shows lexically.
+enum class Rank : int {
+  kPool = 30,
+  kQueue = 30,
+};
+
+struct Mutex {
+  explicit Mutex(Rank r);
+  void lock();
+  void unlock();
+};
+
+struct LockGuard {
+  explicit LockGuard(Mutex& m);
+};
+
+Mutex pool_mutex{Rank::kPool};
+
+void queue_push();
+
+void pool_drain() {
+  LockGuard lock(pool_mutex);
+  queue_push();
+}
+
+void pool_recycle() {
+  LockGuard lock(pool_mutex);
+}

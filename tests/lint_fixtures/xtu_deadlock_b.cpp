@@ -1,0 +1,26 @@
+// Cross-TU deadlock half B: the opposite acquisition order — holds
+// queue_mutex, then calls back into pool_recycle (xtu_deadlock_a.cpp)
+// which takes pool_mutex.
+enum class Rank : int {
+  kPool = 30,
+  kQueue = 30,
+};
+
+struct Mutex {
+  explicit Mutex(Rank r);
+  void lock();
+  void unlock();
+};
+
+struct LockGuard {
+  explicit LockGuard(Mutex& m);
+};
+
+Mutex queue_mutex{Rank::kQueue};
+
+void pool_recycle();
+
+void queue_push() {
+  LockGuard lock(queue_mutex);
+  pool_recycle();
+}

@@ -4,6 +4,7 @@
 // for the suppression grammar, the docs-drift registry, the baseline
 // ratchet, and the lexer's corner cases.
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -14,8 +15,10 @@
 
 #include "baseline.hpp"
 #include "cache.hpp"
+#include "driver.hpp"
 #include "lexer.hpp"
 #include "rules.hpp"
+#include "sarif.hpp"
 
 namespace fistlint {
 namespace {
@@ -108,7 +111,15 @@ INSTANTIATE_TEST_SUITE_P(
         GoldenCase{"unbounded_growth_bad.cpp",
                    "unbounded_growth_bad.expected"},
         GoldenCase{"unbounded_growth_clean.cpp",
-                   "unbounded_growth_clean.expected"}),
+                   "unbounded_growth_clean.expected"},
+        GoldenCase{"transitive_lock_order_bad.cpp",
+                   "transitive_lock_order_bad.expected"},
+        GoldenCase{"transitive_lock_order_clean.cpp",
+                   "transitive_lock_order_clean.expected"},
+        GoldenCase{"unguarded_field_bad.cpp",
+                   "unguarded_field_bad.expected"},
+        GoldenCase{"unguarded_field_clean.cpp",
+                   "unguarded_field_clean.expected"}),
     [](const testing::TestParamInfo<GoldenCase>& param_info) {
       std::string n = param_info.param.fixture;
       n.resize(n.find('.'));
@@ -601,7 +612,9 @@ TEST(FistlintCache, SummariesRoundTrip) {
   FunctionSummary fn;
   fn.qname = "fist::LiveIndex::append";
   fn.line = 40;
-  fn.lock_regions.push_back(LockRegion{"index_mutex_", "lock", 41});
+  fn.lock_regions.push_back(LockRegion{"index_mutex_", "lock", 41, {}, false});
+  fn.lock_regions.push_back(LockRegion{"side_mutex_", "", 42, {0}, true});
+  fn.fields.push_back(FieldAccess{"deltas_", 43, {0, 1}});
   CallSite member_call;
   member_call.name = "append";
   member_call.line = 44;
@@ -619,6 +632,9 @@ TEST(FistlintCache, SummariesRoundTrip) {
   e.facts.mutexed_classes.insert("LiveIndex");
   e.facts.member_ops.push_back(
       MemberOp{"deltas_", "push_back", "src/a.cpp", 44, true});
+  e.facts.class_mutexes["LiveIndex"] = {"index_mutex_"};
+  e.facts.class_fields["LiveIndex"] = {"deltas_"};
+  e.facts.class_guarded["LiveIndex"] = {"deltas_"};
 
   Cache back = Cache::parse(c.render());
   ASSERT_EQ(back.entries.count("src/a.cpp"), 1u);
@@ -627,8 +643,16 @@ TEST(FistlintCache, SummariesRoundTrip) {
   const FunctionSummary& bfn = f.summaries[0];
   EXPECT_EQ(bfn.qname, fn.qname);
   EXPECT_EQ(bfn.line, fn.line);
-  ASSERT_EQ(bfn.lock_regions.size(), 1u);
+  ASSERT_EQ(bfn.lock_regions.size(), 2u);
   EXPECT_EQ(bfn.lock_regions[0].mutex, "index_mutex_");
+  EXPECT_FALSE(bfn.lock_regions[0].try_lock);
+  EXPECT_EQ(bfn.lock_regions[1].mutex, "side_mutex_");
+  EXPECT_TRUE(bfn.lock_regions[1].try_lock);
+  EXPECT_EQ(bfn.lock_regions[1].regions, std::vector<int>{0});
+  ASSERT_EQ(bfn.fields.size(), 1u);
+  EXPECT_EQ(bfn.fields[0].name, "deltas_");
+  EXPECT_EQ(bfn.fields[0].line, 43);
+  EXPECT_EQ(bfn.fields[0].regions, (std::vector<int>{0, 1}));
   ASSERT_EQ(bfn.calls.size(), 2u);
   EXPECT_EQ(bfn.calls[0].name, "append");
   EXPECT_TRUE(bfn.calls[0].member);
@@ -644,6 +668,174 @@ TEST(FistlintCache, SummariesRoundTrip) {
   ASSERT_EQ(f.member_ops.size(), 1u);
   EXPECT_EQ(f.member_ops[0].member, "deltas_");
   EXPECT_TRUE(f.member_ops[0].grow);
+  EXPECT_EQ(f.class_mutexes, e.facts.class_mutexes);
+  EXPECT_EQ(f.class_fields, e.facts.class_fields);
+  EXPECT_EQ(f.class_guarded, e.facts.class_guarded);
+}
+
+TEST(FistlintCache, ContextHashSeesFieldAccesses) {
+  // A field access gained or lost inside a member function must
+  // invalidate every cached file: unguarded-field verdicts elsewhere
+  // depend on which functions touch which fields.
+  auto hash_for = [](const std::string& body) {
+    const std::string src =
+        "enum class Rank : int { kA = 10 };\n"
+        "struct Mutex { explicit Mutex(Rank r); void lock(); void unlock(); "
+        "};\n"
+        "struct S {\n"
+        "  Mutex mu{Rank::kA};\n"
+        "  long hits_ = 0;\n"
+        "  void f();\n"
+        "};\n"
+        "void S::f() { " + body + " }\n";
+    SourceFile f = lex(src, "x.cpp");
+    FileFacts facts;
+    collect_facts(f, facts);
+    ScanContext ctx;
+    ctx.merge(facts);
+    ctx.resolve();
+    return context_hash(ctx);
+  };
+  EXPECT_NE(hash_for("hits_ += 1;"), hash_for("long local = 1;"));
+}
+
+TEST(FistlintLockGraph, CrossTUDeadlockWitnessNamesEveryHop) {
+  // The acceptance bar for the cycle rule: the witness chain must name
+  // both lock sites and every call hop between them, across TUs.
+  ScanContext ctx;
+  const std::string a_findings = findings_for_sources(
+      {{"a.cpp", read_fixture("xtu_deadlock_a.cpp")},
+       {"b.cpp", read_fixture("xtu_deadlock_b.cpp")}},
+      "a.cpp", &ctx);
+  EXPECT_EQ(a_findings,
+            "static-deadlock-cycle:25\n"
+            "transitive-lock-order:26\n");
+  EXPECT_EQ(findings_for_sources(
+                {{"a.cpp", read_fixture("xtu_deadlock_a.cpp")},
+                 {"b.cpp", read_fixture("xtu_deadlock_b.cpp")}},
+                "b.cpp"),
+            "transitive-lock-order:25\n");
+
+  ASSERT_EQ(ctx.lockgraph.cycles().size(), 1u);
+  const LockGraph::Cycle& cy = ctx.lockgraph.cycles()[0];
+  EXPECT_EQ(cy.mutexes,
+            (std::vector<std::string>{"pool_mutex", "queue_mutex"}));
+  // The anchor is the lexicographically smallest edge site, so exactly
+  // one file owns the finding no matter how the scan is sliced.
+  EXPECT_EQ(cy.anchor_file, "a.cpp");
+  EXPECT_EQ(cy.anchor_line, 25);
+  std::string joined;
+  for (const LockGraph::Edge& e : cy.path) joined += e.chain + "; ";
+  for (const char* hop : {
+           "holding `pool_mutex` (rank 30) (a.cpp:25)",
+           "calls `queue_push` (a.cpp:26)",
+           "acquires `queue_mutex` (rank 30) (b.cpp:24)",
+           "holding `queue_mutex` (rank 30) (b.cpp:24)",
+           "calls `pool_recycle` (b.cpp:25)",
+           "acquires `pool_mutex` (rank 30) (a.cpp:30)",
+       }) {
+    EXPECT_NE(joined.find(hop), std::string::npos)
+        << "missing hop: " << hop << "\nwitness: " << joined;
+  }
+}
+
+TEST(FistlintLockGraph, ScopedLockMultiMutexAcquiresAtomically) {
+  // std::scoped_lock(m1, m2) deadlock-orders internally: the guarded
+  // mutexes must not generate acquired-while-held edges against each
+  // other, in either argument order.
+  const std::string src =
+      "enum class Rank : int { kLow = 10, kHigh = 20 };\n"
+      "struct Mutex { explicit Mutex(Rank r); void lock(); void unlock(); "
+      "};\n"
+      "struct scoped_lock { scoped_lock(Mutex& a, Mutex& b); };\n"
+      "struct State {\n"
+      "  Mutex low_mutex{Rank::kLow};\n"
+      "  Mutex high_mutex{Rank::kHigh};\n"
+      "  void both() {\n"
+      "    scoped_lock lock(high_mutex, low_mutex);\n"
+      "  }\n"
+      "};\n";
+  EXPECT_EQ(findings_for_sources({{"a.cpp", src}}, "a.cpp"), "");
+  // A later acquisition while both are held still sees both regions.
+  ScanContext ctx;
+  findings_for_sources({{"a.cpp", src}}, "a.cpp", &ctx);
+  ASSERT_EQ(ctx.functions.size(), 1u);
+  ASSERT_EQ(ctx.functions[0].lock_regions.size(), 2u);
+  EXPECT_TRUE(ctx.functions[0].lock_regions[0].regions.empty());
+  EXPECT_TRUE(ctx.functions[0].lock_regions[1].regions.empty());
+}
+
+TEST(FistlintCallGraph, DotEscapingHoldsForTemplatesAndQuotes) {
+  // DOT identifiers are double-quoted: quotes and backslashes must be
+  // escaped, newlines folded, and template angle brackets (legal inside
+  // a quoted string) passed through untouched.
+  EXPECT_EQ(dot_escape("ChainView<Block>::at"), "ChainView<Block>::at");
+  EXPECT_EQ(dot_escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(dot_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(dot_escape("two\nlines"), "two\\nlines");
+}
+
+TEST(FistlintLockGraph, DotDumpShowsRankedNodesAndEdgeSites) {
+  ScanContext ctx;
+  findings_for_sources({{"a.cpp", read_fixture("xtu_deadlock_a.cpp")},
+                        {"b.cpp", read_fixture("xtu_deadlock_b.cpp")}},
+                       "a.cpp", &ctx);
+  const std::string dot = lockgraph_dot(ctx.lockgraph, ctx.mutex_ranks);
+  EXPECT_NE(dot.find("digraph fistlint_lockgraph"), std::string::npos) << dot;
+  EXPECT_NE(dot.find("pool_mutex"), std::string::npos) << dot;
+  EXPECT_NE(dot.find("rank 30"), std::string::npos) << dot;
+  EXPECT_NE(dot.find("\"pool_mutex\" -> \"queue_mutex\""), std::string::npos)
+      << dot;
+  EXPECT_NE(dot.find("[label=\"a.cpp:25\"]"), std::string::npos)
+      << "edge labels carry the held-region open site:\n"
+      << dot;
+}
+
+TEST(FistlintSarif, ReportEscapesAndLocatesFindings) {
+  std::vector<Finding> findings;
+  findings.push_back(Finding{"transitive-lock-order", "src/a.cpp", 12,
+                             "message with \"quotes\"\nand a newline", ""});
+  const std::string sarif = sarif_report(findings);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"transitive-lock-order\""),
+            std::string::npos);
+  EXPECT_NE(sarif.find("message with \\\"quotes\\\"\\nand a newline"),
+            std::string::npos)
+      << sarif;
+  EXPECT_NE(sarif.find("\"startLine\": 12"), std::string::npos);
+  // Every registered rule appears in the tool metadata, findings or not.
+  EXPECT_NE(sarif.find("\"id\": \"static-deadlock-cycle\""),
+            std::string::npos);
+  EXPECT_NE(sarif_report({}).find("\"results\": [\n      ]"),
+            std::string::npos)
+      << "an empty scan still writes a well-formed (empty) results array";
+}
+
+TEST(FistlintDriver, ColdWarmAndNoCacheRunsAreByteIdentical) {
+  // The determinism contract for the new whole-program rules: a cold
+  // cache build, a fully warm rerun, and an uncached run must print the
+  // same bytes (cycle anchoring and witness chains cannot depend on
+  // scan slicing).
+  Options opts;
+  opts.root = FISTLINT_FIXTURE_DIR;
+  opts.scan_prefixes = {""};
+  opts.check_docs = false;
+  opts.cache = testing::TempDir() + "/fistlint_determinism.cache";
+  std::remove(opts.cache.c_str());
+  auto run_once = [&](bool use_cache) {
+    opts.use_cache = use_cache;
+    std::ostringstream out;
+    std::ostringstream err;
+    run(opts, out, err);
+    return out.str();
+  };
+  const std::string cold = run_once(true);
+  const std::string warm = run_once(true);
+  const std::string uncached = run_once(false);
+  EXPECT_FALSE(cold.empty()) << "fixture corpus should produce findings";
+  EXPECT_EQ(cold, warm);
+  EXPECT_EQ(cold, uncached);
+  std::remove(opts.cache.c_str());
 }
 
 }  // namespace

@@ -6,9 +6,11 @@ namespace fistlint {
 
 namespace {
 
-// v2: cross-TU engine facts (fn/lr/cs/ea/cb/cm/mx/mo tags) and the
-// canonical_facts()-based context hash.
-constexpr std::string_view kMagic = "fistlint-cache v2";
+// v3: lock-acquisition-graph facts — lr gains held-at-open regions
+// and a try-lock flag, fa (field accesses) and cmu/fld/gf (class
+// mutex/field/guarded members) are new. v2 caches fail the magic
+// check and degrade to a full scan.
+constexpr std::string_view kMagic = "fistlint-cache v3";
 
 /// Escapes the three characters that would break the line/field
 /// structure: backslash, tab, newline.
@@ -180,13 +182,22 @@ Cache Cache::parse(std::string_view text) {
       // FunctionSummary::file is re-stamped on reuse, like NameUse.
       entry->facts.summaries.push_back(std::move(summary));
       fn = &entry->facts.summaries.back();
-    } else if (tag == "lr" && f.size() == 4) {
+    } else if (tag == "lr" && f.size() == 6) {
       if (fn == nullptr) return Cache{};
       LockRegion region;
       region.mutex = f[1];
       region.guard = f[2];
       if (!parse_int(f[3], region.line)) return Cache{};
+      region.try_lock = f[4] == "t";
+      if (!parse_regions(f[5], region.regions)) return Cache{};
       fn->lock_regions.push_back(std::move(region));
+    } else if (tag == "fa" && f.size() == 4) {
+      if (fn == nullptr) return Cache{};
+      FieldAccess access;
+      access.name = f[1];
+      if (!parse_int(f[2], access.line)) return Cache{};
+      if (!parse_regions(f[3], access.regions)) return Cache{};
+      fn->fields.push_back(std::move(access));
     } else if (tag == "cs" && f.size() == 5) {
       if (fn == nullptr) return Cache{};
       CallSite call;
@@ -209,6 +220,12 @@ Cache Cache::parse(std::string_view text) {
       entry->facts.container_members[f[1]].insert(f[2]);
     } else if (tag == "mx" && f.size() == 2) {
       entry->facts.mutexed_classes.insert(f[1]);
+    } else if (tag == "cmu" && f.size() == 3) {
+      entry->facts.class_mutexes[f[1]].insert(f[2]);
+    } else if (tag == "fld" && f.size() == 3) {
+      entry->facts.class_fields[f[1]].insert(f[2]);
+    } else if (tag == "gf" && f.size() == 3) {
+      entry->facts.class_guarded[f[1]].insert(f[2]);
     } else if (tag == "mo" && f.size() == 5) {
       MemberOp op;
       op.member = f[1];
@@ -252,7 +269,11 @@ std::string Cache::render() const {
       out << "fn\t" << escape(fn.qname) << "\t" << fn.line << "\n";
       for (const LockRegion& r : fn.lock_regions)
         out << "lr\t" << escape(r.mutex) << "\t" << escape(r.guard) << "\t"
-            << r.line << "\n";
+            << r.line << "\t" << (r.try_lock ? "t" : "-") << "\t"
+            << render_regions(r.regions) << "\n";
+      for (const FieldAccess& a : fn.fields)
+        out << "fa\t" << escape(a.name) << "\t" << a.line << "\t"
+            << render_regions(a.regions) << "\n";
       for (const CallSite& c : fn.calls)
         out << "cs\t" << escape(c.name) << "\t" << c.line << "\t"
             << (c.member ? 1 : 0) << "\t" << render_regions(c.regions)
@@ -268,6 +289,15 @@ std::string Cache::render() const {
         out << "cm\t" << escape(cls) << "\t" << escape(m) << "\n";
     for (const std::string& cls : entry.facts.mutexed_classes)
       out << "mx\t" << escape(cls) << "\n";
+    for (const auto& [cls, members] : entry.facts.class_mutexes)
+      for (const std::string& m : members)
+        out << "cmu\t" << escape(cls) << "\t" << escape(m) << "\n";
+    for (const auto& [cls, members] : entry.facts.class_fields)
+      for (const std::string& m : members)
+        out << "fld\t" << escape(cls) << "\t" << escape(m) << "\n";
+    for (const auto& [cls, members] : entry.facts.class_guarded)
+      for (const std::string& m : members)
+        out << "gf\t" << escape(cls) << "\t" << escape(m) << "\n";
     for (const MemberOp& op : entry.facts.member_ops)
       out << "mo\t" << escape(op.member) << "\t" << escape(op.method) << "\t"
           << op.line << "\t" << (op.grow ? "g" : "s") << "\n";

@@ -162,6 +162,20 @@ std::vector<int> CallGraph::resolve(const std::string& caller_qname,
   return out;
 }
 
+std::string dot_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\' || c == '"') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
 std::string callgraph_dot(const CallGraph& graph,
                           const std::vector<FunctionSummary>& functions,
                           const std::string& rel) {
@@ -199,11 +213,13 @@ std::string callgraph_dot(const CallGraph& graph,
   std::string out = "digraph fistlint_callgraph {\n  rankdir=LR;\n";
   for (int i : keep) {
     const CallGraph::Node& n = nodes[static_cast<std::size_t>(i)];
-    out += "  \"" + n.qname + "\" [label=\"" + label(n) + "\"];\n";
+    out += "  \"" + dot_escape(n.qname) + "\" [label=\"" +
+           dot_escape(label(n)) + "\"];\n";
   }
   for (const auto& [from, to] : edges) {
-    out += "  \"" + nodes[static_cast<std::size_t>(from)].qname + "\" -> \"" +
-           nodes[static_cast<std::size_t>(to)].qname + "\";\n";
+    out += "  \"" + dot_escape(nodes[static_cast<std::size_t>(from)].qname) +
+           "\" -> \"" +
+           dot_escape(nodes[static_cast<std::size_t>(to)].qname) + "\";\n";
   }
   out += "}\n";
   return out;

@@ -66,6 +66,12 @@ class CallGraph {
 
   const std::vector<Node>& nodes() const { return nodes_; }
 
+  /// Index of the node with exactly this qname, or -1.
+  int node_index(const std::string& qname) const {
+    auto it = by_qname_.find(qname);
+    return it == by_qname_.end() ? -1 : it->second;
+  }
+
  private:
   std::vector<Node> nodes_;  ///< sorted by qname
   /// last name component → indices into nodes_.
@@ -80,5 +86,11 @@ class CallGraph {
 std::string callgraph_dot(const CallGraph& graph,
                           const std::vector<FunctionSummary>& functions,
                           const std::string& rel);
+
+/// Escapes `s` for use inside a double-quoted DOT string: backslashes
+/// and quotes are backslash-escaped, newlines become "\n". Template
+/// angle brackets are legal inside quoted strings and pass through —
+/// the quoting itself is what makes `absorb<F>`-style names parse.
+std::string dot_escape(const std::string& s);
 
 }  // namespace fistlint

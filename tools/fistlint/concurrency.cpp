@@ -10,15 +10,13 @@
 //                    nothing checks what it guards or in what order it
 //                    is taken. Every long-lived mutex must be a
 //                    fist::Mutex (or at least anchor FIST_* macros).
-//   lock-order       pass 1 reads the `enum class Rank` values and
-//                    every `Mutex name{…Rank::kX…}` declaration out of
-//                    the tree; this pass walks each file with a
-//                    brace-scoped stack of lexically held guards and
-//                    flags an acquisition whose rank does not strictly
-//                    exceed every rank already held. Purely lexical —
-//                    nesting through a call is the runtime checker's
-//                    job — but it catches the reviewable case, in the
-//                    diff, with both lock names in the message.
+//   lock-order       (subsumed) the old purely lexical nesting check.
+//                    transitive-lock-order (lockgraph.cpp) covers its
+//                    cases as the zero-hop instance of the
+//                    acquisition-graph rule and also follows call
+//                    chains; pass 1 here still reads the `enum class
+//                    Rank` values and every `Mutex name{…Rank::kX…}`
+//                    declaration out of the tree for it.
 //   detached-thread  a detached thread outlives every join point the
 //                    determinism tests control, so its writes can land
 //                    after the run is "done". std::thread::detach is
@@ -40,20 +38,6 @@ std::size_t find_close_paren(const std::vector<Token>& t, std::size_t i) {
     if (t[j].punct(')') && --depth == 0) return j;
   }
   return t.size();
-}
-
-std::size_t skip_angles(const std::vector<Token>& t, std::size_t i) {
-  std::size_t depth = 0;
-  for (std::size_t j = i; j < t.size(); ++j) {
-    if (t[j].punct('<')) {
-      ++depth;
-    } else if (t[j].punct('>')) {
-      if (--depth == 0) return j + 1;
-    } else if (t[j].punct(';') || t[j].punct('{') || t[j].punct('}')) {
-      break;
-    }
-  }
-  return i + 1;
 }
 
 bool path_has_prefix(const std::string& rel, std::string_view prefix) {
@@ -108,8 +92,8 @@ void collect_mutex_decls(const SourceFile& file, FileFacts& out) {
   for (std::size_t i = 0; i + 2 < t.size(); ++i) {
     // `Mutex name{… Rank::kSomething …};` — the enumerator is the last
     // identifier inside the braces.
-    if (!t[i].ident("Mutex") || t[i + 1].kind != TokKind::Ident ||
-        !t[i + 2].punct('{'))
+    if (!(t[i].ident("Mutex") || t[i].ident("SharedMutex")) ||
+        t[i + 1].kind != TokKind::Ident || !t[i + 2].punct('{'))
       continue;
     std::size_t depth = 0;
     std::string enumerator;
@@ -172,94 +156,6 @@ void rule_naked_mutex(const SourceFile& file, std::vector<Finding>& out) {
 }
 
 // ---------------------------------------------------------------------------
-// Rule: lock-order
-// ---------------------------------------------------------------------------
-
-bool is_scoped_lock_type(const Token& tok) {
-  return tok.ident("LockGuard") || tok.ident("UniqueLock") ||
-         tok.ident("lock_guard") || tok.ident("unique_lock") ||
-         tok.ident("scoped_lock") || tok.ident("shared_lock");
-}
-
-void rule_lock_order(const SourceFile& file, const ScanContext& ctx,
-                     std::vector<Finding>& out) {
-  if (ctx.mutex_ranks.empty()) return;
-  if (path_has_prefix(file.rel, "src/core/lock_order")) return;
-  const auto& t = file.tokens;
-
-  struct Held {
-    int depth;  ///< brace depth the guard was declared at
-    long rank;
-    std::string name;
-  };
-  std::vector<Held> held;
-  int depth = 0;
-
-  auto acquire = [&](const std::string& name, int line) {
-    auto it = ctx.mutex_ranks.find(name);
-    if (it == ctx.mutex_ranks.end()) return;
-    for (const Held& h : held) {
-      if (h.rank >= it->second) {
-        out.push_back(make_finding(
-            file, kRuleLockOrder, line,
-            "acquiring `" + name + "` (rank " +
-                std::to_string(it->second) + ") while `" + h.name +
-                "` (rank " + std::to_string(h.rank) +
-                ") is held — the hierarchy in src/core/lock_order.hpp "
-                "requires strictly increasing ranks"));
-        break;
-      }
-    }
-    held.push_back(Held{depth, it->second, name});
-  };
-
-  for (std::size_t i = 0; i < t.size(); ++i) {
-    if (t[i].punct('{')) {
-      ++depth;
-      continue;
-    }
-    if (t[i].punct('}')) {
-      --depth;
-      while (!held.empty() && held.back().depth > depth) held.pop_back();
-      if (depth <= 0) held.clear();  // function boundary
-      continue;
-    }
-
-    // Scoped guard: `LockGuard g(…mutex);` (optionally templated).
-    if (is_scoped_lock_type(t[i])) {
-      std::size_t j = i + 1;
-      if (j < t.size() && t[j].punct('<')) j = skip_angles(t, j);
-      if (j + 1 < t.size() && t[j].kind == TokKind::Ident &&
-          t[j + 1].punct('(')) {
-        std::size_t close = find_close_paren(t, j + 1);
-        std::string name;
-        for (std::size_t k = j + 2; k < close && k < t.size(); ++k)
-          if (t[k].kind == TokKind::Ident) name = t[k].text;
-        if (!name.empty()) acquire(name, t[i].line);
-        i = close;
-      }
-      continue;
-    }
-
-    // Manual `x.lock()` / `x.unlock()` on a ranked mutex.
-    if (t[i].kind == TokKind::Ident &&
-        ctx.mutex_ranks.count(t[i].text) != 0 && i + 3 < t.size() &&
-        t[i + 1].punct('.') && t[i + 3].punct('(')) {
-      if (t[i + 2].ident("lock")) {
-        acquire(t[i].text, t[i].line);
-      } else if (t[i + 2].ident("unlock")) {
-        for (auto it = held.rbegin(); it != held.rend(); ++it) {
-          if (it->name == t[i].text) {
-            held.erase(std::next(it).base());
-            break;
-          }
-        }
-      }
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
 // Rule: detached-thread
 // ---------------------------------------------------------------------------
 
@@ -301,8 +197,13 @@ void rule_detached_thread(const SourceFile& file, std::vector<Finding>& out) {
 
 void run_concurrency_rules(const SourceFile& file, const ScanContext& ctx,
                            std::vector<Finding>& out) {
+  (void)ctx;
   rule_naked_mutex(file, out);
-  rule_lock_order(file, ctx, out);
+  // The lexical lock-order rule is subsumed by transitive-lock-order
+  // (lockgraph.cpp): its nested-region case is the graph rule's
+  // zero-hop instance, and the graph rule also sees violations any
+  // number of calls deep. The `lock-order` id stays registered so old
+  // allow()/baseline entries still parse.
   rule_detached_thread(file, out);
 }
 

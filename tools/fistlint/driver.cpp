@@ -9,6 +9,7 @@
 
 #include "baseline.hpp"
 #include "cache.hpp"
+#include "sarif.hpp"
 
 namespace fistlint {
 
@@ -226,9 +227,13 @@ int run(const Options& opts, std::ostream& out, std::ostream& err) {
   ctx.resolve();
   const std::uint64_t ctx_hash = context_hash(ctx);
 
-  // ---- --dump-callgraph: print DOT and stop ----------------------------
+  // ---- --dump-callgraph / --dump-lockgraph: print DOT and stop ---------
   if (!opts.dump_callgraph.empty()) {
     out << callgraph_dot(ctx.graph, ctx.functions, opts.dump_callgraph);
+    return kExitClean;
+  }
+  if (opts.dump_lockgraph) {
+    out << lockgraph_dot(ctx.lockgraph, ctx.mutex_ranks);
     return kExitClean;
   }
 
@@ -319,6 +324,16 @@ int run(const Options& opts, std::ostream& out, std::ostream& err) {
       fresh.push_back(std::move(f));
   }
   std::vector<std::string> stale = baseline.stale();
+
+  // ---- SARIF export (fresh findings; written even when empty) ----------
+  if (!opts.sarif_out.empty()) {
+    std::ofstream sf(opts.sarif_out, std::ios::binary | std::ios::trunc);
+    if (!sf) {
+      err << "fistlint: cannot write SARIF file " << opts.sarif_out << "\n";
+      return kExitUsage;
+    }
+    sf << sarif_report(fresh);
+  }
 
   // ---- report -----------------------------------------------------------
   std::ostringstream report;

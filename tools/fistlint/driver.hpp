@@ -36,6 +36,13 @@ struct Options {
   /// the functions defined in this root-relative file (plus their
   /// direct callees) and exit clean.
   std::string dump_callgraph;
+  /// When set, skip the rules entirely: print the DOT lock-acquisition
+  /// graph (ranked mutexes, acquired-while-held edges) and exit clean.
+  bool dump_lockgraph = false;
+  /// When set, also write the fresh findings as SARIF 2.1.0 to this
+  /// path (written even when there are none — CI uploads it
+  /// unconditionally).
+  std::string sarif_out;
   /// alloc-under-lock threshold (--hot-rank-threshold); mutexes ranked
   /// below it may allocate under the lock without a finding.
   long hot_rank_threshold = 60;

@@ -1,0 +1,505 @@
+// lockgraph.cpp — the lock-acquisition graph (lockgraph.hpp) and the
+// three rules that run on it:
+//
+//   transitive-lock-order   a region holding rank R reaches — through
+//                           any number of call hops — an acquisition
+//                           of rank ≤ R. Subsumes the old lexical
+//                           lock-order rule: the nested-region case is
+//                           the zero-hop instance.
+//   static-deadlock-cycle   an SCC (or self-loop) in the
+//                           acquired-while-held multigraph — two
+//                           acquisition orders that can interleave
+//                           into deadlock even though each path
+//                           respects its own local discipline.
+//   unguarded-field         a trailing-underscore field of a mutexed
+//                           class, known to be lock-relevant
+//                           (FIST_GUARDED_BY or accessed under a class
+//                           mutex somewhere), touched in a member
+//                           function that is reachable without any
+//                           class mutex held.
+//
+// Everything is computed set-at-most-once in sorted iteration order —
+// witness chains and cycle anchors are bit-identical across cold,
+// warm, and uncached runs.
+#include "lockgraph.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "rules.hpp"
+
+namespace fistlint {
+
+namespace {
+
+bool path_has_prefix(const std::string& rel, std::string_view prefix) {
+  return rel.rfind(prefix, 0) == 0;
+}
+
+std::string last_component(const std::string& name) {
+  std::size_t pos = name.rfind("::");
+  return pos == std::string::npos ? name : name.substr(pos + 2);
+}
+
+/// Witness chains for lock cycles must name both lock sites and every
+/// call hop (the acceptance bar for the cross-TU fixtures), so the
+/// clip budget is wider than the effect chains'.
+std::string clip(std::string s) {
+  constexpr std::size_t kMax = 360;
+  if (s.size() > kMax) {
+    s.resize(kMax - 1);
+    s += "…";
+  }
+  return s;
+}
+
+std::string site(const FunctionSummary& fn, int line) {
+  return fn.file + ":" + std::to_string(line);
+}
+
+long rank_of(const std::map<std::string, long>& ranks, const std::string& m) {
+  auto it = ranks.find(m);
+  return it == ranks.end() ? -1 : it->second;
+}
+
+bool has_region(const std::vector<int>& regions, int r) {
+  for (int x : regions)
+    if (x == r) return true;
+  return false;
+}
+
+std::string held_desc(const std::string& mutex, long rank) {
+  return "`" + mutex + "` (rank " + std::to_string(rank) + ")";
+}
+
+}  // namespace
+
+void LockGraph::build(const CallGraph& graph,
+                      const std::vector<FunctionSummary>& functions,
+                      const std::map<std::string, long>& mutex_ranks) {
+  graph_ = &graph;
+  functions_ = &functions;
+  const auto& nodes = graph.nodes();
+  acquires_.assign(nodes.size(), {});
+  unheld_.clear();
+  edges_.clear();
+  cycles_.clear();
+
+  // Lattice per (node, mutex): absent < try-only < blocking. A
+  // blocking acquisition path replaces a try-only one (a try cannot
+  // complete a deadlock, a blocking path can), and each state is
+  // reached at most once — monotone, so the fixpoint terminates and,
+  // with the fixed iteration order, the chains are deterministic.
+  auto note_acquire = [&](std::size_t ni, const std::string& mtx,
+                          const Acquisition& a) -> bool {
+    auto& m = acquires_[ni];
+    auto it = m.find(mtx);
+    if (it == m.end()) {
+      m.emplace(mtx, a);
+      return true;
+    }
+    if (it->second.try_lock && !a.try_lock) {
+      it->second = a;
+      return true;
+    }
+    return false;
+  };
+
+  // Direct acquisitions: every ranked lock region in a node's bodies.
+  for (std::size_t ni = 0; ni < nodes.size(); ++ni) {
+    for (int b : nodes[ni].bodies) {
+      const FunctionSummary& fn = functions[static_cast<std::size_t>(b)];
+      for (const LockRegion& r : fn.lock_regions) {
+        long rank = rank_of(mutex_ranks, r.mutex);
+        if (rank < 0) continue;
+        Acquisition a;
+        a.rank = rank;
+        a.try_lock = r.try_lock;
+        a.chain = "acquires " + held_desc(r.mutex, rank) + " (" +
+                  site(fn, r.line) + ")";
+        a.file = fn.file;
+        a.line = r.line;
+        note_acquire(ni, r.mutex, a);
+      }
+    }
+  }
+
+  // Transitive closure through resolved calls.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t ni = 0; ni < nodes.size(); ++ni) {
+      for (int b : nodes[ni].bodies) {
+        const FunctionSummary& fn = functions[static_cast<std::size_t>(b)];
+        for (const CallSite& c : fn.calls) {
+          for (int ti : graph.resolve(nodes[ni].qname, c)) {
+            if (static_cast<std::size_t>(ti) == ni) continue;  // self-call
+            for (const auto& [mtx, a] :
+                 acquires_[static_cast<std::size_t>(ti)]) {
+              Acquisition prop = a;
+              prop.chain = clip("calls `" + c.name + "` (" +
+                                site(fn, c.line) + ") → " + a.chain);
+              if (note_acquire(ni, mtx, prop)) changed = true;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Acquired-while-held edges, one per (held, acquired) pair. First
+  // witness wins (deterministic order); a blocking witness replaces a
+  // try-only one, mirroring the acquisition lattice.
+  std::map<std::pair<std::string, std::string>, Edge> edge_map;
+  auto add_edge = [&](Edge e) {
+    auto key = std::make_pair(e.held, e.acquired);
+    auto it = edge_map.find(key);
+    if (it == edge_map.end()) {
+      edge_map.emplace(std::move(key), std::move(e));
+      return;
+    }
+    if (it->second.try_lock && !e.try_lock) it->second = std::move(e);
+  };
+
+  for (std::size_t ni = 0; ni < nodes.size(); ++ni) {
+    for (int b : nodes[ni].bodies) {
+      const FunctionSummary& fn = functions[static_cast<std::size_t>(b)];
+      for (std::size_t r = 0; r < fn.lock_regions.size(); ++r) {
+        const LockRegion& held = fn.lock_regions[r];
+        long hrank = rank_of(mutex_ranks, held.mutex);
+        if (hrank < 0) continue;
+        const int ri = static_cast<int>(r);
+        const std::string holding =
+            "holding " + held_desc(held.mutex, hrank) + " (" +
+            site(fn, held.line) + "): ";
+
+        // Zero-hop: a region opened while this one was active
+        // (lexical nesting or a manual lock()/lock() sequence). Same
+        // mutex again is a self-loop — a non-recursive re-lock.
+        for (const LockRegion& inner : fn.lock_regions) {
+          if (!has_region(inner.regions, ri)) continue;
+          long irank = rank_of(mutex_ranks, inner.mutex);
+          if (irank < 0) continue;
+          Edge e;
+          e.held = held.mutex;
+          e.held_rank = hrank;
+          e.acquired = inner.mutex;
+          e.acquired_rank = irank;
+          e.try_lock = inner.try_lock;
+          e.file = fn.file;
+          e.line = held.line;
+          e.chain = clip(holding + "acquires " +
+                         held_desc(inner.mutex, irank) + " (" +
+                         site(fn, inner.line) + ")");
+          add_edge(std::move(e));
+        }
+
+        // Call-mediated: a call inside this region whose target
+        // transitively acquires a ranked mutex.
+        for (const CallSite& c : fn.calls) {
+          if (!has_region(c.regions, ri)) continue;
+          for (int ti : graph.resolve(nodes[ni].qname, c)) {
+            for (const auto& [mtx, a] :
+                 acquires_[static_cast<std::size_t>(ti)]) {
+              Edge e;
+              e.held = held.mutex;
+              e.held_rank = hrank;
+              e.acquired = mtx;
+              e.acquired_rank = a.rank;
+              e.try_lock = a.try_lock;
+              e.file = fn.file;
+              e.line = held.line;
+              e.chain = clip(holding + "calls `" + c.name + "` (" +
+                             site(fn, c.line) + ") → " + a.chain);
+              add_edge(std::move(e));
+            }
+          }
+        }
+      }
+    }
+  }
+  edges_.reserve(edge_map.size());
+  for (auto& [key, e] : edge_map) edges_.push_back(std::move(e));
+
+  // Deadlock cycles: Tarjan SCC over the blocking (non-try) edges.
+  // The mutex universe and adjacency come from the sorted edge list,
+  // so component discovery order is deterministic.
+  std::map<std::string, std::vector<std::string>> adj;
+  std::set<std::string> mnodes;
+  for (const Edge& e : edges_) {
+    mnodes.insert(e.held);
+    mnodes.insert(e.acquired);
+    if (!e.try_lock) adj[e.held].push_back(e.acquired);
+  }
+
+  struct TarjanState {
+    std::map<std::string, int> index, low;
+    std::vector<std::string> stack;
+    std::set<std::string> on_stack;
+    int next = 0;
+    std::vector<std::vector<std::string>> sccs;
+  } tj;
+  // Small graphs (one node per ranked mutex): recursion is fine.
+  auto strongconnect = [&](auto&& self, const std::string& v) -> void {
+    tj.index[v] = tj.low[v] = tj.next++;
+    tj.stack.push_back(v);
+    tj.on_stack.insert(v);
+    auto it = adj.find(v);
+    if (it != adj.end()) {
+      for (const std::string& w : it->second) {
+        if (tj.index.find(w) == tj.index.end()) {
+          self(self, w);
+          tj.low[v] = std::min(tj.low[v], tj.low[w]);
+        } else if (tj.on_stack.count(w) != 0) {
+          tj.low[v] = std::min(tj.low[v], tj.index[w]);
+        }
+      }
+    }
+    if (tj.low[v] == tj.index[v]) {
+      std::vector<std::string> scc;
+      while (true) {
+        std::string w = tj.stack.back();
+        tj.stack.pop_back();
+        tj.on_stack.erase(w);
+        scc.push_back(w);
+        if (w == v) break;
+      }
+      tj.sccs.push_back(std::move(scc));
+    }
+  };
+  for (const std::string& v : mnodes)
+    if (tj.index.find(v) == tj.index.end()) strongconnect(strongconnect, v);
+
+  for (std::vector<std::string>& scc : tj.sccs) {
+    std::sort(scc.begin(), scc.end());
+    std::set<std::string> members(scc.begin(), scc.end());
+    bool cyclic = scc.size() >= 2;
+    if (!cyclic) {
+      for (const Edge& e : edges_)
+        if (!e.try_lock && e.held == scc.front() && e.acquired == scc.front())
+          cyclic = true;
+    }
+    if (!cyclic) continue;
+    Cycle cy;
+    cy.mutexes = scc;
+    for (const Edge& e : edges_) {
+      if (e.try_lock) continue;
+      if (members.count(e.held) == 0 || members.count(e.acquired) == 0)
+        continue;
+      if (cy.path.empty() || std::make_pair(e.file, e.line) <
+                                 std::make_pair(cy.anchor_file,
+                                                cy.anchor_line)) {
+        cy.anchor_file = e.file;
+        cy.anchor_line = e.line;
+      }
+      cy.path.push_back(e);
+    }
+    if (cy.path.empty()) continue;
+    cycles_.push_back(std::move(cy));
+  }
+  std::sort(cycles_.begin(), cycles_.end(),
+            [](const Cycle& a, const Cycle& b) { return a.mutexes < b.mutexes; });
+
+  // Unheld reachability, per ranked mutex: a node is provably
+  // enterable with the mutex unheld when it has no resolved in-graph
+  // callers, or some unheld-reachable caller calls it from a site
+  // outside every region of that mutex.
+  struct CallEdge {
+    int from, to;
+    const FunctionSummary* fn;
+    const CallSite* c;
+  };
+  std::vector<CallEdge> call_edges;
+  std::vector<char> has_caller(nodes.size(), 0);
+  for (std::size_t ni = 0; ni < nodes.size(); ++ni) {
+    for (int b : nodes[ni].bodies) {
+      const FunctionSummary& fn = functions[static_cast<std::size_t>(b)];
+      for (const CallSite& c : fn.calls) {
+        for (int ti : graph.resolve(nodes[ni].qname, c)) {
+          call_edges.push_back(CallEdge{static_cast<int>(ni), ti, &fn, &c});
+          has_caller[static_cast<std::size_t>(ti)] = 1;
+        }
+      }
+    }
+  }
+  for (const auto& [mtx, rank] : mutex_ranks) {
+    std::set<int>& unheld = unheld_[mtx];
+    for (std::size_t ni = 0; ni < nodes.size(); ++ni)
+      if (!has_caller[ni]) unheld.insert(static_cast<int>(ni));
+    bool grew = true;
+    while (grew) {
+      grew = false;
+      for (const CallEdge& e : call_edges) {
+        if (unheld.count(e.from) == 0 || unheld.count(e.to) != 0) continue;
+        bool held_at_site = false;
+        for (int ri : e.c->regions)
+          if (e.fn->lock_regions[static_cast<std::size_t>(ri)].mutex == mtx)
+            held_at_site = true;
+        if (!held_at_site) {
+          unheld.insert(e.to);
+          grew = true;
+        }
+      }
+    }
+  }
+}
+
+const std::map<std::string, Acquisition>& LockGraph::acquires(int node) const {
+  static const std::map<std::string, Acquisition> kEmpty;
+  if (node < 0 || static_cast<std::size_t>(node) >= acquires_.size())
+    return kEmpty;
+  return acquires_[static_cast<std::size_t>(node)];
+}
+
+bool LockGraph::reachable_unheld(int node, const std::string& mutex) const {
+  auto it = unheld_.find(mutex);
+  if (it == unheld_.end()) return true;  // unknown mutex: over-report
+  if (node < 0) return true;             // not in the graph: entry point
+  return it->second.count(node) != 0;
+}
+
+std::string lockgraph_dot(const LockGraph& graph,
+                          const std::map<std::string, long>& mutex_ranks) {
+  std::string out = "digraph fistlint_lockgraph {\n  rankdir=LR;\n";
+  for (const auto& [name, rank] : mutex_ranks) {
+    out += "  \"" + dot_escape(name) + "\" [label=\"" + dot_escape(name) +
+           "\\nrank " + std::to_string(rank) + "\"];\n";
+  }
+  for (const LockGraph::Edge& e : graph.edges()) {
+    out += "  \"" + dot_escape(e.held) + "\" -> \"" + dot_escape(e.acquired) +
+           "\" [label=\"" + dot_escape(e.file + ":" +
+                                       std::to_string(e.line)) +
+           (e.try_lock ? " (try)" : "") + "\"];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// The rules
+// ---------------------------------------------------------------------------
+
+void run_lockgraph_rules(const SourceFile& file, const ScanContext& ctx,
+                         std::vector<Finding>& out) {
+  // The hierarchy header defines the ranks; holding a lock there is
+  // definitionally fine.
+  if (path_has_prefix(file.rel, "src/core/lock_order")) return;
+
+  std::set<std::pair<std::string, int>> seen;
+  auto emit = [&](const char* rule, int line, std::string message) {
+    if (!seen.emplace(rule, line).second) return;
+    out.push_back(Finding{rule, file.rel, line, std::move(message),
+                          normalize_snippet(file.line_text(line))});
+  };
+
+  const LockGraph& lg = ctx.lockgraph;
+
+  for (const FunctionSummary& fn : ctx.functions) {
+    if (fn.file != file.rel) continue;
+
+    for (std::size_t r = 0; r < fn.lock_regions.size(); ++r) {
+      const LockRegion& region = fn.lock_regions[r];
+      long hrank = rank_of(ctx.mutex_ranks, region.mutex);
+      if (hrank < 0) continue;
+      const int ri = static_cast<int>(r);
+      const std::string held = held_desc(region.mutex, hrank);
+
+      // transitive-lock-order, zero-hop: a region opened while this
+      // one is active with a rank that does not strictly increase.
+      // (This is the old lexical lock-order rule, now one instance of
+      // the graph rule.)
+      for (const LockRegion& inner : fn.lock_regions) {
+        if (!has_region(inner.regions, ri) || inner.try_lock) continue;
+        long irank = rank_of(ctx.mutex_ranks, inner.mutex);
+        if (irank < 0 || irank > hrank) continue;
+        emit(kRuleTransitiveLockOrder, inner.line,
+             "acquiring " + held_desc(inner.mutex, irank) +
+                 " while " + held + " is held — the hierarchy in "
+                 "src/core/lock_order.hpp requires strictly increasing "
+                 "ranks");
+      }
+
+      // transitive-lock-order, call-mediated: a call under this region
+      // whose target transitively acquires rank ≤ held rank.
+      for (const CallSite& c : fn.calls) {
+        if (!has_region(c.regions, ri)) continue;
+        for (int ti : ctx.graph.resolve(fn.qname, c)) {
+          for (const auto& [mtx, a] :
+               lg.acquires(ti)) {
+            if (a.try_lock || a.rank > hrank) continue;
+            emit(kRuleTransitiveLockOrder, c.line,
+                 "call to `" + c.name + "` acquires " +
+                     held_desc(mtx, a.rank) + " while " + held +
+                     " is held — rank must strictly increase along "
+                     "every call path: " + a.chain);
+          }
+        }
+      }
+    }
+  }
+
+  // static-deadlock-cycle: reported once, at the cycle's anchor (the
+  // lexicographically smallest edge site), so exactly one file owns
+  // each finding no matter how the scan is sliced or cached.
+  for (const LockGraph::Cycle& cy : lg.cycles()) {
+    if (cy.anchor_file != file.rel) continue;
+    std::string names;
+    for (const std::string& m : cy.mutexes)
+      names += (names.empty() ? "`" : ", `") + m + "`";
+    std::string witness;
+    for (const LockGraph::Edge& e : cy.path)
+      witness += (witness.empty() ? "" : "; ") + e.chain;
+    emit(kRuleDeadlockCycle, cy.anchor_line,
+         "lock cycle between " + names +
+             " — these acquisition orders can interleave into deadlock: " +
+             witness);
+  }
+
+  // unguarded-field: accesses to lock-relevant fields of mutexed
+  // classes, outside any class-mutex region, in member functions
+  // reachable with every class mutex unheld. Constructors/destructors
+  // run before/after sharing and are exempt.
+  for (const FunctionSummary& fn : ctx.functions) {
+    if (fn.file != file.rel || fn.fields.empty()) continue;
+    std::size_t cut = fn.qname.rfind("::");
+    if (cut == std::string::npos) continue;  // free function
+    const std::string cls = fn.qname.substr(0, cut);
+    auto cm = ctx.class_mutexes.find(cls);
+    if (cm == ctx.class_mutexes.end()) continue;
+    std::vector<std::string> ranked_mutexes;
+    for (const std::string& m : cm->second)
+      if (ctx.mutex_ranks.count(m) != 0) ranked_mutexes.push_back(m);
+    if (ranked_mutexes.empty()) continue;  // ambiguous/unranked: silent
+    if (last_component(fn.qname) == last_component(cls)) continue;  // ctor/dtor
+    auto cf = ctx.class_fields.find(cls);
+    if (cf == ctx.class_fields.end()) continue;
+
+    const int node = ctx.graph.node_index(fn.qname);
+    bool entered_unheld = true;
+    for (const std::string& m : ranked_mutexes)
+      if (!lg.reachable_unheld(node, m)) entered_unheld = false;
+    if (!entered_unheld) continue;  // every path in holds a class mutex
+
+    for (const FieldAccess& a : fn.fields) {
+      if (cf->second.count(a.name) == 0) continue;
+      if (ctx.locked_fields.count(cls + "::" + a.name) == 0) continue;
+      bool held = false;
+      for (int ri : a.regions)
+        if (cm->second.count(
+                fn.lock_regions[static_cast<std::size_t>(ri)].mutex) != 0)
+          held = true;
+      if (held) continue;
+      emit(kRuleUnguardedField, a.line,
+           "field `" + a.name + "` of mutexed class `" + cls +
+               "` accessed without its mutex — `" + fn.qname +
+               "` is reachable with " +
+               (ranked_mutexes.size() == 1
+                    ? "`" + ranked_mutexes.front() + "`"
+                    : "every class mutex") +
+               " unheld; lock it, or allow() with the synchronization "
+               "story");
+    }
+  }
+}
+
+}  // namespace fistlint

@@ -1,0 +1,109 @@
+// lockgraph.hpp — the whole-program lock-acquisition graph.
+//
+// Pass 2, stage two: after callgraph.hpp links the function summaries,
+// this annotates every call-graph node with the set of ranked mutexes
+// it can *acquire* — directly (a LockRegion in one of its bodies) or
+// transitively (a resolved callee acquires one) — each with a
+// deterministic witness chain naming every call hop. On top of that:
+//
+//   * acquired-while-held edges: a region holding mutex A contains a
+//     direct acquisition of B, or a call whose target transitively
+//     acquires B. One edge per (A, B) pair, first witness wins (nodes
+//     are visited in sorted order, so "first" is deterministic).
+//   * deadlock cycles: strongly connected components of the edge
+//     multigraph (Tarjan, sorted adjacency). Any SCC with two or more
+//     mutexes — or a self-loop — is two acquisition orders that can
+//     interleave into deadlock, reported with every edge's witness.
+//   * unheld reachability: whether a function can be *entered* while a
+//     given mutex is NOT held — it has no resolved in-graph callers
+//     (an entry point), or some caller reaches it through a call site
+//     outside every region of that mutex and is itself
+//     unheld-reachable. The unguarded-field rule keys on this.
+//
+// Try-acquisitions (m.try_lock(), std::try_to_lock guards) open real
+// hold spans — the regions they create participate as *held* sides of
+// edges — but are exempt as violation targets: a failed try backs off
+// instead of blocking, so it cannot complete a deadlock.
+//
+// Like the effect fixpoint, everything here is set-at-most-once in
+// sorted iteration order, so the output is bit-identical regardless of
+// merge order or caching — which the determinism tests and the
+// cached-vs-cold CI diff assert.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "callgraph.hpp"
+#include "summaries.hpp"
+
+namespace fistlint {
+
+/// One ranked mutex a call-graph node can acquire, with its witness.
+struct Acquisition {
+  long rank = 0;
+  bool try_lock = false;  ///< acquired only via try-lock paths
+  /// "acquires `mu` (rank 30) (src/a.cpp:12)" for a direct region;
+  /// "calls `g` (src/a.cpp:14) → …" prepended per propagation hop.
+  std::string chain;
+  std::string file;  ///< site of the final (direct) acquisition
+  int line = 0;
+};
+
+class LockGraph {
+ public:
+  /// `functions` and `graph` must outlive the LockGraph; `mutex_ranks`
+  /// is the resolved name → rank map from ScanContext.
+  void build(const CallGraph& graph,
+             const std::vector<FunctionSummary>& functions,
+             const std::map<std::string, long>& mutex_ranks);
+
+  /// Ranked mutexes node `node` (CallGraph::nodes() index) can
+  /// acquire, keyed by mutex name. Direct and transitive.
+  const std::map<std::string, Acquisition>& acquires(int node) const;
+
+  /// True when `node` can be entered while `mutex` is NOT held (see
+  /// the header comment). Unknown nodes are conservatively unheld.
+  bool reachable_unheld(int node, const std::string& mutex) const;
+
+  /// One acquired-while-held edge between ranked mutexes.
+  struct Edge {
+    std::string held;
+    long held_rank = 0;
+    std::string acquired;
+    long acquired_rank = 0;
+    bool try_lock = false;  ///< the acquired side is a try-acquisition
+    std::string file;       ///< where the held region opens
+    int line = 0;
+    std::string chain;  ///< witness from the held region to the acquisition
+  };
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// One deadlock cycle: an SCC of the edge graph (or a self-loop).
+  struct Cycle {
+    std::vector<std::string> mutexes;  ///< sorted participant names
+    std::vector<Edge> path;            ///< every intra-SCC edge, sorted
+    std::string anchor_file;  ///< lexicographically smallest edge site —
+    int anchor_line = 0;      ///< the cycle is reported in this file only
+  };
+  const std::vector<Cycle>& cycles() const { return cycles_; }
+
+ private:
+  const CallGraph* graph_ = nullptr;
+  const std::vector<FunctionSummary>* functions_ = nullptr;
+  std::vector<std::map<std::string, Acquisition>> acquires_;
+  /// mutex name → nodes provably entered with it unheld.
+  std::map<std::string, std::set<int>> unheld_;
+  std::vector<Edge> edges_;
+  std::vector<Cycle> cycles_;
+};
+
+/// The `--dump-lockgraph` payload: a deterministic DOT digraph of the
+/// ranked mutexes (node label = name + rank) with one
+/// acquired-while-held edge per pair, labelled by its witness site.
+std::string lockgraph_dot(const LockGraph& graph,
+                          const std::map<std::string, long>& mutex_ranks);
+
+}  // namespace fistlint

@@ -4,6 +4,7 @@
 //            [--docs FILE] [--scan-prefix DIR/]... [--no-docs]
 //            [--report FILE] [--update-baseline] [--list-rules]
 //            [--cache FILE] [--no-cache] [--dump-callgraph REL]
+//            [--dump-lockgraph] [--sarif-out FILE]
 //            [--hot-rank-threshold N] [file...]
 //
 // Exit codes: 0 clean (nothing outside the committed baseline),
@@ -36,6 +37,9 @@ constexpr const char* kUsage =
     "  --no-cache              full scan; neither read nor write the cache\n"
     "  --dump-callgraph REL    print the DOT call graph of the functions\n"
     "                          defined in this root-relative file and exit\n"
+    "  --dump-lockgraph        print the DOT lock-acquisition graph (ranked\n"
+    "                          mutexes, acquired-while-held edges) and exit\n"
+    "  --sarif-out FILE        also write new findings as SARIF 2.1.0\n"
     "  --hot-rank-threshold N  alloc-under-lock fires only for mutexes\n"
     "                          ranked >= N (default 60)\n"
     "  --list-rules            print the rule ids and exit\n"
@@ -78,6 +82,10 @@ int main(int argc, char** argv) {
       opts.use_cache = false;
     } else if (arg == "--dump-callgraph") {
       opts.dump_callgraph = value("--dump-callgraph");
+    } else if (arg == "--dump-lockgraph") {
+      opts.dump_lockgraph = true;
+    } else if (arg == "--sarif-out") {
+      opts.sarif_out = value("--sarif-out");
     } else if (arg == "--hot-rank-threshold") {
       try {
         opts.hot_rank_threshold = std::stol(value("--hot-rank-threshold"));

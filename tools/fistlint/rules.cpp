@@ -85,6 +85,7 @@ const std::vector<std::string>& all_rules() {
       kRuleBadSuppression, kRuleNakedMutex,       kRuleLockOrder,
       kRuleDetachedThread, kRuleBlockingUnderLock, kRuleAllocUnderLock,
       kRuleCallbackUnderLock, kRuleUnboundedGrowth,
+      kRuleTransitiveLockOrder, kRuleDeadlockCycle, kRuleUnguardedField,
   };
   return rules;
 }
@@ -171,6 +172,12 @@ void ScanContext::merge(const FileFacts& facts) {
                          facts.mutexed_classes.end());
   member_ops.insert(member_ops.end(), facts.member_ops.begin(),
                     facts.member_ops.end());
+  for (const auto& [cls, members] : facts.class_mutexes)
+    class_mutexes[cls].insert(members.begin(), members.end());
+  for (const auto& [cls, members] : facts.class_fields)
+    class_fields[cls].insert(members.begin(), members.end());
+  for (const auto& [cls, members] : facts.class_guarded)
+    class_guarded[cls].insert(members.begin(), members.end());
 }
 
 void ScanContext::resolve() {
@@ -181,6 +188,32 @@ void ScanContext::resolve() {
     if (it != rank_values_.end()) mutex_ranks[name] = it->second;
   }
   graph.build(functions, callable_symbols);
+  lockgraph.build(graph, functions, mutex_ranks);
+
+  // Lock-relevant fields: annotated FIST_GUARDED_BY, or observed
+  // accessed under one of the class's mutexes somewhere in the tree.
+  locked_fields.clear();
+  for (const auto& [cls, members] : class_guarded)
+    for (const auto& m : members) locked_fields.insert(cls + "::" + m);
+  for (const FunctionSummary& fn : functions) {
+    std::size_t cut = fn.qname.rfind("::");
+    if (cut == std::string::npos) continue;
+    const std::string cls = fn.qname.substr(0, cut);
+    auto cm = class_mutexes.find(cls);
+    if (cm == class_mutexes.end()) continue;
+    for (const FieldAccess& a : fn.fields) {
+      for (int ri : a.regions) {
+        if (ri < 0 ||
+            static_cast<std::size_t>(ri) >= fn.lock_regions.size())
+          continue;
+        if (cm->second.count(fn.lock_regions[static_cast<std::size_t>(ri)]
+                                 .mutex) != 0) {
+          locked_fields.insert(cls + "::" + a.name);
+          break;
+        }
+      }
+    }
+  }
 }
 
 std::string ScanContext::canonical_facts() const {
@@ -204,6 +237,12 @@ std::string ScanContext::canonical_facts() const {
   for (const auto& [cls, members] : container_members)
     for (const auto& m : members) add("cm", cls + "::" + m);
   for (const auto& cls : mutexed_classes) add("mx", cls);
+  for (const auto& [cls, members] : class_mutexes)
+    for (const auto& m : members) add("cmu", cls + "::" + m);
+  for (const auto& [cls, members] : class_fields)
+    for (const auto& m : members) add("fld", cls + "::" + m);
+  for (const auto& [cls, members] : class_guarded)
+    for (const auto& m : members) add("gf", cls + "::" + m);
   {
     // File/line-free: the owning file's content hash already covers
     // where the op sits; only the name/kind sets act cross-file.
@@ -230,6 +269,11 @@ std::string ScanContext::canonical_facts() const {
         field(r.mutex);
         field(r.guard);
         field(std::to_string(r.line));
+        field(r.try_lock ? "t" : "-");
+        for (int x : r.regions) {
+          s += ',';
+          s += std::to_string(x);
+        }
       }
       for (const CallSite& c : fn.calls) {
         s += ";cs";
@@ -246,6 +290,15 @@ std::string ScanContext::canonical_facts() const {
         field(std::to_string(a.kind));
         field(std::to_string(a.line));
         field(a.what);
+        for (int x : a.regions) {
+          s += ',';
+          s += std::to_string(x);
+        }
+      }
+      for (const FieldAccess& a : fn.fields) {
+        s += ";fa";
+        field(a.name);
+        field(std::to_string(a.line));
         for (int x : a.regions) {
           s += ',';
           s += std::to_string(x);
@@ -702,6 +755,7 @@ std::vector<Finding> run_file_rules(const SourceFile& file,
   rule_float_amount(file, out);
   run_concurrency_rules(file, ctx, out);
   run_effect_rules(file, ctx, out);
+  run_lockgraph_rules(file, ctx, out);
   return out;
 }
 

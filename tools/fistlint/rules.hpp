@@ -62,6 +62,22 @@
 //   unbounded-growth        a container member of a mutex-owning class
 //                           grows with no cap/evict/clear in the tree.
 //
+// The lock-acquisition-graph rules (lockgraph.hpp/.cpp) run on the
+// same call graph, annotated with "acquires rank R" atoms:
+//
+//   transitive-lock-order   a path from a region holding rank R —
+//                           through any number of call hops — to an
+//                           acquisition of rank ≤ R. Subsumes the old
+//                           lexical lock-order rule (kept as an id for
+//                           baseline/allow compatibility, no longer
+//                           run).
+//   static-deadlock-cycle   a cycle in the acquired-while-held
+//                           multigraph over ranked mutexes — two
+//                           orders that can interleave into deadlock.
+//   unguarded-field         a trailing-underscore field of a mutexed
+//                           class accessed in a member function that
+//                           is reachable without the class mutex held.
+//
 // All rules are token-level heuristics: they over-approximate and rely
 // on `// fistlint:allow(<rule>) reason` plus the committed baseline
 // (baseline.hpp) for the sites a human has vetted.
@@ -74,6 +90,7 @@
 
 #include "callgraph.hpp"
 #include "lexer.hpp"
+#include "lockgraph.hpp"
 #include "summaries.hpp"
 
 namespace fistlint {
@@ -93,6 +110,10 @@ inline constexpr const char* kRuleBlockingUnderLock = "blocking-under-lock";
 inline constexpr const char* kRuleAllocUnderLock = "alloc-under-lock";
 inline constexpr const char* kRuleCallbackUnderLock = "callback-under-lock";
 inline constexpr const char* kRuleUnboundedGrowth = "unbounded-growth";
+inline constexpr const char* kRuleTransitiveLockOrder =
+    "transitive-lock-order";
+inline constexpr const char* kRuleDeadlockCycle = "static-deadlock-cycle";
+inline constexpr const char* kRuleUnguardedField = "unguarded-field";
 
 /// Every rule id, in report order.
 const std::vector<std::string>& all_rules();
@@ -146,6 +167,16 @@ struct FileFacts {
   std::set<std::string> mutexed_classes;
   /// Grow/shrink method calls on member-shaped receivers.
   std::vector<MemberOp> member_ops;
+
+  // Lock-acquisition-graph facts (lockgraph.hpp; collected by
+  // collect_summaries).
+  /// Class qname → fist::Mutex/SharedMutex member names declared in it.
+  std::map<std::string, std::set<std::string>> class_mutexes;
+  /// Class qname → trailing-underscore data-member names (sync
+  /// primitives excluded) — the unguarded-field rule's universe.
+  std::map<std::string, std::set<std::string>> class_fields;
+  /// Class qname → members carrying an explicit FIST_GUARDED_BY.
+  std::map<std::string, std::set<std::string>> class_guarded;
 };
 
 /// Pass 1: collect every cross-file fact from `file`.
@@ -171,6 +202,17 @@ struct ScanContext {
   /// (CLI --hot-rank-threshold; default: the blockstore read slots).
   long hot_rank_threshold = 60;
   CallGraph graph;
+
+  // Lock-acquisition-graph state (built by resolve(), after graph).
+  std::map<std::string, std::set<std::string>> class_mutexes;
+  std::map<std::string, std::set<std::string>> class_fields;
+  std::map<std::string, std::set<std::string>> class_guarded;
+  /// "Cls::field" keys that are lock-relevant: annotated
+  /// FIST_GUARDED_BY, or observed accessed somewhere under a class
+  /// mutex. Fields never touched under a lock are presumed
+  /// confined/immutable and the unguarded-field rule stays silent.
+  std::set<std::string> locked_fields;
+  LockGraph lockgraph;
 
   void merge(const FileFacts& facts);
   /// Resolves mutex enumerators to numeric ranks (a name declared with
@@ -213,6 +255,13 @@ void collect_concurrency_facts(const SourceFile& file, FileFacts& out);
 /// have built the graph.
 void run_effect_rules(const SourceFile& file, const ScanContext& ctx,
                       std::vector<Finding>& out);
+
+/// The three lock-acquisition-graph rules (transitive-lock-order,
+/// static-deadlock-cycle, unguarded-field; implemented in
+/// lockgraph.cpp). run_file_rules already includes them; requires
+/// ctx.resolve() to have built the lock graph.
+void run_lockgraph_rules(const SourceFile& file, const ScanContext& ctx,
+                         std::vector<Finding>& out);
 
 /// The docs-drift check: `doc_text` is docs/OBSERVABILITY.md; the
 /// registry is the backticked names between the

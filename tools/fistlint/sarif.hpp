@@ -1,0 +1,22 @@
+// sarif.hpp — SARIF 2.1.0 export of the findings report.
+//
+// The static-analysis CI job uploads the SARIF file as a workflow
+// artifact (`--sarif-out`), so findings are consumable by any SARIF
+// viewer without re-running the scan. The output is deliberately
+// minimal — one run, one tool, physical locations only — and
+// deterministic: findings arrive pre-sorted from the driver and the
+// rule index is the fixed all_rules() order.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rules.hpp"
+
+namespace fistlint {
+
+/// Renders `findings` (the fresh, post-baseline set, already sorted)
+/// as a SARIF 2.1.0 document. Paths are root-relative URIs.
+std::string sarif_report(const std::vector<Finding>& findings);
+
+}  // namespace fistlint

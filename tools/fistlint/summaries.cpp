@@ -220,16 +220,53 @@ std::size_t skip_lambda(const std::vector<Token>& t, std::size_t j,
 void walk_body(const SourceFile& file, std::size_t begin, std::size_t end,
                FunctionSummary& fn, FileFacts& out);
 
+/// When t[k-1], t[k-2] are the two ':' of a `::`, parses the qualifier
+/// segment ending at t[k-3] — a plain identifier or a template-id like
+/// `Box<T>` — into `text` and returns the segment's first token index.
+/// Returns `k` unchanged when no well-formed segment precedes the `::`.
+std::size_t prev_qual_segment(const std::vector<Token>& t, std::size_t k,
+                              std::string& text) {
+  if (k < 3 || !t[k - 1].punct(':') || !t[k - 2].punct(':')) return k;
+  std::size_t last = k - 3;
+  if (t[last].kind == TokKind::Ident) {
+    text = t[last].text;
+    return last;
+  }
+  if (!t[last].punct('>')) return k;
+  // Template-id: scan back over the argument list to its '<'.
+  std::size_t depth = 0;
+  std::size_t m = last + 1;
+  while (m > 0) {
+    --m;
+    if (t[m].punct('>')) {
+      ++depth;
+    } else if (t[m].punct('<')) {
+      if (--depth == 0) break;
+    } else if (t[m].punct(';') || t[m].punct('{') || t[m].punct('}')) {
+      return k;
+    }
+    if (m == 0) return k;
+  }
+  if (depth != 0 || m == 0 || t[m - 1].kind != TokKind::Ident) return k;
+  std::string s;
+  for (std::size_t q = m - 1; q <= last; ++q) s += t[q].text;
+  text = s;
+  return m - 1;
+}
+
 /// Builds the (possibly `A::B::`-qualified) call name ending at token
-/// `i`, and reports where the qualified chain starts.
+/// `i`, and reports where the qualified chain starts. Template-id
+/// segments are kept textually (`Box<T>::absorb`).
 std::string qualified_name(const std::vector<Token>& t, std::size_t i,
                            std::size_t& chain_start) {
   std::string name = t[i].text;
   std::size_t k = i;
-  while (k >= 3 && t[k - 1].punct(':') && t[k - 2].punct(':') &&
-         t[k - 3].kind == TokKind::Ident) {
-    name = t[k - 3].text + "::" + name;
-    k -= 3;
+  while (k >= 3) {
+    std::string seg;
+    std::size_t start = prev_qual_segment(t, k, seg);
+    if (start == k) break;
+    name = seg + "::" + name;
+    k = start;
   }
   // A leading global qualifier (`::close`) adds no name segment.
   if (k >= 2 && t[k - 1].punct(':') && t[k - 2].punct(':')) k -= 2;
@@ -277,19 +314,56 @@ void walk_body(const SourceFile& file, std::size_t begin, std::size_t end,
       continue;
     }
 
-    // Scoped guard declaration: `LockGuard g(…mutex);`.
+    // Scoped guard declaration: `LockGuard g(mu);`, or multi-mutex
+    // `std::scoped_lock g(m1, m2);` — one region per mutex argument.
+    // The mutexes of one declaration are acquired atomically
+    // (std::scoped_lock deadlock-avoids), so the regions do not list
+    // each other as held-at-open. std tag arguments select behaviour
+    // instead of naming a mutex: `std::defer_lock` (and `adopt_lock`,
+    // whose mutex was opened by the preceding manual lock()) opens
+    // nothing; `std::try_to_lock` marks the regions as
+    // try-acquisitions.
     if (is_scoped_lock_type(tok)) {
       std::size_t k = j + 1;
       if (k < end && t[k].punct('<')) k = skip_angles(t, k);
       if (k + 1 < end && t[k].kind == TokKind::Ident && t[k + 1].punct('(')) {
         std::size_t close = find_close_paren(t, k + 1);
-        std::string mtx;
-        for (std::size_t m = k + 2; m < close && m < end; ++m)
-          if (t[m].kind == TokKind::Ident) mtx = t[m].text;
-        if (!mtx.empty()) {
-          fn.lock_regions.push_back(LockRegion{mtx, t[k].text, tok.line});
-          active.push_back(
-              Active{static_cast<int>(fn.lock_regions.size()) - 1, depth});
+        std::vector<std::string> mutexes;
+        bool no_acquire = false;
+        bool tryf = false;
+        std::string arg_last;  // last identifier of the current argument
+        auto flush_arg = [&] {
+          if (arg_last.empty()) return;
+          if (arg_last == "defer_lock" || arg_last == "defer_lock_t" ||
+              arg_last == "adopt_lock" || arg_last == "adopt_lock_t")
+            no_acquire = true;
+          else if (arg_last == "try_to_lock" || arg_last == "try_to_lock_t")
+            tryf = true;
+          else
+            mutexes.push_back(arg_last);
+          arg_last.clear();
+        };
+        std::size_t pd = 0;
+        for (std::size_t m = k + 2; m < close && m < end; ++m) {
+          if (t[m].punct('(') || t[m].punct('[') || t[m].punct('{')) {
+            ++pd;
+          } else if (t[m].punct(')') || t[m].punct(']') || t[m].punct('}')) {
+            if (pd > 0) --pd;
+          } else if (t[m].punct(',') && pd == 0) {
+            flush_arg();
+          } else if (t[m].kind == TokKind::Ident && pd == 0) {
+            arg_last = t[m].text;
+          }
+        }
+        flush_arg();
+        if (!no_acquire) {
+          const std::vector<int> held = active_indices();
+          for (const std::string& mtx : mutexes) {
+            fn.lock_regions.push_back(
+                LockRegion{mtx, t[k].text, tok.line, held, tryf});
+            active.push_back(
+                Active{static_cast<int>(fn.lock_regions.size()) - 1, depth});
+          }
         }
         j = close < end ? close : end - 1;
       }
@@ -324,6 +398,22 @@ void walk_body(const SourceFile& file, std::size_t begin, std::size_t end,
       continue;
     }
 
+    // Member-field access (`count_`, `this->count_`) for the
+    // unguarded-field rule. Recorded whether or not a '(' follows —
+    // `callback_(x)` reads the field too. Receiver-qualified accesses
+    // (`obj.count_`) are another object's state and stay unrecorded;
+    // `Ns::name_` is a qualified name, not a field.
+    if (!tok.text.empty() && tok.text.back() == '_' &&
+        !(j + 2 < end && t[j + 1].punct(':') && t[j + 2].punct(':'))) {
+      bool dotted =
+          j >= 1 && (t[j - 1].punct('.') ||
+                     (j >= 2 && t[j - 1].punct('>') && t[j - 2].punct('-')));
+      bool via_this = j >= 3 && t[j - 1].punct('>') && t[j - 2].punct('-') &&
+                      t[j - 3].ident("this");
+      if (!dotted || via_this)
+        fn.fields.push_back(FieldAccess{tok.text, tok.line, active_indices()});
+    }
+
     if (j + 1 >= end || !t[j + 1].punct('(')) continue;
     if (control_name(tok.text)) continue;
 
@@ -331,10 +421,11 @@ void walk_body(const SourceFile& file, std::size_t begin, std::size_t end,
     bool member = j >= 1 && (t[j - 1].punct('.') ||
                              (j >= 2 && t[j - 1].punct('>') &&
                               t[j - 2].punct('-')));
-    if (member && tok.is("lock") && j >= 2 &&
+    if (member && (tok.is("lock") || tok.is("try_lock")) && j >= 2 &&
         t[j - 2].kind == TokKind::Ident) {
-      fn.lock_regions.push_back(
-          LockRegion{t[j - 2].text, std::string(), tok.line});
+      fn.lock_regions.push_back(LockRegion{t[j - 2].text, std::string(),
+                                           tok.line, active_indices(),
+                                           tok.is("try_lock")});
       active.push_back(
           Active{static_cast<int>(fn.lock_regions.size()) - 1, depth});
       continue;
@@ -380,12 +471,16 @@ void walk_body(const SourceFile& file, std::size_t begin, std::size_t end,
       }
     }
 
-    // Member IO primitives are precise blocking atoms already, and
-    // atomic ops are pure; recording either as a call would only link
-    // it to unrelated same-named repo functions.
+    // Member IO primitives are precise blocking atoms already, atomic
+    // ops are pure, and container mutators (`records_.clear()`) are
+    // captured as grow/shrink/alloc atoms; recording any of them as a
+    // call would only link it to an unrelated same-named repo function
+    // and fabricate lock edges through it.
     bool linkable =
         !member || (blocking_calls().count(last) == 0 &&
-                    atomic_methods().count(last) == 0);
+                    atomic_methods().count(last) == 0 &&
+                    grow_methods().count(last) == 0 &&
+                    shrink_methods().count(last) == 0);
     if (linkable)
       fn.calls.push_back(CallSite{name, tok.line, member, regions});
     if (blocking_calls().count(last) != 0)
@@ -427,11 +522,12 @@ HeadMatch try_match_head(const std::vector<Token>& t, std::size_t i) {
   m.skip_to = close + 1;
 
   std::size_t k = i;
-  while (k >= 3 && t[k - 1].punct(':') && t[k - 2].punct(':') &&
-         t[k - 3].kind == TokKind::Ident) {
-    m.prefix = m.prefix.empty() ? t[k - 3].text
-                                : t[k - 3].text + "::" + m.prefix;
-    k -= 3;
+  while (k >= 3) {
+    std::string seg;
+    std::size_t start = prev_qual_segment(t, k, seg);
+    if (start == k) break;
+    m.prefix = m.prefix.empty() ? seg : seg + "::" + m.prefix;
+    k = start;
   }
 
   std::size_t j = close + 1;
@@ -646,10 +742,51 @@ void collect_summaries(const SourceFile& file, FileFacts& out) {
             out.container_members[scope_qname("", "")].insert(t[j].text);
         }
       }
-      // Ranked-mutex member marks the class for the hold-time rules.
+      // Ranked-mutex member marks the class for the hold-time rules
+      // and names the mutex for the lock-acquisition graph.
       if ((tok.is("Mutex") || tok.is("SharedMutex")) && i + 2 < t.size() &&
-          t[i + 1].kind == TokKind::Ident && t[i + 2].punct('{'))
+          t[i + 1].kind == TokKind::Ident && t[i + 2].punct('{')) {
         out.mutexed_classes.insert(scope_qname("", ""));
+        out.class_mutexes[scope_qname("", "")].insert(t[i + 1].text);
+      }
+      // Trailing-underscore data member: `type name_ [FIST_…] ;|=|{`.
+      // Sync primitives and handles are not data the unguarded-field
+      // rule can reason about, so the declaration's type tokens are
+      // scanned (back to the previous statement) to exclude them.
+      if (!tok.text.empty() && tok.text.back() == '_' && i + 1 < t.size()) {
+        const Token& after = t[i + 1];
+        bool decl_shaped =
+            after.punct(';') || after.punct('{') || after.punct('=') ||
+            (after.kind == TokKind::Ident &&
+             after.text.rfind("FIST_", 0) == 0);
+        if (decl_shaped) {
+          static const std::set<std::string> kNotData = {
+              "atomic",       "atomic_flag",
+              "mutex",        "shared_mutex",
+              "Mutex",        "SharedMutex",
+              "condition_variable", "condition_variable_any",
+              "thread",       "jthread",
+              "once_flag",
+          };
+          bool sync = false;
+          std::size_t b = i;
+          int steps = 0;
+          while (b > 0 && !t[b - 1].punct(';') && !t[b - 1].punct('{') &&
+                 !t[b - 1].punct('}') && steps < 40) {
+            --b;
+            ++steps;
+            if (t[b].kind == TokKind::Ident && kNotData.count(t[b].text) != 0)
+              sync = true;
+          }
+          if (!sync) {
+            const std::string cls = scope_qname("", "");
+            out.class_fields[cls].insert(tok.text);
+            if (after.kind == TokKind::Ident &&
+                after.text == "FIST_GUARDED_BY")
+              out.class_guarded[cls].insert(tok.text);
+          }
+        }
+      }
     }
 
     // Function-definition head?

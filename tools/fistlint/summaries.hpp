@@ -47,11 +47,23 @@ namespace fistlint {
 
 struct FileFacts;  // rules.hpp — completed there to avoid a cycle
 
-/// One lexical lock-holding region inside a function body.
+/// One lexical lock-holding region inside a function body. Every
+/// region doubles as an *acquisition atom* for the lock-acquisition
+/// graph (lockgraph.hpp): `regions` records which regions were already
+/// active when this one opened (the lexical acquired-while-held
+/// edges), and `try_lock` marks acquisitions that never block waiting
+/// (`m.try_lock()`, `std::try_to_lock` guards) — they open a real hold
+/// span but are exempt as lock-order/deadlock *targets*, because a
+/// failed try backs off instead of waiting.
 struct LockRegion {
   std::string mutex;  ///< mutex name as written (resolved via ctx later)
   std::string guard;  ///< guard variable name; empty for manual .lock()
   int line = 0;
+  /// Indices of the regions active when this one was acquired. The
+  /// mutexes of one multi-mutex `std::scoped_lock(m1, m2)` are
+  /// acquired atomically, so they do NOT appear in each other's list.
+  std::vector<int> regions;
+  bool try_lock = false;
 };
 
 /// One effect-producing token pattern. `regions` indexes the
@@ -76,6 +88,17 @@ struct CallSite {
   std::vector<int> regions;  ///< lock regions active at the call
 };
 
+/// One read/write of a member-shaped name (`count_`, `this->count_`)
+/// inside a function body, for the unguarded-field rule. Only bare or
+/// `this->`-qualified names with the trailing-underscore member
+/// convention are recorded: receiver-qualified accesses (`obj.count_`)
+/// belong to some *other* object whose lock state is unknowable here.
+struct FieldAccess {
+  std::string name;
+  int line = 0;
+  std::vector<int> regions;  ///< lock regions active at the access
+};
+
 /// Everything pass 1 knows about one function definition.
 struct FunctionSummary {
   std::string qname;  ///< e.g. "fist::LiveIndex::append"
@@ -84,6 +107,7 @@ struct FunctionSummary {
   std::vector<LockRegion> lock_regions;
   std::vector<CallSite> calls;
   std::vector<EffectAtom> atoms;
+  std::vector<FieldAccess> fields;
 };
 
 /// One grow/shrink method call on a member-shaped receiver
